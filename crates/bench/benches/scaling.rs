@@ -1,0 +1,42 @@
+//! Scaling: synthesis time vs. specification size, per-instruction vs.
+//! monolithic (the structural cause of Table 1's † rows). Small prefixes
+//! only, so the bench completes in reasonable time; the `ablation` binary
+//! sweeps further.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owl_core::{synthesize, SynthesisConfig, SynthesisMode};
+use owl_cores::rv32i::spec::spec_from_table;
+use owl_cores::rv32i::{self, isa::instruction_table, Extensions};
+use owl_smt::TermManager;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scaling_benches(c: &mut Criterion) {
+    let sketch = rv32i::datapath::single_cycle_sketch(Extensions::BASE);
+    let alpha = rv32i::alpha_single_cycle();
+    let table = instruction_table(Extensions::BASE);
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    for n in [2usize, 4, 8] {
+        let spec = spec_from_table(format!("prefix_{n}"), &table[..n], false);
+        for (mode, tag) in [
+            (SynthesisMode::PerInstruction, "per_instruction"),
+            (SynthesisMode::Monolithic, "monolithic"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(tag, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut mgr = TermManager::new();
+                    let config = SynthesisConfig { mode, ..Default::default() };
+                    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &config)
+                        .expect("synthesis succeeds");
+                    black_box(out.solutions.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_benches);
+criterion_main!(benches);

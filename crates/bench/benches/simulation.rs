@@ -1,0 +1,66 @@
+//! Simulation-throughput benches: cycles per second of the Oyster
+//! interpreter and the gate-level simulator on case-study designs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use owl_bitvec::BitVec;
+use owl_netlist::{lower, GateSim};
+use owl_oyster::Interpreter;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn simulation_benches(c: &mut Criterion) {
+    // Handwritten reference core: no synthesis needed for this bench.
+    let core = owl_cores::crypto_core::reference();
+    let program = owl_cores::sha256::sha256_program().encode();
+
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("crypto_core_interpreter_256_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Interpreter::new(&core).expect("simulatable");
+            for (i, word) in program.iter().take(64).enumerate() {
+                sim.poke_mem("i_mem", i as u64, BitVec::from_u64(32, u64::from(*word)))
+                    .expect("poke");
+            }
+            let inputs = HashMap::new();
+            for _ in 0..256 {
+                black_box(sim.step(&inputs).expect("step"));
+            }
+        });
+    });
+
+    // Gate-level simulation of the accumulator (small enough to lower
+    // and simulate quickly).
+    let acc = {
+        use owl_core::{complete_design, control_union, synthesize, SynthesisConfig};
+        use owl_smt::TermManager;
+        let cs = owl_cores::accumulator::case_study();
+        let mut mgr = TermManager::new();
+        let out =
+            synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+                .expect("synthesis succeeds");
+        let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
+            .expect("union succeeds");
+        complete_design(&cs.sketch, &union)
+    };
+    let netlist = lower(&acc).expect("lowers");
+    group.bench_function("accumulator_gate_sim_256_cycles", |b| {
+        b.iter(|| {
+            let mut sim = GateSim::new(&netlist);
+            let inputs: HashMap<String, BitVec> = [
+                ("reset".to_string(), BitVec::from_u64(1, 0)),
+                ("go".to_string(), BitVec::from_u64(1, 1)),
+                ("stop".to_string(), BitVec::from_u64(1, 0)),
+                ("val".to_string(), BitVec::from_u64(2, 3)),
+            ]
+            .into();
+            for _ in 0..256 {
+                black_box(sim.step(&inputs));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulation_benches);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the decision-procedure substrate: the CDCL SAT
+//! solver on pigeonhole instances and the SMT stack on bitvector
+//! equivalence queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owl_sat::{Lit, Solver};
+use owl_smt::{check, TermManager};
+use std::hint::black_box;
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let grid: Vec<Vec<_>> =
+        (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+    for row in &grid {
+        s.add_clause(row.iter().map(|&v| Lit::positive(v)));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                s.add_clause([Lit::negative(grid[p1][h]), Lit::negative(grid[p2][h])]);
+            }
+        }
+    }
+    s
+}
+
+fn sat_benches(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_7_6", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7, 6);
+            black_box(s.solve())
+        });
+    });
+    c.bench_function("sat/pigeonhole_8_8_sat", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(8, 8);
+            black_box(s.solve())
+        });
+    });
+}
+
+fn smt_benches(c: &mut Criterion) {
+    c.bench_function("smt/adder_equivalence_32", |b| {
+        b.iter(|| {
+            let mut m = TermManager::new();
+            let x = m.fresh_var("x", 32);
+            let y = m.fresh_var("y", 32);
+            // (x + y) - y == x is valid; its negation is UNSAT.
+            let s = m.add(x, y);
+            let back = m.sub(s, y);
+            let bad = m.neq(back, x);
+            black_box(check(&m, &[bad], None).is_unsat())
+        });
+    });
+    c.bench_function("smt/mul_vs_shift_16", |b| {
+        b.iter(|| {
+            let mut m = TermManager::new();
+            let x = m.fresh_var("x", 16);
+            let c8 = m.const_u64(16, 8);
+            let c3 = m.const_u64(16, 3);
+            let prod = m.mul(x, c8);
+            let shifted = m.shl(x, c3);
+            let bad = m.neq(prod, shifted);
+            black_box(check(&m, &[bad], None).is_unsat())
+        });
+    });
+    c.bench_function("smt/array_ackermann_8_reads", |b| {
+        b.iter(|| {
+            let mut m = TermManager::new();
+            let arr = m.fresh_array("mem", 8, 16);
+            let addrs: Vec<_> = (0..8).map(|i| m.fresh_var(format!("a{i}"), 8)).collect();
+            let reads: Vec<_> = addrs.iter().map(|&a| m.array_select(arr, a)).collect();
+            // All addresses equal forces all reads equal.
+            let mut assertions = Vec::new();
+            for w in addrs.windows(2) {
+                assertions.push(m.eq(w[0], w[1]));
+            }
+            let diff = m.neq(reads[0], reads[7]);
+            assertions.push(diff);
+            black_box(check(&m, &assertions, None).is_unsat())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sat_benches, smt_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches over the Table 1 synthesis workloads (per-instruction
+//! mode). Absolute numbers land in `target/criterion`; the table binaries
+//! print the paper-comparable rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owl_core::{synthesize, SynthesisConfig};
+use owl_cores::rv32i::Extensions;
+use owl_cores::CaseStudy;
+use owl_smt::TermManager;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_case(c: &mut Criterion, name: &str, make: impl Fn() -> CaseStudy) {
+    let cs = make();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut mgr = TermManager::new();
+            let out = synthesize(
+                &mut mgr,
+                black_box(&cs.sketch),
+                &cs.spec,
+                &cs.alpha,
+                &SynthesisConfig::default(),
+            )
+            .expect("synthesis succeeds");
+            black_box(out.solutions.len())
+        });
+    });
+}
+
+fn synthesis_benches(c: &mut Criterion) {
+    bench_case(c, "synth/accumulator", owl_cores::accumulator::case_study);
+    bench_case(c, "synth/alu_machine", owl_cores::alu_machine::case_study);
+    bench_case(c, "synth/aes", owl_cores::aes::case_study);
+    bench_case(c, "synth/rv32i_single_cycle", || {
+        owl_cores::rv32i::single_cycle(Extensions::BASE)
+    });
+    bench_case(c, "synth/crypto_core", owl_cores::crypto_core::case_study);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20))
+        .warm_up_time(Duration::from_secs(2));
+    targets = synthesis_benches
+}
+criterion_main!(benches);

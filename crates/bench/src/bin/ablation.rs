@@ -1,0 +1,47 @@
+//! Ablation study (the scalability discussion of §3.3.1 / §5.3): solve
+//! time as a function of specification size, per-instruction vs.
+//! monolithic.
+//!
+//! The specification is truncated to its first N instructions and
+//! synthesized both ways; the monolithic times grow super-linearly while
+//! per-instruction stays near-linear — the structural reason the paper's
+//! Table 1 shows a 3-hour timeout for monolithic RV32I.
+
+use owl_core::{synthesize, SynthesisConfig, SynthesisMode};
+use owl_cores::rv32i::spec::spec_from_table;
+use owl_cores::rv32i::{self, isa::instruction_table, Extensions};
+use owl_smt::TermManager;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let budget: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
+    let sketch = rv32i::datapath::single_cycle_sketch(Extensions::BASE);
+    let alpha = rv32i::alpha_single_cycle();
+    let table = instruction_table(Extensions::BASE);
+
+    println!("Solve time vs. number of instructions (single-cycle RV32I prefix);");
+    println!("budget {budget}s per monolithic run.\n");
+    println!("{:>8} {:>20} {:>20}", "instrs", "per-instruction (s)", "monolithic (s)");
+    println!("{}", "-".repeat(52));
+
+    for n in [1usize, 2, 4, 8, 12, 16, 24, 37] {
+        let spec = spec_from_table(format!("rv32i_prefix_{n}"), &table[..n], false);
+        let mut times = Vec::new();
+        for mode in [SynthesisMode::PerInstruction, SynthesisMode::Monolithic] {
+            let mut mgr = TermManager::new();
+            let config = SynthesisConfig {
+                mode,
+                time_budget: Some(Duration::from_secs(budget)),
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let result = synthesize(&mut mgr, &sketch, &spec, &alpha, &config);
+            times.push(match result {
+                Ok(_) => format!("{:.2}", start.elapsed().as_secs_f64()),
+                Err(e) if e.to_string().contains("timed out") => "timeout".to_string(),
+                Err(e) => format!("failed: {e}"),
+            });
+        }
+        println!("{:>8} {:>20} {:>20}", n, times[0], times[1]);
+    }
+}

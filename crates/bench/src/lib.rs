@@ -1,0 +1,112 @@
+//! Shared helpers for the table-regeneration binaries and Criterion
+//! benches.
+//!
+//! The binaries regenerate the paper's evaluation artifacts:
+//!
+//! - `table1` — sketch sizes and synthesis times for every case-study
+//!   variant, per-instruction vs. monolithic (the paper's Table 1);
+//! - `table2` — HDL control-logic sizes and netlist gate counts,
+//!   reference vs. generated vs. optimized (Table 2);
+//! - `consttime` — SHA-256 cycle counts on the constant-time core
+//!   (the §5.2 experiment); and
+//! - `ablation` — solve time vs. specification size, per-instruction vs.
+//!   monolithic (the scalability discussion of §5.3).
+
+use owl_core::{
+    complete_design, control_union_with, synthesize, verify_design, DecodeBinding,
+    SynthesisConfig, SynthesisMode,
+};
+use owl_cores::CaseStudy;
+use owl_oyster::Design;
+use owl_smt::TermManager;
+use std::time::{Duration, Instant};
+
+/// Result of synthesizing one case-study variant.
+#[derive(Debug)]
+pub struct SynthesisRun {
+    /// Variant name.
+    pub name: String,
+    /// Sketch size in Oyster lines.
+    pub sketch_lines: usize,
+    /// Synthesis wall-clock time, or `None` on timeout/failure.
+    pub time: Option<Duration>,
+    /// The completed design (when synthesis succeeded).
+    pub completed: Option<Design>,
+    /// Failure/timeout description, if any.
+    pub note: Option<String>,
+}
+
+/// Synthesizes a case study end to end (synthesis + union + completion),
+/// with an optional wall-clock budget.
+#[must_use]
+pub fn run_synthesis(
+    cs: &CaseStudy,
+    mode: SynthesisMode,
+    bindings: &[DecodeBinding],
+    budget: Option<Duration>,
+) -> SynthesisRun {
+    let mut mgr = TermManager::new();
+    let config = SynthesisConfig { mode, time_budget: budget, ..Default::default() };
+    let start = Instant::now();
+    match synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config) {
+        Ok(out) => {
+            let union =
+                control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, bindings)
+                    .expect("union succeeds after synthesis");
+            let completed = complete_design(&cs.sketch, &union);
+            SynthesisRun {
+                name: cs.name.clone(),
+                sketch_lines: cs.sketch.line_count(),
+                time: Some(start.elapsed()),
+                completed: Some(completed),
+                note: None,
+            }
+        }
+        Err(e) => SynthesisRun {
+            name: cs.name.clone(),
+            sketch_lines: cs.sketch.line_count(),
+            time: None,
+            completed: None,
+            note: Some(e.to_string()),
+        },
+    }
+}
+
+/// Re-verifies a completed design; panics on failure (the tables must
+/// only report verified designs).
+pub fn assert_verified(cs: &CaseStudy, completed: &Design) {
+    let mut mgr = TermManager::new();
+    verify_design(&mut mgr, completed, &cs.spec, &cs.alpha, None)
+        .unwrap_or_else(|e| panic!("{}: completed design failed verification: {e}", cs.name));
+}
+
+/// Formats a duration as seconds with one decimal, or the note/timeout.
+#[must_use]
+pub fn fmt_time(run: &SynthesisRun) -> String {
+    match &run.time {
+        Some(t) => format!("{:.1}", t.as_secs_f64()),
+        None => match &run.note {
+            Some(n) if n.contains("timed out") => "Timeout".to_string(),
+            Some(n) => format!("Failed ({n})"),
+            None => "-".to_string(),
+        },
+    }
+}
+
+/// All the Table 1 case-study variants, in the paper's row order, paired
+/// with their decode bindings and whether the monolithic (†) experiment
+/// is also run for them.
+#[must_use]
+pub fn table1_rows() -> Vec<(CaseStudy, Vec<DecodeBinding>, bool)> {
+    use owl_cores::rv32i::Extensions;
+    vec![
+        (owl_cores::aes::case_study(), vec![], true),
+        (owl_cores::rv32i::single_cycle(Extensions::BASE), vec![], true),
+        (owl_cores::rv32i::single_cycle(Extensions::ZBKB), vec![], false),
+        (owl_cores::rv32i::single_cycle(Extensions::ZBKC), vec![], false),
+        (owl_cores::rv32i::two_stage(Extensions::BASE), vec![], false),
+        (owl_cores::rv32i::two_stage(Extensions::ZBKB), vec![], false),
+        (owl_cores::rv32i::two_stage(Extensions::ZBKC), vec![], false),
+        (owl_cores::crypto_core::case_study(), owl_cores::crypto_core::decode_bindings(), false),
+    ]
+}

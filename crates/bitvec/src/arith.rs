@@ -1,0 +1,221 @@
+//! Modular arithmetic on [`BitVec`]: add, sub, neg, mul, udiv, urem,
+//! and carry-less multiplication (for the Zbkc `clmul` instructions).
+
+use crate::BitVec;
+
+impl BitVec {
+    /// Addition modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn add(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "add");
+        let mut out = BitVec::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Subtraction modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn sub(&self, rhs: &BitVec) -> BitVec {
+        self.add(&rhs.neg())
+    }
+
+    /// Two's-complement negation.
+    #[must_use]
+    pub fn neg(&self) -> BitVec {
+        self.not().add(&BitVec::one(self.width))
+    }
+
+    /// Multiplication modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn mul(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "mul");
+        let n = self.limbs.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut carry = 0u128;
+            for j in 0..n - i {
+                let prod = u128::from(self.limbs[i]) * u128::from(rhs.limbs[j])
+                    + u128::from(acc[i + j])
+                    + carry;
+                acc[i + j] = prod as u64;
+                carry = prod >> 64;
+            }
+        }
+        let mut out = BitVec { width: self.width, limbs: acc };
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division, with the SMT-LIB convention that division by
+    /// zero yields the all-ones value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn udiv(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "udiv");
+        if rhs.is_zero() {
+            return BitVec::ones(self.width);
+        }
+        self.divmod(rhs).0
+    }
+
+    /// Unsigned remainder, with the SMT-LIB convention that remainder by
+    /// zero yields the dividend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn urem(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "urem");
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        self.divmod(rhs).1
+    }
+
+    /// Schoolbook restoring division (bit-serial; widths here are small).
+    fn divmod(&self, rhs: &BitVec) -> (BitVec, BitVec) {
+        let mut quotient = BitVec::zero(self.width);
+        let mut remainder = BitVec::zero(self.width);
+        for i in (0..self.width).rev() {
+            remainder = remainder.shl_amount(1);
+            if self.bit(i) {
+                remainder = remainder.with_bit(0, true);
+            }
+            if !remainder.ult(rhs) {
+                remainder = remainder.sub(rhs);
+                quotient = quotient.with_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Carry-less multiplication producing the low `width` bits
+    /// (the RISC-V Zbkc `clmul` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn clmul(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "clmul");
+        let mut acc = BitVec::zero(self.width);
+        for i in 0..self.width {
+            if rhs.bit(i) {
+                acc = acc.xor(&self.shl_amount(i));
+            }
+        }
+        acc
+    }
+
+    /// Carry-less multiplication producing the high `width` bits
+    /// (the RISC-V Zbkc `clmulh` semantics: bits `2w-1 .. w` of the
+    /// carry-less product, so bit `w-1` of the result is always zero for
+    /// `w`-bit inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn clmulh(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "clmulh");
+        let w = self.width;
+        let a = self.zext(2 * w);
+        let mut acc = BitVec::zero(2 * w);
+        for i in 0..w {
+            if rhs.bit(i) {
+                acc = acc.xor(&a.shl_amount(i));
+            }
+        }
+        acc.extract(2 * w - 1, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(w: u32, v: u64) -> BitVec {
+        BitVec::from_u64(w, v)
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(bv(8, 0xFF).add(&bv(8, 1)), bv(8, 0));
+        assert_eq!(bv(8, 0x80).add(&bv(8, 0x81)), bv(8, 0x01));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BitVec::from_u128(128, u128::from(u64::MAX));
+        let b = BitVec::from_u128(128, 1);
+        assert_eq!(a.add(&b).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(bv(8, 5).sub(&bv(8, 7)), bv(8, 0xFE));
+        assert_eq!(bv(8, 1).neg(), bv(8, 0xFF));
+        assert_eq!(bv(8, 0).neg(), bv(8, 0));
+    }
+
+    #[test]
+    fn mul_wraps() {
+        assert_eq!(bv(8, 16).mul(&bv(8, 16)), bv(8, 0));
+        assert_eq!(bv(8, 7).mul(&bv(8, 9)), bv(8, 63));
+        let a = BitVec::from_u128(128, 0x1_0000_0001);
+        let b = BitVec::from_u128(128, 0x1_0000_0001);
+        assert_eq!(a.mul(&b).to_u128(), Some(0x1_0000_0002_0000_0001));
+    }
+
+    #[test]
+    fn udiv_urem() {
+        assert_eq!(bv(8, 100).udiv(&bv(8, 7)), bv(8, 14));
+        assert_eq!(bv(8, 100).urem(&bv(8, 7)), bv(8, 2));
+        // SMT-LIB division-by-zero conventions.
+        assert_eq!(bv(8, 100).udiv(&bv(8, 0)), bv(8, 0xFF));
+        assert_eq!(bv(8, 100).urem(&bv(8, 0)), bv(8, 100));
+    }
+
+    #[test]
+    fn clmul_known_values() {
+        // (x^2 + x)(x + 1) = x^3 + x (carry-less 6 * 3 = 10).
+        assert_eq!(bv(8, 0b110).clmul(&bv(8, 0b11)), bv(8, 0b1010));
+        assert_eq!(bv(32, 0).clmul(&bv(32, 0xFFFF_FFFF)), bv(32, 0));
+    }
+
+    #[test]
+    fn clmulh_known_values() {
+        // 0x80000000 clmul 2 = 0x1_00000000, so the high word is 1.
+        assert_eq!(bv(32, 0x8000_0000).clmulh(&bv(32, 2)), bv(32, 1));
+        assert_eq!(bv(32, 3).clmulh(&bv(32, 3)), bv(32, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn add_width_mismatch_panics() {
+        let _ = bv(8, 1).add(&bv(9, 1));
+    }
+}

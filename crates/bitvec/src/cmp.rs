@@ -1,0 +1,161 @@
+//! Unsigned and signed comparisons on [`BitVec`].
+//!
+//! Note that the derived `Ord`/`PartialOrd` on `BitVec` order by
+//! `(width, limbs)` for use in collections; the *numeric* comparisons live
+//! here and require equal widths, matching SMT-LIB `bvult`/`bvslt`/etc.
+
+use crate::BitVec;
+use std::cmp::Ordering;
+
+impl BitVec {
+    /// Unsigned numeric comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ucmp(&self, rhs: &BitVec) -> Ordering {
+        self.assert_same_width(rhs, "ucmp");
+        for (l, r) in self.limbs.iter().rev().zip(rhs.limbs.iter().rev()) {
+            match l.cmp(r) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed (two's complement) numeric comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn scmp(&self, rhs: &BitVec) -> Ordering {
+        self.assert_same_width(rhs, "scmp");
+        match (self.msb(), rhs.msb()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.ucmp(rhs),
+        }
+    }
+
+    /// Unsigned less-than (`bvult`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ult(&self, rhs: &BitVec) -> bool {
+        self.ucmp(rhs) == Ordering::Less
+    }
+
+    /// Unsigned less-or-equal (`bvule`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ule(&self, rhs: &BitVec) -> bool {
+        self.ucmp(rhs) != Ordering::Greater
+    }
+
+    /// Signed less-than (`bvslt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn slt(&self, rhs: &BitVec) -> bool {
+        self.scmp(rhs) == Ordering::Less
+    }
+
+    /// Signed less-or-equal (`bvsle`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn sle(&self, rhs: &BitVec) -> bool {
+        self.scmp(rhs) != Ordering::Greater
+    }
+
+    /// Unsigned greater-than (`bvugt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ugt(&self, rhs: &BitVec) -> bool {
+        rhs.ult(self)
+    }
+
+    /// Unsigned greater-or-equal (`bvuge`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn uge(&self, rhs: &BitVec) -> bool {
+        rhs.ule(self)
+    }
+
+    /// Signed greater-than (`bvsgt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn sgt(&self, rhs: &BitVec) -> bool {
+        rhs.slt(self)
+    }
+
+    /// Signed greater-or-equal (`bvsge`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn sge(&self, rhs: &BitVec) -> bool {
+        rhs.sle(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(w: u32, v: u64) -> BitVec {
+        BitVec::from_u64(w, v)
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        assert!(bv(8, 1).ult(&bv(8, 2)));
+        assert!(!bv(8, 2).ult(&bv(8, 2)));
+        assert!(bv(8, 2).ule(&bv(8, 2)));
+        assert!(bv(8, 0xFF).ugt(&bv(8, 0)));
+        assert!(bv(8, 0xFF).uge(&bv(8, 0xFF)));
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // 0xFF is -1 signed, so it is less than 0.
+        assert!(bv(8, 0xFF).slt(&bv(8, 0)));
+        assert!(bv(8, 0).sgt(&bv(8, 0xFF)));
+        assert!(bv(8, 0x80).slt(&bv(8, 0x7F))); // -128 < 127
+        assert!(bv(8, 0xFE).slt(&bv(8, 0xFF))); // -2 < -1
+        assert!(bv(8, 0xFF).sle(&bv(8, 0xFF)));
+        assert!(bv(8, 5).sge(&bv(8, 5)));
+    }
+
+    #[test]
+    fn multi_limb_comparisons() {
+        let big = BitVec::from_u128(128, 1u128 << 100);
+        let small = BitVec::from_u128(128, u128::from(u64::MAX));
+        assert!(small.ult(&big));
+        assert!(big.ugt(&small));
+        // big has MSB clear (bit 100 of 128), still positive.
+        assert!(small.slt(&big));
+    }
+}

@@ -1,0 +1,93 @@
+//! Formatting for [`BitVec`]: `Display` uses the Oyster constant syntax
+//! `width'value` with a hex payload; `Binary`, `LowerHex` and `UpperHex`
+//! give the raw digits.
+
+use crate::BitVec;
+use std::fmt;
+
+impl BitVec {
+    /// Hex digits of the value, without width annotation or leading zeros
+    /// beyond the width's digit count.
+    #[must_use]
+    pub fn to_hex_string(&self) -> String {
+        let ndigits = self.width.div_ceil(4);
+        let mut s = String::with_capacity(ndigits as usize);
+        for d in (0..ndigits).rev() {
+            let lo = d * 4;
+            let hi = (lo + 3).min(self.width - 1);
+            let nib = self.extract(hi, lo).to_u64().expect("nibble fits in u64");
+            s.push(char::from_digit(nib as u32, 16).expect("nibble is a hex digit"));
+        }
+        s
+    }
+
+    /// Binary digits of the value, MSB first, exactly `width` characters.
+    #[must_use]
+    pub fn to_binary_string(&self) -> String {
+        (0..self.width).rev().map(|i| if self.bit(i) { '1' } else { '0' }).collect()
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Formats as an Oyster constant: `width'xHEX`, e.g. `8'xff`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'x{}", self.width, self.to_hex_string())
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec({self})")
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex_string())
+    }
+}
+
+impl fmt::UpperHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex_string().to_uppercase())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0b", &self.to_binary_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_oyster_syntax() {
+        assert_eq!(BitVec::from_u64(8, 0xFF).to_string(), "8'xff");
+        assert_eq!(BitVec::from_u64(12, 0xABC).to_string(), "12'xabc");
+        assert_eq!(BitVec::from_u64(1, 1).to_string(), "1'x1");
+        assert_eq!(BitVec::from_u64(5, 0).to_string(), "5'x00");
+    }
+
+    #[test]
+    fn hex_and_binary_format() {
+        let v = BitVec::from_u64(10, 0x2AB);
+        assert_eq!(format!("{v:x}"), "2ab");
+        assert_eq!(format!("{v:X}"), "2AB");
+        assert_eq!(format!("{v:b}"), "1010101011");
+        assert_eq!(format!("{v:#x}"), "0x2ab");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert_eq!(format!("{:?}", BitVec::zero(1)), "BitVec(1'x0)");
+    }
+
+    #[test]
+    fn wide_hex() {
+        let v = BitVec::from_u128(128, 0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+        assert_eq!(v.to_hex_string(), "0123456789abcdef0011223344556677");
+    }
+}

@@ -1,0 +1,518 @@
+//! Arbitrary-width bitvector values.
+//!
+//! [`BitVec`] is the value domain shared by every layer of the OWL
+//! toolchain: Oyster IR constants, the cycle-accurate interpreter, ILA
+//! specification evaluation, SMT-level constant folding, SAT models and the
+//! gate-level netlist simulator all compute over `BitVec`.
+//!
+//! A `BitVec` is a fixed-width unsigned binary word; two's-complement views
+//! are provided for the signed operations (`ashr`, `slt`, `sle`, `sext`).
+//! All arithmetic is modulo `2^width`, mirroring SMT-LIB `QF_BV` semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use owl_bitvec::BitVec;
+//!
+//! let a = BitVec::from_u64(8, 0xF0);
+//! let b = BitVec::from_u64(8, 0x21);
+//! assert_eq!(a.add(&b), BitVec::from_u64(8, 0x11)); // wraps mod 2^8
+//! assert_eq!(a.concat(&b).width(), 16);
+//! assert_eq!(a.extract(7, 4), BitVec::from_u64(4, 0xF));
+//! ```
+
+mod arith;
+mod cmp;
+mod fmt;
+mod logic;
+mod parse;
+mod shift;
+
+pub use parse::ParseBitVecError;
+
+/// Number of bits stored per limb.
+const LIMB_BITS: u32 = 64;
+
+/// Maximum supported bitvector width.
+///
+/// Wide enough for AES round state (128 bits), SHA-256 words, and the
+/// widest buses in the case studies, with a large safety margin.
+pub const MAX_WIDTH: u32 = 1 << 16;
+
+/// A fixed-width bitvector value.
+///
+/// Bit 0 is the least significant bit. Unused high bits of the final limb
+/// are always kept zero (a canonical-form invariant relied on by `Eq` and
+/// `Hash`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitVec {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates the zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn zero(width: u32) -> Self {
+        assert!(width > 0, "bitvector width must be positive");
+        assert!(width <= MAX_WIDTH, "bitvector width {width} exceeds MAX_WIDTH");
+        let n = width.div_ceil(LIMB_BITS) as usize;
+        BitVec { width, limbs: vec![0; n] }
+    }
+
+    /// Creates the value 1 of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn one(width: u32) -> Self {
+        let mut v = Self::zero(width);
+        v.limbs[0] = 1;
+        v.mask_top();
+        v
+    }
+
+    /// Creates the all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn ones(width: u32) -> Self {
+        let mut v = Self::zero(width);
+        for l in &mut v.limbs {
+            *l = u64::MAX;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Creates a bitvector from the low bits of `value`, truncating to
+    /// `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        let mut v = Self::zero(width);
+        v.limbs[0] = value;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a bitvector from the low bits of `value`, truncating to
+    /// `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        let mut v = Self::zero(width);
+        v.limbs[0] = value as u64;
+        if v.limbs.len() > 1 {
+            v.limbs[1] = (value >> 64) as u64;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Creates a 1-bit bitvector from a boolean.
+    #[must_use]
+    pub fn from_bool(value: bool) -> Self {
+        Self::from_u64(1, u64::from(value))
+    }
+
+    /// Creates a bitvector from bits given LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or longer than [`MAX_WIDTH`].
+    #[must_use]
+    pub fn from_bits_lsb0(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "bitvector must have at least one bit");
+        let mut v = Self::zero(bits.len() as u32);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.limbs[i / LIMB_BITS as usize] |= 1 << (i as u32 % LIMB_BITS);
+            }
+        }
+        v
+    }
+
+    /// The width of this bitvector in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns bit `i` (bit 0 is the LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.limbs[(i / LIMB_BITS) as usize] >> (i % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn with_bit(&self, i: u32, value: bool) -> Self {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let mut v = self.clone();
+        let limb = &mut v.limbs[(i / LIMB_BITS) as usize];
+        if value {
+            *limb |= 1 << (i % LIMB_BITS);
+        } else {
+            *limb &= !(1 << (i % LIMB_BITS));
+        }
+        v
+    }
+
+    /// Iterates over the bits LSB-first.
+    pub fn bits_lsb0(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(|i| self.bit(i))
+    }
+
+    /// True if every bit is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// True if this is the value 1.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs[0] == 1 && self.limbs[1..].iter().all(|&l| l == 0)
+    }
+
+    /// True if every bit is one.
+    #[must_use]
+    pub fn is_ones(&self) -> bool {
+        *self == Self::ones(self.width)
+    }
+
+    /// True iff the value is nonzero, matching Oyster's "nonzero is true"
+    /// conditional semantics.
+    #[must_use]
+    pub fn is_true(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// The value as `u64` if it fits, regardless of declared width.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().all(|&l| l == 0) {
+            Some(self.limbs[0])
+        } else {
+            None
+        }
+    }
+
+    /// The value as `u128` if it fits, regardless of declared width.
+    #[must_use]
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 2 && self.limbs[2..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        let lo = self.limbs[0] as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        Some(lo | (hi << 64))
+    }
+
+    /// The value interpreted as a signed two's-complement integer, if it
+    /// fits in `i64` *after* sign extension from `self.width()`.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        let sext = self.sext(64.max(self.width));
+        let low = sext.limbs[0];
+        let fits = if low >> 63 == 1 {
+            sext.limbs[1..].iter().all(|&l| l == u64::MAX) && sext.msb()
+        } else {
+            sext.limbs[1..].iter().all(|&l| l == 0)
+        };
+        fits.then_some(low as i64)
+    }
+
+    /// Sign bit (the most significant bit).
+    #[must_use]
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Concatenation: `self` becomes the high bits, `low` the low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn concat(&self, low: &BitVec) -> Self {
+        let width = self.width + low.width;
+        assert!(width <= MAX_WIDTH, "concat width {width} exceeds MAX_WIDTH");
+        let mut out = Self::zero(width);
+        for i in 0..low.width {
+            if low.bit(i) {
+                out.limbs[(i / LIMB_BITS) as usize] |= 1 << (i % LIMB_BITS);
+            }
+        }
+        for i in 0..self.width {
+            if self.bit(i) {
+                let j = i + low.width;
+                out.limbs[(j / LIMB_BITS) as usize] |= 1 << (j % LIMB_BITS);
+            }
+        }
+        out
+    }
+
+    /// Extracts bits `high..=low` (inclusive), producing a value of width
+    /// `high - low + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high < low` or `high >= self.width()`.
+    #[must_use]
+    pub fn extract(&self, high: u32, low: u32) -> Self {
+        assert!(high >= low, "extract high {high} below low {low}");
+        assert!(high < self.width, "extract high {high} out of range for width {}", self.width);
+        let mut out = Self::zero(high - low + 1);
+        for i in 0..out.width {
+            if self.bit(i + low) {
+                out.limbs[(i / LIMB_BITS) as usize] |= 1 << (i % LIMB_BITS);
+            }
+        }
+        out
+    }
+
+    /// Zero-extends (or returns a copy, if already that width) to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()` or `width` exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn zext(&self, width: u32) -> Self {
+        assert!(width >= self.width, "zext target {width} below current width {}", self.width);
+        let mut out = Self::zero(width);
+        out.limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    /// Sign-extends to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()` or `width` exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn sext(&self, width: u32) -> Self {
+        assert!(width >= self.width, "sext target {width} below current width {}", self.width);
+        if !self.msb() {
+            return self.zext(width);
+        }
+        let mut out = Self::ones(width);
+        for i in 0..self.width {
+            if !self.bit(i) {
+                out.limbs[(i / LIMB_BITS) as usize] &= !(1 << (i % LIMB_BITS));
+            }
+        }
+        out
+    }
+
+    /// Truncates to the low `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `width > self.width()`.
+    #[must_use]
+    pub fn truncate(&self, width: u32) -> Self {
+        assert!(width <= self.width, "truncate target {width} above current width {}", self.width);
+        self.extract(width - 1, 0)
+    }
+
+    /// Resizes by truncation or zero-extension as needed.
+    #[must_use]
+    pub fn resize_zext(&self, width: u32) -> Self {
+        if width <= self.width {
+            self.truncate(width)
+        } else {
+            self.zext(width)
+        }
+    }
+
+    /// Bit-reversal of the whole word (bit 0 swaps with bit `width-1`).
+    #[must_use]
+    pub fn reverse_bits(&self) -> Self {
+        let bits: Vec<bool> = (0..self.width).rev().map(|i| self.bit(i)).collect();
+        Self::from_bits_lsb0(&bits)
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Clears any bits above `width` in the top limb, restoring canonical
+    /// form after limb-level operations.
+    fn mask_top(&mut self) {
+        let rem = self.width % LIMB_BITS;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    fn assert_same_width(&self, other: &BitVec, op: &str) {
+        assert!(
+            self.width == other.width,
+            "{op}: width mismatch ({} vs {})",
+            self.width,
+            other.width
+        );
+    }
+}
+
+impl From<bool> for BitVec {
+    fn from(value: bool) -> Self {
+        BitVec::from_bool(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_one_ones() {
+        let z = BitVec::zero(65);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 65);
+        let o = BitVec::one(65);
+        assert!(o.is_one());
+        assert!(!o.is_zero());
+        let f = BitVec::ones(65);
+        assert!(f.is_ones());
+        assert_eq!(f.count_ones(), 65);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let v = BitVec::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn from_u128_round_trip() {
+        let x = 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210u128;
+        let v = BitVec::from_u128(128, x);
+        assert_eq!(v.to_u128(), Some(x));
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let v = BitVec::from_u64(8, 0b1010_0101);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(7));
+        let w = v.with_bit(1, true).with_bit(0, false);
+        assert_eq!(w.to_u64(), Some(0b1010_0110));
+    }
+
+    #[test]
+    fn concat_extract() {
+        let hi = BitVec::from_u64(8, 0xAB);
+        let lo = BitVec::from_u64(4, 0xC);
+        let c = hi.concat(&lo);
+        assert_eq!(c.width(), 12);
+        assert_eq!(c.to_u64(), Some(0xABC));
+        assert_eq!(c.extract(11, 4), hi);
+        assert_eq!(c.extract(3, 0), lo);
+    }
+
+    #[test]
+    fn concat_across_limbs() {
+        let hi = BitVec::from_u64(40, 0xDE_ADBE_EF00);
+        let lo = BitVec::from_u64(40, 0xCA_FEBA_BE11);
+        let c = hi.concat(&lo);
+        assert_eq!(c.width(), 80);
+        assert_eq!(c.extract(79, 40), hi);
+        assert_eq!(c.extract(39, 0), lo);
+    }
+
+    #[test]
+    fn zext_sext() {
+        let v = BitVec::from_u64(4, 0b1010);
+        assert_eq!(v.zext(8).to_u64(), Some(0b0000_1010));
+        assert_eq!(v.sext(8).to_u64(), Some(0b1111_1010));
+        let p = BitVec::from_u64(4, 0b0101);
+        assert_eq!(p.sext(8).to_u64(), Some(0b0000_0101));
+    }
+
+    #[test]
+    fn sext_across_limbs() {
+        let v = BitVec::from_u64(32, 0x8000_0000);
+        let s = v.sext(96);
+        assert!(s.msb());
+        assert_eq!(s.extract(31, 0), v);
+        assert!(s.extract(95, 32).is_ones());
+    }
+
+    #[test]
+    fn to_i64_signed_views() {
+        assert_eq!(BitVec::from_u64(4, 0xF).to_i64(), Some(-1));
+        assert_eq!(BitVec::from_u64(4, 0x7).to_i64(), Some(7));
+        assert_eq!(BitVec::from_u64(64, u64::MAX).to_i64(), Some(-1));
+        assert_eq!(BitVec::from_u128(100, 1u128 << 90).to_i64(), None);
+    }
+
+    #[test]
+    fn reverse_bits_small() {
+        let v = BitVec::from_u64(8, 0b1100_0001);
+        assert_eq!(v.reverse_bits().to_u64(), Some(0b1000_0011));
+    }
+
+    #[test]
+    fn from_bits_lsb0_round_trip() {
+        let bits = [true, false, true, true, false];
+        let v = BitVec::from_bits_lsb0(&bits);
+        let back: Vec<bool> = v.bits_lsb0().collect();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = BitVec::zero(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let _ = BitVec::zero(8).bit(8);
+    }
+
+    #[test]
+    fn truncate_and_resize() {
+        let v = BitVec::from_u64(16, 0xABCD);
+        assert_eq!(v.truncate(8).to_u64(), Some(0xCD));
+        assert_eq!(v.resize_zext(24).to_u64(), Some(0xABCD));
+        assert_eq!(v.resize_zext(4).to_u64(), Some(0xD));
+    }
+
+    #[test]
+    fn to_u128_none_when_too_wide() {
+        let v = BitVec::one(200).shl_amount(150);
+        assert_eq!(v.to_u128(), None);
+        assert_eq!(v.to_u64(), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Bitwise logic on [`BitVec`], plus the Zbkb permutation primitives
+//! (`rev8`, `brev8`, `zip`, `unzip`, `pack`, `packh`).
+
+use crate::BitVec;
+
+impl BitVec {
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(&self) -> BitVec {
+        let mut out = self.clone();
+        for l in &mut out.limbs {
+            *l = !*l;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn and(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "and");
+        let mut out = self.clone();
+        for (l, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *l &= r;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn or(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "or");
+        let mut out = self.clone();
+        for (l, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *l |= r;
+        }
+        out
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn xor(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "xor");
+        let mut out = self.clone();
+        for (l, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *l ^= r;
+        }
+        out
+    }
+
+    /// Byte-order reversal (RISC-V Zbkb `rev8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a multiple of 8.
+    #[must_use]
+    pub fn rev8(&self) -> BitVec {
+        assert!(self.width % 8 == 0, "rev8 requires a byte-multiple width, got {}", self.width);
+        let nbytes = self.width / 8;
+        let mut out = self.extract(7, 0);
+        for b in 1..nbytes {
+            out = out.concat(&self.extract(b * 8 + 7, b * 8));
+        }
+        out
+    }
+
+    /// Bit reversal within each byte (RISC-V Zbkb `brev8` / `rev.b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a multiple of 8.
+    #[must_use]
+    pub fn brev8(&self) -> BitVec {
+        assert!(self.width % 8 == 0, "brev8 requires a byte-multiple width, got {}", self.width);
+        let nbytes = self.width / 8;
+        let mut out: Option<BitVec> = None;
+        for b in (0..nbytes).rev() {
+            let byte = self.extract(b * 8 + 7, b * 8).reverse_bits();
+            out = Some(match out {
+                Some(acc) => acc.concat(&byte),
+                None => byte,
+            });
+        }
+        out.expect("width checked nonzero")
+    }
+
+    /// Interleaves the lower half with the upper half (RISC-V Zbkb `zip`):
+    /// output bit `2i` is input bit `i`, output bit `2i+1` is input bit
+    /// `i + width/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is odd.
+    #[must_use]
+    pub fn zip(&self) -> BitVec {
+        assert!(self.width % 2 == 0, "zip requires an even width, got {}", self.width);
+        let half = self.width / 2;
+        let bits: Vec<bool> = (0..self.width)
+            .map(|i| if i % 2 == 0 { self.bit(i / 2) } else { self.bit(i / 2 + half) })
+            .collect();
+        BitVec::from_bits_lsb0(&bits)
+    }
+
+    /// De-interleaves even bits into the lower half and odd bits into the
+    /// upper half (RISC-V Zbkb `unzip`): the inverse of [`BitVec::zip`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is odd.
+    #[must_use]
+    pub fn unzip(&self) -> BitVec {
+        assert!(self.width % 2 == 0, "unzip requires an even width, got {}", self.width);
+        let half = self.width / 2;
+        let mut bits = vec![false; self.width as usize];
+        for i in 0..self.width {
+            if self.bit(i) {
+                let j = if i % 2 == 0 { i / 2 } else { i / 2 + half };
+                bits[j as usize] = true;
+            }
+        }
+        BitVec::from_bits_lsb0(&bits)
+    }
+
+    /// Packs the lower halves of two words (RISC-V Zbkb `pack`): the
+    /// result's low half is `self`'s low half, its high half is `rhs`'s
+    /// low half.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or odd width.
+    #[must_use]
+    pub fn pack(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "pack");
+        assert!(self.width % 2 == 0, "pack requires an even width, got {}", self.width);
+        let half = self.width / 2;
+        rhs.extract(half - 1, 0).concat(&self.extract(half - 1, 0))
+    }
+
+    /// Packs the low bytes of two words into the low 16 bits, zero-extended
+    /// (RISC-V Zbkb `packh`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or width below 16 bits.
+    #[must_use]
+    pub fn packh(&self, rhs: &BitVec) -> BitVec {
+        self.assert_same_width(rhs, "packh");
+        assert!(self.width >= 16, "packh requires width >= 16, got {}", self.width);
+        rhs.extract(7, 0).concat(&self.extract(7, 0)).zext(self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(w: u32, v: u64) -> BitVec {
+        BitVec::from_u64(w, v)
+    }
+
+    #[test]
+    fn not_and_or_xor() {
+        let a = bv(8, 0b1100_1010);
+        let b = bv(8, 0b1010_0110);
+        assert_eq!(a.not(), bv(8, 0b0011_0101));
+        assert_eq!(a.and(&b), bv(8, 0b1000_0010));
+        assert_eq!(a.or(&b), bv(8, 0b1110_1110));
+        assert_eq!(a.xor(&b), bv(8, 0b0110_1100));
+    }
+
+    #[test]
+    fn not_respects_canonical_form() {
+        let a = bv(5, 0);
+        assert_eq!(a.not(), bv(5, 0b11111));
+        // Double negation is identity in canonical form.
+        assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn rev8_swaps_bytes() {
+        assert_eq!(bv(32, 0x1234_5678).rev8(), bv(32, 0x7856_3412));
+        assert_eq!(bv(16, 0xAB_CD).rev8(), bv(16, 0xCD_AB));
+    }
+
+    #[test]
+    fn brev8_reverses_within_bytes() {
+        assert_eq!(bv(8, 0b1000_0000).brev8(), bv(8, 0b0000_0001));
+        assert_eq!(bv(16, 0x0180).brev8(), bv(16, 0x8001));
+    }
+
+    #[test]
+    fn zip_unzip_inverse() {
+        let v = bv(32, 0xDEAD_BEEF);
+        assert_eq!(v.zip().unzip(), v);
+        assert_eq!(v.unzip().zip(), v);
+    }
+
+    #[test]
+    fn zip_interleaves() {
+        // low half = 0b11, high half = 0b00 (width 4)
+        assert_eq!(bv(4, 0b0011).zip(), bv(4, 0b0101));
+        // low half = 0b00, high half = 0b11
+        assert_eq!(bv(4, 0b1100).zip(), bv(4, 0b1010));
+    }
+
+    #[test]
+    fn pack_packh() {
+        let a = bv(32, 0x1111_2222);
+        let b = bv(32, 0x3333_4444);
+        assert_eq!(a.pack(&b), bv(32, 0x4444_2222));
+        assert_eq!(a.packh(&b), bv(32, 0x0000_4422));
+    }
+}

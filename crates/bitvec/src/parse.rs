@@ -1,0 +1,200 @@
+//! Parsing of Oyster constant syntax into [`BitVec`].
+//!
+//! The accepted grammar is `width'payload` where `payload` is `xHEX`,
+//! `bBIN`, or `dDEC` (decimal), plus a bare-decimal convenience form used
+//! by the Oyster text parser when a width is implied.
+
+use crate::{BitVec, MAX_WIDTH};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a [`BitVec`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVecError {
+    message: String,
+}
+
+impl ParseBitVecError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseBitVecError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseBitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bitvector literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseBitVecError {}
+
+impl BitVec {
+    /// Parses a decimal string into a bitvector of the given width,
+    /// wrapping modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `text` is empty or contains a non-digit, or the
+    /// width is invalid.
+    pub fn parse_decimal(width: u32, text: &str) -> Result<Self, ParseBitVecError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(ParseBitVecError::new(format!("bad width {width}")));
+        }
+        if text.is_empty() {
+            return Err(ParseBitVecError::new("empty decimal payload"));
+        }
+        let ten = BitVec::from_u64(width.max(4), 10).resize_zext(width);
+        let mut acc = BitVec::zero(width);
+        for c in text.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| ParseBitVecError::new(format!("bad decimal digit {c:?}")))?;
+            acc = acc.mul(&ten).add(&BitVec::from_u64(width, u64::from(d)));
+        }
+        Ok(acc)
+    }
+
+    /// Parses a hex string into a bitvector of the given width, wrapping
+    /// modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `text` is empty or contains a non-hex-digit, or
+    /// the width is invalid.
+    pub fn parse_hex(width: u32, text: &str) -> Result<Self, ParseBitVecError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(ParseBitVecError::new(format!("bad width {width}")));
+        }
+        if text.is_empty() {
+            return Err(ParseBitVecError::new("empty hex payload"));
+        }
+        let mut acc = BitVec::zero(width);
+        for c in text.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| ParseBitVecError::new(format!("bad hex digit {c:?}")))?;
+            acc = acc.shl_amount(4).or(&BitVec::from_u64(width, u64::from(d)));
+        }
+        Ok(acc)
+    }
+
+    /// Parses a binary string into a bitvector of the given width,
+    /// wrapping modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `text` is empty or contains a non-binary digit,
+    /// or the width is invalid.
+    pub fn parse_binary(width: u32, text: &str) -> Result<Self, ParseBitVecError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(ParseBitVecError::new(format!("bad width {width}")));
+        }
+        if text.is_empty() {
+            return Err(ParseBitVecError::new("empty binary payload"));
+        }
+        let mut acc = BitVec::zero(width);
+        for c in text.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c
+                .to_digit(2)
+                .ok_or_else(|| ParseBitVecError::new(format!("bad binary digit {c:?}")))?;
+            acc = acc.shl_amount(1).or(&BitVec::from_u64(width, u64::from(d)));
+        }
+        Ok(acc)
+    }
+}
+
+impl FromStr for BitVec {
+    type Err = ParseBitVecError;
+
+    /// Parses Oyster constant syntax `width'payload`.
+    ///
+    /// ```
+    /// use owl_bitvec::BitVec;
+    ///
+    /// # fn main() -> Result<(), owl_bitvec::ParseBitVecError> {
+    /// let a: BitVec = "8'xff".parse()?;
+    /// let b: BitVec = "8'd255".parse()?;
+    /// let c: BitVec = "8'b11111111".parse()?;
+    /// let d: BitVec = "8'255".parse()?; // bare payload is decimal
+    /// assert!(a == b && b == c && c == d);
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (width_str, payload) = s
+            .split_once('\'')
+            .ok_or_else(|| ParseBitVecError::new(format!("missing width separator in {s:?}")))?;
+        let width: u32 = width_str
+            .parse()
+            .map_err(|_| ParseBitVecError::new(format!("bad width {width_str:?}")))?;
+        match payload.as_bytes().first() {
+            Some(b'x' | b'X') => BitVec::parse_hex(width, &payload[1..]),
+            Some(b'b' | b'B') => BitVec::parse_binary(width, &payload[1..]),
+            Some(b'd' | b'D') => BitVec::parse_decimal(width, &payload[1..]),
+            Some(_) => BitVec::parse_decimal(width, payload),
+            None => Err(ParseBitVecError::new("empty payload")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_forms_agree() {
+        let expect = BitVec::from_u64(12, 0xABC);
+        assert_eq!("12'xabc".parse::<BitVec>().unwrap(), expect);
+        assert_eq!("12'xAbC".parse::<BitVec>().unwrap(), expect);
+        assert_eq!("12'd2748".parse::<BitVec>().unwrap(), expect);
+        assert_eq!("12'2748".parse::<BitVec>().unwrap(), expect);
+        assert_eq!("12'b101010111100".parse::<BitVec>().unwrap(), expect);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for (w, v) in [(1u32, 1u64), (7, 99), (32, 0xDEAD_BEEF), (64, u64::MAX)] {
+            let bv = BitVec::from_u64(w, v);
+            assert_eq!(bv.to_string().parse::<BitVec>().unwrap(), bv);
+        }
+    }
+
+    #[test]
+    fn underscores_allowed() {
+        assert_eq!(
+            "32'xdead_beef".parse::<BitVec>().unwrap(),
+            BitVec::from_u64(32, 0xDEAD_BEEF)
+        );
+    }
+
+    #[test]
+    fn parse_wide_decimal() {
+        // 2^80 = 1208925819614629174706176
+        let v = BitVec::parse_decimal(100, "1208925819614629174706176").unwrap();
+        assert_eq!(v, BitVec::one(100).shl_amount(80));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BitVec>().is_err());
+        assert!("8".parse::<BitVec>().is_err());
+        assert!("8'".parse::<BitVec>().is_err());
+        assert!("8'xzz".parse::<BitVec>().is_err());
+        assert!("8'b12".parse::<BitVec>().is_err());
+        assert!("0'x0".parse::<BitVec>().is_err());
+        assert!("abc'x0".parse::<BitVec>().is_err());
+        let err = "8'xzz".parse::<BitVec>().unwrap_err();
+        assert!(err.to_string().contains("invalid bitvector literal"));
+    }
+
+    #[test]
+    fn decimal_wraps_modulo_width() {
+        assert_eq!(BitVec::parse_decimal(4, "255").unwrap(), BitVec::from_u64(4, 0xF));
+    }
+}

@@ -1,0 +1,189 @@
+//! Shifts and rotates on [`BitVec`].
+//!
+//! Two flavours are provided: `_amount` variants taking a Rust integer
+//! shift count (used by the interpreter fast paths and by the Zbkb
+//! rotate-immediate instructions), and bitvector-operand variants matching
+//! SMT-LIB `bvshl`/`bvlshr`/`bvashr`, where a count at or above the width
+//! saturates to zero (or to the sign fill for `ashr`).
+
+use crate::BitVec;
+
+impl BitVec {
+    /// Logical left shift by a static amount; counts `>= width` give zero.
+    #[must_use]
+    pub fn shl_amount(&self, amount: u32) -> BitVec {
+        if amount >= self.width {
+            return BitVec::zero(self.width);
+        }
+        let bits: Vec<bool> =
+            (0..self.width).map(|i| i >= amount && self.bit(i - amount)).collect();
+        BitVec::from_bits_lsb0(&bits)
+    }
+
+    /// Logical right shift by a static amount; counts `>= width` give zero.
+    #[must_use]
+    pub fn lshr_amount(&self, amount: u32) -> BitVec {
+        if amount >= self.width {
+            return BitVec::zero(self.width);
+        }
+        let bits: Vec<bool> =
+            (0..self.width).map(|i| i + amount < self.width && self.bit(i + amount)).collect();
+        BitVec::from_bits_lsb0(&bits)
+    }
+
+    /// Arithmetic right shift by a static amount; counts `>= width`
+    /// replicate the sign bit everywhere.
+    #[must_use]
+    pub fn ashr_amount(&self, amount: u32) -> BitVec {
+        let sign = self.msb();
+        if amount >= self.width {
+            return if sign { BitVec::ones(self.width) } else { BitVec::zero(self.width) };
+        }
+        let bits: Vec<bool> = (0..self.width)
+            .map(|i| if i + amount < self.width { self.bit(i + amount) } else { sign })
+            .collect();
+        BitVec::from_bits_lsb0(&bits)
+    }
+
+    /// Rotate left by a static amount (modulo the width).
+    #[must_use]
+    pub fn rol_amount(&self, amount: u32) -> BitVec {
+        let amount = amount % self.width;
+        let bits: Vec<bool> = (0..self.width)
+            .map(|i| self.bit((i + self.width - amount) % self.width))
+            .collect();
+        BitVec::from_bits_lsb0(&bits)
+    }
+
+    /// Rotate right by a static amount (modulo the width).
+    #[must_use]
+    pub fn ror_amount(&self, amount: u32) -> BitVec {
+        let amount = amount % self.width;
+        self.rol_amount(self.width - amount)
+    }
+
+    /// Extracts a shift count from a bitvector operand, saturating at
+    /// `u32::MAX` for enormous counts (anything `>= width` behaves the
+    /// same for the SMT-LIB shifts).
+    fn shift_count(count: &BitVec) -> u32 {
+        count.to_u64().map_or(u32::MAX, |v| u32::try_from(v).unwrap_or(u32::MAX))
+    }
+
+    /// SMT-LIB `bvshl`: left shift by a bitvector count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn shl(&self, count: &BitVec) -> BitVec {
+        self.assert_same_width(count, "shl");
+        self.shl_amount(Self::shift_count(count).min(self.width))
+    }
+
+    /// SMT-LIB `bvlshr`: logical right shift by a bitvector count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn lshr(&self, count: &BitVec) -> BitVec {
+        self.assert_same_width(count, "lshr");
+        self.lshr_amount(Self::shift_count(count).min(self.width))
+    }
+
+    /// SMT-LIB `bvashr`: arithmetic right shift by a bitvector count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ashr(&self, count: &BitVec) -> BitVec {
+        self.assert_same_width(count, "ashr");
+        self.ashr_amount(Self::shift_count(count).min(self.width))
+    }
+
+    /// Rotate left by a bitvector count, taken modulo the width
+    /// (RISC-V `rol` semantics for the low `log2(width)` bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn rol(&self, count: &BitVec) -> BitVec {
+        self.assert_same_width(count, "rol");
+        let c = count.to_u64().map_or(0, |v| (v % u64::from(self.width)) as u32);
+        self.rol_amount(c)
+    }
+
+    /// Rotate right by a bitvector count, taken modulo the width
+    /// (RISC-V `ror` semantics for the low `log2(width)` bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ror(&self, count: &BitVec) -> BitVec {
+        self.assert_same_width(count, "ror");
+        let c = count.to_u64().map_or(0, |v| (v % u64::from(self.width)) as u32);
+        self.ror_amount(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(w: u32, v: u64) -> BitVec {
+        BitVec::from_u64(w, v)
+    }
+
+    #[test]
+    fn shl_basic() {
+        assert_eq!(bv(8, 0b0000_0101).shl_amount(2), bv(8, 0b0001_0100));
+        assert_eq!(bv(8, 0xFF).shl_amount(8), bv(8, 0));
+        assert_eq!(bv(8, 0xFF).shl_amount(200), bv(8, 0));
+    }
+
+    #[test]
+    fn lshr_basic() {
+        assert_eq!(bv(8, 0b1010_0000).lshr_amount(4), bv(8, 0b0000_1010));
+        assert_eq!(bv(8, 0xFF).lshr_amount(9), bv(8, 0));
+    }
+
+    #[test]
+    fn ashr_sign_fill() {
+        assert_eq!(bv(8, 0b1000_0000).ashr_amount(3), bv(8, 0b1111_0000));
+        assert_eq!(bv(8, 0b0100_0000).ashr_amount(3), bv(8, 0b0000_1000));
+        assert_eq!(bv(8, 0x80).ashr_amount(100), bv(8, 0xFF));
+        assert_eq!(bv(8, 0x7F).ashr_amount(100), bv(8, 0));
+    }
+
+    #[test]
+    fn rotates() {
+        assert_eq!(bv(8, 0b1000_0001).rol_amount(1), bv(8, 0b0000_0011));
+        assert_eq!(bv(8, 0b1000_0001).ror_amount(1), bv(8, 0b1100_0000));
+        assert_eq!(bv(8, 0xAB).rol_amount(8), bv(8, 0xAB));
+        let v = bv(32, 0x1234_5678);
+        assert_eq!(v.rol_amount(12).ror_amount(12), v);
+    }
+
+    #[test]
+    fn bitvector_count_variants() {
+        let v = bv(8, 0b0000_1111);
+        assert_eq!(v.shl(&bv(8, 2)), bv(8, 0b0011_1100));
+        assert_eq!(v.lshr(&bv(8, 2)), bv(8, 0b0000_0011));
+        assert_eq!(bv(8, 0x80).ashr(&bv(8, 1)), bv(8, 0xC0));
+        // Oversized count saturates.
+        assert_eq!(v.shl(&bv(8, 0xFF)), bv(8, 0));
+        // Rotate count is modulo width.
+        assert_eq!(v.rol(&bv(8, 9)), v.rol_amount(1));
+        assert_eq!(v.ror(&bv(8, 9)), v.ror_amount(1));
+    }
+
+    #[test]
+    fn shifts_across_limbs() {
+        let v = BitVec::from_u128(128, 1);
+        assert_eq!(v.shl_amount(100).to_u128(), Some(1u128 << 100));
+        assert_eq!(v.shl_amount(100).lshr_amount(100), v);
+    }
+}

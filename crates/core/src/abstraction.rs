@@ -1,0 +1,446 @@
+//! Abstraction functions (paper §3.2): the lightweight microarchitectural
+//! model mapping architectural state in the specification to datapath
+//! components, annotated with read/write timing.
+//!
+//! Both a builder API and the paper's text grammar are supported:
+//!
+//! ```text
+//! pc:   {name: 'pc',   type: register, [read: 1, write: 2]}
+//! GPR:  {name: 'rf',   type: memory,   [read: 1, write: 2]}
+//! mem:  {name: 'd_mem', type: memory,  [read: 2, write: 2]}
+//! imem: {name: 'i_mem', type: memory,  [read: 1]}
+//! with cycles: 2, [instruction_valid: 1]
+//! ```
+
+use std::fmt;
+
+/// The datapath component type a specification state maps onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatapathKind {
+    /// A datapath input port.
+    Input,
+    /// A datapath output (a named wire).
+    Output,
+    /// A register.
+    Register,
+    /// A memory.
+    Memory,
+}
+
+impl fmt::Display for DatapathKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DatapathKind::Input => "input",
+            DatapathKind::Output => "output",
+            DatapathKind::Register => "register",
+            DatapathKind::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One mapping entry: a specification state element bound to a datapath
+/// component with read/write time steps.
+///
+/// Time steps are 1-based: "TimeStep *i* > 0 is the state of the datapath
+/// after updating all registers and memories with the results of the
+/// (*i* − 1)-th step of evaluation", so a read at time 1 sees the initial
+/// state, and a write at time *t* is checked against the state after the
+/// *t*-th cycle's commits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Name of the state element in the specification.
+    pub spec_name: String,
+    /// Name of the corresponding datapath component.
+    pub datapath_name: String,
+    /// Kind of the datapath component.
+    pub kind: DatapathKind,
+    /// Time steps at which the specification's reads observe this
+    /// component (empty if never read through this mapping).
+    pub reads: Vec<u32>,
+    /// Time steps at which the specification's writes are checked against
+    /// this component (empty if read-only).
+    pub writes: Vec<u32>,
+}
+
+/// Error produced by abstraction-function validation or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractionError {
+    message: String,
+}
+
+impl AbstractionError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        AbstractionError { message: message.into() }
+    }
+}
+
+impl fmt::Display for AbstractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "abstraction function error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AbstractionError {}
+
+/// The abstraction function α: mappings, the number of cycles to evaluate
+/// the sketch, and assumption signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractionFn {
+    mappings: Vec<Mapping>,
+    cycles: u32,
+    assumes: Vec<(String, u32)>,
+}
+
+impl AbstractionFn {
+    /// Creates an abstraction function evaluating `cycles` cycles (for a
+    /// pipelined datapath this is the pipeline depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn new(cycles: u32) -> Self {
+        assert!(cycles > 0, "abstraction function needs at least one cycle");
+        AbstractionFn { mappings: Vec::new(), cycles, assumes: Vec::new() }
+    }
+
+    /// The number of cycles the symbolic evaluator runs the sketch.
+    #[must_use]
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// The mapping entries, in declaration order.
+    #[must_use]
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    /// Assumption signals: datapath wires assumed true at the given time
+    /// step (conjoined into every instruction's precondition).
+    #[must_use]
+    pub fn assumes(&self) -> &[(String, u32)] {
+        &self.assumes
+    }
+
+    /// Adds a mapping entry.
+    pub fn map(
+        &mut self,
+        spec_name: impl Into<String>,
+        datapath_name: impl Into<String>,
+        kind: DatapathKind,
+        reads: impl IntoIterator<Item = u32>,
+        writes: impl IntoIterator<Item = u32>,
+    ) -> &mut Self {
+        self.mappings.push(Mapping {
+            spec_name: spec_name.into(),
+            datapath_name: datapath_name.into(),
+            kind,
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Convenience: maps a spec input to a datapath input read at time 1.
+    pub fn map_input(&mut self, spec_name: impl Into<String>, datapath_name: impl Into<String>) -> &mut Self {
+        self.map(spec_name, datapath_name, DatapathKind::Input, [1], [])
+    }
+
+    /// Adds an assumption: datapath signal `name` is true at time `step`.
+    pub fn assume(&mut self, name: impl Into<String>, step: u32) -> &mut Self {
+        self.assumes.push((name.into(), step));
+        self
+    }
+
+    /// The mapping whose spec name is `spec` and which declares a read
+    /// (the first such mapping, matching the paper's multi-entry rule).
+    #[must_use]
+    pub fn read_mapping(&self, spec: &str) -> Option<&Mapping> {
+        self.mappings
+            .iter()
+            .find(|m| m.spec_name == spec && !m.reads.is_empty())
+    }
+
+    /// The mapping whose spec name is `spec` and which declares a write.
+    #[must_use]
+    pub fn write_mapping(&self, spec: &str) -> Option<&Mapping> {
+        self.mappings
+            .iter()
+            .find(|m| m.spec_name == spec && !m.writes.is_empty())
+    }
+
+    /// Validates time steps against the cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any read or write time step is zero or exceeds
+    /// the evaluated window.
+    pub fn check(&self) -> Result<(), AbstractionError> {
+        for m in &self.mappings {
+            for &t in &m.reads {
+                if t == 0 || t > self.cycles + 1 {
+                    return Err(AbstractionError::new(format!(
+                        "{}: read time {t} outside 1..={}",
+                        m.spec_name,
+                        self.cycles + 1
+                    )));
+                }
+            }
+            for &t in &m.writes {
+                if t == 0 || t > self.cycles {
+                    return Err(AbstractionError::new(format!(
+                        "{}: write time {t} outside 1..={}",
+                        m.spec_name, self.cycles
+                    )));
+                }
+            }
+            if m.kind != DatapathKind::Memory && m.reads.len() > 1 {
+                return Err(AbstractionError::new(format!(
+                    "{}: non-memory mappings take a single read time",
+                    m.spec_name
+                )));
+            }
+        }
+        for (name, t) in &self.assumes {
+            if *t == 0 || *t > self.cycles {
+                return Err(AbstractionError::new(format!(
+                    "assume {name}: time {t} outside 1..={}",
+                    self.cycles
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the paper's α text grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first syntax problem.
+    pub fn parse(text: &str) -> Result<Self, AbstractionError> {
+        let mut mappings = Vec::new();
+        let mut cycles = None;
+        let mut assumes = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split(';').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| AbstractionError::new(format!("line {}: {msg}", lineno + 1));
+            if let Some(rest) = line.strip_prefix("with ") {
+                // with cycles: N [, [sig: t, sig: t]]
+                let rest = rest.trim();
+                let rest = rest
+                    .strip_prefix("cycles:")
+                    .ok_or_else(|| err("expected 'cycles:' after 'with'".into()))?
+                    .trim();
+                let (num, tail) = match rest.split_once(',') {
+                    Some((n, t)) => (n.trim(), t.trim()),
+                    None => (rest, ""),
+                };
+                cycles = Some(
+                    num.parse::<u32>()
+                        .map_err(|_| err(format!("bad cycle count {num:?}")))?,
+                );
+                if !tail.is_empty() {
+                    let inner = tail
+                        .strip_prefix('[')
+                        .and_then(|t| t.strip_suffix(']'))
+                        .ok_or_else(|| err("assumptions must be bracketed".into()))?;
+                    for part in inner.split(',') {
+                        let (sig, t) = part
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("bad assumption {part:?}")))?;
+                        assumes.push((
+                            sig.trim().to_string(),
+                            t.trim()
+                                .parse::<u32>()
+                                .map_err(|_| err(format!("bad assumption time {t:?}")))?,
+                        ));
+                    }
+                }
+                continue;
+            }
+            // spec: {name: 'dp', type: kind, [read: 1, write: 3]}
+            let (spec, rest) = line
+                .split_once(':')
+                .ok_or_else(|| err("expected 'spec: {...}'".into()))?;
+            let body = rest
+                .trim()
+                .strip_prefix('{')
+                .and_then(|t| t.strip_suffix('}'))
+                .ok_or_else(|| err("mapping body must be braced".into()))?;
+            let mut dp_name = None;
+            let mut kind = None;
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            // Split the body on commas not inside brackets.
+            let mut depth = 0usize;
+            let mut fields = Vec::new();
+            let mut cur = String::new();
+            for c in body.chars() {
+                match c {
+                    '[' => {
+                        depth += 1;
+                        cur.push(c);
+                    }
+                    ']' => {
+                        depth -= 1;
+                        cur.push(c);
+                    }
+                    ',' if depth == 0 => {
+                        fields.push(cur.trim().to_string());
+                        cur = String::new();
+                    }
+                    _ => cur.push(c),
+                }
+            }
+            if !cur.trim().is_empty() {
+                fields.push(cur.trim().to_string());
+            }
+            for field in fields {
+                if let Some(v) = field.strip_prefix("name:") {
+                    dp_name = Some(v.trim().trim_matches('\'').trim_matches('"').to_string());
+                } else if let Some(v) = field.strip_prefix("type:") {
+                    kind = Some(match v.trim() {
+                        "input" => DatapathKind::Input,
+                        "output" => DatapathKind::Output,
+                        "register" | "regster" => DatapathKind::Register,
+                        "memory" => DatapathKind::Memory,
+                        other => return Err(err(format!("unknown type {other:?}"))),
+                    });
+                } else if field.starts_with('[') {
+                    let inner = field
+                        .strip_prefix('[')
+                        .and_then(|t| t.strip_suffix(']'))
+                        .ok_or_else(|| err("effects must be bracketed".into()))?;
+                    for part in inner.split(',') {
+                        let (eff, t) = part
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("bad effect {part:?}")))?;
+                        let t: u32 = t
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(format!("bad effect time {t:?}")))?;
+                        match eff.trim() {
+                            "read" => reads.push(t),
+                            "write" => writes.push(t),
+                            other => return Err(err(format!("unknown effect {other:?}"))),
+                        }
+                    }
+                } else {
+                    return Err(err(format!("unknown field {field:?}")));
+                }
+            }
+            mappings.push(Mapping {
+                spec_name: spec.trim().to_string(),
+                datapath_name: dp_name.ok_or_else(|| err("missing name".into()))?,
+                kind: kind.ok_or_else(|| err("missing type".into()))?,
+                reads,
+                writes,
+            });
+        }
+        let cycles = cycles.ok_or_else(|| AbstractionError::new("missing 'with cycles:'"))?;
+        if cycles == 0 {
+            return Err(AbstractionError::new("cycle count must be positive"));
+        }
+        let alpha = AbstractionFn { mappings, cycles, assumes };
+        alpha.check()?;
+        Ok(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let mut a = AbstractionFn::new(3);
+        a.map_input("op", "op")
+            .map("regs", "regfile", DatapathKind::Memory, [1], [3])
+            .assume("instruction_valid", 1);
+        assert!(a.check().is_ok());
+        assert_eq!(a.read_mapping("regs").unwrap().datapath_name, "regfile");
+        assert_eq!(a.write_mapping("regs").unwrap().writes, vec![3]);
+        assert!(a.write_mapping("op").is_none());
+        assert_eq!(a.assumes(), &[("instruction_valid".to_string(), 1)]);
+    }
+
+    #[test]
+    fn parse_alu_example() {
+        // The paper's three-stage ALU abstraction function.
+        let a = AbstractionFn::parse(
+            "op: {name: 'op', type: input, [read: 1]}\n\
+             src1: {name: 'src1', type: input, [read: 1]}\n\
+             src2: {name: 'src2', type: input, [read: 1]}\n\
+             dest: {name: 'dest', type: input, [read: 1]}\n\
+             regs: {name: 'regfile', type: memory, [read: 1, write: 3]}\n\
+             with cycles: 3\n",
+        )
+        .unwrap();
+        assert_eq!(a.cycles(), 3);
+        assert_eq!(a.mappings().len(), 5);
+        let regs = a.read_mapping("regs").unwrap();
+        assert_eq!(regs.kind, DatapathKind::Memory);
+        assert_eq!(regs.reads, vec![1]);
+        assert_eq!(regs.writes, vec![3]);
+    }
+
+    #[test]
+    fn parse_with_assumptions() {
+        // The crypto core's abstraction function (paper §4.2).
+        let a = AbstractionFn::parse(
+            "pc: {name: 'pc', type: register, [read: 1, write: 2]}\n\
+             GPR: {name: 'rf', type: memory, [read: 2, write: 3]}\n\
+             mem: {name: 'd_mem', type: memory, [read: 3, write: 3]}\n\
+             imem: {name: 'i_mem', type: memory, [read: 1]}\n\
+             with cycles: 3, [instruction_valid: 1]\n",
+        )
+        .unwrap();
+        assert_eq!(a.cycles(), 3);
+        assert_eq!(a.assumes(), &[("instruction_valid".to_string(), 1)]);
+        assert!(a.write_mapping("imem").is_none());
+    }
+
+    #[test]
+    fn parse_split_memory_entries() {
+        let a = AbstractionFn::parse(
+            "mem: {name: 'i_mem', type: memory, [read: 1]}\n\
+             mem: {name: 'd_mem', type: memory, [read: 2, write: 3]}\n\
+             with cycles: 3\n",
+        )
+        .unwrap();
+        // Read resolves to the first read-declaring entry; write to the
+        // write-declaring one.
+        assert_eq!(a.read_mapping("mem").unwrap().datapath_name, "i_mem");
+        assert_eq!(a.write_mapping("mem").unwrap().datapath_name, "d_mem");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(AbstractionFn::parse("pc {bad}\n").is_err());
+        assert!(AbstractionFn::parse("with cycles: 0\n").is_err());
+        assert!(AbstractionFn::parse("pc: {name: 'pc', type: register, [read: 1]}\n").is_err());
+        assert!(AbstractionFn::parse(
+            "pc: {name: 'pc', type: registerino, [read: 1]}\nwith cycles: 1\n"
+        )
+        .is_err());
+        // Write beyond the window.
+        assert!(AbstractionFn::parse(
+            "pc: {name: 'pc', type: register, [read: 1, write: 3]}\nwith cycles: 2\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let a = AbstractionFn::parse(
+            "; the program counter\npc: {name: 'pc', type: register, [read: 1, write: 1]}\nwith cycles: 1\n",
+        )
+        .unwrap();
+        assert_eq!(a.mappings().len(), 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Extraction of per-instruction pre/postconditions from an ILA
+//! specification, an abstraction function, and a datapath's symbolic
+//! trace — the instantiation of the paper's Equation (1):
+//!
+//! ```text
+//! Pre_j[s_spec := α(s_0)]  ->  Post_j[s_spec := α(s_1, ..., s_k)]
+//! ```
+//!
+//! Reads route through α's read time steps into the trace's snapshots;
+//! updates are checked against the write time steps. Memory updates are
+//! compared *extensionally*: a fresh universally-quantified address `x`
+//! per specification memory asserts that the datapath's write-back-stage
+//! effect applied to the read-time state equals the specification's
+//! store(s) — which both forces the stored word to land and forces every
+//! spurious enabled write off, the "set other control signals to false"
+//! behaviour visible in the paper's Fig. 7.
+
+use crate::abstraction::{AbstractionFn, DatapathKind, Mapping};
+use crate::CoreError;
+use owl_ila::compile::{compile_expr, SpecResolver};
+use owl_ila::{Ila, IlaError, Instr, SpecSort};
+use owl_oyster::{SymbolicMem, SymbolicTrace};
+use owl_smt::{RomId, TermId, TermManager};
+use std::collections::HashMap;
+
+/// The compiled conditions for one instruction.
+#[derive(Debug, Clone)]
+pub struct InstrConditions {
+    /// Instruction name.
+    pub name: String,
+    /// Preconditions: the decode condition plus α's assumption signals.
+    pub pres: Vec<TermId>,
+    /// Postconditions: one equality per checked state element.
+    pub posts: Vec<TermId>,
+}
+
+/// Resolves specification reads against the trace at α's read time steps.
+struct PreResolver<'a> {
+    alpha: &'a AbstractionFn,
+    trace: &'a SymbolicTrace,
+}
+
+impl PreResolver<'_> {
+    fn mapping_or_err(&self, name: &str) -> Result<&Mapping, IlaError> {
+        self.alpha
+            .read_mapping(name)
+            .ok_or_else(|| IlaError::new(format!("no read mapping for spec state {name}")))
+    }
+}
+
+impl SpecResolver for PreResolver<'_> {
+    fn resolve_ref(&mut self, _mgr: &mut TermManager, name: &str) -> Result<TermId, IlaError> {
+        let m = self.mapping_or_err(name)?;
+        let rt = m.reads[0];
+        match m.kind {
+            DatapathKind::Input => self
+                .trace
+                .inputs
+                .get(&m.datapath_name)
+                .copied()
+                .ok_or_else(|| IlaError::new(format!("datapath has no input {}", m.datapath_name))),
+            DatapathKind::Register => self
+                .trace
+                .at_time(rt)
+                .regs
+                .get(&m.datapath_name)
+                .copied()
+                .ok_or_else(|| {
+                    IlaError::new(format!("datapath has no register {}", m.datapath_name))
+                }),
+            DatapathKind::Output => self
+                .trace
+                .snapshots
+                .get(rt as usize)
+                .and_then(|s| s.wires.get(&m.datapath_name))
+                .copied()
+                .ok_or_else(|| {
+                    IlaError::new(format!(
+                        "datapath has no wire {} at time {rt}",
+                        m.datapath_name
+                    ))
+                }),
+            DatapathKind::Memory => {
+                Err(IlaError::new(format!("{name} is memory-mapped; use Load")))
+            }
+        }
+    }
+
+    fn resolve_load(
+        &mut self,
+        mgr: &mut TermManager,
+        name: &str,
+        addr: TermId,
+    ) -> Result<TermId, IlaError> {
+        let m = self.mapping_or_err(name)?;
+        if m.kind != DatapathKind::Memory {
+            return Err(IlaError::new(format!("{name} is not memory-mapped")));
+        }
+        let rt = m.reads[0];
+        let mem = self
+            .trace
+            .at_time(rt)
+            .mems
+            .get(&m.datapath_name)
+            .cloned()
+            .ok_or_else(|| IlaError::new(format!("datapath has no memory {}", m.datapath_name)))?;
+        Ok(mem.read(mgr, addr))
+    }
+}
+
+/// Builds [`InstrConditions`] for every instruction of a specification
+/// against one symbolic trace.
+pub struct ConditionBuilder<'a> {
+    ila: &'a Ila,
+    alpha: &'a AbstractionFn,
+    trace: &'a SymbolicTrace,
+    rom_cache: HashMap<String, RomId>,
+    /// One universal frame address per specification memory, shared
+    /// across instructions.
+    frame_addrs: HashMap<String, TermId>,
+}
+
+impl<'a> ConditionBuilder<'a> {
+    /// Creates a builder; validates the abstraction function and spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either input fails its own check.
+    pub fn new(
+        ila: &'a Ila,
+        alpha: &'a AbstractionFn,
+        trace: &'a SymbolicTrace,
+    ) -> Result<Self, CoreError> {
+        ila.check().map_err(CoreError::from)?;
+        alpha.check().map_err(CoreError::from)?;
+        if alpha.cycles() as usize != trace.cycles() {
+            return Err(CoreError::new(format!(
+                "abstraction function expects {} cycles but the trace has {}",
+                alpha.cycles(),
+                trace.cycles()
+            )));
+        }
+        Ok(ConditionBuilder {
+            ila,
+            alpha,
+            trace,
+            rom_cache: HashMap::new(),
+            frame_addrs: HashMap::new(),
+        })
+    }
+
+    /// Points specification lookup tables at same-named datapath ROMs with
+    /// identical contents, so that spec-side and datapath-side table reads
+    /// share a ROM handle and structurally equal lookups fold away (the
+    /// AES S-box case). Call once before building conditions.
+    pub fn share_roms(&mut self, mgr: &TermManager) {
+        for (name, aw, dw, data) in self.ila.tables() {
+            if let Some(&rom) = self.trace.roms.get(name) {
+                let (raw, rdw) = mgr.rom_widths(rom);
+                if raw == *aw && rdw == *dw && mgr.rom_data(rom) == data.as_slice() {
+                    self.rom_cache.insert(name.clone(), rom);
+                }
+            }
+        }
+    }
+
+    fn compile(&mut self, mgr: &mut TermManager, e: &owl_ila::SpecExpr) -> Result<TermId, CoreError> {
+        let mut resolver = PreResolver { alpha: self.alpha, trace: self.trace };
+        compile_expr(mgr, self.ila, e, &mut resolver, &mut self.rom_cache).map_err(CoreError::from)
+    }
+
+    /// Looks up a named signal in the trace for assumption handling.
+    fn signal_at(&self, name: &str, t: u32) -> Result<TermId, CoreError> {
+        let snap = self
+            .trace
+            .snapshots
+            .get(t as usize)
+            .ok_or_else(|| CoreError::new(format!("assume {name}: time {t} out of range")))?;
+        snap.wires
+            .get(name)
+            .or_else(|| snap.regs.get(name))
+            .or_else(|| self.trace.inputs.get(name))
+            .copied()
+            .ok_or_else(|| CoreError::new(format!("assume signal {name} not found at time {t}")))
+    }
+
+    /// Builds the conditions for one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a specification reference has no α mapping or
+    /// the mapped datapath component does not exist.
+    pub fn instr_conditions(
+        &mut self,
+        mgr: &mut TermManager,
+        instr: &Instr,
+    ) -> Result<InstrConditions, CoreError> {
+        let mut pres = Vec::new();
+        let decode = self.compile(mgr, instr.decode())?;
+        pres.push(mgr.red_or(decode));
+        for (sig, t) in self.alpha.assumes() {
+            let s = self.signal_at(sig, *t)?;
+            pres.push(mgr.red_or(s));
+        }
+
+        let mut posts = Vec::new();
+
+        // Bitvector state elements with a write mapping: either the
+        // instruction's update or a frame condition (unchanged).
+        for var in self.ila.vars() {
+            if var.is_input {
+                continue;
+            }
+            match var.sort {
+                SpecSort::Bv(_) => {
+                    let Some(wm) = self.alpha.write_mapping(&var.name) else {
+                        continue;
+                    };
+                    let wt = wm.writes[0];
+                    let actual = match wm.kind {
+                        DatapathKind::Register => self
+                            .trace
+                            .after_cycle(wt)
+                            .regs
+                            .get(&wm.datapath_name)
+                            .copied()
+                            .ok_or_else(|| {
+                                CoreError::new(format!(
+                                    "datapath has no register {}",
+                                    wm.datapath_name
+                                ))
+                            })?,
+                        DatapathKind::Output => self
+                            .trace
+                            .snapshots
+                            .get(wt as usize)
+                            .and_then(|s| s.wires.get(&wm.datapath_name))
+                            .copied()
+                            .ok_or_else(|| {
+                                CoreError::new(format!(
+                                    "datapath has no wire {} at time {wt}",
+                                    wm.datapath_name
+                                ))
+                            })?,
+                        _ => {
+                            return Err(CoreError::new(format!(
+                                "write mapping for {} must be a register or output",
+                                var.name
+                            )))
+                        }
+                    };
+                    let update =
+                        instr.bv_updates().iter().find(|(s, _)| *s == var.name).map(|(_, e)| e);
+                    let expected = match update {
+                        Some(e) => self.compile(mgr, &e.clone())?,
+                        None => {
+                            // Frame: the element keeps its read-time value.
+                            let e = owl_ila::SpecExpr::var(&var.name);
+                            self.compile(mgr, &e)?
+                        }
+                    };
+                    posts.push(mgr.eq(actual, expected));
+                }
+                SpecSort::Mem { addr_width, .. } => {
+                    let Some(wm) = self.alpha.write_mapping(&var.name) else {
+                        continue;
+                    };
+                    let wt = wm.writes[0];
+                    let old_t = wm.reads.first().copied().unwrap_or(wt);
+                    let old = self
+                        .trace
+                        .at_time(old_t)
+                        .mems
+                        .get(&wm.datapath_name)
+                        .cloned()
+                        .ok_or_else(|| {
+                            CoreError::new(format!(
+                                "datapath has no memory {}",
+                                wm.datapath_name
+                            ))
+                        })?;
+                    // The write-back delta: writes committed during cycle wt.
+                    let before =
+                        self.trace.after_cycle(wt - 1).mems[&wm.datapath_name].writes.len();
+                    let after_mem = &self.trace.after_cycle(wt).mems[&wm.datapath_name];
+                    let delta = after_mem.writes[before..].to_vec();
+                    let mut effect =
+                        SymbolicMem { base: old.base, writes: old.writes.clone() };
+                    effect.writes.extend(delta);
+
+                    // Universal frame address for extensional equality.
+                    let x = *self
+                        .frame_addrs
+                        .entry(var.name.clone())
+                        .or_insert_with(|| mgr.fresh_var(format!("frame_{}", var.name), addr_width));
+
+                    let actual = effect.read(mgr, x);
+                    // Specification side: apply the instruction's stores
+                    // over the old state, in order.
+                    let mut expected = old.read(mgr, x);
+                    for (mname, update) in instr.mem_updates() {
+                        if *mname != var.name {
+                            continue;
+                        }
+                        let addr = self.compile(mgr, &update.addr.clone())?;
+                        let data = self.compile(mgr, &update.data.clone())?;
+                        let mut hit = mgr.eq(x, addr);
+                        if let Some(c) = &update.cond {
+                            let cv = self.compile(mgr, &c.clone())?;
+                            let cv = mgr.red_or(cv);
+                            hit = mgr.and(hit, cv);
+                        }
+                        expected = mgr.ite(hit, data, expected);
+                    }
+                    posts.push(mgr.eq(actual, expected));
+                }
+            }
+        }
+
+        Ok(InstrConditions { name: instr.name().to_string(), pres, posts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_ila::SpecExpr;
+    use owl_oyster::{Design, SymbolicEvaluator};
+    use owl_smt::{check, substitute, Env, SmtResult};
+
+    /// A 1-cycle incrementer: spec says acc' = acc + 1 when go.
+    fn inc_setup() -> (Ila, Design, AbstractionFn) {
+        let mut ila = Ila::new("inc");
+        let go = ila.new_bv_input("go", 1);
+        let acc = ila.new_bv_state("acc", 8);
+        let mut i = Instr::new("INC");
+        i.set_decode(go.eq(SpecExpr::const_u64(1, 1)));
+        i.set_update("acc", acc.add(SpecExpr::const_u64(8, 1)));
+        ila.add_instr(i);
+
+        let d: Design = "design inc_dp\ninput go 1\nhole en 1\nregister acc 8\n\
+                         acc := if en then acc + 8'x01 else acc\nend\n"
+            .parse()
+            .unwrap();
+
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("go", "go");
+        alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+        (ila, d, alpha)
+    }
+
+    #[test]
+    fn conditions_validate_correct_hole() {
+        let (ila, d, alpha) = inc_setup();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        let mut builder = ConditionBuilder::new(&ila, &alpha, &trace).unwrap();
+        let conds = builder.instr_conditions(&mut mgr, &ila.instrs()[0]).unwrap();
+        assert_eq!(conds.pres.len(), 1);
+        assert_eq!(conds.posts.len(), 1);
+
+        // With en := 1, pre ∧ ¬post must be UNSAT.
+        let mut env = Env::new();
+        let hole_sym = mgr.as_var(trace.holes["en"]).unwrap();
+        env.set_var(hole_sym, BitVec::from_u64(1, 1));
+        let pre = substitute(&mut mgr, conds.pres[0], &env);
+        let post = substitute(&mut mgr, conds.posts[0], &env);
+        let npost = mgr.not(post);
+        assert!(check(&mgr, &[pre, npost], None).is_unsat());
+
+        // With en := 0 there is a counterexample.
+        let mut env0 = Env::new();
+        env0.set_var(hole_sym, BitVec::from_u64(1, 0));
+        let pre0 = substitute(&mut mgr, conds.pres[0], &env0);
+        let post0 = substitute(&mut mgr, conds.posts[0], &env0);
+        let npost0 = mgr.not(post0);
+        assert!(matches!(check(&mgr, &[pre0, npost0], None), SmtResult::Sat(_)));
+    }
+
+    #[test]
+    fn memory_frame_blocks_spurious_writes() {
+        // Spec: NOP does nothing. Datapath writes rf[0] when hole w is on.
+        let mut ila = Ila::new("nop");
+        let go = ila.new_bv_input("go", 1);
+        ila.new_mem_state("regs", 2, 8);
+        let mut i = Instr::new("NOP");
+        i.set_decode(go.eq(SpecExpr::const_u64(1, 1)));
+        ila.add_instr(i);
+
+        let d: Design = "design dp\ninput go 1\nhole w 1\nmemory rf 2 8\n\
+                         write rf[2'x0] := 8'xff when w\nend\n"
+            .parse()
+            .unwrap();
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("go", "go");
+        alpha.map("regs", "rf", DatapathKind::Memory, [1], [1]);
+
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        let mut builder = ConditionBuilder::new(&ila, &alpha, &trace).unwrap();
+        let conds = builder.instr_conditions(&mut mgr, &ila.instrs()[0]).unwrap();
+
+        let hole_sym = mgr.as_var(trace.holes["w"]).unwrap();
+        // w = 1 violates the frame condition.
+        let mut env = Env::new();
+        env.set_var(hole_sym, BitVec::from_u64(1, 1));
+        let pre = substitute(&mut mgr, conds.pres[0], &env);
+        let post = substitute(&mut mgr, conds.posts[0], &env);
+        let npost = mgr.not(post);
+        assert!(matches!(check(&mgr, &[pre, npost], None), SmtResult::Sat(_)));
+        // w = 0 satisfies it.
+        let mut env0 = Env::new();
+        env0.set_var(hole_sym, BitVec::from_u64(1, 0));
+        let pre0 = substitute(&mut mgr, conds.pres[0], &env0);
+        let post0 = substitute(&mut mgr, conds.posts[0], &env0);
+        let npost0 = mgr.not(post0);
+        assert!(check(&mgr, &[pre0, npost0], None).is_unsat());
+    }
+
+    #[test]
+    fn cycle_mismatch_rejected() {
+        let (ila, d, alpha) = inc_setup();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 2).unwrap();
+        assert!(ConditionBuilder::new(&ila, &alpha, &trace).is_err());
+    }
+
+    #[test]
+    fn missing_mapping_reported() {
+        let (ila, d, _) = inc_setup();
+        let alpha = {
+            let mut a = AbstractionFn::new(1);
+            a.map("acc", "acc", DatapathKind::Register, [1], [1]);
+            a
+        };
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        let mut builder = ConditionBuilder::new(&ila, &alpha, &trace).unwrap();
+        let err = builder.instr_conditions(&mut mgr, &ila.instrs()[0]).unwrap_err();
+        assert!(err.to_string().contains("no read mapping"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Developer feedback for failed synthesis — the future-work item of the
+//! paper's §5.3 ("extend the tool to indicate which part of the datapath
+//! is incorrect").
+//!
+//! When an instruction admits no hole assignment, [`diagnose`] narrows
+//! the blame: each postcondition is re-attempted *in isolation*, so the
+//! report separates state elements the datapath can satisfy from those
+//! it cannot, and for unsatisfiable ones it exhibits a concrete
+//! counterexample trace (inputs and initial state) under the best
+//! candidate the solver could find.
+
+use crate::abstraction::AbstractionFn;
+use crate::conditions::{ConditionBuilder, InstrConditions};
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_ila::Ila;
+use owl_oyster::{Design, SymbolicEvaluator};
+use owl_smt::{check, substitute, Env, SmtResult, TermManager};
+use std::fmt;
+
+/// Whether one obligation is achievable by some hole assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObligationStatus {
+    /// Some hole assignment satisfies this obligation alone.
+    SatisfiableAlone,
+    /// No hole assignment satisfies even this single obligation: the
+    /// datapath cannot produce the required update for this state
+    /// element. Carries a human-readable counterexample.
+    Unsatisfiable {
+        /// Rendering of a counterexample initial state.
+        counterexample: String,
+    },
+}
+
+/// The diagnosis for one instruction.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Instruction name.
+    pub instr: String,
+    /// True if the instruction's decode condition is itself
+    /// unsatisfiable (dead instruction).
+    pub decode_unsatisfiable: bool,
+    /// Status per checked specification state element, in declaration
+    /// order.
+    pub obligations: Vec<(String, ObligationStatus)>,
+}
+
+impl Diagnosis {
+    /// Names of the state elements whose updates the datapath cannot
+    /// implement.
+    #[must_use]
+    pub fn blamed_state(&self) -> Vec<&str> {
+        self.obligations
+            .iter()
+            .filter(|(_, s)| matches!(s, ObligationStatus::Unsatisfiable { .. }))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "diagnosis for instruction {}:", self.instr)?;
+        if self.decode_unsatisfiable {
+            writeln!(f, "  decode condition is unsatisfiable (dead instruction)")?;
+        }
+        for (name, status) in &self.obligations {
+            match status {
+                ObligationStatus::SatisfiableAlone => {
+                    writeln!(f, "  {name}: satisfiable in isolation")?;
+                }
+                ObligationStatus::Unsatisfiable { counterexample } => {
+                    writeln!(
+                        f,
+                        "  {name}: NO control logic can produce this update \
+                         (datapath lacks the required path)"
+                    )?;
+                    writeln!(f, "    counterexample: {counterexample}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-obligation names, matching the order [`ConditionBuilder`]
+/// emits postconditions.
+fn post_names(ila: &Ila, alpha: &AbstractionFn) -> Vec<String> {
+    ila.vars()
+        .iter()
+        .filter(|v| !v.is_input && alpha.write_mapping(&v.name).is_some())
+        .map(|v| v.name.clone())
+        .collect()
+}
+
+/// A bounded existential check: is there any hole assignment making
+/// `pres -> post` hold for all states? Uses a small CEGIS loop.
+fn achievable(
+    mgr: &mut TermManager,
+    holes: &[(owl_smt::SymbolId, u32)],
+    pres: &[owl_smt::TermId],
+    post: owl_smt::TermId,
+    rounds: usize,
+) -> Result<Option<Env>, CoreError> {
+    let mut candidate = Env::new();
+    for (sym, w) in holes {
+        candidate.set_var(*sym, BitVec::zero(*w));
+    }
+    let mut constraints = Vec::new();
+    for _ in 0..rounds {
+        let mut assertions: Vec<_> =
+            pres.iter().map(|&p| substitute(mgr, p, &candidate)).collect();
+        let p2 = substitute(mgr, post, &candidate);
+        assertions.push(mgr.not(p2));
+        match check(mgr, &assertions, None) {
+            SmtResult::Unsat => return Ok(None), // candidate works
+            SmtResult::Unknown => return Err(CoreError::new("budget exceeded")),
+            SmtResult::Sat(model) => {
+                let cex = model.into_env();
+                let pres2: Vec<_> = pres.iter().map(|&p| substitute(mgr, p, &cex)).collect();
+                let post2 = substitute(mgr, post, &cex);
+                let pre_conj = mgr.and_many(&pres2);
+                let ob = mgr.implies(pre_conj, post2);
+                constraints.push(ob);
+                match check(mgr, &constraints, None) {
+                    SmtResult::Sat(model) => {
+                        let mut next = Env::new();
+                        for (sym, w) in holes {
+                            let v = model
+                                .env()
+                                .var(*sym)
+                                .cloned()
+                                .unwrap_or_else(|| BitVec::zero(*w));
+                            next.set_var(*sym, v);
+                        }
+                        candidate = next;
+                    }
+                    SmtResult::Unsat => return Ok(Some(cex)), // truly impossible
+                    SmtResult::Unknown => return Err(CoreError::new("budget exceeded")),
+                }
+            }
+        }
+    }
+    // Did not converge; treat the last counterexample as inconclusive
+    // evidence of impossibility.
+    Ok(Some(Env::new()))
+}
+
+/// Renders the interesting parts of a counterexample environment.
+fn render_cex(mgr: &TermManager, env: &Env) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut items: Vec<(String, BitVec)> = env
+        .vars()
+        .map(|(sym, v)| (mgr.symbol_name(sym).to_string(), v.clone()))
+        .filter(|(name, _)| !name.starts_with("??") && !name.starts_with("frame_"))
+        .collect();
+    items.sort();
+    for (name, v) in items.into_iter().take(8) {
+        parts.push(format!("{name} = {v}"));
+    }
+    if parts.is_empty() {
+        "(no distinguishing assignment recorded)".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+/// Diagnoses why `instr_name` cannot be synthesized on `design`.
+///
+/// # Errors
+///
+/// Returns an error if the inputs fail validation or the instruction
+/// does not exist.
+pub fn diagnose(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    instr_name: &str,
+) -> Result<Diagnosis, CoreError> {
+    let instr = ila
+        .instr(instr_name)
+        .ok_or_else(|| CoreError::new(format!("unknown instruction {instr_name}")))?;
+    let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
+    let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
+    builder.share_roms(mgr);
+    let conds: InstrConditions = builder.instr_conditions(mgr, instr)?;
+
+    let holes: Vec<(owl_smt::SymbolId, u32)> = design
+        .hole_names()
+        .into_iter()
+        .map(|name| {
+            let t = trace.holes[&name];
+            (mgr.as_var(t).expect("holes are variables"), mgr.width(t))
+        })
+        .collect();
+
+    // Dead decode?
+    let decode_sat = matches!(check(mgr, &conds.pres, None), SmtResult::Sat(_));
+
+    let names = post_names(ila, alpha);
+    let mut obligations = Vec::new();
+    for (name, &post) in names.iter().zip(&conds.posts) {
+        let status = if !decode_sat {
+            ObligationStatus::SatisfiableAlone
+        } else {
+            match achievable(mgr, &holes, &conds.pres, post, 64)? {
+                None => ObligationStatus::SatisfiableAlone,
+                Some(cex) => ObligationStatus::Unsatisfiable {
+                    counterexample: render_cex(mgr, &cex),
+                },
+            }
+        };
+        obligations.push((name.clone(), status));
+    }
+
+    Ok(Diagnosis {
+        instr: instr_name.to_string(),
+        decode_unsatisfiable: !decode_sat,
+        obligations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::DatapathKind;
+    use owl_ila::{Instr, SpecExpr};
+
+    /// Spec wants acc' = acc * 3, but the datapath can only add `val` or
+    /// clear — the pc-like counter, meanwhile, is implementable.
+    fn broken_setup() -> (Ila, Design, AbstractionFn) {
+        let mut ila = Ila::new("m");
+        let go = ila.new_bv_input("go", 1);
+        ila.new_bv_input("val", 8);
+        let acc = ila.new_bv_state("acc", 8);
+        let count = ila.new_bv_state("count", 8);
+        let mut i = Instr::new("TRIPLE");
+        i.set_decode(go.eq(SpecExpr::const_u64(1, 1)));
+        i.set_update("acc", acc.mul(SpecExpr::const_u64(8, 3)));
+        i.set_update("count", count.add(SpecExpr::const_u64(8, 1)));
+        ila.add_instr(i);
+
+        let d: Design = "design dp\ninput go 1\ninput val 8\n\
+                         hole clear 1\nhole en 1\n\
+                         register acc 8\nregister count 8\n\
+                         acc := if clear then 8'x00 else if en then acc + val else acc\n\
+                         count := count + 8'x01\nend\n"
+            .parse()
+            .unwrap();
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("go", "go");
+        alpha.map_input("val", "val");
+        alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+        alpha.map("count", "count", DatapathKind::Register, [1], [1]);
+        (ila, d, alpha)
+    }
+
+    #[test]
+    fn diagnosis_blames_the_right_state_element() {
+        let (ila, d, alpha) = broken_setup();
+        let mut mgr = TermManager::new();
+        let diag = diagnose(&mut mgr, &d, &ila, &alpha, "TRIPLE").unwrap();
+        assert!(!diag.decode_unsatisfiable);
+        assert_eq!(diag.blamed_state(), vec!["acc"]);
+        let text = diag.to_string();
+        assert!(text.contains("acc: NO control logic"));
+        assert!(text.contains("count: satisfiable in isolation"));
+    }
+
+    #[test]
+    fn dead_decode_detected() {
+        let mut ila = Ila::new("dead");
+        let go = ila.new_bv_input("go", 1);
+        ila.new_bv_state("acc", 8);
+        let mut i = Instr::new("NEVER");
+        // go == 1 && go == 0 is unsatisfiable.
+        i.set_decode(
+            go.clone()
+                .eq(SpecExpr::const_u64(1, 1))
+                .and(go.eq(SpecExpr::const_u64(1, 0))),
+        );
+        i.set_update("acc", SpecExpr::const_u64(8, 1));
+        ila.add_instr(i);
+        let d: Design = "design dp\ninput go 1\nregister acc 8\nhole h 1\n\
+                         acc := if h then acc else acc\nend\n"
+            .parse()
+            .unwrap();
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("go", "go");
+        alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+        let mut mgr = TermManager::new();
+        let diag = diagnose(&mut mgr, &d, &ila, &alpha, "NEVER").unwrap();
+        assert!(diag.decode_unsatisfiable);
+    }
+
+    #[test]
+    fn healthy_instruction_has_no_blame() {
+        let (_, d, alpha) = broken_setup();
+        let mut ila = Ila::new("ok");
+        let go = ila.new_bv_input("go", 1);
+        let val = ila.new_bv_input("val", 8);
+        let acc = ila.new_bv_state("acc", 8);
+        let count = ila.new_bv_state("count", 8);
+        let mut i = Instr::new("ACCUM");
+        i.set_decode(go.eq(SpecExpr::const_u64(1, 1)));
+        i.set_update("acc", acc.add(val));
+        i.set_update("count", count.add(SpecExpr::const_u64(8, 1)));
+        ila.add_instr(i);
+        let mut mgr = TermManager::new();
+        let diag = diagnose(&mut mgr, &d, &ila, &alpha, "ACCUM").unwrap();
+        assert!(diag.blamed_state().is_empty(), "{diag}");
+    }
+}

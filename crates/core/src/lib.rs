@@ -1,0 +1,81 @@
+//! Control logic synthesis — the paper's primary contribution.
+//!
+//! Given (1) a datapath sketch in the Oyster IR with *holes* where the
+//! control logic belongs, (2) an ILA architectural specification, and
+//! (3) an abstraction function α connecting the two, this crate:
+//!
+//! - extracts per-instruction pre/postconditions ([`conditions`], §3.3 /
+//!   Fig. 8);
+//! - solves the `∃ holes ∀ state` problem with CEGIS, per instruction
+//!   (the §3.3.1 instruction-independence optimization) or monolithically
+//!   (Equation (1) as written) ([`synth`]);
+//! - joins per-instruction constants into complete control logic with the
+//!   control union ⊔ ([`union`], Fig. 6), producing a hole-free Oyster
+//!   design;
+//! - re-verifies the completed design against the specification
+//!   ([`verify`]); and
+//! - renders the generated control logic as PyRTL-style code
+//!   ([`codegen`], Fig. 7).
+//!
+//! See `examples/quickstart.rs` at the workspace root for an end-to-end
+//! walk-through on the paper's accumulator machine.
+
+pub mod abstraction;
+pub mod codegen;
+pub mod conditions;
+pub mod diagnose;
+pub mod minimize;
+pub mod synth;
+pub mod union;
+pub mod verify;
+
+pub use abstraction::{AbstractionError, AbstractionFn, DatapathKind, Mapping};
+pub use conditions::{ConditionBuilder, InstrConditions};
+pub use diagnose::{diagnose, Diagnosis, ObligationStatus};
+pub use minimize::{minimize_solutions, MinimizeStats};
+pub use synth::{
+    resynthesize, synthesize, InstrSolution, SynthesisConfig, SynthesisMode, SynthesisOutput,
+    SynthesisStats,
+};
+pub use union::{complete_design, control_union, control_union_with, ControlUnion, DecodeBinding};
+pub use verify::verify_design;
+
+use std::fmt;
+
+/// Error type for the control-logic-synthesis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreError {
+    message: String,
+}
+
+impl CoreError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        CoreError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "synthesis error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<owl_ila::IlaError> for CoreError {
+    fn from(e: owl_ila::IlaError) -> Self {
+        CoreError::new(e.to_string())
+    }
+}
+
+impl From<owl_oyster::OysterError> for CoreError {
+    fn from(e: owl_oyster::OysterError) -> Self {
+        CoreError::new(e.to_string())
+    }
+}
+
+impl From<AbstractionError> for CoreError {
+    fn from(e: AbstractionError) -> Self {
+        CoreError::new(e.to_string())
+    }
+}

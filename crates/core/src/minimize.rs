@@ -1,0 +1,202 @@
+//! Control-logic minimization — the paper's §5.3 extension direction
+//! ("generate HDL code that is correct and also optimal with respect to
+//! some objective function (size of HDL code, area of circuit, …)").
+//!
+//! Per-instruction synthesis leaves *don't-care* holes at whatever value
+//! CEGIS happened to land on; the control union then emits one
+//! if-then-else branch per distinct value. This pass shrinks that: for
+//! every hole, instructions whose value differs from the hole's majority
+//! value *try adopting it*, and the adoption is kept only if the
+//! instruction still verifies. Every merge removes mux branches from the
+//! generated control (and gates from the netlist) without weakening the
+//! correctness guarantee — each adoption is discharged by the same
+//! verifier that gates the final design.
+
+use crate::abstraction::AbstractionFn;
+use crate::conditions::{ConditionBuilder, InstrConditions};
+use crate::synth::InstrSolution;
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_ila::Ila;
+use owl_oyster::{Design, SymbolicEvaluator};
+use owl_smt::{check, substitute, Env, SmtResult, SymbolId, TermManager};
+use std::collections::HashMap;
+
+/// Statistics from a minimization pass.
+#[derive(Debug, Clone, Default)]
+pub struct MinimizeStats {
+    /// Hole values successfully merged into their majority group.
+    pub merged: usize,
+    /// Merge attempts rejected by verification.
+    pub rejected: usize,
+}
+
+/// Minimizes per-instruction solutions by merging don't-care values into
+/// each hole's majority value, re-verifying every change.
+///
+/// # Errors
+///
+/// Returns an error if the inputs fail validation or a verification
+/// query exhausts its budget.
+pub fn minimize_solutions(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    solutions: &[InstrSolution],
+) -> Result<(Vec<InstrSolution>, MinimizeStats), CoreError> {
+    let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
+    let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
+    builder.share_roms(mgr);
+    let mut conds: HashMap<String, InstrConditions> = HashMap::new();
+    for instr in ila.instrs() {
+        conds.insert(instr.name().to_string(), builder.instr_conditions(mgr, instr)?);
+    }
+    let hole_syms: HashMap<String, SymbolId> = design
+        .hole_names()
+        .into_iter()
+        .map(|name| {
+            let t = trace.holes[&name];
+            (name, mgr.as_var(t).expect("holes are variables"))
+        })
+        .collect();
+
+    let mut out: Vec<InstrSolution> = solutions.to_vec();
+    let mut stats = MinimizeStats::default();
+
+    for hole in design.hole_names() {
+        // The hole's most common value across instructions.
+        let mut counts: Vec<(BitVec, usize)> = Vec::new();
+        for sol in &out {
+            let v = sol
+                .holes
+                .get(&hole)
+                .ok_or_else(|| CoreError::new(format!("missing value for hole {hole}")))?;
+            match counts.iter_mut().find(|(cv, _)| cv == v) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((v.clone(), 1)),
+            }
+        }
+        // Ties break toward the earliest group, matching the order the
+        // control union scans instructions.
+        let mut best: Option<(BitVec, usize)> = None;
+        for (v, n) in &counts {
+            if best.as_ref().is_none_or(|(_, bn)| n > bn) {
+                best = Some((v.clone(), *n));
+            }
+        }
+        let Some((majority, _)) = best else { continue };
+
+        for sol in &mut out {
+            if sol.holes[&hole] == majority {
+                continue;
+            }
+            // Candidate: this instruction with the majority value.
+            let mut candidate = sol.holes.clone();
+            candidate.insert(hole.clone(), majority.clone());
+            let mut env = Env::new();
+            for (name, value) in &candidate {
+                env.set_var(hole_syms[name], value.clone());
+            }
+            let ic = &conds[&sol.instr];
+            let mut assertions: Vec<_> =
+                ic.pres.iter().map(|&p| substitute(mgr, p, &env)).collect();
+            let posts: Vec<_> = ic.posts.iter().map(|&p| substitute(mgr, p, &env)).collect();
+            let post_conj = mgr.and_many(&posts);
+            assertions.push(mgr.not(post_conj));
+            match check(mgr, &assertions, None) {
+                SmtResult::Unsat => {
+                    sol.holes = candidate;
+                    stats.merged += 1;
+                }
+                SmtResult::Sat(_) => stats.rejected += 1,
+                SmtResult::Unknown => {
+                    return Err(CoreError::new("minimization verification exceeded budget"))
+                }
+            }
+        }
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::DatapathKind;
+    use crate::synth::{synthesize, SynthesisConfig};
+    use crate::union::control_union;
+    use crate::verify::verify_design;
+    use crate::complete_design;
+    use owl_ila::{Instr, SpecExpr};
+
+    /// Two instructions: INC uses the adder; PASS leaves acc unchanged,
+    /// making the `sel` hole a don't-care under en = 0.
+    fn setup() -> (Ila, Design, AbstractionFn) {
+        let mut ila = Ila::new("m");
+        let op = ila.new_bv_input("op", 1);
+        let acc = ila.new_bv_state("acc", 8);
+        let mut inc = Instr::new("INC");
+        inc.set_decode(op.clone().eq(SpecExpr::const_u64(1, 1)));
+        inc.set_update("acc", acc.clone().add(SpecExpr::const_u64(8, 1)));
+        ila.add_instr(inc);
+        let mut pass = Instr::new("PASS");
+        pass.set_decode(op.eq(SpecExpr::const_u64(1, 0)));
+        pass.set_update("acc", acc);
+        ila.add_instr(pass);
+
+        // `sel` only matters when `en` is set.
+        let d: Design = "design dp\ninput op 1\nhole en 1\nhole sel 1\nregister acc 8\n\
+                         acc := if en then (if sel then acc + 8'x01 else acc - 8'x01) else acc\n\
+                         end\n"
+            .parse()
+            .unwrap();
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("op", "op");
+        alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+        (ila, d, alpha)
+    }
+
+    #[test]
+    fn dont_care_values_merge_and_design_still_verifies() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let out =
+            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        // Force a divergent don't-care: PASS has en = 0, so its sel value
+        // is free. Make it disagree with INC's.
+        let mut solutions = out.solutions.clone();
+        let inc_sel = solutions[0].holes["sel"].clone();
+        let flipped = inc_sel.not();
+        solutions[1].holes.insert("sel".to_string(), flipped);
+
+        let (minimized, stats) =
+            minimize_solutions(&mut mgr, &d, &ila, &alpha, &solutions).unwrap();
+        assert!(stats.merged >= 1, "{stats:?}");
+        assert_eq!(minimized[0].holes["sel"], minimized[1].holes["sel"]);
+
+        // The minimized union collapses `sel` to a constant, and the
+        // completed design still verifies.
+        let union = control_union(&d, &ila, &alpha, &minimized).unwrap();
+        let sel_def = union.hole_defs.iter().find(|(n, _)| n == "sel").unwrap();
+        assert!(matches!(sel_def.1, owl_oyster::Expr::Const(_)));
+        let complete = complete_design(&d, &union);
+        let mut mgr2 = TermManager::new();
+        verify_design(&mut mgr2, &complete, &ila, &alpha, None).unwrap();
+    }
+
+    #[test]
+    fn load_bearing_values_are_not_merged() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let out =
+            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        // `en` genuinely differs between INC (1) and PASS (0); merging
+        // must be rejected and the values preserved.
+        let (minimized, _) =
+            minimize_solutions(&mut mgr, &d, &ila, &alpha, &out.solutions).unwrap();
+        let inc = minimized.iter().find(|s| s.instr == "INC").unwrap();
+        let pass = minimized.iter().find(|s| s.instr == "PASS").unwrap();
+        assert_eq!(inc.holes["en"].to_u64(), Some(1));
+        assert_eq!(pass.holes["en"].to_u64(), Some(0));
+    }
+}

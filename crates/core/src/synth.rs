@@ -1,0 +1,600 @@
+//! The CEGIS synthesis engine (paper §3.3).
+//!
+//! Per-instruction mode implements the instruction-independence
+//! optimization of §3.3.1: each instruction's `∃ holes ∀ state` problem is
+//! solved separately (with the previous instruction's solution used as the
+//! first candidate, which keeps shared encodings — FSM states — consistent
+//! across instructions whenever possible), and the per-instruction
+//! constants are later joined by the control union ⊔.
+//!
+//! Monolithic mode is the Equation (1) baseline: every hole is replaced by
+//! a symbolic if-then-else chain over all instruction preconditions and a
+//! single ∀ query conjoins every instruction's obligation — the
+//! formulation whose solve times explode (Table 1's † rows).
+
+use crate::abstraction::AbstractionFn;
+use crate::conditions::{ConditionBuilder, InstrConditions};
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_ila::Ila;
+use owl_oyster::{Design, SymbolicEvaluator, SymbolicTrace};
+use owl_smt::{check, substitute, Env, SmtResult, SymbolId, TermId, TermManager};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How to decompose the synthesis problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthesisMode {
+    /// Solve each instruction independently and union the results
+    /// (requires instruction independence; the paper's optimization).
+    #[default]
+    PerInstruction,
+    /// One joint query over all instructions (Equation (1) as written).
+    Monolithic,
+}
+
+/// Tuning knobs for the synthesis engine.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Problem decomposition.
+    pub mode: SynthesisMode,
+    /// Maximum CEGIS refinement rounds per query before giving up.
+    pub max_cex_rounds: usize,
+    /// Optional SAT conflict budget per solver call.
+    pub conflict_budget: Option<u64>,
+    /// Optional wall-clock budget for the whole synthesis run.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            mode: SynthesisMode::PerInstruction,
+            max_cex_rounds: 256,
+            conflict_budget: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// Statistics from a synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisStats {
+    /// Total CEGIS refinement rounds (counterexamples seen).
+    pub cex_rounds: usize,
+    /// Total solver invocations.
+    pub solver_calls: usize,
+    /// Instructions whose previous solutions were reused unchanged
+    /// (incremental re-synthesis only).
+    pub reused: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// One instruction's synthesized hole assignment.
+#[derive(Debug, Clone)]
+pub struct InstrSolution {
+    /// Instruction name.
+    pub instr: String,
+    /// Concrete value per hole.
+    pub holes: HashMap<String, BitVec>,
+}
+
+/// The result of a successful synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutput {
+    /// Per-instruction hole values, in specification order.
+    pub solutions: Vec<InstrSolution>,
+    /// Run statistics.
+    pub stats: SynthesisStats,
+}
+
+/// Synthesizes control logic for `design`'s holes against `ila` via
+/// `alpha`, returning per-instruction hole constants.
+///
+/// # Errors
+///
+/// Returns an error if inputs fail validation, no hole assignment exists
+/// for some instruction (the datapath cannot implement the
+/// specification), or a budget is exhausted.
+pub fn synthesize(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    config: &SynthesisConfig,
+) -> Result<SynthesisOutput, CoreError> {
+    let start = Instant::now();
+    let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
+    let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
+    builder.share_roms(mgr);
+    let mut all_conds = Vec::with_capacity(ila.instrs().len());
+    for instr in ila.instrs() {
+        all_conds.push(builder.instr_conditions(mgr, instr)?);
+    }
+    let holes: Vec<(String, TermId, SymbolId)> = design
+        .hole_names()
+        .into_iter()
+        .map(|name| {
+            let t = trace.holes[&name];
+            let sym = mgr.as_var(t).expect("holes are variables");
+            (name, t, sym)
+        })
+        .collect();
+
+    let mut stats = SynthesisStats::default();
+    let solutions = match config.mode {
+        SynthesisMode::PerInstruction => {
+            per_instruction(mgr, &holes, &all_conds, config, start, &mut stats)?
+        }
+        SynthesisMode::Monolithic => {
+            monolithic(mgr, &holes, &all_conds, &trace, config, start, &mut stats)?
+        }
+    };
+    stats.elapsed = start.elapsed();
+    Ok(SynthesisOutput { solutions, stats })
+}
+
+/// Incremental re-synthesis for agile iteration: like [`synthesize`],
+/// but seeded with the solutions of a previous run (typically from an
+/// earlier revision of the specification or sketch). Each previous
+/// solution is first *verified* against the current design; if it still
+/// holds it is reused outright, otherwise it becomes the CEGIS starting
+/// candidate. Instructions with no previous solution are synthesized
+/// from scratch.
+///
+/// # Errors
+///
+/// As for [`synthesize`]. Only per-instruction mode is supported.
+pub fn resynthesize(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    config: &SynthesisConfig,
+    previous: &[InstrSolution],
+) -> Result<SynthesisOutput, CoreError> {
+    if config.mode != SynthesisMode::PerInstruction {
+        return Err(CoreError::new("incremental re-synthesis requires per-instruction mode"));
+    }
+    let start = Instant::now();
+    let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
+    let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
+    builder.share_roms(mgr);
+    let mut all_conds = Vec::with_capacity(ila.instrs().len());
+    for instr in ila.instrs() {
+        all_conds.push(builder.instr_conditions(mgr, instr)?);
+    }
+    let holes: Vec<(String, TermId, SymbolId)> = design
+        .hole_names()
+        .into_iter()
+        .map(|name| {
+            let t = trace.holes[&name];
+            let sym = mgr.as_var(t).expect("holes are variables");
+            (name, t, sym)
+        })
+        .collect();
+
+    let mut stats = SynthesisStats::default();
+    let mut solutions = Vec::with_capacity(all_conds.len());
+    let mut prev_carry: Option<HashMap<String, BitVec>> = None;
+    for conds in &all_conds {
+        budget_check(config, start)?;
+        let seed = previous.iter().find(|s| s.instr == conds.name).map(|s| {
+            // Previous runs may lack newly-added holes; zero-fill those.
+            let mut map = s.holes.clone();
+            for (name, t, _) in &holes {
+                map.entry(name.clone()).or_insert_with(|| BitVec::zero(mgr.width(*t)));
+            }
+            map
+        });
+        if let Some(candidate) = &seed {
+            // Fast path: does the old solution still verify?
+            let env = env_of(&holes, candidate);
+            let mut assertions: Vec<TermId> =
+                conds.pres.iter().map(|&p| substitute(mgr, p, &env)).collect();
+            let posts: Vec<TermId> =
+                conds.posts.iter().map(|&p| substitute(mgr, p, &env)).collect();
+            let post_conj = mgr.and_many(&posts);
+            assertions.push(mgr.not(post_conj));
+            stats.solver_calls += 1;
+            let still_valid = match check(mgr, &assertions, config.conflict_budget) {
+                SmtResult::Unsat => true,
+                SmtResult::Sat(_) => false,
+                SmtResult::Unknown => {
+                    return Err(CoreError::new(
+                        "re-verification exceeded the conflict budget",
+                    ))
+                }
+            };
+            if still_valid {
+                stats.reused += 1;
+                prev_carry = Some(candidate.clone());
+                solutions
+                    .push(InstrSolution { instr: conds.name.clone(), holes: candidate.clone() });
+                continue;
+            }
+        }
+        let initial = seed
+            .or_else(|| prev_carry.clone())
+            .unwrap_or_else(|| zero_candidate(mgr, &holes));
+        let solved =
+            cegis(mgr, &holes, std::slice::from_ref(conds), initial, config, start, &mut stats)
+                .map_err(|e| CoreError::new(format!("instruction {}: {}", conds.name, e)))?;
+        prev_carry = Some(solved.clone());
+        solutions.push(InstrSolution { instr: conds.name.clone(), holes: solved });
+    }
+    stats.elapsed = start.elapsed();
+    Ok(SynthesisOutput { solutions, stats })
+}
+
+fn budget_check(config: &SynthesisConfig, start: Instant) -> Result<(), CoreError> {
+    if let Some(limit) = config.time_budget {
+        if start.elapsed() > limit {
+            return Err(CoreError::new(format!(
+                "synthesis timed out after {:.1}s",
+                start.elapsed().as_secs_f64()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn per_instruction(
+    mgr: &mut TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    all_conds: &[InstrConditions],
+    config: &SynthesisConfig,
+    start: Instant,
+    stats: &mut SynthesisStats,
+) -> Result<Vec<InstrSolution>, CoreError> {
+    let mut solutions: Vec<InstrSolution> = Vec::with_capacity(all_conds.len());
+    let mut prev: Option<HashMap<String, BitVec>> = None;
+    for conds in all_conds {
+        let initial = prev.clone().unwrap_or_else(|| zero_candidate(mgr, holes));
+        let solved = cegis(mgr, holes, std::slice::from_ref(conds), initial, config, start, stats)
+            .map_err(|e| {
+                CoreError::new(format!("instruction {}: {}", conds.name, e))
+            })?;
+        prev = Some(solved.clone());
+        solutions.push(InstrSolution { instr: conds.name.clone(), holes: solved });
+    }
+    Ok(solutions)
+}
+
+fn monolithic(
+    mgr: &mut TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    all_conds: &[InstrConditions],
+    _trace: &SymbolicTrace,
+    config: &SynthesisConfig,
+    start: Instant,
+    stats: &mut SynthesisStats,
+) -> Result<Vec<InstrSolution>, CoreError> {
+    // Unknowns: one constant per (hole, instruction). Each original hole
+    // variable is replaced by an ITE chain over the instruction
+    // preconditions, then all obligations are conjoined into one query.
+    let mut chain_vars: HashMap<(usize, usize), (TermId, SymbolId)> = HashMap::new();
+    let mut hole_map: HashMap<SymbolId, TermId> = HashMap::new();
+    for (h_idx, (hname, ht, hsym)) in holes.iter().enumerate() {
+        let w = mgr.width(*ht);
+        let mut chain = {
+            let last = all_conds.len() - 1;
+            let v = mgr.fresh_var(format!("c_{hname}_{}", all_conds[last].name), w);
+            chain_vars.insert((h_idx, last), (v, mgr.as_var(v).expect("var")));
+            v
+        };
+        for (j, conds) in all_conds.iter().enumerate().rev().skip(1) {
+            let v = mgr.fresh_var(format!("c_{hname}_{}", conds.name), w);
+            chain_vars.insert((h_idx, j), (v, mgr.as_var(v).expect("var")));
+            let pre = mgr.and_many(&conds.pres);
+            chain = mgr.ite(pre, v, chain);
+        }
+        hole_map.insert(*hsym, chain);
+    }
+
+    // Rewrite all conditions over the chained holes.
+    let rewritten: Vec<InstrConditions> = all_conds
+        .iter()
+        .map(|c| InstrConditions {
+            name: c.name.clone(),
+            pres: c
+                .pres
+                .iter()
+                .map(|&t| owl_smt::substitute_terms(mgr, t, &hole_map))
+                .collect(),
+            posts: c
+                .posts
+                .iter()
+                .map(|&t| owl_smt::substitute_terms(mgr, t, &hole_map))
+                .collect(),
+        })
+        .collect();
+
+    // CEGIS over the chain variables.
+    let unknowns: Vec<(String, TermId, SymbolId)> = chain_vars
+        .iter()
+        .map(|(&(h, j), &(t, s))| {
+            (format!("{}@{}", holes[h].0, all_conds[j].name), t, s)
+        })
+        .collect();
+    let initial = zero_candidate(mgr, &unknowns);
+    let solved = cegis(mgr, &unknowns, &rewritten, initial, config, start, stats)?;
+
+    // Repackage as per-instruction solutions.
+    let mut out = Vec::with_capacity(all_conds.len());
+    for conds in all_conds.iter() {
+        let mut map = HashMap::new();
+        for (hname, ht, _) in holes.iter() {
+            let key = format!("{hname}@{}", conds.name);
+            let w = mgr.width(*ht);
+            let v = solved.get(&key).cloned().unwrap_or_else(|| BitVec::zero(w));
+            map.insert(hname.clone(), v);
+        }
+        out.push(InstrSolution { instr: conds.name.clone(), holes: map });
+    }
+    Ok(out)
+}
+
+fn zero_candidate(
+    mgr: &TermManager,
+    holes: &[(String, TermId, SymbolId)],
+) -> HashMap<String, BitVec> {
+    holes
+        .iter()
+        .map(|(name, t, _)| (name.clone(), BitVec::zero(mgr.width(*t))))
+        .collect()
+}
+
+/// The CEGIS loop for one set of obligations: find hole constants such
+/// that for every obligation, `∀ state. pres -> posts`.
+fn cegis(
+    mgr: &mut TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    obligations: &[InstrConditions],
+    initial: HashMap<String, BitVec>,
+    config: &SynthesisConfig,
+    start: Instant,
+    stats: &mut SynthesisStats,
+) -> Result<HashMap<String, BitVec>, CoreError> {
+    let mut candidate = initial;
+    let mut constraints: Vec<TermId> = Vec::new();
+
+    for _round in 0..config.max_cex_rounds {
+        budget_check(config, start)?;
+        // Verification: any obligation falsifiable under the candidate?
+        let cand_env = env_of(holes, &candidate);
+        let mut cex: Option<Env> = None;
+        for conds in obligations {
+            let mut assertions: Vec<TermId> =
+                conds.pres.iter().map(|&p| substitute(mgr, p, &cand_env)).collect();
+            let posts: Vec<TermId> =
+                conds.posts.iter().map(|&p| substitute(mgr, p, &cand_env)).collect();
+            let post_conj = mgr.and_many(&posts);
+            assertions.push(mgr.not(post_conj));
+            stats.solver_calls += 1;
+            match check(mgr, &assertions, config.conflict_budget) {
+                SmtResult::Unsat => {}
+                SmtResult::Sat(model) => {
+                    cex = Some(model.into_env());
+                    break;
+                }
+                SmtResult::Unknown => {
+                    return Err(CoreError::new("verification exceeded the conflict budget"));
+                }
+            }
+        }
+        let Some(cex_env) = cex else {
+            return Ok(candidate); // verified for all obligations
+        };
+        stats.cex_rounds += 1;
+
+        // Refinement: the formula specialized to the counterexample
+        // becomes a constraint over the holes.
+        for conds in obligations {
+            let pres: Vec<TermId> =
+                conds.pres.iter().map(|&p| substitute(mgr, p, &cex_env)).collect();
+            let posts: Vec<TermId> =
+                conds.posts.iter().map(|&p| substitute(mgr, p, &cex_env)).collect();
+            let pre_conj = mgr.and_many(&pres);
+            let post_conj = mgr.and_many(&posts);
+            let ob = mgr.implies(pre_conj, post_conj);
+            if mgr.as_const(ob).is_none_or(|c| !c.is_true()) {
+                constraints.push(ob);
+            }
+        }
+
+        // Synthesis: find hole values satisfying all accumulated
+        // constraints.
+        stats.solver_calls += 1;
+        match check(mgr, &constraints, config.conflict_budget) {
+            SmtResult::Sat(model) => {
+                for (name, t, sym) in holes {
+                    let w = mgr.width(*t);
+                    let v = model
+                        .env()
+                        .var(*sym)
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zero(w));
+                    candidate.insert(name.clone(), v);
+                }
+            }
+            SmtResult::Unsat => {
+                return Err(CoreError::new(
+                    "no hole assignment satisfies the specification (datapath sketch \
+                     cannot implement this instruction)",
+                ));
+            }
+            SmtResult::Unknown => {
+                return Err(CoreError::new("synthesis exceeded the conflict budget"));
+            }
+        }
+    }
+    Err(CoreError::new(format!(
+        "CEGIS did not converge within {} rounds",
+        config.max_cex_rounds
+    )))
+}
+
+fn env_of(holes: &[(String, TermId, SymbolId)], values: &HashMap<String, BitVec>) -> Env {
+    let mut env = Env::new();
+    for (name, _, sym) in holes {
+        if let Some(v) = values.get(name) {
+            env.set_var(*sym, v.clone());
+        }
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::DatapathKind;
+    use owl_ila::{Instr, SpecExpr};
+
+    /// Spec: acc' = acc + val when go; acc' = 0 when rst (rst wins by
+    /// disjoint decodes). Sketch: two holes select add-enable and reset.
+    fn setup() -> (Ila, Design, AbstractionFn) {
+        let mut ila = Ila::new("m");
+        let go = ila.new_bv_input("go", 1);
+        let rst = ila.new_bv_input("rst", 1);
+        let val = ila.new_bv_input("val", 8);
+        let acc = ila.new_bv_state("acc", 8);
+        let mut i1 = Instr::new("ACCUM");
+        i1.set_decode(
+            go.clone()
+                .eq(SpecExpr::const_u64(1, 1))
+                .and(rst.clone().eq(SpecExpr::const_u64(1, 0))),
+        );
+        i1.set_update("acc", acc.clone().add(val));
+        ila.add_instr(i1);
+        let mut i2 = Instr::new("RESET");
+        i2.set_decode(rst.eq(SpecExpr::const_u64(1, 1)));
+        i2.set_update("acc", SpecExpr::const_u64(8, 0));
+        ila.add_instr(i2);
+
+        // Sketch: acc := if clear then 0 else (if en then acc + val else acc)
+        let d: Design = "design dp\ninput go 1\ninput rst 1\ninput val 8\n\
+                         hole clear 1\nhole en 1\nregister acc 8\n\
+                         acc := if clear then 8'x00 else if en then acc + val else acc\n\
+                         end\n"
+            .parse()
+            .unwrap();
+
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("go", "go");
+        alpha.map_input("rst", "rst");
+        alpha.map_input("val", "val");
+        alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+        (ila, d, alpha)
+    }
+
+    #[test]
+    fn per_instruction_synthesis_finds_controls() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let out =
+            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        assert_eq!(out.solutions.len(), 2);
+        let accum = &out.solutions[0];
+        assert_eq!(accum.instr, "ACCUM");
+        assert_eq!(accum.holes["clear"].to_u64(), Some(0));
+        assert_eq!(accum.holes["en"].to_u64(), Some(1));
+        let reset = &out.solutions[1];
+        assert_eq!(reset.holes["clear"].to_u64(), Some(1));
+        assert!(out.stats.solver_calls > 0);
+    }
+
+    #[test]
+    fn monolithic_synthesis_agrees() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let config = SynthesisConfig { mode: SynthesisMode::Monolithic, ..Default::default() };
+        let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
+        assert_eq!(out.solutions.len(), 2);
+        assert_eq!(out.solutions[0].holes["clear"].to_u64(), Some(0));
+        assert_eq!(out.solutions[0].holes["en"].to_u64(), Some(1));
+        assert_eq!(out.solutions[1].holes["clear"].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn impossible_spec_reports_no_solution() {
+        // Spec wants acc' = acc * 3 but the sketch can only add val or clear.
+        let mut ila = Ila::new("bad");
+        let go = ila.new_bv_input("go", 1);
+        ila.new_bv_input("rst", 1);
+        ila.new_bv_input("val", 8);
+        let acc2 = ila.new_bv_state("acc", 8);
+        let mut i = Instr::new("TRIPLE");
+        i.set_decode(go.eq(SpecExpr::const_u64(1, 1)));
+        let three = SpecExpr::const_u64(8, 3);
+        i.set_update("acc", acc2.mul(three));
+        ila.add_instr(i);
+
+        let (_, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let err =
+            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("TRIPLE"));
+    }
+
+    #[test]
+    fn resynthesis_reuses_valid_solutions() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let out =
+            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        // Re-synthesize against the unchanged design: everything reuses.
+        let mut mgr2 = TermManager::new();
+        let again = resynthesize(
+            &mut mgr2,
+            &d,
+            &ila,
+            &alpha,
+            &SynthesisConfig::default(),
+            &out.solutions,
+        )
+        .unwrap();
+        assert_eq!(again.stats.reused, 2);
+        assert_eq!(again.stats.cex_rounds, 0);
+        assert_eq!(again.solutions[0].holes, out.solutions[0].holes);
+    }
+
+    #[test]
+    fn resynthesis_repairs_stale_solutions() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let mut out =
+            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        // Corrupt one previous solution; re-synthesis must repair it.
+        out.solutions[0].holes.insert("en".to_string(), BitVec::zero(1));
+        out.solutions[0].holes.insert("clear".to_string(), BitVec::from_u64(1, 1));
+        let mut mgr2 = TermManager::new();
+        let again = resynthesize(
+            &mut mgr2,
+            &d,
+            &ila,
+            &alpha,
+            &SynthesisConfig::default(),
+            &out.solutions,
+        )
+        .unwrap();
+        assert_eq!(again.stats.reused, 1); // only RESET reuses
+        assert_eq!(again.solutions[0].holes["en"].to_u64(), Some(1));
+        assert_eq!(again.solutions[0].holes["clear"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn time_budget_enforced() {
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let config = SynthesisConfig {
+            time_budget: Some(Duration::from_nanos(1)),
+            ..Default::default()
+        };
+        // With a 1ns budget the run reports a timeout (the first budget
+        // check happens after condition building).
+        let err = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap_err();
+        assert!(err.to_string().contains("timed out"));
+    }
+}

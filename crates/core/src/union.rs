@@ -1,0 +1,377 @@
+//! The control union ⊔ (paper Fig. 6): joining per-instruction hole
+//! constants into complete control logic expressions, and splicing them
+//! back into the sketch to produce the final hole-free design.
+//!
+//! For each hole, instructions are grouped by solved value; the generated
+//! expression is a chain of if-then-else over the instruction
+//! preconditions (`pre_ADD := op == ADD` style wires, derived from the
+//! specification's decode conditions through α), with the last group's
+//! value as the default. A hole on which every instruction agrees
+//! collapses to a plain constant — this is how FSM state encodings stay
+//! readable.
+
+use crate::abstraction::{AbstractionFn, DatapathKind};
+use crate::synth::InstrSolution;
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_ila::{BinOp as SpecBinOp, Ila, SpecExpr};
+use owl_oyster::{BinOp, Design, DeclKind, Expr};
+
+/// The unioned control logic: shared precondition wires plus one driving
+/// expression per hole.
+#[derive(Debug, Clone)]
+pub struct ControlUnion {
+    /// `(wire name, expression)` for each instruction precondition, in
+    /// specification order.
+    pub pre_wires: Vec<(String, Expr)>,
+    /// `(hole name, expression)` for each hole, in declaration order.
+    pub hole_defs: Vec<(String, Expr)>,
+}
+
+impl ControlUnion {
+    /// Number of generated Oyster source lines (the control-logic size
+    /// metric of Table 2, counted on the IR form).
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.pre_wires.len() + self.hole_defs.len()
+    }
+}
+
+/// Sanitizes an instruction name into a wire identifier.
+fn pre_wire_name(instr: &str) -> String {
+    let safe: String =
+        instr.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    format!("pre_{safe}")
+}
+
+/// A decode binding: occurrences of the specification expression (left)
+/// in decode conditions are rewritten to the datapath expression (right)
+/// during code generation.
+///
+/// This is how the paper's `??(opcode, funct3, funct7)` hole arguments
+/// are expressed: the designer states which datapath signals carry the
+/// decode inputs *at the point where the control is consumed*. A
+/// pipelined core whose control is used in stage 2 binds the fetch
+/// expression `Load(imem, pc[31:2])` to its stage-2 instruction register,
+/// for example.
+pub type DecodeBinding = (SpecExpr, Expr);
+
+/// Rewrites a specification decode expression into an Oyster expression
+/// over datapath signals, per the abstraction function and the decode
+/// bindings (checked before α, outermost first).
+///
+/// # Errors
+///
+/// Returns an error if a reference has no mapping or maps to something
+/// that cannot be referenced combinationally.
+pub fn spec_to_oyster(
+    alpha: &AbstractionFn,
+    bindings: &[DecodeBinding],
+    e: &SpecExpr,
+) -> Result<Expr, CoreError> {
+    if let Some((_, repl)) = bindings.iter().find(|(pat, _)| pat == e) {
+        return Ok(repl.clone());
+    }
+    Ok(match e {
+        SpecExpr::Ref(n) => {
+            let m = alpha
+                .read_mapping(n)
+                .ok_or_else(|| CoreError::new(format!("no read mapping for {n}")))?;
+            match m.kind {
+                DatapathKind::Input | DatapathKind::Register | DatapathKind::Output => {
+                    Expr::var(&m.datapath_name)
+                }
+                DatapathKind::Memory => {
+                    return Err(CoreError::new(format!("{n} is memory-mapped; use Load")))
+                }
+            }
+        }
+        SpecExpr::Const(c) => Expr::Const(c.clone()),
+        SpecExpr::Not(a) => spec_to_oyster(alpha, bindings, a)?.not(),
+        SpecExpr::Binop(op, a, b) => Expr::binop(
+            oyster_binop(*op),
+            spec_to_oyster(alpha, bindings, a)?,
+            spec_to_oyster(alpha, bindings, b)?,
+        ),
+        SpecExpr::Ite(c, t, els) => Expr::ite(
+            spec_to_oyster(alpha, bindings, c)?,
+            spec_to_oyster(alpha, bindings, t)?,
+            spec_to_oyster(alpha, bindings, els)?,
+        ),
+        SpecExpr::Extract(a, high, low) => spec_to_oyster(alpha, bindings, a)?.extract(*high, *low),
+        SpecExpr::Concat(a, b) => {
+            spec_to_oyster(alpha, bindings, a)?.concat(spec_to_oyster(alpha, bindings, b)?)
+        }
+        SpecExpr::ZExt(a, w) => spec_to_oyster(alpha, bindings, a)?.zext(*w),
+        SpecExpr::SExt(a, w) => spec_to_oyster(alpha, bindings, a)?.sext(*w),
+        SpecExpr::Load(mem, addr) => {
+            let m = alpha
+                .read_mapping(mem)
+                .ok_or_else(|| CoreError::new(format!("no read mapping for memory {mem}")))?;
+            Expr::read(&m.datapath_name, spec_to_oyster(alpha, bindings, addr)?)
+        }
+        SpecExpr::LoadConst(table, addr) => {
+            // Requires a same-named ROM in the datapath.
+            Expr::read(table, spec_to_oyster(alpha, bindings, addr)?)
+        }
+    })
+}
+
+fn oyster_binop(op: SpecBinOp) -> BinOp {
+    match op {
+        SpecBinOp::And => BinOp::And,
+        SpecBinOp::Or => BinOp::Or,
+        SpecBinOp::Xor => BinOp::Xor,
+        SpecBinOp::Add => BinOp::Add,
+        SpecBinOp::Sub => BinOp::Sub,
+        SpecBinOp::Mul => BinOp::Mul,
+        SpecBinOp::Shl => BinOp::Shl,
+        SpecBinOp::Lshr => BinOp::Lshr,
+        SpecBinOp::Ashr => BinOp::Ashr,
+        SpecBinOp::Eq => BinOp::Eq,
+        SpecBinOp::Neq => BinOp::Neq,
+        SpecBinOp::Ult => BinOp::Ult,
+        SpecBinOp::Ule => BinOp::Ule,
+        SpecBinOp::Slt => BinOp::Slt,
+        SpecBinOp::Sle => BinOp::Sle,
+    }
+}
+
+/// Runs the control union ⊔ over per-instruction synthesis results.
+///
+/// # Errors
+///
+/// Returns an error if a decode condition cannot be rewritten over
+/// datapath signals, or solutions are missing a hole.
+pub fn control_union(
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    solutions: &[InstrSolution],
+) -> Result<ControlUnion, CoreError> {
+    control_union_with(design, ila, alpha, solutions, &[])
+}
+
+/// [`control_union`] with explicit decode bindings (see
+/// [`DecodeBinding`]); needed when the control logic is consumed away
+/// from the fetch stage.
+///
+/// # Errors
+///
+/// As for [`control_union`].
+pub fn control_union_with(
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    solutions: &[InstrSolution],
+    bindings: &[DecodeBinding],
+) -> Result<ControlUnion, CoreError> {
+    let mut pre_wires = Vec::new();
+    for sol in solutions {
+        let instr = ila
+            .instr(&sol.instr)
+            .ok_or_else(|| CoreError::new(format!("unknown instruction {}", sol.instr)))?;
+        pre_wires.push((
+            pre_wire_name(&sol.instr),
+            spec_to_oyster(alpha, bindings, instr.decode())?,
+        ));
+    }
+
+    let mut hole_defs = Vec::new();
+    for hole in design.hole_names() {
+        // Group instructions by solved value, in order of first appearance.
+        let mut groups: Vec<(BitVec, Vec<usize>)> = Vec::new();
+        for (j, sol) in solutions.iter().enumerate() {
+            let v = sol
+                .holes
+                .get(&hole)
+                .ok_or_else(|| {
+                    CoreError::new(format!("instruction {} has no value for hole {hole}", sol.instr))
+                })?
+                .clone();
+            match groups.iter_mut().find(|(gv, _)| *gv == v) {
+                Some((_, idxs)) => idxs.push(j),
+                None => groups.push((v, vec![j])),
+            }
+        }
+        let expr = if groups.len() == 1 {
+            Expr::Const(groups[0].0.clone())
+        } else {
+            // LogicGen: chain of ite over grouped preconditions. The group
+            // covering the most instructions goes last so the common case
+            // needs the fewest comparisons; the final else is zero (PyRTL
+            // conditional-assignment semantics: nothing decoded means no
+            // control signal asserted), which keeps the completed design
+            // safe to simulate on undecodable instruction words.
+            let max_idx = groups
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, idxs))| idxs.len())
+                .map(|(i, _)| i)
+                .expect("non-empty groups");
+            let biggest = groups.remove(max_idx);
+            groups.push(biggest);
+            let width = groups[0].0.width();
+            let mut acc = Expr::Const(BitVec::zero(width));
+            for (v, idxs) in groups.iter().rev() {
+                if v.is_zero() {
+                    continue; // zero groups are covered by the default
+                }
+                let cond = idxs
+                    .iter()
+                    .map(|&j| Expr::var(&pre_wires[j].0))
+                    .reduce(|a, b| a.or(b))
+                    .expect("non-empty group");
+                acc = Expr::ite(cond, Expr::Const(v.clone()), acc);
+            }
+            acc
+        };
+        hole_defs.push((hole, expr));
+    }
+    Ok(ControlUnion { pre_wires, hole_defs })
+}
+
+/// Splices the unioned control logic into the sketch: hole declarations
+/// are removed and the preconditions plus hole definitions become wires
+/// at the top of the design. The result is a complete, simulatable,
+/// verifiable design.
+#[must_use]
+pub fn complete_design(design: &Design, union: &ControlUnion) -> Design {
+    let mut out = Design::new(format!("{}_complete", design.name()));
+    for d in design.decls() {
+        if d.kind != DeclKind::Hole {
+            out.declare(&d.name, d.width, d.kind.clone());
+        }
+    }
+    for (name, expr) in &union.pre_wires {
+        out.assign(name, expr.clone());
+    }
+    for (name, expr) in &union.hole_defs {
+        out.assign(name, expr.clone());
+    }
+    for s in design.stmts() {
+        match s {
+            owl_oyster::Stmt::Assign { var, expr } => {
+                out.assign(var, expr.clone());
+            }
+            owl_oyster::Stmt::Write { mem, addr, data, enable } => {
+                out.write(mem, addr.clone(), data.clone(), enable.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ila::Instr;
+    use std::collections::HashMap;
+
+    fn solutions(rows: &[(&str, &[(&str, u32, u64)])]) -> Vec<InstrSolution> {
+        rows.iter()
+            .map(|(name, holes)| InstrSolution {
+                instr: (*name).to_string(),
+                holes: holes
+                    .iter()
+                    .map(|&(h, w, v)| (h.to_string(), BitVec::from_u64(w, v)))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn three_instr_setup() -> (Design, Ila, AbstractionFn) {
+        // The paper's §3.3.1 example: ADD, LOAD, JUMP with three 1-bit holes.
+        let mut ila = Ila::new("risc");
+        let op = ila.new_bv_input("op", 2);
+        ila.new_bv_state("dummy", 1);
+        for (name, code) in [("ADD", 0u64), ("LOAD", 1), ("JUMP", 2)] {
+            let mut i = Instr::new(name);
+            i.set_decode(op.clone().eq(SpecExpr::const_u64(2, code)));
+            i.set_update("dummy", SpecExpr::const_u64(1, 0));
+            ila.add_instr(i);
+        }
+        let mut d = Design::new("dp");
+        d.input("op", 2)
+            .hole("write_register", 1)
+            .hole("read_memory", 1)
+            .hole("jump", 1)
+            .register("dummy_reg", 1);
+        d.assign("dummy_reg", Expr::const_u64(1, 0));
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("op", "op");
+        alpha.map("dummy", "dummy_reg", DatapathKind::Register, [1], [1]);
+        (d, ila, alpha)
+    }
+
+    #[test]
+    fn union_reproduces_paper_example() {
+        let (d, ila, alpha) = three_instr_setup();
+        // The paper's results map:
+        //   write-register: {1: [ADD, LOAD], 0: [JUMP]}
+        //   read-memory:    {1: [LOAD], 0: [ADD, JUMP]}
+        //   jump:           {1: [JUMP], 0: [ADD, LOAD]}
+        let sols = solutions(&[
+            ("ADD", &[("write_register", 1, 1), ("read_memory", 1, 0), ("jump", 1, 0)]),
+            ("LOAD", &[("write_register", 1, 1), ("read_memory", 1, 1), ("jump", 1, 0)]),
+            ("JUMP", &[("write_register", 1, 0), ("read_memory", 1, 0), ("jump", 1, 1)]),
+        ]);
+        let u = control_union(&d, &ila, &alpha, &sols).unwrap();
+        assert_eq!(u.pre_wires.len(), 3);
+        assert_eq!(u.pre_wires[0].0, "pre_ADD");
+        assert_eq!(u.pre_wires[0].1.to_string(), "op == 2'x0");
+        let wr = &u.hole_defs[0];
+        assert_eq!(wr.0, "write_register");
+        assert_eq!(
+            wr.1.to_string(),
+            "if pre_ADD | pre_LOAD then 1'x1 else 1'x0"
+        );
+        let rm = &u.hole_defs[1];
+        assert_eq!(rm.1.to_string(), "if pre_LOAD then 1'x1 else 1'x0");
+    }
+
+    #[test]
+    fn union_collapses_agreeing_holes() {
+        let (d, ila, alpha) = three_instr_setup();
+        let sols = solutions(&[
+            ("ADD", &[("write_register", 1, 1), ("read_memory", 1, 0), ("jump", 1, 0)]),
+            ("LOAD", &[("write_register", 1, 1), ("read_memory", 1, 0), ("jump", 1, 0)]),
+            ("JUMP", &[("write_register", 1, 1), ("read_memory", 1, 0), ("jump", 1, 0)]),
+        ]);
+        let u = control_union(&d, &ila, &alpha, &sols).unwrap();
+        assert_eq!(u.hole_defs[0].1, Expr::Const(BitVec::from_u64(1, 1)));
+        assert_eq!(u.hole_defs[1].1, Expr::Const(BitVec::zero(1)));
+    }
+
+    #[test]
+    fn completed_design_checks_and_has_no_holes() {
+        let (d, ila, alpha) = three_instr_setup();
+        let sols = solutions(&[
+            ("ADD", &[("write_register", 1, 1), ("read_memory", 1, 0), ("jump", 1, 0)]),
+            ("LOAD", &[("write_register", 1, 1), ("read_memory", 1, 1), ("jump", 1, 0)]),
+            ("JUMP", &[("write_register", 1, 0), ("read_memory", 1, 0), ("jump", 1, 1)]),
+        ]);
+        let u = control_union(&d, &ila, &alpha, &sols).unwrap();
+        let complete = complete_design(&d, &u);
+        assert!(complete.hole_names().is_empty());
+        assert!(complete.check().is_ok());
+        assert!(complete.to_string().contains("pre_ADD := op == 2'x0"));
+    }
+
+    #[test]
+    fn spec_rewrite_handles_loads() {
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map("mem", "i_mem", DatapathKind::Memory, [1], []);
+        alpha.map("pc", "pc", DatapathKind::Register, [1], [1]);
+        let e = SpecExpr::load("mem", SpecExpr::var("pc")).extract(6, 0);
+        let o = spec_to_oyster(&alpha, &[], &e).unwrap();
+        assert_eq!(o.to_string(), "extract(i_mem[pc], 6, 0)");
+    }
+
+    #[test]
+    fn missing_hole_value_errors() {
+        let (d, ila, alpha) = three_instr_setup();
+        let sols = solutions(&[("ADD", &[("write_register", 1, 1)])]);
+        assert!(control_union(&d, &ila, &alpha, &sols).is_err());
+    }
+}

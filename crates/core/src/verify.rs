@@ -1,0 +1,118 @@
+//! Independent bounded verification of a completed design against its
+//! specification.
+//!
+//! This is the "trust but check" pass: after synthesis and the control
+//! union, the completed (hole-free) design is re-evaluated symbolically
+//! from scratch and every instruction's `pre -> post` obligation is
+//! checked as a plain validity query. It shares no state with the CEGIS
+//! loop, so a bug in the synthesizer cannot vouch for itself.
+
+use crate::abstraction::AbstractionFn;
+use crate::conditions::ConditionBuilder;
+use crate::CoreError;
+use owl_ila::Ila;
+use owl_oyster::{Design, SymbolicEvaluator};
+use owl_smt::{check, SmtResult, TermManager};
+
+/// Verifies that `design` (which must be hole-free) satisfies every
+/// instruction of `ila` under `alpha`.
+///
+/// # Errors
+///
+/// Returns an error naming the first violated instruction, or describing
+/// a validation/budget problem.
+pub fn verify_design(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    conflict_budget: Option<u64>,
+) -> Result<(), CoreError> {
+    if !design.hole_names().is_empty() {
+        return Err(CoreError::new(format!(
+            "design still has holes: {:?}",
+            design.hole_names()
+        )));
+    }
+    let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
+    let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
+    builder.share_roms(mgr);
+    for instr in ila.instrs() {
+        let conds = builder.instr_conditions(mgr, instr)?;
+        let mut assertions = conds.pres.clone();
+        let post = mgr.and_many(&conds.posts);
+        assertions.push(mgr.not(post));
+        match check(mgr, &assertions, conflict_budget) {
+            SmtResult::Unsat => {}
+            SmtResult::Sat(_) => {
+                return Err(CoreError::new(format!(
+                    "instruction {} violates its specification",
+                    instr.name()
+                )));
+            }
+            SmtResult::Unknown => {
+                return Err(CoreError::new(format!(
+                    "verification of {} exceeded the conflict budget",
+                    instr.name()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::DatapathKind;
+    use owl_ila::{Instr, SpecExpr};
+
+    fn spec() -> (Ila, AbstractionFn) {
+        let mut ila = Ila::new("inc");
+        let go = ila.new_bv_input("go", 1);
+        let acc = ila.new_bv_state("acc", 8);
+        let mut i = Instr::new("INC");
+        i.set_decode(go.eq(SpecExpr::const_u64(1, 1)));
+        i.set_update("acc", acc.add(SpecExpr::const_u64(8, 1)));
+        ila.add_instr(i);
+        let mut alpha = AbstractionFn::new(1);
+        alpha.map_input("go", "go");
+        alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+        (ila, alpha)
+    }
+
+    #[test]
+    fn correct_design_verifies() {
+        let (ila, alpha) = spec();
+        let d: Design = "design good\ninput go 1\nregister acc 8\n\
+                         acc := if go then acc + 8'x01 else acc\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        assert!(verify_design(&mut mgr, &d, &ila, &alpha, None).is_ok());
+    }
+
+    #[test]
+    fn wrong_design_rejected() {
+        let (ila, alpha) = spec();
+        // Adds 2 instead of 1.
+        let d: Design = "design bad\ninput go 1\nregister acc 8\n\
+                         acc := if go then acc + 8'x02 else acc\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        let err = verify_design(&mut mgr, &d, &ila, &alpha, None).unwrap_err();
+        assert!(err.to_string().contains("INC"));
+    }
+
+    #[test]
+    fn sketches_with_holes_rejected() {
+        let (ila, alpha) = spec();
+        let d: Design = "design h\ninput go 1\nhole en 1\nregister acc 8\n\
+                         acc := if en then acc + 8'x01 else acc\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        assert!(verify_design(&mut mgr, &d, &ila, &alpha, None).is_err());
+    }
+}

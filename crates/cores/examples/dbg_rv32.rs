@@ -1,0 +1,31 @@
+use owl_core::*;
+use owl_cores::rv32i::{self, Extensions};
+use owl_smt::TermManager;
+use std::time::Instant;
+
+fn main() {
+    let ext = Extensions::BASE;
+    let cs = rv32i::single_cycle(ext);
+    println!("sketch lines: {}", cs.sketch.line_count());
+    let mut mgr = TermManager::new();
+    let t0 = Instant::now();
+    match synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default()) {
+        Ok(out) => {
+            println!("synthesized {} instrs in {:.2}s, {} cex rounds, {} solver calls",
+                out.solutions.len(), t0.elapsed().as_secs_f64(), out.stats.cex_rounds, out.stats.solver_calls);
+            for s in out.solutions.iter().take(3) {
+                println!("{}: alu_op={} reg_write={} jump={}", s.instr,
+                    s.holes["alu_op"], s.holes["reg_write"], s.holes["jump"]);
+            }
+            let t1 = Instant::now();
+            let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();
+            let complete = complete_design(&cs.sketch, &union);
+            let mut mgr2 = TermManager::new();
+            match verify_design(&mut mgr2, &complete, &cs.spec, &cs.alpha, None) {
+                Ok(()) => println!("verified in {:.2}s", t1.elapsed().as_secs_f64()),
+                Err(e) => println!("VERIFY FAILED: {e}"),
+            }
+        }
+        Err(e) => println!("FAILED after {:.2}s: {e}", t0.elapsed().as_secs_f64()),
+    }
+}

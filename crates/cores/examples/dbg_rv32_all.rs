@@ -1,0 +1,37 @@
+use owl_core::*;
+use owl_cores::rv32i::{self, Extensions};
+use owl_smt::TermManager;
+use std::time::Instant;
+
+fn run(name: &str, cs: &owl_cores::CaseStudy) {
+    let mut mgr = TermManager::new();
+    let t0 = Instant::now();
+    match synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default()) {
+        Ok(out) => {
+            let synth_t = t0.elapsed().as_secs_f64();
+            let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();
+            let complete = complete_design(&cs.sketch, &union);
+            let mut mgr2 = TermManager::new();
+            let t1 = Instant::now();
+            let v = verify_design(&mut mgr2, &complete, &cs.spec, &cs.alpha, None);
+            println!("{name}: synth {:.2}s verify {:.2}s ({:?})", synth_t, t1.elapsed().as_secs_f64(), v.is_ok());
+        }
+        Err(e) => println!("{name}: FAILED after {:.2}s: {e}", t0.elapsed().as_secs_f64()),
+    }
+}
+
+fn main() {
+    for ext in [Extensions::BASE, Extensions::ZBKB, Extensions::ZBKC] {
+        run(&format!("single/{ext}"), &rv32i::single_cycle(ext));
+    }
+    for ext in [Extensions::BASE] {
+        run(&format!("two-stage/{ext}"), &rv32i::two_stage(ext));
+    }
+    // Reference verifies directly.
+    let refd = rv32i::datapath::reference_single_cycle(Extensions::ZBKC);
+    let cs = rv32i::single_cycle(Extensions::ZBKC);
+    let mut mgr = TermManager::new();
+    let t = Instant::now();
+    let v = verify_design(&mut mgr, &refd, &cs.spec, &cs.alpha, None);
+    println!("reference zbkc verify: {:.2}s -> {:?}", t.elapsed().as_secs_f64(), v.map_err(|e| e.to_string()));
+}

@@ -1,0 +1,30 @@
+use owl_core::*;
+use owl_cores::{crypto_core, sha256};
+use owl_smt::TermManager;
+use std::time::Instant;
+
+fn main() {
+    let cs = crypto_core::case_study();
+    let mut mgr = TermManager::new();
+    let t0 = Instant::now();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default()).unwrap();
+    let union = control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, &crypto_core::decode_bindings()).unwrap();
+    let complete = complete_design(&cs.sketch, &union);
+    println!("synth {:.2}s", t0.elapsed().as_secs_f64());
+    let refd = crypto_core::reference();
+    let prog = sha256::sha256_program();
+    println!("program: {} instructions", prog.len());
+    let code = prog.encode();
+    for len in [4usize, 8, 16, 24, 32] {
+        let msg: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        let data = sha256::message_data(&msg);
+        let t = Instant::now();
+        let (gen_cycles, gen_sim) = crypto_core::run_program(&complete, &code, &data, 200_000);
+        let (ref_cycles, ref_sim) = crypto_core::run_program(&refd, &code, &data, 200_000);
+        let gen_digest = sha256::read_digest(&gen_sim);
+        let ref_digest = sha256::read_digest(&ref_sim);
+        let expect = sha256::sha256_ref(&msg);
+        println!("len {len:2}: gen {gen_cycles} cycles, ref {ref_cycles} cycles, digest ok: {} {}  ({:.1}s)",
+            gen_digest == expect, ref_digest == expect, t.elapsed().as_secs_f64());
+    }
+}

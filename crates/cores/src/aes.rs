@@ -1,0 +1,478 @@
+//! The AES-128 hardware accelerator of paper §4.3: FSM-style control.
+//!
+//! The specification models three "instructions" — the first round
+//! (initial AddRoundKey), the intermediate rounds, and the final round —
+//! each decoding on the architectural `round` counter. The datapath
+//! sketch computes one round per cycle and leaves the FSM state encodings
+//! and transitions as holes.
+//!
+//! The round functions are written once, generically over
+//! [`owl_hdl::bitops::SynthExpr`] plus a table-lookup hook, so the
+//! specification (over `SpecExpr`) and the datapath (over `Expr`) share
+//! definitions — exactly the sense in which the ILA and the hardware
+//! describe the same computation while control is synthesized.
+//!
+//! Block layout: byte 0 of the AES block (FIPS-197 order, column-major
+//! state matrix, byte index `4*col + row`) occupies the *most significant*
+//! byte of the 128-bit value.
+
+use crate::CaseStudy;
+use owl_bitvec::BitVec;
+use owl_core::{AbstractionFn, DatapathKind};
+use owl_hdl::bitops::SynthExpr;
+use owl_hdl::Module;
+use owl_ila::{Ila, Instr, SpecExpr};
+use owl_oyster::Expr;
+
+/// The AES S-box (FIPS-197 Fig. 7).
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The round constants for AES-128 key expansion, indexed by round 1..=10
+/// (index 0 unused).
+pub const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// S-box contents as 8-bit bitvectors (for ROM/`MemConst` declarations).
+#[must_use]
+pub fn sbox_table() -> Vec<BitVec> {
+    SBOX.iter().map(|&b| BitVec::from_u64(8, u64::from(b))).collect()
+}
+
+/// Round-constant table padded to 16 entries (4-bit index).
+#[must_use]
+pub fn rcon_table() -> Vec<BitVec> {
+    let mut t: Vec<BitVec> =
+        RCON.iter().map(|&b| BitVec::from_u64(8, u64::from(b))).collect();
+    t.resize(16, BitVec::zero(8));
+    t
+}
+
+/// Expression languages that can express the AES round functions: the
+/// generic bit operations plus the two lookup tables.
+pub trait AesExpr: SynthExpr {
+    /// S-box lookup of an 8-bit value (table named `sbox`).
+    fn sbox(self) -> Self;
+    /// Round-constant lookup of a 4-bit round index (table named `rcon`).
+    fn rcon(self) -> Self;
+}
+
+impl AesExpr for Expr {
+    fn sbox(self) -> Self {
+        Expr::read("sbox", self)
+    }
+    fn rcon(self) -> Self {
+        Expr::read("rcon", self)
+    }
+}
+
+impl AesExpr for SpecExpr {
+    fn sbox(self) -> Self {
+        SpecExpr::load_const("sbox", self)
+    }
+    fn rcon(self) -> Self {
+        SpecExpr::load_const("rcon", self)
+    }
+}
+
+/// Extracts block byte `i` (0 = most significant byte).
+fn byte<E: AesExpr>(state: &E, i: u32) -> E {
+    let high = 127 - 8 * i;
+    state.clone().extract_(high, high - 7)
+}
+
+/// Reassembles a block from 16 bytes (index 0 most significant).
+fn from_bytes<E: AesExpr>(bytes: Vec<E>) -> E {
+    let mut it = bytes.into_iter();
+    let first = it.next().expect("16 bytes");
+    it.fold(first, |acc, b| acc.concat_(b))
+}
+
+/// SubBytes: the S-box applied to every byte.
+pub fn sub_bytes<E: AesExpr>(state: &E) -> E {
+    from_bytes((0..16).map(|i| byte(state, i).sbox()).collect())
+}
+
+/// ShiftRows: row `r` of the state matrix rotates left by `r`.
+pub fn shift_rows<E: AesExpr>(state: &E) -> E {
+    let mut out = Vec::with_capacity(16);
+    for i in 0..16u32 {
+        let (col, row) = (i / 4, i % 4);
+        let src = 4 * ((col + row) % 4) + row;
+        out.push(byte(state, src));
+    }
+    from_bytes(out)
+}
+
+/// Multiplication by x in GF(2^8) (`xtime`).
+fn xtime<E: AesExpr>(b: &E) -> E {
+    let shifted = b.clone().extract_(6, 0).concat_(E::lit(1, 0));
+    let reduced = shifted.clone().xor_(E::lit(8, 0x1b));
+    E::ite_(b.clone().extract_(7, 7), reduced, shifted)
+}
+
+/// MixColumns over the whole state.
+pub fn mix_columns<E: AesExpr>(state: &E) -> E {
+    let mut out: Vec<Option<E>> = vec![None; 16];
+    for col in 0..4u32 {
+        let s: Vec<E> = (0..4).map(|r| byte(state, 4 * col + r)).collect();
+        for r in 0..4usize {
+            // out[r] = 2*s[r] ^ 3*s[r+1] ^ s[r+2] ^ s[r+3]
+            let a = xtime(&s[r]);
+            let b = xtime(&s[(r + 1) % 4]).xor_(s[(r + 1) % 4].clone());
+            let c = s[(r + 2) % 4].clone();
+            let d = s[(r + 3) % 4].clone();
+            out[(4 * col + r as u32) as usize] = Some(a.xor_(b).xor_(c).xor_(d));
+        }
+    }
+    from_bytes(out.into_iter().map(|b| b.expect("filled")).collect())
+}
+
+/// One AES-128 key-schedule step: the next round key from the previous
+/// one, with `round_index` selecting the round constant (a 4-bit value).
+pub fn next_key<E: AesExpr>(round_key: &E, round_index: &E) -> E {
+    let w: Vec<E> = (0..4)
+        .map(|i| {
+            let high = 127 - 32 * i;
+            round_key.clone().extract_(high, high - 31)
+        })
+        .collect();
+    // g(w3) = SubWord(RotWord(w3)) ^ (rcon << 24)
+    let b: Vec<E> = (0..4)
+        .map(|i| {
+            let high = 31 - 8 * i;
+            w[3].clone().extract_(high, high - 7)
+        })
+        .collect();
+    // RotWord: [b1, b2, b3, b0]; SubWord applies the S-box.
+    let g = b[1]
+        .clone()
+        .sbox()
+        .xor_(round_index.clone().rcon())
+        .concat_(b[2].clone().sbox())
+        .concat_(b[3].clone().sbox())
+        .concat_(b[0].clone().sbox());
+    let w4 = w[0].clone().xor_(g);
+    let w5 = w[1].clone().xor_(w4.clone());
+    let w6 = w[2].clone().xor_(w5.clone());
+    let w7 = w[3].clone().xor_(w6.clone());
+    w4.concat_(w5).concat_(w6).concat_(w7)
+}
+
+/// A full intermediate round: `MixColumns(ShiftRows(SubBytes(ct))) ^ rk`.
+pub fn mid_round<E: AesExpr>(ciphertext: &E, new_round_key: &E) -> E {
+    mix_columns(&shift_rows(&sub_bytes(ciphertext))).xor_(new_round_key.clone())
+}
+
+/// The final round (no MixColumns).
+pub fn final_round<E: AesExpr>(ciphertext: &E, new_round_key: &E) -> E {
+    shift_rows(&sub_bytes(ciphertext)).xor_(new_round_key.clone())
+}
+
+// ----------------------------------------------------------------------
+// Pure reference implementation (for test vectors)
+// ----------------------------------------------------------------------
+
+/// Reference AES-128 single-block encryption (FIPS-197), for checking the
+/// specification and hardware against published test vectors.
+#[must_use]
+pub fn aes128_encrypt_block(key: [u8; 16], plaintext: [u8; 16]) -> [u8; 16] {
+    let mut round_keys = [[0u8; 16]; 11];
+    round_keys[0] = key;
+    for r in 1..=10 {
+        let prev = round_keys[r - 1];
+        let mut g = [prev[13], prev[14], prev[15], prev[12]];
+        for b in &mut g {
+            *b = SBOX[*b as usize];
+        }
+        g[0] ^= RCON[r];
+        for i in 0..4 {
+            round_keys[r][i] = prev[i] ^ g[i];
+        }
+        for i in 4..16 {
+            round_keys[r][i] = prev[i] ^ round_keys[r][i - 4];
+        }
+    }
+
+    let mut state = plaintext;
+    for i in 0..16 {
+        state[i] ^= round_keys[0][i];
+    }
+    let xt = |b: u8| -> u8 {
+        let s = b << 1;
+        if b & 0x80 != 0 {
+            s ^ 0x1b
+        } else {
+            s
+        }
+    };
+    for r in 1..=10 {
+        // SubBytes
+        for b in &mut state {
+            *b = SBOX[*b as usize];
+        }
+        // ShiftRows
+        let mut shifted = [0u8; 16];
+        for i in 0..16 {
+            let (col, row) = (i / 4, i % 4);
+            shifted[i] = state[4 * ((col + row) % 4) + row];
+        }
+        state = shifted;
+        // MixColumns (skipped in the final round)
+        if r != 10 {
+            let mut mixed = [0u8; 16];
+            for col in 0..4 {
+                let s = &state[4 * col..4 * col + 4];
+                for row in 0..4 {
+                    mixed[4 * col + row] = xt(s[row])
+                        ^ (xt(s[(row + 1) % 4]) ^ s[(row + 1) % 4])
+                        ^ s[(row + 2) % 4]
+                        ^ s[(row + 3) % 4];
+                }
+            }
+            state = mixed;
+        }
+        for i in 0..16 {
+            state[i] ^= round_keys[r][i];
+        }
+    }
+    state
+}
+
+/// Packs 16 block bytes into a 128-bit value (byte 0 most significant).
+#[must_use]
+pub fn block_to_bv(block: [u8; 16]) -> BitVec {
+    let mut v = BitVec::from_u64(8, u64::from(block[0]));
+    for &b in &block[1..] {
+        v = v.concat(&BitVec::from_u64(8, u64::from(b)));
+    }
+    v
+}
+
+// ----------------------------------------------------------------------
+// Specification, sketch, abstraction function
+// ----------------------------------------------------------------------
+
+/// The ILA specification: three instructions keyed on the `round` state.
+#[must_use]
+pub fn spec() -> Ila {
+    let mut ila = Ila::new("aes_ila");
+    let key_in = ila.new_bv_input("key_in", 128);
+    let plaintext = ila.new_bv_input("plaintext", 128);
+    let round = ila.new_bv_state("round", 4);
+    let round_key = ila.new_bv_state("round_key", 128);
+    let ciphertext = ila.new_bv_state("ciphertext", 128);
+    ila.new_mem_const("sbox", 8, 8, sbox_table());
+    ila.new_mem_const("rcon", 4, 8, rcon_table());
+
+    let mut first = Instr::new("FirstRound");
+    first.set_decode(round.clone().eq(SpecExpr::const_u64(4, 0)));
+    first.set_update("ciphertext", plaintext.xor(key_in.clone()));
+    first.set_update("round_key", key_in);
+    first.set_update("round", SpecExpr::const_u64(4, 1));
+    ila.add_instr(first);
+
+    let nk = next_key(&round_key, &round);
+    let mut mid = Instr::new("IntermediateRound");
+    mid.set_decode(
+        round
+            .clone()
+            .ugt(SpecExpr::const_u64(4, 0))
+            .and(round.clone().ult(SpecExpr::const_u64(4, 10))),
+    );
+    mid.set_update("ciphertext", mid_round(&ciphertext, &nk));
+    mid.set_update("round_key", nk.clone());
+    mid.set_update("round", round.clone().add(SpecExpr::const_u64(4, 1)));
+    ila.add_instr(mid);
+
+    let mut fin = Instr::new("FinalRound");
+    fin.set_decode(round.clone().eq(SpecExpr::const_u64(4, 10)));
+    fin.set_update("ciphertext", final_round(&ciphertext, &nk));
+    fin.set_update("round_key", nk);
+    fin.set_update("round", round.add(SpecExpr::const_u64(4, 1)));
+    ila.add_instr(fin);
+    ila
+}
+
+/// The multi-cycle datapath sketch: one round per cycle, FSM-style
+/// control with holes for the state encodings and the transition.
+#[must_use]
+pub fn sketch() -> owl_oyster::Design {
+    let mut m = Module::new("aes_accel");
+    let key_in = m.input("key_in", 128);
+    let plaintext = m.input("plaintext", 128);
+    let round = m.register("round", 4);
+    let round_key = m.register("round_key", 128);
+    let ciphertext = m.register("ciphertext", 128);
+    m.rom("sbox", 8, 8, sbox_table());
+    m.rom("rcon", 4, 8, rcon_table());
+    m.output("ct_out", 128);
+
+    let trans = m.hole("fsm_next", 2);
+    let st_first = m.hole("st_first", 2);
+    let st_mid = m.hole("st_mid", 2);
+    let st_final = m.hole("st_final", 2);
+
+    // The FSM state for this cycle (the `state <<= ??` of §4.3).
+    let state = m.assign("state", trans);
+
+    let first_ct = plaintext.expr().clone().xor(key_in.expr().clone());
+    let nk = next_key(round_key.expr(), round.expr());
+    let mid_ct = mid_round(ciphertext.expr(), &nk);
+    let fin_ct = final_round(ciphertext.expr(), &nk);
+
+    let in_first = state.eq(st_first.clone());
+    let in_mid = state.eq(st_mid.clone());
+    let in_final = state.eq(st_final.clone());
+
+    m.assign(
+        "ciphertext",
+        in_first.select(
+            owl_hdl::Wire::from_expr(first_ct),
+            in_mid.select(
+                owl_hdl::Wire::from_expr(mid_ct),
+                in_final.select(owl_hdl::Wire::from_expr(fin_ct), ciphertext.clone()),
+            ),
+        ),
+    );
+    m.assign(
+        "round_key",
+        in_first.select(
+            key_in,
+            in_mid.clone().select(
+                owl_hdl::Wire::from_expr(nk.clone()),
+                in_final.select(owl_hdl::Wire::from_expr(nk), round_key.clone()),
+            ),
+        ),
+    );
+    m.assign(
+        "round",
+        in_first.select(owl_hdl::Wire::lit(4, 1), round.clone() + owl_hdl::Wire::lit(4, 1)),
+    );
+    m.assign("ct_out", ciphertext);
+    m.finish().expect("aes sketch is well-formed")
+}
+
+/// The abstraction function (paper §4.3): direct register mapping, one
+/// cycle, no pipeline timing.
+#[must_use]
+pub fn alpha() -> AbstractionFn {
+    let mut a = AbstractionFn::new(1);
+    a.map_input("key_in", "key_in")
+        .map_input("plaintext", "plaintext")
+        .map("round", "round", DatapathKind::Register, [1], [1])
+        .map("round_key", "round_key", DatapathKind::Register, [1], [1])
+        .map("ciphertext", "ciphertext", DatapathKind::Register, [1], [1]);
+    a
+}
+
+/// The bundled case study.
+#[must_use]
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "AES Accelerator".to_string(),
+        sketch: sketch(),
+        spec: spec(),
+        alpha: alpha(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_core::{complete_design, control_union, synthesize, verify_design, SynthesisConfig};
+    use owl_ila::golden::{GoldenModel, SpecState};
+    use owl_oyster::Interpreter;
+    use owl_smt::TermManager;
+    use std::collections::HashMap;
+
+    /// FIPS-197 Appendix C.1 test vector.
+    const KEY: [u8; 16] =
+        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f];
+    const PLAIN: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+        0xee, 0xff,
+    ];
+    const CIPHER: [u8; 16] = [
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+        0xc5, 0x5a,
+    ];
+
+    #[test]
+    fn reference_matches_fips197() {
+        assert_eq!(aes128_encrypt_block(KEY, PLAIN), CIPHER);
+    }
+
+    #[test]
+    fn spec_golden_model_encrypts() {
+        let ila = spec();
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut state = SpecState::zeroed(&ila);
+        state.inputs.insert("key_in".into(), block_to_bv(KEY));
+        state.inputs.insert("plaintext".into(), block_to_bv(PLAIN));
+        let mut fired = Vec::new();
+        for _ in 0..11 {
+            fired.push(model.step(&mut state).unwrap().unwrap());
+        }
+        assert_eq!(fired[0], "FirstRound");
+        assert_eq!(fired[10], "FinalRound");
+        assert!(fired[1..10].iter().all(|f| f == "IntermediateRound"));
+        assert_eq!(state.bvs["ciphertext"], block_to_bv(CIPHER));
+        // Round 11: nothing decodes (the machine halts).
+        assert_eq!(model.step(&mut state).unwrap(), None);
+    }
+
+    #[test]
+    fn aes_synthesizes_verifies_and_encrypts() {
+        let cs = case_study();
+        let mut mgr = TermManager::new();
+        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .expect("synthesis succeeds");
+        assert_eq!(out.solutions.len(), 3);
+        // The transition hole and the fired branch's encoding agree.
+        for sol in &out.solutions {
+            let next = &sol.holes["fsm_next"];
+            let enc = match sol.instr.as_str() {
+                "FirstRound" => &sol.holes["st_first"],
+                "IntermediateRound" => &sol.holes["st_mid"],
+                _ => &sol.holes["st_final"],
+            };
+            assert_eq!(next, enc, "{}", sol.instr);
+        }
+
+        let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();
+        let complete = complete_design(&cs.sketch, &union);
+        let mut mgr2 = TermManager::new();
+        verify_design(&mut mgr2, &complete, &cs.spec, &cs.alpha, None)
+            .expect("completed design verifies");
+
+        // Simulate the completed accelerator on the FIPS-197 vector.
+        let mut sim = Interpreter::new(&complete).unwrap();
+        let inputs: HashMap<String, owl_bitvec::BitVec> = [
+            ("key_in".to_string(), block_to_bv(KEY)),
+            ("plaintext".to_string(), block_to_bv(PLAIN)),
+        ]
+        .into();
+        for _ in 0..11 {
+            sim.step(&inputs).unwrap();
+        }
+        assert_eq!(sim.reg("ciphertext").unwrap(), &block_to_bv(CIPHER));
+    }
+}

@@ -1,0 +1,278 @@
+//! A small assembler for the RISC-V subsets used by the case studies,
+//! including the bespoke `CMOV` instruction of the constant-time
+//! cryptography core (paper §4.2).
+
+/// One assembly instruction. Registers are 0..=31; immediates are the
+/// architectural ranges (checked at encode time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Asm {
+    Lui { rd: u32, imm20: u32 },
+    Auipc { rd: u32, imm20: u32 },
+    Jal { rd: u32, offset: i32 },
+    Jalr { rd: u32, rs1: u32, offset: i32 },
+    Beq { rs1: u32, rs2: u32, offset: i32 },
+    Bne { rs1: u32, rs2: u32, offset: i32 },
+    Blt { rs1: u32, rs2: u32, offset: i32 },
+    Bge { rs1: u32, rs2: u32, offset: i32 },
+    Bltu { rs1: u32, rs2: u32, offset: i32 },
+    Bgeu { rs1: u32, rs2: u32, offset: i32 },
+    Lb { rd: u32, rs1: u32, offset: i32 },
+    Lh { rd: u32, rs1: u32, offset: i32 },
+    Lw { rd: u32, rs1: u32, offset: i32 },
+    Lbu { rd: u32, rs1: u32, offset: i32 },
+    Lhu { rd: u32, rs1: u32, offset: i32 },
+    Sb { rs2: u32, rs1: u32, offset: i32 },
+    Sh { rs2: u32, rs1: u32, offset: i32 },
+    Sw { rs2: u32, rs1: u32, offset: i32 },
+    Addi { rd: u32, rs1: u32, imm: i32 },
+    Slti { rd: u32, rs1: u32, imm: i32 },
+    Sltiu { rd: u32, rs1: u32, imm: i32 },
+    Xori { rd: u32, rs1: u32, imm: i32 },
+    Ori { rd: u32, rs1: u32, imm: i32 },
+    Andi { rd: u32, rs1: u32, imm: i32 },
+    Slli { rd: u32, rs1: u32, shamt: u32 },
+    Srli { rd: u32, rs1: u32, shamt: u32 },
+    Srai { rd: u32, rs1: u32, shamt: u32 },
+    Add { rd: u32, rs1: u32, rs2: u32 },
+    Sub { rd: u32, rs1: u32, rs2: u32 },
+    Sll { rd: u32, rs1: u32, rs2: u32 },
+    Slt { rd: u32, rs1: u32, rs2: u32 },
+    Sltu { rd: u32, rs1: u32, rs2: u32 },
+    Xor { rd: u32, rs1: u32, rs2: u32 },
+    Srl { rd: u32, rs1: u32, rs2: u32 },
+    Sra { rd: u32, rs1: u32, rs2: u32 },
+    Or { rd: u32, rs1: u32, rs2: u32 },
+    And { rd: u32, rs1: u32, rs2: u32 },
+    // Zbkb (subset used by the cores).
+    Rol { rd: u32, rs1: u32, rs2: u32 },
+    Ror { rd: u32, rs1: u32, rs2: u32 },
+    Rori { rd: u32, rs1: u32, shamt: u32 },
+    Andn { rd: u32, rs1: u32, rs2: u32 },
+    // The bespoke conditional move: `rd = if rs2 != 0 { rs1 } else { rd }`.
+    Cmov { rd: u32, rs1: u32, rs2: u32 },
+}
+
+/// The custom opcode used by `CMOV` (RISC-V custom-0 space).
+pub const CMOV_OPCODE: u32 = 0b000_1011;
+
+fn r_enc(opcode: u32, rd: u32, f3: u32, rs1: u32, rs2: u32, f7: u32) -> u32 {
+    assert!(rd < 32 && rs1 < 32 && rs2 < 32, "register out of range");
+    opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) | (f7 << 25)
+}
+
+fn i_enc(opcode: u32, rd: u32, f3: u32, rs1: u32, imm: i32) -> u32 {
+    assert!(rd < 32 && rs1 < 32, "register out of range");
+    assert!((-2048..=2047).contains(&imm), "I-immediate {imm} out of range");
+    opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn s_enc(opcode: u32, f3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    assert!(rs1 < 32 && rs2 < 32, "register out of range");
+    assert!((-2048..=2047).contains(&imm), "S-immediate {imm} out of range");
+    let imm = (imm as u32) & 0xFFF;
+    opcode | ((imm & 0x1F) << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) | ((imm >> 5) << 25)
+}
+
+fn b_enc(f3: u32, rs1: u32, rs2: u32, offset: i32) -> u32 {
+    assert!(offset % 2 == 0, "branch offset must be even");
+    assert!((-4096..=4094).contains(&offset), "B-offset {offset} out of range");
+    let imm = (offset as u32) & 0x1FFF;
+    0b110_0011
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (f3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn j_enc(rd: u32, offset: i32) -> u32 {
+    assert!(offset % 2 == 0, "jump offset must be even");
+    assert!((-(1 << 20)..(1 << 20)).contains(&offset), "J-offset {offset} out of range");
+    let imm = (offset as u32) & 0x1F_FFFF;
+    0b110_1111
+        | (rd << 7)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+impl Asm {
+    /// Encodes the instruction to its 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register or immediate is out of range.
+    #[must_use]
+    pub fn encode(self) -> u32 {
+        use Asm::*;
+        match self {
+            Lui { rd, imm20 } => 0b011_0111 | (rd << 7) | ((imm20 & 0xF_FFFF) << 12),
+            Auipc { rd, imm20 } => 0b001_0111 | (rd << 7) | ((imm20 & 0xF_FFFF) << 12),
+            Jal { rd, offset } => j_enc(rd, offset),
+            Jalr { rd, rs1, offset } => i_enc(0b110_0111, rd, 0, rs1, offset),
+            Beq { rs1, rs2, offset } => b_enc(0b000, rs1, rs2, offset),
+            Bne { rs1, rs2, offset } => b_enc(0b001, rs1, rs2, offset),
+            Blt { rs1, rs2, offset } => b_enc(0b100, rs1, rs2, offset),
+            Bge { rs1, rs2, offset } => b_enc(0b101, rs1, rs2, offset),
+            Bltu { rs1, rs2, offset } => b_enc(0b110, rs1, rs2, offset),
+            Bgeu { rs1, rs2, offset } => b_enc(0b111, rs1, rs2, offset),
+            Lb { rd, rs1, offset } => i_enc(0b000_0011, rd, 0b000, rs1, offset),
+            Lh { rd, rs1, offset } => i_enc(0b000_0011, rd, 0b001, rs1, offset),
+            Lw { rd, rs1, offset } => i_enc(0b000_0011, rd, 0b010, rs1, offset),
+            Lbu { rd, rs1, offset } => i_enc(0b000_0011, rd, 0b100, rs1, offset),
+            Lhu { rd, rs1, offset } => i_enc(0b000_0011, rd, 0b101, rs1, offset),
+            Sb { rs2, rs1, offset } => s_enc(0b010_0011, 0b000, rs1, rs2, offset),
+            Sh { rs2, rs1, offset } => s_enc(0b010_0011, 0b001, rs1, rs2, offset),
+            Sw { rs2, rs1, offset } => s_enc(0b010_0011, 0b010, rs1, rs2, offset),
+            Addi { rd, rs1, imm } => i_enc(0b001_0011, rd, 0b000, rs1, imm),
+            Slti { rd, rs1, imm } => i_enc(0b001_0011, rd, 0b010, rs1, imm),
+            Sltiu { rd, rs1, imm } => i_enc(0b001_0011, rd, 0b011, rs1, imm),
+            Xori { rd, rs1, imm } => i_enc(0b001_0011, rd, 0b100, rs1, imm),
+            Ori { rd, rs1, imm } => i_enc(0b001_0011, rd, 0b110, rs1, imm),
+            Andi { rd, rs1, imm } => i_enc(0b001_0011, rd, 0b111, rs1, imm),
+            Slli { rd, rs1, shamt } => r_enc(0b001_0011, rd, 0b001, rs1, shamt & 31, 0),
+            Srli { rd, rs1, shamt } => r_enc(0b001_0011, rd, 0b101, rs1, shamt & 31, 0),
+            Srai { rd, rs1, shamt } => {
+                r_enc(0b001_0011, rd, 0b101, rs1, shamt & 31, 0b010_0000)
+            }
+            Add { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b000, rs1, rs2, 0),
+            Sub { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b000, rs1, rs2, 0b010_0000),
+            Sll { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b001, rs1, rs2, 0),
+            Slt { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b010, rs1, rs2, 0),
+            Sltu { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b011, rs1, rs2, 0),
+            Xor { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b100, rs1, rs2, 0),
+            Srl { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b101, rs1, rs2, 0),
+            Sra { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b101, rs1, rs2, 0b010_0000),
+            Or { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b110, rs1, rs2, 0),
+            And { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b111, rs1, rs2, 0),
+            Rol { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b001, rs1, rs2, 0b011_0000),
+            Ror { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b101, rs1, rs2, 0b011_0000),
+            Rori { rd, rs1, shamt } => {
+                r_enc(0b001_0011, rd, 0b101, rs1, shamt & 31, 0b011_0000)
+            }
+            Andn { rd, rs1, rs2 } => r_enc(0b011_0011, rd, 0b111, rs1, rs2, 0b010_0000),
+            Cmov { rd, rs1, rs2 } => r_enc(CMOV_OPCODE, rd, 0, rs1, rs2, 0),
+        }
+    }
+}
+
+/// A growable program with pseudo-instruction helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    instrs: Vec<Asm>,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, instr: Asm) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// `li rd, value` — loads an arbitrary 32-bit constant (1–2
+    /// instructions).
+    pub fn li(&mut self, rd: u32, value: u32) -> &mut Self {
+        let low = (value & 0xFFF) as i32;
+        let low = if low >= 2048 { low - 4096 } else { low };
+        let high = value.wrapping_sub(low as u32) >> 12;
+        if high == 0 {
+            self.push(Asm::Addi { rd, rs1: 0, imm: low });
+        } else {
+            self.push(Asm::Lui { rd, imm20: high });
+            if low != 0 {
+                self.push(Asm::Addi { rd, rs1: rd, imm: low });
+            }
+        }
+        self
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Asm::Addi { rd: 0, rs1: 0, imm: 0 })
+    }
+
+    /// The instructions so far.
+    #[must_use]
+    pub fn instrs(&self) -> &[Asm] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if no instructions have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Encodes the whole program.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u32> {
+        self.instrs.iter().map(|i| i.encode()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_encodings() {
+        // Cross-checked against the RISC-V ISA manual examples.
+        assert_eq!(Asm::Addi { rd: 1, rs1: 0, imm: 42 }.encode(), 0x02A0_0093);
+        assert_eq!(Asm::Add { rd: 3, rs1: 1, rs2: 2 }.encode(), 0x0020_81B3);
+        assert_eq!(Asm::Lui { rd: 5, imm20: 0xDEADB }.encode(), 0xDEAD_B2B7);
+        assert_eq!(Asm::Lw { rd: 4, rs1: 2, offset: 8 }.encode(), 0x0081_2203);
+        assert_eq!(Asm::Sw { rs2: 4, rs1: 2, offset: 8 }.encode(), 0x0041_2423);
+        assert_eq!(Asm::Jal { rd: 1, offset: 8 }.encode(), 0x0080_00EF);
+        assert_eq!(Asm::Beq { rs1: 1, rs2: 2, offset: -4 }.encode(), 0xFE20_8EE3);
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut p = Program::new();
+        p.li(1, 42);
+        assert_eq!(p.len(), 1);
+        p.li(2, 0xDEAD_BEEF);
+        assert_eq!(p.len(), 3);
+        // Value with low 12 bits >= 0x800 (needs the +1 hi adjustment).
+        let mut q = Program::new();
+        q.li(3, 0x1800);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn branch_offset_ranges_checked() {
+        let r = std::panic::catch_unwind(|| {
+            Asm::Beq { rs1: 0, rs2: 0, offset: 3 }.encode()
+        });
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| {
+            Asm::Addi { rd: 1, rs1: 0, imm: 5000 }.encode()
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cmov_uses_custom_opcode() {
+        let enc = Asm::Cmov { rd: 1, rs1: 2, rs2: 3 }.encode();
+        assert_eq!(enc & 0x7F, CMOV_OPCODE);
+        assert_eq!((enc >> 7) & 0x1F, 1);
+        assert_eq!((enc >> 15) & 0x1F, 2);
+        assert_eq!((enc >> 20) & 0x1F, 3);
+    }
+}

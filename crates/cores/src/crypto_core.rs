@@ -1,0 +1,470 @@
+//! The constant-time cryptography core of paper §4.2.
+//!
+//! A bespoke three-stage RISC-V core: the ISA drops every conditional
+//! branch (eliminating data-dependent control flow and hence timing side
+//! channels) and everything SHA-256 does not need, and adds a `CMOV`
+//! conditional-move instruction so software can still select values
+//! branchlessly.
+//!
+//! Microarchitecture: stage 1 fetches, stage 2 decodes/executes and
+//! commits the program counter, stage 3 accesses memory and writes back.
+//! Instructions issue every other cycle (an `issue` toggle), so there are
+//! no hazards; the `instruction_valid` signal — assumed true at time step
+//! 1 by the abstraction function, exactly the paper's assumption — marks
+//! fetch slots that carry a real instruction.
+
+use crate::asm::CMOV_OPCODE;
+use crate::rv32i::isa::{instruction_table, AluOp, Extensions, ImmFormat, WbSource};
+use crate::rv32i::spec::spec_from_table;
+use crate::rv32i::InstrSpec;
+use crate::CaseStudy;
+use owl_core::{AbstractionFn, DatapathKind};
+use owl_hdl::{Module, Wire};
+use owl_ila::Ila;
+use owl_oyster::Design;
+
+/// The mnemonics retained from RV32I + Zbkb (everything SHA-256 needs and
+/// nothing with data-dependent control flow).
+pub const CMOV_ISA_NAMES: [&str; 22] = [
+    "LUI", "AUIPC", "JAL", "ADDI", "SLTIU", "XORI", "ORI", "ANDI", "SLLI", "SRLI", "ADD",
+    "SUB", "SLTU", "XOR", "SRL", "OR", "AND", "ROR", "RORI", "ANDN", "LW", "SW",
+];
+
+/// The instruction table of the CMOV ISA (without `CMOV` itself, which
+/// the specification builder adds).
+#[must_use]
+pub fn cmov_table() -> Vec<InstrSpec> {
+    let full = instruction_table(Extensions::ZBKB);
+    CMOV_ISA_NAMES
+        .iter()
+        .map(|name| {
+            *full
+                .iter()
+                .find(|e| e.name == *name)
+                .unwrap_or_else(|| panic!("{name} missing from the ZBKB table"))
+        })
+        .collect()
+}
+
+/// The ILA specification of the CMOV ISA (23 instructions including
+/// `CMOV`).
+#[must_use]
+pub fn spec() -> Ila {
+    spec_from_table("cmov_isa", &cmov_table(), true)
+}
+
+/// The ALU operations the crypto core implements.
+fn alu_ops() -> Vec<AluOp> {
+    vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::PassB,
+        AluOp::Ror,
+        AluOp::Andn,
+    ]
+}
+
+/// The crypto core's control signals (stage-2 consumption).
+struct Controls {
+    alu_op: Wire,
+    alu_imm: Wire,
+    alu_src1_pc: Wire,
+    imm_sel: Wire,
+    reg_write: Wire,
+    wb_sel: Wire,
+    mem_read: Wire,
+    mem_write: Wire,
+    jump: Wire,
+    jalr_sel: Wire,
+}
+
+/// Write-back select code for the CMOV result (extends [`WbSource`]).
+pub const WB_CMOV: u64 = 3;
+
+fn build(m: &mut Module, c: Controls) {
+    let pc = Wire::from_expr(owl_oyster::Expr::var("pc"));
+    let issue = m.register("issue", 1);
+    m.assign("instruction_valid", issue.clone());
+    m.assign("issue", !issue.clone());
+
+    // Stage 1: fetch.
+    let s2_instr = m.register("s2_instr", 32);
+    let s2_pc = m.register("s2_pc", 32);
+    let s2_valid = m.register("s2_valid", 1);
+    m.assign("s2_instr", m.read("i_mem", pc.bits(31, 2)));
+    m.assign("s2_pc", pc.clone());
+    m.assign("s2_valid", issue);
+
+    // Stage 2: decode + execute + pc commit.
+    let rd = m.assign("rd", s2_instr.bits(11, 7));
+    let rs1 = m.assign("rs1", s2_instr.bits(19, 15));
+    let rs2f = m.assign("rs2f", s2_instr.bits(24, 20));
+    let zero32 = Wire::lit(32, 0);
+    let gpr = |m: &mut Module, name: &str, field: &Wire| {
+        let raw = m.read("rf", field.clone());
+        m.assign(name, field.eq(Wire::lit(5, 0)).select(zero32.clone(), raw))
+    };
+    let rs1_val = gpr(m, "rs1_val", &rs1);
+    let rs2_val = gpr(m, "rs2_val", &rs2f);
+    let rd_val = gpr(m, "rd_val", &rd);
+
+    let formats = [ImmFormat::I, ImmFormat::S, ImmFormat::B, ImmFormat::U, ImmFormat::J];
+    let mut imm = formats[4].decode(&s2_instr);
+    for fmt in formats[..4].iter().rev() {
+        imm = c.imm_sel.eq(Wire::lit(3, fmt.code())).select(fmt.decode(&s2_instr), imm);
+    }
+    let imm = m.assign("imm", imm);
+
+    let alu_a = c.alu_src1_pc.select(s2_pc.clone(), rs1_val.clone());
+    let alu_b = c.alu_imm.select(imm.clone(), rs2_val.clone());
+    let ops = alu_ops();
+    let results: Vec<Wire> = ops
+        .iter()
+        .map(|op| m.assign(&format!("alu_{}", op.tag()), op.apply(&alu_a, &alu_b)))
+        .collect();
+    let mut alu = results.last().expect("nonempty").clone();
+    for (op, result) in ops.split_last().expect("nonempty").1.iter().zip(&results).rev() {
+        alu = c.alu_op.eq(Wire::lit(5, op.code())).select(result.clone(), alu);
+    }
+    let alu_out = m.assign("alu_out", alu);
+
+    let cmov_val = m.assign(
+        "cmov_val",
+        rs2_val.ne(Wire::lit(32, 0)).select(rs1_val.clone(), rd_val),
+    );
+    let pc_plus4 = m.assign("pc_plus4", s2_pc.clone() + Wire::lit(32, 4));
+    let jalr_target = (rs1_val + imm.clone()) & Wire::lit(32, 0xFFFF_FFFE);
+    let target = c.jalr_sel.select(jalr_target, s2_pc + imm);
+    let pc_next = m.assign("pc_next", c.jump.select(target, pc_plus4.clone()));
+    m.assign("pc", s2_valid.clone().select(pc_next, pc));
+
+    // Stage 2 -> 3 pipeline registers.
+    let pipe = |m: &mut Module, name: &str, w: u32, v: Wire| {
+        m.register(name, w);
+        m.assign(name, v)
+    };
+    let s3_alu = pipe(m, "s3_alu", 32, alu_out);
+    let s3_store = pipe(m, "s3_store_data", 32, rs2_val);
+    let s3_rd = pipe(m, "s3_rd", 5, rd);
+    let s3_pc4 = pipe(m, "s3_pc4", 32, pc_plus4);
+    let s3_cmov = pipe(m, "s3_cmov", 32, cmov_val);
+    let s3_valid = pipe(m, "s3_valid", 1, s2_valid);
+    let s3_reg_write = pipe(m, "s3_reg_write", 1, c.reg_write);
+    let s3_wb_sel = pipe(m, "s3_wb_sel", 2, c.wb_sel);
+    let s3_mem_read = pipe(m, "s3_mem_read", 1, c.mem_read);
+    let s3_mem_write = pipe(m, "s3_mem_write", 1, c.mem_write);
+
+    // Stage 3: memory + write-back.
+    let word = m.assign("mem_word", m.read("d_mem", s3_alu.bits(31, 2)));
+    let loadv = m.assign("load_value", s3_mem_read.select(word, Wire::lit(32, 0)));
+    let wb = s3_wb_sel.eq(Wire::lit(2, WbSource::Mem.code())).select(
+        loadv,
+        s3_wb_sel.eq(Wire::lit(2, WbSource::PcPlus4.code())).select(
+            s3_pc4,
+            s3_wb_sel.eq(Wire::lit(2, WB_CMOV)).select(s3_cmov, s3_alu.clone()),
+        ),
+    );
+    let wb = m.assign("wb_data", wb);
+    let wr_en = s3_reg_write & s3_valid.clone() & s3_rd.ne(Wire::lit(5, 0));
+    m.write("rf", s3_rd, wb, wr_en);
+    m.write("d_mem", s3_alu.bits(31, 2), s3_store, s3_mem_write & s3_valid);
+}
+
+fn declare_state(m: &mut Module) {
+    m.register("pc", 32);
+    m.memory("rf", 5, 32);
+    m.memory("i_mem", 30, 32);
+    m.memory("d_mem", 30, 32);
+}
+
+/// The datapath sketch: control logic as holes.
+#[must_use]
+pub fn sketch() -> Design {
+    let mut m = Module::new("crypto_core");
+    declare_state(&mut m);
+    let c = Controls {
+        alu_op: m.hole("alu_op", 5),
+        alu_imm: m.hole("alu_imm", 1),
+        alu_src1_pc: m.hole("alu_src1_pc", 1),
+        imm_sel: m.hole("imm_sel", 3),
+        reg_write: m.hole("reg_write", 1),
+        wb_sel: m.hole("wb_sel", 2),
+        mem_read: m.hole("mem_read", 1),
+        mem_write: m.hole("mem_write", 1),
+        jump: m.hole("jump", 1),
+        jalr_sel: m.hole("jalr_sel", 1),
+    };
+    build(&mut m, c);
+    m.finish().expect("crypto sketch is well-formed")
+}
+
+/// The handwritten-reference version of the core (for the §5.2 cycle
+/// comparison between generated and handwritten control).
+#[must_use]
+pub fn reference() -> Design {
+    let mut m = Module::new("crypto_core_ref");
+    declare_state(&mut m);
+
+    // Handwritten decode over the stage-2 instruction.
+    let s2i = Wire::from_expr(owl_oyster::Expr::var("s2_instr"));
+    let opcode = m.assign("c_opcode", s2i.bits(6, 0));
+    let funct3 = m.assign("c_funct3", s2i.bits(14, 12));
+    let funct7 = m.assign("c_funct7", s2i.bits(31, 25));
+    let is = |code: u64| opcode.eq(Wire::lit(7, code));
+    let is_lui = m.assign("is_lui", is(0b011_0111));
+    let is_auipc = m.assign("is_auipc", is(0b001_0111));
+    let is_jal = m.assign("is_jal", is(0b110_1111));
+    let is_load = m.assign("is_load", is(0b000_0011));
+    let is_store = m.assign("is_store", is(0b010_0011));
+    let is_op = m.assign("is_op", is(0b011_0011));
+    let is_cmov = m.assign("is_cmov", is(u64::from(CMOV_OPCODE)));
+    let f3 = |code: u64| funct3.eq(Wire::lit(3, code));
+    let f7 = |code: u64| funct7.eq(Wire::lit(7, code));
+    let alu = |op: AluOp| Wire::lit(5, op.code());
+
+    let by_f3 = f3(0).select(
+        (is_op.clone() & f7(0b010_0000)).select(alu(AluOp::Sub), alu(AluOp::Add)),
+        f3(1).select(
+            alu(AluOp::Sll),
+            f3(3).select(
+                alu(AluOp::Sltu),
+                f3(4).select(
+                    alu(AluOp::Xor),
+                    f3(5).select(
+                        f7(0b011_0000).select(alu(AluOp::Ror), alu(AluOp::Srl)),
+                        f3(6).select(
+                            alu(AluOp::Or),
+                            (is_op.clone() & f7(0b010_0000))
+                                .select(alu(AluOp::Andn), alu(AluOp::And)),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let mem_like = is_load.clone() | is_store.clone() | is_auipc.clone() | is_jal.clone();
+    let alu_op = m.assign(
+        "ref_alu_op",
+        is_lui.clone().select(alu(AluOp::PassB), mem_like.select(alu(AluOp::Add), by_f3)),
+    );
+    let alu_imm = m.assign("ref_alu_imm", !(is_op.clone() | is_cmov.clone()));
+    let alu_src1_pc = m.assign("ref_alu_src1_pc", is_auipc.clone());
+    let imm_sel = m.assign(
+        "ref_imm_sel",
+        is_store.clone().select(
+            Wire::lit(3, ImmFormat::S.code()),
+            (is_lui | is_auipc).select(
+                Wire::lit(3, ImmFormat::U.code()),
+                is_jal
+                    .clone()
+                    .select(Wire::lit(3, ImmFormat::J.code()), Wire::lit(3, ImmFormat::I.code())),
+            ),
+        ),
+    );
+    let reg_write = m.assign("ref_reg_write", !is_store.clone());
+    let wb_sel = m.assign(
+        "ref_wb_sel",
+        is_load.clone().select(
+            Wire::lit(2, WbSource::Mem.code()),
+            is_jal.clone().select(
+                Wire::lit(2, WbSource::PcPlus4.code()),
+                is_cmov.select(Wire::lit(2, WB_CMOV), Wire::lit(2, WbSource::Alu.code())),
+            ),
+        ),
+    );
+    let mem_read = m.assign("ref_mem_read", is_load);
+    let mem_write = m.assign("ref_mem_write", is_store);
+    let jump = m.assign("ref_jump", is_jal);
+    let jalr_sel = m.assign("ref_jalr_sel", Wire::lit(1, 0));
+
+    let c = Controls {
+        alu_op,
+        alu_imm,
+        alu_src1_pc,
+        imm_sel,
+        reg_write,
+        wb_sel,
+        mem_read,
+        mem_write,
+        jump,
+        jalr_sel,
+    };
+    build(&mut m, c);
+    m.finish().expect("crypto reference is well-formed")
+}
+
+/// The abstraction function (paper §4.2): the three-stage timing plus the
+/// `instruction_valid` assumption.
+#[must_use]
+pub fn alpha() -> AbstractionFn {
+    let mut a = AbstractionFn::new(3);
+    a.map("pc", "pc", DatapathKind::Register, [1], [2])
+        .map("GPR", "rf", DatapathKind::Memory, [2], [3])
+        .map("mem", "d_mem", DatapathKind::Memory, [3], [3])
+        .map("imem", "i_mem", DatapathKind::Memory, [1], [])
+        .assume("instruction_valid", 1);
+    a
+}
+
+/// The bundled case study.
+#[must_use]
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "Crypto Core / CMOV ISA".to_string(),
+        sketch: sketch(),
+        spec: spec(),
+        alpha: alpha(),
+    }
+}
+
+/// The decode binding for code generation: the core consumes control in
+/// stage 2, where the fetched instruction lives in the `s2_instr`
+/// pipeline register — so decode conditions over the architectural fetch
+/// are rewritten onto that register.
+#[must_use]
+pub fn decode_bindings() -> Vec<owl_core::DecodeBinding> {
+    use owl_ila::SpecExpr;
+    let fetch = SpecExpr::load("imem", SpecExpr::var("pc").extract(31, 2));
+    vec![(fetch, owl_oyster::Expr::var("s2_instr"))]
+}
+
+/// Loads `program` at address 0 and `data` words into data memory, runs
+/// until the pc passes the last instruction (plus drain), and returns the
+/// cycle count along with a data-memory reader.
+///
+/// # Panics
+///
+/// Panics if the design cannot be simulated or the program does not
+/// terminate within `max_cycles`.
+pub fn run_program<'d>(
+    design: &'d Design,
+    program: &[u32],
+    data: &[(u64, u32)],
+    max_cycles: u64,
+) -> (u64, owl_oyster::Interpreter<'d>) {
+    let mut sim = owl_oyster::Interpreter::new(design).expect("simulatable design");
+    for (i, word) in program.iter().enumerate() {
+        sim.poke_mem("i_mem", i as u64, owl_bitvec::BitVec::from_u64(32, u64::from(*word)))
+            .expect("i_mem poke");
+    }
+    for &(addr, value) in data {
+        sim.poke_mem("d_mem", addr, owl_bitvec::BitVec::from_u64(32, u64::from(value)))
+            .expect("d_mem poke");
+    }
+    let end_pc = 4 * program.len() as u64;
+    let inputs = std::collections::HashMap::new();
+    let mut cycles = 0u64;
+    loop {
+        sim.step(&inputs).expect("step");
+        cycles += 1;
+        if sim.reg("pc").expect("pc").to_u64() == Some(end_pc) {
+            break;
+        }
+        assert!(cycles < max_cycles, "program did not finish within {max_cycles} cycles");
+    }
+    // Drain the pipeline: two more cycles complete any in-flight
+    // write-back. The fetched garbage after the end is harmless as long
+    // as the memory there is zero (not a valid instruction).
+    sim.step(&inputs).expect("step");
+    sim.step(&inputs).expect("step");
+    (cycles + 2, sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Asm, Program};
+    use owl_core::{complete_design, synthesize, verify_design, SynthesisConfig};
+    use owl_smt::TermManager;
+
+    fn completed() -> (CaseStudy, Design) {
+        let cs = case_study();
+        let mut mgr = TermManager::new();
+        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .expect("synthesis succeeds");
+        let union = owl_core::control_union_with(
+            &cs.sketch,
+            &cs.spec,
+            &cs.alpha,
+            &out.solutions,
+            &decode_bindings(),
+        )
+        .unwrap();
+        let complete = complete_design(&cs.sketch, &union);
+        (cs, complete)
+    }
+
+    #[test]
+    fn crypto_core_synthesizes_and_verifies() {
+        let (cs, complete) = completed();
+        let mut mgr = TermManager::new();
+        verify_design(&mut mgr, &complete, &cs.spec, &cs.alpha, None)
+            .expect("completed design verifies");
+    }
+
+    #[test]
+    fn reference_verifies_against_spec() {
+        let cs = case_study();
+        let mut mgr = TermManager::new();
+        verify_design(&mut mgr, &reference(), &cs.spec, &cs.alpha, None)
+            .expect("reference verifies");
+    }
+
+    #[test]
+    fn simulated_program_runs_on_both_cores() {
+        let (_, complete) = completed();
+        let refd = reference();
+        let mut p = Program::new();
+        p.li(1, 100); // x1 = 100
+        p.li(2, 23); // x2 = 23
+        p.push(Asm::Add { rd: 3, rs1: 1, rs2: 2 }); // x3 = 123
+        p.push(Asm::Sltu { rd: 4, rs1: 2, rs2: 1 }); // x4 = 1
+        p.push(Asm::Cmov { rd: 5, rs1: 3, rs2: 4 }); // x5 = x3 (cond true)
+        p.push(Asm::Cmov { rd: 6, rs1: 3, rs2: 0 }); // x6 unchanged (0)
+        p.li(7, 0x40); // address 0x40
+        p.push(Asm::Sw { rs2: 5, rs1: 7, offset: 0 });
+        p.push(Asm::Lw { rd: 8, rs1: 7, offset: 0 });
+        p.push(Asm::Rori { rd: 9, rs1: 8, shamt: 8 });
+        let code = p.encode();
+        let (gen_cycles, gen_sim) = run_program(&complete, &code, &[], 1000);
+        let (ref_cycles, ref_sim) = run_program(&refd, &code, &[], 1000);
+        assert_eq!(gen_cycles, ref_cycles, "generated and handwritten cycle counts differ");
+        for (reg, expect) in
+            [(3u64, 123u64), (4, 1), (5, 123), (6, 0), (8, 123), (9, u64::from(123u32.rotate_right(8)))]
+        {
+            assert_eq!(
+                gen_sim.mem("rf").unwrap().read(reg).to_u64(),
+                Some(expect),
+                "x{reg} (generated)"
+            );
+            assert_eq!(
+                ref_sim.mem("rf").unwrap().read(reg).to_u64(),
+                Some(expect),
+                "x{reg} (reference)"
+            );
+        }
+    }
+
+    #[test]
+    fn jal_redirects_without_executing_skipped_code() {
+        let (_, complete) = completed();
+        let mut p = Program::new();
+        p.li(1, 7); // x1 = 7
+        p.push(Asm::Jal { rd: 2, offset: 12 }); // skip the next two
+        p.li(1, 99); // (skipped)
+        p.nop(); // (skipped)
+        p.push(Asm::Addi { rd: 3, rs1: 1, imm: 1 }); // x3 = 8
+        let code = p.encode();
+        let (_, sim) = run_program(&complete, &code, &[], 1000);
+        assert_eq!(sim.mem("rf").unwrap().read(1).to_u64(), Some(7));
+        assert_eq!(sim.mem("rf").unwrap().read(3).to_u64(), Some(8));
+        // Link register holds the return address.
+        assert_eq!(sim.mem("rf").unwrap().read(2).to_u64(), Some(4 + 4));
+    }
+}

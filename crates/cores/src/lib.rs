@@ -1,0 +1,39 @@
+//! The paper's case studies, built on the OWL toolchain.
+//!
+//! Each case study bundles the three synthesis inputs — an ILA
+//! specification, a datapath sketch with holes, and an abstraction
+//! function — plus, where the evaluation needs one, a handwritten
+//! reference implementation of the control logic:
+//!
+//! - [`alu_machine`]: the three-stage pipelined ALU machine of §2.2;
+//! - [`accumulator`]: the FSM-controlled accumulator of §2.3;
+//! - [`rv32i`]: the embedded-class RISC-V core of §4.1 (RV32I base plus
+//!   the Zbkb/Zbkc cryptography extensions; single-cycle and two-stage
+//!   datapaths; handwritten reference control);
+//! - [`crypto_core`]: the three-stage constant-time cryptography core of
+//!   §4.2 (branch-free CMOV ISA);
+//! - [`aes`]: the AES-128 accelerator of §4.3 (FSM-style control);
+//! - [`asm`]: an assembler for the RISC-V subsets used here; and
+//! - [`sha256`]: the constant-time SHA-256 program of §5.2 plus a pure
+//!   reference implementation for checking digests.
+
+pub mod accumulator;
+pub mod aes;
+pub mod alu_machine;
+pub mod asm;
+pub mod crypto_core;
+pub mod rv32i;
+pub mod sha256;
+
+/// A bundled case study: everything control logic synthesis needs.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Human-readable name (Table 1's "Design / Variant").
+    pub name: String,
+    /// The datapath sketch (with holes).
+    pub sketch: owl_oyster::Design,
+    /// The architectural specification.
+    pub spec: owl_ila::Ila,
+    /// The abstraction function.
+    pub alpha: owl_core::AbstractionFn,
+}

@@ -1,0 +1,503 @@
+//! The RISC-V datapaths: a single-cycle core and a two-stage pipeline,
+//! built from one shared fetch/decode/execute stage.
+//!
+//! Control signals are injected: [`single_cycle_sketch`] and
+//! [`two_stage_sketch`] declare them as holes (the paper's `??`), while
+//! [`reference_single_cycle`] wires in handwritten decode logic — the
+//! Table 2 reference implementation.
+
+use super::isa::{
+    load_value, store_merge, AluOp, BranchCond, Extensions, ImmFormat, MaskMode, WbSource,
+};
+use owl_hdl::{Module, Wire};
+use owl_oyster::Design;
+
+/// The control signals the datapath consumes (paper §4.1.1's underlined
+/// signals).
+#[derive(Debug, Clone)]
+pub struct ControlSignals {
+    /// ALU function select (5 bits).
+    pub alu_op: Wire,
+    /// ALU operand 2 from the immediate.
+    pub alu_imm: Wire,
+    /// ALU operand 1 from the program counter.
+    pub alu_src1_pc: Wire,
+    /// Immediate format select (3 bits).
+    pub imm_sel: Wire,
+    /// Register file write enable.
+    pub reg_write: Wire,
+    /// Write-back source select (2 bits).
+    pub wb_sel: Wire,
+    /// Data memory read enable.
+    pub mem_read: Wire,
+    /// Data memory write enable.
+    pub mem_write: Wire,
+    /// Memory access size (2 bits).
+    pub mask_mode: Wire,
+    /// Sign-extend sub-word loads.
+    pub mem_sign: Wire,
+    /// Unconditional pc redirect.
+    pub jump: Wire,
+    /// Redirect target is the JALR form.
+    pub jalr_sel: Wire,
+    /// Branch condition select (3 bits).
+    pub bcond_sel: Wire,
+}
+
+/// Widths of each control signal, in declaration order.
+pub const CONTROL_WIDTHS: [(&str, u32); 13] = [
+    ("alu_op", 5),
+    ("alu_imm", 1),
+    ("alu_src1_pc", 1),
+    ("imm_sel", 3),
+    ("reg_write", 1),
+    ("wb_sel", 2),
+    ("mem_read", 1),
+    ("mem_write", 1),
+    ("mask_mode", 2),
+    ("mem_sign", 1),
+    ("jump", 1),
+    ("jalr_sel", 1),
+    ("bcond_sel", 3),
+];
+
+fn hole_controls(m: &mut Module) -> ControlSignals {
+    let mut get = |name: &str, w: u32| m.hole(name, w);
+    ControlSignals {
+        alu_op: get("alu_op", 5),
+        alu_imm: get("alu_imm", 1),
+        alu_src1_pc: get("alu_src1_pc", 1),
+        imm_sel: get("imm_sel", 3),
+        reg_write: get("reg_write", 1),
+        wb_sel: get("wb_sel", 2),
+        mem_read: get("mem_read", 1),
+        mem_write: get("mem_write", 1),
+        mask_mode: get("mask_mode", 2),
+        mem_sign: get("mem_sign", 1),
+        jump: get("jump", 1),
+        jalr_sel: get("jalr_sel", 1),
+        bcond_sel: get("bcond_sel", 3),
+    }
+}
+
+/// The decoded instruction fields plus the values stage 1 produces.
+struct Stage1 {
+    rd: Wire,
+    rs2_val: Wire,
+    alu_out: Wire,
+    pc_plus4: Wire,
+    pc_next: Wire,
+}
+
+/// Builds fetch, decode and execute; shared by both cores.
+fn fetch_decode_execute(m: &mut Module, ext: Extensions, c: &ControlSignals) -> Stage1 {
+    let pc = Wire::from_expr(owl_oyster::Expr::var("pc"));
+    let instr = m.assign("instr", m.read("i_mem", pc.bits(31, 2)));
+    let rd = m.assign("rd", instr.bits(11, 7));
+    let rs1 = m.assign("rs1", instr.bits(19, 15));
+    let rs2f = m.assign("rs2f", instr.bits(24, 20));
+
+    // Register reads (x0 reads as zero).
+    let zero32 = Wire::lit(32, 0);
+    let rf_rs1 = m.read("rf", rs1.clone());
+    let rf_rs2 = m.read("rf", rs2f.clone());
+    let rs1_val =
+        m.assign("rs1_val", rs1.eq(Wire::lit(5, 0)).select(zero32.clone(), rf_rs1));
+    let rs2_val =
+        m.assign("rs2_val", rs2f.eq(Wire::lit(5, 0)).select(zero32, rf_rs2));
+
+    // Immediate decode mux.
+    let formats = [ImmFormat::I, ImmFormat::S, ImmFormat::B, ImmFormat::U, ImmFormat::J];
+    let mut imm = formats[4].decode(&instr);
+    for fmt in formats[..4].iter().rev() {
+        imm = c
+            .imm_sel
+            .eq(Wire::lit(3, fmt.code()))
+            .select(fmt.decode(&instr), imm);
+    }
+    let imm = m.assign("imm", imm);
+
+    // ALU.
+    let alu_a = c.alu_src1_pc.select(pc.clone(), rs1_val.clone());
+    let alu_b = c.alu_imm.select(imm.clone(), rs2_val.clone());
+    let ops = AluOp::available(ext);
+    let results: Vec<Wire> = ops
+        .iter()
+        .map(|op| m.assign(&format!("alu_{}", op.tag()), op.apply(&alu_a, &alu_b)))
+        .collect();
+    let (last, rest) = ops.split_last().expect("nonempty op list");
+    let _ = last;
+    let mut alu = results.last().expect("nonempty").clone();
+    for (op, result) in rest.iter().zip(&results).rev() {
+        alu = c
+            .alu_op
+            .eq(Wire::lit(5, op.code()))
+            .select(result.clone(), alu);
+    }
+    let alu_out = m.assign("alu_out", alu);
+
+    // Branch / jump resolution.
+    let conds = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+    let mut bcond = BranchCond::Never.apply(&rs1_val, &rs2_val);
+    for cond in conds.iter().rev() {
+        bcond = c
+            .bcond_sel
+            .eq(Wire::lit(3, cond.code()))
+            .select(cond.apply(&rs1_val, &rs2_val), bcond);
+    }
+    let taken = m.assign("taken", c.jump.clone() | bcond);
+    let jalr_target =
+        (rs1_val.clone() + imm.clone()) & Wire::lit(32, 0xFFFF_FFFE);
+    let target = c.jalr_sel.select(jalr_target, pc.clone() + imm);
+    let pc_plus4 = m.assign("pc_plus4", pc + Wire::lit(32, 4));
+    let pc_next = m.assign("pc_next", taken.select(target, pc_plus4.clone()));
+
+    Stage1 { rd, rs2_val, alu_out, pc_plus4, pc_next }
+}
+
+/// Builds the memory-access and write-back logic against the given
+/// (possibly pipelined) operands; shared by both cores.
+#[allow(clippy::too_many_arguments)]
+fn mem_writeback(
+    m: &mut Module,
+    prefix: &str,
+    rd: &Wire,
+    rs2_val: &Wire,
+    alu_out: &Wire,
+    pc_plus4: &Wire,
+    c: &ControlSignals,
+) {
+    let word_addr = alu_out.bits(31, 2);
+    let addr_lo = alu_out.bits(1, 0);
+    let word = m.assign(&format!("{prefix}mem_word"), m.read("d_mem", word_addr.clone()));
+
+    // Load value: mux over access size and signedness.
+    let variant = |mask: MaskMode, sign: bool| load_value(mask, sign, &word, &addr_lo);
+    let byte_v = c
+        .mem_sign
+        .select(variant(MaskMode::Byte, true), variant(MaskMode::Byte, false));
+    let half_v = c
+        .mem_sign
+        .select(variant(MaskMode::Half, true), variant(MaskMode::Half, false));
+    let sized = c.mask_mode.eq(Wire::lit(2, MaskMode::Byte.code())).select(
+        byte_v,
+        c.mask_mode
+            .eq(Wire::lit(2, MaskMode::Half.code()))
+            .select(half_v, word.clone()),
+    );
+    let loadv = m.assign(
+        &format!("{prefix}load_value"),
+        c.mem_read.select(sized, Wire::lit(32, 0)),
+    );
+
+    // Write-back.
+    let wb = c.wb_sel.eq(Wire::lit(2, WbSource::Mem.code())).select(
+        loadv,
+        c.wb_sel
+            .eq(Wire::lit(2, WbSource::PcPlus4.code()))
+            .select(pc_plus4.clone(), alu_out.clone()),
+    );
+    let wb = m.assign(&format!("{prefix}wb_data"), wb);
+    let wr_en = c.reg_write.clone() & rd.ne(Wire::lit(5, 0));
+    m.write("rf", rd.clone(), wb, wr_en);
+
+    // Store merge.
+    let merged = c.mask_mode.eq(Wire::lit(2, MaskMode::Byte.code())).select(
+        store_merge(MaskMode::Byte, &word, rs2_val, &addr_lo),
+        c.mask_mode.eq(Wire::lit(2, MaskMode::Half.code())).select(
+            store_merge(MaskMode::Half, &word, rs2_val, &addr_lo),
+            rs2_val.clone(),
+        ),
+    );
+    let merged = m.assign(&format!("{prefix}store_data"), merged);
+    m.write("d_mem", word_addr, merged, c.mem_write.clone());
+}
+
+fn declare_state(m: &mut Module) {
+    m.register("pc", 32);
+    m.memory("rf", 5, 32);
+    m.memory("i_mem", 30, 32);
+    m.memory("d_mem", 30, 32);
+}
+
+/// The single-cycle datapath sketch (paper §4.1.1): control as holes.
+#[must_use]
+pub fn single_cycle_sketch(ext: Extensions) -> Design {
+    let mut m = Module::new(format!("rv32_single_{}", variant_tag(ext)));
+    declare_state(&mut m);
+    let c = hole_controls(&mut m);
+    let s1 = fetch_decode_execute(&mut m, ext, &c);
+    mem_writeback(&mut m, "", &s1.rd, &s1.rs2_val, &s1.alu_out, &s1.pc_plus4, &c);
+    m.assign("pc", s1.pc_next);
+    m.finish().expect("single-cycle sketch is well-formed")
+}
+
+/// The two-stage pipelined sketch (paper §4.1.2): stage 1 fetches,
+/// decodes and executes; stage 2 accesses memory, writes back, and
+/// commits the program counter.
+#[must_use]
+pub fn two_stage_sketch(ext: Extensions) -> Design {
+    let mut m = Module::new(format!("rv32_two_stage_{}", variant_tag(ext)));
+    declare_state(&mut m);
+    let c = hole_controls(&mut m);
+    let s1 = fetch_decode_execute(&mut m, ext, &c);
+
+    // Pipeline registers between stage 1 and stage 2.
+    let pipe = |m: &mut Module, name: &str, w: u32, v: Wire| {
+        m.register(name, w);
+        m.assign(name, v)
+    };
+    let s2_rd = pipe(&mut m, "s2_rd", 5, s1.rd);
+    let s2_rs2 = pipe(&mut m, "s2_rs2_val", 32, s1.rs2_val);
+    let s2_alu = pipe(&mut m, "s2_alu_out", 32, s1.alu_out);
+    let s2_pc4 = pipe(&mut m, "s2_pc_plus4", 32, s1.pc_plus4);
+    let s2_pc_next = pipe(&mut m, "s2_pc_next", 32, s1.pc_next);
+    let s2c = ControlSignals {
+        alu_op: c.alu_op.clone(), // consumed in stage 1 only
+        alu_imm: c.alu_imm.clone(),
+        alu_src1_pc: c.alu_src1_pc.clone(),
+        imm_sel: c.imm_sel.clone(),
+        reg_write: pipe(&mut m, "s2_reg_write", 1, c.reg_write.clone()),
+        wb_sel: pipe(&mut m, "s2_wb_sel", 2, c.wb_sel.clone()),
+        mem_read: pipe(&mut m, "s2_mem_read", 1, c.mem_read.clone()),
+        mem_write: pipe(&mut m, "s2_mem_write", 1, c.mem_write.clone()),
+        mask_mode: pipe(&mut m, "s2_mask_mode", 2, c.mask_mode.clone()),
+        mem_sign: pipe(&mut m, "s2_mem_sign", 1, c.mem_sign.clone()),
+        jump: c.jump.clone(),
+        jalr_sel: c.jalr_sel.clone(),
+        bcond_sel: c.bcond_sel.clone(),
+    };
+
+    // Stage 2.
+    mem_writeback(&mut m, "s2_", &s2_rd, &s2_rs2, &s2_alu, &s2_pc4, &s2c);
+    m.assign("pc", s2_pc_next);
+    m.finish().expect("two-stage sketch is well-formed")
+}
+
+/// The single-cycle core with handwritten control (the Table 2
+/// reference implementation).
+#[must_use]
+pub fn reference_single_cycle(ext: Extensions) -> Design {
+    let mut m = Module::new(format!("rv32_single_{}_ref", variant_tag(ext)));
+    declare_state(&mut m);
+    let c = reference_controls(&mut m, ext);
+    let s1 = fetch_decode_execute(&mut m, ext, &c);
+    mem_writeback(&mut m, "", &s1.rd, &s1.rs2_val, &s1.alu_out, &s1.pc_plus4, &c);
+    m.assign("pc", s1.pc_next);
+    m.finish().expect("reference core is well-formed")
+}
+
+/// Number of statements the reference control logic occupies (the
+/// Table 2 "HDL Control Logic (Reference)" metric).
+#[must_use]
+pub fn reference_control_line_count(ext: Extensions) -> usize {
+    let with_ctrl = reference_single_cycle(ext).stmts().len();
+    // The datapath without any control assignments, measured by building
+    // the sketch (holes add no statements) and ignoring its declarations.
+    let without = single_cycle_sketch(ext).stmts().len();
+    with_ctrl - without
+}
+
+fn variant_tag(ext: Extensions) -> &'static str {
+    if ext.zbkc {
+        "zbkc"
+    } else if ext.zbkb {
+        "zbkb"
+    } else {
+        "rv32i"
+    }
+}
+
+/// Handwritten decode: the compact control a human would write, shared
+/// per opcode class with funct-field disambiguation.
+fn reference_controls(m: &mut Module, ext: Extensions) -> ControlSignals {
+    // The fields must be recomputed here (the shared stage runs later and
+    // defines its own wires); these feed only the control expressions.
+    let pc = Wire::from_expr(owl_oyster::Expr::var("pc"));
+    let cinstr = m.assign("c_instr", m.read("i_mem", pc.bits(31, 2)));
+    let opcode = m.assign("c_opcode", cinstr.bits(6, 0));
+    let funct3 = m.assign("c_funct3", cinstr.bits(14, 12));
+    let funct7 = m.assign("c_funct7", cinstr.bits(31, 25));
+    let crs2 = m.assign("c_rs2f", cinstr.bits(24, 20));
+
+    let is = |code: u64| opcode.eq(Wire::lit(7, code));
+    let is_lui = m.assign("is_lui", is(0b011_0111));
+    let is_auipc = m.assign("is_auipc", is(0b001_0111));
+    let is_jal = m.assign("is_jal", is(0b110_1111));
+    let is_jalr = m.assign("is_jalr", is(0b110_0111));
+    let is_branch = m.assign("is_branch", is(0b110_0011));
+    let is_load = m.assign("is_load", is(0b000_0011));
+    let is_store = m.assign("is_store", is(0b010_0011));
+    let is_op = m.assign("is_op", is(0b011_0011));
+
+    let f7 = |code: u64| funct7.eq(Wire::lit(7, code));
+    let f3 = |code: u64| funct3.eq(Wire::lit(3, code));
+    let alu = |op: AluOp| Wire::lit(5, op.code());
+
+    // ALU function from funct3/funct7 for the OP/OP-IMM classes.
+    let op000 = (is_op.clone() & f7(0b010_0000)).select(alu(AluOp::Sub), alu(AluOp::Add));
+    let op001 = if ext.zbkb {
+        let clmul = if ext.zbkc {
+            (is_op.clone() & f7(0b000_0101)).select(alu(AluOp::Clmul), alu(AluOp::Sll))
+        } else {
+            alu(AluOp::Sll)
+        };
+        f7(0b011_0000).select(alu(AluOp::Rol), f7(0b000_0100).select(alu(AluOp::Zip), clmul))
+    } else {
+        alu(AluOp::Sll)
+    };
+    let op011 = if ext.zbkc {
+        (is_op.clone() & f7(0b000_0101)).select(alu(AluOp::Clmulh), alu(AluOp::Sltu))
+    } else {
+        alu(AluOp::Sltu)
+    };
+    let op100 = if ext.zbkb {
+        (is_op.clone() & f7(0b010_0000)).select(
+            alu(AluOp::Xnor),
+            (is_op.clone() & f7(0b000_0100)).select(alu(AluOp::Pack), alu(AluOp::Xor)),
+        )
+    } else {
+        alu(AluOp::Xor)
+    };
+    let op101 = {
+        let srl_like = if ext.zbkb {
+            f7(0b011_0000).select(
+                alu(AluOp::Ror),
+                f7(0b011_0100).select(
+                    crs2.eq(Wire::lit(5, 0b00111))
+                        .select(alu(AluOp::Brev8), alu(AluOp::Rev8)),
+                    f7(0b000_0100).select(alu(AluOp::Unzip), alu(AluOp::Srl)),
+                ),
+            )
+        } else {
+            alu(AluOp::Srl)
+        };
+        f7(0b010_0000).select(alu(AluOp::Sra), srl_like)
+    };
+    let op110 = if ext.zbkb {
+        (is_op.clone() & f7(0b010_0000)).select(alu(AluOp::Orn), alu(AluOp::Or))
+    } else {
+        alu(AluOp::Or)
+    };
+    let op111 = if ext.zbkb {
+        (is_op.clone() & f7(0b010_0000)).select(
+            alu(AluOp::Andn),
+            (is_op.clone() & f7(0b000_0100)).select(alu(AluOp::Packh), alu(AluOp::And)),
+        )
+    } else {
+        alu(AluOp::And)
+    };
+    let by_f3 = f3(0).select(
+        op000,
+        f3(1).select(
+            op001,
+            f3(2).select(
+                alu(AluOp::Slt),
+                f3(3).select(op011, f3(4).select(op100, f3(5).select(op101, f3(6).select(op110, op111)))),
+            ),
+        ),
+    );
+    let mem_or_jump =
+        is_load.clone() | is_store.clone() | is_jalr.clone() | is_auipc.clone() | is_jal.clone();
+    let alu_op = m.assign(
+        "ref_alu_op",
+        is_lui
+            .clone()
+            .select(alu(AluOp::PassB), mem_or_jump.select(alu(AluOp::Add), by_f3)),
+    );
+
+    let alu_imm = m.assign("ref_alu_imm", !is_op.clone());
+    let alu_src1_pc = m.assign("ref_alu_src1_pc", is_auipc.clone());
+    let imm_sel = m.assign(
+        "ref_imm_sel",
+        is_store.clone().select(
+            Wire::lit(3, ImmFormat::S.code()),
+            is_branch.clone().select(
+                Wire::lit(3, ImmFormat::B.code()),
+                (is_lui.clone() | is_auipc).select(
+                    Wire::lit(3, ImmFormat::U.code()),
+                    is_jal
+                        .clone()
+                        .select(Wire::lit(3, ImmFormat::J.code()), Wire::lit(3, ImmFormat::I.code())),
+                ),
+            ),
+        ),
+    );
+    let reg_write = m.assign("ref_reg_write", !(is_branch.clone() | is_store.clone()));
+    let wb_sel = m.assign(
+        "ref_wb_sel",
+        is_load.clone().select(
+            Wire::lit(2, WbSource::Mem.code()),
+            (is_jal.clone() | is_jalr.clone())
+                .select(Wire::lit(2, WbSource::PcPlus4.code()), Wire::lit(2, WbSource::Alu.code())),
+        ),
+    );
+    let mem_read = m.assign("ref_mem_read", is_load.clone());
+    let mem_write = m.assign("ref_mem_write", is_store);
+    // LB/LH/LW and SB/SH/SW put the access size in funct3[1:0]; the sign
+    // bit of loads is the complement of funct3[2].
+    let mask_mode = m.assign("ref_mask_mode", funct3.bits(1, 0));
+    let mem_sign = m.assign("ref_mem_sign", !funct3.bit(2));
+    let jump = m.assign("ref_jump", is_jal | is_jalr.clone());
+    let jalr_sel = m.assign("ref_jalr_sel", is_jalr);
+    // Branch condition: funct3 0/1 map to Eq/Ne (codes 1/2), funct3
+    // 4..=7 map to Lt/Ge/Ltu/Geu (codes 3..=6).
+    let bcond_sel = m.assign(
+        "ref_bcond_sel",
+        is_branch.select(
+            funct3
+                .lt_u(Wire::lit(3, 2))
+                .select(funct3.clone() + Wire::lit(3, 1), funct3.clone() - Wire::lit(3, 1)),
+            Wire::lit(3, BranchCond::Never.code()),
+        ),
+    );
+
+    ControlSignals {
+        alu_op,
+        alu_imm,
+        alu_src1_pc,
+        imm_sel,
+        reg_write,
+        wb_sel,
+        mem_read,
+        mem_write,
+        mask_mode,
+        mem_sign,
+        jump,
+        jalr_sel,
+        bcond_sel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketches_are_well_formed_and_grow_with_extensions() {
+        let base = single_cycle_sketch(Extensions::BASE);
+        let zbkb = single_cycle_sketch(Extensions::ZBKB);
+        let zbkc = single_cycle_sketch(Extensions::ZBKC);
+        assert!(base.line_count() < zbkb.line_count());
+        assert!(zbkb.line_count() < zbkc.line_count());
+        assert_eq!(base.hole_names().len(), 13);
+
+        let two = two_stage_sketch(Extensions::BASE);
+        assert!(two.line_count() > base.line_count());
+        assert!(two.decl("s2_alu_out").is_some());
+    }
+
+    #[test]
+    fn reference_has_no_holes() {
+        let r = reference_single_cycle(Extensions::ZBKC);
+        assert!(r.hole_names().is_empty());
+        assert!(reference_control_line_count(Extensions::BASE) > 10);
+    }
+}

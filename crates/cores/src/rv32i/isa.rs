@@ -1,0 +1,856 @@
+//! The instruction table and shared semantics for the RISC-V cores.
+//!
+//! Everything semantic is written once, generically over
+//! [`SynthExpr`], and instantiated by both the ILA specification (over
+//! `SpecExpr`) and the datapath (over `Expr`/`Wire`): immediate
+//! decoding, the ALU functions, branch comparisons, and the sub-word
+//! load/store logic. The [`InstrSpec`] table carries each instruction's
+//! encoding plus the *expected* control configuration — used to build the
+//! handwritten reference control of Table 2 and to cross-check synthesis
+//! results, never fed to the synthesizer.
+
+use owl_hdl::bitops::{self, SynthExpr};
+use std::fmt;
+
+/// Which ISA extensions a core variant implements (paper Table 1 rows).
+/// Extension sets are cumulative: `zbkc` implies `zbkb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Extensions {
+    /// Zbkb: bit-manipulation for cryptography.
+    pub zbkb: bool,
+    /// Zbkc: carry-less multiplication.
+    pub zbkc: bool,
+}
+
+impl Extensions {
+    /// The RV32I base alone.
+    pub const BASE: Extensions = Extensions { zbkb: false, zbkc: false };
+    /// RV32I + Zbkb.
+    pub const ZBKB: Extensions = Extensions { zbkb: true, zbkc: false };
+    /// RV32I + Zbkb + Zbkc.
+    pub const ZBKC: Extensions = Extensions { zbkb: true, zbkc: true };
+}
+
+impl fmt::Display for Extensions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.zbkc {
+            write!(f, "RV32I + Zbkc")
+        } else if self.zbkb {
+            write!(f, "RV32I + Zbkb")
+        } else {
+            write!(f, "RV32I")
+        }
+    }
+}
+
+/// The functions the ALU can perform; `code()` gives the 5-bit select
+/// used by the `alu_op` control signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    /// Pass the second operand through (LUI).
+    PassB,
+    Rol,
+    Ror,
+    Andn,
+    Orn,
+    Xnor,
+    Pack,
+    Packh,
+    Brev8,
+    Rev8,
+    Zip,
+    Unzip,
+    Clmul,
+    Clmulh,
+}
+
+impl AluOp {
+    /// All operations available with the given extensions, in select
+    /// order.
+    #[must_use]
+    pub fn available(ext: Extensions) -> Vec<AluOp> {
+        let mut ops = vec![
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::PassB,
+        ];
+        if ext.zbkb {
+            ops.extend([
+                AluOp::Rol,
+                AluOp::Ror,
+                AluOp::Andn,
+                AluOp::Orn,
+                AluOp::Xnor,
+                AluOp::Pack,
+                AluOp::Packh,
+                AluOp::Brev8,
+                AluOp::Rev8,
+                AluOp::Zip,
+                AluOp::Unzip,
+            ]);
+        }
+        if ext.zbkc {
+            ops.extend([AluOp::Clmul, AluOp::Clmulh]);
+        }
+        ops
+    }
+
+    /// The operation's select code (its index in the full operation list).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// A lowercase tag for wire naming.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::PassB => "passb",
+            AluOp::Rol => "rol",
+            AluOp::Ror => "ror",
+            AluOp::Andn => "andn",
+            AluOp::Orn => "orn",
+            AluOp::Xnor => "xnor",
+            AluOp::Pack => "pack",
+            AluOp::Packh => "packh",
+            AluOp::Brev8 => "brev8",
+            AluOp::Rev8 => "rev8",
+            AluOp::Zip => "zip",
+            AluOp::Unzip => "unzip",
+            AluOp::Clmul => "clmul",
+            AluOp::Clmulh => "clmulh",
+        }
+    }
+
+    /// Applies the operation to two 32-bit operands.
+    #[must_use]
+    pub fn apply<E: SynthExpr>(self, a: &E, b: &E) -> E {
+        let shamt = |b: &E| b.clone().and_(E::lit(32, 31));
+        match self {
+            AluOp::Add => a.clone().add_(b.clone()),
+            AluOp::Sub => a.clone().sub_(b.clone()),
+            AluOp::Sll => a.clone().shl_(shamt(b)),
+            AluOp::Slt => a.clone().slt_(b.clone()).zext_(32),
+            AluOp::Sltu => a.clone().ult_(b.clone()).zext_(32),
+            AluOp::Xor => a.clone().xor_(b.clone()),
+            AluOp::Srl => a.clone().lshr_(shamt(b)),
+            AluOp::Sra => a.clone().ashr_(shamt(b)),
+            AluOp::Or => a.clone().or_(b.clone()),
+            AluOp::And => a.clone().and_(b.clone()),
+            AluOp::PassB => b.clone(),
+            AluOp::Rol => bitops::rol(a.clone(), b.clone(), 32),
+            AluOp::Ror => bitops::ror(a.clone(), b.clone(), 32),
+            AluOp::Andn => bitops::andn(a.clone(), b.clone()),
+            AluOp::Orn => bitops::orn(a.clone(), b.clone()),
+            AluOp::Xnor => bitops::xnor(a.clone(), b.clone()),
+            AluOp::Pack => bitops::pack(a.clone(), b.clone(), 32),
+            AluOp::Packh => bitops::packh(a.clone(), b.clone(), 32),
+            AluOp::Brev8 => bitops::brev8(a.clone(), 32),
+            AluOp::Rev8 => bitops::rev8(a.clone(), 32),
+            AluOp::Zip => bitops::zip(a.clone(), 32),
+            AluOp::Unzip => bitops::unzip(a.clone(), 32),
+            AluOp::Clmul => bitops::clmul(a.clone(), b.clone(), 32),
+            AluOp::Clmulh => bitops::clmulh(a.clone(), b.clone(), 32),
+        }
+    }
+}
+
+/// Immediate encodings; `code()` gives the `imm_sel` control value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ImmFormat {
+    I,
+    S,
+    B,
+    U,
+    J,
+}
+
+impl ImmFormat {
+    /// The format's select code.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes the immediate from a 32-bit instruction word.
+    #[must_use]
+    pub fn decode<E: SynthExpr>(self, instr: &E) -> E {
+        let i = |h: u32, l: u32| instr.clone().extract_(h, l);
+        match self {
+            ImmFormat::I => i(31, 20).sext_(32),
+            ImmFormat::S => i(31, 25).concat_(i(11, 7)).sext_(32),
+            ImmFormat::B => i(31, 31)
+                .concat_(i(7, 7))
+                .concat_(i(30, 25))
+                .concat_(i(11, 8))
+                .concat_(E::lit(1, 0))
+                .sext_(32),
+            ImmFormat::U => i(31, 12).concat_(E::lit(12, 0)),
+            ImmFormat::J => i(31, 31)
+                .concat_(i(19, 12))
+                .concat_(i(20, 20))
+                .concat_(i(30, 21))
+                .concat_(E::lit(1, 0))
+                .sext_(32),
+        }
+    }
+}
+
+/// Branch comparison select; `Never` is the non-branch value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Never,
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    /// The condition's select code.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Applies the comparison (1-bit result).
+    #[must_use]
+    pub fn apply<E: SynthExpr>(self, a: &E, b: &E) -> E {
+        match self {
+            BranchCond::Never => E::lit(1, 0),
+            BranchCond::Eq => a.clone().eq_(b.clone()),
+            BranchCond::Ne => a.clone().eq_(b.clone()).not_(),
+            BranchCond::Lt => a.clone().slt_(b.clone()),
+            BranchCond::Ge => a.clone().slt_(b.clone()).not_(),
+            BranchCond::Ltu => a.clone().ult_(b.clone()),
+            BranchCond::Geu => a.clone().ult_(b.clone()).not_(),
+        }
+    }
+}
+
+/// Write-back source select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum WbSource {
+    Alu,
+    Mem,
+    PcPlus4,
+}
+
+impl WbSource {
+    /// The source's select code.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Memory access size (`mask_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MaskMode {
+    Byte,
+    Half,
+    Word,
+}
+
+impl MaskMode {
+    /// The mode's select code.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Extracts the value loaded from a memory word for a given access size
+/// and signedness, where `addr_lo` is the low two address bits.
+#[must_use]
+pub fn load_value<E: SynthExpr>(mask: MaskMode, sign: bool, word: &E, addr_lo: &E) -> E {
+    let extend = |v: E| if sign { v.sext_(32) } else { v.zext_(32) };
+    match mask {
+        MaskMode::Byte => {
+            let b0 = word.clone().extract_(7, 0);
+            let b1 = word.clone().extract_(15, 8);
+            let b2 = word.clone().extract_(23, 16);
+            let b3 = word.clone().extract_(31, 24);
+            let sel = addr_lo.clone();
+            let byte = E::ite_(
+                sel.clone().eq_(E::lit(2, 3)),
+                b3,
+                E::ite_(
+                    sel.clone().eq_(E::lit(2, 2)),
+                    b2,
+                    E::ite_(sel.eq_(E::lit(2, 1)), b1, b0),
+                ),
+            );
+            extend(byte)
+        }
+        MaskMode::Half => {
+            let lo = word.clone().extract_(15, 0);
+            let hi = word.clone().extract_(31, 16);
+            let half = E::ite_(addr_lo.clone().extract_(1, 1), hi, lo);
+            extend(half)
+        }
+        MaskMode::Word => word.clone(),
+    }
+}
+
+/// Merges a store value into an old memory word for a given access size,
+/// where `addr_lo` is the low two address bits.
+#[must_use]
+pub fn store_merge<E: SynthExpr>(mask: MaskMode, old: &E, value: &E, addr_lo: &E) -> E {
+    match mask {
+        MaskMode::Byte => {
+            let v = value.clone().extract_(7, 0);
+            let sel = |i: u64| addr_lo.clone().eq_(E::lit(2, i));
+            let b = |h: u32, l: u32| old.clone().extract_(h, l);
+            E::ite_(sel(3), v.clone(), b(31, 24))
+                .concat_(E::ite_(sel(2), v.clone(), b(23, 16)))
+                .concat_(E::ite_(sel(1), v.clone(), b(15, 8)))
+                .concat_(E::ite_(sel(0), v, b(7, 0)))
+        }
+        MaskMode::Half => {
+            let v = value.clone().extract_(15, 0);
+            let hi_sel = addr_lo.clone().extract_(1, 1);
+            E::ite_(hi_sel.clone(), v.clone(), old.clone().extract_(31, 16))
+                .concat_(E::ite_(hi_sel, old.clone().extract_(15, 0), v))
+        }
+        MaskMode::Word => value.clone(),
+    }
+}
+
+/// The control configuration an instruction needs — the "answer key"
+/// used by the handwritten reference control and by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ctrl {
+    /// ALU function.
+    pub alu_op: AluOp,
+    /// ALU operand 2 comes from the immediate.
+    pub alu_imm: bool,
+    /// ALU operand 1 comes from the program counter.
+    pub alu_src1_pc: bool,
+    /// Immediate format.
+    pub imm: ImmFormat,
+    /// Write the register file.
+    pub reg_write: bool,
+    /// Write-back source.
+    pub wb: WbSource,
+    /// Assert the data-memory read enable.
+    pub mem_read: bool,
+    /// Assert the data-memory write enable.
+    pub mem_write: bool,
+    /// Access size for loads/stores.
+    pub mask: MaskMode,
+    /// Sign-extend sub-word loads.
+    pub mem_sign: bool,
+    /// Unconditional pc redirect (JAL/JALR).
+    pub jump: bool,
+    /// Branch condition (Never for non-branches).
+    pub branch: BranchCond,
+    /// The redirect target is `(rs1 + imm) & ~1` (JALR) rather than
+    /// `pc + imm`.
+    pub jalr: bool,
+}
+
+impl Ctrl {
+    /// A no-effect baseline configuration.
+    #[must_use]
+    pub fn nop() -> Ctrl {
+        Ctrl {
+            alu_op: AluOp::Add,
+            alu_imm: false,
+            alu_src1_pc: false,
+            imm: ImmFormat::I,
+            reg_write: false,
+            wb: WbSource::Alu,
+            mem_read: false,
+            mem_write: false,
+            mask: MaskMode::Word,
+            mem_sign: false,
+            jump: false,
+            branch: BranchCond::Never,
+            jalr: false,
+        }
+    }
+
+    fn alu_r(op: AluOp) -> Ctrl {
+        Ctrl { alu_op: op, reg_write: true, ..Ctrl::nop() }
+    }
+
+    fn alu_i(op: AluOp, fmt: ImmFormat) -> Ctrl {
+        Ctrl { alu_op: op, alu_imm: true, imm: fmt, reg_write: true, ..Ctrl::nop() }
+    }
+
+    fn load(mask: MaskMode, sign: bool) -> Ctrl {
+        Ctrl {
+            alu_imm: true,
+            reg_write: true,
+            wb: WbSource::Mem,
+            mem_read: true,
+            mask,
+            mem_sign: sign,
+            ..Ctrl::nop()
+        }
+    }
+
+    fn store(mask: MaskMode) -> Ctrl {
+        Ctrl { alu_imm: true, imm: ImmFormat::S, mem_write: true, mask, ..Ctrl::nop() }
+    }
+
+    fn branch(cond: BranchCond) -> Ctrl {
+        Ctrl { imm: ImmFormat::B, branch: cond, alu_op: AluOp::Sub, ..Ctrl::nop() }
+    }
+}
+
+/// One instruction's encoding and control configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrSpec {
+    /// Mnemonic (also the ILA instruction name).
+    pub name: &'static str,
+    /// Bits \[6:0\].
+    pub opcode: u32,
+    /// Bits \[14:12\], where fixed.
+    pub funct3: Option<u32>,
+    /// Bits \[31:25\], where fixed.
+    pub funct7: Option<u32>,
+    /// Bits \[24:20\], for unary Zbkb ops with a fixed rs2 field.
+    pub rs2_field: Option<u32>,
+    /// The expected control configuration.
+    pub ctrl: Ctrl,
+}
+
+const OP_LUI: u32 = 0b011_0111;
+const OP_AUIPC: u32 = 0b001_0111;
+const OP_JAL: u32 = 0b110_1111;
+const OP_JALR: u32 = 0b110_0111;
+const OP_BRANCH: u32 = 0b110_0011;
+const OP_LOAD: u32 = 0b000_0011;
+const OP_STORE: u32 = 0b010_0011;
+const OP_IMM: u32 = 0b001_0011;
+const OP_OP: u32 = 0b011_0011;
+
+fn r_type(name: &'static str, f3: u32, f7: u32, op: AluOp) -> InstrSpec {
+    InstrSpec {
+        name,
+        opcode: OP_OP,
+        funct3: Some(f3),
+        funct7: Some(f7),
+        rs2_field: None,
+        ctrl: Ctrl::alu_r(op),
+    }
+}
+
+fn i_type(name: &'static str, f3: u32, op: AluOp) -> InstrSpec {
+    InstrSpec {
+        name,
+        opcode: OP_IMM,
+        funct3: Some(f3),
+        funct7: None,
+        rs2_field: None,
+        ctrl: Ctrl::alu_i(op, ImmFormat::I),
+    }
+}
+
+fn shift_imm(name: &'static str, f3: u32, f7: u32, op: AluOp) -> InstrSpec {
+    InstrSpec {
+        name,
+        opcode: OP_IMM,
+        funct3: Some(f3),
+        funct7: Some(f7),
+        rs2_field: None,
+        ctrl: Ctrl::alu_i(op, ImmFormat::I),
+    }
+}
+
+fn unary(name: &'static str, f3: u32, f7: u32, rs2: u32, op: AluOp) -> InstrSpec {
+    InstrSpec {
+        name,
+        opcode: OP_IMM,
+        funct3: Some(f3),
+        funct7: Some(f7),
+        rs2_field: Some(rs2),
+        ctrl: Ctrl::alu_r(op), // operand b unused; register form avoids imm
+    }
+}
+
+/// The instruction table for a given extension set.
+#[must_use]
+pub fn instruction_table(ext: Extensions) -> Vec<InstrSpec> {
+    let mut t = vec![
+        InstrSpec {
+            name: "LUI",
+            opcode: OP_LUI,
+            funct3: None,
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::alu_i(AluOp::PassB, ImmFormat::U),
+        },
+        InstrSpec {
+            name: "AUIPC",
+            opcode: OP_AUIPC,
+            funct3: None,
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl {
+                alu_src1_pc: true,
+                ..Ctrl::alu_i(AluOp::Add, ImmFormat::U)
+            },
+        },
+        InstrSpec {
+            name: "JAL",
+            opcode: OP_JAL,
+            funct3: None,
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl {
+                imm: ImmFormat::J,
+                reg_write: true,
+                wb: WbSource::PcPlus4,
+                jump: true,
+                ..Ctrl::nop()
+            },
+        },
+        InstrSpec {
+            name: "JALR",
+            opcode: OP_JALR,
+            funct3: Some(0),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl {
+                imm: ImmFormat::I,
+                reg_write: true,
+                wb: WbSource::PcPlus4,
+                jump: true,
+                jalr: true,
+                ..Ctrl::nop()
+            },
+        },
+        InstrSpec {
+            name: "BEQ",
+            opcode: OP_BRANCH,
+            funct3: Some(0b000),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::branch(BranchCond::Eq),
+        },
+        InstrSpec {
+            name: "BNE",
+            opcode: OP_BRANCH,
+            funct3: Some(0b001),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::branch(BranchCond::Ne),
+        },
+        InstrSpec {
+            name: "BLT",
+            opcode: OP_BRANCH,
+            funct3: Some(0b100),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::branch(BranchCond::Lt),
+        },
+        InstrSpec {
+            name: "BGE",
+            opcode: OP_BRANCH,
+            funct3: Some(0b101),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::branch(BranchCond::Ge),
+        },
+        InstrSpec {
+            name: "BLTU",
+            opcode: OP_BRANCH,
+            funct3: Some(0b110),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::branch(BranchCond::Ltu),
+        },
+        InstrSpec {
+            name: "BGEU",
+            opcode: OP_BRANCH,
+            funct3: Some(0b111),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::branch(BranchCond::Geu),
+        },
+        InstrSpec {
+            name: "LB",
+            opcode: OP_LOAD,
+            funct3: Some(0b000),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::load(MaskMode::Byte, true),
+        },
+        InstrSpec {
+            name: "LH",
+            opcode: OP_LOAD,
+            funct3: Some(0b001),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::load(MaskMode::Half, true),
+        },
+        InstrSpec {
+            name: "LW",
+            opcode: OP_LOAD,
+            funct3: Some(0b010),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::load(MaskMode::Word, false),
+        },
+        InstrSpec {
+            name: "LBU",
+            opcode: OP_LOAD,
+            funct3: Some(0b100),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::load(MaskMode::Byte, false),
+        },
+        InstrSpec {
+            name: "LHU",
+            opcode: OP_LOAD,
+            funct3: Some(0b101),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::load(MaskMode::Half, false),
+        },
+        InstrSpec {
+            name: "SB",
+            opcode: OP_STORE,
+            funct3: Some(0b000),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::store(MaskMode::Byte),
+        },
+        InstrSpec {
+            name: "SH",
+            opcode: OP_STORE,
+            funct3: Some(0b001),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::store(MaskMode::Half),
+        },
+        InstrSpec {
+            name: "SW",
+            opcode: OP_STORE,
+            funct3: Some(0b010),
+            funct7: None,
+            rs2_field: None,
+            ctrl: Ctrl::store(MaskMode::Word),
+        },
+        i_type("ADDI", 0b000, AluOp::Add),
+        i_type("SLTI", 0b010, AluOp::Slt),
+        i_type("SLTIU", 0b011, AluOp::Sltu),
+        i_type("XORI", 0b100, AluOp::Xor),
+        i_type("ORI", 0b110, AluOp::Or),
+        i_type("ANDI", 0b111, AluOp::And),
+        shift_imm("SLLI", 0b001, 0b000_0000, AluOp::Sll),
+        shift_imm("SRLI", 0b101, 0b000_0000, AluOp::Srl),
+        shift_imm("SRAI", 0b101, 0b010_0000, AluOp::Sra),
+        r_type("ADD", 0b000, 0b000_0000, AluOp::Add),
+        r_type("SUB", 0b000, 0b010_0000, AluOp::Sub),
+        r_type("SLL", 0b001, 0b000_0000, AluOp::Sll),
+        r_type("SLT", 0b010, 0b000_0000, AluOp::Slt),
+        r_type("SLTU", 0b011, 0b000_0000, AluOp::Sltu),
+        r_type("XOR", 0b100, 0b000_0000, AluOp::Xor),
+        r_type("SRL", 0b101, 0b000_0000, AluOp::Srl),
+        r_type("SRA", 0b101, 0b010_0000, AluOp::Sra),
+        r_type("OR", 0b110, 0b000_0000, AluOp::Or),
+        r_type("AND", 0b111, 0b000_0000, AluOp::And),
+    ];
+    if ext.zbkb {
+        t.extend([
+            r_type("ROL", 0b001, 0b011_0000, AluOp::Rol),
+            r_type("ROR", 0b101, 0b011_0000, AluOp::Ror),
+            shift_imm("RORI", 0b101, 0b011_0000, AluOp::Ror),
+            r_type("ANDN", 0b111, 0b010_0000, AluOp::Andn),
+            r_type("ORN", 0b110, 0b010_0000, AluOp::Orn),
+            r_type("XNOR", 0b100, 0b010_0000, AluOp::Xnor),
+            r_type("PACK", 0b100, 0b000_0100, AluOp::Pack),
+            r_type("PACKH", 0b111, 0b000_0100, AluOp::Packh),
+            unary("BREV8", 0b101, 0b011_0100, 0b00111, AluOp::Brev8),
+            unary("REV8", 0b101, 0b011_0100, 0b11000, AluOp::Rev8),
+            unary("ZIP", 0b001, 0b000_0100, 0b01111, AluOp::Zip),
+            unary("UNZIP", 0b101, 0b000_0100, 0b01111, AluOp::Unzip),
+        ]);
+    }
+    if ext.zbkc {
+        t.extend([
+            r_type("CLMUL", 0b001, 0b000_0101, AluOp::Clmul),
+            r_type("CLMULH", 0b011, 0b000_0101, AluOp::Clmulh),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_oyster::{Design, Expr, Interpreter};
+    use std::collections::HashMap;
+
+    #[test]
+    fn base_table_has_37_instructions() {
+        assert_eq!(instruction_table(Extensions::BASE).len(), 37);
+        assert_eq!(instruction_table(Extensions::ZBKB).len(), 49);
+        assert_eq!(instruction_table(Extensions::ZBKC).len(), 51);
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let t = instruction_table(Extensions::ZBKC);
+        for (i, a) in t.iter().enumerate() {
+            for b in &t[i + 1..] {
+                let clash = a.opcode == b.opcode
+                    && (a.funct3.is_none() || b.funct3.is_none() || a.funct3 == b.funct3)
+                    && (a.funct7.is_none() || b.funct7.is_none() || a.funct7 == b.funct7)
+                    && (a.rs2_field.is_none()
+                        || b.rs2_field.is_none()
+                        || a.rs2_field == b.rs2_field);
+                assert!(!clash, "{} and {} overlap", a.name, b.name);
+            }
+        }
+    }
+
+    fn run2(f: impl Fn(Expr, Expr) -> Expr, x: u64, y: u64) -> u64 {
+        let mut d = Design::new("t");
+        d.input("x", 32).input("y", 32).output("o", 32);
+        d.assign("o", f(Expr::var("x"), Expr::var("y")));
+        d.check().expect("valid");
+        let mut sim = Interpreter::new(&d).unwrap();
+        let inputs: HashMap<String, BitVec> = [
+            ("x".to_string(), BitVec::from_u64(32, x)),
+            ("y".to_string(), BitVec::from_u64(32, y)),
+        ]
+        .into();
+        sim.step(&inputs).unwrap().outputs["o"].to_u64().unwrap()
+    }
+
+    #[test]
+    fn alu_ops_match_native_semantics() {
+        let cases: &[(u64, u64)] =
+            &[(5, 3), (0xFFFF_FFFF, 1), (0x8000_0000, 31), (0x1234_5678, 0x9ABC_DEF0)];
+        for &(x, y) in cases {
+            let (xi, yi) = (x as u32, y as u32);
+            let sh = (y & 31) as u32;
+            assert_eq!(run2(|a, b| AluOp::Add.apply(&a, &b), x, y), u64::from(xi.wrapping_add(yi)));
+            assert_eq!(run2(|a, b| AluOp::Sub.apply(&a, &b), x, y), u64::from(xi.wrapping_sub(yi)));
+            assert_eq!(run2(|a, b| AluOp::Sll.apply(&a, &b), x, y), u64::from(xi << sh));
+            assert_eq!(run2(|a, b| AluOp::Srl.apply(&a, &b), x, y), u64::from(xi >> sh));
+            assert_eq!(
+                run2(|a, b| AluOp::Sra.apply(&a, &b), x, y),
+                u64::from(((xi as i32) >> sh) as u32)
+            );
+            assert_eq!(
+                run2(|a, b| AluOp::Slt.apply(&a, &b), x, y),
+                u64::from((xi as i32) < (yi as i32))
+            );
+            assert_eq!(run2(|a, b| AluOp::Sltu.apply(&a, &b), x, y), u64::from(xi < yi));
+            assert_eq!(run2(|a, b| AluOp::PassB.apply(&a, &b), x, y), y);
+        }
+    }
+
+    #[test]
+    fn immediate_decoding() {
+        // ADDI x1, x0, -1 => imm = 0xFFF (I-format, sign extended)
+        let instr = 0xFFF0_0093u64;
+        let got = run2(|a, _| ImmFormat::I.decode(&a), instr, 0);
+        assert_eq!(got, 0xFFFF_FFFF);
+        // LUI x1, 0xDEADB => imm = 0xDEADB000 (U-format)
+        let instr = 0xDEAD_B0B7u64;
+        assert_eq!(run2(|a, _| ImmFormat::U.decode(&a), instr, 0), 0xDEAD_B000);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        for (mask, width) in
+            [(MaskMode::Byte, 8u32), (MaskMode::Half, 16), (MaskMode::Word, 32)]
+        {
+            let offsets: &[u64] = match mask {
+                MaskMode::Byte => &[0, 1, 2, 3],
+                MaskMode::Half => &[0, 2],
+                MaskMode::Word => &[0],
+            };
+            for &off in offsets {
+                let old = 0x1122_3344u64;
+                let val = 0xAABB_CCDDu64;
+                let merged = run2(
+                    |o, v| {
+                        store_merge(mask, &o, &v, &Expr::const_u64(2, off))
+                    },
+                    old,
+                    val,
+                );
+                let loaded = run2(
+                    |w, _| load_value(mask, false, &w, &Expr::const_u64(2, off)),
+                    merged,
+                    0,
+                );
+                let expect = val & ((1u64 << width) - 1).min(0xFFFF_FFFF);
+                assert_eq!(loaded, expect, "{mask:?} at offset {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_loads_extend() {
+        let word = 0x0000_8080u64;
+        let sb = run2(
+            |w, _| load_value(MaskMode::Byte, true, &w, &Expr::const_u64(2, 0)),
+            word,
+            0,
+        );
+        assert_eq!(sb, 0xFFFF_FF80);
+        let sh = run2(
+            |w, _| load_value(MaskMode::Half, true, &w, &Expr::const_u64(2, 0)),
+            word,
+            0,
+        );
+        assert_eq!(sh, 0xFFFF_8080);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let a = 0xFFFF_FFFFu64; // -1 signed
+        let b = 1u64;
+        assert_eq!(run2(|x, y| BranchCond::Eq.apply(&x, &y).zext(32), a, b), 0);
+        assert_eq!(run2(|x, y| BranchCond::Ne.apply(&x, &y).zext(32), a, b), 1);
+        assert_eq!(run2(|x, y| BranchCond::Lt.apply(&x, &y).zext(32), a, b), 1); // -1 < 1
+        assert_eq!(run2(|x, y| BranchCond::Ltu.apply(&x, &y).zext(32), a, b), 0); // max > 1
+        assert_eq!(run2(|x, y| BranchCond::Geu.apply(&x, &y).zext(32), a, b), 1);
+        assert_eq!(run2(|x, y| BranchCond::Never.apply(&x, &y).zext(32), a, b), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The ILA specification for the RISC-V cores, generated from the
+//! instruction table.
+//!
+//! Architectural state: `pc` (32 bits), `GPR` (32 × 32-bit registers,
+//! with x0 hardwired to zero via masked reads and conditional writes),
+//! `mem` (word-addressed data memory) and `imem` (word-addressed,
+//! read-only instruction memory). Each instruction's decode matches the
+//! fetched word's opcode/funct fields; updates are built from the same
+//! generic semantic functions the datapath uses.
+
+use super::isa::{
+    instruction_table, load_value, store_merge, BranchCond, Extensions, WbSource,
+};
+use owl_ila::{Ila, Instr, SpecExpr};
+
+/// Data/instruction memory address width (word addressed; byte address
+/// bits \[31:2\]).
+pub const MEM_ADDR_WIDTH: u32 = 30;
+
+/// Builds the specification for the given extension set.
+#[must_use]
+pub fn rv32i_spec(ext: Extensions) -> Ila {
+    spec_from_table(format!("{ext}"), &instruction_table(ext), false)
+}
+
+/// Builds a specification from an explicit instruction table, optionally
+/// adding the bespoke `CMOV` instruction (used by the constant-time
+/// cryptography core, §4.2): `rd' = if rs2 != 0 { rs1 } else { rd }`.
+#[must_use]
+pub fn spec_from_table(
+    name: impl Into<String>,
+    table: &[super::isa::InstrSpec],
+    include_cmov: bool,
+) -> Ila {
+    let mut ila = Ila::new(name);
+    let pc = ila.new_bv_state("pc", 32);
+    ila.new_mem_state("GPR", 5, 32);
+    ila.new_mem_state("mem", MEM_ADDR_WIDTH, 32);
+    ila.new_mem_state("imem", MEM_ADDR_WIDTH, 32);
+
+    let instr = SpecExpr::load("imem", pc.clone().extract(31, 2));
+    let opcode = instr.clone().extract(6, 0);
+    let rd = instr.clone().extract(11, 7);
+    let funct3 = instr.clone().extract(14, 12);
+    let rs1 = instr.clone().extract(19, 15);
+    let rs2 = instr.clone().extract(24, 20);
+    let funct7 = instr.clone().extract(31, 25);
+
+    let read_gpr = |field: &SpecExpr| {
+        SpecExpr::ite(
+            field.clone().eq(SpecExpr::const_u64(5, 0)),
+            SpecExpr::const_u64(32, 0),
+            SpecExpr::load("GPR", field.clone()),
+        )
+    };
+    let rs1_val = read_gpr(&rs1);
+    let rs2_val = read_gpr(&rs2);
+    let pc_plus4 = pc.clone().add(SpecExpr::const_u64(32, 4));
+
+    for entry in table.iter().copied() {
+        let mut decode = opcode.clone().eq(SpecExpr::const_u64(7, u64::from(entry.opcode)));
+        if let Some(f3) = entry.funct3 {
+            decode = decode.and(funct3.clone().eq(SpecExpr::const_u64(3, u64::from(f3))));
+        }
+        if let Some(f7) = entry.funct7 {
+            decode = decode.and(funct7.clone().eq(SpecExpr::const_u64(7, u64::from(f7))));
+        }
+        if let Some(r2) = entry.rs2_field {
+            decode = decode.and(rs2.clone().eq(SpecExpr::const_u64(5, u64::from(r2))));
+        }
+
+        let ctrl = entry.ctrl;
+        let imm = ctrl.imm.decode(&instr);
+        let alu_a = if ctrl.alu_src1_pc { pc.clone() } else { rs1_val.clone() };
+        let alu_b = if ctrl.alu_imm { imm.clone() } else { rs2_val.clone() };
+        let alu_out = ctrl.alu_op.apply(&alu_a, &alu_b);
+        let word_addr = alu_out.clone().extract(31, 2);
+        let addr_lo = alu_out.clone().extract(1, 0);
+
+        let mut i = Instr::new(entry.name);
+        i.set_decode(decode);
+
+        // Program counter.
+        let next_pc = if ctrl.jump {
+            if ctrl.jalr {
+                rs1_val
+                    .clone()
+                    .add(imm.clone())
+                    .and(SpecExpr::const_u64(32, 0xFFFF_FFFE))
+            } else {
+                pc.clone().add(imm.clone())
+            }
+        } else if ctrl.branch != BranchCond::Never {
+            SpecExpr::ite(
+                ctrl.branch.apply(&rs1_val, &rs2_val),
+                pc.clone().add(imm.clone()),
+                pc_plus4.clone(),
+            )
+        } else {
+            pc_plus4.clone()
+        };
+        i.set_update("pc", next_pc);
+
+        // Register file.
+        if ctrl.reg_write {
+            let value = match ctrl.wb {
+                WbSource::Alu => alu_out.clone(),
+                WbSource::PcPlus4 => pc_plus4.clone(),
+                WbSource::Mem => {
+                    let word = SpecExpr::load("mem", word_addr.clone());
+                    load_value(ctrl.mask, ctrl.mem_sign, &word, &addr_lo)
+                }
+            };
+            i.set_store_when("GPR", rd.clone(), value, rd.clone().neq(SpecExpr::const_u64(5, 0)));
+        }
+
+        // Data memory.
+        if ctrl.mem_write {
+            let old = SpecExpr::load("mem", word_addr.clone());
+            let merged = store_merge(ctrl.mask, &old, &rs2_val, &addr_lo);
+            i.set_store("mem", word_addr, merged);
+        }
+
+        ila.add_instr(i);
+    }
+
+    if include_cmov {
+        let mut cmov = Instr::new("CMOV");
+        cmov.set_decode(
+            opcode
+                .clone()
+                .eq(SpecExpr::const_u64(7, u64::from(crate::asm::CMOV_OPCODE)))
+                .and(funct3.clone().eq(SpecExpr::const_u64(3, 0)))
+                .and(funct7.clone().eq(SpecExpr::const_u64(7, 0))),
+        );
+        cmov.set_update("pc", pc_plus4.clone());
+        let rd_val = read_gpr(&rd);
+        let moved = SpecExpr::ite(
+            rs2_val.clone().neq(SpecExpr::const_u64(32, 0)),
+            rs1_val.clone(),
+            rd_val,
+        );
+        cmov.set_store_when("GPR", rd.clone(), moved, rd.clone().neq(SpecExpr::const_u64(5, 0)));
+        ila.add_instr(cmov);
+    }
+    ila
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_ila::golden::{GoldenModel, SpecState};
+
+    fn encode_r(opcode: u32, rd: u32, f3: u32, rs1: u32, rs2: u32, f7: u32) -> u64 {
+        u64::from(
+            opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) | (f7 << 25),
+        )
+    }
+
+    fn encode_i(opcode: u32, rd: u32, f3: u32, rs1: u32, imm12: u32) -> u64 {
+        u64::from(opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | ((imm12 & 0xFFF) << 20))
+    }
+
+    fn fresh_state(ila: &Ila) -> SpecState {
+        SpecState::zeroed(ila)
+    }
+
+    fn load_instr(state: &mut SpecState, word_addr: u64, encoding: u64) {
+        state
+            .mems
+            .get_mut("imem")
+            .unwrap()
+            .write(word_addr, BitVec::from_u64(32, encoding));
+    }
+
+    #[test]
+    fn spec_checks_for_all_variants() {
+        for ext in [Extensions::BASE, Extensions::ZBKB, Extensions::ZBKC] {
+            let ila = rv32i_spec(ext);
+            ila.check().unwrap_or_else(|e| panic!("{ext}: {e}"));
+        }
+        assert_eq!(rv32i_spec(Extensions::BASE).instrs().len(), 37);
+        assert_eq!(rv32i_spec(Extensions::ZBKC).instrs().len(), 51);
+    }
+
+    #[test]
+    fn golden_addi_and_add() {
+        let ila = rv32i_spec(Extensions::BASE);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        // addi x1, x0, 42 ; addi x2, x1, -2 ; add x3, x1, x2
+        load_instr(&mut st, 0, encode_i(0b001_0011, 1, 0, 0, 42));
+        load_instr(&mut st, 1, encode_i(0b001_0011, 2, 0, 1, 0xFFE));
+        load_instr(&mut st, 2, encode_r(0b011_0011, 3, 0, 1, 2, 0));
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("ADDI"));
+        assert_eq!(st.bvs["pc"].to_u64(), Some(4));
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("ADDI"));
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("ADD"));
+        assert_eq!(st.mems["GPR"].read(1).to_u64(), Some(42));
+        assert_eq!(st.mems["GPR"].read(2).to_u64(), Some(40));
+        assert_eq!(st.mems["GPR"].read(3).to_u64(), Some(82));
+    }
+
+    #[test]
+    fn golden_x0_is_never_written() {
+        let ila = rv32i_spec(Extensions::BASE);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        load_instr(&mut st, 0, encode_i(0b001_0011, 0, 0, 0, 99)); // addi x0, x0, 99
+        load_instr(&mut st, 1, encode_r(0b011_0011, 1, 0, 0, 0, 0)); // add x1, x0, x0
+        model.step(&mut st).unwrap();
+        model.step(&mut st).unwrap();
+        assert_eq!(st.mems["GPR"].read(0).to_u64(), Some(0));
+        assert_eq!(st.mems["GPR"].read(1).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn golden_branches() {
+        let ila = rv32i_spec(Extensions::BASE);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        // beq x0, x0, +8 (taken): opcode 1100011, f3=0, imm=8
+        // imm[12|10:5] -> funct7 field, imm[4:1|11] -> rd field.
+        let beq_taken = 0b110_0011u64 | (0b01000 << 7) | (0 << 12) | (0 << 15) | (0 << 20);
+        load_instr(&mut st, 0, beq_taken);
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("BEQ"));
+        assert_eq!(st.bvs["pc"].to_u64(), Some(8));
+        // bne x0, x0 (not taken) at pc=8.
+        let bne = 0b110_0011u64 | (0b01000 << 7) | (0b001 << 12);
+        load_instr(&mut st, 2, bne);
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("BNE"));
+        assert_eq!(st.bvs["pc"].to_u64(), Some(12));
+    }
+
+    #[test]
+    fn golden_loads_and_stores() {
+        let ila = rv32i_spec(Extensions::BASE);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        st.mems.get_mut("GPR").unwrap().write(1, BitVec::from_u64(32, 0x100)); // base
+        st.mems.get_mut("GPR").unwrap().write(2, BitVec::from_u64(32, 0xDEAD_BEEF));
+        // sw x2, 4(x1) ; lw x3, 4(x1) ; lb x4, 4(x1) ; lbu x5, 7(x1)
+        let sw = 0b010_0011u64 | (0b100 << 7) | (0b010 << 12) | (1 << 15) | (2 << 20);
+        load_instr(&mut st, 0, sw);
+        load_instr(&mut st, 1, encode_i(0b000_0011, 3, 0b010, 1, 4)); // lw
+        load_instr(&mut st, 2, encode_i(0b000_0011, 4, 0b000, 1, 4)); // lb
+        load_instr(&mut st, 3, encode_i(0b000_0011, 5, 0b100, 1, 7)); // lbu
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("SW"));
+        assert_eq!(st.mems["mem"].read(0x104 >> 2).to_u64(), Some(0xDEAD_BEEF));
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("LW"));
+        assert_eq!(st.mems["GPR"].read(3).to_u64(), Some(0xDEAD_BEEF));
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("LB"));
+        assert_eq!(st.mems["GPR"].read(4).to_u64(), Some(0xFFFF_FFEF)); // sext(0xEF)
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("LBU"));
+        assert_eq!(st.mems["GPR"].read(5).to_u64(), Some(0xDE));
+    }
+
+    #[test]
+    fn golden_jal_jalr() {
+        let ila = rv32i_spec(Extensions::BASE);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        // jal x1, +8: opcode 1101111; imm[20|10:1|11|19:12] in [31:12].
+        let jal = 0b110_1111u64 | (1 << 7) | (0x008 << 20); // imm10:1 = 4 -> +8
+        load_instr(&mut st, 0, jal);
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("JAL"));
+        assert_eq!(st.bvs["pc"].to_u64(), Some(8));
+        assert_eq!(st.mems["GPR"].read(1).to_u64(), Some(4)); // link = pc + 4
+        // jalr x2, 3(x1): target = (4 + 3) & ~1 = 6... use aligned: 8(x1)=12.
+        let jalr = encode_i(0b110_0111, 2, 0, 1, 8);
+        load_instr(&mut st, 2, jalr);
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("JALR"));
+        assert_eq!(st.bvs["pc"].to_u64(), Some(12));
+        assert_eq!(st.mems["GPR"].read(2).to_u64(), Some(12)); // link = 8 + 4
+    }
+
+    #[test]
+    fn golden_zbkb_rev8() {
+        let ila = rv32i_spec(Extensions::ZBKB);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        st.mems.get_mut("GPR").unwrap().write(1, BitVec::from_u64(32, 0x1234_5678));
+        // rev8 x2, x1: opcode 0010011 f3=101 f7=0110100 rs2=11000
+        let rev8 = encode_r(0b001_0011, 2, 0b101, 1, 0b11000, 0b011_0100);
+        load_instr(&mut st, 0, rev8);
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("REV8"));
+        assert_eq!(st.mems["GPR"].read(2).to_u64(), Some(0x7856_3412));
+    }
+
+    #[test]
+    fn golden_zbkc_clmul() {
+        let ila = rv32i_spec(Extensions::ZBKC);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut st = fresh_state(&ila);
+        st.mems.get_mut("GPR").unwrap().write(1, BitVec::from_u64(32, 0b110));
+        st.mems.get_mut("GPR").unwrap().write(2, BitVec::from_u64(32, 0b11));
+        let clmul = encode_r(0b011_0011, 3, 0b001, 1, 2, 0b000_0101);
+        load_instr(&mut st, 0, clmul);
+        assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("CLMUL"));
+        assert_eq!(st.mems["GPR"].read(3).to_u64(), Some(0b1010));
+    }
+}

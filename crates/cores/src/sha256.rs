@@ -1,0 +1,305 @@
+//! Constant-time SHA-256 for the CMOV ISA (paper §5.2).
+//!
+//! The generated program is *independent of the message*: it always
+//! processes exactly one padded block, using `CMOV` to select between
+//! message bytes, the `0x80` pad byte, and zero based on the length word
+//! in data memory. The number of executed instructions — and hence cycles
+//! — is therefore identical for every input length (the paper evaluates
+//! lengths 4 through 32).
+//!
+//! A pure-Rust reference implementation is provided for digest checks.
+
+use crate::asm::{Asm, Program};
+
+/// SHA-256 round constants (FIPS 180-4).
+pub const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// SHA-256 initial hash values.
+pub const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Byte address of the message-length word.
+pub const LEN_ADDR: u32 = 0x100;
+/// Byte address of the 64-byte message block area (big-endian words).
+pub const BLOCK_ADDR: u32 = 0x140;
+/// Byte address of the 16-word message-schedule scratch area.
+pub const SCHED_ADDR: u32 = 0x200;
+/// Byte address of the 8-word output digest.
+pub const OUT_ADDR: u32 = 0x280;
+
+/// Maximum message length the single-block program supports.
+pub const MAX_LEN: usize = 55;
+
+// Register allocation: x8..x15 = a..h, x16 = len, x1..x7 = temps.
+const A: u32 = 8;
+const E: u32 = 12;
+const LEN: u32 = 16;
+
+/// Builds the constant-time SHA-256 program (one padded block).
+#[must_use]
+pub fn sha256_program() -> Program {
+    let mut p = Program::new();
+
+    // len into x16.
+    p.push(Asm::Lw { rd: LEN, rs1: 0, offset: LEN_ADDR as i32 });
+
+    // Build the padded schedule words w[0..14) with CMOV byte selection.
+    for i in 0..14u32 {
+        p.push(Asm::Lw { rd: 1, rs1: 0, offset: (BLOCK_ADDR + 4 * i) as i32 });
+        p.li(7, 0); // accumulator for the padded word
+        for j in 0..4u32 {
+            let k = 4 * i + j;
+            let shift = 24 - 8 * j;
+            // byte = (word >> shift) & 0xFF
+            p.push(Asm::Srli { rd: 2, rs1: 1, shamt: shift });
+            p.push(Asm::Andi { rd: 2, rs1: 2, imm: 0xFF });
+            // keep the message byte when k < len
+            p.push(Asm::Addi { rd: 3, rs1: 0, imm: k as i32 });
+            p.push(Asm::Sltu { rd: 4, rs1: 3, rs2: LEN });
+            p.li(5, 0);
+            p.push(Asm::Cmov { rd: 5, rs1: 2, rs2: 4 });
+            // the 0x80 terminator when k == len
+            p.push(Asm::Xor { rd: 6, rs1: 3, rs2: LEN });
+            p.push(Asm::Sltiu { rd: 6, rs1: 6, imm: 1 });
+            p.li(2, 0x80);
+            p.li(3, 0);
+            p.push(Asm::Cmov { rd: 3, rs1: 2, rs2: 6 });
+            p.push(Asm::Or { rd: 5, rs1: 5, rs2: 3 });
+            // position the byte and accumulate
+            p.push(Asm::Slli { rd: 5, rs1: 5, shamt: shift });
+            p.push(Asm::Or { rd: 7, rs1: 7, rs2: 5 });
+        }
+        p.push(Asm::Sw { rs2: 7, rs1: 0, offset: (SCHED_ADDR + 4 * i) as i32 });
+    }
+    // w[14] = 0, w[15] = len * 8 (bit length; single block, len <= 55).
+    p.push(Asm::Sw { rs2: 0, rs1: 0, offset: (SCHED_ADDR + 56) as i32 });
+    p.push(Asm::Slli { rd: 1, rs1: LEN, shamt: 3 });
+    p.push(Asm::Sw { rs2: 1, rs1: 0, offset: (SCHED_ADDR + 60) as i32 });
+
+    // Working variables a..h = H0..H7.
+    for (i, &h) in H0.iter().enumerate() {
+        p.li(A + i as u32, h);
+    }
+
+    // 64 rounds, fully unrolled.
+    for t in 0..64u32 {
+        let sched = |idx: u32| (SCHED_ADDR + 4 * (idx % 16)) as i32;
+        if t < 16 {
+            p.push(Asm::Lw { rd: 1, rs1: 0, offset: sched(t) });
+        } else {
+            // w[t] = σ1(w[t-2]) + w[t-7] + σ0(w[t-15]) + w[t-16]
+            p.push(Asm::Lw { rd: 2, rs1: 0, offset: sched(t - 2) });
+            p.push(Asm::Rori { rd: 3, rs1: 2, shamt: 17 });
+            p.push(Asm::Rori { rd: 4, rs1: 2, shamt: 19 });
+            p.push(Asm::Srli { rd: 5, rs1: 2, shamt: 10 });
+            p.push(Asm::Xor { rd: 3, rs1: 3, rs2: 4 });
+            p.push(Asm::Xor { rd: 3, rs1: 3, rs2: 5 });
+            p.push(Asm::Lw { rd: 4, rs1: 0, offset: sched(t - 7) });
+            p.push(Asm::Add { rd: 3, rs1: 3, rs2: 4 });
+            p.push(Asm::Lw { rd: 2, rs1: 0, offset: sched(t - 15) });
+            p.push(Asm::Rori { rd: 4, rs1: 2, shamt: 7 });
+            p.push(Asm::Rori { rd: 5, rs1: 2, shamt: 18 });
+            p.push(Asm::Srli { rd: 6, rs1: 2, shamt: 3 });
+            p.push(Asm::Xor { rd: 4, rs1: 4, rs2: 5 });
+            p.push(Asm::Xor { rd: 4, rs1: 4, rs2: 6 });
+            p.push(Asm::Add { rd: 3, rs1: 3, rs2: 4 });
+            p.push(Asm::Lw { rd: 2, rs1: 0, offset: sched(t) });
+            p.push(Asm::Add { rd: 1, rs1: 3, rs2: 2 });
+            p.push(Asm::Sw { rs2: 1, rs1: 0, offset: sched(t) });
+        }
+        // T1 = h + Σ1(e) + Ch(e,f,g) + K[t] + w[t]
+        p.push(Asm::Rori { rd: 2, rs1: E, shamt: 6 });
+        p.push(Asm::Rori { rd: 3, rs1: E, shamt: 11 });
+        p.push(Asm::Rori { rd: 4, rs1: E, shamt: 25 });
+        p.push(Asm::Xor { rd: 2, rs1: 2, rs2: 3 });
+        p.push(Asm::Xor { rd: 2, rs1: 2, rs2: 4 });
+        p.push(Asm::And { rd: 3, rs1: E, rs2: E + 1 });
+        p.push(Asm::Andn { rd: 4, rs1: E + 2, rs2: E });
+        p.push(Asm::Xor { rd: 3, rs1: 3, rs2: 4 });
+        p.push(Asm::Add { rd: 2, rs1: E + 3, rs2: 2 }); // + h
+        p.push(Asm::Add { rd: 2, rs1: 2, rs2: 3 });
+        p.li(3, K[t as usize]);
+        p.push(Asm::Add { rd: 2, rs1: 2, rs2: 3 });
+        p.push(Asm::Add { rd: 2, rs1: 2, rs2: 1 }); // T1 in x2
+        // T2 = Σ0(a) + Maj(a,b,c)
+        p.push(Asm::Rori { rd: 3, rs1: A, shamt: 2 });
+        p.push(Asm::Rori { rd: 4, rs1: A, shamt: 13 });
+        p.push(Asm::Rori { rd: 5, rs1: A, shamt: 22 });
+        p.push(Asm::Xor { rd: 3, rs1: 3, rs2: 4 });
+        p.push(Asm::Xor { rd: 3, rs1: 3, rs2: 5 });
+        p.push(Asm::And { rd: 4, rs1: A, rs2: A + 1 });
+        p.push(Asm::And { rd: 5, rs1: A, rs2: A + 2 });
+        p.push(Asm::Xor { rd: 4, rs1: 4, rs2: 5 });
+        p.push(Asm::And { rd: 5, rs1: A + 1, rs2: A + 2 });
+        p.push(Asm::Xor { rd: 4, rs1: 4, rs2: 5 });
+        p.push(Asm::Add { rd: 3, rs1: 3, rs2: 4 }); // T2 in x3
+        // Rotate the working variables.
+        p.push(Asm::Add { rd: 15, rs1: 14, rs2: 0 }); // h = g
+        p.push(Asm::Add { rd: 14, rs1: 13, rs2: 0 }); // g = f
+        p.push(Asm::Add { rd: 13, rs1: 12, rs2: 0 }); // f = e
+        p.push(Asm::Add { rd: 12, rs1: 11, rs2: 2 }); // e = d + T1
+        p.push(Asm::Add { rd: 11, rs1: 10, rs2: 0 }); // d = c
+        p.push(Asm::Add { rd: 10, rs1: 9, rs2: 0 }); // c = b
+        p.push(Asm::Add { rd: 9, rs1: 8, rs2: 0 }); // b = a
+        p.push(Asm::Add { rd: 8, rs1: 2, rs2: 3 }); // a = T1 + T2
+    }
+
+    // Digest = H0..H7 + a..h.
+    for (i, &h) in H0.iter().enumerate() {
+        p.li(1, h);
+        p.push(Asm::Add { rd: 1, rs1: 1, rs2: A + i as u32 });
+        p.push(Asm::Sw { rs2: 1, rs1: 0, offset: (OUT_ADDR + 4 * i as u32) as i32 });
+    }
+    p
+}
+
+/// Packs a message into the data-memory image the program expects:
+/// the length word plus the big-endian block words (zero beyond the
+/// message).
+///
+/// # Panics
+///
+/// Panics if the message exceeds [`MAX_LEN`] bytes.
+#[must_use]
+pub fn message_data(msg: &[u8]) -> Vec<(u64, u32)> {
+    assert!(msg.len() <= MAX_LEN, "single-block program supports up to {MAX_LEN} bytes");
+    let mut out = vec![(u64::from(LEN_ADDR) >> 2, msg.len() as u32)];
+    for i in 0..16usize {
+        let mut word = 0u32;
+        for j in 0..4 {
+            let k = 4 * i + j;
+            let byte = msg.get(k).copied().unwrap_or(0);
+            word |= u32::from(byte) << (24 - 8 * j);
+        }
+        out.push(((u64::from(BLOCK_ADDR) >> 2) + i as u64, word));
+    }
+    out
+}
+
+/// Reads the digest back from a finished simulation.
+#[must_use]
+pub fn read_digest(sim: &owl_oyster::Interpreter<'_>) -> [u8; 32] {
+    let mut digest = [0u8; 32];
+    for i in 0..8usize {
+        let word = sim
+            .mem("d_mem")
+            .expect("d_mem")
+            .read((u64::from(OUT_ADDR) >> 2) + i as u64)
+            .to_u64()
+            .expect("digest word") as u32;
+        digest[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    digest
+}
+
+/// Reference SHA-256 (any length), for checking hardware digests.
+#[must_use]
+pub fn sha256_ref(msg: &[u8]) -> [u8; 32] {
+    let mut padded = msg.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&(8 * msg.len() as u64).to_be_bytes());
+
+    let mut h = H0;
+    for block in padded.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for t in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *hi = hi.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn reference_matches_nist_vectors() {
+        assert_eq!(
+            hex(&sha256_ref(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256_ref(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256_ref(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn program_is_message_independent() {
+        // The program text never depends on the message: it is generated
+        // once, with a fixed instruction count.
+        let p1 = sha256_program();
+        let p2 = sha256_program();
+        assert_eq!(p1.encode(), p2.encode());
+        assert!(p1.len() > 2000, "fully unrolled program expected");
+    }
+
+    #[test]
+    fn message_data_packs_big_endian() {
+        let data = message_data(b"abcd");
+        assert_eq!(data[0], (u64::from(LEN_ADDR) >> 2, 4));
+        assert_eq!(data[1], (u64::from(BLOCK_ADDR) >> 2, 0x6162_6364));
+        assert_eq!(data[2].1, 0);
+    }
+}

@@ -1,0 +1,507 @@
+//! RISC-V Zbkb/Zbkc bit-manipulation semantics, written once and shared.
+//!
+//! The same definitions must appear on both sides of the synthesis
+//! problem — in the datapath sketch's ALU (over [`Wire`]) and in the ILA
+//! specification (over [`SpecExpr`]) — so they are implemented generically
+//! over the [`SynthExpr`] trait. Rotates use the shift-or construction
+//! (widths must be powers of two), `clmul` unrolls the carry-less
+//! product, and the permutation instructions are extract/concat networks.
+
+use crate::module::Wire;
+use owl_ila::SpecExpr;
+use owl_oyster::Expr;
+
+/// Expression languages the bit-manipulation library can target.
+///
+/// Conditions follow the "nonzero is true" convention in both worlds.
+pub trait SynthExpr: Sized + Clone {
+    /// A constant of the given width.
+    fn lit(width: u32, value: u64) -> Self;
+    /// Bitwise NOT.
+    fn not_(self) -> Self;
+    /// Bitwise AND.
+    fn and_(self, rhs: Self) -> Self;
+    /// Bitwise OR.
+    fn or_(self, rhs: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor_(self, rhs: Self) -> Self;
+    /// Addition modulo `2^w`.
+    fn add_(self, rhs: Self) -> Self;
+    /// Subtraction modulo `2^w`.
+    fn sub_(self, rhs: Self) -> Self;
+    /// Arithmetic right shift.
+    fn ashr_(self, rhs: Self) -> Self;
+    /// Equality (1-bit result).
+    fn eq_(self, rhs: Self) -> Self;
+    /// Unsigned less-than (1-bit result).
+    fn ult_(self, rhs: Self) -> Self;
+    /// Signed less-than (1-bit result).
+    fn slt_(self, rhs: Self) -> Self;
+    /// Left shift.
+    fn shl_(self, rhs: Self) -> Self;
+    /// Logical right shift.
+    fn lshr_(self, rhs: Self) -> Self;
+    /// If-then-else on a (possibly wide) condition.
+    fn ite_(cond: Self, then: Self, els: Self) -> Self;
+    /// Bit extraction.
+    fn extract_(self, high: u32, low: u32) -> Self;
+    /// Concatenation (`self` high).
+    fn concat_(self, low: Self) -> Self;
+    /// Zero extension.
+    fn zext_(self, width: u32) -> Self;
+    /// Sign extension.
+    fn sext_(self, width: u32) -> Self;
+}
+
+impl SynthExpr for Expr {
+    fn lit(width: u32, value: u64) -> Self {
+        Expr::const_u64(width, value)
+    }
+    fn not_(self) -> Self {
+        self.not()
+    }
+    fn and_(self, rhs: Self) -> Self {
+        self.and(rhs)
+    }
+    fn or_(self, rhs: Self) -> Self {
+        self.or(rhs)
+    }
+    fn xor_(self, rhs: Self) -> Self {
+        self.xor(rhs)
+    }
+    fn add_(self, rhs: Self) -> Self {
+        self.add(rhs)
+    }
+    fn sub_(self, rhs: Self) -> Self {
+        self.sub(rhs)
+    }
+    fn ashr_(self, rhs: Self) -> Self {
+        Expr::binop(owl_oyster::BinOp::Ashr, self, rhs)
+    }
+    fn eq_(self, rhs: Self) -> Self {
+        self.eq(rhs)
+    }
+    fn ult_(self, rhs: Self) -> Self {
+        Expr::binop(owl_oyster::BinOp::Ult, self, rhs)
+    }
+    fn slt_(self, rhs: Self) -> Self {
+        Expr::binop(owl_oyster::BinOp::Slt, self, rhs)
+    }
+    fn shl_(self, rhs: Self) -> Self {
+        Expr::binop(owl_oyster::BinOp::Shl, self, rhs)
+    }
+    fn lshr_(self, rhs: Self) -> Self {
+        Expr::binop(owl_oyster::BinOp::Lshr, self, rhs)
+    }
+    fn ite_(cond: Self, then: Self, els: Self) -> Self {
+        Expr::ite(cond, then, els)
+    }
+    fn extract_(self, high: u32, low: u32) -> Self {
+        self.extract(high, low)
+    }
+    fn concat_(self, low: Self) -> Self {
+        self.concat(low)
+    }
+    fn zext_(self, width: u32) -> Self {
+        self.zext(width)
+    }
+    fn sext_(self, width: u32) -> Self {
+        self.sext(width)
+    }
+}
+
+impl SynthExpr for SpecExpr {
+    fn lit(width: u32, value: u64) -> Self {
+        SpecExpr::const_u64(width, value)
+    }
+    fn not_(self) -> Self {
+        self.not()
+    }
+    fn and_(self, rhs: Self) -> Self {
+        self.and(rhs)
+    }
+    fn or_(self, rhs: Self) -> Self {
+        self.or(rhs)
+    }
+    fn xor_(self, rhs: Self) -> Self {
+        self.xor(rhs)
+    }
+    fn add_(self, rhs: Self) -> Self {
+        self.add(rhs)
+    }
+    fn sub_(self, rhs: Self) -> Self {
+        self.sub(rhs)
+    }
+    fn ashr_(self, rhs: Self) -> Self {
+        self.ashr(rhs)
+    }
+    fn eq_(self, rhs: Self) -> Self {
+        self.eq(rhs)
+    }
+    fn ult_(self, rhs: Self) -> Self {
+        self.ult(rhs)
+    }
+    fn slt_(self, rhs: Self) -> Self {
+        self.slt(rhs)
+    }
+    fn shl_(self, rhs: Self) -> Self {
+        self.shl(rhs)
+    }
+    fn lshr_(self, rhs: Self) -> Self {
+        self.lshr(rhs)
+    }
+    fn ite_(cond: Self, then: Self, els: Self) -> Self {
+        SpecExpr::ite(cond, then, els)
+    }
+    fn extract_(self, high: u32, low: u32) -> Self {
+        self.extract(high, low)
+    }
+    fn concat_(self, low: Self) -> Self {
+        self.concat(low)
+    }
+    fn zext_(self, width: u32) -> Self {
+        self.zext(width)
+    }
+    fn sext_(self, width: u32) -> Self {
+        self.sext(width)
+    }
+}
+
+impl SynthExpr for Wire {
+    fn lit(width: u32, value: u64) -> Self {
+        Wire::lit(width, value)
+    }
+    fn not_(self) -> Self {
+        !self
+    }
+    fn and_(self, rhs: Self) -> Self {
+        self & rhs
+    }
+    fn or_(self, rhs: Self) -> Self {
+        self | rhs
+    }
+    fn xor_(self, rhs: Self) -> Self {
+        self ^ rhs
+    }
+    fn add_(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn sub_(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    fn ashr_(self, rhs: Self) -> Self {
+        self.shr_arith(rhs)
+    }
+    fn eq_(self, rhs: Self) -> Self {
+        self.eq(rhs)
+    }
+    fn ult_(self, rhs: Self) -> Self {
+        self.lt_u(rhs)
+    }
+    fn slt_(self, rhs: Self) -> Self {
+        self.lt_s(rhs)
+    }
+    fn shl_(self, rhs: Self) -> Self {
+        self << rhs
+    }
+    fn lshr_(self, rhs: Self) -> Self {
+        self >> rhs
+    }
+    fn ite_(cond: Self, then: Self, els: Self) -> Self {
+        cond.select(then, els)
+    }
+    fn extract_(self, high: u32, low: u32) -> Self {
+        self.bits(high, low)
+    }
+    fn concat_(self, low: Self) -> Self {
+        self.concat(low)
+    }
+    fn zext_(self, width: u32) -> Self {
+        self.zext(width)
+    }
+    fn sext_(self, width: u32) -> Self {
+        self.sext(width)
+    }
+}
+
+/// Rotate left by a variable count (`rol`). `width` must be a power of
+/// two.
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two.
+pub fn rol<E: SynthExpr>(x: E, count: E, width: u32) -> E {
+    assert!(width.is_power_of_two(), "rol requires a power-of-two width");
+    let mask = E::lit(width, u64::from(width - 1));
+    let w = E::lit(width, u64::from(width));
+    let m = count.and_(mask.clone());
+    let left = x.clone().shl_(m.clone());
+    let back = w.sub_(m).and_(mask);
+    let right = x.lshr_(back);
+    left.or_(right)
+}
+
+/// Rotate right by a variable count (`ror`/`rori`). `width` must be a
+/// power of two.
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two.
+pub fn ror<E: SynthExpr>(x: E, count: E, width: u32) -> E {
+    assert!(width.is_power_of_two(), "ror requires a power-of-two width");
+    let mask = E::lit(width, u64::from(width - 1));
+    let w = E::lit(width, u64::from(width));
+    let m = count.and_(mask.clone());
+    let right = x.clone().lshr_(m.clone());
+    let back = w.sub_(m).and_(mask);
+    let left = x.shl_(back);
+    left.or_(right)
+}
+
+/// AND with inverted operand (`andn`).
+pub fn andn<E: SynthExpr>(x: E, y: E) -> E {
+    x.and_(y.not_())
+}
+
+/// OR with inverted operand (`orn`).
+pub fn orn<E: SynthExpr>(x: E, y: E) -> E {
+    x.or_(y.not_())
+}
+
+/// Exclusive-NOR (`xnor`).
+pub fn xnor<E: SynthExpr>(x: E, y: E) -> E {
+    x.xor_(y).not_()
+}
+
+/// Byte-order reversal (`rev8`).
+///
+/// # Panics
+///
+/// Panics if `width` is not a multiple of 8.
+pub fn rev8<E: SynthExpr>(x: E, width: u32) -> E {
+    assert!(width % 8 == 0, "rev8 requires a byte-multiple width");
+    let nbytes = width / 8;
+    let mut acc = x.clone().extract_(7, 0);
+    for b in 1..nbytes {
+        acc = acc.concat_(x.clone().extract_(b * 8 + 7, b * 8));
+    }
+    acc
+}
+
+/// Bit reversal within each byte (`brev8` / `rev.b`).
+///
+/// # Panics
+///
+/// Panics if `width` is not a multiple of 8.
+pub fn brev8<E: SynthExpr>(x: E, width: u32) -> E {
+    assert!(width % 8 == 0, "brev8 requires a byte-multiple width");
+    let mut acc: Option<E> = None;
+    for b in (0..width / 8).rev() {
+        for i in b * 8..b * 8 + 8 {
+            let bit = x.clone().extract_(i, i);
+            acc = Some(match acc {
+                Some(a) => a.concat_(bit),
+                None => bit,
+            });
+        }
+    }
+    acc.expect("width checked nonzero")
+}
+
+/// Interleave lower and upper halves (`zip`): output bit `2i` is input
+/// bit `i`, output bit `2i+1` is input bit `i + width/2`.
+///
+/// # Panics
+///
+/// Panics if `width` is odd.
+pub fn zip<E: SynthExpr>(x: E, width: u32) -> E {
+    assert!(width % 2 == 0, "zip requires an even width");
+    let half = width / 2;
+    let src = |i: u32| if i % 2 == 0 { i / 2 } else { i / 2 + half };
+    let mut acc = x.clone().extract_(src(width - 1), src(width - 1));
+    for i in (0..width - 1).rev() {
+        let s = src(i);
+        acc = acc.concat_(x.clone().extract_(s, s));
+    }
+    acc
+}
+
+/// De-interleave (`unzip`): even bits to the lower half, odd bits to the
+/// upper half. Inverse of [`zip`].
+///
+/// # Panics
+///
+/// Panics if `width` is odd.
+pub fn unzip<E: SynthExpr>(x: E, width: u32) -> E {
+    assert!(width % 2 == 0, "unzip requires an even width");
+    let half = width / 2;
+    let src = |j: u32| if j < half { 2 * j } else { 2 * (j - half) + 1 };
+    let mut acc = x.clone().extract_(src(width - 1), src(width - 1));
+    for j in (0..width - 1).rev() {
+        let s = src(j);
+        acc = acc.concat_(x.clone().extract_(s, s));
+    }
+    acc
+}
+
+/// Pack lower halves (`pack`): result's low half is `x`'s, high half is
+/// `y`'s.
+///
+/// # Panics
+///
+/// Panics if `width` is odd.
+pub fn pack<E: SynthExpr>(x: E, y: E, width: u32) -> E {
+    assert!(width % 2 == 0, "pack requires an even width");
+    let half = width / 2;
+    y.extract_(half - 1, 0).concat_(x.extract_(half - 1, 0))
+}
+
+/// Pack low bytes zero-extended (`packh`).
+///
+/// # Panics
+///
+/// Panics if `width` is below 16 bits.
+pub fn packh<E: SynthExpr>(x: E, y: E, width: u32) -> E {
+    assert!(width >= 16, "packh requires width >= 16");
+    y.extract_(7, 0).concat_(x.extract_(7, 0)).zext_(width)
+}
+
+/// Carry-less multiply, low word (`clmul`): unrolled xor of conditional
+/// shifts.
+pub fn clmul<E: SynthExpr>(x: E, y: E, width: u32) -> E {
+    let mut acc = E::lit(width, 0);
+    for i in 0..width {
+        let bit = y.clone().extract_(i, i);
+        let shifted = x.clone().shl_(E::lit(width, u64::from(i)));
+        let term = E::ite_(bit, shifted, E::lit(width, 0));
+        acc = acc.xor_(term);
+    }
+    acc
+}
+
+/// Carry-less multiply, high word (`clmulh`): the upper `width` bits of
+/// the `2*width`-bit carry-less product.
+pub fn clmulh<E: SynthExpr>(x: E, y: E, width: u32) -> E {
+    let wide = 2 * width;
+    let xw = x.zext_(wide);
+    let mut acc = E::lit(wide, 0);
+    for i in 0..width {
+        let bit = y.clone().extract_(i, i);
+        let shifted = xw.clone().shl_(E::lit(wide, u64::from(i)));
+        let term = E::ite_(bit, shifted, E::lit(wide, 0));
+        acc = acc.xor_(term);
+    }
+    acc.extract_(wide - 1, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_oyster::{Design, Interpreter};
+    use std::collections::HashMap;
+
+    /// Evaluates `f(x, y)` as a 32-bit Oyster design over concrete inputs.
+    fn run(f: impl Fn(Expr, Expr) -> Expr, x: u64, y: u64) -> u64 {
+        let mut d = Design::new("t");
+        d.input("x", 32).input("y", 32).output("o", 32);
+        d.assign("o", f(Expr::var("x"), Expr::var("y")));
+        d.check().expect("valid design");
+        let mut sim = Interpreter::new(&d).unwrap();
+        let inputs: HashMap<String, BitVec> = [
+            ("x".to_string(), BitVec::from_u64(32, x)),
+            ("y".to_string(), BitVec::from_u64(32, y)),
+        ]
+        .into();
+        sim.step(&inputs).unwrap().outputs["o"].to_u64().unwrap()
+    }
+
+    const SAMPLES: &[(u64, u64)] = &[
+        (0, 0),
+        (1, 1),
+        (0xDEAD_BEEF, 3),
+        (0x8000_0001, 31),
+        (0x1234_5678, 0xFFFF_FFFF),
+        (0xFFFF_FFFF, 0x55AA_33CC),
+        (0x0F0F_0F0F, 0x1F),
+        (0xCAFE_BABE, 0x40), // rotate counts are masked mod 32
+    ];
+
+    #[test]
+    fn rotates_match_bitvec() {
+        for &(x, y) in SAMPLES {
+            let bx = BitVec::from_u64(32, x);
+            let by = BitVec::from_u64(32, y);
+            assert_eq!(
+                run(|a, b| rol(a, b, 32), x, y),
+                bx.rol(&by).to_u64().unwrap(),
+                "rol({x:#x}, {y:#x})"
+            );
+            assert_eq!(
+                run(|a, b| ror(a, b, 32), x, y),
+                bx.ror(&by).to_u64().unwrap(),
+                "ror({x:#x}, {y:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn logic_with_negate_matches_bitvec() {
+        for &(x, y) in SAMPLES {
+            let bx = BitVec::from_u64(32, x);
+            let by = BitVec::from_u64(32, y);
+            assert_eq!(run(andn, x, y), bx.and(&by.not()).to_u64().unwrap());
+            assert_eq!(run(orn, x, y), bx.or(&by.not()).to_u64().unwrap());
+            assert_eq!(run(xnor, x, y), bx.xor(&by).not().to_u64().unwrap());
+        }
+    }
+
+    #[test]
+    fn byte_permutations_match_bitvec() {
+        for &(x, _) in SAMPLES {
+            let bx = BitVec::from_u64(32, x);
+            assert_eq!(run(|a, _| rev8(a, 32), x, 0), bx.rev8().to_u64().unwrap());
+            assert_eq!(run(|a, _| brev8(a, 32), x, 0), bx.brev8().to_u64().unwrap());
+            assert_eq!(run(|a, _| zip(a, 32), x, 0), bx.zip().to_u64().unwrap(), "zip {x:#x}");
+            assert_eq!(run(|a, _| unzip(a, 32), x, 0), bx.unzip().to_u64().unwrap());
+        }
+    }
+
+    #[test]
+    fn packs_match_bitvec() {
+        for &(x, y) in SAMPLES {
+            let bx = BitVec::from_u64(32, x);
+            let by = BitVec::from_u64(32, y);
+            assert_eq!(run(|a, b| pack(a, b, 32), x, y), bx.pack(&by).to_u64().unwrap());
+            assert_eq!(run(|a, b| packh(a, b, 32), x, y), bx.packh(&by).to_u64().unwrap());
+        }
+    }
+
+    #[test]
+    fn clmul_matches_bitvec() {
+        for &(x, y) in SAMPLES {
+            let bx = BitVec::from_u64(32, x);
+            let by = BitVec::from_u64(32, y);
+            assert_eq!(
+                run(|a, b| clmul(a, b, 32), x, y),
+                bx.clmul(&by).to_u64().unwrap(),
+                "clmul({x:#x}, {y:#x})"
+            );
+            assert_eq!(
+                run(|a, b| clmulh(a, b, 32), x, y),
+                bx.clmulh(&by).to_u64().unwrap(),
+                "clmulh({x:#x}, {y:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_expr_instantiation_compiles() {
+        // The same generic definitions instantiate over SpecExpr.
+        let x = SpecExpr::var("x");
+        let y = SpecExpr::var("y");
+        let _ = rol(x.clone(), y.clone(), 32);
+        let _ = clmul(x.clone(), y.clone(), 32);
+        let _ = rev8(x, 32);
+    }
+}

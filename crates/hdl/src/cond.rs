@@ -1,0 +1,304 @@
+//! PyRTL's `conditional_assignment` pattern.
+//!
+//! `with cond:` blocks assign registers/outputs and issue memory writes
+//! under a guard; nested blocks conjoin guards, and `otherwise` fires when
+//! no preceding sibling condition held. Lowering produces one if-then-else
+//! chain per assigned target (first matching block wins, like PyRTL) and
+//! one guarded `write` per memory write.
+
+use crate::module::{Module, Wire};
+use owl_oyster::{DeclKind, Expr, OysterError};
+
+type GuardedAssign = (Expr, String, Expr);
+type GuardedWrite = (String, Expr, Expr, Expr);
+
+/// A conditional-assignment block under construction. Obtain with
+/// [`Module::conditional`]; finalize with [`Cond::apply`].
+///
+/// # Examples
+///
+/// ```
+/// use owl_hdl::Module;
+///
+/// let mut m = Module::new("demo");
+/// let go = m.input("go", 1);
+/// let stop = m.input("stop", 1);
+/// let acc = m.register("acc", 8);
+/// let one = owl_hdl::Wire::lit(8, 1);
+/// let mut c = m.conditional();
+/// c.when(go, |s| s.set("acc", acc.clone() + one.clone()));
+/// c.when(stop, |s| s.set("acc", owl_hdl::Wire::lit(8, 0)));
+/// c.apply()?;
+/// assert!(m.design().check().is_ok());
+/// # Ok::<(), owl_oyster::OysterError>(())
+/// ```
+#[derive(Debug)]
+pub struct Cond<'m> {
+    module: &'m mut Module,
+    assigns: Vec<GuardedAssign>,
+    writes: Vec<GuardedWrite>,
+    siblings: Vec<Expr>,
+}
+
+/// The body of one `with` block; assign targets and issue writes here.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    guard: Expr,
+    assigns: &'a mut Vec<GuardedAssign>,
+    writes: &'a mut Vec<GuardedWrite>,
+    siblings: Vec<Expr>,
+}
+
+fn or_all(conds: &[Expr]) -> Expr {
+    conds
+        .iter()
+        .cloned()
+        .reduce(|a, b| a.or(b))
+        .unwrap_or_else(|| Expr::const_u64(1, 0))
+}
+
+impl<'m> Cond<'m> {
+    pub(crate) fn new(module: &'m mut Module) -> Self {
+        Cond { module, assigns: Vec::new(), writes: Vec::new(), siblings: Vec::new() }
+    }
+
+    /// Opens a `with cond:` block.
+    pub fn when(&mut self, cond: impl Into<Wire>, body: impl FnOnce(&mut Scope<'_>)) -> &mut Self {
+        let c = cond.into().into_expr();
+        self.siblings.push(c.clone());
+        let mut scope = Scope {
+            guard: c,
+            assigns: &mut self.assigns,
+            writes: &mut self.writes,
+            siblings: Vec::new(),
+        };
+        body(&mut scope);
+        self
+    }
+
+    /// Opens a `with otherwise:` block (no preceding sibling held).
+    pub fn otherwise(&mut self, body: impl FnOnce(&mut Scope<'_>)) -> &mut Self {
+        let guard = or_all(&self.siblings).not();
+        let mut scope = Scope {
+            guard,
+            assigns: &mut self.assigns,
+            writes: &mut self.writes,
+            siblings: Vec::new(),
+        };
+        body(&mut scope);
+        self
+    }
+
+    /// Lowers the collected blocks into the module.
+    ///
+    /// Each assigned target must be a declared register (default: holds
+    /// its value) or output (default: zero). Guards are applied in block
+    /// order; the first matching block wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a target is not a declared register or output.
+    pub fn apply(self) -> Result<(), OysterError> {
+        let Cond { module, assigns, writes, .. } = self;
+        // Group assignments per target, preserving block order.
+        let mut targets: Vec<String> = Vec::new();
+        for (_, t, _) in &assigns {
+            if !targets.contains(t) {
+                targets.push(t.clone());
+            }
+        }
+        for target in targets {
+            let decl = module.design().decl(&target).cloned().ok_or_else(|| {
+                OysterError::new(format!(
+                    "conditional target {target} must be a declared register or output"
+                ))
+            })?;
+            let default = match decl.kind {
+                DeclKind::Register => Expr::var(&target),
+                DeclKind::Output => Expr::Const(owl_bitvec::BitVec::zero(decl.width)),
+                _ => {
+                    return Err(OysterError::new(format!(
+                        "conditional target {target} must be a register or output"
+                    )))
+                }
+            };
+            let chain = assigns
+                .iter()
+                .filter(|(_, t, _)| *t == target)
+                .rev()
+                .fold(default, |acc, (guard, _, value)| {
+                    Expr::ite(guard.clone(), value.clone(), acc)
+                });
+            module.design_mut().assign(&target, chain);
+        }
+        for (mem, addr, data, guard) in writes {
+            module.design_mut().write(&mem, addr, data, guard);
+        }
+        Ok(())
+    }
+}
+
+impl Scope<'_> {
+    /// Assigns `target` under this block's guard.
+    pub fn set(&mut self, target: &str, value: impl Into<Wire>) {
+        self.assigns
+            .push((self.guard.clone(), target.to_string(), value.into().into_expr()));
+    }
+
+    /// Issues a memory write under this block's guard.
+    pub fn write(&mut self, mem: &str, addr: impl Into<Wire>, data: impl Into<Wire>) {
+        self.writes.push((
+            mem.to_string(),
+            addr.into().into_expr(),
+            data.into().into_expr(),
+            self.guard.clone(),
+        ));
+    }
+
+    /// Opens a nested `with cond:` block (guards conjoin).
+    pub fn when(&mut self, cond: impl Into<Wire>, body: impl FnOnce(&mut Scope<'_>)) -> &mut Self {
+        let c = cond.into().into_expr();
+        self.siblings.push(c.clone());
+        let mut scope = Scope {
+            guard: self.guard.clone().and(c),
+            assigns: self.assigns,
+            writes: self.writes,
+            siblings: Vec::new(),
+        };
+        body(&mut scope);
+        self
+    }
+
+    /// Opens a nested `with otherwise:` block.
+    pub fn otherwise(&mut self, body: impl FnOnce(&mut Scope<'_>)) -> &mut Self {
+        let none = or_all(&self.siblings).not();
+        let mut scope = Scope {
+            guard: self.guard.clone().and(none),
+            assigns: self.assigns,
+            writes: self.writes,
+            siblings: Vec::new(),
+        };
+        body(&mut scope);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_oyster::Interpreter;
+    use std::collections::HashMap;
+
+    fn step(sim: &mut Interpreter<'_>, pairs: &[(&str, u32, u64)]) {
+        let inputs: HashMap<String, BitVec> = pairs
+            .iter()
+            .map(|&(n, w, v)| (n.to_string(), BitVec::from_u64(w, v)))
+            .collect();
+        sim.step(&inputs).unwrap();
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut m = Module::new("fm");
+        let a = m.input("a", 1);
+        let b = m.input("b", 1);
+        m.register("r", 8);
+        let mut c = m.conditional();
+        c.when(a, |s| s.set("r", Wire::lit(8, 1)));
+        c.when(b, |s| s.set("r", Wire::lit(8, 2)));
+        c.apply().unwrap();
+        let d = m.finish().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        step(&mut sim, &[("a", 1, 1), ("b", 1, 1)]);
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(1)); // a wins
+        step(&mut sim, &[("a", 1, 0), ("b", 1, 1)]);
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(2));
+        step(&mut sim, &[("a", 1, 0), ("b", 1, 0)]);
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(2)); // register holds
+    }
+
+    #[test]
+    fn otherwise_fires_when_no_sibling_does() {
+        let mut m = Module::new("ow");
+        let a = m.input("a", 1);
+        m.register("x", 4);
+        m.register("y", 4);
+        let mut c = m.conditional();
+        c.when(a, |s| s.set("x", Wire::lit(4, 1)));
+        c.otherwise(|s| s.set("y", Wire::lit(4, 9)));
+        c.apply().unwrap();
+        let d = m.finish().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        step(&mut sim, &[("a", 1, 1)]);
+        assert_eq!(sim.reg("x").unwrap().to_u64(), Some(1));
+        assert_eq!(sim.reg("y").unwrap().to_u64(), Some(0)); // untouched
+        step(&mut sim, &[("a", 1, 0)]);
+        assert_eq!(sim.reg("y").unwrap().to_u64(), Some(9));
+    }
+
+    #[test]
+    fn nested_blocks_conjoin_guards() {
+        let mut m = Module::new("nest");
+        let a = m.input("a", 1);
+        let b = m.input("b", 1);
+        m.register("r", 4);
+        let mut c = m.conditional();
+        c.when(a, |s| {
+            s.when(b, |s2| s2.set("r", Wire::lit(4, 3)));
+            s.otherwise(|s2| s2.set("r", Wire::lit(4, 7)));
+        });
+        c.apply().unwrap();
+        let d = m.finish().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        step(&mut sim, &[("a", 1, 1), ("b", 1, 1)]);
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(3));
+        step(&mut sim, &[("a", 1, 1), ("b", 1, 0)]);
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(7));
+        step(&mut sim, &[("a", 1, 0), ("b", 1, 1)]);
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(7)); // holds
+    }
+
+    #[test]
+    fn guarded_memory_writes() {
+        let mut m = Module::new("gw");
+        let en = m.input("en", 1);
+        let addr = m.input("addr", 2);
+        let data = m.input("data", 8);
+        m.memory("ram", 2, 8);
+        let mut c = m.conditional();
+        c.when(en, |s| s.write("ram", addr, data));
+        c.apply().unwrap();
+        let d = m.finish().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        step(&mut sim, &[("en", 1, 0), ("addr", 2, 1), ("data", 8, 0xAA)]);
+        assert_eq!(sim.mem("ram").unwrap().read(1).to_u64(), Some(0));
+        step(&mut sim, &[("en", 1, 1), ("addr", 2, 1), ("data", 8, 0xAA)]);
+        assert_eq!(sim.mem("ram").unwrap().read(1).to_u64(), Some(0xAA));
+    }
+
+    #[test]
+    fn outputs_default_to_zero() {
+        let mut m = Module::new("od");
+        let a = m.input("a", 1);
+        m.output("o", 4);
+        let mut c = m.conditional();
+        c.when(a, |s| s.set("o", Wire::lit(4, 5)));
+        c.apply().unwrap();
+        let d = m.finish().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        let inputs: HashMap<String, BitVec> =
+            [("a".to_string(), BitVec::from_u64(1, 0))].into();
+        let out = sim.step(&inputs).unwrap();
+        assert_eq!(out.outputs["o"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn undeclared_target_rejected() {
+        let mut m = Module::new("bad");
+        let a = m.input("a", 1);
+        let mut c = m.conditional();
+        c.when(a, |s| s.set("nope", Wire::lit(4, 5)));
+        assert!(c.apply().is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! A PyRTL-flavoured datapath sketch builder.
+//!
+//! The paper's datapath sketches are written in PyRTL; this crate is the
+//! equivalent Rust front end, lowering to the Oyster IR. It provides:
+//!
+//! - [`Module`]: declaration and statement builder producing an
+//!   [`owl_oyster::Design`];
+//! - [`Wire`]: a lightweight expression handle with operator overloading
+//!   (`+`, `-`, `&`, `|`, `^`, `!`, `<<`, `>>`) and comparison/selection
+//!   methods;
+//! - [`Cond`]: PyRTL's `conditional_assignment` pattern, lowering `with
+//!   cond:` blocks to if-then-else chains; and
+//! - [`bitops`]: the RISC-V Zbkb/Zbkc bit-manipulation semantics (rotates,
+//!   byte reversal, zip/unzip, pack, carry-less multiply) implemented
+//!   generically so the same definitions serve datapath sketches and ILA
+//!   specifications.
+//!
+//! # Examples
+//!
+//! ```
+//! use owl_hdl::Module;
+//!
+//! let mut m = Module::new("adder");
+//! let a = m.input("a", 8);
+//! let b = m.input("b", 8);
+//! m.output("sum", 8);
+//! m.assign("sum", a + b);
+//! let design = m.finish()?;
+//! assert!(design.check().is_ok());
+//! # Ok::<(), owl_oyster::OysterError>(())
+//! ```
+
+pub mod bitops;
+mod cond;
+mod module;
+
+pub use cond::Cond;
+pub use module::{Module, Wire};

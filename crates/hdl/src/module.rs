@@ -1,0 +1,347 @@
+//! The [`Module`] builder and [`Wire`] expression handles.
+
+use owl_oyster::{BinOp, Design, Expr, OysterError};
+
+/// A combinational expression handle with operator overloading.
+///
+/// `Wire` wraps an [`Expr`]; cloning is cheap enough for builder use.
+/// Widths are checked when the finished design is validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    expr: Expr,
+}
+
+impl Wire {
+    /// Wraps an expression.
+    #[must_use]
+    pub fn from_expr(expr: Expr) -> Self {
+        Wire { expr }
+    }
+
+    /// The underlying expression.
+    #[must_use]
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Consumes the handle, returning the expression.
+    #[must_use]
+    pub fn into_expr(self) -> Expr {
+        self.expr
+    }
+
+    /// A constant wire.
+    #[must_use]
+    pub fn lit(width: u32, value: u64) -> Wire {
+        Wire::from_expr(Expr::const_u64(width, value))
+    }
+
+    /// Equality comparison (1-bit result).
+    #[must_use]
+    pub fn eq(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(self.expr.clone().eq(rhs.into().expr))
+    }
+
+    /// Disequality comparison (1-bit result).
+    #[must_use]
+    pub fn ne(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(self.expr.clone().neq(rhs.into().expr))
+    }
+
+    /// Unsigned less-than (1-bit result).
+    #[must_use]
+    pub fn lt_u(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::binop(BinOp::Ult, self.expr.clone(), rhs.into().expr))
+    }
+
+    /// Unsigned less-or-equal (1-bit result).
+    #[must_use]
+    pub fn le_u(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::binop(BinOp::Ule, self.expr.clone(), rhs.into().expr))
+    }
+
+    /// Unsigned greater-or-equal (1-bit result).
+    #[must_use]
+    pub fn ge_u(&self, rhs: impl Into<Wire>) -> Wire {
+        rhs.into().le_u(self.clone())
+    }
+
+    /// Signed less-than (1-bit result).
+    #[must_use]
+    pub fn lt_s(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::binop(BinOp::Slt, self.expr.clone(), rhs.into().expr))
+    }
+
+    /// Signed greater-or-equal (1-bit result).
+    #[must_use]
+    pub fn ge_s(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::binop(BinOp::Sle, rhs.into().expr, self.expr.clone()))
+    }
+
+    /// Arithmetic (sign-filling) right shift.
+    #[must_use]
+    pub fn shr_arith(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::binop(BinOp::Ashr, self.expr.clone(), rhs.into().expr))
+    }
+
+    /// Multiplication modulo `2^w`.
+    #[must_use]
+    pub fn mul(&self, rhs: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::binop(BinOp::Mul, self.expr.clone(), rhs.into().expr))
+    }
+
+    /// Bit extraction `[high..=low]`.
+    #[must_use]
+    pub fn bits(&self, high: u32, low: u32) -> Wire {
+        Wire::from_expr(self.expr.clone().extract(high, low))
+    }
+
+    /// A single bit.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> Wire {
+        self.bits(i, i)
+    }
+
+    /// Concatenation: `self` becomes the high part.
+    #[must_use]
+    pub fn concat(&self, low: impl Into<Wire>) -> Wire {
+        Wire::from_expr(self.expr.clone().concat(low.into().expr))
+    }
+
+    /// Zero extension.
+    #[must_use]
+    pub fn zext(&self, width: u32) -> Wire {
+        Wire::from_expr(self.expr.clone().zext(width))
+    }
+
+    /// Sign extension.
+    #[must_use]
+    pub fn sext(&self, width: u32) -> Wire {
+        Wire::from_expr(self.expr.clone().sext(width))
+    }
+
+    /// Selection: `cond.select(t, e)` is `if cond then t else e`
+    /// (the receiver is the condition).
+    #[must_use]
+    pub fn select(&self, then: impl Into<Wire>, els: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::ite(self.expr.clone(), then.into().expr, els.into().expr))
+    }
+}
+
+impl From<Expr> for Wire {
+    fn from(expr: Expr) -> Self {
+        Wire { expr }
+    }
+}
+
+macro_rules! wire_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl std::ops::$trait for Wire {
+            type Output = Wire;
+            fn $method(self, rhs: Wire) -> Wire {
+                Wire::from_expr(Expr::binop($op, self.expr, rhs.expr))
+            }
+        }
+        impl std::ops::$trait<&Wire> for &Wire {
+            type Output = Wire;
+            fn $method(self, rhs: &Wire) -> Wire {
+                Wire::from_expr(Expr::binop($op, self.expr.clone(), rhs.expr.clone()))
+            }
+        }
+    };
+}
+
+wire_binop!(Add, add, BinOp::Add);
+wire_binop!(Sub, sub, BinOp::Sub);
+wire_binop!(BitAnd, bitand, BinOp::And);
+wire_binop!(BitOr, bitor, BinOp::Or);
+wire_binop!(BitXor, bitxor, BinOp::Xor);
+wire_binop!(Shl, shl, BinOp::Shl);
+wire_binop!(Shr, shr, BinOp::Lshr);
+
+impl std::ops::Not for Wire {
+    type Output = Wire;
+    fn not(self) -> Wire {
+        Wire::from_expr(self.expr.not())
+    }
+}
+
+impl std::ops::Not for &Wire {
+    type Output = Wire;
+    fn not(self) -> Wire {
+        Wire::from_expr(self.expr.clone().not())
+    }
+}
+
+/// A datapath module under construction; [`Module::finish`] yields a
+/// checked Oyster [`Design`].
+#[derive(Debug)]
+pub struct Module {
+    design: Design,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { design: Design::new(name) }
+    }
+
+    /// Declares an input and returns its wire.
+    pub fn input(&mut self, name: &str, width: u32) -> Wire {
+        self.design.input(name, width);
+        Wire::from_expr(Expr::var(name))
+    }
+
+    /// Declares an output (drive it with [`Module::assign`]).
+    pub fn output(&mut self, name: &str, width: u32) {
+        self.design.output(name, width);
+    }
+
+    /// Declares a register and returns its (current-value) wire.
+    pub fn register(&mut self, name: &str, width: u32) -> Wire {
+        self.design.register(name, width);
+        Wire::from_expr(Expr::var(name))
+    }
+
+    /// Declares a memory; read with [`Module::read`], write with
+    /// [`Module::write`].
+    pub fn memory(&mut self, name: &str, addr_width: u32, data_width: u32) {
+        self.design.memory(name, addr_width, data_width);
+    }
+
+    /// Declares a ROM with constant contents.
+    pub fn rom(&mut self, name: &str, addr_width: u32, data_width: u32, data: Vec<owl_bitvec::BitVec>) {
+        self.design.rom(name, addr_width, data_width, data);
+    }
+
+    /// Declares a control-logic hole (PyRTL's `??`) and returns its wire.
+    pub fn hole(&mut self, name: &str, width: u32) -> Wire {
+        self.design.hole(name, width);
+        Wire::from_expr(Expr::var(name))
+    }
+
+    /// A memory read expression.
+    #[must_use]
+    pub fn read(&self, mem: &str, addr: impl Into<Wire>) -> Wire {
+        Wire::from_expr(Expr::read(mem, addr.into().into_expr()))
+    }
+
+    /// Adds a guarded synchronous memory write.
+    pub fn write(
+        &mut self,
+        mem: &str,
+        addr: impl Into<Wire>,
+        data: impl Into<Wire>,
+        enable: impl Into<Wire>,
+    ) -> &mut Self {
+        self.design.write(
+            mem,
+            addr.into().into_expr(),
+            data.into().into_expr(),
+            enable.into().into_expr(),
+        );
+        self
+    }
+
+    /// Assigns a wire/output, or a register's next value, and returns the
+    /// assigned wire for further use.
+    pub fn assign(&mut self, name: &str, value: impl Into<Wire>) -> Wire {
+        self.design.assign(name, value.into().into_expr());
+        Wire::from_expr(Expr::var(name))
+    }
+
+    /// Starts a PyRTL-style conditional assignment block.
+    #[must_use]
+    pub fn conditional(&mut self) -> crate::Cond<'_> {
+        crate::Cond::new(self)
+    }
+
+    pub(crate) fn design_mut(&mut self) -> &mut Design {
+        &mut self.design
+    }
+
+    /// A read-only view of the design built so far.
+    #[must_use]
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Validates and returns the finished design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first width or name-resolution error.
+    pub fn finish(self) -> Result<Design, OysterError> {
+        self.design.check()?;
+        Ok(self.design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_oyster::Interpreter;
+    use std::collections::HashMap;
+
+    #[test]
+    fn operators_build_expected_exprs() {
+        let a = Wire::from_expr(Expr::var("a"));
+        let b = Wire::from_expr(Expr::var("b"));
+        assert_eq!((a.clone() + b.clone()).expr().to_string(), "a + b");
+        assert_eq!((&a & &b).expr().to_string(), "a & b");
+        assert_eq!((!a.clone()).expr().to_string(), "~a");
+        assert_eq!(a.eq(b.clone()).expr().to_string(), "a == b");
+        assert_eq!(a.lt_u(b.clone()).expr().to_string(), "a <u b");
+        assert_eq!(a.shr_arith(b.clone()).expr().to_string(), "a >>> b");
+        assert_eq!(a.bits(7, 4).expr().to_string(), "extract(a, 7, 4)");
+        assert_eq!(
+            a.eq(Wire::lit(8, 1)).select(b.clone(), a.clone()).expr().to_string(),
+            "if a == 8'x01 then b else a"
+        );
+    }
+
+    #[test]
+    fn module_builds_runnable_design() {
+        let mut m = Module::new("mac");
+        let x = m.input("x", 8);
+        let en = m.input("en", 1);
+        let acc = m.register("acc", 8);
+        m.output("out", 8);
+        m.assign("acc", en.select(acc.clone() + x, acc.clone()));
+        m.assign("out", acc);
+        let d = m.finish().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), BitVec::from_u64(8, 5));
+        inputs.insert("en".to_string(), BitVec::from_u64(1, 1));
+        sim.step(&inputs).unwrap();
+        sim.step(&inputs).unwrap();
+        assert_eq!(sim.reg("acc").unwrap().to_u64(), Some(10));
+    }
+
+    #[test]
+    fn memory_and_holes() {
+        let mut m = Module::new("mh");
+        let addr = m.input("addr", 4);
+        let data = m.input("data", 8);
+        m.memory("ram", 4, 8);
+        let we = m.hole("we", 1);
+        m.write("ram", addr.clone(), data, we);
+        m.output("q", 8);
+        let q = m.read("ram", addr);
+        m.assign("q", q);
+        let d = m.finish().unwrap();
+        assert_eq!(d.hole_names(), vec!["we"]);
+    }
+
+    #[test]
+    fn finish_rejects_bad_widths() {
+        let mut m = Module::new("bad");
+        let a = m.input("a", 4);
+        let b = m.input("b", 8);
+        m.assign("x", a + b);
+        assert!(m.finish().is_err());
+    }
+}

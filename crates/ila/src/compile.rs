@@ -1,0 +1,229 @@
+//! Compilation of specification expressions to `owl_smt` terms — the
+//! paper's Fig. 8 translation.
+//!
+//! State references do not lower directly: they route through a
+//! [`SpecResolver`], which is how the abstraction function α enters the
+//! picture (`Load(expr) → (pre (α expr))` etc.). `owl-core` implements the
+//! resolver over a datapath's symbolic trace; tests here use a simple
+//! in-memory resolver.
+
+use crate::expr::{BinOp, SpecExpr};
+use crate::model::{Ila, IlaError};
+use owl_smt::{RomId, TermId, TermManager};
+use std::collections::HashMap;
+
+/// Resolves specification-level state references to datapath-level terms.
+///
+/// Implementations embody the abstraction function: a *pre* resolver maps
+/// reads to the initial (or read-timestep) datapath state, a *post*
+/// resolver maps them to the state after the write timestep.
+pub trait SpecResolver {
+    /// Term for a bitvector input or state reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name has no mapping.
+    fn resolve_ref(&mut self, mgr: &mut TermManager, name: &str) -> Result<TermId, IlaError>;
+
+    /// Term for a load from memory state `name` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the memory has no mapping.
+    fn resolve_load(
+        &mut self,
+        mgr: &mut TermManager,
+        name: &str,
+        addr: TermId,
+    ) -> Result<TermId, IlaError>;
+}
+
+/// Compiles a specification expression to a term, routing state references
+/// through `resolver` and lookup tables through ROMs created on demand.
+///
+/// # Errors
+///
+/// Returns an error if a reference fails to resolve or a table is unknown.
+pub fn compile_expr(
+    mgr: &mut TermManager,
+    ila: &Ila,
+    expr: &SpecExpr,
+    resolver: &mut dyn SpecResolver,
+    rom_cache: &mut HashMap<String, RomId>,
+) -> Result<TermId, IlaError> {
+    Ok(match expr {
+        SpecExpr::Ref(n) => resolver.resolve_ref(mgr, n)?,
+        SpecExpr::Const(c) => mgr.bv_const(c.clone()),
+        SpecExpr::Not(a) => {
+            let av = compile_expr(mgr, ila, a, resolver, rom_cache)?;
+            mgr.not(av)
+        }
+        SpecExpr::Binop(op, a, b) => {
+            let x = compile_expr(mgr, ila, a, resolver, rom_cache)?;
+            let y = compile_expr(mgr, ila, b, resolver, rom_cache)?;
+            match op {
+                BinOp::And => mgr.and(x, y),
+                BinOp::Or => mgr.or(x, y),
+                BinOp::Xor => mgr.xor(x, y),
+                BinOp::Add => mgr.add(x, y),
+                BinOp::Sub => mgr.sub(x, y),
+                BinOp::Mul => mgr.mul(x, y),
+                BinOp::Shl => mgr.shl(x, y),
+                BinOp::Lshr => mgr.lshr(x, y),
+                BinOp::Ashr => mgr.ashr(x, y),
+                BinOp::Eq => mgr.eq(x, y),
+                BinOp::Neq => mgr.neq(x, y),
+                BinOp::Ult => mgr.ult(x, y),
+                BinOp::Ule => mgr.ule(x, y),
+                BinOp::Slt => mgr.slt(x, y),
+                BinOp::Sle => mgr.sle(x, y),
+            }
+        }
+        SpecExpr::Ite(c, t, e) => {
+            let cv = compile_expr(mgr, ila, c, resolver, rom_cache)?;
+            let tv = compile_expr(mgr, ila, t, resolver, rom_cache)?;
+            let ev = compile_expr(mgr, ila, e, resolver, rom_cache)?;
+            mgr.ite(cv, tv, ev)
+        }
+        SpecExpr::Extract(a, high, low) => {
+            let av = compile_expr(mgr, ila, a, resolver, rom_cache)?;
+            mgr.extract(av, *high, *low)
+        }
+        SpecExpr::Concat(a, b) => {
+            let hv = compile_expr(mgr, ila, a, resolver, rom_cache)?;
+            let lv = compile_expr(mgr, ila, b, resolver, rom_cache)?;
+            mgr.concat(hv, lv)
+        }
+        SpecExpr::ZExt(a, w) => {
+            let av = compile_expr(mgr, ila, a, resolver, rom_cache)?;
+            mgr.zext(av, *w)
+        }
+        SpecExpr::SExt(a, w) => {
+            let av = compile_expr(mgr, ila, a, resolver, rom_cache)?;
+            mgr.sext(av, *w)
+        }
+        SpecExpr::Load(mem, addr) => {
+            let av = compile_expr(mgr, ila, addr, resolver, rom_cache)?;
+            resolver.resolve_load(mgr, mem, av)?
+        }
+        SpecExpr::LoadConst(table, addr) => {
+            let av = compile_expr(mgr, ila, addr, resolver, rom_cache)?;
+            let rom = match rom_cache.get(table) {
+                Some(&r) => r,
+                None => {
+                    let Some((name, aw, dw, data)) = ila.table(table) else {
+                        return Err(IlaError::new(format!("unknown table {table}")));
+                    };
+                    let r = mgr.rom(name.clone(), *aw, *dw, data.clone());
+                    rom_cache.insert(table.clone(), r);
+                    r
+                }
+            };
+            mgr.rom_select(rom, av)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_smt::ArrayId;
+
+    /// A resolver backed by plain maps, for testing the translation.
+    struct MapResolver {
+        refs: HashMap<String, TermId>,
+        mems: HashMap<String, ArrayId>,
+    }
+
+    impl SpecResolver for MapResolver {
+        fn resolve_ref(&mut self, _mgr: &mut TermManager, name: &str) -> Result<TermId, IlaError> {
+            self.refs
+                .get(name)
+                .copied()
+                .ok_or_else(|| IlaError::new(format!("no mapping for {name}")))
+        }
+
+        fn resolve_load(
+            &mut self,
+            mgr: &mut TermManager,
+            name: &str,
+            addr: TermId,
+        ) -> Result<TermId, IlaError> {
+            let arr = self
+                .mems
+                .get(name)
+                .copied()
+                .ok_or_else(|| IlaError::new(format!("no mapping for memory {name}")))?;
+            Ok(mgr.array_select(arr, addr))
+        }
+    }
+
+    #[test]
+    fn compiles_arithmetic_over_resolved_refs() {
+        let mut ila = Ila::new("t");
+        let a = ila.new_bv_input("a", 8);
+        let b = ila.new_bv_input("b", 8);
+        let expr = a.add(b).eq(SpecExpr::const_u64(8, 10));
+
+        let mut mgr = TermManager::new();
+        let ta = mgr.fresh_var("a", 8);
+        let tb = mgr.fresh_var("b", 8);
+        let mut resolver = MapResolver {
+            refs: [("a".to_string(), ta), ("b".to_string(), tb)].into(),
+            mems: HashMap::new(),
+        };
+        let t = compile_expr(&mut mgr, &ila, &expr, &mut resolver, &mut HashMap::new()).unwrap();
+        let sum = mgr.add(ta, tb);
+        let ten = mgr.const_u64(8, 10);
+        assert_eq!(t, mgr.eq(sum, ten));
+    }
+
+    #[test]
+    fn compiles_loads_through_resolver() {
+        let mut ila = Ila::new("t");
+        let src = ila.new_bv_input("src", 2);
+        ila.new_mem_state("regs", 2, 8);
+        let expr = SpecExpr::load("regs", src);
+
+        let mut mgr = TermManager::new();
+        let tsrc = mgr.fresh_var("src", 2);
+        let arr = mgr.fresh_array("rf", 2, 8);
+        let mut resolver = MapResolver {
+            refs: [("src".to_string(), tsrc)].into(),
+            mems: [("regs".to_string(), arr)].into(),
+        };
+        let t = compile_expr(&mut mgr, &ila, &expr, &mut resolver, &mut HashMap::new()).unwrap();
+        assert_eq!(t, mgr.array_select(arr, tsrc));
+    }
+
+    #[test]
+    fn compiles_mem_const_to_rom() {
+        let mut ila = Ila::new("t");
+        let a = ila.new_bv_input("a", 2);
+        ila.new_mem_const("sbox", 2, 8, vec![BitVec::from_u64(8, 9); 4]);
+        let expr = SpecExpr::load_const("sbox", a);
+
+        let mut mgr = TermManager::new();
+        let ta = mgr.fresh_var("a", 2);
+        let mut resolver = MapResolver { refs: [("a".to_string(), ta)].into(), mems: HashMap::new() };
+        let mut cache = HashMap::new();
+        let t = compile_expr(&mut mgr, &ila, &expr, &mut resolver, &mut cache).unwrap();
+        assert_eq!(mgr.width(t), 8);
+        assert!(cache.contains_key("sbox"));
+        // Second compilation reuses the cached ROM and hash-conses.
+        let t2 = compile_expr(&mut mgr, &ila, &expr, &mut resolver, &mut cache).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn unresolved_ref_errors() {
+        let mut ila = Ila::new("t");
+        let x = ila.new_bv_input("x", 4);
+        let mut mgr = TermManager::new();
+        let mut resolver = MapResolver { refs: HashMap::new(), mems: HashMap::new() };
+        let err =
+            compile_expr(&mut mgr, &ila, &x, &mut resolver, &mut HashMap::new()).unwrap_err();
+        assert!(err.to_string().contains("no mapping"));
+    }
+}

@@ -1,0 +1,272 @@
+//! The ILA specification expression language (the `expr` grammar of the
+//! paper's Fig. 8).
+
+use owl_bitvec::BitVec;
+
+/// Binary operators available in specification expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Addition modulo `2^w`.
+    Add,
+    /// Subtraction modulo `2^w`.
+    Sub,
+    /// Multiplication modulo `2^w`.
+    Mul,
+    /// Left shift.
+    Shl,
+    /// Logical right shift.
+    Lshr,
+    /// Arithmetic right shift.
+    Ashr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Disequality (1-bit result).
+    Neq,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Unsigned less-or-equal (1-bit result).
+    Ule,
+    /// Signed less-than (1-bit result).
+    Slt,
+    /// Signed less-or-equal (1-bit result).
+    Sle,
+}
+
+impl BinOp {
+    /// True for operators with a 1-bit result.
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle
+        )
+    }
+}
+
+/// A specification expression over ILA inputs and state.
+///
+/// References are by name; [`crate::Ila::check`] validates that every
+/// reference resolves and is well-typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecExpr {
+    /// Reference to a bitvector input or bitvector state variable.
+    Ref(String),
+    /// A constant.
+    Const(BitVec),
+    /// Bitwise NOT (ILA `!expr` on bitvectors).
+    Not(Box<SpecExpr>),
+    /// Binary operator application.
+    Binop(BinOp, Box<SpecExpr>, Box<SpecExpr>),
+    /// `Ite(cond, a, b)`; a nonzero condition selects `a`.
+    Ite(Box<SpecExpr>, Box<SpecExpr>, Box<SpecExpr>),
+    /// `Extract(e, high, low)`.
+    Extract(Box<SpecExpr>, u32, u32),
+    /// `Concat(high, low)`.
+    Concat(Box<SpecExpr>, Box<SpecExpr>),
+    /// `ZExt(e, width)`.
+    ZExt(Box<SpecExpr>, u32),
+    /// `SExt(e, width)` (ILA's sign-extension intrinsic).
+    SExt(Box<SpecExpr>, u32),
+    /// `Load(mem_state, addr)` — read architectural memory state.
+    Load(String, Box<SpecExpr>),
+    /// `LoadConst(table, addr)` — read an ILA `MemConst` lookup table.
+    LoadConst(String, Box<SpecExpr>),
+}
+
+impl SpecExpr {
+    /// Reference to an input or bitvector state by name.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> SpecExpr {
+        SpecExpr::Ref(name.into())
+    }
+
+    /// Constant from a `u64`.
+    #[must_use]
+    pub fn const_u64(width: u32, value: u64) -> SpecExpr {
+        SpecExpr::Const(BitVec::from_u64(width, value))
+    }
+
+    /// Constant from a [`BitVec`].
+    #[must_use]
+    pub fn constant(value: BitVec) -> SpecExpr {
+        SpecExpr::Const(value)
+    }
+
+    /// Memory-state load.
+    #[must_use]
+    pub fn load(mem: impl Into<String>, addr: SpecExpr) -> SpecExpr {
+        SpecExpr::Load(mem.into(), Box::new(addr))
+    }
+
+    /// Lookup-table (`MemConst`) load.
+    #[must_use]
+    pub fn load_const(table: impl Into<String>, addr: SpecExpr) -> SpecExpr {
+        SpecExpr::LoadConst(table.into(), Box::new(addr))
+    }
+
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(self) -> SpecExpr {
+        SpecExpr::Not(Box::new(self))
+    }
+
+    /// Binary operation.
+    #[must_use]
+    pub fn binop(op: BinOp, lhs: SpecExpr, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::Binop(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Addition.
+    #[must_use]
+    pub fn add(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Add, self, rhs)
+    }
+
+    /// Subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Sub, self, rhs)
+    }
+
+    /// Multiplication.
+    #[must_use]
+    pub fn mul(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Mul, self, rhs)
+    }
+
+    /// Bitwise AND.
+    #[must_use]
+    pub fn and(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::And, self, rhs)
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub fn or(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Or, self, rhs)
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub fn xor(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Xor, self, rhs)
+    }
+
+    /// Left shift.
+    #[must_use]
+    pub fn shl(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Shl, self, rhs)
+    }
+
+    /// Logical right shift.
+    #[must_use]
+    pub fn lshr(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Lshr, self, rhs)
+    }
+
+    /// Arithmetic right shift.
+    #[must_use]
+    pub fn ashr(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Ashr, self, rhs)
+    }
+
+    /// Equality.
+    #[must_use]
+    pub fn eq(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Eq, self, rhs)
+    }
+
+    /// Disequality.
+    #[must_use]
+    pub fn neq(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Neq, self, rhs)
+    }
+
+    /// Unsigned less-than.
+    #[must_use]
+    pub fn ult(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Ult, self, rhs)
+    }
+
+    /// Unsigned less-or-equal.
+    #[must_use]
+    pub fn ule(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Ule, self, rhs)
+    }
+
+    /// Unsigned greater-than.
+    #[must_use]
+    pub fn ugt(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Ult, rhs, self)
+    }
+
+    /// Signed less-than.
+    #[must_use]
+    pub fn slt(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Slt, self, rhs)
+    }
+
+    /// Signed less-or-equal.
+    #[must_use]
+    pub fn sle(self, rhs: SpecExpr) -> SpecExpr {
+        SpecExpr::binop(BinOp::Sle, self, rhs)
+    }
+
+    /// If-then-else.
+    #[must_use]
+    pub fn ite(cond: SpecExpr, then: SpecExpr, els: SpecExpr) -> SpecExpr {
+        SpecExpr::Ite(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// Bit extraction.
+    #[must_use]
+    pub fn extract(self, high: u32, low: u32) -> SpecExpr {
+        SpecExpr::Extract(Box::new(self), high, low)
+    }
+
+    /// Concatenation (self is the high part).
+    #[must_use]
+    pub fn concat(self, low: SpecExpr) -> SpecExpr {
+        SpecExpr::Concat(Box::new(self), Box::new(low))
+    }
+
+    /// Zero extension.
+    #[must_use]
+    pub fn zext(self, width: u32) -> SpecExpr {
+        SpecExpr::ZExt(Box::new(self), width)
+    }
+
+    /// Sign extension.
+    #[must_use]
+    pub fn sext(self, width: u32) -> SpecExpr {
+        SpecExpr::SExt(Box::new(self), width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = SpecExpr::var("a").add(SpecExpr::const_u64(8, 1)).eq(SpecExpr::var("b"));
+        let SpecExpr::Binop(BinOp::Eq, lhs, _) = &e else { panic!() };
+        let SpecExpr::Binop(BinOp::Add, _, _) = &**lhs else { panic!() };
+        assert!(BinOp::Eq.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+    }
+
+    #[test]
+    fn load_forms() {
+        let l = SpecExpr::load("regs", SpecExpr::var("src1"));
+        assert!(matches!(l, SpecExpr::Load(ref m, _) if m == "regs"));
+        let t = SpecExpr::load_const("sbox", SpecExpr::const_u64(8, 3));
+        assert!(matches!(t, SpecExpr::LoadConst(ref m, _) if m == "sbox"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Concrete evaluation of ILA specifications: an ISA-level golden model.
+//!
+//! Running the specification directly over a concrete architectural state
+//! gives a reference trace to compare the synthesized hardware against —
+//! the differential-testing half of our validation (the paper relies on
+//! the synthesis guarantee plus simulation of SHA-256; we additionally
+//! replay random instruction streams through both spec and hardware).
+
+use crate::expr::{BinOp, SpecExpr};
+use crate::model::{Ila, IlaError, SpecSort};
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+
+/// Concrete contents of an architectural memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecMem {
+    map: HashMap<u64, BitVec>,
+    default: BitVec,
+}
+
+impl SpecMem {
+    /// A memory reading `default` everywhere.
+    #[must_use]
+    pub fn filled(default: BitVec) -> Self {
+        SpecMem { map: HashMap::new(), default }
+    }
+
+    /// Reads the word at `addr`.
+    #[must_use]
+    pub fn read(&self, addr: u64) -> BitVec {
+        self.map.get(&addr).cloned().unwrap_or_else(|| self.default.clone())
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&mut self, addr: u64, data: BitVec) {
+        self.map.insert(addr, data);
+    }
+}
+
+/// A concrete architectural state: inputs, bitvector state, memory state.
+#[derive(Debug, Clone, Default)]
+pub struct SpecState {
+    /// Current input values.
+    pub inputs: HashMap<String, BitVec>,
+    /// Bitvector state variables.
+    pub bvs: HashMap<String, BitVec>,
+    /// Memory state variables.
+    pub mems: HashMap<String, SpecMem>,
+}
+
+impl SpecState {
+    /// Initializes all declared state variables of `ila` to zero.
+    #[must_use]
+    pub fn zeroed(ila: &Ila) -> Self {
+        let mut state = SpecState::default();
+        for v in ila.vars() {
+            if v.is_input {
+                continue;
+            }
+            match &v.sort {
+                SpecSort::Bv(w) => {
+                    state.bvs.insert(v.name.clone(), BitVec::zero(*w));
+                }
+                SpecSort::Mem { data_width, .. } => {
+                    state
+                        .mems
+                        .insert(v.name.clone(), SpecMem::filled(BitVec::zero(*data_width)));
+                }
+            }
+        }
+        state
+    }
+}
+
+/// The golden-model evaluator for an ILA specification.
+#[derive(Debug)]
+pub struct GoldenModel<'a> {
+    ila: &'a Ila,
+}
+
+impl<'a> GoldenModel<'a> {
+    /// Creates a golden model for a checked specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the specification fails [`Ila::check`].
+    pub fn new(ila: &'a Ila) -> Result<Self, IlaError> {
+        ila.check()?;
+        Ok(GoldenModel { ila })
+    }
+
+    /// Evaluates one expression under `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound references.
+    pub fn eval(&self, expr: &SpecExpr, state: &SpecState) -> Result<BitVec, IlaError> {
+        Ok(match expr {
+            SpecExpr::Ref(n) => {
+                if let Some(v) = state.inputs.get(n) {
+                    v.clone()
+                } else if let Some(v) = state.bvs.get(n) {
+                    v.clone()
+                } else {
+                    return Err(IlaError::new(format!("unbound reference {n}")));
+                }
+            }
+            SpecExpr::Const(c) => c.clone(),
+            SpecExpr::Not(a) => self.eval(a, state)?.not(),
+            SpecExpr::Binop(op, a, b) => {
+                let x = self.eval(a, state)?;
+                let y = self.eval(b, state)?;
+                match op {
+                    BinOp::And => x.and(&y),
+                    BinOp::Or => x.or(&y),
+                    BinOp::Xor => x.xor(&y),
+                    BinOp::Add => x.add(&y),
+                    BinOp::Sub => x.sub(&y),
+                    BinOp::Mul => x.mul(&y),
+                    BinOp::Shl => x.shl(&y),
+                    BinOp::Lshr => x.lshr(&y),
+                    BinOp::Ashr => x.ashr(&y),
+                    BinOp::Eq => BitVec::from_bool(x == y),
+                    BinOp::Neq => BitVec::from_bool(x != y),
+                    BinOp::Ult => BitVec::from_bool(x.ult(&y)),
+                    BinOp::Ule => BitVec::from_bool(x.ule(&y)),
+                    BinOp::Slt => BitVec::from_bool(x.slt(&y)),
+                    BinOp::Sle => BitVec::from_bool(x.sle(&y)),
+                }
+            }
+            SpecExpr::Ite(c, t, e) => {
+                if self.eval(c, state)?.is_true() {
+                    self.eval(t, state)?
+                } else {
+                    self.eval(e, state)?
+                }
+            }
+            SpecExpr::Extract(a, high, low) => self.eval(a, state)?.extract(*high, *low),
+            SpecExpr::Concat(a, b) => {
+                let h = self.eval(a, state)?;
+                let l = self.eval(b, state)?;
+                h.concat(&l)
+            }
+            SpecExpr::ZExt(a, w) => self.eval(a, state)?.zext(*w),
+            SpecExpr::SExt(a, w) => self.eval(a, state)?.sext(*w),
+            SpecExpr::Load(mem, addr) => {
+                let a = self.eval(addr, state)?;
+                let m = state
+                    .mems
+                    .get(mem)
+                    .ok_or_else(|| IlaError::new(format!("unbound memory {mem}")))?;
+                m.read(a.to_u64().expect("address fits in u64"))
+            }
+            SpecExpr::LoadConst(table, addr) => {
+                let a = self.eval(addr, state)?;
+                let (_, _, dw, data) = self
+                    .ila
+                    .table(table)
+                    .ok_or_else(|| IlaError::new(format!("unknown table {table}")))?;
+                let idx = a.to_u64().expect("address fits in u64") as usize;
+                data.get(idx).cloned().unwrap_or_else(|| BitVec::zero(*dw))
+            }
+        })
+    }
+
+    /// The name of the instruction whose decode condition holds, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if more than one decode fires (the specification
+    /// violates the mutually-exclusive-preconditions assumption) or
+    /// evaluation fails.
+    pub fn decode(&self, state: &SpecState) -> Result<Option<String>, IlaError> {
+        let mut fired = None;
+        for instr in self.ila.instrs() {
+            if self.eval(instr.decode(), state)?.is_true() {
+                if let Some(prev) = &fired {
+                    return Err(IlaError::new(format!(
+                        "instructions {prev} and {} both decode — preconditions not mutually exclusive",
+                        instr.name()
+                    )));
+                }
+                fired = Some(instr.name().to_string());
+            }
+        }
+        Ok(fired)
+    }
+
+    /// Executes one architectural step: decodes, applies the fired
+    /// instruction's updates (all reads see the pre-state), and returns
+    /// the instruction name (or `None` if nothing decoded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and evaluation errors.
+    pub fn step(&self, state: &mut SpecState) -> Result<Option<String>, IlaError> {
+        let Some(name) = self.decode(state)? else {
+            return Ok(None);
+        };
+        let instr = self.ila.instr(&name).expect("decoded instruction exists");
+        // Evaluate all updates against the pre-state first.
+        let mut bv_new = Vec::new();
+        for (sname, value) in instr.bv_updates() {
+            bv_new.push((sname.clone(), self.eval(value, state)?));
+        }
+        let mut mem_new: Vec<(String, u64, BitVec)> = Vec::new();
+        for (mname, update) in instr.mem_updates() {
+            let enabled = match &update.cond {
+                Some(c) => self.eval(c, state)?.is_true(),
+                None => true,
+            };
+            if enabled {
+                let a = self.eval(&update.addr, state)?;
+                let d = self.eval(&update.data, state)?;
+                mem_new.push((mname.clone(), a.to_u64().expect("address fits"), d));
+            }
+        }
+        for (sname, v) in bv_new {
+            state.bvs.insert(sname, v);
+        }
+        for (mname, a, d) in mem_new {
+            state.mems.get_mut(&mname).expect("checked").write(a, d);
+        }
+        Ok(Some(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Instr;
+
+    fn acc_ila() -> Ila {
+        // The paper's Section 2.3 accumulator machine.
+        let mut ila = Ila::new("acc_ila");
+        let reset = ila.new_bv_input("reset", 1);
+        let go = ila.new_bv_input("go", 1);
+        let stop = ila.new_bv_input("stop", 1);
+        let val = ila.new_bv_input("val", 2);
+        let acc = ila.new_bv_state("acc", 8);
+        let state = ila.new_bv_state("state", 2);
+        // States: RESET=0, GO=1, STOP=2.
+        let reset_c = SpecExpr::const_u64(2, 0);
+        let go_c = SpecExpr::const_u64(2, 1);
+        let stop_c = SpecExpr::const_u64(2, 2);
+
+        let mut r = Instr::new("reset_instr");
+        r.set_decode(state.clone().eq(stop_c.clone()).and(reset.eq(SpecExpr::const_u64(1, 1))));
+        r.set_update("acc", SpecExpr::const_u64(8, 0));
+        r.set_update("state", reset_c.clone());
+        ila.add_instr(r);
+
+        let mut g = Instr::new("go_instr");
+        let from_reset = state.clone().eq(reset_c).and(go.eq(SpecExpr::const_u64(1, 1)));
+        let continuing = state
+            .clone()
+            .eq(go_c.clone())
+            .and(stop.clone().eq(SpecExpr::const_u64(1, 0)));
+        g.set_decode(from_reset.or(continuing));
+        g.set_update("acc", acc.clone().add(val.zext(8)));
+        g.set_update("state", go_c.clone());
+        ila.add_instr(g);
+
+        let mut s = Instr::new("stop_instr");
+        s.set_decode(state.eq(go_c).and(stop.eq(SpecExpr::const_u64(1, 1))));
+        s.set_update("acc", acc);
+        s.set_update("state", stop_c);
+        ila.add_instr(s);
+        ila
+    }
+
+    fn set_inputs(state: &mut SpecState, reset: u64, go: u64, stop: u64, val: u64) {
+        state.inputs.insert("reset".into(), BitVec::from_u64(1, reset));
+        state.inputs.insert("go".into(), BitVec::from_u64(1, go));
+        state.inputs.insert("stop".into(), BitVec::from_u64(1, stop));
+        state.inputs.insert("val".into(), BitVec::from_u64(2, val));
+    }
+
+    #[test]
+    fn accumulator_golden_run() {
+        let ila = acc_ila();
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut state = SpecState::zeroed(&ila);
+        // Initial state 0 = RESET. go with val=3.
+        set_inputs(&mut state, 0, 1, 0, 3);
+        assert_eq!(model.step(&mut state).unwrap().as_deref(), Some("go_instr"));
+        assert_eq!(state.bvs["acc"].to_u64(), Some(3));
+        assert_eq!(state.bvs["state"].to_u64(), Some(1));
+        // Continue accumulating.
+        set_inputs(&mut state, 0, 0, 0, 2);
+        assert_eq!(model.step(&mut state).unwrap().as_deref(), Some("go_instr"));
+        assert_eq!(state.bvs["acc"].to_u64(), Some(5));
+        // Stop.
+        set_inputs(&mut state, 0, 0, 1, 0);
+        assert_eq!(model.step(&mut state).unwrap().as_deref(), Some("stop_instr"));
+        assert_eq!(state.bvs["acc"].to_u64(), Some(5));
+        assert_eq!(state.bvs["state"].to_u64(), Some(2));
+        // Reset.
+        set_inputs(&mut state, 1, 0, 0, 0);
+        assert_eq!(model.step(&mut state).unwrap().as_deref(), Some("reset_instr"));
+        assert_eq!(state.bvs["acc"].to_u64(), Some(0));
+        assert_eq!(state.bvs["state"].to_u64(), Some(0));
+    }
+
+    #[test]
+    fn no_instruction_decodes() {
+        let ila = acc_ila();
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut state = SpecState::zeroed(&ila);
+        // State RESET with go=0: nothing fires.
+        set_inputs(&mut state, 0, 0, 0, 0);
+        assert_eq!(model.step(&mut state).unwrap(), None);
+    }
+
+    #[test]
+    fn overlapping_decodes_detected() {
+        let mut ila = Ila::new("overlap");
+        ila.new_bv_state("s", 1);
+        let mut a = Instr::new("A");
+        a.set_decode(SpecExpr::const_u64(1, 1));
+        ila.add_instr(a);
+        let mut b = Instr::new("B");
+        b.set_decode(SpecExpr::const_u64(1, 1));
+        ila.add_instr(b);
+        let model = GoldenModel::new(&ila).unwrap();
+        let state = SpecState::zeroed(&ila);
+        assert!(model.decode(&state).is_err());
+    }
+
+    #[test]
+    fn conditional_store_respected() {
+        let mut ila = Ila::new("cs");
+        let rd = ila.new_bv_input("rd", 2);
+        ila.new_mem_state("regs", 2, 8);
+        let mut w = Instr::new("W");
+        w.set_decode(SpecExpr::const_u64(1, 1));
+        w.set_store_when(
+            "regs",
+            rd.clone(),
+            SpecExpr::const_u64(8, 42),
+            rd.neq(SpecExpr::const_u64(2, 0)),
+        );
+        ila.add_instr(w);
+        let model = GoldenModel::new(&ila).unwrap();
+        let mut state = SpecState::zeroed(&ila);
+        state.inputs.insert("rd".into(), BitVec::from_u64(2, 0));
+        model.step(&mut state).unwrap();
+        assert_eq!(state.mems["regs"].read(0).to_u64(), Some(0)); // blocked
+        state.inputs.insert("rd".into(), BitVec::from_u64(2, 2));
+        model.step(&mut state).unwrap();
+        assert_eq!(state.mems["regs"].read(2).to_u64(), Some(42));
+    }
+}

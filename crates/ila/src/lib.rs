@@ -1,0 +1,46 @@
+//! Instruction-Level Abstraction (ILA) specifications.
+//!
+//! ILA "provides a mechanism to functionally specify the hardware-software
+//! interface for both processors and accelerators" (paper §2.1): a model
+//! declares inputs and architectural state, and a set of *instructions*,
+//! each with a `decode` condition (when the instruction fires) and
+//! `update` functions (how it changes state). This crate mirrors the ILA
+//! C++ library's authoring surface in Rust:
+//!
+//! ```
+//! use owl_ila::{Ila, Instr, SpecExpr};
+//!
+//! let mut ila = Ila::new("alu_ila");
+//! let op = ila.new_bv_input("op", 2);
+//! let dest = ila.new_bv_input("dest", 2);
+//! let src1 = ila.new_bv_input("src1", 2);
+//! let src2 = ila.new_bv_input("src2", 2);
+//! ila.new_mem_state("regs", 2, 8);
+//!
+//! let rs1 = SpecExpr::load("regs", src1.clone());
+//! let rs2 = SpecExpr::load("regs", src2.clone());
+//!
+//! let mut add = Instr::new("ADD");
+//! add.set_decode(op.eq(SpecExpr::const_u64(2, 1)));
+//! add.set_store("regs", dest, rs1.add(rs2));
+//! ila.add_instr(add);
+//! ila.check()?;
+//! # Ok::<(), owl_ila::IlaError>(())
+//! ```
+//!
+//! Two consumers exist:
+//!
+//! - [`compile`] lowers decode and update expressions to `owl_smt` terms
+//!   through a [`compile::SpecResolver`] — the paper's Fig. 8 translation,
+//!   where state reads route through the abstraction function; and
+//! - [`golden`] evaluates the specification concretely, giving an
+//!   ISA-level golden model for differential testing of synthesized
+//!   hardware.
+
+pub mod compile;
+mod expr;
+pub mod golden;
+mod model;
+
+pub use expr::{BinOp, SpecExpr};
+pub use model::{Ila, IlaError, Instr, MemUpdate, SpecSort, StateVar};

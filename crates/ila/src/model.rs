@@ -1,0 +1,506 @@
+//! The ILA model structure: inputs, state variables, lookup tables and
+//! instructions, with a type/width checker.
+
+use crate::expr::SpecExpr;
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The sort of an ILA input or state variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSort {
+    /// A bitvector of the given width.
+    Bv(u32),
+    /// A memory with the given address and data widths.
+    Mem {
+        /// Address width in bits.
+        addr_width: u32,
+        /// Data width in bits.
+        data_width: u32,
+    },
+}
+
+/// An ILA input or state variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVar {
+    /// Variable name.
+    pub name: String,
+    /// Variable sort.
+    pub sort: SpecSort,
+    /// True for inputs, false for architectural state.
+    pub is_input: bool,
+}
+
+/// A (possibly conditional) store to a memory state, from
+/// `SetUpdate(mem, Store(mem, addr, data))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemUpdate {
+    /// Address stored to.
+    pub addr: SpecExpr,
+    /// Data stored.
+    pub data: SpecExpr,
+    /// Optional store condition; `None` stores unconditionally. When the
+    /// condition is false the memory is unchanged at that address.
+    pub cond: Option<SpecExpr>,
+}
+
+/// One ILA instruction: a decode condition plus state updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instr {
+    name: String,
+    decode: Option<SpecExpr>,
+    bv_updates: Vec<(String, SpecExpr)>,
+    mem_updates: Vec<(String, MemUpdate)>,
+}
+
+impl Instr {
+    /// Creates an instruction with the given mnemonic.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Instr { name: name.into(), decode: None, bv_updates: Vec::new(), mem_updates: Vec::new() }
+    }
+
+    /// The instruction's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the decode condition (ILA `SetDecode`).
+    pub fn set_decode(&mut self, cond: SpecExpr) -> &mut Self {
+        self.decode = Some(cond);
+        self
+    }
+
+    /// The decode condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decode was never set (checked by [`Ila::check`]).
+    #[must_use]
+    pub fn decode(&self) -> &SpecExpr {
+        self.decode.as_ref().expect("instruction decode not set")
+    }
+
+    /// Sets a bitvector state update (ILA `SetUpdate(state, expr)`).
+    pub fn set_update(&mut self, state: impl Into<String>, value: SpecExpr) -> &mut Self {
+        self.bv_updates.push((state.into(), value));
+        self
+    }
+
+    /// Sets an unconditional memory store
+    /// (ILA `SetUpdate(mem, Store(mem, addr, data))`).
+    pub fn set_store(&mut self, mem: impl Into<String>, addr: SpecExpr, data: SpecExpr) -> &mut Self {
+        self.mem_updates.push((mem.into(), MemUpdate { addr, data, cond: None }));
+        self
+    }
+
+    /// Sets a conditional memory store
+    /// (ILA `SetUpdate(mem, Ite(cond, Store(mem, addr, data), mem))`).
+    pub fn set_store_when(
+        &mut self,
+        mem: impl Into<String>,
+        addr: SpecExpr,
+        data: SpecExpr,
+        cond: SpecExpr,
+    ) -> &mut Self {
+        self.mem_updates.push((mem.into(), MemUpdate { addr, data, cond: Some(cond) }));
+        self
+    }
+
+    /// Bitvector state updates, in insertion order.
+    #[must_use]
+    pub fn bv_updates(&self) -> &[(String, SpecExpr)] {
+        &self.bv_updates
+    }
+
+    /// Memory state updates, in insertion order.
+    #[must_use]
+    pub fn mem_updates(&self) -> &[(String, MemUpdate)] {
+        &self.mem_updates
+    }
+}
+
+/// Error produced by ILA validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlaError {
+    message: String,
+}
+
+impl IlaError {
+    /// Creates an error with the given message. Public so that
+    /// [`crate::compile::SpecResolver`] implementations in other crates
+    /// can report resolution failures.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        IlaError { message: message.into() }
+    }
+}
+
+impl fmt::Display for IlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ila error: {}", self.message)
+    }
+}
+
+impl std::error::Error for IlaError {}
+
+/// An ILA model: declarations plus instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ila {
+    name: String,
+    vars: Vec<StateVar>,
+    tables: Vec<(String, u32, u32, Vec<BitVec>)>,
+    instrs: Vec<Instr>,
+}
+
+impl Ila {
+    /// Creates an empty model with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Ila { name: name.into(), vars: Vec::new(), tables: Vec::new(), instrs: Vec::new() }
+    }
+
+    /// The model's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a bitvector input (ILA `NewBvInput`); returns a reference
+    /// expression.
+    pub fn new_bv_input(&mut self, name: impl Into<String>, width: u32) -> SpecExpr {
+        let name = name.into();
+        self.vars.push(StateVar { name: name.clone(), sort: SpecSort::Bv(width), is_input: true });
+        SpecExpr::var(name)
+    }
+
+    /// Declares a bitvector state variable (ILA `NewBvState`); returns a
+    /// reference expression.
+    pub fn new_bv_state(&mut self, name: impl Into<String>, width: u32) -> SpecExpr {
+        let name = name.into();
+        self.vars.push(StateVar { name: name.clone(), sort: SpecSort::Bv(width), is_input: false });
+        SpecExpr::var(name)
+    }
+
+    /// Declares a memory state variable (ILA `NewMemState`); loads are
+    /// written `SpecExpr::load(name, addr)`.
+    pub fn new_mem_state(&mut self, name: impl Into<String>, addr_width: u32, data_width: u32) {
+        self.vars.push(StateVar {
+            name: name.into(),
+            sort: SpecSort::Mem { addr_width, data_width },
+            is_input: false,
+        });
+    }
+
+    /// Declares a constant lookup table (ILA `MemConst`); loads are
+    /// written `SpecExpr::load_const(name, addr)`.
+    pub fn new_mem_const(
+        &mut self,
+        name: impl Into<String>,
+        addr_width: u32,
+        data_width: u32,
+        data: Vec<BitVec>,
+    ) {
+        self.tables.push((name.into(), addr_width, data_width, data));
+    }
+
+    /// Adds an instruction (ILA `NewInstr` + its decode/update setup).
+    pub fn add_instr(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// The instructions, in declaration order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The inputs and state variables, in declaration order.
+    #[must_use]
+    pub fn vars(&self) -> &[StateVar] {
+        &self.vars
+    }
+
+    /// The lookup tables: `(name, addr_width, data_width, contents)`.
+    #[must_use]
+    pub fn tables(&self) -> &[(String, u32, u32, Vec<BitVec>)] {
+        &self.tables
+    }
+
+    /// Looks up a variable by name.
+    #[must_use]
+    pub fn var(&self, name: &str) -> Option<&StateVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Looks up an instruction by name.
+    #[must_use]
+    pub fn instr(&self, name: &str) -> Option<&Instr> {
+        self.instrs.iter().find(|i| i.name() == name)
+    }
+
+    /// Looks up a table by name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&(String, u32, u32, Vec<BitVec>)> {
+        self.tables.iter().find(|t| t.0 == name)
+    }
+
+    /// Infers the width of a specification expression in this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a reference does not resolve or widths are
+    /// inconsistent.
+    pub fn expr_width(&self, expr: &SpecExpr) -> Result<u32, IlaError> {
+        match expr {
+            SpecExpr::Ref(n) => match self.var(n).map(|v| &v.sort) {
+                Some(SpecSort::Bv(w)) => Ok(*w),
+                Some(SpecSort::Mem { .. }) => {
+                    Err(IlaError::new(format!("{n} is a memory; use Load")))
+                }
+                None => Err(IlaError::new(format!("unknown variable {n}"))),
+            },
+            SpecExpr::Const(c) => Ok(c.width()),
+            SpecExpr::Not(a) => self.expr_width(a),
+            SpecExpr::Binop(op, a, b) => {
+                let x = self.expr_width(a)?;
+                let y = self.expr_width(b)?;
+                if x != y {
+                    return Err(IlaError::new(format!("operator width mismatch: {x} vs {y}")));
+                }
+                Ok(if op.is_predicate() { 1 } else { x })
+            }
+            SpecExpr::Ite(c, t, e) => {
+                let _ = self.expr_width(c)?;
+                let x = self.expr_width(t)?;
+                let y = self.expr_width(e)?;
+                if x != y {
+                    return Err(IlaError::new(format!("ite branches differ: {x} vs {y}")));
+                }
+                Ok(x)
+            }
+            SpecExpr::Extract(a, high, low) => {
+                let w = self.expr_width(a)?;
+                if high < low || *high >= w {
+                    return Err(IlaError::new(format!(
+                        "extract [{high}:{low}] out of range for width {w}"
+                    )));
+                }
+                Ok(high - low + 1)
+            }
+            SpecExpr::Concat(a, b) => Ok(self.expr_width(a)? + self.expr_width(b)?),
+            SpecExpr::ZExt(a, w) | SpecExpr::SExt(a, w) => {
+                let x = self.expr_width(a)?;
+                if *w < x {
+                    return Err(IlaError::new(format!("extension to {w} below width {x}")));
+                }
+                Ok(*w)
+            }
+            SpecExpr::Load(mem, addr) => {
+                let Some(StateVar { sort: SpecSort::Mem { addr_width, data_width }, .. }) =
+                    self.var(mem)
+                else {
+                    return Err(IlaError::new(format!("unknown memory state {mem}")));
+                };
+                let a = self.expr_width(addr)?;
+                if a != *addr_width {
+                    return Err(IlaError::new(format!(
+                        "load from {mem}: address width {a}, expected {addr_width}"
+                    )));
+                }
+                Ok(*data_width)
+            }
+            SpecExpr::LoadConst(table, addr) => {
+                let Some((_, addr_width, data_width, _)) = self.table(table) else {
+                    return Err(IlaError::new(format!("unknown table {table}")));
+                };
+                let a = self.expr_width(addr)?;
+                if a != *addr_width {
+                    return Err(IlaError::new(format!(
+                        "load from table {table}: address width {a}, expected {addr_width}"
+                    )));
+                }
+                Ok(*data_width)
+            }
+        }
+    }
+
+    /// Validates the model: every instruction has a decode, every update
+    /// targets a declared state variable with matching widths, and every
+    /// expression is well-typed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first problem found.
+    pub fn check(&self) -> Result<(), IlaError> {
+        let mut names: HashMap<&str, ()> = HashMap::new();
+        for v in &self.vars {
+            if names.insert(v.name.as_str(), ()).is_some() {
+                return Err(IlaError::new(format!("duplicate variable {}", v.name)));
+            }
+        }
+        for (t, _, dw, data) in &self.tables {
+            if names.insert(t.as_str(), ()).is_some() {
+                return Err(IlaError::new(format!("duplicate table {t}")));
+            }
+            if let Some(bad) = data.iter().find(|v| v.width() != *dw) {
+                return Err(IlaError::new(format!("table {t} entry {bad} width != {dw}")));
+            }
+        }
+        for instr in &self.instrs {
+            let Some(decode) = &instr.decode else {
+                return Err(IlaError::new(format!("instruction {} has no decode", instr.name)));
+            };
+            let ctx = |e: IlaError| {
+                IlaError::new(format!("instruction {}: {}", instr.name, e.message))
+            };
+            let _ = self.expr_width(decode).map_err(ctx)?;
+            for (state, value) in &instr.bv_updates {
+                let Some(StateVar { sort: SpecSort::Bv(w), is_input: false, .. }) =
+                    self.var(state)
+                else {
+                    return Err(IlaError::new(format!(
+                        "instruction {}: update target {state} is not a bitvector state",
+                        instr.name
+                    )));
+                };
+                let vw = self.expr_width(value).map_err(ctx)?;
+                if vw != *w {
+                    return Err(IlaError::new(format!(
+                        "instruction {}: update of {state} has width {vw}, expected {w}",
+                        instr.name
+                    )));
+                }
+            }
+            for (mem, update) in &instr.mem_updates {
+                let Some(StateVar {
+                    sort: SpecSort::Mem { addr_width, data_width },
+                    is_input: false,
+                    ..
+                }) = self.var(mem)
+                else {
+                    return Err(IlaError::new(format!(
+                        "instruction {}: store target {mem} is not a memory state",
+                        instr.name
+                    )));
+                };
+                let aw = self.expr_width(&update.addr).map_err(ctx)?;
+                let dw = self.expr_width(&update.data).map_err(ctx)?;
+                if aw != *addr_width || dw != *data_width {
+                    return Err(IlaError::new(format!(
+                        "instruction {}: store to {mem} widths ({aw}, {dw}) expected ({addr_width}, {data_width})",
+                        instr.name
+                    )));
+                }
+                if let Some(c) = &update.cond {
+                    let _ = self.expr_width(c).map_err(ctx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu_ila() -> Ila {
+        let mut ila = Ila::new("alu_ila");
+        let op = ila.new_bv_input("op", 2);
+        let dest = ila.new_bv_input("dest", 2);
+        let src1 = ila.new_bv_input("src1", 2);
+        let src2 = ila.new_bv_input("src2", 2);
+        ila.new_mem_state("regs", 2, 8);
+        let rs1 = SpecExpr::load("regs", src1);
+        let rs2 = SpecExpr::load("regs", src2);
+        let mut add = Instr::new("ADD");
+        add.set_decode(op.clone().eq(SpecExpr::const_u64(2, 1)));
+        add.set_store("regs", dest.clone(), rs1.clone().add(rs2.clone()));
+        ila.add_instr(add);
+        let mut xor = Instr::new("XOR");
+        xor.set_decode(op.eq(SpecExpr::const_u64(2, 2)));
+        xor.set_store("regs", dest, rs1.xor(rs2));
+        ila.add_instr(xor);
+        ila
+    }
+
+    #[test]
+    fn alu_model_checks() {
+        assert!(alu_ila().check().is_ok());
+        assert_eq!(alu_ila().instrs().len(), 2);
+    }
+
+    #[test]
+    fn missing_decode_rejected() {
+        let mut ila = alu_ila();
+        ila.add_instr(Instr::new("NOP"));
+        let err = ila.check().unwrap_err();
+        assert!(err.to_string().contains("no decode"));
+    }
+
+    #[test]
+    fn update_width_mismatch_rejected() {
+        let mut ila = Ila::new("bad");
+        ila.new_bv_state("acc", 8);
+        let mut i = Instr::new("I");
+        i.set_decode(SpecExpr::const_u64(1, 1));
+        i.set_update("acc", SpecExpr::const_u64(4, 0));
+        ila.add_instr(i);
+        assert!(ila.check().is_err());
+    }
+
+    #[test]
+    fn update_of_input_rejected() {
+        let mut ila = Ila::new("bad");
+        ila.new_bv_input("x", 8);
+        let mut i = Instr::new("I");
+        i.set_decode(SpecExpr::const_u64(1, 1));
+        i.set_update("x", SpecExpr::const_u64(8, 0));
+        ila.add_instr(i);
+        assert!(ila.check().is_err());
+    }
+
+    #[test]
+    fn expr_width_inference() {
+        let ila = alu_ila();
+        let w = ila
+            .expr_width(&SpecExpr::load("regs", SpecExpr::var("src1")))
+            .unwrap();
+        assert_eq!(w, 8);
+        assert!(ila.expr_width(&SpecExpr::var("nonexistent")).is_err());
+        assert!(ila.expr_width(&SpecExpr::var("regs")).is_err());
+    }
+
+    #[test]
+    fn mem_const_checked() {
+        let mut ila = Ila::new("t");
+        ila.new_bv_input("a", 2);
+        ila.new_mem_const("tab", 2, 8, vec![BitVec::zero(8); 4]);
+        ila.new_bv_state("out", 8);
+        let mut i = Instr::new("LOOKUP");
+        i.set_decode(SpecExpr::const_u64(1, 1));
+        i.set_update("out", SpecExpr::load_const("tab", SpecExpr::var("a")));
+        ila.add_instr(i);
+        assert!(ila.check().is_ok());
+    }
+
+    #[test]
+    fn conditional_store_checked() {
+        let mut ila = Ila::new("c");
+        let rd = ila.new_bv_input("rd", 2);
+        ila.new_mem_state("regs", 2, 8);
+        let mut i = Instr::new("W");
+        i.set_decode(SpecExpr::const_u64(1, 1));
+        i.set_store_when(
+            "regs",
+            rd.clone(),
+            SpecExpr::const_u64(8, 7),
+            rd.neq(SpecExpr::const_u64(2, 0)),
+        );
+        ila.add_instr(i);
+        assert!(ila.check().is_ok());
+    }
+}

@@ -1,0 +1,25 @@
+//! Gate-level netlist backend.
+//!
+//! Table 2 of the paper compares the *netlist size* (number of gates after
+//! PyRTL synthesis) of designs with generated versus handwritten control
+//! logic, and after a Yosys optimization pass. This crate provides the
+//! equivalent pipeline:
+//!
+//! - [`lower`]: naive structural lowering of a complete Oyster design to
+//!   2-input AND/OR/XOR/NOT gates plus D flip-flops (memories stay
+//!   primitive ports, as PyRTL `MemBlock`s do);
+//! - [`optimize`]: a logic optimizer (constant propagation, common
+//!   subexpression elimination, algebraic identities, dead-gate removal)
+//!   standing in for the Yosys pass; and
+//! - [`GateSim`]: a cycle-accurate gate-level simulator used to check the
+//!   lowering against the Oyster interpreter.
+
+mod lower;
+mod net;
+mod opt;
+mod sim;
+
+pub use lower::lower;
+pub use net::{GateKind, GateStats, NetId, Netlist};
+pub use opt::optimize;
+pub use sim::GateSim;

@@ -1,0 +1,473 @@
+//! Naive structural lowering of a complete Oyster design to gates.
+//!
+//! Deliberately unoptimized (mirroring a direct PyRTL synthesis): every
+//! operator becomes its textbook gate network with no sharing beyond what
+//! the source expression tree already shares, so the [`crate::optimize`]
+//! pass has the same kind of headroom the paper's Yosys pass has.
+//! Constant *shift counts* are rewired rather than built as barrel
+//! shifters, and extract/concat/extension are pure rewiring, as in PyRTL.
+
+use crate::net::{Dff, GateKind, MemBlock, NetId, Netlist};
+use owl_oyster::{BinOp, DeclKind, Design, Expr, OysterError, Stmt};
+use std::collections::HashMap;
+
+struct Lowerer<'d> {
+    design: &'d Design,
+    nl: Netlist,
+    zero: NetId,
+    one: NetId,
+    wires: HashMap<String, Vec<NetId>>,
+    regs: HashMap<String, (u32, Vec<NetId>)>, // (dff base index, q nets)
+    reg_d: HashMap<String, Vec<NetId>>,
+    mem_index: HashMap<String, u32>,
+    input_nets: HashMap<String, Vec<NetId>>,
+}
+
+/// Lowers a checked, hole-free design to a netlist.
+///
+/// # Errors
+///
+/// Returns an error if the design fails validation or still has holes.
+pub fn lower(design: &Design) -> Result<Netlist, OysterError> {
+    design.check()?;
+    if !design.hole_names().is_empty() {
+        return Err(OysterError::new("cannot lower a sketch with holes to gates"));
+    }
+    let mut nl = Netlist::new();
+    let zero = nl.push(GateKind::Const(false));
+    let one = nl.push(GateKind::Const(true));
+    let mut low = Lowerer {
+        design,
+        nl,
+        zero,
+        one,
+        wires: HashMap::new(),
+        regs: HashMap::new(),
+        reg_d: HashMap::new(),
+        mem_index: HashMap::new(),
+        input_nets: HashMap::new(),
+    };
+    low.run()?;
+    Ok(low.nl)
+}
+
+impl Lowerer<'_> {
+    fn run(&mut self) -> Result<(), OysterError> {
+        // Declarations first: inputs, flip-flops, memory blocks.
+        for d in self.design.decls() {
+            match &d.kind {
+                DeclKind::Input => {
+                    let idx = self.nl.inputs.len() as u32;
+                    let bits: Vec<NetId> =
+                        (0..d.width).map(|b| self.nl.push(GateKind::Input(idx, b))).collect();
+                    self.nl.inputs.push((d.name.clone(), bits.clone()));
+                    self.input_nets.insert(d.name.clone(), bits);
+                }
+                DeclKind::Register => {
+                    let base = self.nl.dffs.len() as u32;
+                    let mut q = Vec::with_capacity(d.width as usize);
+                    for b in 0..d.width {
+                        let qn = self.nl.push(GateKind::DffQ(base + b));
+                        self.nl.dffs.push(Dff { d: qn, q: qn }); // d patched later
+                        self.nl.dff_names.push(d.name.clone());
+                        q.push(qn);
+                    }
+                    self.regs.insert(d.name.clone(), (base, q));
+                }
+                DeclKind::Memory { addr_width } => {
+                    let idx = self.nl.mems.len() as u32;
+                    self.mem_index.insert(d.name.clone(), idx);
+                    self.nl.mems.push(MemBlock {
+                        name: d.name.clone(),
+                        addr_width: *addr_width,
+                        data_width: d.width,
+                        rom: None,
+                        read_ports: Vec::new(),
+                        write_ports: Vec::new(),
+                    });
+                }
+                DeclKind::Rom { addr_width, data } => {
+                    let idx = self.nl.mems.len() as u32;
+                    self.mem_index.insert(d.name.clone(), idx);
+                    self.nl.mems.push(MemBlock {
+                        name: d.name.clone(),
+                        addr_width: *addr_width,
+                        data_width: d.width,
+                        rom: Some(data.clone()),
+                        read_ports: Vec::new(),
+                        write_ports: Vec::new(),
+                    });
+                }
+                DeclKind::Output | DeclKind::Hole => {}
+            }
+        }
+
+        // Statements.
+        for stmt in self.design.stmts() {
+            match stmt {
+                Stmt::Assign { var, expr } => {
+                    let bits = self.expr(expr)?;
+                    if let Some((_, _q)) = self.regs.get(var) {
+                        self.reg_d.insert(var.clone(), bits);
+                    } else {
+                        self.wires.insert(var.clone(), bits);
+                    }
+                }
+                Stmt::Write { mem, addr, data, enable } => {
+                    let a = self.expr(addr)?;
+                    let d = self.expr(data)?;
+                    let e = self.expr(enable)?;
+                    let en = self.or_reduce(&e);
+                    let idx = self.mem_index[mem];
+                    self.nl.mems[idx as usize].write_ports.push((a, d, en));
+                }
+            }
+        }
+
+        // Patch flip-flop data inputs (unassigned registers hold).
+        for (name, (base, q)) in &self.regs {
+            let d_bits = self.reg_d.get(name).cloned().unwrap_or_else(|| q.clone());
+            for (i, d) in d_bits.into_iter().enumerate() {
+                self.nl.dffs[*base as usize + i].d = d;
+            }
+        }
+
+        // Outputs (undriven outputs read zero).
+        for d in self.design.decls() {
+            if d.kind == DeclKind::Output {
+                let bits = self
+                    .wires
+                    .get(&d.name)
+                    .cloned()
+                    .unwrap_or_else(|| vec![self.zero; d.width as usize]);
+                self.nl.outputs.push((d.name.clone(), bits));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Gate builders (intentionally naive: no folding, no sharing)
+    // ------------------------------------------------------------------
+
+    fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.nl.push(GateKind::And(a, b))
+    }
+
+    fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.nl.push(GateKind::Or(a, b))
+    }
+
+    fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.nl.push(GateKind::Xor(a, b))
+    }
+
+    fn not(&mut self, a: NetId) -> NetId {
+        self.nl.push(GateKind::Not(a))
+    }
+
+    fn mux(&mut self, c: NetId, t: NetId, e: NetId) -> NetId {
+        let nc = self.not(c);
+        let x = self.and(c, t);
+        let y = self.and(nc, e);
+        self.or(x, y)
+    }
+
+    fn mux_bits(&mut self, c: NetId, t: &[NetId], e: &[NetId]) -> Vec<NetId> {
+        let nc = self.not(c);
+        t.iter()
+            .zip(e)
+            .map(|(&tb, &eb)| {
+                let x = self.and(c, tb);
+                let y = self.and(nc, eb);
+                self.or(x, y)
+            })
+            .collect()
+    }
+
+    fn or_reduce(&mut self, bits: &[NetId]) -> NetId {
+        bits.iter().copied().reduce(|a, b| self.or(a, b)).unwrap_or(self.zero)
+    }
+
+    fn and_reduce(&mut self, bits: &[NetId]) -> NetId {
+        bits.iter().copied().reduce(|a, b| self.and(a, b)).unwrap_or(self.one)
+    }
+
+    fn adder(&mut self, a: &[NetId], b: &[NetId], mut carry: NetId) -> Vec<NetId> {
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let axb = self.xor(x, y);
+            let sum = self.xor(axb, carry);
+            let c1 = self.and(x, y);
+            let c2 = self.and(axb, carry);
+            carry = self.or(c1, c2);
+            out.push(sum);
+        }
+        out
+    }
+
+    fn ult(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let mut res = self.zero;
+        for (&x, &y) in a.iter().zip(b) {
+            let same = self.xor(x, y);
+            let same = self.not(same);
+            res = self.mux(same, res, y);
+        }
+        res
+    }
+
+    fn eq(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let bits: Vec<NetId> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = self.xor(x, y);
+                self.not(d)
+            })
+            .collect();
+        self.and_reduce(&bits)
+    }
+
+    fn const_bits(&self, value: &owl_bitvec::BitVec) -> Vec<NetId> {
+        value.bits_lsb0().map(|b| if b { self.one } else { self.zero }).collect()
+    }
+
+    fn shift(&mut self, a: &[NetId], count: &[NetId], kind: BinOp) -> Vec<NetId> {
+        let w = a.len();
+        let fill = match kind {
+            BinOp::Ashr => a[w - 1],
+            _ => self.zero,
+        };
+        let mut acc = a.to_vec();
+        for (s, &cbit) in count.iter().enumerate() {
+            let dist = 1usize.checked_shl(s as u32).unwrap_or(usize::MAX);
+            let shifted: Vec<NetId> = if dist >= w {
+                vec![fill; w]
+            } else {
+                (0..w)
+                    .map(|i| match kind {
+                        BinOp::Shl => {
+                            if i >= dist {
+                                acc[i - dist]
+                            } else {
+                                fill
+                            }
+                        }
+                        _ => {
+                            if i + dist < w {
+                                acc[i + dist]
+                            } else {
+                                fill
+                            }
+                        }
+                    })
+                    .collect()
+            };
+            acc = self.mux_bits(cbit, &shifted, &acc);
+        }
+        acc
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Vec<NetId>, OysterError> {
+        Ok(match e {
+            Expr::Var(n) => {
+                if let Some(bits) = self.wires.get(n) {
+                    bits.clone()
+                } else if let Some((_, q)) = self.regs.get(n) {
+                    q.clone()
+                } else if let Some(bits) = self.input_nets.get(n) {
+                    bits.clone()
+                } else {
+                    return Err(OysterError::new(format!("unbound identifier {n}")));
+                }
+            }
+            Expr::Const(c) => self.const_bits(c),
+            Expr::Not(a) => {
+                let av = self.expr(a)?;
+                av.into_iter().map(|b| self.not(b)).collect()
+            }
+            Expr::Binop(op, a, b) => {
+                let av = self.expr(a)?;
+                let bv = self.expr(b)?;
+                match op {
+                    BinOp::And => {
+                        av.iter().zip(&bv).map(|(&x, &y)| self.and(x, y)).collect()
+                    }
+                    BinOp::Or => av.iter().zip(&bv).map(|(&x, &y)| self.or(x, y)).collect(),
+                    BinOp::Xor => {
+                        av.iter().zip(&bv).map(|(&x, &y)| self.xor(x, y)).collect()
+                    }
+                    BinOp::Add => self.adder(&av, &bv, self.zero),
+                    BinOp::Sub => {
+                        let nb: Vec<NetId> = bv.iter().map(|&x| self.not(x)).collect();
+                        self.adder(&av, &nb, self.one)
+                    }
+                    BinOp::Mul => {
+                        let w = av.len();
+                        let mut acc = vec![self.zero; w];
+                        for i in 0..w {
+                            let mut pp = vec![self.zero; w];
+                            for j in 0..w - i {
+                                pp[i + j] = self.and(av[j], bv[i]);
+                            }
+                            acc = self.adder(&acc, &pp, self.zero);
+                        }
+                        acc
+                    }
+                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                        // Constant counts become rewiring (as in PyRTL).
+                        if let Expr::Const(c) = &**b {
+                            let w = av.len() as u32;
+                            let amt =
+                                c.to_u64().map_or(u32::MAX, |v| u32::try_from(v).unwrap_or(u32::MAX));
+                            let fill =
+                                if *op == BinOp::Ashr { av[av.len() - 1] } else { self.zero };
+                            (0..w)
+                                .map(|i| match op {
+                                    BinOp::Shl => {
+                                        if i >= amt.min(w) {
+                                            av[(i - amt) as usize]
+                                        } else {
+                                            fill
+                                        }
+                                    }
+                                    _ => {
+                                        if amt < w && i + amt < w {
+                                            av[(i + amt) as usize]
+                                        } else {
+                                            fill
+                                        }
+                                    }
+                                })
+                                .collect()
+                        } else {
+                            self.shift(&av, &bv, *op)
+                        }
+                    }
+                    BinOp::Eq => vec![self.eq(&av, &bv)],
+                    BinOp::Neq => {
+                        let e = self.eq(&av, &bv);
+                        vec![self.not(e)]
+                    }
+                    BinOp::Ult => vec![self.ult(&av, &bv)],
+                    BinOp::Ule => {
+                        let gt = self.ult(&bv, &av);
+                        vec![self.not(gt)]
+                    }
+                    BinOp::Slt => {
+                        let (mut af, mut bf) = (av, bv);
+                        let n = af.len();
+                        af[n - 1] = self.not(af[n - 1]);
+                        bf[n - 1] = self.not(bf[n - 1]);
+                        vec![self.ult(&af, &bf)]
+                    }
+                    BinOp::Sle => {
+                        let (mut af, mut bf) = (av, bv);
+                        let n = af.len();
+                        af[n - 1] = self.not(af[n - 1]);
+                        bf[n - 1] = self.not(bf[n - 1]);
+                        let gt = self.ult(&bf, &af);
+                        vec![self.not(gt)]
+                    }
+                }
+            }
+            Expr::Ite(c, t, els) => {
+                let cv = self.expr(c)?;
+                let tv = self.expr(t)?;
+                let ev = self.expr(els)?;
+                let cr = self.or_reduce(&cv);
+                self.mux_bits(cr, &tv, &ev)
+            }
+            Expr::Extract(a, high, low) => {
+                let av = self.expr(a)?;
+                av[*low as usize..=*high as usize].to_vec()
+            }
+            Expr::Concat(a, b) => {
+                let hv = self.expr(a)?;
+                let mut out = self.expr(b)?;
+                out.extend(hv);
+                out
+            }
+            Expr::ZExt(a, w) => {
+                let mut out = self.expr(a)?;
+                out.resize(*w as usize, self.zero);
+                out
+            }
+            Expr::SExt(a, w) => {
+                let mut out = self.expr(a)?;
+                let sign = *out.last().expect("nonzero width");
+                out.resize(*w as usize, sign);
+                out
+            }
+            Expr::Read(mem, addr) => {
+                let a = self.expr(addr)?;
+                let idx = *self
+                    .mem_index
+                    .get(mem)
+                    .ok_or_else(|| OysterError::new(format!("unbound memory {mem}")))?;
+                let port = self.nl.mems[idx as usize].read_ports.len() as u32;
+                self.nl.mems[idx as usize].read_ports.push(a);
+                let dw = self.nl.mems[idx as usize].data_width;
+                // Encode port index in the high bits of the second field.
+                (0..dw)
+                    .map(|b| self.nl.push(GateKind::MemRead(idx, port << 8 | b)))
+                    .collect()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_counts_gates() {
+        let d: Design = "design add8\ninput a 8\ninput b 8\noutput s 8\ns := a + b\nend\n"
+            .parse()
+            .unwrap();
+        let nl = lower(&d).unwrap();
+        let stats = nl.stats();
+        // Ripple-carry adder: 5 gates per bit (2 xor, 2 and, 1 or).
+        assert_eq!(stats.xor_gates, 16);
+        assert_eq!(stats.and_gates, 16);
+        assert_eq!(stats.or_gates, 8);
+        assert_eq!(stats.dffs, 0);
+    }
+
+    #[test]
+    fn registers_become_dffs() {
+        let d: Design = "design c\nregister r 8\nr := r + 8'x01\nend\n".parse().unwrap();
+        let nl = lower(&d).unwrap();
+        assert_eq!(nl.stats().dffs, 8);
+        assert_eq!(nl.register_names(), vec!["r"]);
+    }
+
+    #[test]
+    fn memories_stay_primitive() {
+        let d: Design = "design m\ninput a 4\ninput v 8\ninput en 1\nmemory ram 4 8\noutput o 8\n\
+                         o := ram[a]\nwrite ram[a] := v when en\nend\n"
+            .parse()
+            .unwrap();
+        let nl = lower(&d).unwrap();
+        let stats = nl.stats();
+        assert_eq!(stats.memories, 1);
+        assert_eq!(nl.mems[0].read_ports.len(), 1);
+        assert_eq!(nl.mems[0].write_ports.len(), 1);
+    }
+
+    #[test]
+    fn holes_rejected() {
+        let d: Design = "design h\nhole x 1\nregister r 1\nr := x\nend\n".parse().unwrap();
+        assert!(lower(&d).is_err());
+    }
+
+    #[test]
+    fn constant_shift_is_rewiring() {
+        let d: Design = "design s\ninput a 8\noutput o 8\no := a << 8'x02\nend\n"
+            .parse()
+            .unwrap();
+        let nl = lower(&d).unwrap();
+        assert_eq!(nl.stats().total(), 0); // pure rewiring, no gates
+    }
+}

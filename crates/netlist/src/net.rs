@@ -1,0 +1,200 @@
+//! The netlist data structure: a sea of 2-input gates plus flip-flops and
+//! primitive memory ports.
+
+use std::collections::HashMap;
+
+/// Index of a net (the output of a gate, a constant, an input bit, a
+/// flip-flop output, or a memory read-port bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index of the net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// External input bit: (input index, bit index).
+    Input(u32, u32),
+    /// 2-input AND.
+    And(NetId, NetId),
+    /// 2-input OR.
+    Or(NetId, NetId),
+    /// 2-input XOR.
+    Xor(NetId, NetId),
+    /// Inverter.
+    Not(NetId),
+    /// Flip-flop output (Q) of the given DFF index.
+    DffQ(u32),
+    /// Bit `bit` of memory read port `port`.
+    MemRead(u32, u32),
+}
+
+impl GateKind {
+    /// True for the kinds counted as combinational gates.
+    #[must_use]
+    pub fn is_logic_gate(self) -> bool {
+        matches!(
+            self,
+            GateKind::And(..) | GateKind::Or(..) | GateKind::Xor(..) | GateKind::Not(_)
+        )
+    }
+}
+
+/// A D flip-flop: `q` takes the value of `d` each cycle (reset to 0).
+#[derive(Debug, Clone, Copy)]
+pub struct Dff {
+    /// Data input net (set when the register's driver is lowered).
+    pub d: NetId,
+    /// Output net.
+    pub q: NetId,
+}
+
+/// A primitive memory block (kept opaque, like a PyRTL `MemBlock`).
+#[derive(Debug, Clone)]
+pub struct MemBlock {
+    /// Memory name.
+    pub name: String,
+    /// Address width in bits.
+    pub addr_width: u32,
+    /// Data width in bits.
+    pub data_width: u32,
+    /// ROM contents (None for RAM).
+    pub rom: Option<Vec<owl_bitvec::BitVec>>,
+    /// Read ports: address bit nets.
+    pub read_ports: Vec<Vec<NetId>>,
+    /// Write ports: (address bits, data bits, enable net).
+    pub write_ports: Vec<(Vec<NetId>, Vec<NetId>, NetId)>,
+}
+
+/// Gate-count statistics (Table 2's metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateStats {
+    /// 2-input AND gates.
+    pub and_gates: usize,
+    /// 2-input OR gates.
+    pub or_gates: usize,
+    /// 2-input XOR gates.
+    pub xor_gates: usize,
+    /// Inverters.
+    pub not_gates: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Primitive memory blocks (not counted as gates).
+    pub memories: usize,
+}
+
+impl GateStats {
+    /// Total combinational gates plus flip-flops.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.and_gates + self.or_gates + self.xor_gates + self.not_gates + self.dffs
+    }
+}
+
+impl std::fmt::Display for GateStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} gates (and={}, or={}, xor={}, not={}, dff={}, mems={})",
+            self.total(),
+            self.and_gates,
+            self.or_gates,
+            self.xor_gates,
+            self.not_gates,
+            self.dffs,
+            self.memories
+        )
+    }
+}
+
+/// A gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) gates: Vec<GateKind>,
+    pub(crate) inputs: Vec<(String, Vec<NetId>)>,
+    pub(crate) outputs: Vec<(String, Vec<NetId>)>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) dff_names: Vec<String>,
+    pub(crate) mems: Vec<MemBlock>,
+}
+
+impl Netlist {
+    pub(crate) fn new() -> Self {
+        Netlist::default()
+    }
+
+    pub(crate) fn push(&mut self, kind: GateKind) -> NetId {
+        let id = NetId(self.gates.len() as u32);
+        self.gates.push(kind);
+        id
+    }
+
+    /// The driver of a net.
+    #[must_use]
+    pub fn gate(&self, id: NetId) -> GateKind {
+        self.gates[id.index()]
+    }
+
+    /// Number of nets (including constants, inputs and primitives).
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Declared inputs: `(name, bit nets LSB-first)`.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// Declared outputs: `(name, bit nets LSB-first)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Names of the registers backing each flip-flop group.
+    #[must_use]
+    pub fn register_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.dff_names.iter().map(String::as_str).collect();
+        names.dedup();
+        names
+    }
+
+    /// Gate-count statistics over all nets.
+    #[must_use]
+    pub fn stats(&self) -> GateStats {
+        let mut stats = GateStats {
+            and_gates: 0,
+            or_gates: 0,
+            xor_gates: 0,
+            not_gates: 0,
+            dffs: self.dffs.len(),
+            memories: self.mems.len(),
+        };
+        for g in &self.gates {
+            match g {
+                GateKind::And(..) => stats.and_gates += 1,
+                GateKind::Or(..) => stats.or_gates += 1,
+                GateKind::Xor(..) => stats.xor_gates += 1,
+                GateKind::Not(_) => stats.not_gates += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// Maps output names to their bit nets.
+    #[must_use]
+    pub fn output_map(&self) -> HashMap<&str, &[NetId]> {
+        self.outputs.iter().map(|(n, bits)| (n.as_str(), bits.as_slice())).collect()
+    }
+}

@@ -1,0 +1,357 @@
+//! The logic optimizer (the stand-in for the paper's Yosys pass).
+//!
+//! A single forward rebuild applies, in concert: constant propagation,
+//! algebraic identities (`x&x`, `x&0`, `x^x`, double negation, …),
+//! structural hashing (CSE with commutative-operand normalization), and —
+//! because only gates reachable from outputs, flip-flop inputs and memory
+//! ports are rebuilt — dead-gate elimination. The pass is idempotent;
+//! [`optimize`] runs it to a fixpoint.
+
+use crate::net::{GateKind, MemBlock, NetId, Netlist};
+use std::collections::{HashMap, HashSet};
+
+/// Optimizes a netlist, returning an equivalent, usually smaller one.
+#[must_use]
+pub fn optimize(netlist: &Netlist) -> Netlist {
+    let mut current = one_pass(netlist);
+    loop {
+        let next = one_pass(&current);
+        if next.stats().total() >= current.stats().total() {
+            return current;
+        }
+        current = next;
+    }
+}
+
+struct Builder {
+    nl: Netlist,
+    zero: NetId,
+    one: NetId,
+    hash: HashMap<GateKind, NetId>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        let mut nl = Netlist::new();
+        let zero = nl.push(GateKind::Const(false));
+        let one = nl.push(GateKind::Const(true));
+        let mut hash = HashMap::new();
+        hash.insert(GateKind::Const(false), zero);
+        hash.insert(GateKind::Const(true), one);
+        Builder { nl, zero, one, hash }
+    }
+
+    fn intern(&mut self, kind: GateKind) -> NetId {
+        if let Some(&id) = self.hash.get(&kind) {
+            return id;
+        }
+        let id = self.nl.push(kind);
+        self.hash.insert(kind, id);
+        id
+    }
+
+    fn is_const(&self, n: NetId) -> Option<bool> {
+        if n == self.zero {
+            Some(false)
+        } else if n == self.one {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// True if `a` is the inverter of `b` or vice versa.
+    fn complementary(&self, a: NetId, b: NetId) -> bool {
+        matches!(self.nl.gates[a.index()], GateKind::Not(x) if x == b)
+            || matches!(self.nl.gates[b.index()], GateKind::Not(x) if x == a)
+    }
+
+    fn and(&mut self, mut a: NetId, mut b: NetId) -> NetId {
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.zero,
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.zero;
+        }
+        self.intern(GateKind::And(a, b))
+    }
+
+    fn or(&mut self, mut a: NetId, mut b: NetId) -> NetId {
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.one,
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.one;
+        }
+        self.intern(GateKind::Or(a, b))
+    }
+
+    fn xor(&mut self, mut a: NetId, mut b: NetId) -> NetId {
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.zero;
+        }
+        if self.complementary(a, b) {
+            return self.one;
+        }
+        self.intern(GateKind::Xor(a, b))
+    }
+
+    fn not(&mut self, a: NetId) -> NetId {
+        if let Some(c) = self.is_const(a) {
+            return if c { self.zero } else { self.one };
+        }
+        if let GateKind::Not(inner) = self.nl.gates[a.index()] {
+            return inner;
+        }
+        self.intern(GateKind::Not(a))
+    }
+}
+
+fn live_set(nl: &Netlist) -> HashSet<NetId> {
+    let mut live = HashSet::new();
+    let mut stack: Vec<NetId> = Vec::new();
+    for (_, bits) in &nl.outputs {
+        stack.extend(bits.iter().copied());
+    }
+    for d in &nl.dffs {
+        stack.push(d.d);
+    }
+    for m in &nl.mems {
+        for port in &m.read_ports {
+            stack.extend(port.iter().copied());
+        }
+        for (a, d, e) in &m.write_ports {
+            stack.extend(a.iter().copied());
+            stack.extend(d.iter().copied());
+            stack.push(*e);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        if !live.insert(n) {
+            continue;
+        }
+        match nl.gates[n.index()] {
+            GateKind::And(a, b) | GateKind::Or(a, b) | GateKind::Xor(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            GateKind::Not(a) => stack.push(a),
+            _ => {}
+        }
+    }
+    live
+}
+
+fn one_pass(nl: &Netlist) -> Netlist {
+    let live = live_set(nl);
+    let mut b = Builder::new();
+    let mut remap: HashMap<NetId, NetId> = HashMap::new();
+
+    // Interface nets are always rebuilt so the I/O shape is stable.
+    for (idx, (name, bits)) in nl.inputs.iter().enumerate() {
+        let new_bits: Vec<NetId> = (0..bits.len())
+            .map(|bit| b.intern(GateKind::Input(idx as u32, bit as u32)))
+            .collect();
+        for (old, new) in bits.iter().zip(&new_bits) {
+            remap.insert(*old, *new);
+        }
+        b.nl.inputs.push((name.clone(), new_bits));
+    }
+    for (i, dff) in nl.dffs.iter().enumerate() {
+        let q = b.intern(GateKind::DffQ(i as u32));
+        remap.insert(dff.q, q);
+        b.nl.dffs.push(crate::net::Dff { d: q, q });
+        b.nl.dff_names.push(nl.dff_names[i].clone());
+    }
+    for (mi, m) in nl.mems.iter().enumerate() {
+        // Read-data nets rebuilt directly; ports remapped afterwards.
+        b.nl.mems.push(MemBlock {
+            name: m.name.clone(),
+            addr_width: m.addr_width,
+            data_width: m.data_width,
+            rom: m.rom.clone(),
+            read_ports: Vec::new(),
+            write_ports: Vec::new(),
+        });
+        let _ = mi;
+    }
+
+    // Rebuild live gates in topological (index) order.
+    for (i, gate) in nl.gates.iter().enumerate() {
+        let old = NetId(i as u32);
+        if remap.contains_key(&old) {
+            continue;
+        }
+        if !live.contains(&old) {
+            continue;
+        }
+        let new = match *gate {
+            GateKind::Const(c) => {
+                if c {
+                    b.one
+                } else {
+                    b.zero
+                }
+            }
+            GateKind::Input(..) | GateKind::DffQ(_) => {
+                unreachable!("interface nets pre-mapped")
+            }
+            GateKind::And(x, y) => {
+                let (x, y) = (remap[&x], remap[&y]);
+                b.and(x, y)
+            }
+            GateKind::Or(x, y) => {
+                let (x, y) = (remap[&x], remap[&y]);
+                b.or(x, y)
+            }
+            GateKind::Xor(x, y) => {
+                let (x, y) = (remap[&x], remap[&y]);
+                b.xor(x, y)
+            }
+            GateKind::Not(x) => {
+                let x = remap[&x];
+                b.not(x)
+            }
+            GateKind::MemRead(mem, port_bit) => b.intern(GateKind::MemRead(mem, port_bit)),
+        };
+        remap.insert(old, new);
+    }
+
+    // Rewire flip-flop inputs, memory ports, and outputs.
+    for (i, dff) in nl.dffs.iter().enumerate() {
+        b.nl.dffs[i].d = remap[&dff.d];
+    }
+    for (mi, m) in nl.mems.iter().enumerate() {
+        b.nl.mems[mi].read_ports =
+            m.read_ports.iter().map(|p| p.iter().map(|n| remap[n]).collect()).collect();
+        b.nl.mems[mi].write_ports = m
+            .write_ports
+            .iter()
+            .map(|(a, d, e)| {
+                (
+                    a.iter().map(|n| remap[n]).collect(),
+                    d.iter().map(|n| remap[n]).collect(),
+                    remap[e],
+                )
+            })
+            .collect();
+    }
+    for (name, bits) in &nl.outputs {
+        b.nl.outputs.push((name.clone(), bits.iter().map(|n| remap[n]).collect()));
+    }
+    b.nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::sim::GateSim;
+    use owl_bitvec::BitVec;
+    use owl_oyster::Design;
+    use std::collections::HashMap;
+
+    fn opt_of(text: &str) -> (Netlist, Netlist) {
+        let d: Design = text.parse().unwrap();
+        let nl = lower(&d).unwrap();
+        let opt = optimize(&nl);
+        (nl, opt)
+    }
+
+    #[test]
+    fn cse_merges_duplicate_logic() {
+        // a + b computed twice.
+        let (raw, opt) = opt_of(
+            "design d\ninput a 8\ninput b 8\noutput x 8\noutput y 8\n\
+             x := a + b\ny := a + b\nend\n",
+        );
+        // Lowering shares because the wires are distinct statements, each
+        // building its own adder.
+        // At least the full duplicate adder is merged; constant-carry
+        // folding in the first stage saves a little more.
+        assert!(opt.stats().total() <= raw.stats().total() / 2);
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let (_, opt) = opt_of(
+            "design d\ninput a 8\noutput x 8\nx := a & 8'x00\nend\n",
+        );
+        assert_eq!(opt.stats().total(), 0);
+    }
+
+    #[test]
+    fn dead_gates_removed() {
+        let (raw, opt) = opt_of(
+            "design d\ninput a 8\ninput b 8\noutput x 8\n\
+             unused := a * b\nx := a\nend\n",
+        );
+        assert!(raw.stats().total() > 0);
+        assert_eq!(opt.stats().total(), 0);
+    }
+
+    #[test]
+    fn optimization_preserves_behaviour() {
+        let text = "design alu\ninput a 8\ninput b 8\ninput op 2\nregister acc 8\noutput o 8\n\
+                    r := if op == 2'x0 then a + b else if op == 2'x1 then a - b \
+                    else if op == 2'x2 then a & b else a ^ b\n\
+                    acc := acc + r\no := r\nend\n";
+        let d: Design = text.parse().unwrap();
+        let raw = lower(&d).unwrap();
+        let opt = optimize(&raw);
+        assert!(opt.stats().total() < raw.stats().total());
+        let mut s1 = GateSim::new(&raw);
+        let mut s2 = GateSim::new(&opt);
+        for (a, bb, op) in [(10u64, 3u64, 0u64), (200, 200, 1), (0xF0, 0x3C, 2), (1, 2, 3)] {
+            let ins: HashMap<String, BitVec> = [
+                ("a".to_string(), BitVec::from_u64(8, a)),
+                ("b".to_string(), BitVec::from_u64(8, bb)),
+                ("op".to_string(), BitVec::from_u64(2, op)),
+            ]
+            .into();
+            let o1 = s1.step(&ins);
+            let o2 = s2.step(&ins);
+            assert_eq!(o1["o"], o2["o"]);
+            assert_eq!(s1.reg("acc"), s2.reg("acc"));
+        }
+    }
+
+    #[test]
+    fn idempotent_at_fixpoint() {
+        let (_, opt) = opt_of(
+            "design d\ninput a 8\ninput b 8\noutput x 1\nx := (a == b) | (a != b)\nend\n",
+        );
+        let opt2 = optimize(&opt);
+        assert_eq!(opt.stats().total(), opt2.stats().total());
+        // (a == b) | !(a == b) folds to constant 1.
+        assert_eq!(opt.stats().total(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Cycle-accurate gate-level simulation, for differential testing of the
+//! lowering against the Oyster interpreter.
+
+use crate::net::{GateKind, NetId, Netlist};
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+
+/// A gate-level simulator over a [`Netlist`].
+#[derive(Debug)]
+pub struct GateSim<'n> {
+    netlist: &'n Netlist,
+    dff_state: Vec<bool>,
+    mems: Vec<HashMap<u64, BitVec>>,
+}
+
+impl<'n> GateSim<'n> {
+    /// Creates a simulator with flip-flops and memories zeroed.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist) -> Self {
+        GateSim {
+            netlist,
+            dff_state: vec![false; netlist.dffs.len()],
+            mems: vec![HashMap::new(); netlist.mems.len()],
+        }
+    }
+
+    /// Writes a memory word directly (for loading programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory name is unknown.
+    pub fn poke_mem(&mut self, name: &str, addr: u64, data: BitVec) {
+        let idx = self
+            .netlist
+            .mems
+            .iter()
+            .position(|m| m.name == name)
+            .unwrap_or_else(|| panic!("unknown memory {name}"));
+        self.mems[idx].insert(addr, data);
+    }
+
+    fn read_mem(&self, mem_idx: usize, addr: u64) -> BitVec {
+        let block = &self.netlist.mems[mem_idx];
+        if let Some(rom) = &block.rom {
+            return rom
+                .get(addr as usize)
+                .cloned()
+                .unwrap_or_else(|| BitVec::zero(block.data_width));
+        }
+        self.mems[mem_idx]
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| BitVec::zero(block.data_width))
+    }
+
+    /// Simulates one cycle, returning the output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input value is missing or has the wrong width.
+    pub fn step(&mut self, inputs: &HashMap<String, BitVec>) -> HashMap<String, BitVec> {
+        let nl = self.netlist;
+        let mut values = vec![false; nl.gates.len()];
+        // Pre-compute read-port addresses lazily: nets evaluate in index
+        // order, and a MemRead net is always created after its address
+        // nets, so the address bits below are already evaluated.
+        for (i, gate) in nl.gates.iter().enumerate() {
+            values[i] = match *gate {
+                GateKind::Const(b) => b,
+                GateKind::Input(input_idx, bit) => {
+                    let (name, _) = &nl.inputs[input_idx as usize];
+                    let v = inputs
+                        .get(name)
+                        .unwrap_or_else(|| panic!("missing input {name}"));
+                    v.bit(bit)
+                }
+                GateKind::And(a, b) => values[a.index()] && values[b.index()],
+                GateKind::Or(a, b) => values[a.index()] || values[b.index()],
+                GateKind::Xor(a, b) => values[a.index()] ^ values[b.index()],
+                GateKind::Not(a) => !values[a.index()],
+                GateKind::DffQ(d) => self.dff_state[d as usize],
+                GateKind::MemRead(mem, port_bit) => {
+                    let port = (port_bit >> 8) as usize;
+                    let bit = port_bit & 0xFF;
+                    let addr_nets = &nl.mems[mem as usize].read_ports[port];
+                    let addr = nets_to_u64(addr_nets, &values);
+                    self.read_mem(mem as usize, addr).bit(bit)
+                }
+            };
+        }
+
+        // Commit flip-flops.
+        let next: Vec<bool> = nl.dffs.iter().map(|d| values[d.d.index()]).collect();
+        self.dff_state = next;
+
+        // Commit memory writes.
+        for (mi, block) in nl.mems.iter().enumerate() {
+            for (addr_nets, data_nets, en) in &block.write_ports {
+                if values[en.index()] {
+                    let addr = nets_to_u64(addr_nets, &values);
+                    let bits: Vec<bool> =
+                        data_nets.iter().map(|n| values[n.index()]).collect();
+                    self.mems[mi].insert(addr, BitVec::from_bits_lsb0(&bits));
+                }
+            }
+        }
+
+        nl.outputs
+            .iter()
+            .map(|(name, bits)| {
+                let v: Vec<bool> = bits.iter().map(|n| values[n.index()]).collect();
+                (name.clone(), BitVec::from_bits_lsb0(&v))
+            })
+            .collect()
+    }
+
+    /// The current value of a register (by its Oyster name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register name is unknown.
+    #[must_use]
+    pub fn reg(&self, name: &str) -> BitVec {
+        let bits: Vec<bool> = self
+            .netlist
+            .dff_names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| *n == name)
+            .map(|(i, _)| self.dff_state[i])
+            .collect();
+        assert!(!bits.is_empty(), "unknown register {name}");
+        BitVec::from_bits_lsb0(&bits)
+    }
+}
+
+fn nets_to_u64(nets: &[NetId], values: &[bool]) -> u64 {
+    nets.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, n)| acc | (u64::from(values[n.index()]) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use owl_oyster::{Design, Interpreter};
+
+    fn inputs(pairs: &[(&str, u32, u64)]) -> HashMap<String, BitVec> {
+        pairs
+            .iter()
+            .map(|&(n, w, v)| (n.to_string(), BitVec::from_u64(w, v)))
+            .collect()
+    }
+
+    /// Drives the same design through the Oyster interpreter and the gate
+    /// simulator and compares outputs cycle by cycle.
+    fn differential(design_text: &str, stimulus: &[Vec<(&str, u32, u64)>]) {
+        let d: Design = design_text.parse().unwrap();
+        let nl = lower(&d).unwrap();
+        let mut gate_sim = GateSim::new(&nl);
+        let mut ref_sim = Interpreter::new(&d).unwrap();
+        for step_inputs in stimulus {
+            let ins = inputs(step_inputs);
+            let gate_out = gate_sim.step(&ins);
+            let ref_out = ref_sim.step(&ins).unwrap();
+            for (name, value) in &ref_out.outputs {
+                assert_eq!(&gate_out[name], value, "output {name} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_matches_interpreter() {
+        differential(
+            "design a\ninput x 8\ninput y 8\noutput s 8\ns := x + y\nend\n",
+            &[
+                vec![("x", 8, 200), ("y", 8, 100)],
+                vec![("x", 8, 255), ("y", 8, 255)],
+                vec![("x", 8, 0), ("y", 8, 0)],
+            ],
+        );
+    }
+
+    #[test]
+    fn alu_like_design_matches() {
+        differential(
+            "design alu\ninput a 8\ninput b 8\ninput op 2\noutput o 8\n\
+             o := if op == 2'x0 then a + b else if op == 2'x1 then a - b \
+             else if op == 2'x2 then a & b else a ^ b\nend\n",
+            &[
+                vec![("a", 8, 0xF0), ("b", 8, 0x0F), ("op", 2, 0)],
+                vec![("a", 8, 0x10), ("b", 8, 0x20), ("op", 2, 1)],
+                vec![("a", 8, 0xAA), ("b", 8, 0x0F), ("op", 2, 2)],
+                vec![("a", 8, 0xAA), ("b", 8, 0xFF), ("op", 2, 3)],
+            ],
+        );
+    }
+
+    #[test]
+    fn shifts_and_compares_match() {
+        differential(
+            "design s\ninput a 8\ninput n 8\noutput l 8\noutput r 8\noutput ar 8\noutput c 1\n\
+             l := a << n\nr := a >> n\nar := a >>> n\nc := a <s n\nend\n",
+            &[
+                vec![("a", 8, 0x81), ("n", 8, 1)],
+                vec![("a", 8, 0x81), ("n", 8, 7)],
+                vec![("a", 8, 0x81), ("n", 8, 9)],
+                vec![("a", 8, 0x7F), ("n", 8, 0)],
+            ],
+        );
+    }
+
+    #[test]
+    fn registers_and_memory_match() {
+        let text = "design rm\ninput addr 3\ninput v 8\ninput en 1\n\
+                    register acc 8\nmemory ram 3 8\noutput o 8\n\
+                    acc := acc + v\nwrite ram[addr] := acc when en\no := ram[addr]\nend\n";
+        let d: Design = text.parse().unwrap();
+        let nl = lower(&d).unwrap();
+        let mut gate_sim = GateSim::new(&nl);
+        let mut ref_sim = Interpreter::new(&d).unwrap();
+        for (a, v, en) in [(1u64, 5u64, 1u64), (1, 3, 0), (1, 2, 1), (1, 0, 0)] {
+            let ins = inputs(&[("addr", 3, a), ("v", 8, v), ("en", 1, en)]);
+            let g = gate_sim.step(&ins);
+            let r = ref_sim.step(&ins).unwrap();
+            assert_eq!(g["o"], r.outputs["o"]);
+            assert_eq!(gate_sim.reg("acc"), *ref_sim.reg("acc").unwrap());
+        }
+    }
+
+    #[test]
+    fn rom_matches() {
+        differential(
+            "design r\ninput a 2\nrom t 2 8 [11 22 33]\noutput o 8\no := t[a]\nend\n",
+            &[
+                vec![("a", 2, 0)],
+                vec![("a", 2, 2)],
+                vec![("a", 2, 3)],
+            ],
+        );
+    }
+
+    #[test]
+    fn mul_matches() {
+        differential(
+            "design m\ninput a 6\ninput b 6\noutput p 6\np := a * b\nend\n",
+            &[
+                vec![("a", 6, 7), ("b", 6, 9)],
+                vec![("a", 6, 63), ("b", 6, 63)],
+                vec![("a", 6, 0), ("b", 6, 21)],
+            ],
+        );
+    }
+}

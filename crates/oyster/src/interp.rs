@@ -1,0 +1,434 @@
+//! The cycle-accurate concrete interpreter for Oyster designs.
+//!
+//! "An Oyster interpreter is essentially a cycle-accurate simulator for
+//! synchronous hardware designs" — registers and memory writes take
+//! effect at the end of each cycle; wires are evaluated in statement
+//! order within a cycle.
+
+use crate::ir::{BinOp, DeclKind, Design, Expr, OysterError, Stmt};
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+
+/// Concrete contents of a memory during simulation: a sparse map with a
+/// default value for untouched addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemState {
+    map: HashMap<u64, BitVec>,
+    default: BitVec,
+}
+
+impl MemState {
+    /// A memory whose every address holds `default`.
+    #[must_use]
+    pub fn filled(default: BitVec) -> Self {
+        MemState { map: HashMap::new(), default }
+    }
+
+    /// Reads the word at `addr`.
+    #[must_use]
+    pub fn read(&self, addr: u64) -> BitVec {
+        self.map.get(&addr).cloned().unwrap_or_else(|| self.default.clone())
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&mut self, addr: u64, data: BitVec) {
+        self.map.insert(addr, data);
+    }
+
+    /// Number of explicitly written addresses.
+    #[must_use]
+    pub fn touched(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Values computed during one simulated cycle.
+#[derive(Debug, Clone)]
+pub struct CycleOutput {
+    /// Final values of declared outputs.
+    pub outputs: HashMap<String, BitVec>,
+    /// Values of all wires evaluated this cycle (including outputs).
+    pub wires: HashMap<String, BitVec>,
+}
+
+/// A cycle-accurate simulator for a hole-free Oyster design.
+///
+/// # Examples
+///
+/// ```
+/// use owl_bitvec::BitVec;
+/// use owl_oyster::{Design, Interpreter};
+/// use std::collections::HashMap;
+///
+/// let design: Design =
+///     "design counter\nregister count 8\noutput out 8\n\
+///      count := count + 8'x01\nout := count\nend\n".parse()?;
+/// let mut sim = Interpreter::new(&design)?;
+/// let out = sim.step(&HashMap::new())?;
+/// assert_eq!(out.outputs["out"], BitVec::zero(8)); // pre-increment value
+/// assert_eq!(sim.reg("count").unwrap(), &BitVec::from_u64(8, 1));
+/// # Ok::<(), owl_oyster::OysterError>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'d> {
+    design: &'d Design,
+    regs: HashMap<String, BitVec>,
+    mems: HashMap<String, MemState>,
+    roms: HashMap<String, (u32, Vec<BitVec>)>,
+}
+
+impl<'d> Interpreter<'d> {
+    /// Creates a simulator with all registers and memories zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the design fails [`Design::check`] or still
+    /// contains holes (simulate only completed designs).
+    pub fn new(design: &'d Design) -> Result<Self, OysterError> {
+        design.check()?;
+        if !design.hole_names().is_empty() {
+            return Err(OysterError::new(format!(
+                "cannot simulate a sketch with holes: {:?}",
+                design.hole_names()
+            )));
+        }
+        let mut regs = HashMap::new();
+        let mut mems = HashMap::new();
+        let mut roms = HashMap::new();
+        for d in design.decls() {
+            match &d.kind {
+                DeclKind::Register => {
+                    regs.insert(d.name.clone(), BitVec::zero(d.width));
+                }
+                DeclKind::Memory { .. } => {
+                    mems.insert(d.name.clone(), MemState::filled(BitVec::zero(d.width)));
+                }
+                DeclKind::Rom { addr_width, data } => {
+                    roms.insert(d.name.clone(), (*addr_width, data.clone()));
+                }
+                _ => {}
+            }
+        }
+        Ok(Interpreter { design, regs, mems, roms })
+    }
+
+    /// Current value of a register.
+    #[must_use]
+    pub fn reg(&self, name: &str) -> Option<&BitVec> {
+        self.regs.get(name)
+    }
+
+    /// Sets a register (for initializing simulations).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown registers or width mismatches.
+    pub fn set_reg(&mut self, name: &str, value: BitVec) -> Result<(), OysterError> {
+        let slot = self
+            .regs
+            .get_mut(name)
+            .ok_or_else(|| OysterError::new(format!("unknown register {name}")))?;
+        if slot.width() != value.width() {
+            return Err(OysterError::new(format!(
+                "register {name} width {} vs value width {}",
+                slot.width(),
+                value.width()
+            )));
+        }
+        *slot = value;
+        Ok(())
+    }
+
+    /// Current contents of a memory.
+    #[must_use]
+    pub fn mem(&self, name: &str) -> Option<&MemState> {
+        self.mems.get(name)
+    }
+
+    /// Writes a memory word directly (for loading programs and data).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown memories or width mismatches.
+    pub fn poke_mem(&mut self, name: &str, addr: u64, data: BitVec) -> Result<(), OysterError> {
+        let mem = self
+            .mems
+            .get_mut(name)
+            .ok_or_else(|| OysterError::new(format!("unknown memory {name}")))?;
+        if mem.default.width() != data.width() {
+            return Err(OysterError::new(format!(
+                "memory {name} width {} vs data width {}",
+                mem.default.width(),
+                data.width()
+            )));
+        }
+        mem.write(addr, data);
+        Ok(())
+    }
+
+    /// Simulates one cycle with the given input values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input is missing or has the wrong width.
+    pub fn step(&mut self, inputs: &HashMap<String, BitVec>) -> Result<CycleOutput, OysterError> {
+        // Validate inputs.
+        for d in self.design.decls() {
+            if d.kind == DeclKind::Input {
+                let v = inputs.get(&d.name).ok_or_else(|| {
+                    OysterError::new(format!("missing value for input {}", d.name))
+                })?;
+                if v.width() != d.width {
+                    return Err(OysterError::new(format!(
+                        "input {} width {} vs supplied width {}",
+                        d.name,
+                        d.width,
+                        v.width()
+                    )));
+                }
+            }
+        }
+
+        let mut wires: HashMap<String, BitVec> = HashMap::new();
+        let mut next_regs: Vec<(String, BitVec)> = Vec::new();
+        let mut mem_writes: Vec<(String, u64, BitVec)> = Vec::new();
+
+        for stmt in self.design.stmts() {
+            match stmt {
+                Stmt::Assign { var, expr } => {
+                    let value = self.eval(expr, inputs, &wires)?;
+                    if self.regs.contains_key(var) {
+                        next_regs.push((var.clone(), value));
+                    } else {
+                        wires.insert(var.clone(), value);
+                    }
+                }
+                Stmt::Write { mem, addr, data, enable } => {
+                    let en = self.eval(enable, inputs, &wires)?;
+                    if en.is_true() {
+                        let a = self.eval(addr, inputs, &wires)?;
+                        let d = self.eval(data, inputs, &wires)?;
+                        let a64 = a.to_u64().expect("address widths fit in u64");
+                        mem_writes.push((mem.clone(), a64, d));
+                    }
+                }
+            }
+        }
+
+        // Commit synchronous state.
+        for (name, value) in next_regs {
+            self.regs.insert(name, value);
+        }
+        for (mem, addr, data) in mem_writes {
+            self.mems.get_mut(&mem).expect("checked memory").write(addr, data);
+        }
+
+        let mut outputs = HashMap::new();
+        for d in self.design.decls() {
+            if d.kind == DeclKind::Output {
+                let v = wires
+                    .get(&d.name)
+                    .cloned()
+                    .unwrap_or_else(|| BitVec::zero(d.width));
+                outputs.insert(d.name.clone(), v);
+            }
+        }
+        Ok(CycleOutput { outputs, wires })
+    }
+
+    fn eval(
+        &self,
+        expr: &Expr,
+        inputs: &HashMap<String, BitVec>,
+        wires: &HashMap<String, BitVec>,
+    ) -> Result<BitVec, OysterError> {
+        Ok(match expr {
+            Expr::Var(n) => {
+                if let Some(v) = wires.get(n) {
+                    v.clone()
+                } else if let Some(v) = self.regs.get(n) {
+                    v.clone()
+                } else if let Some(v) = inputs.get(n) {
+                    v.clone()
+                } else {
+                    return Err(OysterError::new(format!("unbound identifier {n}")));
+                }
+            }
+            Expr::Const(c) => c.clone(),
+            Expr::Not(a) => self.eval(a, inputs, wires)?.not(),
+            Expr::Binop(op, a, b) => {
+                let x = self.eval(a, inputs, wires)?;
+                let y = self.eval(b, inputs, wires)?;
+                match op {
+                    BinOp::And => x.and(&y),
+                    BinOp::Or => x.or(&y),
+                    BinOp::Xor => x.xor(&y),
+                    BinOp::Add => x.add(&y),
+                    BinOp::Sub => x.sub(&y),
+                    BinOp::Mul => x.mul(&y),
+                    BinOp::Shl => x.shl(&y),
+                    BinOp::Lshr => x.lshr(&y),
+                    BinOp::Ashr => x.ashr(&y),
+                    BinOp::Eq => BitVec::from_bool(x == y),
+                    BinOp::Neq => BitVec::from_bool(x != y),
+                    BinOp::Ult => BitVec::from_bool(x.ult(&y)),
+                    BinOp::Ule => BitVec::from_bool(x.ule(&y)),
+                    BinOp::Slt => BitVec::from_bool(x.slt(&y)),
+                    BinOp::Sle => BitVec::from_bool(x.sle(&y)),
+                }
+            }
+            Expr::Ite(c, t, e) => {
+                if self.eval(c, inputs, wires)?.is_true() {
+                    self.eval(t, inputs, wires)?
+                } else {
+                    self.eval(e, inputs, wires)?
+                }
+            }
+            Expr::Extract(a, high, low) => self.eval(a, inputs, wires)?.extract(*high, *low),
+            Expr::Concat(a, b) => {
+                let hi = self.eval(a, inputs, wires)?;
+                let lo = self.eval(b, inputs, wires)?;
+                hi.concat(&lo)
+            }
+            Expr::ZExt(a, w) => self.eval(a, inputs, wires)?.zext(*w),
+            Expr::SExt(a, w) => self.eval(a, inputs, wires)?.sext(*w),
+            Expr::Read(mem, addr) => {
+                let a = self.eval(addr, inputs, wires)?;
+                let a64 = a.to_u64().expect("address widths fit in u64");
+                if let Some(m) = self.mems.get(mem) {
+                    m.read(a64)
+                } else if let Some((_, data)) = self.roms.get(mem) {
+                    let dw = self.design.decl(mem).expect("checked").width;
+                    data.get(a64 as usize).cloned().unwrap_or_else(|| BitVec::zero(dw))
+                } else {
+                    return Err(OysterError::new(format!("unbound memory {mem}")));
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(pairs: &[(&str, u32, u64)]) -> HashMap<String, BitVec> {
+        pairs
+            .iter()
+            .map(|&(n, w, v)| (n.to_string(), BitVec::from_u64(w, v)))
+            .collect()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let d: Design = "design c\nregister count 8\noutput out 8\n\
+                         count := count + 8'x01\nout := count\nend\n"
+            .parse()
+            .unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        for i in 0..300u64 {
+            let out = sim.step(&HashMap::new()).unwrap();
+            assert_eq!(out.outputs["out"], BitVec::from_u64(8, i)); // wraps at 256
+        }
+    }
+
+    #[test]
+    fn accumulator_machine() {
+        let d: Design = "design acc\ninput go 1\ninput val 4\nregister acc 8\noutput out 8\n\
+                         acc := if go then acc + zext(val, 8) else acc\nout := acc\nend\n"
+            .parse()
+            .unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        sim.step(&inputs(&[("go", 1, 1), ("val", 4, 5)])).unwrap();
+        sim.step(&inputs(&[("go", 1, 0), ("val", 4, 9)])).unwrap();
+        sim.step(&inputs(&[("go", 1, 1), ("val", 4, 7)])).unwrap();
+        assert_eq!(sim.reg("acc").unwrap(), &BitVec::from_u64(8, 12));
+    }
+
+    #[test]
+    fn memory_write_takes_effect_next_cycle() {
+        let d: Design = "design m\ninput addr 4\ninput data 8\ninput en 1\n\
+                         memory ram 4 8\noutput out 8\n\
+                         out := ram[addr]\n\
+                         write ram[addr] := data when en\n\
+                         end\n"
+            .parse()
+            .unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        let o1 = sim.step(&inputs(&[("addr", 4, 3), ("data", 8, 0xAB), ("en", 1, 1)])).unwrap();
+        // Read happened before the write committed.
+        assert_eq!(o1.outputs["out"], BitVec::zero(8));
+        let o2 = sim.step(&inputs(&[("addr", 4, 3), ("data", 8, 0), ("en", 1, 0)])).unwrap();
+        assert_eq!(o2.outputs["out"], BitVec::from_u64(8, 0xAB));
+    }
+
+    #[test]
+    fn rom_reads() {
+        let d: Design = "design r\ninput a 2\nrom t 2 8 [10 20 30]\noutput out 8\n\
+                         out := t[a]\nend\n"
+            .parse()
+            .unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        let o = sim.step(&inputs(&[("a", 2, 2)])).unwrap();
+        assert_eq!(o.outputs["out"], BitVec::from_u64(8, 30));
+        // Out-of-range entry reads zero.
+        let o = sim.step(&inputs(&[("a", 2, 3)])).unwrap();
+        assert_eq!(o.outputs["out"], BitVec::zero(8));
+    }
+
+    #[test]
+    fn wires_chain_within_cycle() {
+        let d: Design = "design w\ninput a 8\noutput out 8\n\
+                         x := a + 8'x01\ny := x * 8'x02\nout := y\nend\n"
+            .parse()
+            .unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        let o = sim.step(&inputs(&[("a", 8, 5)])).unwrap();
+        assert_eq!(o.outputs["out"], BitVec::from_u64(8, 12));
+        assert_eq!(o.wires["x"], BitVec::from_u64(8, 6));
+    }
+
+    #[test]
+    fn holes_rejected() {
+        let d: Design = "design h\nhole s 1\nregister r 8\nr := if s then r else r\nend\n"
+            .parse()
+            .unwrap();
+        assert!(Interpreter::new(&d).is_err());
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let d: Design = "design i\ninput a 8\nx := a\nend\n".parse().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        assert!(sim.step(&HashMap::new()).is_err());
+        assert!(sim.step(&inputs(&[("a", 4, 0)])).is_err()); // wrong width
+    }
+
+    #[test]
+    fn poke_and_inspect_state() {
+        let d: Design = "design p\nregister r 8\nmemory m 4 8\nr := r\nend\n".parse().unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        sim.set_reg("r", BitVec::from_u64(8, 77)).unwrap();
+        sim.poke_mem("m", 2, BitVec::from_u64(8, 99)).unwrap();
+        assert_eq!(sim.reg("r").unwrap().to_u64(), Some(77));
+        assert_eq!(sim.mem("m").unwrap().read(2).to_u64(), Some(99));
+        assert_eq!(sim.mem("m").unwrap().read(3).to_u64(), Some(0));
+        assert!(sim.set_reg("r", BitVec::zero(4)).is_err());
+        assert!(sim.set_reg("nope", BitVec::zero(8)).is_err());
+    }
+
+    #[test]
+    fn register_reads_old_value_during_cycle() {
+        // Swap-like behaviour: both next-values computed from old values.
+        let d: Design = "design swap\nregister a 8\nregister b 8\n\
+                         a := b\nb := a\nend\n"
+            .parse()
+            .unwrap();
+        let mut sim = Interpreter::new(&d).unwrap();
+        sim.set_reg("a", BitVec::from_u64(8, 1)).unwrap();
+        sim.set_reg("b", BitVec::from_u64(8, 2)).unwrap();
+        sim.step(&HashMap::new()).unwrap();
+        assert_eq!(sim.reg("a").unwrap().to_u64(), Some(2));
+        assert_eq!(sim.reg("b").unwrap().to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,724 @@
+//! The Oyster IR data types and the width-checking validator.
+
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Binary operators of the Oyster expression grammar.
+///
+/// The paper's Fig. 5 lists `∧ ∨ ⊕ + =` and notes that "many common
+/// bitvector operations" are supported; the full set used by the case
+/// studies is below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND (`&`).
+    And,
+    /// Bitwise OR (`|`).
+    Or,
+    /// Bitwise XOR (`^`).
+    Xor,
+    /// Addition modulo `2^w` (`+`).
+    Add,
+    /// Subtraction modulo `2^w` (`-`).
+    Sub,
+    /// Multiplication modulo `2^w` (`*`).
+    Mul,
+    /// Left shift (`<<`).
+    Shl,
+    /// Logical right shift (`>>`).
+    Lshr,
+    /// Arithmetic right shift (`>>>`).
+    Ashr,
+    /// Equality (`==`), 1-bit result.
+    Eq,
+    /// Disequality (`!=`), 1-bit result.
+    Neq,
+    /// Unsigned less-than (`<u`), 1-bit result.
+    Ult,
+    /// Unsigned less-or-equal (`<=u`), 1-bit result.
+    Ule,
+    /// Signed less-than (`<s`), 1-bit result.
+    Slt,
+    /// Signed less-or-equal (`<=s`), 1-bit result.
+    Sle,
+}
+
+impl BinOp {
+    /// True for operators with a 1-bit result.
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle
+        )
+    }
+
+    /// The surface syntax of the operator.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Shl => "<<",
+            BinOp::Lshr => ">>",
+            BinOp::Ashr => ">>>",
+            BinOp::Eq => "==",
+            BinOp::Neq => "!=",
+            BinOp::Ult => "<u",
+            BinOp::Ule => "<=u",
+            BinOp::Slt => "<s",
+            BinOp::Sle => "<=s",
+        }
+    }
+}
+
+/// An Oyster expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Reference to an input, register, wire, or hole.
+    Var(String),
+    /// A constant.
+    Const(BitVec),
+    /// Bitwise NOT.
+    Not(Box<Expr>),
+    /// Binary operator application.
+    Binop(BinOp, Box<Expr>, Box<Expr>),
+    /// `if cond then a else b`; a nonzero condition selects `a`.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit extraction `extract e high low`.
+    Extract(Box<Expr>, u32, u32),
+    /// Concatenation `concat high low`.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Zero extension to a width.
+    ZExt(Box<Expr>, u32),
+    /// Sign extension to a width.
+    SExt(Box<Expr>, u32),
+    /// Memory read `read mem addr`.
+    Read(String, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable reference.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A constant from a `u64`.
+    #[must_use]
+    pub fn const_u64(width: u32, value: u64) -> Expr {
+        Expr::Const(BitVec::from_u64(width, value))
+    }
+
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Binary operation.
+    #[must_use]
+    pub fn binop(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binop(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Addition.
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Add, self, rhs)
+    }
+
+    /// Subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Sub, self, rhs)
+    }
+
+    /// Bitwise AND.
+    #[must_use]
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::And, self, rhs)
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Or, self, rhs)
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Xor, self, rhs)
+    }
+
+    /// Equality comparison.
+    #[must_use]
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Eq, self, rhs)
+    }
+
+    /// Disequality comparison.
+    #[must_use]
+    pub fn neq(self, rhs: Expr) -> Expr {
+        Expr::binop(BinOp::Neq, self, rhs)
+    }
+
+    /// If-then-else.
+    #[must_use]
+    pub fn ite(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::Ite(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// Bit extraction.
+    #[must_use]
+    pub fn extract(self, high: u32, low: u32) -> Expr {
+        Expr::Extract(Box::new(self), high, low)
+    }
+
+    /// Concatenation (self is the high part).
+    #[must_use]
+    pub fn concat(self, low: Expr) -> Expr {
+        Expr::Concat(Box::new(self), Box::new(low))
+    }
+
+    /// Zero extension.
+    #[must_use]
+    pub fn zext(self, width: u32) -> Expr {
+        Expr::ZExt(Box::new(self), width)
+    }
+
+    /// Sign extension.
+    #[must_use]
+    pub fn sext(self, width: u32) -> Expr {
+        Expr::SExt(Box::new(self), width)
+    }
+
+    /// Memory read.
+    #[must_use]
+    pub fn read(mem: impl Into<String>, addr: Expr) -> Expr {
+        Expr::Read(mem.into(), Box::new(addr))
+    }
+
+    /// Iterates over the variable names referenced by this expression
+    /// (not memory names).
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(n) => out.push(n.clone()),
+            Expr::Const(_) => {}
+            Expr::Not(a) | Expr::Extract(a, _, _) | Expr::ZExt(a, _) | Expr::SExt(a, _) => {
+                a.free_vars(out);
+            }
+            Expr::Binop(_, a, b) | Expr::Concat(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Ite(c, t, e) => {
+                c.free_vars(out);
+                t.free_vars(out);
+                e.free_vars(out);
+            }
+            Expr::Read(_, a) => a.free_vars(out),
+        }
+    }
+}
+
+/// The role of a declared name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclKind {
+    /// External input, one value per symbolic evaluation (constant across
+    /// the evaluated cycles) or supplied per cycle by the interpreter.
+    Input,
+    /// Externally visible output.
+    Output,
+    /// A register: reads give the current value, assignments take effect
+    /// next cycle.
+    Register,
+    /// A memory with the given address width; synchronous writes.
+    Memory {
+        /// Address width in bits.
+        addr_width: u32,
+    },
+    /// A read-only memory with constant contents (the ILA `MemConst`
+    /// lookup-table pattern; entries beyond `data.len()` read as zero).
+    Rom {
+        /// Address width in bits.
+        addr_width: u32,
+        /// Table contents, each entry `width` bits wide.
+        data: Vec<BitVec>,
+    },
+    /// A synthesis hole: a control value to be filled in by control logic
+    /// synthesis.
+    Hole,
+}
+
+/// A declaration: a name with a width and a role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// Declared name.
+    pub name: String,
+    /// Data width in bits.
+    pub width: u32,
+    /// Role of the name.
+    pub kind: DeclKind,
+}
+
+/// An Oyster statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var := expr` — defines a wire, drives an output, or sets a
+    /// register's next value.
+    Assign {
+        /// Target name.
+        var: String,
+        /// Driving expression.
+        expr: Expr,
+    },
+    /// `write mem addr data enable` — a guarded synchronous memory write.
+    Write {
+        /// Memory name.
+        mem: String,
+        /// Address expression.
+        addr: Expr,
+        /// Data expression.
+        data: Expr,
+        /// Enable expression (nonzero enables the write).
+        enable: Expr,
+    },
+}
+
+/// Error produced by Oyster validation or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OysterError {
+    message: String,
+}
+
+impl OysterError {
+    /// Creates an error with the given message. Public so that front ends
+    /// lowering to Oyster (e.g. `owl-hdl`) can report their own errors in
+    /// the same type.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        OysterError { message: message.into() }
+    }
+}
+
+impl fmt::Display for OysterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oyster error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OysterError {}
+
+/// A complete Oyster design: declarations plus statements.
+///
+/// Construct with [`Design::new`] and the builder methods below, or
+/// parse from text; [`Design::check`] validates name resolution and bit
+/// widths and is invoked automatically by the interpreter and symbolic
+/// evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    name: String,
+    decls: Vec<Decl>,
+    stmts: Vec<Stmt>,
+}
+
+impl Design {
+    /// Creates an empty design with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Design { name: name.into(), decls: Vec::new(), stmts: Vec::new() }
+    }
+
+    /// The design's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declarations, in order.
+    #[must_use]
+    pub fn decls(&self) -> &[Decl] {
+        &self.decls
+    }
+
+    /// The statements, in order.
+    #[must_use]
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Adds a declaration.
+    pub fn declare(&mut self, name: impl Into<String>, width: u32, kind: DeclKind) -> &mut Self {
+        self.decls.push(Decl { name: name.into(), width, kind });
+        self
+    }
+
+    /// Adds an input declaration.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> &mut Self {
+        self.declare(name, width, DeclKind::Input)
+    }
+
+    /// Adds an output declaration.
+    pub fn output(&mut self, name: impl Into<String>, width: u32) -> &mut Self {
+        self.declare(name, width, DeclKind::Output)
+    }
+
+    /// Adds a register declaration.
+    pub fn register(&mut self, name: impl Into<String>, width: u32) -> &mut Self {
+        self.declare(name, width, DeclKind::Register)
+    }
+
+    /// Adds a memory declaration (`addr_width` address bits, `width`-bit
+    /// data).
+    pub fn memory(&mut self, name: impl Into<String>, addr_width: u32, width: u32) -> &mut Self {
+        self.declare(name, width, DeclKind::Memory { addr_width })
+    }
+
+    /// Adds a ROM declaration with constant contents.
+    pub fn rom(
+        &mut self,
+        name: impl Into<String>,
+        addr_width: u32,
+        width: u32,
+        data: Vec<BitVec>,
+    ) -> &mut Self {
+        self.declare(name, width, DeclKind::Rom { addr_width, data })
+    }
+
+    /// Adds a hole declaration.
+    pub fn hole(&mut self, name: impl Into<String>, width: u32) -> &mut Self {
+        self.declare(name, width, DeclKind::Hole)
+    }
+
+    /// Adds an assignment statement.
+    pub fn assign(&mut self, var: impl Into<String>, expr: Expr) -> &mut Self {
+        self.stmts.push(Stmt::Assign { var: var.into(), expr });
+        self
+    }
+
+    /// Adds a guarded memory write statement.
+    pub fn write(&mut self, mem: impl Into<String>, addr: Expr, data: Expr, enable: Expr) -> &mut Self {
+        self.stmts.push(Stmt::Write { mem: mem.into(), addr, data, enable });
+        self
+    }
+
+    /// Looks up a declaration by name.
+    #[must_use]
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Names of all hole declarations, in declaration order.
+    #[must_use]
+    pub fn hole_names(&self) -> Vec<String> {
+        self.decls
+            .iter()
+            .filter(|d| d.kind == DeclKind::Hole)
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    /// Number of source lines when printed in the Oyster text format (the
+    /// paper's "sketch size" metric).
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.to_string().lines().count()
+    }
+
+    /// Validates the design: unique declarations, resolvable names, single
+    /// assignment per wire/output/register, and consistent bit widths.
+    /// Returns the inferred width of every wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OysterError`] describing the first problem found.
+    pub fn check(&self) -> Result<HashMap<String, u32>, OysterError> {
+        let mut widths: HashMap<String, u32> = HashMap::new();
+        let mut mems: HashMap<String, (u32, u32, bool)> = HashMap::new(); // (addr, data, writable)
+        for d in &self.decls {
+            if d.width == 0 {
+                return Err(OysterError::new(format!("declaration {} has zero width", d.name)));
+            }
+            let clash = widths.contains_key(&d.name) || mems.contains_key(&d.name);
+            if clash {
+                return Err(OysterError::new(format!("duplicate declaration {}", d.name)));
+            }
+            match &d.kind {
+                DeclKind::Memory { addr_width } => {
+                    mems.insert(d.name.clone(), (*addr_width, d.width, true));
+                }
+                DeclKind::Rom { addr_width, data } => {
+                    if data.len() as u64 > 1u64 << (*addr_width).min(63) {
+                        return Err(OysterError::new(format!(
+                            "rom {} has more entries than its address space",
+                            d.name
+                        )));
+                    }
+                    if let Some(bad) = data.iter().find(|v| v.width() != d.width) {
+                        return Err(OysterError::new(format!(
+                            "rom {} entry {bad} does not match width {}",
+                            d.name, d.width
+                        )));
+                    }
+                    mems.insert(d.name.clone(), (*addr_width, d.width, false));
+                }
+                _ => {
+                    widths.insert(d.name.clone(), d.width);
+                }
+            }
+        }
+
+        let mut assigned: HashMap<String, ()> = HashMap::new();
+        let mut wire_widths: HashMap<String, u32> = HashMap::new();
+        for (i, stmt) in self.stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Assign { var, expr } => {
+                    let w = self.expr_width(expr, &widths, &wire_widths, &mems).map_err(|e| {
+                        OysterError::new(format!("statement {}: {}", i + 1, e.message))
+                    })?;
+                    if assigned.contains_key(var) {
+                        return Err(OysterError::new(format!("{var} assigned more than once")));
+                    }
+                    match self.decl(var).map(|d| &d.kind) {
+                        Some(DeclKind::Input) => {
+                            return Err(OysterError::new(format!("cannot assign to input {var}")));
+                        }
+                        Some(DeclKind::Hole) => {
+                            return Err(OysterError::new(format!("cannot assign to hole {var}")));
+                        }
+                        Some(DeclKind::Memory { .. } | DeclKind::Rom { .. }) => {
+                            return Err(OysterError::new(format!(
+                                "cannot assign to memory {var}; use write"
+                            )));
+                        }
+                        Some(DeclKind::Output | DeclKind::Register) => {
+                            let dw = widths[var];
+                            if dw != w {
+                                return Err(OysterError::new(format!(
+                                    "assignment to {var}: declared width {dw}, expression width {w}"
+                                )));
+                            }
+                        }
+                        None => {
+                            // New wire; first assignment defines its width.
+                            widths.insert(var.clone(), w);
+                            wire_widths.insert(var.clone(), w);
+                        }
+                    }
+                    assigned.insert(var.clone(), ());
+                }
+                Stmt::Write { mem, addr, data, enable } => {
+                    let Some(&(aw, dw, writable)) = mems.get(mem) else {
+                        return Err(OysterError::new(format!("write to undeclared memory {mem}")));
+                    };
+                    if !writable {
+                        return Err(OysterError::new(format!("cannot write to rom {mem}")));
+                    }
+                    let a = self.expr_width(addr, &widths, &wire_widths, &mems)?;
+                    let d = self.expr_width(data, &widths, &wire_widths, &mems)?;
+                    let _e = self.expr_width(enable, &widths, &wire_widths, &mems)?;
+                    if a != aw {
+                        return Err(OysterError::new(format!(
+                            "write to {mem}: address width {a}, expected {aw}"
+                        )));
+                    }
+                    if d != dw {
+                        return Err(OysterError::new(format!(
+                            "write to {mem}: data width {d}, expected {dw}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(wire_widths)
+    }
+
+    fn expr_width(
+        &self,
+        expr: &Expr,
+        widths: &HashMap<String, u32>,
+        wires: &HashMap<String, u32>,
+        mems: &HashMap<String, (u32, u32, bool)>,
+    ) -> Result<u32, OysterError> {
+        match expr {
+            Expr::Var(n) => widths
+                .get(n)
+                .copied()
+                .ok_or_else(|| OysterError::new(format!("unknown identifier {n}"))),
+            Expr::Const(c) => Ok(c.width()),
+            Expr::Not(a) => self.expr_width(a, widths, wires, mems),
+            Expr::Binop(op, a, b) => {
+                let x = self.expr_width(a, widths, wires, mems)?;
+                let y = self.expr_width(b, widths, wires, mems)?;
+                if x != y {
+                    return Err(OysterError::new(format!(
+                        "operator {} width mismatch: {x} vs {y}",
+                        op.symbol()
+                    )));
+                }
+                Ok(if op.is_predicate() { 1 } else { x })
+            }
+            Expr::Ite(c, t, e) => {
+                let _ = self.expr_width(c, widths, wires, mems)?;
+                let x = self.expr_width(t, widths, wires, mems)?;
+                let y = self.expr_width(e, widths, wires, mems)?;
+                if x != y {
+                    return Err(OysterError::new(format!("if branches differ: {x} vs {y}")));
+                }
+                Ok(x)
+            }
+            Expr::Extract(a, high, low) => {
+                let w = self.expr_width(a, widths, wires, mems)?;
+                if high < low || *high >= w {
+                    return Err(OysterError::new(format!(
+                        "extract [{high}:{low}] out of range for width {w}"
+                    )));
+                }
+                Ok(high - low + 1)
+            }
+            Expr::Concat(a, b) => {
+                Ok(self.expr_width(a, widths, wires, mems)?
+                    + self.expr_width(b, widths, wires, mems)?)
+            }
+            Expr::ZExt(a, w) | Expr::SExt(a, w) => {
+                let x = self.expr_width(a, widths, wires, mems)?;
+                if *w < x {
+                    return Err(OysterError::new(format!("extension to {w} below width {x}")));
+                }
+                Ok(*w)
+            }
+            Expr::Read(mem, addr) => {
+                let Some(&(aw, dw, _)) = mems.get(mem) else {
+                    return Err(OysterError::new(format!("read from undeclared memory {mem}")));
+                };
+                let a = self.expr_width(addr, widths, wires, mems)?;
+                if a != aw {
+                    return Err(OysterError::new(format!(
+                        "read from {mem}: address width {a}, expected {aw}"
+                    )));
+                }
+                Ok(dw)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Design {
+        let mut d = Design::new("acc_machine");
+        d.input("go", 1)
+            .input("val", 2)
+            .register("acc", 8)
+            .output("out", 8)
+            .hole("sel", 1);
+        d.assign(
+            "acc",
+            Expr::ite(
+                Expr::var("sel"),
+                Expr::var("acc").add(Expr::var("val").zext(8)),
+                Expr::var("acc"),
+            ),
+        );
+        d.assign("out", Expr::var("acc"));
+        d
+    }
+
+    #[test]
+    fn valid_design_checks() {
+        assert!(sample().check().is_ok());
+    }
+
+    #[test]
+    fn duplicate_decl_rejected() {
+        let mut d = sample();
+        d.input("go", 1);
+        assert!(d.check().is_err());
+    }
+
+    #[test]
+    fn assign_to_input_rejected() {
+        let mut d = sample();
+        d.assign("go", Expr::const_u64(1, 0));
+        assert!(d.check().is_err());
+    }
+
+    #[test]
+    fn double_assign_rejected() {
+        let mut d = sample();
+        d.assign("out", Expr::var("acc"));
+        assert!(d.check().is_err());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut d = Design::new("bad");
+        d.input("a", 4).input("b", 8);
+        d.assign("x", Expr::var("a").add(Expr::var("b")));
+        let err = d.check().unwrap_err();
+        assert!(err.to_string().contains("width mismatch"));
+    }
+
+    #[test]
+    fn wires_infer_widths() {
+        let mut d = Design::new("wires");
+        d.input("a", 4);
+        d.assign("w", Expr::var("a").concat(Expr::var("a")));
+        d.assign("v", Expr::var("w").extract(5, 2));
+        let wires = d.check().unwrap();
+        assert_eq!(wires["w"], 8);
+        assert_eq!(wires["v"], 4);
+    }
+
+    #[test]
+    fn unknown_identifier_rejected() {
+        let mut d = Design::new("bad");
+        d.assign("x", Expr::var("mystery"));
+        assert!(d.check().is_err());
+    }
+
+    #[test]
+    fn memory_write_width_checked() {
+        let mut d = Design::new("m");
+        d.input("addr", 4).input("data", 8).memory("ram", 4, 8);
+        d.write("ram", Expr::var("addr"), Expr::var("data"), Expr::const_u64(1, 1));
+        assert!(d.check().is_ok());
+        let mut bad = Design::new("m2");
+        bad.input("addr", 3).input("data", 8).memory("ram", 4, 8);
+        bad.write("ram", Expr::var("addr"), Expr::var("data"), Expr::const_u64(1, 1));
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
+    fn rom_write_rejected() {
+        let mut d = Design::new("r");
+        d.input("a", 2).rom("table", 2, 8, vec![BitVec::zero(8); 4]);
+        d.write("table", Expr::var("a"), Expr::const_u64(8, 0), Expr::const_u64(1, 1));
+        assert!(d.check().is_err());
+    }
+
+    #[test]
+    fn hole_names_listed() {
+        assert_eq!(sample().hole_names(), vec!["sel".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_collects() {
+        let e = Expr::ite(
+            Expr::var("c"),
+            Expr::var("a").add(Expr::var("b")),
+            Expr::read("m", Expr::var("p")),
+        );
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["c", "a", "b", "p"]);
+    }
+}

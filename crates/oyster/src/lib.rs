@@ -1,0 +1,43 @@
+//! The Oyster hardware intermediate representation.
+//!
+//! Oyster is the paper's HDL-level IR "designed to be amenable to
+//! HDL-level program synthesis" (Fig. 5): a design is a set of
+//! declarations (inputs, outputs, registers, memories, and *holes* where
+//! control logic is missing) followed by a sequence of statements
+//! describing combinational dataflow and synchronous state updates.
+//!
+//! This crate provides:
+//!
+//! - the IR itself ([`Design`], [`Decl`], [`Stmt`], [`Expr`]) with a
+//!   width-checking validator;
+//! - a text format parser and printer (round-trip stable), used for the
+//!   paper's "sketch size in lines of Oyster" metric;
+//! - a cycle-accurate concrete [`Interpreter`] ("essentially a
+//!   cycle-accurate simulator for synchronous hardware designs"); and
+//! - a [`SymbolicEvaluator`] that lifts the same semantics to
+//!   [`owl_smt`] terms, producing one state snapshot per time step — the
+//!   Rosette-style "symbolic interpreter for free".
+//!
+//! All designs are synchronous with a single implicit clock: writes to
+//! registers and memories take effect in the next cycle.
+//!
+//! # Examples
+//!
+//! ```
+//! use owl_oyster::Design;
+//!
+//! let text = "design counter\nregister count 8\ncount := count + 8'x01\nend\n";
+//! let design: Design = text.parse()?;
+//! assert_eq!(design.name(), "counter");
+//! # Ok::<(), owl_oyster::OysterError>(())
+//! ```
+
+mod interp;
+mod ir;
+mod parse;
+mod print;
+mod sym;
+
+pub use interp::{CycleOutput, Interpreter, MemState};
+pub use ir::{BinOp, Decl, DeclKind, Design, Expr, OysterError, Stmt};
+pub use sym::{Snapshot, SymbolicEvaluator, SymbolicMem, SymbolicTrace};

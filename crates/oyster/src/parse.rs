@@ -1,0 +1,562 @@
+//! The Oyster text-format parser (a hand-written lexer and Pratt parser).
+
+use crate::ir::{BinOp, DeclKind, Design, Expr, OysterError};
+use owl_bitvec::BitVec;
+use std::str::FromStr;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Const(BitVec),
+    Int(u64),
+    Op(&'static str),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Assign,
+    Newline,
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { text, pos: 0, line: 1 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> OysterError {
+        OysterError::new(format!("line {}: {}", self.line, msg.into()))
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, OysterError> {
+        loop {
+            let rest = self.rest();
+            let Some(c) = rest.chars().next() else {
+                return Ok(None);
+            };
+            match c {
+                '\n' => {
+                    self.bump(1);
+                    self.line += 1;
+                    return Ok(Some(Token::Newline));
+                }
+                ' ' | '\t' | '\r' => {
+                    self.bump(1);
+                }
+                ';' | '#' => {
+                    let eol = rest.find('\n').map_or(rest.len(), |i| i);
+                    self.bump(eol);
+                }
+                '(' => {
+                    self.bump(1);
+                    return Ok(Some(Token::LParen));
+                }
+                ')' => {
+                    self.bump(1);
+                    return Ok(Some(Token::RParen));
+                }
+                '[' => {
+                    self.bump(1);
+                    return Ok(Some(Token::LBracket));
+                }
+                ']' => {
+                    self.bump(1);
+                    return Ok(Some(Token::RBracket));
+                }
+                ',' => {
+                    self.bump(1);
+                    return Ok(Some(Token::Comma));
+                }
+                _ => return self.lex_complex(rest, c).map(Some),
+            }
+        }
+    }
+
+    fn lex_complex(&mut self, rest: &str, c: char) -> Result<Token, OysterError> {
+        // Multi-character operators, longest first.
+        for (pat, tok) in [
+            (":=", Token::Assign),
+            (">>>", Token::Op(">>>")),
+            ("<<", Token::Op("<<")),
+            (">>", Token::Op(">>")),
+            ("==", Token::Op("==")),
+            ("!=", Token::Op("!=")),
+            ("<=u", Token::Op("<=u")),
+            ("<=s", Token::Op("<=s")),
+            ("<u", Token::Op("<u")),
+            ("<s", Token::Op("<s")),
+            ("&", Token::Op("&")),
+            ("|", Token::Op("|")),
+            ("^", Token::Op("^")),
+            ("+", Token::Op("+")),
+            ("-", Token::Op("-")),
+            ("*", Token::Op("*")),
+            ("~", Token::Op("~")),
+        ] {
+            if rest.starts_with(pat) {
+                self.bump(pat.len());
+                return Ok(tok);
+            }
+        }
+        if c.is_ascii_digit() {
+            // Either a bitvector constant (width'payload) or a bare integer.
+            let end = rest
+                .char_indices()
+                .find(|(_, ch)| !ch.is_ascii_digit())
+                .map_or(rest.len(), |(i, _)| i);
+            if rest[end..].starts_with('\'') {
+                let payload_start = end + 1;
+                let payload_end = rest[payload_start..]
+                    .char_indices()
+                    .find(|(_, ch)| !(ch.is_ascii_alphanumeric() || *ch == '_'))
+                    .map_or(rest.len(), |(i, _)| payload_start + i);
+                let literal = &rest[..payload_end];
+                let value = BitVec::from_str(literal)
+                    .map_err(|e| self.error(format!("bad constant {literal:?}: {e}")))?;
+                self.bump(payload_end);
+                return Ok(Token::Const(value));
+            }
+            let value: u64 = rest[..end]
+                .parse()
+                .map_err(|_| self.error(format!("bad integer {:?}", &rest[..end])))?;
+            self.bump(end);
+            return Ok(Token::Int(value));
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let end = rest
+                .char_indices()
+                .find(|(_, ch)| !(ch.is_ascii_alphanumeric() || *ch == '_' || *ch == '.'))
+                .map_or(rest.len(), |(i, _)| i);
+            let ident = rest[..end].to_string();
+            self.bump(end);
+            return Ok(Token::Ident(ident));
+        }
+        Err(self.error(format!("unexpected character {c:?}")))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> OysterError {
+        OysterError::new(format!("near token {}: {}", self.pos, msg.into()))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, OysterError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, OysterError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            other => Err(self.error(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), OysterError> {
+        match self.next() {
+            Some(t) if t == *tok => Ok(()),
+            other => Err(self.error(format!("expected {tok:?}, got {other:?}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == Some(&Token::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    fn end_of_line(&mut self) -> Result<(), OysterError> {
+        match self.next() {
+            Some(Token::Newline) | None => Ok(()),
+            other => Err(self.error(format!("expected end of line, got {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (Pratt parsing; precedence mirrors print.rs)
+    // ------------------------------------------------------------------
+
+    fn binop_of(op: &str) -> Option<BinOp> {
+        Some(match op {
+            "&" => BinOp::And,
+            "|" => BinOp::Or,
+            "^" => BinOp::Xor,
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "<<" => BinOp::Shl,
+            ">>" => BinOp::Lshr,
+            ">>>" => BinOp::Ashr,
+            "==" => BinOp::Eq,
+            "!=" => BinOp::Neq,
+            "<u" => BinOp::Ult,
+            "<=u" => BinOp::Ule,
+            "<s" => BinOp::Slt,
+            "<=s" => BinOp::Sle,
+            _ => return None,
+        })
+    }
+
+    fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, OysterError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some(Token::Op(op)) = self.peek() else { break };
+            let Some(binop) = Self::binop_of(op) else { break };
+            let prec = crate::print::precedence(binop);
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_expr(prec + 1)?;
+            lhs = Expr::binop(binop, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, OysterError> {
+        if self.peek() == Some(&Token::Op("~")) {
+            self.pos += 1;
+            return Ok(self.parse_unary()?.not());
+        }
+        self.parse_primary()
+    }
+
+    fn parse_fn_args2(&mut self) -> Result<(Expr, u64, Option<u64>), OysterError> {
+        self.expect(&Token::LParen)?;
+        let e = self.parse_expr(0)?;
+        self.expect(&Token::Comma)?;
+        let a = self.expect_int()?;
+        let b = if self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            Some(self.expect_int()?)
+        } else {
+            None
+        };
+        self.expect(&Token::RParen)?;
+        Ok((e, a, b))
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, OysterError> {
+        match self.next() {
+            Some(Token::Const(c)) => Ok(Expr::Const(c)),
+            Some(Token::LParen) => {
+                let e = self.parse_expr(0)?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => match name.as_str() {
+                "if" => {
+                    let c = self.parse_expr(1)?;
+                    match self.next() {
+                        Some(Token::Ident(kw)) if kw == "then" => {}
+                        other => return Err(self.error(format!("expected 'then', got {other:?}"))),
+                    }
+                    let t = self.parse_expr(1)?;
+                    match self.next() {
+                        Some(Token::Ident(kw)) if kw == "else" => {}
+                        other => return Err(self.error(format!("expected 'else', got {other:?}"))),
+                    }
+                    let e = self.parse_expr(0)?;
+                    Ok(Expr::ite(c, t, e))
+                }
+                "extract" => {
+                    let (e, high, low) = self.parse_fn_args2()?;
+                    let low = low.ok_or_else(|| self.error("extract needs high and low"))?;
+                    Ok(e.extract(high as u32, low as u32))
+                }
+                "concat" => {
+                    self.expect(&Token::LParen)?;
+                    let a = self.parse_expr(0)?;
+                    self.expect(&Token::Comma)?;
+                    let b = self.parse_expr(0)?;
+                    self.expect(&Token::RParen)?;
+                    Ok(a.concat(b))
+                }
+                "zext" => {
+                    let (e, w, extra) = self.parse_fn_args2()?;
+                    if extra.is_some() {
+                        return Err(self.error("zext takes one width"));
+                    }
+                    Ok(e.zext(w as u32))
+                }
+                "sext" => {
+                    let (e, w, extra) = self.parse_fn_args2()?;
+                    if extra.is_some() {
+                        return Err(self.error("sext takes one width"));
+                    }
+                    Ok(e.sext(w as u32))
+                }
+                _ => {
+                    if self.peek() == Some(&Token::LBracket) {
+                        self.pos += 1;
+                        let addr = self.parse_expr(0)?;
+                        self.expect(&Token::RBracket)?;
+                        Ok(Expr::read(name, addr))
+                    } else {
+                        Ok(Expr::var(name))
+                    }
+                }
+            },
+            other => Err(self.error(format!("expected expression, got {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn parse_design(&mut self) -> Result<Design, OysterError> {
+        self.skip_newlines();
+        match self.next() {
+            Some(Token::Ident(kw)) if kw == "design" => {}
+            other => return Err(self.error(format!("expected 'design', got {other:?}"))),
+        }
+        let name = self.expect_ident()?;
+        self.end_of_line()?;
+        let mut design = Design::new(name);
+        loop {
+            self.skip_newlines();
+            let Some(tok) = self.next() else {
+                return Err(self.error("missing 'end'"));
+            };
+            let Token::Ident(head) = tok else {
+                return Err(self.error(format!("expected statement, got {tok:?}")));
+            };
+            match head.as_str() {
+                "end" => break,
+                "input" | "output" | "register" | "hole" => {
+                    let name = self.expect_ident()?;
+                    let width = self.expect_int()? as u32;
+                    let kind = match head.as_str() {
+                        "input" => DeclKind::Input,
+                        "output" => DeclKind::Output,
+                        "register" => DeclKind::Register,
+                        _ => DeclKind::Hole,
+                    };
+                    design.declare(name, width, kind);
+                    self.end_of_line()?;
+                }
+                "memory" => {
+                    let name = self.expect_ident()?;
+                    let aw = self.expect_int()? as u32;
+                    let dw = self.expect_int()? as u32;
+                    design.memory(name, aw, dw);
+                    self.end_of_line()?;
+                }
+                "rom" => {
+                    let name = self.expect_ident()?;
+                    let aw = self.expect_int()? as u32;
+                    let dw = self.expect_int()? as u32;
+                    self.expect(&Token::LBracket)?;
+                    let mut data = Vec::new();
+                    loop {
+                        match self.next() {
+                            Some(Token::RBracket) => break,
+                            Some(Token::Const(c)) => data.push(c),
+                            Some(Token::Int(v)) => data.push(BitVec::from_u64(dw, v)),
+                            other => {
+                                return Err(
+                                    self.error(format!("expected rom entry, got {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                    design.rom(name, aw, dw, data);
+                    self.end_of_line()?;
+                }
+                "write" => {
+                    let mem = self.expect_ident()?;
+                    self.expect(&Token::LBracket)?;
+                    let addr = self.parse_expr(0)?;
+                    self.expect(&Token::RBracket)?;
+                    self.expect(&Token::Assign)?;
+                    let data = self.parse_expr(0)?;
+                    match self.next() {
+                        Some(Token::Ident(kw)) if kw == "when" => {}
+                        other => return Err(self.error(format!("expected 'when', got {other:?}"))),
+                    }
+                    let enable = self.parse_expr(0)?;
+                    design.write(mem, addr, data, enable);
+                    self.end_of_line()?;
+                }
+                var => {
+                    self.expect(&Token::Assign)?;
+                    let expr = self.parse_expr(0)?;
+                    design.assign(var.to_string(), expr);
+                    self.end_of_line()?;
+                }
+            }
+        }
+        Ok(design)
+    }
+}
+
+impl FromStr for Design {
+    type Err = OysterError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lexer = Lexer::new(s);
+        let mut tokens = Vec::new();
+        while let Some(t) = lexer.next_token()? {
+            tokens.push(t);
+        }
+        let mut parser = Parser { tokens, pos: 0 };
+        let design = parser.parse_design()?;
+        parser.skip_newlines();
+        if parser.peek().is_some() {
+            return Err(OysterError::new("trailing input after 'end'"));
+        }
+        Ok(design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Stmt;
+
+    fn round_trip(text: &str) -> Design {
+        let d: Design = text.parse().expect("parse");
+        let printed = d.to_string();
+        let d2: Design = printed.parse().expect("reparse");
+        assert_eq!(d, d2, "round trip changed the design:\n{printed}");
+        d
+    }
+
+    #[test]
+    fn parse_accumulator() {
+        let d = round_trip(
+            "design acc\n\
+             input go 1\n\
+             input val 2\n\
+             register acc 8\n\
+             output out 8\n\
+             acc := if go then acc + zext(val, 8) else acc\n\
+             out := acc\n\
+             end\n",
+        );
+        assert_eq!(d.name(), "acc");
+        assert_eq!(d.decls().len(), 4);
+        assert_eq!(d.stmts().len(), 2);
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn parse_memory_and_write() {
+        let d = round_trip(
+            "design mem_demo\n\
+             input addr 4\n\
+             input data 8\n\
+             input en 1\n\
+             memory ram 4 8\n\
+             output out 8\n\
+             write ram[addr] := data when en\n\
+             out := ram[addr]\n\
+             end\n",
+        );
+        assert!(d.check().is_ok());
+        assert!(matches!(d.stmts()[0], Stmt::Write { .. }));
+    }
+
+    #[test]
+    fn parse_rom() {
+        let d = round_trip(
+            "design r\ninput a 2\nrom t 2 8 [8'x0a 8'x14 30 40]\nout := t[a]\nend\n",
+        );
+        let DeclKind::Rom { data, .. } = &d.decls()[1].kind else { panic!() };
+        assert_eq!(data[2].to_u64(), Some(30));
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn parse_operator_precedence() {
+        let d: Design =
+            "design p\ninput a 8\ninput b 8\ninput c 8\nx := a + b & c | a ^ b\nend\n"
+                .parse()
+                .unwrap();
+        // Expected grouping: ((a + b) & c) | (a ^ b) — Or lowest, And above Xor... per our table:
+        // Mul > Add > Shift > And > Xor > Or > Cmp.
+        let Stmt::Assign { expr, .. } = &d.stmts()[0] else { panic!() };
+        let Expr::Binop(BinOp::Or, l, r) = expr else { panic!("got {expr}") };
+        let Expr::Binop(BinOp::Xor, xl, _) = &**r else { panic!() };
+        assert_eq!(xl.to_string(), "a");
+        let Expr::Binop(BinOp::And, al, _) = &**l else { panic!() };
+        assert_eq!(al.to_string(), "a + b");
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let d: Design = "design c\n; a comment\n\ninput a 1 ; trailing\n# hash comment\nend\n"
+            .parse()
+            .unwrap();
+        assert_eq!(d.decls().len(), 1);
+    }
+
+    #[test]
+    fn parse_holes() {
+        let d = round_trip(
+            "design h\ninput op 2\nhole sel 1\nregister r 8\nr := if sel then r + 8'x01 else r\nend\n",
+        );
+        assert_eq!(d.hole_names(), vec!["sel"]);
+    }
+
+    #[test]
+    fn parse_shift_and_compare_ops() {
+        let d = round_trip(
+            "design s\ninput a 8\ninput b 8\n\
+             x := a << b\ny := a >> b\nz := a >>> b\n\
+             p := a <u b\nq := a <=s b\nr := a != b\n\
+             end\n",
+        );
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn parse_errors_have_context() {
+        let err = "design\n".parse::<Design>().unwrap_err();
+        assert!(err.to_string().contains("expected identifier"));
+        let err = "design d\ninput a 1\n".parse::<Design>().unwrap_err();
+        assert!(err.to_string().contains("missing 'end'"));
+        let err = "design d\nx := @\nend\n".parse::<Design>().unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn parse_not_and_nested_parens() {
+        let d = round_trip("design n\ninput a 4\nx := ~(a + 4'x1) & a\nend\n");
+        assert!(d.check().is_ok());
+    }
+}

@@ -1,0 +1,186 @@
+//! The Oyster text format printer. Output re-parses to an equal design
+//! (round-trip stability is property-tested).
+
+use crate::ir::{BinOp, Decl, DeclKind, Design, Expr, Stmt};
+use std::fmt;
+
+/// Operator precedence for minimal parenthesization. Higher binds tighter.
+pub(crate) fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Mul => 7,
+        BinOp::Add | BinOp::Sub => 6,
+        BinOp::Shl | BinOp::Lshr | BinOp::Ashr => 5,
+        BinOp::And => 4,
+        BinOp::Xor => 3,
+        BinOp::Or => 2,
+        BinOp::Eq | BinOp::Neq | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle => 1,
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, parent_prec: u8) -> fmt::Result {
+    match e {
+        Expr::Var(n) => write!(f, "{n}"),
+        Expr::Const(c) => write!(f, "{c}"),
+        Expr::Not(a) => {
+            write!(f, "~")?;
+            write_expr(f, a, 8)
+        }
+        Expr::Binop(op, a, b) => {
+            let p = precedence(*op);
+            if p < parent_prec {
+                write!(f, "(")?;
+            }
+            write_expr(f, a, p)?;
+            write!(f, " {} ", op.symbol())?;
+            // Left associative: right child needs strictly higher context.
+            write_expr(f, b, p + 1)?;
+            if p < parent_prec {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Ite(c, t, el) => {
+            if parent_prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "if ")?;
+            write_expr(f, c, 1)?;
+            write!(f, " then ")?;
+            write_expr(f, t, 1)?;
+            write!(f, " else ")?;
+            write_expr(f, el, 0)?;
+            if parent_prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Extract(a, high, low) => {
+            write!(f, "extract(")?;
+            write_expr(f, a, 0)?;
+            write!(f, ", {high}, {low})")
+        }
+        Expr::Concat(a, b) => {
+            write!(f, "concat(")?;
+            write_expr(f, a, 0)?;
+            write!(f, ", ")?;
+            write_expr(f, b, 0)?;
+            write!(f, ")")
+        }
+        Expr::ZExt(a, w) => {
+            write!(f, "zext(")?;
+            write_expr(f, a, 0)?;
+            write!(f, ", {w})")
+        }
+        Expr::SExt(a, w) => {
+            write!(f, "sext(")?;
+            write_expr(f, a, 0)?;
+            write!(f, ", {w})")
+        }
+        Expr::Read(mem, addr) => {
+            write!(f, "{mem}[")?;
+            write_expr(f, addr, 0)?;
+            write!(f, "]")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self, 0)
+    }
+}
+
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DeclKind::Input => write!(f, "input {} {}", self.name, self.width),
+            DeclKind::Output => write!(f, "output {} {}", self.name, self.width),
+            DeclKind::Register => write!(f, "register {} {}", self.name, self.width),
+            DeclKind::Memory { addr_width } => {
+                write!(f, "memory {} {} {}", self.name, addr_width, self.width)
+            }
+            DeclKind::Rom { addr_width, data } => {
+                write!(f, "rom {} {} {} [", self.name, addr_width, self.width)?;
+                for (i, v) in data.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            DeclKind::Hole => write!(f, "hole {} {}", self.name, self.width),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Assign { var, expr } => write!(f, "{var} := {expr}"),
+            Stmt::Write { mem, addr, data, enable } => {
+                write!(f, "write {mem}[{addr}] := {data} when {enable}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {}", self.name())?;
+        for d in self.decls() {
+            writeln!(f, "{d}")?;
+        }
+        for s in self.stmts() {
+            writeln!(f, "{s}")?;
+        }
+        writeln!(f, "end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+
+    #[test]
+    fn expr_precedence_printing() {
+        let e = Expr::var("a").add(Expr::var("b")).and(Expr::var("c"));
+        // (+) binds tighter than (&) so no parens needed on the left.
+        assert_eq!(e.to_string(), "a + b & c");
+        let e2 = Expr::var("a").add(Expr::var("b").and(Expr::var("c")));
+        assert_eq!(e2.to_string(), "a + (b & c)");
+    }
+
+    #[test]
+    fn ite_and_functions_print() {
+        let e = Expr::ite(
+            Expr::var("c").eq(Expr::const_u64(2, 1)),
+            Expr::var("x").extract(3, 0),
+            Expr::var("y").zext(4),
+        );
+        assert_eq!(e.to_string(), "if c == 2'x1 then extract(x, 3, 0) else zext(y, 4)");
+    }
+
+    #[test]
+    fn design_prints_sections() {
+        let mut d = Design::new("demo");
+        d.input("a", 4).register("r", 4).memory("m", 2, 4);
+        d.rom("t", 1, 4, vec![BitVec::from_u64(4, 1), BitVec::from_u64(4, 2)]);
+        d.assign("r", Expr::var("a"));
+        d.write("m", Expr::var("a").extract(1, 0), Expr::var("r"), Expr::const_u64(1, 1));
+        let text = d.to_string();
+        assert!(text.starts_with("design demo\n"));
+        assert!(text.contains("input a 4\n"));
+        assert!(text.contains("memory m 2 4\n"));
+        assert!(text.contains("rom t 1 4 [4'x1 4'x2]\n"));
+        assert!(text.contains("write m[extract(a, 1, 0)] := r when 1'x1\n"));
+        assert!(text.ends_with("end\n"));
+    }
+
+    #[test]
+    fn nested_read_prints_with_index_syntax() {
+        let e = Expr::read("rf", Expr::var("i").add(Expr::const_u64(5, 1)));
+        assert_eq!(e.to_string(), "rf[i + 5'x01]");
+    }
+}

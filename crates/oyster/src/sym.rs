@@ -1,0 +1,433 @@
+//! The symbolic evaluator: the concrete interpreter's semantics lifted to
+//! `owl_smt` terms.
+//!
+//! Running a sketch for `k` cycles produces a [`SymbolicTrace`] with one
+//! [`Snapshot`] per time step: snapshot 0 is the unconstrained initial
+//! state (the paper's TimeStep 1 for reads), and snapshot `i` is the state
+//! after the `i`-th cycle's register and memory commits. Inputs are one
+//! symbolic value each, held constant over the evaluated window; holes
+//! become fresh symbolic variables that the synthesizer later constrains
+//! or substitutes.
+//!
+//! Memories follow the paper's model: an uninterpreted base array plus an
+//! association list of (address, data, enable) writes; reads compile to
+//! if-then-else chains over the write list.
+
+use crate::ir::{BinOp, DeclKind, Design, Expr, OysterError, Stmt};
+use owl_smt::{ArrayId, RomId, TermId, TermManager};
+use std::collections::HashMap;
+
+/// Symbolic contents of a memory: base array plus ordered conditional
+/// writes.
+#[derive(Debug, Clone)]
+pub struct SymbolicMem {
+    /// The uninterpreted initial contents.
+    pub base: ArrayId,
+    /// Writes applied so far: `(address, data, enable)`, oldest first.
+    pub writes: Vec<(TermId, TermId, TermId)>,
+}
+
+impl SymbolicMem {
+    /// Builds the read term for `addr` over the current write list.
+    pub fn read(&self, mgr: &mut TermManager, addr: TermId) -> TermId {
+        let mut acc = mgr.array_select(self.base, addr);
+        for &(waddr, wdata, wen) in &self.writes {
+            let same = mgr.eq(addr, waddr);
+            let en = mgr.red_or(wen);
+            let hit = mgr.and(same, en);
+            acc = mgr.ite(hit, wdata, acc);
+        }
+        acc
+    }
+}
+
+/// The symbolic state visible at one time step.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Register values.
+    pub regs: HashMap<String, TermId>,
+    /// Memory contents.
+    pub mems: HashMap<String, SymbolicMem>,
+    /// Wires evaluated during the cycle that *produced* this snapshot
+    /// (empty for snapshot 0).
+    pub wires: HashMap<String, TermId>,
+    /// Output values for that cycle (empty for snapshot 0).
+    pub outputs: HashMap<String, TermId>,
+}
+
+/// The result of symbolically evaluating a sketch for `k` cycles.
+#[derive(Debug, Clone)]
+pub struct SymbolicTrace {
+    /// One symbolic variable per input.
+    pub inputs: HashMap<String, TermId>,
+    /// Initial register values (fresh variables).
+    pub initial_regs: HashMap<String, TermId>,
+    /// Uninterpreted base array per memory.
+    pub mem_bases: HashMap<String, ArrayId>,
+    /// Fresh variable per hole.
+    pub holes: HashMap<String, TermId>,
+    /// ROM handles per ROM declaration.
+    pub roms: HashMap<String, RomId>,
+    /// Snapshots `0..=k`; index 0 is the initial state.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl SymbolicTrace {
+    /// The number of evaluated cycles.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.snapshots.len() - 1
+    }
+
+    /// The snapshot at time step `t` where `t = 1` is the initial state
+    /// (the paper's TimeStep numbering: step `t` is the state after
+    /// updating state elements with the results of step `t - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `t > cycles() + 1`.
+    #[must_use]
+    pub fn at_time(&self, t: u32) -> &Snapshot {
+        assert!(t >= 1, "time steps are 1-based");
+        &self.snapshots[(t - 1) as usize]
+    }
+
+    /// The state of the memories *after* cycle `t` has committed
+    /// (i.e. the write-list contents at snapshot index `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > cycles()`.
+    #[must_use]
+    pub fn after_cycle(&self, t: u32) -> &Snapshot {
+        &self.snapshots[t as usize]
+    }
+}
+
+/// Evaluates Oyster designs symbolically.
+#[derive(Debug, Default)]
+pub struct SymbolicEvaluator;
+
+impl SymbolicEvaluator {
+    /// Symbolically runs `design` for `cycles` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the design fails [`Design::check`].
+    pub fn run(
+        mgr: &mut TermManager,
+        design: &Design,
+        cycles: u32,
+    ) -> Result<SymbolicTrace, OysterError> {
+        design.check()?;
+        let mut inputs = HashMap::new();
+        let mut initial_regs = HashMap::new();
+        let mut mem_bases = HashMap::new();
+        let mut holes = HashMap::new();
+        let mut roms = HashMap::new();
+        let mut mems: HashMap<String, SymbolicMem> = HashMap::new();
+
+        for d in design.decls() {
+            match &d.kind {
+                DeclKind::Input => {
+                    inputs.insert(d.name.clone(), mgr.fresh_var(&d.name, d.width));
+                }
+                DeclKind::Register => {
+                    initial_regs
+                        .insert(d.name.clone(), mgr.fresh_var(format!("{}@0", d.name), d.width));
+                }
+                DeclKind::Memory { addr_width } => {
+                    let base = mgr.fresh_array(&d.name, *addr_width, d.width);
+                    mem_bases.insert(d.name.clone(), base);
+                    mems.insert(d.name.clone(), SymbolicMem { base, writes: Vec::new() });
+                }
+                DeclKind::Rom { addr_width, data } => {
+                    roms.insert(
+                        d.name.clone(),
+                        mgr.rom(&d.name, *addr_width, d.width, data.clone()),
+                    );
+                }
+                DeclKind::Hole => {
+                    holes.insert(d.name.clone(), mgr.fresh_var(format!("??{}", d.name), d.width));
+                }
+                DeclKind::Output => {}
+            }
+        }
+
+        let mut regs = initial_regs.clone();
+        let mut snapshots = vec![Snapshot {
+            regs: regs.clone(),
+            mems: mems.clone(),
+            wires: HashMap::new(),
+            outputs: HashMap::new(),
+        }];
+
+        for _cycle in 0..cycles {
+            let mut wires: HashMap<String, TermId> = HashMap::new();
+            let mut next_regs: Vec<(String, TermId)> = Vec::new();
+            let mut writes: Vec<(String, TermId, TermId, TermId)> = Vec::new();
+
+            for stmt in design.stmts() {
+                match stmt {
+                    Stmt::Assign { var, expr } => {
+                        let value = Self::eval(
+                            mgr, design, expr, &inputs, &regs, &wires, &holes, &mems, &roms,
+                        )?;
+                        if regs.contains_key(var) {
+                            next_regs.push((var.clone(), value));
+                        } else {
+                            wires.insert(var.clone(), value);
+                        }
+                    }
+                    Stmt::Write { mem, addr, data, enable } => {
+                        let a = Self::eval(
+                            mgr, design, addr, &inputs, &regs, &wires, &holes, &mems, &roms,
+                        )?;
+                        let dv = Self::eval(
+                            mgr, design, data, &inputs, &regs, &wires, &holes, &mems, &roms,
+                        )?;
+                        let en = Self::eval(
+                            mgr, design, enable, &inputs, &regs, &wires, &holes, &mems, &roms,
+                        )?;
+                        writes.push((mem.clone(), a, dv, en));
+                    }
+                }
+            }
+
+            for (name, value) in next_regs {
+                regs.insert(name, value);
+            }
+            for (mem, a, dv, en) in writes {
+                mems.get_mut(&mem).expect("checked memory").writes.push((a, dv, en));
+            }
+
+            let mut outputs = HashMap::new();
+            for d in design.decls() {
+                if d.kind == DeclKind::Output {
+                    if let Some(&v) = wires.get(&d.name) {
+                        outputs.insert(d.name.clone(), v);
+                    }
+                }
+            }
+            snapshots.push(Snapshot {
+                regs: regs.clone(),
+                mems: mems.clone(),
+                wires,
+                outputs,
+            });
+        }
+
+        Ok(SymbolicTrace { inputs, initial_regs, mem_bases, holes, roms, snapshots })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval(
+        mgr: &mut TermManager,
+        design: &Design,
+        expr: &Expr,
+        inputs: &HashMap<String, TermId>,
+        regs: &HashMap<String, TermId>,
+        wires: &HashMap<String, TermId>,
+        holes: &HashMap<String, TermId>,
+        mems: &HashMap<String, SymbolicMem>,
+        roms: &HashMap<String, RomId>,
+    ) -> Result<TermId, OysterError> {
+        Ok(match expr {
+            Expr::Var(n) => {
+                if let Some(&v) = wires.get(n) {
+                    v
+                } else if let Some(&v) = regs.get(n) {
+                    v
+                } else if let Some(&v) = inputs.get(n) {
+                    v
+                } else if let Some(&v) = holes.get(n) {
+                    v
+                } else {
+                    return Err(OysterError::new(format!("unbound identifier {n}")));
+                }
+            }
+            Expr::Const(c) => mgr.bv_const(c.clone()),
+            Expr::Not(a) => {
+                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                mgr.not(av)
+            }
+            Expr::Binop(op, a, b) => {
+                let x = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                let y = Self::eval(mgr, design, b, inputs, regs, wires, holes, mems, roms)?;
+                match op {
+                    BinOp::And => mgr.and(x, y),
+                    BinOp::Or => mgr.or(x, y),
+                    BinOp::Xor => mgr.xor(x, y),
+                    BinOp::Add => mgr.add(x, y),
+                    BinOp::Sub => mgr.sub(x, y),
+                    BinOp::Mul => mgr.mul(x, y),
+                    BinOp::Shl => mgr.shl(x, y),
+                    BinOp::Lshr => mgr.lshr(x, y),
+                    BinOp::Ashr => mgr.ashr(x, y),
+                    BinOp::Eq => mgr.eq(x, y),
+                    BinOp::Neq => mgr.neq(x, y),
+                    BinOp::Ult => mgr.ult(x, y),
+                    BinOp::Ule => mgr.ule(x, y),
+                    BinOp::Slt => mgr.slt(x, y),
+                    BinOp::Sle => mgr.sle(x, y),
+                }
+            }
+            Expr::Ite(c, t, e) => {
+                let cv = Self::eval(mgr, design, c, inputs, regs, wires, holes, mems, roms)?;
+                let tv = Self::eval(mgr, design, t, inputs, regs, wires, holes, mems, roms)?;
+                let ev = Self::eval(mgr, design, e, inputs, regs, wires, holes, mems, roms)?;
+                mgr.ite(cv, tv, ev)
+            }
+            Expr::Extract(a, high, low) => {
+                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                mgr.extract(av, *high, *low)
+            }
+            Expr::Concat(a, b) => {
+                let hv = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                let lv = Self::eval(mgr, design, b, inputs, regs, wires, holes, mems, roms)?;
+                mgr.concat(hv, lv)
+            }
+            Expr::ZExt(a, w) => {
+                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                mgr.zext(av, *w)
+            }
+            Expr::SExt(a, w) => {
+                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                mgr.sext(av, *w)
+            }
+            Expr::Read(mem, addr) => {
+                let av = Self::eval(mgr, design, addr, inputs, regs, wires, holes, mems, roms)?;
+                if let Some(m) = mems.get(mem) {
+                    m.read(mgr, av)
+                } else if let Some(&rom) = roms.get(mem) {
+                    mgr.rom_select(rom, av)
+                } else {
+                    return Err(OysterError::new(format!("unbound memory {mem}")));
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use owl_smt::{check, Env, SmtResult, TermKind};
+
+    fn sym_of(mgr: &TermManager, t: TermId) -> owl_smt::SymbolId {
+        match *mgr.kind(t) {
+            TermKind::Var(s) => s,
+            _ => panic!("not a variable"),
+        }
+    }
+
+    #[test]
+    fn counter_trace_matches_concrete() {
+        let d: Design = "design c\nregister count 8\ncount := count + 8'x01\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 3).unwrap();
+        assert_eq!(trace.cycles(), 3);
+        // With count@0 = 5, snapshot 3 count must be 8.
+        let mut env = Env::new();
+        env.set_var(sym_of(&mgr, trace.initial_regs["count"]), BitVec::from_u64(8, 5));
+        let final_count = trace.snapshots[3].regs["count"];
+        assert_eq!(env.eval(&mgr, final_count), BitVec::from_u64(8, 8));
+    }
+
+    #[test]
+    fn symbolic_counter_is_provably_increment() {
+        let d: Design = "design c\nregister count 8\ncount := count + 8'x01\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        let init = trace.initial_regs["count"];
+        let after = trace.snapshots[1].regs["count"];
+        let one = mgr.const_u64(8, 1);
+        let expect = mgr.add(init, one);
+        let bad = mgr.neq(after, expect);
+        assert!(check(&mgr, &[bad], None).is_unsat());
+    }
+
+    #[test]
+    fn memory_write_then_read_chains() {
+        let d: Design = "design m\ninput addr 4\ninput data 8\n\
+                         memory ram 4 8\n\
+                         write ram[addr] := data when 1'x1\n\
+                         end\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        // After the cycle, reading back at `addr` must give `data`.
+        let addr = trace.inputs["addr"];
+        let data = trace.inputs["data"];
+        let mem = trace.snapshots[1].mems["ram"].clone();
+        let rd = mem.read(&mut mgr, addr);
+        let bad = mgr.neq(rd, data);
+        assert!(check(&mgr, &[bad], None).is_unsat());
+        // Reading a *different* address can differ from data.
+        let other = mgr.fresh_var("other", 4);
+        let rd2 = mem.read(&mut mgr, other);
+        let distinct = mgr.neq(other, addr);
+        let differs = mgr.neq(rd2, data);
+        assert!(matches!(check(&mgr, &[distinct, differs], None), SmtResult::Sat(_)));
+    }
+
+    #[test]
+    fn holes_become_variables() {
+        let d: Design = "design h\ninput a 8\nhole sel 1\nregister r 8\n\
+                         r := if sel then a else r\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        assert!(trace.holes.contains_key("sel"));
+        // With sel = 1, r@1 == a must be valid.
+        let sel = trace.holes["sel"];
+        let a = trace.inputs["a"];
+        let r1 = trace.snapshots[1].regs["r"];
+        let one = mgr.tru();
+        let sel_is_1 = mgr.eq(sel, one);
+        let bad = mgr.neq(r1, a);
+        assert!(check(&mgr, &[sel_is_1, bad], None).is_unsat());
+    }
+
+    #[test]
+    fn disabled_write_leaves_memory() {
+        let d: Design = "design m\ninput addr 4\ninput data 8\nmemory ram 4 8\n\
+                         write ram[addr] := data when 1'x0\nend\n"
+            .parse()
+            .unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 1).unwrap();
+        let addr = trace.inputs["addr"];
+        let mem_after = trace.snapshots[1].mems["ram"].clone();
+        let rd = mem_after.read(&mut mgr, addr);
+        let base_rd = mgr.array_select(trace.mem_bases["ram"], addr);
+        // Enable folded to false, so the read short-circuits to the base.
+        assert_eq!(rd, base_rd);
+    }
+
+    #[test]
+    fn at_time_is_one_based_initial() {
+        let d: Design = "design c\nregister r 8\nr := r + 8'x01\nend\n".parse().unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 2).unwrap();
+        assert_eq!(trace.at_time(1).regs["r"], trace.initial_regs["r"]);
+        assert_eq!(trace.at_time(3).regs["r"], trace.snapshots[2].regs["r"]);
+    }
+
+    #[test]
+    fn wires_recorded_per_cycle() {
+        let d: Design = "design w\ninput a 8\nvalid := a == 8'x00\nend\n".parse().unwrap();
+        let mut mgr = TermManager::new();
+        let trace = SymbolicEvaluator::run(&mut mgr, &d, 2).unwrap();
+        assert!(trace.snapshots[0].wires.is_empty());
+        assert!(trace.snapshots[1].wires.contains_key("valid"));
+        assert!(trace.snapshots[2].wires.contains_key("valid"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Indexed max-heap ordered by variable activity, used for VSIDS
+//! branching. Supports decrease/increase-key via a position index.
+
+use crate::Var;
+
+/// A binary max-heap over variables keyed by an external activity array.
+#[derive(Debug, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Grows the position index to cover variable `var`.
+    pub(crate) fn reserve(&mut self, var: Var) {
+        if self.position.len() <= var.index() {
+            self.position.resize(var.index() + 1, ABSENT);
+        }
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.position.get(var.index()).is_some_and(|&p| p != ABSENT)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `var` (no-op if present).
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.reserve(var);
+        if self.contains(var) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(var);
+        self.position[var.index()] = i;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.position[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub(crate) fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(var.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = i;
+        self.position[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut heap = VarHeap::new();
+        for i in 0..5 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> =
+            std::iter::from_fn(|| heap.pop(&activity)).map(Var::index).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.pop(&activity), Some(Var::from_index(0)));
+        assert_eq!(heap.pop(&activity), None);
+    }
+
+    #[test]
+    fn update_after_activity_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(Var::from_index(0), &activity);
+        assert_eq!(heap.pop(&activity), Some(Var::from_index(0)));
+    }
+}

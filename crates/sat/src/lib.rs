@@ -1,0 +1,143 @@
+//! A CDCL SAT solver.
+//!
+//! This crate is the decision-procedure substrate for the OWL toolchain:
+//! the `owl-smt` bit-blaster compiles bitvector synthesis and verification
+//! queries to CNF and discharges them here (standing in for the
+//! Boolector/CVC4 backends used by the paper's Rosette implementation).
+//!
+//! The solver implements the standard conflict-driven clause learning
+//! architecture: two-watched-literal propagation, first-UIP conflict
+//! analysis with clause minimization, VSIDS branching with phase saving,
+//! and Luby restarts.
+//!
+//! # Examples
+//!
+//! ```
+//! use owl_sat::{Lit, SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause([Lit::negative(a)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+mod heap;
+mod solver;
+
+pub use solver::{SolveResult, Solver, Stats};
+
+/// A propositional variable, created by [`Solver::new_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable's dense index (0-based).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[must_use]
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[must_use]
+    pub fn negative(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a sign; `value == false` gives
+    /// the negated literal.
+    #[must_use]
+    pub fn with_sign(var: Var, value: bool) -> Self {
+        if value {
+            Self::positive(var)
+        } else {
+            Self::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if this is a negated literal.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense code usable as an array index (`2 * var + sign`).
+    #[must_use]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.var().0 + 1)
+        } else {
+            write!(f, "{}", self.var().0 + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_codes() {
+        let v = Var(3);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_negative());
+        assert!(n.is_negative());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.code(), 6);
+        assert_eq!(n.code(), 7);
+        assert_eq!(Lit::with_sign(v, true), p);
+        assert_eq!(Lit::with_sign(v, false), n);
+    }
+
+    #[test]
+    fn display_dimacs_style() {
+        assert_eq!(Lit::positive(Var(0)).to_string(), "1");
+        assert_eq!(Lit::negative(Var(4)).to_string(), "-5");
+    }
+}

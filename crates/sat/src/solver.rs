@@ -1,0 +1,805 @@
+//! The CDCL solver core: two-watched-literal propagation, first-UIP
+//! conflict analysis, VSIDS, phase saving and Luby restarts.
+
+use crate::heap::VarHeap;
+use crate::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was found.
+    Unknown,
+}
+
+/// Solver statistics, for benchmarking and diagnostics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learned: u64,
+}
+
+const UNDEF: i8 = 0;
+const TRUE: i8 = 1;
+const FALSE: i8 = -1;
+
+type ClauseRef = u32;
+const NO_REASON: ClauseRef = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is
+    /// already true the clause is satisfied and the watch list walk can
+    /// skip loading the clause.
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver over clauses of [`Lit`].
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    /// Assignment per variable: `TRUE`, `FALSE` or `UNDEF`.
+    assign: Vec<i8>,
+    /// Saved phase per variable, used when re-deciding it.
+    phase: Vec<bool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable, or `NO_REASON` for decisions.
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    /// False once an empty clause has been derived at level zero.
+    ok: bool,
+    stats: Stats,
+    /// Maximum number of conflicts before returning `Unknown`
+    /// (`u64::MAX` = unlimited).
+    conflict_budget: u64,
+    // Scratch buffers for conflict analysis.
+    seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_clear: Vec<Lit>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::new(),
+            ok: true,
+            stats: Stats::default(),
+            conflict_budget: u64::MAX,
+            seen: Vec::new(),
+            analyze_stack: Vec::new(),
+            analyze_clear: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(UNDEF);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.order.reserve(v);
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// The number of variables created so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The number of clauses (original plus learned).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver statistics.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Limits the number of conflicts per `solve` call; exceeding it makes
+    /// `solve` return [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: u64) {
+        self.conflict_budget = budget;
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// An empty clause (or one whose literals are all already false at the
+    /// top level) makes the formula unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at decision level 0");
+        if !self.ok {
+            return;
+        }
+        // Canonicalize: drop false literals, detect tautologies and
+        // already-satisfied clauses, dedupe.
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        let mut out = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            debug_assert!(l.var().index() < self.num_vars(), "literal for unknown variable");
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return; // tautology: contains l and !l
+            }
+            match self.lit_value(l) {
+                TRUE => return, // satisfied at top level
+                FALSE => {}     // drop
+                _ => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(out[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(out);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[(!w0).code()].push(Watch { clause: cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watch { clause: cref, blocker: w0 });
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        lit_value_in(&self.assign, l)
+    }
+
+    /// The model value of `var` after a [`SolveResult::Sat`] answer, or
+    /// `None` if the variable was never assigned.
+    #[must_use]
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.assign[var.index()] {
+            TRUE => Some(true),
+            FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The model value of a literal after [`SolveResult::Sat`].
+    #[must_use]
+    pub fn lit_model(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v ^ lit.is_negative())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_value(l), UNDEF);
+        let v = l.var().index();
+        self.assign[v] = if l.is_negative() { FALSE } else { TRUE };
+        self.phase[v] = !l.is_negative();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict = None;
+            'watches: while i < watch_list.len() {
+                let w = watch_list[i];
+                i += 1;
+                if self.lit_value(w.blocker) == TRUE {
+                    watch_list[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                // Make sure the false literal (!p) is at position 1.
+                let assign = &self.assign;
+                let lits = &mut self.clauses[cref as usize].lits;
+                if lits[0] == !p {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], !p);
+                let first = lits[0];
+                if first != w.blocker && lit_value_in(assign, first) == TRUE {
+                    watch_list[j] = Watch { clause: cref, blocker: first };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..lits.len() {
+                    if lit_value_in(assign, lits[k]) != FALSE {
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
+                        self.watches[(!new_watch).code()]
+                            .push(Watch { clause: cref, blocker: first });
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue 'watches;
+                }
+                // Clause is unit or conflicting.
+                watch_list[j] = Watch { clause: cref, blocker: first };
+                j += 1;
+                if self.lit_value(first) == FALSE {
+                    // Conflict: copy the remaining watches back.
+                    while i < watch_list.len() {
+                        watch_list[j] = watch_list[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(cref);
+                } else {
+                    self.enqueue(first, cref);
+                }
+            }
+            watch_list.truncate(j);
+            self.watches[p.code()] = watch_list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let clause_lits = self.clauses[conflict as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for k in start..clause_lits.len() {
+                let q = clause_lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let uip = self.trail[trail_idx];
+            self.seen[uip.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = !uip;
+                break;
+            }
+            p = Some(uip);
+            conflict = self.reason[uip.var().index()];
+            debug_assert_ne!(conflict, NO_REASON);
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        self.analyze_clear = learned.clone();
+        for l in &learned {
+            self.seen[l.var().index()] = true;
+        }
+        let keep: Vec<Lit> = learned
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| i == 0 || !self.lit_redundant(l))
+            .map(|(_, &l)| l)
+            .collect();
+        for l in &self.analyze_clear.clone() {
+            self.seen[l.var().index()] = false;
+        }
+        let learned = keep;
+
+        // Compute backtrack level: the second-highest level in the clause.
+        let bt = if learned.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var().index()] > self.level[learned[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            self.level[learned[max_i].var().index()]
+        };
+        let mut learned = learned;
+        if learned.len() > 1 {
+            // Move a literal of the backtrack level to position 1 (watch).
+            let max_i = (1..learned.len())
+                .max_by_key(|&i| self.level[learned[i].var().index()])
+                .expect("len > 1");
+            learned.swap(1, max_i);
+        }
+        (learned, bt)
+    }
+
+    /// True if `l` is redundant in the learned clause: every literal in
+    /// its reason is already in the clause (recursively).
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        if self.reason[l.var().index()] == NO_REASON {
+            return false;
+        }
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let mut pending: Vec<Lit> = Vec::new();
+        while let Some(q) = self.analyze_stack.pop() {
+            let cref = self.reason[q.var().index()];
+            if cref == NO_REASON {
+                // Hit a decision that is not in the clause: not redundant.
+                for p in pending {
+                    self.seen[p.var().index()] = false;
+                }
+                return false;
+            }
+            let lits = self.clauses[cref as usize].lits.clone();
+            for r in lits {
+                let v = r.var();
+                if r != q && !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    pending.push(r);
+                    self.analyze_stack.push(r);
+                }
+            }
+        }
+        // All antecedents are marked: redundant. Keep markings; they are
+        // cleared from analyze_clear plus pending at the end of analyze.
+        self.analyze_clear.extend(pending);
+        true
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = UNDEF;
+            self.reason[v.index()] = NO_REASON;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v.index()] == UNDEF {
+                return Some(Lit::with_sign(v, self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solves the formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumptions (literals forced true for this
+    /// call only).
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restart_idx = 0u64;
+        let mut conflicts_until_restart = 32 * luby(restart_idx);
+
+        let result = loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() as usize <= assumptions.len() {
+                    // Conflict within (or below) the assumption prefix.
+                    break SolveResult::Unsat;
+                }
+                if self.stats.conflicts - budget_start >= self.conflict_budget {
+                    break SolveResult::Unknown;
+                }
+                let (learned, bt_level) = self.analyze(conflict);
+                // Never backtrack past the assumption prefix.
+                let bt_level = bt_level.max(assumptions.len() as u32).min(self.decision_level() - 1);
+                self.backtrack_to(bt_level);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    if self.decision_level() == 0 {
+                        if self.lit_value(asserting) == FALSE {
+                            self.ok = false;
+                            break SolveResult::Unsat;
+                        }
+                        if self.lit_value(asserting) == UNDEF {
+                            self.enqueue(asserting, NO_REASON);
+                        }
+                    } else {
+                        // Cannot undo assumptions; re-derive under them.
+                        if self.lit_value(asserting) == FALSE {
+                            break SolveResult::Unsat;
+                        }
+                        if self.lit_value(asserting) == UNDEF {
+                            self.enqueue(asserting, NO_REASON);
+                        }
+                    }
+                } else {
+                    let cref = self.attach_clause(learned);
+                    self.stats.learned += 1;
+                    let asserting = self.clauses[cref as usize].lits[0];
+                    if self.lit_value(asserting) == UNDEF {
+                        self.enqueue(asserting, cref);
+                    } else if self.lit_value(asserting) == FALSE {
+                        break SolveResult::Unsat;
+                    }
+                }
+                self.decay_activity();
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_until_restart = 32 * luby(restart_idx);
+                    self.backtrack_to(assumptions.len() as u32);
+                }
+                // Enqueue any pending assumptions as decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        TRUE => {
+                            // Already implied; open an empty level for it.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        FALSE => break SolveResult::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => break SolveResult::Sat,
+                    Some(next) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(next, NO_REASON);
+                    }
+                }
+            }
+        };
+
+        if result == SolveResult::Sat {
+            debug_assert!(self.model_satisfies_all());
+        }
+        // Keep the model readable after Sat; reset the search otherwise.
+        if result != SolveResult::Sat {
+            self.backtrack_to(0);
+        }
+        result
+    }
+
+    /// Clears the trail back to level zero (invalidates the model) so more
+    /// clauses can be added for an incremental solve.
+    pub fn reset_search(&mut self) {
+        self.backtrack_to(0);
+    }
+
+    fn model_satisfies_all(&self) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.lits.iter().any(|&l| self.lit_value(l) == TRUE))
+    }
+}
+
+fn lit_value_in(assign: &[i8], l: Lit) -> i8 {
+    let v = assign[l.var().index()];
+    if l.is_negative() {
+        -v
+    } else {
+        v
+    }
+}
+
+/// The Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(i: u64) -> u64 {
+    let mut x = i + 1;
+    loop {
+        if (x + 1).is_power_of_two() {
+            return (x + 1) / 2;
+        }
+        let k = 63 - (x + 1).leading_zeros() as u64;
+        x -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lit, Solver};
+
+    fn lit(solver_vars: &[Var], i: i32) -> Lit {
+        let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+        Lit::with_sign(v, i > 0)
+    }
+
+    fn solver_with(nvars: usize, clauses: &[&[i32]]) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+        for c in clauses {
+            s.add_clause(c.iter().map(|&i| lit(&vars, i)));
+        }
+        (s, vars)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let (mut s, vars) = solver_with(2, &[&[1, 2], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(false));
+        assert_eq!(s.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let (mut s, _) = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let (mut s, _) = solver_with(1, &[&[1, -1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.num_clauses(), 0);
+    }
+
+    #[test]
+    fn chain_implication() {
+        // x1 -> x2 -> ... -> x10, x1 forced true.
+        let clauses: Vec<Vec<i32>> =
+            (1..10).map(|i| vec![-i, i + 1]).chain([vec![1]]).collect();
+        let refs: Vec<&[i32]> = clauses.iter().map(Vec::as_slice).collect();
+        let (mut s, vars) = solver_with(10, &refs);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable, requires real search.
+    fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, Vec<Vec<Var>>) {
+        let mut s = Solver::new();
+        let grid: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        for row in &grid {
+            s.add_clause(row.iter().map(|&v| Lit::positive(v)));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause([Lit::negative(grid[p1][h]), Lit::negative(grid[p2][h])]);
+                }
+            }
+        }
+        (s, grid)
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        let (mut s, _) = pigeonhole(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let (mut s, grid) = pigeonhole(4, 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Each pigeon in exactly one hole in the model.
+        for row in &grid {
+            assert!(row.iter().any(|&v| s.value(v) == Some(true)));
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let (mut s, vars) = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve_with(&[lit(&vars, -1), lit(&vars, -2)]), SolveResult::Unsat);
+        // Without assumptions it is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[lit(&vars, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn assumption_conflicts_with_unit() {
+        let (mut s, vars) = solver_with(1, &[&[1]]);
+        assert_eq!(s.solve_with(&[lit(&vars, -1)]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let (mut s, vars) = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.reset_search();
+        s.add_clause([lit(&vars, -1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(vars[1]), Some(true));
+        s.reset_search();
+        s.add_clause([lit(&vars, -2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_gives_unknown() {
+        let (mut s, _) = pigeonhole(7, 6);
+        s.set_conflict_budget(5);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn xor_chain_sat_model_is_consistent() {
+        // Encode x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 0: satisfiable.
+        let (mut s, vars) = solver_with(
+            3,
+            &[
+                &[1, 2],
+                &[-1, -2],
+                &[2, 3],
+                &[-2, -3],
+                &[1, -3],
+                &[-1, 3],
+            ],
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let x1 = s.value(vars[0]).unwrap();
+        let x2 = s.value(vars[1]).unwrap();
+        let x3 = s.value(vars[2]).unwrap();
+        assert!(x1 ^ x2);
+        assert!(x2 ^ x3);
+        assert!(!(x1 ^ x3));
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        let (mut s, _) = solver_with(
+            3,
+            &[
+                &[1, 2],
+                &[-1, -2],
+                &[2, 3],
+                &[-2, -3],
+                &[1, 3],
+                &[-1, -3],
+            ],
+        );
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_populate() {
+        let (mut s, _) = pigeonhole(5, 4);
+        s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! Tseitin bit-blasting of terms to CNF.
+//!
+//! Every term lowers to a vector of SAT literals, one per bit (LSB
+//! first). Base-array reads get fresh literals plus pairwise Ackermann
+//! constraints (`addr_i = addr_j -> data_i = data_j`) added at
+//! finalization, which is the eager encoding of the paper's
+//! "uninterpreted function for reads" memory model.
+
+use crate::manager::{ArrayId, BinOp, SymbolId, TermId, TermKind, TermManager, UnOp};
+use owl_bitvec::BitVec;
+use owl_sat::{Lit, Solver};
+use std::collections::HashMap;
+
+pub(crate) struct Blaster<'m> {
+    mgr: &'m TermManager,
+    pub(crate) solver: Solver,
+    cache: HashMap<TermId, Vec<Lit>>,
+    /// A literal constrained true, used to encode constant bits.
+    tru: Lit,
+    /// Bits allocated for each symbolic variable (for model extraction).
+    pub(crate) var_bits: HashMap<SymbolId, Vec<Lit>>,
+    /// Recorded base-array reads: (address bits, data bits).
+    pub(crate) selects: HashMap<ArrayId, Vec<(Vec<Lit>, Vec<Lit>)>>,
+}
+
+impl<'m> Blaster<'m> {
+    pub(crate) fn new(mgr: &'m TermManager) -> Self {
+        let mut solver = Solver::new();
+        let v = solver.new_var();
+        let tru = Lit::positive(v);
+        solver.add_clause([tru]);
+        Blaster { mgr, solver, cache: HashMap::new(), tru, var_bits: HashMap::new(), selects: HashMap::new() }
+    }
+
+    fn fls(&self) -> Lit {
+        !self.tru
+    }
+
+    fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            self.tru
+        } else {
+            self.fls()
+        }
+    }
+
+    fn fresh(&mut self) -> Lit {
+        Lit::positive(self.solver.new_var())
+    }
+
+    fn is_const(&self, l: Lit) -> Option<bool> {
+        if l == self.tru {
+            Some(true)
+        } else if l == !self.tru {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gate primitives
+    // ------------------------------------------------------------------
+
+    fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.fls(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.fls();
+        }
+        let o = self.fresh();
+        self.solver.add_clause([!a, !b, o]);
+        self.solver.add_clause([a, !o]);
+        self.solver.add_clause([b, !o]);
+        o
+    }
+
+    fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and_gate(!a, !b)
+    }
+
+    fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return !b,
+            (_, Some(true)) => return !a,
+            _ => {}
+        }
+        if a == b {
+            return self.fls();
+        }
+        if a == !b {
+            return self.tru;
+        }
+        let o = self.fresh();
+        self.solver.add_clause([!a, !b, !o]);
+        self.solver.add_clause([a, b, !o]);
+        self.solver.add_clause([a, !b, o]);
+        self.solver.add_clause([!a, b, o]);
+        o
+    }
+
+    fn xnor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor_gate(a, b)
+    }
+
+    fn mux_gate(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        match self.is_const(c) {
+            Some(true) => return t,
+            Some(false) => return e,
+            None => {}
+        }
+        if t == e {
+            return t;
+        }
+        let a = self.and_gate(c, t);
+        let b = self.and_gate(!c, e);
+        self.or_gate(a, b)
+    }
+
+    /// Full adder; returns (sum, carry).
+    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.xor_gate(a, b);
+        let sum = self.xor_gate(axb, cin);
+        let c1 = self.and_gate(a, b);
+        let c2 = self.and_gate(axb, cin);
+        let carry = self.or_gate(c1, c2);
+        (sum, carry)
+    }
+
+    fn and_reduce(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.tru;
+        for &l in lits {
+            acc = self.and_gate(acc, l);
+        }
+        acc
+    }
+
+    fn or_reduce(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = self.fls();
+        for &l in lits {
+            acc = self.or_gate(acc, l);
+        }
+        acc
+    }
+
+    fn adder(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> Vec<Lit> {
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(x, y, carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    /// Unsigned less-than comparator over bit vectors.
+    fn ult_bits(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut res = self.fls();
+        for (&x, &y) in a.iter().zip(b) {
+            // res = ite(x == y, res, y)
+            let eq = self.xnor_gate(x, y);
+            res = self.mux_gate(eq, res, y);
+        }
+        res
+    }
+
+    fn eq_bits(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let pairs: Vec<Lit> =
+            a.iter().zip(b).map(|(&x, &y)| self.xnor_gate(x, y)).collect();
+        self.and_reduce(&pairs)
+    }
+
+    // ------------------------------------------------------------------
+    // Term lowering
+    // ------------------------------------------------------------------
+
+    /// Lowers `term` to one literal per bit (LSB first).
+    pub(crate) fn blast(&mut self, term: TermId) -> Vec<Lit> {
+        if let Some(bits) = self.cache.get(&term) {
+            return bits.clone();
+        }
+        let bits = self.blast_uncached(term);
+        debug_assert_eq!(bits.len() as u32, self.mgr.width(term));
+        self.cache.insert(term, bits.clone());
+        bits
+    }
+
+    fn blast_uncached(&mut self, term: TermId) -> Vec<Lit> {
+        match self.mgr.kind(term).clone() {
+            TermKind::Const(c) => c.bits_lsb0().map(|b| self.const_lit(b)).collect(),
+            TermKind::Var(sym) => {
+                let w = self.mgr.symbol_width(sym);
+                let bits: Vec<Lit> = (0..w).map(|_| self.fresh()).collect();
+                self.var_bits.insert(sym, bits.clone());
+                bits
+            }
+            TermKind::Unary(op, a) => {
+                let av = self.blast(a);
+                match op {
+                    UnOp::Not => av.into_iter().map(|l| !l).collect(),
+                    UnOp::Neg => {
+                        // ~a + 1
+                        let na: Vec<Lit> = av.iter().map(|&l| !l).collect();
+                        let zeros = vec![self.fls(); na.len()];
+                        self.adder(&na, &zeros, self.tru)
+                    }
+                    UnOp::RedOr => vec![self.or_reduce(&av)],
+                }
+            }
+            TermKind::Binary(op, a, b) => self.blast_binary(op, a, b),
+            TermKind::Ite(c, t, e) => {
+                let cv = self.blast(c)[0];
+                let tv = self.blast(t);
+                let ev = self.blast(e);
+                tv.iter().zip(&ev).map(|(&x, &y)| self.mux_gate(cv, x, y)).collect()
+            }
+            TermKind::Extract(a, high, low) => {
+                let av = self.blast(a);
+                av[low as usize..=high as usize].to_vec()
+            }
+            TermKind::Concat(hi, lo) => {
+                let mut out = self.blast(lo);
+                out.extend(self.blast(hi));
+                out
+            }
+            TermKind::ZExt(a, w) => {
+                let mut out = self.blast(a);
+                out.resize(w as usize, self.fls());
+                out
+            }
+            TermKind::SExt(a, w) => {
+                let mut out = self.blast(a);
+                let sign = *out.last().expect("nonzero width");
+                out.resize(w as usize, sign);
+                out
+            }
+            TermKind::ArraySelect(arr, addr) => {
+                let addr_bits = self.blast(addr);
+                let (_, dw) = self.mgr.array_widths(arr);
+                let data_bits: Vec<Lit> = (0..dw).map(|_| self.fresh()).collect();
+                self.selects.entry(arr).or_default().push((addr_bits, data_bits.clone()));
+                data_bits
+            }
+            TermKind::RomSelect(rom, addr) => {
+                let addr_bits = self.blast(addr);
+                let (aw, dw) = self.mgr.rom_widths(rom);
+                let size = 1usize << aw;
+                let mut table: Vec<BitVec> = self.mgr.rom_data(rom).to_vec();
+                table.resize(size, BitVec::zero(dw));
+                self.rom_mux(&addr_bits, &table, dw)
+            }
+        }
+    }
+
+    /// Recursive mux tree over the address bits (MSB splits first).
+    fn rom_mux(&mut self, addr: &[Lit], table: &[BitVec], dw: u32) -> Vec<Lit> {
+        if table.len() == 1 {
+            return table[0].bits_lsb0().map(|b| self.const_lit(b)).collect();
+        }
+        let half = table.len() / 2;
+        let top = addr[addr.len() - 1];
+        let rest = &addr[..addr.len() - 1];
+        let lo = self.rom_mux(rest, &table[..half], dw);
+        let hi = self.rom_mux(rest, &table[half..], dw);
+        hi.iter().zip(&lo).map(|(&h, &l)| self.mux_gate(top, h, l)).collect()
+    }
+
+    fn blast_binary(&mut self, op: BinOp, a: TermId, b: TermId) -> Vec<Lit> {
+        let av = self.blast(a);
+        let bv = self.blast(b);
+        match op {
+            BinOp::And => av.iter().zip(&bv).map(|(&x, &y)| self.and_gate(x, y)).collect(),
+            BinOp::Or => av.iter().zip(&bv).map(|(&x, &y)| self.or_gate(x, y)).collect(),
+            BinOp::Xor => av.iter().zip(&bv).map(|(&x, &y)| self.xor_gate(x, y)).collect(),
+            BinOp::Add => self.adder(&av, &bv, self.fls()),
+            BinOp::Sub => {
+                let nb: Vec<Lit> = bv.iter().map(|&l| !l).collect();
+                self.adder(&av, &nb, self.tru)
+            }
+            BinOp::Mul => {
+                let w = av.len();
+                let mut acc = vec![self.fls(); w];
+                for i in 0..w {
+                    if self.is_const(bv[i]) == Some(false) {
+                        continue;
+                    }
+                    // Partial product: (a << i) AND b[i], added into acc.
+                    let mut pp = vec![self.fls(); w];
+                    for j in 0..w - i {
+                        pp[i + j] = self.and_gate(av[j], bv[i]);
+                    }
+                    acc = self.adder(&acc, &pp, self.fls());
+                }
+                acc
+            }
+            BinOp::Shl => self.barrel_shift(&av, &bv, ShiftKind::Left),
+            BinOp::Lshr => self.barrel_shift(&av, &bv, ShiftKind::LogicalRight),
+            BinOp::Ashr => self.barrel_shift(&av, &bv, ShiftKind::ArithmeticRight),
+            BinOp::Eq => vec![self.eq_bits(&av, &bv)],
+            BinOp::Ult => vec![self.ult_bits(&av, &bv)],
+            BinOp::Ule => {
+                let gt = self.ult_bits(&bv, &av);
+                vec![!gt]
+            }
+            BinOp::Slt => {
+                // Flip the sign bits, then compare unsigned.
+                let mut af = av;
+                let mut bf = bv;
+                let n = af.len();
+                af[n - 1] = !af[n - 1];
+                bf[n - 1] = !bf[n - 1];
+                vec![self.ult_bits(&af, &bf)]
+            }
+            BinOp::Sle => {
+                let mut af = av;
+                let mut bf = bv;
+                let n = af.len();
+                af[n - 1] = !af[n - 1];
+                bf[n - 1] = !bf[n - 1];
+                let gt = self.ult_bits(&bf, &af);
+                vec![!gt]
+            }
+        }
+    }
+
+    fn barrel_shift(&mut self, a: &[Lit], count: &[Lit], kind: ShiftKind) -> Vec<Lit> {
+        let w = a.len();
+        let fill = match kind {
+            ShiftKind::Left | ShiftKind::LogicalRight => self.fls(),
+            ShiftKind::ArithmeticRight => a[w - 1],
+        };
+        let mut acc = a.to_vec();
+        // Stages for count bits that shift within the word.
+        for (s, &cbit) in count.iter().enumerate() {
+            let dist = 1usize.checked_shl(s as u32).unwrap_or(usize::MAX);
+            if dist >= w {
+                // Any set high count bit pushes everything to the fill.
+                acc = acc.iter().map(|&x| self.mux_gate(cbit, fill, x)).collect();
+            } else {
+                let shifted: Vec<Lit> = (0..w)
+                    .map(|i| match kind {
+                        ShiftKind::Left => {
+                            if i >= dist {
+                                acc[i - dist]
+                            } else {
+                                fill
+                            }
+                        }
+                        ShiftKind::LogicalRight | ShiftKind::ArithmeticRight => {
+                            if i + dist < w {
+                                acc[i + dist]
+                            } else {
+                                fill
+                            }
+                        }
+                    })
+                    .collect();
+                acc = acc
+                    .iter()
+                    .zip(&shifted)
+                    .map(|(&keep, &sh)| self.mux_gate(cbit, sh, keep))
+                    .collect();
+            }
+        }
+        acc
+    }
+
+    /// Asserts a 1-bit term to be true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `term` is wider than one bit.
+    pub(crate) fn assert_true(&mut self, term: TermId) {
+        assert_eq!(self.mgr.width(term), 1, "assertions must be 1-bit terms");
+        let bits = self.blast(term);
+        self.solver.add_clause([bits[0]]);
+    }
+
+    /// Adds the pairwise Ackermann constraints for all recorded array
+    /// reads. Must be called once after all assertions are blasted and
+    /// before solving.
+    pub(crate) fn finalize_arrays(&mut self) {
+        let selects: Vec<(ArrayId, Vec<(Vec<Lit>, Vec<Lit>)>)> =
+            self.selects.iter().map(|(&a, v)| (a, v.clone())).collect();
+        for (_, reads) in selects {
+            for i in 0..reads.len() {
+                for j in i + 1..reads.len() {
+                    let same_addr = self.eq_bits(&reads[i].0, &reads[j].0);
+                    if self.is_const(same_addr) == Some(false) {
+                        continue;
+                    }
+                    for (&d1, &d2) in reads[i].1.iter().zip(&reads[j].1) {
+                        // same_addr -> (d1 == d2)
+                        self.solver.add_clause([!same_addr, !d1, d2]);
+                        self.solver.add_clause([!same_addr, d1, !d2]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads the model value of a blasted bit vector.
+    pub(crate) fn read_bits(&self, bits: &[Lit]) -> BitVec {
+        let values: Vec<bool> =
+            bits.iter().map(|&l| self.solver.lit_model(l).unwrap_or(false)).collect();
+        BitVec::from_bits_lsb0(&values)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithmeticRight,
+}

@@ -1,0 +1,282 @@
+//! Concrete evaluation of terms under an environment.
+
+use crate::manager::{BinOp, TermId, TermKind, TermManager, UnOp};
+use crate::{ArrayId, SymbolId};
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+
+/// Concrete contents of a base array: an association list plus a default
+/// for addresses that never appear, mirroring the paper's memory model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayValue {
+    entries: Vec<(BitVec, BitVec)>,
+    default: BitVec,
+}
+
+impl ArrayValue {
+    /// An array whose every address reads `default`.
+    #[must_use]
+    pub fn filled(default: BitVec) -> Self {
+        ArrayValue { entries: Vec::new(), default }
+    }
+
+    /// An array built from `(address, data)` pairs with a default.
+    /// Later pairs shadow earlier ones with the same address.
+    #[must_use]
+    pub fn from_entries(entries: Vec<(BitVec, BitVec)>, default: BitVec) -> Self {
+        ArrayValue { entries, default }
+    }
+
+    /// Reads the value at `addr`.
+    #[must_use]
+    pub fn read(&self, addr: &BitVec) -> BitVec {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(a, _)| a == addr)
+            .map_or_else(|| self.default.clone(), |(_, d)| d.clone())
+    }
+
+    /// Writes `data` at `addr` (shadowing earlier entries).
+    pub fn write(&mut self, addr: BitVec, data: BitVec) {
+        self.entries.push((addr, data));
+    }
+
+    /// The `(address, data)` pairs, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[(BitVec, BitVec)] {
+        &self.entries
+    }
+
+    /// The default value for unmapped addresses.
+    #[must_use]
+    pub fn default_value(&self) -> &BitVec {
+        &self.default
+    }
+}
+
+/// A concrete assignment to symbolic variables and base arrays.
+///
+/// Variables absent from the environment evaluate to zero, matching the
+/// model-completion convention of the solver facade.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: HashMap<SymbolId, BitVec>,
+    arrays: HashMap<ArrayId, ArrayValue>,
+}
+
+impl Env {
+    /// An empty environment (everything reads as zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Sets the value of a variable.
+    pub fn set_var(&mut self, sym: SymbolId, value: BitVec) {
+        self.vars.insert(sym, value);
+    }
+
+    /// The value of a variable, if set.
+    #[must_use]
+    pub fn var(&self, sym: SymbolId) -> Option<&BitVec> {
+        self.vars.get(&sym)
+    }
+
+    /// True if the variable has a binding.
+    #[must_use]
+    pub fn has_var(&self, sym: SymbolId) -> bool {
+        self.vars.contains_key(&sym)
+    }
+
+    /// Sets the contents of a base array.
+    pub fn set_array(&mut self, array: ArrayId, value: ArrayValue) {
+        self.arrays.insert(array, value);
+    }
+
+    /// The contents of a base array, if set.
+    #[must_use]
+    pub fn array(&self, array: ArrayId) -> Option<&ArrayValue> {
+        self.arrays.get(&array)
+    }
+
+    /// Iterates over all variable bindings.
+    pub fn vars(&self) -> impl Iterator<Item = (SymbolId, &BitVec)> + '_ {
+        self.vars.iter().map(|(&s, v)| (s, v))
+    }
+
+    /// Iterates over all array bindings.
+    pub fn arrays(&self) -> impl Iterator<Item = (ArrayId, &ArrayValue)> + '_ {
+        self.arrays.iter().map(|(&a, v)| (a, v))
+    }
+
+    /// Evaluates `term` to a concrete value under this environment.
+    ///
+    /// Unbound variables read as zero; unbound arrays read as all-zero.
+    #[must_use]
+    pub fn eval(&self, mgr: &TermManager, term: TermId) -> BitVec {
+        let mut memo: HashMap<TermId, BitVec> = HashMap::new();
+        self.eval_memo(mgr, term, &mut memo)
+    }
+
+    fn eval_memo(
+        &self,
+        mgr: &TermManager,
+        term: TermId,
+        memo: &mut HashMap<TermId, BitVec>,
+    ) -> BitVec {
+        if let Some(v) = memo.get(&term) {
+            return v.clone();
+        }
+        let value = match *mgr.kind(term) {
+            TermKind::Const(ref c) => c.clone(),
+            TermKind::Var(sym) => self
+                .vars
+                .get(&sym)
+                .cloned()
+                .unwrap_or_else(|| BitVec::zero(mgr.symbol_width(sym))),
+            TermKind::Unary(op, a) => {
+                let av = self.eval_memo(mgr, a, memo);
+                match op {
+                    UnOp::Not => av.not(),
+                    UnOp::Neg => av.neg(),
+                    UnOp::RedOr => BitVec::from_bool(av.is_true()),
+                }
+            }
+            TermKind::Binary(op, a, b) => {
+                let x = self.eval_memo(mgr, a, memo);
+                let y = self.eval_memo(mgr, b, memo);
+                match op {
+                    BinOp::And => x.and(&y),
+                    BinOp::Or => x.or(&y),
+                    BinOp::Xor => x.xor(&y),
+                    BinOp::Add => x.add(&y),
+                    BinOp::Sub => x.sub(&y),
+                    BinOp::Mul => x.mul(&y),
+                    BinOp::Shl => x.shl(&y),
+                    BinOp::Lshr => x.lshr(&y),
+                    BinOp::Ashr => x.ashr(&y),
+                    BinOp::Eq => BitVec::from_bool(x == y),
+                    BinOp::Ult => BitVec::from_bool(x.ult(&y)),
+                    BinOp::Ule => BitVec::from_bool(x.ule(&y)),
+                    BinOp::Slt => BitVec::from_bool(x.slt(&y)),
+                    BinOp::Sle => BitVec::from_bool(x.sle(&y)),
+                }
+            }
+            TermKind::Ite(c, t, e) => {
+                if self.eval_memo(mgr, c, memo).is_true() {
+                    self.eval_memo(mgr, t, memo)
+                } else {
+                    self.eval_memo(mgr, e, memo)
+                }
+            }
+            TermKind::Extract(a, high, low) => self.eval_memo(mgr, a, memo).extract(high, low),
+            TermKind::Concat(hi, lo) => {
+                let h = self.eval_memo(mgr, hi, memo);
+                let l = self.eval_memo(mgr, lo, memo);
+                h.concat(&l)
+            }
+            TermKind::ZExt(a, w) => self.eval_memo(mgr, a, memo).zext(w),
+            TermKind::SExt(a, w) => self.eval_memo(mgr, a, memo).sext(w),
+            TermKind::ArraySelect(arr, addr) => {
+                let a = self.eval_memo(mgr, addr, memo);
+                let (_, dw) = mgr.array_widths(arr);
+                self.arrays
+                    .get(&arr)
+                    .map_or_else(|| BitVec::zero(dw), |v| v.read(&a))
+            }
+            TermKind::RomSelect(rom, addr) => {
+                let a = self.eval_memo(mgr, addr, memo);
+                let (_, dw) = mgr.rom_widths(rom);
+                let idx = a.to_u64().expect("ROM address fits in u64") as usize;
+                mgr.rom_data(rom).get(idx).cloned().unwrap_or_else(|| BitVec::zero(dw))
+            }
+        };
+        memo.insert(term, value.clone());
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::TermManager;
+
+    #[test]
+    fn eval_arithmetic() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let sum = m.add(x, y);
+        let TermKind::Var(sx) = *m.kind(x) else { panic!() };
+        let TermKind::Var(sy) = *m.kind(y) else { panic!() };
+        let mut env = Env::new();
+        env.set_var(sx, BitVec::from_u64(8, 200));
+        env.set_var(sy, BitVec::from_u64(8, 100));
+        assert_eq!(env.eval(&m, sum), BitVec::from_u64(8, 44));
+    }
+
+    #[test]
+    fn eval_unbound_var_is_zero() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let env = Env::new();
+        assert_eq!(env.eval(&m, x), BitVec::zero(8));
+    }
+
+    #[test]
+    fn eval_ite_and_predicates() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let TermKind::Var(sx) = *m.kind(x) else { panic!() };
+        let five = m.const_u64(8, 5);
+        let ten = m.const_u64(8, 10);
+        let twenty = m.const_u64(8, 20);
+        let c = m.ult(x, five);
+        let sel = m.ite(c, ten, twenty);
+        let mut env = Env::new();
+        env.set_var(sx, BitVec::from_u64(8, 3));
+        assert_eq!(env.eval(&m, sel), BitVec::from_u64(8, 10));
+        env.set_var(sx, BitVec::from_u64(8, 9));
+        assert_eq!(env.eval(&m, sel), BitVec::from_u64(8, 20));
+    }
+
+    #[test]
+    fn eval_array_reads() {
+        let mut m = TermManager::new();
+        let arr = m.fresh_array("mem", 4, 8);
+        let addr = m.fresh_var("a", 4);
+        let TermKind::Var(sa) = *m.kind(addr) else { panic!() };
+        let rd = m.array_select(arr, addr);
+        let mut env = Env::new();
+        let mut mem = ArrayValue::filled(BitVec::from_u64(8, 0xEE));
+        mem.write(BitVec::from_u64(4, 3), BitVec::from_u64(8, 0x42));
+        env.set_array(arr, mem);
+        env.set_var(sa, BitVec::from_u64(4, 3));
+        assert_eq!(env.eval(&m, rd), BitVec::from_u64(8, 0x42));
+        env.set_var(sa, BitVec::from_u64(4, 7));
+        assert_eq!(env.eval(&m, rd), BitVec::from_u64(8, 0xEE));
+    }
+
+    #[test]
+    fn array_value_later_writes_shadow() {
+        let mut v = ArrayValue::filled(BitVec::zero(8));
+        v.write(BitVec::from_u64(4, 1), BitVec::from_u64(8, 10));
+        v.write(BitVec::from_u64(4, 1), BitVec::from_u64(8, 20));
+        assert_eq!(v.read(&BitVec::from_u64(4, 1)), BitVec::from_u64(8, 20));
+    }
+
+    #[test]
+    fn eval_rom() {
+        let mut m = TermManager::new();
+        let r = m.rom("t", 2, 8, vec![BitVec::from_u64(8, 7), BitVec::from_u64(8, 9)]);
+        let a = m.fresh_var("a", 2);
+        let TermKind::Var(sa) = *m.kind(a) else { panic!() };
+        let rd = m.rom_select(r, a);
+        let mut env = Env::new();
+        env.set_var(sa, BitVec::from_u64(2, 1));
+        assert_eq!(env.eval(&m, rd), BitVec::from_u64(8, 9));
+        env.set_var(sa, BitVec::from_u64(2, 3));
+        assert_eq!(env.eval(&m, rd), BitVec::zero(8));
+    }
+}

@@ -1,0 +1,46 @@
+//! A quantifier-free bitvector (QF_BV + arrays-as-write-lists) SMT layer.
+//!
+//! This crate stands in for the Rosette → Boolector/CVC4 stack of the
+//! paper's implementation. It provides:
+//!
+//! - a hash-consed term graph ([`TermManager`]) with aggressive rewriting
+//!   at construction time, so structurally equal datapath and
+//!   specification expressions fold away before any solver is invoked;
+//! - a concrete evaluator ([`Model::eval`]) used both for model inspection
+//!   and for the counterexample replay step of CEGIS;
+//! - a partial evaluator ([`substitute`]) that specializes a term under a
+//!   concrete environment while leaving synthesis holes symbolic;
+//! - a Tseitin bit-blaster lowering terms to CNF over [`owl_sat`], with
+//!   Ackermann expansion for base-array reads (the paper models memories
+//!   as an uninterpreted read function plus an association list of
+//!   writes); and
+//! - a solver facade ([`check`]) returning rich models.
+//!
+//! # Examples
+//!
+//! ```
+//! use owl_bitvec::BitVec;
+//! use owl_smt::{check, SmtResult, TermManager};
+//!
+//! let mut mgr = TermManager::new();
+//! let x = mgr.fresh_var("x", 8);
+//! let two = mgr.bv_const(BitVec::from_u64(8, 2));
+//! let xx = mgr.add(x, x);
+//! let x2 = mgr.mul(x, two);
+//! let eq = mgr.eq(xx, x2);
+//! let neq = mgr.not(eq);
+//! // x + x == 2 * x always, so its negation is unsatisfiable.
+//! assert!(matches!(check(&mgr, &[neq], None), SmtResult::Unsat));
+//! ```
+
+mod blast;
+mod eval;
+mod manager;
+mod print;
+mod solver;
+mod subst;
+
+pub use eval::{ArrayValue, Env};
+pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
+pub use solver::{check, Model, SmtResult};
+pub use subst::{substitute, substitute_terms};

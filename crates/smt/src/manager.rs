@@ -1,0 +1,1114 @@
+//! The hash-consed term graph and its rewriting smart constructors.
+
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+
+/// Identifier of a term in a [`TermManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Dense index of the term.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a symbolic variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// Dense index of the symbol.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a base (uninterpreted) array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(u32);
+
+impl ArrayId {
+    /// Dense index of the array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a read-only memory (lookup table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RomId(u32);
+
+impl RomId {
+    /// Dense index of the ROM.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Unary bitvector operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// OR-reduction to a single bit (Oyster's "nonzero is true").
+    RedOr,
+}
+
+/// Binary bitvector operators. Comparison operators produce 1-bit terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Addition modulo `2^w`.
+    Add,
+    /// Subtraction modulo `2^w`.
+    Sub,
+    /// Multiplication modulo `2^w`.
+    Mul,
+    /// Left shift (count ≥ width gives 0).
+    Shl,
+    /// Logical right shift (count ≥ width gives 0).
+    Lshr,
+    /// Arithmetic right shift (count ≥ width replicates the sign).
+    Ashr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Unsigned less-or-equal (1-bit result).
+    Ule,
+    /// Signed less-than (1-bit result).
+    Slt,
+    /// Signed less-or-equal (1-bit result).
+    Sle,
+}
+
+impl BinOp {
+    /// True for operators whose result is a single bit.
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle)
+    }
+
+    /// True for commutative operators (operands are sorted for hashing).
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Mul | BinOp::Eq
+        )
+    }
+}
+
+/// The shape of a term node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermKind {
+    /// A constant bitvector.
+    Const(BitVec),
+    /// A symbolic variable.
+    Var(SymbolId),
+    /// Unary operator application.
+    Unary(UnOp, TermId),
+    /// Binary operator application.
+    Binary(BinOp, TermId, TermId),
+    /// If-then-else; the condition is 1 bit wide.
+    Ite(TermId, TermId, TermId),
+    /// Bit extraction `[high..=low]`.
+    Extract(TermId, u32, u32),
+    /// Concatenation (first operand is the high part).
+    Concat(TermId, TermId),
+    /// Zero extension to the given width.
+    ZExt(TermId, u32),
+    /// Sign extension to the given width.
+    SExt(TermId, u32),
+    /// Read from an uninterpreted base array.
+    ArraySelect(ArrayId, TermId),
+    /// Read from a constant lookup table.
+    RomSelect(RomId, TermId),
+}
+
+#[derive(Debug)]
+struct TermData {
+    kind: TermKind,
+    width: u32,
+}
+
+#[derive(Debug)]
+struct SymbolInfo {
+    name: String,
+    width: u32,
+}
+
+#[derive(Debug)]
+struct ArrayInfo {
+    name: String,
+    addr_width: u32,
+    data_width: u32,
+}
+
+#[derive(Debug)]
+struct RomInfo {
+    #[allow(dead_code)]
+    name: String,
+    addr_width: u32,
+    data_width: u32,
+    data: Vec<BitVec>,
+}
+
+/// Arena and hash-consing table for terms, plus the symbol, array and ROM
+/// registries.
+///
+/// All term construction goes through the `TermManager`'s smart
+/// constructors, which fold constants and apply local rewrites, so
+/// structurally equal expressions always share a [`TermId`] — the property
+/// the CEGIS verifier relies on to discharge trivially-true equivalences
+/// without touching the SAT solver.
+#[derive(Debug, Default)]
+pub struct TermManager {
+    terms: Vec<TermData>,
+    dedup: HashMap<TermKind, TermId>,
+    symbols: Vec<SymbolInfo>,
+    arrays: Vec<ArrayInfo>,
+    roms: Vec<RomInfo>,
+}
+
+impl TermManager {
+    /// Creates an empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms created.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The kind of a term.
+    #[must_use]
+    pub fn kind(&self, t: TermId) -> &TermKind {
+        &self.terms[t.index()].kind
+    }
+
+    /// The bit width of a term.
+    #[must_use]
+    pub fn width(&self, t: TermId) -> u32 {
+        self.terms[t.index()].width
+    }
+
+    /// The constant value of a term, if it is a constant.
+    #[must_use]
+    pub fn as_const(&self, t: TermId) -> Option<&BitVec> {
+        match self.kind(t) {
+            TermKind::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The symbol of a term, if it is a variable.
+    #[must_use]
+    pub fn as_var(&self, t: TermId) -> Option<SymbolId> {
+        match self.kind(t) {
+            TermKind::Var(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The name of a symbolic variable.
+    #[must_use]
+    pub fn symbol_name(&self, s: SymbolId) -> &str {
+        &self.symbols[s.index()].name
+    }
+
+    /// The width of a symbolic variable.
+    #[must_use]
+    pub fn symbol_width(&self, s: SymbolId) -> u32 {
+        self.symbols[s.index()].width
+    }
+
+    /// Number of symbols created.
+    #[must_use]
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The name of a base array.
+    #[must_use]
+    pub fn array_name(&self, a: ArrayId) -> &str {
+        &self.arrays[a.index()].name
+    }
+
+    /// Address and data widths of a base array.
+    #[must_use]
+    pub fn array_widths(&self, a: ArrayId) -> (u32, u32) {
+        let info = &self.arrays[a.index()];
+        (info.addr_width, info.data_width)
+    }
+
+    /// Address and data widths of a ROM.
+    #[must_use]
+    pub fn rom_widths(&self, r: RomId) -> (u32, u32) {
+        let info = &self.roms[r.index()];
+        (info.addr_width, info.data_width)
+    }
+
+    /// Contents of a ROM.
+    #[must_use]
+    pub fn rom_data(&self, r: RomId) -> &[BitVec] {
+        &self.roms[r.index()].data
+    }
+
+    fn intern(&mut self, kind: TermKind, width: u32) -> TermId {
+        if let Some(&id) = self.dedup.get(&kind) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.dedup.insert(kind.clone(), id);
+        self.terms.push(TermData { kind, width });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// A constant term.
+    pub fn bv_const(&mut self, value: BitVec) -> TermId {
+        let width = value.width();
+        self.intern(TermKind::Const(value), width)
+    }
+
+    /// Convenience: constant from a `u64`.
+    pub fn const_u64(&mut self, width: u32, value: u64) -> TermId {
+        self.bv_const(BitVec::from_u64(width, value))
+    }
+
+    /// The 1-bit constant 1.
+    pub fn tru(&mut self) -> TermId {
+        self.const_u64(1, 1)
+    }
+
+    /// The 1-bit constant 0.
+    pub fn fls(&mut self) -> TermId {
+        self.const_u64(1, 0)
+    }
+
+    /// Creates a fresh symbolic variable. Each call returns a distinct
+    /// variable even for identical names (names are for diagnostics).
+    pub fn fresh_var(&mut self, name: impl Into<String>, width: u32) -> TermId {
+        assert!(width > 0, "variable width must be positive");
+        let sym = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(SymbolInfo { name: name.into(), width });
+        self.intern(TermKind::Var(sym), width)
+    }
+
+    /// Creates a fresh uninterpreted base array (the "read UF" of the
+    /// paper's memory model).
+    pub fn fresh_array(&mut self, name: impl Into<String>, addr_width: u32, data_width: u32) -> ArrayId {
+        assert!(addr_width > 0 && data_width > 0, "array widths must be positive");
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayInfo { name: name.into(), addr_width, data_width });
+        id
+    }
+
+    /// Registers a read-only memory with the given contents. Entries
+    /// beyond `data.len()` (up to `2^addr_width`) read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry's width differs from `data_width`, or if
+    /// `data.len()` exceeds `2^addr_width`.
+    pub fn rom(
+        &mut self,
+        name: impl Into<String>,
+        addr_width: u32,
+        data_width: u32,
+        data: Vec<BitVec>,
+    ) -> RomId {
+        assert!(addr_width > 0 && addr_width < 32, "ROM address width out of range");
+        assert!(
+            data.len() as u64 <= 1u64 << addr_width,
+            "ROM has more entries than its address space"
+        );
+        for d in &data {
+            assert_eq!(d.width(), data_width, "ROM entry width mismatch");
+        }
+        let id = RomId(self.roms.len() as u32);
+        self.roms.push(RomInfo { name: name.into(), addr_width, data_width, data });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Unary operators
+    // ------------------------------------------------------------------
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        if let Some(c) = self.as_const(a) {
+            let v = c.not();
+            return self.bv_const(v);
+        }
+        if let TermKind::Unary(UnOp::Not, inner) = *self.kind(a) {
+            return inner;
+        }
+        let w = self.width(a);
+        self.intern(TermKind::Unary(UnOp::Not, a), w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        if let Some(c) = self.as_const(a) {
+            let v = c.neg();
+            return self.bv_const(v);
+        }
+        let w = self.width(a);
+        self.intern(TermKind::Unary(UnOp::Neg, a), w)
+    }
+
+    /// OR-reduction: 1 iff any bit of `a` is set. Identity on 1-bit terms.
+    pub fn red_or(&mut self, a: TermId) -> TermId {
+        if self.width(a) == 1 {
+            return a;
+        }
+        if let Some(c) = self.as_const(a) {
+            let v = BitVec::from_bool(c.is_true());
+            return self.bv_const(v);
+        }
+        self.intern(TermKind::Unary(UnOp::RedOr, a), 1)
+    }
+
+    /// Boolean negation of a condition (1-bit). For wider terms, reduces
+    /// first.
+    pub fn bool_not(&mut self, a: TermId) -> TermId {
+        let c = self.red_or(a);
+        self.not(c)
+    }
+
+    // ------------------------------------------------------------------
+    // Binary operators
+    // ------------------------------------------------------------------
+
+    fn binary(&mut self, op: BinOp, mut a: TermId, mut b: TermId) -> TermId {
+        assert_eq!(
+            self.width(a),
+            self.width(b),
+            "width mismatch in {op:?}: {} vs {}",
+            self.width(a),
+            self.width(b)
+        );
+        if op.is_commutative() && a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if let Some(folded) = self.fold_binary(op, a, b) {
+            return folded;
+        }
+        let w = if op.is_predicate() { 1 } else { self.width(a) };
+        self.intern(TermKind::Binary(op, a, b), w)
+    }
+
+    /// Constant folding and local identities for binary operators.
+    fn fold_binary(&mut self, op: BinOp, a: TermId, b: TermId) -> Option<TermId> {
+        let ca = self.as_const(a).cloned();
+        let cb = self.as_const(b).cloned();
+        if let (Some(x), Some(y)) = (&ca, &cb) {
+            let v = match op {
+                BinOp::And => x.and(y),
+                BinOp::Or => x.or(y),
+                BinOp::Xor => x.xor(y),
+                BinOp::Add => x.add(y),
+                BinOp::Sub => x.sub(y),
+                BinOp::Mul => x.mul(y),
+                BinOp::Shl => x.shl(y),
+                BinOp::Lshr => x.lshr(y),
+                BinOp::Ashr => x.ashr(y),
+                BinOp::Eq => BitVec::from_bool(x == y),
+                BinOp::Ult => BitVec::from_bool(x.ult(y)),
+                BinOp::Ule => BitVec::from_bool(x.ule(y)),
+                BinOp::Slt => BitVec::from_bool(x.slt(y)),
+                BinOp::Sle => BitVec::from_bool(x.sle(y)),
+            };
+            return Some(self.bv_const(v));
+        }
+        let w = self.width(a);
+        match op {
+            BinOp::And => {
+                if a == b {
+                    return Some(a);
+                }
+                for (c, other) in [(&ca, b), (&cb, a)] {
+                    if let Some(c) = c {
+                        if c.is_zero() {
+                            return Some(self.bv_const(BitVec::zero(w)));
+                        }
+                        if c.is_ones() {
+                            return Some(other);
+                        }
+                    }
+                }
+            }
+            BinOp::Or => {
+                if a == b {
+                    return Some(a);
+                }
+                for (c, other) in [(&ca, b), (&cb, a)] {
+                    if let Some(c) = c {
+                        if c.is_zero() {
+                            return Some(other);
+                        }
+                        if c.is_ones() {
+                            return Some(self.bv_const(BitVec::ones(w)));
+                        }
+                    }
+                }
+            }
+            BinOp::Xor => {
+                if a == b {
+                    return Some(self.bv_const(BitVec::zero(w)));
+                }
+                for (c, other) in [(&ca, b), (&cb, a)] {
+                    if let Some(c) = c {
+                        if c.is_zero() {
+                            return Some(other);
+                        }
+                        if c.is_ones() {
+                            return Some(self.not(other));
+                        }
+                    }
+                }
+            }
+            BinOp::Add => {
+                for (c, other) in [(&ca, b), (&cb, a)] {
+                    if let Some(c) = c {
+                        if c.is_zero() {
+                            return Some(other);
+                        }
+                    }
+                }
+            }
+            BinOp::Sub => {
+                if a == b {
+                    return Some(self.bv_const(BitVec::zero(w)));
+                }
+                if let Some(c) = &cb {
+                    if c.is_zero() {
+                        return Some(a);
+                    }
+                }
+            }
+            BinOp::Mul => {
+                for (c, other) in [(&ca, b), (&cb, a)] {
+                    if let Some(c) = c {
+                        if c.is_zero() {
+                            return Some(self.bv_const(BitVec::zero(w)));
+                        }
+                        if c.is_one() {
+                            return Some(other);
+                        }
+                    }
+                }
+            }
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                if let Some(c) = &cb {
+                    if c.is_zero() {
+                        return Some(a);
+                    }
+                }
+                if let Some(c) = &ca {
+                    if c.is_zero() && op != BinOp::Ashr {
+                        return Some(a);
+                    }
+                }
+            }
+            BinOp::Eq => {
+                if a == b {
+                    return Some(self.tru());
+                }
+                // For 1-bit terms, x == 1 is x and x == 0 is !x.
+                if w == 1 {
+                    for (c, other) in [(&ca, b), (&cb, a)] {
+                        if let Some(c) = c {
+                            return Some(if c.is_one() { other } else { self.not(other) });
+                        }
+                    }
+                }
+            }
+            BinOp::Ult => {
+                if a == b {
+                    return Some(self.fls());
+                }
+                if let Some(c) = &cb {
+                    if c.is_zero() {
+                        return Some(self.fls()); // nothing is < 0 unsigned
+                    }
+                }
+                if let Some(c) = &ca {
+                    if c.is_ones() {
+                        return Some(self.fls()); // max is < nothing
+                    }
+                }
+            }
+            BinOp::Ule => {
+                if a == b {
+                    return Some(self.tru());
+                }
+                if let Some(c) = &ca {
+                    if c.is_zero() {
+                        return Some(self.tru());
+                    }
+                }
+                if let Some(c) = &cb {
+                    if c.is_ones() {
+                        return Some(self.tru());
+                    }
+                }
+            }
+            BinOp::Slt => {
+                if a == b {
+                    return Some(self.fls());
+                }
+            }
+            BinOp::Sle => {
+                if a == b {
+                    return Some(self.tru());
+                }
+            }
+        }
+        None
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Xor, a, b)
+    }
+
+    /// Addition modulo `2^w`.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Add, a, b)
+    }
+
+    /// Subtraction modulo `2^w`.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Sub, a, b)
+    }
+
+    /// Multiplication modulo `2^w`.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Mul, a, b)
+    }
+
+    /// Left shift by a bitvector count.
+    pub fn shl(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Shl, a, b)
+    }
+
+    /// Logical right shift by a bitvector count.
+    pub fn lshr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Lshr, a, b)
+    }
+
+    /// Arithmetic right shift by a bitvector count.
+    pub fn ashr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Ashr, a, b)
+    }
+
+    /// Equality (1-bit result).
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Eq, a, b)
+    }
+
+    /// Disequality (1-bit result).
+    pub fn neq(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal (1-bit result).
+    pub fn ule(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Ule, a, b)
+    }
+
+    /// Unsigned greater-than (1-bit result).
+    pub fn ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Ult, b, a)
+    }
+
+    /// Unsigned greater-or-equal (1-bit result).
+    pub fn uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Ule, b, a)
+    }
+
+    /// Signed less-than (1-bit result).
+    pub fn slt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Slt, a, b)
+    }
+
+    /// Signed less-or-equal (1-bit result).
+    pub fn sle(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binary(BinOp::Sle, a, b)
+    }
+
+    /// Rotate left by a bitvector count, built from shifts
+    /// (`rol(x, n) = (x << n%w) | (x >> (w - n%w)%w)`).
+    pub fn rol(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        let wc = self.const_u64(w, u64::from(w));
+        let n = self.urem_const_width(b, w);
+        let left = self.shl(a, n);
+        let back = self.sub(wc, n);
+        let back = self.urem_const_width(back, w);
+        let right = self.lshr(a, back);
+        self.or(left, right)
+    }
+
+    /// Rotate right by a bitvector count, built from shifts.
+    pub fn ror(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        let wc = self.const_u64(w, u64::from(w));
+        let n = self.urem_const_width(b, w);
+        let left_amt = self.sub(wc, n);
+        let left_amt = self.urem_const_width(left_amt, w);
+        let left = self.shl(a, left_amt);
+        let right = self.lshr(a, n);
+        self.or(left, right)
+    }
+
+    /// `b mod w` for a constant modulus `w`; uses masking when `w` is a
+    /// power of two (the common case for rotates).
+    fn urem_const_width(&mut self, b: TermId, w: u32) -> TermId {
+        if w.is_power_of_two() {
+            let mask = self.const_u64(self.width(b), u64::from(w - 1));
+            self.and(b, mask)
+        } else {
+            // General case: b - (b / w) * w is unavailable without
+            // division; build a comparison chain instead. Rotate counts in
+            // practice are small constants, so fold if constant.
+            if let Some(c) = self.as_const(b) {
+                let r = c.to_u64().map_or(0, |v| v % u64::from(w));
+                return self.const_u64(self.width(b), r);
+            }
+            panic!("symbolic rotate count requires a power-of-two width, got {w}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural operators
+    // ------------------------------------------------------------------
+
+    /// If-then-else over a 1-bit condition. Wider conditions are
+    /// OR-reduced first (Oyster's "nonzero is true").
+    pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
+        let cond = self.red_or(cond);
+        assert_eq!(
+            self.width(then),
+            self.width(els),
+            "ite branch width mismatch: {} vs {}",
+            self.width(then),
+            self.width(els)
+        );
+        if let Some(c) = self.as_const(cond) {
+            return if c.is_true() { then } else { els };
+        }
+        if then == els {
+            return then;
+        }
+        let w = self.width(then);
+        if w == 1 {
+            let (ct, ce) = (self.as_const(then).cloned(), self.as_const(els).cloned());
+            match (ct, ce) {
+                // ite(c, 1, 0) = c ; ite(c, 0, 1) = !c
+                (Some(t), Some(e)) if t.is_one() && e.is_zero() => return cond,
+                (Some(t), Some(e)) if t.is_zero() && e.is_one() => return self.not(cond),
+                _ => {}
+            }
+        }
+        self.intern(TermKind::Ite(cond, then, els), w)
+    }
+
+    /// Extracts bits `high..=low`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid for the operand's width.
+    pub fn extract(&mut self, a: TermId, high: u32, low: u32) -> TermId {
+        let w = self.width(a);
+        assert!(high >= low && high < w, "bad extract [{high}:{low}] on width {w}");
+        if low == 0 && high == w - 1 {
+            return a;
+        }
+        if let Some(c) = self.as_const(a) {
+            let v = c.extract(high, low);
+            return self.bv_const(v);
+        }
+        match *self.kind(a) {
+            // extract of extract composes.
+            TermKind::Extract(inner, _, ilow) => {
+                return self.extract(inner, ilow + high, ilow + low);
+            }
+            // extract of concat routes to the relevant side when possible.
+            TermKind::Concat(hi, lo) => {
+                let lw = self.width(lo);
+                if high < lw {
+                    return self.extract(lo, high, low);
+                }
+                if low >= lw {
+                    return self.extract(hi, high - lw, low - lw);
+                }
+            }
+            // extract of zext reads zeros or the inner term.
+            TermKind::ZExt(inner, _) => {
+                let iw = self.width(inner);
+                if high < iw {
+                    return self.extract(inner, high, low);
+                }
+                if low >= iw {
+                    return self.bv_const(BitVec::zero(high - low + 1));
+                }
+            }
+            // extract distributes over ite (cheap: shares subterms).
+            TermKind::Ite(c, t, e) => {
+                let te = self.extract(t, high, low);
+                let ee = self.extract(e, high, low);
+                return self.ite(c, te, ee);
+            }
+            _ => {}
+        }
+        self.intern(TermKind::Extract(a, high, low), high - low + 1)
+    }
+
+    /// Concatenation: `high` becomes the upper bits.
+    pub fn concat(&mut self, high: TermId, low: TermId) -> TermId {
+        if let (Some(h), Some(l)) = (self.as_const(high), self.as_const(low)) {
+            let v = h.concat(l);
+            return self.bv_const(v);
+        }
+        let w = self.width(high) + self.width(low);
+        self.intern(TermKind::Concat(high, low), w)
+    }
+
+    /// Concatenates many parts, first element highest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn concat_many(&mut self, parts: &[TermId]) -> TermId {
+        assert!(!parts.is_empty(), "concat_many of no parts");
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = self.concat(acc, p);
+        }
+        acc
+    }
+
+    /// Zero extension to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is below the operand's width.
+    pub fn zext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "zext to {width} below operand width {w}");
+        if width == w {
+            return a;
+        }
+        if let Some(c) = self.as_const(a) {
+            let v = c.zext(width);
+            return self.bv_const(v);
+        }
+        self.intern(TermKind::ZExt(a, width), width)
+    }
+
+    /// Sign extension to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is below the operand's width.
+    pub fn sext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "sext to {width} below operand width {w}");
+        if width == w {
+            return a;
+        }
+        if let Some(c) = self.as_const(a) {
+            let v = c.sext(width);
+            return self.bv_const(v);
+        }
+        self.intern(TermKind::SExt(a, width), width)
+    }
+
+    /// Read from an uninterpreted base array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address width does not match the array.
+    pub fn array_select(&mut self, array: ArrayId, addr: TermId) -> TermId {
+        let (aw, dw) = self.array_widths(array);
+        assert_eq!(self.width(addr), aw, "array address width mismatch");
+        self.intern(TermKind::ArraySelect(array, addr), dw)
+    }
+
+    /// Read from a ROM; folds to a constant when the address is concrete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address width does not match the ROM.
+    pub fn rom_select(&mut self, rom: RomId, addr: TermId) -> TermId {
+        let (aw, dw) = self.rom_widths(rom);
+        assert_eq!(self.width(addr), aw, "ROM address width mismatch");
+        if let Some(c) = self.as_const(addr) {
+            let idx = c.to_u64().expect("ROM address fits in u64") as usize;
+            let v = self
+                .roms[rom.index()]
+                .data
+                .get(idx)
+                .cloned()
+                .unwrap_or_else(|| BitVec::zero(dw));
+            return self.bv_const(v);
+        }
+        self.intern(TermKind::RomSelect(rom, addr), dw)
+    }
+
+    // ------------------------------------------------------------------
+    // Boolean convenience (all over 1-bit terms)
+    // ------------------------------------------------------------------
+
+    /// N-ary AND over conditions; empty input gives true.
+    pub fn and_many(&mut self, conds: &[TermId]) -> TermId {
+        let mut acc = self.tru();
+        for &c in conds {
+            acc = self.and(acc, c);
+        }
+        acc
+    }
+
+    /// N-ary OR over conditions; empty input gives false.
+    pub fn or_many(&mut self, conds: &[TermId]) -> TermId {
+        let mut acc = self.fls();
+        for &c in conds {
+            acc = self.or(acc, c);
+        }
+        acc
+    }
+
+    /// Logical implication `a -> b` over 1-bit terms.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.bool_not(a);
+        self.or(na, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> TermManager {
+        TermManager::new()
+    }
+
+    #[test]
+    fn hash_consing_shares_terms() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let a = m.add(x, y);
+        let b = m.add(y, x); // commutative normalization
+        assert_eq!(a, b);
+        let c1 = m.const_u64(8, 42);
+        let c2 = m.const_u64(8, 42);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut m = mgr();
+        let a = m.fresh_var("x", 8);
+        let b = m.fresh_var("x", 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut m = mgr();
+        let a = m.const_u64(8, 200);
+        let b = m.const_u64(8, 100);
+        assert_eq!({ let __t = m.add(a, b); m.as_const(__t) }.unwrap().to_u64(), Some(44));
+        assert_eq!({ let __t = m.ult(b, a); m.as_const(__t) }.unwrap().to_u64(), Some(1));
+        assert_eq!({ let __t = m.slt(a, b); m.as_const(__t) }.unwrap().to_u64(), Some(1)); // 200 is negative
+    }
+
+    #[test]
+    fn identity_rewrites() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 8);
+        let zero = m.const_u64(8, 0);
+        let ones = m.const_u64(8, 0xFF);
+        assert_eq!(m.add(x, zero), x);
+        assert_eq!(m.and(x, ones), x);
+        assert_eq!(m.and(x, zero), zero);
+        assert_eq!(m.or(x, zero), x);
+        assert_eq!(m.xor(x, zero), x);
+        assert_eq!(m.xor(x, x), zero);
+        assert_eq!(m.sub(x, x), zero);
+        let t = m.eq(x, x);
+        assert_eq!(m.as_const(t).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn not_not_cancels() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 8);
+        let n = m.not(x);
+        assert_eq!(m.not(n), x);
+    }
+
+    #[test]
+    fn ite_rewrites() {
+        let mut m = mgr();
+        let c = m.fresh_var("c", 1);
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let t = m.tru();
+        let f = m.fls();
+        assert_eq!(m.ite(t, x, y), x);
+        assert_eq!(m.ite(f, x, y), y);
+        assert_eq!(m.ite(c, x, x), x);
+        assert_eq!(m.ite(c, t, f), c);
+        let one1 = m.tru();
+        let nc = m.ite(c, f, one1);
+        assert_eq!(nc, m.not(c));
+    }
+
+    #[test]
+    fn extract_rewrites() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        // Full-range extract is identity.
+        assert_eq!(m.extract(x, 7, 0), x);
+        // Extract of concat routes.
+        let c = m.concat(x, y);
+        assert_eq!(m.extract(c, 15, 8), x);
+        assert_eq!(m.extract(c, 7, 0), y);
+        // Extract of extract composes.
+        let e = m.extract(x, 6, 1);
+        let ee = m.extract(e, 3, 2);
+        assert_eq!(ee, m.extract(x, 4, 3));
+        // Extract of zext high part is zero.
+        let z = m.zext(x, 16);
+        let hi = m.extract(z, 15, 8);
+        assert_eq!(m.as_const(hi).unwrap().to_u64(), Some(0));
+        assert_eq!(m.extract(z, 7, 0), x);
+    }
+
+    #[test]
+    fn predicate_widths() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        assert_eq!({ let __t = m.eq(x, y); m.width(__t) }, 1);
+        assert_eq!({ let __t = m.ult(x, y); m.width(__t) }, 1);
+        assert_eq!({ let __t = m.add(x, y); m.width(__t) }, 8);
+    }
+
+    #[test]
+    fn eq_on_one_bit_simplifies() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 1);
+        let t = m.tru();
+        let f = m.fls();
+        assert_eq!(m.eq(x, t), x);
+        assert_eq!(m.eq(x, f), m.not(x));
+    }
+
+    #[test]
+    fn rom_concrete_fold() {
+        let mut m = mgr();
+        let table = vec![
+            BitVec::from_u64(8, 10),
+            BitVec::from_u64(8, 20),
+            BitVec::from_u64(8, 30),
+        ];
+        let r = m.rom("sbox", 2, 8, table);
+        let a1 = m.const_u64(2, 1);
+        assert_eq!({ let __t = m.rom_select(r, a1); m.as_const(__t) }.unwrap().to_u64(), Some(20));
+        // Out-of-range entries read as zero.
+        let a3 = m.const_u64(2, 3);
+        assert_eq!({ let __t = m.rom_select(r, a3); m.as_const(__t) }.unwrap().to_u64(), Some(0));
+        // Symbolic select stays symbolic.
+        let s = m.fresh_var("a", 2);
+        assert!({ let __t = m.rom_select(r, s); m.as_const(__t) }.is_none());
+    }
+
+    #[test]
+    fn rol_ror_constant_folds() {
+        let mut m = mgr();
+        let x = m.const_u64(8, 0b1000_0001);
+        let one = m.const_u64(8, 1);
+        assert_eq!({ let __t = m.rol(x, one); m.as_const(__t) }.unwrap().to_u64(), Some(0b0000_0011));
+        assert_eq!({ let __t = m.ror(x, one); m.as_const(__t) }.unwrap().to_u64(), Some(0b1100_0000));
+        // Rotate by zero is identity even symbolically.
+        let y = m.fresh_var("y", 8);
+        let z = m.const_u64(8, 0);
+        assert_eq!(m.rol(y, z), y);
+    }
+
+    #[test]
+    fn bool_helpers() {
+        let mut m = mgr();
+        let a = m.fresh_var("a", 1);
+        let t = m.tru();
+        let f = m.fls();
+        assert_eq!(m.and_many(&[]), t);
+        assert_eq!(m.or_many(&[]), f);
+        assert_eq!(m.and_many(&[a, t]), a);
+        assert_eq!(m.implies(f, a), t);
+        assert_eq!(m.implies(t, a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn binary_width_mismatch_panics() {
+        let mut m = mgr();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 9);
+        let _ = m.add(x, y);
+    }
+
+    #[test]
+    fn array_select_widths() {
+        let mut m = mgr();
+        let arr = m.fresh_array("mem", 5, 32);
+        let addr = m.fresh_var("a", 5);
+        let r = m.array_select(arr, addr);
+        assert_eq!(m.width(r), 32);
+        // Same address gives the same term (functional consistency for free).
+        assert_eq!(m.array_select(arr, addr), r);
+    }
+}

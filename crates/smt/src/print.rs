@@ -1,0 +1,124 @@
+//! S-expression pretty-printing of terms, for diagnostics and tests.
+
+use crate::manager::{BinOp, TermId, TermKind, TermManager, UnOp};
+use std::fmt::Write as _;
+
+impl TermManager {
+    /// Renders a term as an s-expression (shared subterms are repeated).
+    ///
+    /// Intended for diagnostics; deep terms are printed with a recursion
+    /// cap and elided with `...` beyond it.
+    #[must_use]
+    pub fn display_term(&self, term: TermId) -> String {
+        let mut out = String::new();
+        self.write_term(&mut out, term, 0);
+        out
+    }
+
+    fn write_term(&self, out: &mut String, term: TermId, depth: u32) {
+        if depth > 64 {
+            out.push_str("...");
+            return;
+        }
+        match self.kind(term) {
+            TermKind::Const(c) => {
+                let _ = write!(out, "{c}");
+            }
+            TermKind::Var(s) => {
+                let _ = write!(out, "{}#{}", self.symbol_name(*s), s.index());
+            }
+            TermKind::Unary(op, a) => {
+                let name = match op {
+                    UnOp::Not => "bvnot",
+                    UnOp::Neg => "bvneg",
+                    UnOp::RedOr => "redor",
+                };
+                let _ = write!(out, "({name} ");
+                self.write_term(out, *a, depth + 1);
+                out.push(')');
+            }
+            TermKind::Binary(op, a, b) => {
+                let name = match op {
+                    BinOp::And => "bvand",
+                    BinOp::Or => "bvor",
+                    BinOp::Xor => "bvxor",
+                    BinOp::Add => "bvadd",
+                    BinOp::Sub => "bvsub",
+                    BinOp::Mul => "bvmul",
+                    BinOp::Shl => "bvshl",
+                    BinOp::Lshr => "bvlshr",
+                    BinOp::Ashr => "bvashr",
+                    BinOp::Eq => "=",
+                    BinOp::Ult => "bvult",
+                    BinOp::Ule => "bvule",
+                    BinOp::Slt => "bvslt",
+                    BinOp::Sle => "bvsle",
+                };
+                let _ = write!(out, "({name} ");
+                self.write_term(out, *a, depth + 1);
+                out.push(' ');
+                self.write_term(out, *b, depth + 1);
+                out.push(')');
+            }
+            TermKind::Ite(c, t, e) => {
+                out.push_str("(ite ");
+                self.write_term(out, *c, depth + 1);
+                out.push(' ');
+                self.write_term(out, *t, depth + 1);
+                out.push(' ');
+                self.write_term(out, *e, depth + 1);
+                out.push(')');
+            }
+            TermKind::Extract(a, high, low) => {
+                let _ = write!(out, "((extract {high} {low}) ");
+                self.write_term(out, *a, depth + 1);
+                out.push(')');
+            }
+            TermKind::Concat(hi, lo) => {
+                out.push_str("(concat ");
+                self.write_term(out, *hi, depth + 1);
+                out.push(' ');
+                self.write_term(out, *lo, depth + 1);
+                out.push(')');
+            }
+            TermKind::ZExt(a, w) => {
+                let _ = write!(out, "((zero_extend {w}) ");
+                self.write_term(out, *a, depth + 1);
+                out.push(')');
+            }
+            TermKind::SExt(a, w) => {
+                let _ = write!(out, "((sign_extend {w}) ");
+                self.write_term(out, *a, depth + 1);
+                out.push(')');
+            }
+            TermKind::ArraySelect(arr, addr) => {
+                let _ = write!(out, "(select {} ", self.array_name(*arr));
+                self.write_term(out, *addr, depth + 1);
+                out.push(')');
+            }
+            TermKind::RomSelect(rom, addr) => {
+                let _ = write!(out, "(rom-select rom{} ", rom.index());
+                self.write_term(out, *addr, depth + 1);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_sexprs() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let t = m.add(x, y);
+        assert_eq!(m.display_term(t), "(bvadd x#0 y#1)");
+        let c = m.const_u64(8, 255);
+        assert_eq!(m.display_term(c), "8'xff");
+        let e = m.extract(x, 3, 1);
+        assert_eq!(m.display_term(e), "((extract 3 1) x#0)");
+    }
+}

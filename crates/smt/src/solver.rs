@@ -1,0 +1,332 @@
+//! The solver facade: blast assertions, add Ackermann constraints, solve,
+//! and package the model.
+
+use crate::blast::Blaster;
+use crate::eval::{ArrayValue, Env};
+use crate::manager::{TermId, TermManager};
+use owl_bitvec::BitVec;
+use owl_sat::SolveResult;
+
+/// Result of an SMT [`check`] call.
+#[derive(Debug)]
+pub enum SmtResult {
+    /// The conjunction of assertions is satisfiable.
+    Sat(Model),
+    /// The conjunction of assertions is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+impl SmtResult {
+    /// True for [`SmtResult::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// True for [`SmtResult::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+}
+
+/// A satisfying assignment: concrete values for the variables and base
+/// arrays that appeared in the checked assertions.
+///
+/// A model is also an evaluation [`Env`]; variables that never appeared
+/// in the query read as zero, and array addresses that were never
+/// accessed read as the array default (zero).
+#[derive(Debug, Clone)]
+pub struct Model {
+    env: Env,
+}
+
+impl Model {
+    /// The model as an evaluation environment.
+    #[must_use]
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Consumes the model, returning its environment.
+    #[must_use]
+    pub fn into_env(self) -> Env {
+        self.env
+    }
+
+    /// Evaluates a term under the model.
+    #[must_use]
+    pub fn eval(&self, mgr: &TermManager, term: TermId) -> BitVec {
+        self.env.eval(mgr, term)
+    }
+}
+
+/// Checks the conjunction of 1-bit `assertions` for satisfiability.
+///
+/// `conflict_budget` bounds the SAT search; `None` means unlimited.
+/// Constant-true assertions are skipped and a constant-false assertion
+/// short-circuits to `Unsat` without invoking the SAT solver — the hot
+/// path when the CEGIS verifier's query folds away structurally.
+///
+/// # Panics
+///
+/// Panics if any assertion is wider than one bit.
+#[must_use]
+pub fn check(mgr: &TermManager, assertions: &[TermId], conflict_budget: Option<u64>) -> SmtResult {
+    // Constant short-circuits first.
+    let mut pending = Vec::with_capacity(assertions.len());
+    for &a in assertions {
+        assert_eq!(mgr.width(a), 1, "assertions must be 1-bit terms");
+        match mgr.as_const(a) {
+            Some(c) if c.is_true() => {}
+            Some(_) => return SmtResult::Unsat,
+            None => pending.push(a),
+        }
+    }
+    if pending.is_empty() {
+        return SmtResult::Sat(Model { env: Env::new() });
+    }
+
+    let mut blaster = Blaster::new(mgr);
+    for a in pending {
+        blaster.assert_true(a);
+    }
+    blaster.finalize_arrays();
+    if let Some(budget) = conflict_budget {
+        blaster.solver.set_conflict_budget(budget);
+    }
+    match blaster.solver.solve() {
+        SolveResult::Unsat => SmtResult::Unsat,
+        SolveResult::Unknown => SmtResult::Unknown,
+        SolveResult::Sat => {
+            let mut env = Env::new();
+            for (&sym, bits) in &blaster.var_bits {
+                env.set_var(sym, blaster.read_bits(bits));
+            }
+            for (&arr, reads) in &blaster.selects {
+                let (_, dw) = mgr.array_widths(arr);
+                let mut value = ArrayValue::filled(BitVec::zero(dw));
+                for (addr_bits, data_bits) in reads {
+                    value.write(blaster.read_bits(addr_bits), blaster.read_bits(data_bits));
+                }
+                env.set_array(arr, value);
+            }
+            SmtResult::Sat(Model { env })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::TermKind;
+
+    fn sat_model(mgr: &TermManager, assertions: &[TermId]) -> Model {
+        match check(mgr, assertions, None) {
+            SmtResult::Sat(m) => m,
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let c42 = m.const_u64(8, 42);
+        let a = m.eq(x, c42);
+        let model = sat_model(&m, &[a]);
+        assert_eq!(model.eval(&m, x).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn addition_constraint() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let sum = m.add(x, y);
+        let c100 = m.const_u64(8, 100);
+        let c7 = m.const_u64(8, 7);
+        let a1 = m.eq(sum, c100);
+        let a2 = m.eq(x, c7);
+        let model = sat_model(&m, &[a1, a2]);
+        assert_eq!(model.eval(&m, y).to_u64(), Some(93));
+    }
+
+    #[test]
+    fn unsat_arithmetic_identity() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 6);
+        let y = m.fresh_var("y", 6);
+        // (x + y) - y != x is unsatisfiable.
+        let sum = m.add(x, y);
+        let back = m.sub(sum, y);
+        let neq = m.neq(back, x);
+        assert!(check(&m, &[neq], None).is_unsat());
+    }
+
+    #[test]
+    fn mul_matches_shift_for_powers_of_two() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let four = m.const_u64(8, 4);
+        let two = m.const_u64(8, 2);
+        let prod = m.mul(x, four);
+        let shifted = m.shl(x, two);
+        let neq = m.neq(prod, shifted);
+        assert!(check(&m, &[neq], None).is_unsat());
+    }
+
+    #[test]
+    fn shift_semantics_match_bitvec() {
+        // For every op, check agreement with BitVec on a symbolic query:
+        // find x, n with x >> n != lshr reference is UNSAT by construction;
+        // instead check a SAT instance and compare to the BitVec result.
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let n = m.fresh_var("n", 8);
+        let c_x = m.const_u64(8, 0x96);
+        let c_n = m.const_u64(8, 3);
+        let e1 = m.eq(x, c_x);
+        let e2 = m.eq(n, c_n);
+        let shr = m.ashr(x, n);
+        let model = sat_model(&m, &[e1, e2]);
+        let got = model.eval(&m, shr);
+        assert_eq!(got, BitVec::from_u64(8, 0x96).ashr_amount(3));
+    }
+
+    #[test]
+    fn signed_comparison_blasting() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 4);
+        let zero = m.const_u64(4, 0);
+        let lt = m.slt(x, zero); // x < 0 signed means MSB set
+        let seven = m.const_u64(4, 7);
+        let gt = m.ugt(x, seven); // unsigned > 7 also means MSB set
+        let differ = m.neq(lt, gt);
+        assert!(check(&m, &[differ], None).is_unsat());
+    }
+
+    #[test]
+    fn array_ackermann_consistency() {
+        let mut m = TermManager::new();
+        let arr = m.fresh_array("mem", 4, 8);
+        let a1 = m.fresh_var("a1", 4);
+        let a2 = m.fresh_var("a2", 4);
+        let r1 = m.array_select(arr, a1);
+        let r2 = m.array_select(arr, a2);
+        // a1 == a2 but reads differ: must be UNSAT.
+        let same = m.eq(a1, a2);
+        let diff = m.neq(r1, r2);
+        assert!(check(&m, &[same, diff], None).is_unsat());
+        // Different addresses: reads may differ.
+        let distinct = m.neq(a1, a2);
+        let res = check(&m, &[distinct, diff], None);
+        assert!(res.is_sat());
+        if let SmtResult::Sat(model) = res {
+            // The model's array env reproduces the read values.
+            let va1 = model.eval(&m, a1);
+            let va2 = model.eval(&m, a2);
+            assert_ne!(va1, va2);
+            let arr_val = model.env().array(arr).expect("array in model");
+            assert_eq!(arr_val.read(&va1), model.eval(&m, r1));
+            assert_eq!(arr_val.read(&va2), model.eval(&m, r2));
+        }
+    }
+
+    #[test]
+    fn rom_select_symbolic() {
+        let mut m = TermManager::new();
+        let table: Vec<BitVec> = (0..8).map(|i| BitVec::from_u64(8, i * 11)).collect();
+        let r = m.rom("t", 3, 8, table);
+        let a = m.fresh_var("a", 3);
+        let rd = m.rom_select(r, a);
+        let c44 = m.const_u64(8, 44);
+        let hit = m.eq(rd, c44);
+        let model = sat_model(&m, &[hit]);
+        assert_eq!(model.eval(&m, a).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn const_short_circuits() {
+        let mut m = TermManager::new();
+        let t = m.tru();
+        let f = m.fls();
+        assert!(check(&m, &[t], None).is_sat());
+        assert!(check(&m, &[t, f], None).is_unsat());
+        assert!(check(&m, &[], None).is_sat());
+    }
+
+    #[test]
+    fn concat_extract_round_trip_symbolic() {
+        let mut m = TermManager::new();
+        let hi = m.fresh_var("hi", 8);
+        let lo = m.fresh_var("lo", 8);
+        let c = m.concat(hi, lo);
+        let hi2 = m.extract(c, 15, 8);
+        let lo2 = m.extract(c, 7, 0);
+        let bad1 = m.neq(hi, hi2);
+        let bad2 = m.neq(lo, lo2);
+        let bad = m.or(bad1, bad2);
+        assert!(check(&m, &[bad], None).is_unsat());
+    }
+
+    #[test]
+    fn sext_blasting_consistent() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 4);
+        let se = m.sext(x, 8);
+        // Reference construction: concat(replicate(msb), x).
+        let msb = m.extract(x, 3, 3);
+        let mm = m.concat(msb, msb);
+        let mmmm = m.concat(mm, mm);
+        let ref_se = m.concat(mmmm, x);
+        let bad = m.neq(se, ref_se);
+        assert!(check(&m, &[bad], None).is_unsat());
+    }
+
+    #[test]
+    fn model_defaults_unqueried_vars_to_zero() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let c1 = m.const_u64(8, 1);
+        let a = m.eq(x, c1);
+        let model = sat_model(&m, &[a]);
+        // y never appeared in the query.
+        assert_eq!(model.eval(&m, y), BitVec::zero(8));
+        let TermKind::Var(_) = *m.kind(y) else { panic!() };
+    }
+
+    #[test]
+    fn rol_symbolic_matches_concrete() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let n = m.fresh_var("n", 8);
+        let r = m.rol(x, n);
+        let cx = m.const_u64(8, 0b1001_0110);
+        let cn = m.const_u64(8, 5);
+        let e1 = m.eq(x, cx);
+        let e2 = m.eq(n, cn);
+        let model = sat_model(&m, &[e1, e2]);
+        assert_eq!(model.eval(&m, r), BitVec::from_u64(8, 0b1001_0110).rol_amount(5));
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_unknown() {
+        let mut m = TermManager::new();
+        // A hard instance: multiplication inversion.
+        let x = m.fresh_var("x", 16);
+        let y = m.fresh_var("y", 16);
+        let prod = m.mul(x, y);
+        let c = m.const_u64(16, 0x7FFF);
+        let two = m.const_u64(16, 2);
+        let a1 = m.eq(prod, c);
+        let a2 = m.uge(x, two);
+        let a3 = m.uge(y, two);
+        match check(&m, &[a1, a2, a3], Some(1)) {
+            SmtResult::Unknown | SmtResult::Sat(_) | SmtResult::Unsat => {}
+        }
+    }
+}

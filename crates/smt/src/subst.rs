@@ -1,0 +1,316 @@
+//! Partial evaluation: specializing a term under a concrete environment
+//! while leaving unbound variables (synthesis holes) symbolic.
+//!
+//! This is the workhorse of the CEGIS synthesis step: a counterexample
+//! from the verifier becomes an [`Env`], and substituting it into the
+//! correctness formula yields a (much smaller) formula over the hole
+//! variables alone. Base-array reads are replaced by lookup chains over
+//! the environment's association list so the specialized formula contains
+//! no uninterpreted arrays.
+
+use crate::eval::Env;
+use crate::manager::{BinOp, TermId, TermKind, TermManager, UnOp};
+use std::collections::HashMap;
+
+/// Rewrites `term`, replacing every variable bound in `env` with its
+/// constant and every base-array read with a lookup over `env`'s contents
+/// (defaulting per the array's [`crate::ArrayValue`], or zero if the array
+/// is unbound). Unbound variables remain symbolic; all the manager's
+/// rewrite rules apply, so fully-concrete subterms fold to constants.
+#[must_use]
+pub fn substitute(mgr: &mut TermManager, term: TermId, env: &Env) -> TermId {
+    let mut memo: HashMap<TermId, TermId> = HashMap::new();
+    subst_memo(mgr, term, env, &mut memo)
+}
+
+fn subst_memo(
+    mgr: &mut TermManager,
+    term: TermId,
+    env: &Env,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(&t) = memo.get(&term) {
+        return t;
+    }
+    let kind = mgr.kind(term).clone();
+    let out = match kind {
+        TermKind::Const(_) => term,
+        TermKind::Var(sym) => match env.var(sym) {
+            Some(v) => mgr.bv_const(v.clone()),
+            None => term,
+        },
+        TermKind::Unary(op, a) => {
+            let a2 = subst_memo(mgr, a, env, memo);
+            match op {
+                UnOp::Not => mgr.not(a2),
+                UnOp::Neg => mgr.neg(a2),
+                UnOp::RedOr => mgr.red_or(a2),
+            }
+        }
+        TermKind::Binary(op, a, b) => {
+            let a2 = subst_memo(mgr, a, env, memo);
+            let b2 = subst_memo(mgr, b, env, memo);
+            apply_binary(mgr, op, a2, b2)
+        }
+        TermKind::Ite(c, t, e) => {
+            let c2 = subst_memo(mgr, c, env, memo);
+            let t2 = subst_memo(mgr, t, env, memo);
+            let e2 = subst_memo(mgr, e, env, memo);
+            mgr.ite(c2, t2, e2)
+        }
+        TermKind::Extract(a, high, low) => {
+            let a2 = subst_memo(mgr, a, env, memo);
+            mgr.extract(a2, high, low)
+        }
+        TermKind::Concat(hi, lo) => {
+            let h2 = subst_memo(mgr, hi, env, memo);
+            let l2 = subst_memo(mgr, lo, env, memo);
+            mgr.concat(h2, l2)
+        }
+        TermKind::ZExt(a, w) => {
+            let a2 = subst_memo(mgr, a, env, memo);
+            mgr.zext(a2, w)
+        }
+        TermKind::SExt(a, w) => {
+            let a2 = subst_memo(mgr, a, env, memo);
+            mgr.sext(a2, w)
+        }
+        TermKind::ArraySelect(arr, addr) => {
+            let addr2 = subst_memo(mgr, addr, env, memo);
+            match env.array(arr) {
+                // Encode the environment's association list as an ITE
+                // chain: read(a) = ite(a == k_n, v_n, ... default).
+                // Later entries shadow earlier ones, so fold oldest-first.
+                Some(v) => {
+                    let entries = v.entries().to_vec();
+                    let mut acc = mgr.bv_const(v.default_value().clone());
+                    for (k, d) in entries {
+                        let kt = mgr.bv_const(k);
+                        let dt = mgr.bv_const(d);
+                        let hit = mgr.eq(addr2, kt);
+                        acc = mgr.ite(hit, dt, acc);
+                    }
+                    acc
+                }
+                // Arrays the environment says nothing about stay symbolic.
+                None => mgr.array_select(arr, addr2),
+            }
+        }
+        TermKind::RomSelect(rom, addr) => {
+            let addr2 = subst_memo(mgr, addr, env, memo);
+            mgr.rom_select(rom, addr2)
+        }
+    };
+    memo.insert(term, out);
+    out
+}
+
+/// Rewrites `term`, replacing each variable whose [`crate::SymbolId`] is a
+/// key of `map` with the mapped term (widths must match). Used by the
+/// monolithic synthesis baseline to splice hole expressions into a
+/// formula.
+///
+/// # Panics
+///
+/// Panics if a replacement term's width differs from the variable's.
+#[must_use]
+pub fn substitute_terms(
+    mgr: &mut TermManager,
+    term: TermId,
+    map: &HashMap<crate::SymbolId, TermId>,
+) -> TermId {
+    let mut memo: HashMap<TermId, TermId> = HashMap::new();
+    subst_terms_memo(mgr, term, map, &mut memo)
+}
+
+fn subst_terms_memo(
+    mgr: &mut TermManager,
+    term: TermId,
+    map: &HashMap<crate::SymbolId, TermId>,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(&t) = memo.get(&term) {
+        return t;
+    }
+    let kind = mgr.kind(term).clone();
+    let out = match kind {
+        TermKind::Const(_) => term,
+        TermKind::Var(sym) => match map.get(&sym) {
+            Some(&t) => {
+                assert_eq!(
+                    mgr.width(t),
+                    mgr.symbol_width(sym),
+                    "substitution width mismatch for {}",
+                    mgr.symbol_name(sym)
+                );
+                t
+            }
+            None => term,
+        },
+        TermKind::Unary(op, a) => {
+            let a2 = subst_terms_memo(mgr, a, map, memo);
+            match op {
+                UnOp::Not => mgr.not(a2),
+                UnOp::Neg => mgr.neg(a2),
+                UnOp::RedOr => mgr.red_or(a2),
+            }
+        }
+        TermKind::Binary(op, a, b) => {
+            let a2 = subst_terms_memo(mgr, a, map, memo);
+            let b2 = subst_terms_memo(mgr, b, map, memo);
+            apply_binary(mgr, op, a2, b2)
+        }
+        TermKind::Ite(c, t, e) => {
+            let c2 = subst_terms_memo(mgr, c, map, memo);
+            let t2 = subst_terms_memo(mgr, t, map, memo);
+            let e2 = subst_terms_memo(mgr, e, map, memo);
+            mgr.ite(c2, t2, e2)
+        }
+        TermKind::Extract(a, high, low) => {
+            let a2 = subst_terms_memo(mgr, a, map, memo);
+            mgr.extract(a2, high, low)
+        }
+        TermKind::Concat(hi, lo) => {
+            let h2 = subst_terms_memo(mgr, hi, map, memo);
+            let l2 = subst_terms_memo(mgr, lo, map, memo);
+            mgr.concat(h2, l2)
+        }
+        TermKind::ZExt(a, w) => {
+            let a2 = subst_terms_memo(mgr, a, map, memo);
+            mgr.zext(a2, w)
+        }
+        TermKind::SExt(a, w) => {
+            let a2 = subst_terms_memo(mgr, a, map, memo);
+            mgr.sext(a2, w)
+        }
+        TermKind::ArraySelect(arr, addr) => {
+            let addr2 = subst_terms_memo(mgr, addr, map, memo);
+            mgr.array_select(arr, addr2)
+        }
+        TermKind::RomSelect(rom, addr) => {
+            let addr2 = subst_terms_memo(mgr, addr, map, memo);
+            mgr.rom_select(rom, addr2)
+        }
+    };
+    memo.insert(term, out);
+    out
+}
+
+pub(crate) fn apply_binary(mgr: &mut TermManager, op: BinOp, a: TermId, b: TermId) -> TermId {
+    match op {
+        BinOp::And => mgr.and(a, b),
+        BinOp::Or => mgr.or(a, b),
+        BinOp::Xor => mgr.xor(a, b),
+        BinOp::Add => mgr.add(a, b),
+        BinOp::Sub => mgr.sub(a, b),
+        BinOp::Mul => mgr.mul(a, b),
+        BinOp::Shl => mgr.shl(a, b),
+        BinOp::Lshr => mgr.lshr(a, b),
+        BinOp::Ashr => mgr.ashr(a, b),
+        BinOp::Eq => mgr.eq(a, b),
+        BinOp::Ult => mgr.ult(a, b),
+        BinOp::Ule => mgr.ule(a, b),
+        BinOp::Slt => mgr.slt(a, b),
+        BinOp::Sle => mgr.sle(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ArrayValue;
+    use owl_bitvec::BitVec;
+
+    #[test]
+    fn substitution_folds_bound_parts() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let hole = m.fresh_var("hole", 8);
+        let TermKind::Var(sx) = *m.kind(x) else { panic!() };
+        let sum = m.add(x, hole);
+        let mut env = Env::new();
+        env.set_var(sx, BitVec::from_u64(8, 5));
+        let out = substitute(&mut m, sum, &env);
+        // Result is 5 + hole: still symbolic, but x is gone.
+        assert!(m.as_const(out).is_none());
+        let five = m.const_u64(8, 5);
+        assert_eq!(out, m.add(five, hole));
+    }
+
+    #[test]
+    fn substitution_fully_concrete() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let TermKind::Var(sx) = *m.kind(x) else { panic!() };
+        let two = m.const_u64(8, 2);
+        let prod = m.mul(x, two);
+        let mut env = Env::new();
+        env.set_var(sx, BitVec::from_u64(8, 21));
+        let out = substitute(&mut m, prod, &env);
+        assert_eq!(m.as_const(out).unwrap().to_u64(), Some(42));
+    }
+
+    #[test]
+    fn array_select_becomes_lookup_chain() {
+        let mut m = TermManager::new();
+        let arr = m.fresh_array("mem", 4, 8);
+        let hole = m.fresh_var("hole", 4);
+        let rd = m.array_select(arr, hole);
+        let mut env = Env::new();
+        let mut mem = ArrayValue::filled(BitVec::from_u64(8, 0));
+        mem.write(BitVec::from_u64(4, 2), BitVec::from_u64(8, 0x11));
+        mem.write(BitVec::from_u64(4, 5), BitVec::from_u64(8, 0x22));
+        env.set_array(arr, mem);
+        let out = substitute(&mut m, rd, &env);
+        // No array selects remain.
+        assert!(!contains_array_select(&m, out));
+        // Check semantics by evaluating at specific hole values.
+        let TermKind::Var(sh) = *m.kind(hole) else { panic!() };
+        for (a, want) in [(2u64, 0x11u64), (5, 0x22), (9, 0)] {
+            let mut e2 = Env::new();
+            e2.set_var(sh, BitVec::from_u64(4, a));
+            assert_eq!(e2.eval(&m, out), BitVec::from_u64(8, want));
+        }
+    }
+
+    #[test]
+    fn concrete_array_select_folds_to_const() {
+        let mut m = TermManager::new();
+        let arr = m.fresh_array("mem", 4, 8);
+        let a2 = m.const_u64(4, 2);
+        let rd = m.array_select(arr, a2);
+        let mut env = Env::new();
+        let mut mem = ArrayValue::filled(BitVec::from_u64(8, 0xAA));
+        mem.write(BitVec::from_u64(4, 2), BitVec::from_u64(8, 0x33));
+        env.set_array(arr, mem);
+        let out = substitute(&mut m, rd, &env);
+        assert_eq!(m.as_const(out).unwrap().to_u64(), Some(0x33));
+    }
+
+    fn contains_array_select(m: &TermManager, t: TermId) -> bool {
+        let mut stack = vec![t];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(t) = stack.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            match *m.kind(t) {
+                TermKind::ArraySelect(..) => return true,
+                TermKind::Unary(_, a) | TermKind::Extract(a, _, _) => stack.push(a),
+                TermKind::ZExt(a, _) | TermKind::SExt(a, _) => stack.push(a),
+                TermKind::Binary(_, a, b) | TermKind::Concat(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                TermKind::Ite(c, x, y) => {
+                    stack.push(c);
+                    stack.push(x);
+                    stack.push(y);
+                }
+                TermKind::RomSelect(_, a) => stack.push(a),
+                TermKind::Const(_) | TermKind::Var(_) => {}
+            }
+        }
+        false
+    }
+}

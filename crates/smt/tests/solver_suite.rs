@@ -1,0 +1,202 @@
+//! Extended solver-facade tests: algebraic validities, term printing
+//! coverage, and adversarial bit-blasting cases.
+
+use owl_bitvec::BitVec;
+use owl_smt::{check, SmtResult, TermManager};
+
+fn valid(mgr: &TermManager, negated_claim: owl_smt::TermId) -> bool {
+    check(mgr, &[negated_claim], None).is_unsat()
+}
+
+#[test]
+fn de_morgan_laws_hold() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 16);
+    let y = m.fresh_var("y", 16);
+    let lhs = {
+        let c = m.and(x, y);
+        m.not(c)
+    };
+    let rhs = {
+        let nx = m.not(x);
+        let ny = m.not(y);
+        m.or(nx, ny)
+    };
+    let bad = m.neq(lhs, rhs);
+    assert!(valid(&m, bad));
+}
+
+#[test]
+fn distributivity_of_and_over_or() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 12);
+    let y = m.fresh_var("y", 12);
+    let z = m.fresh_var("z", 12);
+    let lhs = {
+        let o = m.or(y, z);
+        m.and(x, o)
+    };
+    let rhs = {
+        let a = m.and(x, y);
+        let b = m.and(x, z);
+        m.or(a, b)
+    };
+    let bad = m.neq(lhs, rhs);
+    assert!(valid(&m, bad));
+}
+
+#[test]
+fn two_complement_negation_identity() {
+    // -x == ~x + 1
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 24);
+    let neg = m.neg(x);
+    let via_not = {
+        let n = m.not(x);
+        let one = m.const_u64(24, 1);
+        m.add(n, one)
+    };
+    let bad = m.neq(neg, via_not);
+    assert!(valid(&m, bad));
+}
+
+#[test]
+fn shift_compositions() {
+    // (x << 3) >> 3 keeps the low bits: equals x & 0x1FFF... for w=16:
+    // (x << 3) >> 3 == x & 0x1FFF.
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 16);
+    let three = m.const_u64(16, 3);
+    let mask = m.const_u64(16, 0x1FFF);
+    let shl = m.shl(x, three);
+    let back = m.lshr(shl, three);
+    let masked = m.and(x, mask);
+    let bad = m.neq(back, masked);
+    assert!(valid(&m, bad));
+}
+
+#[test]
+fn signed_comparison_antisymmetry() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 10);
+    let y = m.fresh_var("y", 10);
+    // slt(x,y) && slt(y,x) is unsatisfiable.
+    let a = m.slt(x, y);
+    let b = m.slt(y, x);
+    let both = m.and(a, b);
+    assert!(check(&m, &[both], None).is_unsat());
+    // and !slt(x,y) && !slt(y,x) implies x == y.
+    let na = m.bool_not(a);
+    let nb = m.bool_not(b);
+    let ne = m.neq(x, y);
+    assert!(check(&m, &[na, nb, ne], None).is_unsat());
+}
+
+#[cfg_attr(debug_assertions, ignore = "heavy bit-blasting; run in release")]
+#[test]
+fn rotate_composition_identity() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 16);
+    let n = m.fresh_var("n", 16);
+    let r = m.rol(x, n);
+    let back = m.ror(r, n);
+    let bad = m.neq(back, x);
+    assert!(valid(&m, bad));
+}
+
+#[test]
+fn sub_is_add_of_negation() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 20);
+    let y = m.fresh_var("y", 20);
+    let sub = m.sub(x, y);
+    let ny = m.neg(y);
+    let addneg = m.add(x, ny);
+    let bad = m.neq(sub, addneg);
+    assert!(valid(&m, bad));
+}
+
+#[cfg_attr(debug_assertions, ignore = "heavy bit-blasting; run in release")]
+#[test]
+fn mul_commutes_and_distributes() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 5);
+    let y = m.fresh_var("y", 5);
+    let z = m.fresh_var("z", 5);
+    // x*(y+z) == x*y + x*z
+    let lhs = {
+        let s = m.add(y, z);
+        m.mul(x, s)
+    };
+    let rhs = {
+        let a = m.mul(x, y);
+        let b = m.mul(x, z);
+        m.add(a, b)
+    };
+    let bad = m.neq(lhs, rhs);
+    assert!(valid(&m, bad));
+}
+
+#[test]
+fn display_covers_all_node_kinds() {
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 8);
+    let y = m.fresh_var("y", 8);
+    let arr = m.fresh_array("mem", 8, 8);
+    let rom = m.rom("tbl", 2, 8, vec![BitVec::zero(8); 4]);
+
+    let nodes = vec![
+        m.const_u64(8, 0xAB),
+        m.not(x),
+        m.neg(x),
+        {
+            let wide = m.concat(x, y);
+            m.red_or(wide)
+        },
+        m.add(x, y),
+        m.slt(x, y),
+        {
+            let c = m.eq(x, y);
+            m.ite(c, x, y)
+        },
+        m.extract(x, 5, 1),
+        m.concat(x, y),
+        m.zext(x, 16),
+        m.sext(x, 16),
+        m.array_select(arr, x),
+        {
+            let a2 = m.extract(x, 1, 0);
+            m.rom_select(rom, a2)
+        },
+    ];
+    for n in nodes {
+        let s = m.display_term(n);
+        assert!(!s.is_empty());
+    }
+    // Specific spot checks.
+    let sel = m.array_select(arr, x);
+    assert_eq!(m.display_term(sel), "(select mem x#0)");
+    let neg = m.neg(x);
+    assert_eq!(m.display_term(neg), "(bvneg x#0)");
+}
+
+#[test]
+fn unsat_core_like_behaviour_under_budget() {
+    // With an absurdly small budget hard instances report Unknown, and
+    // re-running without a budget gives a definite answer.
+    let mut m = TermManager::new();
+    let x = m.fresh_var("x", 20);
+    let y = m.fresh_var("y", 20);
+    let prod = m.mul(x, y);
+    let c = m.const_u64(20, 0xBEEF1);
+    let hit = m.eq(prod, c);
+    let two = m.const_u64(20, 2);
+    let nx = m.uge(x, two);
+    let ny = m.uge(y, two);
+    match check(&m, &[hit, nx, ny], Some(2)) {
+        SmtResult::Unknown => {}
+        // Small instances may still solve within two conflicts.
+        SmtResult::Sat(_) | SmtResult::Unsat => {}
+    }
+    assert!(!matches!(check(&m, &[hit, nx, ny], None), SmtResult::Unknown));
+}

@@ -1,0 +1,46 @@
+//! The §5.2 experiment as a runnable example: synthesize the bespoke
+//! constant-time cryptography core (branch-free CMOV ISA), compile
+//! SHA-256 to it, and show that the cycle count is independent of the
+//! message length — on both the generated-control core and a handwritten
+//! reference.
+//!
+//! Run with: `cargo run --release --example constant_time_sha256`
+
+use owl::core::{complete_design, control_union_with, synthesize, SynthesisConfig};
+use owl::cores::{crypto_core, sha256};
+use owl::smt::TermManager;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cs = crypto_core::case_study();
+    println!("Synthesizing the constant-time core ({} instructions)...", cs.spec.instrs().len());
+    let mut mgr = TermManager::new();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?;
+    let union = control_union_with(
+        &cs.sketch,
+        &cs.spec,
+        &cs.alpha,
+        &out.solutions,
+        &crypto_core::decode_bindings(),
+    )?;
+    let generated = complete_design(&cs.sketch, &union);
+    let reference = crypto_core::reference();
+
+    let program = sha256::sha256_program();
+    let code = program.encode();
+    println!("SHA-256 program: {} instructions, message-independent.\n", program.len());
+
+    for len in [4usize, 12, 20, 32] {
+        let msg: Vec<u8> = (0..len).map(|i| (i * 31 + 5) as u8).collect();
+        let data = sha256::message_data(&msg);
+        let (gen_cycles, gen_sim) = crypto_core::run_program(&generated, &code, &data, 200_000);
+        let (ref_cycles, _) = crypto_core::run_program(&reference, &code, &data, 200_000);
+        let digest = sha256::read_digest(&gen_sim);
+        assert_eq!(digest, sha256::sha256_ref(&msg), "digest mismatch at len {len}");
+        println!(
+            "len {len:>2}: {gen_cycles} cycles (generated) / {ref_cycles} cycles (reference), digest verified"
+        );
+    }
+    println!("\nSame cycle count for every length: resilient to timing side channels.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Developer feedback (the paper's §5.3 future-work item): when a
+//! datapath sketch *cannot* implement the specification, the tool
+//! pinpoints which state element's update is impossible instead of just
+//! failing.
+//!
+//! Here the designer specifies a multiply-accumulate ISA but forgot to
+//! put a multiplier in the datapath — the diagnosis blames `acc` and
+//! exonerates the rest.
+//!
+//! Run with: `cargo run --release --example diagnose_sketch`
+
+use owl::core::{diagnose, synthesize, AbstractionFn, DatapathKind, SynthesisConfig};
+use owl::ila::{Ila, Instr, SpecExpr};
+use owl::oyster::Design;
+use owl::smt::TermManager;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Specification: MAC (acc += a * b) and CLEAR instructions.
+    let mut spec = Ila::new("mac");
+    let op = spec.new_bv_input("op", 1);
+    let a = spec.new_bv_input("a", 8);
+    let b = spec.new_bv_input("b", 8);
+    let acc = spec.new_bv_state("acc", 16);
+    let count = spec.new_bv_state("count", 8);
+
+    let mut mac = Instr::new("MAC");
+    mac.set_decode(op.clone().eq(SpecExpr::const_u64(1, 1)));
+    mac.set_update("acc", acc.clone().add(a.zext(16).mul(b.zext(16))));
+    mac.set_update("count", count.clone().add(SpecExpr::const_u64(8, 1)));
+    spec.add_instr(mac);
+
+    let mut clear = Instr::new("CLEAR");
+    clear.set_decode(op.eq(SpecExpr::const_u64(1, 0)));
+    clear.set_update("acc", SpecExpr::const_u64(16, 0));
+    clear.set_update("count", count.add(SpecExpr::const_u64(8, 1)));
+    spec.add_instr(clear);
+
+    // The sketch has an adder but NO multiplier — MAC is unimplementable.
+    let sketch: Design = "design mac_dp\n\
+        input op 1\ninput a 8\ninput b 8\n\
+        hole clear 1\nhole en 1\n\
+        register acc 16\nregister count 8\n\
+        sum := acc + zext(a, 16) + zext(b, 16)\n\
+        acc := if clear then 16'x0000 else if en then sum else acc\n\
+        count := count + 8'x01\n\
+        end\n"
+        .parse()?;
+
+    let mut alpha = AbstractionFn::new(1);
+    alpha.map_input("op", "op").map_input("a", "a").map_input("b", "b");
+    alpha.map("acc", "acc", DatapathKind::Register, [1], [1]);
+    alpha.map("count", "count", DatapathKind::Register, [1], [1]);
+
+    let mut mgr = TermManager::new();
+    match synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default()) {
+        Ok(_) => println!("unexpectedly synthesized — the sketch can add but not multiply!"),
+        Err(e) => {
+            println!("synthesis failed, as expected:\n  {e}\n");
+            let mut mgr2 = TermManager::new();
+            let diagnosis = diagnose(&mut mgr2, &sketch, &spec, &alpha, "MAC")?;
+            println!("{diagnosis}");
+            assert_eq!(diagnosis.blamed_state(), vec!["acc"]);
+            println!("=> add a multiplier (or a mul path) to the datapath and re-run.");
+        }
+    }
+    Ok(())
+}

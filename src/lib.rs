@@ -1,0 +1,30 @@
+//! # OWL — Control Logic Synthesis
+//!
+//! A Rust reproduction of *"Control Logic Synthesis: Drawing the Rest of
+//! the OWL"* (ASPLOS 2024). This facade crate re-exports the public API of
+//! every sub-crate so applications can depend on `owl` alone.
+//!
+//! The pipeline (paper Fig. 4): a datapath **sketch** written in the
+//! PyRTL-like [`hdl`] DSL lowers to the [`oyster`] IR with *holes* where
+//! control logic belongs; an [`ila`] architectural specification plus an
+//! [`core::AbstractionFn`] produce pre/postconditions; the
+//! [`core::synthesize`] fills the holes with correct-by-construction
+//! control logic via CEGIS over the [`smt`]/[`sat`] solver stack; and
+//! [`netlist`] lowers the completed design to gates.
+//!
+//! # Quick start
+//!
+//! See `examples/quickstart.rs` for the accumulator FSM from the paper's
+//! Section 2.3, synthesized end to end.
+
+pub use owl_bitvec as bitvec;
+pub use owl_core as core;
+pub use owl_cores as cores;
+pub use owl_hdl as hdl;
+pub use owl_ila as ila;
+pub use owl_netlist as netlist;
+pub use owl_oyster as oyster;
+pub use owl_sat as sat;
+pub use owl_smt as smt;
+
+pub use owl_bitvec::BitVec;

@@ -1,0 +1,81 @@
+//! Negative tests for the abstraction function's timing role.
+//!
+//! The paper is explicit that the α timing is load-bearing: "without this
+//! timing information the generated pre- and postconditions will not have
+//! semantically valid values and the program synthesizer will fail to
+//! find a satisfying implementation" (§4.1.2), and the crypto core's
+//! `instruction_valid` assumption is what stops the solver from chasing
+//! flushed instructions (§4.2). These tests check both failure modes
+//! actually occur — and that the failures are reported, not mis-solved.
+
+use owl::core::{synthesize, AbstractionFn, DatapathKind, SynthesisConfig, SynthesisMode};
+use owl::cores::{alu_machine, crypto_core};
+use owl::smt::TermManager;
+use std::time::Duration;
+
+fn quick_config() -> SynthesisConfig {
+    SynthesisConfig {
+        mode: SynthesisMode::PerInstruction,
+        max_cex_rounds: 32,
+        conflict_budget: Some(200_000),
+        time_budget: Some(Duration::from_secs(120)),
+    }
+}
+
+#[test]
+fn alu_machine_fails_with_wrong_write_time() {
+    // The three-stage ALU writes the register file at time 3; claiming
+    // time 2 makes the postcondition compare against the pipeline
+    // mid-flight, which no control constants can satisfy.
+    let cs = alu_machine::case_study();
+    let mut wrong = AbstractionFn::new(3);
+    wrong
+        .map_input("op", "op")
+        .map_input("dest", "dest")
+        .map_input("src1", "src1")
+        .map_input("src2", "src2")
+        .map("regs", "regfile", DatapathKind::Memory, [1], [2]);
+    let mut mgr = TermManager::new();
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &wrong, &quick_config());
+    assert!(result.is_err(), "mis-timed abstraction function must not synthesize");
+}
+
+#[test]
+fn alu_machine_fails_with_wrong_cycle_count() {
+    // Evaluating only 2 cycles of a 3-deep pipeline cannot expose the
+    // write-back at all (a write at time 3 is out of range, caught by
+    // validation).
+    let mut alpha = AbstractionFn::new(2);
+    alpha.map("regs", "regfile", DatapathKind::Memory, [1], [3]);
+    assert!(alpha.check().is_err());
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a pipelined core; run in release")]
+#[test]
+fn crypto_core_fails_without_instruction_valid_assumption() {
+    let cs = crypto_core::case_study();
+    // Same α minus the assumption.
+    let mut no_assume = AbstractionFn::new(3);
+    no_assume
+        .map("pc", "pc", DatapathKind::Register, [1], [2])
+        .map("GPR", "rf", DatapathKind::Memory, [2], [3])
+        .map("mem", "d_mem", DatapathKind::Memory, [3], [3])
+        .map("imem", "i_mem", DatapathKind::Memory, [1], []);
+    let mut mgr = TermManager::new();
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &no_assume, &quick_config());
+    assert!(
+        result.is_err(),
+        "without the instruction_valid assumption, the flushed-slot case \
+         makes every instruction unsynthesizable"
+    );
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a pipelined core; run in release")]
+#[test]
+fn crypto_core_succeeds_with_the_assumption() {
+    // The positive control for the test above.
+    let cs = crypto_core::case_study();
+    let mut mgr = TermManager::new();
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &quick_config());
+    assert!(result.is_ok(), "{:?}", result.err());
+}

@@ -1,0 +1,44 @@
+//! The §5.2 experiment as an integration test: SHA-256 on the synthesized
+//! constant-time core takes the same number of cycles for every input
+//! length and matches the handwritten-reference core cycle for cycle.
+
+use owl::core::{complete_design, control_union_with, synthesize, SynthesisConfig};
+use owl::cores::{crypto_core, sha256};
+use owl::smt::TermManager;
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a core and simulates ~8k cycles; run in release")]
+#[test]
+fn sha256_is_constant_time_and_correct() {
+    let cs = crypto_core::case_study();
+    let mut mgr = TermManager::new();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        .expect("crypto core synthesizes");
+    let union = control_union_with(
+        &cs.sketch,
+        &cs.spec,
+        &cs.alpha,
+        &out.solutions,
+        &crypto_core::decode_bindings(),
+    )
+    .expect("union succeeds");
+    let generated = complete_design(&cs.sketch, &union);
+    let reference = crypto_core::reference();
+    let code = sha256::sha256_program().encode();
+
+    let mut cycle_counts = Vec::new();
+    for len in [4usize, 16, 32] {
+        let msg: Vec<u8> = (0..len).map(|i| (i * 97 + 3) as u8).collect();
+        let data = sha256::message_data(&msg);
+        let (gen_cycles, gen_sim) = crypto_core::run_program(&generated, &code, &data, 200_000);
+        let (ref_cycles, ref_sim) = crypto_core::run_program(&reference, &code, &data, 200_000);
+        let expect = sha256::sha256_ref(&msg);
+        assert_eq!(sha256::read_digest(&gen_sim), expect, "generated digest, len {len}");
+        assert_eq!(sha256::read_digest(&ref_sim), expect, "reference digest, len {len}");
+        assert_eq!(gen_cycles, ref_cycles, "cycle counts differ at len {len}");
+        cycle_counts.push(gen_cycles);
+    }
+    assert!(
+        cycle_counts.windows(2).all(|w| w[0] == w[1]),
+        "cycle count varies with input length: {cycle_counts:?}"
+    );
+}

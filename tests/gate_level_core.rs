@@ -1,0 +1,70 @@
+//! Gate-level validation of a full processor: the handwritten crypto core
+//! is lowered to gates (raw and optimized) and must match the Oyster
+//! interpreter cycle for cycle while executing a real program.
+
+use owl::cores::asm::{Asm, Program};
+use owl::cores::crypto_core;
+use owl::netlist::{lower, optimize, GateSim};
+use owl::oyster::Interpreter;
+use owl::BitVec;
+use std::collections::HashMap;
+
+#[cfg_attr(debug_assertions, ignore = "lowers a full core to gates; run in release")]
+#[test]
+fn crypto_core_netlist_matches_interpreter() {
+    let core = crypto_core::reference();
+    let netlist = lower(&core).expect("core lowers to gates");
+    let optimized = optimize(&netlist);
+    assert!(optimized.stats().total() < netlist.stats().total());
+
+    let mut p = Program::new();
+    p.li(1, 0xDEAD_BEEF);
+    p.li(2, 13);
+    p.push(Asm::Ror { rd: 3, rs1: 1, rs2: 2 });
+    p.push(Asm::Add { rd: 4, rs1: 3, rs2: 1 });
+    p.push(Asm::Sltu { rd: 5, rs1: 2, rs2: 1 });
+    p.push(Asm::Cmov { rd: 6, rs1: 4, rs2: 5 });
+    p.li(7, 0x80);
+    p.push(Asm::Sw { rs2: 6, rs1: 7, offset: 0 });
+    p.push(Asm::Lw { rd: 8, rs1: 7, offset: 0 });
+    p.push(Asm::Xor { rd: 9, rs1: 8, rs2: 1 });
+    let code = p.encode();
+
+    let mut interp = Interpreter::new(&core).expect("interpreter");
+    let mut raw = GateSim::new(&netlist);
+    let mut opt = GateSim::new(&optimized);
+    for (i, word) in code.iter().enumerate() {
+        let w = BitVec::from_u64(32, u64::from(*word));
+        interp.poke_mem("i_mem", i as u64, w.clone()).expect("poke");
+        raw.poke_mem("i_mem", i as u64, w.clone());
+        opt.poke_mem("i_mem", i as u64, w);
+    }
+
+    let inputs = HashMap::new();
+    // Enough cycles for the whole program at one instruction per two
+    // cycles, plus startup and drain.
+    for cycle in 0..(2 * code.len() as u64 + 8) {
+        interp.step(&inputs).expect("step");
+        raw.step(&inputs);
+        opt.step(&inputs);
+        for reg in ["pc", "issue", "s2_valid", "s3_valid"] {
+            assert_eq!(
+                &raw.reg(reg),
+                interp.reg(reg).expect("reg"),
+                "{reg} diverged at cycle {cycle} (raw)"
+            );
+            assert_eq!(
+                &opt.reg(reg),
+                interp.reg(reg).expect("reg"),
+                "{reg} diverged at cycle {cycle} (optimized)"
+            );
+        }
+    }
+    // The stored word must match on all three levels.
+    let expect_mem = interp.mem("d_mem").expect("d_mem").read(0x80 >> 2);
+    assert_eq!(expect_mem.to_u64().unwrap() as u32, {
+        let x: u32 = 0xDEAD_BEEF;
+        let r = x.rotate_right(13);
+        r.wrapping_add(x) // cmov condition (13 < 0xDEADBEEF) is true
+    });
+}

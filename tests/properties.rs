@@ -1,0 +1,250 @@
+//! Property-based tests over the substrate crates: the bitvector algebra
+//! against native integer semantics, the SAT solver against brute force,
+//! SMT simplification and bit-blasting against concrete evaluation, and
+//! the Oyster text format round trip.
+
+use owl::sat::{Lit, SolveResult, Solver};
+use owl::smt::{check, Env, SmtResult, TermId, TermManager};
+use owl::BitVec;
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// BitVec vs. u128 reference semantics
+// ----------------------------------------------------------------------
+
+fn mask(width: u32, v: u128) -> u128 {
+    if width == 128 {
+        v
+    } else {
+        v & ((1u128 << width) - 1)
+    }
+}
+
+proptest! {
+    #[test]
+    fn bitvec_arith_matches_u128(a in any::<u128>(), b in any::<u128>(), width in 1u32..=128) {
+        let (am, bm) = (mask(width, a), mask(width, b));
+        let (x, y) = (BitVec::from_u128(width, am), BitVec::from_u128(width, bm));
+        prop_assert_eq!(x.add(&y).to_u128().unwrap(), mask(width, am.wrapping_add(bm)));
+        prop_assert_eq!(x.sub(&y).to_u128().unwrap(), mask(width, am.wrapping_sub(bm)));
+        prop_assert_eq!(x.mul(&y).to_u128().unwrap(), mask(width, am.wrapping_mul(bm)));
+        prop_assert_eq!(x.and(&y).to_u128().unwrap(), am & bm);
+        prop_assert_eq!(x.or(&y).to_u128().unwrap(), am | bm);
+        prop_assert_eq!(x.xor(&y).to_u128().unwrap(), am ^ bm);
+        prop_assert_eq!(x.not().to_u128().unwrap(), mask(width, !am));
+        prop_assert_eq!(x.ult(&y), am < bm);
+        prop_assert_eq!(x.ule(&y), am <= bm);
+    }
+
+    #[test]
+    fn bitvec_shifts_match_u128(a in any::<u128>(), shift in 0u32..140, width in 1u32..=128) {
+        let am = mask(width, a);
+        let x = BitVec::from_u128(width, am);
+        let expect_shl = if shift >= width { 0 } else { mask(width, am << shift) };
+        let expect_shr = if shift >= width { 0 } else { am >> shift };
+        prop_assert_eq!(x.shl_amount(shift).to_u128().unwrap(), expect_shl);
+        prop_assert_eq!(x.lshr_amount(shift).to_u128().unwrap(), expect_shr);
+        // Rotation round-trips.
+        prop_assert_eq!(x.rol_amount(shift % width).ror_amount(shift % width), x);
+    }
+
+    #[test]
+    fn bitvec_division_matches_u128(a in any::<u128>(), b in any::<u128>(), width in 1u32..=64) {
+        let (am, bm) = (mask(width, a), mask(width, b));
+        let (x, y) = (BitVec::from_u128(width, am), BitVec::from_u128(width, bm));
+        if bm != 0 {
+            prop_assert_eq!(x.udiv(&y).to_u128().unwrap(), am / bm);
+            prop_assert_eq!(x.urem(&y).to_u128().unwrap(), am % bm);
+        } else {
+            prop_assert!(x.udiv(&y).is_ones());
+            prop_assert_eq!(x.urem(&y), x);
+        }
+    }
+
+    #[test]
+    fn bitvec_signed_compare_matches_i128(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (BitVec::from_u64(64, a), BitVec::from_u64(64, b));
+        prop_assert_eq!(x.slt(&y), (a as i64) < (b as i64));
+        prop_assert_eq!(x.sle(&y), (a as i64) <= (b as i64));
+    }
+
+    #[test]
+    fn bitvec_parse_display_round_trip(a in any::<u128>(), width in 1u32..=128) {
+        let x = BitVec::from_u128(width, mask(width, a));
+        let text = x.to_string();
+        prop_assert_eq!(text.parse::<BitVec>().unwrap(), x);
+    }
+}
+
+// ----------------------------------------------------------------------
+// SAT solver vs. brute force on small random CNFs
+// ----------------------------------------------------------------------
+
+fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
+    (0..1u32 << nvars).any(|assignment| {
+        clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let var = (lit.unsigned_abs() - 1) as usize;
+                let value = (assignment >> var) & 1 == 1;
+                if lit > 0 {
+                    value
+                } else {
+                    !value
+                }
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn sat_agrees_with_brute_force(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((1i32..=8, any::<bool>()), 1..=3),
+            1..24,
+        )
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, neg)| if neg { -v } else { v }).collect())
+            .collect();
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..8).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            solver.add_clause(clause.iter().map(|&l| {
+                Lit::with_sign(vars[(l.unsigned_abs() - 1) as usize], l > 0)
+            }));
+        }
+        let expected = brute_force_sat(8, &clauses);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(expected, "solver said SAT, brute force says UNSAT");
+                // The model satisfies every clause.
+                for clause in &clauses {
+                    let satisfied = clause.iter().any(|&l| {
+                        let v =
+                            solver.value(vars[(l.unsigned_abs() - 1) as usize]).unwrap_or(false);
+                        if l > 0 {
+                            v
+                        } else {
+                            !v
+                        }
+                    });
+                    prop_assert!(satisfied);
+                }
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget set; Unknown impossible"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// SMT terms: random expressions evaluate consistently through folding
+// and through the bit-blaster.
+// ----------------------------------------------------------------------
+
+/// A tiny random term generator over two 8-bit variables.
+fn build_term(mgr: &mut TermManager, x: TermId, y: TermId, ops: &[u8]) -> TermId {
+    let mut stack = vec![x, y];
+    for &op in ops {
+        let a = stack.pop().unwrap_or(x);
+        let b = stack.pop().unwrap_or(y);
+        let t = match op % 12 {
+            0 => mgr.add(a, b),
+            1 => mgr.sub(a, b),
+            2 => mgr.and(a, b),
+            3 => mgr.or(a, b),
+            4 => mgr.xor(a, b),
+            5 => mgr.not(a),
+            6 => {
+                let c = mgr.ult(a, b);
+                mgr.ite(c, a, b)
+            }
+            7 => mgr.shl(a, b),
+            8 => mgr.lshr(a, b),
+            9 => mgr.mul(a, b),
+            10 => {
+                let e = mgr.extract(a, 6, 2);
+                mgr.zext(e, 8)
+            }
+            _ => {
+                let e = mgr.extract(a, 3, 0);
+                mgr.sext(e, 8)
+            }
+        };
+        stack.push(t);
+    }
+    stack.pop().expect("nonempty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn blasted_terms_agree_with_evaluation(
+        ops in proptest::collection::vec(any::<u8>(), 1..12),
+        xv in any::<u8>(),
+        yv in any::<u8>(),
+    ) {
+        let mut mgr = TermManager::new();
+        let x = mgr.fresh_var("x", 8);
+        let y = mgr.fresh_var("y", 8);
+        let t = build_term(&mut mgr, x, y, &ops);
+
+        // Concrete evaluation under (xv, yv).
+        let mut env = Env::new();
+        env.set_var(mgr.as_var(x).unwrap(), BitVec::from_u64(8, u64::from(xv)));
+        env.set_var(mgr.as_var(y).unwrap(), BitVec::from_u64(8, u64::from(yv)));
+        let expect = env.eval(&mgr, t);
+
+        // The solver must agree: pin x and y, ask for t's value.
+        let cx = mgr.const_u64(8, u64::from(xv));
+        let cy = mgr.const_u64(8, u64::from(yv));
+        let ex = mgr.eq(x, cx);
+        let ey = mgr.eq(y, cy);
+        let w = mgr.width(t);
+        let out = mgr.fresh_var("out", w);
+        let tie = mgr.eq(out, t);
+        match check(&mgr, &[ex, ey, tie], None) {
+            SmtResult::Sat(model) => prop_assert_eq!(model.eval(&mgr, out), expect),
+            other => prop_assert!(false, "expected SAT, got {:?}", other),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Oyster parser/printer round trip on generated designs
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn oyster_round_trip_random_exprs(
+        widths in proptest::collection::vec(1u32..12, 2..5),
+        ops in proptest::collection::vec(any::<u8>(), 1..10),
+    ) {
+        use owl::oyster::{Design, Expr};
+        let mut d = Design::new("prop");
+        for (i, w) in widths.iter().enumerate() {
+            d.input(format!("in{i}"), *w);
+        }
+        // Build a random same-width expression over input 0.
+        let w = widths[0];
+        let mut e = Expr::var("in0");
+        for &op in &ops {
+            e = match op % 6 {
+                0 => e.clone().add(Expr::var("in0")),
+                1 => e.clone().xor(Expr::var("in0")),
+                2 => e.not(),
+                3 => Expr::ite(Expr::const_u64(1, u64::from(op & 1)), e.clone(), e),
+                4 => e.clone().and(Expr::const_u64(w, u64::from(op))),
+                _ => e.clone().or(Expr::var("in0")),
+            };
+        }
+        d.assign("out_wire", e);
+        let text = d.to_string();
+        let reparsed: Design = text.parse().expect("round trip parses");
+        prop_assert_eq!(d, reparsed);
+    }
+}

@@ -1,0 +1,173 @@
+//! Differential testing of the synthesized single-cycle RISC-V core:
+//! random-ish instruction streams run on the completed hardware (via the
+//! Oyster interpreter) and on the ILA golden model, comparing all
+//! architectural state every step.
+//!
+//! These tests synthesize a full core, so they are release-mode material;
+//! in debug builds they are ignored (run `cargo test --release -- --ignored`
+//! or rely on the release CI pass).
+
+use owl::cores::asm::{Asm, Program};
+use owl::cores::rv32i::{self, Extensions};
+use owl::ila::golden::{GoldenModel, SpecState};
+use owl::oyster::Interpreter;
+use owl::smt::TermManager;
+use owl::BitVec;
+use std::collections::HashMap;
+
+fn completed_core(ext: Extensions) -> (owl::cores::CaseStudy, owl::oyster::Design) {
+    use owl::core::{complete_design, control_union, synthesize, SynthesisConfig};
+    let cs = rv32i::single_cycle(ext);
+    let mut mgr = TermManager::new();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        .expect("synthesis succeeds");
+    let union =
+        control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).expect("union succeeds");
+    let complete = complete_design(&cs.sketch, &union);
+    (cs, complete)
+}
+
+/// Runs `program` on both the hardware and the golden model for
+/// `steps` architectural steps, checking pc and every written register.
+fn differential_run(ext: Extensions, program: &Program, steps: usize) {
+    let (cs, complete) = completed_core(ext);
+    let code = program.encode();
+
+    // Hardware side.
+    let mut sim = Interpreter::new(&complete).expect("simulatable");
+    for (i, word) in code.iter().enumerate() {
+        sim.poke_mem("i_mem", i as u64, BitVec::from_u64(32, u64::from(*word))).expect("poke");
+    }
+
+    // Golden model side.
+    let model = GoldenModel::new(&cs.spec).expect("golden model");
+    let mut st = SpecState::zeroed(&cs.spec);
+    for (i, word) in code.iter().enumerate() {
+        st.mems.get_mut("imem").expect("imem").write(i as u64, BitVec::from_u64(32, u64::from(*word)));
+    }
+
+    let inputs = HashMap::new();
+    for step in 0..steps {
+        let fired = model.step(&mut st).expect("golden step");
+        assert!(fired.is_some(), "golden model decoded nothing at step {step}");
+        sim.step(&inputs).expect("hardware step");
+        assert_eq!(
+            sim.reg("pc").expect("pc"),
+            &st.bvs["pc"],
+            "pc diverged at step {step} ({fired:?})"
+        );
+        for reg in 0..32u64 {
+            assert_eq!(
+                sim.mem("rf").expect("rf").read(reg),
+                st.mems["GPR"].read(reg),
+                "x{reg} diverged at step {step} ({fired:?})"
+            );
+        }
+    }
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn straightline_arithmetic_matches_golden_model() {
+    let mut p = Program::new();
+    p.li(1, 0xDEAD_BEEF);
+    p.li(2, 0x0F0F_3344);
+    p.push(Asm::Add { rd: 3, rs1: 1, rs2: 2 });
+    p.push(Asm::Sub { rd: 4, rs1: 1, rs2: 2 });
+    p.push(Asm::Xor { rd: 5, rs1: 1, rs2: 2 });
+    p.push(Asm::And { rd: 6, rs1: 1, rs2: 2 });
+    p.push(Asm::Or { rd: 7, rs1: 1, rs2: 2 });
+    p.push(Asm::Sll { rd: 8, rs1: 1, rs2: 2 });
+    p.push(Asm::Srl { rd: 9, rs1: 1, rs2: 2 });
+    p.push(Asm::Sra { rd: 10, rs1: 1, rs2: 2 });
+    p.push(Asm::Slt { rd: 11, rs1: 1, rs2: 2 });
+    p.push(Asm::Sltu { rd: 12, rs1: 1, rs2: 2 });
+    p.push(Asm::Slti { rd: 13, rs1: 1, imm: -5 });
+    p.push(Asm::Addi { rd: 14, rs1: 3, imm: 2047 });
+    p.push(Asm::Andi { rd: 15, rs1: 1, imm: -256 });
+    let steps = p.len();
+    differential_run(Extensions::BASE, &p, steps);
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn memory_traffic_matches_golden_model() {
+    let mut p = Program::new();
+    p.li(1, 0x200); // base address
+    p.li(2, 0xA1B2_C3D4);
+    p.push(Asm::Sw { rs2: 2, rs1: 1, offset: 0 });
+    p.push(Asm::Sh { rs2: 2, rs1: 1, offset: 6 });
+    p.push(Asm::Sb { rs2: 2, rs1: 1, offset: 9 });
+    p.push(Asm::Lw { rd: 3, rs1: 1, offset: 0 });
+    p.push(Asm::Lh { rd: 4, rs1: 1, offset: 0 });
+    p.push(Asm::Lhu { rd: 5, rs1: 1, offset: 2 });
+    p.push(Asm::Lb { rd: 6, rs1: 1, offset: 3 });
+    p.push(Asm::Lbu { rd: 7, rs1: 1, offset: 9 });
+    p.push(Asm::Lw { rd: 8, rs1: 1, offset: 4 });
+    let steps = p.len();
+    differential_run(Extensions::BASE, &p, steps);
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn branches_and_jumps_match_golden_model() {
+    let mut p = Program::new();
+    p.li(1, 5); // 0: x1 = 5
+    p.li(2, 5); // 4: x2 = 5
+    p.push(Asm::Beq { rs1: 1, rs2: 2, offset: 8 }); // 8: taken -> 16
+    p.li(3, 111); // 12: skipped
+    p.push(Asm::Bne { rs1: 1, rs2: 2, offset: 8 }); // 16: not taken
+    p.push(Asm::Blt { rs1: 1, rs2: 2, offset: 8 }); // 20: not taken (5 < 5)
+    p.push(Asm::Bge { rs1: 1, rs2: 2, offset: 8 }); // 24: taken -> 32
+    p.li(3, 222); // 28: skipped
+    p.push(Asm::Jal { rd: 4, offset: 8 }); // 32: jump -> 40, x4 = 36
+    p.li(3, 333); // 36: skipped
+    p.push(Asm::Jalr { rd: 5, rs1: 4, offset: 8 }); // 40: -> (36+8)=44, x5 = 44
+    p.push(Asm::Addi { rd: 6, rs1: 5, imm: 1 }); // 44
+    // Executed stream: 0,4,8,16,20,24,32,40,44 = 9 architectural steps
+    // (li's may be two instructions; count below is computed dynamically).
+    differential_run(Extensions::BASE, &p, 9);
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn zbkb_zbkc_instructions_match_golden_model() {
+    let mut p = Program::new();
+    p.li(1, 0x1234_5678);
+    p.li(2, 0x0000_0005);
+    p.push(Asm::Rol { rd: 3, rs1: 1, rs2: 2 });
+    p.push(Asm::Ror { rd: 4, rs1: 1, rs2: 2 });
+    p.push(Asm::Rori { rd: 5, rs1: 1, shamt: 13 });
+    p.push(Asm::Andn { rd: 6, rs1: 1, rs2: 2 });
+    let steps = p.len();
+    differential_run(Extensions::ZBKC, &p, steps);
+}
+
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn pseudo_random_alu_soak_matches_golden_model() {
+    // A deterministic pseudo-random mix of ALU ops over x1..x15.
+    let mut p = Program::new();
+    let mut seed = 0x9E37_79B9u64;
+    p.li(1, 0x0BAD_F00D);
+    p.li(2, 0x1357_9BDF);
+    for _ in 0..60 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let rd = 1 + ((seed >> 8) % 15) as u32;
+        let rs1 = 1 + ((seed >> 16) % 15) as u32;
+        let rs2 = 1 + ((seed >> 24) % 15) as u32;
+        let imm = ((seed >> 33) & 0x7FF) as i32 - 1024;
+        match (seed >> 45) % 8 {
+            0 => p.push(Asm::Add { rd, rs1, rs2 }),
+            1 => p.push(Asm::Sub { rd, rs1, rs2 }),
+            2 => p.push(Asm::Xor { rd, rs1, rs2 }),
+            3 => p.push(Asm::Addi { rd, rs1, imm }),
+            4 => p.push(Asm::Sltu { rd, rs1, rs2 }),
+            5 => p.push(Asm::Sll { rd, rs1, rs2 }),
+            6 => p.push(Asm::Sra { rd, rs1, rs2 }),
+            _ => p.push(Asm::Ori { rd, rs1, imm }),
+        };
+    }
+    let steps = p.len();
+    differential_run(Extensions::BASE, &p, steps);
+}
