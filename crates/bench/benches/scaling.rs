@@ -29,6 +29,7 @@ fn scaling_benches(c: &mut Criterion) {
                     let mut mgr = TermManager::new();
                     let config = SynthesisConfig { mode, ..Default::default() };
                     let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &config)
+                        .and_then(|out| out.require_complete())
                         .expect("synthesis succeeds");
                     black_box(out.solutions.len())
                 });

@@ -38,6 +38,7 @@ fn simulation_benches(c: &mut Criterion) {
         let mut mgr = TermManager::new();
         let out =
             synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+                .and_then(|out| out.require_complete())
                 .expect("synthesis succeeds");
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
             .expect("union succeeds");

@@ -22,6 +22,7 @@ fn bench_case(c: &mut Criterion, name: &str, make: impl Fn() -> CaseStudy) {
                 &cs.alpha,
                 &SynthesisConfig::default(),
             )
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
             black_box(out.solutions.len())
         });

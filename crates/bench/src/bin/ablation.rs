@@ -35,10 +35,11 @@ fn main() {
                 ..Default::default()
             };
             let start = Instant::now();
-            let result = synthesize(&mut mgr, &sketch, &spec, &alpha, &config);
+            let result = synthesize(&mut mgr, &sketch, &spec, &alpha, &config)
+                .and_then(|out| out.require_complete());
             times.push(match result {
                 Ok(_) => format!("{:.2}", start.elapsed().as_secs_f64()),
-                Err(e) if e.to_string().contains("timed out") => "timeout".to_string(),
+                Err(e) if e.is_global_stop() => "timeout".to_string(),
                 Err(e) => format!("failed: {e}"),
             });
         }

@@ -26,6 +26,7 @@ fn main() {
         // Fig. 7-style rendering.
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
             .expect("union succeeds");

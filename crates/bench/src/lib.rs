@@ -48,7 +48,9 @@ pub fn run_synthesis(
     let mut mgr = TermManager::new();
     let config = SynthesisConfig { mode, time_budget: budget, ..Default::default() };
     let start = Instant::now();
-    match synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config) {
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+        .and_then(|out| out.require_complete());
+    match result {
         Ok(out) => {
             let union =
                 control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, bindings)

@@ -67,7 +67,7 @@ impl BitVec {
     /// Panics if the width is not a multiple of 8.
     #[must_use]
     pub fn rev8(&self) -> BitVec {
-        assert!(self.width % 8 == 0, "rev8 requires a byte-multiple width, got {}", self.width);
+        assert!(self.width.is_multiple_of(8), "rev8 requires a byte-multiple width, got {}", self.width);
         let nbytes = self.width / 8;
         let mut out = self.extract(7, 0);
         for b in 1..nbytes {
@@ -83,7 +83,7 @@ impl BitVec {
     /// Panics if the width is not a multiple of 8.
     #[must_use]
     pub fn brev8(&self) -> BitVec {
-        assert!(self.width % 8 == 0, "brev8 requires a byte-multiple width, got {}", self.width);
+        assert!(self.width.is_multiple_of(8), "brev8 requires a byte-multiple width, got {}", self.width);
         let nbytes = self.width / 8;
         let mut out: Option<BitVec> = None;
         for b in (0..nbytes).rev() {
@@ -105,7 +105,7 @@ impl BitVec {
     /// Panics if the width is odd.
     #[must_use]
     pub fn zip(&self) -> BitVec {
-        assert!(self.width % 2 == 0, "zip requires an even width, got {}", self.width);
+        assert!(self.width.is_multiple_of(2), "zip requires an even width, got {}", self.width);
         let half = self.width / 2;
         let bits: Vec<bool> = (0..self.width)
             .map(|i| if i % 2 == 0 { self.bit(i / 2) } else { self.bit(i / 2 + half) })
@@ -121,7 +121,7 @@ impl BitVec {
     /// Panics if the width is odd.
     #[must_use]
     pub fn unzip(&self) -> BitVec {
-        assert!(self.width % 2 == 0, "unzip requires an even width, got {}", self.width);
+        assert!(self.width.is_multiple_of(2), "unzip requires an even width, got {}", self.width);
         let half = self.width / 2;
         let mut bits = vec![false; self.width as usize];
         for i in 0..self.width {
@@ -143,7 +143,7 @@ impl BitVec {
     #[must_use]
     pub fn pack(&self, rhs: &BitVec) -> BitVec {
         self.assert_same_width(rhs, "pack");
-        assert!(self.width % 2 == 0, "pack requires an even width, got {}", self.width);
+        assert!(self.width.is_multiple_of(2), "pack requires an even width, got {}", self.width);
         let half = self.width / 2;
         rhs.extract(half - 1, 0).concat(&self.extract(half - 1, 0))
     }

@@ -114,7 +114,7 @@ fn achievable(
         assertions.push(mgr.not(p2));
         match check(mgr, &assertions, None) {
             SmtResult::Unsat => return Ok(None), // candidate works
-            SmtResult::Unknown => return Err(CoreError::new("budget exceeded")),
+            SmtResult::Unknown(_) => return Err(CoreError::new("diagnosis query returned unknown")),
             SmtResult::Sat(model) => {
                 let cex = model.into_env();
                 let pres2: Vec<_> = pres.iter().map(|&p| substitute(mgr, p, &cex)).collect();
@@ -136,7 +136,9 @@ fn achievable(
                         candidate = next;
                     }
                     SmtResult::Unsat => return Ok(Some(cex)), // truly impossible
-                    SmtResult::Unknown => return Err(CoreError::new("budget exceeded")),
+                    SmtResult::Unknown(_) => {
+                        return Err(CoreError::new("diagnosis query returned unknown"))
+                    }
                 }
             }
         }
@@ -190,10 +192,17 @@ pub fn diagnose(
         .hole_names()
         .into_iter()
         .map(|name| {
-            let t = trace.holes[&name];
-            (mgr.as_var(t).expect("holes are variables"), mgr.width(t))
+            let t = *trace.holes.get(&name).ok_or_else(|| {
+                CoreError::new(format!("hole {name} is missing from the symbolic trace"))
+            })?;
+            let sym = mgr.as_var(t).ok_or_else(|| {
+                CoreError::new(format!(
+                    "hole {name} is not a free variable in the symbolic trace"
+                ))
+            })?;
+            Ok((sym, mgr.width(t)))
         })
-        .collect();
+        .collect::<Result<Vec<_>, CoreError>>()?;
 
     // Dead decode?
     let decode_sat = matches!(check(mgr, &conds.pres, None), SmtResult::Sat(_));

@@ -34,29 +34,113 @@ pub use conditions::{ConditionBuilder, InstrConditions};
 pub use diagnose::{diagnose, Diagnosis, ObligationStatus};
 pub use minimize::{minimize_solutions, MinimizeStats};
 pub use synth::{
-    resynthesize, synthesize, InstrSolution, SynthesisConfig, SynthesisMode, SynthesisOutput,
-    SynthesisStats,
+    resynthesize, synthesize, InstrOutcome, InstrSolution, InstrStatus, SynthesisConfig,
+    SynthesisMode, SynthesisOutput, SynthesisStats,
 };
 pub use union::{complete_design, control_union, control_union_with, ControlUnion, DecodeBinding};
 pub use verify::verify_design;
 
+// Resource-governance handles, re-exported for callers configuring a
+// [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.
+pub use owl_smt::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
+
 use std::fmt;
+use std::time::Duration;
 
 /// Error type for the control-logic-synthesis pipeline.
+///
+/// Resource failures (`Timeout`, `Cancelled`, `SolverExhausted`) are
+/// distinguished from semantic ones (`NoSolution`, `NoConvergence`) and
+/// from input-validation problems (`Invalid`), so callers can retry,
+/// escalate, or surface partial results appropriately.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CoreError {
-    message: String,
+pub enum CoreError {
+    /// The wall-clock budget ran out (observable mid-query: the deadline
+    /// is polled inside the SAT search, not only between instructions).
+    Timeout {
+        /// How long the run had been going when the deadline fired.
+        elapsed: Duration,
+    },
+    /// The shared [`CancelFlag`] was raised.
+    Cancelled,
+    /// No hole assignment satisfies this instruction's specification:
+    /// the datapath sketch cannot implement it.
+    NoSolution {
+        /// The offending instruction (or `"<monolithic>"`).
+        instr: String,
+    },
+    /// The solver's work budget (conflicts/decisions/propagations) was
+    /// exhausted even after retry-with-escalation.
+    SolverExhausted {
+        /// The instruction whose query exhausted the budget.
+        instr: String,
+    },
+    /// CEGIS did not converge within the configured refinement rounds.
+    NoConvergence {
+        /// The instruction whose CEGIS loop failed to converge.
+        instr: String,
+        /// The round limit that was hit.
+        rounds: usize,
+    },
+    /// The inputs failed validation (bad abstraction function, malformed
+    /// sketch, unsupported mode, ...).
+    Invalid(String),
 }
 
 impl CoreError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        CoreError { message: message.into() }
+        CoreError::Invalid(message.into())
+    }
+
+    /// True for failures that end the whole run (deadline, cancellation)
+    /// rather than one instruction.
+    #[must_use]
+    pub fn is_global_stop(&self) -> bool {
+        matches!(self, CoreError::Timeout { .. } | CoreError::Cancelled)
+    }
+
+    /// True for resource failures (timeout, cancellation, solver budget),
+    /// as opposed to semantic or validation failures.
+    #[must_use]
+    pub fn is_resource(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Timeout { .. } | CoreError::Cancelled | CoreError::SolverExhausted { .. }
+        )
+    }
+
+    /// Maps a solver stop reason onto the typed error, attributing
+    /// per-query exhaustion to `instr`.
+    pub(crate) fn from_stop(reason: StopReason, instr: &str, elapsed: Duration) -> Self {
+        match reason {
+            StopReason::Deadline => CoreError::Timeout { elapsed },
+            StopReason::Cancelled => CoreError::Cancelled,
+            _ => CoreError::SolverExhausted { instr: instr.to_string() },
+        }
     }
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "synthesis error: {}", self.message)
+        write!(f, "synthesis error: ")?;
+        match self {
+            CoreError::Timeout { elapsed } => {
+                write!(f, "synthesis timed out after {:.1}s", elapsed.as_secs_f64())
+            }
+            CoreError::Cancelled => write!(f, "synthesis was cancelled"),
+            CoreError::NoSolution { instr } => write!(
+                f,
+                "instruction {instr}: no hole assignment satisfies the specification \
+                 (datapath sketch cannot implement this instruction)"
+            ),
+            CoreError::SolverExhausted { instr } => {
+                write!(f, "instruction {instr}: solver budget exhausted")
+            }
+            CoreError::NoConvergence { instr, rounds } => {
+                write!(f, "instruction {instr}: CEGIS did not converge within {rounds} rounds")
+            }
+            CoreError::Invalid(message) => write!(f, "{message}"),
+        }
     }
 }
 

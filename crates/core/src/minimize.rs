@@ -45,6 +45,7 @@ pub fn minimize_solutions(
     alpha: &AbstractionFn,
     solutions: &[InstrSolution],
 ) -> Result<(Vec<InstrSolution>, MinimizeStats), CoreError> {
+    let start = std::time::Instant::now();
     let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
     let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
     builder.share_roms(mgr);
@@ -56,10 +57,17 @@ pub fn minimize_solutions(
         .hole_names()
         .into_iter()
         .map(|name| {
-            let t = trace.holes[&name];
-            (name, mgr.as_var(t).expect("holes are variables"))
+            let t = *trace.holes.get(&name).ok_or_else(|| {
+                CoreError::new(format!("hole {name} is missing from the symbolic trace"))
+            })?;
+            let sym = mgr.as_var(t).ok_or_else(|| {
+                CoreError::new(format!(
+                    "hole {name} is not a free variable in the symbolic trace"
+                ))
+            })?;
+            Ok((name, sym))
         })
-        .collect();
+        .collect::<Result<_, CoreError>>()?;
 
     let mut out: Vec<InstrSolution> = solutions.to_vec();
     let mut stats = MinimizeStats::default();
@@ -110,8 +118,8 @@ pub fn minimize_solutions(
                     stats.merged += 1;
                 }
                 SmtResult::Sat(_) => stats.rejected += 1,
-                SmtResult::Unknown => {
-                    return Err(CoreError::new("minimization verification exceeded budget"))
+                SmtResult::Unknown(reason) => {
+                    return Err(CoreError::from_stop(reason, &sol.instr, start.elapsed()))
                 }
             }
         }

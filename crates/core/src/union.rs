@@ -266,9 +266,10 @@ pub fn complete_design(design: &Design, union: &ControlUnion) -> Design {
 mod tests {
     use super::*;
     use owl_ila::Instr;
-    use std::collections::HashMap;
 
-    fn solutions(rows: &[(&str, &[(&str, u32, u64)])]) -> Vec<InstrSolution> {
+    type HoleRow<'a> = (&'a str, u32, u64);
+
+    fn solutions(rows: &[(&str, &[HoleRow])]) -> Vec<InstrSolution> {
         rows.iter()
             .map(|(name, holes)| InstrSolution {
                 instr: (*name).to_string(),

@@ -12,22 +12,31 @@ use crate::conditions::ConditionBuilder;
 use crate::CoreError;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
-use owl_smt::{check, SmtResult, TermManager};
+use owl_smt::{check, Budget, SmtResult, TermManager};
+use std::time::Instant;
 
 /// Verifies that `design` (which must be hole-free) satisfies every
 /// instruction of `ila` under `alpha`.
 ///
+/// `budget` governs the verification queries: pass `None` for unlimited,
+/// a bare `Some(conflicts)` for the historical conflict budget, or a full
+/// [`Budget`] (deadline, cancellation flag, work limits) by reference.
+/// The budget is re-checked between instructions and inside each query.
+///
 /// # Errors
 ///
-/// Returns an error naming the first violated instruction, or describing
-/// a validation/budget problem.
+/// Returns an error naming the first violated instruction, or a typed
+/// resource error ([`CoreError::Timeout`], [`CoreError::Cancelled`],
+/// [`CoreError::SolverExhausted`]) when the budget runs out.
 pub fn verify_design(
     mgr: &mut TermManager,
     design: &Design,
     ila: &Ila,
     alpha: &AbstractionFn,
-    conflict_budget: Option<u64>,
+    budget: impl Into<Budget>,
 ) -> Result<(), CoreError> {
+    let budget = budget.into();
+    let start = Instant::now();
     if !design.hole_names().is_empty() {
         return Err(CoreError::new(format!(
             "design still has holes: {:?}",
@@ -38,11 +47,14 @@ pub fn verify_design(
     let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
     builder.share_roms(mgr);
     for instr in ila.instrs() {
+        if let Some(reason) = budget.checkpoint() {
+            return Err(CoreError::from_stop(reason, instr.name(), start.elapsed()));
+        }
         let conds = builder.instr_conditions(mgr, instr)?;
         let mut assertions = conds.pres.clone();
         let post = mgr.and_many(&conds.posts);
         assertions.push(mgr.not(post));
-        match check(mgr, &assertions, conflict_budget) {
+        match check(mgr, &assertions, &budget) {
             SmtResult::Unsat => {}
             SmtResult::Sat(_) => {
                 return Err(CoreError::new(format!(
@@ -50,11 +62,8 @@ pub fn verify_design(
                     instr.name()
                 )));
             }
-            SmtResult::Unknown => {
-                return Err(CoreError::new(format!(
-                    "verification of {} exceeded the conflict budget",
-                    instr.name()
-                )));
+            SmtResult::Unknown(reason) => {
+                return Err(CoreError::from_stop(reason, instr.name(), start.elapsed()));
             }
         }
     }

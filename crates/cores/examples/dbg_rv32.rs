@@ -9,7 +9,9 @@ fn main() {
     println!("sketch lines: {}", cs.sketch.line_count());
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
-    match synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default()) {
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        .and_then(|out| out.require_complete());
+    match result {
         Ok(out) => {
             println!("synthesized {} instrs in {:.2}s, {} cex rounds, {} solver calls",
                 out.solutions.len(), t0.elapsed().as_secs_f64(), out.stats.cex_rounds, out.stats.solver_calls);

@@ -135,6 +135,7 @@ mod tests {
         let cs = case_study();
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();
         let complete = complete_design(&cs.sketch, &union);
@@ -154,6 +155,7 @@ mod tests {
         let cs = case_study();
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .unwrap();
         // reset_instr drives next_state to RESET, and the clear branch's
         // encoding must match it so `acc := 0` fires.

@@ -223,16 +223,16 @@ pub fn aes128_encrypt_block(key: [u8; 16], plaintext: [u8; 16]) -> [u8; 16] {
             s
         }
     };
-    for r in 1..=10 {
+    for (r, round_key) in round_keys.iter().enumerate().skip(1) {
         // SubBytes
         for b in &mut state {
             *b = SBOX[*b as usize];
         }
         // ShiftRows
         let mut shifted = [0u8; 16];
-        for i in 0..16 {
+        for (i, slot) in shifted.iter_mut().enumerate() {
             let (col, row) = (i / 4, i % 4);
-            shifted[i] = state[4 * ((col + row) % 4) + row];
+            *slot = state[4 * ((col + row) % 4) + row];
         }
         state = shifted;
         // MixColumns (skipped in the final round)
@@ -249,8 +249,8 @@ pub fn aes128_encrypt_block(key: [u8; 16], plaintext: [u8; 16]) -> [u8; 16] {
             }
             state = mixed;
         }
-        for i in 0..16 {
-            state[i] ^= round_keys[r][i];
+        for (b, &k) in state.iter_mut().zip(round_key) {
+            *b ^= k;
         }
     }
     state
@@ -444,6 +444,7 @@ mod tests {
         let cs = case_study();
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         assert_eq!(out.solutions.len(), 3);
         // The transition hole and the fired branch's encoding agree.

@@ -117,6 +117,7 @@ mod tests {
         let cs = case_study();
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         assert_eq!(out.solutions.len(), 4);
         // Every instruction writes back.

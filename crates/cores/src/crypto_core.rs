@@ -387,6 +387,7 @@ mod tests {
         let cs = case_study();
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         let union = owl_core::control_union_with(
             &cs.sketch,

@@ -94,6 +94,7 @@ mod tests {
         let mut mgr = TermManager::new();
         let out =
             synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+                .and_then(|out| out.require_complete())
                 .expect("synthesis succeeds");
         let table = instruction_table(ext);
         for (sol, entry) in out.solutions.iter().zip(&table) {
@@ -163,6 +164,7 @@ mod tests {
         let mut mgr = TermManager::new();
         let out =
             synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+                .and_then(|out| out.require_complete())
                 .expect("synthesis succeeds");
         assert_eq!(out.solutions.len(), 51);
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();

@@ -222,6 +222,8 @@ mod tests {
         let mut st = fresh_state(&ila);
         // beq x0, x0, +8 (taken): opcode 1100011, f3=0, imm=8
         // imm[12|10:5] -> funct7 field, imm[4:1|11] -> rd field.
+        // The zero fields are spelled out to document the encoding.
+        #[allow(clippy::identity_op, clippy::erasing_op)]
         let beq_taken = 0b110_0011u64 | (0b01000 << 7) | (0 << 12) | (0 << 15) | (0 << 20);
         load_instr(&mut st, 0, beq_taken);
         assert_eq!(model.step(&mut st).unwrap().as_deref(), Some("BEQ"));

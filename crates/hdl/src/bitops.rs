@@ -279,7 +279,7 @@ pub fn xnor<E: SynthExpr>(x: E, y: E) -> E {
 ///
 /// Panics if `width` is not a multiple of 8.
 pub fn rev8<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width % 8 == 0, "rev8 requires a byte-multiple width");
+    assert!(width.is_multiple_of(8), "rev8 requires a byte-multiple width");
     let nbytes = width / 8;
     let mut acc = x.clone().extract_(7, 0);
     for b in 1..nbytes {
@@ -294,7 +294,7 @@ pub fn rev8<E: SynthExpr>(x: E, width: u32) -> E {
 ///
 /// Panics if `width` is not a multiple of 8.
 pub fn brev8<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width % 8 == 0, "brev8 requires a byte-multiple width");
+    assert!(width.is_multiple_of(8), "brev8 requires a byte-multiple width");
     let mut acc: Option<E> = None;
     for b in (0..width / 8).rev() {
         for i in b * 8..b * 8 + 8 {
@@ -315,9 +315,9 @@ pub fn brev8<E: SynthExpr>(x: E, width: u32) -> E {
 ///
 /// Panics if `width` is odd.
 pub fn zip<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width % 2 == 0, "zip requires an even width");
+    assert!(width.is_multiple_of(2), "zip requires an even width");
     let half = width / 2;
-    let src = |i: u32| if i % 2 == 0 { i / 2 } else { i / 2 + half };
+    let src = |i: u32| if i.is_multiple_of(2) { i / 2 } else { i / 2 + half };
     let mut acc = x.clone().extract_(src(width - 1), src(width - 1));
     for i in (0..width - 1).rev() {
         let s = src(i);
@@ -333,7 +333,7 @@ pub fn zip<E: SynthExpr>(x: E, width: u32) -> E {
 ///
 /// Panics if `width` is odd.
 pub fn unzip<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width % 2 == 0, "unzip requires an even width");
+    assert!(width.is_multiple_of(2), "unzip requires an even width");
     let half = width / 2;
     let src = |j: u32| if j < half { 2 * j } else { 2 * (j - half) + 1 };
     let mut acc = x.clone().extract_(src(width - 1), src(width - 1));
@@ -351,7 +351,7 @@ pub fn unzip<E: SynthExpr>(x: E, width: u32) -> E {
 ///
 /// Panics if `width` is odd.
 pub fn pack<E: SynthExpr>(x: E, y: E, width: u32) -> E {
-    assert!(width % 2 == 0, "pack requires an even width");
+    assert!(width.is_multiple_of(2), "pack requires an even width");
     let half = width / 2;
     y.extract_(half - 1, 0).concat_(x.extract_(half - 1, 0))
 }

@@ -79,6 +79,10 @@ pub enum SpecExpr {
     LoadConst(String, Box<SpecExpr>),
 }
 
+// The builder methods deliberately mirror operator names (`add`, `shl`,
+// ...) without implementing the std traits: they build spec AST nodes,
+// and the by-value chaining style is the DSL's documented surface.
+#[allow(clippy::should_implement_trait)]
 impl SpecExpr {
     /// Reference to an input or bitvector state by name.
     #[must_use]

@@ -101,6 +101,10 @@ pub enum Expr {
     Read(String, Box<Expr>),
 }
 
+// The builder methods deliberately mirror operator names (`add`, `not`,
+// ...) without implementing the std traits: they build IR nodes, and the
+// by-value chaining style is the DSL's documented surface.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A variable reference.
     #[must_use]
@@ -479,7 +483,7 @@ impl Design {
         for (i, stmt) in self.stmts.iter().enumerate() {
             match stmt {
                 Stmt::Assign { var, expr } => {
-                    let w = self.expr_width(expr, &widths, &wire_widths, &mems).map_err(|e| {
+                    let w = self.expr_width(expr, &widths, &mems).map_err(|e| {
                         OysterError::new(format!("statement {}: {}", i + 1, e.message))
                     })?;
                     if assigned.contains_key(var) {
@@ -520,9 +524,9 @@ impl Design {
                     if !writable {
                         return Err(OysterError::new(format!("cannot write to rom {mem}")));
                     }
-                    let a = self.expr_width(addr, &widths, &wire_widths, &mems)?;
-                    let d = self.expr_width(data, &widths, &wire_widths, &mems)?;
-                    let _e = self.expr_width(enable, &widths, &wire_widths, &mems)?;
+                    let a = self.expr_width(addr, &widths, &mems)?;
+                    let d = self.expr_width(data, &widths, &mems)?;
+                    let _e = self.expr_width(enable, &widths, &mems)?;
                     if a != aw {
                         return Err(OysterError::new(format!(
                             "write to {mem}: address width {a}, expected {aw}"
@@ -543,7 +547,6 @@ impl Design {
         &self,
         expr: &Expr,
         widths: &HashMap<String, u32>,
-        wires: &HashMap<String, u32>,
         mems: &HashMap<String, (u32, u32, bool)>,
     ) -> Result<u32, OysterError> {
         match expr {
@@ -552,10 +555,10 @@ impl Design {
                 .copied()
                 .ok_or_else(|| OysterError::new(format!("unknown identifier {n}"))),
             Expr::Const(c) => Ok(c.width()),
-            Expr::Not(a) => self.expr_width(a, widths, wires, mems),
+            Expr::Not(a) => self.expr_width(a, widths, mems),
             Expr::Binop(op, a, b) => {
-                let x = self.expr_width(a, widths, wires, mems)?;
-                let y = self.expr_width(b, widths, wires, mems)?;
+                let x = self.expr_width(a, widths, mems)?;
+                let y = self.expr_width(b, widths, mems)?;
                 if x != y {
                     return Err(OysterError::new(format!(
                         "operator {} width mismatch: {x} vs {y}",
@@ -565,16 +568,16 @@ impl Design {
                 Ok(if op.is_predicate() { 1 } else { x })
             }
             Expr::Ite(c, t, e) => {
-                let _ = self.expr_width(c, widths, wires, mems)?;
-                let x = self.expr_width(t, widths, wires, mems)?;
-                let y = self.expr_width(e, widths, wires, mems)?;
+                let _ = self.expr_width(c, widths, mems)?;
+                let x = self.expr_width(t, widths, mems)?;
+                let y = self.expr_width(e, widths, mems)?;
                 if x != y {
                     return Err(OysterError::new(format!("if branches differ: {x} vs {y}")));
                 }
                 Ok(x)
             }
             Expr::Extract(a, high, low) => {
-                let w = self.expr_width(a, widths, wires, mems)?;
+                let w = self.expr_width(a, widths, mems)?;
                 if high < low || *high >= w {
                     return Err(OysterError::new(format!(
                         "extract [{high}:{low}] out of range for width {w}"
@@ -583,11 +586,11 @@ impl Design {
                 Ok(high - low + 1)
             }
             Expr::Concat(a, b) => {
-                Ok(self.expr_width(a, widths, wires, mems)?
-                    + self.expr_width(b, widths, wires, mems)?)
+                Ok(self.expr_width(a, widths, mems)?
+                    + self.expr_width(b, widths, mems)?)
             }
             Expr::ZExt(a, w) | Expr::SExt(a, w) => {
-                let x = self.expr_width(a, widths, wires, mems)?;
+                let x = self.expr_width(a, widths, mems)?;
                 if *w < x {
                     return Err(OysterError::new(format!("extension to {w} below width {x}")));
                 }
@@ -597,7 +600,7 @@ impl Design {
                 let Some(&(aw, dw, _)) = mems.get(mem) else {
                     return Err(OysterError::new(format!("read from undeclared memory {mem}")));
                 };
-                let a = self.expr_width(addr, widths, wires, mems)?;
+                let a = self.expr_width(addr, widths, mems)?;
                 if a != aw {
                     return Err(OysterError::new(format!(
                         "read from {mem}: address width {a}, expected {aw}"

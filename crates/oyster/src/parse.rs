@@ -232,8 +232,7 @@ impl Parser {
 
     fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, OysterError> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some(Token::Op(op)) = self.peek() else { break };
+        while let Some(Token::Op(op)) = self.peek() {
             let Some(binop) = Self::binop_of(op) else { break };
             let prec = crate::print::precedence(binop);
             if prec < min_prec {

@@ -171,7 +171,7 @@ impl SymbolicEvaluator {
                 match stmt {
                     Stmt::Assign { var, expr } => {
                         let value = Self::eval(
-                            mgr, design, expr, &inputs, &regs, &wires, &holes, &mems, &roms,
+                            mgr, expr, &inputs, &regs, &wires, &holes, &mems, &roms,
                         )?;
                         if regs.contains_key(var) {
                             next_regs.push((var.clone(), value));
@@ -181,13 +181,13 @@ impl SymbolicEvaluator {
                     }
                     Stmt::Write { mem, addr, data, enable } => {
                         let a = Self::eval(
-                            mgr, design, addr, &inputs, &regs, &wires, &holes, &mems, &roms,
+                            mgr, addr, &inputs, &regs, &wires, &holes, &mems, &roms,
                         )?;
                         let dv = Self::eval(
-                            mgr, design, data, &inputs, &regs, &wires, &holes, &mems, &roms,
+                            mgr, data, &inputs, &regs, &wires, &holes, &mems, &roms,
                         )?;
                         let en = Self::eval(
-                            mgr, design, enable, &inputs, &regs, &wires, &holes, &mems, &roms,
+                            mgr, enable, &inputs, &regs, &wires, &holes, &mems, &roms,
                         )?;
                         writes.push((mem.clone(), a, dv, en));
                     }
@@ -223,7 +223,6 @@ impl SymbolicEvaluator {
     #[allow(clippy::too_many_arguments)]
     fn eval(
         mgr: &mut TermManager,
-        design: &Design,
         expr: &Expr,
         inputs: &HashMap<String, TermId>,
         regs: &HashMap<String, TermId>,
@@ -248,12 +247,12 @@ impl SymbolicEvaluator {
             }
             Expr::Const(c) => mgr.bv_const(c.clone()),
             Expr::Not(a) => {
-                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                let av = Self::eval(mgr, a, inputs, regs, wires, holes, mems, roms)?;
                 mgr.not(av)
             }
             Expr::Binop(op, a, b) => {
-                let x = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
-                let y = Self::eval(mgr, design, b, inputs, regs, wires, holes, mems, roms)?;
+                let x = Self::eval(mgr, a, inputs, regs, wires, holes, mems, roms)?;
+                let y = Self::eval(mgr, b, inputs, regs, wires, holes, mems, roms)?;
                 match op {
                     BinOp::And => mgr.and(x, y),
                     BinOp::Or => mgr.or(x, y),
@@ -273,30 +272,30 @@ impl SymbolicEvaluator {
                 }
             }
             Expr::Ite(c, t, e) => {
-                let cv = Self::eval(mgr, design, c, inputs, regs, wires, holes, mems, roms)?;
-                let tv = Self::eval(mgr, design, t, inputs, regs, wires, holes, mems, roms)?;
-                let ev = Self::eval(mgr, design, e, inputs, regs, wires, holes, mems, roms)?;
+                let cv = Self::eval(mgr, c, inputs, regs, wires, holes, mems, roms)?;
+                let tv = Self::eval(mgr, t, inputs, regs, wires, holes, mems, roms)?;
+                let ev = Self::eval(mgr, e, inputs, regs, wires, holes, mems, roms)?;
                 mgr.ite(cv, tv, ev)
             }
             Expr::Extract(a, high, low) => {
-                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                let av = Self::eval(mgr, a, inputs, regs, wires, holes, mems, roms)?;
                 mgr.extract(av, *high, *low)
             }
             Expr::Concat(a, b) => {
-                let hv = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
-                let lv = Self::eval(mgr, design, b, inputs, regs, wires, holes, mems, roms)?;
+                let hv = Self::eval(mgr, a, inputs, regs, wires, holes, mems, roms)?;
+                let lv = Self::eval(mgr, b, inputs, regs, wires, holes, mems, roms)?;
                 mgr.concat(hv, lv)
             }
             Expr::ZExt(a, w) => {
-                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                let av = Self::eval(mgr, a, inputs, regs, wires, holes, mems, roms)?;
                 mgr.zext(av, *w)
             }
             Expr::SExt(a, w) => {
-                let av = Self::eval(mgr, design, a, inputs, regs, wires, holes, mems, roms)?;
+                let av = Self::eval(mgr, a, inputs, regs, wires, holes, mems, roms)?;
                 mgr.sext(av, *w)
             }
             Expr::Read(mem, addr) => {
-                let av = Self::eval(mgr, design, addr, inputs, regs, wires, holes, mems, roms)?;
+                let av = Self::eval(mgr, addr, inputs, regs, wires, holes, mems, roms)?;
                 if let Some(m) = mems.get(mem) {
                     m.read(mgr, av)
                 } else if let Some(&rom) = roms.get(mem) {

@@ -1,0 +1,395 @@
+//! Resource governance for solver calls: deadlines, work limits,
+//! cooperative cancellation, and deterministic fault injection.
+//!
+//! A [`Budget`] is a cheap-to-clone handle threaded from the synthesis
+//! driver down into the CDCL loop. The solver consults it at conflict,
+//! decision and restart boundaries, so a wall-clock deadline or an
+//! external [`CancelFlag`] is observable *inside* a long-running query —
+//! not only between queries. When a limit trips, the solver answers
+//! [`SolveResult::Unknown`](crate::SolveResult::Unknown) and records the
+//! [`StopReason`] for the caller's degradation policy (escalate, retry,
+//! or report a typed partial failure).
+//!
+//! The module also hosts the [`FaultPlan`] test harness: a deterministic,
+//! seed-driven hook that perturbs chosen solver-call indices (forced
+//! `Unknown`s, spurious restarts, phantom conflicts, stalls) so every
+//! degradation path can be exercised without pathological benchmarks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a solver call stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The shared [`CancelFlag`] was raised.
+    Cancelled,
+    /// The conflict limit was exhausted.
+    ConflictLimit,
+    /// The decision limit was exhausted.
+    DecisionLimit,
+    /// The propagation limit was exhausted.
+    PropagationLimit,
+    /// A [`FaultPlan`] forced this call to fail.
+    FaultInjected,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StopReason::Deadline => "deadline exceeded",
+            StopReason::Cancelled => "cancelled",
+            StopReason::ConflictLimit => "conflict limit exhausted",
+            StopReason::DecisionLimit => "decision limit exhausted",
+            StopReason::PropagationLimit => "propagation limit exhausted",
+            StopReason::FaultInjected => "fault injected",
+        };
+        f.write_str(s)
+    }
+}
+
+impl StopReason {
+    /// True for the reasons that end the *whole run* (no point retrying
+    /// this or any other query): deadline and cancellation.
+    #[must_use]
+    pub fn is_global(self) -> bool {
+        matches!(self, StopReason::Deadline | StopReason::Cancelled)
+    }
+}
+
+/// A shared cancellation flag. Cloning shares the underlying flag, so a
+/// controller thread can cancel a solve running anywhere down the stack.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// Creates a new, unraised flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every solver holding a clone stops cooperatively
+    /// at its next budget checkpoint.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Lowers the flag again (for handle reuse across runs).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+
+    /// True once [`CancelFlag::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A deterministic fault to inject at one solver call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The call immediately answers `Unknown` with
+    /// [`StopReason::FaultInjected`].
+    ForceUnknown,
+    /// The call starts with its restart counter at zero, forcing an
+    /// immediate (harmless but observable) restart.
+    SpuriousRestart,
+    /// The call is charged this many phantom conflicts against its
+    /// conflict limit, simulating a query that burns budget slowly.
+    DelayConflicts(u64),
+    /// The call sleeps this many milliseconds before searching,
+    /// simulating a slow query so deadline handling can be tested
+    /// deterministically.
+    StallMillis(u64),
+}
+
+#[derive(Debug)]
+enum FaultMode {
+    /// Faults at explicitly chosen call indices.
+    Explicit(HashMap<u64, Fault>),
+    /// Seed-driven: roughly one in `one_in` calls gets a fault, chosen
+    /// deterministically from (seed, call index).
+    Seeded { seed: u64, one_in: u64 },
+}
+
+/// A deterministic fault-injection plan, shared across every solver call
+/// of a run. Call indices count *actual SAT solves* (constant-folded
+/// queries never reach the solver and are not counted).
+#[derive(Debug)]
+pub struct FaultPlan {
+    mode: FaultMode,
+    counter: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults); add some with [`FaultPlan::at`].
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan { mode: FaultMode::Explicit(HashMap::new()), counter: AtomicU64::new(0) }
+    }
+
+    /// Injects `fault` at the `call`-th solver invocation (0-based).
+    #[must_use]
+    pub fn at(mut self, call: u64, fault: Fault) -> Self {
+        if let FaultMode::Explicit(map) = &mut self.mode {
+            map.insert(call, fault);
+        }
+        self
+    }
+
+    /// A seed-driven plan: roughly one in `one_in` solver calls gets a
+    /// fault. Which calls, and which fault, are pure functions of
+    /// `(seed, call index)`, so a failing run replays exactly.
+    #[must_use]
+    pub fn seeded(seed: u64, one_in: u64) -> Self {
+        FaultPlan {
+            mode: FaultMode::Seeded { seed, one_in: one_in.max(1) },
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Consumes the next call index and returns its fault, if any.
+    pub fn next_fault(&self) -> Option<Fault> {
+        let idx = self.counter.fetch_add(1, Ordering::Relaxed);
+        match &self.mode {
+            FaultMode::Explicit(map) => map.get(&idx).copied(),
+            FaultMode::Seeded { seed, one_in } => {
+                let h = splitmix64(seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                if !h.is_multiple_of(*one_in) {
+                    return None;
+                }
+                Some(match (h >> 32) % 3 {
+                    0 => Fault::ForceUnknown,
+                    1 => Fault::SpuriousRestart,
+                    _ => Fault::DelayConflicts(1 + (h >> 48)),
+                })
+            }
+        }
+    }
+
+    /// How many solver calls the plan has observed so far.
+    #[must_use]
+    pub fn calls_observed(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The resource envelope for one or more solver calls.
+///
+/// All limits are per *call*; the deadline and cancel flag are shared
+/// across calls (cloning a budget shares the flag and the fault plan).
+/// The default budget is unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    conflicts: Option<u64>,
+    decisions: Option<u64>,
+    propagations: Option<u64>,
+    cancel: CancelFlag,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `limit` from now.
+    #[must_use]
+    pub fn with_deadline_in(self, limit: Duration) -> Self {
+        self.with_deadline(Instant::now() + limit)
+    }
+
+    /// Sets (or clears) the per-call conflict limit.
+    #[must_use]
+    pub fn with_conflicts(mut self, limit: Option<u64>) -> Self {
+        self.conflicts = limit;
+        self
+    }
+
+    /// Sets (or clears) the per-call decision limit.
+    #[must_use]
+    pub fn with_decisions(mut self, limit: Option<u64>) -> Self {
+        self.decisions = limit;
+        self
+    }
+
+    /// Sets (or clears) the per-call propagation limit.
+    #[must_use]
+    pub fn with_propagations(mut self, limit: Option<u64>) -> Self {
+        self.propagations = limit;
+        self
+    }
+
+    /// Attaches a shared cancellation flag.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelFlag) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a shared fault-injection plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The per-call conflict limit, if any.
+    #[must_use]
+    pub fn conflict_limit(&self) -> Option<u64> {
+        self.conflicts
+    }
+
+    /// The per-call decision limit, if any.
+    #[must_use]
+    pub fn decision_limit(&self) -> Option<u64> {
+        self.decisions
+    }
+
+    /// The per-call propagation limit, if any.
+    #[must_use]
+    pub fn propagation_limit(&self) -> Option<u64> {
+        self.propagations
+    }
+
+    /// The shared cancellation flag.
+    #[must_use]
+    pub fn cancel_flag(&self) -> &CancelFlag {
+        &self.cancel
+    }
+
+    /// Time remaining until the deadline (`None` = no deadline).
+    #[must_use]
+    pub fn time_left(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The cheap checkpoint: cancellation first, then the deadline.
+    /// Returns the stop reason if the budget is already spent.
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<StopReason> {
+        if self.cancel.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Pulls the next fault from the attached plan, if any.
+    pub(crate) fn next_fault(&self) -> Option<Fault> {
+        self.faults.as_ref().and_then(|p| p.next_fault())
+    }
+}
+
+/// A bare conflict budget is still accepted everywhere a [`Budget`] is:
+/// `check(mgr, &assertions, None)` and `check(mgr, &assertions, Some(n))`
+/// keep working unchanged.
+impl From<Option<u64>> for Budget {
+    fn from(conflicts: Option<u64>) -> Self {
+        Budget::default().with_conflicts(conflicts)
+    }
+}
+
+impl From<&Budget> for Budget {
+    fn from(b: &Budget) -> Self {
+        b.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        b.clear();
+        assert!(!a.is_cancelled());
+    }
+
+    #[test]
+    fn checkpoint_reports_cancellation_before_deadline() {
+        let cancel = CancelFlag::new();
+        let b = Budget::unlimited()
+            .with_cancel(cancel.clone())
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        cancel.cancel();
+        assert_eq!(b.checkpoint(), Some(StopReason::Cancelled));
+        cancel.clear();
+        assert_eq!(b.checkpoint(), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        assert_eq!(Budget::unlimited().checkpoint(), None);
+        assert_eq!(Budget::from(None).conflict_limit(), None);
+        assert_eq!(Budget::from(Some(7)).conflict_limit(), Some(7));
+    }
+
+    #[test]
+    fn explicit_fault_plan_fires_at_chosen_indices() {
+        let plan = FaultPlan::new().at(1, Fault::ForceUnknown).at(3, Fault::DelayConflicts(5));
+        assert_eq!(plan.next_fault(), None); // call 0
+        assert_eq!(plan.next_fault(), Some(Fault::ForceUnknown)); // call 1
+        assert_eq!(plan.next_fault(), None); // call 2
+        assert_eq!(plan.next_fault(), Some(Fault::DelayConflicts(5))); // call 3
+        assert_eq!(plan.calls_observed(), 4);
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_deterministic() {
+        let a = FaultPlan::seeded(42, 3);
+        let b = FaultPlan::seeded(42, 3);
+        let fa: Vec<_> = (0..64).map(|_| a.next_fault()).collect();
+        let fb: Vec<_> = (0..64).map(|_| b.next_fault()).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(Option::is_some), "rate 1/3 over 64 calls must fire");
+        assert!(fa.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn budget_clone_shares_fault_counter() {
+        let plan = Arc::new(FaultPlan::new().at(1, Fault::ForceUnknown));
+        let a = Budget::unlimited().with_fault_plan(plan.clone());
+        let b = a.clone();
+        assert_eq!(a.next_fault(), None); // call 0 via handle a
+        assert_eq!(b.next_fault(), Some(Fault::ForceUnknown)); // call 1 via b
+        assert_eq!(plan.calls_observed(), 2);
+    }
+}

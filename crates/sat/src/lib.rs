@@ -24,9 +24,11 @@
 //! assert_eq!(solver.value(b), Some(true));
 //! ```
 
+mod budget;
 mod heap;
 mod solver;
 
+pub use budget::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
 pub use solver::{SolveResult, Solver, Stats};
 
 /// A propositional variable, created by [`Solver::new_var`].

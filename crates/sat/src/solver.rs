@@ -1,6 +1,13 @@
 //! The CDCL solver core: two-watched-literal propagation, first-UIP
 //! conflict analysis, VSIDS, phase saving and Luby restarts.
+//!
+//! Every search is governed by a [`Budget`]: deadline and cancellation
+//! are checked cooperatively at conflict, decision and restart
+//! boundaries, and conflict/decision/propagation limits bound the work
+//! per call. A tripped budget yields [`SolveResult::Unknown`] with the
+//! cause recorded in [`Solver::stop_reason`].
 
+use crate::budget::{Budget, Fault, StopReason};
 use crate::heap::VarHeap;
 use crate::{Lit, Var};
 
@@ -76,8 +83,10 @@ pub struct Solver {
     ok: bool,
     stats: Stats,
     /// Maximum number of conflicts before returning `Unknown`
-    /// (`u64::MAX` = unlimited).
+    /// (`u64::MAX` = unlimited). Combined with the per-call [`Budget`].
     conflict_budget: u64,
+    /// Why the last `solve` call answered `Unknown`, if it did.
+    stop_reason: Option<StopReason>,
     // Scratch buffers for conflict analysis.
     seen: Vec<bool>,
     analyze_stack: Vec<Lit>,
@@ -110,6 +119,7 @@ impl Solver {
             ok: true,
             stats: Stats::default(),
             conflict_budget: u64::MAX,
+            stop_reason: None,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
@@ -154,6 +164,13 @@ impl Solver {
     /// `solve` return [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: u64) {
         self.conflict_budget = budget;
+    }
+
+    /// Why the last [`Solver::solve`] call answered
+    /// [`SolveResult::Unknown`], or `None` if it did not.
+    #[must_use]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop_reason
     }
 
     /// Adds a clause (a disjunction of literals).
@@ -339,8 +356,7 @@ impl Solver {
         loop {
             let clause_lits = self.clauses[conflict as usize].lits.clone();
             let start = usize::from(p.is_some());
-            for k in start..clause_lits.len() {
-                let q = clause_lits[k];
+            for &q in &clause_lits[start..] {
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -478,12 +494,53 @@ impl Solver {
     /// Solves under the given assumptions (literals forced true for this
     /// call only).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_budgeted_with(assumptions, &Budget::unlimited())
+    }
+
+    /// Solves the formula under a resource [`Budget`].
+    pub fn solve_budgeted(&mut self, budget: &Budget) -> SolveResult {
+        self.solve_budgeted_with(&[], budget)
+    }
+
+    /// Solves under assumptions and a resource [`Budget`].
+    ///
+    /// The budget's deadline and cancellation flag are polled at every
+    /// conflict and restart, and periodically between decisions, so the
+    /// call stops cooperatively close to the limit instead of running a
+    /// hard query to its natural end. Exhaustion yields
+    /// [`SolveResult::Unknown`]; the cause is in [`Solver::stop_reason`].
+    pub fn solve_budgeted_with(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
+        self.stop_reason = None;
         if !self.ok {
             return SolveResult::Unsat;
         }
-        let budget_start = self.stats.conflicts;
+
         let mut restart_idx = 0u64;
         let mut conflicts_until_restart = 32 * luby(restart_idx);
+        // Phantom conflicts charged up front by the fault harness.
+        let mut phantom_conflicts = 0u64;
+        match budget.next_fault() {
+            Some(Fault::ForceUnknown) => {
+                self.stop_reason = Some(StopReason::FaultInjected);
+                return SolveResult::Unknown;
+            }
+            Some(Fault::SpuriousRestart) => conflicts_until_restart = 0,
+            Some(Fault::DelayConflicts(n)) => phantom_conflicts = n,
+            Some(Fault::StallMillis(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms))
+            }
+            None => {}
+        }
+
+        let call_start = self.stats;
+        let conflict_limit = budget
+            .conflict_limit()
+            .unwrap_or(u64::MAX)
+            .min(self.conflict_budget);
+        if let Some(reason) = budget.checkpoint() {
+            self.stop_reason = Some(reason);
+            return SolveResult::Unknown;
+        }
 
         let result = loop {
             if let Some(conflict) = self.propagate() {
@@ -492,7 +549,14 @@ impl Solver {
                     // Conflict within (or below) the assumption prefix.
                     break SolveResult::Unsat;
                 }
-                if self.stats.conflicts - budget_start >= self.conflict_budget {
+                if let Some(reason) =
+                    self.work_exceeded(budget, &call_start, conflict_limit, phantom_conflicts)
+                {
+                    self.stop_reason = Some(reason);
+                    break SolveResult::Unknown;
+                }
+                if let Some(reason) = budget.checkpoint() {
+                    self.stop_reason = Some(reason);
                     break SolveResult::Unknown;
                 }
                 let (learned, bt_level) = self.analyze(conflict);
@@ -529,15 +593,17 @@ impl Solver {
                     }
                 }
                 self.decay_activity();
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
             } else {
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;
                     restart_idx += 1;
                     conflicts_until_restart = 32 * luby(restart_idx);
                     self.backtrack_to(assumptions.len() as u32);
+                    if let Some(reason) = budget.checkpoint() {
+                        self.stop_reason = Some(reason);
+                        break SolveResult::Unknown;
+                    }
                 }
                 // Enqueue any pending assumptions as decisions.
                 if (self.decision_level() as usize) < assumptions.len() {
@@ -559,6 +625,23 @@ impl Solver {
                     None => break SolveResult::Sat,
                     Some(next) => {
                         self.stats.decisions += 1;
+                        if let Some(reason) = self.work_exceeded(
+                            budget,
+                            &call_start,
+                            conflict_limit,
+                            phantom_conflicts,
+                        ) {
+                            self.stop_reason = Some(reason);
+                            break SolveResult::Unknown;
+                        }
+                        // Long conflict-free stretches must still observe
+                        // the deadline; poll it every 64 decisions.
+                        if self.stats.decisions & 63 == 0 {
+                            if let Some(reason) = budget.checkpoint() {
+                                self.stop_reason = Some(reason);
+                                break SolveResult::Unknown;
+                            }
+                        }
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(next, NO_REASON);
                     }
@@ -574,6 +657,32 @@ impl Solver {
             self.backtrack_to(0);
         }
         result
+    }
+
+    /// Checks the per-call work limits (conflicts, decisions,
+    /// propagations) against the stats accumulated since `call_start`.
+    fn work_exceeded(
+        &self,
+        budget: &Budget,
+        call_start: &Stats,
+        conflict_limit: u64,
+        phantom_conflicts: u64,
+    ) -> Option<StopReason> {
+        let conflicts = self.stats.conflicts - call_start.conflicts + phantom_conflicts;
+        if conflicts >= conflict_limit {
+            return Some(StopReason::ConflictLimit);
+        }
+        if let Some(limit) = budget.decision_limit() {
+            if self.stats.decisions - call_start.decisions >= limit {
+                return Some(StopReason::DecisionLimit);
+            }
+        }
+        if let Some(limit) = budget.propagation_limit() {
+            if self.stats.propagations - call_start.propagations >= limit {
+                return Some(StopReason::PropagationLimit);
+            }
+        }
+        None
     }
 
     /// Clears the trail back to level zero (invalidates the model) so more
@@ -603,7 +712,7 @@ fn luby(i: u64) -> u64 {
     let mut x = i + 1;
     loop {
         if (x + 1).is_power_of_two() {
-            return (x + 1) / 2;
+            return x.div_ceil(2);
         }
         let k = 63 - (x + 1).leading_zeros() as u64;
         x -= (1u64 << k) - 1;
@@ -685,9 +794,9 @@ mod tests {
             s.add_clause(row.iter().map(|&v| Lit::positive(v)));
         }
         for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause([Lit::negative(grid[p1][h]), Lit::negative(grid[p2][h])]);
+            for (p1, row1) in grid.iter().enumerate() {
+                for row2 in &grid[p1 + 1..] {
+                    s.add_clause([Lit::negative(row1[h]), Lit::negative(row2[h])]);
                 }
             }
         }
@@ -745,6 +854,98 @@ mod tests {
         let (mut s, _) = pigeonhole(7, 6);
         s.set_conflict_budget(5);
         assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::ConflictLimit));
+    }
+
+    #[test]
+    fn deadline_stops_search_mid_query() {
+        use std::time::{Duration, Instant};
+        // PHP(9, 8) takes far longer than 20ms to refute; the deadline
+        // must fire inside the CDCL loop, not at the query's natural end.
+        let (mut s, _) = pigeonhole(9, 8);
+        let budget = Budget::unlimited().with_deadline_in(Duration::from_millis(20));
+        let start = Instant::now();
+        let result = s.solve_budgeted(&budget);
+        assert_eq!(result, SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Deadline));
+        assert!(start.elapsed() < Duration::from_secs(5), "stopped far past the deadline");
+        assert!(s.stats().conflicts > 0, "search never started");
+    }
+
+    #[test]
+    fn cancellation_stops_a_stalled_query() {
+        use crate::CancelFlag;
+        use std::time::Duration;
+        let (mut s, _) = pigeonhole(5, 4);
+        let cancel = CancelFlag::new();
+        let plan =
+            std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::StallMillis(100)));
+        let budget =
+            Budget::unlimited().with_cancel(cancel.clone()).with_fault_plan(plan);
+        let canceller = {
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                cancel.cancel();
+            })
+        };
+        // The stall keeps the call alive until the canceller fires; the
+        // entry checkpoint after the stall observes the flag.
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
+        canceller.join().unwrap();
+    }
+
+    #[test]
+    fn decision_limit_gives_unknown() {
+        let (mut s, _) = pigeonhole(7, 6);
+        let budget = Budget::unlimited().with_decisions(Some(3));
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::DecisionLimit));
+    }
+
+    #[test]
+    fn propagation_limit_gives_unknown() {
+        let (mut s, _) = pigeonhole(7, 6);
+        let budget = Budget::unlimited().with_propagations(Some(2));
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::PropagationLimit));
+    }
+
+    #[test]
+    fn forced_unknown_fault_then_clean_retry() {
+        let plan = std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::ForceUnknown));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let (mut s, _) = solver_with(2, &[&[1, 2], &[-1]]);
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::FaultInjected));
+        // The next call (index 1) has no fault and succeeds.
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Sat);
+        assert_eq!(s.stop_reason(), None);
+    }
+
+    #[test]
+    fn delayed_conflicts_fault_burns_the_conflict_budget() {
+        let plan =
+            std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::DelayConflicts(10)));
+        let budget = Budget::unlimited().with_conflicts(Some(5)).with_fault_plan(plan);
+        // Satisfiable, but the 10 phantom conflicts exceed the limit of 5
+        // at the first boundary check.
+        let (mut s, _) = solver_with(2, &[&[1, 2]]);
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::ConflictLimit));
+    }
+
+    #[test]
+    fn spurious_restart_fault_is_harmless() {
+        let plan =
+            std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::SpuriousRestart));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let (mut s, grid) = pigeonhole(4, 4);
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Sat);
+        for row in &grid {
+            assert!(row.iter().any(|&v| s.value(v) == Some(true)));
+        }
     }
 
     #[test]

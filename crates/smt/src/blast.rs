@@ -11,6 +11,9 @@ use owl_bitvec::BitVec;
 use owl_sat::{Lit, Solver};
 use std::collections::HashMap;
 
+/// Recorded reads of one base array: (address bits, data bits) pairs.
+type ArrayReads = Vec<(Vec<Lit>, Vec<Lit>)>;
+
 pub(crate) struct Blaster<'m> {
     mgr: &'m TermManager,
     pub(crate) solver: Solver,
@@ -20,7 +23,7 @@ pub(crate) struct Blaster<'m> {
     /// Bits allocated for each symbolic variable (for model extraction).
     pub(crate) var_bits: HashMap<SymbolId, Vec<Lit>>,
     /// Recorded base-array reads: (address bits, data bits).
-    pub(crate) selects: HashMap<ArrayId, Vec<(Vec<Lit>, Vec<Lit>)>>,
+    pub(crate) selects: HashMap<ArrayId, ArrayReads>,
 }
 
 impl<'m> Blaster<'m> {
@@ -256,21 +259,21 @@ impl<'m> Blaster<'m> {
                 let size = 1usize << aw;
                 let mut table: Vec<BitVec> = self.mgr.rom_data(rom).to_vec();
                 table.resize(size, BitVec::zero(dw));
-                self.rom_mux(&addr_bits, &table, dw)
+                self.rom_mux(&addr_bits, &table)
             }
         }
     }
 
     /// Recursive mux tree over the address bits (MSB splits first).
-    fn rom_mux(&mut self, addr: &[Lit], table: &[BitVec], dw: u32) -> Vec<Lit> {
+    fn rom_mux(&mut self, addr: &[Lit], table: &[BitVec]) -> Vec<Lit> {
         if table.len() == 1 {
             return table[0].bits_lsb0().map(|b| self.const_lit(b)).collect();
         }
         let half = table.len() / 2;
         let top = addr[addr.len() - 1];
         let rest = &addr[..addr.len() - 1];
-        let lo = self.rom_mux(rest, &table[..half], dw);
-        let hi = self.rom_mux(rest, &table[half..], dw);
+        let lo = self.rom_mux(rest, &table[..half]);
+        let hi = self.rom_mux(rest, &table[half..]);
         hi.iter().zip(&lo).map(|(&h, &l)| self.mux_gate(top, h, l)).collect()
     }
 
@@ -389,7 +392,7 @@ impl<'m> Blaster<'m> {
     /// reads. Must be called once after all assertions are blasted and
     /// before solving.
     pub(crate) fn finalize_arrays(&mut self) {
-        let selects: Vec<(ArrayId, Vec<(Vec<Lit>, Vec<Lit>)>)> =
+        let selects: Vec<(ArrayId, ArrayReads)> =
             self.selects.iter().map(|(&a, v)| (a, v.clone())).collect();
         for (_, reads) in selects {
             for i in 0..reads.len() {

@@ -44,3 +44,7 @@ pub use eval::{ArrayValue, Env};
 pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
 pub use solver::{check, Model, SmtResult};
 pub use subst::{substitute, substitute_terms};
+
+// Resource governance: re-exported so downstream crates can build
+// budgets without depending on `owl_sat` directly.
+pub use owl_sat::{Budget, CancelFlag, Fault, FaultPlan, StopReason};

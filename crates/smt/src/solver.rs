@@ -5,7 +5,7 @@ use crate::blast::Blaster;
 use crate::eval::{ArrayValue, Env};
 use crate::manager::{TermId, TermManager};
 use owl_bitvec::BitVec;
-use owl_sat::SolveResult;
+use owl_sat::{Budget, SolveResult, StopReason};
 
 /// Result of an SMT [`check`] call.
 #[derive(Debug)]
@@ -14,8 +14,9 @@ pub enum SmtResult {
     Sat(Model),
     /// The conjunction of assertions is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted.
-    Unknown,
+    /// The budget was exhausted (or the call was cancelled or
+    /// fault-injected) before an answer was found.
+    Unknown(StopReason),
 }
 
 impl SmtResult {
@@ -29,6 +30,12 @@ impl SmtResult {
     #[must_use]
     pub fn is_unsat(&self) -> bool {
         matches!(self, SmtResult::Unsat)
+    }
+
+    /// True for [`SmtResult::Unknown`].
+    #[must_use]
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SmtResult::Unknown(_))
     }
 }
 
@@ -65,7 +72,14 @@ impl Model {
 
 /// Checks the conjunction of 1-bit `assertions` for satisfiability.
 ///
-/// `conflict_budget` bounds the SAT search; `None` means unlimited.
+/// `budget` governs the SAT search. Any of `None` (unlimited),
+/// `Some(conflicts)` (a bare conflict budget, the historical interface)
+/// or a full [`Budget`] — with a deadline, work limits, a shared
+/// [`CancelFlag`](owl_sat::CancelFlag) and an optional fault plan — is
+/// accepted. A spent budget is reported as [`SmtResult::Unknown`] with
+/// the [`StopReason`], checked once on entry and then cooperatively
+/// inside the CDCL loop.
+///
 /// Constant-true assertions are skipped and a constant-false assertion
 /// short-circuits to `Unsat` without invoking the SAT solver — the hot
 /// path when the CEGIS verifier's query folds away structurally.
@@ -74,7 +88,15 @@ impl Model {
 ///
 /// Panics if any assertion is wider than one bit.
 #[must_use]
-pub fn check(mgr: &TermManager, assertions: &[TermId], conflict_budget: Option<u64>) -> SmtResult {
+pub fn check(
+    mgr: &TermManager,
+    assertions: &[TermId],
+    budget: impl Into<Budget>,
+) -> SmtResult {
+    let budget = budget.into();
+    if let Some(reason) = budget.checkpoint() {
+        return SmtResult::Unknown(reason);
+    }
     // Constant short-circuits first.
     let mut pending = Vec::with_capacity(assertions.len());
     for &a in assertions {
@@ -94,12 +116,11 @@ pub fn check(mgr: &TermManager, assertions: &[TermId], conflict_budget: Option<u
         blaster.assert_true(a);
     }
     blaster.finalize_arrays();
-    if let Some(budget) = conflict_budget {
-        blaster.solver.set_conflict_budget(budget);
-    }
-    match blaster.solver.solve() {
+    match blaster.solver.solve_budgeted(&budget) {
         SolveResult::Unsat => SmtResult::Unsat,
-        SolveResult::Unknown => SmtResult::Unknown,
+        SolveResult::Unknown => SmtResult::Unknown(
+            blaster.solver.stop_reason().unwrap_or(StopReason::ConflictLimit),
+        ),
         SolveResult::Sat => {
             let mut env = Env::new();
             for (&sym, bits) in &blaster.var_bits {
@@ -326,7 +347,61 @@ mod tests {
         let a2 = m.uge(x, two);
         let a3 = m.uge(y, two);
         match check(&m, &[a1, a2, a3], Some(1)) {
-            SmtResult::Unknown | SmtResult::Sat(_) | SmtResult::Unsat => {}
+            SmtResult::Unknown(_) | SmtResult::Sat(_) | SmtResult::Unsat => {}
         }
+    }
+
+    #[test]
+    fn deadline_budget_reported_with_reason() {
+        use std::time::Instant;
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let c1 = m.const_u64(8, 1);
+        let a = m.eq(x, c1);
+        // An already-expired deadline is observed at entry.
+        let budget = Budget::unlimited().with_deadline(Instant::now());
+        match check(&m, &[a], &budget) {
+            SmtResult::Unknown(StopReason::Deadline) => {}
+            other => panic!("expected Unknown(Deadline), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_reported_with_reason() {
+        use owl_sat::CancelFlag;
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let c1 = m.const_u64(8, 1);
+        let a = m.eq(x, c1);
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        let budget = Budget::unlimited().with_cancel(cancel);
+        match check(&m, &[a], &budget) {
+            SmtResult::Unknown(StopReason::Cancelled) => {}
+            other => panic!("expected Unknown(Cancelled), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_counts_only_real_solver_calls() {
+        use owl_sat::{Fault, FaultPlan};
+        use std::sync::Arc;
+        let mut m = TermManager::new();
+        let plan = Arc::new(FaultPlan::new().at(0, Fault::ForceUnknown));
+        let budget = Budget::unlimited().with_fault_plan(plan.clone());
+        // A constant-folding query never reaches the SAT solver, so it
+        // does not consume a fault index.
+        let t = m.tru();
+        assert!(check(&m, &[t], &budget).is_sat());
+        assert_eq!(plan.calls_observed(), 0);
+        // The first real solve is call 0 and gets the fault.
+        let x = m.fresh_var("x", 8);
+        let c1 = m.const_u64(8, 1);
+        let a = m.eq(x, c1);
+        match check(&m, &[a], &budget) {
+            SmtResult::Unknown(StopReason::FaultInjected) => {}
+            other => panic!("expected Unknown(FaultInjected), got {other:?}"),
+        }
+        assert!(check(&m, &[a], &budget).is_sat());
     }
 }

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("Synthesizing FSM control for the AES-128 accelerator...");
     let mut mgr = TermManager::new();
     let start = Instant::now();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?;
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?.require_complete()?;
     println!("Done in {:.1}s. Recovered state machine:", start.elapsed().as_secs_f64());
     for sol in &out.solutions {
         println!(

@@ -21,7 +21,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let base = rv32i::single_cycle(Extensions::BASE);
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
-    let base_out = synthesize(&mut mgr, &base.sketch, &base.spec, &base.alpha, &config)?;
+    let base_out =
+        synthesize(&mut mgr, &base.sketch, &base.spec, &base.alpha, &config)?.require_complete()?;
     println!(
         "iteration 1 (RV32I, 37 instrs): from scratch in {:.2}s ({} CEGIS rounds)",
         t0.elapsed().as_secs_f64(),
@@ -41,7 +42,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         &zbkb.alpha,
         &config,
         &base_out.solutions,
-    )?;
+    )?
+    .require_complete()?;
     println!(
         "iteration 2 (+Zbkb, 49 instrs): {:.2}s, reused {} of 49, {} CEGIS rounds",
         t1.elapsed().as_secs_f64(),
@@ -60,7 +62,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         &zbkc.alpha,
         &config,
         &zbkb_out.solutions,
-    )?;
+    )?
+    .require_complete()?;
     println!(
         "iteration 3 (+Zbkc, 51 instrs): {:.2}s, reused {} of 51, {} CEGIS rounds",
         t2.elapsed().as_secs_f64(),

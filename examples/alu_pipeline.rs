@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  evaluated for {} cycles\n", alpha.cycles());
 
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?;
+    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?.require_complete()?;
     for sol in &out.solutions {
         println!(
             "  {:<5} alu_sel = {}, wr_en = {}",

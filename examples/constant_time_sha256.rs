@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cs = crypto_core::case_study();
     println!("Synthesizing the constant-time core ({} instructions)...", cs.spec.instrs().len());
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?;
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?.require_complete()?;
     let union = control_union_with(
         &cs.sketch,
         &cs.spec,

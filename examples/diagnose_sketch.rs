@@ -53,7 +53,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     alpha.map("count", "count", DatapathKind::Register, [1], [1]);
 
     let mut mgr = TermManager::new();
-    match synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default()) {
+    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?;
+    match out.require_complete() {
         Ok(_) => println!("unexpectedly synthesized — the sketch can add but not multiply!"),
         Err(e) => {
             println!("synthesis failed, as expected:\n  {e}\n");

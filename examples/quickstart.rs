@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Synthesize: per-instruction CEGIS plus the control union.
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?;
+    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?.require_complete()?;
     println!("=== Per-instruction hole solutions ===");
     for sol in &out.solutions {
         let mut holes: Vec<_> = sol.holes.iter().collect();

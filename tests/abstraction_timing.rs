@@ -19,6 +19,7 @@ fn quick_config() -> SynthesisConfig {
         max_cex_rounds: 32,
         conflict_budget: Some(200_000),
         time_budget: Some(Duration::from_secs(120)),
+        ..Default::default()
     }
 }
 
@@ -36,7 +37,8 @@ fn alu_machine_fails_with_wrong_write_time() {
         .map_input("src2", "src2")
         .map("regs", "regfile", DatapathKind::Memory, [1], [2]);
     let mut mgr = TermManager::new();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &wrong, &quick_config());
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &wrong, &quick_config())
+        .and_then(|out| out.require_complete());
     assert!(result.is_err(), "mis-timed abstraction function must not synthesize");
 }
 
@@ -62,7 +64,8 @@ fn crypto_core_fails_without_instruction_valid_assumption() {
         .map("mem", "d_mem", DatapathKind::Memory, [3], [3])
         .map("imem", "i_mem", DatapathKind::Memory, [1], []);
     let mut mgr = TermManager::new();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &no_assume, &quick_config());
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &no_assume, &quick_config())
+        .and_then(|out| out.require_complete());
     assert!(
         result.is_err(),
         "without the instruction_valid assumption, the flushed-slot case \
@@ -76,6 +79,7 @@ fn crypto_core_succeeds_with_the_assumption() {
     // The positive control for the test above.
     let cs = crypto_core::case_study();
     let mut mgr = TermManager::new();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &quick_config());
+    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &quick_config())
+        .and_then(|out| out.require_complete());
     assert!(result.is_ok(), "{:?}", result.err());
 }

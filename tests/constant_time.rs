@@ -12,6 +12,7 @@ fn sha256_is_constant_time_and_correct() {
     let cs = crypto_core::case_study();
     let mut mgr = TermManager::new();
     let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        .and_then(|out| out.require_complete())
         .expect("crypto core synthesizes");
     let union = control_union_with(
         &cs.sketch,

@@ -15,6 +15,7 @@ fn synthesize_and_verify(cs: &CaseStudy, mode: SynthesisMode) -> owl::oyster::De
     let mut mgr = TermManager::new();
     let config = SynthesisConfig { mode, ..Default::default() };
     let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+        .and_then(|out| out.require_complete())
         .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", cs.name));
     let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
         .unwrap_or_else(|e| panic!("{}: union failed: {e}", cs.name));
@@ -88,6 +89,7 @@ fn tampered_control_fails_verification() {
     let mut mgr = TermManager::new();
     let mut out =
         synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+            .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
     let first = &mut out.solutions[0];
     let old = first.holes["next_state"].clone();

@@ -1,0 +1,145 @@
+//! Integration tests for the resource-governance layer: wall-clock
+//! deadlines observed inside solver calls, cooperative cancellation,
+//! graceful degradation to partial results, and fault-injection
+//! recovery — all through the public `owl` facade.
+
+use owl::core::{
+    synthesize, CoreError, Fault, FaultPlan, InstrStatus, SynthesisConfig, SynthesisMode,
+};
+use owl::smt::TermManager;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The acceptance scenario: a tiny time budget on the RV32I core must
+/// terminate within roughly 2x the budget (the deadline is polled inside
+/// the CDCL loop, so no single query can overshoot), returning whatever
+/// prefix of instructions was solved plus a typed `Timeout`.
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn rv32i_tiny_budget_terminates_promptly_with_partial_output() {
+    let cs = owl::cores::rv32i::single_cycle(owl::cores::rv32i::Extensions::BASE);
+    // The full core takes on the order of a second; 100ms lands mid-run.
+    let budget = Duration::from_millis(100);
+    let config = SynthesisConfig { time_budget: Some(budget), ..Default::default() };
+    let mut mgr = TermManager::new();
+    let start = Instant::now();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < budget * 2 + Duration::from_millis(500),
+        "run overshot its deadline: {elapsed:?} against a {budget:?} budget"
+    );
+    assert!(matches!(out.interrupted, Some(CoreError::Timeout { .. })));
+    assert_eq!(out.outcomes.len(), cs.spec.instrs().len());
+    // The solved prefix is exactly the instructions marked Solved, in
+    // specification order, and nothing after the interrupt is Solved.
+    let solved = out
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.status, InstrStatus::Solved))
+        .count();
+    assert_eq!(out.solutions.len(), solved);
+    assert!(solved < cs.spec.instrs().len(), "a 100ms budget must not finish the full core");
+    let err = out.require_complete().unwrap_err();
+    assert!(err.to_string().contains("timed out"));
+}
+
+/// A mid-run timeout keeps the already-solved prefix and reports the
+/// in-flight instruction as `Failed(Timeout)`. The fault plan stalls the
+/// first solver call of instruction 2 past the deadline; the stall index
+/// is calibrated with a probe run (the solver is deterministic).
+#[test]
+fn mid_run_timeout_keeps_solved_prefix() {
+    let cs = owl::cores::accumulator::case_study();
+    let mut probe_mgr = TermManager::new();
+    let probe = synthesize(
+        &mut probe_mgr,
+        &cs.sketch,
+        &cs.spec,
+        &cs.alpha,
+        &SynthesisConfig::default(),
+    )
+    .unwrap();
+    assert!(probe.is_complete());
+    let first_instr_calls = probe.outcomes[0].solver_calls as u64;
+
+    let plan = Arc::new(FaultPlan::new().at(first_instr_calls, Fault::StallMillis(500)));
+    let config = SynthesisConfig {
+        time_budget: Some(Duration::from_millis(100)),
+        fault_plan: Some(plan),
+        ..Default::default()
+    };
+    let mut mgr = TermManager::new();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    assert!(matches!(out.interrupted, Some(CoreError::Timeout { .. })));
+    assert_eq!(out.solutions.len(), 1, "the first instruction's solution is kept");
+    assert_eq!(out.solutions[0].instr, probe.solutions[0].instr);
+    assert!(matches!(out.outcomes[0].status, InstrStatus::Solved));
+    assert!(matches!(
+        out.outcomes[1].status,
+        InstrStatus::Failed(CoreError::Timeout { .. })
+    ));
+    for later in &out.outcomes[2..] {
+        assert!(matches!(later.status, InstrStatus::Skipped));
+    }
+}
+
+/// Raising the shared cancel flag from another thread stops a long
+/// monolithic query cooperatively (the flag is polled inside the CDCL
+/// loop and at phase boundaries).
+#[test]
+fn cancellation_stops_a_long_monolithic_query() {
+    let cs = owl::cores::accumulator::case_study();
+    // Stall the first solver call so the query is reliably in flight
+    // when the cancellation lands.
+    let plan = Arc::new(FaultPlan::new().at(0, Fault::StallMillis(500)));
+    let config = SynthesisConfig {
+        mode: SynthesisMode::Monolithic,
+        fault_plan: Some(plan),
+        ..Default::default()
+    };
+    let cancel = config.cancel.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        cancel.cancel();
+    });
+    let mut mgr = TermManager::new();
+    let start = Instant::now();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    canceller.join().unwrap();
+    assert!(start.elapsed() < Duration::from_secs(10));
+    assert!(matches!(out.interrupted, Some(CoreError::Cancelled)));
+    assert!(out.solutions.is_empty());
+}
+
+/// A fault-injected `Unknown` on the first solver call is recovered by
+/// the escalation ladder: the retry re-issues the query (at a later
+/// fault-plan index) and the run completes.
+#[test]
+fn fault_injected_unknown_is_recovered_by_escalation() {
+    let cs = owl::cores::accumulator::case_study();
+    let plan = Arc::new(FaultPlan::new().at(0, Fault::ForceUnknown));
+    let config = SynthesisConfig { fault_plan: Some(plan), ..Default::default() };
+    let mut mgr = TermManager::new();
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    assert!(out.is_complete(), "{:?}", out.first_error());
+    assert!(out.stats.escalations >= 1);
+    // The injected fault hits the first *real* solver call, which (after
+    // constant folding) may belong to any instruction — but exactly one
+    // of them must have needed the escalation retry.
+    assert!(out.outcomes.iter().any(|o| o.escalations >= 1));
+    // The recovered run finds the same controls as a clean run.
+    let mut clean_mgr = TermManager::new();
+    let clean = synthesize(
+        &mut clean_mgr,
+        &cs.sketch,
+        &cs.spec,
+        &cs.alpha,
+        &SynthesisConfig::default(),
+    )
+    .unwrap();
+    for (a, b) in out.solutions.iter().zip(clean.solutions.iter()) {
+        assert_eq!(a.instr, b.instr);
+        assert_eq!(a.holes, b.holes);
+    }
+}

@@ -20,6 +20,7 @@ fn completed_core(ext: Extensions) -> (owl::cores::CaseStudy, owl::oyster::Desig
     let cs = rv32i::single_cycle(ext);
     let mut mgr = TermManager::new();
     let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        .and_then(|out| out.require_complete())
         .expect("synthesis succeeds");
     let union =
         control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).expect("union succeeds");
