@@ -46,7 +46,10 @@ pub fn run_synthesis(
     budget: Option<Duration>,
 ) -> SynthesisRun {
     let mut mgr = TermManager::new();
-    let config = SynthesisConfig { mode, time_budget: budget, ..Default::default() };
+    // Certification off: the paper's tables time raw synthesis, and the
+    // proof-logging/differential overhead would skew the comparison.
+    let config =
+        SynthesisConfig { mode, time_budget: budget, certify: false, ..Default::default() };
     let start = Instant::now();
     let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
         .and_then(|out| out.require_complete());

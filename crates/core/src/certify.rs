@@ -1,0 +1,752 @@
+//! End-to-end result certification: trust, but verify.
+//!
+//! The synthesis engine's claims rest on a long tool chain — condition
+//! extraction, bit-blasting, CDCL search, the control union. Each layer
+//! is tested, but a bug in any of them silently produces wrong control
+//! logic. This module closes the loop with two *independent* checks:
+//!
+//! 1. **Query certification** (via [`owl_smt::check_certified`]): every
+//!    SAT answer is re-evaluated at the term level against the original
+//!    pre-blast assertions, and every UNSAT answer is replayed through a
+//!    DRUP-style proof checker that shares no code with the CDCL solver.
+//!    The per-query verdicts are accumulated in a [`QueryLog`].
+//!
+//! 2. **Differential re-verification**: the synthesized control is
+//!    spliced into the sketch ([`crate::union::complete_design`]) and the
+//!    completed design is simulated on the *concrete* Oyster interpreter
+//!    against the ILA golden model, on fresh SMT-sampled traces that are
+//!    **not** the CEGIS counterexamples. The concrete interpreter and the
+//!    golden model never see the solver, the blaster, or the symbolic
+//!    evaluator's term graph, so an agreement here is independent
+//!    evidence that the synthesized control implements the instruction.
+//!
+//! The verdicts are carried in a [`Certificate`] attached to
+//! [`crate::synth::SynthesisOutput`]; certification is on by default and
+//! opt-out via [`crate::synth::SynthesisConfig::certify`].
+
+use crate::abstraction::{AbstractionFn, DatapathKind, Mapping};
+use crate::conditions::ConditionBuilder;
+use crate::synth::{InstrStatus, SynthesisConfig, SynthesisOutput};
+use crate::union::{complete_design, control_union};
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_ila::golden::{GoldenModel, SpecMem, SpecState};
+use owl_ila::{Ila, Instr, SpecSort};
+use owl_oyster::{Design, Interpreter, MemState, SymbolicEvaluator, SymbolicTrace};
+use owl_smt::{check, Budget, Env, QueryCert, SmtResult, TermId, TermManager};
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The verdict of one independent check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// The check ran and agreed with the synthesis result.
+    Passed,
+    /// The check ran and contradicted the synthesis result — the
+    /// certificate is void and the message says why.
+    Failed(String),
+    /// The check could not run (instruction unsolved, budget spent,
+    /// certification disabled, ...); no claim either way.
+    Skipped(String),
+}
+
+impl CheckStatus {
+    /// True if the check ran and agreed.
+    #[must_use]
+    pub fn is_passed(&self) -> bool {
+        matches!(self, CheckStatus::Passed)
+    }
+
+    /// True if the check ran and contradicted the result.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CheckStatus::Failed(_))
+    }
+}
+
+impl fmt::Display for CheckStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckStatus::Passed => write!(f, "passed"),
+            CheckStatus::Failed(m) => write!(f, "FAILED: {m}"),
+            CheckStatus::Skipped(m) => write!(f, "skipped: {m}"),
+        }
+    }
+}
+
+/// Accumulated per-query certification verdicts for one instruction's
+/// solver traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryLog {
+    /// SAT answers whose models re-evaluated true at the term level.
+    pub sat_verified: usize,
+    /// UNSAT answers whose clausal proofs replayed successfully.
+    pub unsat_verified: usize,
+    /// Answers decided by constant folding, re-derived independently.
+    pub trivial: usize,
+    /// Unknown answers — no claim was made, nothing to certify.
+    pub unchecked: usize,
+    /// Certification failures: an answer whose model or proof did not
+    /// check out.
+    pub failures: Vec<String>,
+}
+
+impl QueryLog {
+    /// Folds one query's certification verdict into the log.
+    pub(crate) fn record(&mut self, cert: &QueryCert) {
+        match cert {
+            QueryCert::Trivial => self.trivial += 1,
+            QueryCert::SatVerified => self.sat_verified += 1,
+            QueryCert::UnsatVerified { .. } => self.unsat_verified += 1,
+            QueryCert::Unchecked => self.unchecked += 1,
+            QueryCert::Failed(msg) => self.failures.push(msg.clone()),
+        }
+    }
+
+    /// Total number of queries recorded.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.sat_verified + self.unsat_verified + self.trivial + self.unchecked
+            + self.failures.len()
+    }
+
+    /// The overall verdict: failed if any answer's certification failed.
+    #[must_use]
+    pub fn status(&self) -> CheckStatus {
+        if self.failures.is_empty() {
+            CheckStatus::Passed
+        } else {
+            CheckStatus::Failed(self.failures.join("; "))
+        }
+    }
+}
+
+/// The certification record for one instruction.
+#[derive(Debug, Clone)]
+pub struct InstrCertificate {
+    /// Instruction name.
+    pub instr: String,
+    /// Per-query proof/model certification tallies.
+    pub queries: QueryLog,
+    /// Verdict over the solver answers that produced this instruction's
+    /// result ([`QueryLog::status`], or skipped when the instruction was
+    /// never solved).
+    pub solver: CheckStatus,
+    /// Verdict of the differential re-verification run.
+    pub differential: CheckStatus,
+}
+
+impl InstrCertificate {
+    /// True if both independent checks ran and agreed.
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        self.solver.is_passed() && self.differential.is_passed()
+    }
+}
+
+/// The certificate for a synthesis run: one entry per specification
+/// instruction, in order.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Per-instruction verdicts, in specification order.
+    pub instrs: Vec<InstrCertificate>,
+    /// Differential traces sampled per instruction.
+    pub samples_per_instr: usize,
+    /// The PRNG seed the differential sampler ran with.
+    pub seed: u64,
+}
+
+impl Certificate {
+    /// True if every instruction passed both checks.
+    #[must_use]
+    pub fn is_fully_certified(&self) -> bool {
+        !self.instrs.is_empty() && self.instrs.iter().all(InstrCertificate::is_certified)
+    }
+
+    /// The entry for one instruction, if present.
+    #[must_use]
+    pub fn entry(&self, instr: &str) -> Option<&InstrCertificate> {
+        self.instrs.iter().find(|c| c.instr == instr)
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "certificate ({} instructions, {} differential samples each, seed {:#x}):",
+            self.instrs.len(),
+            self.samples_per_instr,
+            self.seed
+        )?;
+        for c in &self.instrs {
+            writeln!(
+                f,
+                "  {}: solver {} ({} sat / {} unsat / {} trivial verified), differential {}",
+                c.instr,
+                c.solver,
+                c.queries.sat_verified,
+                c.queries.unsat_verified,
+                c.queries.trivial,
+                c.differential
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// A deterministic splitmix64 stream for trace sampling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The concrete state visible at one simulated time step, mirroring
+/// [`owl_oyster::Snapshot`].
+struct ConcreteSnap {
+    regs: HashMap<String, BitVec>,
+    mems: HashMap<String, MemState>,
+    wires: HashMap<String, BitVec>,
+    /// Memory writes committed at the end of the cycle that produced
+    /// this snapshot (empty for snapshot 0).
+    writes: Vec<(String, u64, BitVec)>,
+}
+
+/// Runs differential re-verification of a completed (hole-free) design
+/// against the specification's golden model.
+///
+/// For each named instruction, `samples` fresh concrete pre-states
+/// satisfying the instruction's preconditions are sampled with the SMT
+/// solver (randomly pinning inputs and initial registers for diversity,
+/// relaxing the pins when they contradict the decode condition). Each
+/// sampled state is then simulated for α's window on the concrete
+/// [`Interpreter`] and architecturally stepped on the [`GoldenModel`];
+/// the post-states are compared through α's write mappings, with memory
+/// updates compared extensionally on every touched address.
+///
+/// Returns one [`CheckStatus`] per requested instruction.
+///
+/// # Errors
+///
+/// Returns an error if the design or abstraction function fail
+/// validation (the per-instruction statuses absorb everything else).
+pub fn differential_check(
+    complete: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    instrs: &[String],
+    samples: usize,
+    seed: u64,
+    budget: &Budget,
+) -> Result<HashMap<String, CheckStatus>, CoreError> {
+    let mut mgr = TermManager::new();
+    let trace = SymbolicEvaluator::run(&mut mgr, complete, alpha.cycles())?;
+    let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
+    builder.share_roms(&mgr);
+    let golden = GoldenModel::new(ila).map_err(CoreError::from)?;
+    let mut rng = seed;
+    let mut results = HashMap::new();
+    for name in instrs {
+        let status = match ila.instr(name) {
+            Some(instr) => match builder.instr_conditions(&mut mgr, instr) {
+                Ok(conds) => check_one_instr(
+                    &mut mgr, complete, &trace, &golden, ila, alpha, instr, &conds.pres, samples,
+                    &mut rng, budget,
+                ),
+                Err(e) => CheckStatus::Skipped(format!("condition extraction failed: {e}")),
+            },
+            None => CheckStatus::Skipped("unknown instruction".to_string()),
+        };
+        results.insert(name.clone(), status);
+    }
+    Ok(results)
+}
+
+/// Samples and replays the traces for one instruction.
+#[allow(clippy::too_many_arguments)]
+fn check_one_instr(
+    mgr: &mut TermManager,
+    complete: &Design,
+    trace: &SymbolicTrace,
+    golden: &GoldenModel<'_>,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    instr: &Instr,
+    pres: &[TermId],
+    samples: usize,
+    rng: &mut u64,
+    budget: &Budget,
+) -> CheckStatus {
+    let mut passed = 0usize;
+    let mut skip_note = None;
+    for _sample in 0..samples {
+        // Random pins over inputs and initial registers, in sorted order
+        // so the sampling is deterministic across HashMap layouts.
+        let mut pinnable: Vec<(&String, TermId)> = trace
+            .inputs
+            .iter()
+            .chain(trace.initial_regs.iter())
+            .map(|(n, &t)| (n, t))
+            .collect();
+        pinnable.sort_by(|a, b| a.0.cmp(b.0));
+        let mut pins: Vec<TermId> = Vec::new();
+        for (_, t) in pinnable {
+            let w = mgr.width(t);
+            if w > 64 || splitmix64(rng) & 1 == 0 {
+                continue;
+            }
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let v = mgr.bv_const(BitVec::from_u64(w, splitmix64(rng) & mask));
+            pins.push(mgr.eq(t, v));
+        }
+        // Solve for a concrete pre-state; drop pins if they contradict
+        // the preconditions.
+        let env = loop {
+            let mut assertions: Vec<TermId> = pres.to_vec();
+            assertions.extend(pins.iter().copied());
+            match check(mgr, &assertions, budget) {
+                SmtResult::Sat(model) => break Some(model.into_env()),
+                SmtResult::Unsat => {
+                    if pins.is_empty() {
+                        break None;
+                    }
+                    pins.truncate(pins.len() / 2);
+                }
+                SmtResult::Unknown(reason) => {
+                    return CheckStatus::Skipped(format!(
+                        "trace sampling stopped: {reason:?}"
+                    ));
+                }
+            }
+        };
+        let Some(env) = env else {
+            return CheckStatus::Skipped(
+                "preconditions unsatisfiable: no concrete trace exists".to_string(),
+            );
+        };
+        match replay_trace(mgr, complete, trace, &env, golden, ila, alpha, instr) {
+            Ok(()) => passed += 1,
+            Err(CheckStatus::Skipped(note)) => skip_note = Some(note),
+            Err(failure) => return failure,
+        }
+    }
+    if passed > 0 {
+        CheckStatus::Passed
+    } else if let Some(note) = skip_note {
+        CheckStatus::Skipped(note)
+    } else {
+        CheckStatus::Skipped("no samples requested".to_string())
+    }
+}
+
+/// Simulates one sampled pre-state on the concrete interpreter and the
+/// golden model and compares the post-states through α.
+#[allow(clippy::too_many_arguments)]
+fn replay_trace(
+    mgr: &TermManager,
+    complete: &Design,
+    trace: &SymbolicTrace,
+    env: &Env,
+    golden: &GoldenModel<'_>,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    instr: &Instr,
+) -> Result<(), CheckStatus> {
+    let skip = |m: String| CheckStatus::Skipped(m);
+    let fail = |m: String| CheckStatus::Failed(m);
+
+    // Concrete input values, constant over the evaluated window (the
+    // symbolic evaluator models one variable per input).
+    let inputs: HashMap<String, BitVec> =
+        trace.inputs.iter().map(|(n, &t)| (n.clone(), env.eval(mgr, t))).collect();
+
+    let mut sim = Interpreter::new(complete).map_err(|e| skip(format!("interpreter: {e}")))?;
+    for (name, &t) in &trace.initial_regs {
+        sim.set_reg(name, env.eval(mgr, t)).map_err(|e| skip(format!("interpreter: {e}")))?;
+    }
+    for (name, &arr) in &trace.mem_bases {
+        let Some(av) = env.array(arr) else { continue };
+        if !av.default_value().is_zero() {
+            // The interpreter zero-fills untouched addresses; a model
+            // with a non-zero array default cannot be realized exactly.
+            return Err(skip(format!("memory {name}: sampled default value is non-zero")));
+        }
+        for (a, d) in av.entries() {
+            let Some(a64) = a.to_u64() else {
+                return Err(skip(format!("memory {name}: sampled address exceeds 64 bits")));
+            };
+            sim.poke_mem(name, a64, d.clone())
+                .map_err(|e| skip(format!("interpreter: {e}")))?;
+        }
+    }
+
+    // Snapshot 0 is the initial state; snapshot t the state after the
+    // t-th cycle's commits, mirroring the symbolic trace's indexing.
+    let capture = |sim: &Interpreter<'_>| -> Result<_, CheckStatus> {
+        let mut regs = HashMap::new();
+        for name in trace.initial_regs.keys() {
+            let v = sim
+                .reg(name)
+                .cloned()
+                .ok_or_else(|| CheckStatus::Skipped(format!("register {name} missing")))?;
+            regs.insert(name.clone(), v);
+        }
+        let mut mems = HashMap::new();
+        for name in trace.mem_bases.keys() {
+            let m = sim
+                .mem(name)
+                .cloned()
+                .ok_or_else(|| CheckStatus::Skipped(format!("memory {name} missing")))?;
+            mems.insert(name.clone(), m);
+        }
+        Ok((regs, mems))
+    };
+    let mut snaps: Vec<ConcreteSnap> = Vec::with_capacity(trace.cycles() + 1);
+    let (regs0, mems0) = capture(&sim)?;
+    snaps.push(ConcreteSnap { regs: regs0, mems: mems0, wires: HashMap::new(), writes: Vec::new() });
+    for _ in 0..trace.cycles() {
+        let out = sim
+            .step(&inputs)
+            .map_err(|e| fail(format!("concrete interpreter diverged: {e}")))?;
+        let (regs, mems) = capture(&sim)?;
+        snaps.push(ConcreteSnap { regs, mems, wires: out.wires, writes: out.writes });
+    }
+
+    // Architectural pre-state through α's read mappings, mirroring the
+    // symbolic `PreResolver` exactly.
+    let mut st = SpecState::zeroed(ila);
+    for v in ila.vars() {
+        let Some(m) = alpha.read_mapping(&v.name) else { continue };
+        match &v.sort {
+            SpecSort::Bv(_) => {
+                let val = resolve_bv(m, &inputs, &snaps).map_err(skip)?;
+                if v.is_input {
+                    st.inputs.insert(v.name.clone(), val);
+                } else {
+                    st.bvs.insert(v.name.clone(), val);
+                }
+            }
+            SpecSort::Mem { .. } => {
+                if m.kind != DatapathKind::Memory {
+                    return Err(skip(format!("{}: memory state not memory-mapped", v.name)));
+                }
+                let rt = m.reads[0] as usize;
+                let ms = snaps[rt - 1]
+                    .mems
+                    .get(&m.datapath_name)
+                    .ok_or_else(|| skip(format!("datapath has no memory {}", m.datapath_name)))?;
+                let mut sm = SpecMem::filled(ms.default_value().clone());
+                for (a, d) in ms.entries() {
+                    sm.write(a, d.clone());
+                }
+                st.mems.insert(v.name.clone(), sm);
+            }
+        }
+    }
+
+    // The golden model must decode exactly the sampled instruction.
+    let st_pre = st.clone();
+    match golden.step(&mut st) {
+        Err(e) => return Err(fail(format!("golden model diverged: {e}"))),
+        Ok(None) => {
+            return Err(fail(
+                "hardware preconditions hold but no specification instruction decodes"
+                    .to_string(),
+            ))
+        }
+        Ok(Some(fired)) if fired != instr.name() => {
+            return Err(fail(format!(
+                "sampled a trace for {} but the golden model decoded {fired}",
+                instr.name()
+            )))
+        }
+        Ok(Some(_)) => {}
+    }
+
+    // Compare the post-states through α's write mappings.
+    for v in ila.vars() {
+        if v.is_input {
+            continue;
+        }
+        let Some(wm) = alpha.write_mapping(&v.name) else { continue };
+        let wt = wm.writes[0] as usize;
+        match &v.sort {
+            SpecSort::Bv(_) => {
+                let actual = match wm.kind {
+                    DatapathKind::Register => snaps[wt].regs.get(&wm.datapath_name),
+                    DatapathKind::Output => {
+                        snaps.get(wt).and_then(|s| s.wires.get(&wm.datapath_name))
+                    }
+                    _ => {
+                        return Err(skip(format!(
+                            "write mapping for {} must be a register or output",
+                            v.name
+                        )))
+                    }
+                }
+                .cloned()
+                .ok_or_else(|| {
+                    skip(format!("datapath has no {} {}", wm.kind, wm.datapath_name))
+                })?;
+                let expected = st
+                    .bvs
+                    .get(&v.name)
+                    .cloned()
+                    .ok_or_else(|| skip(format!("specification has no state {}", v.name)))?;
+                if actual != expected {
+                    return Err(fail(format!(
+                        "{}: datapath {} {} holds {actual} after cycle {wt} but the \
+                         specification expects {expected}",
+                        instr.name(),
+                        wm.kind,
+                        wm.datapath_name,
+                    )));
+                }
+            }
+            SpecSort::Mem { .. } => {
+                let old_t = wm.reads.first().copied().unwrap_or(wm.writes[0]) as usize;
+                let old = snaps[old_t - 1]
+                    .mems
+                    .get(&wm.datapath_name)
+                    .cloned()
+                    .ok_or_else(|| {
+                        skip(format!("datapath has no memory {}", wm.datapath_name))
+                    })?;
+                // Hardware side: the write-back delta (writes committed
+                // during cycle wt) applied to the read-time state.
+                let mut actual = old.clone();
+                for (mname, a, d) in &snaps[wt].writes {
+                    if mname == &wm.datapath_name {
+                        actual.write(*a, d.clone());
+                    }
+                }
+                // Specification side: the instruction's stores evaluated
+                // on the pre-state, applied to the same read-time state.
+                let mut expected = old;
+                for (mname, update) in instr.mem_updates() {
+                    if mname != &v.name {
+                        continue;
+                    }
+                    let enabled = match &update.cond {
+                        Some(c) => golden
+                            .eval(c, &st_pre)
+                            .map_err(|e| fail(format!("golden model diverged: {e}")))?
+                            .is_true(),
+                        None => true,
+                    };
+                    if !enabled {
+                        continue;
+                    }
+                    let a = golden
+                        .eval(&update.addr, &st_pre)
+                        .map_err(|e| fail(format!("golden model diverged: {e}")))?;
+                    let Some(a64) = a.to_u64() else {
+                        return Err(skip(format!(
+                            "store to {}: address exceeds 64 bits",
+                            v.name
+                        )));
+                    };
+                    let d = golden
+                        .eval(&update.data, &st_pre)
+                        .map_err(|e| fail(format!("golden model diverged: {e}")))?;
+                    expected.write(a64, d);
+                }
+                // Extensional comparison over every touched address (the
+                // defaults agree: both sides start from `old`).
+                let touched: Vec<u64> = actual
+                    .entries()
+                    .map(|(a, _)| a)
+                    .chain(expected.entries().map(|(a, _)| a))
+                    .collect();
+                for a in touched {
+                    if actual.read(a) != expected.read(a) {
+                        return Err(fail(format!(
+                            "{}: memory {}[{a:#x}] holds {} after cycle {wt} but the \
+                             specification expects {}",
+                            instr.name(),
+                            wm.datapath_name,
+                            actual.read(a),
+                            expected.read(a),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolves one α read mapping against the concrete snapshots, mirroring
+/// the symbolic `PreResolver::resolve_ref`.
+fn resolve_bv(
+    m: &Mapping,
+    inputs: &HashMap<String, BitVec>,
+    snaps: &[ConcreteSnap],
+) -> Result<BitVec, String> {
+    let rt = m.reads[0] as usize;
+    match m.kind {
+        DatapathKind::Input => inputs
+            .get(&m.datapath_name)
+            .cloned()
+            .ok_or_else(|| format!("datapath has no input {}", m.datapath_name)),
+        DatapathKind::Register => snaps
+            .get(rt - 1)
+            .and_then(|s| s.regs.get(&m.datapath_name))
+            .cloned()
+            .ok_or_else(|| format!("datapath has no register {}", m.datapath_name)),
+        DatapathKind::Output => snaps
+            .get(rt)
+            .and_then(|s| s.wires.get(&m.datapath_name))
+            .cloned()
+            .ok_or_else(|| format!("datapath has no wire {} at time {rt}", m.datapath_name)),
+        DatapathKind::Memory => Err(format!("{} is memory-mapped", m.spec_name)),
+    }
+}
+
+/// Assembles the certificate for a finished synthesis run: folds the
+/// per-instruction [`QueryLog`]s into solver verdicts and runs the
+/// differential pass over the solved instructions.
+pub(crate) fn build_certificate(
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    output: &SynthesisOutput,
+    qlogs: Vec<QueryLog>,
+    config: &SynthesisConfig,
+    budget: &Budget,
+) -> Certificate {
+    let solved: Vec<String> = output
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.status, InstrStatus::Solved | InstrStatus::Reused))
+        .map(|o| o.instr.clone())
+        .collect();
+
+    let mut differential: HashMap<String, CheckStatus> = HashMap::new();
+    let mut blanket_skip = None;
+    if output.interrupted.is_some() {
+        blanket_skip = Some("run interrupted before differential re-verification".to_string());
+    } else if config.differential_samples == 0 {
+        blanket_skip = Some("differential re-verification disabled".to_string());
+    } else if solved.is_empty() {
+        blanket_skip = Some("no solved instructions".to_string());
+    } else {
+        // The differential pass itself runs solvers and the interpreter;
+        // a panic anywhere in it must not take down the synthesis run.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            match control_union(design, ila, alpha, &output.solutions) {
+                Ok(union) => {
+                    let complete = complete_design(design, &union);
+                    differential_check(
+                        &complete,
+                        ila,
+                        alpha,
+                        &solved,
+                        config.differential_samples,
+                        config.differential_seed,
+                        budget,
+                    )
+                    .map_err(|e| format!("differential setup failed: {e}"))
+                }
+                Err(e) => Err(format!("control union failed: {e}")),
+            }
+        }));
+        match attempt {
+            Ok(Ok(map)) => differential = map,
+            Ok(Err(msg)) => blanket_skip = Some(msg),
+            Err(payload) => {
+                blanket_skip = Some(format!(
+                    "differential re-verification panicked: {}",
+                    panic_message(&*payload)
+                ));
+            }
+        }
+    }
+
+    let mut instrs = Vec::with_capacity(output.outcomes.len());
+    for (i, outcome) in output.outcomes.iter().enumerate() {
+        let queries = qlogs.get(i).cloned().unwrap_or_default();
+        let solved_ok =
+            matches!(outcome.status, InstrStatus::Solved | InstrStatus::Reused);
+        let solver = if !queries.failures.is_empty() {
+            queries.status()
+        } else if solved_ok {
+            queries.status()
+        } else {
+            CheckStatus::Skipped("instruction not solved".to_string())
+        };
+        let diff_status = if let Some(s) = differential.get(&outcome.instr) {
+            s.clone()
+        } else if !solved_ok {
+            CheckStatus::Skipped("instruction not solved".to_string())
+        } else {
+            CheckStatus::Skipped(
+                blanket_skip.clone().unwrap_or_else(|| "not attempted".to_string()),
+            )
+        };
+        instrs.push(InstrCertificate {
+            instr: outcome.instr.clone(),
+            queries,
+            solver,
+            differential: diff_status,
+        });
+    }
+    Certificate {
+        instrs,
+        samples_per_instr: config.differential_samples,
+        seed: config.differential_seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42;
+        let mut b = 42;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        // Different seeds diverge immediately.
+        let mut c = 43;
+        assert_ne!(splitmix64(&mut c), xs[0]);
+    }
+
+    #[test]
+    fn query_log_records_and_judges() {
+        let mut log = QueryLog::default();
+        log.record(&QueryCert::SatVerified);
+        log.record(&QueryCert::UnsatVerified { steps: 3 });
+        log.record(&QueryCert::Trivial);
+        log.record(&QueryCert::Unchecked);
+        assert_eq!(log.total(), 4);
+        assert!(log.status().is_passed());
+        log.record(&QueryCert::Failed("model check failed".to_string()));
+        assert!(log.status().is_failed());
+        assert_eq!(log.total(), 5);
+    }
+
+    #[test]
+    fn check_status_display() {
+        assert_eq!(CheckStatus::Passed.to_string(), "passed");
+        assert!(CheckStatus::Failed("x".into()).to_string().contains("FAILED"));
+        assert!(CheckStatus::Skipped("y".into()).to_string().contains("skipped"));
+    }
+}

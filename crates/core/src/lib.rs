@@ -21,6 +21,7 @@
 //! walk-through on the paper's accumulator machine.
 
 pub mod abstraction;
+pub mod certify;
 pub mod codegen;
 pub mod conditions;
 pub mod diagnose;
@@ -30,6 +31,7 @@ pub mod union;
 pub mod verify;
 
 pub use abstraction::{AbstractionError, AbstractionFn, DatapathKind, Mapping};
+pub use certify::{differential_check, Certificate, CheckStatus, InstrCertificate, QueryLog};
 pub use conditions::{ConditionBuilder, InstrConditions};
 pub use diagnose::{diagnose, Diagnosis, ObligationStatus};
 pub use minimize::{minimize_solutions, MinimizeStats};
@@ -42,7 +44,7 @@ pub use verify::verify_design;
 
 // Resource-governance handles, re-exported for callers configuring a
 // [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.
-pub use owl_smt::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
+pub use owl_smt::{Budget, CancelFlag, Fault, FaultPlan, QueryCert, StopReason};
 
 use std::fmt;
 use std::time::Duration;
@@ -85,6 +87,15 @@ pub enum CoreError {
     /// The inputs failed validation (bad abstraction function, malformed
     /// sketch, unsupported mode, ...).
     Invalid(String),
+    /// A panic escaped the solver stack while synthesizing one
+    /// instruction and was isolated at the instruction boundary; the
+    /// remaining instructions still run.
+    Internal {
+        /// The instruction whose synthesis panicked.
+        instr: String,
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
 }
 
 impl CoreError {
@@ -140,6 +151,10 @@ impl fmt::Display for CoreError {
                 write!(f, "instruction {instr}: CEGIS did not converge within {rounds} rounds")
             }
             CoreError::Invalid(message) => write!(f, "{message}"),
+            CoreError::Internal { instr, message } => write!(
+                f,
+                "instruction {instr}: internal error (panic isolated): {message}"
+            ),
         }
     }
 }

@@ -149,7 +149,13 @@ impl<'a> GoldenModel<'a> {
                     .mems
                     .get(mem)
                     .ok_or_else(|| IlaError::new(format!("unbound memory {mem}")))?;
-                m.read(a.to_u64().expect("address fits in u64"))
+                let addr = a.to_u64().ok_or_else(|| {
+                    IlaError::new(format!(
+                        "load from {mem}: address value exceeds 64 bits (width {})",
+                        a.width()
+                    ))
+                })?;
+                m.read(addr)
             }
             SpecExpr::LoadConst(table, addr) => {
                 let a = self.eval(addr, state)?;
@@ -157,7 +163,12 @@ impl<'a> GoldenModel<'a> {
                     .ila
                     .table(table)
                     .ok_or_else(|| IlaError::new(format!("unknown table {table}")))?;
-                let idx = a.to_u64().expect("address fits in u64") as usize;
+                let idx = a.to_u64().ok_or_else(|| {
+                    IlaError::new(format!(
+                        "lookup in table {table}: index value exceeds 64 bits (width {})",
+                        a.width()
+                    ))
+                })? as usize;
                 data.get(idx).cloned().unwrap_or_else(|| BitVec::zero(*dw))
             }
         })
@@ -212,7 +223,13 @@ impl<'a> GoldenModel<'a> {
             if enabled {
                 let a = self.eval(&update.addr, state)?;
                 let d = self.eval(&update.data, state)?;
-                mem_new.push((mname.clone(), a.to_u64().expect("address fits"), d));
+                let addr = a.to_u64().ok_or_else(|| {
+                    IlaError::new(format!(
+                        "store to {mname}: address value exceeds 64 bits (width {})",
+                        a.width()
+                    ))
+                })?;
+                mem_new.push((mname.clone(), addr, d));
             }
         }
         for (sname, v) in bv_new {

@@ -40,6 +40,18 @@ impl MemState {
     pub fn touched(&self) -> usize {
         self.map.len()
     }
+
+    /// Iterates over the explicitly written `(address, data)` pairs, in
+    /// unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &BitVec)> + '_ {
+        self.map.iter().map(|(&a, d)| (a, d))
+    }
+
+    /// The value read at untouched addresses.
+    #[must_use]
+    pub fn default_value(&self) -> &BitVec {
+        &self.default
+    }
 }
 
 /// Values computed during one simulated cycle.
@@ -49,6 +61,9 @@ pub struct CycleOutput {
     pub outputs: HashMap<String, BitVec>,
     /// Values of all wires evaluated this cycle (including outputs).
     pub wires: HashMap<String, BitVec>,
+    /// Memory writes committed at the end of this cycle, in statement
+    /// order: `(memory, address, data)`. Only enabled writes appear.
+    pub writes: Vec<(String, u64, BitVec)>,
 }
 
 /// A cycle-accurate simulator for a hole-free Oyster design.
@@ -208,7 +223,12 @@ impl<'d> Interpreter<'d> {
                     if en.is_true() {
                         let a = self.eval(addr, inputs, &wires)?;
                         let d = self.eval(data, inputs, &wires)?;
-                        let a64 = a.to_u64().expect("address widths fit in u64");
+                        let a64 = a.to_u64().ok_or_else(|| {
+                            OysterError::new(format!(
+                                "write to {mem}: address value exceeds 64 bits (width {})",
+                                a.width()
+                            ))
+                        })?;
                         mem_writes.push((mem.clone(), a64, d));
                     }
                 }
@@ -219,8 +239,8 @@ impl<'d> Interpreter<'d> {
         for (name, value) in next_regs {
             self.regs.insert(name, value);
         }
-        for (mem, addr, data) in mem_writes {
-            self.mems.get_mut(&mem).expect("checked memory").write(addr, data);
+        for (mem, addr, data) in &mem_writes {
+            self.mems.get_mut(mem).expect("checked memory").write(*addr, data.clone());
         }
 
         let mut outputs = HashMap::new();
@@ -233,7 +253,7 @@ impl<'d> Interpreter<'d> {
                 outputs.insert(d.name.clone(), v);
             }
         }
-        Ok(CycleOutput { outputs, wires })
+        Ok(CycleOutput { outputs, wires, writes: mem_writes })
     }
 
     fn eval(
@@ -294,7 +314,12 @@ impl<'d> Interpreter<'d> {
             Expr::SExt(a, w) => self.eval(a, inputs, wires)?.sext(*w),
             Expr::Read(mem, addr) => {
                 let a = self.eval(addr, inputs, wires)?;
-                let a64 = a.to_u64().expect("address widths fit in u64");
+                let a64 = a.to_u64().ok_or_else(|| {
+                    OysterError::new(format!(
+                        "read from {mem}: address value exceeds 64 bits (width {})",
+                        a.width()
+                    ))
+                })?;
                 if let Some(m) = self.mems.get(mem) {
                     m.read(a64)
                 } else if let Some((_, data)) = self.roms.get(mem) {

@@ -106,6 +106,14 @@ pub enum Fault {
     /// simulating a slow query so deadline handling can be tested
     /// deterministically.
     StallMillis(u64),
+    /// The call garbles the next learned clause *in the proof log only*
+    /// (the solver's database keeps the real clause), simulating a
+    /// logging bug that an independent proof checker must catch.
+    /// Harmless when certification is off or nothing is learned.
+    CorruptProof,
+    /// The call panics, exercising panic isolation in callers. Only
+    /// injected explicitly, never by seeded plans.
+    Panic,
 }
 
 #[derive(Debug)]

@@ -26,9 +26,11 @@
 
 mod budget;
 mod heap;
+mod proof;
 mod solver;
 
 pub use budget::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
+pub use proof::{ProofChecker, ProofError, ProofLog};
 pub use solver::{SolveResult, Solver, Stats};
 
 /// A propositional variable, created by [`Solver::new_var`].

@@ -1,0 +1,510 @@
+//! DRUP-style proof logging and independent certification.
+//!
+//! When certification is enabled ([`crate::Solver::enable_certification`])
+//! the solver records every input clause as it was added and every clause
+//! its conflict analysis learned, in order. The [`ProofChecker`] replays
+//! that trail with its own unit-propagation engine — deliberately separate
+//! code from the solver's CDCL loop — verifying each learned clause by
+//! reverse unit propagation (RUP) and finally that the accumulated clauses
+//! propagate to a conflict, which certifies an UNSAT answer.
+//! [`ProofChecker::check_model`] independently evaluates every recorded
+//! input clause under a SAT assignment, certifying SAT answers.
+//!
+//! The checker shares no data structures with the solver: it rebuilds its
+//! clause database from the log, so a solver bug (or an injected fault
+//! that diverges the log from the real search) surfaces as a
+//! [`ProofError`] instead of a silently wrong answer.
+
+use crate::{Lit, Var};
+
+/// A recorded refutation trail: the original clauses plus every clause
+/// learned by conflict analysis, in derivation order.
+///
+/// The fields are public so tests can corrupt a log (flip a literal,
+/// truncate the trail) and assert the checker rejects it.
+#[derive(Debug, Clone, Default)]
+pub struct ProofLog {
+    /// Input clauses exactly as given to `add_clause` (sorted, deduped,
+    /// but *not* simplified against the solver's assignment).
+    pub inputs: Vec<Vec<Lit>>,
+    /// Learned clauses in the order conflict analysis derived them.
+    /// Each must be a RUP consequence of the inputs and earlier steps.
+    pub steps: Vec<Vec<Lit>>,
+}
+
+impl ProofLog {
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty() && self.steps.is_empty()
+    }
+}
+
+/// Why a proof log or model failed certification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofError {
+    /// The learned clause at `step` is not implied by reverse unit
+    /// propagation over the clauses before it: the trail is corrupt.
+    NotImplied {
+        /// Index into [`ProofLog::steps`].
+        step: usize,
+    },
+    /// Every step checked out but the clauses never propagate to a
+    /// conflict: the trail does not refute the formula (e.g. truncated).
+    NoRefutation,
+    /// An input clause evaluates to false under the claimed model.
+    FalsifiedClause {
+        /// Index into [`ProofLog::inputs`].
+        clause: usize,
+    },
+    /// A literal references a variable outside the declared range.
+    UnknownVariable {
+        /// The out-of-range variable index.
+        var: usize,
+    },
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::NotImplied { step } => {
+                write!(f, "proof step {step} is not implied by unit propagation")
+            }
+            ProofError::NoRefutation => {
+                write!(f, "proof trail does not derive a refutation")
+            }
+            ProofError::FalsifiedClause { clause } => {
+                write!(f, "input clause {clause} is falsified by the claimed model")
+            }
+            ProofError::UnknownVariable { var } => {
+                write!(f, "proof references unknown variable {var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+const UNDEF: i8 = 0;
+const TRUE: i8 = 1;
+const FALSE: i8 = -1;
+
+/// An independent forward DRUP checker.
+///
+/// Maintains its own clause database, two-watched-literal lists and a
+/// single-level assignment stack. Root assignments (from unit clauses and
+/// their consequences) are permanent; RUP tests push temporary
+/// assumptions and roll back.
+pub struct ProofChecker {
+    clauses: Vec<Vec<Lit>>,
+    /// Per literal code: indices of clauses watching that literal.
+    watch: Vec<Vec<usize>>,
+    value: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+}
+
+enum Added {
+    Fine,
+    RootConflict,
+}
+
+impl ProofChecker {
+    fn new(num_vars: usize) -> Self {
+        ProofChecker {
+            clauses: Vec::new(),
+            watch: vec![Vec::new(); num_vars * 2],
+            value: vec![UNDEF; num_vars],
+            trail: Vec::new(),
+            qhead: 0,
+        }
+    }
+
+    /// Certifies an UNSAT answer: replays `proof`, RUP-checking every
+    /// learned step, and requires the accumulated clauses to propagate to
+    /// a conflict. Returns the number of steps consumed before the
+    /// refutation closed.
+    ///
+    /// Only meaningful for solves without assumptions: an `Unsat` under
+    /// assumptions is not a refutation of the formula itself.
+    pub fn check_unsat(num_vars: usize, proof: &ProofLog) -> Result<usize, ProofError> {
+        let mut ck = ProofChecker::new(num_vars);
+        for clause in &proof.inputs {
+            ck.validate(clause)?;
+            if let Added::RootConflict = ck.add_root_clause(clause) {
+                return Ok(0);
+            }
+        }
+        for (i, clause) in proof.steps.iter().enumerate() {
+            ck.validate(clause)?;
+            if !ck.rup(clause) {
+                return Err(ProofError::NotImplied { step: i });
+            }
+            if let Added::RootConflict = ck.add_root_clause(clause) {
+                return Ok(i + 1);
+            }
+        }
+        Err(ProofError::NoRefutation)
+    }
+
+    /// Certifies a SAT answer: every recorded input clause must contain a
+    /// literal true under `value`. Unassigned variables count as
+    /// falsifying, so partial models are rejected.
+    pub fn check_model(
+        proof: &ProofLog,
+        value: impl Fn(Var) -> Option<bool>,
+    ) -> Result<(), ProofError> {
+        for (i, clause) in proof.inputs.iter().enumerate() {
+            let satisfied = clause
+                .iter()
+                .any(|&l| value(l.var()).map(|v| v ^ l.is_negative()).unwrap_or(false));
+            if !satisfied {
+                return Err(ProofError::FalsifiedClause { clause: i });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self, clause: &[Lit]) -> Result<(), ProofError> {
+        for &l in clause {
+            if l.var().index() >= self.value.len() {
+                return Err(ProofError::UnknownVariable { var: l.var().index() });
+            }
+        }
+        Ok(())
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.value[l.var().index()];
+        if l.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn assign(&mut self, l: Lit) {
+        debug_assert_eq!(self.lit_value(l), UNDEF);
+        self.value[l.var().index()] = if l.is_negative() { FALSE } else { TRUE };
+        self.trail.push(l);
+    }
+
+    /// Adds a clause at the root level, simplified against the permanent
+    /// root assignment (sound because root assignments are never undone).
+    fn add_root_clause(&mut self, clause: &[Lit]) -> Added {
+        debug_assert_eq!(self.qhead, self.trail.len());
+        let mut reduced: Vec<Lit> = Vec::with_capacity(clause.len());
+        for &l in clause {
+            match self.lit_value(l) {
+                TRUE => return Added::Fine, // permanently satisfied
+                FALSE => {}
+                _ => reduced.push(l),
+            }
+        }
+        reduced.sort_unstable();
+        reduced.dedup();
+        for i in 0..reduced.len().saturating_sub(1) {
+            if reduced[i + 1] == !reduced[i] {
+                return Added::Fine; // tautology
+            }
+        }
+        match reduced.len() {
+            0 => Added::RootConflict,
+            1 => {
+                self.assign(reduced[0]);
+                if self.propagate().is_some() {
+                    Added::RootConflict
+                } else {
+                    Added::Fine
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watch[reduced[0].code()].push(idx);
+                self.watch[reduced[1].code()].push(idx);
+                self.clauses.push(reduced);
+                Added::Fine
+            }
+        }
+    }
+
+    /// Reverse unit propagation: assume the negation of `clause`,
+    /// propagate, and report whether a conflict followed. The temporary
+    /// assumptions are rolled back either way.
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in clause {
+            match self.lit_value(l) {
+                // A root-true literal means the clause is already entailed.
+                TRUE => {
+                    conflict = true;
+                    break;
+                }
+                FALSE => {}
+                _ => self.assign(!l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate().is_some();
+        }
+        for i in (mark..self.trail.len()).rev() {
+            self.value[self.trail[i].var().index()] = UNDEF;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+        conflict
+    }
+
+    /// Two-watched-literal unit propagation, independent of the solver's.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let falsified = !p;
+            let mut list = std::mem::take(&mut self.watch[falsified.code()]);
+            let mut keep = 0;
+            let mut i = 0;
+            let mut conflict = None;
+            while i < list.len() {
+                let ci = list[i];
+                i += 1;
+                let mut lits = std::mem::take(&mut self.clauses[ci]);
+                if lits[0] == falsified {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], falsified);
+                let first = lits[0];
+                if self.lit_value(first) == TRUE {
+                    self.clauses[ci] = lits;
+                    list[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                let mut moved = false;
+                for k in 2..lits.len() {
+                    if self.lit_value(lits[k]) != FALSE {
+                        lits.swap(1, k);
+                        self.watch[lits[1].code()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    self.clauses[ci] = lits;
+                    continue;
+                }
+                // Unit or conflicting.
+                self.clauses[ci] = lits;
+                list[keep] = ci;
+                keep += 1;
+                if self.lit_value(first) == FALSE {
+                    while i < list.len() {
+                        list[keep] = list[i];
+                        keep += 1;
+                        i += 1;
+                    }
+                    conflict = Some(ci);
+                } else {
+                    self.assign(first);
+                }
+            }
+            list.truncate(keep);
+            self.watch[falsified.code()] = list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    fn certified_solver(nvars: usize, clauses: &[&[i32]]) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        s.enable_certification();
+        let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+        for c in clauses {
+            s.add_clause(c.iter().map(|&i| {
+                let v = vars[(i.unsigned_abs() - 1) as usize];
+                Lit::with_sign(v, i > 0)
+            }));
+        }
+        (s, vars)
+    }
+
+    /// x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1: unsatisfiable with a
+    /// non-trivial refutation (needs actual learning).
+    fn xor_unsat() -> (Solver, Vec<Var>) {
+        certified_solver(3, &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]])
+    }
+
+    fn pigeonhole_certified(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        s.enable_certification();
+        let grid: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        for row in &grid {
+            s.add_clause(row.iter().map(|&v| Lit::positive(v)));
+        }
+        for h in 0..holes {
+            for (p1, row1) in grid.iter().enumerate() {
+                for row2 in &grid[p1 + 1..] {
+                    s.add_clause([Lit::negative(row1[h]), Lit::negative(row2[h])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn unsat_proof_verifies() {
+        let (mut s, _) = xor_unsat();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let steps = ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("valid proof");
+        assert!(steps <= s.proof().steps.len());
+    }
+
+    #[test]
+    fn pigeonhole_proof_verifies() {
+        let mut s = pigeonhole_certified(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.proof().steps.is_empty(), "expected learned clauses");
+        ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("valid proof");
+    }
+
+    #[test]
+    fn sat_model_verifies() {
+        let (mut s, _) = certified_solver(3, &[&[1, 2], &[-1, 3], &[-2, -3, 1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        ProofChecker::check_model(s.proof(), |v| s.value(v)).expect("model satisfies inputs");
+    }
+
+    #[test]
+    fn hand_mutated_model_is_rejected() {
+        let (mut s, _) = certified_solver(3, &[&[1], &[1, 2], &[-1, 3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Flip every variable: the unit clause must break.
+        let flipped = |v: Var| s.value(v).map(|b| !b);
+        assert!(ProofChecker::check_model(s.proof(), flipped).is_err());
+    }
+
+    #[test]
+    fn partial_model_is_rejected() {
+        let (mut s, vars) = certified_solver(2, &[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let hide = vars[0];
+        let partial = |v: Var| if v == hide { None } else { Some(false) };
+        assert!(matches!(
+            ProofChecker::check_model(s.proof(), partial),
+            Err(ProofError::FalsifiedClause { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_trail_is_rejected() {
+        let mut s = pigeonhole_certified(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let full = s.proof().clone();
+        let needed = ProofChecker::check_unsat(s.num_vars(), &full).expect("valid proof");
+        assert!(needed > 0, "refutation needs learned steps");
+        let mut truncated = full.clone();
+        truncated.steps.truncate(needed.saturating_sub(1));
+        assert!(ProofChecker::check_unsat(s.num_vars(), &truncated).is_err());
+    }
+
+    #[test]
+    fn non_implied_step_is_rejected() {
+        // "Pigeon 0 sits in hole 0" is consistent with PHP's input clauses
+        // but not a unit-propagation consequence of them, so a trail
+        // claiming to have derived it must be flagged.
+        let mut s = pigeonhole_certified(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let mut corrupt = s.proof().clone();
+        corrupt.steps.insert(0, vec![Lit::positive(Var::from_index(0))]);
+        assert_eq!(
+            ProofChecker::check_unsat(s.num_vars(), &corrupt),
+            Err(ProofError::NotImplied { step: 0 })
+        );
+    }
+
+    #[test]
+    fn foreign_variable_is_rejected() {
+        let (mut s, _) = xor_unsat();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let mut corrupt = s.proof().clone();
+        corrupt.steps.insert(0, vec![Lit::positive(Var::from_index(99))]);
+        assert_eq!(
+            ProofChecker::check_unsat(s.num_vars(), &corrupt),
+            Err(ProofError::UnknownVariable { var: 99 })
+        );
+    }
+
+    #[test]
+    fn empty_formula_has_no_refutation() {
+        let proof = ProofLog::default();
+        assert_eq!(ProofChecker::check_unsat(4, &proof), Err(ProofError::NoRefutation));
+    }
+
+    #[test]
+    fn direct_contradiction_refutes_with_zero_steps() {
+        let (mut s, _) = certified_solver(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(ProofChecker::check_unsat(s.num_vars(), s.proof()), Ok(0));
+    }
+
+    #[test]
+    fn spurious_restart_fault_leaves_proof_valid() {
+        use crate::{Budget, Fault, FaultPlan};
+        let plan = std::sync::Arc::new(FaultPlan::new().at(0, Fault::SpuriousRestart));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let mut s = pigeonhole_certified(5, 4);
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unsat);
+        // A spurious restart perturbs the search but learns only real
+        // clauses, so the recorded trail still certifies.
+        s.certify_unsat().expect("proof valid despite injected restart");
+    }
+
+    #[test]
+    fn phantom_conflict_fault_makes_no_claim() {
+        use crate::{Budget, Fault, FaultPlan, StopReason};
+        let plan = std::sync::Arc::new(FaultPlan::new().at(0, Fault::DelayConflicts(10)));
+        let budget = Budget::unlimited().with_conflicts(Some(5)).with_fault_plan(plan);
+        let mut s = pigeonhole_certified(5, 4);
+        // Phantom conflicts burn the budget: the answer is Unknown, so
+        // there is nothing to certify and no way to certify wrongly.
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::ConflictLimit));
+        assert!(s.certify_unsat().is_err(), "incomplete search must not certify UNSAT");
+    }
+
+    #[test]
+    fn corrupt_proof_fault_is_caught_by_checker() {
+        use crate::{Budget, Fault, FaultPlan};
+        let plan = std::sync::Arc::new(FaultPlan::new().at(0, Fault::CorruptProof));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let mut s = pigeonhole_certified(5, 4);
+        // The solver still answers correctly — only its log is garbled.
+        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unsat);
+        assert!(s.certify_unsat().is_err(), "checker must flag the corrupted trail");
+        // A clean re-run of the same instance certifies.
+        let mut clean = pigeonhole_certified(5, 4);
+        assert_eq!(clean.solve(), SolveResult::Unsat);
+        clean.certify_unsat().expect("uncorrupted proof verifies");
+    }
+
+    #[test]
+    fn proof_survives_incremental_additions() {
+        let (mut s, vars) = certified_solver(3, &[&[1, 2], &[2, 3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.reset_search();
+        s.add_clause([Lit::negative(vars[1])]);
+        s.add_clause([Lit::negative(vars[0])]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("incremental proof");
+    }
+}

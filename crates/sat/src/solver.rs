@@ -9,6 +9,7 @@
 
 use crate::budget::{Budget, Fault, StopReason};
 use crate::heap::VarHeap;
+use crate::proof::{ProofChecker, ProofError, ProofLog};
 use crate::{Lit, Var};
 
 /// Result of a [`Solver::solve`] call.
@@ -87,6 +88,13 @@ pub struct Solver {
     conflict_budget: u64,
     /// Why the last `solve` call answered `Unknown`, if it did.
     stop_reason: Option<StopReason>,
+    /// When true, input and learned clauses are recorded in `proof`.
+    certify: bool,
+    /// DRUP-style log of input clauses and learned clauses.
+    proof: ProofLog,
+    /// Set by [`Fault::CorruptProof`]: garble the next logged learned
+    /// clause (the solver's own database stays intact).
+    corrupt_next_learned: bool,
     // Scratch buffers for conflict analysis.
     seen: Vec<bool>,
     analyze_stack: Vec<Lit>,
@@ -120,6 +128,9 @@ impl Solver {
             stats: Stats::default(),
             conflict_budget: u64::MAX,
             stop_reason: None,
+            certify: false,
+            proof: ProofLog::default(),
+            corrupt_next_learned: false,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
@@ -173,6 +184,47 @@ impl Solver {
         self.stop_reason
     }
 
+    /// Turns on proof logging: every input clause and every learned
+    /// clause is recorded in a [`ProofLog`] for independent checking.
+    ///
+    /// Must be called before any clause is added — a log missing early
+    /// clauses cannot soundly certify anything.
+    pub fn enable_certification(&mut self) {
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty() && self.proof.is_empty(),
+            "certification must be enabled before clauses are added"
+        );
+        self.certify = true;
+    }
+
+    /// True if proof logging is on.
+    #[must_use]
+    pub fn certifying(&self) -> bool {
+        self.certify
+    }
+
+    /// The recorded proof log (empty unless
+    /// [`Solver::enable_certification`] was called).
+    #[must_use]
+    pub fn proof(&self) -> &ProofLog {
+        &self.proof
+    }
+
+    /// Independently certifies the last [`SolveResult::Unsat`] answer by
+    /// replaying the recorded trail through the [`ProofChecker`].
+    ///
+    /// Only meaningful for solves without assumptions; requires proof
+    /// logging to have been enabled before any clause was added.
+    pub fn certify_unsat(&self) -> Result<usize, ProofError> {
+        ProofChecker::check_unsat(self.num_vars(), &self.proof)
+    }
+
+    /// Independently certifies the last [`SolveResult::Sat`] answer by
+    /// evaluating every recorded input clause under the model.
+    pub fn certify_model(&self) -> Result<(), ProofError> {
+        ProofChecker::check_model(&self.proof, |v| self.value(v))
+    }
+
     /// Adds a clause (a disjunction of literals).
     ///
     /// An empty clause (or one whose literals are all already false at the
@@ -187,6 +239,11 @@ impl Solver {
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         lits.sort_unstable();
         lits.dedup();
+        if self.certify {
+            // Record the clause before it is simplified against the
+            // current assignment; the checker re-derives those units.
+            self.proof.inputs.push(lits.clone());
+        }
         let mut out = Vec::with_capacity(lits.len());
         for (i, &l) in lits.iter().enumerate() {
             debug_assert!(l.var().index() < self.num_vars(), "literal for unknown variable");
@@ -529,6 +586,8 @@ impl Solver {
             Some(Fault::StallMillis(ms)) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms))
             }
+            Some(Fault::CorruptProof) => self.corrupt_next_learned = true,
+            Some(Fault::Panic) => panic!("injected fault: solver panic (FaultPlan)"),
             None => {}
         }
 
@@ -560,6 +619,9 @@ impl Solver {
                     break SolveResult::Unknown;
                 }
                 let (learned, bt_level) = self.analyze(conflict);
+                if self.certify {
+                    self.record_learned(&learned);
+                }
                 // Never backtrack past the assumption prefix.
                 let bt_level = bt_level.max(assumptions.len() as u32).min(self.decision_level() - 1);
                 self.backtrack_to(bt_level);
@@ -683,6 +745,20 @@ impl Solver {
             }
         }
         None
+    }
+
+    /// Appends a learned clause to the proof log, applying a pending
+    /// [`Fault::CorruptProof`]: the corrupted log claims the opposite of
+    /// the asserting literal was derived, while the solver's own database
+    /// keeps the genuine clause — exactly the divergence an independent
+    /// checker exists to catch.
+    fn record_learned(&mut self, learned: &[Lit]) {
+        if self.corrupt_next_learned {
+            self.corrupt_next_learned = false;
+            self.proof.steps.push(vec![!learned[0]]);
+        } else {
+            self.proof.steps.push(learned.to_vec());
+        }
     }
 
     /// Clears the trail back to level zero (invalidates the model) so more

@@ -27,8 +27,14 @@ pub(crate) struct Blaster<'m> {
 }
 
 impl<'m> Blaster<'m> {
-    pub(crate) fn new(mgr: &'m TermManager) -> Self {
+    /// Creates a blaster, optionally enabling proof logging on the
+    /// underlying SAT solver (before any clause, including the constant
+    /// `tru` clause, is added — a partial log certifies nothing).
+    pub(crate) fn with_certification(mgr: &'m TermManager, certify: bool) -> Self {
         let mut solver = Solver::new();
+        if certify {
+            solver.enable_certification();
+        }
         let v = solver.new_var();
         let tru = Lit::positive(v);
         solver.add_clause([tru]);

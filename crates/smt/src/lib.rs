@@ -42,9 +42,12 @@ mod subst;
 
 pub use eval::{ArrayValue, Env};
 pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
-pub use solver::{check, Model, SmtResult};
+pub use solver::{check, check_certified, Model, QueryCert, SmtResult};
 pub use subst::{substitute, substitute_terms};
 
-// Resource governance: re-exported so downstream crates can build
-// budgets without depending on `owl_sat` directly.
-pub use owl_sat::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
+// Resource governance and proof certification: re-exported so
+// downstream crates can build budgets and replay proofs without
+// depending on `owl_sat` directly.
+pub use owl_sat::{
+    Budget, CancelFlag, Fault, FaultPlan, ProofChecker, ProofError, ProofLog, StopReason,
+};

@@ -5,7 +5,7 @@ use crate::blast::Blaster;
 use crate::eval::{ArrayValue, Env};
 use crate::manager::{TermId, TermManager};
 use owl_bitvec::BitVec;
-use owl_sat::{Budget, SolveResult, StopReason};
+use owl_sat::{Budget, ProofChecker, SolveResult, StopReason};
 
 /// Result of an SMT [`check`] call.
 #[derive(Debug)]
@@ -70,6 +70,44 @@ impl Model {
     }
 }
 
+/// How a [`check_certified`] answer was (or was not) independently
+/// validated.
+///
+/// The validators are structurally independent of the code paths they
+/// certify: SAT models are re-evaluated both against the recorded CNF
+/// (by [`ProofChecker::check_model`]) and against the *original term
+/// graph* (by [`Env::eval`], which never touches the bit-blaster);
+/// UNSAT answers are re-derived by replaying the solver's DRUP trail
+/// through the independent proof checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryCert {
+    /// The query folded to a constant before reaching the solver; the
+    /// term evaluator confirmed the folded value.
+    Trivial,
+    /// A SAT model satisfied every recorded input clause and every
+    /// original (pre-blast) assertion term.
+    SatVerified,
+    /// An UNSAT answer's proof trail replayed successfully; `steps` is
+    /// the number of learned clauses consumed before refutation closed.
+    UnsatVerified {
+        /// Learned-clause steps replayed by the checker.
+        steps: usize,
+    },
+    /// The query answered `Unknown`: no claim was made, nothing to
+    /// certify.
+    Unchecked,
+    /// Certification failed — the answer cannot be trusted.
+    Failed(String),
+}
+
+impl QueryCert {
+    /// True for [`QueryCert::Failed`].
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, QueryCert::Failed(_))
+    }
+}
+
 /// Checks the conjunction of 1-bit `assertions` for satisfiability.
 ///
 /// `budget` governs the SAT search. Any of `None` (unlimited),
@@ -93,9 +131,36 @@ pub fn check(
     assertions: &[TermId],
     budget: impl Into<Budget>,
 ) -> SmtResult {
-    let budget = budget.into();
+    check_impl(mgr, assertions, &budget.into(), false).0
+}
+
+/// Like [`check`], but every definite answer is independently
+/// certified before it is returned.
+///
+/// On `Sat`, the model is checked twice: once against the recorded CNF
+/// clauses and once by evaluating every original assertion term under
+/// the lifted bitvector assignment, catching bit-blaster bugs. On
+/// `Unsat`, the solver's DRUP-style proof log is replayed by the
+/// independent [`ProofChecker`]. The answer itself is returned
+/// unchanged either way; a [`QueryCert::Failed`] verdict tells the
+/// caller the answer cannot be trusted.
+#[must_use]
+pub fn check_certified(
+    mgr: &TermManager,
+    assertions: &[TermId],
+    budget: impl Into<Budget>,
+) -> (SmtResult, QueryCert) {
+    check_impl(mgr, assertions, &budget.into(), true)
+}
+
+fn check_impl(
+    mgr: &TermManager,
+    assertions: &[TermId],
+    budget: &Budget,
+    certify: bool,
+) -> (SmtResult, QueryCert) {
     if let Some(reason) = budget.checkpoint() {
-        return SmtResult::Unknown(reason);
+        return (SmtResult::Unknown(reason), QueryCert::Unchecked);
     }
     // Constant short-circuits first.
     let mut pending = Vec::with_capacity(assertions.len());
@@ -103,23 +168,44 @@ pub fn check(
         assert_eq!(mgr.width(a), 1, "assertions must be 1-bit terms");
         match mgr.as_const(a) {
             Some(c) if c.is_true() => {}
-            Some(_) => return SmtResult::Unsat,
+            Some(_) => {
+                // Re-derive the fold through the term evaluator.
+                let cert = if certify && Env::new().eval(mgr, a).is_true() {
+                    QueryCert::Failed("constant fold disagrees with evaluator".into())
+                } else {
+                    QueryCert::Trivial
+                };
+                return (SmtResult::Unsat, cert);
+            }
             None => pending.push(a),
         }
     }
     if pending.is_empty() {
-        return SmtResult::Sat(Model { env: Env::new() });
+        return (SmtResult::Sat(Model { env: Env::new() }), QueryCert::Trivial);
     }
 
-    let mut blaster = Blaster::new(mgr);
-    for a in pending {
+    let mut blaster = Blaster::with_certification(mgr, certify);
+    for &a in &pending {
         blaster.assert_true(a);
     }
     blaster.finalize_arrays();
-    match blaster.solver.solve_budgeted(&budget) {
-        SolveResult::Unsat => SmtResult::Unsat,
-        SolveResult::Unknown => SmtResult::Unknown(
-            blaster.solver.stop_reason().unwrap_or(StopReason::ConflictLimit),
+    match blaster.solver.solve_budgeted(budget) {
+        SolveResult::Unsat => {
+            let cert = if certify {
+                match blaster.solver.certify_unsat() {
+                    Ok(steps) => QueryCert::UnsatVerified { steps },
+                    Err(e) => QueryCert::Failed(format!("UNSAT proof rejected: {e}")),
+                }
+            } else {
+                QueryCert::Unchecked
+            };
+            (SmtResult::Unsat, cert)
+        }
+        SolveResult::Unknown => (
+            SmtResult::Unknown(
+                blaster.solver.stop_reason().unwrap_or(StopReason::ConflictLimit),
+            ),
+            QueryCert::Unchecked,
         ),
         SolveResult::Sat => {
             let mut env = Env::new();
@@ -134,9 +220,38 @@ pub fn check(
                 }
                 env.set_array(arr, value);
             }
-            SmtResult::Sat(Model { env })
+            let cert = if certify {
+                certify_sat_model(mgr, &pending, &blaster, &env)
+            } else {
+                QueryCert::Unchecked
+            };
+            (SmtResult::Sat(Model { env }), cert)
         }
     }
+}
+
+/// Certifies a SAT answer at both levels: the recorded CNF clauses under
+/// the SAT assignment, and the original assertion terms under the lifted
+/// bitvector model.
+fn certify_sat_model(
+    mgr: &TermManager,
+    pending: &[TermId],
+    blaster: &Blaster<'_>,
+    env: &Env,
+) -> QueryCert {
+    if let Err(e) = ProofChecker::check_model(blaster.solver.proof(), |v| {
+        blaster.solver.value(v)
+    }) {
+        return QueryCert::Failed(format!("SAT model rejected at clause level: {e}"));
+    }
+    for (i, &a) in pending.iter().enumerate() {
+        if !env.eval(mgr, a).is_true() {
+            return QueryCert::Failed(format!(
+                "SAT model falsifies original assertion {i} at term level"
+            ));
+        }
+    }
+    QueryCert::SatVerified
 }
 
 #[cfg(test)]
@@ -380,6 +495,92 @@ mod tests {
             SmtResult::Unknown(StopReason::Cancelled) => {}
             other => panic!("expected Unknown(Cancelled), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn certified_sat_verifies_model_at_term_level() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let sum = m.add(x, y);
+        let c100 = m.const_u64(8, 100);
+        let a = m.eq(sum, c100);
+        let (res, cert) = check_certified(&m, &[a], None);
+        assert!(res.is_sat());
+        assert_eq!(cert, QueryCert::SatVerified);
+    }
+
+    #[test]
+    fn certified_unsat_replays_proof() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 6);
+        let y = m.fresh_var("y", 6);
+        let sum = m.add(x, y);
+        let back = m.sub(sum, y);
+        let neq = m.neq(back, x);
+        let (res, cert) = check_certified(&m, &[neq], None);
+        assert!(res.is_unsat());
+        assert!(matches!(cert, QueryCert::UnsatVerified { .. }), "got {cert:?}");
+    }
+
+    #[test]
+    fn certified_unsat_with_arrays_replays_proof() {
+        let mut m = TermManager::new();
+        let arr = m.fresh_array("mem", 4, 8);
+        let a1 = m.fresh_var("a1", 4);
+        let a2 = m.fresh_var("a2", 4);
+        let r1 = m.array_select(arr, a1);
+        let r2 = m.array_select(arr, a2);
+        let same = m.eq(a1, a2);
+        let diff = m.neq(r1, r2);
+        // Ackermann constraints participate in the recorded proof.
+        let (res, cert) = check_certified(&m, &[same, diff], None);
+        assert!(res.is_unsat());
+        assert!(matches!(cert, QueryCert::UnsatVerified { .. }), "got {cert:?}");
+    }
+
+    #[test]
+    fn certified_constant_folds_are_trivial() {
+        let mut m = TermManager::new();
+        let t = m.tru();
+        let f = m.fls();
+        let (res, cert) = check_certified(&m, &[t], None);
+        assert!(res.is_sat());
+        assert_eq!(cert, QueryCert::Trivial);
+        let (res, cert) = check_certified(&m, &[t, f], None);
+        assert!(res.is_unsat());
+        assert_eq!(cert, QueryCert::Trivial);
+    }
+
+    #[test]
+    fn certified_unknown_is_unchecked() {
+        use std::time::Instant;
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let c1 = m.const_u64(8, 1);
+        let a = m.eq(x, c1);
+        let budget = Budget::unlimited().with_deadline(Instant::now());
+        let (res, cert) = check_certified(&m, &[a], &budget);
+        assert!(res.is_unknown());
+        assert_eq!(cert, QueryCert::Unchecked);
+    }
+
+    #[test]
+    fn corrupt_proof_fault_flips_certification_not_the_answer() {
+        use owl_sat::{Fault, FaultPlan};
+        use std::sync::Arc;
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 6);
+        let y = m.fresh_var("y", 6);
+        let sum = m.add(x, y);
+        let back = m.sub(sum, y);
+        let neq = m.neq(back, x);
+        let plan = Arc::new(FaultPlan::new().at(0, Fault::CorruptProof));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let (res, cert) = check_certified(&m, &[neq], &budget);
+        // The answer is still correct; only the certification fails.
+        assert!(res.is_unsat());
+        assert!(cert.is_failure(), "corrupted trail must fail certification, got {cert:?}");
     }
 
     #[test]
