@@ -10,13 +10,14 @@ cd /root/repo
 
 $R --crate-name owl_bitvec crates/bitvec/src/lib.rs
 $R --crate-name owl_sat crates/sat/src/lib.rs
-$R --crate-name owl_smt crates/smt/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib
+$R --crate-name owl_egraph crates/egraph/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib
+$R --crate-name owl_smt crates/smt/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib
 $R --crate-name owl_oyster crates/oyster/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib
 $R --crate-name owl_ila crates/ila/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib
 $R --crate-name owl_core crates/core/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib
 $R --crate-name owl_hdl crates/hdl/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib
-$R --crate-name owl_netlist crates/netlist/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib
+$R --crate-name owl_netlist crates/netlist/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_sat=$OUT/libowl_sat.rlib
 $R --crate-name owl_cores crates/cores/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib
 $R --crate-name owl_bench crates/bench/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib
-$R --crate-name owl src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib
+$R --crate-name owl src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib
 echo "ALL LIBS OK"

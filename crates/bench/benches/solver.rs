@@ -49,7 +49,7 @@ fn smt_benches(c: &mut Criterion) {
             let s = m.add(x, y);
             let back = m.sub(s, y);
             let bad = m.neq(back, x);
-            black_box(check(&m, &[bad], None).is_unsat())
+            black_box(check(&mut m, &[bad], None).is_unsat())
         });
     });
     c.bench_function("smt/mul_vs_shift_16", |b| {
@@ -61,7 +61,7 @@ fn smt_benches(c: &mut Criterion) {
             let prod = m.mul(x, c8);
             let shifted = m.shl(x, c3);
             let bad = m.neq(prod, shifted);
-            black_box(check(&m, &[bad], None).is_unsat())
+            black_box(check(&mut m, &[bad], None).is_unsat())
         });
     });
     c.bench_function("smt/array_ackermann_8_reads", |b| {
@@ -77,7 +77,7 @@ fn smt_benches(c: &mut Criterion) {
             }
             let diff = m.neq(reads[0], reads[7]);
             assertions.push(diff);
-            black_box(check(&m, &assertions, None).is_unsat())
+            black_box(check(&mut m, &assertions, None).is_unsat())
         });
     });
 }

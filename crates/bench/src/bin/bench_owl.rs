@@ -1,0 +1,323 @@
+//! Emits `BENCH_owl.json`: machine-readable synthesis measurements for
+//! the eqsat-simplification evaluation.
+//!
+//! For each configuration (case study × decomposition mode × simplify
+//! on/off) the report records wall-clock time, the number of
+//! specification instructions, term-graph node counts before and after
+//! equality-saturation simplification, and the CNF variable/clause
+//! counts produced by bit-blasting — enough to reproduce the
+//! "simplification shrinks the CNF" claim without re-running synthesis.
+//!
+//! Usage: `cargo run --release -p owl-bench --bin bench_owl [--quick] [timeout-secs]`
+//!
+//! `--quick` restricts the sweep to the reduced RV32I configuration
+//! (single-cycle, base ISA) plus a small monolithic case, for CI smoke
+//! runs. The default monolithic timeout is 600 seconds.
+
+use owl_core::{
+    complete_design, control_union_with, synthesize, verify_design_with, DecodeBinding,
+    SolverConfig, SynthesisConfig, SynthesisMode, VerifyStats,
+};
+use owl_cores::CaseStudy;
+use owl_smt::TermManager;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One measured synthesis run.
+struct Measurement {
+    name: String,
+    mode: SynthesisMode,
+    simplify: bool,
+    wall_time_s: f64,
+    solved: bool,
+    instructions: usize,
+    terms_before_simplify: usize,
+    terms_after_simplify: usize,
+    cnf_vars: usize,
+    cnf_clauses: usize,
+    solver_calls: usize,
+    note: Option<String>,
+}
+
+fn measure(
+    cs: &CaseStudy,
+    mode: SynthesisMode,
+    simplify: bool,
+    budget: Duration,
+) -> Measurement {
+    let mut mgr = TermManager::new();
+    // Certification off, as in the table binaries: this measures raw
+    // synthesis plus (optionally) the eqsat pre-pass.
+    let config = SynthesisConfig {
+        mode,
+        time_budget: Some(budget),
+        certify: false,
+        simplify,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let result =
+        synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).and_then(|out| out.require_complete());
+    let wall_time_s = start.elapsed().as_secs_f64();
+    match result {
+        Ok(out) => Measurement {
+            name: cs.name.clone(),
+            mode,
+            simplify,
+            wall_time_s,
+            solved: true,
+            instructions: cs.spec.instrs().len(),
+            terms_before_simplify: out.stats.terms_before,
+            terms_after_simplify: out.stats.terms_after,
+            cnf_vars: out.stats.cnf_vars,
+            cnf_clauses: out.stats.cnf_clauses,
+            solver_calls: out.stats.solver_calls,
+            note: None,
+        },
+        Err(e) => Measurement {
+            name: cs.name.clone(),
+            mode,
+            simplify,
+            wall_time_s,
+            solved: false,
+            instructions: cs.spec.instrs().len(),
+            terms_before_simplify: 0,
+            terms_after_simplify: 0,
+            cnf_vars: 0,
+            cnf_clauses: 0,
+            solver_calls: 0,
+            note: Some(e.to_string()),
+        },
+    }
+}
+
+/// Minimal JSON string escaping (the report contains no exotic text,
+/// but error notes may quote arbitrary messages).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn emit(m: &Measurement, out: &mut String) {
+    let mode = match m.mode {
+        SynthesisMode::PerInstruction => "per_instruction",
+        SynthesisMode::Monolithic => "monolithic",
+    };
+    let note = match &m.note {
+        Some(n) => json_str(n),
+        None => "null".to_string(),
+    };
+    let _ = write!(
+        out,
+        concat!(
+            "    {{\n",
+            "      \"name\": {},\n",
+            "      \"mode\": \"{}\",\n",
+            "      \"simplify\": {},\n",
+            "      \"wall_time_s\": {:.6},\n",
+            "      \"solved\": {},\n",
+            "      \"instructions\": {},\n",
+            "      \"terms_before_simplify\": {},\n",
+            "      \"terms_after_simplify\": {},\n",
+            "      \"cnf_vars\": {},\n",
+            "      \"cnf_clauses\": {},\n",
+            "      \"solver_calls\": {},\n",
+            "      \"note\": {}\n",
+            "    }}"
+        ),
+        json_str(&m.name),
+        mode,
+        m.simplify,
+        m.wall_time_s,
+        m.solved,
+        m.instructions,
+        m.terms_before_simplify,
+        m.terms_after_simplify,
+        m.cnf_vars,
+        m.cnf_clauses,
+        m.solver_calls,
+        note,
+    );
+}
+
+/// The apples-to-apples experiment: verification queries over a fixed
+/// completed design are deterministic (one per instruction, independent
+/// of any solver feedback), so running them with simplification on and
+/// off compares the *same* CNFs. Returns `(on, off)`.
+fn measure_verify(
+    cs: &CaseStudy,
+    bindings: &[DecodeBinding],
+    budget: Duration,
+) -> Option<(VerifyStats, VerifyStats)> {
+    let mut mgr = TermManager::new();
+    let config = SynthesisConfig {
+        time_budget: Some(budget),
+        certify: false,
+        ..Default::default()
+    };
+    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+        .and_then(|out| out.require_complete())
+        .ok()?;
+    let union = control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, bindings).ok()?;
+    let completed = complete_design(&cs.sketch, &union);
+    let run = |simplify: bool| {
+        let sconfig = SolverConfig { simplify, ..SolverConfig::default() };
+        let mut vmgr = TermManager::new();
+        verify_design_with(&mut vmgr, &completed, &cs.spec, &cs.alpha, None, &sconfig).ok()
+    };
+    Some((run(true)?, run(false)?))
+}
+
+fn emit_verify(name: &str, on: &VerifyStats, off: &VerifyStats, out: &mut String) {
+    let side = |s: &VerifyStats| {
+        format!(
+            concat!(
+                "{{\"wall_time_s\": {:.6}, \"terms_before_simplify\": {}, ",
+                "\"terms_after_simplify\": {}, \"cnf_vars\": {}, \"cnf_clauses\": {}}}"
+            ),
+            s.elapsed.as_secs_f64(),
+            s.terms_before,
+            s.terms_after,
+            s.cnf_vars,
+            s.cnf_clauses,
+        )
+    };
+    let _ = write!(
+        out,
+        concat!(
+            "    {{\n",
+            "      \"name\": {},\n",
+            "      \"instructions\": {},\n",
+            "      \"simplify_on\": {},\n",
+            "      \"simplify_off\": {}\n",
+            "    }}"
+        ),
+        json_str(name),
+        on.instructions,
+        side(on),
+        side(off),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let timeout_secs: u64 = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(600);
+    let budget = Duration::from_secs(timeout_secs);
+
+    // Each entry: case study, decode bindings, run per-instruction?,
+    // run monolithic?
+    let sweep: Vec<(CaseStudy, Vec<DecodeBinding>, bool, bool)> = if quick {
+        vec![
+            // The reduced RV32I configuration: single-cycle, base ISA.
+            (
+                owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE),
+                vec![],
+                true,
+                false,
+            ),
+            // A small design so the monolithic mode appears in the smoke
+            // report without blowing the CI time budget.
+            (owl_cores::alu_machine::case_study(), vec![], true, true),
+        ]
+    } else {
+        use owl_cores::rv32i::Extensions;
+        vec![
+            (owl_cores::aes::case_study(), vec![], true, true),
+            (owl_cores::rv32i::single_cycle(Extensions::BASE), vec![], true, true),
+            (owl_cores::rv32i::single_cycle(Extensions::ZBKB), vec![], true, false),
+            (owl_cores::rv32i::single_cycle(Extensions::ZBKC), vec![], true, false),
+            (owl_cores::rv32i::two_stage(Extensions::BASE), vec![], true, false),
+            (owl_cores::rv32i::two_stage(Extensions::ZBKB), vec![], true, false),
+            (owl_cores::rv32i::two_stage(Extensions::ZBKC), vec![], true, false),
+            (
+                owl_cores::crypto_core::case_study(),
+                owl_cores::crypto_core::decode_bindings(),
+                true,
+                false,
+            ),
+            (owl_cores::alu_machine::case_study(), vec![], true, true),
+        ]
+    };
+
+    let mut runs = Vec::new();
+    for (cs, _, per_instr, monolithic) in &sweep {
+        let mut modes = Vec::new();
+        if *per_instr {
+            modes.push(SynthesisMode::PerInstruction);
+        }
+        if *monolithic {
+            modes.push(SynthesisMode::Monolithic);
+        }
+        for mode in modes {
+            for simplify in [true, false] {
+                eprintln!(
+                    "bench_owl: {} ({:?}, simplify={simplify}) ...",
+                    cs.name, mode
+                );
+                let m = measure(cs, mode, simplify, budget);
+                eprintln!(
+                    "bench_owl:   {:.2}s, cnf {} vars / {} clauses, terms {} -> {}",
+                    m.wall_time_s, m.cnf_vars, m.cnf_clauses, m.terms_before_simplify, m.terms_after_simplify
+                );
+                runs.push(m);
+            }
+        }
+    }
+
+    // Deterministic verification comparison over the completed designs.
+    let mut verifies: Vec<(String, VerifyStats, VerifyStats)> = Vec::new();
+    for (cs, bindings, _, _) in &sweep {
+        eprintln!("bench_owl: {} (verification, simplify on vs off) ...", cs.name);
+        match measure_verify(cs, bindings, budget) {
+            Some((on, off)) => {
+                eprintln!(
+                    "bench_owl:   cnf vars {} -> {}, clauses {} -> {}",
+                    off.cnf_vars, on.cnf_vars, off.cnf_clauses, on.cnf_clauses
+                );
+                verifies.push((cs.name.clone(), on, off));
+            }
+            None => eprintln!("bench_owl:   skipped (synthesis or verification failed)"),
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"timeout_secs\": {timeout_secs},");
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        emit(m, &mut json);
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"verify\": [\n");
+    for (i, (name, on, off)) in verifies.iter().enumerate() {
+        emit_verify(name, on, off, &mut json);
+        json.push_str(if i + 1 < verifies.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_owl.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} runs)", runs.len());
+}

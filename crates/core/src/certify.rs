@@ -90,9 +90,26 @@ pub struct QueryLog {
     /// Certification failures: an answer whose model or proof did not
     /// check out.
     pub failures: Vec<String>,
+    /// Term-graph nodes summed over this instruction's queries, before
+    /// eqsat simplification.
+    pub terms_before: usize,
+    /// Term-graph nodes after simplification.
+    pub terms_after: usize,
+    /// CNF variables created by bit-blasting, summed over the queries.
+    pub cnf_vars: usize,
+    /// CNF clauses created by bit-blasting.
+    pub cnf_clauses: usize,
 }
 
 impl QueryLog {
+    /// Folds one query's size statistics into the log.
+    pub(crate) fn record_stats(&mut self, stats: &owl_smt::QueryStats) {
+        self.terms_before += stats.terms_before;
+        self.terms_after += stats.terms_after;
+        self.cnf_vars += stats.cnf_vars;
+        self.cnf_clauses += stats.cnf_clauses;
+    }
+
     /// Folds one query's certification verdict into the log.
     pub(crate) fn record(&mut self, cert: &QueryCert) {
         match cert {

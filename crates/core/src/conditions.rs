@@ -367,7 +367,7 @@ mod tests {
         let pre = substitute(&mut mgr, conds.pres[0], &env);
         let post = substitute(&mut mgr, conds.posts[0], &env);
         let npost = mgr.not(post);
-        assert!(check(&mgr, &[pre, npost], None).is_unsat());
+        assert!(check(&mut mgr, &[pre, npost], None).is_unsat());
 
         // With en := 0 there is a counterexample.
         let mut env0 = Env::new();
@@ -375,7 +375,7 @@ mod tests {
         let pre0 = substitute(&mut mgr, conds.pres[0], &env0);
         let post0 = substitute(&mut mgr, conds.posts[0], &env0);
         let npost0 = mgr.not(post0);
-        assert!(matches!(check(&mgr, &[pre0, npost0], None), SmtResult::Sat(_)));
+        assert!(matches!(check(&mut mgr, &[pre0, npost0], None), SmtResult::Sat(_)));
     }
 
     #[test]
@@ -408,14 +408,14 @@ mod tests {
         let pre = substitute(&mut mgr, conds.pres[0], &env);
         let post = substitute(&mut mgr, conds.posts[0], &env);
         let npost = mgr.not(post);
-        assert!(matches!(check(&mgr, &[pre, npost], None), SmtResult::Sat(_)));
+        assert!(matches!(check(&mut mgr, &[pre, npost], None), SmtResult::Sat(_)));
         // w = 0 satisfies it.
         let mut env0 = Env::new();
         env0.set_var(hole_sym, BitVec::from_u64(1, 0));
         let pre0 = substitute(&mut mgr, conds.pres[0], &env0);
         let post0 = substitute(&mut mgr, conds.posts[0], &env0);
         let npost0 = mgr.not(post0);
-        assert!(check(&mgr, &[pre0, npost0], None).is_unsat());
+        assert!(check(&mut mgr, &[pre0, npost0], None).is_unsat());
     }
 
     #[test]

@@ -40,11 +40,11 @@ pub use synth::{
     SynthesisMode, SynthesisOutput, SynthesisStats,
 };
 pub use union::{complete_design, control_union, control_union_with, ControlUnion, DecodeBinding};
-pub use verify::verify_design;
+pub use verify::{verify_design, verify_design_with, VerifyStats};
 
 // Resource-governance handles, re-exported for callers configuring a
 // [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.
-pub use owl_smt::{Budget, CancelFlag, Fault, FaultPlan, QueryCert, StopReason};
+pub use owl_smt::{Budget, CancelFlag, Fault, FaultPlan, QueryCert, SolverConfig, StopReason};
 
 use std::fmt;
 use std::time::Duration;

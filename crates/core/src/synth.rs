@@ -34,7 +34,7 @@ use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
 use owl_smt::{
-    check, check_certified, substitute, Budget, CancelFlag, Env, FaultPlan, SmtResult, SymbolId,
+    check_with, substitute, Budget, CancelFlag, Env, FaultPlan, SmtResult, SolverConfig, SymbolId,
     TermId, TermManager,
 };
 use std::collections::HashMap;
@@ -93,6 +93,12 @@ pub struct SynthesisConfig {
     /// PRNG seed for differential trace sampling, so certified runs are
     /// reproducible.
     pub differential_seed: u64,
+    /// Simplify every query's term graph by bounded equality saturation
+    /// before bit-blasting (on by default; see
+    /// [`owl_smt::SolverConfig::simplify`]). Per-query node counts and
+    /// CNF sizes land in each instruction's [`QueryLog`] either way, so
+    /// the effect is observable in benchmarks.
+    pub simplify: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -110,6 +116,7 @@ impl Default for SynthesisConfig {
             certify: true,
             differential_samples: 2,
             differential_seed: 0xC0FFEE,
+            simplify: true,
         }
     }
 }
@@ -153,6 +160,15 @@ pub struct SynthesisStats {
     pub escalations: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Term-graph nodes across all queries before eqsat simplification.
+    pub terms_before: usize,
+    /// Term-graph nodes across all queries after simplification (equal
+    /// to `terms_before` when [`SynthesisConfig::simplify`] is off).
+    pub terms_after: usize,
+    /// CNF variables created by bit-blasting, summed over all queries.
+    pub cnf_vars: usize,
+    /// CNF clauses created by bit-blasting, summed over all queries.
+    pub cnf_clauses: usize,
 }
 
 /// One instruction's synthesized hole assignment.
@@ -301,23 +317,28 @@ fn stop_error(budget: &Budget, start: Instant) -> Option<CoreError> {
     budget.checkpoint().map(|r| CoreError::from_stop(r, "", start.elapsed()))
 }
 
-/// One solver call under the configured certification policy: certified
-/// runs route through [`check_certified`] and record the per-query
-/// verdict in `qlog`; uncertified runs call [`check`] directly.
+/// One solver call under the configured simplification and
+/// certification policy: every call routes through
+/// [`owl_smt::check_with`], size statistics always land in `qlog`, and
+/// certified runs additionally record the per-query verdict.
 fn run_check(
-    mgr: &TermManager,
+    mgr: &mut TermManager,
     assertions: &[TermId],
     budget: &Budget,
     config: &SynthesisConfig,
     qlog: &mut QueryLog,
 ) -> SmtResult {
+    let sconfig = SolverConfig {
+        simplify: config.simplify,
+        certify: config.certify,
+        ..SolverConfig::default()
+    };
+    let outcome = check_with(mgr, assertions, budget, &sconfig);
+    qlog.record_stats(&outcome.stats);
     if config.certify {
-        let (result, cert) = check_certified(mgr, assertions, budget);
-        qlog.record(&cert);
-        result
-    } else {
-        check(mgr, assertions, budget)
+        qlog.record(&outcome.cert);
     }
+    outcome.result
 }
 
 /// Synthesizes control logic for `design`'s holes against `ila` via
@@ -357,6 +378,12 @@ pub fn synthesize(
             monolithic(mgr, &prep.holes, &prep.all_conds, config, &budget, start, &mut stats)
         }
     };
+    for q in &qlogs {
+        stats.terms_before += q.terms_before;
+        stats.terms_after += q.terms_after;
+        stats.cnf_vars += q.cnf_vars;
+        stats.cnf_clauses += q.cnf_clauses;
+    }
     stats.elapsed = start.elapsed();
     let mut output = SynthesisOutput { solutions, outcomes, stats, interrupted, certificate: None };
     if config.certify {
@@ -486,6 +513,12 @@ pub fn resynthesize(
             }
         }
         qlogs.push(qlog);
+    }
+    for q in &qlogs {
+        stats.terms_before += q.terms_before;
+        stats.terms_after += q.terms_after;
+        stats.cnf_vars += q.cnf_vars;
+        stats.cnf_clauses += q.cnf_clauses;
     }
     stats.elapsed = start.elapsed();
     let mut output = SynthesisOutput { solutions, outcomes, stats, interrupted, certificate: None };

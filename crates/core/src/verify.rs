@@ -12,8 +12,32 @@ use crate::conditions::ConditionBuilder;
 use crate::CoreError;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
-use owl_smt::{check, Budget, SmtResult, TermManager};
-use std::time::Instant;
+use owl_smt::{check_with, Budget, SmtResult, SolverConfig, TermManager};
+use std::time::{Duration, Instant};
+
+/// Aggregate query statistics from one verification pass.
+///
+/// Unlike the CEGIS loop, verification runs a fixed, deterministic set
+/// of queries (one per instruction, determined entirely by the design
+/// and the spec), so two passes over the same design with different
+/// [`SolverConfig`]s are directly comparable — this is how the benches
+/// measure what eqsat simplification buys on real queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyStats {
+    /// Instructions verified.
+    pub instructions: usize,
+    /// Term-graph nodes across all queries before simplification.
+    pub terms_before: usize,
+    /// Term-graph nodes after simplification (equal to `terms_before`
+    /// when [`SolverConfig::simplify`] is off).
+    pub terms_after: usize,
+    /// CNF variables created by bit-blasting, summed over all queries.
+    pub cnf_vars: usize,
+    /// CNF clauses, summed over all queries.
+    pub cnf_clauses: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
 
 /// Verifies that `design` (which must be hole-free) satisfies every
 /// instruction of `ila` under `alpha`.
@@ -35,6 +59,23 @@ pub fn verify_design(
     alpha: &AbstractionFn,
     budget: impl Into<Budget>,
 ) -> Result<(), CoreError> {
+    verify_design_with(mgr, design, ila, alpha, budget, &SolverConfig::default()).map(|_| ())
+}
+
+/// [`verify_design`] with an explicit solver configuration, returning
+/// aggregate per-query statistics on success.
+///
+/// # Errors
+///
+/// Same contract as [`verify_design`].
+pub fn verify_design_with(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    budget: impl Into<Budget>,
+    config: &SolverConfig,
+) -> Result<VerifyStats, CoreError> {
     let budget = budget.into();
     let start = Instant::now();
     if !design.hole_names().is_empty() {
@@ -46,6 +87,7 @@ pub fn verify_design(
     let trace = SymbolicEvaluator::run(mgr, design, alpha.cycles()).map_err(CoreError::from)?;
     let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
     builder.share_roms(mgr);
+    let mut stats = VerifyStats::default();
     for instr in ila.instrs() {
         if let Some(reason) = budget.checkpoint() {
             return Err(CoreError::from_stop(reason, instr.name(), start.elapsed()));
@@ -54,7 +96,13 @@ pub fn verify_design(
         let mut assertions = conds.pres.clone();
         let post = mgr.and_many(&conds.posts);
         assertions.push(mgr.not(post));
-        match check(mgr, &assertions, &budget) {
+        let outcome = check_with(mgr, &assertions, &budget, config);
+        stats.instructions += 1;
+        stats.terms_before += outcome.stats.terms_before;
+        stats.terms_after += outcome.stats.terms_after;
+        stats.cnf_vars += outcome.stats.cnf_vars;
+        stats.cnf_clauses += outcome.stats.cnf_clauses;
+        match outcome.result {
             SmtResult::Unsat => {}
             SmtResult::Sat(_) => {
                 return Err(CoreError::new(format!(
@@ -67,7 +115,8 @@ pub fn verify_design(
             }
         }
     }
-    Ok(())
+    stats.elapsed = start.elapsed();
+    Ok(stats)
 }
 
 #[cfg(test)]

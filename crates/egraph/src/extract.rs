@@ -1,0 +1,142 @@
+//! Cost-based extraction: picks the cheapest representative node per
+//! e-class by a bottom-up fixpoint, yielding an acyclic term DAG.
+
+use crate::graph::EGraph;
+use crate::node::{EBinOp, ENode, EUnOp, Id};
+use std::collections::HashMap;
+
+/// A per-node cost function. The cost of a term is the node's own cost
+/// plus the (shared-subterm-agnostic) cost of its chosen children, so
+/// models should price what the node itself turns into downstream.
+pub trait CostModel {
+    /// The node's own cost, excluding children. `egraph` is available
+    /// for operand widths.
+    fn node_cost(&self, egraph: &EGraph, node: &ENode) -> u64;
+}
+
+/// CNF-oriented cost: prices a node by roughly how many Tseitin
+/// variables/clauses the bit-blaster will spend on it. Wiring
+/// (extract/concat/extensions/complement) is free, per-bit gates cost
+/// their width, arithmetic and shifts cost their circuit depth, and
+/// multiplication is quadratic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TermCost;
+
+impl CostModel for TermCost {
+    fn node_cost(&self, egraph: &EGraph, node: &ENode) -> u64 {
+        let w = |id: Id| u64::from(egraph.width_of(id));
+        match node {
+            ENode::Const(_) | ENode::Leaf(..) => 0,
+            // Wiring: the blaster just routes literal vectors.
+            ENode::Extract(..) | ENode::Concat(..) | ENode::ZExt(..) | ENode::SExt(..) => 0,
+            ENode::Unary(EUnOp::Not, _) => 0,
+            ENode::Unary(EUnOp::Neg, a) => 6 * w(*a),
+            ENode::Unary(EUnOp::RedOr, a) => w(*a),
+            ENode::Bin(op, a, b) => match op {
+                EBinOp::And | EBinOp::Or | EBinOp::Xor => w(*a),
+                EBinOp::Add | EBinOp::Sub => 6 * w(*a),
+                EBinOp::Mul => 6 * w(*a) * w(*a),
+                EBinOp::Shl | EBinOp::Lshr | EBinOp::Ashr => {
+                    // A constant shift amount folds to wiring in the
+                    // blaster; price it near-free (but above wiring, so
+                    // the explicit extract/concat form still wins) and
+                    // never let it look worth trading for real gates.
+                    if egraph.const_of(*b).is_some() {
+                        1
+                    } else {
+                        let wa = w(*a);
+                        3 * wa * u64::from(u64::BITS - wa.leading_zeros())
+                    }
+                }
+                EBinOp::Eq => 2 * w(*a),
+                EBinOp::Ult | EBinOp::Ule | EBinOp::Slt | EBinOp::Sle => 4 * w(*a),
+            },
+            ENode::Ite(_, t, _) => 3 * w(*t),
+            // Uninterpreted selects must be kept; give them a token cost
+            // so ties prefer plain wiring.
+            ENode::Call(..) => 1,
+        }
+    }
+}
+
+/// Gate-count cost for 1-bit netlists: every 2-input gate and inverter
+/// costs one, leaves and constants are free. Operators outside the gate
+/// set are priced prohibitively so extraction never invents them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GateCost;
+
+impl CostModel for GateCost {
+    fn node_cost(&self, _egraph: &EGraph, node: &ENode) -> u64 {
+        match node {
+            ENode::Const(_) | ENode::Leaf(..) => 0,
+            ENode::Unary(EUnOp::Not, _) => 1,
+            ENode::Bin(EBinOp::And | EBinOp::Or | EBinOp::Xor, ..) => 1,
+            ENode::Call(..) => 1,
+            _ => 1 << 20,
+        }
+    }
+}
+
+/// The result of one extraction pass: the cheapest node (and its total
+/// tree cost) for every extractable class.
+#[derive(Debug)]
+pub struct Extractor {
+    best: HashMap<Id, (u64, ENode)>,
+}
+
+impl Extractor {
+    /// Computes best nodes for every class by running the cost fixpoint
+    /// to convergence (cycles introduced by unions resolve to whichever
+    /// acyclic choice is cheapest).
+    #[must_use]
+    pub fn new(egraph: &EGraph, cost: &dyn CostModel) -> Self {
+        let mut best: HashMap<Id, (u64, ENode)> = HashMap::new();
+        let snapshot = egraph.snapshot();
+        loop {
+            let mut changed = false;
+            for (id, node) in &snapshot {
+                let id = egraph.find(*id);
+                let mut total = cost.node_cost(egraph, node);
+                let mut extractable = true;
+                node.for_each_child(|c| {
+                    match best.get(&egraph.find(c)) {
+                        Some(&(child_cost, _)) => total = total.saturating_add(child_cost),
+                        None => extractable = false,
+                    }
+                });
+                if !extractable {
+                    continue;
+                }
+                match best.get(&id) {
+                    Some(&(old, _)) if old <= total => {}
+                    _ => {
+                        best.insert(id, (total, node.clone()));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Extractor { best }
+    }
+
+    /// The chosen node for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is not extractable. Classes reachable from
+    /// any term that was added to the graph are always extractable.
+    #[must_use]
+    pub fn best(&self, egraph: &EGraph, id: Id) -> &ENode {
+        &self.best[&egraph.find(id)].1
+    }
+
+    /// The total (DAG-unshared) cost of the chosen term for a class, or
+    /// `None` when the class is not extractable.
+    #[must_use]
+    pub fn cost(&self, egraph: &EGraph, id: Id) -> Option<u64> {
+        self.best.get(&egraph.find(id)).map(|&(c, _)| c)
+    }
+}

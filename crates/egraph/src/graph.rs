@@ -1,0 +1,386 @@
+//! The e-graph: hash-consed nodes over union-find e-classes, with a
+//! worklist-based congruence-closure `rebuild` (the egg "rebuilding"
+//! design) and a constant-value analysis attached to every class.
+
+use crate::node::{EBinOp, ENode, EUnOp, Id};
+use owl_bitvec::BitVec;
+use std::collections::HashMap;
+
+/// One equivalence class of nodes.
+#[derive(Debug)]
+pub struct EClass {
+    /// The nodes in the class. Child ids may go stale after unions;
+    /// canonicalize with [`EGraph::canonical`] before structural use.
+    pub nodes: Vec<ENode>,
+    /// Bit width of every node in the class.
+    pub width: u32,
+    /// The class's constant value, when the analysis has derived one.
+    pub constant: Option<BitVec>,
+    /// Uses of this class: `(parent node, parent class)` pairs, used by
+    /// `rebuild` to restore congruence after unions.
+    parents: Vec<(ENode, Id)>,
+}
+
+/// A hash-consed e-graph over [`ENode`]s.
+#[derive(Debug, Default)]
+pub struct EGraph {
+    /// Union-find parent pointers, indexed by `Id`.
+    uf: Vec<u32>,
+    /// Per-class data; `None` for ids absorbed into another class.
+    classes: Vec<Option<EClass>>,
+    /// Canonicalized node → class. The single source of hash-consing.
+    memo: HashMap<ENode, Id>,
+    /// Classes whose parents must be re-canonicalized.
+    worklist: Vec<Id>,
+    /// Bumped on every structural change; equality saturation uses it to
+    /// detect a fixpoint.
+    version: u64,
+}
+
+impl EGraph {
+    /// An empty e-graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of nodes across all live classes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.classes.iter().flatten().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Number of live (canonical) classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.iter().flatten().count()
+    }
+
+    /// The structural-change counter (see [`EGraph`] field docs).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The canonical id for `id`.
+    #[must_use]
+    pub fn find(&self, id: Id) -> Id {
+        let mut i = id.0;
+        while self.uf[i as usize] != i {
+            i = self.uf[i as usize];
+        }
+        Id(i)
+    }
+
+    fn find_compress(&mut self, id: Id) -> Id {
+        let root = self.find(id);
+        let mut i = id.0;
+        while self.uf[i as usize] != root.0 {
+            let next = self.uf[i as usize];
+            self.uf[i as usize] = root.0;
+            i = next;
+        }
+        root
+    }
+
+    /// The node with every child id canonicalized (and commutative
+    /// operands sorted).
+    #[must_use]
+    pub fn canonical(&self, node: &ENode) -> ENode {
+        node.map_children(|c| self.find(c))
+    }
+
+    /// The class data for a canonical id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not canonical (use [`EGraph::find`] first).
+    #[must_use]
+    pub fn class(&self, id: Id) -> &EClass {
+        self.classes[id.index()].as_ref().expect("class id must be canonical")
+    }
+
+    /// Canonicalized clones of the nodes in `id`'s class.
+    #[must_use]
+    pub fn canon_nodes(&self, id: Id) -> Vec<ENode> {
+        self.class(self.find(id)).nodes.iter().map(|n| self.canonical(n)).collect()
+    }
+
+    /// The width of the class.
+    #[must_use]
+    pub fn width_of(&self, id: Id) -> u32 {
+        self.class(self.find(id)).width
+    }
+
+    /// The class's constant value, if the analysis derived one.
+    #[must_use]
+    pub fn const_of(&self, id: Id) -> Option<&BitVec> {
+        self.class(self.find(id)).constant.as_ref()
+    }
+
+    /// First node in `id`'s class for which `f` returns `Some`, after
+    /// canonicalizing the node's children. Rules use this for nested
+    /// pattern matching.
+    pub fn find_in<T>(&self, id: Id, mut f: impl FnMut(&ENode) -> Option<T>) -> Option<T> {
+        self.class(self.find(id)).nodes.iter().find_map(|n| f(&self.canonical(n)))
+    }
+
+    /// Adds (or finds) the class of a constant.
+    pub fn add_const(&mut self, value: BitVec) -> Id {
+        self.add(ENode::Const(value))
+    }
+
+    /// Adds `node` to the e-graph, returning its class. Hash-consing
+    /// dedups structurally equal nodes; the constant analysis folds
+    /// nodes whose operands are all constant into a [`ENode::Const`]
+    /// class immediately.
+    pub fn add(&mut self, node: ENode) -> Id {
+        let node = self.canonical(&node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.find_compress(id);
+        }
+        // Constant folding: an all-constant application is the same
+        // class as its folded value.
+        if !matches!(node, ENode::Const(_)) {
+            if let Some(v) = self.fold(&node) {
+                let cid = self.add_const(v);
+                self.attach(&node, cid);
+                return cid;
+            }
+        }
+        let id = Id(u32::try_from(self.uf.len()).expect("e-graph id overflow"));
+        self.uf.push(id.0);
+        let width = self.node_width(&node);
+        let constant = match &node {
+            ENode::Const(v) => Some(v.clone()),
+            _ => None,
+        };
+        self.classes.push(Some(EClass {
+            nodes: vec![node.clone()],
+            width,
+            constant,
+            parents: Vec::new(),
+        }));
+        self.attach(&node, id);
+        id
+    }
+
+    /// Registers `node` (already canonical) as living in class `id`:
+    /// memoizes it and records it as a parent of each operand class.
+    fn attach(&mut self, node: &ENode, id: Id) {
+        self.memo.insert(node.clone(), id);
+        let mut children: Vec<Id> = Vec::new();
+        node.for_each_child(|c| children.push(c));
+        children.dedup();
+        for c in children {
+            let c = self.find(c);
+            self.classes[c.index()]
+                .as_mut()
+                .expect("operand class is live")
+                .parents
+                .push((node.clone(), id));
+        }
+        self.version += 1;
+    }
+
+    /// Merges the classes of `a` and `b`, deferring congruence repair to
+    /// [`EGraph::rebuild`]. Returns the surviving root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classes have different widths (an unsound rule).
+    pub fn union(&mut self, a: Id, b: Id) -> Id {
+        let a = self.find_compress(a);
+        let b = self.find_compress(b);
+        if a == b {
+            return a;
+        }
+        let (root, other) = if self.class(a).parents.len() >= self.class(b).parents.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        assert_eq!(
+            self.class(root).width,
+            self.class(other).width,
+            "union of classes with different widths"
+        );
+        self.uf[other.index()] = root.0;
+        let absorbed = self.classes[other.index()].take().expect("other class is live");
+        let rc = self.classes[root.index()].as_mut().expect("root class is live");
+        rc.nodes.extend(absorbed.nodes);
+        rc.parents.extend(absorbed.parents);
+        match (&rc.constant, absorbed.constant) {
+            (None, Some(v)) => rc.constant = Some(v),
+            (Some(x), Some(y)) => {
+                debug_assert_eq!(*x, y, "constant analysis merge conflict (unsound rewrite)");
+            }
+            _ => {}
+        }
+        self.worklist.push(root);
+        self.version += 1;
+        root
+    }
+
+    /// Restores the congruence invariant after a batch of unions: every
+    /// parent node of a merged class is re-canonicalized, and parents
+    /// that became structurally identical have their classes merged.
+    pub fn rebuild(&mut self) {
+        while let Some(dirty) = self.worklist.pop() {
+            let dirty = self.find(dirty);
+            let parents = std::mem::take(
+                &mut self.classes[dirty.index()].as_mut().expect("dirty class is live").parents,
+            );
+            let mut new_parents: Vec<(ENode, Id)> = Vec::with_capacity(parents.len());
+            let mut merges: Vec<(Id, Id)> = Vec::new();
+            for (pnode, pclass) in parents {
+                self.memo.remove(&pnode);
+                let canon = self.canonical(&pnode);
+                let pclass = self.find(pclass);
+                match self.memo.get(&canon) {
+                    Some(&existing) if self.find(existing) != pclass => {
+                        merges.push((existing, pclass));
+                    }
+                    _ => {
+                        self.memo.insert(canon.clone(), pclass);
+                    }
+                }
+                new_parents.push((canon, pclass));
+            }
+            new_parents.sort_by(|x, y| x.0.cmp_key().cmp(&y.0.cmp_key()).then(x.1.cmp(&y.1)));
+            new_parents.dedup();
+            let cls = self.classes[dirty.index()].as_mut().expect("dirty class is live");
+            cls.parents.extend(new_parents);
+            for (a, b) in merges {
+                self.union(a, b);
+            }
+        }
+    }
+
+    /// Materializes a `Const` node in every class whose constant
+    /// analysis has a value but which lacks one (this can happen when a
+    /// union propagates a constant into a class). Keeps extraction able
+    /// to pick the constant at zero cost.
+    pub fn materialize_constants(&mut self) {
+        let todo: Vec<(Id, BitVec)> = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let c = c.as_ref()?;
+                let v = c.constant.clone()?;
+                if c.nodes.iter().any(|n| matches!(n, ENode::Const(_))) {
+                    None
+                } else {
+                    Some((Id(u32::try_from(i).expect("id fits")), v))
+                }
+            })
+            .collect();
+        for (id, v) in todo {
+            let cid = self.add_const(v);
+            self.union(id, cid);
+        }
+        self.rebuild();
+    }
+
+    /// Snapshot of `(class, node)` pairs for one saturation iteration,
+    /// in deterministic id order with canonicalized nodes.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Id, ENode)> {
+        let mut out = Vec::with_capacity(self.node_count());
+        for (i, cls) in self.classes.iter().enumerate() {
+            let Some(cls) = cls else { continue };
+            let id = Id(u32::try_from(i).expect("id fits"));
+            for node in &cls.nodes {
+                out.push((id, self.canonical(node)));
+            }
+        }
+        out
+    }
+
+    /// Width of a node whose operands are already in the graph.
+    fn node_width(&self, node: &ENode) -> u32 {
+        match node {
+            ENode::Const(v) => v.width(),
+            ENode::Leaf(_, w) | ENode::Call(_, _, w) | ENode::ZExt(_, w) | ENode::SExt(_, w) => *w,
+            ENode::Unary(EUnOp::RedOr, _) => 1,
+            ENode::Unary(_, a) => self.width_of(*a),
+            ENode::Bin(op, a, _) => {
+                if op.is_predicate() {
+                    1
+                } else {
+                    self.width_of(*a)
+                }
+            }
+            ENode::Ite(_, t, _) => self.width_of(*t),
+            ENode::Extract(_, h, l) => h - l + 1,
+            ENode::Concat(a, b) => self.width_of(*a) + self.width_of(*b),
+        }
+    }
+
+    /// Evaluates a node whose operands all have constant values.
+    fn fold(&self, node: &ENode) -> Option<BitVec> {
+        let c = |id: Id| self.const_of(id);
+        Some(match node {
+            ENode::Const(v) => v.clone(),
+            ENode::Leaf(..) | ENode::Call(..) => return None,
+            ENode::Unary(op, a) => {
+                let a = c(*a)?;
+                match op {
+                    EUnOp::Not => a.not(),
+                    EUnOp::Neg => a.neg(),
+                    EUnOp::RedOr => BitVec::from_bool(!a.is_zero()),
+                }
+            }
+            ENode::Bin(op, a, b) => {
+                let (a, b) = (c(*a)?, c(*b)?);
+                match op {
+                    EBinOp::And => a.and(b),
+                    EBinOp::Or => a.or(b),
+                    EBinOp::Xor => a.xor(b),
+                    EBinOp::Add => a.add(b),
+                    EBinOp::Sub => a.sub(b),
+                    EBinOp::Mul => a.mul(b),
+                    EBinOp::Shl => a.shl(b),
+                    EBinOp::Lshr => a.lshr(b),
+                    EBinOp::Ashr => a.ashr(b),
+                    EBinOp::Eq => BitVec::from_bool(a == b),
+                    EBinOp::Ult => BitVec::from_bool(a.ult(b)),
+                    EBinOp::Ule => BitVec::from_bool(a.ule(b)),
+                    EBinOp::Slt => BitVec::from_bool(a.slt(b)),
+                    EBinOp::Sle => BitVec::from_bool(a.sle(b)),
+                }
+            }
+            ENode::Ite(cond, t, e) => {
+                let cond = c(*cond)?;
+                // Fold on a constant condition even when only the taken
+                // branch is constant.
+                let taken = if cond.is_true() { *t } else { *e };
+                c(taken)?.clone()
+            }
+            ENode::Extract(a, h, l) => c(*a)?.extract(*h, *l),
+            ENode::Concat(a, b) => c(*a)?.concat(c(*b)?),
+            ENode::ZExt(a, w) => c(*a)?.zext(*w),
+            ENode::SExt(a, w) => c(*a)?.sext(*w),
+        })
+    }
+}
+
+impl ENode {
+    /// A cheap total-order key for deterministic parent sorting.
+    fn cmp_key(&self) -> u64 {
+        let disc: u64 = match self {
+            ENode::Const(_) => 0,
+            ENode::Leaf(k, _) => 1 + ((u64::from(*k)) << 8),
+            ENode::Unary(_, a) => 2 + ((u64::from(a.0)) << 8),
+            ENode::Bin(_, a, _) => 3 + ((u64::from(a.0)) << 8),
+            ENode::Ite(c, _, _) => 4 + ((u64::from(c.0)) << 8),
+            ENode::Extract(a, ..) => 5 + ((u64::from(a.0)) << 8),
+            ENode::Concat(a, _) => 6 + ((u64::from(a.0)) << 8),
+            ENode::ZExt(a, _) => 7 + ((u64::from(a.0)) << 8),
+            ENode::SExt(a, _) => 8 + ((u64::from(a.0)) << 8),
+            ENode::Call(k, _, _) => 9 + ((u64::from(*k)) << 8),
+        };
+        disc
+    }
+}

@@ -1,0 +1,287 @@
+//! `owl-egraph` — a hash-consed e-graph with equality saturation for
+//! the OWL toolchain.
+//!
+//! The synthesis loop's queries reach the bit-blaster exactly as the
+//! symbolic evaluator produced them: redundant muxes, shifts by
+//! constants, sign-extension chains and all. This crate provides the
+//! shared rewrite engine that both `owl-smt` (simplify the QF_BV term
+//! graph before bit-blasting, shrinking the CNF) and `owl-netlist`
+//! (shrink the emitted gate sea) run before doing expensive work:
+//!
+//! - [`EGraph`]: hash-consed nodes over union-find e-classes with
+//!   worklist congruence closure and a constant-folding analysis;
+//! - [`bv_rules`] / [`bool_rules`]: the declarative QF_BV rewrite set
+//!   and its Boolean subset;
+//! - [`saturate`]: bounded equality saturation governed by the shared
+//!   [`Budget`] (deadline/cancellation polled mid-run, graceful partial
+//!   results, fault injection via the budget's `FaultPlan`);
+//! - [`Extractor`] with [`TermCost`] / [`GateCost`]: cost-based
+//!   extraction of the cheapest equivalent term.
+
+mod extract;
+mod graph;
+mod node;
+mod rules;
+mod saturate;
+
+pub use extract::{CostModel, Extractor, GateCost, TermCost};
+pub use graph::{EClass, EGraph};
+pub use node::{EBinOp, ENode, EUnOp, Id};
+pub use rules::{bool_rules, bv_rules, Rule};
+pub use saturate::{saturate, SaturationLimits, SaturationReport};
+
+// Re-exported so clients can drive saturation without a direct
+// `owl-sat` dependency.
+pub use owl_sat::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_bitvec::BitVec;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn c8(g: &mut EGraph, v: u64) -> Id {
+        g.add_const(BitVec::from_u64(8, v))
+    }
+
+    fn run(g: &mut EGraph) -> SaturationReport {
+        saturate(g, &bv_rules(), &Budget::unlimited(), &SaturationLimits::default())
+    }
+
+    /// Extracts and asserts the class reduces to the given constant.
+    fn assert_const(g: &EGraph, id: Id, width: u32, value: u64) {
+        let ex = Extractor::new(g, &TermCost);
+        match ex.best(g, id) {
+            ENode::Const(v) => assert_eq!(*v, BitVec::from_u64(width, value)),
+            other => panic!("expected constant, extracted {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hashcons_dedups_and_sorts_commutative() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let b = g.add(ENode::Leaf(1, 8));
+        let ab = g.add(ENode::Bin(EBinOp::And, a, b));
+        let ba = g.add(ENode::Bin(EBinOp::And, b, a));
+        assert_eq!(ab, ba);
+        assert_eq!(g.width_of(ab), 8);
+    }
+
+    #[test]
+    fn constant_folding_in_add() {
+        let mut g = EGraph::new();
+        let x = c8(&mut g, 3);
+        let y = c8(&mut g, 5);
+        let s = g.add(ENode::Bin(EBinOp::Add, x, y));
+        assert_eq!(g.const_of(s), Some(&BitVec::from_u64(8, 8)));
+    }
+
+    #[test]
+    fn congruence_merges_parents() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let b = g.add(ENode::Leaf(1, 8));
+        let na = g.add(ENode::Unary(EUnOp::Not, a));
+        let nb = g.add(ENode::Unary(EUnOp::Not, b));
+        assert_ne!(g.find(na), g.find(nb));
+        g.union(a, b);
+        g.rebuild();
+        assert_eq!(g.find(na), g.find(nb), "congruence closure merges ¬a and ¬b");
+    }
+
+    #[test]
+    fn absorption_and_identities() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let b = g.add(ENode::Leaf(1, 8));
+        let a_or_b = g.add(ENode::Bin(EBinOp::Or, a, b));
+        let absorbed = g.add(ENode::Bin(EBinOp::And, a, a_or_b));
+        run(&mut g);
+        assert_eq!(g.find(absorbed), g.find(a), "a & (a | b) = a");
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let n1 = g.add(ENode::Unary(EUnOp::Not, a));
+        let n2 = g.add(ENode::Unary(EUnOp::Not, n1));
+        run(&mut g);
+        assert_eq!(g.find(n2), g.find(a));
+    }
+
+    #[test]
+    fn complement_annihilates() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let na = g.add(ENode::Unary(EUnOp::Not, a));
+        let and = g.add(ENode::Bin(EBinOp::And, a, na));
+        let or = g.add(ENode::Bin(EBinOp::Or, a, na));
+        run(&mut g);
+        assert_const(&g, and, 8, 0);
+        assert_const(&g, or, 8, 0xff);
+    }
+
+    #[test]
+    fn ite_same_condition_collapses() {
+        let mut g = EGraph::new();
+        let c = g.add(ENode::Leaf(0, 1));
+        let x = g.add(ENode::Leaf(1, 8));
+        let y = g.add(ENode::Leaf(2, 8));
+        let z = g.add(ENode::Leaf(3, 8));
+        let inner = g.add(ENode::Ite(c, x, y));
+        let outer = g.add(ENode::Ite(c, inner, z));
+        run(&mut g);
+        let direct = g.add(ENode::Ite(c, x, z));
+        assert_eq!(g.find(outer), g.find(direct), "ite(c, ite(c, x, y), z) = ite(c, x, z)");
+    }
+
+    #[test]
+    fn shift_by_constant_becomes_wiring() {
+        let mut g = EGraph::new();
+        let x = g.add(ENode::Leaf(0, 8));
+        let two = c8(&mut g, 2);
+        let shifted = g.add(ENode::Bin(EBinOp::Shl, x, two));
+        run(&mut g);
+        let ex = Extractor::new(&g, &TermCost);
+        assert_eq!(ex.cost(&g, shifted), Some(0), "shl by constant extracts as free wiring");
+    }
+
+    #[test]
+    fn extract_of_concat_routes() {
+        let mut g = EGraph::new();
+        let hi = g.add(ENode::Leaf(0, 8));
+        let lo = g.add(ENode::Leaf(1, 8));
+        let cat = g.add(ENode::Concat(hi, lo));
+        let top = g.add(ENode::Extract(cat, 15, 8));
+        run(&mut g);
+        assert_eq!(g.find(top), g.find(hi));
+    }
+
+    #[test]
+    fn concat_of_adjacent_extracts_fuses() {
+        let mut g = EGraph::new();
+        let x = g.add(ENode::Leaf(0, 8));
+        let top = g.add(ENode::Extract(x, 7, 4));
+        let bot = g.add(ENode::Extract(x, 3, 0));
+        let cat = g.add(ENode::Concat(top, bot));
+        run(&mut g);
+        assert_eq!(g.find(cat), g.find(x), "concat(x[7:4], x[3:0]) = x");
+    }
+
+    #[test]
+    fn reassociated_constants_fold() {
+        let mut g = EGraph::new();
+        let x = g.add(ENode::Leaf(0, 8));
+        let one = c8(&mut g, 1);
+        let two = c8(&mut g, 2);
+        let x1 = g.add(ENode::Bin(EBinOp::Add, x, one));
+        let x12 = g.add(ENode::Bin(EBinOp::Add, x1, two));
+        run(&mut g);
+        let three = c8(&mut g, 3);
+        let direct = g.add(ENode::Bin(EBinOp::Add, x, three));
+        assert_eq!(g.find(x12), g.find(direct), "(x + 1) + 2 = x + 3");
+    }
+
+    #[test]
+    fn saturation_reports_fixpoint() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 4));
+        let b = g.add(ENode::Leaf(1, 4));
+        g.add(ENode::Bin(EBinOp::Xor, a, b));
+        let report = run(&mut g);
+        assert!(report.saturated);
+        assert!(report.stop.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_stops_immediately_and_graph_stays_extractable() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let na = g.add(ENode::Unary(EUnOp::Not, a));
+        let nna = g.add(ENode::Unary(EUnOp::Not, na));
+        let budget = Budget::unlimited().with_deadline_in(Duration::ZERO);
+        let report = saturate(&mut g, &bv_rules(), &budget, &SaturationLimits::default());
+        assert_eq!(report.stop, Some(StopReason::Deadline));
+        assert!(!report.saturated);
+        // The untouched graph still extracts the original term.
+        let ex = Extractor::new(&g, &TermCost);
+        assert!(matches!(ex.best(&g, nna), ENode::Unary(EUnOp::Not, _)));
+    }
+
+    #[test]
+    fn cancellation_stops_saturation() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        g.add(ENode::Unary(EUnOp::Not, a));
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        let budget = Budget::unlimited().with_cancel(cancel);
+        let report = saturate(&mut g, &bv_rules(), &budget, &SaturationLimits::default());
+        assert_eq!(report.stop, Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn forced_unknown_fault_aborts_without_panicking() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 8));
+        let na = g.add(ENode::Unary(EUnOp::Not, a));
+        g.add(ENode::Unary(EUnOp::Not, na));
+        let plan = Arc::new(FaultPlan::new().at(0, Fault::ForceUnknown));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let report = saturate(&mut g, &bv_rules(), &budget, &SaturationLimits::default());
+        assert_eq!(report.stop, Some(StopReason::FaultInjected));
+        // Partial result is still a valid e-graph.
+        let ex = Extractor::new(&g, &TermCost);
+        assert!(ex.cost(&g, na).is_some());
+    }
+
+    #[test]
+    fn stall_fault_lets_deadline_fire_mid_saturation() {
+        let mut g = EGraph::new();
+        // Enough structure that saturation would take several iterations.
+        let mut prev = g.add(ENode::Leaf(0, 8));
+        for i in 1..6 {
+            let leaf = g.add(ENode::Leaf(i, 8));
+            let node = g.add(ENode::Bin(EBinOp::And, prev, leaf));
+            prev = g.add(ENode::Unary(EUnOp::Not, node));
+        }
+        let plan = Arc::new(FaultPlan::new().at(0, Fault::StallMillis(50)));
+        let budget = Budget::unlimited()
+            .with_deadline_in(Duration::from_millis(10))
+            .with_fault_plan(plan);
+        let report = saturate(&mut g, &bv_rules(), &budget, &SaturationLimits::default());
+        assert_eq!(report.stop, Some(StopReason::Deadline), "stall pushes past the deadline");
+        // Whatever was rewritten so far must still extract.
+        let ex = Extractor::new(&g, &TermCost);
+        assert!(ex.cost(&g, prev).is_some());
+    }
+
+    #[test]
+    fn node_cap_bounds_growth() {
+        let mut g = EGraph::new();
+        let mut prev = g.add(ENode::Leaf(0, 8));
+        for i in 1..20 {
+            let leaf = g.add(ENode::Leaf(i, 8));
+            prev = g.add(ENode::Bin(EBinOp::Add, prev, leaf));
+        }
+        let limits = SaturationLimits { max_iters: 64, max_nodes: 8 };
+        let report = saturate(&mut g, &bv_rules(), &Budget::unlimited(), &limits);
+        assert!(!report.saturated);
+        assert!(report.stop.is_none());
+    }
+
+    #[test]
+    fn gate_cost_prefers_fewer_gates() {
+        let mut g = EGraph::new();
+        let a = g.add(ENode::Leaf(0, 1));
+        let b = g.add(ENode::Leaf(1, 1));
+        let a_or_b = g.add(ENode::Bin(EBinOp::Or, a, b));
+        let and = g.add(ENode::Bin(EBinOp::And, a, a_or_b));
+        saturate(&mut g, &bool_rules(), &Budget::unlimited(), &SaturationLimits::default());
+        let ex = Extractor::new(&g, &GateCost);
+        assert_eq!(ex.cost(&g, and), Some(0), "absorption leaves a bare leaf");
+    }
+}

@@ -1,0 +1,156 @@
+//! The e-graph's node language: a small, self-contained mirror of the
+//! QF_BV operators used by `owl-smt` and of the Boolean gate set used by
+//! `owl-netlist`.
+//!
+//! The language is deliberately independent of both crates so the
+//! dependency graph stays acyclic (`owl-smt` and `owl-netlist` depend on
+//! `owl-egraph`, never the other way around). Clients map their own
+//! leaves onto [`ENode::Leaf`] (variables, netlist inputs, flip-flop
+//! outputs) and their uninterpreted operators onto [`ENode::Call`]
+//! (array/ROM selects), keyed by opaque integers they choose.
+
+use owl_bitvec::BitVec;
+
+/// An e-class identifier. Canonical ids are resolved through the
+/// e-graph's union-find; ids held across [`crate::EGraph::union`] calls
+/// must be re-canonicalized with [`crate::EGraph::find`] before use as
+/// map keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Id(pub(crate) u32);
+
+impl Id {
+    /// The raw index behind the id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Unary bitvector operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EUnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// OR-reduction to a single bit.
+    RedOr,
+}
+
+/// Binary bitvector operators. Comparisons produce a 1-bit result; all
+/// other operators are width-preserving with equal-width operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EBinOp {
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Mul,
+    Shl,
+    Lshr,
+    Ashr,
+    Eq,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+}
+
+impl EBinOp {
+    /// True for the comparison operators (1-bit result).
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(self, EBinOp::Eq | EBinOp::Ult | EBinOp::Ule | EBinOp::Slt | EBinOp::Sle)
+    }
+
+    /// True when operand order is irrelevant; the e-graph sorts the
+    /// operands of commutative nodes by class id so `a ⋄ b` and `b ⋄ a`
+    /// hash-cons to the same node.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            EBinOp::And | EBinOp::Or | EBinOp::Xor | EBinOp::Add | EBinOp::Mul | EBinOp::Eq
+        )
+    }
+}
+
+/// One operator application (or leaf) over e-class operands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ENode {
+    /// A bitvector constant.
+    Const(BitVec),
+    /// An opaque leaf `(key, width)` — a variable, netlist input, or
+    /// flip-flop output. Two leaves are equal iff their keys are equal.
+    Leaf(u32, u32),
+    /// A unary operator.
+    Unary(EUnOp, Id),
+    /// A binary operator.
+    Bin(EBinOp, Id, Id),
+    /// `if cond { then } else { els }` with a 1-bit condition.
+    Ite(Id, Id, Id),
+    /// Bit slice `[high:low]` (inclusive, LSB 0).
+    Extract(Id, u32, u32),
+    /// `Concat(high, low)`; the low operand occupies the LSBs.
+    Concat(Id, Id),
+    /// Zero-extension to the given width.
+    ZExt(Id, u32),
+    /// Sign-extension to the given width.
+    SExt(Id, u32),
+    /// An uninterpreted call `(key, operands, width)` — array and ROM
+    /// selects. Congruence still applies: equal keys with equivalent
+    /// operands are merged.
+    Call(u32, Vec<Id>, u32),
+}
+
+impl ENode {
+    /// Visits each operand id in order.
+    pub fn for_each_child(&self, mut f: impl FnMut(Id)) {
+        match self {
+            ENode::Const(_) | ENode::Leaf(..) => {}
+            ENode::Unary(_, a) | ENode::Extract(a, ..) | ENode::ZExt(a, _) | ENode::SExt(a, _) => {
+                f(*a);
+            }
+            ENode::Bin(_, a, b) | ENode::Concat(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            ENode::Ite(c, t, e) => {
+                f(*c);
+                f(*t);
+                f(*e);
+            }
+            ENode::Call(_, args, _) => {
+                for &a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the node with each operand id mapped through `f`,
+    /// sorting commutative operands so the result is canonical under
+    /// hash-consing.
+    #[must_use]
+    pub fn map_children(&self, mut f: impl FnMut(Id) -> Id) -> ENode {
+        match self {
+            ENode::Const(v) => ENode::Const(v.clone()),
+            ENode::Leaf(k, w) => ENode::Leaf(*k, *w),
+            ENode::Unary(op, a) => ENode::Unary(*op, f(*a)),
+            ENode::Bin(op, a, b) => {
+                let (mut x, mut y) = (f(*a), f(*b));
+                if op.is_commutative() && y < x {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                ENode::Bin(*op, x, y)
+            }
+            ENode::Ite(c, t, e) => ENode::Ite(f(*c), f(*t), f(*e)),
+            ENode::Extract(a, h, l) => ENode::Extract(f(*a), *h, *l),
+            ENode::Concat(a, b) => ENode::Concat(f(*a), f(*b)),
+            ENode::ZExt(a, w) => ENode::ZExt(f(*a), *w),
+            ENode::SExt(a, w) => ENode::SExt(f(*a), *w),
+            ENode::Call(k, args, w) => ENode::Call(*k, args.iter().map(|&a| f(a)).collect(), *w),
+        }
+    }
+}

@@ -1,0 +1,768 @@
+//! The declarative QF_BV rewrite-rule set.
+//!
+//! Each rule is a function over one `(class, node)` pair from a
+//! saturation snapshot; it matches a pattern rooted at that node and
+//! unions the class with an equivalent (usually cheaper) form. Constant
+//! folding itself lives in the e-graph's analysis ([`EGraph::add`]), so
+//! the rules here only need to expose foldable shapes.
+//!
+//! [`bv_rules`] is the full set used by `owl-smt` before bit-blasting;
+//! [`bool_rules`] is the Boolean subset shared with `owl-netlist`'s
+//! gate-level pass.
+
+use crate::graph::EGraph;
+use crate::node::{EBinOp, ENode, EUnOp, Id};
+use owl_bitvec::BitVec;
+
+/// One named rewrite rule.
+#[derive(Clone, Copy)]
+pub struct Rule {
+    /// Rule name, for reports and debugging.
+    pub name: &'static str,
+    /// Applies the rule to one snapshot node of class `id`. The node is
+    /// already canonicalized.
+    pub apply: fn(&mut EGraph, Id, &ENode),
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule").field("name", &self.name).finish()
+    }
+}
+
+/// The full QF_BV rule set: ite collapsing, and/or/xor identities and
+/// absorption, double negation, shift-by-constant lowering,
+/// extract/concat fusion, constant reassociation, and comparison
+/// identities.
+#[must_use]
+pub fn bv_rules() -> Vec<Rule> {
+    let mut rules = bool_rules();
+    rules.extend([
+        Rule { name: "ite", apply: rw_ite },
+        Rule { name: "neg", apply: rw_neg },
+        Rule { name: "add", apply: rw_add },
+        Rule { name: "sub", apply: rw_sub },
+        Rule { name: "mul", apply: rw_mul },
+        Rule { name: "shift-const", apply: rw_shift_const },
+        Rule { name: "extract", apply: rw_extract },
+        Rule { name: "concat", apply: rw_concat },
+        Rule { name: "ext", apply: rw_ext },
+        Rule { name: "redor", apply: rw_redor },
+        Rule { name: "cmp", apply: rw_cmp },
+    ]);
+    rules
+}
+
+/// The Boolean subset (and/or/xor/not identities, idempotence,
+/// annihilators, complementation, absorption, constant reassociation),
+/// valid on any width and complete for `owl-netlist`'s 1-bit gate sea.
+#[must_use]
+pub fn bool_rules() -> Vec<Rule> {
+    vec![
+        Rule { name: "and", apply: rw_and },
+        Rule { name: "or", apply: rw_or },
+        Rule { name: "xor", apply: rw_xor },
+        Rule { name: "not", apply: rw_not },
+        Rule { name: "reassoc-const", apply: rw_reassoc_const },
+    ]
+}
+
+/// Does class `x` contain `Not(y)` for `y == target`?
+fn is_complement(g: &EGraph, x: Id, target: Id) -> bool {
+    let target = g.find(target);
+    g.find_in(x, |n| match n {
+        ENode::Unary(EUnOp::Not, a) if *a == target => Some(()),
+        _ => None,
+    })
+    .is_some()
+}
+
+/// The operand of a `Not` node in class `x`, if any.
+fn not_operand(g: &EGraph, x: Id) -> Option<Id> {
+    g.find_in(x, |n| match n {
+        ENode::Unary(EUnOp::Not, a) => Some(*a),
+        _ => None,
+    })
+}
+
+fn rw_and(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(EBinOp::And, a, b) = *node else { return };
+    let w = g.width_of(id);
+    if a == b {
+        g.union(id, a);
+        return;
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if let Some(c) = g.const_of(x) {
+            if c.is_zero() {
+                let z = g.add_const(BitVec::zero(w));
+                g.union(id, z);
+            } else if c.is_ones() {
+                g.union(id, y);
+            }
+            return;
+        }
+        // a & ¬a = 0
+        if is_complement(g, x, y) {
+            let z = g.add_const(BitVec::zero(w));
+            g.union(id, z);
+            return;
+        }
+        // Idempotence and annihilation through a nested chain (the
+        // associativity the rule set otherwise avoids):
+        // a & (a & b) = a & b, and a & (¬a & b) = 0.
+        let and_arms = g.find_in(x, |n| match n {
+            ENode::Bin(EBinOp::And, p, q) => Some((*p, *q)),
+            _ => None,
+        });
+        if let Some((p, q)) = and_arms {
+            let yf = g.find(y);
+            if p == yf || q == yf {
+                g.union(id, x);
+                return;
+            }
+            for arm in [p, q] {
+                if is_complement(g, arm, y) {
+                    let z = g.add_const(BitVec::zero(w));
+                    g.union(id, z);
+                    return;
+                }
+            }
+        }
+        // Absorption a & (a | b) = a, and the dual-with-complement
+        // a & (¬a | b) = a & b.
+        let or_arms = g.find_in(x, |n| match n {
+            ENode::Bin(EBinOp::Or, p, q) => Some((*p, *q)),
+            _ => None,
+        });
+        if let Some((p, q)) = or_arms {
+            if p == y || q == y {
+                g.union(id, y);
+                return;
+            }
+            for (arm, other) in [(p, q), (q, p)] {
+                if is_complement(g, arm, y) {
+                    let n = g.add(ENode::Bin(EBinOp::And, y, other));
+                    g.union(id, n);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn rw_or(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(EBinOp::Or, a, b) = *node else { return };
+    let w = g.width_of(id);
+    if a == b {
+        g.union(id, a);
+        return;
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if let Some(c) = g.const_of(x) {
+            if c.is_ones() {
+                let o = g.add_const(BitVec::ones(w));
+                g.union(id, o);
+            } else if c.is_zero() {
+                g.union(id, y);
+            }
+            return;
+        }
+        // a | ¬a = 1…1
+        if is_complement(g, x, y) {
+            let o = g.add_const(BitVec::ones(w));
+            g.union(id, o);
+            return;
+        }
+        // Chain idempotence/annihilation: a | (a | b) = a | b, and
+        // a | (¬a | b) = 1…1.
+        let or_arms = g.find_in(x, |n| match n {
+            ENode::Bin(EBinOp::Or, p, q) => Some((*p, *q)),
+            _ => None,
+        });
+        if let Some((p, q)) = or_arms {
+            let yf = g.find(y);
+            if p == yf || q == yf {
+                g.union(id, x);
+                return;
+            }
+            for arm in [p, q] {
+                if is_complement(g, arm, y) {
+                    let o = g.add_const(BitVec::ones(w));
+                    g.union(id, o);
+                    return;
+                }
+            }
+        }
+        // Absorption a | (a & b) = a, and a | (¬a & b) = a | b.
+        let and_arms = g.find_in(x, |n| match n {
+            ENode::Bin(EBinOp::And, p, q) => Some((*p, *q)),
+            _ => None,
+        });
+        if let Some((p, q)) = and_arms {
+            if p == y || q == y {
+                g.union(id, y);
+                return;
+            }
+            for (arm, other) in [(p, q), (q, p)] {
+                if is_complement(g, arm, y) {
+                    let n = g.add(ENode::Bin(EBinOp::Or, y, other));
+                    g.union(id, n);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn rw_xor(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(EBinOp::Xor, a, b) = *node else { return };
+    let w = g.width_of(id);
+    if a == b {
+        let z = g.add_const(BitVec::zero(w));
+        g.union(id, z);
+        return;
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if let Some(c) = g.const_of(x) {
+            if c.is_zero() {
+                g.union(id, y);
+            } else if c.is_ones() {
+                let n = g.add(ENode::Unary(EUnOp::Not, y));
+                g.union(id, n);
+            }
+            return;
+        }
+        // a ^ ¬a = 1…1
+        if is_complement(g, x, y) {
+            let o = g.add_const(BitVec::ones(w));
+            g.union(id, o);
+            return;
+        }
+        // ¬a ^ ¬b = a ^ b
+        if let (Some(na), Some(nb)) = (not_operand(g, x), not_operand(g, y)) {
+            let n = g.add(ENode::Bin(EBinOp::Xor, na, nb));
+            g.union(id, n);
+            return;
+        }
+        // Chain cancellation: a ^ (a ^ b) = b, and a ^ (¬a ^ b) = ¬b.
+        let xor_arms = g.find_in(x, |n| match n {
+            ENode::Bin(EBinOp::Xor, p, q) => Some((*p, *q)),
+            _ => None,
+        });
+        if let Some((p, q)) = xor_arms {
+            let yf = g.find(y);
+            for (arm, other) in [(p, q), (q, p)] {
+                if arm == yf {
+                    g.union(id, other);
+                    return;
+                }
+                if is_complement(g, arm, y) {
+                    let n = g.add(ENode::Unary(EUnOp::Not, other));
+                    g.union(id, n);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn rw_not(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Unary(EUnOp::Not, a) = *node else { return };
+    // ¬¬x = x
+    if let Some(x) = not_operand(g, a) {
+        g.union(id, x);
+    }
+}
+
+fn rw_neg(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Unary(EUnOp::Neg, a) = *node else { return };
+    let inner = g.find_in(a, |n| match n {
+        ENode::Unary(EUnOp::Neg, x) => Some(*x),
+        _ => None,
+    });
+    if let Some(x) = inner {
+        g.union(id, x);
+    }
+}
+
+/// Reassociates a constant operand outward for the associative-
+/// commutative operators: `(x ⋄ c1) ⋄ c2 → x ⋄ (c1 ⋄ c2)`, which the
+/// analysis then folds. Covers And/Or/Xor/Add/Mul.
+fn rw_reassoc_const(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(op, a, b) = *node else { return };
+    if !matches!(op, EBinOp::And | EBinOp::Or | EBinOp::Xor | EBinOp::Add | EBinOp::Mul) {
+        return;
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if g.const_of(y).is_none() {
+            continue;
+        }
+        let inner = g.find_in(x, |n| match n {
+            ENode::Bin(o2, p, q) if *o2 == op => Some((*p, *q)),
+            _ => None,
+        });
+        let Some((p, q)) = inner else { continue };
+        for (var, konst) in [(p, q), (q, p)] {
+            if g.const_of(konst).is_some() {
+                let folded = g.add(ENode::Bin(op, konst, y));
+                let n = g.add(ENode::Bin(op, var, folded));
+                g.union(id, n);
+                return;
+            }
+        }
+    }
+}
+
+fn rw_ite(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Ite(c, t, e) = *node else { return };
+    if let Some(cv) = g.const_of(c) {
+        let taken = if cv.is_true() { t } else { e };
+        g.union(id, taken);
+        return;
+    }
+    if t == e {
+        g.union(id, t);
+        return;
+    }
+    if g.width_of(id) == 1 {
+        let (tc, ec) = (g.const_of(t).cloned(), g.const_of(e).cloned());
+        // ite(c, 1, 0) = c and ite(c, 0, 1) = ¬c.
+        if let (Some(tv), Some(ev)) = (&tc, &ec) {
+            if tv.is_true() && ev.is_zero() {
+                g.union(id, c);
+                return;
+            }
+            if tv.is_zero() && ev.is_true() {
+                let n = g.add(ENode::Unary(EUnOp::Not, c));
+                g.union(id, n);
+                return;
+            }
+        }
+        // One constant arm turns the 1-bit mux into a single gate:
+        // ite(c, 1, e) = c | e, ite(c, 0, e) = ¬c & e,
+        // ite(c, t, 1) = ¬c | t, ite(c, t, 0) = c & t.
+        if let Some(tv) = &tc {
+            let n = if tv.is_true() {
+                g.add(ENode::Bin(EBinOp::Or, c, e))
+            } else {
+                let nc = g.add(ENode::Unary(EUnOp::Not, c));
+                g.add(ENode::Bin(EBinOp::And, nc, e))
+            };
+            g.union(id, n);
+            return;
+        }
+        if let Some(ev) = &ec {
+            let n = if ev.is_true() {
+                let nc = g.add(ENode::Unary(EUnOp::Not, c));
+                g.add(ENode::Bin(EBinOp::Or, nc, t))
+            } else {
+                g.add(ENode::Bin(EBinOp::And, c, t))
+            };
+            g.union(id, n);
+            return;
+        }
+    }
+    // ite(¬c, a, b) = ite(c, b, a)
+    if let Some(c2) = not_operand(g, c) {
+        let n = g.add(ENode::Ite(c2, e, t));
+        g.union(id, n);
+        return;
+    }
+    // Collapse a repeated condition in either branch:
+    // ite(c, ite(c, t2, _), e) = ite(c, t2, e), and dually.
+    let cf = g.find(c);
+    let nested_t = g.find_in(t, |n| match n {
+        ENode::Ite(c2, t2, _) if *c2 == cf => Some(*t2),
+        _ => None,
+    });
+    if let Some(t2) = nested_t {
+        let n = g.add(ENode::Ite(c, t2, e));
+        g.union(id, n);
+        return;
+    }
+    let nested_e = g.find_in(e, |n| match n {
+        ENode::Ite(c2, _, e2) if *c2 == cf => Some(*e2),
+        _ => None,
+    });
+    if let Some(e2) = nested_e {
+        let n = g.add(ENode::Ite(c, t, e2));
+        g.union(id, n);
+        return;
+    }
+    // Fuse muxes that share an adjacent arm — common in one-hot
+    // selector chains where several cases pick the same source:
+    // ite(c1, t, ite(c2, t, e2)) = ite(c1 | c2, t, e2), and
+    // ite(c1, ite(c2, t2, e), e) = ite(c1 & c2, t2, e).
+    let tf = g.find(t);
+    let shared_then = g.find_in(e, |n| match n {
+        ENode::Ite(c2, t2, e2) if *t2 == tf => Some((*c2, *e2)),
+        _ => None,
+    });
+    if let Some((c2, e2)) = shared_then {
+        let cc = g.add(ENode::Bin(EBinOp::Or, c, c2));
+        let n = g.add(ENode::Ite(cc, t, e2));
+        g.union(id, n);
+        return;
+    }
+    let ef = g.find(e);
+    let shared_else = g.find_in(t, |n| match n {
+        ENode::Ite(c2, t2, e2) if *e2 == ef => Some((*c2, *t2)),
+        _ => None,
+    });
+    if let Some((c2, t2)) = shared_else {
+        let cc = g.add(ENode::Bin(EBinOp::And, c, c2));
+        let n = g.add(ENode::Ite(cc, t2, e));
+        g.union(id, n);
+    }
+}
+
+fn rw_add(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(EBinOp::Add, a, b) = *node else { return };
+    for (x, y) in [(a, b), (b, a)] {
+        if g.const_of(x).is_some_and(BitVec::is_zero) {
+            g.union(id, y);
+            return;
+        }
+    }
+}
+
+fn rw_sub(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(EBinOp::Sub, a, b) = *node else { return };
+    let w = g.width_of(id);
+    if a == b {
+        let z = g.add_const(BitVec::zero(w));
+        g.union(id, z);
+        return;
+    }
+    if g.const_of(b).is_some_and(BitVec::is_zero) {
+        g.union(id, a);
+        return;
+    }
+    if g.const_of(a).is_some_and(BitVec::is_zero) {
+        let n = g.add(ENode::Unary(EUnOp::Neg, b));
+        g.union(id, n);
+        return;
+    }
+    // x - c = x + (-c): normalizes toward Add so constants reassociate.
+    if let Some(c) = g.const_of(b).cloned() {
+        let nc = g.add_const(c.neg());
+        let n = g.add(ENode::Bin(EBinOp::Add, a, nc));
+        g.union(id, n);
+    }
+}
+
+fn rw_mul(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(EBinOp::Mul, a, b) = *node else { return };
+    let w = g.width_of(id);
+    for (x, y) in [(a, b), (b, a)] {
+        let Some(c) = g.const_of(x).cloned() else { continue };
+        if c.is_zero() {
+            let z = g.add_const(BitVec::zero(w));
+            g.union(id, z);
+        } else if c.is_one() {
+            g.union(id, y);
+        } else if c.count_ones() == 1 {
+            // ×2^k = shift left by k, which the shift rule then lowers
+            // to pure wiring.
+            let k = (0..w).find(|&i| c.bit(i)).unwrap_or(0);
+            let kc = g.add_const(BitVec::from_u64(w, u64::from(k)));
+            let n = g.add(ENode::Bin(EBinOp::Shl, y, kc));
+            g.union(id, n);
+        }
+        return;
+    }
+}
+
+/// Lowers shifts by a constant amount to extract/concat/extension
+/// wiring, which costs nothing after bit-blasting.
+fn rw_shift_const(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(op, a, b) = *node else { return };
+    if !matches!(op, EBinOp::Shl | EBinOp::Lshr | EBinOp::Ashr) {
+        return;
+    }
+    let w = g.width_of(id);
+    let Some(cnt) = g.const_of(b).and_then(BitVec::to_u64) else { return };
+    if cnt == 0 {
+        g.union(id, a);
+        return;
+    }
+    let over = cnt >= u64::from(w);
+    let c = u32::try_from(cnt.min(u64::from(w))).expect("count fits");
+    let n = match op {
+        EBinOp::Shl => {
+            if over {
+                g.add_const(BitVec::zero(w))
+            } else {
+                // Low c bits zero, upper bits from a[w-1-c:0].
+                let hi = g.add(ENode::Extract(a, w - 1 - c, 0));
+                let lo = g.add_const(BitVec::zero(c));
+                g.add(ENode::Concat(hi, lo))
+            }
+        }
+        EBinOp::Lshr => {
+            if over {
+                g.add_const(BitVec::zero(w))
+            } else {
+                let hi = g.add(ENode::Extract(a, w - 1, c));
+                g.add(ENode::ZExt(hi, w))
+            }
+        }
+        EBinOp::Ashr => {
+            // Shifting by ≥ w replicates the sign bit everywhere.
+            let lo = if over { w - 1 } else { c };
+            let hi = g.add(ENode::Extract(a, w - 1, lo));
+            g.add(ENode::SExt(hi, w))
+        }
+        _ => unreachable!(),
+    };
+    g.union(id, n);
+}
+
+fn rw_extract(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Extract(a, h, l) = *node else { return };
+    let aw = g.width_of(a);
+    if l == 0 && h == aw - 1 {
+        g.union(id, a);
+        return;
+    }
+    // extract(extract(x, _, il), h, l) = extract(x, il+h, il+l)
+    let inner = g.find_in(a, |n| match n {
+        ENode::Extract(x, _, il) => Some((*x, *il)),
+        _ => None,
+    });
+    if let Some((x, il)) = inner {
+        let n = g.add(ENode::Extract(x, il + h, il + l));
+        g.union(id, n);
+        return;
+    }
+    // Route an extract through a concat when the slice lands entirely in
+    // one half.
+    let halves = g.find_in(a, |n| match n {
+        ENode::Concat(hi, lo) => Some((*hi, *lo)),
+        _ => None,
+    });
+    if let Some((hi, lo)) = halves {
+        let lw = g.width_of(lo);
+        if h < lw {
+            let n = g.add(ENode::Extract(lo, h, l));
+            g.union(id, n);
+            return;
+        }
+        if l >= lw {
+            let n = g.add(ENode::Extract(hi, h - lw, l - lw));
+            g.union(id, n);
+            return;
+        }
+    }
+    // Route through zero/sign extension when the slice stays inside the
+    // original operand (or, for zext, lands entirely in the zero pad).
+    let ext = g.find_in(a, |n| match n {
+        ENode::ZExt(x, _) => Some((*x, false)),
+        ENode::SExt(x, _) => Some((*x, true)),
+        _ => None,
+    });
+    if let Some((x, signed)) = ext {
+        let xw = g.width_of(x);
+        if h < xw {
+            let n = g.add(ENode::Extract(x, h, l));
+            g.union(id, n);
+            return;
+        }
+        if !signed && l >= xw {
+            let z = g.add_const(BitVec::zero(h - l + 1));
+            g.union(id, z);
+            return;
+        }
+        if !signed && l < xw {
+            // Straddles the boundary: upper part is zeros.
+            let keep = g.add(ENode::Extract(x, xw - 1, l));
+            let n = g.add(ENode::ZExt(keep, h - l + 1));
+            g.union(id, n);
+            return;
+        }
+    }
+    // Distribute over a mux so slices of selected buses shrink early.
+    let mux = g.find_in(a, |n| match n {
+        ENode::Ite(c, t, e) => Some((*c, *t, *e)),
+        _ => None,
+    });
+    if let Some((c, t, e)) = mux {
+        let ts = g.add(ENode::Extract(t, h, l));
+        let es = g.add(ENode::Extract(e, h, l));
+        let n = g.add(ENode::Ite(c, ts, es));
+        g.union(id, n);
+    }
+}
+
+fn rw_concat(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Concat(hi, lo) = *node else { return };
+    // concat(extract(x, h1, l1), extract(x, l1-1, l2)) = extract(x, h1, l2)
+    let top = g.find_in(hi, |n| match n {
+        ENode::Extract(x, h1, l1) => Some((*x, *h1, *l1)),
+        _ => None,
+    });
+    if let Some((x, h1, l1)) = top {
+        let xf = g.find(x);
+        let bot = g.find_in(lo, |n| match n {
+            ENode::Extract(x2, h2, l2) if *x2 == xf && l1 == *h2 + 1 => Some(*l2),
+            _ => None,
+        });
+        if let Some(l2) = bot {
+            let n = g.add(ENode::Extract(x, h1, l2));
+            g.union(id, n);
+            return;
+        }
+    }
+    // concat(0, x) = zext(x); lets the extension rules fire.
+    if g.const_of(hi).is_some_and(BitVec::is_zero) {
+        let n = g.add(ENode::ZExt(lo, g.width_of(id)));
+        g.union(id, n);
+    }
+}
+
+fn rw_ext(g: &mut EGraph, id: Id, node: &ENode) {
+    match *node {
+        ENode::ZExt(a, w) => {
+            if g.width_of(a) == w {
+                g.union(id, a);
+                return;
+            }
+            // zext(zext(x)) = zext(x) and zext(sext-free) composition.
+            let inner = g.find_in(a, |n| match n {
+                ENode::ZExt(x, _) => Some(*x),
+                _ => None,
+            });
+            if let Some(x) = inner {
+                let n = g.add(ENode::ZExt(x, w));
+                g.union(id, n);
+            }
+        }
+        ENode::SExt(a, w) => {
+            if g.width_of(a) == w {
+                g.union(id, a);
+                return;
+            }
+            let inner = g.find_in(a, |n| match n {
+                ENode::SExt(x, _) => Some((*x, false)),
+                // sext(zext(x, m), w) = zext(x, w) when the zext grew the
+                // value (its MSB is a pad zero).
+                ENode::ZExt(x, m) if g.width_of(*x) < *m => Some((*x, true)),
+                _ => None,
+            });
+            if let Some((x, via_zext)) = inner {
+                let n = if via_zext {
+                    g.add(ENode::ZExt(x, w))
+                } else {
+                    g.add(ENode::SExt(x, w))
+                };
+                g.union(id, n);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rw_redor(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Unary(EUnOp::RedOr, a) = *node else { return };
+    if g.width_of(a) == 1 {
+        g.union(id, a);
+        return;
+    }
+    // redor(concat(h, l)) = redor(h) | redor(l)
+    let halves = g.find_in(a, |n| match n {
+        ENode::Concat(h, l) => Some((*h, *l)),
+        _ => None,
+    });
+    if let Some((h, l)) = halves {
+        let rh = g.add(ENode::Unary(EUnOp::RedOr, h));
+        let rl = g.add(ENode::Unary(EUnOp::RedOr, l));
+        let n = g.add(ENode::Bin(EBinOp::Or, rh, rl));
+        g.union(id, n);
+        return;
+    }
+    // redor(zext(x)) = redor(x): padding zeros never matter.
+    let inner = g.find_in(a, |n| match n {
+        ENode::ZExt(x, _) => Some(*x),
+        _ => None,
+    });
+    if let Some(x) = inner {
+        let n = g.add(ENode::Unary(EUnOp::RedOr, x));
+        g.union(id, n);
+    }
+}
+
+fn rw_cmp(g: &mut EGraph, id: Id, node: &ENode) {
+    let ENode::Bin(op, a, b) = *node else { return };
+    if !op.is_predicate() {
+        return;
+    }
+    let tru = BitVec::from_bool(true);
+    let fls = BitVec::from_bool(false);
+    match op {
+        EBinOp::Eq => {
+            if a == b {
+                let t = g.add_const(tru);
+                g.union(id, t);
+                return;
+            }
+            // On 1-bit operands an equality is just the value (or its
+            // complement).
+            if g.width_of(a) == 1 {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(c) = g.const_of(x).cloned() {
+                        if c.is_true() {
+                            g.union(id, y);
+                        } else {
+                            let n = g.add(ENode::Unary(EUnOp::Not, y));
+                            g.union(id, n);
+                        }
+                        return;
+                    }
+                }
+            }
+            // x == 0 over wide x is ¬redor(x); the redor rules then chew
+            // through concats and extensions.
+            for (x, y) in [(a, b), (b, a)] {
+                if g.const_of(x).is_some_and(BitVec::is_zero) && g.width_of(y) > 1 {
+                    let r = g.add(ENode::Unary(EUnOp::RedOr, y));
+                    let n = g.add(ENode::Unary(EUnOp::Not, r));
+                    g.union(id, n);
+                    return;
+                }
+            }
+        }
+        EBinOp::Ult => {
+            if a == b || g.const_of(b).is_some_and(BitVec::is_zero) {
+                let f = g.add_const(fls);
+                g.union(id, f);
+            } else if g.const_of(a).is_some_and(BitVec::is_zero) {
+                // 0 < b ⇔ b ≠ 0 ⇔ redor(b)
+                let n = g.add(ENode::Unary(EUnOp::RedOr, b));
+                g.union(id, n);
+            }
+        }
+        EBinOp::Ule => {
+            if a == b
+                || g.const_of(a).is_some_and(BitVec::is_zero)
+                || g.const_of(b).is_some_and(BitVec::is_ones)
+            {
+                let t = g.add_const(tru);
+                g.union(id, t);
+            }
+        }
+        EBinOp::Slt => {
+            if a == b {
+                let f = g.add_const(fls);
+                g.union(id, f);
+            }
+        }
+        EBinOp::Sle => {
+            if a == b {
+                let t = g.add_const(tru);
+                g.union(id, t);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,121 @@
+//! Bounded equality saturation under the shared resource [`Budget`].
+//!
+//! Saturation is always total: whatever stops it — fixpoint, iteration
+//! cap, node cap, deadline, cancellation, or an injected fault — the
+//! e-graph it leaves behind is a sound (possibly partially saturated)
+//! state, and extraction can still recover at least the original terms.
+
+use crate::graph::EGraph;
+use crate::rules::Rule;
+use owl_sat::{Budget, Fault, StopReason};
+
+/// Structural caps on one saturation run, independent of the wall-clock
+/// and cancellation governance the [`Budget`] provides.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationLimits {
+    /// Maximum rule iterations (one iteration applies every rule to a
+    /// snapshot of the whole graph).
+    pub max_iters: usize,
+    /// Stop growing once the graph holds this many nodes.
+    pub max_nodes: usize,
+}
+
+impl Default for SaturationLimits {
+    fn default() -> Self {
+        SaturationLimits { max_iters: 8, max_nodes: 50_000 }
+    }
+}
+
+/// What one saturation run did and why it stopped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SaturationReport {
+    /// Completed rule iterations.
+    pub iterations: usize,
+    /// True when a fixpoint was reached (no rule changed the graph).
+    pub saturated: bool,
+    /// The budget stop that interrupted saturation, if any. `None` for
+    /// fixpoint and structural-cap stops.
+    pub stop: Option<StopReason>,
+    /// Nodes in the graph when saturation finished.
+    pub nodes: usize,
+}
+
+/// How often (in rule applications) the budget is re-polled inside one
+/// iteration, so a deadline can interrupt even a single huge snapshot.
+const POLL_STRIDE: usize = 1024;
+
+/// Runs `rules` over `egraph` to fixpoint or until a limit fires.
+///
+/// The budget's deadline/cancellation is polled before every iteration
+/// and every [`POLL_STRIDE`] rule applications within one. If the budget
+/// carries a fault plan, one fault index is consumed per iteration:
+/// [`Fault::StallMillis`] sleeps (so deadline handling is testable) and
+/// [`Fault::ForceUnknown`] abandons saturation with
+/// [`StopReason::FaultInjected`]; other fault kinds are solver-specific
+/// and ignored here.
+pub fn saturate(
+    egraph: &mut EGraph,
+    rules: &[Rule],
+    budget: &Budget,
+    limits: &SaturationLimits,
+) -> SaturationReport {
+    let mut report = SaturationReport::default();
+    loop {
+        report.nodes = egraph.node_count();
+        if report.iterations >= limits.max_iters || report.nodes >= limits.max_nodes {
+            break;
+        }
+        if let Some(reason) = budget.checkpoint() {
+            report.stop = Some(reason);
+            break;
+        }
+        match budget.next_fault() {
+            Some(Fault::StallMillis(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                // The stall burned wall-clock; observe the deadline
+                // before doing any more work.
+                if let Some(reason) = budget.checkpoint() {
+                    report.stop = Some(reason);
+                    break;
+                }
+            }
+            Some(Fault::ForceUnknown) => {
+                report.stop = Some(StopReason::FaultInjected);
+                break;
+            }
+            _ => {}
+        }
+        let before = egraph.version();
+        let snapshot = egraph.snapshot();
+        let mut applications = 0usize;
+        let mut interrupted = false;
+        'iteration: for (id, node) in &snapshot {
+            for rule in rules {
+                (rule.apply)(egraph, *id, node);
+                applications += 1;
+                if applications % POLL_STRIDE == 0 {
+                    if let Some(reason) = budget.checkpoint() {
+                        report.stop = Some(reason);
+                        interrupted = true;
+                        break 'iteration;
+                    }
+                    if egraph.node_count() >= limits.max_nodes {
+                        break 'iteration;
+                    }
+                }
+            }
+        }
+        egraph.rebuild();
+        egraph.materialize_constants();
+        report.iterations += 1;
+        report.nodes = egraph.node_count();
+        if interrupted || report.stop.is_some() {
+            break;
+        }
+        if egraph.version() == before {
+            report.saturated = true;
+            break;
+        }
+    }
+    report
+}

@@ -10,15 +10,21 @@
 //!   primitive ports, as PyRTL `MemBlock`s do);
 //! - [`optimize`]: a logic optimizer (constant propagation, common
 //!   subexpression elimination, algebraic identities, dead-gate removal)
-//!   standing in for the Yosys pass; and
+//!   standing in for the Yosys pass;
+//! - [`optimize_with`]: the [`OptLevel`]-selected pipeline, which can
+//!   follow the structural pass with bounded equality saturation over
+//!   the live Boolean cone (`owl-egraph`), keeping the smaller result;
+//!   and
 //! - [`GateSim`]: a cycle-accurate gate-level simulator used to check the
 //!   lowering against the Oyster interpreter.
 
+mod eqsat;
 mod lower;
 mod net;
 mod opt;
 mod sim;
 
+pub use eqsat::{optimize_eqsat, optimize_with, OptLevel, SaturationLimits};
 pub use lower::lower;
 pub use net::{GateKind, GateStats, NetId, Netlist};
 pub use opt::optimize;

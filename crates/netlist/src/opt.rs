@@ -23,15 +23,15 @@ pub fn optimize(netlist: &Netlist) -> Netlist {
     }
 }
 
-struct Builder {
-    nl: Netlist,
-    zero: NetId,
-    one: NetId,
+pub(crate) struct Builder {
+    pub(crate) nl: Netlist,
+    pub(crate) zero: NetId,
+    pub(crate) one: NetId,
     hash: HashMap<GateKind, NetId>,
 }
 
 impl Builder {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut nl = Netlist::new();
         let zero = nl.push(GateKind::Const(false));
         let one = nl.push(GateKind::Const(true));
@@ -41,7 +41,7 @@ impl Builder {
         Builder { nl, zero, one, hash }
     }
 
-    fn intern(&mut self, kind: GateKind) -> NetId {
+    pub(crate) fn intern(&mut self, kind: GateKind) -> NetId {
         if let Some(&id) = self.hash.get(&kind) {
             return id;
         }
@@ -66,7 +66,7 @@ impl Builder {
             || matches!(self.nl.gates[b.index()], GateKind::Not(x) if x == a)
     }
 
-    fn and(&mut self, mut a: NetId, mut b: NetId) -> NetId {
+    pub(crate) fn and(&mut self, mut a: NetId, mut b: NetId) -> NetId {
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }
@@ -82,10 +82,18 @@ impl Builder {
         if self.complementary(a, b) {
             return self.zero;
         }
+        // Absorption: x & (x | y) = x.
+        for (x, y) in [(a, b), (b, a)] {
+            if let GateKind::Or(p, q) = self.nl.gates[y.index()] {
+                if p == x || q == x {
+                    return x;
+                }
+            }
+        }
         self.intern(GateKind::And(a, b))
     }
 
-    fn or(&mut self, mut a: NetId, mut b: NetId) -> NetId {
+    pub(crate) fn or(&mut self, mut a: NetId, mut b: NetId) -> NetId {
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }
@@ -101,10 +109,18 @@ impl Builder {
         if self.complementary(a, b) {
             return self.one;
         }
+        // Absorption: x | (x & y) = x.
+        for (x, y) in [(a, b), (b, a)] {
+            if let GateKind::And(p, q) = self.nl.gates[y.index()] {
+                if p == x || q == x {
+                    return x;
+                }
+            }
+        }
         self.intern(GateKind::Or(a, b))
     }
 
-    fn xor(&mut self, mut a: NetId, mut b: NetId) -> NetId {
+    pub(crate) fn xor(&mut self, mut a: NetId, mut b: NetId) -> NetId {
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }
@@ -124,18 +140,26 @@ impl Builder {
         self.intern(GateKind::Xor(a, b))
     }
 
-    fn not(&mut self, a: NetId) -> NetId {
-        if let Some(c) = self.is_const(a) {
+    pub(crate) fn not(&mut self, a: NetId) -> NetId {
+        // Collapse whole inverter chains, not just one level: walk to
+        // the chain's root and keep only the inversion parity.
+        let mut root = a;
+        let mut inverted = true;
+        while let GateKind::Not(inner) = self.nl.gates[root.index()] {
+            root = inner;
+            inverted = !inverted;
+        }
+        if !inverted {
+            return root;
+        }
+        if let Some(c) = self.is_const(root) {
             return if c { self.zero } else { self.one };
         }
-        if let GateKind::Not(inner) = self.nl.gates[a.index()] {
-            return inner;
-        }
-        self.intern(GateKind::Not(a))
+        self.intern(GateKind::Not(root))
     }
 }
 
-fn live_set(nl: &Netlist) -> HashSet<NetId> {
+pub(crate) fn live_set(nl: &Netlist) -> HashSet<NetId> {
     let mut live = HashSet::new();
     let mut stack: Vec<NetId> = Vec::new();
     for (_, bits) in &nl.outputs {
@@ -342,6 +366,55 @@ mod tests {
             assert_eq!(o1["o"], o2["o"]);
             assert_eq!(s1.reg("acc"), s2.reg("acc"));
         }
+    }
+
+    #[test]
+    fn absorption_collapses_redundant_cover() {
+        // x & (x | y) = x: the whole cone is wiring.
+        let (_, opt) = opt_of(
+            "design d\ninput a 1\ninput b 1\noutput x 1\nx := a & (a | b)\nend\n",
+        );
+        assert_eq!(opt.stats().total(), 0, "a & (a | b) must absorb to a");
+        // Dual: x | (x & y) = x.
+        let (_, opt) = opt_of(
+            "design d\ninput a 1\ninput b 1\noutput x 1\nx := a | (a & b)\nend\n",
+        );
+        assert_eq!(opt.stats().total(), 0, "a | (a & b) must absorb to a");
+    }
+
+    #[test]
+    fn absorption_preserves_behaviour() {
+        let text = "design d\ninput a 1\ninput b 1\noutput x 1\noutput y 1\n\
+                    x := a & (a | b)\ny := b | (b & a)\nend\n";
+        let d: Design = text.parse().unwrap();
+        let raw = lower(&d).unwrap();
+        let opt = optimize(&raw);
+        let mut s1 = GateSim::new(&raw);
+        let mut s2 = GateSim::new(&opt);
+        for bits in 0..4u64 {
+            let ins: HashMap<String, BitVec> = [
+                ("a".to_string(), BitVec::from_u64(1, bits & 1)),
+                ("b".to_string(), BitVec::from_u64(1, (bits >> 1) & 1)),
+            ]
+            .into();
+            assert_eq!(s1.step(&ins), s2.step(&ins));
+        }
+    }
+
+    #[test]
+    fn not_collapses_chains_beyond_one_level() {
+        let mut b = Builder::new();
+        let a = b.intern(GateKind::Input(0, 0));
+        // Intern a raw inverter chain directly, bypassing the smart
+        // constructor, as a frontend might.
+        let n1 = b.intern(GateKind::Not(a));
+        let n2 = b.intern(GateKind::Not(n1));
+        let n3 = b.intern(GateKind::Not(n2));
+        // ¬n3 = ¬¬¬¬a = a: the whole even-parity chain cancels.
+        assert_eq!(b.not(n3), a);
+        // ¬n2 = ¬¬¬a = ¬a: odd parity resolves to the interned root
+        // inverter, not a fresh gate.
+        assert_eq!(b.not(n2), n1);
     }
 
     #[test]

@@ -348,7 +348,7 @@ mod tests {
         let one = mgr.const_u64(8, 1);
         let expect = mgr.add(init, one);
         let bad = mgr.neq(after, expect);
-        assert!(check(&mgr, &[bad], None).is_unsat());
+        assert!(check(&mut mgr, &[bad], None).is_unsat());
     }
 
     #[test]
@@ -367,13 +367,13 @@ mod tests {
         let mem = trace.snapshots[1].mems["ram"].clone();
         let rd = mem.read(&mut mgr, addr);
         let bad = mgr.neq(rd, data);
-        assert!(check(&mgr, &[bad], None).is_unsat());
+        assert!(check(&mut mgr, &[bad], None).is_unsat());
         // Reading a *different* address can differ from data.
         let other = mgr.fresh_var("other", 4);
         let rd2 = mem.read(&mut mgr, other);
         let distinct = mgr.neq(other, addr);
         let differs = mgr.neq(rd2, data);
-        assert!(matches!(check(&mgr, &[distinct, differs], None), SmtResult::Sat(_)));
+        assert!(matches!(check(&mut mgr, &[distinct, differs], None), SmtResult::Sat(_)));
     }
 
     #[test]
@@ -392,7 +392,7 @@ mod tests {
         let one = mgr.tru();
         let sel_is_1 = mgr.eq(sel, one);
         let bad = mgr.neq(r1, a);
-        assert!(check(&mgr, &[sel_is_1, bad], None).is_unsat());
+        assert!(check(&mut mgr, &[sel_is_1, bad], None).is_unsat());
     }
 
     #[test]

@@ -316,8 +316,25 @@ impl Budget {
     }
 
     /// Pulls the next fault from the attached plan, if any.
-    pub(crate) fn next_fault(&self) -> Option<Fault> {
+    ///
+    /// Public so budget-aware passes outside the SAT core (e.g. the
+    /// equality-saturation engine) can participate in fault injection.
+    /// Each call consumes one plan index, so callers that must keep the
+    /// plan's indices aligned with *solver* calls should hand such
+    /// passes [`Budget::without_faults`] instead.
+    pub fn next_fault(&self) -> Option<Fault> {
         self.faults.as_ref().and_then(|p| p.next_fault())
+    }
+
+    /// A copy of this budget with the fault plan detached (deadline,
+    /// cancellation flag, and work limits are preserved and still
+    /// shared). Used by pre-solving passes that poll the budget but must
+    /// not consume the plan's solver-call indices.
+    #[must_use]
+    pub fn without_faults(&self) -> Budget {
+        let mut b = self.clone();
+        b.faults = None;
+        b
     }
 }
 

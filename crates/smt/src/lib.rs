@@ -30,20 +30,29 @@
 //! let eq = mgr.eq(xx, x2);
 //! let neq = mgr.not(eq);
 //! // x + x == 2 * x always, so its negation is unsatisfiable.
-//! assert!(matches!(check(&mgr, &[neq], None), SmtResult::Unsat));
+//! assert!(matches!(check(&mut mgr, &[neq], None), SmtResult::Unsat));
 //! ```
 
 mod blast;
 mod eval;
 mod manager;
 mod print;
+mod simplify;
 mod solver;
 mod subst;
 
 pub use eval::{ArrayValue, Env};
 pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
-pub use solver::{check, check_certified, Model, QueryCert, SmtResult};
+pub use simplify::{count_nodes, dag_cost, simplify_terms, SimplifyStats};
+pub use solver::{
+    check, check_certified, check_with, CheckOutcome, Model, QueryCert, QueryStats, SmtResult,
+    SolverConfig,
+};
 pub use subst::{substitute, substitute_terms};
+
+// The saturation knobs surface in [`SolverConfig`]; re-export them so
+// callers can tune limits without a direct `owl_egraph` dependency.
+pub use owl_egraph::{SaturationLimits, SaturationReport};
 
 // Resource governance and proof certification: re-exported so
 // downstream crates can build budgets and replay proofs without

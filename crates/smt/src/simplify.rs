@@ -1,0 +1,611 @@
+//! Equality-saturation simplification of term graphs before
+//! bit-blasting.
+//!
+//! [`simplify_terms`] round-trips a set of root terms through
+//! `owl-egraph`: convert to the e-graph language, saturate under the
+//! shared [`Budget`] with the QF_BV rule set, and extract the cheapest
+//! equivalent terms under the CNF-oriented cost model, rebuilding them
+//! through the [`TermManager`]'s hash-consing smart constructors.
+//!
+//! Soundness containment: the rewritten terms are only ever *solved*;
+//! certification ([`crate::check_certified`]) always evaluates models
+//! against the original pre-rewrite terms, so a rewrite bug surfaces as
+//! a failed certificate rather than a silently wrong answer.
+
+use crate::manager::{ArrayId, BinOp, RomId, TermId, TermKind, TermManager, UnOp};
+use owl_egraph::{
+    bv_rules, saturate, Budget, EBinOp, EGraph, ENode, EUnOp, Extractor, Id, SaturationLimits,
+    TermCost,
+};
+use std::collections::HashMap;
+
+/// What one simplification pass did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplifyStats {
+    /// Distinct term-graph nodes reachable from the roots before
+    /// simplification.
+    pub nodes_before: usize,
+    /// Distinct nodes reachable from the simplified roots.
+    pub nodes_after: usize,
+    /// Equality-saturation iterations run.
+    pub iterations: usize,
+    /// True when saturation reached a fixpoint (vs. hitting a cap,
+    /// the deadline, or a fault).
+    pub saturated: bool,
+    /// False when the pass was skipped (input larger than the node cap)
+    /// and the roots were returned unchanged.
+    pub applied: bool,
+    /// True when the rewritten roots were kept because their shared-DAG
+    /// cost strictly improved on the originals; false when the originals
+    /// were returned (skipped, or extraction found nothing cheaper).
+    pub improved: bool,
+}
+
+/// Counts the distinct terms reachable from `roots`.
+#[must_use]
+pub fn count_nodes(mgr: &TermManager, roots: &[TermId]) -> usize {
+    let mut seen: Vec<bool> = vec![false; mgr.num_terms()];
+    let mut stack: Vec<TermId> = roots.to_vec();
+    let mut count = 0usize;
+    while let Some(t) = stack.pop() {
+        if std::mem::replace(&mut seen[t.index()], true) {
+            continue;
+        }
+        count += 1;
+        match *mgr.kind(t) {
+            TermKind::Const(_) | TermKind::Var(_) => {}
+            TermKind::Unary(_, a)
+            | TermKind::Extract(a, _, _)
+            | TermKind::ZExt(a, _)
+            | TermKind::SExt(a, _)
+            | TermKind::ArraySelect(_, a)
+            | TermKind::RomSelect(_, a) => stack.push(a),
+            TermKind::Binary(_, a, b) | TermKind::Concat(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            TermKind::Ite(c, t2, e) => {
+                stack.push(c);
+                stack.push(t2);
+                stack.push(e);
+            }
+        }
+    }
+    count
+}
+
+/// CNF-oriented cost of the term DAG reachable from `roots`, counting
+/// every distinct node once (the blaster memoizes per term, so shared
+/// subterms are blasted once regardless of fan-out).
+///
+/// The per-operator weights mirror [`TermCost`], which prices *tree*
+/// extraction inside the e-graph; this shared-DAG variant is the
+/// acceptance check that decides whether an extraction actually pays
+/// off. Tree-optimal extraction can duplicate work a shared DAG got for
+/// free, so [`simplify_terms`] keeps a rewrite only when this cost
+/// strictly decreases.
+#[must_use]
+pub fn dag_cost(mgr: &TermManager, roots: &[TermId]) -> u64 {
+    let mut seen: Vec<bool> = vec![false; mgr.num_terms()];
+    let mut stack: Vec<TermId> = roots.to_vec();
+    let mut cost = 0u64;
+    let barrel = |w: u64| 3 * w * u64::from(u64::BITS - w.leading_zeros());
+    while let Some(t) = stack.pop() {
+        if std::mem::replace(&mut seen[t.index()], true) {
+            continue;
+        }
+        let w = u64::from(mgr.width(t));
+        match *mgr.kind(t) {
+            TermKind::Const(_) | TermKind::Var(_) => {}
+            TermKind::Extract(a, _, _) | TermKind::ZExt(a, _) | TermKind::SExt(a, _) => {
+                stack.push(a);
+            }
+            TermKind::Unary(op, a) => {
+                cost += match op {
+                    UnOp::Not => 0,
+                    UnOp::Neg => 6 * u64::from(mgr.width(a)),
+                    UnOp::RedOr => u64::from(mgr.width(a)),
+                };
+                stack.push(a);
+            }
+            TermKind::Binary(op, a, b) => {
+                let wa = u64::from(mgr.width(a));
+                cost += match op {
+                    BinOp::And | BinOp::Or | BinOp::Xor => wa,
+                    BinOp::Add | BinOp::Sub => 6 * wa,
+                    BinOp::Mul => 6 * wa * wa,
+                    // Constant shift amounts blast to pure wiring; see
+                    // the matching special case in `TermCost`.
+                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                        if mgr.as_const(b).is_some() {
+                            1
+                        } else {
+                            barrel(wa)
+                        }
+                    }
+                    BinOp::Eq => 2 * wa,
+                    BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle => 4 * wa,
+                };
+                stack.push(a);
+                stack.push(b);
+            }
+            TermKind::Ite(c, t2, e) => {
+                cost += 3 * w;
+                stack.push(c);
+                stack.push(t2);
+                stack.push(e);
+            }
+            TermKind::Concat(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            TermKind::ArraySelect(_, a) | TermKind::RomSelect(_, a) => {
+                cost += 1;
+                stack.push(a);
+            }
+        }
+    }
+    cost
+}
+
+/// The uninterpreted operator behind an [`ENode::Call`] key.
+#[derive(Debug, Clone, Copy)]
+enum CallTarget {
+    Array(ArrayId),
+    Rom(RomId),
+}
+
+/// Simplifies `roots` (a slice of arbitrary-width terms) by equality
+/// saturation, returning the equivalent simplified roots in order plus
+/// statistics.
+///
+/// Saturation is governed by `budget` (deadline/cancellation polled
+/// mid-run; a fault plan attached to the budget participates in
+/// injection, so callers keeping fault indices aligned with solver
+/// calls should pass [`Budget::without_faults`]) and by `limits`. On
+/// any early stop the e-graph's partial state is still extracted — in
+/// the worst case the extraction is the original term. Inputs already
+/// larger than `limits.max_nodes` skip the pass entirely.
+#[must_use]
+pub fn simplify_terms(
+    mgr: &mut TermManager,
+    roots: &[TermId],
+    budget: &Budget,
+    limits: &SaturationLimits,
+) -> (Vec<TermId>, SimplifyStats) {
+    let mut stats = SimplifyStats { nodes_before: count_nodes(mgr, roots), ..Default::default() };
+    if stats.nodes_before >= limits.max_nodes {
+        stats.nodes_after = stats.nodes_before;
+        return (roots.to_vec(), stats);
+    }
+
+    // --- Encode: term graph -> e-graph ------------------------------
+    let mut egraph = EGraph::new();
+    let mut term_class: HashMap<TermId, Id> = HashMap::new();
+    // Leaf key -> the original Var term, for reconstruction.
+    let mut leaf_terms: HashMap<u32, TermId> = HashMap::new();
+    // Call key -> the array/ROM it reads.
+    let mut call_targets: Vec<CallTarget> = Vec::new();
+    let mut array_keys: HashMap<u32, u32> = HashMap::new();
+    let mut rom_keys: HashMap<u32, u32> = HashMap::new();
+
+    let mut stack: Vec<TermId> = roots.to_vec();
+    while let Some(&t) = stack.last() {
+        if term_class.contains_key(&t) {
+            stack.pop();
+            continue;
+        }
+        let mut pending_children = Vec::new();
+        let mut need = |x: TermId| {
+            if !term_class.contains_key(&x) {
+                pending_children.push(x);
+            }
+        };
+        match *mgr.kind(t) {
+            TermKind::Const(_) | TermKind::Var(_) => {}
+            TermKind::Unary(_, a)
+            | TermKind::Extract(a, _, _)
+            | TermKind::ZExt(a, _)
+            | TermKind::SExt(a, _)
+            | TermKind::ArraySelect(_, a)
+            | TermKind::RomSelect(_, a) => need(a),
+            TermKind::Binary(_, a, b) | TermKind::Concat(a, b) => {
+                need(a);
+                need(b);
+            }
+            TermKind::Ite(c, t2, e) => {
+                need(c);
+                need(t2);
+                need(e);
+            }
+        }
+        if !pending_children.is_empty() {
+            stack.extend(pending_children);
+            continue;
+        }
+        let cls = |m: &HashMap<TermId, Id>, x: TermId| m[&x];
+        let node = match *mgr.kind(t) {
+            TermKind::Const(ref v) => ENode::Const(v.clone()),
+            TermKind::Var(sym) => {
+                let key = u32::try_from(sym.index()).expect("symbol key fits");
+                leaf_terms.insert(key, t);
+                ENode::Leaf(key, mgr.width(t))
+            }
+            TermKind::Unary(op, a) => ENode::Unary(convert_unop(op), cls(&term_class, a)),
+            TermKind::Binary(op, a, b) => {
+                ENode::Bin(convert_binop(op), cls(&term_class, a), cls(&term_class, b))
+            }
+            TermKind::Ite(c, t2, e) => {
+                ENode::Ite(cls(&term_class, c), cls(&term_class, t2), cls(&term_class, e))
+            }
+            TermKind::Extract(a, high, low) => ENode::Extract(cls(&term_class, a), high, low),
+            TermKind::Concat(hi, lo) => ENode::Concat(cls(&term_class, hi), cls(&term_class, lo)),
+            TermKind::ZExt(a, w) => ENode::ZExt(cls(&term_class, a), w),
+            TermKind::SExt(a, w) => ENode::SExt(cls(&term_class, a), w),
+            TermKind::ArraySelect(arr, addr) => {
+                let raw = u32::try_from(arr.index()).expect("array key fits");
+                let key = *array_keys.entry(raw).or_insert_with(|| {
+                    call_targets.push(CallTarget::Array(arr));
+                    u32::try_from(call_targets.len() - 1).expect("call key fits")
+                });
+                ENode::Call(key, vec![cls(&term_class, addr)], mgr.width(t))
+            }
+            TermKind::RomSelect(rom, addr) => {
+                let raw = u32::try_from(rom.index()).expect("rom key fits");
+                let key = *rom_keys.entry(raw).or_insert_with(|| {
+                    call_targets.push(CallTarget::Rom(rom));
+                    u32::try_from(call_targets.len() - 1).expect("call key fits")
+                });
+                ENode::Call(key, vec![cls(&term_class, addr)], mgr.width(t))
+            }
+        };
+        let id = egraph.add(node);
+        term_class.insert(t, id);
+        stack.pop();
+    }
+
+    // --- Saturate under the budget ----------------------------------
+    let report = saturate(&mut egraph, &bv_rules(), budget, limits);
+    stats.iterations = report.iterations;
+    stats.saturated = report.saturated;
+    stats.applied = true;
+
+    // --- Extract and rebuild through the manager --------------------
+    let extractor = Extractor::new(&egraph, &TermCost);
+    let mut class_term: HashMap<Id, TermId> = HashMap::new();
+    let mut out = Vec::with_capacity(roots.len());
+    for &root in roots {
+        let id = egraph.find(term_class[&root]);
+        let t = rebuild(
+            mgr,
+            &egraph,
+            &extractor,
+            id,
+            &leaf_terms,
+            &call_targets,
+            &mut class_term,
+        );
+        debug_assert_eq!(mgr.width(t), mgr.width(root), "simplification must preserve width");
+        out.push(t);
+    }
+    // --- Accept only strict shared-DAG improvements -----------------
+    // The extractor minimizes tree cost per class, which can trade away
+    // sharing; re-measure both sides as DAGs and keep the originals on
+    // a tie or regression so "simplify on" never produces a larger CNF
+    // than "simplify off" for the same query.
+    if out != roots && dag_cost(mgr, &out) >= dag_cost(mgr, roots) {
+        stats.nodes_after = stats.nodes_before;
+        return (roots.to_vec(), stats);
+    }
+    stats.improved = out != roots;
+    stats.nodes_after = count_nodes(mgr, &out);
+    (out, stats)
+}
+
+/// Rebuilds the extracted best term of `root` through the manager's
+/// smart constructors, memoized per e-class (iterative so deep term
+/// graphs cannot overflow the stack).
+fn rebuild(
+    mgr: &mut TermManager,
+    egraph: &EGraph,
+    extractor: &Extractor,
+    root: Id,
+    leaf_terms: &HashMap<u32, TermId>,
+    call_targets: &[CallTarget],
+    class_term: &mut HashMap<Id, TermId>,
+) -> TermId {
+    let mut stack: Vec<Id> = vec![root];
+    while let Some(&raw) = stack.last() {
+        let id = egraph.find(raw);
+        if class_term.contains_key(&id) {
+            stack.pop();
+            continue;
+        }
+        let node = extractor.best(egraph, id).clone();
+        let mut missing = Vec::new();
+        node.for_each_child(|c| {
+            let c = egraph.find(c);
+            if !class_term.contains_key(&c) {
+                missing.push(c);
+            }
+        });
+        if !missing.is_empty() {
+            stack.extend(missing);
+            continue;
+        }
+        let get = |m: &HashMap<Id, TermId>, c: Id| m[&egraph.find(c)];
+        let t = match node {
+            ENode::Const(v) => mgr.bv_const(v),
+            ENode::Leaf(key, _) => leaf_terms[&key],
+            ENode::Unary(op, a) => {
+                let a = get(class_term, a);
+                match op {
+                    EUnOp::Not => mgr.not(a),
+                    EUnOp::Neg => mgr.neg(a),
+                    EUnOp::RedOr => mgr.red_or(a),
+                }
+            }
+            ENode::Bin(op, a, b) => {
+                let (a, b) = (get(class_term, a), get(class_term, b));
+                match op {
+                    EBinOp::And => mgr.and(a, b),
+                    EBinOp::Or => mgr.or(a, b),
+                    EBinOp::Xor => mgr.xor(a, b),
+                    EBinOp::Add => mgr.add(a, b),
+                    EBinOp::Sub => mgr.sub(a, b),
+                    EBinOp::Mul => mgr.mul(a, b),
+                    EBinOp::Shl => mgr.shl(a, b),
+                    EBinOp::Lshr => mgr.lshr(a, b),
+                    EBinOp::Ashr => mgr.ashr(a, b),
+                    EBinOp::Eq => mgr.eq(a, b),
+                    EBinOp::Ult => mgr.ult(a, b),
+                    EBinOp::Ule => mgr.ule(a, b),
+                    EBinOp::Slt => mgr.slt(a, b),
+                    EBinOp::Sle => mgr.sle(a, b),
+                }
+            }
+            ENode::Ite(c, t2, e) => {
+                let (c, t2, e) = (get(class_term, c), get(class_term, t2), get(class_term, e));
+                mgr.ite(c, t2, e)
+            }
+            ENode::Extract(a, high, low) => {
+                let a = get(class_term, a);
+                mgr.extract(a, high, low)
+            }
+            ENode::Concat(hi, lo) => {
+                let (hi, lo) = (get(class_term, hi), get(class_term, lo));
+                mgr.concat(hi, lo)
+            }
+            ENode::ZExt(a, w) => {
+                let a = get(class_term, a);
+                mgr.zext(a, w)
+            }
+            ENode::SExt(a, w) => {
+                let a = get(class_term, a);
+                mgr.sext(a, w)
+            }
+            ENode::Call(key, ref args, _) => {
+                let addr = get(class_term, args[0]);
+                match call_targets[key as usize] {
+                    CallTarget::Array(arr) => mgr.array_select(arr, addr),
+                    CallTarget::Rom(rom) => mgr.rom_select(rom, addr),
+                }
+            }
+        };
+        class_term.insert(id, t);
+        stack.pop();
+    }
+    class_term[&egraph.find(root)]
+}
+
+fn convert_unop(op: UnOp) -> EUnOp {
+    match op {
+        UnOp::Not => EUnOp::Not,
+        UnOp::Neg => EUnOp::Neg,
+        UnOp::RedOr => EUnOp::RedOr,
+    }
+}
+
+fn convert_binop(op: BinOp) -> EBinOp {
+    match op {
+        BinOp::And => EBinOp::And,
+        BinOp::Or => EBinOp::Or,
+        BinOp::Xor => EBinOp::Xor,
+        BinOp::Add => EBinOp::Add,
+        BinOp::Sub => EBinOp::Sub,
+        BinOp::Mul => EBinOp::Mul,
+        BinOp::Shl => EBinOp::Shl,
+        BinOp::Lshr => EBinOp::Lshr,
+        BinOp::Ashr => EBinOp::Ashr,
+        BinOp::Eq => EBinOp::Eq,
+        BinOp::Ult => EBinOp::Ult,
+        BinOp::Ule => EBinOp::Ule,
+        BinOp::Slt => EBinOp::Slt,
+        BinOp::Sle => EBinOp::Sle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Env;
+    use owl_bitvec::BitVec;
+
+    fn unlimited() -> (Budget, SaturationLimits) {
+        (Budget::unlimited(), SaturationLimits::default())
+    }
+
+    #[test]
+    fn shift_by_constant_simplifies_to_wiring() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let two = m.const_u64(8, 2);
+        let sh = m.shl(x, two);
+        let (b, l) = unlimited();
+        let (out, stats) = simplify_terms(&mut m, &[sh], &b, &l);
+        assert!(stats.applied && stats.saturated);
+        // The simplified term must not contain a shift.
+        fn has_shift(m: &TermManager, t: TermId) -> bool {
+            match *m.kind(t) {
+                TermKind::Binary(BinOp::Shl | BinOp::Lshr | BinOp::Ashr, a, b) => {
+                    m.as_const(b).is_none() || has_shift(m, a)
+                }
+                TermKind::Binary(_, a, b) | TermKind::Concat(a, b) => {
+                    has_shift(m, a) || has_shift(m, b)
+                }
+                TermKind::Unary(_, a)
+                | TermKind::Extract(a, _, _)
+                | TermKind::ZExt(a, _)
+                | TermKind::SExt(a, _) => has_shift(m, a),
+                _ => false,
+            }
+        }
+        assert!(!has_shift(&m, out[0]), "shl by const should lower to extract/concat");
+    }
+
+    #[test]
+    fn redundant_mux_collapses() {
+        let mut m = TermManager::new();
+        let c = m.fresh_var("c", 1);
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let z = m.fresh_var("z", 8);
+        let inner = m.ite(c, x, y);
+        let outer = m.ite(c, inner, z);
+        let (b, l) = unlimited();
+        let (out, _) = simplify_terms(&mut m, &[outer], &b, &l);
+        let direct = m.ite(c, x, z);
+        assert_eq!(out[0], direct, "nested same-condition mux collapses");
+    }
+
+    #[test]
+    fn oversized_input_is_skipped_unchanged() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let s = m.add(x, y);
+        let (b, _) = unlimited();
+        let tiny = SaturationLimits { max_iters: 8, max_nodes: 2 };
+        let (out, stats) = simplify_terms(&mut m, &[s], &b, &tiny);
+        assert!(!stats.applied);
+        assert_eq!(out[0], s);
+    }
+
+    #[test]
+    fn deadline_mid_simplify_still_returns_equivalent_terms() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let nx = m.not(x);
+        let nnx = m.not(nx);
+        let both = m.and(nnx, y);
+        let goal = m.eq(both, y);
+        let budget = Budget::unlimited().with_deadline_in(std::time::Duration::ZERO);
+        let (out, stats) = simplify_terms(&mut m, &[goal], &budget, &SaturationLimits::default());
+        assert!(stats.applied && !stats.saturated);
+        // Equivalence under a concrete environment must survive the
+        // partial pass.
+        let mut env = Env::new();
+        for (var, val) in [(x, 0xA5u64), (y, 0x3Cu64)] {
+            let Some(sym) = m.as_var(var) else { panic!() };
+            env.set_var(sym, BitVec::from_u64(8, val));
+        }
+        assert_eq!(env.eval(&m, goal), env.eval(&m, out[0]));
+    }
+
+    #[test]
+    fn randomized_soundness_sweep() {
+        // A deterministic randomized harness (256 cases) that mirrors
+        // the proptest suite at the workspace root but runs without
+        // external dev-dependencies: random term DAGs evaluated under
+        // random environments must agree before and after
+        // simplification.
+        fn splitmix64(x: &mut u64) -> u64 {
+            *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        for case in 0..256u64 {
+            let mut rng = 0xD00D_F00Du64 ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut m = TermManager::new();
+            let vars: Vec<TermId> =
+                (0..4).map(|i| m.fresh_var(format!("v{i}"), 8)).collect();
+            let cond = m.fresh_var("c", 1);
+            // Build a random pool of width-8 terms.
+            let mut pool: Vec<TermId> = vars.clone();
+            for _ in 0..12 {
+                let pick =
+                    |rng: &mut u64, pool: &[TermId]| pool[(splitmix64(rng) as usize) % pool.len()];
+                let a = pick(&mut rng, &pool);
+                let b = pick(&mut rng, &pool);
+                let t = match splitmix64(&mut rng) % 14 {
+                    0 => m.and(a, b),
+                    1 => m.or(a, b),
+                    2 => m.xor(a, b),
+                    3 => m.add(a, b),
+                    4 => m.sub(a, b),
+                    5 => m.mul(a, b),
+                    6 => {
+                        let c = m.const_u64(8, splitmix64(&mut rng) % 10);
+                        m.shl(a, c)
+                    }
+                    7 => {
+                        let c = m.const_u64(8, splitmix64(&mut rng) % 10);
+                        m.lshr(a, c)
+                    }
+                    8 => {
+                        let c = m.const_u64(8, splitmix64(&mut rng) % 10);
+                        m.ashr(a, c)
+                    }
+                    9 => m.not(a),
+                    10 => m.ite(cond, a, b),
+                    11 => {
+                        let hi = m.extract(a, 7, 4);
+                        let lo = m.extract(b, 3, 0);
+                        m.concat(hi, lo)
+                    }
+                    12 => {
+                        let lo = m.extract(a, 3, 0);
+                        m.zext(lo, 8)
+                    }
+                    _ => {
+                        let lo = m.extract(a, 4, 0);
+                        m.sext(lo, 8)
+                    }
+                };
+                pool.push(t);
+            }
+            let root8 = *pool.last().unwrap();
+            let rhs = pool[(splitmix64(&mut rng) as usize) % pool.len()];
+            let root = match splitmix64(&mut rng) % 3 {
+                0 => m.eq(root8, rhs),
+                1 => m.ult(root8, rhs),
+                _ => m.red_or(root8),
+            };
+            let (out, _) = simplify_terms(
+                &mut m,
+                &[root],
+                &Budget::unlimited(),
+                &SaturationLimits::default(),
+            );
+            // Compare under several random environments.
+            for _ in 0..4 {
+                let mut env = Env::new();
+                for &v in &vars {
+                    let Some(sym) = m.as_var(v) else { panic!() };
+                    env.set_var(sym, BitVec::from_u64(8, splitmix64(&mut rng) & 0xFF));
+                }
+                let Some(csym) = m.as_var(cond) else { panic!() };
+                env.set_var(csym, BitVec::from_u64(1, splitmix64(&mut rng) & 1));
+                assert_eq!(
+                    env.eval(&m, root),
+                    env.eval(&m, out[0]),
+                    "case {case}: simplification changed term semantics"
+                );
+            }
+        }
+    }
+}

@@ -4,7 +4,9 @@
 use crate::blast::Blaster;
 use crate::eval::{ArrayValue, Env};
 use crate::manager::{TermId, TermManager};
+use crate::simplify::{count_nodes, simplify_terms};
 use owl_bitvec::BitVec;
+use owl_egraph::SaturationLimits;
 use owl_sat::{Budget, ProofChecker, SolveResult, StopReason};
 
 /// Result of an SMT [`check`] call.
@@ -108,6 +110,63 @@ impl QueryCert {
     }
 }
 
+/// Per-query solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Run equality-saturation simplification on the assertion term
+    /// graph before bit-blasting (default: on).
+    pub simplify: bool,
+    /// Independently certify every definite answer, as in
+    /// [`check_certified`] (default: off).
+    pub certify: bool,
+    /// Structural caps for the simplification pass. The defaults are
+    /// tighter than [`SaturationLimits::default`] because simplification
+    /// sits on the per-query hot path.
+    pub simplify_limits: SaturationLimits,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            simplify: true,
+            certify: false,
+            simplify_limits: SaturationLimits { max_iters: 4, max_nodes: 30_000 },
+        }
+    }
+}
+
+/// Per-query size statistics, for benchmarking and logging.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Distinct term-graph nodes reachable from the non-constant
+    /// assertions before simplification.
+    pub terms_before: usize,
+    /// Distinct nodes after simplification (equals `terms_before` when
+    /// simplification is off or skipped).
+    pub terms_after: usize,
+    /// Equality-saturation iterations spent on this query.
+    pub eqsat_iters: usize,
+    /// True when saturation reached a fixpoint.
+    pub eqsat_saturated: bool,
+    /// CNF variables created by bit-blasting (0 when the query never
+    /// reached the solver).
+    pub cnf_vars: usize,
+    /// CNF clauses created by bit-blasting.
+    pub cnf_clauses: usize,
+}
+
+/// Everything [`check_with`] produces for one query.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The satisfiability answer.
+    pub result: SmtResult,
+    /// The certification verdict ([`QueryCert::Unchecked`] when
+    /// certification was off).
+    pub cert: QueryCert,
+    /// Size statistics for the query.
+    pub stats: QueryStats,
+}
+
 /// Checks the conjunction of 1-bit `assertions` for satisfiability.
 ///
 /// `budget` governs the SAT search. Any of `None` (unlimited),
@@ -120,18 +179,21 @@ impl QueryCert {
 ///
 /// Constant-true assertions are skipped and a constant-false assertion
 /// short-circuits to `Unsat` without invoking the SAT solver — the hot
-/// path when the CEGIS verifier's query folds away structurally.
+/// path when the CEGIS verifier's query folds away structurally. The
+/// remaining assertions are simplified by bounded equality saturation
+/// (see [`SolverConfig::simplify`]) before bit-blasting; `mgr` is
+/// mutable so the simplified terms hash-cons into the same graph.
 ///
 /// # Panics
 ///
 /// Panics if any assertion is wider than one bit.
 #[must_use]
 pub fn check(
-    mgr: &TermManager,
+    mgr: &mut TermManager,
     assertions: &[TermId],
     budget: impl Into<Budget>,
 ) -> SmtResult {
-    check_impl(mgr, assertions, &budget.into(), false).0
+    check_with(mgr, assertions, budget, &SolverConfig::default()).result
 }
 
 /// Like [`check`], but every definite answer is independently
@@ -139,28 +201,49 @@ pub fn check(
 ///
 /// On `Sat`, the model is checked twice: once against the recorded CNF
 /// clauses and once by evaluating every original assertion term under
-/// the lifted bitvector assignment, catching bit-blaster bugs. On
-/// `Unsat`, the solver's DRUP-style proof log is replayed by the
-/// independent [`ProofChecker`]. The answer itself is returned
-/// unchanged either way; a [`QueryCert::Failed`] verdict tells the
-/// caller the answer cannot be trusted.
+/// the lifted bitvector assignment, catching bit-blaster bugs — and,
+/// because the CNF is built from the *simplified* terms while
+/// certification evaluates the *original pre-rewrite* terms, also
+/// catching unsound rewrites. On `Unsat`, the solver's DRUP-style proof
+/// log is replayed by the independent [`ProofChecker`]. The answer
+/// itself is returned unchanged either way; a [`QueryCert::Failed`]
+/// verdict tells the caller the answer cannot be trusted.
 #[must_use]
 pub fn check_certified(
-    mgr: &TermManager,
+    mgr: &mut TermManager,
     assertions: &[TermId],
     budget: impl Into<Budget>,
 ) -> (SmtResult, QueryCert) {
-    check_impl(mgr, assertions, &budget.into(), true)
+    let config = SolverConfig { certify: true, ..SolverConfig::default() };
+    let outcome = check_with(mgr, assertions, budget, &config);
+    (outcome.result, outcome.cert)
 }
 
-fn check_impl(
-    mgr: &TermManager,
+/// The fully-configurable solver entry point: [`check`] and
+/// [`check_certified`] are thin wrappers over this.
+///
+/// Simplification runs under the same `budget` as the solve (so one
+/// deadline covers the whole query) but with fault injection stripped
+/// ([`Budget::without_faults`]): fault-plan indices keep counting real
+/// SAT solver calls only, and a partially-saturated e-graph is still
+/// extracted when the deadline fires mid-simplification.
+#[must_use]
+pub fn check_with(
+    mgr: &mut TermManager,
     assertions: &[TermId],
-    budget: &Budget,
-    certify: bool,
-) -> (SmtResult, QueryCert) {
+    budget: impl Into<Budget>,
+    config: &SolverConfig,
+) -> CheckOutcome {
+    let budget = budget.into();
+    let certify = config.certify;
+    let mut stats = QueryStats::default();
+    let done = |result: SmtResult, cert: QueryCert, stats: QueryStats| CheckOutcome {
+        result,
+        cert,
+        stats,
+    };
     if let Some(reason) = budget.checkpoint() {
-        return (SmtResult::Unknown(reason), QueryCert::Unchecked);
+        return done(SmtResult::Unknown(reason), QueryCert::Unchecked, stats);
     }
     // Constant short-circuits first.
     let mut pending = Vec::with_capacity(assertions.len());
@@ -175,21 +258,85 @@ fn check_impl(
                 } else {
                     QueryCert::Trivial
                 };
-                return (SmtResult::Unsat, cert);
+                return done(SmtResult::Unsat, cert, stats);
             }
             None => pending.push(a),
         }
     }
     if pending.is_empty() {
-        return (SmtResult::Sat(Model { env: Env::new() }), QueryCert::Trivial);
+        return done(SmtResult::Sat(Model { env: Env::new() }), QueryCert::Trivial, stats);
+    }
+    stats.terms_before = count_nodes(mgr, &pending);
+    stats.terms_after = stats.terms_before;
+
+    // Equality-saturation simplification. `pending` keeps the original
+    // terms — certification always runs against those — while `solved`
+    // is what actually gets blasted.
+    let mut solved = pending.clone();
+    if config.simplify {
+        let (simplified, sstats) = simplify_terms(
+            mgr,
+            &pending,
+            &budget.without_faults(),
+            &config.simplify_limits,
+        );
+        stats.terms_after = sstats.nodes_after;
+        stats.eqsat_iters = sstats.iterations;
+        stats.eqsat_saturated = sstats.saturated;
+        solved = simplified;
+        // The rewrite may have exposed new constants.
+        for (i, &s) in solved.iter().enumerate() {
+            let Some(c) = mgr.as_const(s) else { continue };
+            if !c.is_true() {
+                // Simplified to false ⇒ the conjunction is UNSAT.
+                // Point-check the claim against the untouched original
+                // term under the all-zero environment.
+                let cert = if certify && Env::new().eval(mgr, pending[i]).is_true() {
+                    QueryCert::Failed("eqsat simplification disagrees with evaluator".into())
+                } else if certify {
+                    QueryCert::Trivial
+                } else {
+                    QueryCert::Unchecked
+                };
+                return done(SmtResult::Unsat, cert, stats);
+            }
+        }
+        // Drop assertions that simplified to constant true; keep the
+        // originals paired with the survivors so certification stays
+        // aligned.
+        let keep: Vec<(TermId, TermId)> = pending
+            .iter()
+            .zip(&solved)
+            .filter(|&(_, s)| mgr.as_const(*s).is_none())
+            .map(|(&o, &s)| (o, s))
+            .collect();
+        if keep.is_empty() {
+            // Everything simplified to true: satisfiable by any
+            // assignment; spot-check the originals on the zero point.
+            let cert = if certify {
+                if pending.iter().all(|&a| Env::new().eval(mgr, a).is_true()) {
+                    QueryCert::Trivial
+                } else {
+                    QueryCert::Failed("eqsat simplification disagrees with evaluator".into())
+                }
+            } else {
+                QueryCert::Unchecked
+            };
+            return done(SmtResult::Sat(Model { env: Env::new() }), cert, stats);
+        }
+        pending = keep.iter().map(|&(o, _)| o).collect();
+        solved = keep.iter().map(|&(_, s)| s).collect();
     }
 
+    let mgr = &*mgr;
     let mut blaster = Blaster::with_certification(mgr, certify);
-    for &a in &pending {
+    for &a in &solved {
         blaster.assert_true(a);
     }
     blaster.finalize_arrays();
-    match blaster.solver.solve_budgeted(budget) {
+    stats.cnf_vars = blaster.solver.num_vars();
+    stats.cnf_clauses = blaster.solver.num_clauses();
+    match blaster.solver.solve_budgeted(&budget) {
         SolveResult::Unsat => {
             let cert = if certify {
                 match blaster.solver.certify_unsat() {
@@ -199,13 +346,14 @@ fn check_impl(
             } else {
                 QueryCert::Unchecked
             };
-            (SmtResult::Unsat, cert)
+            done(SmtResult::Unsat, cert, stats)
         }
-        SolveResult::Unknown => (
+        SolveResult::Unknown => done(
             SmtResult::Unknown(
                 blaster.solver.stop_reason().unwrap_or(StopReason::ConflictLimit),
             ),
             QueryCert::Unchecked,
+            stats,
         ),
         SolveResult::Sat => {
             let mut env = Env::new();
@@ -220,12 +368,16 @@ fn check_impl(
                 }
                 env.set_array(arr, value);
             }
+            // Certification evaluates the ORIGINAL pre-rewrite terms:
+            // since the simplified terms are pointwise equivalent, any
+            // model of the simplified CNF must satisfy them, so a
+            // mismatch exposes an unsound rewrite (or blaster bug).
             let cert = if certify {
                 certify_sat_model(mgr, &pending, &blaster, &env)
             } else {
                 QueryCert::Unchecked
             };
-            (SmtResult::Sat(Model { env }), cert)
+            done(SmtResult::Sat(Model { env }), cert, stats)
         }
     }
 }
@@ -259,7 +411,7 @@ mod tests {
     use super::*;
     use crate::manager::TermKind;
 
-    fn sat_model(mgr: &TermManager, assertions: &[TermId]) -> Model {
+    fn sat_model(mgr: &mut TermManager, assertions: &[TermId]) -> Model {
         match check(mgr, assertions, None) {
             SmtResult::Sat(m) => m,
             other => panic!("expected Sat, got {other:?}"),
@@ -272,7 +424,7 @@ mod tests {
         let x = m.fresh_var("x", 8);
         let c42 = m.const_u64(8, 42);
         let a = m.eq(x, c42);
-        let model = sat_model(&m, &[a]);
+        let model = sat_model(&mut m, &[a]);
         assert_eq!(model.eval(&m, x).to_u64(), Some(42));
     }
 
@@ -286,7 +438,7 @@ mod tests {
         let c7 = m.const_u64(8, 7);
         let a1 = m.eq(sum, c100);
         let a2 = m.eq(x, c7);
-        let model = sat_model(&m, &[a1, a2]);
+        let model = sat_model(&mut m, &[a1, a2]);
         assert_eq!(model.eval(&m, y).to_u64(), Some(93));
     }
 
@@ -299,7 +451,7 @@ mod tests {
         let sum = m.add(x, y);
         let back = m.sub(sum, y);
         let neq = m.neq(back, x);
-        assert!(check(&m, &[neq], None).is_unsat());
+        assert!(check(&mut m, &[neq], None).is_unsat());
     }
 
     #[test]
@@ -311,7 +463,7 @@ mod tests {
         let prod = m.mul(x, four);
         let shifted = m.shl(x, two);
         let neq = m.neq(prod, shifted);
-        assert!(check(&m, &[neq], None).is_unsat());
+        assert!(check(&mut m, &[neq], None).is_unsat());
     }
 
     #[test]
@@ -327,7 +479,7 @@ mod tests {
         let e1 = m.eq(x, c_x);
         let e2 = m.eq(n, c_n);
         let shr = m.ashr(x, n);
-        let model = sat_model(&m, &[e1, e2]);
+        let model = sat_model(&mut m, &[e1, e2]);
         let got = model.eval(&m, shr);
         assert_eq!(got, BitVec::from_u64(8, 0x96).ashr_amount(3));
     }
@@ -341,7 +493,7 @@ mod tests {
         let seven = m.const_u64(4, 7);
         let gt = m.ugt(x, seven); // unsigned > 7 also means MSB set
         let differ = m.neq(lt, gt);
-        assert!(check(&m, &[differ], None).is_unsat());
+        assert!(check(&mut m, &[differ], None).is_unsat());
     }
 
     #[test]
@@ -355,10 +507,10 @@ mod tests {
         // a1 == a2 but reads differ: must be UNSAT.
         let same = m.eq(a1, a2);
         let diff = m.neq(r1, r2);
-        assert!(check(&m, &[same, diff], None).is_unsat());
+        assert!(check(&mut m, &[same, diff], None).is_unsat());
         // Different addresses: reads may differ.
         let distinct = m.neq(a1, a2);
-        let res = check(&m, &[distinct, diff], None);
+        let res = check(&mut m, &[distinct, diff], None);
         assert!(res.is_sat());
         if let SmtResult::Sat(model) = res {
             // The model's array env reproduces the read values.
@@ -380,7 +532,7 @@ mod tests {
         let rd = m.rom_select(r, a);
         let c44 = m.const_u64(8, 44);
         let hit = m.eq(rd, c44);
-        let model = sat_model(&m, &[hit]);
+        let model = sat_model(&mut m, &[hit]);
         assert_eq!(model.eval(&m, a).to_u64(), Some(4));
     }
 
@@ -389,9 +541,9 @@ mod tests {
         let mut m = TermManager::new();
         let t = m.tru();
         let f = m.fls();
-        assert!(check(&m, &[t], None).is_sat());
-        assert!(check(&m, &[t, f], None).is_unsat());
-        assert!(check(&m, &[], None).is_sat());
+        assert!(check(&mut m, &[t], None).is_sat());
+        assert!(check(&mut m, &[t, f], None).is_unsat());
+        assert!(check(&mut m, &[], None).is_sat());
     }
 
     #[test]
@@ -405,7 +557,7 @@ mod tests {
         let bad1 = m.neq(hi, hi2);
         let bad2 = m.neq(lo, lo2);
         let bad = m.or(bad1, bad2);
-        assert!(check(&m, &[bad], None).is_unsat());
+        assert!(check(&mut m, &[bad], None).is_unsat());
     }
 
     #[test]
@@ -419,7 +571,7 @@ mod tests {
         let mmmm = m.concat(mm, mm);
         let ref_se = m.concat(mmmm, x);
         let bad = m.neq(se, ref_se);
-        assert!(check(&m, &[bad], None).is_unsat());
+        assert!(check(&mut m, &[bad], None).is_unsat());
     }
 
     #[test]
@@ -429,7 +581,7 @@ mod tests {
         let y = m.fresh_var("y", 8);
         let c1 = m.const_u64(8, 1);
         let a = m.eq(x, c1);
-        let model = sat_model(&m, &[a]);
+        let model = sat_model(&mut m, &[a]);
         // y never appeared in the query.
         assert_eq!(model.eval(&m, y), BitVec::zero(8));
         let TermKind::Var(_) = *m.kind(y) else { panic!() };
@@ -445,7 +597,7 @@ mod tests {
         let cn = m.const_u64(8, 5);
         let e1 = m.eq(x, cx);
         let e2 = m.eq(n, cn);
-        let model = sat_model(&m, &[e1, e2]);
+        let model = sat_model(&mut m, &[e1, e2]);
         assert_eq!(model.eval(&m, r), BitVec::from_u64(8, 0b1001_0110).rol_amount(5));
     }
 
@@ -461,7 +613,7 @@ mod tests {
         let a1 = m.eq(prod, c);
         let a2 = m.uge(x, two);
         let a3 = m.uge(y, two);
-        match check(&m, &[a1, a2, a3], Some(1)) {
+        match check(&mut m, &[a1, a2, a3], Some(1)) {
             SmtResult::Unknown(_) | SmtResult::Sat(_) | SmtResult::Unsat => {}
         }
     }
@@ -475,7 +627,7 @@ mod tests {
         let a = m.eq(x, c1);
         // An already-expired deadline is observed at entry.
         let budget = Budget::unlimited().with_deadline(Instant::now());
-        match check(&m, &[a], &budget) {
+        match check(&mut m, &[a], &budget) {
             SmtResult::Unknown(StopReason::Deadline) => {}
             other => panic!("expected Unknown(Deadline), got {other:?}"),
         }
@@ -491,7 +643,7 @@ mod tests {
         let cancel = CancelFlag::new();
         cancel.cancel();
         let budget = Budget::unlimited().with_cancel(cancel);
-        match check(&m, &[a], &budget) {
+        match check(&mut m, &[a], &budget) {
             SmtResult::Unknown(StopReason::Cancelled) => {}
             other => panic!("expected Unknown(Cancelled), got {other:?}"),
         }
@@ -505,7 +657,7 @@ mod tests {
         let sum = m.add(x, y);
         let c100 = m.const_u64(8, 100);
         let a = m.eq(sum, c100);
-        let (res, cert) = check_certified(&m, &[a], None);
+        let (res, cert) = check_certified(&mut m, &[a], None);
         assert!(res.is_sat());
         assert_eq!(cert, QueryCert::SatVerified);
     }
@@ -518,7 +670,7 @@ mod tests {
         let sum = m.add(x, y);
         let back = m.sub(sum, y);
         let neq = m.neq(back, x);
-        let (res, cert) = check_certified(&m, &[neq], None);
+        let (res, cert) = check_certified(&mut m, &[neq], None);
         assert!(res.is_unsat());
         assert!(matches!(cert, QueryCert::UnsatVerified { .. }), "got {cert:?}");
     }
@@ -534,7 +686,7 @@ mod tests {
         let same = m.eq(a1, a2);
         let diff = m.neq(r1, r2);
         // Ackermann constraints participate in the recorded proof.
-        let (res, cert) = check_certified(&m, &[same, diff], None);
+        let (res, cert) = check_certified(&mut m, &[same, diff], None);
         assert!(res.is_unsat());
         assert!(matches!(cert, QueryCert::UnsatVerified { .. }), "got {cert:?}");
     }
@@ -544,10 +696,10 @@ mod tests {
         let mut m = TermManager::new();
         let t = m.tru();
         let f = m.fls();
-        let (res, cert) = check_certified(&m, &[t], None);
+        let (res, cert) = check_certified(&mut m, &[t], None);
         assert!(res.is_sat());
         assert_eq!(cert, QueryCert::Trivial);
-        let (res, cert) = check_certified(&m, &[t, f], None);
+        let (res, cert) = check_certified(&mut m, &[t, f], None);
         assert!(res.is_unsat());
         assert_eq!(cert, QueryCert::Trivial);
     }
@@ -560,7 +712,7 @@ mod tests {
         let c1 = m.const_u64(8, 1);
         let a = m.eq(x, c1);
         let budget = Budget::unlimited().with_deadline(Instant::now());
-        let (res, cert) = check_certified(&m, &[a], &budget);
+        let (res, cert) = check_certified(&mut m, &[a], &budget);
         assert!(res.is_unknown());
         assert_eq!(cert, QueryCert::Unchecked);
     }
@@ -577,10 +729,112 @@ mod tests {
         let neq = m.neq(back, x);
         let plan = Arc::new(FaultPlan::new().at(0, Fault::CorruptProof));
         let budget = Budget::unlimited().with_fault_plan(plan);
-        let (res, cert) = check_certified(&m, &[neq], &budget);
+        let (res, cert) = check_certified(&mut m, &[neq], &budget);
         // The answer is still correct; only the certification fails.
         assert!(res.is_unsat());
         assert!(cert.is_failure(), "corrupted trail must fail certification, got {cert:?}");
+    }
+
+    #[test]
+    fn simplification_shrinks_cnf_and_preserves_answers() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        // x & (x | y) absorbs to x, so the whole query collapses to
+        // x == y before blasting.
+        let xy = m.or(x, y);
+        let absorbed = m.and(x, xy);
+        let a = m.eq(absorbed, y);
+        let on = check_with(&mut m, &[a], None, &SolverConfig::default());
+        let off = check_with(
+            &mut m,
+            &[a],
+            None,
+            &SolverConfig { simplify: false, ..SolverConfig::default() },
+        );
+        assert!(on.result.is_sat(), "got {:?}", on.result);
+        assert!(off.result.is_sat(), "got {:?}", off.result);
+        assert!(
+            on.stats.cnf_vars < off.stats.cnf_vars,
+            "simplify on: {} vars, off: {} vars",
+            on.stats.cnf_vars,
+            off.stats.cnf_vars
+        );
+        assert!(on.stats.cnf_clauses < off.stats.cnf_clauses);
+        assert!(on.stats.terms_after < on.stats.terms_before);
+    }
+
+    #[test]
+    fn tautology_simplifies_to_sat_without_solving() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let xy = m.or(x, y);
+        let absorbed = m.and(x, xy);
+        // x & (x | y) == x holds for all assignments.
+        let a = m.eq(absorbed, x);
+        let config = SolverConfig { certify: true, ..SolverConfig::default() };
+        let out = check_with(&mut m, &[a], None, &config);
+        assert!(out.result.is_sat());
+        assert_eq!(out.cert, QueryCert::Trivial, "no solver call should be needed");
+        assert_eq!(out.stats.cnf_vars, 0);
+    }
+
+    #[test]
+    fn contradiction_simplifies_to_unsat_without_solving() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let xy = m.or(x, y);
+        let absorbed = m.and(x, xy);
+        // x & (x | y) != x never holds.
+        let a = m.neq(absorbed, x);
+        let config = SolverConfig { certify: true, ..SolverConfig::default() };
+        let out = check_with(&mut m, &[a], None, &config);
+        assert!(out.result.is_unsat());
+        assert_eq!(out.cert, QueryCert::Trivial);
+        assert_eq!(out.stats.cnf_vars, 0);
+    }
+
+    #[test]
+    fn certified_sat_with_simplification_checks_original_terms() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let two = m.const_u64(8, 2);
+        let prod = m.mul(x, two);
+        let sum = m.add(prod, y);
+        let c = m.const_u64(8, 77);
+        let a = m.eq(sum, c);
+        let config = SolverConfig { certify: true, ..SolverConfig::default() };
+        let out = check_with(&mut m, &[a], None, &config);
+        assert!(out.result.is_sat());
+        assert_eq!(out.cert, QueryCert::SatVerified);
+        let SmtResult::Sat(model) = out.result else { unreachable!() };
+        // The model must satisfy the original (pre-rewrite) term too.
+        assert!(model.eval(&m, a).is_true());
+    }
+
+    #[test]
+    fn deadline_mid_simplification_degrades_gracefully() {
+        use std::time::Duration;
+        let mut m = TermManager::new();
+        let mut acc = m.fresh_var("x", 8);
+        for i in 0..16 {
+            let v = m.fresh_var(format!("v{i}"), 8);
+            let o = m.or(acc, v);
+            acc = m.and(acc, o);
+        }
+        let y = m.fresh_var("y", 8);
+        let a = m.eq(acc, y);
+        // The deadline expires during (or right after) simplification;
+        // the call must neither panic nor mis-answer — Unknown(Deadline)
+        // is the expected outcome, but a fast Sat is also legal.
+        let budget = Budget::unlimited().with_deadline_in(Duration::from_micros(1));
+        match check(&mut m, &[a], &budget) {
+            SmtResult::Unknown(StopReason::Deadline) | SmtResult::Sat(_) => {}
+            other => panic!("expected Unknown(Deadline) or Sat, got {other:?}"),
+        }
     }
 
     #[test]
@@ -593,16 +847,16 @@ mod tests {
         // A constant-folding query never reaches the SAT solver, so it
         // does not consume a fault index.
         let t = m.tru();
-        assert!(check(&m, &[t], &budget).is_sat());
+        assert!(check(&mut m, &[t], &budget).is_sat());
         assert_eq!(plan.calls_observed(), 0);
         // The first real solve is call 0 and gets the fault.
         let x = m.fresh_var("x", 8);
         let c1 = m.const_u64(8, 1);
         let a = m.eq(x, c1);
-        match check(&m, &[a], &budget) {
+        match check(&mut m, &[a], &budget) {
             SmtResult::Unknown(StopReason::FaultInjected) => {}
             other => panic!("expected Unknown(FaultInjected), got {other:?}"),
         }
-        assert!(check(&m, &[a], &budget).is_sat());
+        assert!(check(&mut m, &[a], &budget).is_sat());
     }
 }

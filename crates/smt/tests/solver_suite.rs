@@ -4,7 +4,7 @@
 use owl_bitvec::BitVec;
 use owl_smt::{check, SmtResult, TermManager};
 
-fn valid(mgr: &TermManager, negated_claim: owl_smt::TermId) -> bool {
+fn valid(mgr: &mut TermManager, negated_claim: owl_smt::TermId) -> bool {
     check(mgr, &[negated_claim], None).is_unsat()
 }
 
@@ -23,7 +23,7 @@ fn de_morgan_laws_hold() {
         m.or(nx, ny)
     };
     let bad = m.neq(lhs, rhs);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[test]
@@ -42,7 +42,7 @@ fn distributivity_of_and_over_or() {
         m.or(a, b)
     };
     let bad = m.neq(lhs, rhs);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[test]
@@ -57,7 +57,7 @@ fn two_complement_negation_identity() {
         m.add(n, one)
     };
     let bad = m.neq(neg, via_not);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[test]
@@ -72,7 +72,7 @@ fn shift_compositions() {
     let back = m.lshr(shl, three);
     let masked = m.and(x, mask);
     let bad = m.neq(back, masked);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[test]
@@ -84,12 +84,12 @@ fn signed_comparison_antisymmetry() {
     let a = m.slt(x, y);
     let b = m.slt(y, x);
     let both = m.and(a, b);
-    assert!(check(&m, &[both], None).is_unsat());
+    assert!(check(&mut m, &[both], None).is_unsat());
     // and !slt(x,y) && !slt(y,x) implies x == y.
     let na = m.bool_not(a);
     let nb = m.bool_not(b);
     let ne = m.neq(x, y);
-    assert!(check(&m, &[na, nb, ne], None).is_unsat());
+    assert!(check(&mut m, &[na, nb, ne], None).is_unsat());
 }
 
 #[cfg_attr(debug_assertions, ignore = "heavy bit-blasting; run in release")]
@@ -101,7 +101,7 @@ fn rotate_composition_identity() {
     let r = m.rol(x, n);
     let back = m.ror(r, n);
     let bad = m.neq(back, x);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[test]
@@ -113,7 +113,7 @@ fn sub_is_add_of_negation() {
     let ny = m.neg(y);
     let addneg = m.add(x, ny);
     let bad = m.neq(sub, addneg);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[cfg_attr(debug_assertions, ignore = "heavy bit-blasting; run in release")]
@@ -134,7 +134,7 @@ fn mul_commutes_and_distributes() {
         m.add(a, b)
     };
     let bad = m.neq(lhs, rhs);
-    assert!(valid(&m, bad));
+    assert!(valid(&mut m, bad));
 }
 
 #[test]
@@ -193,11 +193,11 @@ fn unsat_core_like_behaviour_under_budget() {
     let two = m.const_u64(20, 2);
     let nx = m.uge(x, two);
     let ny = m.uge(y, two);
-    match check(&m, &[hit, nx, ny], Some(2)) {
+    match check(&mut m, &[hit, nx, ny], Some(2)) {
         SmtResult::Unknown(owl_smt::StopReason::ConflictLimit) => {}
         SmtResult::Unknown(r) => panic!("unexpected stop reason {r:?}"),
         // Small instances may still solve within two conflicts.
         SmtResult::Sat(_) | SmtResult::Unsat => {}
     }
-    assert!(!check(&m, &[hit, nx, ny], None).is_unknown());
+    assert!(!check(&mut m, &[hit, nx, ny], None).is_unknown());
 }

@@ -19,6 +19,7 @@
 
 pub use owl_bitvec as bitvec;
 pub use owl_core as core;
+pub use owl_egraph as egraph;
 pub use owl_cores as cores;
 pub use owl_hdl as hdl;
 pub use owl_ila as ila;

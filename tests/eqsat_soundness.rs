@@ -1,0 +1,187 @@
+//! Property-based soundness harness for the equality-saturation layer:
+//! random bitvector term DAGs must evaluate identically before and
+//! after `owl_smt::simplify_terms`, and random gate-level designs must
+//! simulate identically before and after the netlist eqsat pass.
+//!
+//! Deterministic in-crate mirrors of these sweeps live in
+//! `crates/smt/src/simplify.rs` and `crates/netlist/src/eqsat.rs`; this
+//! file drives the same invariants with proptest's shrinking search.
+
+use owl::netlist::{lower, optimize_with, GateSim, OptLevel};
+use owl::oyster::Design;
+use owl::smt::{simplify_terms, Budget, Env, SaturationLimits, TermId, TermManager};
+use owl::BitVec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ----------------------------------------------------------------------
+// Term-level: eval(simplify(t)) == eval(t)
+// ----------------------------------------------------------------------
+
+/// One step of the random term-DAG recipe: an operator code plus operand
+/// picks (taken modulo the live pool size, so any indices are valid).
+type Step = (u8, usize, usize, u64);
+
+/// Builds a width-8 term pool from the recipe and returns a 1-bit root
+/// (a comparison or reduction, so tautologies and contradictions show
+/// up too), along with the 8-bit variables and the 1-bit condition.
+fn build_term(
+    mgr: &mut TermManager,
+    steps: &[Step],
+    root_sel: u8,
+) -> (TermId, Vec<TermId>, TermId) {
+    let vars: Vec<TermId> = (0..4).map(|i| mgr.fresh_var(format!("v{i}"), 8)).collect();
+    let cond = mgr.fresh_var("c", 1);
+    let mut pool = vars.clone();
+    for &(op, ai, bi, k) in steps {
+        let a = pool[ai % pool.len()];
+        let b = pool[bi % pool.len()];
+        let t = match op % 14 {
+            0 => mgr.and(a, b),
+            1 => mgr.or(a, b),
+            2 => mgr.xor(a, b),
+            3 => mgr.add(a, b),
+            4 => mgr.sub(a, b),
+            5 => mgr.mul(a, b),
+            6 => {
+                let c = mgr.const_u64(8, k % 10);
+                mgr.shl(a, c)
+            }
+            7 => {
+                let c = mgr.const_u64(8, k % 10);
+                mgr.lshr(a, c)
+            }
+            8 => mgr.not(a),
+            9 => mgr.ite(cond, a, b),
+            10 => {
+                let hi = mgr.extract(a, 7, 4);
+                let lo = mgr.extract(b, 3, 0);
+                mgr.concat(hi, lo)
+            }
+            11 => {
+                let lo = mgr.extract(a, 3, 0);
+                mgr.zext(lo, 8)
+            }
+            12 => {
+                let lo = mgr.extract(a, 4, 0);
+                mgr.sext(lo, 8)
+            }
+            _ => {
+                let c = mgr.const_u64(8, k);
+                mgr.xor(a, c)
+            }
+        };
+        pool.push(t);
+    }
+    let lhs = *pool.last().unwrap();
+    let rhs = pool[pool.len() / 2];
+    let root = match root_sel % 3 {
+        0 => mgr.eq(lhs, rhs),
+        1 => mgr.ult(lhs, rhs),
+        _ => mgr.red_or(lhs),
+    };
+    (root, vars, cond)
+}
+
+proptest! {
+    #[test]
+    fn simplified_terms_evaluate_identically(
+        steps in proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<u64>()), 1..16),
+        root_sel in any::<u8>(),
+        envs in proptest::collection::vec((any::<[u8; 4]>(), any::<bool>()), 1..5),
+    ) {
+        let mut mgr = TermManager::new();
+        let (root, vars, cond) = build_term(&mut mgr, &steps, root_sel);
+        let (out, stats) = simplify_terms(
+            &mut mgr,
+            &[root],
+            &Budget::unlimited(),
+            &SaturationLimits::default(),
+        );
+        prop_assert!(stats.applied);
+        prop_assert_eq!(mgr.width(out[0]), mgr.width(root));
+        for (vals, cval) in envs {
+            let mut env = Env::new();
+            for (&v, &val) in vars.iter().zip(vals.iter()) {
+                env.set_var(mgr.as_var(v).unwrap(), BitVec::from_u64(8, u64::from(val)));
+            }
+            env.set_var(mgr.as_var(cond).unwrap(), BitVec::from_u64(1, u64::from(cval)));
+            prop_assert_eq!(env.eval(&mgr, root), env.eval(&mgr, out[0]));
+        }
+    }
+
+    #[test]
+    fn deadline_limited_simplification_is_still_sound(
+        steps in proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<u64>()), 1..16),
+        root_sel in any::<u8>(),
+        vals in any::<[u8; 4]>(),
+        cval in any::<bool>(),
+    ) {
+        // A zero deadline forces the mid-saturation bail-out path; the
+        // partial result must still be equivalent.
+        let mut mgr = TermManager::new();
+        let (root, vars, cond) = build_term(&mut mgr, &steps, root_sel);
+        let budget = Budget::unlimited().with_deadline_in(std::time::Duration::ZERO);
+        let (out, _) =
+            simplify_terms(&mut mgr, &[root], &budget, &SaturationLimits::default());
+        let mut env = Env::new();
+        for (&v, &val) in vars.iter().zip(vals.iter()) {
+            env.set_var(mgr.as_var(v).unwrap(), BitVec::from_u64(8, u64::from(val)));
+        }
+        env.set_var(mgr.as_var(cond).unwrap(), BitVec::from_u64(1, u64::from(cval)));
+        prop_assert_eq!(env.eval(&mgr, root), env.eval(&mgr, out[0]));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Netlist-level: GateSim(optimize_with(Eqsat)) == GateSim(lowered)
+// ----------------------------------------------------------------------
+
+/// One random gate: operator code plus operand picks.
+type Gate = (u8, usize, usize);
+
+fn random_design(gates: &[Gate]) -> Design {
+    let vars = ["a", "b", "c", "d"];
+    let mut exprs: Vec<String> = vars.iter().map(|v| (*v).to_string()).collect();
+    for &(op, xi, yi) in gates {
+        let x = exprs[xi % exprs.len()].clone();
+        let y = exprs[yi % exprs.len()].clone();
+        let e = match op % 5 {
+            0 => format!("({x} & {y})"),
+            1 => format!("({x} | {y})"),
+            2 => format!("({x} ^ {y})"),
+            3 => format!("(~{x})"),
+            _ => format!("({x} == {y})"),
+        };
+        exprs.push(e);
+    }
+    let body = exprs.last().unwrap();
+    let text = format!(
+        "design r\ninput a 1\ninput b 1\ninput c 1\ninput d 1\noutput o 1\no := {body}\nend\n"
+    );
+    text.parse().expect("generated design parses")
+}
+
+proptest! {
+    #[test]
+    fn eqsat_netlist_simulates_identically(
+        gates in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..12),
+    ) {
+        let design = random_design(&gates);
+        let nl = lower(&design).unwrap();
+        let out = optimize_with(&nl, OptLevel::Eqsat);
+        // 1-bit inputs: check all 16 assignments exhaustively.
+        for assignment in 0..16u64 {
+            let ins: HashMap<String, BitVec> = ["a", "b", "c", "d"]
+                .iter()
+                .enumerate()
+                .map(|(i, v)| ((*v).to_string(), BitVec::from_u64(1, (assignment >> i) & 1)))
+                .collect();
+            let o1 = GateSim::new(&nl).step(&ins);
+            let o2 = GateSim::new(&out).step(&ins);
+            prop_assert_eq!(o1, o2, "assignment {:04b}", assignment);
+        }
+    }
+}

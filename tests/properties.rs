@@ -206,7 +206,7 @@ proptest! {
         let w = mgr.width(t);
         let out = mgr.fresh_var("out", w);
         let tie = mgr.eq(out, t);
-        match check(&mgr, &[ex, ey, tie], None) {
+        match check(&mut mgr, &[ex, ey, tie], None) {
             SmtResult::Sat(model) => prop_assert_eq!(model.eval(&mgr, out), expect),
             other => prop_assert!(false, "expected SAT, got {:?}", other),
         }
