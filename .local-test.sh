@@ -1,0 +1,43 @@
+#!/bin/bash
+# Offline test driver companion to .local-build.sh: compiles each crate's
+# unit-test harness and the workspace integration tests that do not need
+# external dev-deps (proptest/rand/criterion are unavailable offline),
+# then runs them. Mirrors `cargo test --release -q` as closely as bare
+# rustc allows.
+set -e
+OUT=${OUT:-/tmp/owl-rlibs}
+TOUT=${TOUT:-/tmp/owl-tests}
+mkdir -p "$TOUT"
+E="--extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl=$OUT/libowl.rlib"
+R="rustc --edition 2021 -O --test -L $OUT --out-dir $TOUT"
+cd /root/repo
+
+# Per-crate unit tests.
+for c in bitvec sat egraph smt oyster ila core hdl netlist cores bench; do
+  name=owl_$(echo "$c" | tr - _)
+  $R --crate-name ${name}_unit crates/$c/src/lib.rs $E
+done
+$R --crate-name owl_unit src/lib.rs $E
+
+# Crate-local integration tests.
+for t in crates/*/tests/*.rs; do
+  name=$(basename "$t" .rs)_$(basename "$(dirname "$(dirname "$t")")")
+  $R --crate-name "it_${name//-/_}" "$t" $E
+done
+
+# Workspace integration tests (skip the proptest/rand-based suites).
+for t in tests/*.rs; do
+  base=$(basename "$t" .rs)
+  case "$base" in
+    properties|eqsat_soundness|cross_layer) continue ;;
+  esac
+  $R --crate-name "it_${base}" "$t" $E
+done
+
+FAIL=0
+for bin in "$TOUT"/*; do
+  [ -x "$bin" ] || continue
+  echo "== $(basename "$bin")"
+  "$bin" --test-threads "$(nproc)" -q 2>&1 | tail -2 || FAIL=1
+done
+if [ "$FAIL" = 0 ]; then echo "ALL TESTS OK"; else echo "TEST FAILURES"; exit 1; fi

@@ -4,7 +4,7 @@
 //! sweeps further.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use owl_core::{synthesize, SynthesisConfig, SynthesisMode};
+use owl_core::{SynthesisConfig, SynthesisMode, SynthesisSession};
 use owl_cores::rv32i::spec::spec_from_table;
 use owl_cores::rv32i::{self, isa::instruction_table, Extensions};
 use owl_smt::TermManager;
@@ -27,8 +27,10 @@ fn scaling_benches(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(tag, n), &n, |b, _| {
                 b.iter(|| {
                     let mut mgr = TermManager::new();
-                    let config = SynthesisConfig { mode, ..Default::default() };
-                    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &config)
+                    let config = SynthesisConfig::builder().mode(mode).build();
+                    let out = SynthesisSession::new(&sketch, &spec, &alpha)
+                        .config(config)
+                        .run_with(&mut mgr)
                         .and_then(|out| out.require_complete())
                         .expect("synthesis succeeds");
                     black_box(out.solutions.len())

@@ -32,14 +32,14 @@ fn simulation_benches(c: &mut Criterion) {
     // Gate-level simulation of the accumulator (small enough to lower
     // and simulate quickly).
     let acc = {
-        use owl_core::{complete_design, control_union, synthesize, SynthesisConfig};
+        use owl_core::{complete_design, control_union, SynthesisSession};
         use owl_smt::TermManager;
         let cs = owl_cores::accumulator::case_study();
         let mut mgr = TermManager::new();
-        let out =
-            synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
-                .and_then(|out| out.require_complete())
-                .expect("synthesis succeeds");
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .run_with(&mut mgr)
+            .and_then(|out| out.require_complete())
+            .expect("synthesis succeeds");
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
             .expect("union succeeds");
         complete_design(&cs.sketch, &union)

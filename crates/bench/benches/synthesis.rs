@@ -3,7 +3,7 @@
 //! print the paper-comparable rows.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use owl_core::{synthesize, SynthesisConfig};
+use owl_core::SynthesisSession;
 use owl_cores::rv32i::Extensions;
 use owl_cores::CaseStudy;
 use owl_smt::TermManager;
@@ -15,15 +15,10 @@ fn bench_case(c: &mut Criterion, name: &str, make: impl Fn() -> CaseStudy) {
     c.bench_function(name, |b| {
         b.iter(|| {
             let mut mgr = TermManager::new();
-            let out = synthesize(
-                &mut mgr,
-                black_box(&cs.sketch),
-                &cs.spec,
-                &cs.alpha,
-                &SynthesisConfig::default(),
-            )
-            .and_then(|out| out.require_complete())
-            .expect("synthesis succeeds");
+            let out = SynthesisSession::new(black_box(&cs.sketch), &cs.spec, &cs.alpha)
+                .run_with(&mut mgr)
+                .and_then(|out| out.require_complete())
+                .expect("synthesis succeeds");
             black_box(out.solutions.len())
         });
     });

@@ -7,7 +7,7 @@
 //! per-instruction stays near-linear — the structural reason the paper's
 //! Table 1 shows a 3-hour timeout for monolithic RV32I.
 
-use owl_core::{synthesize, SynthesisConfig, SynthesisMode};
+use owl_core::{SynthesisConfig, SynthesisMode, SynthesisSession};
 use owl_cores::rv32i::spec::spec_from_table;
 use owl_cores::rv32i::{self, isa::instruction_table, Extensions};
 use owl_smt::TermManager;
@@ -29,13 +29,14 @@ fn main() {
         let mut times = Vec::new();
         for mode in [SynthesisMode::PerInstruction, SynthesisMode::Monolithic] {
             let mut mgr = TermManager::new();
-            let config = SynthesisConfig {
-                mode,
-                time_budget: Some(Duration::from_secs(budget)),
-                ..Default::default()
-            };
+            let config = SynthesisConfig::builder()
+                .mode(mode)
+                .time_budget(Duration::from_secs(budget))
+                .build();
             let start = Instant::now();
-            let result = synthesize(&mut mgr, &sketch, &spec, &alpha, &config)
+            let result = SynthesisSession::new(&sketch, &spec, &alpha)
+                .config(config)
+                .run_with(&mut mgr)
                 .and_then(|out| out.require_complete());
             times.push(match result {
                 Ok(_) => format!("{:.2}", start.elapsed().as_secs_f64()),

@@ -15,8 +15,8 @@
 //! runs. The default monolithic timeout is 600 seconds.
 
 use owl_core::{
-    complete_design, control_union_with, synthesize, verify_design_with, DecodeBinding,
-    SolverConfig, SynthesisConfig, SynthesisMode, VerifyStats,
+    complete_design, control_union_with, verify_design, DecodeBinding, SolverConfig,
+    SynthesisConfig, SynthesisMode, SynthesisSession, VerifyOpts, VerifyStats,
 };
 use owl_cores::CaseStudy;
 use owl_smt::TermManager;
@@ -44,20 +44,23 @@ fn measure(
     mode: SynthesisMode,
     simplify: bool,
     budget: Duration,
+    parallelism: usize,
 ) -> Measurement {
     let mut mgr = TermManager::new();
     // Certification off, as in the table binaries: this measures raw
     // synthesis plus (optionally) the eqsat pre-pass.
-    let config = SynthesisConfig {
-        mode,
-        time_budget: Some(budget),
-        certify: false,
-        simplify,
-        ..Default::default()
-    };
+    let config = SynthesisConfig::builder()
+        .mode(mode)
+        .time_budget(budget)
+        .certify(false)
+        .simplify(simplify)
+        .build();
     let start = Instant::now();
-    let result =
-        synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).and_then(|out| out.require_complete());
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .parallelism(parallelism)
+        .run_with(&mut mgr)
+        .and_then(|out| out.require_complete());
     let wall_time_s = start.elapsed().as_secs_f64();
     match result {
         Ok(out) => Measurement {
@@ -89,6 +92,71 @@ fn measure(
             note: Some(e.to_string()),
         },
     }
+}
+
+/// One point of the thread-scaling curve: the same per-instruction
+/// problem at a given worker count.
+struct ScalingPoint {
+    threads: usize,
+    wall_time_s: f64,
+    speedup: f64,
+    solved: bool,
+    /// Whether the run's observable output (hole assignments, solver
+    /// call count, CNF sizes) matched the single-threaded reference —
+    /// the scheduler's determinism contract, checked on real data.
+    identical: bool,
+}
+
+/// Measures the per-instruction scheduler at 1/2/4/8 workers on one
+/// case study and cross-checks that every run produced byte-identical
+/// results. Speedups are relative to the 1-thread run *on this host*;
+/// `host_cpus` in the report says how many cores were available.
+fn measure_scaling(cs: &CaseStudy, budget: Duration) -> Vec<ScalingPoint> {
+    let run = |threads: usize| {
+        let config = SynthesisConfig::builder().time_budget(budget).certify(false).build();
+        let mut mgr = TermManager::new();
+        let start = Instant::now();
+        let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .config(config)
+            .parallelism(threads)
+            .run_with(&mut mgr)
+            .and_then(|out| out.require_complete());
+        (start.elapsed().as_secs_f64(), result.ok())
+    };
+    let (base_time, base_out) = run(1);
+    let mut points = vec![ScalingPoint {
+        threads: 1,
+        wall_time_s: base_time,
+        speedup: 1.0,
+        solved: base_out.is_some(),
+        identical: true,
+    }];
+    for threads in [2usize, 4, 8] {
+        let (time, out) = run(threads);
+        let identical = match (&base_out, &out) {
+            (Some(a), Some(b)) => {
+                a.stats.solver_calls == b.stats.solver_calls
+                    && a.stats.cex_rounds == b.stats.cex_rounds
+                    && a.stats.cnf_vars == b.stats.cnf_vars
+                    && a.stats.cnf_clauses == b.stats.cnf_clauses
+                    && a.solutions.len() == b.solutions.len()
+                    && a.solutions
+                        .iter()
+                        .zip(&b.solutions)
+                        .all(|(x, y)| x.instr == y.instr && x.holes == y.holes)
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        points.push(ScalingPoint {
+            threads,
+            wall_time_s: time,
+            speedup: if time > 0.0 { base_time / time } else { 0.0 },
+            solved: out.is_some(),
+            identical,
+        });
+    }
+    points
 }
 
 /// Minimal JSON string escaping (the report contains no exotic text,
@@ -165,12 +233,10 @@ fn measure_verify(
     budget: Duration,
 ) -> Option<(VerifyStats, VerifyStats)> {
     let mut mgr = TermManager::new();
-    let config = SynthesisConfig {
-        time_budget: Some(budget),
-        certify: false,
-        ..Default::default()
-    };
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+    let config = SynthesisConfig::builder().time_budget(budget).certify(false).build();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete())
         .ok()?;
     let union = control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, bindings).ok()?;
@@ -178,7 +244,8 @@ fn measure_verify(
     let run = |simplify: bool| {
         let sconfig = SolverConfig { simplify, ..SolverConfig::default() };
         let mut vmgr = TermManager::new();
-        verify_design_with(&mut vmgr, &completed, &cs.spec, &cs.alpha, None, &sconfig).ok()
+        let opts = VerifyOpts::new().with_config(sconfig);
+        verify_design(&mut vmgr, &completed, &cs.spec, &cs.alpha, opts).ok()
     };
     Some((run(true)?, run(false)?))
 }
@@ -274,7 +341,7 @@ fn main() {
                     "bench_owl: {} ({:?}, simplify={simplify}) ...",
                     cs.name, mode
                 );
-                let m = measure(cs, mode, simplify, budget);
+                let m = measure(cs, mode, simplify, budget, 1);
                 eprintln!(
                     "bench_owl:   {:.2}s, cnf {} vars / {} clauses, terms {} -> {}",
                     m.wall_time_s, m.cnf_vars, m.cnf_clauses, m.terms_before_simplify, m.terms_after_simplify
@@ -282,6 +349,19 @@ fn main() {
                 runs.push(m);
             }
         }
+    }
+
+    // Thread-scaling curve for the parallel per-instruction scheduler,
+    // on the RV32I single-cycle base configuration (the sweep's largest
+    // always-on per-instruction case).
+    let scaling_cs = owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE);
+    eprintln!("bench_owl: {} (thread scaling 1/2/4/8) ...", scaling_cs.name);
+    let scaling = measure_scaling(&scaling_cs, budget);
+    for p in &scaling {
+        eprintln!(
+            "bench_owl:   {} thread(s): {:.2}s, speedup {:.2}x, identical: {}",
+            p.threads, p.wall_time_s, p.speedup, p.identical
+        );
     }
 
     // Deterministic verification comparison over the completed designs.
@@ -308,6 +388,22 @@ fn main() {
     for (i, m) in runs.iter().enumerate() {
         emit(m, &mut json);
         json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"thread_scaling_case\": {},", json_str(&scaling_cs.name));
+    json.push_str("  \"thread_scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            concat!(
+                "    {{\"threads\": {}, \"wall_time_s\": {:.6}, \"speedup\": {:.4}, ",
+                "\"solved\": {}, \"identical\": {}}}"
+            ),
+            p.threads, p.wall_time_s, p.speedup, p.solved, p.identical,
+        );
+        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"verify\": [\n");

@@ -4,7 +4,7 @@
 
 use owl_bench::{assert_verified, run_synthesis};
 use owl_core::codegen::{line_count, oyster_control_logic, pyrtl_control_logic};
-use owl_core::{complete_design, control_union, minimize_solutions, synthesize, SynthesisConfig, SynthesisMode};
+use owl_core::{complete_design, control_union, minimize_solutions, SynthesisMode, SynthesisSession};
 use owl_cores::rv32i::{self, Extensions};
 use owl_netlist::{lower, optimize};
 use owl_smt::TermManager;
@@ -25,7 +25,8 @@ fn main() {
         // Synthesize and keep the raw per-instruction solutions for the
         // Fig. 7-style rendering.
         let mut mgr = TermManager::new();
-        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .run_with(&mut mgr)
             .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)

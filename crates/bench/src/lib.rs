@@ -13,8 +13,8 @@
 //!   monolithic (the scalability discussion of §5.3).
 
 use owl_core::{
-    complete_design, control_union_with, synthesize, verify_design, DecodeBinding,
-    SynthesisConfig, SynthesisMode,
+    complete_design, control_union_with, verify_design, DecodeBinding, SynthesisConfig,
+    SynthesisMode, SynthesisSession,
 };
 use owl_cores::CaseStudy;
 use owl_oyster::Design;
@@ -48,10 +48,15 @@ pub fn run_synthesis(
     let mut mgr = TermManager::new();
     // Certification off: the paper's tables time raw synthesis, and the
     // proof-logging/differential overhead would skew the comparison.
-    let config =
-        SynthesisConfig { mode, time_budget: budget, certify: false, ..Default::default() };
+    let config = SynthesisConfig::builder()
+        .mode(mode)
+        .time_budget(budget)
+        .certify(false)
+        .build();
     let start = Instant::now();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     match result {
         Ok(out) => {

@@ -5,7 +5,7 @@
 //! is tested, but a bug in any of them silently produces wrong control
 //! logic. This module closes the loop with two *independent* checks:
 //!
-//! 1. **Query certification** (via [`owl_smt::check_certified`]): every
+//! 1. **Query certification** (via [`owl_smt::CheckOpts::certified`]): every
 //!    SAT answer is re-evaluated at the term level against the original
 //!    pre-blast assertions, and every UNSAT answer is replayed through a
 //!    DRUP-style proof checker that shares no code with the CDCL solver.
@@ -33,7 +33,7 @@ use owl_bitvec::BitVec;
 use owl_ila::golden::{GoldenModel, SpecMem, SpecState};
 use owl_ila::{Ila, Instr, SpecSort};
 use owl_oyster::{Design, Interpreter, MemState, SymbolicEvaluator, SymbolicTrace};
-use owl_smt::{check, Budget, Env, QueryCert, SmtResult, TermId, TermManager};
+use owl_smt::{solve, Budget, Env, QueryCert, SmtResult, TermId, TermManager};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -336,7 +336,7 @@ fn check_one_instr(
         let env = loop {
             let mut assertions: Vec<TermId> = pres.to_vec();
             assertions.extend(pins.iter().copied());
-            match check(mgr, &assertions, budget) {
+            match solve(mgr, &assertions, budget).result {
                 SmtResult::Sat(model) => break Some(model.into_env()),
                 SmtResult::Unsat => {
                     if pins.is_empty() {

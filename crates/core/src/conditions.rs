@@ -327,7 +327,7 @@ mod tests {
     use owl_bitvec::BitVec;
     use owl_ila::SpecExpr;
     use owl_oyster::{Design, SymbolicEvaluator};
-    use owl_smt::{check, substitute, Env, SmtResult};
+    use owl_smt::{solve, substitute, Env, SmtResult};
 
     /// A 1-cycle incrementer: spec says acc' = acc + 1 when go.
     fn inc_setup() -> (Ila, Design, AbstractionFn) {
@@ -367,7 +367,7 @@ mod tests {
         let pre = substitute(&mut mgr, conds.pres[0], &env);
         let post = substitute(&mut mgr, conds.posts[0], &env);
         let npost = mgr.not(post);
-        assert!(check(&mut mgr, &[pre, npost], None).is_unsat());
+        assert!(solve(&mut mgr, &[pre, npost], None).result.is_unsat());
 
         // With en := 0 there is a counterexample.
         let mut env0 = Env::new();
@@ -375,7 +375,7 @@ mod tests {
         let pre0 = substitute(&mut mgr, conds.pres[0], &env0);
         let post0 = substitute(&mut mgr, conds.posts[0], &env0);
         let npost0 = mgr.not(post0);
-        assert!(matches!(check(&mut mgr, &[pre0, npost0], None), SmtResult::Sat(_)));
+        assert!(matches!(solve(&mut mgr, &[pre0, npost0], None).result, SmtResult::Sat(_)));
     }
 
     #[test]
@@ -408,14 +408,14 @@ mod tests {
         let pre = substitute(&mut mgr, conds.pres[0], &env);
         let post = substitute(&mut mgr, conds.posts[0], &env);
         let npost = mgr.not(post);
-        assert!(matches!(check(&mut mgr, &[pre, npost], None), SmtResult::Sat(_)));
+        assert!(matches!(solve(&mut mgr, &[pre, npost], None).result, SmtResult::Sat(_)));
         // w = 0 satisfies it.
         let mut env0 = Env::new();
         env0.set_var(hole_sym, BitVec::from_u64(1, 0));
         let pre0 = substitute(&mut mgr, conds.pres[0], &env0);
         let post0 = substitute(&mut mgr, conds.posts[0], &env0);
         let npost0 = mgr.not(post0);
-        assert!(check(&mut mgr, &[pre0, npost0], None).is_unsat());
+        assert!(solve(&mut mgr, &[pre0, npost0], None).result.is_unsat());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::CoreError;
 use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
-use owl_smt::{check, substitute, Env, SmtResult, TermManager};
+use owl_smt::{solve, substitute, Env, SmtResult, TermManager};
 use std::fmt;
 
 /// Whether one obligation is achievable by some hole assignment.
@@ -112,7 +112,7 @@ fn achievable(
             pres.iter().map(|&p| substitute(mgr, p, &candidate)).collect();
         let p2 = substitute(mgr, post, &candidate);
         assertions.push(mgr.not(p2));
-        match check(mgr, &assertions, None) {
+        match solve(mgr, &assertions, None).result {
             SmtResult::Unsat => return Ok(None), // candidate works
             SmtResult::Unknown(_) => return Err(CoreError::new("diagnosis query returned unknown")),
             SmtResult::Sat(model) => {
@@ -122,7 +122,7 @@ fn achievable(
                 let pre_conj = mgr.and_many(&pres2);
                 let ob = mgr.implies(pre_conj, post2);
                 constraints.push(ob);
-                match check(mgr, &constraints, None) {
+                match solve(mgr, &constraints, None).result {
                     SmtResult::Sat(model) => {
                         let mut next = Env::new();
                         for (sym, w) in holes {
@@ -205,7 +205,7 @@ pub fn diagnose(
         .collect::<Result<Vec<_>, CoreError>>()?;
 
     // Dead decode?
-    let decode_sat = matches!(check(mgr, &conds.pres, None), SmtResult::Sat(_));
+    let decode_sat = matches!(solve(mgr, &conds.pres, None).result, SmtResult::Sat(_));
 
     let names = post_names(ila, alpha);
     let mut obligations = Vec::new();

@@ -26,6 +26,7 @@ pub mod codegen;
 pub mod conditions;
 pub mod diagnose;
 pub mod minimize;
+pub mod session;
 pub mod synth;
 pub mod union;
 pub mod verify;
@@ -35,12 +36,17 @@ pub use certify::{differential_check, Certificate, CheckStatus, InstrCertificate
 pub use conditions::{ConditionBuilder, InstrConditions};
 pub use diagnose::{diagnose, Diagnosis, ObligationStatus};
 pub use minimize::{minimize_solutions, MinimizeStats};
+pub use session::SynthesisSession;
+#[allow(deprecated)]
+pub use synth::{resynthesize, synthesize};
 pub use synth::{
-    resynthesize, synthesize, InstrOutcome, InstrSolution, InstrStatus, SynthesisConfig,
+    InstrOutcome, InstrSolution, InstrStatus, SynthesisConfig, SynthesisConfigBuilder,
     SynthesisMode, SynthesisOutput, SynthesisStats,
 };
 pub use union::{complete_design, control_union, control_union_with, ControlUnion, DecodeBinding};
-pub use verify::{verify_design, verify_design_with, VerifyStats};
+#[allow(deprecated)]
+pub use verify::verify_design_with;
+pub use verify::{verify_design, VerifyOpts, VerifyStats};
 
 // Resource-governance handles, re-exported for callers configuring a
 // [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.

@@ -19,7 +19,7 @@ use crate::CoreError;
 use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
-use owl_smt::{check, substitute, Env, SmtResult, SymbolId, TermManager};
+use owl_smt::{solve, substitute, Env, SmtResult, SymbolId, TermManager};
 use std::collections::HashMap;
 
 /// Statistics from a minimization pass.
@@ -112,7 +112,7 @@ pub fn minimize_solutions(
             let posts: Vec<_> = ic.posts.iter().map(|&p| substitute(mgr, p, &env)).collect();
             let post_conj = mgr.and_many(&posts);
             assertions.push(mgr.not(post_conj));
-            match check(mgr, &assertions, None) {
+            match solve(mgr, &assertions, None).result {
                 SmtResult::Unsat => {
                     sol.holes = candidate;
                     stats.merged += 1;
@@ -131,7 +131,7 @@ pub fn minimize_solutions(
 mod tests {
     use super::*;
     use crate::abstraction::DatapathKind;
-    use crate::synth::{synthesize, SynthesisConfig};
+    use crate::session::SynthesisSession;
     use crate::union::control_union;
     use crate::verify::verify_design;
     use crate::complete_design;
@@ -168,8 +168,7 @@ mod tests {
     fn dont_care_values_merge_and_design_still_verifies() {
         let (ila, d, alpha) = setup();
         let mut mgr = TermManager::new();
-        let out =
-            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        let out = SynthesisSession::new(&d, &ila, &alpha).run_with(&mut mgr).unwrap();
         // Force a divergent don't-care: PASS has en = 0, so its sel value
         // is free. Make it disagree with INC's.
         let mut solutions = out.solutions.clone();
@@ -196,8 +195,7 @@ mod tests {
     fn load_bearing_values_are_not_merged() {
         let (ila, d, alpha) = setup();
         let mut mgr = TermManager::new();
-        let out =
-            synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default()).unwrap();
+        let out = SynthesisSession::new(&d, &ila, &alpha).run_with(&mut mgr).unwrap();
         // `en` genuinely differs between INC (1) and PASS (0); merging
         // must be rejected and the values preserved.
         let (minimized, _) =

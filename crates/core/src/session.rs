@@ -1,0 +1,566 @@
+//! The unified synthesis entry point ([`SynthesisSession`]) and its
+//! parallel per-instruction scheduler.
+//!
+//! The paper's instruction-independence optimization (§3.3.1) makes each
+//! instruction's `∃ holes ∀ state` problem self-contained, so the
+//! per-instruction CEGIS loops can run concurrently. The scheduler here
+//! is built for *determinism first*: `SynthesisOutput`, `Certificate`
+//! and every per-instruction `QueryLog` are byte-identical across thread
+//! counts.
+//!
+//! # How determinism survives parallelism
+//!
+//! - **Task independence.** Every instruction task clones the prepared
+//!   base [`TermManager`] and works on its own arena. [`TermId`]s stay
+//!   valid across the clone, no locks are taken on the hot path, and no
+//!   task observes terms created by another. Candidate seeding between
+//!   instructions (the old sequential prev-carry chain) is gone: each
+//!   task starts from its own seed (incremental re-synthesis) or the
+//!   zero candidate, so the work done for instruction *i* is a pure
+//!   function of the prepared problem — not of scheduling order.
+//! - **Quota invariance.** Per-solver-call work quotas (conflicts,
+//!   decisions, propagations) are identical for every thread count; the
+//!   deadline, cancellation flag, and fault-plan call counter are the
+//!   only shared parts of the [`Budget`].
+//! - **Deterministic rebalance.** When instructions finish under their
+//!   base quota while others exhaust their escalation ladder, the
+//!   leftover conflict quota is pooled ([`Budget::merge`]) and split
+//!   ([`Budget::partition`]) across the stragglers for one boosted
+//!   retry. Both the straggler set and the boost are pure functions of
+//!   the (deterministic) first-phase outcomes, so the rebalance — the
+//!   deterministic analog of work stealing — is itself thread-count
+//!   invariant.
+//! - **Ordered assembly.** Results land in per-instruction slots and are
+//!   folded in specification order after the join; certification runs
+//!   sequentially on the assembled output.
+//!
+//! Timing-dependent stops are the documented exception: a deadline or a
+//! mid-run cancellation fires at a wall-clock instant, so *which* tasks
+//! were still in flight (`Failed`) versus never started (`Skipped`)
+//! depends on real time. Completed instructions still agree across
+//! thread counts; see DESIGN.md.
+
+use crate::abstraction::AbstractionFn;
+use crate::certify::{build_certificate, panic_message, QueryLog};
+use crate::conditions::InstrConditions;
+use crate::synth::{
+    cegis, env_of, monolithic, prepare, run_check, solve_with_degradation, zero_candidate,
+    InstrOutcome, InstrSolution, InstrStatus, Prepared, SynthesisConfig, SynthesisMode,
+    SynthesisOutput, SynthesisStats,
+};
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_ila::Ila;
+use owl_oyster::Design;
+use owl_smt::{substitute, Budget, SmtResult, SymbolId, TermId, TermManager};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A configured synthesis run: the one entry point for fresh synthesis,
+/// incremental re-synthesis, and parallel per-instruction solving.
+///
+/// ```ignore
+/// let output = SynthesisSession::new(&design, &ila, &alpha)
+///     .config(SynthesisConfig::builder().time_budget(limit).build())
+///     .parallelism(4)
+///     .run()?;
+/// ```
+///
+/// [`run`](SynthesisSession::run) owns a fresh [`TermManager`];
+/// [`run_with`](SynthesisSession::run_with) reuses the caller's (the
+/// historical `synthesize` contract). Outputs are deterministic: the
+/// same session produces byte-identical [`SynthesisOutput`]s at every
+/// [`parallelism`](SynthesisSession::parallelism) level.
+#[derive(Debug)]
+#[must_use = "a session does nothing until `.run()` or `.run_with(mgr)`"]
+pub struct SynthesisSession<'a> {
+    design: &'a Design,
+    ila: &'a Ila,
+    alpha: &'a AbstractionFn,
+    config: SynthesisConfig,
+    parallelism: usize,
+    seeds: Option<Vec<InstrSolution>>,
+}
+
+impl<'a> SynthesisSession<'a> {
+    /// A session over the sketch, specification and abstraction
+    /// function, with the default configuration and `parallelism(1)`.
+    pub fn new(design: &'a Design, ila: &'a Ila, alpha: &'a AbstractionFn) -> Self {
+        SynthesisSession {
+            design,
+            ila,
+            alpha,
+            config: SynthesisConfig::default(),
+            parallelism: 1,
+            seeds: None,
+        }
+    }
+
+    /// Replaces the synthesis configuration.
+    pub fn config(mut self, config: SynthesisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Number of worker threads for per-instruction mode (clamped to at
+    /// least 1; monolithic mode always runs on the calling thread).
+    /// Outputs do not depend on this value.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Seeds the run with the solutions of a previous revision
+    /// (incremental re-synthesis): each seeded instruction is first
+    /// re-verified and reused outright when still valid, otherwise its
+    /// old solution becomes the CEGIS starting candidate. Requires
+    /// per-instruction mode.
+    pub fn seeded_with(mut self, previous: impl Into<Vec<InstrSolution>>) -> Self {
+        self.seeds = Some(previous.into());
+        self
+    }
+
+    /// Runs the session on a fresh [`TermManager`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the inputs fail validation; solver-level
+    /// failures are per-instruction [`SynthesisOutput::outcomes`].
+    pub fn run(&self) -> Result<SynthesisOutput, CoreError> {
+        let mut mgr = TermManager::new();
+        self.run_with(&mut mgr)
+    }
+
+    /// Runs the session on the caller's [`TermManager`] (the prepared
+    /// problem hash-conses into it; worker tasks clone it and leave it
+    /// untouched).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](SynthesisSession::run).
+    pub fn run_with(&self, mgr: &mut TermManager) -> Result<SynthesisOutput, CoreError> {
+        if self.seeds.is_some() && self.config.mode != SynthesisMode::PerInstruction {
+            return Err(CoreError::Invalid(
+                "incremental re-synthesis requires per-instruction mode".to_string(),
+            ));
+        }
+        let start = Instant::now();
+        let prep = prepare(mgr, self.design, self.ila, self.alpha)?;
+        let budget = self.config.run_budget(start);
+        let mut stats = SynthesisStats::default();
+        let (solutions, outcomes, interrupted, qlogs) = match self.config.mode {
+            SynthesisMode::PerInstruction => self.schedule(mgr, &prep, &budget, start, &mut stats),
+            SynthesisMode::Monolithic => monolithic(
+                mgr,
+                &prep.holes,
+                &prep.all_conds,
+                &self.config,
+                &budget,
+                start,
+                &mut stats,
+            ),
+        };
+        for q in &qlogs {
+            stats.terms_before += q.terms_before;
+            stats.terms_after += q.terms_after;
+            stats.cnf_vars += q.cnf_vars;
+            stats.cnf_clauses += q.cnf_clauses;
+        }
+        stats.elapsed = start.elapsed();
+        let mut output =
+            SynthesisOutput { solutions, outcomes, stats, interrupted, certificate: None };
+        if self.config.certify {
+            output.certificate = Some(build_certificate(
+                self.design,
+                self.ila,
+                self.alpha,
+                &output,
+                qlogs,
+                &self.config,
+                &budget,
+            ));
+            output.stats.elapsed = start.elapsed();
+        }
+        Ok(output)
+    }
+
+    /// The per-instruction scheduler: phase 1 solves every instruction
+    /// as an independent task on a worker pool; phase 2 deterministically
+    /// rebalances leftover conflict quota onto exhausted stragglers.
+    fn schedule(
+        &self,
+        mgr: &TermManager,
+        prep: &Prepared,
+        budget: &Budget,
+        start: Instant,
+        stats: &mut SynthesisStats,
+    ) -> (Vec<InstrSolution>, Vec<InstrOutcome>, Option<CoreError>, Vec<QueryLog>) {
+        let holes = &prep.holes;
+        let all_conds = &prep.all_conds;
+        let n = all_conds.len();
+
+        // Per-instruction seeds are fixed up front (zero-filling holes
+        // the previous revision did not know about), so the task set is
+        // identical for every thread count.
+        let seeds: Vec<Option<HashMap<String, BitVec>>> = all_conds
+            .iter()
+            .map(|conds| {
+                let prev = self.seeds.as_ref()?;
+                let seed = prev.iter().find(|s| s.instr == conds.name)?;
+                let mut map = seed.holes.clone();
+                for (name, t, _) in holes {
+                    map.entry(name.clone()).or_insert_with(|| BitVec::zero(mgr.width(*t)));
+                }
+                Some(map)
+            })
+            .collect();
+
+        let workers = self.parallelism.min(n).max(1);
+        let slots: Vec<Mutex<Option<TaskOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = run_task(
+                        mgr,
+                        holes,
+                        &all_conds[i],
+                        seeds[i].clone(),
+                        &self.config,
+                        budget,
+                        start,
+                    );
+                    *slots[i].lock().expect("task slot poisoned") = Some(out);
+                });
+            }
+        });
+        let mut tasks: Vec<TaskOutput> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("task slot poisoned").expect("every task slot is filled")
+            })
+            .collect();
+
+        self.rebalance(mgr, holes, all_conds, &mut tasks, budget, start);
+
+        // Assembly, in specification order.
+        let mut interrupted: Option<CoreError> = tasks.iter().find_map(|t| match &t.outcome.status
+        {
+            InstrStatus::Failed(e) if e.is_global_stop() => Some(e.clone()),
+            _ => None,
+        });
+        if interrupted.is_none() {
+            // Every-task-skipped runs (budget spent before the first
+            // solver call) surface the stop the way the sequential loop
+            // always did.
+            interrupted = tasks.iter().find_map(|t| t.stop.clone());
+        }
+        let mut solutions = Vec::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(n);
+        let mut qlogs = Vec::with_capacity(n);
+        for mut t in tasks {
+            stats.cex_rounds += t.stats.cex_rounds;
+            stats.solver_calls += t.stats.solver_calls;
+            stats.reused += t.stats.reused;
+            stats.escalations += t.stats.escalations;
+            t.outcome.solver_calls = t.stats.solver_calls;
+            if let Some(sol) = t.solution {
+                solutions.push(sol);
+            }
+            outcomes.push(t.outcome);
+            qlogs.push(t.qlog);
+        }
+        (solutions, outcomes, interrupted, qlogs)
+    }
+
+    /// Phase 2: instructions that solved without touching their
+    /// escalation ladder donate their base conflict quota; the pooled
+    /// donation is split evenly across the instructions that exhausted
+    /// theirs, each of which gets one boosted retry from the zero
+    /// candidate. Deterministic because phase-1 outcomes are.
+    fn rebalance(
+        &self,
+        mgr: &TermManager,
+        holes: &[(String, TermId, SymbolId)],
+        all_conds: &[InstrConditions],
+        tasks: &mut [TaskOutput],
+        budget: &Budget,
+        start: Instant,
+    ) {
+        let Some(base_quota) = self.config.conflict_budget else { return };
+        let interrupted = tasks.iter().any(|t| {
+            t.stop.is_some()
+                || matches!(&t.outcome.status, InstrStatus::Failed(e) if e.is_global_stop())
+        });
+        if interrupted {
+            return;
+        }
+        let stragglers: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(&t.outcome.status, InstrStatus::Failed(CoreError::SolverExhausted { .. }))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if stragglers.is_empty() {
+            return;
+        }
+        let donations: Vec<Budget> = tasks
+            .iter()
+            .filter(|t| {
+                t.outcome.escalations == 0
+                    && matches!(t.outcome.status, InstrStatus::Solved | InstrStatus::Reused)
+            })
+            .map(|_| budget.clone().with_conflicts(Some(base_quota)))
+            .collect();
+        if donations.is_empty() {
+            return;
+        }
+        let pool = Budget::merge(&donations);
+        let shares = pool.partition(stragglers.len());
+
+        let cursor = AtomicUsize::new(0);
+        let retries: Vec<(usize, Mutex<&mut TaskOutput>, Budget)> = {
+            // Pair each straggler with its boosted budget: the top of its
+            // escalation ladder plus its share of the donated pool.
+            let mut slots: Vec<(usize, Mutex<&mut TaskOutput>, Budget)> = Vec::new();
+            let mut remaining: Vec<&mut TaskOutput> = tasks.iter_mut().collect();
+            // Drain in reverse so indices stay valid while splitting.
+            for (k, &i) in stragglers.iter().enumerate().rev() {
+                let t = remaining.swap_remove(i);
+                let ladder_top =
+                    self.config.escalated_conflicts(self.config.max_escalations).unwrap_or(0);
+                let boost =
+                    ladder_top.saturating_add(shares[k].conflict_limit().unwrap_or(0));
+                slots.push((i, Mutex::new(t), budget.clone().with_conflicts(Some(boost))));
+            }
+            slots
+        };
+        let workers = self.parallelism.min(retries.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let r = cursor.fetch_add(1, Ordering::Relaxed);
+                    if r >= retries.len() {
+                        break;
+                    }
+                    let (i, slot, retry_budget) = &retries[r];
+                    let mut task = slot.lock().expect("retry slot poisoned");
+                    retry_task(
+                        mgr,
+                        holes,
+                        &all_conds[*i],
+                        &self.config,
+                        retry_budget,
+                        start,
+                        &mut task,
+                    );
+                });
+            }
+        });
+    }
+}
+
+/// Everything one instruction task produces.
+struct TaskOutput {
+    outcome: InstrOutcome,
+    solution: Option<InstrSolution>,
+    qlog: QueryLog,
+    stats: SynthesisStats,
+    /// The typed stop observed at task entry, when the task never ran.
+    stop: Option<CoreError>,
+}
+
+/// What one instruction attempt concluded.
+enum TaskStep {
+    /// The seeded solution re-verified and is reused unchanged.
+    Reused(HashMap<String, BitVec>),
+    /// Synthesized (fresh or repaired), with the escalations used.
+    Solved(HashMap<String, BitVec>, u32),
+    /// Failed with a typed error and the escalations used.
+    Failed(CoreError, u32),
+}
+
+/// One instruction, start to finish: entry budget checkpoint, manager
+/// clone, panic-isolated solve.
+fn run_task(
+    base: &TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    conds: &InstrConditions,
+    seed: Option<HashMap<String, BitVec>>,
+    config: &SynthesisConfig,
+    budget: &Budget,
+    start: Instant,
+) -> TaskOutput {
+    let name = conds.name.clone();
+    if let Some(reason) = budget.checkpoint() {
+        return TaskOutput {
+            outcome: InstrOutcome {
+                instr: name,
+                status: InstrStatus::Skipped,
+                escalations: 0,
+                solver_calls: 0,
+            },
+            solution: None,
+            qlog: QueryLog::default(),
+            stats: SynthesisStats::default(),
+            stop: Some(CoreError::from_stop(reason, "", start.elapsed())),
+        };
+    }
+    let mut mgr = base.clone();
+    let mut stats = SynthesisStats::default();
+    let mut qlog = QueryLog::default();
+    // Panic isolation: a solver-stack panic fails this instruction with
+    // a typed internal error; every other task is unaffected.
+    let step = catch_unwind(AssertUnwindSafe(|| {
+        task_step(&mut mgr, holes, conds, seed, config, budget, start, &mut stats, &mut qlog)
+    }))
+    .unwrap_or_else(|payload| {
+        TaskStep::Failed(
+            CoreError::Internal { instr: name.clone(), message: panic_message(&*payload) },
+            0,
+        )
+    });
+    let (status, solution, escalations) = match step {
+        TaskStep::Reused(map) => {
+            let sol = InstrSolution { instr: name.clone(), holes: map };
+            (InstrStatus::Reused, Some(sol), 0)
+        }
+        TaskStep::Solved(map, esc) => {
+            let sol = InstrSolution { instr: name.clone(), holes: map };
+            (InstrStatus::Solved, Some(sol), esc)
+        }
+        TaskStep::Failed(e, esc) => (InstrStatus::Failed(e), None, esc),
+    };
+    TaskOutput {
+        outcome: InstrOutcome { instr: name, status, escalations, solver_calls: 0 },
+        solution,
+        qlog,
+        stats,
+        stop: None,
+    }
+}
+
+/// The solve itself: optional seed re-verification fast path, then the
+/// escalating CEGIS ladder.
+#[allow(clippy::too_many_arguments)]
+fn task_step(
+    mgr: &mut TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    conds: &InstrConditions,
+    seed: Option<HashMap<String, BitVec>>,
+    config: &SynthesisConfig,
+    budget: &Budget,
+    start: Instant,
+    stats: &mut SynthesisStats,
+    qlog: &mut QueryLog,
+) -> TaskStep {
+    if let Some(candidate) = &seed {
+        // Fast path: does the old solution still verify?
+        let env = env_of(holes, candidate);
+        let mut assertions: Vec<TermId> =
+            conds.pres.iter().map(|&p| substitute(mgr, p, &env)).collect();
+        let posts: Vec<TermId> = conds.posts.iter().map(|&p| substitute(mgr, p, &env)).collect();
+        let post_conj = mgr.and_many(&posts);
+        assertions.push(mgr.not(post_conj));
+        stats.solver_calls += 1;
+        match run_check(mgr, &assertions, budget, config, qlog) {
+            SmtResult::Unsat => {
+                stats.reused += 1;
+                return TaskStep::Reused(candidate.clone());
+            }
+            SmtResult::Sat(_) => {} // stale: fall through to CEGIS repair
+            SmtResult::Unknown(reason) => {
+                if reason.is_global() {
+                    return TaskStep::Failed(
+                        CoreError::from_stop(reason, &conds.name, start.elapsed()),
+                        0,
+                    );
+                }
+                // Local exhaustion during re-verification degrades
+                // gracefully: treat the seed as stale and let the
+                // escalating CEGIS path decide.
+            }
+        }
+    }
+    let initial = seed.unwrap_or_else(|| zero_candidate(mgr, holes));
+    match solve_with_degradation(
+        mgr,
+        holes,
+        std::slice::from_ref(conds),
+        initial,
+        &conds.name,
+        config,
+        budget,
+        start,
+        stats,
+        qlog,
+    ) {
+        Ok((solved, escalations)) => TaskStep::Solved(solved, escalations),
+        Err((e, escalations)) => TaskStep::Failed(e, escalations),
+    }
+}
+
+/// One boosted retry for a straggler: a single CEGIS attempt from the
+/// zero candidate under the rebalanced conflict quota, recording into
+/// the task's existing log and stats.
+fn retry_task(
+    base: &TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    conds: &InstrConditions,
+    config: &SynthesisConfig,
+    retry_budget: &Budget,
+    start: Instant,
+    task: &mut TaskOutput,
+) {
+    if retry_budget.checkpoint().is_some() {
+        return; // keep the phase-1 outcome
+    }
+    let mut mgr = base.clone();
+    let mut stats = std::mem::take(&mut task.stats);
+    let mut qlog = std::mem::take(&mut task.qlog);
+    let initial = zero_candidate(&mgr, holes);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        cegis(
+            &mut mgr,
+            holes,
+            std::slice::from_ref(conds),
+            initial,
+            &conds.name,
+            config,
+            retry_budget,
+            start,
+            &mut stats,
+            &mut qlog,
+        )
+    }))
+    .unwrap_or_else(|payload| {
+        Err(CoreError::Internal {
+            instr: conds.name.clone(),
+            message: panic_message(&*payload),
+        })
+    });
+    stats.escalations += 1;
+    task.outcome.escalations += 1;
+    task.stats = stats;
+    task.qlog = qlog;
+    match attempt {
+        Ok(solved) => {
+            task.solution =
+                Some(InstrSolution { instr: conds.name.clone(), holes: solved });
+            task.outcome.status = InstrStatus::Solved;
+        }
+        Err(e) if e.is_global_stop() => {
+            task.outcome.status = InstrStatus::Failed(e);
+        }
+        Err(_) => {} // keep the phase-1 SolverExhausted verdict
+    }
+}

@@ -27,15 +27,15 @@
 //! zero candidate.
 
 use crate::abstraction::AbstractionFn;
-use crate::certify::{build_certificate, panic_message, Certificate, QueryLog};
+use crate::certify::{panic_message, Certificate, QueryLog};
 use crate::conditions::{ConditionBuilder, InstrConditions};
 use crate::CoreError;
 use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
 use owl_smt::{
-    check_with, substitute, Budget, CancelFlag, Env, FaultPlan, SmtResult, SolverConfig, SymbolId,
-    TermId, TermManager,
+    solve, substitute, Budget, CancelFlag, CheckOpts, Env, FaultPlan, SmtResult, SolverConfig,
+    SymbolId, TermId, TermManager,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -122,9 +122,23 @@ impl Default for SynthesisConfig {
 }
 
 impl SynthesisConfig {
+    /// A typed builder over the default configuration — the preferred
+    /// spelling for call sites that tweak a few knobs:
+    ///
+    /// ```ignore
+    /// let config = SynthesisConfig::builder()
+    ///     .time_budget(Duration::from_secs(30))
+    ///     .certify(false)
+    ///     .build();
+    /// ```
+    #[must_use]
+    pub fn builder() -> SynthesisConfigBuilder {
+        SynthesisConfigBuilder { config: SynthesisConfig::default() }
+    }
+
     /// The run-wide budget: deadline from `time_budget`, per-call work
     /// limits, the shared cancel flag and the fault plan.
-    fn run_budget(&self, start: Instant) -> Budget {
+    pub(crate) fn run_budget(&self, start: Instant) -> Budget {
         let mut budget = Budget::unlimited()
             .with_conflicts(self.conflict_budget)
             .with_decisions(self.decision_budget)
@@ -141,8 +155,105 @@ impl SynthesisConfig {
 
     /// The conflict limit for escalation `step` of the ladder:
     /// `conflict_budget * 2^step`, saturating.
-    fn escalated_conflicts(&self, step: u32) -> Option<u64> {
+    pub(crate) fn escalated_conflicts(&self, step: u32) -> Option<u64> {
         self.conflict_budget.map(|c| c.saturating_mul(1u64 << step.min(32)))
+    }
+}
+
+/// Builder for [`SynthesisConfig`], created by
+/// [`SynthesisConfig::builder`]. Every setter consumes and returns the
+/// builder; [`build`](SynthesisConfigBuilder::build) yields the config.
+#[derive(Debug, Clone)]
+#[must_use = "call `.build()` to obtain the `SynthesisConfig`"]
+pub struct SynthesisConfigBuilder {
+    config: SynthesisConfig,
+}
+
+impl SynthesisConfigBuilder {
+    /// Problem decomposition (default: per-instruction).
+    pub fn mode(mut self, mode: SynthesisMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Maximum CEGIS refinement rounds per query.
+    pub fn max_cex_rounds(mut self, rounds: usize) -> Self {
+        self.config.max_cex_rounds = rounds;
+        self
+    }
+
+    /// SAT conflict budget per solver call (the escalation-ladder base).
+    pub fn conflict_budget(mut self, conflicts: impl Into<Option<u64>>) -> Self {
+        self.config.conflict_budget = conflicts.into();
+        self
+    }
+
+    /// Wall-clock budget for the whole run.
+    pub fn time_budget(mut self, limit: impl Into<Option<Duration>>) -> Self {
+        self.config.time_budget = limit.into();
+        self
+    }
+
+    /// SAT decision limit per solver call.
+    pub fn decision_budget(mut self, decisions: impl Into<Option<u64>>) -> Self {
+        self.config.decision_budget = decisions.into();
+        self
+    }
+
+    /// SAT propagation limit per solver call.
+    pub fn propagation_budget(mut self, propagations: impl Into<Option<u64>>) -> Self {
+        self.config.propagation_budget = propagations.into();
+        self
+    }
+
+    /// Shared cancellation flag for cooperative interruption.
+    pub fn cancel(mut self, cancel: CancelFlag) -> Self {
+        self.config.cancel = cancel;
+        self
+    }
+
+    /// Conflict-budget escalation retries before an instruction fails.
+    pub fn max_escalations(mut self, retries: u32) -> Self {
+        self.config.max_escalations = retries;
+        self
+    }
+
+    /// Deterministic fault-injection plan (testing hook).
+    pub fn fault_plan(mut self, plan: impl Into<Option<Arc<FaultPlan>>>) -> Self {
+        self.config.fault_plan = plan.into();
+        self
+    }
+
+    /// End-to-end certification of every answer (default: on).
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.config.certify = certify;
+        self
+    }
+
+    /// Fresh differential traces sampled per instruction (0 disables
+    /// the differential pass).
+    pub fn differential_samples(mut self, samples: usize) -> Self {
+        self.config.differential_samples = samples;
+        self
+    }
+
+    /// PRNG seed for differential trace sampling.
+    pub fn differential_seed(mut self, seed: u64) -> Self {
+        self.config.differential_seed = seed;
+        self
+    }
+
+    /// Equality-saturation simplification before bit-blasting
+    /// (default: on).
+    pub fn simplify(mut self, simplify: bool) -> Self {
+        self.config.simplify = simplify;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> SynthesisConfig {
+        self.config
     }
 }
 
@@ -276,12 +387,12 @@ impl SynthesisOutput {
 
 /// The shared setup of every synthesis entry point: symbolic trace,
 /// per-instruction conditions, and validated hole variables.
-struct Prepared {
-    all_conds: Vec<InstrConditions>,
-    holes: Vec<(String, TermId, SymbolId)>,
+pub(crate) struct Prepared {
+    pub(crate) all_conds: Vec<InstrConditions>,
+    pub(crate) holes: Vec<(String, TermId, SymbolId)>,
 }
 
-fn prepare(
+pub(crate) fn prepare(
     mgr: &mut TermManager,
     design: &Design,
     ila: &Ila,
@@ -319,9 +430,9 @@ fn stop_error(budget: &Budget, start: Instant) -> Option<CoreError> {
 
 /// One solver call under the configured simplification and
 /// certification policy: every call routes through
-/// [`owl_smt::check_with`], size statistics always land in `qlog`, and
+/// [`owl_smt::solve`], size statistics always land in `qlog`, and
 /// certified runs additionally record the per-query verdict.
-fn run_check(
+pub(crate) fn run_check(
     mgr: &mut TermManager,
     assertions: &[TermId],
     budget: &Budget,
@@ -333,7 +444,7 @@ fn run_check(
         certify: config.certify,
         ..SolverConfig::default()
     };
-    let outcome = check_with(mgr, assertions, budget, &sconfig);
+    let outcome = solve(mgr, assertions, CheckOpts::new().with_budget(budget).with_config(sconfig));
     qlog.record_stats(&outcome.stats);
     if config.certify {
         qlog.record(&outcome.cert);
@@ -344,15 +455,14 @@ fn run_check(
 /// Synthesizes control logic for `design`'s holes against `ila` via
 /// `alpha`, returning per-instruction hole constants.
 ///
-/// The run degrades gracefully: per-instruction failures and budget
-/// exhaustion are reported in [`SynthesisOutput::outcomes`] while the
-/// already-solved prefix is kept. See [`SynthesisOutput::require_complete`]
-/// for the strict contract.
+/// Deprecated pre-session spelling: forwards to
+/// [`SynthesisSession`](crate::SynthesisSession) with `parallelism(1)`.
 ///
 /// # Errors
 ///
 /// Returns an error only if the inputs fail validation (bad abstraction
 /// function, malformed sketch, holes that are not free variables).
+#[deprecated(note = "use `SynthesisSession::new(design, ila, alpha).config(config.clone()).run_with(mgr)`")]
 pub fn synthesize(
     mgr: &mut TermManager,
     design: &Design,
@@ -360,38 +470,9 @@ pub fn synthesize(
     alpha: &AbstractionFn,
     config: &SynthesisConfig,
 ) -> Result<SynthesisOutput, CoreError> {
-    let start = Instant::now();
-    let prep = prepare(mgr, design, ila, alpha)?;
-    let budget = config.run_budget(start);
-    let mut stats = SynthesisStats::default();
-    let (solutions, outcomes, interrupted, qlogs) = match config.mode {
-        SynthesisMode::PerInstruction => per_instruction(
-            mgr,
-            &prep.holes,
-            &prep.all_conds,
-            config,
-            &budget,
-            start,
-            &mut stats,
-        ),
-        SynthesisMode::Monolithic => {
-            monolithic(mgr, &prep.holes, &prep.all_conds, config, &budget, start, &mut stats)
-        }
-    };
-    for q in &qlogs {
-        stats.terms_before += q.terms_before;
-        stats.terms_after += q.terms_after;
-        stats.cnf_vars += q.cnf_vars;
-        stats.cnf_clauses += q.cnf_clauses;
-    }
-    stats.elapsed = start.elapsed();
-    let mut output = SynthesisOutput { solutions, outcomes, stats, interrupted, certificate: None };
-    if config.certify {
-        output.certificate =
-            Some(build_certificate(design, ila, alpha, &output, qlogs, config, &budget));
-        output.stats.elapsed = start.elapsed();
-    }
-    Ok(output)
+    crate::session::SynthesisSession::new(design, ila, alpha)
+        .config(config.clone())
+        .run_with(mgr)
 }
 
 /// Incremental re-synthesis for agile iteration: like [`synthesize`],
@@ -402,9 +483,13 @@ pub fn synthesize(
 /// candidate. Instructions with no previous solution are synthesized
 /// from scratch.
 ///
+/// Deprecated pre-session spelling: forwards to
+/// [`SynthesisSession::seeded_with`](crate::SynthesisSession::seeded_with).
+///
 /// # Errors
 ///
 /// As for [`synthesize`]. Only per-instruction mode is supported.
+#[deprecated(note = "use `SynthesisSession::new(design, ila, alpha).config(config.clone()).seeded_with(previous).run_with(mgr)`")]
 pub fn resynthesize(
     mgr: &mut TermManager,
     design: &Design,
@@ -413,290 +498,14 @@ pub fn resynthesize(
     config: &SynthesisConfig,
     previous: &[InstrSolution],
 ) -> Result<SynthesisOutput, CoreError> {
-    if config.mode != SynthesisMode::PerInstruction {
-        return Err(CoreError::Invalid(
-            "incremental re-synthesis requires per-instruction mode".to_string(),
-        ));
-    }
-    let start = Instant::now();
-    let prep = prepare(mgr, design, ila, alpha)?;
-    let budget = config.run_budget(start);
-    let holes = &prep.holes;
-
-    let mut stats = SynthesisStats::default();
-    let mut solutions = Vec::with_capacity(prep.all_conds.len());
-    let mut outcomes = Vec::with_capacity(prep.all_conds.len());
-    let mut qlogs: Vec<QueryLog> = Vec::with_capacity(prep.all_conds.len());
-    let mut interrupted: Option<CoreError> = None;
-    let mut prev_carry: Option<HashMap<String, BitVec>> = None;
-    for conds in &prep.all_conds {
-        if interrupted.is_none() {
-            interrupted = stop_error(&budget, start);
-        }
-        if interrupted.is_some() {
-            outcomes.push(InstrOutcome {
-                instr: conds.name.clone(),
-                status: InstrStatus::Skipped,
-                escalations: 0,
-                solver_calls: 0,
-            });
-            qlogs.push(QueryLog::default());
-            continue;
-        }
-        let calls_before = stats.solver_calls;
-        let seed = previous.iter().find(|s| s.instr == conds.name).map(|s| {
-            // Previous runs may lack newly-added holes; zero-fill those.
-            let mut map = s.holes.clone();
-            for (name, t, _) in holes {
-                map.entry(name.clone()).or_insert_with(|| BitVec::zero(mgr.width(*t)));
-            }
-            map
-        });
-        let mut qlog = QueryLog::default();
-        // Panic isolation: a solver-stack panic fails this instruction
-        // with a typed internal error; the rest of the run continues.
-        let step = catch_unwind(AssertUnwindSafe(|| {
-            resynth_step(
-                mgr,
-                holes,
-                conds,
-                seed,
-                prev_carry.clone(),
-                config,
-                &budget,
-                start,
-                &mut stats,
-                &mut qlog,
-            )
-        }))
-        .unwrap_or_else(|payload| {
-            StepResult::Failed(
-                CoreError::Internal {
-                    instr: conds.name.clone(),
-                    message: panic_message(&*payload),
-                },
-                0,
-            )
-        });
-        match step {
-            StepResult::Reused(map) => {
-                prev_carry = Some(map.clone());
-                solutions.push(InstrSolution { instr: conds.name.clone(), holes: map });
-                outcomes.push(InstrOutcome {
-                    instr: conds.name.clone(),
-                    status: InstrStatus::Reused,
-                    escalations: 0,
-                    solver_calls: stats.solver_calls - calls_before,
-                });
-            }
-            StepResult::Solved(map, escalations) => {
-                prev_carry = Some(map.clone());
-                solutions.push(InstrSolution { instr: conds.name.clone(), holes: map });
-                outcomes.push(InstrOutcome {
-                    instr: conds.name.clone(),
-                    status: InstrStatus::Solved,
-                    escalations,
-                    solver_calls: stats.solver_calls - calls_before,
-                });
-            }
-            StepResult::Failed(e, escalations) => {
-                let global = e.is_global_stop();
-                outcomes.push(InstrOutcome {
-                    instr: conds.name.clone(),
-                    status: InstrStatus::Failed(e.clone()),
-                    escalations,
-                    solver_calls: stats.solver_calls - calls_before,
-                });
-                if global {
-                    interrupted = Some(e);
-                }
-            }
-        }
-        qlogs.push(qlog);
-    }
-    for q in &qlogs {
-        stats.terms_before += q.terms_before;
-        stats.terms_after += q.terms_after;
-        stats.cnf_vars += q.cnf_vars;
-        stats.cnf_clauses += q.cnf_clauses;
-    }
-    stats.elapsed = start.elapsed();
-    let mut output = SynthesisOutput { solutions, outcomes, stats, interrupted, certificate: None };
-    if config.certify {
-        output.certificate =
-            Some(build_certificate(design, ila, alpha, &output, qlogs, config, &budget));
-        output.stats.elapsed = start.elapsed();
-    }
-    Ok(output)
-}
-
-/// What one incremental re-synthesis step produced.
-enum StepResult {
-    /// The previous solution re-verified and is reused unchanged.
-    Reused(HashMap<String, BitVec>),
-    /// Synthesized (fresh or repaired), with the escalations used.
-    Solved(HashMap<String, BitVec>, u32),
-    /// Failed with a typed error and the escalations used.
-    Failed(CoreError, u32),
-}
-
-/// One instruction of [`resynthesize`]: verify the seeded solution if
-/// any, then fall through to the degrading CEGIS path. Extracted so the
-/// caller can wrap the entire step (including seed verification) in a
-/// panic isolation boundary.
-#[allow(clippy::too_many_arguments)]
-fn resynth_step(
-    mgr: &mut TermManager,
-    holes: &[(String, TermId, SymbolId)],
-    conds: &InstrConditions,
-    seed: Option<HashMap<String, BitVec>>,
-    prev_carry: Option<HashMap<String, BitVec>>,
-    config: &SynthesisConfig,
-    budget: &Budget,
-    start: Instant,
-    stats: &mut SynthesisStats,
-    qlog: &mut QueryLog,
-) -> StepResult {
-    if let Some(candidate) = &seed {
-        // Fast path: does the old solution still verify?
-        let env = env_of(holes, candidate);
-        let mut assertions: Vec<TermId> =
-            conds.pres.iter().map(|&p| substitute(mgr, p, &env)).collect();
-        let posts: Vec<TermId> =
-            conds.posts.iter().map(|&p| substitute(mgr, p, &env)).collect();
-        let post_conj = mgr.and_many(&posts);
-        assertions.push(mgr.not(post_conj));
-        stats.solver_calls += 1;
-        match run_check(mgr, &assertions, budget, config, qlog) {
-            SmtResult::Unsat => {
-                stats.reused += 1;
-                return StepResult::Reused(candidate.clone());
-            }
-            SmtResult::Sat(_) => {} // stale: fall through to CEGIS repair
-            SmtResult::Unknown(reason) => {
-                if reason.is_global() {
-                    return StepResult::Failed(
-                        CoreError::from_stop(reason, &conds.name, start.elapsed()),
-                        0,
-                    );
-                }
-                // A local budget exhaustion during re-verification
-                // degrades gracefully: treat the seed as stale and
-                // let the escalating CEGIS path decide.
-            }
-        }
-    }
-    let initial =
-        seed.or(prev_carry).unwrap_or_else(|| zero_candidate(mgr, holes));
-    match solve_with_degradation(
-        mgr,
-        holes,
-        std::slice::from_ref(conds),
-        initial,
-        &conds.name,
-        config,
-        budget,
-        start,
-        stats,
-        qlog,
-    ) {
-        Ok((solved, escalations)) => StepResult::Solved(solved, escalations),
-        Err((e, escalations)) => StepResult::Failed(e, escalations),
-    }
+    crate::session::SynthesisSession::new(design, ila, alpha)
+        .config(config.clone())
+        .seeded_with(previous)
+        .run_with(mgr)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn per_instruction(
-    mgr: &mut TermManager,
-    holes: &[(String, TermId, SymbolId)],
-    all_conds: &[InstrConditions],
-    config: &SynthesisConfig,
-    budget: &Budget,
-    start: Instant,
-    stats: &mut SynthesisStats,
-) -> (Vec<InstrSolution>, Vec<InstrOutcome>, Option<CoreError>, Vec<QueryLog>) {
-    let mut solutions: Vec<InstrSolution> = Vec::with_capacity(all_conds.len());
-    let mut outcomes: Vec<InstrOutcome> = Vec::with_capacity(all_conds.len());
-    let mut qlogs: Vec<QueryLog> = Vec::with_capacity(all_conds.len());
-    let mut interrupted: Option<CoreError> = None;
-    let mut prev: Option<HashMap<String, BitVec>> = None;
-    for conds in all_conds {
-        if interrupted.is_none() {
-            interrupted = stop_error(budget, start);
-        }
-        if interrupted.is_some() {
-            outcomes.push(InstrOutcome {
-                instr: conds.name.clone(),
-                status: InstrStatus::Skipped,
-                escalations: 0,
-                solver_calls: 0,
-            });
-            qlogs.push(QueryLog::default());
-            continue;
-        }
-        let calls_before = stats.solver_calls;
-        let initial = prev.clone().unwrap_or_else(|| zero_candidate(mgr, holes));
-        let mut qlog = QueryLog::default();
-        // Panic isolation: a solver-stack panic fails this instruction
-        // with a typed internal error; the remaining instructions are
-        // still attempted.
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            solve_with_degradation(
-                mgr,
-                holes,
-                std::slice::from_ref(conds),
-                initial,
-                &conds.name,
-                config,
-                budget,
-                start,
-                stats,
-                &mut qlog,
-            )
-        }))
-        .unwrap_or_else(|payload| {
-            Err((
-                CoreError::Internal {
-                    instr: conds.name.clone(),
-                    message: panic_message(&*payload),
-                },
-                0,
-            ))
-        });
-        match attempt {
-            Ok((solved, escalations)) => {
-                prev = Some(solved.clone());
-                solutions.push(InstrSolution { instr: conds.name.clone(), holes: solved });
-                outcomes.push(InstrOutcome {
-                    instr: conds.name.clone(),
-                    status: InstrStatus::Solved,
-                    escalations,
-                    solver_calls: stats.solver_calls - calls_before,
-                });
-            }
-            Err((e, escalations)) => {
-                let global = e.is_global_stop();
-                outcomes.push(InstrOutcome {
-                    instr: conds.name.clone(),
-                    status: InstrStatus::Failed(e.clone()),
-                    escalations,
-                    solver_calls: stats.solver_calls - calls_before,
-                });
-                if global {
-                    interrupted = Some(e);
-                }
-                // A local failure (no solution, exhausted budget) does
-                // not discard the rest of the run: keep going so the
-                // caller gets every solvable instruction.
-            }
-        }
-        qlogs.push(qlog);
-    }
-    (solutions, outcomes, interrupted, qlogs)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn monolithic(
+pub(crate) fn monolithic(
     mgr: &mut TermManager,
     holes: &[(String, TermId, SymbolId)],
     all_conds: &[InstrConditions],
@@ -824,7 +633,7 @@ fn monolithic(
     }
 }
 
-fn zero_candidate(
+pub(crate) fn zero_candidate(
     mgr: &TermManager,
     holes: &[(String, TermId, SymbolId)],
 ) -> HashMap<String, BitVec> {
@@ -841,7 +650,7 @@ fn zero_candidate(
 /// candidate before the obligations are declared failed. Returns the
 /// solved holes and the number of escalation retries used.
 #[allow(clippy::too_many_arguments)]
-fn solve_with_degradation(
+pub(crate) fn solve_with_degradation(
     mgr: &mut TermManager,
     holes: &[(String, TermId, SymbolId)],
     obligations: &[InstrConditions],
@@ -898,7 +707,7 @@ fn solve_with_degradation(
 /// The CEGIS loop for one set of obligations: find hole constants such
 /// that for every obligation, `∀ state. pres -> posts`.
 #[allow(clippy::too_many_arguments)]
-fn cegis(
+pub(crate) fn cegis(
     mgr: &mut TermManager,
     holes: &[(String, TermId, SymbolId)],
     obligations: &[InstrConditions],
@@ -985,7 +794,7 @@ fn cegis(
     Err(CoreError::NoConvergence { instr: label.to_string(), rounds: config.max_cex_rounds })
 }
 
-fn env_of(holes: &[(String, TermId, SymbolId)], values: &HashMap<String, BitVec>) -> Env {
+pub(crate) fn env_of(holes: &[(String, TermId, SymbolId)], values: &HashMap<String, BitVec>) -> Env {
     let mut env = Env::new();
     for (name, _, sym) in holes {
         if let Some(v) = values.get(name) {
@@ -999,8 +808,37 @@ fn env_of(holes: &[(String, TermId, SymbolId)], values: &HashMap<String, BitVec>
 mod tests {
     use super::*;
     use crate::abstraction::DatapathKind;
+    use crate::session::SynthesisSession;
     use owl_ila::{Instr, SpecExpr};
     use owl_smt::Fault;
+
+    // Test-local adapters shadowing the deprecated free functions: the
+    // whole suite exercises the session path (the one every caller is
+    // migrated to), while `deprecated_entry_points_still_forward` below
+    // pins the shims themselves.
+    fn synthesize(
+        mgr: &mut TermManager,
+        design: &Design,
+        ila: &Ila,
+        alpha: &AbstractionFn,
+        config: &SynthesisConfig,
+    ) -> Result<SynthesisOutput, CoreError> {
+        SynthesisSession::new(design, ila, alpha).config(config.clone()).run_with(mgr)
+    }
+
+    fn resynthesize(
+        mgr: &mut TermManager,
+        design: &Design,
+        ila: &Ila,
+        alpha: &AbstractionFn,
+        config: &SynthesisConfig,
+        previous: &[InstrSolution],
+    ) -> Result<SynthesisOutput, CoreError> {
+        SynthesisSession::new(design, ila, alpha)
+            .config(config.clone())
+            .seeded_with(previous)
+            .run_with(mgr)
+    }
 
     /// Spec: acc' = acc + val when go; acc' = 0 when rst (rst wins by
     /// disjoint decodes). Sketch: two holes select add-enable and reset.
@@ -1086,7 +924,7 @@ mod tests {
     fn monolithic_synthesis_agrees() {
         let (ila, d, alpha) = setup();
         let mut mgr = TermManager::new();
-        let config = SynthesisConfig { mode: SynthesisMode::Monolithic, ..Default::default() };
+        let config = SynthesisConfig::builder().mode(SynthesisMode::Monolithic).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(out.is_complete());
         assert_eq!(out.solutions.len(), 2);
@@ -1192,10 +1030,7 @@ mod tests {
     fn time_budget_enforced() {
         let (ila, d, alpha) = setup();
         let mut mgr = TermManager::new();
-        let config = SynthesisConfig {
-            time_budget: Some(Duration::from_nanos(1)),
-            ..Default::default()
-        };
+        let config = SynthesisConfig::builder().time_budget(Duration::from_nanos(1)).build();
         // With a 1ns budget the run stops before the first instruction:
         // everything is skipped and the interrupt is a typed timeout.
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
@@ -1217,11 +1052,10 @@ mod tests {
         // the deadline must fire *inside* that call, not after it runs to
         // its natural end, and the outcome must be a typed timeout.
         let plan = Arc::new(FaultPlan::new().at(0, Fault::StallMillis(200)));
-        let config = SynthesisConfig {
-            time_budget: Some(Duration::from_millis(30)),
-            fault_plan: Some(plan),
-            ..Default::default()
-        };
+        let config = SynthesisConfig::builder()
+            .time_budget(Duration::from_millis(30))
+            .fault_plan(plan)
+            .build();
         let start = Instant::now();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(start.elapsed() < Duration::from_secs(5));
@@ -1263,11 +1097,10 @@ mod tests {
         // Timed run: stall RESET's first solver call past the deadline.
         let plan =
             Arc::new(FaultPlan::new().at(accum_calls, Fault::StallMillis(200)));
-        let config = SynthesisConfig {
-            time_budget: Some(Duration::from_millis(60)),
-            fault_plan: Some(plan),
-            ..Default::default()
-        };
+        let config = SynthesisConfig::builder()
+            .time_budget(Duration::from_millis(60))
+            .fault_plan(plan)
+            .build();
         let mut mgr = TermManager::new();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(matches!(out.interrupted, Some(CoreError::Timeout { .. })));
@@ -1299,11 +1132,10 @@ mod tests {
         // The monolithic query stalls for 300ms; a controller thread
         // cancels after 20ms, which the stalled call observes on resume.
         let plan = Arc::new(FaultPlan::new().at(0, Fault::StallMillis(300)));
-        let config = SynthesisConfig {
-            mode: SynthesisMode::Monolithic,
-            fault_plan: Some(plan),
-            ..Default::default()
-        };
+        let config = SynthesisConfig::builder()
+            .mode(SynthesisMode::Monolithic)
+            .fault_plan(plan)
+            .build();
         let cancel = config.cancel.clone();
         let canceller = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
@@ -1326,7 +1158,7 @@ mod tests {
         // The first solver call is forced to Unknown; the escalation
         // retry re-runs the query (fault indices advance) and succeeds.
         let plan = Arc::new(FaultPlan::new().at(0, Fault::ForceUnknown));
-        let config = SynthesisConfig { fault_plan: Some(plan), ..Default::default() };
+        let config = SynthesisConfig::builder().fault_plan(plan).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(out.is_complete(), "{:?}", out.first_error());
         assert!(out.stats.escalations >= 1);
@@ -1341,11 +1173,8 @@ mod tests {
         // call exhausts its limit; the doubled retry (a fresh call with
         // no fault) succeeds.
         let plan = Arc::new(FaultPlan::new().at(0, Fault::DelayConflicts(100)));
-        let config = SynthesisConfig {
-            conflict_budget: Some(4),
-            fault_plan: Some(plan),
-            ..Default::default()
-        };
+        let config =
+            SynthesisConfig::builder().conflict_budget(4).fault_plan(plan).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(out.is_complete(), "{:?}", out.first_error());
         assert!(out.stats.escalations >= 1);
@@ -1361,11 +1190,8 @@ mod tests {
         let plan = Arc::new(
             (0..64).fold(FaultPlan::new(), |p, i| p.at(i, Fault::ForceUnknown)),
         );
-        let config = SynthesisConfig {
-            max_escalations: 2,
-            fault_plan: Some(plan),
-            ..Default::default()
-        };
+        let config =
+            SynthesisConfig::builder().max_escalations(2).fault_plan(plan).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(!out.is_complete());
         assert!(out.interrupted.is_none());
@@ -1386,11 +1212,10 @@ mod tests {
         let (ila, d, alpha) = setup();
         for seed in 0..4u64 {
             let mut mgr = TermManager::new();
-            let config = SynthesisConfig {
-                conflict_budget: Some(1_000),
-                fault_plan: Some(Arc::new(FaultPlan::seeded(seed, 3))),
-                ..Default::default()
-            };
+            let config = SynthesisConfig::builder()
+                .conflict_budget(1_000)
+                .fault_plan(Arc::new(FaultPlan::seeded(seed, 3)))
+                .build();
             let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
             assert_eq!(out.outcomes.len(), 2);
             if !out.is_complete() {
@@ -1407,7 +1232,7 @@ mod tests {
         // must be absorbed at the instruction boundary as a typed
         // internal error, and the second instruction must still solve.
         let plan = Arc::new(FaultPlan::new().at(0, Fault::Panic));
-        let config = SynthesisConfig { fault_plan: Some(plan), ..Default::default() };
+        let config = SynthesisConfig::builder().fault_plan(plan).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         match &out.outcomes[0].status {
             InstrStatus::Failed(CoreError::Internal { message, .. }) => {
@@ -1439,7 +1264,7 @@ mod tests {
         out.solutions[0].holes.insert("en".to_string(), BitVec::zero(1));
         out.solutions[0].holes.insert("clear".to_string(), BitVec::from_u64(1, 1));
         let plan = Arc::new(FaultPlan::new().at(0, Fault::Panic));
-        let config = SynthesisConfig { fault_plan: Some(plan), ..Default::default() };
+        let config = SynthesisConfig::builder().fault_plan(plan).build();
         let mut mgr2 = TermManager::new();
         let again =
             resynthesize(&mut mgr2, &d, &ila, &alpha, &config, &out.solutions).unwrap();
@@ -1475,7 +1300,7 @@ mod tests {
     fn certification_can_be_disabled() {
         let (ila, d, alpha) = setup();
         let mut mgr = TermManager::new();
-        let config = SynthesisConfig { certify: false, ..Default::default() };
+        let config = SynthesisConfig::builder().certify(false).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(out.is_complete());
         assert!(out.certificate.is_none());
@@ -1505,7 +1330,7 @@ mod tests {
         let plan = Arc::new(
             (0..256).fold(FaultPlan::new(), |p, i| p.at(i, Fault::CorruptProof)),
         );
-        let config = SynthesisConfig { fault_plan: Some(plan), ..Default::default() };
+        let config = SynthesisConfig::builder().fault_plan(plan).build();
         let out = synthesize(&mut mgr, &d, &ila, &alpha, &config).unwrap();
         assert!(out.is_complete(), "proof corruption garbles the log, not the answers");
         let cert = out.certificate.as_ref().unwrap();
@@ -1538,5 +1363,118 @@ mod tests {
         // query is itself certified (trivially, when the substituted
         // postcondition folds away structurally).
         assert!(cert.instrs.iter().all(|c| c.queries.total() >= 1), "{cert}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_forward() {
+        // The free functions survive as shims over the session API;
+        // everything else in this suite goes through the session.
+        let (ila, d, alpha) = setup();
+        let mut mgr = TermManager::new();
+        let out = crate::synth::synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default())
+            .unwrap();
+        assert!(out.is_complete());
+        let mut mgr2 = TermManager::new();
+        let again = crate::synth::resynthesize(
+            &mut mgr2,
+            &d,
+            &ila,
+            &alpha,
+            &SynthesisConfig::default(),
+            &out.solutions,
+        )
+        .unwrap();
+        assert_eq!(again.stats.reused, 2);
+    }
+
+    #[test]
+    fn parallel_output_is_thread_count_invariant() {
+        let (ila, d, alpha) = setup();
+        let runs: Vec<SynthesisOutput> = [1usize, 2, 8]
+            .iter()
+            .map(|&p| SynthesisSession::new(&d, &ila, &alpha).parallelism(p).run().unwrap())
+            .collect();
+        let reference = &runs[0];
+        assert!(reference.is_complete());
+        for out in &runs[1..] {
+            assert_eq!(out.solutions.len(), reference.solutions.len());
+            for (a, b) in out.solutions.iter().zip(&reference.solutions) {
+                assert_eq!(a.instr, b.instr);
+                assert_eq!(a.holes, b.holes);
+            }
+            assert_eq!(format!("{:?}", out.outcomes), format!("{:?}", reference.outcomes));
+            assert_eq!(out.stats.solver_calls, reference.stats.solver_calls);
+            assert_eq!(out.stats.cex_rounds, reference.stats.cex_rounds);
+            assert_eq!(out.stats.escalations, reference.stats.escalations);
+            assert_eq!(out.stats.cnf_clauses, reference.stats.cnf_clauses);
+            assert_eq!(
+                out.certificate.as_ref().unwrap().to_string(),
+                reference.certificate.as_ref().unwrap().to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_run_isolates_a_failing_instruction() {
+        let (ila, d, alpha) = setup_with_impossible_second();
+        let out = SynthesisSession::new(&d, &ila, &alpha).parallelism(2).run().unwrap();
+        assert!(!out.is_complete());
+        assert!(out.interrupted.is_none());
+        assert_eq!(out.solutions.len(), 1);
+        assert_eq!(out.solutions[0].instr, "ACCUM");
+        assert!(matches!(
+            out.outcomes[1].status,
+            InstrStatus::Failed(CoreError::NoSolution { .. })
+        ));
+    }
+
+    #[test]
+    fn rebalance_donates_leftover_quota_to_a_straggler() {
+        let (ila, d, alpha) = setup();
+        // Probe: how many solver calls does ACCUM alone need? (The
+        // solver is deterministic, and at parallelism(1) the scheduler
+        // runs tasks in specification order, so RESET's first call in
+        // the governed run below sits at exactly this global index.)
+        let mut ila1 = Ila::new("probe");
+        let go = ila1.new_bv_input("go", 1);
+        let rst = ila1.new_bv_input("rst", 1);
+        let val = ila1.new_bv_input("val", 8);
+        let acc = ila1.new_bv_state("acc", 8);
+        let mut i1 = Instr::new("ACCUM");
+        i1.set_decode(
+            go.eq(SpecExpr::const_u64(1, 1)).and(rst.eq(SpecExpr::const_u64(1, 0))),
+        );
+        i1.set_update("acc", acc.add(val));
+        ila1.add_instr(i1);
+        let probe_config = SynthesisConfig::builder().certify(false).build();
+        let probe = SynthesisSession::new(&d, &ila1, &alpha)
+            .config(probe_config)
+            .run()
+            .unwrap();
+        assert!(probe.is_complete());
+        let accum_calls = probe.outcomes[0].solver_calls as u64;
+
+        // Governed run: RESET's first call swallows 200 phantom
+        // conflicts against a base quota of 150 with *no* escalation
+        // ladder, so phase 1 leaves it SolverExhausted. ACCUM solved
+        // under its base quota, so phase 2 donates ACCUM's 150 into the
+        // boosted retry — a fresh call past the faulted index — which
+        // succeeds.
+        let plan = Arc::new(FaultPlan::new().at(accum_calls, Fault::DelayConflicts(200)));
+        let config = SynthesisConfig::builder()
+            .conflict_budget(150)
+            .max_escalations(0)
+            .fault_plan(plan)
+            .certify(false)
+            .build();
+        let out = SynthesisSession::new(&d, &ila, &alpha).config(config).run().unwrap();
+        assert!(out.is_complete(), "{:?}", out.first_error());
+        assert!(matches!(out.outcomes[1].status, InstrStatus::Solved));
+        assert!(
+            out.outcomes[1].escalations >= 1,
+            "the straggler's boosted retry must be recorded as an escalation"
+        );
+        assert_eq!(out.outcomes[0].escalations, 0, "the donor never escalated");
     }
 }

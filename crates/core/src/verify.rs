@@ -12,8 +12,69 @@ use crate::conditions::ConditionBuilder;
 use crate::CoreError;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
-use owl_smt::{check_with, Budget, SmtResult, SolverConfig, TermManager};
+use owl_smt::{solve, Budget, CheckOpts, SmtResult, SolverConfig, TermManager};
 use std::time::{Duration, Instant};
+
+/// Options for one [`verify_design`] pass: the resource [`Budget`] plus
+/// the per-query [`SolverConfig`].
+///
+/// Anything historical converts into it — `None`, `Some(conflicts)`, a
+/// [`Budget`] (owned or by reference) — so existing call sites read
+/// unchanged: `verify_design(&mut mgr, &d, &ila, &alpha, None)`.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOpts {
+    /// Resource envelope shared by all verification queries.
+    pub budget: Budget,
+    /// Per-query solver configuration (simplification, certification).
+    pub config: SolverConfig,
+}
+
+impl VerifyOpts {
+    /// Unlimited budget, default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: impl Into<Budget>) -> Self {
+        self.budget = budget.into();
+        self
+    }
+
+    /// Replaces the whole solver configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Toggles equality-saturation simplification of each query.
+    #[must_use]
+    pub fn simplified(mut self, simplify: bool) -> Self {
+        self.config.simplify = simplify;
+        self
+    }
+}
+
+impl From<Option<u64>> for VerifyOpts {
+    fn from(conflicts: Option<u64>) -> Self {
+        VerifyOpts::new().with_budget(conflicts)
+    }
+}
+
+impl From<Budget> for VerifyOpts {
+    fn from(budget: Budget) -> Self {
+        VerifyOpts::new().with_budget(budget)
+    }
+}
+
+impl From<&Budget> for VerifyOpts {
+    fn from(budget: &Budget) -> Self {
+        VerifyOpts::new().with_budget(budget)
+    }
+}
 
 /// Aggregate query statistics from one verification pass.
 ///
@@ -42,10 +103,13 @@ pub struct VerifyStats {
 /// Verifies that `design` (which must be hole-free) satisfies every
 /// instruction of `ila` under `alpha`.
 ///
-/// `budget` governs the verification queries: pass `None` for unlimited,
-/// a bare `Some(conflicts)` for the historical conflict budget, or a full
-/// [`Budget`] (deadline, cancellation flag, work limits) by reference.
-/// The budget is re-checked between instructions and inside each query.
+/// `opts` is anything that converts into [`VerifyOpts`]: pass `None` for
+/// unlimited, a bare `Some(conflicts)` for the historical conflict
+/// budget, a full [`Budget`] (deadline, cancellation flag, work limits)
+/// by reference, or an explicit `VerifyOpts` to also pick the
+/// [`SolverConfig`]. The budget is re-checked between instructions and
+/// inside each query. Aggregate per-query statistics are returned on
+/// success.
 ///
 /// # Errors
 ///
@@ -57,17 +121,19 @@ pub fn verify_design(
     design: &Design,
     ila: &Ila,
     alpha: &AbstractionFn,
-    budget: impl Into<Budget>,
-) -> Result<(), CoreError> {
-    verify_design_with(mgr, design, ila, alpha, budget, &SolverConfig::default()).map(|_| ())
+    opts: impl Into<VerifyOpts>,
+) -> Result<VerifyStats, CoreError> {
+    let opts = opts.into();
+    verify_impl(mgr, design, ila, alpha, &opts.budget, &opts.config)
 }
 
-/// [`verify_design`] with an explicit solver configuration, returning
-/// aggregate per-query statistics on success.
+/// Deprecated pre-session spelling of [`verify_design`] with an explicit
+/// solver configuration.
 ///
 /// # Errors
 ///
 /// Same contract as [`verify_design`].
+#[deprecated(note = "use `verify_design(.., VerifyOpts::from(budget).with_config(config.clone()))`")]
 pub fn verify_design_with(
     mgr: &mut TermManager,
     design: &Design,
@@ -76,7 +142,17 @@ pub fn verify_design_with(
     budget: impl Into<Budget>,
     config: &SolverConfig,
 ) -> Result<VerifyStats, CoreError> {
-    let budget = budget.into();
+    verify_impl(mgr, design, ila, alpha, &budget.into(), config)
+}
+
+fn verify_impl(
+    mgr: &mut TermManager,
+    design: &Design,
+    ila: &Ila,
+    alpha: &AbstractionFn,
+    budget: &Budget,
+    config: &SolverConfig,
+) -> Result<VerifyStats, CoreError> {
     let start = Instant::now();
     if !design.hole_names().is_empty() {
         return Err(CoreError::new(format!(
@@ -88,6 +164,7 @@ pub fn verify_design_with(
     let mut builder = ConditionBuilder::new(ila, alpha, &trace)?;
     builder.share_roms(mgr);
     let mut stats = VerifyStats::default();
+    let opts = CheckOpts::new().with_budget(budget).with_config(config.clone());
     for instr in ila.instrs() {
         if let Some(reason) = budget.checkpoint() {
             return Err(CoreError::from_stop(reason, instr.name(), start.elapsed()));
@@ -96,7 +173,7 @@ pub fn verify_design_with(
         let mut assertions = conds.pres.clone();
         let post = mgr.and_many(&conds.posts);
         assertions.push(mgr.not(post));
-        let outcome = check_with(mgr, &assertions, &budget, config);
+        let outcome = solve(mgr, &assertions, opts.clone());
         stats.instructions += 1;
         stats.terms_before += outcome.stats.terms_before;
         stats.terms_after += outcome.stats.terms_after;

@@ -19,5 +19,5 @@ fn main() {
     let s = mgr.display_term(post);
     println!("post after subst: {}", &s[..s.len().min(3000)]);
     let npost = mgr.not(post);
-    println!("cex exists with wr_en=0: {:?}", matches!(check(&mut mgr, &[pre, npost], None), SmtResult::Sat(_)));
+    println!("cex exists with wr_en=0: {:?}", matches!(solve(&mut mgr, &[pre, npost], None).result, SmtResult::Sat(_)));
 }

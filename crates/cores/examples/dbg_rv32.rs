@@ -9,7 +9,8 @@ fn main() {
     println!("sketch lines: {}", cs.sketch.line_count());
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     match result {
         Ok(out) => {
@@ -24,7 +25,7 @@ fn main() {
             let complete = complete_design(&cs.sketch, &union);
             let mut mgr2 = TermManager::new();
             match verify_design(&mut mgr2, &complete, &cs.spec, &cs.alpha, None) {
-                Ok(()) => println!("verified in {:.2}s", t1.elapsed().as_secs_f64()),
+                Ok(_) => println!("verified in {:.2}s", t1.elapsed().as_secs_f64()),
                 Err(e) => println!("VERIFY FAILED: {e}"),
             }
         }

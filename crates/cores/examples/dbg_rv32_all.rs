@@ -6,7 +6,8 @@ use std::time::Instant;
 fn run(name: &str, cs: &owl_cores::CaseStudy) {
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     match result {
         Ok(out) => {

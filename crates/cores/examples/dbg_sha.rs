@@ -7,7 +7,10 @@ fn main() {
     let cs = crypto_core::case_study();
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default()).and_then(|out| out.require_complete()).unwrap();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
+        .and_then(|out| out.require_complete())
+        .unwrap();
     let union = control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, &crypto_core::decode_bindings()).unwrap();
     let complete = complete_design(&cs.sketch, &union);
     println!("synth {:.2}s", t0.elapsed().as_secs_f64());

@@ -125,7 +125,7 @@ pub fn case_study() -> CaseStudy {
 mod tests {
     use super::*;
     use owl_bitvec::BitVec;
-    use owl_core::{complete_design, control_union, synthesize, verify_design, SynthesisConfig};
+    use owl_core::{complete_design, control_union, verify_design, SynthesisSession};
     use owl_ila::golden::{GoldenModel, SpecState};
     use owl_oyster::Interpreter;
     use owl_smt::TermManager;
@@ -134,7 +134,7 @@ mod tests {
     fn synthesized() -> (CaseStudy, owl_oyster::Design) {
         let cs = case_study();
         let mut mgr = TermManager::new();
-        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)
             .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();
@@ -154,7 +154,7 @@ mod tests {
     fn fsm_encodings_recovered() {
         let cs = case_study();
         let mut mgr = TermManager::new();
-        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)
             .and_then(|out| out.require_complete())
             .unwrap();
         // reset_instr drives next_state to RESET, and the clear branch's

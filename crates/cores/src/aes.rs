@@ -397,7 +397,7 @@ pub fn case_study() -> CaseStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use owl_core::{complete_design, control_union, synthesize, verify_design, SynthesisConfig};
+    use owl_core::{complete_design, control_union, verify_design, SynthesisSession};
     use owl_ila::golden::{GoldenModel, SpecState};
     use owl_oyster::Interpreter;
     use owl_smt::TermManager;
@@ -443,7 +443,7 @@ mod tests {
     fn aes_synthesizes_verifies_and_encrypts() {
         let cs = case_study();
         let mut mgr = TermManager::new();
-        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)
             .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         assert_eq!(out.solutions.len(), 3);

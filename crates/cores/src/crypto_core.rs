@@ -380,13 +380,13 @@ pub fn run_program<'d>(
 mod tests {
     use super::*;
     use crate::asm::{Asm, Program};
-    use owl_core::{complete_design, synthesize, verify_design, SynthesisConfig};
+    use owl_core::{complete_design, verify_design, SynthesisSession};
     use owl_smt::TermManager;
 
     fn completed() -> (CaseStudy, Design) {
         let cs = case_study();
         let mut mgr = TermManager::new();
-        let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)
             .and_then(|out| out.require_complete())
             .expect("synthesis succeeds");
         let union = owl_core::control_union_with(

@@ -81,7 +81,7 @@ pub fn two_stage(ext: Extensions) -> CaseStudy {
 mod tests {
     use super::*;
     use crate::rv32i::isa::{BranchCond, WbSource};
-    use owl_core::{complete_design, control_union, synthesize, verify_design, SynthesisConfig};
+    use owl_core::{complete_design, control_union, verify_design, SynthesisSession};
     use owl_smt::TermManager;
 
     /// Synthesis must recover the instruction table's "answer key" for
@@ -92,8 +92,8 @@ mod tests {
         let ext = Extensions::BASE;
         let cs = single_cycle(ext);
         let mut mgr = TermManager::new();
-        let out =
-            synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .run_with(&mut mgr)
                 .and_then(|out| out.require_complete())
                 .expect("synthesis succeeds");
         let table = instruction_table(ext);
@@ -162,8 +162,8 @@ mod tests {
     fn two_stage_zbkc_synthesizes_and_verifies() {
         let cs = two_stage(Extensions::ZBKC);
         let mut mgr = TermManager::new();
-        let out =
-            synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .run_with(&mut mgr)
                 .and_then(|out| out.require_complete())
                 .expect("synthesis succeeds");
         assert_eq!(out.solutions.len(), 51);

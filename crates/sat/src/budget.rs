@@ -336,6 +336,68 @@ impl Budget {
         b.faults = None;
         b
     }
+
+    /// Splits this budget into `n` fair shares for concurrent workers.
+    ///
+    /// The *work quotas* (conflicts, decisions, propagations) are divided
+    /// evenly, with the remainder going to the lowest-indexed shares so
+    /// the split is deterministic and loses nothing; every share keeps at
+    /// least a quota of 1 so no worker is born dead. The *global* parts —
+    /// deadline, cancellation flag, fault plan — are shared by every
+    /// share: a deadline is a point in time, not a divisible quantity,
+    /// and cancellation must reach all workers.
+    ///
+    /// `partition(1)` returns the budget unchanged (one full share), and
+    /// [`Budget::merge`] is the inverse up to the ±1 rounding of the
+    /// remainder distribution.
+    #[must_use]
+    pub fn partition(&self, n: usize) -> Vec<Budget> {
+        let n = n.max(1);
+        let split = |limit: Option<u64>, idx: u64| {
+            limit.map(|total| {
+                let base = total / n as u64;
+                let extra = u64::from(idx < total % n as u64);
+                (base + extra).max(1)
+            })
+        };
+        (0..n as u64)
+            .map(|i| {
+                let mut share = self.clone();
+                share.conflicts = split(self.conflicts, i);
+                share.decisions = split(self.decisions, i);
+                share.propagations = split(self.propagations, i);
+                share
+            })
+            .collect()
+    }
+
+    /// Merges budget shares back into one pooled budget: work quotas are
+    /// summed (saturating; `None` — unlimited — absorbs everything),
+    /// while the deadline, cancellation flag, and fault plan are taken
+    /// from the first share (the shares of one [`Budget::partition`] all
+    /// carry the same ones). Returns the unlimited budget when `shares`
+    /// is empty.
+    ///
+    /// This is the work-stealing primitive: quota a finished worker never
+    /// spent can be pooled and handed to the stragglers.
+    #[must_use]
+    pub fn merge<'a>(shares: impl IntoIterator<Item = &'a Budget>) -> Budget {
+        let mut shares = shares.into_iter();
+        let Some(first) = shares.next() else {
+            return Budget::unlimited();
+        };
+        let mut merged = first.clone();
+        for share in shares {
+            let add = |a: Option<u64>, b: Option<u64>| match (a, b) {
+                (Some(x), Some(y)) => Some(x.saturating_add(y)),
+                _ => None,
+            };
+            merged.conflicts = add(merged.conflicts, share.conflicts);
+            merged.decisions = add(merged.decisions, share.decisions);
+            merged.propagations = add(merged.propagations, share.propagations);
+        }
+        merged
+    }
 }
 
 /// A bare conflict budget is still accepted everywhere a [`Budget`] is:
@@ -406,6 +468,53 @@ mod tests {
         assert_eq!(fa, fb);
         assert!(fa.iter().any(Option::is_some), "rate 1/3 over 64 calls must fire");
         assert!(fa.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn partition_splits_quotas_and_shares_global_parts() {
+        let cancel = CancelFlag::new();
+        let b = Budget::unlimited()
+            .with_conflicts(Some(10))
+            .with_decisions(Some(3))
+            .with_cancel(cancel.clone());
+        let shares = b.partition(4);
+        assert_eq!(shares.len(), 4);
+        // 10 = 3 + 3 + 2 + 2, deterministically front-loaded.
+        let conflicts: Vec<_> = shares.iter().map(|s| s.conflict_limit()).collect();
+        assert_eq!(conflicts, vec![Some(3), Some(3), Some(2), Some(2)]);
+        // 3 over 4 shares: every share keeps at least 1.
+        let decisions: Vec<_> = shares.iter().map(|s| s.decision_limit()).collect();
+        assert_eq!(decisions, vec![Some(1), Some(1), Some(1), Some(1)]);
+        // Unlimited quotas stay unlimited.
+        assert!(shares.iter().all(|s| s.propagation_limit().is_none()));
+        // The cancel flag is shared, not copied.
+        cancel.cancel();
+        assert!(shares.iter().all(|s| s.checkpoint() == Some(StopReason::Cancelled)));
+    }
+
+    #[test]
+    fn partition_of_one_is_identity_and_merge_inverts() {
+        let b = Budget::unlimited().with_conflicts(Some(100)).with_decisions(Some(7));
+        let one = b.partition(1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].conflict_limit(), Some(100));
+        let shares = b.partition(3);
+        let merged = Budget::merge(&shares);
+        assert_eq!(merged.conflict_limit(), Some(100));
+        // 7 = 3 + 2 + 2 merges back exactly; quotas below the share
+        // count round up to 1 each, so merge may exceed the original.
+        assert_eq!(merged.decision_limit(), Some(7));
+        let tiny = Budget::unlimited().with_conflicts(Some(2)).partition(4);
+        assert_eq!(Budget::merge(&tiny).conflict_limit(), Some(4));
+    }
+
+    #[test]
+    fn merge_handles_unlimited_and_empty() {
+        assert_eq!(Budget::merge([].into_iter()).conflict_limit(), None);
+        let a = Budget::unlimited().with_conflicts(Some(5));
+        let b = Budget::unlimited(); // unlimited absorbs the pool
+        assert_eq!(Budget::merge([&a, &b]).conflict_limit(), None);
+        assert_eq!(Budget::merge([&a, &a]).conflict_limit(), Some(10));
     }
 
     #[test]

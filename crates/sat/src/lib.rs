@@ -13,16 +13,20 @@
 //! # Examples
 //!
 //! ```
-//! use owl_sat::{Lit, SolveResult, Solver};
+//! use owl_sat::{Lit, SolveOpts, SolveResult, Solver};
 //!
 //! let mut solver = Solver::new();
 //! let a = solver.new_var();
 //! let b = solver.new_var();
 //! solver.add_clause([Lit::positive(a), Lit::positive(b)]);
 //! solver.add_clause([Lit::negative(a)]);
-//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.solve(SolveOpts::default()), SolveResult::Sat);
 //! assert_eq!(solver.value(b), Some(true));
 //! ```
+//!
+//! Assumptions and resource budgets (deadlines, work limits,
+//! cancellation, fault injection) are passed through the same entry
+//! point via [`SolveOpts`]; see [`Budget`].
 
 mod budget;
 mod heap;
@@ -31,7 +35,7 @@ mod solver;
 
 pub use budget::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
 pub use proof::{ProofChecker, ProofError, ProofLog};
-pub use solver::{SolveResult, Solver, Stats};
+pub use solver::{SolveOpts, SolveResult, Solver, Stats};
 
 /// A propositional variable, created by [`Solver::new_var`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -322,7 +322,7 @@ impl ProofChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SolveResult, Solver};
+    use crate::{SolveOpts, SolveResult, Solver};
 
     fn certified_solver(nvars: usize, clauses: &[&[i32]]) -> (Solver, Vec<Var>) {
         let mut s = Solver::new();
@@ -364,7 +364,7 @@ mod tests {
     #[test]
     fn unsat_proof_verifies() {
         let (mut s, _) = xor_unsat();
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         let steps = ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("valid proof");
         assert!(steps <= s.proof().steps.len());
     }
@@ -372,7 +372,7 @@ mod tests {
     #[test]
     fn pigeonhole_proof_verifies() {
         let mut s = pigeonhole_certified(5, 4);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         assert!(!s.proof().steps.is_empty(), "expected learned clauses");
         ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("valid proof");
     }
@@ -380,14 +380,14 @@ mod tests {
     #[test]
     fn sat_model_verifies() {
         let (mut s, _) = certified_solver(3, &[&[1, 2], &[-1, 3], &[-2, -3, 1]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         ProofChecker::check_model(s.proof(), |v| s.value(v)).expect("model satisfies inputs");
     }
 
     #[test]
     fn hand_mutated_model_is_rejected() {
         let (mut s, _) = certified_solver(3, &[&[1], &[1, 2], &[-1, 3]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         // Flip every variable: the unit clause must break.
         let flipped = |v: Var| s.value(v).map(|b| !b);
         assert!(ProofChecker::check_model(s.proof(), flipped).is_err());
@@ -396,7 +396,7 @@ mod tests {
     #[test]
     fn partial_model_is_rejected() {
         let (mut s, vars) = certified_solver(2, &[&[1, 2]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         let hide = vars[0];
         let partial = |v: Var| if v == hide { None } else { Some(false) };
         assert!(matches!(
@@ -408,7 +408,7 @@ mod tests {
     #[test]
     fn truncated_trail_is_rejected() {
         let mut s = pigeonhole_certified(5, 4);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         let full = s.proof().clone();
         let needed = ProofChecker::check_unsat(s.num_vars(), &full).expect("valid proof");
         assert!(needed > 0, "refutation needs learned steps");
@@ -423,7 +423,7 @@ mod tests {
         // but not a unit-propagation consequence of them, so a trail
         // claiming to have derived it must be flagged.
         let mut s = pigeonhole_certified(5, 4);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         let mut corrupt = s.proof().clone();
         corrupt.steps.insert(0, vec![Lit::positive(Var::from_index(0))]);
         assert_eq!(
@@ -435,7 +435,7 @@ mod tests {
     #[test]
     fn foreign_variable_is_rejected() {
         let (mut s, _) = xor_unsat();
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         let mut corrupt = s.proof().clone();
         corrupt.steps.insert(0, vec![Lit::positive(Var::from_index(99))]);
         assert_eq!(
@@ -453,7 +453,7 @@ mod tests {
     #[test]
     fn direct_contradiction_refutes_with_zero_steps() {
         let (mut s, _) = certified_solver(1, &[&[1], &[-1]]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         assert_eq!(ProofChecker::check_unsat(s.num_vars(), s.proof()), Ok(0));
     }
 
@@ -463,7 +463,7 @@ mod tests {
         let plan = std::sync::Arc::new(FaultPlan::new().at(0, Fault::SpuriousRestart));
         let budget = Budget::unlimited().with_fault_plan(plan);
         let mut s = pigeonhole_certified(5, 4);
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unsat);
+        assert_eq!(s.solve(&budget), SolveResult::Unsat);
         // A spurious restart perturbs the search but learns only real
         // clauses, so the recorded trail still certifies.
         s.certify_unsat().expect("proof valid despite injected restart");
@@ -477,7 +477,7 @@ mod tests {
         let mut s = pigeonhole_certified(5, 4);
         // Phantom conflicts burn the budget: the answer is Unknown, so
         // there is nothing to certify and no way to certify wrongly.
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::ConflictLimit));
         assert!(s.certify_unsat().is_err(), "incomplete search must not certify UNSAT");
     }
@@ -489,22 +489,22 @@ mod tests {
         let budget = Budget::unlimited().with_fault_plan(plan);
         let mut s = pigeonhole_certified(5, 4);
         // The solver still answers correctly — only its log is garbled.
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unsat);
+        assert_eq!(s.solve(&budget), SolveResult::Unsat);
         assert!(s.certify_unsat().is_err(), "checker must flag the corrupted trail");
         // A clean re-run of the same instance certifies.
         let mut clean = pigeonhole_certified(5, 4);
-        assert_eq!(clean.solve(), SolveResult::Unsat);
+        assert_eq!(clean.solve(SolveOpts::default()), SolveResult::Unsat);
         clean.certify_unsat().expect("uncorrupted proof verifies");
     }
 
     #[test]
     fn proof_survives_incremental_additions() {
         let (mut s, vars) = certified_solver(3, &[&[1, 2], &[2, 3]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         s.reset_search();
         s.add_clause([Lit::negative(vars[1])]);
         s.add_clause([Lit::negative(vars[0])]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
         ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("incremental proof");
     }
 }

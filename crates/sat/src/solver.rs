@@ -23,6 +23,65 @@ pub enum SolveResult {
     Unknown,
 }
 
+/// Options for one [`Solver::solve`] call.
+///
+/// The default is the plain solve: no assumptions, unlimited budget.
+/// Both knobs are set builder-style, and a bare [`Budget`] (owned or by
+/// reference) converts directly, so the common budgeted call reads
+/// `solver.solve(&budget)`:
+///
+/// ```
+/// # use owl_sat::{Lit, Solver, SolveOpts, SolveResult, Budget};
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// s.add_clause([Lit::positive(v)]);
+/// assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+/// assert_eq!(s.solve(SolveOpts::default().assume([Lit::negative(v)])), SolveResult::Unsat);
+/// assert_eq!(s.solve(&Budget::unlimited()), SolveResult::Sat);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolveOpts {
+    /// Literals forced true for this call only.
+    pub assumptions: Vec<Lit>,
+    /// The resource envelope (deadline, work limits, cancellation,
+    /// fault plan) governing this call.
+    pub budget: Budget,
+}
+
+impl SolveOpts {
+    /// No assumptions, unlimited budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds assumption literals (forced true for this call only).
+    #[must_use]
+    pub fn assume(mut self, lits: impl IntoIterator<Item = Lit>) -> Self {
+        self.assumptions.extend(lits);
+        self
+    }
+
+    /// Sets the resource budget for this call.
+    #[must_use]
+    pub fn with_budget(mut self, budget: impl Into<Budget>) -> Self {
+        self.budget = budget.into();
+        self
+    }
+}
+
+impl From<Budget> for SolveOpts {
+    fn from(budget: Budget) -> Self {
+        SolveOpts { assumptions: Vec::new(), budget }
+    }
+}
+
+impl From<&Budget> for SolveOpts {
+    fn from(budget: &Budget) -> Self {
+        SolveOpts { assumptions: Vec::new(), budget: budget.clone() }
+    }
+}
+
 /// Solver statistics, for benchmarking and diagnostics.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Stats {
@@ -543,30 +602,45 @@ impl Solver {
         None
     }
 
-    /// Solves the formula.
-    pub fn solve(&mut self) -> SolveResult {
-        self.solve_with(&[])
-    }
-
-    /// Solves under the given assumptions (literals forced true for this
-    /// call only).
-    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solve_budgeted_with(assumptions, &Budget::unlimited())
-    }
-
-    /// Solves the formula under a resource [`Budget`].
-    pub fn solve_budgeted(&mut self, budget: &Budget) -> SolveResult {
-        self.solve_budgeted_with(&[], budget)
-    }
-
-    /// Solves under assumptions and a resource [`Budget`].
+    /// Solves the formula under the given [`SolveOpts`].
+    ///
+    /// This is the single solving entry point: assumptions (literals
+    /// forced true for this call only) and the resource [`Budget`] both
+    /// arrive through the options struct, so `solve(SolveOpts::default())`
+    /// is the plain unbudgeted solve and every historical variant
+    /// (`solve_with`, `solve_budgeted`, `solve_budgeted_with`) is a
+    /// deprecated one-line forwarder.
     ///
     /// The budget's deadline and cancellation flag are polled at every
     /// conflict and restart, and periodically between decisions, so the
     /// call stops cooperatively close to the limit instead of running a
     /// hard query to its natural end. Exhaustion yields
     /// [`SolveResult::Unknown`]; the cause is in [`Solver::stop_reason`].
+    pub fn solve(&mut self, opts: impl Into<SolveOpts>) -> SolveResult {
+        let opts = opts.into();
+        self.solve_impl(&opts.assumptions, &opts.budget)
+    }
+
+    /// Solves under the given assumptions (literals forced true for this
+    /// call only).
+    #[deprecated(note = "use `solve(SolveOpts::default().assume(assumptions))`")]
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_impl(assumptions, &Budget::unlimited())
+    }
+
+    /// Solves the formula under a resource [`Budget`].
+    #[deprecated(note = "use `solve(SolveOpts::from(budget))` or `solve(&budget)`")]
+    pub fn solve_budgeted(&mut self, budget: &Budget) -> SolveResult {
+        self.solve_impl(&[], budget)
+    }
+
+    /// Solves under assumptions and a resource [`Budget`].
+    #[deprecated(note = "use `solve(SolveOpts::from(budget).assume(assumptions))`")]
     pub fn solve_budgeted_with(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
+        self.solve_impl(assumptions, budget)
+    }
+
+    fn solve_impl(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
         self.stop_reason = None;
         if !self.ok {
             return SolveResult::Unsat;
@@ -817,7 +891,7 @@ mod tests {
     #[test]
     fn trivial_sat() {
         let (mut s, vars) = solver_with(2, &[&[1, 2], &[-1]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         assert_eq!(s.value(vars[0]), Some(false));
         assert_eq!(s.value(vars[1]), Some(true));
     }
@@ -825,26 +899,26 @@ mod tests {
     #[test]
     fn trivial_unsat() {
         let (mut s, _) = solver_with(1, &[&[1], &[-1]]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
     }
 
     #[test]
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
     }
 
     #[test]
     fn empty_clause_is_unsat() {
         let mut s = Solver::new();
         s.add_clause([]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
     }
 
     #[test]
     fn tautology_is_dropped() {
         let (mut s, _) = solver_with(1, &[&[1, -1]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         assert_eq!(s.num_clauses(), 0);
     }
 
@@ -855,7 +929,7 @@ mod tests {
             (1..10).map(|i| vec![-i, i + 1]).chain([vec![1]]).collect();
         let refs: Vec<&[i32]> = clauses.iter().map(Vec::as_slice).collect();
         let (mut s, vars) = solver_with(10, &refs);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         for v in vars {
             assert_eq!(s.value(v), Some(true));
         }
@@ -882,13 +956,13 @@ mod tests {
     #[test]
     fn pigeonhole_unsat() {
         let (mut s, _) = pigeonhole(5, 4);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
     }
 
     #[test]
     fn pigeonhole_sat_when_enough_holes() {
         let (mut s, grid) = pigeonhole(4, 4);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         // Each pigeon in exactly one hole in the model.
         for row in &grid {
             assert!(row.iter().any(|&v| s.value(v) == Some(true)));
@@ -898,38 +972,38 @@ mod tests {
     #[test]
     fn assumptions_flip_result() {
         let (mut s, vars) = solver_with(2, &[&[1, 2]]);
-        assert_eq!(s.solve_with(&[lit(&vars, -1), lit(&vars, -2)]), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default().assume([lit(&vars, -1), lit(&vars, -2)])), SolveResult::Unsat);
         // Without assumptions it is still satisfiable.
-        assert_eq!(s.solve(), SolveResult::Sat);
-        assert_eq!(s.solve_with(&[lit(&vars, -1)]), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default().assume([lit(&vars, -1)])), SolveResult::Sat);
         assert_eq!(s.value(vars[1]), Some(true));
     }
 
     #[test]
     fn assumption_conflicts_with_unit() {
         let (mut s, vars) = solver_with(1, &[&[1]]);
-        assert_eq!(s.solve_with(&[lit(&vars, -1)]), SolveResult::Unsat);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default().assume([lit(&vars, -1)])), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
     }
 
     #[test]
     fn incremental_clause_addition() {
         let (mut s, vars) = solver_with(2, &[&[1, 2]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         s.reset_search();
         s.add_clause([lit(&vars, -1)]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         assert_eq!(s.value(vars[1]), Some(true));
         s.reset_search();
         s.add_clause([lit(&vars, -2)]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
     }
 
     #[test]
     fn conflict_budget_gives_unknown() {
         let (mut s, _) = pigeonhole(7, 6);
         s.set_conflict_budget(5);
-        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::ConflictLimit));
     }
 
@@ -941,7 +1015,7 @@ mod tests {
         let (mut s, _) = pigeonhole(9, 8);
         let budget = Budget::unlimited().with_deadline_in(Duration::from_millis(20));
         let start = Instant::now();
-        let result = s.solve_budgeted(&budget);
+        let result = s.solve(&budget);
         assert_eq!(result, SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::Deadline));
         assert!(start.elapsed() < Duration::from_secs(5), "stopped far past the deadline");
@@ -967,7 +1041,7 @@ mod tests {
         };
         // The stall keeps the call alive until the canceller fires; the
         // entry checkpoint after the stall observes the flag.
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
         canceller.join().unwrap();
     }
@@ -976,7 +1050,7 @@ mod tests {
     fn decision_limit_gives_unknown() {
         let (mut s, _) = pigeonhole(7, 6);
         let budget = Budget::unlimited().with_decisions(Some(3));
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::DecisionLimit));
     }
 
@@ -984,7 +1058,7 @@ mod tests {
     fn propagation_limit_gives_unknown() {
         let (mut s, _) = pigeonhole(7, 6);
         let budget = Budget::unlimited().with_propagations(Some(2));
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::PropagationLimit));
     }
 
@@ -993,10 +1067,10 @@ mod tests {
         let plan = std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::ForceUnknown));
         let budget = Budget::unlimited().with_fault_plan(plan);
         let (mut s, _) = solver_with(2, &[&[1, 2], &[-1]]);
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::FaultInjected));
         // The next call (index 1) has no fault and succeeds.
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Sat);
+        assert_eq!(s.solve(&budget), SolveResult::Sat);
         assert_eq!(s.stop_reason(), None);
     }
 
@@ -1008,7 +1082,7 @@ mod tests {
         // Satisfiable, but the 10 phantom conflicts exceed the limit of 5
         // at the first boundary check.
         let (mut s, _) = solver_with(2, &[&[1, 2]]);
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Unknown);
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::ConflictLimit));
     }
 
@@ -1018,7 +1092,7 @@ mod tests {
             std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::SpuriousRestart));
         let budget = Budget::unlimited().with_fault_plan(plan);
         let (mut s, grid) = pigeonhole(4, 4);
-        assert_eq!(s.solve_budgeted(&budget), SolveResult::Sat);
+        assert_eq!(s.solve(&budget), SolveResult::Sat);
         for row in &grid {
             assert!(row.iter().any(|&v| s.value(v) == Some(true)));
         }
@@ -1044,7 +1118,7 @@ mod tests {
                 &[-1, 3],
             ],
         );
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
         let x1 = s.value(vars[0]).unwrap();
         let x2 = s.value(vars[1]).unwrap();
         let x3 = s.value(vars[2]).unwrap();
@@ -1067,13 +1141,13 @@ mod tests {
                 &[-1, -3],
             ],
         );
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
     }
 
     #[test]
     fn stats_populate() {
         let (mut s, _) = pigeonhole(5, 4);
-        s.solve();
+        s.solve(SolveOpts::default());
         let st = s.stats();
         assert!(st.conflicts > 0);
         assert!(st.decisions > 0);

@@ -398,8 +398,13 @@ impl<'m> Blaster<'m> {
     /// reads. Must be called once after all assertions are blasted and
     /// before solving.
     pub(crate) fn finalize_arrays(&mut self) {
-        let selects: Vec<(ArrayId, ArrayReads)> =
+        // Sorted so clause emission (and the aux variables `eq_bits`
+        // allocates) never depends on hash-map iteration order: the CNF,
+        // and with it the solver's model for don't-care bits, must be
+        // identical across runs and thread counts.
+        let mut selects: Vec<(ArrayId, ArrayReads)> =
             self.selects.iter().map(|(&a, v)| (a, v.clone())).collect();
+        selects.sort_by_key(|&(a, _)| a);
         for (_, reads) in selects {
             for i in 0..reads.len() {
                 for j in i + 1..reads.len() {

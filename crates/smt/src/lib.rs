@@ -14,13 +14,14 @@
 //!   Ackermann expansion for base-array reads (the paper models memories
 //!   as an uninterpreted read function plus an association list of
 //!   writes); and
-//! - a solver facade ([`check`]) returning rich models.
+//! - a solver facade ([`solve`]) returning rich models, with
+//!   certification and simplification as [`CheckOpts`] flags.
 //!
 //! # Examples
 //!
 //! ```
 //! use owl_bitvec::BitVec;
-//! use owl_smt::{check, SmtResult, TermManager};
+//! use owl_smt::{solve, SmtResult, TermManager};
 //!
 //! let mut mgr = TermManager::new();
 //! let x = mgr.fresh_var("x", 8);
@@ -30,7 +31,7 @@
 //! let eq = mgr.eq(xx, x2);
 //! let neq = mgr.not(eq);
 //! // x + x == 2 * x always, so its negation is unsatisfiable.
-//! assert!(matches!(check(&mut mgr, &[neq], None), SmtResult::Unsat));
+//! assert!(matches!(solve(&mut mgr, &[neq], None).result, SmtResult::Unsat));
 //! ```
 
 mod blast;
@@ -44,9 +45,10 @@ mod subst;
 pub use eval::{ArrayValue, Env};
 pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
 pub use simplify::{count_nodes, dag_cost, simplify_terms, SimplifyStats};
+#[allow(deprecated)]
+pub use solver::{check, check_certified, check_with};
 pub use solver::{
-    check, check_certified, check_with, CheckOutcome, Model, QueryCert, QueryStats, SmtResult,
-    SolverConfig,
+    solve, CheckOpts, CheckOutcome, Model, QueryCert, QueryStats, SmtResult, SolverConfig,
 };
 pub use subst::{substitute, substitute_terms};
 

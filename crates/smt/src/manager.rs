@@ -139,26 +139,26 @@ pub enum TermKind {
     RomSelect(RomId, TermId),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TermData {
     kind: TermKind,
     width: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SymbolInfo {
     name: String,
     width: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ArrayInfo {
     name: String,
     addr_width: u32,
     data_width: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RomInfo {
     #[allow(dead_code)]
     name: String,
@@ -175,7 +175,12 @@ struct RomInfo {
 /// structurally equal expressions always share a [`TermId`] — the property
 /// the CEGIS verifier relies on to discharge trivially-true equivalences
 /// without touching the SAT solver.
-#[derive(Debug, Default)]
+///
+/// `Clone` is cheap enough to snapshot a prepared graph: the parallel
+/// synthesis scheduler clones one base manager per instruction task so
+/// every task owns an identical arena ([`TermId`]s remain valid across
+/// the clone) without sharing mutable state between threads.
+#[derive(Debug, Clone, Default)]
 pub struct TermManager {
     terms: Vec<TermData>,
     dedup: HashMap<TermKind, TermId>,

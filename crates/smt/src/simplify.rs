@@ -8,7 +8,7 @@
 //! through the [`TermManager`]'s hash-consing smart constructors.
 //!
 //! Soundness containment: the rewritten terms are only ever *solved*;
-//! certification ([`crate::check_certified`]) always evaluates models
+//! certification ([`crate::CheckOpts::certified`]) always evaluates models
 //! against the original pre-rewrite terms, so a rewrite bug surfaces as
 //! a failed certificate rather than a silently wrong answer.
 

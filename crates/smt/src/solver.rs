@@ -9,7 +9,7 @@ use owl_bitvec::BitVec;
 use owl_egraph::SaturationLimits;
 use owl_sat::{Budget, ProofChecker, SolveResult, StopReason};
 
-/// Result of an SMT [`check`] call.
+/// Result of an SMT [`solve`] call.
 #[derive(Debug)]
 pub enum SmtResult {
     /// The conjunction of assertions is satisfiable.
@@ -155,7 +155,7 @@ pub struct QueryStats {
     pub cnf_clauses: usize,
 }
 
-/// Everything [`check_with`] produces for one query.
+/// Everything [`solve`] produces for one query.
 #[derive(Debug)]
 pub struct CheckOutcome {
     /// The satisfiability answer.
@@ -167,15 +167,90 @@ pub struct CheckOutcome {
     pub stats: QueryStats,
 }
 
-/// Checks the conjunction of 1-bit `assertions` for satisfiability.
+/// Options for one [`solve`] call: the resource [`Budget`] plus the
+/// per-query [`SolverConfig`] (simplification, certification, limits).
 ///
-/// `budget` governs the SAT search. Any of `None` (unlimited),
-/// `Some(conflicts)` (a bare conflict budget, the historical interface)
-/// or a full [`Budget`] — with a deadline, work limits, a shared
-/// [`CancelFlag`](owl_sat::CancelFlag) and an optional fault plan — is
-/// accepted. A spent budget is reported as [`SmtResult::Unknown`] with
-/// the [`StopReason`], checked once on entry and then cooperatively
-/// inside the CDCL loop.
+/// Everything historical converts into it, so call sites stay terse:
+/// `None`/`Some(conflicts)` (the bare conflict budget), a [`Budget`]
+/// (owned or by reference), or a full `CheckOpts` built with the
+/// `with_*` methods.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOpts {
+    /// The resource envelope for the query (deadline, work limits,
+    /// cancellation flag, fault plan).
+    pub budget: Budget,
+    /// Per-query solver configuration.
+    pub config: SolverConfig,
+}
+
+impl CheckOpts {
+    /// Unlimited budget, default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: impl Into<Budget>) -> Self {
+        self.budget = budget.into();
+        self
+    }
+
+    /// Replaces the whole solver configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Toggles independent certification of every definite answer
+    /// (historically the separate `check_certified` entry point).
+    #[must_use]
+    pub fn certified(mut self, certify: bool) -> Self {
+        self.config.certify = certify;
+        self
+    }
+
+    /// Toggles equality-saturation simplification before bit-blasting.
+    #[must_use]
+    pub fn simplified(mut self, simplify: bool) -> Self {
+        self.config.simplify = simplify;
+        self
+    }
+}
+
+/// A bare conflict budget (`None` = unlimited) is still accepted
+/// everywhere: `solve(mgr, &assertions, None)` keeps working.
+impl From<Option<u64>> for CheckOpts {
+    fn from(conflicts: Option<u64>) -> Self {
+        CheckOpts::new().with_budget(conflicts)
+    }
+}
+
+impl From<Budget> for CheckOpts {
+    fn from(budget: Budget) -> Self {
+        CheckOpts::new().with_budget(budget)
+    }
+}
+
+impl From<&Budget> for CheckOpts {
+    fn from(budget: &Budget) -> Self {
+        CheckOpts::new().with_budget(budget)
+    }
+}
+
+/// Checks the conjunction of 1-bit `assertions` for satisfiability —
+/// the single solver entry point.
+///
+/// `opts` is anything that converts into [`CheckOpts`]: `None`
+/// (unlimited), `Some(conflicts)` (a bare conflict budget, the
+/// historical interface), a full [`Budget`] — with a deadline, work
+/// limits, a shared [`CancelFlag`](owl_sat::CancelFlag) and an optional
+/// fault plan — or an explicit `CheckOpts` carrying a [`SolverConfig`]
+/// (certification and simplification as flags). A spent budget is
+/// reported as [`SmtResult::Unknown`] with the [`StopReason`], checked
+/// once on entry and then cooperatively inside the CDCL loop.
 ///
 /// Constant-true assertions are skipped and a constant-false assertion
 /// short-circuits to `Unsat` without invoking the SAT solver — the hot
@@ -183,31 +258,50 @@ pub struct CheckOutcome {
 /// remaining assertions are simplified by bounded equality saturation
 /// (see [`SolverConfig::simplify`]) before bit-blasting; `mgr` is
 /// mutable so the simplified terms hash-cons into the same graph.
+/// Simplification runs under the same budget as the solve (so one
+/// deadline covers the whole query) but with fault injection stripped
+/// ([`Budget::without_faults`]): fault-plan indices keep counting real
+/// SAT solver calls only, and a partially-saturated e-graph is still
+/// extracted when the deadline fires mid-simplification.
+///
+/// With `CheckOpts::certified(true)`, every definite answer is
+/// independently certified before it is returned. On `Sat`, the model
+/// is checked twice: once against the recorded CNF clauses and once by
+/// evaluating every original assertion term under the lifted bitvector
+/// assignment, catching bit-blaster bugs — and, because the CNF is
+/// built from the *simplified* terms while certification evaluates the
+/// *original pre-rewrite* terms, also catching unsound rewrites. On
+/// `Unsat`, the solver's DRUP-style proof log is replayed by the
+/// independent [`ProofChecker`]. The answer itself is returned
+/// unchanged either way; a [`QueryCert::Failed`] verdict tells the
+/// caller the answer cannot be trusted.
 ///
 /// # Panics
 ///
 /// Panics if any assertion is wider than one bit.
+#[must_use]
+pub fn solve(
+    mgr: &mut TermManager,
+    assertions: &[TermId],
+    opts: impl Into<CheckOpts>,
+) -> CheckOutcome {
+    let opts = opts.into();
+    solve_impl(mgr, assertions, &opts.budget, &opts.config)
+}
+
+/// Deprecated pre-session spelling of [`solve`].
+#[deprecated(note = "use `solve(mgr, assertions, budget).result`")]
 #[must_use]
 pub fn check(
     mgr: &mut TermManager,
     assertions: &[TermId],
     budget: impl Into<Budget>,
 ) -> SmtResult {
-    check_with(mgr, assertions, budget, &SolverConfig::default()).result
+    solve_impl(mgr, assertions, &budget.into(), &SolverConfig::default()).result
 }
 
-/// Like [`check`], but every definite answer is independently
-/// certified before it is returned.
-///
-/// On `Sat`, the model is checked twice: once against the recorded CNF
-/// clauses and once by evaluating every original assertion term under
-/// the lifted bitvector assignment, catching bit-blaster bugs — and,
-/// because the CNF is built from the *simplified* terms while
-/// certification evaluates the *original pre-rewrite* terms, also
-/// catching unsound rewrites. On `Unsat`, the solver's DRUP-style proof
-/// log is replayed by the independent [`ProofChecker`]. The answer
-/// itself is returned unchanged either way; a [`QueryCert::Failed`]
-/// verdict tells the caller the answer cannot be trusted.
+/// Deprecated pre-session spelling of [`solve`] with certification on.
+#[deprecated(note = "use `solve(mgr, assertions, CheckOpts::from(budget).certified(true))`")]
 #[must_use]
 pub fn check_certified(
     mgr: &mut TermManager,
@@ -215,18 +309,12 @@ pub fn check_certified(
     budget: impl Into<Budget>,
 ) -> (SmtResult, QueryCert) {
     let config = SolverConfig { certify: true, ..SolverConfig::default() };
-    let outcome = check_with(mgr, assertions, budget, &config);
+    let outcome = solve_impl(mgr, assertions, &budget.into(), &config);
     (outcome.result, outcome.cert)
 }
 
-/// The fully-configurable solver entry point: [`check`] and
-/// [`check_certified`] are thin wrappers over this.
-///
-/// Simplification runs under the same `budget` as the solve (so one
-/// deadline covers the whole query) but with fault injection stripped
-/// ([`Budget::without_faults`]): fault-plan indices keep counting real
-/// SAT solver calls only, and a partially-saturated e-graph is still
-/// extracted when the deadline fires mid-simplification.
+/// Deprecated pre-session spelling of [`solve`] with an explicit config.
+#[deprecated(note = "use `solve(mgr, assertions, CheckOpts::from(budget).with_config(config.clone()))`")]
 #[must_use]
 pub fn check_with(
     mgr: &mut TermManager,
@@ -234,7 +322,15 @@ pub fn check_with(
     budget: impl Into<Budget>,
     config: &SolverConfig,
 ) -> CheckOutcome {
-    let budget = budget.into();
+    solve_impl(mgr, assertions, &budget.into(), config)
+}
+
+fn solve_impl(
+    mgr: &mut TermManager,
+    assertions: &[TermId],
+    budget: &Budget,
+    config: &SolverConfig,
+) -> CheckOutcome {
     let certify = config.certify;
     let mut stats = QueryStats::default();
     let done = |result: SmtResult, cert: QueryCert, stats: QueryStats| CheckOutcome {
@@ -336,7 +432,7 @@ pub fn check_with(
     blaster.finalize_arrays();
     stats.cnf_vars = blaster.solver.num_vars();
     stats.cnf_clauses = blaster.solver.num_clauses();
-    match blaster.solver.solve_budgeted(&budget) {
+    match blaster.solver.solve(budget) {
         SolveResult::Unsat => {
             let cert = if certify {
                 match blaster.solver.certify_unsat() {
@@ -412,7 +508,7 @@ mod tests {
     use crate::manager::TermKind;
 
     fn sat_model(mgr: &mut TermManager, assertions: &[TermId]) -> Model {
-        match check(mgr, assertions, None) {
+        match solve(mgr, assertions, None).result {
             SmtResult::Sat(m) => m,
             other => panic!("expected Sat, got {other:?}"),
         }
@@ -451,7 +547,7 @@ mod tests {
         let sum = m.add(x, y);
         let back = m.sub(sum, y);
         let neq = m.neq(back, x);
-        assert!(check(&mut m, &[neq], None).is_unsat());
+        assert!(solve(&mut m, &[neq], None).result.is_unsat());
     }
 
     #[test]
@@ -463,7 +559,7 @@ mod tests {
         let prod = m.mul(x, four);
         let shifted = m.shl(x, two);
         let neq = m.neq(prod, shifted);
-        assert!(check(&mut m, &[neq], None).is_unsat());
+        assert!(solve(&mut m, &[neq], None).result.is_unsat());
     }
 
     #[test]
@@ -493,7 +589,7 @@ mod tests {
         let seven = m.const_u64(4, 7);
         let gt = m.ugt(x, seven); // unsigned > 7 also means MSB set
         let differ = m.neq(lt, gt);
-        assert!(check(&mut m, &[differ], None).is_unsat());
+        assert!(solve(&mut m, &[differ], None).result.is_unsat());
     }
 
     #[test]
@@ -507,10 +603,10 @@ mod tests {
         // a1 == a2 but reads differ: must be UNSAT.
         let same = m.eq(a1, a2);
         let diff = m.neq(r1, r2);
-        assert!(check(&mut m, &[same, diff], None).is_unsat());
+        assert!(solve(&mut m, &[same, diff], None).result.is_unsat());
         // Different addresses: reads may differ.
         let distinct = m.neq(a1, a2);
-        let res = check(&mut m, &[distinct, diff], None);
+        let res = solve(&mut m, &[distinct, diff], None).result;
         assert!(res.is_sat());
         if let SmtResult::Sat(model) = res {
             // The model's array env reproduces the read values.
@@ -541,9 +637,9 @@ mod tests {
         let mut m = TermManager::new();
         let t = m.tru();
         let f = m.fls();
-        assert!(check(&mut m, &[t], None).is_sat());
-        assert!(check(&mut m, &[t, f], None).is_unsat());
-        assert!(check(&mut m, &[], None).is_sat());
+        assert!(solve(&mut m, &[t], None).result.is_sat());
+        assert!(solve(&mut m, &[t, f], None).result.is_unsat());
+        assert!(solve(&mut m, &[], None).result.is_sat());
     }
 
     #[test]
@@ -557,7 +653,7 @@ mod tests {
         let bad1 = m.neq(hi, hi2);
         let bad2 = m.neq(lo, lo2);
         let bad = m.or(bad1, bad2);
-        assert!(check(&mut m, &[bad], None).is_unsat());
+        assert!(solve(&mut m, &[bad], None).result.is_unsat());
     }
 
     #[test]
@@ -571,7 +667,7 @@ mod tests {
         let mmmm = m.concat(mm, mm);
         let ref_se = m.concat(mmmm, x);
         let bad = m.neq(se, ref_se);
-        assert!(check(&mut m, &[bad], None).is_unsat());
+        assert!(solve(&mut m, &[bad], None).result.is_unsat());
     }
 
     #[test]
@@ -613,7 +709,7 @@ mod tests {
         let a1 = m.eq(prod, c);
         let a2 = m.uge(x, two);
         let a3 = m.uge(y, two);
-        match check(&mut m, &[a1, a2, a3], Some(1)) {
+        match solve(&mut m, &[a1, a2, a3], Some(1)).result {
             SmtResult::Unknown(_) | SmtResult::Sat(_) | SmtResult::Unsat => {}
         }
     }
@@ -627,7 +723,7 @@ mod tests {
         let a = m.eq(x, c1);
         // An already-expired deadline is observed at entry.
         let budget = Budget::unlimited().with_deadline(Instant::now());
-        match check(&mut m, &[a], &budget) {
+        match solve(&mut m, &[a], &budget).result {
             SmtResult::Unknown(StopReason::Deadline) => {}
             other => panic!("expected Unknown(Deadline), got {other:?}"),
         }
@@ -643,7 +739,7 @@ mod tests {
         let cancel = CancelFlag::new();
         cancel.cancel();
         let budget = Budget::unlimited().with_cancel(cancel);
-        match check(&mut m, &[a], &budget) {
+        match solve(&mut m, &[a], &budget).result {
             SmtResult::Unknown(StopReason::Cancelled) => {}
             other => panic!("expected Unknown(Cancelled), got {other:?}"),
         }
@@ -657,7 +753,8 @@ mod tests {
         let sum = m.add(x, y);
         let c100 = m.const_u64(8, 100);
         let a = m.eq(sum, c100);
-        let (res, cert) = check_certified(&mut m, &[a], None);
+        let out = solve(&mut m, &[a], CheckOpts::new().certified(true));
+        let (res, cert) = (out.result, out.cert);
         assert!(res.is_sat());
         assert_eq!(cert, QueryCert::SatVerified);
     }
@@ -670,7 +767,8 @@ mod tests {
         let sum = m.add(x, y);
         let back = m.sub(sum, y);
         let neq = m.neq(back, x);
-        let (res, cert) = check_certified(&mut m, &[neq], None);
+        let out = solve(&mut m, &[neq], CheckOpts::new().certified(true));
+        let (res, cert) = (out.result, out.cert);
         assert!(res.is_unsat());
         assert!(matches!(cert, QueryCert::UnsatVerified { .. }), "got {cert:?}");
     }
@@ -686,7 +784,8 @@ mod tests {
         let same = m.eq(a1, a2);
         let diff = m.neq(r1, r2);
         // Ackermann constraints participate in the recorded proof.
-        let (res, cert) = check_certified(&mut m, &[same, diff], None);
+        let out = solve(&mut m, &[same, diff], CheckOpts::new().certified(true));
+        let (res, cert) = (out.result, out.cert);
         assert!(res.is_unsat());
         assert!(matches!(cert, QueryCert::UnsatVerified { .. }), "got {cert:?}");
     }
@@ -696,10 +795,12 @@ mod tests {
         let mut m = TermManager::new();
         let t = m.tru();
         let f = m.fls();
-        let (res, cert) = check_certified(&mut m, &[t], None);
+        let out = solve(&mut m, &[t], CheckOpts::new().certified(true));
+        let (res, cert) = (out.result, out.cert);
         assert!(res.is_sat());
         assert_eq!(cert, QueryCert::Trivial);
-        let (res, cert) = check_certified(&mut m, &[t, f], None);
+        let out = solve(&mut m, &[t, f], CheckOpts::new().certified(true));
+        let (res, cert) = (out.result, out.cert);
         assert!(res.is_unsat());
         assert_eq!(cert, QueryCert::Trivial);
     }
@@ -712,7 +813,8 @@ mod tests {
         let c1 = m.const_u64(8, 1);
         let a = m.eq(x, c1);
         let budget = Budget::unlimited().with_deadline(Instant::now());
-        let (res, cert) = check_certified(&mut m, &[a], &budget);
+        let out = solve(&mut m, &[a], CheckOpts::from(&budget).certified(true));
+        let (res, cert) = (out.result, out.cert);
         assert!(res.is_unknown());
         assert_eq!(cert, QueryCert::Unchecked);
     }
@@ -729,7 +831,8 @@ mod tests {
         let neq = m.neq(back, x);
         let plan = Arc::new(FaultPlan::new().at(0, Fault::CorruptProof));
         let budget = Budget::unlimited().with_fault_plan(plan);
-        let (res, cert) = check_certified(&mut m, &[neq], &budget);
+        let out = solve(&mut m, &[neq], CheckOpts::from(&budget).certified(true));
+        let (res, cert) = (out.result, out.cert);
         // The answer is still correct; only the certification fails.
         assert!(res.is_unsat());
         assert!(cert.is_failure(), "corrupted trail must fail certification, got {cert:?}");
@@ -745,13 +848,8 @@ mod tests {
         let xy = m.or(x, y);
         let absorbed = m.and(x, xy);
         let a = m.eq(absorbed, y);
-        let on = check_with(&mut m, &[a], None, &SolverConfig::default());
-        let off = check_with(
-            &mut m,
-            &[a],
-            None,
-            &SolverConfig { simplify: false, ..SolverConfig::default() },
-        );
+        let on = solve(&mut m, &[a], CheckOpts::new());
+        let off = solve(&mut m, &[a], CheckOpts::new().simplified(false));
         assert!(on.result.is_sat(), "got {:?}", on.result);
         assert!(off.result.is_sat(), "got {:?}", off.result);
         assert!(
@@ -773,8 +871,7 @@ mod tests {
         let absorbed = m.and(x, xy);
         // x & (x | y) == x holds for all assignments.
         let a = m.eq(absorbed, x);
-        let config = SolverConfig { certify: true, ..SolverConfig::default() };
-        let out = check_with(&mut m, &[a], None, &config);
+        let out = solve(&mut m, &[a], CheckOpts::new().certified(true));
         assert!(out.result.is_sat());
         assert_eq!(out.cert, QueryCert::Trivial, "no solver call should be needed");
         assert_eq!(out.stats.cnf_vars, 0);
@@ -789,8 +886,7 @@ mod tests {
         let absorbed = m.and(x, xy);
         // x & (x | y) != x never holds.
         let a = m.neq(absorbed, x);
-        let config = SolverConfig { certify: true, ..SolverConfig::default() };
-        let out = check_with(&mut m, &[a], None, &config);
+        let out = solve(&mut m, &[a], CheckOpts::new().certified(true));
         assert!(out.result.is_unsat());
         assert_eq!(out.cert, QueryCert::Trivial);
         assert_eq!(out.stats.cnf_vars, 0);
@@ -806,8 +902,7 @@ mod tests {
         let sum = m.add(prod, y);
         let c = m.const_u64(8, 77);
         let a = m.eq(sum, c);
-        let config = SolverConfig { certify: true, ..SolverConfig::default() };
-        let out = check_with(&mut m, &[a], None, &config);
+        let out = solve(&mut m, &[a], CheckOpts::new().certified(true));
         assert!(out.result.is_sat());
         assert_eq!(out.cert, QueryCert::SatVerified);
         let SmtResult::Sat(model) = out.result else { unreachable!() };
@@ -831,7 +926,7 @@ mod tests {
         // the call must neither panic nor mis-answer — Unknown(Deadline)
         // is the expected outcome, but a fast Sat is also legal.
         let budget = Budget::unlimited().with_deadline_in(Duration::from_micros(1));
-        match check(&mut m, &[a], &budget) {
+        match solve(&mut m, &[a], &budget).result {
             SmtResult::Unknown(StopReason::Deadline) | SmtResult::Sat(_) => {}
             other => panic!("expected Unknown(Deadline) or Sat, got {other:?}"),
         }
@@ -847,16 +942,16 @@ mod tests {
         // A constant-folding query never reaches the SAT solver, so it
         // does not consume a fault index.
         let t = m.tru();
-        assert!(check(&mut m, &[t], &budget).is_sat());
+        assert!(solve(&mut m, &[t], &budget).result.is_sat());
         assert_eq!(plan.calls_observed(), 0);
         // The first real solve is call 0 and gets the fault.
         let x = m.fresh_var("x", 8);
         let c1 = m.const_u64(8, 1);
         let a = m.eq(x, c1);
-        match check(&mut m, &[a], &budget) {
+        match solve(&mut m, &[a], &budget).result {
             SmtResult::Unknown(StopReason::FaultInjected) => {}
             other => panic!("expected Unknown(FaultInjected), got {other:?}"),
         }
-        assert!(check(&mut m, &[a], &budget).is_sat());
+        assert!(solve(&mut m, &[a], &budget).result.is_sat());
     }
 }

@@ -2,10 +2,10 @@
 //! coverage, and adversarial bit-blasting cases.
 
 use owl_bitvec::BitVec;
-use owl_smt::{check, SmtResult, TermManager};
+use owl_smt::{solve, SmtResult, TermManager};
 
 fn valid(mgr: &mut TermManager, negated_claim: owl_smt::TermId) -> bool {
-    check(mgr, &[negated_claim], None).is_unsat()
+    solve(mgr, &[negated_claim], None).result.is_unsat()
 }
 
 #[test]
@@ -84,12 +84,12 @@ fn signed_comparison_antisymmetry() {
     let a = m.slt(x, y);
     let b = m.slt(y, x);
     let both = m.and(a, b);
-    assert!(check(&mut m, &[both], None).is_unsat());
+    assert!(solve(&mut m, &[both], None).result.is_unsat());
     // and !slt(x,y) && !slt(y,x) implies x == y.
     let na = m.bool_not(a);
     let nb = m.bool_not(b);
     let ne = m.neq(x, y);
-    assert!(check(&mut m, &[na, nb, ne], None).is_unsat());
+    assert!(solve(&mut m, &[na, nb, ne], None).result.is_unsat());
 }
 
 #[cfg_attr(debug_assertions, ignore = "heavy bit-blasting; run in release")]
@@ -193,11 +193,11 @@ fn unsat_core_like_behaviour_under_budget() {
     let two = m.const_u64(20, 2);
     let nx = m.uge(x, two);
     let ny = m.uge(y, two);
-    match check(&mut m, &[hit, nx, ny], Some(2)) {
+    match solve(&mut m, &[hit, nx, ny], Some(2)).result {
         SmtResult::Unknown(owl_smt::StopReason::ConflictLimit) => {}
         SmtResult::Unknown(r) => panic!("unexpected stop reason {r:?}"),
         // Small instances may still solve within two conflicts.
         SmtResult::Sat(_) | SmtResult::Unsat => {}
     }
-    assert!(!check(&mut m, &[hit, nx, ny], None).is_unknown());
+    assert!(!solve(&mut m, &[hit, nx, ny], None).result.is_unknown());
 }

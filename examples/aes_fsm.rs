@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example aes_fsm`
 
-use owl::core::{complete_design, control_union, synthesize, verify_design, SynthesisConfig};
+use owl::core::{complete_design, control_union, verify_design, SynthesisSession};
 use owl::cores::aes;
 use owl::oyster::Interpreter;
 use owl::smt::TermManager;
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("Synthesizing FSM control for the AES-128 accelerator...");
     let mut mgr = TermManager::new();
     let start = Instant::now();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?.require_complete()?;
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)?.require_complete()?;
     println!("Done in {:.1}s. Recovered state machine:", start.elapsed().as_secs_f64());
     for sol in &out.solutions {
         println!(

@@ -6,23 +6,20 @@
 //!
 //! Run with: `cargo run --release --example agile_iteration`
 
-use owl::core::{
-    complete_design, control_union, resynthesize, synthesize, verify_design, SynthesisConfig,
-};
+use owl::core::{complete_design, control_union, verify_design, SynthesisSession};
 use owl::cores::rv32i::{self, Extensions};
 use owl::smt::TermManager;
 use std::error::Error;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let config = SynthesisConfig::default();
-
     // Iteration 1: the base RV32I core, from scratch.
     let base = rv32i::single_cycle(Extensions::BASE);
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
-    let base_out =
-        synthesize(&mut mgr, &base.sketch, &base.spec, &base.alpha, &config)?.require_complete()?;
+    let base_out = SynthesisSession::new(&base.sketch, &base.spec, &base.alpha)
+        .run_with(&mut mgr)?
+        .require_complete()?;
     println!(
         "iteration 1 (RV32I, 37 instrs): from scratch in {:.2}s ({} CEGIS rounds)",
         t0.elapsed().as_secs_f64(),
@@ -35,15 +32,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let zbkb = rv32i::single_cycle(Extensions::ZBKB);
     let mut mgr2 = TermManager::new();
     let t1 = Instant::now();
-    let zbkb_out = resynthesize(
-        &mut mgr2,
-        &zbkb.sketch,
-        &zbkb.spec,
-        &zbkb.alpha,
-        &config,
-        &base_out.solutions,
-    )?
-    .require_complete()?;
+    let zbkb_out = SynthesisSession::new(&zbkb.sketch, &zbkb.spec, &zbkb.alpha)
+        .seeded_with(base_out.solutions.clone())
+        .run_with(&mut mgr2)?
+        .require_complete()?;
     println!(
         "iteration 2 (+Zbkb, 49 instrs): {:.2}s, reused {} of 49, {} CEGIS rounds",
         t1.elapsed().as_secs_f64(),
@@ -55,15 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let zbkc = rv32i::single_cycle(Extensions::ZBKC);
     let mut mgr3 = TermManager::new();
     let t2 = Instant::now();
-    let zbkc_out = resynthesize(
-        &mut mgr3,
-        &zbkc.sketch,
-        &zbkc.spec,
-        &zbkc.alpha,
-        &config,
-        &zbkb_out.solutions,
-    )?
-    .require_complete()?;
+    let zbkc_out = SynthesisSession::new(&zbkc.sketch, &zbkc.spec, &zbkc.alpha)
+        .seeded_with(zbkb_out.solutions.clone())
+        .run_with(&mut mgr3)?
+        .require_complete()?;
     println!(
         "iteration 3 (+Zbkc, 51 instrs): {:.2}s, reused {} of 51, {} CEGIS rounds",
         t2.elapsed().as_secs_f64(),

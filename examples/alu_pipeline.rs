@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example alu_pipeline`
 
-use owl::core::{complete_design, control_union, synthesize, verify_design, SynthesisConfig};
+use owl::core::{complete_design, control_union, verify_design, SynthesisSession};
 use owl::cores::alu_machine;
 use owl::oyster::Interpreter;
 use owl::smt::TermManager;
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  evaluated for {} cycles\n", alpha.cycles());
 
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?.require_complete()?;
+    let out = SynthesisSession::new(&sketch, &spec, &alpha).run_with(&mut mgr)?.require_complete()?;
     for sol in &out.solutions {
         println!(
             "  {:<5} alu_sel = {}, wr_en = {}",

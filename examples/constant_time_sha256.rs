@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example constant_time_sha256`
 
-use owl::core::{complete_design, control_union_with, synthesize, SynthesisConfig};
+use owl::core::{complete_design, control_union_with, SynthesisSession};
 use owl::cores::{crypto_core, sha256};
 use owl::smt::TermManager;
 use std::error::Error;
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cs = crypto_core::case_study();
     println!("Synthesizing the constant-time core ({} instructions)...", cs.spec.instrs().len());
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?.require_complete()?;
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)?.require_complete()?;
     let union = control_union_with(
         &cs.sketch,
         &cs.spec,

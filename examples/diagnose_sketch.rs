@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example diagnose_sketch`
 
-use owl::core::{diagnose, synthesize, AbstractionFn, DatapathKind, SynthesisConfig};
+use owl::core::{diagnose, AbstractionFn, DatapathKind, SynthesisSession};
 use owl::ila::{Ila, Instr, SpecExpr};
 use owl::oyster::Design;
 use owl::smt::TermManager;
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     alpha.map("count", "count", DatapathKind::Register, [1], [1]);
 
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?;
+    let out = SynthesisSession::new(&sketch, &spec, &alpha).run_with(&mut mgr)?;
     match out.require_complete() {
         Ok(_) => println!("unexpectedly synthesized — the sketch can add but not multiply!"),
         Err(e) => {

@@ -12,9 +12,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use owl::core::{
-    complete_design, control_union, synthesize, verify_design, SynthesisConfig,
-};
+use owl::core::{complete_design, control_union, verify_design, SynthesisSession};
 use owl::cores::accumulator;
 use owl::oyster::Interpreter;
 use owl::smt::TermManager;
@@ -32,7 +30,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Synthesize: per-instruction CEGIS plus the control union.
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &sketch, &spec, &alpha, &SynthesisConfig::default())?.require_complete()?;
+    let out = SynthesisSession::new(&sketch, &spec, &alpha).run_with(&mut mgr)?.require_complete()?;
     println!("=== Per-instruction hole solutions ===");
     for sol in &out.solutions {
         let mut holes: Vec<_> = sol.holes.iter().collect();

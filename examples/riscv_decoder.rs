@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example riscv_decoder`
 
 use owl::core::codegen::{line_count, oyster_control_logic, pyrtl_control_logic};
-use owl::core::{control_union, synthesize, SynthesisConfig};
+use owl::core::{control_union, SynthesisSession};
 use owl::cores::rv32i::{self, Extensions};
 use owl::smt::TermManager;
 use std::error::Error;
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut mgr = TermManager::new();
     let start = Instant::now();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())?.require_complete()?;
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run_with(&mut mgr)?.require_complete()?;
     println!(
         "Synthesized {} instructions in {:.2}s ({} counterexample rounds).\n",
         out.solutions.len(),

@@ -7,8 +7,8 @@
 //! The pipeline (paper Fig. 4): a datapath **sketch** written in the
 //! PyRTL-like [`hdl`] DSL lowers to the [`oyster`] IR with *holes* where
 //! control logic belongs; an [`ila`] architectural specification plus an
-//! [`core::AbstractionFn`] produce pre/postconditions; the
-//! [`core::synthesize`] fills the holes with correct-by-construction
+//! [`core::AbstractionFn`] produce pre/postconditions; a
+//! [`core::SynthesisSession`] fills the holes with correct-by-construction
 //! control logic via CEGIS over the [`smt`]/[`sat`] solver stack; and
 //! [`netlist`] lowers the completed design to gates.
 //!

@@ -8,19 +8,20 @@
 //! flushed instructions (§4.2). These tests check both failure modes
 //! actually occur — and that the failures are reported, not mis-solved.
 
-use owl::core::{synthesize, AbstractionFn, DatapathKind, SynthesisConfig, SynthesisMode};
+use owl::core::{
+    AbstractionFn, DatapathKind, SynthesisConfig, SynthesisMode, SynthesisSession,
+};
 use owl::cores::{alu_machine, crypto_core};
 use owl::smt::TermManager;
 use std::time::Duration;
 
 fn quick_config() -> SynthesisConfig {
-    SynthesisConfig {
-        mode: SynthesisMode::PerInstruction,
-        max_cex_rounds: 32,
-        conflict_budget: Some(200_000),
-        time_budget: Some(Duration::from_secs(120)),
-        ..Default::default()
-    }
+    SynthesisConfig::builder()
+        .mode(SynthesisMode::PerInstruction)
+        .max_cex_rounds(32)
+        .conflict_budget(200_000)
+        .time_budget(Duration::from_secs(120))
+        .build()
 }
 
 #[test]
@@ -37,7 +38,9 @@ fn alu_machine_fails_with_wrong_write_time() {
         .map_input("src2", "src2")
         .map("regs", "regfile", DatapathKind::Memory, [1], [2]);
     let mut mgr = TermManager::new();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &wrong, &quick_config())
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &wrong)
+        .config(quick_config())
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     assert!(result.is_err(), "mis-timed abstraction function must not synthesize");
 }
@@ -64,7 +67,9 @@ fn crypto_core_fails_without_instruction_valid_assumption() {
         .map("mem", "d_mem", DatapathKind::Memory, [3], [3])
         .map("imem", "i_mem", DatapathKind::Memory, [1], []);
     let mut mgr = TermManager::new();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &no_assume, &quick_config())
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &no_assume)
+        .config(quick_config())
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     assert!(
         result.is_err(),
@@ -79,7 +84,9 @@ fn crypto_core_succeeds_with_the_assumption() {
     // The positive control for the test above.
     let cs = crypto_core::case_study();
     let mut mgr = TermManager::new();
-    let result = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &quick_config())
+    let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(quick_config())
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     assert!(result.is_ok(), "{:?}", result.err());
 }

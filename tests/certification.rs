@@ -10,7 +10,7 @@
 //! fail differential re-verification while the honest union passes.
 
 use owl::core::{
-    complete_design, control_union, differential_check, synthesize, SynthesisConfig,
+    complete_design, control_union, differential_check, SynthesisConfig, SynthesisSession,
 };
 use owl::smt::{Budget, TermManager};
 
@@ -18,9 +18,9 @@ use owl::smt::{Budget, TermManager};
 fn certified_accumulator_run_is_fully_certified() {
     let cs = owl::cores::accumulator::case_study();
     let mut mgr = TermManager::new();
-    let out =
-        synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
-            .expect("valid inputs");
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
+        .expect("valid inputs");
     assert!(out.is_complete(), "{:?}", out.first_error());
     let cert = out.certificate.expect("certification is on by default");
     assert!(cert.is_fully_certified(), "{cert}");
@@ -35,9 +35,9 @@ fn certified_accumulator_run_is_fully_certified() {
 fn rv32i_certified_synthesis_is_fully_certified() {
     let cs = owl::cores::rv32i::single_cycle(owl::cores::rv32i::Extensions::BASE);
     let mut mgr = TermManager::new();
-    let out =
-        synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
-            .expect("valid inputs");
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
+        .expect("valid inputs");
     assert!(out.is_complete(), "{:?}", out.first_error());
     let cert = out.certificate.expect("certification is on by default");
     assert!(cert.is_fully_certified(), "{cert}");
@@ -50,8 +50,10 @@ fn miswired_control_union_fails_differential_reverification() {
     let mut mgr = TermManager::new();
     // Synthesize uncertified (faster); the certification machinery is
     // exercised explicitly below via differential_check.
-    let config = SynthesisConfig { certify: false, ..Default::default() };
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+    let config = SynthesisConfig::builder().certify(false).build();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
         .expect("valid inputs")
         .require_complete()
         .expect("RV32I synthesizes");

@@ -2,7 +2,7 @@
 //! constant-time core takes the same number of cycles for every input
 //! length and matches the handwritten-reference core cycle for cycle.
 
-use owl::core::{complete_design, control_union_with, synthesize, SynthesisConfig};
+use owl::core::{complete_design, control_union_with, SynthesisSession};
 use owl::cores::{crypto_core, sha256};
 use owl::smt::TermManager;
 
@@ -11,7 +11,8 @@ use owl::smt::TermManager;
 fn sha256_is_constant_time_and_correct() {
     let cs = crypto_core::case_study();
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete())
         .expect("crypto core synthesizes");
     let union = control_union_with(

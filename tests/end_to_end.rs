@@ -6,15 +6,18 @@
 //! `riscv_differential.rs` and `constant_time.rs`.
 
 use owl::core::{
-    complete_design, control_union, synthesize, verify_design, SynthesisConfig, SynthesisMode,
+    complete_design, control_union, verify_design, SynthesisConfig, SynthesisMode,
+    SynthesisSession,
 };
 use owl::cores::{accumulator, aes, alu_machine, CaseStudy};
 use owl::smt::TermManager;
 
 fn synthesize_and_verify(cs: &CaseStudy, mode: SynthesisMode) -> owl::oyster::Design {
     let mut mgr = TermManager::new();
-    let config = SynthesisConfig { mode, ..Default::default() };
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config)
+    let config = SynthesisConfig::builder().mode(mode).build();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete())
         .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", cs.name));
     let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
@@ -87,10 +90,10 @@ fn tampered_control_fails_verification() {
     // catches it (the verifier is not fooled by the synthesis pipeline).
     let cs = accumulator::case_study();
     let mut mgr = TermManager::new();
-    let mut out =
-        synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
-            .and_then(|out| out.require_complete())
-            .expect("synthesis succeeds");
+    let mut out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
+        .and_then(|out| out.require_complete())
+        .expect("synthesis succeeds");
     let first = &mut out.solutions[0];
     let old = first.holes["next_state"].clone();
     let tampered = old.add(&owl::BitVec::one(old.width()));

@@ -1,0 +1,215 @@
+//! The parallel scheduler's determinism contract, checked end to end:
+//! `SynthesisSession` must produce identical per-instruction outcomes,
+//! certificates, completed designs, and gate-level netlists at every
+//! parallelism level — including under injected cancellation and
+//! panic faults, where thread interleavings differ most.
+
+use owl::core::{
+    complete_design, control_union, CoreError, Fault, FaultPlan, InstrStatus, SynthesisConfig,
+    SynthesisOutput, SynthesisSession,
+};
+use owl::netlist::lower;
+use owl::smt::TermManager;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Asserts that two synthesis outputs are observably identical:
+/// solutions (instruction names and hole values), outcome statuses,
+/// work statistics, and certificates.
+fn assert_outputs_identical(label: &str, a: &SynthesisOutput, b: &SynthesisOutput) {
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{label}: solution count");
+    for (x, y) in a.solutions.iter().zip(&b.solutions) {
+        assert_eq!(x.instr, y.instr, "{label}: solution order");
+        assert_eq!(x.holes, y.holes, "{label}: hole values for {}", x.instr);
+    }
+    assert_eq!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", b.outcomes),
+        "{label}: per-instruction outcomes"
+    );
+    assert_eq!(a.stats.solver_calls, b.stats.solver_calls, "{label}: solver calls");
+    assert_eq!(a.stats.cex_rounds, b.stats.cex_rounds, "{label}: CEGIS rounds");
+    assert_eq!(a.stats.reused, b.stats.reused, "{label}: reuse count");
+    assert_eq!(a.stats.escalations, b.stats.escalations, "{label}: escalations");
+    assert_eq!(a.stats.cnf_vars, b.stats.cnf_vars, "{label}: CNF vars");
+    assert_eq!(a.stats.cnf_clauses, b.stats.cnf_clauses, "{label}: CNF clauses");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.to_string(), cb.to_string(), "{label}: certificates")
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run certified, the other did not"),
+    }
+    assert_eq!(
+        format!("{:?}", a.interrupted),
+        format!("{:?}", b.interrupted),
+        "{label}: interrupt"
+    );
+}
+
+/// The headline property on a real core: RV32I synthesized at 1, 2 and
+/// 8 workers yields byte-identical outcomes, certificates, completed
+/// designs, and netlists.
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn rv32i_is_identical_across_thread_counts() {
+    let cs = owl::cores::rv32i::single_cycle(owl::cores::rv32i::Extensions::BASE);
+    let mut reference: Option<(SynthesisOutput, String, String)> = None;
+    for threads in THREAD_COUNTS {
+        let mut mgr = TermManager::new();
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .parallelism(threads)
+            .run_with(&mut mgr)
+            .expect("valid inputs");
+        assert!(out.is_complete(), "threads={threads}: {:?}", out.first_error());
+        let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions)
+            .expect("union succeeds");
+        let completed = complete_design(&cs.sketch, &union);
+        let design_text = completed.to_string();
+        let netlist = format!("{:?}", lower(&completed).expect("lowers").stats());
+        match &reference {
+            None => reference = Some((out, design_text, netlist)),
+            Some((ref_out, ref_design, ref_netlist)) => {
+                let label = format!("threads={threads}");
+                assert_outputs_identical(&label, ref_out, &out);
+                assert_eq!(ref_design, &design_text, "{label}: completed design");
+                assert_eq!(ref_netlist, &netlist, "{label}: netlist stats");
+            }
+        }
+    }
+}
+
+/// A cancellation raised before the run starts is observed at every
+/// task's entry checkpoint: all instructions are skipped identically at
+/// every thread count.
+#[test]
+fn pre_raised_cancellation_is_deterministic() {
+    let cs = owl::cores::accumulator::case_study();
+    let mut reference: Option<SynthesisOutput> = None;
+    for threads in THREAD_COUNTS {
+        let config = SynthesisConfig::default();
+        config.cancel.cancel();
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .config(config)
+            .parallelism(threads)
+            .run()
+            .expect("valid inputs");
+        assert!(matches!(out.interrupted, Some(CoreError::Cancelled)));
+        assert!(out.solutions.is_empty());
+        assert!(out.outcomes.iter().all(|o| matches!(o.status, InstrStatus::Skipped)));
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_outputs_identical(&format!("threads={threads}"), r, &out),
+        }
+    }
+}
+
+/// A cancellation that lands mid-run stops every worker promptly.
+/// *Which* instructions finished is timing-dependent (the documented
+/// exception), but each instruction that did solve must carry exactly
+/// the controls the clean run finds, and every status must be one of
+/// Solved / Failed(Cancelled) / Skipped.
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn mid_run_cancellation_is_prompt_and_solved_subset_is_consistent() {
+    let cs = owl::cores::rv32i::single_cycle(owl::cores::rv32i::Extensions::BASE);
+    let mut clean_mgr = TermManager::new();
+    let clean = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut clean_mgr)
+        .expect("valid inputs");
+    assert!(clean.is_complete());
+
+    for threads in [2usize, 8] {
+        let config = SynthesisConfig::default();
+        let cancel = config.cancel.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            cancel.cancel();
+        });
+        let start = Instant::now();
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .config(config)
+            .parallelism(threads)
+            .run()
+            .expect("valid inputs");
+        canceller.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "threads={threads}: cancellation must stop in-flight workers promptly"
+        );
+        for o in &out.outcomes {
+            assert!(
+                matches!(
+                    o.status,
+                    InstrStatus::Solved
+                        | InstrStatus::Failed(CoreError::Cancelled)
+                        | InstrStatus::Skipped
+                ),
+                "threads={threads}: unexpected status {:?} for {}",
+                o.status,
+                o.instr
+            );
+        }
+        // Solved instructions agree with the clean run, whatever subset
+        // the cancellation left standing.
+        for sol in &out.solutions {
+            let reference = clean
+                .solutions
+                .iter()
+                .find(|s| s.instr == sol.instr)
+                .expect("clean run solved every instruction");
+            assert_eq!(sol.holes, reference.holes, "threads={threads}: {}", sol.instr);
+        }
+        if !out.is_complete() {
+            assert!(
+                matches!(out.interrupted, Some(CoreError::Cancelled)),
+                "threads={threads}: a cancelled run reports the typed interrupt"
+            );
+        }
+    }
+}
+
+/// A panic injected into *every* solver call is isolated at each
+/// instruction boundary regardless of which worker hits it first, and
+/// the wreckage is identical at every thread count (an all-indices plan
+/// is interleaving-invariant by construction).
+#[test]
+fn panic_faults_are_isolated_identically_across_thread_counts() {
+    let cs = owl::cores::accumulator::case_study();
+    let n_instrs = cs.spec.instrs().len();
+    let mut reference: Option<SynthesisOutput> = None;
+    for threads in THREAD_COUNTS {
+        let plan =
+            Arc::new((0..256).fold(FaultPlan::new(), |p, i| p.at(i, Fault::Panic)));
+        let config = SynthesisConfig::builder().fault_plan(plan).certify(false).build();
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .config(config)
+            .parallelism(threads)
+            .run()
+            .expect("valid inputs");
+        assert!(out.interrupted.is_none(), "threads={threads}: a panic is not a global stop");
+        assert_eq!(out.outcomes.len(), n_instrs);
+        // Instructions whose queries constant-fold never reach the
+        // solver (no fault fires) and legitimately solve; every query
+        // that does reach it panics and must be isolated in place.
+        let mut panicked = 0;
+        for o in &out.outcomes {
+            match &o.status {
+                InstrStatus::Solved => {}
+                InstrStatus::Failed(CoreError::Internal { .. }) => panicked += 1,
+                other => panic!(
+                    "threads={threads}: {} must solve or fail with an isolated \
+                     internal error, got {other:?}",
+                    o.instr
+                ),
+            }
+        }
+        assert!(panicked > 0, "threads={threads}: the fault plan never fired");
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_outputs_identical(&format!("threads={threads}"), r, &out),
+        }
+    }
+}

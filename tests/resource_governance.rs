@@ -4,7 +4,7 @@
 //! recovery — all through the public `owl` facade.
 
 use owl::core::{
-    synthesize, CoreError, Fault, FaultPlan, InstrStatus, SynthesisConfig, SynthesisMode,
+    CoreError, Fault, FaultPlan, InstrStatus, SynthesisConfig, SynthesisMode, SynthesisSession,
 };
 use owl::smt::TermManager;
 use std::sync::Arc;
@@ -20,10 +20,13 @@ fn rv32i_tiny_budget_terminates_promptly_with_partial_output() {
     let cs = owl::cores::rv32i::single_cycle(owl::cores::rv32i::Extensions::BASE);
     // The full core takes on the order of a second; 100ms lands mid-run.
     let budget = Duration::from_millis(100);
-    let config = SynthesisConfig { time_budget: Some(budget), ..Default::default() };
+    let config = SynthesisConfig::builder().time_budget(budget).build();
     let mut mgr = TermManager::new();
     let start = Instant::now();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
+        .unwrap();
     let elapsed = start.elapsed();
     assert!(
         elapsed < budget * 2 + Duration::from_millis(500),
@@ -52,25 +55,22 @@ fn rv32i_tiny_budget_terminates_promptly_with_partial_output() {
 fn mid_run_timeout_keeps_solved_prefix() {
     let cs = owl::cores::accumulator::case_study();
     let mut probe_mgr = TermManager::new();
-    let probe = synthesize(
-        &mut probe_mgr,
-        &cs.sketch,
-        &cs.spec,
-        &cs.alpha,
-        &SynthesisConfig::default(),
-    )
-    .unwrap();
+    let probe = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut probe_mgr)
+        .unwrap();
     assert!(probe.is_complete());
     let first_instr_calls = probe.outcomes[0].solver_calls as u64;
 
     let plan = Arc::new(FaultPlan::new().at(first_instr_calls, Fault::StallMillis(500)));
-    let config = SynthesisConfig {
-        time_budget: Some(Duration::from_millis(100)),
-        fault_plan: Some(plan),
-        ..Default::default()
-    };
+    let config = SynthesisConfig::builder()
+        .time_budget(Duration::from_millis(100))
+        .fault_plan(plan)
+        .build();
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
+        .unwrap();
     assert!(matches!(out.interrupted, Some(CoreError::Timeout { .. })));
     assert_eq!(out.solutions.len(), 1, "the first instruction's solution is kept");
     assert_eq!(out.solutions[0].instr, probe.solutions[0].instr);
@@ -93,11 +93,10 @@ fn cancellation_stops_a_long_monolithic_query() {
     // Stall the first solver call so the query is reliably in flight
     // when the cancellation lands.
     let plan = Arc::new(FaultPlan::new().at(0, Fault::StallMillis(500)));
-    let config = SynthesisConfig {
-        mode: SynthesisMode::Monolithic,
-        fault_plan: Some(plan),
-        ..Default::default()
-    };
+    let config = SynthesisConfig::builder()
+        .mode(SynthesisMode::Monolithic)
+        .fault_plan(plan)
+        .build();
     let cancel = config.cancel.clone();
     let canceller = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(30));
@@ -105,7 +104,10 @@ fn cancellation_stops_a_long_monolithic_query() {
     });
     let mut mgr = TermManager::new();
     let start = Instant::now();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
+        .unwrap();
     canceller.join().unwrap();
     assert!(start.elapsed() < Duration::from_secs(10));
     assert!(matches!(out.interrupted, Some(CoreError::Cancelled)));
@@ -119,9 +121,12 @@ fn cancellation_stops_a_long_monolithic_query() {
 fn fault_injected_unknown_is_recovered_by_escalation() {
     let cs = owl::cores::accumulator::case_study();
     let plan = Arc::new(FaultPlan::new().at(0, Fault::ForceUnknown));
-    let config = SynthesisConfig { fault_plan: Some(plan), ..Default::default() };
+    let config = SynthesisConfig::builder().fault_plan(plan).build();
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &config).unwrap();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .run_with(&mut mgr)
+        .unwrap();
     assert!(out.is_complete(), "{:?}", out.first_error());
     assert!(out.stats.escalations >= 1);
     // The injected fault hits the first *real* solver call, which (after
@@ -130,14 +135,9 @@ fn fault_injected_unknown_is_recovered_by_escalation() {
     assert!(out.outcomes.iter().any(|o| o.escalations >= 1));
     // The recovered run finds the same controls as a clean run.
     let mut clean_mgr = TermManager::new();
-    let clean = synthesize(
-        &mut clean_mgr,
-        &cs.sketch,
-        &cs.spec,
-        &cs.alpha,
-        &SynthesisConfig::default(),
-    )
-    .unwrap();
+    let clean = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut clean_mgr)
+        .unwrap();
     for (a, b) in out.solutions.iter().zip(clean.solutions.iter()) {
         assert_eq!(a.instr, b.instr);
         assert_eq!(a.holes, b.holes);

@@ -16,10 +16,11 @@ use owl::BitVec;
 use std::collections::HashMap;
 
 fn completed_core(ext: Extensions) -> (owl::cores::CaseStudy, owl::oyster::Design) {
-    use owl::core::{complete_design, control_union, synthesize, SynthesisConfig};
+    use owl::core::{complete_design, control_union, SynthesisSession};
     let cs = rv32i::single_cycle(ext);
     let mut mgr = TermManager::new();
-    let out = synthesize(&mut mgr, &cs.sketch, &cs.spec, &cs.alpha, &SynthesisConfig::default())
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .run_with(&mut mgr)
         .and_then(|out| out.require_complete())
         .expect("synthesis succeeds");
     let union =
