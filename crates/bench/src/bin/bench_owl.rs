@@ -16,7 +16,7 @@
 
 use owl_core::{
     complete_design, control_union_with, verify_design, DecodeBinding, SolverConfig,
-    SynthesisConfig, SynthesisMode, SynthesisSession, VerifyOpts, VerifyStats,
+    SynthesisConfig, SynthesisMode, SynthesisOutput, SynthesisSession, VerifyOpts, VerifyStats,
 };
 use owl_cores::CaseStudy;
 use owl_smt::TermManager;
@@ -159,6 +159,108 @@ fn measure_scaling(cs: &CaseStudy, budget: Duration) -> Vec<ScalingPoint> {
     points
 }
 
+/// Whether two runs produced the same observable output (the byte-
+/// identical contract: hole assignments, work counters, certificates —
+/// not wall-clock or replay provenance).
+fn same_output(a: &SynthesisOutput, b: &SynthesisOutput) -> bool {
+    a.stats.solver_calls == b.stats.solver_calls
+        && a.stats.cex_rounds == b.stats.cex_rounds
+        && a.stats.cnf_vars == b.stats.cnf_vars
+        && a.stats.cnf_clauses == b.stats.cnf_clauses
+        && a.solutions.len() == b.solutions.len()
+        && a.solutions.iter().zip(&b.solutions).all(|(x, y)| x.instr == y.instr && x.holes == y.holes)
+        && format!("{:?}", a.outcomes) == format!("{:?}", b.outcomes)
+        && a.certificate.as_ref().map(ToString::to_string)
+            == b.certificate.as_ref().map(ToString::to_string)
+}
+
+/// The kill-and-resume smoke, run in-process: journal a run, throw away
+/// the journal's tail (simulating a crash mid-write), resume, and check
+/// the resumed output is byte-identical to an uninterrupted run's.
+struct DurabilitySmoke {
+    resumed: bool,
+    records_replayed: usize,
+    identical: bool,
+}
+
+fn measure_durability() -> DurabilitySmoke {
+    let cs = owl_cores::accumulator::case_study();
+    let reference = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run().ok();
+    let path = std::env::temp_dir().join(format!("bench_owl_{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journaled = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .journal_to(&path)
+        .run()
+        .ok();
+    // Simulate the crash: keep only the first ~40% of the journal.
+    let mut torn = false;
+    if let Ok(bytes) = std::fs::read(&path) {
+        let cut = bytes.len() * 2 / 5;
+        torn = std::fs::write(&path, &bytes[..cut]).is_ok();
+    }
+    let resumed = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .resume(&path)
+        .parallelism(2)
+        .run()
+        .ok();
+    let _ = std::fs::remove_file(&path);
+    let identical = match (&reference, &journaled, &resumed) {
+        (Some(a), Some(b), Some(c)) => same_output(a, b) && same_output(a, c),
+        _ => false,
+    };
+    DurabilitySmoke {
+        resumed: torn && resumed.is_some(),
+        records_replayed: resumed.map_or(0, |o| o.stats.replayed),
+        identical,
+    }
+}
+
+/// `--durable <journal> <dump>`: one resumable synthesis of the reduced
+/// RV32I configuration, for the CI kill-and-resume job. Resumes from
+/// `<journal>` when it exists (a fresh run otherwise), then writes a
+/// canonical dump of the observable output to `<dump>`. The dump
+/// excludes wall-clock and replay provenance, so a killed-and-resumed
+/// run must diff byte-identical against an uninterrupted one.
+fn run_durable(journal: &str, dump: &str) -> ! {
+    let cs = owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE);
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .resume(journal)
+        .parallelism(4)
+        .run()
+        .unwrap_or_else(|e| panic!("durable synthesis failed: {e}"));
+    let mut text = String::new();
+    let _ = writeln!(text, "case {}", cs.name);
+    for s in &out.solutions {
+        let mut holes: Vec<_> = s.holes.iter().collect();
+        holes.sort_by(|a, b| a.0.cmp(b.0));
+        let rendered: Vec<String> = holes.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        let _ = writeln!(text, "solution {} {}", s.instr, rendered.join(" "));
+    }
+    for o in &out.outcomes {
+        let _ = writeln!(text, "outcome {o:?}");
+    }
+    let _ = writeln!(
+        text,
+        "stats calls={} rounds={} reused={} esc={} cnf={}v/{}c",
+        out.stats.solver_calls,
+        out.stats.cex_rounds,
+        out.stats.reused,
+        out.stats.escalations,
+        out.stats.cnf_vars,
+        out.stats.cnf_clauses,
+    );
+    if let Some(cert) = &out.certificate {
+        let _ = writeln!(text, "certificate {cert}");
+    }
+    std::fs::write(dump, &text).unwrap_or_else(|e| panic!("writing {dump}: {e}"));
+    println!(
+        "durable run complete: {} instructions, {} replayed, dump at {dump}",
+        out.outcomes.len(),
+        out.stats.replayed
+    );
+    std::process::exit(0);
+}
+
 /// Minimal JSON string escaping (the report contains no exotic text,
 /// but error notes may quote arbitrary messages).
 fn json_str(s: &str) -> String {
@@ -283,6 +385,15 @@ fn emit_verify(name: &str, on: &VerifyStats, off: &VerifyStats, out: &mut String
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--durable") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(journal), Some(dump)) => run_durable(journal, dump),
+            _ => {
+                eprintln!("usage: bench_owl --durable <journal-path> <dump-path>");
+                std::process::exit(2);
+            }
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let timeout_secs: u64 = args
         .iter()
@@ -364,6 +475,14 @@ fn main() {
         );
     }
 
+    // Kill-and-resume durability smoke on the accumulator case study.
+    eprintln!("bench_owl: durability (journal, tear, resume) ...");
+    let durability = measure_durability();
+    eprintln!(
+        "bench_owl:   resumed: {}, replayed: {}, identical: {}",
+        durability.resumed, durability.records_replayed, durability.identical
+    );
+
     // Deterministic verification comparison over the completed designs.
     let mut verifies: Vec<(String, VerifyStats, VerifyStats)> = Vec::new();
     for (cs, bindings, _, _) in &sweep {
@@ -406,6 +525,14 @@ fn main() {
         json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        concat!(
+            "  \"durability\": {{\"resumed\": {}, \"records_replayed\": {}, ",
+            "\"identical\": {}}},"
+        ),
+        durability.resumed, durability.records_replayed, durability.identical,
+    );
     json.push_str("  \"verify\": [\n");
     for (i, (name, on, off)) in verifies.iter().enumerate() {
         emit_verify(name, on, off, &mut json);

@@ -700,9 +700,7 @@ pub(crate) fn build_certificate(
         let queries = qlogs.get(i).cloned().unwrap_or_default();
         let solved_ok =
             matches!(outcome.status, InstrStatus::Solved | InstrStatus::Reused);
-        let solver = if !queries.failures.is_empty() {
-            queries.status()
-        } else if solved_ok {
+        let solver = if !queries.failures.is_empty() || solved_ok {
             queries.status()
         } else {
             CheckStatus::Skipped("instruction not solved".to_string())

@@ -1,0 +1,1104 @@
+//! Write-ahead journaling for durable synthesis sessions.
+//!
+//! The paper's per-instruction decomposition (§3.3.1) makes partial
+//! progress inherently valuable: a 37-instruction run that dies at
+//! instruction 30 should not re-solve the first 29. This module gives
+//! [`SynthesisSession`](crate::SynthesisSession) a crash-safe journal:
+//! every per-instruction result (solution, query log, certification
+//! tallies, typed failure) is appended as one self-checking record the
+//! moment it completes, and a resumed session replays the intact prefix
+//! and re-solves only what is missing.
+//!
+//! # Format
+//!
+//! The journal is a line-oriented, dependency-free text format in the
+//! spirit of the Oyster printer — human-readable, hand-parsed, no serde:
+//!
+//! ```text
+//! owl-journal v1
+//! fingerprint 9a3c51d2e07b4f68
+//! rec 0 task "ADD" solved esc 0 holes [ "alu_op" 4'x2 ] qlog [1 2 0 0 10 8 40 96] fails [ ] stats [1 3 0 0] crc 5d1a0c33
+//! rec 1 stall "MUL" crc 90ef1a2b
+//! rec 2 task "MUL" failed stalled esc 0 holes none qlog [0 0 0 1 9 9 33 80] fails [ ] stats [0 1 0 0] crc 77ab01cd
+//! rec 3 done crc 1f00e4a9
+//! ```
+//!
+//! - The **header** binds the journal to its inputs: `fingerprint` is an
+//!   FNV-1a hash over the design text, the ILA and abstraction function,
+//!   and the semantic synthesis configuration. Resuming against edited
+//!   inputs is rejected instead of silently producing a wrong design.
+//! - Every **record** line carries its sequence number and a CRC-32 of
+//!   the line body. Reading stops at the first record that fails the
+//!   CRC, parses badly, or breaks the sequence — a truncated, torn, or
+//!   bit-flipped tail degrades to re-solving those instructions, never
+//!   a panic and never a wrong solution.
+//! - A corrupted or missing **header** degrades the same way: the whole
+//!   journal is treated as empty and the run starts fresh.
+//!
+//! # Record kinds
+//!
+//! - `task` — one instruction's phase-1 outcome: status (`solved`,
+//!   `reused`, or `failed <error>`), escalations used, the hole values
+//!   (sorted by name), the certification [`QueryLog`] tallies, and the
+//!   per-task work counters. Only *restorable* outcomes are journaled:
+//!   global stops (timeout/cancellation) and skipped tasks are not,
+//!   so a resumed run re-attempts them.
+//! - `retry` — the same snapshot after a phase-2 rebalance retry; it
+//!   supersedes the instruction's `task` record on replay.
+//! - `stall` — the watchdog declared the instruction stalled (the
+//!   task's final `task` record follows with a typed `stalled` failure).
+//! - `done` — the run ran both phases to completion; an end marker for
+//!   tooling (absence means the process died mid-run).
+//!
+//! # I/O fault injection
+//!
+//! All journal I/O goes through the [`JournalIo`] trait. The production
+//! [`FileJournal`] consults the session's
+//! [`FaultPlan`] I/O channel so write errors, short
+//! (torn) writes, and read-side bit flips are injectable
+//! deterministically in tests. A failed journal write never fails the
+//! run: the writer marks itself broken and the session continues
+//! un-journaled (durability degrades; correctness does not).
+
+use crate::certify::QueryLog;
+use crate::CoreError;
+use owl_bitvec::BitVec;
+use owl_smt::FaultPlan;
+use owl_smt::IoFault;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The first line of every journal.
+pub const MAGIC: &str = "owl-journal v1";
+
+// ---------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE, reflected), computed bitwise — records are short and
+/// few, so a lookup table would be wasted space.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a, 64-bit: the header fingerprint hash.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a length-prefixed field (so `("ab","c")` and `("a","bc")`
+    /// hash differently).
+    pub fn field(&mut self, text: &str) {
+        self.update(&(text.len() as u64).to_le_bytes());
+        self.update(text.as_bytes());
+    }
+
+    /// The final hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------
+
+/// The restorable per-instruction state captured by a `task` or `retry`
+/// record: everything the scheduler needs to reconstruct the
+/// instruction's `TaskOutput` byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSnapshot {
+    /// The instruction's status. `Failed` carries only *local* errors
+    /// (no-solution, exhaustion, non-convergence, invalid, internal,
+    /// stalled); global stops are never journaled.
+    pub status: SnapStatus,
+    /// Escalation retries the instruction consumed.
+    pub escalations: u32,
+    /// Hole values, sorted by hole name; `None` unless solved/reused.
+    pub holes: Option<Vec<(String, BitVec)>>,
+    /// Per-query certification tallies and CNF/term sizes.
+    pub qlog: QueryLog,
+    /// CEGIS refinement rounds this instruction used.
+    pub cex_rounds: usize,
+    /// Solver calls this instruction used.
+    pub solver_calls: usize,
+    /// 1 when the instruction reused a seeded solution.
+    pub reused: usize,
+    /// Escalations as counted in the work statistics (phase-2 retries
+    /// count here even when the outcome kept its phase-1 verdict).
+    pub stat_escalations: usize,
+}
+
+/// Status inside a [`TaskSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapStatus {
+    /// Synthesized fresh (or repaired from a stale seed).
+    Solved,
+    /// A seeded solution re-verified and was reused.
+    Reused,
+    /// Failed with a local (per-instruction) error.
+    Failed(CoreError),
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Phase-1 outcome for one instruction.
+    Task {
+        /// Instruction name.
+        instr: String,
+        /// The restorable state.
+        snap: TaskSnapshot,
+    },
+    /// Phase-2 (rebalance retry) outcome; supersedes the instruction's
+    /// `Task` record on replay.
+    Retry {
+        /// Instruction name.
+        instr: String,
+        /// The restorable state.
+        snap: TaskSnapshot,
+    },
+    /// The watchdog declared the instruction stalled.
+    Stall {
+        /// Instruction name.
+        instr: String,
+    },
+    /// Both phases ran to completion.
+    Done,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn push_quoted(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_error(out: &mut String, e: &CoreError) {
+    match e {
+        CoreError::NoSolution { .. } => out.push_str("nosolution"),
+        CoreError::SolverExhausted { .. } => out.push_str("exhausted"),
+        CoreError::NoConvergence { rounds, .. } => {
+            let _ = write!(out, "noconvergence {rounds}");
+        }
+        CoreError::Invalid(m) => {
+            out.push_str("invalid ");
+            push_quoted(out, m);
+        }
+        CoreError::Internal { message, .. } => {
+            out.push_str("internal ");
+            push_quoted(out, message);
+        }
+        CoreError::Stalled { .. } => out.push_str("stalled"),
+        // Global stops are filtered out before encoding; encode them
+        // defensively as the closest local verdict so a future caller
+        // can never produce an unreadable record.
+        CoreError::Timeout { .. } | CoreError::Cancelled => out.push_str("exhausted"),
+    }
+}
+
+fn push_snapshot(out: &mut String, snap: &TaskSnapshot) {
+    match &snap.status {
+        SnapStatus::Solved => out.push_str("solved"),
+        SnapStatus::Reused => out.push_str("reused"),
+        SnapStatus::Failed(e) => {
+            out.push_str("failed ");
+            push_error(out, e);
+        }
+    }
+    let _ = write!(out, " esc {} holes ", snap.escalations);
+    match &snap.holes {
+        None => out.push_str("none"),
+        Some(holes) => {
+            out.push('[');
+            for (name, value) in holes {
+                out.push(' ');
+                push_quoted(out, name);
+                let _ = write!(out, " {value}");
+            }
+            out.push_str(" ]");
+        }
+    }
+    let q = &snap.qlog;
+    let _ = write!(
+        out,
+        " qlog [{} {} {} {} {} {} {} {}] fails [",
+        q.sat_verified,
+        q.unsat_verified,
+        q.trivial,
+        q.unchecked,
+        q.terms_before,
+        q.terms_after,
+        q.cnf_vars,
+        q.cnf_clauses
+    );
+    for f in &q.failures {
+        out.push(' ');
+        push_quoted(out, f);
+    }
+    let _ = write!(
+        out,
+        " ] stats [{} {} {} {}]",
+        snap.cex_rounds, snap.solver_calls, snap.reused, snap.stat_escalations
+    );
+}
+
+impl Record {
+    /// Encodes the record as one journal line (CRC appended, no
+    /// trailing newline).
+    #[must_use]
+    pub fn encode(&self, seq: u64) -> String {
+        let mut body = format!("rec {seq} ");
+        match self {
+            Record::Task { instr, snap } => {
+                body.push_str("task ");
+                push_quoted(&mut body, instr);
+                body.push(' ');
+                push_snapshot(&mut body, snap);
+            }
+            Record::Retry { instr, snap } => {
+                body.push_str("retry ");
+                push_quoted(&mut body, instr);
+                body.push(' ');
+                push_snapshot(&mut body, snap);
+            }
+            Record::Stall { instr } => {
+                body.push_str("stall ");
+                push_quoted(&mut body, instr);
+            }
+            Record::Done => body.push_str("done"),
+        }
+        let crc = crc32(body.as_bytes());
+        let _ = write!(body, " crc {crc:08x}");
+        body
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A whitespace-separated token: a bare word or a quoted string.
+enum Token {
+    Word(String),
+    Str(String),
+}
+
+/// Tokenizes one record body; `None` on any lexical error (unclosed
+/// quote, bad escape, raw control character).
+fn tokenize(body: &str) -> Option<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(' ')) {
+            chars.next();
+        }
+        let Some(&c) = chars.peek() else { break };
+        if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next()? {
+                    '"' => break,
+                    '\\' => match chars.next()? {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        'u' => {
+                            let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                            let code = u32::from_str_radix(&hex, 16).ok()?;
+                            s.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    },
+                    c if (c as u32) < 0x20 => return None,
+                    c => s.push(c),
+                }
+            }
+            tokens.push(Token::Str(s));
+        } else {
+            let mut w = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == ' ' {
+                    break;
+                }
+                if c == '"' || (c as u32) < 0x20 {
+                    return None;
+                }
+                w.push(c);
+                chars.next();
+            }
+            tokens.push(Token::Word(w));
+        }
+    }
+    Some(tokens)
+}
+
+/// A forgiving cursor over the token stream: every accessor returns
+/// `None` on shape mismatch, so one `?`-chain rejects a corrupt record.
+struct Cursor {
+    tokens: std::vec::IntoIter<Token>,
+}
+
+impl Cursor {
+    fn word(&mut self) -> Option<String> {
+        match self.tokens.next()? {
+            Token::Word(w) => Some(w),
+            Token::Str(_) => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        match self.tokens.next()? {
+            Token::Str(s) => Some(s),
+            Token::Word(_) => None,
+        }
+    }
+
+    fn keyword(&mut self, expect: &str) -> Option<()> {
+        (self.word()? == expect).then_some(())
+    }
+
+    fn number<T: std::str::FromStr>(&mut self) -> Option<T> {
+        self.word()?.parse().ok()
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.tokens.as_slice().is_empty()
+    }
+}
+
+fn parse_error(cur: &mut Cursor, instr: &str) -> Option<CoreError> {
+    Some(match cur.word()?.as_str() {
+        "nosolution" => CoreError::NoSolution { instr: instr.to_string() },
+        "exhausted" => CoreError::SolverExhausted { instr: instr.to_string() },
+        "noconvergence" => {
+            CoreError::NoConvergence { instr: instr.to_string(), rounds: cur.number()? }
+        }
+        "invalid" => CoreError::Invalid(cur.string()?),
+        "internal" => CoreError::Internal { instr: instr.to_string(), message: cur.string()? },
+        "stalled" => CoreError::Stalled { instr: instr.to_string() },
+        _ => return None,
+    })
+}
+
+fn parse_snapshot(cur: &mut Cursor, instr: &str) -> Option<TaskSnapshot> {
+    let status = match cur.word()?.as_str() {
+        "solved" => SnapStatus::Solved,
+        "reused" => SnapStatus::Reused,
+        "failed" => SnapStatus::Failed(parse_error(cur, instr)?),
+        _ => return None,
+    };
+    cur.keyword("esc")?;
+    let escalations = cur.number()?;
+    cur.keyword("holes")?;
+    let holes = match cur.word()?.as_str() {
+        "none" => None,
+        "[" => {
+            let mut list = Vec::new();
+            loop {
+                match cur.tokens.next()? {
+                    Token::Word(w) if w == "]" => break,
+                    Token::Str(name) => {
+                        let value: BitVec = cur.word()?.parse().ok()?;
+                        list.push((name, value));
+                    }
+                    Token::Word(_) => return None,
+                }
+            }
+            Some(list)
+        }
+        _ => return None,
+    };
+    cur.keyword("qlog")?;
+    let mut qlog = QueryLog::default();
+    let nums = parse_bracketed_numbers(cur, 8)?;
+    qlog.sat_verified = nums[0];
+    qlog.unsat_verified = nums[1];
+    qlog.trivial = nums[2];
+    qlog.unchecked = nums[3];
+    qlog.terms_before = nums[4];
+    qlog.terms_after = nums[5];
+    qlog.cnf_vars = nums[6];
+    qlog.cnf_clauses = nums[7];
+    cur.keyword("fails")?;
+    cur.keyword("[")?;
+    loop {
+        match cur.tokens.next()? {
+            Token::Word(w) if w == "]" => break,
+            Token::Str(f) => qlog.failures.push(f),
+            Token::Word(_) => return None,
+        }
+    }
+    cur.keyword("stats")?;
+    let stats = parse_bracketed_numbers(cur, 4)?;
+    Some(TaskSnapshot {
+        status,
+        escalations,
+        holes,
+        qlog,
+        cex_rounds: stats[0],
+        solver_calls: stats[1],
+        reused: stats[2],
+        stat_escalations: stats[3],
+    })
+}
+
+/// Parses `[n n ... n]` with exactly `count` numbers. The encoder glues
+/// brackets to the first and last number, so split them off.
+fn parse_bracketed_numbers(cur: &mut Cursor, count: usize) -> Option<Vec<usize>> {
+    let mut nums = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut w = cur.word()?;
+        if i == 0 {
+            w = w.strip_prefix('[')?.to_string();
+        }
+        if i + 1 == count {
+            w = w.strip_suffix(']')?.to_string();
+        }
+        nums.push(w.parse().ok()?);
+    }
+    Some(nums)
+}
+
+/// Parses one record line, checking the CRC and the expected sequence
+/// number. `None` means the record (and everything after it) must be
+/// discarded.
+fn parse_record(line: &str, expect_seq: u64) -> Option<Record> {
+    let (body, crc_hex) = line.rsplit_once(" crc ")?;
+    let stored = u32::from_str_radix(crc_hex.trim(), 16).ok()?;
+    if crc32(body.as_bytes()) != stored {
+        return None;
+    }
+    let mut cur = Cursor { tokens: tokenize(body)?.into_iter() };
+    cur.keyword("rec")?;
+    let seq: u64 = cur.number()?;
+    if seq != expect_seq {
+        return None;
+    }
+    let record = match cur.word()?.as_str() {
+        "task" => {
+            let instr = cur.string()?;
+            let snap = parse_snapshot(&mut cur, &instr)?;
+            Record::Task { instr, snap }
+        }
+        "retry" => {
+            let instr = cur.string()?;
+            let snap = parse_snapshot(&mut cur, &instr)?;
+            Record::Retry { instr, snap }
+        }
+        "stall" => Record::Stall { instr: cur.string()? },
+        "done" => Record::Done,
+        _ => return None,
+    };
+    cur.at_end().then_some(record)
+}
+
+/// What a journal read recovered.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// The header fingerprint, when the header was intact. `None` means
+    /// the journal is unusable end to end (missing, empty, or corrupt
+    /// header) and the session starts fresh.
+    pub fingerprint: Option<u64>,
+    /// Every intact record, in order, up to the first corruption.
+    pub records: Vec<Record>,
+    /// True when a trailing portion failed its CRC / parse and was
+    /// discarded.
+    pub truncated: bool,
+    /// True when a `done` end marker was recovered.
+    pub complete: bool,
+}
+
+/// Reads and validates a journal. Never fails: any I/O error or
+/// corruption degrades to fewer (or zero) recovered records.
+pub fn read_journal(io: &mut dyn JournalIo) -> JournalContents {
+    let text = match io.read_all() {
+        Ok(t) => t,
+        Err(_) => return JournalContents::default(),
+    };
+    let mut out = JournalContents::default();
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return out;
+    }
+    // The fingerprint must be exactly 16 hex digits: a header line torn
+    // mid-write would otherwise still parse — as a *different* value —
+    // and make resume reject a journal that should simply read as empty.
+    let fingerprint = match lines.next().and_then(|l| l.strip_prefix("fingerprint ")) {
+        Some(hex)
+            if hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            match u64::from_str_radix(hex, 16) {
+                Ok(fp) => fp,
+                Err(_) => return out,
+            }
+        }
+        _ => return out,
+    };
+    out.fingerprint = Some(fingerprint);
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_record(line, out.records.len() as u64) {
+            Some(rec) => {
+                out.complete = matches!(rec, Record::Done);
+                out.records.push(rec);
+            }
+            None => {
+                out.truncated = true;
+                break;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// I/O
+// ---------------------------------------------------------------------
+
+/// Journal byte transport. The indirection exists so recovery paths are
+/// testable: [`FileJournal`] injects deterministic I/O faults from the
+/// session's [`FaultPlan`], and tests can substitute an in-memory
+/// implementation.
+pub trait JournalIo: Send {
+    /// Appends one line (terminator added by the implementation) and
+    /// makes it durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected one).
+    fn append_line(&mut self, line: &str) -> io::Result<()>;
+
+    /// Reads the whole journal; missing backing storage reads as empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected one).
+    fn read_all(&mut self) -> io::Result<String>;
+
+    /// Truncates the journal to empty (used when a resumed session
+    /// rewrites its journal from the recovered prefix).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected one).
+    fn reset(&mut self) -> io::Result<()>;
+}
+
+/// Applies an injected I/O fault to a buffer-level operation. Returns
+/// `Ok(bytes_to_write)` possibly shortened, or the injected error.
+fn apply_write_fault(fault: Option<IoFault>, bytes: &[u8]) -> io::Result<&[u8]> {
+    match fault {
+        None => Ok(bytes),
+        Some(IoFault::WriteError) => {
+            Err(io::Error::other("injected journal write error (fault plan)"))
+        }
+        // A torn write: only a prefix reaches the disk, and the caller
+        // sees the failure (as after a crash mid-write).
+        Some(IoFault::ShortWrite(n)) => Ok(&bytes[..n.min(bytes.len())]),
+        // Read-side fault; a write passes through untouched.
+        Some(IoFault::FlipBit(_)) => Ok(bytes),
+    }
+}
+
+/// The production [`JournalIo`]: an append-only file, one `fsync` per
+/// record, faults injected from the session's [`FaultPlan`] I/O channel.
+pub struct FileJournal {
+    path: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl FileJournal {
+    /// A file-backed journal at `path`; `faults` is the session's fault
+    /// plan (its dedicated I/O counter drives injection).
+    #[must_use]
+    pub fn new(path: impl AsRef<Path>, faults: Option<Arc<FaultPlan>>) -> Self {
+        FileJournal { path: path.as_ref().to_path_buf(), faults }
+    }
+
+    fn next_fault(&self) -> Option<IoFault> {
+        self.faults.as_ref().and_then(|p| p.next_io_fault())
+    }
+}
+
+impl JournalIo for FileJournal {
+    fn append_line(&mut self, line: &str) -> io::Result<()> {
+        use std::io::Write as _;
+        let fault = self.next_fault();
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        let torn = matches!(fault, Some(IoFault::ShortWrite(_)));
+        let payload = apply_write_fault(fault, &bytes)?;
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        file.write_all(payload)?;
+        file.sync_data()?;
+        if torn {
+            return Err(io::Error::other("injected short write (fault plan)"));
+        }
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> io::Result<String> {
+        let fault = self.next_fault();
+        let mut bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        if let Some(IoFault::FlipBit(bit)) = fault {
+            if !bytes.is_empty() {
+                let bit = bit % (bytes.len() as u64 * 8);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        String::from_utf8(bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "journal is not UTF-8"))
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        std::fs::write(&self.path, b"")
+    }
+}
+
+/// An in-memory [`JournalIo`] for tests (and a reference for the torn
+/// write semantics: `append_line` under a `ShortWrite` fault keeps the
+/// prefix, like a crash mid-write).
+#[derive(Default)]
+pub struct MemJournal {
+    /// The stored bytes; tests may mutate them directly to model
+    /// arbitrary corruption.
+    pub bytes: Vec<u8>,
+    /// Optional fault plan driving injection, as in [`FileJournal`].
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl MemJournal {
+    fn next_fault(&self) -> Option<IoFault> {
+        self.faults.as_ref().and_then(|p| p.next_io_fault())
+    }
+}
+
+impl JournalIo for MemJournal {
+    fn append_line(&mut self, line: &str) -> io::Result<()> {
+        let fault = self.next_fault();
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        let torn = matches!(fault, Some(IoFault::ShortWrite(_)));
+        let payload = apply_write_fault(fault, &bytes)?;
+        self.bytes.extend_from_slice(payload);
+        if torn {
+            return Err(io::Error::other("injected short write (fault plan)"));
+        }
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> io::Result<String> {
+        let fault = self.next_fault();
+        let mut bytes = self.bytes.clone();
+        if let Some(IoFault::FlipBit(bit)) = fault {
+            if !bytes.is_empty() {
+                let bit = bit % (bytes.len() as u64 * 8);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        String::from_utf8(bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "journal is not UTF-8"))
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.bytes.clear();
+        Ok(())
+    }
+}
+
+/// The write side of a journal: thread-safe, append-only, and
+/// *fail-open* — the first I/O error marks the writer broken and every
+/// later append is a no-op, so durability degrades without ever failing
+/// or wedging the synthesis run.
+pub struct JournalWriter {
+    io: Mutex<Box<dyn JournalIo>>,
+    seq: AtomicU64,
+    broken: AtomicBool,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .field("broken", &self.broken.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal on `io`: truncates it and writes the
+    /// sealed header. I/O failure leaves the writer broken (appends
+    /// become no-ops), never an error.
+    #[must_use]
+    pub fn create(mut io: Box<dyn JournalIo>, fingerprint: u64) -> Self {
+        let ok = io.reset().is_ok()
+            && io.append_line(MAGIC).is_ok()
+            && io.append_line(&format!("fingerprint {fingerprint:016x}")).is_ok();
+        JournalWriter {
+            io: Mutex::new(io),
+            seq: AtomicU64::new(0),
+            broken: AtomicBool::new(!ok),
+        }
+    }
+
+    /// Appends one record. Serialized internally; safe to call from
+    /// worker threads.
+    pub fn append(&self, record: &Record) {
+        if self.broken.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut io = self.io.lock().expect("journal writer poisoned");
+        // Sequence under the lock so records and numbers stay aligned.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if io.append_line(&record.encode(seq)).is_err() {
+            self.broken.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once an I/O failure has disabled journaling for this run.
+    #[must_use]
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Relaxed)
+    }
+
+    /// Records appended so far (monotonic; testing/telemetry hook).
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// splitmix64: the repo's standard in-crate deterministic generator
+    /// (no external dev-dependencies; mirrors the workspace-root
+    /// proptest suite).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn arbitrary_string(state: &mut u64) -> String {
+        let len = (splitmix(state) % 12) as usize;
+        (0..len)
+            .map(|_| {
+                // Bias toward characters that stress the escaper.
+                match splitmix(state) % 10 {
+                    0 => '"',
+                    1 => '\\',
+                    2 => '\n',
+                    3 => '\t',
+                    4 => ' ',
+                    5 => char::from_u32(0x0001 + (splitmix(state) % 0x1F) as u32).unwrap(),
+                    // Multi-byte UTF-8 passes through unescaped.
+                    6 => 'λ',
+                    7 => '🦉',
+                    _ => char::from_u32(0x61 + (splitmix(state) % 26) as u32).unwrap(),
+                }
+            })
+            .collect()
+    }
+
+    fn arbitrary_error(state: &mut u64, instr: &str) -> CoreError {
+        match splitmix(state) % 6 {
+            0 => CoreError::NoSolution { instr: instr.to_string() },
+            1 => CoreError::SolverExhausted { instr: instr.to_string() },
+            2 => CoreError::NoConvergence {
+                instr: instr.to_string(),
+                rounds: (splitmix(state) % 1000) as usize,
+            },
+            3 => CoreError::Invalid(arbitrary_string(state)),
+            4 => CoreError::Internal {
+                instr: instr.to_string(),
+                message: arbitrary_string(state),
+            },
+            _ => CoreError::Stalled { instr: instr.to_string() },
+        }
+    }
+
+    fn arbitrary_snapshot(state: &mut u64, instr: &str) -> TaskSnapshot {
+        let status = match splitmix(state) % 3 {
+            0 => SnapStatus::Solved,
+            1 => SnapStatus::Reused,
+            _ => SnapStatus::Failed(arbitrary_error(state, instr)),
+        };
+        let holes = if matches!(status, SnapStatus::Failed(_)) && splitmix(state) % 2 == 0 {
+            None
+        } else {
+            let n = (splitmix(state) % 4) as usize;
+            Some(
+                (0..n)
+                    .map(|i| {
+                        let width = 1 + (splitmix(state) % 80) as u32;
+                        let value = BitVec::from_u64(width, splitmix(state));
+                        (format!("h{i}_{}", arbitrary_string(state)), value)
+                    })
+                    .collect(),
+            )
+        };
+        let mut qlog = QueryLog {
+            sat_verified: (splitmix(state) % 50) as usize,
+            unsat_verified: (splitmix(state) % 50) as usize,
+            trivial: (splitmix(state) % 5) as usize,
+            unchecked: (splitmix(state) % 5) as usize,
+            terms_before: (splitmix(state) % 100_000) as usize,
+            terms_after: (splitmix(state) % 100_000) as usize,
+            cnf_vars: (splitmix(state) % 1_000_000) as usize,
+            cnf_clauses: (splitmix(state) % 1_000_000) as usize,
+            failures: Vec::new(),
+        };
+        for _ in 0..(splitmix(state) % 3) {
+            qlog.failures.push(arbitrary_string(state));
+        }
+        TaskSnapshot {
+            status,
+            escalations: (splitmix(state) % 5) as u32,
+            holes,
+            qlog,
+            cex_rounds: (splitmix(state) % 300) as usize,
+            solver_calls: (splitmix(state) % 300) as usize,
+            reused: (splitmix(state) % 2) as usize,
+            stat_escalations: (splitmix(state) % 5) as usize,
+        }
+    }
+
+    fn arbitrary_record(state: &mut u64) -> Record {
+        let instr = format!("I{}_{}", splitmix(state) % 40, arbitrary_string(state));
+        match splitmix(state) % 8 {
+            0 => Record::Stall { instr },
+            1 => Record::Done,
+            2..=4 => {
+                let snap = arbitrary_snapshot(state, &instr);
+                Record::Retry { instr, snap }
+            }
+            _ => {
+                let snap = arbitrary_snapshot(state, &instr);
+                Record::Task { instr, snap }
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Deterministic randomized round-trip sweep (256 cases), mirroring
+    /// the proptest property at the workspace root without external
+    /// dev-dependencies.
+    #[test]
+    fn record_encode_decode_round_trip() {
+        let mut state = 0x01E_10AD_ED_u64;
+        for _case in 0..256u64 {
+            let rec = arbitrary_record(&mut state);
+            let line = rec.encode(7);
+            let back = parse_record(&line, 7)
+                .unwrap_or_else(|| panic!("round-trip failed for {line:?}"));
+            assert_eq!(back, rec, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn wrong_sequence_number_rejects() {
+        let rec = Record::Done;
+        let line = rec.encode(3);
+        assert!(parse_record(&line, 3).is_some());
+        assert!(parse_record(&line, 4).is_none());
+    }
+
+    /// Flipping any single bit of an encoded record makes it either
+    /// fail the CRC or (for flips inside the CRC field itself) mismatch
+    /// the recomputed value — it never parses back differently.
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let mut state = 0xBADC_0FFE_u64;
+        for _ in 0..16 {
+            let rec = arbitrary_record(&mut state);
+            let line = rec.encode(0);
+            let bytes = line.as_bytes();
+            for bit in 0..bytes.len() * 8 {
+                let mut corrupt = bytes.to_vec();
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+                let Ok(text) = String::from_utf8(corrupt) else { continue };
+                if let Some(back) = parse_record(&text, 0) {
+                    assert_eq!(
+                        back, rec,
+                        "bit {bit} of {line:?} produced a different record"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A journal truncated at *every* byte offset still reads without
+    /// panicking, recovers a prefix of the records, and reports the
+    /// truncation when a partial record was discarded.
+    #[test]
+    fn truncation_at_every_offset_recovers_a_prefix() {
+        let mut state = 0xD15C_0u64;
+        let records: Vec<Record> = (0..5).map(|_| arbitrary_record(&mut state)).collect();
+        let mut mem = MemJournal::default();
+        mem.append_line(MAGIC).unwrap();
+        mem.append_line(&format!("fingerprint {:016x}", 0xABCDu64)).unwrap();
+        for (i, r) in records.iter().enumerate() {
+            mem.append_line(&r.encode(i as u64)).unwrap();
+        }
+        let full = mem.bytes.clone();
+        for cut in 0..=full.len() {
+            let mut partial = MemJournal { bytes: full[..cut].to_vec(), faults: None };
+            let contents = read_journal(&mut partial);
+            if let Some(fp) = contents.fingerprint {
+                assert_eq!(fp, 0xABCD);
+            }
+            assert!(contents.records.len() <= records.len());
+            assert_eq!(
+                contents.records.as_slice(),
+                &records[..contents.records.len()],
+                "cut at {cut}: recovered records must be an exact prefix"
+            );
+        }
+        // The untouched journal recovers everything.
+        let mut whole = MemJournal { bytes: full, faults: None };
+        let contents = read_journal(&mut whole);
+        assert_eq!(contents.fingerprint, Some(0xABCD));
+        assert_eq!(contents.records, records);
+        assert!(!contents.truncated);
+    }
+
+    #[test]
+    fn corrupt_header_reads_as_empty() {
+        for text in ["", "owl-journal v0\nfingerprint 00\n", "garbage\n", MAGIC, "owl-journal v1\nfingerprint zz\n"] {
+            let mut mem = MemJournal { bytes: text.as_bytes().to_vec(), faults: None };
+            let contents = read_journal(&mut mem);
+            assert!(contents.fingerprint.is_none(), "header {text:?} must read as empty");
+            assert!(contents.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn writer_degrades_on_injected_write_error() {
+        let plan = Arc::new(FaultPlan::new().io_at(2, IoFault::WriteError));
+        let mem = MemJournal { bytes: Vec::new(), faults: Some(plan) };
+        // Ops 0 and 1 are the header lines; op 2 (the first record)
+        // fails and breaks the writer.
+        let writer = JournalWriter::create(Box::new(mem), 1);
+        assert!(!writer.is_broken());
+        writer.append(&Record::Done);
+        assert!(writer.is_broken());
+        // Later appends are silent no-ops.
+        writer.append(&Record::Done);
+        assert_eq!(writer.records_written(), 1);
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_and_later_read_recovers_earlier_records() {
+        let plan = Arc::new(FaultPlan::new().io_at(3, IoFault::ShortWrite(10)));
+        let mut mem = MemJournal { bytes: Vec::new(), faults: Some(plan.clone()) };
+        mem.append_line(MAGIC).unwrap();
+        mem.append_line(&format!("fingerprint {:016x}", 7u64)).unwrap();
+        mem.append_line(&Record::Stall { instr: "A".into() }.encode(0)).unwrap();
+        // Op 3: torn mid-record.
+        let err = mem.append_line(&Record::Stall { instr: "B".into() }.encode(1));
+        assert!(err.is_err());
+        let contents = read_journal(&mut mem);
+        assert_eq!(contents.fingerprint, Some(7));
+        assert_eq!(contents.records, vec![Record::Stall { instr: "A".into() }]);
+        assert!(contents.truncated);
+    }
+
+    #[test]
+    fn flip_bit_on_read_drops_at_most_the_hit_record() {
+        let mut mem = MemJournal::default();
+        mem.append_line(MAGIC).unwrap();
+        mem.append_line(&format!("fingerprint {:016x}", 7u64)).unwrap();
+        let recs: Vec<Record> =
+            (0..4).map(|i| Record::Stall { instr: format!("I{i}") }).collect();
+        for (i, r) in recs.iter().enumerate() {
+            mem.append_line(&r.encode(i as u64)).unwrap();
+        }
+        let bytes = mem.bytes.clone();
+        for bit in (0..bytes.len() as u64 * 8).step_by(13) {
+            let plan = Arc::new(FaultPlan::new().io_at(0, IoFault::FlipBit(bit)));
+            let mut faulty = MemJournal { bytes: bytes.clone(), faults: Some(plan) };
+            let contents = read_journal(&mut faulty);
+            // Whatever was recovered is a correct prefix — possibly
+            // empty when the flip hit the header.
+            assert_eq!(
+                contents.records.as_slice(),
+                &recs[..contents.records.len()],
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fnv64::default();
+        a.field("ab");
+        a.field("c");
+        let mut b = Fnv64::default();
+        b.field("a");
+        b.field("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

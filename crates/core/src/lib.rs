@@ -25,6 +25,7 @@ pub mod certify;
 pub mod codegen;
 pub mod conditions;
 pub mod diagnose;
+pub mod journal;
 pub mod minimize;
 pub mod session;
 pub mod synth;
@@ -35,6 +36,7 @@ pub use abstraction::{AbstractionError, AbstractionFn, DatapathKind, Mapping};
 pub use certify::{differential_check, Certificate, CheckStatus, InstrCertificate, QueryLog};
 pub use conditions::{ConditionBuilder, InstrConditions};
 pub use diagnose::{diagnose, Diagnosis, ObligationStatus};
+pub use journal::{FileJournal, JournalContents, JournalIo, JournalWriter, MemJournal};
 pub use minimize::{minimize_solutions, MinimizeStats};
 pub use session::SynthesisSession;
 #[allow(deprecated)]
@@ -50,7 +52,9 @@ pub use verify::{verify_design, VerifyOpts, VerifyStats};
 
 // Resource-governance handles, re-exported for callers configuring a
 // [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.
-pub use owl_smt::{Budget, CancelFlag, Fault, FaultPlan, QueryCert, SolverConfig, StopReason};
+pub use owl_smt::{
+    Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, QueryCert, SolverConfig, StopReason,
+};
 
 use std::fmt;
 use std::time::Duration;
@@ -90,6 +94,16 @@ pub enum CoreError {
         /// The round limit that was hit.
         rounds: usize,
     },
+    /// The watchdog supervisor observed no solver progress (heartbeats
+    /// frozen) for the configured
+    /// [`stall_timeout`](SynthesisConfig::stall_timeout) and cancelled
+    /// the instruction's in-flight query; the remaining instructions
+    /// still run, and the stalled instruction's budget is donated to
+    /// the phase-2 rebalance.
+    Stalled {
+        /// The instruction whose solver stalled.
+        instr: String,
+    },
     /// The inputs failed validation (bad abstraction function, malformed
     /// sketch, unsupported mode, ...).
     Invalid(String),
@@ -122,7 +136,10 @@ impl CoreError {
     pub fn is_resource(&self) -> bool {
         matches!(
             self,
-            CoreError::Timeout { .. } | CoreError::Cancelled | CoreError::SolverExhausted { .. }
+            CoreError::Timeout { .. }
+                | CoreError::Cancelled
+                | CoreError::SolverExhausted { .. }
+                | CoreError::Stalled { .. }
         )
     }
 
@@ -132,6 +149,9 @@ impl CoreError {
         match reason {
             StopReason::Deadline => CoreError::Timeout { elapsed },
             StopReason::Cancelled => CoreError::Cancelled,
+            StopReason::Stalled => CoreError::Stalled { instr: instr.to_string() },
+            // Conflict/decision/propagation quotas and the memory
+            // ceiling all surface as per-query exhaustion.
             _ => CoreError::SolverExhausted { instr: instr.to_string() },
         }
     }
@@ -156,6 +176,10 @@ impl fmt::Display for CoreError {
             CoreError::NoConvergence { instr, rounds } => {
                 write!(f, "instruction {instr}: CEGIS did not converge within {rounds} rounds")
             }
+            CoreError::Stalled { instr } => write!(
+                f,
+                "instruction {instr}: solver stalled (no progress within the watchdog timeout)"
+            ),
             CoreError::Invalid(message) => write!(f, "{message}"),
             CoreError::Internal { instr, message } => write!(
                 f,

@@ -43,6 +43,9 @@
 use crate::abstraction::AbstractionFn;
 use crate::certify::{build_certificate, panic_message, QueryLog};
 use crate::conditions::InstrConditions;
+use crate::journal::{
+    read_journal, FileJournal, Fnv64, JournalWriter, Record, SnapStatus, TaskSnapshot,
+};
 use crate::synth::{
     cegis, env_of, monolithic, prepare, run_check, solve_with_degradation, zero_candidate,
     InstrOutcome, InstrSolution, InstrStatus, Prepared, SynthesisConfig, SynthesisMode,
@@ -52,12 +55,13 @@ use crate::CoreError;
 use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::Design;
-use owl_smt::{substitute, Budget, SmtResult, SymbolId, TermId, TermManager};
+use owl_smt::{substitute, Budget, CancelFlag, Heartbeat, SmtResult, SymbolId, TermId, TermManager};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A configured synthesis run: the one entry point for fresh synthesis,
 /// incremental re-synthesis, and parallel per-instruction solving.
@@ -83,6 +87,17 @@ pub struct SynthesisSession<'a> {
     config: SynthesisConfig,
     parallelism: usize,
     seeds: Option<Vec<InstrSolution>>,
+    journal: Option<JournalSpec>,
+}
+
+/// How the session uses its journal file.
+#[derive(Debug)]
+struct JournalSpec {
+    path: PathBuf,
+    /// True for [`SynthesisSession::resume`]: recover the intact prefix
+    /// before (re)writing. False for
+    /// [`SynthesisSession::journal_to`]: start fresh.
+    resume: bool,
 }
 
 impl<'a> SynthesisSession<'a> {
@@ -96,6 +111,7 @@ impl<'a> SynthesisSession<'a> {
             config: SynthesisConfig::default(),
             parallelism: 1,
             seeds: None,
+            journal: None,
         }
     }
 
@@ -123,6 +139,36 @@ impl<'a> SynthesisSession<'a> {
         self
     }
 
+    /// Write-ahead-journals the run to `path`: every per-instruction
+    /// result is appended (with a CRC) the moment it completes, under a
+    /// header that fingerprints the design/ILA/α/config. An existing
+    /// file at `path` is overwritten. A journal write failure never
+    /// fails the run — journaling silently degrades. Requires
+    /// per-instruction mode; see the [`journal`](crate::journal) module
+    /// for the format and recovery guarantees.
+    pub fn journal_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(JournalSpec { path: path.into(), resume: false });
+        self
+    }
+
+    /// Resumes from the journal at `path` (and keeps journaling there):
+    /// the intact record prefix is replayed — each journaled
+    /// instruction's solution, query log, and certification tallies are
+    /// restored verbatim instead of re-solved — and only the missing
+    /// instructions run. The resumed output (and certificate) is
+    /// byte-identical to an uninterrupted run at any parallelism level.
+    ///
+    /// A missing, empty, or header-corrupt journal starts fresh; a
+    /// valid header whose fingerprint does not match the session's
+    /// design/ILA/α/config makes [`run`](SynthesisSession::run) fail
+    /// with [`CoreError::Invalid`] (resuming against edited inputs
+    /// would silently produce a wrong design). A corrupt record tail is
+    /// discarded and those instructions re-solve.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(JournalSpec { path: path.into(), resume: true });
+        self
+    }
+
     /// Runs the session on a fresh [`TermManager`].
     ///
     /// # Errors
@@ -147,12 +193,20 @@ impl<'a> SynthesisSession<'a> {
                 "incremental re-synthesis requires per-instruction mode".to_string(),
             ));
         }
+        if self.journal.is_some() && self.config.mode != SynthesisMode::PerInstruction {
+            return Err(CoreError::Invalid(
+                "journaling requires per-instruction mode".to_string(),
+            ));
+        }
+        let (writer, restored) = self.open_journal()?;
         let start = Instant::now();
         let prep = prepare(mgr, self.design, self.ila, self.alpha)?;
         let budget = self.config.run_budget(start);
         let mut stats = SynthesisStats::default();
         let (solutions, outcomes, interrupted, qlogs) = match self.config.mode {
-            SynthesisMode::PerInstruction => self.schedule(mgr, &prep, &budget, start, &mut stats),
+            SynthesisMode::PerInstruction => {
+                self.schedule(mgr, &prep, &budget, start, &mut stats, writer.as_ref(), &restored)
+            }
             SynthesisMode::Monolithic => monolithic(
                 mgr,
                 &prep.holes,
@@ -187,9 +241,59 @@ impl<'a> SynthesisSession<'a> {
         Ok(output)
     }
 
+    /// The session fingerprint: binds a journal to the design text, the
+    /// ILA, the abstraction function, and the semantic configuration
+    /// (the knobs that change results — resource-envelope knobs like
+    /// the wall-clock budget, cancel flag, fault plan, and watchdog
+    /// timeout are excluded so a resumed run may tighten or relax
+    /// them).
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::default();
+        h.field(&self.design.to_string());
+        h.field(&format!("{:?}", self.ila));
+        h.field(&format!("{:?}", self.alpha));
+        h.field(&semantic_config(&self.config));
+        h.finish()
+    }
+
+    /// Opens the configured journal: recovers the intact prefix when
+    /// resuming, validates the fingerprint, and rewrites the journal
+    /// (header plus recovered records) so it is valid even after a
+    /// corrupted tail was discarded.
+    fn open_journal(&self) -> Result<(Option<JournalWriter>, Restored), CoreError> {
+        let Some(spec) = &self.journal else {
+            return Ok((None, Restored::default()));
+        };
+        let fp = self.fingerprint();
+        let mut io = FileJournal::new(&spec.path, self.config.fault_plan.clone());
+        let mut restored = Restored::default();
+        if spec.resume {
+            let contents = read_journal(&mut io);
+            if let Some(found) = contents.fingerprint {
+                if found != fp {
+                    return Err(CoreError::Invalid(format!(
+                        "journal {} was written for different inputs (journal fingerprint \
+                         {found:016x}, session fingerprint {fp:016x}); refusing to resume",
+                        spec.path.display()
+                    )));
+                }
+                restored = Restored::from_records(contents.records);
+            }
+        }
+        let writer = JournalWriter::create(Box::new(io), fp);
+        for rec in restored.relog() {
+            writer.append(&rec);
+        }
+        Ok((Some(writer), restored))
+    }
+
     /// The per-instruction scheduler: phase 1 solves every instruction
     /// as an independent task on a worker pool; phase 2 deterministically
     /// rebalances leftover conflict quota onto exhausted stragglers.
+    /// Journaled instructions recovered by [`SynthesisSession::resume`]
+    /// are restored into their slots instead of re-solved, and every
+    /// completed task is write-ahead-journaled as it lands.
+    #[allow(clippy::too_many_arguments)]
     fn schedule(
         &self,
         mgr: &TermManager,
@@ -197,6 +301,8 @@ impl<'a> SynthesisSession<'a> {
         budget: &Budget,
         start: Instant,
         stats: &mut SynthesisStats,
+        journal: Option<&JournalWriter>,
+        restored: &Restored,
     ) -> (Vec<InstrSolution>, Vec<InstrOutcome>, Option<CoreError>, Vec<QueryLog>) {
         let holes = &prep.holes;
         let all_conds = &prep.all_conds;
@@ -219,27 +325,69 @@ impl<'a> SynthesisSession<'a> {
             .collect();
 
         let workers = self.parallelism.min(n).max(1);
-        let slots: Vec<Mutex<Option<TaskOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<TaskOutput>>> = (0..n)
+            .map(|i| {
+                // Journal replay: a restored instruction's phase-1 state
+                // goes straight into its slot, byte-identical to what
+                // the interrupted run computed; the workers skip it.
+                let snap = restored.tasks.get(&all_conds[i].name);
+                if snap.is_some() {
+                    stats.replayed += 1;
+                }
+                Mutex::new(snap.map(|s| output_from_snapshot(&all_conds[i].name, s)))
+            })
+            .collect();
+        let watch = self.config.stall_timeout.map(|timeout| Watchdog::new(n, timeout));
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = run_task(
-                        mgr,
-                        holes,
-                        &all_conds[i],
-                        seeds[i].clone(),
-                        &self.config,
-                        budget,
-                        start,
-                    );
-                    *slots[i].lock().expect("task slot poisoned") = Some(out);
-                });
+        let supervisor_stop = AtomicBool::new(false);
+        std::thread::scope(|outer| {
+            if let Some(wd) = &watch {
+                outer.spawn(|| wd.supervise(&supervisor_stop, journal, all_conds));
             }
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if slots[i].lock().expect("task slot poisoned").is_some() {
+                            continue; // restored from the journal
+                        }
+                        let task_budget = match &watch {
+                            Some(wd) => wd.attach(i, budget),
+                            None => budget.clone(),
+                        };
+                        if let Some(wd) = &watch {
+                            wd.slots[i].active.store(true, Ordering::Release);
+                        }
+                        let out = run_task(
+                            mgr,
+                            holes,
+                            &all_conds[i],
+                            seeds[i].clone(),
+                            &self.config,
+                            &task_budget,
+                            start,
+                        );
+                        if let Some(wd) = &watch {
+                            wd.slots[i].active.store(false, Ordering::Release);
+                        }
+                        // Write-ahead journal: the record is durable
+                        // before the result is published to the slot.
+                        if let Some(w) = journal {
+                            if let Some(snap) = snapshot_of(&out) {
+                                w.append(&Record::Task {
+                                    instr: all_conds[i].name.clone(),
+                                    snap,
+                                });
+                            }
+                        }
+                        *slots[i].lock().expect("task slot poisoned") = Some(out);
+                    });
+                }
+            });
+            supervisor_stop.store(true, Ordering::Release);
         });
         let mut tasks: Vec<TaskOutput> = slots
             .into_iter()
@@ -248,7 +396,10 @@ impl<'a> SynthesisSession<'a> {
             })
             .collect();
 
-        self.rebalance(mgr, holes, all_conds, &mut tasks, budget, start);
+        self.rebalance(mgr, holes, all_conds, &mut tasks, budget, start, stats, journal, restored);
+        if let Some(w) = journal {
+            w.append(&Record::Done);
+        }
 
         // Assembly, in specification order.
         let mut interrupted: Option<CoreError> = tasks.iter().find_map(|t| match &t.outcome.status
@@ -281,10 +432,14 @@ impl<'a> SynthesisSession<'a> {
     }
 
     /// Phase 2: instructions that solved without touching their
-    /// escalation ladder donate their base conflict quota; the pooled
-    /// donation is split evenly across the instructions that exhausted
-    /// theirs, each of which gets one boosted retry from the zero
-    /// candidate. Deterministic because phase-1 outcomes are.
+    /// escalation ladder — and instructions the watchdog declared
+    /// stalled, whose remaining quota is worthless to them — donate
+    /// their base conflict quota; the pooled donation is split evenly
+    /// across the instructions that exhausted theirs, each of which gets
+    /// one boosted retry from the zero candidate. Deterministic because
+    /// phase-1 outcomes are. Retries restored from a resumed journal are
+    /// replayed instead of re-run; fresh retries are journaled.
+    #[allow(clippy::too_many_arguments)]
     fn rebalance(
         &self,
         mgr: &TermManager,
@@ -293,6 +448,9 @@ impl<'a> SynthesisSession<'a> {
         tasks: &mut [TaskOutput],
         budget: &Budget,
         start: Instant,
+        stats: &mut SynthesisStats,
+        journal: Option<&JournalWriter>,
+        restored: &Restored,
     ) {
         let Some(base_quota) = self.config.conflict_budget else { return };
         let interrupted = tasks.iter().any(|t| {
@@ -316,8 +474,12 @@ impl<'a> SynthesisSession<'a> {
         let donations: Vec<Budget> = tasks
             .iter()
             .filter(|t| {
-                t.outcome.escalations == 0
-                    && matches!(t.outcome.status, InstrStatus::Solved | InstrStatus::Reused)
+                (t.outcome.escalations == 0
+                    && matches!(t.outcome.status, InstrStatus::Solved | InstrStatus::Reused))
+                    || matches!(
+                        &t.outcome.status,
+                        InstrStatus::Failed(CoreError::Stalled { .. })
+                    )
             })
             .map(|_| budget.clone().with_conflicts(Some(base_quota)))
             .collect();
@@ -327,15 +489,41 @@ impl<'a> SynthesisSession<'a> {
         let pool = Budget::merge(&donations);
         let shares = pool.partition(stragglers.len());
 
+        // Journal replay: a `retry` record supersedes its instruction's
+        // phase-1 snapshot, so the straggler's boosted attempt is not
+        // repeated. (An intact retry record implies every task record
+        // is intact — retries are always written after all tasks and
+        // recovery stops at the first damaged record — so the straggler
+        // set computed above matches the interrupted run's.)
+        let mut fresh: Vec<(usize, usize)> = Vec::new(); // (share index, task index)
+        for (k, &i) in stragglers.iter().enumerate() {
+            if let Some(snap) = restored.retries.get(&all_conds[i].name) {
+                tasks[i] = output_from_snapshot(&all_conds[i].name, snap);
+                stats.replayed += 1;
+            } else {
+                fresh.push((k, i));
+            }
+        }
+        if fresh.is_empty() {
+            return;
+        }
+
         let cursor = AtomicUsize::new(0);
         let retries: Vec<(usize, Mutex<&mut TaskOutput>, Budget)> = {
             // Pair each straggler with its boosted budget: the top of its
-            // escalation ladder plus its share of the donated pool.
+            // escalation ladder plus its share of the donated pool. The
+            // share index k is positional over the *full* straggler set,
+            // so a partially-restored resume hands each fresh retry the
+            // same boost the uninterrupted run would have.
             let mut slots: Vec<(usize, Mutex<&mut TaskOutput>, Budget)> = Vec::new();
-            let mut remaining: Vec<&mut TaskOutput> = tasks.iter_mut().collect();
-            // Drain in reverse so indices stay valid while splitting.
-            for (k, &i) in stragglers.iter().enumerate().rev() {
-                let t = remaining.swap_remove(i);
+            let mut remaining: Vec<(usize, &mut TaskOutput)> =
+                tasks.iter_mut().enumerate().collect();
+            for &(k, i) in fresh.iter().rev() {
+                let pos = remaining
+                    .iter()
+                    .position(|(idx, _)| *idx == i)
+                    .expect("straggler index present");
+                let (_, t) = remaining.swap_remove(pos);
                 let ladder_top =
                     self.config.escalated_conflicts(self.config.max_escalations).unwrap_or(0);
                 let boost =
@@ -354,7 +542,7 @@ impl<'a> SynthesisSession<'a> {
                     }
                     let (i, slot, retry_budget) = &retries[r];
                     let mut task = slot.lock().expect("retry slot poisoned");
-                    retry_task(
+                    let ran = retry_task(
                         mgr,
                         holes,
                         &all_conds[*i],
@@ -363,6 +551,16 @@ impl<'a> SynthesisSession<'a> {
                         start,
                         &mut task,
                     );
+                    if ran {
+                        if let Some(w) = journal {
+                            if let Some(snap) = snapshot_of(&task) {
+                                w.append(&Record::Retry {
+                                    instr: all_conds[*i].name.clone(),
+                                    snap,
+                                });
+                            }
+                        }
+                    }
                 });
             }
         });
@@ -511,7 +709,9 @@ fn task_step(
 
 /// One boosted retry for a straggler: a single CEGIS attempt from the
 /// zero candidate under the rebalanced conflict quota, recording into
-/// the task's existing log and stats.
+/// the task's existing log and stats. Returns whether the attempt
+/// actually ran (false when the entry checkpoint skipped it), so the
+/// caller knows whether to journal the superseding outcome.
 fn retry_task(
     base: &TermManager,
     holes: &[(String, TermId, SymbolId)],
@@ -520,9 +720,9 @@ fn retry_task(
     retry_budget: &Budget,
     start: Instant,
     task: &mut TaskOutput,
-) {
+) -> bool {
     if retry_budget.checkpoint().is_some() {
-        return; // keep the phase-1 outcome
+        return false; // keep the phase-1 outcome
     }
     let mut mgr = base.clone();
     let mut stats = std::mem::take(&mut task.stats);
@@ -562,5 +762,232 @@ fn retry_task(
             task.outcome.status = InstrStatus::Failed(e);
         }
         Err(_) => {} // keep the phase-1 SolverExhausted verdict
+    }
+    true
+}
+
+/// The journaled records recovered from an interrupted run, keyed by
+/// instruction name.
+#[derive(Debug, Default)]
+struct Restored {
+    /// Phase-1 snapshots (`task` records).
+    tasks: HashMap<String, TaskSnapshot>,
+    /// Phase-2 snapshots (`retry` records), superseding `tasks` entries.
+    retries: HashMap<String, TaskSnapshot>,
+}
+
+impl Restored {
+    fn from_records(records: Vec<Record>) -> Self {
+        let mut restored = Restored::default();
+        for rec in records {
+            match rec {
+                Record::Task { instr, snap } => {
+                    restored.tasks.insert(instr, snap);
+                }
+                Record::Retry { instr, snap } => {
+                    restored.retries.insert(instr, snap);
+                }
+                // Stall events are provenance; a completed-run marker
+                // carries no state (the resumed run re-assembles and
+                // re-certifies from the snapshots either way).
+                Record::Stall { .. } | Record::Done => {}
+            }
+        }
+        restored
+    }
+
+    /// The recovered records, re-encoded for the rewritten journal:
+    /// all tasks before all retries (the order the scheduler writes
+    /// them), each group in name order for a deterministic file.
+    fn relog(&self) -> Vec<Record> {
+        let mut records = Vec::with_capacity(self.tasks.len() + self.retries.len());
+        let mut tasks: Vec<_> = self.tasks.iter().collect();
+        tasks.sort_by(|a, b| a.0.cmp(b.0));
+        for (instr, snap) in tasks {
+            records.push(Record::Task { instr: instr.clone(), snap: snap.clone() });
+        }
+        let mut retries: Vec<_> = self.retries.iter().collect();
+        retries.sort_by(|a, b| a.0.cmp(b.0));
+        for (instr, snap) in retries {
+            records.push(Record::Retry { instr: instr.clone(), snap: snap.clone() });
+        }
+        records
+    }
+}
+
+/// The canonical text of the result-determining configuration knobs,
+/// hashed into the journal fingerprint. The wall-clock budget, cancel
+/// flag, fault plan and stall timeout are deliberately excluded: they
+/// decide *whether* a run finishes, not *what* it computes, so a
+/// resumed run may tighten or relax them (e.g. resume a crashed CI run
+/// with a longer deadline).
+fn semantic_config(c: &SynthesisConfig) -> String {
+    format!(
+        "mode={:?} max_cex_rounds={} conflicts={:?} decisions={:?} propagations={:?} \
+         memory={:?} max_escalations={} certify={} differential_samples={} \
+         differential_seed={} simplify={}",
+        c.mode,
+        c.max_cex_rounds,
+        c.conflict_budget,
+        c.decision_budget,
+        c.propagation_budget,
+        c.memory_budget,
+        c.max_escalations,
+        c.certify,
+        c.differential_samples,
+        c.differential_seed,
+        c.simplify,
+    )
+}
+
+/// A restorable snapshot of a finished task, or `None` when the task's
+/// verdict is tied to this run's wall clock (never-started `Skipped`
+/// tasks and deadline/cancellation failures re-run on resume — their
+/// outcome is not a property of the problem).
+fn snapshot_of(out: &TaskOutput) -> Option<TaskSnapshot> {
+    if out.stop.is_some() {
+        return None;
+    }
+    let status = match &out.outcome.status {
+        InstrStatus::Solved => SnapStatus::Solved,
+        InstrStatus::Reused => SnapStatus::Reused,
+        InstrStatus::Failed(e) if !e.is_global_stop() => SnapStatus::Failed(e.clone()),
+        _ => return None,
+    };
+    let holes = out.solution.as_ref().map(|sol| {
+        let mut holes: Vec<(String, BitVec)> =
+            sol.holes.iter().map(|(name, value)| (name.clone(), value.clone())).collect();
+        holes.sort_by(|a, b| a.0.cmp(&b.0));
+        holes
+    });
+    Some(TaskSnapshot {
+        status,
+        escalations: out.outcome.escalations,
+        holes,
+        qlog: out.qlog.clone(),
+        cex_rounds: out.stats.cex_rounds,
+        solver_calls: out.stats.solver_calls,
+        reused: out.stats.reused,
+        stat_escalations: out.stats.escalations,
+    })
+}
+
+/// Rebuilds the exact `TaskOutput` the interrupted run computed for
+/// `instr` from its journaled snapshot. `outcome.solver_calls` stays 0
+/// here — assembly sets it from the stats counter, exactly as it does
+/// for freshly-solved tasks.
+fn output_from_snapshot(instr: &str, snap: &TaskSnapshot) -> TaskOutput {
+    let solution = |snap: &TaskSnapshot| InstrSolution {
+        instr: instr.to_string(),
+        holes: snap.holes.clone().unwrap_or_default().into_iter().collect(),
+    };
+    let (status, solution) = match &snap.status {
+        SnapStatus::Solved => (InstrStatus::Solved, Some(solution(snap))),
+        SnapStatus::Reused => (InstrStatus::Reused, Some(solution(snap))),
+        SnapStatus::Failed(e) => (InstrStatus::Failed(e.clone()), None),
+    };
+    let stats = SynthesisStats {
+        cex_rounds: snap.cex_rounds,
+        solver_calls: snap.solver_calls,
+        reused: snap.reused,
+        escalations: snap.stat_escalations,
+        ..Default::default()
+    };
+    TaskOutput {
+        outcome: InstrOutcome {
+            instr: instr.to_string(),
+            status,
+            escalations: snap.escalations,
+            solver_calls: 0,
+        },
+        solution,
+        qlog: snap.qlog.clone(),
+        stats,
+        stop: None,
+    }
+}
+
+/// Phase-1 stall supervision: one slot per instruction task, sampled by
+/// a dedicated supervisor thread while the worker pool runs.
+struct WatchSlot {
+    /// Bumped by the solver at conflict and decision boundaries.
+    hb: Heartbeat,
+    /// Raised by the supervisor; observed at the solver's next budget
+    /// checkpoint as [`StopReason::Stalled`](owl_smt::StopReason).
+    flag: CancelFlag,
+    /// True while a worker is inside `run_task` for this instruction.
+    active: AtomicBool,
+    /// Latched once the supervisor declares the task stalled, so the
+    /// stall is journaled exactly once.
+    stalled: AtomicBool,
+}
+
+struct Watchdog {
+    slots: Vec<WatchSlot>,
+    timeout: Duration,
+}
+
+impl Watchdog {
+    fn new(n: usize, timeout: Duration) -> Self {
+        Watchdog {
+            slots: (0..n)
+                .map(|_| WatchSlot {
+                    hb: Heartbeat::new(),
+                    flag: CancelFlag::new(),
+                    active: AtomicBool::new(false),
+                    stalled: AtomicBool::new(false),
+                })
+                .collect(),
+            timeout,
+        }
+    }
+
+    /// The budget a worker hands to task `i`: the shared budget plus
+    /// this task's heartbeat and private stall flag.
+    fn attach(&self, i: usize, budget: &Budget) -> Budget {
+        budget
+            .clone()
+            .with_heartbeat(self.slots[i].hb.clone())
+            .with_stall_flag(self.slots[i].flag.clone())
+    }
+
+    /// The supervisor loop: samples every active task's heartbeat; a
+    /// task whose count stays frozen past the timeout is declared
+    /// stalled — its private stall flag is raised (the solver observes
+    /// it at the next checkpoint and unwinds with a typed
+    /// [`CoreError::Stalled`]) and the event is journaled. Inactive
+    /// slots keep their baseline fresh so a task that merely *starts*
+    /// late is not misread as stalled.
+    fn supervise(
+        &self,
+        stop: &AtomicBool,
+        journal: Option<&JournalWriter>,
+        all_conds: &[InstrConditions],
+    ) {
+        let poll = (self.timeout / 4)
+            .clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let mut last: Vec<(u64, Instant)> =
+            self.slots.iter().map(|s| (s.hb.count(), Instant::now())).collect();
+        while !stop.load(Ordering::Acquire) {
+            std::thread::sleep(poll);
+            let now = Instant::now();
+            for (i, slot) in self.slots.iter().enumerate() {
+                let count = slot.hb.count();
+                if !slot.active.load(Ordering::Acquire)
+                    || slot.stalled.load(Ordering::Acquire)
+                    || count != last[i].0
+                {
+                    last[i] = (count, now);
+                    continue;
+                }
+                if now.duration_since(last[i].1) >= self.timeout {
+                    slot.stalled.store(true, Ordering::Release);
+                    slot.flag.cancel();
+                    if let Some(w) = journal {
+                        w.append(&Record::Stall { instr: all_conds[i].name.clone() });
+                    }
+                }
+            }
+        }
     }
 }

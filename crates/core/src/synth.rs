@@ -70,6 +70,20 @@ pub struct SynthesisConfig {
     pub decision_budget: Option<u64>,
     /// Optional SAT propagation limit per solver call.
     pub propagation_budget: Option<u64>,
+    /// Optional ceiling, in bytes, on each solver call's learned-clause
+    /// database. Hitting the cap triggers aggressive clause-DB
+    /// reduction; if the database still exceeds the cap the call stops
+    /// with a typed [`CoreError::SolverExhausted`] — never an OOM kill.
+    pub memory_budget: Option<u64>,
+    /// Optional watchdog timeout for the parallel scheduler: a task
+    /// whose solver heartbeat (conflict/decision progress) freezes for
+    /// this long is cancelled with a typed [`CoreError::Stalled`], its
+    /// fact is journaled, and its budget is donated to the phase-2
+    /// rebalance. `None` (the default) disables the watchdog. Stall
+    /// detection is wall-clock based, so — like deadlines and mid-run
+    /// cancellation — it is a documented exception to the
+    /// thread-count-invariance contract.
+    pub stall_timeout: Option<Duration>,
     /// Shared cancellation flag; raise it from another thread to stop
     /// the run (and any in-flight query) cooperatively.
     pub cancel: CancelFlag,
@@ -110,6 +124,8 @@ impl Default for SynthesisConfig {
             time_budget: None,
             decision_budget: None,
             propagation_budget: None,
+            memory_budget: None,
+            stall_timeout: None,
             cancel: CancelFlag::new(),
             max_escalations: 3,
             fault_plan: None,
@@ -131,7 +147,6 @@ impl SynthesisConfig {
     ///     .certify(false)
     ///     .build();
     /// ```
-    #[must_use]
     pub fn builder() -> SynthesisConfigBuilder {
         SynthesisConfigBuilder { config: SynthesisConfig::default() }
     }
@@ -143,6 +158,7 @@ impl SynthesisConfig {
             .with_conflicts(self.conflict_budget)
             .with_decisions(self.decision_budget)
             .with_propagations(self.propagation_budget)
+            .with_memory(self.memory_budget)
             .with_cancel(self.cancel.clone());
         if let Some(limit) = self.time_budget {
             budget = budget.with_deadline(start + limit);
@@ -203,6 +219,20 @@ impl SynthesisConfigBuilder {
     /// SAT propagation limit per solver call.
     pub fn propagation_budget(mut self, propagations: impl Into<Option<u64>>) -> Self {
         self.config.propagation_budget = propagations.into();
+        self
+    }
+
+    /// Learned-clause memory ceiling per solver call, in bytes
+    /// (default: none).
+    pub fn memory_budget(mut self, bytes: impl Into<Option<u64>>) -> Self {
+        self.config.memory_budget = bytes.into();
+        self
+    }
+
+    /// Watchdog stall timeout for the parallel scheduler (default:
+    /// none — the watchdog is off).
+    pub fn stall_timeout(mut self, timeout: impl Into<Option<Duration>>) -> Self {
+        self.config.stall_timeout = timeout.into();
         self
     }
 
@@ -269,6 +299,10 @@ pub struct SynthesisStats {
     pub reused: usize,
     /// Conflict-budget escalation retries performed.
     pub escalations: usize,
+    /// Instructions restored from a journal instead of re-solved
+    /// (resumed sessions only). Like `elapsed`, this is provenance, not
+    /// output: it is excluded from the byte-identical-resume contract.
+    pub replayed: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
     /// Term-graph nodes across all queries before eqsat simplification.

@@ -742,26 +742,21 @@ fn rw_cmp(g: &mut EGraph, id: Id, node: &ENode) {
                 g.union(id, n);
             }
         }
-        EBinOp::Ule => {
+        EBinOp::Ule
             if a == b
                 || g.const_of(a).is_some_and(BitVec::is_zero)
-                || g.const_of(b).is_some_and(BitVec::is_ones)
-            {
-                let t = g.add_const(tru);
-                g.union(id, t);
-            }
+                || g.const_of(b).is_some_and(BitVec::is_ones) =>
+        {
+            let t = g.add_const(tru);
+            g.union(id, t);
         }
-        EBinOp::Slt => {
-            if a == b {
-                let f = g.add_const(fls);
-                g.union(id, f);
-            }
+        EBinOp::Slt if a == b => {
+            let f = g.add_const(fls);
+            g.union(id, f);
         }
-        EBinOp::Sle => {
-            if a == b {
-                let t = g.add_const(tru);
-                g.union(id, t);
-            }
+        EBinOp::Sle if a == b => {
+            let t = g.add_const(tru);
+            g.union(id, t);
         }
         _ => {}
     }

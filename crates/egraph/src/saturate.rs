@@ -47,7 +47,8 @@ const POLL_STRIDE: usize = 1024;
 /// Runs `rules` over `egraph` to fixpoint or until a limit fires.
 ///
 /// The budget's deadline/cancellation is polled before every iteration
-/// and every [`POLL_STRIDE`] rule applications within one. If the budget
+/// and every `POLL_STRIDE` (1024) rule applications within one. If the
+/// budget
 /// carries a fault plan, one fault index is consumed per iteration:
 /// [`Fault::StallMillis`] sleeps (so deadline handling is testable) and
 /// [`Fault::ForceUnknown`] abandons saturation with
@@ -93,7 +94,7 @@ pub fn saturate(
             for rule in rules {
                 (rule.apply)(egraph, *id, node);
                 applications += 1;
-                if applications % POLL_STRIDE == 0 {
+                if applications.is_multiple_of(POLL_STRIDE) {
                     if let Some(reason) = budget.checkpoint() {
                         report.stop = Some(reason);
                         interrupted = true;

@@ -28,4 +28,4 @@ pub use eqsat::{optimize_eqsat, optimize_with, OptLevel, SaturationLimits};
 pub use lower::lower;
 pub use net::{GateKind, GateStats, NetId, Netlist};
 pub use opt::optimize;
-pub use sim::GateSim;
+pub use sim::{GateSim, SimError};

@@ -395,6 +395,9 @@ impl Lowerer<'_> {
             }
             Expr::SExt(a, w) => {
                 let mut out = self.expr(a)?;
+                // Invariant: the Oyster validator rejects zero-width
+                // expressions before lowering begins, so a sign-extend
+                // source always has at least one (sign) bit.
                 let sign = *out.last().expect("nonzero width");
                 out.resize(*w as usize, sign);
                 out

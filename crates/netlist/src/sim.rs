@@ -4,6 +4,47 @@
 use crate::net::{GateKind, NetId, Netlist};
 use owl_bitvec::BitVec;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A typed gate-level simulation error.
+///
+/// The panicking convenience API ([`GateSim::step`], [`GateSim::reg`],
+/// [`GateSim::poke_mem`]) is a thin wrapper over the fallible `try_*`
+/// methods; harness code driving a simulator with untrusted names or
+/// stimuli should use the `try_*` forms and handle these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The named memory block does not exist in the netlist.
+    UnknownMemory(String),
+    /// The named register does not exist in the netlist.
+    UnknownRegister(String),
+    /// No value was supplied for this input this cycle.
+    MissingInput(String),
+    /// An input value's width does not match the port.
+    WidthMismatch {
+        /// The input port name.
+        name: String,
+        /// The port's declared width.
+        expected: u32,
+        /// The width of the supplied value.
+        got: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownMemory(name) => write!(f, "unknown memory {name}"),
+            SimError::UnknownRegister(name) => write!(f, "unknown register {name}"),
+            SimError::MissingInput(name) => write!(f, "missing input {name}"),
+            SimError::WidthMismatch { name, expected, got } => {
+                write!(f, "input {name} is {got} bits wide, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A gate-level simulator over a [`Netlist`].
 #[derive(Debug)]
@@ -28,15 +69,28 @@ impl<'n> GateSim<'n> {
     ///
     /// # Panics
     ///
-    /// Panics if the memory name is unknown.
+    /// Panics if the memory name is unknown; see
+    /// [`try_poke_mem`](GateSim::try_poke_mem).
     pub fn poke_mem(&mut self, name: &str, addr: u64, data: BitVec) {
+        self.try_poke_mem(name, addr, data).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Writes a memory word directly (for loading programs), failing
+    /// with a typed error when the memory name is unknown.
+    pub fn try_poke_mem(
+        &mut self,
+        name: &str,
+        addr: u64,
+        data: BitVec,
+    ) -> Result<(), SimError> {
         let idx = self
             .netlist
             .mems
             .iter()
             .position(|m| m.name == name)
-            .unwrap_or_else(|| panic!("unknown memory {name}"));
+            .ok_or_else(|| SimError::UnknownMemory(name.to_string()))?;
         self.mems[idx].insert(addr, data);
+        Ok(())
     }
 
     fn read_mem(&self, mem_idx: usize, addr: u64) -> BitVec {
@@ -57,9 +111,33 @@ impl<'n> GateSim<'n> {
     ///
     /// # Panics
     ///
-    /// Panics if an input value is missing or has the wrong width.
+    /// Panics if an input value is missing or has the wrong width; see
+    /// [`try_step`](GateSim::try_step).
     pub fn step(&mut self, inputs: &HashMap<String, BitVec>) -> HashMap<String, BitVec> {
+        self.try_step(inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Simulates one cycle, returning the output values, failing with a
+    /// typed error when an input is missing or mis-sized (the simulator
+    /// state is untouched in that case).
+    pub fn try_step(
+        &mut self,
+        inputs: &HashMap<String, BitVec>,
+    ) -> Result<HashMap<String, BitVec>, SimError> {
         let nl = self.netlist;
+        // Validate the whole stimulus before evaluating anything, so a
+        // rejected step never half-commits flip-flop or memory state.
+        for (name, bits) in &nl.inputs {
+            let v = inputs.get(name).ok_or_else(|| SimError::MissingInput(name.clone()))?;
+            let expected = bits.len() as u32;
+            if v.width() != expected {
+                return Err(SimError::WidthMismatch {
+                    name: name.clone(),
+                    expected,
+                    got: v.width(),
+                });
+            }
+        }
         let mut values = vec![false; nl.gates.len()];
         // Pre-compute read-port addresses lazily: nets evaluate in index
         // order, and a MemRead net is always created after its address
@@ -69,9 +147,7 @@ impl<'n> GateSim<'n> {
                 GateKind::Const(b) => b,
                 GateKind::Input(input_idx, bit) => {
                     let (name, _) = &nl.inputs[input_idx as usize];
-                    let v = inputs
-                        .get(name)
-                        .unwrap_or_else(|| panic!("missing input {name}"));
+                    let v = &inputs[name]; // presence validated above
                     v.bit(bit)
                 }
                 GateKind::And(a, b) => values[a.index()] && values[b.index()],
@@ -105,22 +181,30 @@ impl<'n> GateSim<'n> {
             }
         }
 
-        nl.outputs
+        Ok(nl
+            .outputs
             .iter()
             .map(|(name, bits)| {
                 let v: Vec<bool> = bits.iter().map(|n| values[n.index()]).collect();
                 (name.clone(), BitVec::from_bits_lsb0(&v))
             })
-            .collect()
+            .collect())
     }
 
     /// The current value of a register (by its Oyster name).
     ///
     /// # Panics
     ///
-    /// Panics if the register name is unknown.
+    /// Panics if the register name is unknown; see
+    /// [`try_reg`](GateSim::try_reg).
     #[must_use]
     pub fn reg(&self, name: &str) -> BitVec {
+        self.try_reg(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The current value of a register (by its Oyster name), failing
+    /// with a typed error when the name is unknown.
+    pub fn try_reg(&self, name: &str) -> Result<BitVec, SimError> {
         let bits: Vec<bool> = self
             .netlist
             .dff_names
@@ -129,8 +213,10 @@ impl<'n> GateSim<'n> {
             .filter(|(_, n)| *n == name)
             .map(|(i, _)| self.dff_state[i])
             .collect();
-        assert!(!bits.is_empty(), "unknown register {name}");
-        BitVec::from_bits_lsb0(&bits)
+        if bits.is_empty() {
+            return Err(SimError::UnknownRegister(name.to_string()));
+        }
+        Ok(BitVec::from_bits_lsb0(&bits))
     }
 }
 
@@ -238,6 +324,36 @@ mod tests {
                 vec![("a", 2, 2)],
                 vec![("a", 2, 3)],
             ],
+        );
+    }
+
+    /// Bad harness inputs surface as typed errors (and a rejected step
+    /// leaves the simulator state untouched), not panics.
+    #[test]
+    fn bad_stimulus_gives_typed_errors() {
+        let d: Design = "design t\ninput x 8\nregister r 8\nr := r + x\nend\n".parse().unwrap();
+        let nl = lower(&d).unwrap();
+        let mut sim = GateSim::new(&nl);
+        sim.step(&inputs(&[("x", 8, 7)]));
+        assert_eq!(sim.reg("r"), BitVec::from_u64(8, 7));
+
+        let missing = sim.try_step(&HashMap::new());
+        assert_eq!(missing, Err(SimError::MissingInput("x".to_string())));
+        let narrow = sim.try_step(&inputs(&[("x", 4, 1)]));
+        assert_eq!(
+            narrow,
+            Err(SimError::WidthMismatch { name: "x".to_string(), expected: 8, got: 4 })
+        );
+        // The rejected steps must not have clocked the register.
+        assert_eq!(sim.try_reg("r"), Ok(BitVec::from_u64(8, 7)));
+
+        assert_eq!(
+            sim.try_reg("nope"),
+            Err(SimError::UnknownRegister("nope".to_string()))
+        );
+        assert_eq!(
+            sim.try_poke_mem("nomem", 0, BitVec::zero(8)),
+            Err(SimError::UnknownMemory("nomem".to_string()))
         );
     }
 

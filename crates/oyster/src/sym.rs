@@ -312,7 +312,7 @@ impl SymbolicEvaluator {
 mod tests {
     use super::*;
     use owl_bitvec::BitVec;
-    use owl_smt::{check, Env, SmtResult, TermKind};
+    use owl_smt::{solve, Env, SmtResult, TermKind};
 
     fn sym_of(mgr: &TermManager, t: TermId) -> owl_smt::SymbolId {
         match *mgr.kind(t) {
@@ -348,7 +348,7 @@ mod tests {
         let one = mgr.const_u64(8, 1);
         let expect = mgr.add(init, one);
         let bad = mgr.neq(after, expect);
-        assert!(check(&mut mgr, &[bad], None).is_unsat());
+        assert!(solve(&mut mgr, &[bad], None).result.is_unsat());
     }
 
     #[test]
@@ -367,13 +367,13 @@ mod tests {
         let mem = trace.snapshots[1].mems["ram"].clone();
         let rd = mem.read(&mut mgr, addr);
         let bad = mgr.neq(rd, data);
-        assert!(check(&mut mgr, &[bad], None).is_unsat());
+        assert!(solve(&mut mgr, &[bad], None).result.is_unsat());
         // Reading a *different* address can differ from data.
         let other = mgr.fresh_var("other", 4);
         let rd2 = mem.read(&mut mgr, other);
         let distinct = mgr.neq(other, addr);
         let differs = mgr.neq(rd2, data);
-        assert!(matches!(check(&mut mgr, &[distinct, differs], None), SmtResult::Sat(_)));
+        assert!(matches!(solve(&mut mgr, &[distinct, differs], None).result, SmtResult::Sat(_)));
     }
 
     #[test]
@@ -392,7 +392,7 @@ mod tests {
         let one = mgr.tru();
         let sel_is_1 = mgr.eq(sel, one);
         let bad = mgr.neq(r1, a);
-        assert!(check(&mut mgr, &[sel_is_1, bad], None).is_unsat());
+        assert!(solve(&mut mgr, &[sel_is_1, bad], None).result.is_unsat());
     }
 
     #[test]

@@ -110,7 +110,7 @@ fn multiple_write_ports_commit_in_order() {
     let rd = mem.read(&mut mgr, a);
     let c22 = mgr.const_u64(8, 0x22);
     let bad = mgr.neq(rd, c22);
-    assert!(owl_smt::check(&mut mgr, &[bad], None).is_unsat());
+    assert!(owl_smt::solve(&mut mgr, &[bad], None).result.is_unsat());
 }
 
 #[test]
@@ -130,7 +130,7 @@ fn symbolic_mem_read_over_disabled_writes_folds() {
     let en_on = mgr.eq(en, c1);
     let cff = mgr.const_u64(8, 0xFF);
     let bad = mgr.neq(rd, cff);
-    assert!(owl_smt::check(&mut mgr, &[en_on, bad], None).is_unsat());
+    assert!(owl_smt::solve(&mut mgr, &[en_on, bad], None).result.is_unsat());
 }
 
 #[test]

@@ -33,6 +33,12 @@ pub enum StopReason {
     DecisionLimit,
     /// The propagation limit was exhausted.
     PropagationLimit,
+    /// The learned-clause memory ceiling was hit and clause-database
+    /// reduction could not free enough space.
+    MemoryLimit,
+    /// A watchdog supervisor judged this call stalled (no heartbeat
+    /// progress) and raised its stall flag.
+    Stalled,
     /// A [`FaultPlan`] forced this call to fail.
     FaultInjected,
 }
@@ -45,6 +51,8 @@ impl std::fmt::Display for StopReason {
             StopReason::ConflictLimit => "conflict limit exhausted",
             StopReason::DecisionLimit => "decision limit exhausted",
             StopReason::PropagationLimit => "propagation limit exhausted",
+            StopReason::MemoryLimit => "memory ceiling exceeded",
+            StopReason::Stalled => "stalled (watchdog)",
             StopReason::FaultInjected => "fault injected",
         };
         f.write_str(s)
@@ -90,6 +98,32 @@ impl CancelFlag {
     }
 }
 
+/// A shared progress counter for watchdog supervision. The solver bumps
+/// it at conflict and decision boundaries; a supervisor thread that sees
+/// the count frozen while a task is in flight can declare the task
+/// stalled and raise its stall flag. Cloning shares the counter.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat(Arc<AtomicU64>);
+
+impl Heartbeat {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one unit of search progress.
+    pub fn beat(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The number of beats recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A deterministic fault to inject at one solver call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -116,6 +150,23 @@ pub enum Fault {
     Panic,
 }
 
+/// A deterministic fault to inject at one journal I/O operation.
+///
+/// I/O faults live on a *separate* call counter from solver faults
+/// ([`FaultPlan::io_at`] / [`FaultPlan::next_io_fault`]), so injecting
+/// them never shifts the solver-call indices of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write fails outright with an I/O error.
+    WriteError,
+    /// Only the first `n` bytes of the record reach the file (a torn
+    /// write, as after a crash mid-`write(2)`).
+    ShortWrite(usize),
+    /// Bit `bit` (modulo the buffer length in bits) is flipped on read,
+    /// simulating media corruption that the per-record CRC must catch.
+    FlipBit(u64),
+}
+
 #[derive(Debug)]
 enum FaultMode {
     /// Faults at explicitly chosen call indices.
@@ -132,13 +183,23 @@ enum FaultMode {
 pub struct FaultPlan {
     mode: FaultMode,
     counter: AtomicU64,
+    /// I/O faults at explicitly chosen journal-operation indices; a
+    /// separate channel with its own counter so journal traffic never
+    /// consumes solver-call indices.
+    io: HashMap<u64, IoFault>,
+    io_counter: AtomicU64,
 }
 
 impl FaultPlan {
     /// An empty plan (no faults); add some with [`FaultPlan::at`].
     #[must_use]
     pub fn new() -> Self {
-        FaultPlan { mode: FaultMode::Explicit(HashMap::new()), counter: AtomicU64::new(0) }
+        FaultPlan {
+            mode: FaultMode::Explicit(HashMap::new()),
+            counter: AtomicU64::new(0),
+            io: HashMap::new(),
+            io_counter: AtomicU64::new(0),
+        }
     }
 
     /// Injects `fault` at the `call`-th solver invocation (0-based).
@@ -158,7 +219,30 @@ impl FaultPlan {
         FaultPlan {
             mode: FaultMode::Seeded { seed, one_in: one_in.max(1) },
             counter: AtomicU64::new(0),
+            io: HashMap::new(),
+            io_counter: AtomicU64::new(0),
         }
+    }
+
+    /// Injects `fault` at the `op`-th journal I/O operation (0-based,
+    /// counted on the plan's dedicated I/O channel).
+    #[must_use]
+    pub fn io_at(mut self, op: u64, fault: IoFault) -> Self {
+        self.io.insert(op, fault);
+        self
+    }
+
+    /// Consumes the next I/O operation index and returns its fault, if
+    /// any. Journal readers and writers call this once per operation.
+    pub fn next_io_fault(&self) -> Option<IoFault> {
+        let idx = self.io_counter.fetch_add(1, Ordering::Relaxed);
+        self.io.get(&idx).copied()
+    }
+
+    /// How many journal I/O operations the plan has observed so far.
+    #[must_use]
+    pub fn io_calls_observed(&self) -> u64 {
+        self.io_counter.load(Ordering::Relaxed)
     }
 
     /// Consumes the next call index and returns its fault, if any.
@@ -211,7 +295,18 @@ pub struct Budget {
     conflicts: Option<u64>,
     decisions: Option<u64>,
     propagations: Option<u64>,
+    /// Learned-clause memory ceiling in bytes, per solver. Hitting it
+    /// triggers clause-database reduction; if reduction cannot get back
+    /// under the ceiling the call stops with [`StopReason::MemoryLimit`].
+    memory: Option<u64>,
     cancel: CancelFlag,
+    /// Per-task stall flag raised by a watchdog supervisor. Unlike
+    /// `cancel` it is not shared run-wide: each supervised task gets its
+    /// own, so stalling one task never stops another.
+    stall: Option<CancelFlag>,
+    /// Progress counter bumped by the solver at conflict and decision
+    /// boundaries, observed by the watchdog.
+    heartbeat: Option<Heartbeat>,
     faults: Option<Arc<FaultPlan>>,
 }
 
@@ -256,10 +351,31 @@ impl Budget {
         self
     }
 
+    /// Sets (or clears) the learned-clause memory ceiling in bytes.
+    #[must_use]
+    pub fn with_memory(mut self, bytes: Option<u64>) -> Self {
+        self.memory = bytes;
+        self
+    }
+
     /// Attaches a shared cancellation flag.
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelFlag) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a per-task stall flag (raised by a watchdog supervisor).
+    #[must_use]
+    pub fn with_stall_flag(mut self, stall: CancelFlag) -> Self {
+        self.stall = Some(stall);
+        self
+    }
+
+    /// Attaches a shared progress counter for watchdog supervision.
+    #[must_use]
+    pub fn with_heartbeat(mut self, heartbeat: Heartbeat) -> Self {
+        self.heartbeat = Some(heartbeat);
         self
     }
 
@@ -288,10 +404,25 @@ impl Budget {
         self.propagations
     }
 
+    /// The learned-clause memory ceiling in bytes, if any.
+    #[must_use]
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.memory
+    }
+
     /// The shared cancellation flag.
     #[must_use]
     pub fn cancel_flag(&self) -> &CancelFlag {
         &self.cancel
+    }
+
+    /// Records one unit of search progress on the attached heartbeat
+    /// counter, if any. Called by the solver at conflict and decision
+    /// boundaries; cheap enough to sit on the hot path.
+    pub fn heartbeat_tick(&self) {
+        if let Some(hb) = &self.heartbeat {
+            hb.beat();
+        }
     }
 
     /// Time remaining until the deadline (`None` = no deadline).
@@ -300,8 +431,9 @@ impl Budget {
         self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
     }
 
-    /// The cheap checkpoint: cancellation first, then the deadline.
-    /// Returns the stop reason if the budget is already spent.
+    /// The cheap checkpoint: cancellation first, then the deadline, then
+    /// the watchdog's stall flag. Returns the stop reason if the budget
+    /// is already spent.
     #[must_use]
     pub fn checkpoint(&self) -> Option<StopReason> {
         if self.cancel.is_cancelled() {
@@ -312,7 +444,17 @@ impl Budget {
                 return Some(StopReason::Deadline);
             }
         }
+        if let Some(stall) = &self.stall {
+            if stall.is_cancelled() {
+                return Some(StopReason::Stalled);
+            }
+        }
         None
+    }
+
+    /// Pulls the next journal I/O fault from the attached plan, if any.
+    pub fn next_io_fault(&self) -> Option<IoFault> {
+        self.faults.as_ref().and_then(|p| p.next_io_fault())
     }
 
     /// Pulls the next fault from the attached plan, if any.
@@ -343,7 +485,8 @@ impl Budget {
     /// evenly, with the remainder going to the lowest-indexed shares so
     /// the split is deterministic and loses nothing; every share keeps at
     /// least a quota of 1 so no worker is born dead. The *global* parts —
-    /// deadline, cancellation flag, fault plan — are shared by every
+    /// deadline, cancellation flag, fault plan, and the per-solver
+    /// memory ceiling — are shared by every
     /// share: a deadline is a point in time, not a divisible quantity,
     /// and cancellation must reach all workers.
     ///
@@ -440,6 +583,46 @@ mod tests {
         assert_eq!(b.checkpoint(), Some(StopReason::Cancelled));
         cancel.clear();
         assert_eq!(b.checkpoint(), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn checkpoint_reports_stall_after_cancellation() {
+        let cancel = CancelFlag::new();
+        let stall = CancelFlag::new();
+        let b = Budget::unlimited().with_cancel(cancel.clone()).with_stall_flag(stall.clone());
+        assert_eq!(b.checkpoint(), None);
+        stall.cancel();
+        assert_eq!(b.checkpoint(), Some(StopReason::Stalled));
+        // A user cancellation outranks the watchdog's verdict.
+        cancel.cancel();
+        assert_eq!(b.checkpoint(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn heartbeat_is_shared_across_clones() {
+        let hb = Heartbeat::new();
+        let b = Budget::unlimited().with_heartbeat(hb.clone());
+        assert_eq!(hb.count(), 0);
+        b.heartbeat_tick();
+        b.clone().heartbeat_tick();
+        assert_eq!(hb.count(), 2);
+    }
+
+    /// I/O faults ride a dedicated counter: draining one channel never
+    /// shifts the call indices of the other, so adding journal faults
+    /// to a plan cannot change which *solver* calls get faulted.
+    #[test]
+    fn io_faults_ride_a_separate_counter() {
+        let plan = FaultPlan::new()
+            .at(0, Fault::ForceUnknown)
+            .io_at(0, IoFault::WriteError)
+            .io_at(2, IoFault::FlipBit(5));
+        assert_eq!(plan.next_io_fault(), Some(IoFault::WriteError)); // io op 0
+        assert_eq!(plan.next_io_fault(), None); // io op 1
+        assert_eq!(plan.next_fault(), Some(Fault::ForceUnknown)); // solver call 0
+        assert_eq!(plan.next_io_fault(), Some(IoFault::FlipBit(5))); // io op 2
+        assert_eq!(plan.calls_observed(), 1);
+        assert_eq!(plan.io_calls_observed(), 3);
     }
 
     #[test]

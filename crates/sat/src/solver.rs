@@ -95,6 +95,11 @@ pub struct Stats {
     pub restarts: u64,
     /// Number of learned clauses currently in the database.
     pub learned: u64,
+    /// Approximate bytes held by learned clauses currently in the
+    /// database (clause header, literals, watch entries).
+    pub learned_bytes: u64,
+    /// Clause-database reductions triggered by the memory ceiling.
+    pub reductions: u64,
 }
 
 const UNDEF: i8 = 0;
@@ -107,6 +112,17 @@ const NO_REASON: ClauseRef = u32::MAX;
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
+    /// True for conflict-learned clauses: only these are eligible for
+    /// deletion when the memory ceiling triggers a database reduction.
+    learnt: bool,
+}
+
+/// Approximate heap footprint of one clause: header, literal storage,
+/// and its two watch-list entries.
+fn clause_bytes(lits: usize) -> u64 {
+    (std::mem::size_of::<Clause>()
+        + lits * std::mem::size_of::<Lit>()
+        + 2 * std::mem::size_of::<Watch>()) as u64
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -324,20 +340,82 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(out);
+                self.attach_clause(out, false);
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as ClauseRef;
         let w0 = lits[0];
         let w1 = lits[1];
         self.watches[(!w0).code()].push(Watch { clause: cref, blocker: w1 });
         self.watches[(!w1).code()].push(Watch { clause: cref, blocker: w0 });
-        self.clauses.push(Clause { lits });
+        if learnt {
+            self.stats.learned_bytes += clause_bytes(lits.len());
+        }
+        self.clauses.push(Clause { lits, learnt });
         cref
+    }
+
+    /// Clause-database reduction: drops the older half of the learned
+    /// clauses that are not currently the reason of an assigned
+    /// variable, then compacts the arena, remaps reason references and
+    /// rebuilds the watch lists (each surviving clause keeps the same
+    /// watched literal pair). Deletion only removes redundant lemmas, so
+    /// soundness — and the DRUP proof log, which never records
+    /// deletions — is unaffected.
+    fn reduce_db(&mut self) {
+        // Reasons of assigned variables must survive; unassigned
+        // variables have `NO_REASON` (reset by `backtrack_to`).
+        let mut protected = vec![false; self.clauses.len()];
+        for v in 0..self.num_vars() {
+            if self.assign[v] != UNDEF && self.reason[v] != NO_REASON {
+                protected[self.reason[v] as usize] = true;
+            }
+        }
+        let deletable: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|&(i, c)| c.learnt && !protected[i])
+            .map(|(i, _)| i)
+            .collect();
+        let drop_count = deletable.len().div_ceil(2);
+        if drop_count == 0 {
+            return;
+        }
+        let mut dropped = vec![false; self.clauses.len()];
+        // Oldest first: clause age is arena order.
+        for &i in deletable.iter().take(drop_count) {
+            dropped[i] = true;
+        }
+        let mut map = vec![NO_REASON; self.clauses.len()];
+        let old = std::mem::take(&mut self.clauses);
+        for (i, c) in old.into_iter().enumerate() {
+            if dropped[i] {
+                self.stats.learned -= 1;
+                self.stats.learned_bytes -= clause_bytes(c.lits.len());
+                continue;
+            }
+            map[i] = self.clauses.len() as ClauseRef;
+            self.clauses.push(c);
+        }
+        for r in &mut self.reason {
+            if *r != NO_REASON {
+                *r = map[*r as usize];
+            }
+        }
+        for wl in &mut self.watches {
+            wl.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            let (w0, w1) = (c.lits[0], c.lits[1]);
+            self.watches[(!w0).code()].push(Watch { clause: i as ClauseRef, blocker: w1 });
+            self.watches[(!w1).code()].push(Watch { clause: i as ClauseRef, blocker: w0 });
+        }
+        self.stats.reductions += 1;
     }
 
     fn lit_value(&self, l: Lit) -> i8 {
@@ -535,6 +613,8 @@ impl Solver {
         let mut learned = learned;
         if learned.len() > 1 {
             // Move a literal of the backtrack level to position 1 (watch).
+            // Invariant: the range `1..learned.len()` is non-empty under
+            // the `len > 1` guard, so `max_by_key` always yields a value.
             let max_i = (1..learned.len())
                 .max_by_key(|&i| self.level[learned[i].var().index()])
                 .expect("len > 1");
@@ -678,6 +758,7 @@ impl Solver {
         let result = loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
+                budget.heartbeat_tick();
                 if self.decision_level() as usize <= assumptions.len() {
                     // Conflict within (or below) the assumption prefix.
                     break SolveResult::Unsat;
@@ -719,13 +800,25 @@ impl Solver {
                         }
                     }
                 } else {
-                    let cref = self.attach_clause(learned);
+                    let cref = self.attach_clause(learned, true);
                     self.stats.learned += 1;
                     let asserting = self.clauses[cref as usize].lits[0];
                     if self.lit_value(asserting) == UNDEF {
                         self.enqueue(asserting, cref);
                     } else if self.lit_value(asserting) == FALSE {
                         break SolveResult::Unsat;
+                    }
+                }
+                // Memory ceiling: reduce the clause database when the
+                // learned bytes exceed the cap, and stop with a typed
+                // reason when reduction cannot get back under it.
+                if let Some(limit) = budget.memory_limit() {
+                    if self.stats.learned_bytes > limit {
+                        self.reduce_db();
+                        if self.stats.learned_bytes > limit {
+                            self.stop_reason = Some(StopReason::MemoryLimit);
+                            break SolveResult::Unknown;
+                        }
                     }
                 }
                 self.decay_activity();
@@ -761,6 +854,7 @@ impl Solver {
                     None => break SolveResult::Sat,
                     Some(next) => {
                         self.stats.decisions += 1;
+                        budget.heartbeat_tick();
                         if let Some(reason) = self.work_exceeded(
                             budget,
                             &call_start,
@@ -1044,6 +1138,92 @@ mod tests {
         assert_eq!(s.solve(&budget), SolveResult::Unknown);
         assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
         canceller.join().unwrap();
+    }
+
+    /// A watchdog's stall flag stops an in-flight query with the typed
+    /// `Stalled` reason, exactly like a cancellation but distinguishable
+    /// from one.
+    #[test]
+    fn stall_flag_stops_search_with_typed_reason() {
+        use crate::CancelFlag;
+        use std::time::Duration;
+        let (mut s, _) = pigeonhole(5, 4);
+        let stall = CancelFlag::new();
+        let plan =
+            std::sync::Arc::new(crate::FaultPlan::new().at(0, Fault::StallMillis(100)));
+        let budget =
+            Budget::unlimited().with_stall_flag(stall.clone()).with_fault_plan(plan);
+        let supervisor = {
+            let stall = stall.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                stall.cancel();
+            })
+        };
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Stalled));
+        supervisor.join().unwrap();
+    }
+
+    /// With a zero-byte memory ceiling, the very first learned clause is
+    /// over budget and (being the reason of the asserted literal) cannot
+    /// be reduced away: the solver stops with the typed reason instead
+    /// of growing without bound.
+    #[test]
+    fn memory_ceiling_stops_with_typed_reason() {
+        let (mut s, _) = pigeonhole(9, 8);
+        let budget = Budget::unlimited().with_memory(Some(0));
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::MemoryLimit));
+    }
+
+    /// A moderate ceiling triggers clause-database reduction (dropping
+    /// redundant lemmas to get back under budget) before the solver ever
+    /// considers giving up, and the byte accounting stays consistent
+    /// through arena compaction.
+    #[test]
+    fn memory_ceiling_triggers_reduction_first() {
+        let (mut s, _) = pigeonhole(9, 8);
+        // The conflict cap is a termination backstop: reduction cripples
+        // learning, so refutation may be arbitrarily slow under it.
+        let budget =
+            Budget::unlimited().with_memory(Some(4096)).with_conflicts(Some(20_000));
+        let result = s.solve(&budget);
+        assert!(s.stats().reductions > 0, "the ceiling never triggered a reduction");
+        let recount: u64 = s
+            .clauses
+            .iter()
+            .filter(|c| c.learnt)
+            .map(|c| clause_bytes(c.lits.len()))
+            .sum();
+        assert_eq!(s.stats().learned_bytes, recount, "byte accounting drifted");
+        if result == SolveResult::Unknown {
+            assert!(matches!(
+                s.stop_reason(),
+                Some(StopReason::MemoryLimit | StopReason::ConflictLimit)
+            ));
+        }
+    }
+
+    /// A generous ceiling never fires and does not perturb the result.
+    #[test]
+    fn generous_memory_ceiling_is_harmless() {
+        let (mut s, _) = pigeonhole(5, 4);
+        let budget = Budget::unlimited().with_memory(Some(1 << 20));
+        assert_eq!(s.solve(&budget), SolveResult::Unsat);
+        assert_eq!(s.stats().reductions, 0);
+    }
+
+    /// The heartbeat advances while the search runs, giving a watchdog
+    /// supervisor a progress signal to sample.
+    #[test]
+    fn heartbeat_ticks_during_search() {
+        use crate::Heartbeat;
+        let hb = Heartbeat::new();
+        let (mut s, _) = pigeonhole(6, 5);
+        let budget = Budget::unlimited().with_heartbeat(hb.clone());
+        assert_eq!(s.solve(&budget), SolveResult::Unsat);
+        assert!(hb.count() > 0, "no heartbeat was posted during a non-trivial solve");
     }
 
     #[test]

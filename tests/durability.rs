@@ -1,0 +1,314 @@
+//! The durability contract, end to end: a journaled synthesis run can
+//! be killed at any point and resumed — at any parallelism level — into
+//! a `SynthesisOutput` byte-identical to an uninterrupted run's, and a
+//! corrupted or truncated journal degrades to re-solving the lost work,
+//! never a panic and never a wrong solution.
+
+use owl::core::{
+    CoreError, Fault, FaultPlan, InstrStatus, IoFault, SynthesisConfig, SynthesisMode,
+    SynthesisOutput, SynthesisSession,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A per-test journal path in the system temp directory, fresh on entry.
+fn journal_path(test: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("owl_durability_{}_{test}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Asserts the byte-identical-resume contract: solutions, outcomes,
+/// work statistics, and certificates all match. (`stats.replayed` and
+/// `stats.elapsed` are provenance, deliberately outside the contract.)
+fn assert_outputs_identical(label: &str, a: &SynthesisOutput, b: &SynthesisOutput) {
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{label}: solution count");
+    for (x, y) in a.solutions.iter().zip(&b.solutions) {
+        assert_eq!(x.instr, y.instr, "{label}: solution order");
+        assert_eq!(x.holes, y.holes, "{label}: hole values for {}", x.instr);
+    }
+    assert_eq!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", b.outcomes),
+        "{label}: per-instruction outcomes"
+    );
+    assert_eq!(a.stats.solver_calls, b.stats.solver_calls, "{label}: solver calls");
+    assert_eq!(a.stats.cex_rounds, b.stats.cex_rounds, "{label}: CEGIS rounds");
+    assert_eq!(a.stats.reused, b.stats.reused, "{label}: reuse count");
+    assert_eq!(a.stats.escalations, b.stats.escalations, "{label}: escalations");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.to_string(), cb.to_string(), "{label}: certificates")
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run certified, the other did not"),
+    }
+    assert_eq!(
+        format!("{:?}", a.interrupted),
+        format!("{:?}", b.interrupted),
+        "{label}: interrupt"
+    );
+}
+
+fn clean_reference() -> SynthesisOutput {
+    let cs = owl::cores::accumulator::case_study();
+    SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run().expect("valid inputs")
+}
+
+/// A complete journal resumes without re-solving anything: every
+/// instruction is replayed, at every parallelism level, and the output
+/// is byte-identical to both the journaled run and a journal-free run.
+#[test]
+fn complete_journal_resumes_byte_identically() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let path = journal_path("complete");
+    let journaled = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .journal_to(&path)
+        .run()
+        .expect("valid inputs");
+    assert_outputs_identical("journaled", &reference, &journaled);
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    assert!(text.starts_with("owl-journal v1\n"), "journal header missing:\n{text}");
+    assert!(text.contains(" task "), "no task records journaled:\n{text}");
+
+    for threads in THREAD_COUNTS {
+        let resumed = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .resume(&path)
+            .parallelism(threads)
+            .run()
+            .expect("resume succeeds");
+        assert_eq!(
+            resumed.stats.replayed,
+            resumed.outcomes.len(),
+            "threads={threads}: a complete journal replays every instruction"
+        );
+        assert_outputs_identical(&format!("resume threads={threads}"), &reference, &resumed);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The crash-anywhere property: the journal truncated at a spread of
+/// byte offsets (simulating a kill mid-write at any point) always
+/// resumes to the identical output — lost records are re-solved, intact
+/// ones are replayed, and a beheaded journal is simply a fresh run.
+#[test]
+fn truncation_at_any_offset_resumes_identically() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let path = journal_path("truncate_src");
+    SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .journal_to(&path)
+        .run()
+        .expect("valid inputs");
+    let full = std::fs::read(&path).expect("journal written");
+    let _ = std::fs::remove_file(&path);
+    assert!(full.len() > 64, "journal suspiciously small: {} bytes", full.len());
+
+    let cut_path = journal_path("truncate_cut");
+    let stride = (full.len() / 24).max(1);
+    let cuts = (0..=full.len()).step_by(stride).chain([full.len()]);
+    for cut in cuts {
+        std::fs::write(&cut_path, &full[..cut]).expect("write truncated journal");
+        let resumed = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .resume(&cut_path)
+            .parallelism(2)
+            .run()
+            .unwrap_or_else(|e| panic!("cut at {cut}: resume must not fail: {e}"));
+        assert_outputs_identical(&format!("cut at {cut}"), &reference, &resumed);
+    }
+    let _ = std::fs::remove_file(&cut_path);
+}
+
+/// Bit-flips in the record region are caught by the per-record CRC: the
+/// damaged suffix is discarded and re-solved, and the resumed output is
+/// identical. (Header damage is exercised separately below — a flipped
+/// fingerprint is indistinguishable from a different-inputs journal and
+/// is *rejected*, which is also not a panic and not a wrong solution.)
+#[test]
+fn record_bit_flips_resume_identically() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let path = journal_path("flip_src");
+    SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .journal_to(&path)
+        .run()
+        .expect("valid inputs");
+    let full = std::fs::read(&path).expect("journal written");
+    let _ = std::fs::remove_file(&path);
+    let header_end = {
+        let text = String::from_utf8(full.clone()).expect("journal is UTF-8");
+        let mut it = text.match_indices('\n');
+        it.nth(1).map(|(i, _)| i + 1).expect("journal has a two-line header")
+    };
+
+    let flip_path = journal_path("flip_cur");
+    let bits = (full.len() - header_end) * 8;
+    let stride = (bits / 24).max(1);
+    for bit in (0..bits).step_by(stride) {
+        let mut damaged = full.clone();
+        damaged[header_end + bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&flip_path, &damaged).expect("write damaged journal");
+        let resumed = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .resume(&flip_path)
+            .run()
+            .unwrap_or_else(|e| panic!("bit {bit}: resume must not fail: {e}"));
+        assert_outputs_identical(&format!("bit {bit}"), &reference, &resumed);
+    }
+    let _ = std::fs::remove_file(&flip_path);
+}
+
+/// A journal written for different inputs (here: a different
+/// differential-testing seed, which changes the certificate) is
+/// rejected with a typed validation error rather than silently
+/// replaying snapshots that no longer describe this problem.
+#[test]
+fn fingerprint_mismatch_is_rejected() {
+    let cs = owl::cores::accumulator::case_study();
+    let path = journal_path("fingerprint");
+    SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .journal_to(&path)
+        .run()
+        .expect("valid inputs");
+
+    let other = SynthesisConfig::builder().differential_seed(0xD00D).build();
+    let err = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(other)
+        .resume(&path)
+        .run()
+        .expect_err("a mismatched fingerprint must be rejected");
+    assert!(
+        matches!(&err, CoreError::Invalid(m) if m.contains("fingerprint")),
+        "unexpected error: {err:?}"
+    );
+
+    // Header damage: garbling the magic makes the journal read as empty
+    // (fresh run); garbling the fingerprint digits makes it a
+    // different-inputs journal (rejected). Neither panics.
+    let full = std::fs::read(&path).expect("journal written");
+    let mut beheaded = full.clone();
+    beheaded[0] ^= 0xFF;
+    std::fs::write(&path, &beheaded).expect("write");
+    let fresh = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .resume(&path)
+        .run()
+        .expect("a beheaded journal is a fresh run");
+    assert_eq!(fresh.stats.replayed, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resuming from a journal that never existed is exactly a fresh
+/// journaled run.
+#[test]
+fn resume_without_a_journal_is_a_fresh_run() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let path = journal_path("missing");
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .resume(&path)
+        .run()
+        .expect("valid inputs");
+    assert_eq!(out.stats.replayed, 0);
+    assert_outputs_identical("fresh resume", &reference, &out);
+    assert!(path.exists(), "the fresh run must still write the journal");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Journaling requires the per-instruction scheduler; the monolithic
+/// solver has no instruction-grained progress to checkpoint.
+#[test]
+fn journaling_rejects_monolithic_mode() {
+    let cs = owl::cores::accumulator::case_study();
+    let path = journal_path("monolithic");
+    let config = SynthesisConfig::builder().mode(SynthesisMode::Monolithic).build();
+    let err = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .journal_to(&path)
+        .run()
+        .expect_err("journaling in monolithic mode must be rejected");
+    assert!(matches!(err, CoreError::Invalid(_)), "unexpected error: {err:?}");
+}
+
+/// Injected journal I/O faults (failed and torn writes) degrade
+/// *durability*, never the run: synthesis completes identically, and a
+/// resume from whatever intact prefix survived is still identical.
+#[test]
+fn write_faults_degrade_durability_not_results() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    // Op 0/1 are the header lines; fault the first record append with a
+    // torn write and every later append with a hard error.
+    let mut plan = FaultPlan::new().io_at(2, IoFault::ShortWrite(7));
+    for op in 3..64 {
+        plan = plan.io_at(op, IoFault::WriteError);
+    }
+    let path = journal_path("io_faults");
+    let config = SynthesisConfig::builder().fault_plan(Arc::new(plan)).build();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .journal_to(&path)
+        .run()
+        .expect("I/O faults must not fail the run");
+    assert_outputs_identical("under I/O faults", &reference, &out);
+
+    // The journal holds a torn first record at best; resume discards it
+    // and re-solves, still identical. (The resumed session gets a
+    // fault-free plan — the I/O channel is independent of solver calls,
+    // so this does not shift any solver-fault indices.)
+    let resumed = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .resume(&path)
+        .run()
+        .expect("resume after torn writes succeeds");
+    assert_outputs_identical("resume after torn writes", &reference, &resumed);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The stall watchdog: with every solver call stalled far past the
+/// timeout, the supervisor marks each in-flight instruction `Stalled`
+/// (a typed, local verdict — the run itself completes), journals the
+/// event, and the run ends promptly instead of hanging.
+#[test]
+fn watchdog_declares_stalls_and_journals_them() {
+    let cs = owl::cores::accumulator::case_study();
+    let plan = Arc::new((0..64).fold(FaultPlan::new(), |p, i| {
+        p.at(i, Fault::StallMillis(2_000))
+    }));
+    let config = SynthesisConfig::builder()
+        .fault_plan(plan)
+        .stall_timeout(Duration::from_millis(50))
+        .certify(false)
+        .build();
+    let path = journal_path("stall");
+    let start = std::time::Instant::now();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .journal_to(&path)
+        .parallelism(2)
+        .run()
+        .expect("valid inputs");
+    assert!(out.interrupted.is_none(), "a stall is not a global stop");
+    let mut stalled = 0;
+    for o in &out.outcomes {
+        match &o.status {
+            // Queries that constant-fold never reach the solver and
+            // legitimately solve; everything that does reach it stalls.
+            InstrStatus::Solved => {}
+            InstrStatus::Failed(CoreError::Stalled { instr }) => {
+                assert_eq!(instr, &o.instr);
+                stalled += 1;
+            }
+            other => panic!("{}: expected Solved or Stalled, got {other:?}", o.instr),
+        }
+    }
+    assert!(stalled > 0, "the watchdog never fired");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "stalled tasks must be cut loose promptly"
+    );
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    assert!(text.contains(" stall "), "stall events must be journaled:\n{text}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,8 +1,11 @@
 //! Property-based tests over the substrate crates: the bitvector algebra
 //! against native integer semantics, the SAT solver against brute force,
-//! SMT simplification and bit-blasting against concrete evaluation, and
-//! the Oyster text format round trip.
+//! SMT simplification and bit-blasting against concrete evaluation, the
+//! Oyster text format round trip, and the synthesis journal's
+//! encode/decode round trip and truncation recovery.
 
+use owl::core::journal::{read_journal, MemJournal, Record, SnapStatus, TaskSnapshot, MAGIC};
+use owl::core::{CoreError, QueryLog};
 use owl::sat::{Lit, SolveResult, Solver};
 use owl::smt::{check, Env, SmtResult, TermId, TermManager};
 use owl::BitVec;
@@ -246,5 +249,147 @@ proptest! {
         let text = d.to_string();
         let reparsed: Design = text.parse().expect("round trip parses");
         prop_assert_eq!(d, reparsed);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Synthesis journal: encode/decode round trip and truncation recovery
+// ----------------------------------------------------------------------
+
+/// A raw generated record: (instr suffix, kind selector, rounds,
+/// message, holes, certification failures, qlog tallies).
+type RawRecord =
+    (String, u8, usize, String, Vec<(String, u32, u64)>, Vec<String>, Vec<u16>);
+
+/// A local (journalable) error. The error's `instr` is reconstructed
+/// from the enclosing record's on decode, so it must match here for the
+/// round trip to be an equality.
+fn local_error(instr: &str, pick: u8, rounds: usize, msg: &str) -> CoreError {
+    match pick % 6 {
+        0 => CoreError::NoSolution { instr: instr.to_string() },
+        1 => CoreError::SolverExhausted { instr: instr.to_string() },
+        2 => CoreError::NoConvergence { instr: instr.to_string(), rounds },
+        3 => CoreError::Invalid(msg.to_string()),
+        4 => CoreError::Internal { instr: instr.to_string(), message: msg.to_string() },
+        _ => CoreError::Stalled { instr: instr.to_string() },
+    }
+}
+
+fn build_record(raw: &RawRecord) -> Record {
+    let (suffix, kind, rounds, msg, holes, fails, nums) = raw;
+    let instr = format!("I_{suffix}");
+    if kind % 5 == 0 {
+        return Record::Stall { instr };
+    }
+    let status = match (kind / 5) % 3 {
+        0 => SnapStatus::Solved,
+        1 => SnapStatus::Reused,
+        _ => SnapStatus::Failed(local_error(&instr, kind / 16, *rounds, msg)),
+    };
+    let holes = if kind % 2 == 0 {
+        None
+    } else {
+        Some(
+            holes
+                .iter()
+                .map(|(name, width, value)| {
+                    let masked =
+                        if *width == 64 { *value } else { value & ((1u64 << width) - 1) };
+                    (name.clone(), BitVec::from_u64(*width, masked))
+                })
+                .collect(),
+        )
+    };
+    let qlog = QueryLog {
+        sat_verified: usize::from(nums[0]),
+        unsat_verified: usize::from(nums[1]),
+        trivial: usize::from(nums[2]),
+        unchecked: usize::from(nums[3]),
+        failures: fails.clone(),
+        terms_before: usize::from(nums[4]),
+        terms_after: usize::from(nums[5]),
+        cnf_vars: usize::from(nums[6]),
+        cnf_clauses: usize::from(nums[7]),
+    };
+    let snap = TaskSnapshot {
+        status,
+        escalations: u32::from(*kind),
+        holes,
+        qlog,
+        cex_rounds: *rounds,
+        solver_calls: usize::from(nums[0]) + usize::from(nums[1]),
+        reused: usize::from(kind % 2),
+        stat_escalations: usize::from(kind / 3),
+    };
+    if kind % 5 == 1 {
+        Record::Retry { instr, snap }
+    } else {
+        Record::Task { instr, snap }
+    }
+}
+
+fn raw_record_strategy() -> impl Strategy<Value = RawRecord> {
+    (
+        any::<String>(),
+        any::<u8>(),
+        0usize..10_000,
+        any::<String>(),
+        proptest::collection::vec((any::<String>(), 1u32..=64, any::<u64>()), 0..4),
+        proptest::collection::vec(any::<String>(), 0..3),
+        proptest::collection::vec(any::<u16>(), 8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary records — instruction names and messages drawn from
+    /// *all* of `String`, including quotes, control characters, and
+    /// multi-byte UTF-8 — survive the journal text format unchanged.
+    #[test]
+    fn journal_records_round_trip(
+        raws in proptest::collection::vec(raw_record_strategy(), 1..8),
+        fp in any::<u64>(),
+    ) {
+        let records: Vec<Record> = raws.iter().map(build_record).collect();
+        let mut mem = MemJournal::default();
+        mem.append_line(MAGIC).unwrap();
+        mem.append_line(&format!("fingerprint {fp:016x}")).unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            mem.append_line(&rec.encode(i as u64)).unwrap();
+        }
+        let contents = read_journal(&mut mem);
+        prop_assert_eq!(contents.fingerprint, Some(fp));
+        prop_assert!(!contents.truncated, "an intact journal must not report truncation");
+        prop_assert_eq!(contents.records, records);
+    }
+
+    /// A journal cut at an arbitrary byte offset recovers an exact
+    /// prefix of its records — never a panic, never a garbled record.
+    #[test]
+    fn journal_truncation_recovers_an_exact_prefix(
+        raws in proptest::collection::vec(raw_record_strategy(), 1..6),
+        fp in any::<u64>(),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let records: Vec<Record> = raws.iter().map(build_record).collect();
+        let mut mem = MemJournal::default();
+        mem.append_line(MAGIC).unwrap();
+        mem.append_line(&format!("fingerprint {fp:016x}")).unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            mem.append_line(&rec.encode(i as u64)).unwrap();
+        }
+        let full = mem.bytes.clone();
+        let cut = ((full.len() as f64 * cut_frac) as usize).min(full.len());
+        // A cut inside a multi-byte character leaves invalid UTF-8,
+        // which reads as an empty journal — the empty prefix, so the
+        // assertion below still holds.
+        let mut partial = MemJournal { bytes: full[..cut].to_vec(), faults: None };
+        let contents = read_journal(&mut partial);
+        prop_assert!(contents.records.len() <= records.len());
+        prop_assert_eq!(
+            contents.records.as_slice(),
+            &records[..contents.records.len()]
+        );
     }
 }
