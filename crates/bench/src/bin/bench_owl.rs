@@ -15,12 +15,15 @@
 //! runs. The default monolithic timeout is 600 seconds.
 
 use owl_core::{
-    complete_design, control_union_with, verify_design, DecodeBinding, SolverConfig,
-    SynthesisConfig, SynthesisMode, SynthesisOutput, SynthesisSession, VerifyOpts, VerifyStats,
+    complete_design, control_union_with, verify_design, DecodeBinding, Fault, FaultPlan,
+    SolverConfig, SynthesisConfig, SynthesisMode, SynthesisOutput, SynthesisSession, VerifyOpts,
+    VerifyStats,
 };
 use owl_cores::CaseStudy;
+use owl_service::{scan_journals, JobSpec, ServiceConfig, Shutdown, SynthesisService};
 use owl_smt::TermManager;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One measured synthesis run.
@@ -230,6 +233,22 @@ fn run_durable(journal: &str, dump: &str) -> ! {
         .unwrap_or_else(|e| panic!("durable synthesis failed: {e}"));
     let mut text = String::new();
     let _ = writeln!(text, "case {}", cs.name);
+    text.push_str(&render_output(&out));
+    std::fs::write(dump, &text).unwrap_or_else(|e| panic!("writing {dump}: {e}"));
+    println!(
+        "durable run complete: {} instructions, {} replayed, dump at {dump}",
+        out.outcomes.len(),
+        out.stats.replayed
+    );
+    std::process::exit(0);
+}
+
+/// Canonical text rendering of a synthesis output: hole assignments
+/// (sorted), per-instruction outcomes, work counters, certificate.
+/// Excludes wall-clock and replay provenance, so a resumed run renders
+/// byte-identical to an uninterrupted one.
+fn render_output(out: &SynthesisOutput) -> String {
+    let mut text = String::new();
     for s in &out.solutions {
         let mut holes: Vec<_> = s.holes.iter().collect();
         holes.sort_by(|a, b| a.0.cmp(b.0));
@@ -252,13 +271,172 @@ fn run_durable(journal: &str, dump: &str) -> ! {
     if let Some(cert) = &out.certificate {
         let _ = writeln!(text, "certificate {cert}");
     }
+    text
+}
+
+/// The job batch for `--service`: four copies of the reduced RV32I
+/// configuration, each running its session at parallelism 2.
+fn service_jobs() -> Vec<JobSpec> {
+    (0..4)
+        .map(|i| {
+            let cs = owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE);
+            JobSpec::new(format!("svc-{i}"), cs.sketch, cs.spec, cs.alpha).parallelism(2)
+        })
+        .collect()
+}
+
+/// `--service <journal-dir> <dump>`: a journaled four-job batch through
+/// the synthesis service, for the CI service-chaos job. When
+/// `<journal-dir>` holds incomplete journals from a killed run, the
+/// whole batch is re-adopted via [`SynthesisService::recover`];
+/// otherwise the jobs are submitted fresh. Either way the dump (one
+/// section per job, sorted by name) must diff byte-identical against
+/// an uninterrupted run's.
+fn run_service(dir: &str, dump: &str) -> ! {
+    let dir_path = std::path::PathBuf::from(dir);
+    let config = ServiceConfig::default().workers(2).queue_capacity(8).journal_dir(&dir_path);
+    let jobs = service_jobs();
+    let crashed = scan_journals(&dir_path)
+        .map(|entries| entries.iter().any(|e| !e.complete))
+        .unwrap_or(false);
+    let (service, handles) = if crashed {
+        SynthesisService::recover(config, jobs)
+    } else {
+        let service = SynthesisService::start(config);
+        let handles = jobs
+            .into_iter()
+            .map(|j| {
+                let name = j.name.clone();
+                service.submit(j).unwrap_or_else(|e| panic!("submitting {name}: {e}"))
+            })
+            .collect();
+        (service, handles)
+    };
+    let mut sections: Vec<(String, String)> = handles
+        .into_iter()
+        .map(|h| {
+            let name = h.name().to_string();
+            let out = h.wait().unwrap_or_else(|e| panic!("job {name} failed: {e}"));
+            (name.clone(), format!("job {name}\n{}", render_output(&out)))
+        })
+        .collect();
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let text: String = sections.into_iter().map(|(_, s)| s).collect();
     std::fs::write(dump, &text).unwrap_or_else(|e| panic!("writing {dump}: {e}"));
+    let metrics = service.shutdown(Shutdown::Drain);
     println!(
-        "durable run complete: {} instructions, {} replayed, dump at {dump}",
-        out.outcomes.len(),
-        out.stats.replayed
+        "service batch complete: {} jobs, {} recovered, dump at {dump}",
+        metrics.completed, metrics.recovered
     );
     std::process::exit(0);
+}
+
+/// Service-layer measurements for the report.
+struct ServiceBench {
+    throughput_jobs_s: f64,
+    p50_latency_s: f64,
+    p99_latency_s: f64,
+    shed: u64,
+    recovered: u64,
+}
+
+/// Three service experiments: (1) batch throughput/latency on the
+/// accumulator case; (2) a deterministic overload that forces one shed
+/// and one rejection; (3) a kill-free recovery drill (abort a journaled
+/// batch mid-run, then re-adopt it).
+fn measure_service() -> ServiceBench {
+    fn accumulator_job(name: &str) -> JobSpec {
+        let cs = owl_cores::accumulator::case_study();
+        JobSpec::new(name, cs.sketch, cs.spec, cs.alpha)
+    }
+
+    // (1) Throughput and latency percentiles over an 8-job batch.
+    let service = SynthesisService::start(ServiceConfig::default().workers(2));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..8)
+        .map(|i| service.submit(accumulator_job(&format!("bench-{i}"))).expect("admitted"))
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .map(|h| {
+            let _ = h.wait().expect("bench job failed");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let total = start.elapsed().as_secs_f64();
+    let _ = service.shutdown(Shutdown::Drain);
+    latencies.sort_by(f64::total_cmp);
+    let pick = |frac: f64| {
+        let idx = ((latencies.len() as f64 - 1.0) * frac).round() as usize;
+        latencies[idx]
+    };
+    let (p50, p99) = (pick(0.50), pick(0.99));
+    let throughput = if total > 0.0 { 8.0 / total } else { 0.0 };
+
+    // (2) Deterministic overload: one worker, one queue slot. A slow
+    // job occupies the worker, a second fills the queue, a higher-
+    // priority third sheds it, and a fourth is rejected.
+    let slow = {
+        let plan = (0..64).fold(FaultPlan::new(), |p, i| p.at(i, Fault::StallMillis(300)));
+        let config = SynthesisConfig::builder().fault_plan(Arc::new(plan)).certify(false).build();
+        accumulator_job("svc-slow").config(config)
+    };
+    let service = SynthesisService::start(ServiceConfig::default().workers(1).queue_capacity(1));
+    let running = service.submit(slow).expect("slow job admitted");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = service.submit(accumulator_job("svc-victim")).expect("victim queued");
+    let winner = service.submit(accumulator_job("svc-winner").priority(5)).expect("winner sheds");
+    let _rejected = service.submit(accumulator_job("svc-reject")).expect_err("queue full");
+    let _ = queued.wait().expect_err("victim was shed");
+    let _ = winner.wait().expect("winner completes");
+    let _ = running.wait();
+    let shed = service.shutdown(Shutdown::Drain).shed;
+
+    // (3) Recovery drill: abort a journaled slow batch mid-run, then
+    // recover it from the journals.
+    let dir = std::env::temp_dir().join(format!("bench_owl_svc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let slow_batch = || -> Vec<JobSpec> {
+        (0..2)
+            .map(|i| {
+                let plan =
+                    (1..64).fold(FaultPlan::new(), |p, c| p.at(c, Fault::StallMillis(1000)));
+                let config =
+                    SynthesisConfig::builder().fault_plan(Arc::new(plan)).certify(false).build();
+                accumulator_job(&format!("svc-rec-{i}")).config(config)
+            })
+            .collect()
+    };
+    let config = ServiceConfig::default().workers(2).journal_dir(&dir);
+    let service = SynthesisService::start(config.clone());
+    let _handles: Vec<_> =
+        slow_batch().into_iter().map(|j| service.submit(j).expect("admitted")).collect();
+    std::thread::sleep(Duration::from_millis(150));
+    let _ = service.shutdown(Shutdown::Abort);
+    // Recovery respecifies the same jobs minus the stall plan (stalls
+    // change wall-clock only, never the fingerprinted inputs).
+    let jobs: Vec<JobSpec> = (0..2)
+        .map(|i| {
+            let config = SynthesisConfig::builder().certify(false).build();
+            accumulator_job(&format!("svc-rec-{i}")).config(config)
+        })
+        .collect();
+    let (service, handles) = SynthesisService::recover(config, jobs);
+    for h in handles {
+        let _ = h.wait().expect("recovered job failed");
+    }
+    let recovered = service.shutdown(Shutdown::Drain).recovered;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServiceBench {
+        throughput_jobs_s: throughput,
+        p50_latency_s: p50,
+        p99_latency_s: p99,
+        shed,
+        recovered,
+    }
 }
 
 /// Minimal JSON string escaping (the report contains no exotic text,
@@ -394,6 +572,15 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--service") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(dir), Some(dump)) => run_service(dir, dump),
+            _ => {
+                eprintln!("usage: bench_owl --service <journal-dir> <dump-path>");
+                std::process::exit(2);
+            }
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let timeout_secs: u64 = args
         .iter()
@@ -483,6 +670,19 @@ fn main() {
         durability.resumed, durability.records_replayed, durability.identical
     );
 
+    // Service-layer smoke: throughput/latency, forced shedding, and a
+    // journaled abort-and-recover drill.
+    eprintln!("bench_owl: service (throughput, overload, recovery) ...");
+    let service = measure_service();
+    eprintln!(
+        "bench_owl:   {:.2} jobs/s, p50 {:.3}s, p99 {:.3}s, shed {}, recovered {}",
+        service.throughput_jobs_s,
+        service.p50_latency_s,
+        service.p99_latency_s,
+        service.shed,
+        service.recovered
+    );
+
     // Deterministic verification comparison over the completed designs.
     let mut verifies: Vec<(String, VerifyStats, VerifyStats)> = Vec::new();
     for (cs, bindings, _, _) in &sweep {
@@ -532,6 +732,18 @@ fn main() {
             "\"identical\": {}}},"
         ),
         durability.resumed, durability.records_replayed, durability.identical,
+    );
+    let _ = writeln!(
+        json,
+        concat!(
+            "  \"service\": {{\"throughput_jobs_s\": {:.6}, \"p50_latency_s\": {:.6}, ",
+            "\"p99_latency_s\": {:.6}, \"shed\": {}, \"recovered\": {}}},"
+        ),
+        service.throughput_jobs_s,
+        service.p50_latency_s,
+        service.p99_latency_s,
+        service.shed,
+        service.recovered,
     );
     json.push_str("  \"verify\": [\n");
     for (i, (name, on, off)) in verifies.iter().enumerate() {

@@ -196,7 +196,7 @@ impl<'a> ConditionBuilder<'a> {
         instr: &Instr,
     ) -> Result<InstrConditions, CoreError> {
         let mut pres = Vec::new();
-        let decode = self.compile(mgr, instr.decode())?;
+        let decode = self.compile(mgr, instr.decode()?)?;
         pres.push(mgr.red_or(decode));
         for (sig, t) in self.alpha.assumes() {
             let s = self.signal_at(sig, *t)?;

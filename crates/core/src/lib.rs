@@ -53,7 +53,8 @@ pub use verify::{verify_design, VerifyOpts, VerifyStats};
 // Resource-governance handles, re-exported for callers configuring a
 // [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.
 pub use owl_smt::{
-    Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, QueryCert, SolverConfig, StopReason,
+    Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, QueryCert, ServiceFault, SolverConfig,
+    StopReason,
 };
 
 use std::fmt;
@@ -118,9 +119,51 @@ pub enum CoreError {
     },
 }
 
+/// How a [`CoreError`] should be treated by a retrying caller.
+///
+/// The escalation ladder in `owl-core` and the resubmit policy in
+/// `owl-service` both route their decisions through this classification
+/// so "what is worth retrying" is defined exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Worth retrying: the failure came from an exhausted or perturbed
+    /// resource (solver work quota, watchdog stall, injected I/O fault),
+    /// not from the problem itself. A retry with a fresh or larger
+    /// budget may succeed.
+    Transient,
+    /// Not worth retrying: the inputs are malformed, the sketch cannot
+    /// implement the instruction, CEGIS diverged, or a panic was
+    /// isolated. Retrying reproduces the same failure.
+    Permanent,
+    /// The whole run was told to stop (deadline or cancellation); retry
+    /// policy belongs to whoever set the deadline, not this layer.
+    GlobalStop,
+}
+
 impl CoreError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         CoreError::Invalid(message.into())
+    }
+
+    /// Classifies this error for retry policy.
+    ///
+    /// Note that `Stalled` is *transient* from the caller's point of
+    /// view (a fresh run may make progress) even though the in-place
+    /// escalation ladder must not retry it: the per-task stall flag is
+    /// latched, so re-running the same query under the same flag stops
+    /// again immediately. Stalled work is retried at the session level
+    /// (budget donation) or the service level (resubmission), never
+    /// in place.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            CoreError::Timeout { .. } | CoreError::Cancelled => ErrorClass::GlobalStop,
+            CoreError::SolverExhausted { .. } | CoreError::Stalled { .. } => ErrorClass::Transient,
+            CoreError::NoSolution { .. }
+            | CoreError::NoConvergence { .. }
+            | CoreError::Invalid(_)
+            | CoreError::Internal { .. } => ErrorClass::Permanent,
+        }
     }
 
     /// True for failures that end the whole run (deadline, cancellation)

@@ -256,6 +256,14 @@ impl<'a> SynthesisSession<'a> {
         h.finish()
     }
 
+    /// The fingerprint this session would stamp into (and demand from)
+    /// a journal. The service layer uses it to match recovered journal
+    /// files back to job specifications without opening a session.
+    #[must_use]
+    pub fn input_fingerprint(&self) -> u64 {
+        self.fingerprint()
+    }
+
     /// Opens the configured journal: recovers the intact prefix when
     /// resuming, validates the fingerprint, and rewrites the journal
     /// (header plus recovered records) so it is valid even after a
@@ -397,9 +405,6 @@ impl<'a> SynthesisSession<'a> {
             .collect();
 
         self.rebalance(mgr, holes, all_conds, &mut tasks, budget, start, stats, journal, restored);
-        if let Some(w) = journal {
-            w.append(&Record::Done);
-        }
 
         // Assembly, in specification order.
         let mut interrupted: Option<CoreError> = tasks.iter().find_map(|t| match &t.outcome.status
@@ -412,6 +417,15 @@ impl<'a> SynthesisSession<'a> {
             // solver call) surface the stop the way the sequential loop
             // always did.
             interrupted = tasks.iter().find_map(|t| t.stop.clone());
+        }
+        // The end marker means "nothing left to resume": it is withheld
+        // from interrupted runs so recovery tooling (the service layer's
+        // journal scan) can tell a journal with in-flight work from a
+        // finished one by the marker alone.
+        if interrupted.is_none() {
+            if let Some(w) = journal {
+                w.append(&Record::Done);
+            }
         }
         let mut solutions = Vec::with_capacity(n);
         let mut outcomes = Vec::with_capacity(n);

@@ -29,7 +29,7 @@
 use crate::abstraction::AbstractionFn;
 use crate::certify::{panic_message, Certificate, QueryLog};
 use crate::conditions::{ConditionBuilder, InstrConditions};
-use crate::CoreError;
+use crate::{CoreError, ErrorClass};
 use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
@@ -678,11 +678,16 @@ pub(crate) fn zero_candidate(
 }
 
 /// Solves one set of obligations with the degradation policy wrapped
-/// around [`cegis`]: budget-exhausted attempts are retried with a
-/// doubled conflict budget up to [`SynthesisConfig::max_escalations`]
-/// times, and a failing *seeded* candidate falls back to a fresh zero
-/// candidate before the obligations are declared failed. Returns the
-/// solved holes and the number of escalation retries used.
+/// around [`cegis`]: attempts that fail with a *transient* error
+/// ([`CoreError::class`]) are retried with a doubled conflict budget up
+/// to [`SynthesisConfig::max_escalations`] times, and a failing
+/// *seeded* candidate falls back to a fresh zero candidate before the
+/// obligations are declared failed. Permanent errors (no solution,
+/// invalid input, isolated panic) are never retried in place, and
+/// neither is a watchdog stall: the per-task stall flag is latched, so
+/// an in-place retry would stop again immediately — stalled work is
+/// retried by the session rebalance or the service layer instead.
+/// Returns the solved holes and the number of escalation retries used.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_with_degradation(
     mgr: &mut TermManager,
@@ -715,25 +720,38 @@ pub(crate) fn solve_with_degradation(
             stats,
             qlog,
         );
-        match attempt {
+        let e = match attempt {
             Ok(solved) => return Ok((solved, escalations)),
-            Err(e) if e.is_global_stop() => return Err((e, escalations)),
-            Err(CoreError::SolverExhausted { .. }) if step < config.max_escalations => {
+            Err(e) => e,
+        };
+        match e.class() {
+            // Deadline/cancellation belong to whoever set them.
+            ErrorClass::GlobalStop => return Err((e, escalations)),
+            // Transient exhaustion climbs the escalation ladder — but a
+            // latched stall flag would re-stop the retry instantly, so
+            // `Stalled` skips the in-place ladder entirely.
+            ErrorClass::Transient
+                if !matches!(e, CoreError::Stalled { .. }) && step < config.max_escalations =>
+            {
                 step += 1;
                 escalations += 1;
                 stats.escalations += 1;
             }
-            Err(e @ (CoreError::SolverExhausted { .. } | CoreError::NoConvergence { .. }))
-                if !tried_zero =>
+            // The seed may be steering CEGIS into a hard corner: an
+            // exhausted or diverging *seeded* attempt degrades to a
+            // fresh zero candidate with a reset ladder. Other permanent
+            // failures (no solution, invalid input, isolated panic)
+            // reproduce under any seed and are surfaced immediately.
+            _ if matches!(
+                e,
+                CoreError::SolverExhausted { .. } | CoreError::NoConvergence { .. }
+            ) && !tried_zero =>
             {
-                // The seed may be steering CEGIS into a hard corner;
-                // degrade to a fresh zero candidate with a reset ladder.
-                let _ = e;
                 tried_zero = true;
                 candidate = zero.clone();
                 step = 0;
             }
-            Err(e) => return Err((e, escalations)),
+            ErrorClass::Transient | ErrorClass::Permanent => return Err((e, escalations)),
         }
     }
 }
@@ -872,6 +890,30 @@ mod tests {
             .config(config.clone())
             .seeded_with(previous)
             .run_with(mgr)
+    }
+
+    #[test]
+    fn error_classification_partitions_every_variant() {
+        use std::time::Duration;
+        let cases = [
+            (CoreError::Timeout { elapsed: Duration::from_secs(1) }, ErrorClass::GlobalStop),
+            (CoreError::Cancelled, ErrorClass::GlobalStop),
+            (CoreError::SolverExhausted { instr: "i".into() }, ErrorClass::Transient),
+            (CoreError::Stalled { instr: "i".into() }, ErrorClass::Transient),
+            (CoreError::NoSolution { instr: "i".into() }, ErrorClass::Permanent),
+            (CoreError::NoConvergence { instr: "i".into(), rounds: 4 }, ErrorClass::Permanent),
+            (CoreError::Invalid("bad".into()), ErrorClass::Permanent),
+            (
+                CoreError::Internal { instr: "i".into(), message: "boom".into() },
+                ErrorClass::Permanent,
+            ),
+        ];
+        for (err, class) in cases {
+            assert_eq!(err.class(), class, "classification of {err:?}");
+            // GlobalStop must stay in lock-step with is_global_stop(),
+            // which the run loop uses to latch `interrupted`.
+            assert_eq!(err.class() == ErrorClass::GlobalStop, err.is_global_stop());
+        }
     }
 
     /// Spec: acc' = acc + val when go; acc' = 0 when rst (rst wins by

@@ -173,7 +173,7 @@ pub fn control_union_with(
             .ok_or_else(|| CoreError::new(format!("unknown instruction {}", sol.instr)))?;
         pre_wires.push((
             pre_wire_name(&sol.instr),
-            spec_to_oyster(alpha, bindings, instr.decode())?,
+            spec_to_oyster(alpha, bindings, instr.decode()?)?,
         ));
     }
 

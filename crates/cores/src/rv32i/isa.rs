@@ -155,6 +155,13 @@ impl AluOp {
     #[must_use]
     pub fn apply<E: SynthExpr>(self, a: &E, b: &E) -> E {
         let shamt = |b: &E| b.clone().and_(E::lit(32, 31));
+        // Width 32 satisfies every `bitops` precondition (power of two,
+        // byte multiple, even, >= 16, nonzero), so the fallible
+        // constructors cannot fail here.
+        let w32 = |r: Result<E, bitops::WidthError>| match r {
+            Ok(e) => e,
+            Err(e) => unreachable!("rv32 bitop at width 32: {e}"),
+        };
         match self {
             AluOp::Add => a.clone().add_(b.clone()),
             AluOp::Sub => a.clone().sub_(b.clone()),
@@ -167,19 +174,19 @@ impl AluOp {
             AluOp::Or => a.clone().or_(b.clone()),
             AluOp::And => a.clone().and_(b.clone()),
             AluOp::PassB => b.clone(),
-            AluOp::Rol => bitops::rol(a.clone(), b.clone(), 32),
-            AluOp::Ror => bitops::ror(a.clone(), b.clone(), 32),
+            AluOp::Rol => w32(bitops::rol(a.clone(), b.clone(), 32)),
+            AluOp::Ror => w32(bitops::ror(a.clone(), b.clone(), 32)),
             AluOp::Andn => bitops::andn(a.clone(), b.clone()),
             AluOp::Orn => bitops::orn(a.clone(), b.clone()),
             AluOp::Xnor => bitops::xnor(a.clone(), b.clone()),
-            AluOp::Pack => bitops::pack(a.clone(), b.clone(), 32),
-            AluOp::Packh => bitops::packh(a.clone(), b.clone(), 32),
-            AluOp::Brev8 => bitops::brev8(a.clone(), 32),
-            AluOp::Rev8 => bitops::rev8(a.clone(), 32),
-            AluOp::Zip => bitops::zip(a.clone(), 32),
-            AluOp::Unzip => bitops::unzip(a.clone(), 32),
-            AluOp::Clmul => bitops::clmul(a.clone(), b.clone(), 32),
-            AluOp::Clmulh => bitops::clmulh(a.clone(), b.clone(), 32),
+            AluOp::Pack => w32(bitops::pack(a.clone(), b.clone(), 32)),
+            AluOp::Packh => w32(bitops::packh(a.clone(), b.clone(), 32)),
+            AluOp::Brev8 => w32(bitops::brev8(a.clone(), 32)),
+            AluOp::Rev8 => w32(bitops::rev8(a.clone(), 32)),
+            AluOp::Zip => w32(bitops::zip(a.clone(), 32)),
+            AluOp::Unzip => w32(bitops::unzip(a.clone(), 32)),
+            AluOp::Clmul => w32(bitops::clmul(a.clone(), b.clone(), 32)),
+            AluOp::Clmulh => w32(bitops::clmulh(a.clone(), b.clone(), 32)),
         }
     }
 }

@@ -10,6 +10,39 @@
 use crate::module::Wire;
 use owl_ila::SpecExpr;
 use owl_oyster::Expr;
+use std::fmt;
+
+/// A bit-manipulation operator was asked to build at an unsupported
+/// width.
+///
+/// Widths arrive from user-written sketches and ISA descriptions, so the
+/// constructors report the violation instead of panicking; synthesis
+/// front-ends surface it as an invalid-input error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthError {
+    /// The operator that rejected the width.
+    pub op: &'static str,
+    /// The width that was requested.
+    pub width: u32,
+    /// What the operator requires of its width.
+    pub requirement: &'static str,
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: width {} unsupported (requires {})", self.op, self.width, self.requirement)
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+fn require(ok: bool, op: &'static str, width: u32, requirement: &'static str) -> Result<(), WidthError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(WidthError { op, width, requirement })
+    }
+}
 
 /// Expression languages the bit-manipulation library can target.
 ///
@@ -227,35 +260,35 @@ impl SynthExpr for Wire {
 /// Rotate left by a variable count (`rol`). `width` must be a power of
 /// two.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is not a power of two.
-pub fn rol<E: SynthExpr>(x: E, count: E, width: u32) -> E {
-    assert!(width.is_power_of_two(), "rol requires a power-of-two width");
+/// Returns [`WidthError`] if `width` is not a power of two.
+pub fn rol<E: SynthExpr>(x: E, count: E, width: u32) -> Result<E, WidthError> {
+    require(width.is_power_of_two(), "rol", width, "a power-of-two width")?;
     let mask = E::lit(width, u64::from(width - 1));
     let w = E::lit(width, u64::from(width));
     let m = count.and_(mask.clone());
     let left = x.clone().shl_(m.clone());
     let back = w.sub_(m).and_(mask);
     let right = x.lshr_(back);
-    left.or_(right)
+    Ok(left.or_(right))
 }
 
 /// Rotate right by a variable count (`ror`/`rori`). `width` must be a
 /// power of two.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is not a power of two.
-pub fn ror<E: SynthExpr>(x: E, count: E, width: u32) -> E {
-    assert!(width.is_power_of_two(), "ror requires a power-of-two width");
+/// Returns [`WidthError`] if `width` is not a power of two.
+pub fn ror<E: SynthExpr>(x: E, count: E, width: u32) -> Result<E, WidthError> {
+    require(width.is_power_of_two(), "ror", width, "a power-of-two width")?;
     let mask = E::lit(width, u64::from(width - 1));
     let w = E::lit(width, u64::from(width));
     let m = count.and_(mask.clone());
     let right = x.clone().lshr_(m.clone());
     let back = w.sub_(m).and_(mask);
     let left = x.shl_(back);
-    left.or_(right)
+    Ok(left.or_(right))
 }
 
 /// AND with inverted operand (`andn`).
@@ -275,47 +308,48 @@ pub fn xnor<E: SynthExpr>(x: E, y: E) -> E {
 
 /// Byte-order reversal (`rev8`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is not a multiple of 8.
-pub fn rev8<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width.is_multiple_of(8), "rev8 requires a byte-multiple width");
+/// Returns [`WidthError`] if `width` is zero or not a multiple of 8.
+pub fn rev8<E: SynthExpr>(x: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0 && width.is_multiple_of(8), "rev8", width, "a nonzero byte-multiple width")?;
     let nbytes = width / 8;
     let mut acc = x.clone().extract_(7, 0);
     for b in 1..nbytes {
         acc = acc.concat_(x.clone().extract_(b * 8 + 7, b * 8));
     }
-    acc
+    Ok(acc)
 }
 
 /// Bit reversal within each byte (`brev8` / `rev.b`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is not a multiple of 8.
-pub fn brev8<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width.is_multiple_of(8), "brev8 requires a byte-multiple width");
-    let mut acc: Option<E> = None;
+/// Returns [`WidthError`] if `width` is zero or not a multiple of 8.
+pub fn brev8<E: SynthExpr>(x: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0 && width.is_multiple_of(8), "brev8", width, "a nonzero byte-multiple width")?;
+    // The first emitted bit is the lowest bit of the top byte.
+    let start = width - 8;
+    let mut acc = x.clone().extract_(start, start);
     for b in (0..width / 8).rev() {
         for i in b * 8..b * 8 + 8 {
-            let bit = x.clone().extract_(i, i);
-            acc = Some(match acc {
-                Some(a) => a.concat_(bit),
-                None => bit,
-            });
+            if i == start && b == width / 8 - 1 {
+                continue;
+            }
+            acc = acc.concat_(x.clone().extract_(i, i));
         }
     }
-    acc.expect("width checked nonzero")
+    Ok(acc)
 }
 
 /// Interleave lower and upper halves (`zip`): output bit `2i` is input
 /// bit `i`, output bit `2i+1` is input bit `i + width/2`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is odd.
-pub fn zip<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width.is_multiple_of(2), "zip requires an even width");
+/// Returns [`WidthError`] if `width` is zero or odd.
+pub fn zip<E: SynthExpr>(x: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0 && width.is_multiple_of(2), "zip", width, "a nonzero even width")?;
     let half = width / 2;
     let src = |i: u32| if i.is_multiple_of(2) { i / 2 } else { i / 2 + half };
     let mut acc = x.clone().extract_(src(width - 1), src(width - 1));
@@ -323,17 +357,17 @@ pub fn zip<E: SynthExpr>(x: E, width: u32) -> E {
         let s = src(i);
         acc = acc.concat_(x.clone().extract_(s, s));
     }
-    acc
+    Ok(acc)
 }
 
 /// De-interleave (`unzip`): even bits to the lower half, odd bits to the
 /// upper half. Inverse of [`zip`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is odd.
-pub fn unzip<E: SynthExpr>(x: E, width: u32) -> E {
-    assert!(width.is_multiple_of(2), "unzip requires an even width");
+/// Returns [`WidthError`] if `width` is zero or odd.
+pub fn unzip<E: SynthExpr>(x: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0 && width.is_multiple_of(2), "unzip", width, "a nonzero even width")?;
     let half = width / 2;
     let src = |j: u32| if j < half { 2 * j } else { 2 * (j - half) + 1 };
     let mut acc = x.clone().extract_(src(width - 1), src(width - 1));
@@ -341,34 +375,39 @@ pub fn unzip<E: SynthExpr>(x: E, width: u32) -> E {
         let s = src(j);
         acc = acc.concat_(x.clone().extract_(s, s));
     }
-    acc
+    Ok(acc)
 }
 
 /// Pack lower halves (`pack`): result's low half is `x`'s, high half is
 /// `y`'s.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is odd.
-pub fn pack<E: SynthExpr>(x: E, y: E, width: u32) -> E {
-    assert!(width.is_multiple_of(2), "pack requires an even width");
+/// Returns [`WidthError`] if `width` is zero or odd.
+pub fn pack<E: SynthExpr>(x: E, y: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0 && width.is_multiple_of(2), "pack", width, "a nonzero even width")?;
     let half = width / 2;
-    y.extract_(half - 1, 0).concat_(x.extract_(half - 1, 0))
+    Ok(y.extract_(half - 1, 0).concat_(x.extract_(half - 1, 0)))
 }
 
 /// Pack low bytes zero-extended (`packh`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is below 16 bits.
-pub fn packh<E: SynthExpr>(x: E, y: E, width: u32) -> E {
-    assert!(width >= 16, "packh requires width >= 16");
-    y.extract_(7, 0).concat_(x.extract_(7, 0)).zext_(width)
+/// Returns [`WidthError`] if `width` is below 16 bits.
+pub fn packh<E: SynthExpr>(x: E, y: E, width: u32) -> Result<E, WidthError> {
+    require(width >= 16, "packh", width, "a width of at least 16")?;
+    Ok(y.extract_(7, 0).concat_(x.extract_(7, 0)).zext_(width))
 }
 
 /// Carry-less multiply, low word (`clmul`): unrolled xor of conditional
 /// shifts.
-pub fn clmul<E: SynthExpr>(x: E, y: E, width: u32) -> E {
+///
+/// # Errors
+///
+/// Returns [`WidthError`] if `width` is zero.
+pub fn clmul<E: SynthExpr>(x: E, y: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0, "clmul", width, "a nonzero width")?;
     let mut acc = E::lit(width, 0);
     for i in 0..width {
         let bit = y.clone().extract_(i, i);
@@ -376,12 +415,17 @@ pub fn clmul<E: SynthExpr>(x: E, y: E, width: u32) -> E {
         let term = E::ite_(bit, shifted, E::lit(width, 0));
         acc = acc.xor_(term);
     }
-    acc
+    Ok(acc)
 }
 
 /// Carry-less multiply, high word (`clmulh`): the upper `width` bits of
 /// the `2*width`-bit carry-less product.
-pub fn clmulh<E: SynthExpr>(x: E, y: E, width: u32) -> E {
+///
+/// # Errors
+///
+/// Returns [`WidthError`] if `width` is zero.
+pub fn clmulh<E: SynthExpr>(x: E, y: E, width: u32) -> Result<E, WidthError> {
+    require(width > 0, "clmulh", width, "a nonzero width")?;
     let wide = 2 * width;
     let xw = x.zext_(wide);
     let mut acc = E::lit(wide, 0);
@@ -391,7 +435,7 @@ pub fn clmulh<E: SynthExpr>(x: E, y: E, width: u32) -> E {
         let term = E::ite_(bit, shifted, E::lit(wide, 0));
         acc = acc.xor_(term);
     }
-    acc.extract_(wide - 1, width)
+    Ok(acc.extract_(wide - 1, width))
 }
 
 #[cfg(test)]
@@ -433,12 +477,12 @@ mod tests {
             let bx = BitVec::from_u64(32, x);
             let by = BitVec::from_u64(32, y);
             assert_eq!(
-                run(|a, b| rol(a, b, 32), x, y),
+                run(|a, b| rol(a, b, 32).unwrap(), x, y),
                 bx.rol(&by).to_u64().unwrap(),
                 "rol({x:#x}, {y:#x})"
             );
             assert_eq!(
-                run(|a, b| ror(a, b, 32), x, y),
+                run(|a, b| ror(a, b, 32).unwrap(), x, y),
                 bx.ror(&by).to_u64().unwrap(),
                 "ror({x:#x}, {y:#x})"
             );
@@ -460,10 +504,10 @@ mod tests {
     fn byte_permutations_match_bitvec() {
         for &(x, _) in SAMPLES {
             let bx = BitVec::from_u64(32, x);
-            assert_eq!(run(|a, _| rev8(a, 32), x, 0), bx.rev8().to_u64().unwrap());
-            assert_eq!(run(|a, _| brev8(a, 32), x, 0), bx.brev8().to_u64().unwrap());
-            assert_eq!(run(|a, _| zip(a, 32), x, 0), bx.zip().to_u64().unwrap(), "zip {x:#x}");
-            assert_eq!(run(|a, _| unzip(a, 32), x, 0), bx.unzip().to_u64().unwrap());
+            assert_eq!(run(|a, _| rev8(a, 32).unwrap(), x, 0), bx.rev8().to_u64().unwrap());
+            assert_eq!(run(|a, _| brev8(a, 32).unwrap(), x, 0), bx.brev8().to_u64().unwrap());
+            assert_eq!(run(|a, _| zip(a, 32).unwrap(), x, 0), bx.zip().to_u64().unwrap(), "zip {x:#x}");
+            assert_eq!(run(|a, _| unzip(a, 32).unwrap(), x, 0), bx.unzip().to_u64().unwrap());
         }
     }
 
@@ -472,8 +516,8 @@ mod tests {
         for &(x, y) in SAMPLES {
             let bx = BitVec::from_u64(32, x);
             let by = BitVec::from_u64(32, y);
-            assert_eq!(run(|a, b| pack(a, b, 32), x, y), bx.pack(&by).to_u64().unwrap());
-            assert_eq!(run(|a, b| packh(a, b, 32), x, y), bx.packh(&by).to_u64().unwrap());
+            assert_eq!(run(|a, b| pack(a, b, 32).unwrap(), x, y), bx.pack(&by).to_u64().unwrap());
+            assert_eq!(run(|a, b| packh(a, b, 32).unwrap(), x, y), bx.packh(&by).to_u64().unwrap());
         }
     }
 
@@ -483,12 +527,12 @@ mod tests {
             let bx = BitVec::from_u64(32, x);
             let by = BitVec::from_u64(32, y);
             assert_eq!(
-                run(|a, b| clmul(a, b, 32), x, y),
+                run(|a, b| clmul(a, b, 32).unwrap(), x, y),
                 bx.clmul(&by).to_u64().unwrap(),
                 "clmul({x:#x}, {y:#x})"
             );
             assert_eq!(
-                run(|a, b| clmulh(a, b, 32), x, y),
+                run(|a, b| clmulh(a, b, 32).unwrap(), x, y),
                 bx.clmulh(&by).to_u64().unwrap(),
                 "clmulh({x:#x}, {y:#x})"
             );
@@ -500,8 +544,30 @@ mod tests {
         // The same generic definitions instantiate over SpecExpr.
         let x = SpecExpr::var("x");
         let y = SpecExpr::var("y");
-        let _ = rol(x.clone(), y.clone(), 32);
-        let _ = clmul(x.clone(), y.clone(), 32);
-        let _ = rev8(x, 32);
+        let _ = rol(x.clone(), y.clone(), 32).unwrap();
+        let _ = clmul(x.clone(), y.clone(), 32).unwrap();
+        let _ = rev8(x, 32).unwrap();
+    }
+
+    #[test]
+    fn bad_widths_are_typed_errors_not_panics() {
+        let x = || SpecExpr::var("x");
+        let y = || SpecExpr::var("y");
+        assert!(rol(x(), y(), 5).is_err());
+        assert!(ror(x(), y(), 0).is_err());
+        assert!(rev8(x(), 12).is_err());
+        assert!(rev8(x(), 0).is_err()); // 0 is a byte multiple but has no bytes
+        assert!(brev8(x(), 0).is_err());
+        assert!(zip(x(), 7).is_err());
+        assert!(zip(x(), 0).is_err());
+        assert!(unzip(x(), 0).is_err());
+        assert!(pack(x(), y(), 3).is_err());
+        assert!(packh(x(), y(), 8).is_err());
+        assert!(clmul(x(), y(), 0).is_err());
+        assert!(clmulh(x(), y(), 0).is_err());
+        let e = packh(x(), y(), 8).unwrap_err();
+        assert_eq!(e.op, "packh");
+        assert_eq!(e.width, 8);
+        assert!(e.to_string().contains("width 8 unsupported"));
     }
 }

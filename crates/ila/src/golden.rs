@@ -184,7 +184,7 @@ impl<'a> GoldenModel<'a> {
     pub fn decode(&self, state: &SpecState) -> Result<Option<String>, IlaError> {
         let mut fired = None;
         for instr in self.ila.instrs() {
-            if self.eval(instr.decode(), state)?.is_true() {
+            if self.eval(instr.decode()?, state)?.is_true() {
                 if let Some(prev) = &fired {
                     return Err(IlaError::new(format!(
                         "instructions {prev} and {} both decode — preconditions not mutually exclusive",
@@ -208,7 +208,10 @@ impl<'a> GoldenModel<'a> {
         let Some(name) = self.decode(state)? else {
             return Ok(None);
         };
-        let instr = self.ila.instr(&name).expect("decoded instruction exists");
+        let instr = self
+            .ila
+            .instr(&name)
+            .ok_or_else(|| IlaError::new(format!("decoded instruction {name} not found in model")))?;
         // Evaluate all updates against the pre-state first.
         let mut bv_new = Vec::new();
         for (sname, value) in instr.bv_updates() {
@@ -236,7 +239,11 @@ impl<'a> GoldenModel<'a> {
             state.bvs.insert(sname, v);
         }
         for (mname, a, d) in mem_new {
-            state.mems.get_mut(&mname).expect("checked").write(a, d);
+            state
+                .mems
+                .get_mut(&mname)
+                .ok_or_else(|| IlaError::new(format!("store to undeclared memory {mname}")))?
+                .write(a, d);
         }
         Ok(Some(name))
     }

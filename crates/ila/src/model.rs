@@ -74,12 +74,16 @@ impl Instr {
 
     /// The decode condition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the decode was never set (checked by [`Ila::check`]).
-    #[must_use]
-    pub fn decode(&self) -> &SpecExpr {
-        self.decode.as_ref().expect("instruction decode not set")
+    /// Returns an error if the decode was never set. [`Ila::check`]
+    /// rejects such models up front, so callers that validated the model
+    /// only see the `Ok` arm — but specs arrive from users, so the
+    /// accessor reports rather than panics.
+    pub fn decode(&self) -> Result<&SpecExpr, IlaError> {
+        self.decode
+            .as_ref()
+            .ok_or_else(|| IlaError::new(format!("instruction {} has no decode condition", self.name)))
     }
 
     /// Sets a bitvector state update (ILA `SetUpdate(state, expr)`).
@@ -439,6 +443,16 @@ mod tests {
         ila.add_instr(Instr::new("NOP"));
         let err = ila.check().unwrap_err();
         assert!(err.to_string().contains("no decode"));
+    }
+
+    #[test]
+    fn decode_accessor_reports_instead_of_panicking() {
+        let nop = Instr::new("NOP");
+        let err = nop.decode().unwrap_err();
+        assert!(err.to_string().contains("NOP"));
+        let mut set = Instr::new("I");
+        set.set_decode(SpecExpr::const_u64(1, 1));
+        assert!(set.decode().is_ok());
     }
 
     #[test]

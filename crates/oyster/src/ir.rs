@@ -449,6 +449,14 @@ impl Design {
             if d.width == 0 {
                 return Err(OysterError::new(format!("declaration {} has zero width", d.name)));
             }
+            if d.width > owl_bitvec::MAX_WIDTH {
+                return Err(OysterError::new(format!(
+                    "declaration {} width {} exceeds the {}-bit limit",
+                    d.name,
+                    d.width,
+                    owl_bitvec::MAX_WIDTH
+                )));
+            }
             let clash = widths.contains_key(&d.name) || mems.contains_key(&d.name);
             if clash {
                 return Err(OysterError::new(format!("duplicate declaration {}", d.name)));

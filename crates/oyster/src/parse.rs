@@ -149,9 +149,14 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Expression nesting bound: inputs nested deeper than this are rejected
+/// instead of overflowing the parser's stack.
+const MAX_EXPR_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -183,6 +188,11 @@ impl Parser {
             Some(Token::Int(v)) => Ok(v),
             other => Err(self.error(format!("expected integer, got {other:?}"))),
         }
+    }
+
+    fn expect_u32(&mut self) -> Result<u32, OysterError> {
+        let v = self.expect_int()?;
+        u32::try_from(v).map_err(|_| self.error(format!("integer {v} out of range")))
     }
 
     fn expect(&mut self, tok: &Token) -> Result<(), OysterError> {
@@ -246,11 +256,18 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, OysterError> {
-        if self.peek() == Some(&Token::Op("~")) {
-            self.pos += 1;
-            return Ok(self.parse_unary()?.not());
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.error("expression nesting too deep"));
         }
-        self.parse_primary()
+        self.depth += 1;
+        let result = if self.peek() == Some(&Token::Op("~")) {
+            self.pos += 1;
+            self.parse_unary().map(|e| e.not())
+        } else {
+            self.parse_primary()
+        };
+        self.depth -= 1;
+        result
     }
 
     fn parse_fn_args2(&mut self) -> Result<(Expr, u64, Option<u64>), OysterError> {
@@ -358,7 +375,7 @@ impl Parser {
                 "end" => break,
                 "input" | "output" | "register" | "hole" => {
                     let name = self.expect_ident()?;
-                    let width = self.expect_int()? as u32;
+                    let width = self.expect_u32()?;
                     let kind = match head.as_str() {
                         "input" => DeclKind::Input,
                         "output" => DeclKind::Output,
@@ -370,15 +387,24 @@ impl Parser {
                 }
                 "memory" => {
                     let name = self.expect_ident()?;
-                    let aw = self.expect_int()? as u32;
-                    let dw = self.expect_int()? as u32;
+                    let aw = self.expect_u32()?;
+                    let dw = self.expect_u32()?;
                     design.memory(name, aw, dw);
                     self.end_of_line()?;
                 }
                 "rom" => {
                     let name = self.expect_ident()?;
-                    let aw = self.expect_int()? as u32;
-                    let dw = self.expect_int()? as u32;
+                    let aw = self.expect_u32()?;
+                    let dw = self.expect_u32()?;
+                    // Bare-int entries are materialized at width `dw`
+                    // below, so the width must be valid before any
+                    // BitVec is built.
+                    if dw == 0 || dw > owl_bitvec::MAX_WIDTH {
+                        return Err(self.error(format!(
+                            "rom {name}: data width {dw} out of range (1..={})",
+                            owl_bitvec::MAX_WIDTH
+                        )));
+                    }
                     self.expect(&Token::LBracket)?;
                     let mut data = Vec::new();
                     loop {
@@ -432,7 +458,7 @@ impl FromStr for Design {
         while let Some(t) = lexer.next_token()? {
             tokens.push(t);
         }
-        let mut parser = Parser { tokens, pos: 0 };
+        let mut parser = Parser { tokens, pos: 0, depth: 0 };
         let design = parser.parse_design()?;
         parser.skip_newlines();
         if parser.peek().is_some() {
@@ -557,5 +583,89 @@ mod tests {
     fn parse_not_and_nested_parens() {
         let d = round_trip("design n\ninput a 4\nx := ~(a + 4'x1) & a\nend\n");
         assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn rom_entry_with_bad_data_width_is_an_error() {
+        // Bare-int rom entries build a BitVec at the declared data width;
+        // a zero or oversized width must be a parse error, not a panic.
+        assert!("design r\nrom t 2 0 [5]\nend\n".parse::<Design>().is_err());
+        assert!("design r\nrom t 2 99999999 [5]\nend\n".parse::<Design>().is_err());
+    }
+
+    #[test]
+    fn oversized_widths_are_errors_not_truncations() {
+        // 2^32 + 8 used to truncate to width 8 via `as u32`.
+        assert!("design w\ninput a 4294967304\nend\n".parse::<Design>().is_err());
+        assert!("design w\nmemory m 4 4294967304\nend\n".parse::<Design>().is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_stack_overflow() {
+        for text in [
+            format!("design d\nx := {}a{}\nend\n", "(".repeat(40_000), ")".repeat(40_000)),
+            format!("design d\nx := {}a\nend\n", "~".repeat(40_000)),
+            format!("design d\nx := {}a\nend\n", "zext(".repeat(20_000)),
+        ] {
+            let err = text.parse::<Design>().unwrap_err();
+            assert!(
+                err.to_string().contains("nesting too deep") || err.to_string().contains("expected"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_nesting_still_parses() {
+        let text = format!("design d\ninput a 4\nx := {}a{}\nend\n", "(".repeat(200), ")".repeat(200));
+        assert!(text.parse::<Design>().is_ok());
+    }
+
+    #[test]
+    fn deterministic_fuzz_never_panics() {
+        // A cheap dependency-free fuzzer: a splitmix64-driven generator
+        // mutates corpus designs and emits random token soup. The parser
+        // must return (Ok or Err) on every input, never panic.
+        let corpus = [
+            "design acc\ninput go 1\nregister acc 8\nacc := if go then acc + 8'x01 else acc\nend\n",
+            "design m\nmemory ram 4 8\nwrite ram[0'x0] := 8'x00 when 1'x1\nend\n",
+            "design r\ninput a 2\nrom t 2 8 [8'x0a 8'x14 30 40]\nout := t[a]\nend\n",
+        ];
+        let mut state = 0x0815_EEDu64 ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let fragments = [
+            "design", "end", "input", "rom", "memory", "write", ":=", "if", "then", "else",
+            "zext(", "extract(", "(", ")", "[", "]", ",", "~", "8'xff", "0'x0", "65537'x0",
+            "18446744073709551615", "a", "\n", "<<", ">>>", "==", "<=u", ";c\n", "#c\n", "'",
+        ];
+        for _ in 0..2_000 {
+            let mut text = String::new();
+            if next() % 2 == 0 {
+                // Mutate a corpus entry: splice random fragments into it.
+                let base = corpus[(next() % corpus.len() as u64) as usize];
+                let cut = (next() % base.len() as u64) as usize;
+                // Cut at a char boundary (corpus is ASCII, so any index works).
+                text.push_str(&base[..cut]);
+                for _ in 0..next() % 8 {
+                    text.push_str(fragments[(next() % fragments.len() as u64) as usize]);
+                    text.push(' ');
+                }
+                text.push_str(&base[cut..]);
+            } else {
+                for _ in 0..next() % 64 {
+                    text.push_str(fragments[(next() % fragments.len() as u64) as usize]);
+                    if next() % 3 == 0 {
+                        text.push(' ');
+                    }
+                }
+            }
+            let _ = text.parse::<Design>();
+        }
     }
 }

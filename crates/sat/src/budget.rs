@@ -167,6 +167,28 @@ pub enum IoFault {
     FlipBit(u64),
 }
 
+/// A deterministic fault to inject at one synthesis-service scheduling
+/// decision.
+///
+/// Service faults live on a *third* call counter, separate from both
+/// solver faults and journal I/O faults ([`FaultPlan::service_at`] /
+/// [`FaultPlan::next_service_fault`]), so a chaos plan that perturbs the
+/// serving layer never shifts the indices of the other two channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The worker thread panics while executing the picked job,
+    /// exercising the service's panic isolation and retry path.
+    WorkerPanic,
+    /// The scheduler's queue ordering is corrupted for this decision:
+    /// the *worst*-ranked job is picked instead of the best. Every job
+    /// must still complete correctly — only latency ordering degrades.
+    QueueCorrupt,
+    /// Deadline arithmetic for this decision sees a clock skewed forward
+    /// by this many milliseconds, so jobs near their deadline may be
+    /// judged expired early.
+    SkewDeadline(u64),
+}
+
 #[derive(Debug)]
 enum FaultMode {
     /// Faults at explicitly chosen call indices.
@@ -188,6 +210,11 @@ pub struct FaultPlan {
     /// consumes solver-call indices.
     io: HashMap<u64, IoFault>,
     io_counter: AtomicU64,
+    /// Service faults at explicitly chosen scheduling-decision indices;
+    /// a third channel with its own counter so chaos at the serving
+    /// layer never consumes solver-call or I/O indices.
+    service: HashMap<u64, ServiceFault>,
+    service_counter: AtomicU64,
 }
 
 impl FaultPlan {
@@ -199,6 +226,8 @@ impl FaultPlan {
             counter: AtomicU64::new(0),
             io: HashMap::new(),
             io_counter: AtomicU64::new(0),
+            service: HashMap::new(),
+            service_counter: AtomicU64::new(0),
         }
     }
 
@@ -221,6 +250,8 @@ impl FaultPlan {
             counter: AtomicU64::new(0),
             io: HashMap::new(),
             io_counter: AtomicU64::new(0),
+            service: HashMap::new(),
+            service_counter: AtomicU64::new(0),
         }
     }
 
@@ -243,6 +274,28 @@ impl FaultPlan {
     #[must_use]
     pub fn io_calls_observed(&self) -> u64 {
         self.io_counter.load(Ordering::Relaxed)
+    }
+
+    /// Injects `fault` at the `decision`-th service scheduling decision
+    /// (0-based, counted on the plan's dedicated service channel).
+    #[must_use]
+    pub fn service_at(mut self, decision: u64, fault: ServiceFault) -> Self {
+        self.service.insert(decision, fault);
+        self
+    }
+
+    /// Consumes the next scheduling-decision index and returns its
+    /// fault, if any. The synthesis service calls this once per
+    /// dispatch decision.
+    pub fn next_service_fault(&self) -> Option<ServiceFault> {
+        let idx = self.service_counter.fetch_add(1, Ordering::Relaxed);
+        self.service.get(&idx).copied()
+    }
+
+    /// How many service scheduling decisions the plan has observed.
+    #[must_use]
+    pub fn service_calls_observed(&self) -> u64 {
+        self.service_counter.load(Ordering::Relaxed)
     }
 
     /// Consumes the next call index and returns its fault, if any.
@@ -623,6 +676,24 @@ mod tests {
         assert_eq!(plan.next_io_fault(), Some(IoFault::FlipBit(5))); // io op 2
         assert_eq!(plan.calls_observed(), 1);
         assert_eq!(plan.io_calls_observed(), 3);
+    }
+
+    #[test]
+    fn service_faults_ride_a_third_counter() {
+        let plan = FaultPlan::new()
+            .at(0, Fault::ForceUnknown)
+            .io_at(0, IoFault::WriteError)
+            .service_at(0, ServiceFault::WorkerPanic)
+            .service_at(2, ServiceFault::SkewDeadline(250));
+        assert_eq!(plan.next_service_fault(), Some(ServiceFault::WorkerPanic)); // decision 0
+        assert_eq!(plan.next_service_fault(), None); // decision 1
+        // Draining the other channels does not advance the service counter.
+        assert_eq!(plan.next_fault(), Some(Fault::ForceUnknown));
+        assert_eq!(plan.next_io_fault(), Some(IoFault::WriteError));
+        assert_eq!(plan.next_service_fault(), Some(ServiceFault::SkewDeadline(250))); // decision 2
+        assert_eq!(plan.service_calls_observed(), 3);
+        assert_eq!(plan.io_calls_observed(), 1);
+        assert_eq!(plan.calls_observed(), 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod heap;
 mod proof;
 mod solver;
 
-pub use budget::{Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, StopReason};
+pub use budget::{Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ServiceFault, StopReason};
 pub use proof::{ProofChecker, ProofError, ProofLog};
 pub use solver::{SolveOpts, SolveResult, Solver, Stats};
 

@@ -1,0 +1,1041 @@
+//! `owl-service`: a fault-tolerant multi-session synthesis service.
+//!
+//! The paper's per-instruction decomposition (§3.2) makes each synthesis
+//! job a bag of independent, budgetable tasks — exactly the unit a
+//! serving layer wants. This crate stacks a serving layer on top of the
+//! robustness primitives the lower crates already provide
+//! ([`Budget`](owl_core::Budget) deadlines and cooperative cancellation,
+//! journaled crash-resume, the stall watchdog): a [`SynthesisService`]
+//! owns a shared worker pool and runs many
+//! [`SynthesisSession`](owl_core::SynthesisSession)s concurrently, one
+//! per submitted [`JobSpec`].
+//!
+//! # Queueing model
+//!
+//! Admission is a **bounded queue**. When the queue is full, the service
+//! never grows it silently: it sheds the cheapest-to-retry queued job if
+//! the newcomer strictly outranks it, degrades a strictly-lower-priority
+//! *running* job to partial-result mode (via its cooperative cancel
+//! flag) when only running work outranks the newcomer, and otherwise
+//! rejects with a typed [`ServiceError::Overloaded`] carrying a
+//! `retry_after` estimate derived from observed job durations.
+//!
+//! Dispatch is **deadline-aware**: workers pick the highest-priority
+//! queued job, earliest absolute deadline first within a priority
+//! (EDF), with one anti-starvation override — jobs queued longer than
+//! [`ServiceConfig::max_queue_age`] are served strictly FIFO before any
+//! ranking applies, so a stream of high-priority arrivals can never
+//! starve a low-priority job indefinitely. Job deadlines are fixed at
+//! admission time (queue wait counts against them) and are enforced
+//! twice: expired jobs are rejected at dequeue with
+//! [`ServiceError::Expired`], and running jobs get their session
+//! `time_budget` clamped to the time remaining, so a job that reaches
+//! its deadline mid-run degrades to a partial [`SynthesisOutput`]
+//! instead of being killed.
+//!
+//! # Retry policy
+//!
+//! Failures are routed through [`CoreError::class`]
+//! ([`ErrorClass`](owl_core::ErrorClass)): *transient* failures (solver
+//! exhaustion, watchdog stalls, escaped worker panics) are requeued with
+//! deterministic, seeded exponential backoff up to
+//! [`ServiceConfig::retry_limit`] times; *permanent* failures (invalid
+//! inputs, no solution, isolated panics inside the engine) are surfaced
+//! immediately as [`ServiceError::Failed`]. Backoff jitter comes from a
+//! splitmix64 hash of `(retry_seed, job id, attempt)`, so a replayed
+//! schedule is reproducible.
+//!
+//! # Recovery protocol
+//!
+//! With a [`ServiceConfig::journal_dir`] configured, every job runs
+//! under a write-ahead journal at a path derived from its name, and
+//! every submission *resumes* from that path — a missing journal starts
+//! fresh, a partial one replays its intact prefix. Crash recovery is
+//! therefore just resubmission: [`SynthesisService::recover`] restarts
+//! the pool and re-adopts a batch of jobs, and each re-adopted job's
+//! final output and certificate are byte-identical to an uninterrupted
+//! run (the journal layer's resume contract). [`scan_journals`] reports
+//! what is on disk so an operator can reconcile journals against the
+//! jobs they intend to resubmit.
+//!
+//! # Fault injection
+//!
+//! The service consumes the [`FaultPlan`]'s dedicated service channel
+//! ([`ServiceFault`]) — one draw per dispatch decision — so chaos tests
+//! can inject worker panics, queue-ranking corruption, and deadline
+//! clock skew at exact scheduling decisions without shifting the solver
+//! or journal-I/O fault indices.
+
+use owl_core::journal::read_journal;
+use owl_core::{
+    AbstractionFn, CancelFlag, CoreError, ErrorClass, FaultPlan, FileJournal, ServiceFault,
+    SynthesisConfig, SynthesisOutput, SynthesisSession,
+};
+use owl_ila::Ila;
+use owl_oyster::Design;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`SynthesisService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the shared pool (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded admission queue capacity. A full queue sheds or rejects
+    /// (see [`SynthesisService::submit`]); it never grows without bound.
+    pub queue_capacity: usize,
+    /// Anti-starvation threshold: a job queued longer than this is
+    /// served strictly FIFO, ahead of any priority/deadline ranking.
+    pub max_queue_age: Duration,
+    /// Transient-failure retries per job before the job is failed.
+    pub retry_limit: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub retry_seed: u64,
+    /// Base of the exponential backoff ladder (attempt `n` waits
+    /// `base · 2ⁿ` plus jitter, capped at [`max_backoff`](Self::max_backoff)).
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff wait.
+    pub max_backoff: Duration,
+    /// Directory for per-job write-ahead journals. `None` disables
+    /// journaling (and with it crash recovery).
+    pub journal_dir: Option<PathBuf>,
+    /// Deterministic fault-injection plan; the service draws from its
+    /// dedicated [`ServiceFault`] channel, once per dispatch decision.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            max_queue_age: Duration::from_secs(2),
+            retry_limit: 2,
+            retry_seed: 0x5EED_0111,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_secs(1),
+            journal_dir: None,
+            fault_plan: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Worker threads in the shared pool.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Bounded admission queue capacity (clamped to at least 1).
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Anti-starvation FIFO threshold.
+    #[must_use]
+    pub fn max_queue_age(mut self, age: Duration) -> Self {
+        self.max_queue_age = age;
+        self
+    }
+
+    /// Transient-failure retries per job.
+    #[must_use]
+    pub fn retry_limit(mut self, retries: u32) -> Self {
+        self.retry_limit = retries;
+        self
+    }
+
+    /// Seed for the deterministic backoff jitter.
+    #[must_use]
+    pub fn retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
+
+    /// Base of the exponential backoff ladder.
+    #[must_use]
+    pub fn base_backoff(mut self, base: Duration) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Directory for per-job write-ahead journals.
+    #[must_use]
+    pub fn journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Deterministic fault-injection plan.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The journal path a job named `name` uses under this
+    /// configuration, if journaling is enabled. Exposed so tests and
+    /// operators can locate (and diff) a job's journal.
+    #[must_use]
+    pub fn journal_path(&self, name: &str) -> Option<PathBuf> {
+        self.journal_dir.as_ref().map(|d| d.join(format!("{}.journal", sanitize(name))))
+    }
+}
+
+/// One synthesis job: the inputs a
+/// [`SynthesisSession`](owl_core::SynthesisSession) borrows, plus the
+/// service-level envelope (priority, deadline, parallelism).
+#[derive(Debug)]
+pub struct JobSpec {
+    /// Job name: identifies the job in errors, metrics, and its journal
+    /// file name (sanitized).
+    pub name: String,
+    /// The datapath sketch.
+    pub design: Design,
+    /// The instruction-level specification.
+    pub ila: Ila,
+    /// The abstraction function.
+    pub alpha: AbstractionFn,
+    /// Per-session synthesis configuration. The service overrides the
+    /// cancel flag (it owns degradation) and clamps `time_budget` to
+    /// the job's remaining deadline at dispatch.
+    pub config: SynthesisConfig,
+    /// Scheduling priority: higher runs first, and only a strictly
+    /// higher priority can shed or degrade other work.
+    pub priority: u8,
+    /// Wall-clock deadline, measured from *admission* (queue wait
+    /// counts). `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Worker threads for the job's own per-instruction scheduler.
+    pub parallelism: usize,
+}
+
+impl JobSpec {
+    /// A job with default envelope: priority 0, no deadline,
+    /// `parallelism(1)`, default [`SynthesisConfig`].
+    pub fn new(name: impl Into<String>, design: Design, ila: Ila, alpha: AbstractionFn) -> Self {
+        JobSpec {
+            name: name.into(),
+            design,
+            ila,
+            alpha,
+            config: SynthesisConfig::default(),
+            priority: 0,
+            deadline: None,
+            parallelism: 1,
+        }
+    }
+
+    /// Replaces the synthesis configuration.
+    #[must_use]
+    pub fn config(mut self, config: SynthesisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Scheduling priority (higher runs first).
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Wall-clock deadline from admission.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Worker threads for the job's per-instruction scheduler.
+    #[must_use]
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+}
+
+/// Typed service-level failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The queue is full and the job did not outrank anything worth
+    /// shedding. `retry_after` estimates when capacity should free up.
+    Overloaded {
+        /// Suggested client backoff, from observed job durations.
+        retry_after: Duration,
+    },
+    /// The job was admitted but later shed to make room for
+    /// higher-priority work. Shed jobs were never started, so
+    /// resubmitting them is always safe.
+    Shed,
+    /// The job's deadline passed before a worker could start it.
+    Expired,
+    /// The service is shutting down and no longer accepts or runs jobs.
+    ShuttingDown,
+    /// The job failed after `attempts` runs; `error` is the final
+    /// (classified) engine error.
+    Failed {
+        /// Total runs, including the first attempt.
+        attempts: u32,
+        /// The last error the engine returned.
+        error: CoreError,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { retry_after } => write!(
+                f,
+                "service overloaded; retry after {:.3}s",
+                retry_after.as_secs_f64()
+            ),
+            ServiceError::Shed => write!(f, "job shed under queue pressure before starting"),
+            ServiceError::Expired => write!(f, "job deadline passed while queued"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Failed { attempts, error } => {
+                write!(f, "job failed after {attempts} attempt(s): {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// How [`SynthesisService::shutdown`] treats in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Finish every queued and running job, then stop.
+    Drain,
+    /// Cancel running jobs cooperatively (they journal partial results
+    /// and return early) and fail queued jobs with
+    /// [`ServiceError::ShuttingDown`].
+    Abort,
+}
+
+/// Monotonic counters describing what a service instance has done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Jobs admitted (including re-adopted ones).
+    pub submitted: u64,
+    /// Jobs that delivered an output (complete or partial).
+    pub completed: u64,
+    /// Jobs that delivered a typed failure.
+    pub failed: u64,
+    /// Queued jobs shed under pressure.
+    pub shed: u64,
+    /// Jobs rejected at admission with [`ServiceError::Overloaded`].
+    pub rejected: u64,
+    /// Transient-failure retries performed.
+    pub retried: u64,
+    /// Jobs whose deadline passed while queued.
+    pub expired: u64,
+    /// Running jobs downgraded to partial-result mode under pressure.
+    pub degraded: u64,
+    /// Incomplete journals re-adopted by [`SynthesisService::recover`].
+    pub recovered: u64,
+    /// Worker panics caught and isolated.
+    pub worker_panics: u64,
+}
+
+/// A claim ticket for a submitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: u64,
+    name: String,
+    rx: Receiver<Result<SynthesisOutput, ServiceError>>,
+}
+
+impl JobHandle {
+    /// The service-assigned job id (unique per service instance).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The job's name, as submitted.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the job delivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's typed [`ServiceError`]; if the service was
+    /// dropped without delivering, [`ServiceError::ShuttingDown`].
+    pub fn wait(self) -> Result<SynthesisOutput, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `None` while the job is still in flight.
+    pub fn try_wait(&self) -> Option<Result<SynthesisOutput, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// What [`scan_journals`] found for one journal file.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The journal file.
+    pub path: PathBuf,
+    /// The file stem (the sanitized job name).
+    pub stem: String,
+    /// The header fingerprint, when intact.
+    pub fingerprint: Option<u64>,
+    /// Intact records recovered.
+    pub records: usize,
+    /// True when the journal carries its end marker — the job finished.
+    pub complete: bool,
+    /// True when a corrupt tail was discarded.
+    pub truncated: bool,
+}
+
+/// Lists the `*.journal` files under `dir` with their recovered state,
+/// sorted by file stem. Journals that fail to read entirely degrade to
+/// an entry with no fingerprint and zero records — scanning never
+/// fails on corruption, only on directory I/O errors.
+///
+/// # Errors
+///
+/// Propagates directory-listing I/O errors.
+pub fn scan_journals(dir: &Path) -> std::io::Result<Vec<JournalEntry>> {
+    let mut entries = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("journal") {
+            continue;
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_string();
+        let mut io = FileJournal::new(&path, None);
+        let contents = read_journal(&mut io);
+        entries.push(JournalEntry {
+            path,
+            stem,
+            fingerprint: contents.fingerprint,
+            records: contents.records.len(),
+            complete: contents.complete,
+            truncated: contents.truncated,
+        });
+    }
+    entries.sort_by(|a, b| a.stem.cmp(&b.stem));
+    Ok(entries)
+}
+
+/// Derives a journal file stem from a job name: alphanumerics, `-`,
+/// and `_` pass through; everything else becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// splitmix64, for deterministic backoff jitter (the engine keeps its
+/// own copy private).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One queued (or requeued) job.
+struct QueuedJob {
+    id: u64,
+    /// Admission order, for the anti-starvation FIFO and tie-breaking.
+    seq: u64,
+    spec: JobSpec,
+    /// First admission instant (aging is measured from here, across
+    /// retries).
+    enqueued: Instant,
+    /// Absolute deadline, fixed at first admission.
+    deadline_at: Option<Instant>,
+    /// Runs so far (0 before the first).
+    attempt: u32,
+    /// Backoff gate: not dispatchable before this instant.
+    eligible_at: Instant,
+    /// Shared with the running-job registry so admission-time pressure
+    /// can degrade the job mid-run.
+    cancel: CancelFlag,
+    tx: Sender<Result<SynthesisOutput, ServiceError>>,
+}
+
+/// The running-job registry entry (for degradation victims).
+struct RunningJob {
+    id: u64,
+    priority: u8,
+    cancel: CancelFlag,
+}
+
+struct State {
+    queue: Vec<QueuedJob>,
+    running: Vec<RunningJob>,
+    shutdown: Option<Shutdown>,
+    next_id: u64,
+    next_seq: u64,
+    metrics: ServiceMetrics,
+    /// Recent completed-job durations (seconds), for the
+    /// `retry_after` estimate. Bounded ring.
+    recent_secs: VecDeque<f64>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on new work, shutdown, and backoff-gate changes.
+    work: Condvar,
+    config: ServiceConfig,
+}
+
+/// A running synthesis service: a bounded admission queue in front of a
+/// shared worker pool. See the crate docs for the queueing, retry, and
+/// recovery contracts.
+pub struct SynthesisService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for SynthesisService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SynthesisService").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl SynthesisService {
+    /// Starts the worker pool. Creates the journal directory if
+    /// configured and missing (creation failure disables journaling for
+    /// the instance rather than failing startup — the same fail-open
+    /// stance the journal writer takes).
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> SynthesisService {
+        let mut config = config;
+        config.workers = config.workers.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        if let Some(dir) = &config.journal_dir {
+            if std::fs::create_dir_all(dir).is_err() {
+                config.journal_dir = None;
+            }
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                running: Vec::new(),
+                shutdown: None,
+                next_id: 0,
+                next_seq: 0,
+                metrics: ServiceMetrics::default(),
+                recent_secs: VecDeque::new(),
+            }),
+            work: Condvar::new(),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("owl-service-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        SynthesisService { shared, workers }
+    }
+
+    /// Restarts a service after a crash and re-adopts `jobs`: every job
+    /// is admitted unconditionally (these jobs were already admitted
+    /// once — recovery must not re-apply admission control) and, when
+    /// journaling is configured, resumes from its journal so completed
+    /// instructions replay instead of re-solving. Jobs whose journal is
+    /// incomplete count toward [`ServiceMetrics::recovered`].
+    #[must_use]
+    pub fn recover(config: ServiceConfig, jobs: Vec<JobSpec>) -> (SynthesisService, Vec<JobHandle>) {
+        let service = SynthesisService::start(config);
+        let mut adopted = 0u64;
+        for job in &jobs {
+            let Some(path) = service.shared.config.journal_path(&job.name) else { continue };
+            if !path.exists() {
+                continue;
+            }
+            let mut io = FileJournal::new(&path, None);
+            if !read_journal(&mut io).complete {
+                adopted += 1;
+            }
+        }
+        let handles = {
+            let mut state = service.shared.state.lock().expect("service state poisoned");
+            state.metrics.recovered += adopted;
+            jobs.into_iter().map(|job| service.admit(&mut state, job)).collect()
+        };
+        service.shared.work.notify_all();
+        (service, handles)
+    }
+
+    /// Submits a job through admission control.
+    ///
+    /// When the queue is full, in order: (1) the lowest-ranked queued
+    /// job strictly below the newcomer's priority is shed (it resolves
+    /// with [`ServiceError::Shed`]); (2) failing that, a running job
+    /// strictly below the newcomer's priority is degraded to
+    /// partial-result mode via its cancel flag and the newcomer is
+    /// admitted over capacity (bounded overshoot: one per freed
+    /// worker); (3) otherwise the submission is rejected with
+    /// [`ServiceError::Overloaded`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] as above, or
+    /// [`ServiceError::ShuttingDown`] after [`shutdown`](Self::shutdown)
+    /// began.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        if state.shutdown.is_some() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.config.queue_capacity {
+            // (1) Shed the cheapest-to-retry queued job the newcomer
+            // outranks: lowest priority first, youngest (least queue
+            // wait lost) within a priority. Shed jobs never started, so
+            // the client can resubmit at no lost work.
+            let victim = state
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.spec.priority < spec.priority)
+                .min_by_key(|(_, q)| (q.spec.priority, std::cmp::Reverse(q.seq)))
+                .map(|(i, _)| i);
+            if let Some(i) = victim {
+                let shed = state.queue.remove(i);
+                let _ = shed.tx.send(Err(ServiceError::Shed));
+                state.metrics.shed += 1;
+            } else if let Some(r) = state
+                .running
+                .iter()
+                .filter(|r| r.priority < spec.priority && !r.cancel.is_cancelled())
+                .min_by_key(|r| r.priority)
+            {
+                // (2) Degrade: the victim finishes early with whatever
+                // it has (partial-result mode), freeing its worker.
+                r.cancel.cancel();
+                state.metrics.degraded += 1;
+            } else {
+                // (3) Typed rejection with a backoff hint.
+                let retry_after = estimate_retry_after(&state, &self.shared.config);
+                state.metrics.rejected += 1;
+                return Err(ServiceError::Overloaded { retry_after });
+            }
+        }
+        let handle = self.admit(&mut state, spec);
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(handle)
+    }
+
+    /// Unconditional admission (caller holds the lock and has already
+    /// made room or decided to bypass capacity).
+    fn admit(&self, state: &mut State, spec: JobSpec) -> JobHandle {
+        let now = Instant::now();
+        let id = state.next_id;
+        state.next_id += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let (tx, rx) = channel();
+        let handle = JobHandle { id, name: spec.name.clone(), rx };
+        let deadline_at = spec.deadline.map(|d| now + d);
+        state.queue.push(QueuedJob {
+            id,
+            seq,
+            spec,
+            enqueued: now,
+            deadline_at,
+            attempt: 0,
+            eligible_at: now,
+            cancel: CancelFlag::new(),
+            tx,
+        });
+        state.metrics.submitted += 1;
+        handle
+    }
+
+    /// A snapshot of the service counters.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.state.lock().expect("service state poisoned").metrics.clone()
+    }
+
+    /// Queued (not running) jobs right now.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().expect("service state poisoned").queue.len()
+    }
+
+    /// Stops the service and joins the worker pool.
+    ///
+    /// [`Shutdown::Drain`] finishes every queued and running job first;
+    /// [`Shutdown::Abort`] cancels running jobs cooperatively (their
+    /// journals keep the partial progress for a later
+    /// [`recover`](Self::recover)) and fails queued jobs with
+    /// [`ServiceError::ShuttingDown`]. Returns the final metrics.
+    #[must_use]
+    pub fn shutdown(mut self, mode: Shutdown) -> ServiceMetrics {
+        self.begin_shutdown(mode);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.state.lock().expect("service state poisoned").metrics.clone()
+    }
+
+    fn begin_shutdown(&self, mode: Shutdown) {
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        if state.shutdown.is_none() {
+            state.shutdown = Some(mode);
+        }
+        if mode == Shutdown::Abort {
+            for running in &state.running {
+                running.cancel.cancel();
+            }
+            for queued in state.queue.drain(..) {
+                let _ = queued.tx.send(Err(ServiceError::ShuttingDown));
+            }
+        }
+        drop(state);
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for SynthesisService {
+    /// Dropping without [`shutdown`](SynthesisService::shutdown) aborts:
+    /// running jobs are cancelled cooperatively and the pool is joined,
+    /// so no worker thread outlives the handle.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.begin_shutdown(Shutdown::Abort);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// `retry_after` heuristic: (jobs ahead / workers) × the mean recent
+/// job duration, floored at the base backoff.
+fn estimate_retry_after(state: &State, config: &ServiceConfig) -> Duration {
+    let in_flight = state.queue.len() + state.running.len();
+    let waves = in_flight.div_ceil(config.workers).max(1) as f64;
+    let mean = if state.recent_secs.is_empty() {
+        config.base_backoff.as_secs_f64().max(0.001)
+    } else {
+        state.recent_secs.iter().sum::<f64>() / state.recent_secs.len() as f64
+    };
+    Duration::from_secs_f64((waves * mean).max(config.base_backoff.as_secs_f64()))
+}
+
+/// Ranks `queue[i]` for dispatch; smaller is better. Over-age jobs are
+/// served strictly FIFO ahead of everything (anti-starvation), then
+/// priority (higher first), then EDF (earlier absolute deadline first,
+/// deadline-free jobs last), then admission order.
+fn rank(q: &QueuedJob, now: Instant, max_age: Duration) -> (u8, u64, u8, u128, u64) {
+    let over_age = now.duration_since(q.enqueued) > max_age;
+    if over_age {
+        (0, q.seq, 0, 0, 0)
+    } else {
+        let deadline_key = match q.deadline_at {
+            Some(d) => d.saturating_duration_since(now).as_nanos(),
+            None => u128::MAX,
+        };
+        (1, 0, u8::MAX - q.spec.priority, deadline_key, q.seq)
+    }
+}
+
+/// The dispatch decision a worker made while holding the lock.
+enum Picked {
+    /// Run this job (removed from the queue); `inject_panic` carries a
+    /// [`ServiceFault::WorkerPanic`] drawn for this decision.
+    Job(Box<QueuedJob>, bool),
+    /// Nothing eligible before this instant (backoff gates pending).
+    WaitUntil(Instant),
+    /// Queue empty — park until signalled.
+    Park,
+    /// Shut down this worker.
+    Exit,
+}
+
+fn pick(state: &mut State, config: &ServiceConfig) -> Picked {
+    match state.shutdown {
+        Some(Shutdown::Abort) => return Picked::Exit,
+        Some(Shutdown::Drain) if state.queue.is_empty() => return Picked::Exit,
+        _ => {}
+    }
+    if state.queue.is_empty() {
+        return Picked::Park;
+    }
+    let now = Instant::now();
+    let eligible: Vec<usize> = (0..state.queue.len())
+        .filter(|&i| state.queue[i].eligible_at <= now)
+        .collect();
+    if eligible.is_empty() {
+        let soonest = state
+            .queue
+            .iter()
+            .map(|q| q.eligible_at)
+            .min()
+            .expect("non-empty queue has a soonest gate");
+        return Picked::WaitUntil(soonest);
+    }
+    // One draw from the service fault channel per dispatch decision.
+    let fault = config.fault_plan.as_ref().and_then(|p| p.next_service_fault());
+    let mut inject_panic = false;
+    let mut skew = Duration::ZERO;
+    let mut corrupt = false;
+    match fault {
+        Some(ServiceFault::WorkerPanic) => inject_panic = true,
+        Some(ServiceFault::SkewDeadline(ms)) => skew = Duration::from_millis(ms),
+        Some(ServiceFault::QueueCorrupt) => corrupt = true,
+        None => {}
+    }
+    let max_age = config.max_queue_age;
+    let key = |i: &&usize| rank(&state.queue[**i], now, max_age);
+    let chosen = if corrupt {
+        // Corrupted ranking: the *worst* job is dispatched. Latency
+        // ordering degrades; correctness must not.
+        *eligible.iter().max_by_key(key).expect("eligible non-empty")
+    } else {
+        *eligible.iter().min_by_key(key).expect("eligible non-empty")
+    };
+    let job = state.queue.remove(chosen);
+    // Deadline enforcement at dequeue, under (possibly skewed) time.
+    if let Some(deadline) = job.deadline_at {
+        if deadline <= now + skew {
+            state.metrics.expired += 1;
+            let _ = job.tx.send(Err(ServiceError::Expired));
+            // The decision dispatched nothing; look again immediately.
+            return pick(state, config);
+        }
+    }
+    Picked::Job(Box::new(job), inject_panic)
+}
+
+/// What a finished run means for the job: deliver or retry.
+enum RunVerdict {
+    Deliver(Result<SynthesisOutput, ServiceError>),
+    Retry(CoreError),
+}
+
+/// Applies the retry classification to one run's result.
+fn classify_run(
+    result: std::thread::Result<Result<SynthesisOutput, CoreError>>,
+    attempt_no: u32,
+) -> RunVerdict {
+    match result {
+        // Worker panic (injected or real): isolated, transient.
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panic".to_string());
+            RunVerdict::Retry(CoreError::Internal { instr: "<service>".to_string(), message })
+        }
+        Ok(Err(error)) => match error.class() {
+            // Validation failures reproduce under any retry.
+            ErrorClass::Permanent | ErrorClass::GlobalStop => {
+                RunVerdict::Deliver(Err(ServiceError::Failed { attempts: attempt_no, error }))
+            }
+            ErrorClass::Transient => RunVerdict::Retry(error),
+        },
+        Ok(Ok(output)) => {
+            // A deadline or degradation stop is the *contract* of
+            // partial-result mode: deliver what completed.
+            if output.interrupted.is_some() {
+                return RunVerdict::Deliver(Ok(output));
+            }
+            // Otherwise retry whole-job only for transient
+            // per-instruction failures (solver exhaustion, stalls).
+            let transient = output.outcomes.iter().find_map(|o| match &o.status {
+                owl_core::InstrStatus::Failed(e) if e.class() == ErrorClass::Transient => {
+                    Some(e.clone())
+                }
+                _ => None,
+            });
+            match transient {
+                Some(error) => RunVerdict::Retry(error),
+                None => RunVerdict::Deliver(Ok(output)),
+            }
+        }
+    }
+}
+
+/// Backoff before retry `attempt` (1-based): `base · 2^(attempt-1)`
+/// plus up to one extra `base` of deterministic jitter, capped.
+fn backoff(config: &ServiceConfig, job_id: u64, attempt: u32) -> Duration {
+    let base = config.base_backoff.max(Duration::from_micros(1));
+    let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+    let jitter_num = splitmix64(config.retry_seed ^ (job_id << 17) ^ u64::from(attempt)) % 1000;
+    let jitter = base.mul_f64(jitter_num as f64 / 1000.0);
+    (exp + jitter).min(config.max_backoff)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (job, inject_panic) = {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            loop {
+                match pick(&mut state, &shared.config) {
+                    Picked::Exit => return,
+                    Picked::Job(job, inject) => {
+                        state.running.push(RunningJob {
+                            id: job.id,
+                            priority: job.spec.priority,
+                            cancel: job.cancel.clone(),
+                        });
+                        break (job, inject);
+                    }
+                    Picked::WaitUntil(when) => {
+                        let timeout = when.saturating_duration_since(Instant::now());
+                        let (next, _) = shared
+                            .work
+                            .wait_timeout(state, timeout.max(Duration::from_micros(100)))
+                            .expect("service state poisoned");
+                        state = next;
+                    }
+                    Picked::Park => {
+                        state = shared.work.wait(state).expect("service state poisoned");
+                    }
+                }
+            }
+        };
+        let started = Instant::now();
+        let mut job = *job;
+        job.attempt += 1;
+        let attempt_no = job.attempt;
+
+        // Session config for this attempt: the service owns the cancel
+        // flag, and the remaining deadline clamps the time budget so a
+        // job that reaches its deadline mid-run degrades to a partial
+        // output instead of overstaying.
+        let mut config = job.spec.config.clone();
+        config.cancel = job.cancel.clone();
+        if let Some(deadline) = job.deadline_at {
+            let remaining = deadline.saturating_duration_since(started);
+            config.time_budget = Some(config.time_budget.map_or(remaining, |t| t.min(remaining)));
+        }
+        let journal = shared.config.journal_path(&job.spec.name);
+
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected service fault: worker panic");
+            }
+            let mut session = SynthesisSession::new(&job.spec.design, &job.spec.ila, &job.spec.alpha)
+                .config(config)
+                .parallelism(job.spec.parallelism);
+            if let Some(path) = &journal {
+                session = session.resume(path);
+            }
+            session.run()
+        }));
+        let panicked = result.is_err();
+        let verdict = classify_run(result, attempt_no);
+
+        let mut state = shared.state.lock().expect("service state poisoned");
+        state.running.retain(|r| r.id != job.id);
+        if panicked {
+            state.metrics.worker_panics += 1;
+        }
+        match verdict {
+            RunVerdict::Retry(error)
+                if attempt_no <= shared.config.retry_limit
+                    && state.shutdown != Some(Shutdown::Abort) =>
+            {
+                state.metrics.retried += 1;
+                // A journaled transient failure would replay as Failed
+                // on resume; clear it so the retry genuinely re-solves.
+                // (Panic journals hold only intact completed records and
+                // are kept — resume replays them for free.)
+                if !panicked {
+                    if let Some(path) = &journal {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                let _ = error;
+                job.eligible_at = Instant::now() + backoff(&shared.config, job.id, attempt_no);
+                state.queue.push(job);
+                drop(state);
+                shared.work.notify_all();
+                continue;
+            }
+            RunVerdict::Retry(error) => {
+                state.metrics.failed += 1;
+                let _ = job.tx.send(Err(ServiceError::Failed { attempts: attempt_no, error }));
+            }
+            RunVerdict::Deliver(outcome) => {
+                match &outcome {
+                    Ok(_) => {
+                        state.metrics.completed += 1;
+                        let secs = started.elapsed().as_secs_f64();
+                        state.recent_secs.push_back(secs);
+                        if state.recent_secs.len() > 32 {
+                            state.recent_secs.pop_front();
+                        }
+                    }
+                    Err(_) => state.metrics.failed += 1,
+                }
+                let _ = job.tx.send(outcome);
+            }
+        }
+        drop(state);
+        shared.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone_in_expectation() {
+        let config = ServiceConfig::default();
+        assert_eq!(backoff(&config, 7, 1), backoff(&config, 7, 1));
+        assert_ne!(backoff(&config, 7, 1), backoff(&config, 8, 1));
+        // The exponential term dominates the one-base jitter.
+        assert!(backoff(&config, 7, 3) > backoff(&config, 7, 1));
+        assert!(backoff(&config, 7, 60) <= config.max_backoff);
+    }
+
+    #[test]
+    fn sanitize_keeps_journal_stems_filesystem_safe() {
+        assert_eq!(sanitize("rv32i/add v2"), "rv32i_add_v2");
+        assert_eq!(sanitize("ok-name_9"), "ok-name_9");
+    }
+
+    #[test]
+    fn journal_path_derives_from_name() {
+        let config = ServiceConfig::default().journal_dir("/tmp/owl-svc");
+        assert_eq!(
+            config.journal_path("job one"),
+            Some(PathBuf::from("/tmp/owl-svc/job_one.journal"))
+        );
+        assert_eq!(ServiceConfig::default().journal_path("job one"), None);
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let e = ServiceError::Overloaded { retry_after: Duration::from_millis(1500) };
+        assert_eq!(e.to_string(), "service overloaded; retry after 1.500s");
+        let f = ServiceError::Failed {
+            attempts: 3,
+            error: CoreError::SolverExhausted { instr: "add".to_string() },
+        };
+        assert!(f.to_string().contains("after 3 attempt(s)"));
+    }
+}

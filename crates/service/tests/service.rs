@@ -1,0 +1,531 @@
+//! Service-semantics tests: typed overload behavior, EDF dispatch under
+//! contention, drain-vs-abort shutdown, classified retries, service
+//! fault injection, and the crash-recovery matrix (abort mid-run,
+//! recover, byte-identical outputs). Process-level SIGKILL chaos lives
+//! in CI (`service-chaos`), driving `bench_owl --service`.
+
+use owl_core::{
+    CoreError, Fault, FaultPlan, ServiceFault, SynthesisConfig, SynthesisOutput, SynthesisSession,
+};
+use owl_service::{
+    scan_journals, JobSpec, ServiceConfig, ServiceError, Shutdown, SynthesisService,
+};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fresh per-test journal directory under the system temp dir.
+fn journal_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("owl_service_{}_{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A job over the accumulator case study.
+fn accumulator_job(name: &str) -> JobSpec {
+    let cs = owl_cores::accumulator::case_study();
+    JobSpec::new(name, cs.sketch, cs.spec, cs.alpha)
+}
+
+/// A job whose every solver call first sleeps `ms` — same results,
+/// slower wall-clock; the lever for keeping workers busy on demand.
+fn slow_job(name: &str, ms: u64) -> JobSpec {
+    let plan = (0..64).fold(FaultPlan::new(), |p, i| p.at(i, Fault::StallMillis(ms)));
+    let config = SynthesisConfig::builder().fault_plan(Arc::new(plan)).certify(false).build();
+    accumulator_job(name).config(config)
+}
+
+/// The byte-identical contract from `tests/durability.rs`, applied to
+/// service-recovered outputs (`stats.replayed`/`elapsed` are
+/// provenance, outside the contract).
+fn assert_outputs_identical(label: &str, a: &SynthesisOutput, b: &SynthesisOutput) {
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{label}: solution count");
+    for (x, y) in a.solutions.iter().zip(&b.solutions) {
+        assert_eq!(x.instr, y.instr, "{label}: solution order");
+        assert_eq!(x.holes, y.holes, "{label}: hole values for {}", x.instr);
+    }
+    assert_eq!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", b.outcomes),
+        "{label}: per-instruction outcomes"
+    );
+    assert_eq!(a.stats.solver_calls, b.stats.solver_calls, "{label}: solver calls");
+    assert_eq!(a.stats.cex_rounds, b.stats.cex_rounds, "{label}: CEGIS rounds");
+    assert_eq!(a.stats.escalations, b.stats.escalations, "{label}: escalations");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.to_string(), cb.to_string(), "{label}: certificates")
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run certified, the other did not"),
+    }
+    assert_eq!(
+        format!("{:?}", a.interrupted),
+        format!("{:?}", b.interrupted),
+        "{label}: interrupt"
+    );
+}
+
+/// A full queue with nothing to shed rejects with a typed
+/// `Overloaded { retry_after }` — no panic, no deadlock, no unbounded
+/// queue growth — and the service stays healthy for later work.
+#[test]
+fn overload_is_typed_not_fatal() {
+    let service = SynthesisService::start(
+        ServiceConfig::default().workers(1).queue_capacity(1),
+    );
+    // Occupy the single worker, then fill the single queue slot.
+    let busy = service.submit(slow_job("busy", 200)).expect("admitted");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = service.submit(slow_job("queued", 10)).expect("admitted");
+    // Same priority as everything queued: nothing to shed, so the
+    // submission must bounce with a backoff hint.
+    let err = service.submit(accumulator_job("rejected")).expect_err("queue is full");
+    match err {
+        ServiceError::Overloaded { retry_after } => {
+            assert!(retry_after > Duration::ZERO, "retry_after must be a usable hint")
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // The rejection must not have wedged anything.
+    assert!(busy.wait().is_ok(), "running job survives overload");
+    assert!(queued.wait().is_ok(), "queued job survives overload");
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.shed, 0);
+    assert_eq!(metrics.completed, 2);
+}
+
+/// Under pressure a strictly higher-priority newcomer sheds the
+/// cheapest queued job (which resolves with `Shed`, never silently
+/// vanishes), and the newcomer takes its place.
+#[test]
+fn higher_priority_sheds_queued_work() {
+    let service = SynthesisService::start(
+        ServiceConfig::default().workers(1).queue_capacity(1),
+    );
+    let busy = service.submit(slow_job("busy", 200)).expect("admitted");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let victim = service.submit(accumulator_job("victim").priority(1)).expect("admitted");
+    let vip = service.submit(accumulator_job("vip").priority(5)).expect("outranks the victim");
+    assert!(matches!(victim.wait(), Err(ServiceError::Shed)));
+    assert!(vip.wait().is_ok(), "the shedding beneficiary completes");
+    assert!(busy.wait().is_ok());
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.shed, 1);
+    assert_eq!(metrics.rejected, 0);
+}
+
+/// When only *running* work is below the newcomer's priority, the
+/// lowest-priority running job is degraded to partial-result mode via
+/// its cancel flag (typed, cooperative) and the newcomer is admitted.
+#[test]
+fn pressure_degrades_running_jobs_to_partial_results() {
+    let service = SynthesisService::start(
+        ServiceConfig::default().workers(1).queue_capacity(1),
+    );
+    let low = service.submit(slow_job("low", 400).priority(0)).expect("admitted");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let high_queued = service.submit(accumulator_job("queued-high").priority(9)).expect("admitted");
+    // Queue full; the queued job outranks the newcomer, but the
+    // *running* job does not — so the running job is downgraded.
+    let newcomer = service.submit(accumulator_job("mid").priority(5)).expect("admitted via degrade");
+    let degraded = low.wait().expect("degradation is partial results, not an error");
+    assert!(
+        matches!(degraded.interrupted, Some(CoreError::Cancelled)),
+        "the degraded job reports its cooperative stop, got {:?}",
+        degraded.interrupted
+    );
+    assert!(high_queued.wait().is_ok());
+    assert!(newcomer.wait().is_ok());
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.degraded, 1);
+    assert_eq!(metrics.shed, 0);
+}
+
+/// Dispatch under contention: with one worker pinned, queued jobs run
+/// highest-priority first, EDF within a priority, and a job older than
+/// `max_queue_age` jumps the whole ranking (anti-starvation).
+#[test]
+fn dispatch_is_edf_with_priority_and_aging() {
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .workers(1)
+            .queue_capacity(8)
+            .max_queue_age(Duration::from_secs(3600)),
+    );
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let watch = |name: &'static str, handle: owl_service::JobHandle| {
+        let order = Arc::clone(&order);
+        std::thread::spawn(move || {
+            handle.wait().expect("job completes");
+            order.lock().unwrap().push(name);
+        })
+    };
+    // Pin the worker so every later submission queues up behind it.
+    let blocker = service.submit(slow_job("blocker", 300)).expect("admitted");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Same priority, different deadlines: EDF picks the tighter one
+    // first and the deadline-free job last... (Jobs are slowed so the
+    // completion-order observers can't race each other.)
+    let loose = watch("loose", service.submit(slow_job("loose", 60).deadline(Duration::from_secs(600))).expect("ok"));
+    let tight = watch("tight", service.submit(slow_job("tight", 60).deadline(Duration::from_secs(60))).expect("ok"));
+    let free = watch("free", service.submit(slow_job("free", 60)).expect("ok"));
+    // ...except that priority dominates deadlines entirely.
+    let vip = watch("vip", service.submit(slow_job("vip", 60).priority(9)).expect("ok"));
+    blocker.wait().expect("blocker completes");
+    for t in [vip, tight, loose, free] {
+        t.join().expect("watcher");
+    }
+    assert_eq!(*order.lock().unwrap(), vec!["vip", "tight", "loose", "free"]);
+    let _ = service.shutdown(Shutdown::Drain);
+}
+
+/// Anti-starvation: a job queued past `max_queue_age` is served FIFO
+/// ahead of younger, higher-priority arrivals.
+#[test]
+fn over_age_jobs_cannot_be_starved() {
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .workers(1)
+            .queue_capacity(8)
+            .max_queue_age(Duration::from_millis(50)),
+    );
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let watch = |name: &'static str, handle: owl_service::JobHandle| {
+        let order = Arc::clone(&order);
+        std::thread::spawn(move || {
+            handle.wait().expect("job completes");
+            order.lock().unwrap().push(name);
+        })
+    };
+    let blocker = service.submit(slow_job("blocker", 200)).expect("admitted");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let elder = watch("elder", service.submit(slow_job("elder", 60).priority(0)).expect("ok"));
+    // Let the elder age past the threshold while the blocker runs.
+    std::thread::sleep(Duration::from_millis(80));
+    let vip = watch("vip", service.submit(slow_job("vip", 60).priority(9)).expect("ok"));
+    blocker.wait().expect("blocker completes");
+    for t in [elder, vip] {
+        t.join().expect("watcher");
+    }
+    assert_eq!(*order.lock().unwrap(), vec!["elder", "vip"]);
+    let _ = service.shutdown(Shutdown::Drain);
+}
+
+/// Drain finishes everything; abort cancels running work cooperatively
+/// (partial results, journaled) and fails queued work with a typed
+/// `ShuttingDown`.
+#[test]
+fn drain_finishes_and_abort_cuts_losses() {
+    // Drain.
+    let service = SynthesisService::start(ServiceConfig::default().workers(2));
+    let a = service.submit(accumulator_job("a")).expect("ok");
+    let b = service.submit(accumulator_job("b")).expect("ok");
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert!(a.wait().expect("drained").is_complete());
+    assert!(b.wait().expect("drained").is_complete());
+    assert_eq!(metrics.completed, 2);
+
+    // Abort: one running (degrades to a partial output), one queued
+    // (typed failure).
+    let service = SynthesisService::start(ServiceConfig::default().workers(1).queue_capacity(2));
+    let running = service.submit(slow_job("running", 300)).expect("ok");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = service.submit(accumulator_job("queued")).expect("ok");
+    let metrics = service.shutdown(Shutdown::Abort);
+    let partial = running.wait().expect("abort degrades the running job, not an error");
+    assert!(
+        matches!(partial.interrupted, Some(CoreError::Cancelled)),
+        "got {:?}",
+        partial.interrupted
+    );
+    assert!(matches!(queued.wait(), Err(ServiceError::ShuttingDown)));
+    assert_eq!(metrics.completed, 1, "the aborted running job still delivered");
+    // New submissions after shutdown are rejected, not queued forever.
+    // (The handle is consumed by shutdown; a fresh service proves the
+    // typed rejection.)
+    let service = SynthesisService::start(ServiceConfig::default());
+    let m = service.shutdown(Shutdown::Drain);
+    assert_eq!(m.submitted, 0);
+}
+
+/// Transient failures (solver exhaustion) are retried with backoff and
+/// succeed on a clean attempt; the retry count is observable.
+#[test]
+fn transient_failures_retry_and_recover() {
+    // Every early solver call answers Unknown: with no escalation
+    // ladder, attempt 1 fails with `SolverExhausted` (transient). The
+    // retry runs on later fault-plan indices and succeeds.
+    // The case study needs ~2 solver calls per clean attempt, so four
+    // faults cover the first attempt (and a possible rebalance retry)
+    // while leaving later attempts clean.
+    let plan = (0..4).fold(FaultPlan::new(), |p, i| p.at(i, Fault::ForceUnknown));
+    let config = SynthesisConfig::builder()
+        .fault_plan(Arc::new(plan))
+        .max_escalations(0)
+        .certify(false)
+        .build();
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .workers(1)
+            .retry_limit(6)
+            .base_backoff(Duration::from_millis(1)),
+    );
+    let handle =
+        service.submit(accumulator_job("flaky").config(config)).expect("admitted");
+    let output = handle.wait().expect("the retry must succeed");
+    assert!(output.is_complete(), "retried job completes cleanly");
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert!(metrics.retried >= 1, "the transient failure was retried");
+    assert_eq!(metrics.failed, 0);
+}
+
+/// Permanent failures (invalid inputs) are surfaced immediately —
+/// exactly one attempt, no backoff loop.
+#[test]
+fn permanent_failures_surface_immediately() {
+    let acc = owl_cores::accumulator::case_study();
+    let alu = owl_cores::alu_machine::case_study();
+    // An accumulator sketch against the ALU spec/abstraction is an
+    // input-validation failure, not a solvable problem.
+    let bad = JobSpec::new("mismatched", acc.sketch, alu.spec, alu.alpha);
+    let service = SynthesisService::start(ServiceConfig::default().workers(1));
+    let err = service.submit(bad).expect("admitted").wait().expect_err("must fail");
+    match err {
+        ServiceError::Failed { attempts, error } => {
+            assert_eq!(attempts, 1, "permanent failures are not retried");
+            assert!(matches!(error, CoreError::Invalid(_)), "got {error:?}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.retried, 0);
+    assert_eq!(metrics.failed, 1);
+}
+
+/// Service-level fault injection: an injected worker panic is isolated
+/// and retried; injected queue corruption degrades only latency
+/// ordering; injected clock skew expires deadline-bound jobs early with
+/// a typed error.
+#[test]
+fn injected_service_faults_are_survivable() {
+    // Worker panic on the first dispatch decision.
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .workers(1)
+            .base_backoff(Duration::from_millis(1))
+            .fault_plan(Arc::new(FaultPlan::new().service_at(0, ServiceFault::WorkerPanic))),
+    );
+    let output = service.submit(accumulator_job("panicky")).expect("ok").wait();
+    assert!(output.expect("panic is isolated and retried").is_complete());
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.worker_panics, 1);
+    assert!(metrics.retried >= 1);
+
+    // Queue-ranking corruption: the worst-ranked job dispatches first,
+    // but every job still completes correctly.
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .workers(1)
+            .queue_capacity(8)
+            .fault_plan(Arc::new(FaultPlan::new().service_at(1, ServiceFault::QueueCorrupt))),
+    );
+    let blocker = service.submit(slow_job("blocker", 150)).expect("ok");
+    while service.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let first = service.submit(accumulator_job("first").priority(9)).expect("ok");
+    let second = service.submit(accumulator_job("second").priority(1)).expect("ok");
+    assert!(blocker.wait().is_ok());
+    assert!(first.wait().is_ok(), "corruption degrades ordering, not correctness");
+    assert!(second.wait().is_ok());
+    let _ = service.shutdown(Shutdown::Drain);
+
+    // Clock skew: a comfortable deadline looks expired under a skewed
+    // clock; the job gets a typed `Expired`, not a hang or a panic.
+    let service = SynthesisService::start(
+        ServiceConfig::default()
+            .workers(1)
+            .fault_plan(Arc::new(
+                FaultPlan::new().service_at(0, ServiceFault::SkewDeadline(60_000)),
+            )),
+    );
+    let doomed = service.submit(accumulator_job("doomed").deadline(Duration::from_secs(30)));
+    assert!(matches!(doomed.expect("admitted").wait(), Err(ServiceError::Expired)));
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.expired, 1);
+}
+
+/// The crash-recovery matrix: ≥4 concurrent journaled jobs are aborted
+/// mid-run (the in-process stand-in for SIGKILL — CI's `service-chaos`
+/// job does the real kill), then `recover` re-adopts every journal and
+/// each job's final output and certificate are byte-identical to an
+/// uninterrupted run at the same parallelism.
+#[test]
+fn kill_and_recover_is_byte_identical() {
+    let dir = journal_dir("recover");
+    let make_jobs = |slow_ms: Option<u64>| -> Vec<JobSpec> {
+        (0..4)
+            .map(|i| {
+                let name = format!("acc-{i}");
+                let job = match slow_ms {
+                    Some(ms) => {
+                        // Call 0 runs clean so one instruction lands in
+                        // the journal before the abort; every later
+                        // call stalls far past the abort point.
+                        let plan = (1..64)
+                            .fold(FaultPlan::new(), |p, c| p.at(c, Fault::StallMillis(ms)));
+                        // Stalls change wall-clock only; `certify` and
+                        // every semantic knob match the reference, so
+                        // the journal fingerprint matches too.
+                        accumulator_job(&name)
+                            .config(SynthesisConfig::builder().fault_plan(Arc::new(plan)).build())
+                    }
+                    None => accumulator_job(&name),
+                };
+                job.parallelism(2)
+            })
+            .collect()
+    };
+    // References: uninterrupted, journal-free runs at parallelism 2.
+    let references: Vec<SynthesisOutput> = (0..4)
+        .map(|_| {
+            let cs = owl_cores::accumulator::case_study();
+            SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+                .parallelism(2)
+                .run()
+                .expect("valid inputs")
+        })
+        .collect();
+
+    // Phase 1: run all four concurrently, slowed down, and abort
+    // mid-run. Journals keep whatever prefix each job reached.
+    let config = ServiceConfig::default().workers(4).journal_dir(&dir);
+    let service = SynthesisService::start(config.clone());
+    let handles: Vec<_> = make_jobs(Some(1_000))
+        .into_iter()
+        .map(|j| service.submit(j).expect("admitted"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    let metrics = service.shutdown(Shutdown::Abort);
+    assert_eq!(metrics.submitted, 4);
+    for handle in handles {
+        // Aborted jobs deliver partial outputs; none may panic or hang.
+        let _ = handle.wait();
+    }
+    let entries = scan_journals(&dir).expect("journal dir scans");
+    assert_eq!(entries.len(), 4, "every job journals under its own name");
+    assert!(
+        entries.iter().all(|e| !e.complete),
+        "the abort landed mid-run: {entries:?}"
+    );
+
+    // Phase 2: recover re-adopts all four and finishes them (full
+    // speed — the fault plan is a resource knob, outside the journal
+    // fingerprint).
+    let (service, handles) = SynthesisService::recover(config, make_jobs(None));
+    let outputs: Vec<SynthesisOutput> =
+        handles.into_iter().map(|h| h.wait().expect("recovered job completes")).collect();
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert_eq!(metrics.recovered, 4, "every incomplete journal was re-adopted");
+    for (i, (output, reference)) in outputs.iter().zip(&references).enumerate() {
+        assert!(output.is_complete(), "acc-{i} completes after recovery");
+        assert_outputs_identical(&format!("recovered acc-{i}"), reference, output);
+    }
+    let entries = scan_journals(&dir).expect("journal dir scans");
+    assert!(entries.iter().all(|e| e.complete), "recovered journals finish: {entries:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A randomized (but seeded) chaos schedule: repeated rounds of
+/// overload, abort-mid-run, and recovery, with service faults injected
+/// throughout. The invariant is total: every handle resolves to a
+/// typed result, and the final recovered outputs are complete.
+#[test]
+fn chaos_schedule_converges() {
+    let dir = journal_dir("chaos");
+    let mut seed = 0xC4A0_5EEDu64;
+    let mut next = move || {
+        // splitmix64, inlined: the schedule must not depend on external
+        // randomness sources.
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for round in 0..3 {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .service_at(next() % 4, ServiceFault::WorkerPanic)
+                .service_at(next() % 6, ServiceFault::QueueCorrupt)
+                .service_at(next() % 8, ServiceFault::SkewDeadline(next() % 50)),
+        );
+        let config = ServiceConfig::default()
+            .workers(2)
+            .queue_capacity(3)
+            .base_backoff(Duration::from_millis(1))
+            .journal_dir(&dir)
+            .fault_plan(plan);
+        let service = SynthesisService::start(config.clone());
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let slow = 50 + next() % 100;
+            let job = slow_job(&format!("chaos-{round}-{i}"), slow).priority((next() % 3) as u8);
+            match service.submit(job) {
+                Ok(h) => handles.push(h),
+                Err(ServiceError::Overloaded { .. }) => {}
+                Err(other) => panic!("round {round}: unexpected admission error: {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(next() % 120));
+        let _ = service.shutdown(if next() % 2 == 0 { Shutdown::Abort } else { Shutdown::Drain });
+        for handle in handles {
+            // Every fate is acceptable — but it must be a *typed* fate.
+            match handle.wait() {
+                Ok(_) => {}
+                Err(
+                    ServiceError::Shed
+                    | ServiceError::Expired
+                    | ServiceError::ShuttingDown
+                    | ServiceError::Overloaded { .. }
+                    | ServiceError::Failed { .. },
+                ) => {}
+            }
+        }
+    }
+    // Final recovery pass: whatever journals the chaos left behind,
+    // clean resubmissions finish them all.
+    let config = ServiceConfig::default().workers(2).journal_dir(&dir);
+    let jobs: Vec<JobSpec> = (0..3)
+        .flat_map(|round| {
+            (0..5).map(move |i| {
+                // Full speed, but the same *semantic* config the chaos
+                // jobs used (certify off), so the fingerprints match.
+                let config = SynthesisConfig::builder().certify(false).build();
+                accumulator_job(&format!("chaos-{round}-{i}")).config(config)
+            })
+        })
+        .collect();
+    let (service, handles) = SynthesisService::recover(config, jobs);
+    for handle in handles {
+        assert!(
+            handle.wait().expect("recovered chaos job completes").is_complete(),
+            "chaos recovery must converge"
+        );
+    }
+    let _ = service.shutdown(Shutdown::Drain);
+    let _ = std::fs::remove_dir_all(&dir);
+}

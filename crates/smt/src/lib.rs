@@ -60,6 +60,6 @@ pub use owl_egraph::{SaturationLimits, SaturationReport};
 // downstream crates can build budgets and replay proofs without
 // depending on `owl_sat` directly.
 pub use owl_sat::{
-    Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ProofChecker, ProofError,
+    Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ProofChecker, ProofError, ServiceFault,
     ProofLog, StopReason,
 };

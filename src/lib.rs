@@ -10,7 +10,9 @@
 //! [`core::AbstractionFn`] produce pre/postconditions; a
 //! [`core::SynthesisSession`] fills the holes with correct-by-construction
 //! control logic via CEGIS over the [`smt`]/[`sat`] solver stack; and
-//! [`netlist`] lowers the completed design to gates.
+//! [`netlist`] lowers the completed design to gates. The [`service`]
+//! layer runs many sessions concurrently with admission control, load
+//! shedding, retry, and crash recovery.
 //!
 //! # Quick start
 //!
@@ -26,6 +28,7 @@ pub use owl_ila as ila;
 pub use owl_netlist as netlist;
 pub use owl_oyster as oyster;
 pub use owl_sat as sat;
+pub use owl_service as service;
 pub use owl_smt as smt;
 
 pub use owl_bitvec::BitVec;

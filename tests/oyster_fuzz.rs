@@ -1,0 +1,109 @@
+//! Fuzz harness for the Oyster text format: the parser must be total
+//! (return `Ok` or `Err` on any input, never panic) and the printer must
+//! be its right inverse (`parse ∘ print = id`) on every valid design.
+//!
+//! The seed corpus is the real sketches from `owl-cores` — every design
+//! the paper's case studies feed the synthesizer — plus token-soup and
+//! mutation strategies aimed at the lexer/parser edge cases (bitvector
+//! literals, rom tables, nesting depth, oversized widths).
+
+use owl::cores;
+use owl::oyster::Design;
+use proptest::prelude::*;
+
+/// All corpus designs, by name (used in failure messages).
+fn corpus() -> Vec<(&'static str, Design)> {
+    use owl::cores::rv32i::Extensions;
+    vec![
+        ("accumulator", cores::accumulator::sketch()),
+        ("alu_machine", cores::alu_machine::sketch()),
+        ("crypto_core", cores::crypto_core::sketch()),
+        ("crypto_core_ref", cores::crypto_core::reference()),
+        ("aes", cores::aes::sketch()),
+        ("rv32i_single", cores::rv32i::datapath::single_cycle_sketch(Extensions::BASE)),
+        ("rv32i_zbkc_single", cores::rv32i::datapath::single_cycle_sketch(Extensions::ZBKC)),
+        ("rv32i_two_stage", cores::rv32i::datapath::two_stage_sketch(Extensions::BASE)),
+        ("rv32i_ref", cores::rv32i::datapath::reference_single_cycle(Extensions::ZBKB)),
+    ]
+}
+
+#[test]
+fn print_parse_round_trips_on_the_cores_corpus() {
+    for (name, d) in corpus() {
+        let text = d.to_string();
+        let reparsed: Design = text.parse().unwrap_or_else(|e| {
+            panic!("printed {name} failed to reparse: {e}\n{text}");
+        });
+        assert_eq!(d, reparsed, "round trip changed {name}");
+        // And printing is a fixed point after one round.
+        assert_eq!(text, reparsed.to_string(), "printing {name} is not stable");
+    }
+}
+
+/// Fragments biased toward the grammar so random soup reaches deep
+/// parser states instead of dying at the first token.
+const FRAGMENTS: &[&str] = &[
+    "design", "end", "input", "output", "register", "hole", "memory", "rom", "write", "when",
+    "if", "then", "else", "zext", "sext", "extract", "concat", ":=", "(", ")", "[", "]", ",",
+    "~", "&", "|", "^", "+", "-", "*", "<<", ">>", ">>>", "==", "!=", "<u", "<=u", "<s", "<=s",
+    "a", "b", "x_1", "ram", "t.q", "0", "1", "8", "31", "65537", "4294967296",
+    "18446744073709551615", "8'xff", "1'b1", "12'd99", "0'x0", "'", "'x", "; comment", "# c",
+    "\n", " ", "\t",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality on arbitrary bytes: whatever the input, the parser
+    /// returns instead of panicking.
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = text.parse::<Design>();
+    }
+
+    /// Totality on grammar-shaped token soup.
+    #[test]
+    fn parse_never_panics_on_token_soup(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..96),
+    ) {
+        let text: String = picks.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        let _ = text.parse::<Design>();
+    }
+
+    /// Totality on mutated corpus text: splice random fragments into a
+    /// real design at a random offset.
+    #[test]
+    fn parse_never_panics_on_mutated_corpus(
+        which in 0usize..9,
+        cut_frac in 0.0f64..1.0,
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..12),
+    ) {
+        let base = corpus()[which].1.to_string();
+        // The printer emits ASCII, so any byte offset is a char boundary.
+        let cut = ((base.len() as f64) * cut_frac) as usize;
+        let mut text = base[..cut].to_string();
+        for &i in &picks {
+            text.push_str(FRAGMENTS[i]);
+            text.push(' ');
+        }
+        text.push_str(&base[cut..]);
+        let _ = text.parse::<Design>();
+    }
+
+    /// Anything the parser accepts must survive print → parse unchanged:
+    /// the printed form of an accepted design reparses to the same value.
+    #[test]
+    fn accepted_designs_round_trip(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..96),
+    ) {
+        let text: String = picks.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        if let Ok(d) = text.parse::<Design>() {
+            let printed = d.to_string();
+            let reparsed: Design = printed
+                .parse()
+                .unwrap_or_else(|e| panic!("accepted design failed to reparse: {e}\n{printed}"));
+            prop_assert_eq!(d, reparsed);
+        }
+    }
+}
