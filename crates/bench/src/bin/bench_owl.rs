@@ -331,6 +331,81 @@ fn run_service(dir: &str, dump: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `--cache <cache-dir> <dump>`: the four-job RV32I service batch
+/// against a shared synthesis cache, for the CI warm-cache job. The
+/// first invocation populates `<cache-dir>`; a second invocation against
+/// the same directory adopts verified warm hits (reported as
+/// `cache_hits=` on stdout) and must produce a byte-identical dump.
+fn run_cache(dir: &str, dump: &str) -> ! {
+    let config = ServiceConfig::default().workers(2).queue_capacity(8).cache_dir(dir);
+    let service = SynthesisService::start(config);
+    let handles: Vec<_> = service_jobs()
+        .into_iter()
+        .map(|j| {
+            let name = j.name.clone();
+            service.submit(j).unwrap_or_else(|e| panic!("submitting {name}: {e}"))
+        })
+        .collect();
+    let mut sections: Vec<(String, String)> = handles
+        .into_iter()
+        .map(|h| {
+            let name = h.name().to_string();
+            let out = h.wait().unwrap_or_else(|e| panic!("job {name} failed: {e}"));
+            (name.clone(), format!("job {name}\n{}", render_output(&out)))
+        })
+        .collect();
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let text: String = sections.into_iter().map(|(_, s)| s).collect();
+    std::fs::write(dump, &text).unwrap_or_else(|e| panic!("writing {dump}: {e}"));
+    let metrics = service.shutdown(Shutdown::Drain);
+    println!(
+        "cache batch complete: {} jobs, cache_hits={} cache_misses={} verify_rejected={}, dump at {dump}",
+        metrics.completed, metrics.cache_hits, metrics.cache_misses, metrics.cache_verify_rejected
+    );
+    std::process::exit(0);
+}
+
+/// Cold-vs-warm synthesis-cache measurements for the report.
+struct CacheBench {
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    hit_rate: f64,
+    verify_rejected: u64,
+    identical: bool,
+}
+
+/// Runs the reduced RV32I configuration twice against one fresh cache
+/// store: the first run populates it, the second must adopt verified
+/// hits and reproduce the cold run's observable output byte for byte.
+fn measure_cache() -> CacheBench {
+    let cs = owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE);
+    let store = std::env::temp_dir().join(format!("bench_owl_{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+    let run = || {
+        let start = Instant::now();
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .cache_path(&store)
+            .parallelism(2)
+            .run()
+            .ok();
+        (start.elapsed().as_secs_f64(), out)
+    };
+    let (cold_wall_s, cold) = run();
+    let (warm_wall_s, warm) = run();
+    let _ = std::fs::remove_file(&store);
+    let identical = match (&cold, &warm) {
+        (Some(a), Some(b)) => same_output(a, b),
+        _ => false,
+    };
+    let (hit_rate, verify_rejected) = warm.as_ref().map_or((0.0, 0), |o| {
+        let c = &o.stats.cache;
+        let probes = c.hits + c.misses;
+        let rate = if probes > 0 { c.hits as f64 / probes as f64 } else { 0.0 };
+        (rate, c.verify_rejected)
+    });
+    CacheBench { cold_wall_s, warm_wall_s, hit_rate, verify_rejected, identical }
+}
+
 /// Service-layer measurements for the report.
 struct ServiceBench {
     throughput_jobs_s: f64,
@@ -581,6 +656,15 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--cache") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(dir), Some(dump)) => run_cache(dir, dump),
+            _ => {
+                eprintln!("usage: bench_owl --cache <cache-dir> <dump-path>");
+                std::process::exit(2);
+            }
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let timeout_secs: u64 = args
         .iter()
@@ -683,6 +767,15 @@ fn main() {
         service.recovered
     );
 
+    // Cold-vs-warm cache smoke: second run of the same problem against
+    // the same store must hit and stay byte-identical.
+    eprintln!("bench_owl: cache (cold run, warm run, verify-on-hit) ...");
+    let cache = measure_cache();
+    eprintln!(
+        "bench_owl:   cold {:.2}s, warm {:.2}s, hit rate {:.2}, rejected {}, identical: {}",
+        cache.cold_wall_s, cache.warm_wall_s, cache.hit_rate, cache.verify_rejected, cache.identical
+    );
+
     // Deterministic verification comparison over the completed designs.
     let mut verifies: Vec<(String, VerifyStats, VerifyStats)> = Vec::new();
     for (cs, bindings, _, _) in &sweep {
@@ -744,6 +837,14 @@ fn main() {
         service.p99_latency_s,
         service.shed,
         service.recovered,
+    );
+    let _ = writeln!(
+        json,
+        concat!(
+            "  \"cache\": {{\"cold_wall_s\": {:.6}, \"warm_wall_s\": {:.6}, ",
+            "\"hit_rate\": {:.4}, \"verify_rejected\": {}, \"identical\": {}}},"
+        ),
+        cache.cold_wall_s, cache.warm_wall_s, cache.hit_rate, cache.verify_rejected, cache.identical,
     );
     json.push_str("  \"verify\": [\n");
     for (i, (name, on, off)) in verifies.iter().enumerate() {

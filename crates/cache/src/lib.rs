@@ -1,0 +1,758 @@
+//! A verified content-addressed cache of per-instruction synthesis
+//! results.
+//!
+//! The paper's instruction-independence decomposition (§3.3.1) makes
+//! each CEGIS sub-problem a self-contained (instruction semantics,
+//! sketch holes, config) unit — exactly the granularity at which results
+//! can be memoized across runs and across jobs. This crate stores those
+//! results in two tiers:
+//!
+//! - an **in-memory tier** bounded by a byte budget with deterministic
+//!   LRU eviction, and
+//! - an optional **on-disk tier** — an append-only text store with
+//!   CRC-32-guarded records, shared service-wide under single-writer
+//!   discipline.
+//!
+//! The cache is *payload-agnostic*: it maps a 128-bit [`CacheKey`]
+//! (derived by the caller from structural term digests — see
+//! `TermManager::term_digest`) to an opaque single-line string (the
+//! core's task-snapshot encoding). It never interprets the payload, so
+//! correctness cannot depend on it: the consumer must **verify on hit**
+//! — re-run the instruction's verification query against the decoded
+//! hole assignment, and call [`SynthesisCache::invalidate`] +
+//! [`SynthesisCache::note_verify_rejected`] when the check fails. A
+//! poisoned or stale entry therefore costs one solver call, never a
+//! wrong design.
+//!
+//! Failure philosophy matches the journal reader: every disk problem
+//! degrades to a miss, never an error. A damaged line is skipped
+//! individually (later records still load), a torn tail is ignored, an
+//! unopenable store file just disables the disk tier
+//! ([`SynthesisCache::disk_ok`] reports it).
+//!
+//! Deterministic fault injection rides [`FaultPlan`]'s cache channel
+//! (one potential fault per lookup): [`CacheFault::CorruptEntry`] flips
+//! a bit in the fetched payload, [`CacheFault::TruncateStore`] tears
+//! bytes off the store file, and [`CacheFault::PoisonHit`] marks the hit
+//! so the consumer's verify-on-hit path must reject it.
+
+use owl_sat::hash::{crc32, Fnv64};
+use owl_sat::{CacheFault, FaultPlan};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic first line of the on-disk store format.
+const MAGIC: &str = "owl-cache v1";
+
+/// A 128-bit content address for one per-instruction synthesis result.
+///
+/// Callers derive the two halves from independent salted fingerprint
+/// streams over the same content, so a collision requires both 64-bit
+/// streams to collide at once; verify-on-hit absorbs even that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Combines two independent 64-bit fingerprints into one key.
+    #[must_use]
+    pub fn from_halves(hi: u64, lo: u64) -> Self {
+        CacheKey((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// The fixed-width hex form used in the store file.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the fixed-width hex form; `None` on malformed input.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(CacheKey)
+    }
+}
+
+/// Counters describing cache behaviour. Provenance-only: excluded from
+/// the byte-identical output contract (like `SynthesisStats::elapsed`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a payload (before verification).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Hits whose payload failed verify-on-hit and was invalidated.
+    pub verify_rejected: u64,
+    /// Entries evicted from the memory tier under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident in the memory tier.
+    pub bytes: u64,
+}
+
+/// Tuning knobs for a [`SynthesisCache`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Byte budget for the in-memory tier; `None` means the default
+    /// (16 MiB). The budget bounds payload bytes plus a small fixed
+    /// per-entry overhead.
+    pub memory_budget: Option<usize>,
+    /// Deterministic fault injection (cache channel).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+const DEFAULT_MEMORY_BUDGET: usize = 16 * 1024 * 1024;
+/// Accounting overhead charged per memory-tier entry (key + bookkeeping).
+const ENTRY_OVERHEAD: usize = 48;
+
+/// A cache hit: the stored payload plus fault-injection provenance.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The opaque payload stored under the key.
+    pub payload: String,
+    /// True when a [`CacheFault::PoisonHit`] fired on this lookup: the
+    /// consumer must treat the payload as untrusted (it always should)
+    /// and is expected to see verification reject it.
+    pub poisoned: bool,
+}
+
+#[derive(Debug)]
+struct MemEntry {
+    payload: String,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct DiskTier {
+    file: File,
+    /// Byte offset and length of each live payload within the file.
+    index: HashMap<u128, (u64, u32)>,
+    /// Our view of the file length (append cursor).
+    len: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    mem: HashMap<u128, MemEntry>,
+    mem_bytes: usize,
+    budget: usize,
+    tick: u64,
+    disk: Option<DiskTier>,
+}
+
+/// The two-tier content-addressed store. Cheap to share: wrap in an
+/// [`Arc`] and clone the handle across sessions and service workers;
+/// all mutation goes through one internal mutex (single-writer
+/// discipline for the append-only store file).
+#[derive(Debug)]
+pub struct SynthesisCache {
+    state: Mutex<State>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    verify_rejected: AtomicU64,
+    evictions: AtomicU64,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl SynthesisCache {
+    /// A memory-only cache (no persistence).
+    #[must_use]
+    pub fn in_memory(config: CacheConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Opens (or creates) a persistent store at `path` and loads its
+    /// surviving records into the disk index. Fail-open: if the file
+    /// cannot be opened or created, the disk tier is disabled and the
+    /// cache runs memory-only ([`Self::disk_ok`] returns `false`).
+    #[must_use]
+    pub fn open(path: impl AsRef<Path>, config: CacheConfig) -> Self {
+        let disk = open_store(path.as_ref());
+        Self::build(config, disk)
+    }
+
+    fn build(config: CacheConfig, disk: Option<DiskTier>) -> Self {
+        SynthesisCache {
+            state: Mutex::new(State {
+                mem: HashMap::new(),
+                mem_bytes: 0,
+                budget: config.memory_budget.unwrap_or(DEFAULT_MEMORY_BUDGET),
+                tick: 0,
+                disk,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            verify_rejected: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            faults: config.faults,
+        }
+    }
+
+    /// True if the disk tier is attached and healthy.
+    pub fn disk_ok(&self) -> bool {
+        self.state.lock().unwrap().disk.is_some()
+    }
+
+    /// Looks `key` up in the memory tier, then the disk tier (promoting
+    /// a disk hit into memory). Any read problem degrades to a miss.
+    ///
+    /// At most one injected cache fault is consumed per lookup.
+    pub fn lookup(&self, key: CacheKey) -> Option<CacheHit> {
+        let fault = self.faults.as_deref().and_then(FaultPlan::next_cache_fault);
+        let mut st = self.state.lock().unwrap();
+        if let Some(CacheFault::TruncateStore(cut)) = fault {
+            tear_store(&mut st, cut);
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        let mut payload = if let Some(entry) = st.mem.get_mut(&key.0) {
+            entry.last_used = tick;
+            Some(entry.payload.clone())
+        } else {
+            let fetched = read_from_disk(&mut st, key);
+            if let Some(ref p) = fetched {
+                // Promote: a key re-read from disk is warm traffic.
+                insert_mem(&mut st, key, p.clone(), &self.evictions);
+            }
+            fetched
+        };
+        if let (Some(p), Some(CacheFault::CorruptEntry(bit))) = (payload.as_mut(), fault) {
+            flip_bit(p, bit);
+        }
+        drop(st);
+        match payload {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let poisoned = matches!(fault, Some(CacheFault::PoisonHit));
+                Some(CacheHit { payload, poisoned })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes `payload` under `key` in both tiers. First writer wins:
+    /// re-inserting an existing key is a no-op (task results are pure
+    /// functions of the key's content, so duplicates carry no news).
+    /// Payloads must be single-line; embedded newlines skip the disk
+    /// tier (the text store is line-framed).
+    pub fn insert(&self, key: CacheKey, payload: &str) {
+        let mut st = self.state.lock().unwrap();
+        if st.mem.contains_key(&key.0) {
+            return;
+        }
+        let on_disk = st
+            .disk
+            .as_ref()
+            .is_some_and(|d| d.index.contains_key(&key.0));
+        if !on_disk && !payload.contains('\n') {
+            append_record(&mut st, key, payload);
+        }
+        insert_mem(&mut st, key, payload.to_string(), &self.evictions);
+    }
+
+    /// Drops `key` from both tiers and writes a tombstone so the entry
+    /// stays dead across reopens. Called by the consumer when
+    /// verify-on-hit rejects a payload.
+    pub fn invalidate(&self, key: CacheKey) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(old) = st.mem.remove(&key.0) {
+            st.mem_bytes = st
+                .mem_bytes
+                .saturating_sub(old.payload.len() + ENTRY_OVERHEAD);
+        }
+        let mut disk_dead = false;
+        if let Some(disk) = st.disk.as_mut() {
+            if disk.index.remove(&key.0).is_some() {
+                let body = format!("del {}", key.to_hex());
+                let line = format!("{body} crc {:08x}\n", crc32(body.as_bytes()));
+                if disk.file.write_all(line.as_bytes()).is_err() {
+                    disk_dead = true;
+                } else {
+                    disk.len += line.len() as u64;
+                }
+            }
+        }
+        if disk_dead {
+            // Fail open: a dead disk tier must never fail the run.
+            st.disk = None;
+        }
+    }
+
+    /// Records that a hit failed verification (the caller should also
+    /// [`Self::invalidate`] the key).
+    pub fn note_verify_rejected(&self) {
+        self.verify_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Store-wide counters.
+    pub fn stats(&self) -> CacheStats {
+        let bytes = self.state.lock().unwrap().mem_bytes as u64;
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            verify_rejected: self.verify_rejected.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes,
+        }
+    }
+
+    /// Number of live entries across both tiers (disk entries that are
+    /// also resident in memory count once).
+    pub fn len(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        let mut n = st.mem.len();
+        if let Some(disk) = st.disk.as_ref() {
+            n += disk
+                .index
+                .keys()
+                .filter(|k| !st.mem.contains_key(k))
+                .count();
+        }
+        n
+    }
+
+    /// True when no entry is live in either tier.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Derives a salted [`CacheKey`] from a closure that feeds the same
+/// content into both fingerprint streams. The closure is called twice
+/// with differently-salted hashers; content must be fed identically.
+pub fn key_of(mut feed: impl FnMut(&mut Fnv64)) -> CacheKey {
+    let mut hi = Fnv64::with_salt(0x6f77_6c2d_6361_6368); // "owl-cach"
+    let mut lo = Fnv64::with_salt(0x652d_6b65_7931_3238); // "e-key128"
+    feed(&mut hi);
+    feed(&mut lo);
+    CacheKey::from_halves(hi.finish(), lo.finish())
+}
+
+fn insert_mem(st: &mut State, key: CacheKey, payload: String, evictions: &AtomicU64) {
+    st.tick += 1;
+    let tick = st.tick;
+    let cost = payload.len() + ENTRY_OVERHEAD;
+    if let Some(prev) = st.mem.insert(key.0, MemEntry { payload, last_used: tick }) {
+        st.mem_bytes = st.mem_bytes.saturating_sub(prev.payload.len() + ENTRY_OVERHEAD);
+    }
+    st.mem_bytes += cost;
+    // Deterministic LRU: evict the stalest entry (smallest last_used,
+    // ties broken by key) until we fit. The entry just inserted is
+    // spared so a single oversized payload still caches once.
+    while st.mem_bytes > st.budget && st.mem.len() > 1 {
+        let victim = st
+            .mem
+            .iter()
+            .filter(|(k, _)| **k != key.0)
+            .map(|(k, e)| (e.last_used, *k))
+            .min();
+        let Some((_, vk)) = victim else { break };
+        if let Some(old) = st.mem.remove(&vk) {
+            st.mem_bytes = st
+                .mem_bytes
+                .saturating_sub(old.payload.len() + ENTRY_OVERHEAD);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn append_record(st: &mut State, key: CacheKey, payload: &str) {
+    let mut disk_dead = false;
+    if let Some(disk) = st.disk.as_mut() {
+        let body = format!("ent {} {payload}", key.to_hex());
+        let line = format!("{body} crc {:08x}\n", crc32(body.as_bytes()));
+        if disk.file.write_all(line.as_bytes()).is_err() {
+            disk_dead = true;
+        } else {
+            // Payload starts after "ent <32 hex> " within the new line.
+            let payload_off = disk.len + 4 + 32 + 1;
+            disk.index.insert(key.0, (payload_off, payload.len() as u32));
+            disk.len += line.len() as u64;
+        }
+    }
+    if disk_dead {
+        // Fail open: a dead disk tier must never fail the synthesis run.
+        st.disk = None;
+    }
+}
+
+fn read_from_disk(st: &mut State, key: CacheKey) -> Option<String> {
+    let disk = st.disk.as_mut()?;
+    let (off, len) = *disk.index.get(&key.0)?;
+    let mut buf = vec![0u8; len as usize];
+    let ok = disk
+        .file
+        .seek(SeekFrom::Start(off))
+        .and_then(|_| disk.file.read_exact(&mut buf))
+        .is_ok();
+    // Appends go to the end regardless of the seek (O_APPEND), but
+    // re-seek explicitly so the cursor never surprises anyone.
+    let _ = disk.file.seek(SeekFrom::End(0));
+    if !ok {
+        // Unreadable record (e.g. torn store): drop it and miss.
+        disk.index.remove(&key.0);
+        return None;
+    }
+    String::from_utf8(buf).ok().or_else(|| {
+        disk.index.remove(&key.0);
+        None
+    })
+}
+
+/// Injected store tear: chop `cut` bytes off the end of the file and
+/// drop index entries that no longer fit — the recovery path consumers
+/// exercise is "degrade to miss", same as a real torn write.
+fn tear_store(st: &mut State, cut: u64) {
+    let mut disk_dead = false;
+    if let Some(disk) = st.disk.as_mut() {
+        let new_len = disk.len.saturating_sub(cut);
+        if disk.file.set_len(new_len).is_err() {
+            disk_dead = true;
+        } else {
+            disk.len = new_len;
+            disk.index.retain(|_, (off, len)| *off + u64::from(*len) <= new_len);
+        }
+    }
+    if disk_dead {
+        st.disk = None;
+    }
+}
+
+fn flip_bit(payload: &mut String, bit: u64) {
+    if payload.is_empty() {
+        return;
+    }
+    let mut bytes = payload.clone().into_bytes();
+    let idx = (bit / 8) as usize % bytes.len();
+    bytes[idx] ^= 1 << (bit % 8);
+    // Keep it a string: if the flip broke UTF-8, overwrite with '?'.
+    match String::from_utf8(bytes) {
+        Ok(s) => *payload = s,
+        Err(e) => {
+            let mut bytes = e.into_bytes();
+            let idx = (bit / 8) as usize % bytes.len();
+            bytes[idx] = b'?';
+            *payload = String::from_utf8_lossy(&bytes).into_owned();
+        }
+    }
+}
+
+/// Opens the store file and scans surviving records into an index.
+/// Returns `None` (disk tier disabled) only if the file itself cannot
+/// be opened or created; damaged *content* never disables the tier.
+fn open_store(path: &Path) -> Option<DiskTier> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // Best-effort; open() below reports the real failure.
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    let mut file = OpenOptions::new()
+        .read(true)
+        .append(true)
+        .create(true)
+        .open(path)
+        .ok()?;
+    let mut text = String::new();
+    // A non-UTF-8 store cannot be ours: leave it alone, run memory-only
+    // (same as a foreign magic line below — never clobber user data).
+    if file.read_to_string(&mut text).is_err() {
+        return None;
+    }
+    if text.is_empty() {
+        let header = format!("{MAGIC}\n");
+        file.write_all(header.as_bytes()).ok()?;
+        return Some(DiskTier {
+            file,
+            index: HashMap::new(),
+            len: header.len() as u64,
+        });
+    }
+    let mut lines = text.split_inclusive('\n');
+    let first = lines.next().unwrap_or("");
+    if first.trim_end() != MAGIC {
+        // Unrecognized format: leave the file alone, run memory-only.
+        return None;
+    }
+    let mut index = HashMap::new();
+    let mut offset = first.len() as u64;
+    for line in lines {
+        let line_len = line.len() as u64;
+        // A torn tail has no trailing newline; its CRC check fails the
+        // same way any damaged line does — skip it, keep scanning.
+        scan_line(line.trim_end_matches('\n'), offset, &mut index);
+        offset += line_len;
+    }
+    // Logical length = physical length we just read; appends continue
+    // from here even past a torn (newline-less) tail, which the scan
+    // above already discarded. Re-frame the tail with a newline so the
+    // next record starts cleanly.
+    let mut len = text.len() as u64;
+    if !text.ends_with('\n') {
+        file.write_all(b"\n").ok()?;
+        len += 1;
+    }
+    Some(DiskTier { file, index, len })
+}
+
+/// Parses one record line into the index; damage is skipped silently.
+fn scan_line(line: &str, offset: u64, index: &mut HashMap<u128, (u64, u32)>) {
+    let Some((body, crc_hex)) = line.rsplit_once(" crc ") else {
+        return;
+    };
+    let Ok(stored) = u32::from_str_radix(crc_hex.trim(), 16) else {
+        return;
+    };
+    if crc32(body.as_bytes()) != stored {
+        return;
+    }
+    if let Some(rest) = body.strip_prefix("ent ") {
+        let Some((key_hex, payload)) = rest.split_once(' ') else {
+            return;
+        };
+        let Some(key) = CacheKey::from_hex(key_hex) else {
+            return;
+        };
+        let payload_off = offset + 4 + 32 + 1;
+        index.insert(key.0, (payload_off, payload.len() as u32));
+    } else if let Some(key_hex) = body.strip_prefix("del ") {
+        if let Some(key) = CacheKey::from_hex(key_hex.trim()) {
+            index.remove(&key.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_sat::CacheFault;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("owl-cache-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey::from_halves(n, !n)
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        let k = CacheKey::from_halves(0xdead_beef, 0x1234);
+        assert_eq!(CacheKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(CacheKey::from_hex("nope"), None);
+        assert_eq!(CacheKey::from_hex(&"f".repeat(31)), None);
+    }
+
+    #[test]
+    fn key_of_streams_are_independent() {
+        let a = key_of(|h| h.field("content-a"));
+        let b = key_of(|h| h.field("content-b"));
+        assert_ne!(a, b);
+        // The two 64-bit halves disagree (independent salts).
+        assert_ne!((a.0 >> 64) as u64, a.0 as u64);
+    }
+
+    #[test]
+    fn memory_round_trip_and_miss() {
+        let cache = SynthesisCache::in_memory(CacheConfig::default());
+        assert!(cache.lookup(key(1)).is_none());
+        cache.insert(key(1), "solved esc 0");
+        let hit = cache.lookup(key(1)).expect("hit");
+        assert_eq!(hit.payload, "solved esc 0");
+        assert!(!hit.poisoned);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_insert() {
+        let cache = SynthesisCache::in_memory(CacheConfig::default());
+        cache.insert(key(1), "first");
+        cache.insert(key(1), "second");
+        assert_eq!(cache.lookup(key(1)).unwrap().payload, "first");
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_budget() {
+        let cache = SynthesisCache::in_memory(CacheConfig {
+            memory_budget: Some(3 * (8 + ENTRY_OVERHEAD)),
+            ..CacheConfig::default()
+        });
+        for n in 0..4 {
+            cache.insert(key(n), "12345678");
+        }
+        // Touch key 0 so key 1 is now the LRU victim of the next insert.
+        assert!(cache.lookup(key(0)).is_some() || cache.lookup(key(1)).is_some());
+        let evicted_before = cache.stats().evictions;
+        assert!(evicted_before >= 1, "tiny budget must evict");
+        cache.insert(key(9), "12345678");
+        assert!(cache.stats().evictions > evicted_before);
+        assert!(cache.stats().bytes <= 3 * (8 + ENTRY_OVERHEAD) as u64);
+        // The newest entry is always resident.
+        assert!(cache.lookup(key(9)).is_some());
+    }
+
+    #[test]
+    fn disk_round_trip_across_reopen() {
+        let path = temp_path("reopen");
+        {
+            let cache = SynthesisCache::open(&path, CacheConfig::default());
+            assert!(cache.disk_ok());
+            cache.insert(key(7), "payload with spaces [ 1 2 3 ]");
+            cache.insert(key(8), "other");
+        }
+        let cache = SynthesisCache::open(&path, CacheConfig::default());
+        assert_eq!(cache.len(), 2);
+        let hit = cache.lookup(key(7)).expect("persisted");
+        assert_eq!(hit.payload, "payload with spaces [ 1 2 3 ]");
+        // Promotion: second lookup is served from memory.
+        assert!(cache.lookup(key(7)).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tombstone_survives_reopen() {
+        let path = temp_path("tombstone");
+        {
+            let cache = SynthesisCache::open(&path, CacheConfig::default());
+            cache.insert(key(7), "stale");
+            cache.invalidate(key(7));
+            assert!(cache.lookup(key(7)).is_none());
+        }
+        let cache = SynthesisCache::open(&path, CacheConfig::default());
+        assert!(cache.lookup(key(7)).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_degrades_to_miss_and_keeps_earlier_records() {
+        let path = temp_path("torn");
+        {
+            let cache = SynthesisCache::open(&path, CacheConfig::default());
+            cache.insert(key(1), "intact");
+            cache.insert(key(2), "will be torn");
+        }
+        // Tear mid-way through the last record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 5]).unwrap();
+        let cache = SynthesisCache::open(&path, CacheConfig::default());
+        assert!(cache.disk_ok());
+        assert_eq!(cache.lookup(key(1)).unwrap().payload, "intact");
+        assert!(cache.lookup(key(2)).is_none());
+        // The store keeps accepting appends after the tear.
+        cache.insert(key(3), "fresh after tear");
+        drop(cache);
+        let cache = SynthesisCache::open(&path, CacheConfig::default());
+        assert_eq!(cache.lookup(key(3)).unwrap().payload, "fresh after tear");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn damaged_middle_line_is_skipped_individually() {
+        let path = temp_path("damaged");
+        {
+            let cache = SynthesisCache::open(&path, CacheConfig::default());
+            cache.insert(key(1), "alpha-one");
+            cache.insert(key(2), "payload-two");
+            cache.insert(key(3), "gamma-three");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt the middle record's payload byte without touching its
+        // CRC (the marker string cannot occur inside hex key/crc fields).
+        let damaged = text.replacen("payload-two", "Payload-two", 1);
+        std::fs::write(&path, damaged).unwrap();
+        let cache = SynthesisCache::open(&path, CacheConfig::default());
+        assert!(cache.lookup(key(1)).is_some());
+        assert!(cache.lookup(key(2)).is_none(), "bad CRC must be skipped");
+        assert!(cache.lookup(key(3)).is_some(), "later records still load");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_disables_disk_tier_without_clobbering() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "important user data\n").unwrap();
+        let cache = SynthesisCache::open(&path, CacheConfig::default());
+        assert!(!cache.disk_ok());
+        cache.insert(key(1), "memory only");
+        assert!(cache.lookup(key(1)).is_some());
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "important user data\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn poison_fault_marks_the_hit() {
+        let plan = Arc::new(FaultPlan::new().cache_at(0, CacheFault::PoisonHit));
+        let cache = SynthesisCache::in_memory(CacheConfig {
+            faults: Some(plan),
+            ..CacheConfig::default()
+        });
+        cache.insert(key(1), "candidate");
+        let hit = cache.lookup(key(1)).unwrap();
+        assert!(hit.poisoned);
+        assert_eq!(hit.payload, "candidate", "poison does not alter bytes");
+        // The channel fires once; the next lookup is clean.
+        assert!(!cache.lookup(key(1)).unwrap().poisoned);
+    }
+
+    #[test]
+    fn corrupt_entry_fault_flips_payload_bits() {
+        let plan = Arc::new(FaultPlan::new().cache_at(0, CacheFault::CorruptEntry(3)));
+        let cache = SynthesisCache::in_memory(CacheConfig {
+            faults: Some(plan),
+            ..CacheConfig::default()
+        });
+        cache.insert(key(1), "candidate");
+        let hit = cache.lookup(key(1)).unwrap();
+        assert_ne!(hit.payload, "candidate");
+        // Memory tier itself is unharmed (the fault models read rot).
+        assert_eq!(cache.lookup(key(1)).unwrap().payload, "candidate");
+    }
+
+    #[test]
+    fn truncate_store_fault_tears_the_disk_tier() {
+        let path = temp_path("tear-fault");
+        let plan = Arc::new(FaultPlan::new().cache_at(0, CacheFault::TruncateStore(64)));
+        {
+            let cache = SynthesisCache::open(&path, CacheConfig::default());
+            cache.insert(key(1), "short");
+            cache.insert(key(2), "the last record, torn away by the fault");
+        }
+        let cache = SynthesisCache::open(
+            &path,
+            CacheConfig { faults: Some(plan), ..CacheConfig::default() },
+        );
+        // First lookup consumes the tear; key 2's record no longer fits.
+        assert!(cache.lookup(key(2)).is_none());
+        assert_eq!(cache.lookup(key(1)).unwrap().payload, "short");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_count_verify_rejections() {
+        let cache = SynthesisCache::in_memory(CacheConfig::default());
+        cache.insert(key(1), "bad");
+        let _ = cache.lookup(key(1));
+        cache.note_verify_rejected();
+        cache.invalidate(key(1));
+        let s = cache.stats();
+        assert_eq!(s.verify_rejected, 1);
+        assert!(cache.lookup(key(1)).is_none());
+    }
+}

@@ -224,14 +224,8 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A deterministic splitmix64 stream for trace sampling.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// A deterministic splitmix64 stream for trace sampling (shared impl).
+use owl_smt::hash::splitmix64_next as splitmix64;
 
 /// The concrete state visible at one simulated time step, mirroring
 /// [`owl_oyster::Snapshot`].

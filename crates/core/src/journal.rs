@@ -78,53 +78,10 @@ pub const MAGIC: &str = "owl-journal v1";
 // Checksums
 // ---------------------------------------------------------------------
 
-/// CRC-32 (IEEE, reflected), computed bitwise — records are short and
-/// few, so a lookup table would be wasted space.
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = !0;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
-
-/// FNV-1a, 64-bit: the header fingerprint hash.
-#[derive(Debug, Clone)]
-pub struct Fnv64(u64);
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Fnv64(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Fnv64 {
-    /// Folds `bytes` into the running hash.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    /// Folds a length-prefixed field (so `("ab","c")` and `("a","bc")`
-    /// hash differently).
-    pub fn field(&mut self, text: &str) {
-        self.update(&(text.len() as u64).to_le_bytes());
-        self.update(text.as_bytes());
-    }
-
-    /// The final hash value.
-    #[must_use]
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
+// The per-record CRC-32 and the FNV-64 header fingerprint hash both
+// come from the shared `owl_sat::hash` module (re-exported through
+// `owl_smt`); re-exported here so journal consumers keep their paths.
+pub use owl_smt::hash::{crc32, Fnv64};
 
 // ---------------------------------------------------------------------
 // Records
@@ -237,6 +194,31 @@ fn push_error(out: &mut String, e: &CoreError) {
         // can never produce an unreadable record.
         CoreError::Timeout { .. } | CoreError::Cancelled => out.push_str("exhausted"),
     }
+}
+
+/// Encodes a snapshot as the single-line text form used by journal
+/// records — also the payload format of the synthesis cache, so a
+/// cached result round-trips through exactly the code path that crash
+/// recovery already trusts.
+#[must_use]
+pub fn encode_snapshot(snap: &TaskSnapshot) -> String {
+    let mut out = String::new();
+    push_snapshot(&mut out, snap);
+    out
+}
+
+/// Decodes [`encode_snapshot`]'s form; `None` on any damage (the cache
+/// treats that as a miss). `instr` names the instruction the snapshot
+/// is being rebound to (failure errors carry it).
+#[must_use]
+pub fn decode_snapshot(text: &str, instr: &str) -> Option<TaskSnapshot> {
+    let mut cur = Cursor { tokens: tokenize(text)?.into_iter() };
+    let snap = parse_snapshot(&mut cur, instr)?;
+    // Trailing garbage means the payload is not a clean encoding.
+    if cur.tokens.next().is_some() {
+        return None;
+    }
+    Some(snap)
 }
 
 fn push_snapshot(out: &mut String, snap: &TaskSnapshot) {
@@ -825,16 +807,9 @@ impl JournalWriter {
 mod tests {
     use super::*;
 
-    /// splitmix64: the repo's standard in-crate deterministic generator
-    /// (no external dev-dependencies; mirrors the workspace-root
-    /// proptest suite).
-    fn splitmix(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
+    // splitmix64: the repo's standard deterministic generator (shared
+    // definition; mirrors the workspace-root proptest suite).
+    use owl_smt::hash::splitmix64_next as splitmix;
 
     fn arbitrary_string(state: &mut u64) -> String {
         let len = (splitmix(state) % 12) as usize;

@@ -50,6 +50,10 @@ pub use union::{complete_design, control_union, control_union_with, ControlUnion
 pub use verify::verify_design_with;
 pub use verify::{verify_design, VerifyOpts, VerifyStats};
 
+// The synthesis cache: re-exported so sessions can be wired to a shared
+// store without a direct `owl_cache` dependency.
+pub use owl_cache::{CacheConfig, CacheKey, CacheStats, SynthesisCache};
+
 // Resource-governance handles, re-exported for callers configuring a
 // [`SynthesisConfig`] without a direct `owl_smt`/`owl_sat` dependency.
 pub use owl_smt::{

@@ -44,7 +44,8 @@ use crate::abstraction::AbstractionFn;
 use crate::certify::{build_certificate, panic_message, QueryLog};
 use crate::conditions::InstrConditions;
 use crate::journal::{
-    read_journal, FileJournal, Fnv64, JournalWriter, Record, SnapStatus, TaskSnapshot,
+    decode_snapshot, encode_snapshot, read_journal, FileJournal, Fnv64, JournalWriter, Record,
+    SnapStatus, TaskSnapshot,
 };
 use crate::synth::{
     cegis, env_of, monolithic, prepare, run_check, solve_with_degradation, zero_candidate,
@@ -57,10 +58,11 @@ use owl_ila::Ila;
 use owl_oyster::Design;
 use owl_smt::{substitute, Budget, CancelFlag, Heartbeat, SmtResult, SymbolId, TermId, TermManager};
 use std::collections::HashMap;
+use owl_cache::{CacheConfig, CacheKey, CacheStats, SynthesisCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A configured synthesis run: the one entry point for fresh synthesis,
@@ -88,6 +90,7 @@ pub struct SynthesisSession<'a> {
     parallelism: usize,
     seeds: Option<Vec<InstrSolution>>,
     journal: Option<JournalSpec>,
+    cache: Option<CacheSpec>,
 }
 
 /// How the session uses its journal file.
@@ -98,6 +101,16 @@ struct JournalSpec {
     /// before (re)writing. False for
     /// [`SynthesisSession::journal_to`]: start fresh.
     resume: bool,
+}
+
+/// Where the session's synthesis cache comes from.
+#[derive(Debug)]
+enum CacheSpec {
+    /// A private store opened (fail-open) at this path for the run.
+    Path(PathBuf),
+    /// A shared handle, e.g. the service layer's store for the whole
+    /// worker pool.
+    Handle(Arc<SynthesisCache>),
 }
 
 impl<'a> SynthesisSession<'a> {
@@ -112,6 +125,7 @@ impl<'a> SynthesisSession<'a> {
             parallelism: 1,
             seeds: None,
             journal: None,
+            cache: None,
         }
     }
 
@@ -169,6 +183,28 @@ impl<'a> SynthesisSession<'a> {
         self
     }
 
+    /// Attaches a shared synthesis cache: before dispatching an
+    /// instruction's CEGIS task, the scheduler probes the cache under a
+    /// content fingerprint of the prepared instruction (term graph,
+    /// hole set, seed, semantic config); solved results are published
+    /// back. Reuse is trust-but-verify — a hit is adopted only after it
+    /// re-passes the instruction's verification query, so a stale or
+    /// poisoned entry costs one solver call, never a wrong design, and
+    /// the output stays byte-identical to a cold run at any parallelism
+    /// level. Requires per-instruction mode.
+    pub fn cache(mut self, handle: Arc<SynthesisCache>) -> Self {
+        self.cache = Some(CacheSpec::Handle(handle));
+        self
+    }
+
+    /// As [`cache`](SynthesisSession::cache), but opens (or creates) a
+    /// private persistent store at `path` for this run. Fail-open: an
+    /// unusable path degrades to an in-memory cache.
+    pub fn cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache = Some(CacheSpec::Path(path.into()));
+        self
+    }
+
     /// Runs the session on a fresh [`TermManager`].
     ///
     /// # Errors
@@ -198,15 +234,34 @@ impl<'a> SynthesisSession<'a> {
                 "journaling requires per-instruction mode".to_string(),
             ));
         }
+        if self.cache.is_some() && self.config.mode != SynthesisMode::PerInstruction {
+            return Err(CoreError::Invalid(
+                "the synthesis cache requires per-instruction mode".to_string(),
+            ));
+        }
         let (writer, restored) = self.open_journal()?;
+        let cache: Option<Arc<SynthesisCache>> = self.cache.as_ref().map(|spec| match spec {
+            CacheSpec::Handle(handle) => Arc::clone(handle),
+            CacheSpec::Path(path) => Arc::new(SynthesisCache::open(
+                path,
+                CacheConfig { faults: self.config.fault_plan.clone(), ..CacheConfig::default() },
+            )),
+        });
         let start = Instant::now();
         let prep = prepare(mgr, self.design, self.ila, self.alpha)?;
         let budget = self.config.run_budget(start);
         let mut stats = SynthesisStats::default();
         let (solutions, outcomes, interrupted, qlogs) = match self.config.mode {
-            SynthesisMode::PerInstruction => {
-                self.schedule(mgr, &prep, &budget, start, &mut stats, writer.as_ref(), &restored)
-            }
+            SynthesisMode::PerInstruction => self.schedule(
+                mgr,
+                &prep,
+                &budget,
+                start,
+                &mut stats,
+                writer.as_ref(),
+                &restored,
+                cache.as_deref(),
+            ),
             SynthesisMode::Monolithic => monolithic(
                 mgr,
                 &prep.holes,
@@ -301,6 +356,14 @@ impl<'a> SynthesisSession<'a> {
     /// Journaled instructions recovered by [`SynthesisSession::resume`]
     /// are restored into their slots instead of re-solved, and every
     /// completed task is write-ahead-journaled as it lands.
+    ///
+    /// With a cache attached, each un-restored task is first probed by
+    /// content fingerprint: a hit that re-passes the instruction's
+    /// verification query restores the cold run's phase-1 snapshot
+    /// (journaled and published exactly like a fresh solve); fresh
+    /// phase-1 solutions are published back. Phase-2 retry results are
+    /// *never* cached — they depend on the whole job's donation pool,
+    /// which does not transfer across jobs.
     #[allow(clippy::too_many_arguments)]
     fn schedule(
         &self,
@@ -311,6 +374,7 @@ impl<'a> SynthesisSession<'a> {
         stats: &mut SynthesisStats,
         journal: Option<&JournalWriter>,
         restored: &Restored,
+        cache: Option<&SynthesisCache>,
     ) -> (Vec<InstrSolution>, Vec<InstrOutcome>, Option<CoreError>, Vec<QueryLog>) {
         let holes = &prep.holes;
         let all_conds = &prep.all_conds;
@@ -331,6 +395,17 @@ impl<'a> SynthesisSession<'a> {
                 Some(map)
             })
             .collect();
+
+        // Cache keys are pure functions of the prepared problem, fixed
+        // up front like the seeds so probing order cannot matter.
+        let keys: Option<Vec<CacheKey>> = cache.map(|_| {
+            all_conds
+                .iter()
+                .enumerate()
+                .map(|(i, conds)| instr_cache_key(mgr, conds, holes, &seeds[i], &self.config))
+                .collect()
+        });
+        let counters = CacheCounters::default();
 
         let workers = self.parallelism.min(n).max(1);
         let slots: Vec<Mutex<Option<TaskOutput>>> = (0..n)
@@ -362,6 +437,32 @@ impl<'a> SynthesisSession<'a> {
                         if slots[i].lock().expect("task slot poisoned").is_some() {
                             continue; // restored from the journal
                         }
+                        // Cache probe: a verified hit restores the cold
+                        // run's phase-1 snapshot and is journaled like
+                        // a fresh solve.
+                        if let (Some(cache), Some(keys)) = (cache, keys.as_ref()) {
+                            if let Some(out) = try_cached_task(
+                                mgr,
+                                holes,
+                                &all_conds[i],
+                                cache,
+                                keys[i],
+                                &self.config,
+                                budget,
+                                &counters,
+                            ) {
+                                if let Some(w) = journal {
+                                    if let Some(snap) = snapshot_of(&out) {
+                                        w.append(&Record::Task {
+                                            instr: all_conds[i].name.clone(),
+                                            snap,
+                                        });
+                                    }
+                                }
+                                *slots[i].lock().expect("task slot poisoned") = Some(out);
+                                continue;
+                            }
+                        }
                         let task_budget = match &watch {
                             Some(wd) => wd.attach(i, budget),
                             None => budget.clone(),
@@ -390,6 +491,11 @@ impl<'a> SynthesisSession<'a> {
                                     snap,
                                 });
                             }
+                        }
+                        // Publish solved phase-1 results to the cache
+                        // (failures and retries are never cached).
+                        if let (Some(cache), Some(keys)) = (cache, keys.as_ref()) {
+                            publish_task(cache, keys[i], &out);
                         }
                         *slots[i].lock().expect("task slot poisoned") = Some(out);
                     });
@@ -426,6 +532,18 @@ impl<'a> SynthesisSession<'a> {
             if let Some(w) = journal {
                 w.append(&Record::Done);
             }
+        }
+        // Cache provenance: session-local probe counters (hits are
+        // *verified* hits), store-wide eviction/byte gauges.
+        if let Some(cache) = cache {
+            let store = cache.stats();
+            stats.cache = CacheStats {
+                hits: counters.hits.load(Ordering::Relaxed),
+                misses: counters.misses.load(Ordering::Relaxed),
+                verify_rejected: counters.rejected.load(Ordering::Relaxed),
+                evictions: store.evictions,
+                bytes: store.bytes,
+            };
         }
         let mut solutions = Vec::with_capacity(n);
         let mut outcomes = Vec::with_capacity(n);
@@ -852,6 +970,158 @@ fn semantic_config(c: &SynthesisConfig) -> String {
         c.differential_seed,
         c.simplify,
     )
+}
+
+/// Session-local cache probe tallies (distinct from the store-wide
+/// counters: `hits` here means *verified* hits).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The content fingerprint one instruction task is cached under: a
+/// 128-bit key over the prepared instruction's term graph (structural
+/// digests of its pre/post conditions), the hole set (names and
+/// widths), the fixed-up seed, and the semantic configuration slice —
+/// everything the task's result is a pure function of. The two 64-bit
+/// halves come from independently salted digest streams.
+fn instr_cache_key(
+    mgr: &TermManager,
+    conds: &InstrConditions,
+    holes: &[(String, TermId, SymbolId)],
+    seed: &Option<HashMap<String, BitVec>>,
+    config: &SynthesisConfig,
+) -> CacheKey {
+    const SALTS: [u64; 2] = [0x6f77_6c63_6163_6865, 0x696e_7374_726b_6579];
+    let mut halves = [0u64; 2];
+    for (slot, &salt) in SALTS.iter().enumerate() {
+        let mut h = Fnv64::with_salt(salt);
+        h.field("owl-cache instr v1");
+        h.field(&conds.name);
+        h.update(mgr.term_digest(&conds.pres, salt ^ 0x7072_6573).to_le_bytes());
+        h.update(mgr.term_digest(&conds.posts, salt ^ 0x706f_7374).to_le_bytes());
+        h.update((holes.len() as u64).to_le_bytes());
+        for (name, t, _) in holes {
+            h.field(name);
+            h.update(mgr.width(*t).to_le_bytes());
+        }
+        match seed {
+            None => h.field("seed none"),
+            Some(map) => {
+                h.field("seed");
+                let mut entries: Vec<(&String, &BitVec)> = map.iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(b.0));
+                for (name, value) in entries {
+                    h.field(name);
+                    h.field(&value.to_string());
+                }
+            }
+        }
+        h.field(&semantic_config(config));
+        halves[slot] = h.finish();
+    }
+    CacheKey::from_halves(halves[0], halves[1])
+}
+
+/// Probes the cache for one instruction task. Returns the restored
+/// phase-1 `TaskOutput` only when the cached hole assignment re-passes
+/// the instruction's verification query (trust-but-verify); every
+/// other outcome — miss, undecodable payload, foreign snapshot,
+/// verification rejection, budget pressure — returns `None` and the
+/// caller solves fresh.
+///
+/// The verification runs on a clone of the base manager (tasks must
+/// never observe each other's terms), under a fault-free view of the
+/// budget (the solver fault-plan counter tracks *solve* calls; a warm
+/// run must not consume extra indices), and into a scratch `QueryLog`
+/// (the adopted snapshot already carries the cold run's tallies), so
+/// adopting a hit leaves the output byte-identical to the cold run.
+#[allow(clippy::too_many_arguments)]
+fn try_cached_task(
+    base: &TermManager,
+    holes: &[(String, TermId, SymbolId)],
+    conds: &InstrConditions,
+    cache: &SynthesisCache,
+    key: CacheKey,
+    config: &SynthesisConfig,
+    budget: &Budget,
+    counters: &CacheCounters,
+) -> Option<TaskOutput> {
+    let Some(hit) = cache.lookup(key) else {
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+        return None;
+    };
+    let Some(snap) = decode_snapshot(&hit.payload, &conds.name) else {
+        // Undecodable payload (rot that slipped past the CRC, or an
+        // injected corruption): drop the entry and solve fresh.
+        cache.invalidate(key);
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+        return None;
+    };
+    // Only solved/reused snapshots are ever published, so anything else
+    // under the key is foreign data.
+    let candidate_holes = match (&snap.status, &snap.holes) {
+        (SnapStatus::Solved | SnapStatus::Reused, Some(h)) => h.clone(),
+        _ => {
+            cache.invalidate(key);
+            counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+    };
+    let mut candidate: HashMap<String, BitVec> = candidate_holes.into_iter().collect();
+    if hit.poisoned {
+        // Injected poison: deterministically perturb every hole so the
+        // verification below must reject the hit — exercising the exact
+        // path a genuinely wrong payload takes. (Perturbing a single
+        // hole would not do: an instruction's contract can be
+        // insensitive to holes that only other instructions constrain.)
+        for v in candidate.values_mut() {
+            *v = v.with_bit(0, !v.bit(0));
+        }
+    }
+    let mut mgr = base.clone();
+    let verify_budget = budget.without_faults();
+    let mut scratch = QueryLog::default();
+    let env = env_of(holes, &candidate);
+    let mut assertions: Vec<TermId> =
+        conds.pres.iter().map(|&p| substitute(&mut mgr, p, &env)).collect();
+    let posts: Vec<TermId> = conds.posts.iter().map(|&p| substitute(&mut mgr, p, &env)).collect();
+    let post_conj = mgr.and_many(&posts);
+    assertions.push(mgr.not(post_conj));
+    match run_check(&mut mgr, &assertions, &verify_budget, config, &mut scratch) {
+        SmtResult::Unsat => {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            Some(output_from_snapshot(&conds.name, &snap))
+        }
+        SmtResult::Sat(_) => {
+            // The payload does not satisfy this instruction's contract:
+            // reject, tombstone, re-solve. The job never fails here.
+            cache.note_verify_rejected();
+            cache.invalidate(key);
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        SmtResult::Unknown(_) => {
+            // Budget pressure (deadline, cancel, quota): the entry may
+            // be fine — keep it and let the normal task path decide.
+            counters.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Publishes a finished phase-1 task to the cache. Only solved/reused
+/// snapshots are stored: failures are circumstances (budgets,
+/// escalation ladders), not facts about the problem, and phase-2 retry
+/// results depend on the whole job's donation pool.
+fn publish_task(cache: &SynthesisCache, key: CacheKey, out: &TaskOutput) {
+    let Some(snap) = snapshot_of(out) else { return };
+    if !matches!(snap.status, SnapStatus::Solved | SnapStatus::Reused) {
+        return;
+    }
+    cache.insert(key, &encode_snapshot(&snap));
 }
 
 /// A restorable snapshot of a finished task, or `None` when the task's

@@ -314,6 +314,10 @@ pub struct SynthesisStats {
     pub cnf_vars: usize,
     /// CNF clauses created by bit-blasting, summed over all queries.
     pub cnf_clauses: usize,
+    /// Synthesis-cache behaviour for this run (hits are *verified*
+    /// hits). Like `elapsed` and `replayed`, this is provenance, not
+    /// output: it is excluded from the byte-identical-output contract.
+    pub cache: owl_cache::CacheStats,
 }
 
 /// One instruction's synthesized hole assignment.

@@ -321,13 +321,7 @@ mod tests {
         // Deterministic mirror of the workspace-level proptest: random
         // 1-bit gate designs must behave identically before and after
         // the eqsat pass.
-        fn splitmix64(x: &mut u64) -> u64 {
-            *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = *x;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        }
+        use owl_sat::hash::splitmix64_next as splitmix64;
         for case in 0..64u64 {
             let mut rng = 0xBEEF_CAFEu64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             // Grow a random expression string over inputs a/b/c/d.

@@ -167,6 +167,35 @@ pub enum IoFault {
     FlipBit(u64),
 }
 
+/// A deterministic fault to inject at one synthesis-cache operation.
+///
+/// Cache faults live on a *fourth* call counter, separate from solver,
+/// journal I/O, and service faults ([`FaultPlan::cache_at`] /
+/// [`FaultPlan::next_cache_fault`]), so a plan that perturbs the cache
+/// never shifts the indices of the other channels. The injection points
+/// mirror the journal I/O design: damage is introduced where real media
+/// or concurrency bugs would introduce it, and the cache's CRC +
+/// verify-on-hit defenses must degrade to a miss — never to a wrong
+/// design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFault {
+    /// Bit `bit` (modulo the record length in bits) is flipped in the
+    /// stored record before its CRC is checked, simulating on-disk
+    /// corruption. The store must treat the record as damaged and
+    /// report a miss.
+    CorruptEntry(u64),
+    /// The persistent store file is truncated to `len` bytes at this
+    /// operation, simulating a torn tail after a crash mid-append.
+    /// Intact earlier records must still be served.
+    TruncateStore(u64),
+    /// The lookup returns a structurally valid entry whose hole
+    /// assignment has been deterministically perturbed — a poisoned hit
+    /// that *passes* the CRC but must be rejected by the consumer's
+    /// verify-on-hit check, costing one verification query and falling
+    /// back to a fresh solve.
+    PoisonHit,
+}
+
 /// A deterministic fault to inject at one synthesis-service scheduling
 /// decision.
 ///
@@ -215,6 +244,11 @@ pub struct FaultPlan {
     /// layer never consumes solver-call or I/O indices.
     service: HashMap<u64, ServiceFault>,
     service_counter: AtomicU64,
+    /// Cache faults at explicitly chosen cache-operation indices; a
+    /// fourth channel with its own counter so cache chaos never consumes
+    /// the other channels' indices.
+    cache: HashMap<u64, CacheFault>,
+    cache_counter: AtomicU64,
 }
 
 impl FaultPlan {
@@ -228,6 +262,8 @@ impl FaultPlan {
             io_counter: AtomicU64::new(0),
             service: HashMap::new(),
             service_counter: AtomicU64::new(0),
+            cache: HashMap::new(),
+            cache_counter: AtomicU64::new(0),
         }
     }
 
@@ -252,6 +288,8 @@ impl FaultPlan {
             io_counter: AtomicU64::new(0),
             service: HashMap::new(),
             service_counter: AtomicU64::new(0),
+            cache: HashMap::new(),
+            cache_counter: AtomicU64::new(0),
         }
     }
 
@@ -298,6 +336,28 @@ impl FaultPlan {
         self.service_counter.load(Ordering::Relaxed)
     }
 
+    /// Injects `fault` at the `op`-th cache operation (0-based, counted
+    /// on the plan's dedicated cache channel).
+    #[must_use]
+    pub fn cache_at(mut self, op: u64, fault: CacheFault) -> Self {
+        self.cache.insert(op, fault);
+        self
+    }
+
+    /// Consumes the next cache operation index and returns its fault, if
+    /// any. The synthesis cache calls this exactly once per lookup, so
+    /// plan indices line up with the sequence of cache probes.
+    pub fn next_cache_fault(&self) -> Option<CacheFault> {
+        let idx = self.cache_counter.fetch_add(1, Ordering::Relaxed);
+        self.cache.get(&idx).copied()
+    }
+
+    /// How many cache operations the plan has observed so far.
+    #[must_use]
+    pub fn cache_calls_observed(&self) -> u64 {
+        self.cache_counter.load(Ordering::Relaxed)
+    }
+
     /// Consumes the next call index and returns its fault, if any.
     pub fn next_fault(&self) -> Option<Fault> {
         let idx = self.counter.fetch_add(1, Ordering::Relaxed);
@@ -330,12 +390,7 @@ impl Default for FaultPlan {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+use crate::hash::splitmix64;
 
 /// The resource envelope for one or more solver calls.
 ///
@@ -510,6 +565,11 @@ impl Budget {
         self.faults.as_ref().and_then(|p| p.next_io_fault())
     }
 
+    /// Pulls the next cache fault from the attached plan, if any.
+    pub fn next_cache_fault(&self) -> Option<CacheFault> {
+        self.faults.as_ref().and_then(|p| p.next_cache_fault())
+    }
+
     /// Pulls the next fault from the attached plan, if any.
     ///
     /// Public so budget-aware passes outside the SAT core (e.g. the
@@ -676,6 +736,40 @@ mod tests {
         assert_eq!(plan.next_io_fault(), Some(IoFault::FlipBit(5))); // io op 2
         assert_eq!(plan.calls_observed(), 1);
         assert_eq!(plan.io_calls_observed(), 3);
+    }
+
+    /// The four fault channels are fully independent: draining any
+    /// subset never shifts the indices seen by the others, so adding
+    /// cache chaos to an existing plan cannot change which solver calls,
+    /// journal operations, or scheduling decisions get faulted.
+    #[test]
+    fn cache_faults_ride_a_fourth_counter() {
+        let plan = FaultPlan::new()
+            .at(0, Fault::ForceUnknown)
+            .io_at(0, IoFault::WriteError)
+            .service_at(0, ServiceFault::WorkerPanic)
+            .cache_at(0, CacheFault::PoisonHit)
+            .cache_at(2, CacheFault::CorruptEntry(9));
+        assert_eq!(plan.next_cache_fault(), Some(CacheFault::PoisonHit)); // cache op 0
+        assert_eq!(plan.next_cache_fault(), None); // cache op 1
+        // Draining the other channels does not advance the cache counter.
+        assert_eq!(plan.next_fault(), Some(Fault::ForceUnknown));
+        assert_eq!(plan.next_io_fault(), Some(IoFault::WriteError));
+        assert_eq!(plan.next_service_fault(), Some(ServiceFault::WorkerPanic));
+        assert_eq!(plan.next_cache_fault(), Some(CacheFault::CorruptEntry(9))); // cache op 2
+        assert_eq!(plan.cache_calls_observed(), 3);
+        assert_eq!(plan.service_calls_observed(), 1);
+        assert_eq!(plan.io_calls_observed(), 1);
+        assert_eq!(plan.calls_observed(), 1);
+    }
+
+    #[test]
+    fn budget_passes_cache_faults_through() {
+        let plan = Arc::new(FaultPlan::new().cache_at(1, CacheFault::TruncateStore(16)));
+        let b = Budget::unlimited().with_fault_plan(plan);
+        assert_eq!(b.next_cache_fault(), None); // cache op 0
+        assert_eq!(b.next_cache_fault(), Some(CacheFault::TruncateStore(16)));
+        assert_eq!(Budget::unlimited().next_cache_fault(), None); // no plan attached
     }
 
     #[test]

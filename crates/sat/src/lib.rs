@@ -29,11 +29,14 @@
 //! point via [`SolveOpts`]; see [`Budget`].
 
 mod budget;
+pub mod hash;
 mod heap;
 mod proof;
 mod solver;
 
-pub use budget::{Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ServiceFault, StopReason};
+pub use budget::{
+    Budget, CacheFault, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ServiceFault, StopReason,
+};
 pub use proof::{ProofChecker, ProofError, ProofLog};
 pub use solver::{SolveOpts, SolveResult, Solver, Stats};
 

@@ -68,8 +68,8 @@
 
 use owl_core::journal::read_journal;
 use owl_core::{
-    AbstractionFn, CancelFlag, CoreError, ErrorClass, FaultPlan, FileJournal, ServiceFault,
-    SynthesisConfig, SynthesisOutput, SynthesisSession,
+    AbstractionFn, CacheConfig, CancelFlag, CoreError, ErrorClass, FaultPlan, FileJournal,
+    ServiceFault, SynthesisCache, SynthesisConfig, SynthesisOutput, SynthesisSession,
 };
 use owl_ila::Ila;
 use owl_oyster::Design;
@@ -105,6 +105,11 @@ pub struct ServiceConfig {
     /// Directory for per-job write-ahead journals. `None` disables
     /// journaling (and with it crash recovery).
     pub journal_dir: Option<PathBuf>,
+    /// Directory for the shared synthesis cache. All jobs run by this
+    /// instance read and write one content-addressed store
+    /// (`owl-cache.store`), so an instruction solved for one job is a
+    /// verified warm hit for every later job. `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
     /// Deterministic fault-injection plan; the service draws from its
     /// dedicated [`ServiceFault`] channel, once per dispatch decision.
     pub fault_plan: Option<Arc<FaultPlan>>,
@@ -121,6 +126,7 @@ impl Default for ServiceConfig {
             base_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_secs(1),
             journal_dir: None,
+            cache_dir: None,
             fault_plan: None,
         }
     }
@@ -176,6 +182,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Directory for the shared synthesis cache.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Deterministic fault-injection plan.
     #[must_use]
     pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
@@ -189,6 +202,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn journal_path(&self, name: &str) -> Option<PathBuf> {
         self.journal_dir.as_ref().map(|d| d.join(format!("{}.journal", sanitize(name))))
+    }
+
+    /// The shared cache store file this configuration uses, if caching
+    /// is enabled. All jobs of one service instance share this store.
+    #[must_use]
+    pub fn cache_store_path(&self) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| d.join("owl-cache.store"))
     }
 }
 
@@ -346,6 +366,14 @@ pub struct ServiceMetrics {
     pub recovered: u64,
     /// Worker panics caught and isolated.
     pub worker_panics: u64,
+    /// Synthesis-cache hits adopted after re-verification, summed over
+    /// every job this instance completed.
+    pub cache_hits: u64,
+    /// Synthesis-cache misses, summed over completed jobs.
+    pub cache_misses: u64,
+    /// Cached entries rejected by verify-on-hit (stale or corrupt),
+    /// summed over completed jobs.
+    pub cache_verify_rejected: u64,
 }
 
 /// A claim ticket for a submitted job.
@@ -441,15 +469,8 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-/// splitmix64, for deterministic backoff jitter (the engine keeps its
-/// own copy private).
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// splitmix64 for deterministic backoff jitter: the shared definition.
+use owl_smt::hash::splitmix64;
 
 /// One queued (or requeued) job.
 struct QueuedJob {
@@ -496,6 +517,10 @@ struct Shared {
     /// Signalled on new work, shutdown, and backoff-gate changes.
     work: Condvar,
     config: ServiceConfig,
+    /// The shared synthesis cache, opened once per instance when
+    /// [`ServiceConfig::cache_dir`] is set. Every job's session attaches
+    /// to this handle, so hits cross job boundaries.
+    cache: Option<Arc<SynthesisCache>>,
 }
 
 /// A running synthesis service: a bounded admission queue in front of a
@@ -527,6 +552,20 @@ impl SynthesisService {
                 config.journal_dir = None;
             }
         }
+        if let Some(dir) = &config.cache_dir {
+            if std::fs::create_dir_all(dir).is_err() {
+                config.cache_dir = None;
+            }
+        }
+        // The store itself is fail-open too: an unwritable or foreign
+        // file degrades to a memory-only cache rather than failing
+        // startup.
+        let cache = config.cache_store_path().map(|path| {
+            Arc::new(SynthesisCache::open(
+                &path,
+                CacheConfig { faults: config.fault_plan.clone(), ..CacheConfig::default() },
+            ))
+        });
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: Vec::new(),
@@ -539,6 +578,7 @@ impl SynthesisService {
             }),
             work: Condvar::new(),
             config,
+            cache,
         });
         let workers = (0..shared.config.workers)
             .map(|i| {
@@ -942,6 +982,9 @@ fn worker_loop(shared: &Shared) {
             if let Some(path) = &journal {
                 session = session.resume(path);
             }
+            if let Some(cache) = &shared.cache {
+                session = session.cache(Arc::clone(cache));
+            }
             session.run()
         }));
         let panicked = result.is_err();
@@ -980,8 +1023,11 @@ fn worker_loop(shared: &Shared) {
             }
             RunVerdict::Deliver(outcome) => {
                 match &outcome {
-                    Ok(_) => {
+                    Ok(output) => {
                         state.metrics.completed += 1;
+                        state.metrics.cache_hits += output.stats.cache.hits;
+                        state.metrics.cache_misses += output.stats.cache.misses;
+                        state.metrics.cache_verify_rejected += output.stats.cache.verify_rejected;
                         let secs = started.elapsed().as_secs_f64();
                         state.recent_secs.push_back(secs);
                         if state.recent_secs.len() > 32 {

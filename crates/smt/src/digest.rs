@@ -1,0 +1,254 @@
+//! Structural fingerprints of term DAGs.
+//!
+//! The synthesis cache keys entries by the *content* of a prepared
+//! instruction's verification conditions, not by the identity of the
+//! `TermManager` that holds them: two managers that build the same terms
+//! in a different interning order must produce the same digest, and any
+//! semantic edit — a changed constant, operator, width, symbol name, or
+//! ROM table — must change it. [`TermManager::term_digest`] walks the
+//! DAG once per shared node (memoized, iterative, so deep chains cannot
+//! overflow the stack) and folds each node's kind tag, width, operand
+//! digests, and leaf payloads into a salted FNV-64 stream.
+//!
+//! Symbols, arrays, and ROMs are digested by *name* (and, for ROMs,
+//! their full contents), never by index — indices depend on interning
+//! order, names carry the meaning. The digest is not cryptographic;
+//! consumers that cannot tolerate a collision must re-verify whatever
+//! they fetch under the key (the cache's verify-on-hit rule).
+
+use crate::manager::{RomId, TermId, TermKind, TermManager};
+use owl_sat::hash::Fnv64;
+use std::collections::HashMap;
+
+impl TermManager {
+    /// A salted structural digest of the DAG rooted at `roots`.
+    ///
+    /// The digest depends on the order of `roots` (a condition list is
+    /// ordered data) and on `salt`, so callers can derive independent
+    /// streams over the same terms — e.g. the two halves of a 128-bit
+    /// cache key.
+    #[must_use]
+    pub fn term_digest(&self, roots: &[TermId], salt: u64) -> u64 {
+        let mut memo: HashMap<TermId, u64> = HashMap::new();
+        let mut roms: HashMap<RomId, u64> = HashMap::new();
+        let mut out = Fnv64::with_salt(salt);
+        out.update((roots.len() as u64).to_le_bytes());
+        for &root in roots {
+            let d = self.node_digest(root, salt, &mut memo, &mut roms);
+            out.update(d.to_le_bytes());
+        }
+        out.finish()
+    }
+
+    fn node_digest(
+        &self,
+        root: TermId,
+        salt: u64,
+        memo: &mut HashMap<TermId, u64>,
+        roms: &mut HashMap<RomId, u64>,
+    ) -> u64 {
+        let mut stack = vec![root];
+        while let Some(&t) = stack.last() {
+            if memo.contains_key(&t) {
+                stack.pop();
+                continue;
+            }
+            let mut kids = [None; 3];
+            match *self.kind(t) {
+                TermKind::Const(_) | TermKind::Var(_) => {}
+                TermKind::Unary(_, a)
+                | TermKind::Extract(a, _, _)
+                | TermKind::ZExt(a, _)
+                | TermKind::SExt(a, _)
+                | TermKind::ArraySelect(_, a)
+                | TermKind::RomSelect(_, a) => kids[0] = Some(a),
+                TermKind::Binary(_, a, b) | TermKind::Concat(a, b) => {
+                    kids[0] = Some(a);
+                    kids[1] = Some(b);
+                }
+                TermKind::Ite(c, a, b) => {
+                    kids[0] = Some(c);
+                    kids[1] = Some(a);
+                    kids[2] = Some(b);
+                }
+            }
+            let mut ready = true;
+            for kid in kids.into_iter().flatten() {
+                if !memo.contains_key(&kid) {
+                    stack.push(kid);
+                    ready = false;
+                }
+            }
+            if !ready {
+                continue;
+            }
+            stack.pop();
+            let mut h = Fnv64::with_salt(salt);
+            h.update(self.width(t).to_le_bytes());
+            match *self.kind(t) {
+                TermKind::Const(ref c) => {
+                    h.field("const");
+                    h.field(c.to_string());
+                }
+                TermKind::Var(s) => {
+                    h.field("var");
+                    h.field(self.symbol_name(s));
+                }
+                TermKind::Unary(op, a) => {
+                    h.field("unary");
+                    h.field(format!("{op:?}"));
+                    h.update(memo[&a].to_le_bytes());
+                }
+                TermKind::Binary(op, a, b) => {
+                    h.field("binary");
+                    h.field(format!("{op:?}"));
+                    h.update(memo[&a].to_le_bytes());
+                    h.update(memo[&b].to_le_bytes());
+                }
+                TermKind::Ite(c, a, b) => {
+                    h.field("ite");
+                    h.update(memo[&c].to_le_bytes());
+                    h.update(memo[&a].to_le_bytes());
+                    h.update(memo[&b].to_le_bytes());
+                }
+                TermKind::Extract(a, hi, lo) => {
+                    h.field("extract");
+                    h.update(hi.to_le_bytes());
+                    h.update(lo.to_le_bytes());
+                    h.update(memo[&a].to_le_bytes());
+                }
+                TermKind::Concat(a, b) => {
+                    h.field("concat");
+                    h.update(memo[&a].to_le_bytes());
+                    h.update(memo[&b].to_le_bytes());
+                }
+                TermKind::ZExt(a, w) => {
+                    h.field("zext");
+                    h.update(w.to_le_bytes());
+                    h.update(memo[&a].to_le_bytes());
+                }
+                TermKind::SExt(a, w) => {
+                    h.field("sext");
+                    h.update(w.to_le_bytes());
+                    h.update(memo[&a].to_le_bytes());
+                }
+                TermKind::ArraySelect(arr, a) => {
+                    h.field("array");
+                    h.field(self.array_name(arr));
+                    h.update(memo[&a].to_le_bytes());
+                }
+                TermKind::RomSelect(rom, a) => {
+                    let rd = *roms
+                        .entry(rom)
+                        .or_insert_with(|| self.rom_digest(rom, salt));
+                    h.field("rom");
+                    h.update(rd.to_le_bytes());
+                    h.update(memo[&a].to_le_bytes());
+                }
+            }
+            memo.insert(t, h.finish());
+        }
+        memo[&root]
+    }
+
+    /// Digest of a ROM's shape and full contents; memoized per ROM by
+    /// the caller because tables can hold thousands of entries.
+    fn rom_digest(&self, rom: RomId, salt: u64) -> u64 {
+        let (addr_w, data_w) = self.rom_widths(rom);
+        let mut h = Fnv64::with_salt(salt);
+        h.update(addr_w.to_le_bytes());
+        h.update(data_w.to_le_bytes());
+        for entry in self.rom_data(rom) {
+            h.field(entry.to_string());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::manager::TermManager;
+    
+    #[test]
+    fn equal_structure_across_managers_digests_equal() {
+        // Build the same expression in two managers with different
+        // interning histories (extra unrelated terms shift the indices).
+        let build = |mgr: &mut TermManager, noise: bool| {
+            if noise {
+                let junk = mgr.fresh_var("junk", 17);
+                let _ = mgr.not(junk);
+            }
+            let a = mgr.fresh_var("a", 8);
+            let b = mgr.fresh_var("b", 8);
+            let c = mgr.const_u64(8, 5);
+            let sum = mgr.add(a, b);
+            mgr.eq(sum, c)
+        };
+        let mut m1 = TermManager::new();
+        let r1 = build(&mut m1, false);
+        let mut m2 = TermManager::new();
+        let r2 = build(&mut m2, true);
+        assert_eq!(m1.term_digest(&[r1], 7), m2.term_digest(&[r2], 7));
+    }
+
+    #[test]
+    fn semantic_edits_change_the_digest() {
+        let mut m = TermManager::new();
+        let a = m.fresh_var("a", 8);
+        let b = m.fresh_var("b", 8);
+        let base = m.add(a, b);
+        let other_op = m.and(a, b);
+        let swapped = {
+            let a2 = m.fresh_var("b", 8);
+            let b2 = m.fresh_var("a", 8);
+            m.add(a2, b2)
+        };
+        let d = |t| m.term_digest(&[t], 0);
+        assert_ne!(d(base), d(other_op));
+        assert_ne!(d(base), d(swapped));
+        // A renamed variable changes the digest even at the same index.
+        let mut m2 = TermManager::new();
+        let a2 = m2.fresh_var("a_renamed", 8);
+        let b2 = m2.fresh_var("b", 8);
+        let renamed = m2.add(a2, b2);
+        assert_ne!(m.term_digest(&[base], 0), m2.term_digest(&[renamed], 0));
+    }
+
+    #[test]
+    fn widths_constants_and_root_order_matter() {
+        let mut m = TermManager::new();
+        let narrow = m.fresh_var("x", 8);
+        let wide = m.fresh_var("x", 16);
+        assert_ne!(m.term_digest(&[narrow], 0), m.term_digest(&[wide], 0));
+        let five = m.const_u64(8, 5);
+        let six = m.const_u64(8, 6);
+        assert_ne!(m.term_digest(&[five], 0), m.term_digest(&[six], 0));
+        assert_ne!(
+            m.term_digest(&[five, six], 0),
+            m.term_digest(&[six, five], 0)
+        );
+        assert_ne!(m.term_digest(&[five], 0), m.term_digest(&[five, five], 0));
+    }
+
+    #[test]
+    fn salt_derives_independent_streams() {
+        let mut m = TermManager::new();
+        let a = m.fresh_var("a", 8);
+        let b = m.fresh_var("b", 8);
+        let t = m.mul(a, b);
+        assert_eq!(m.term_digest(&[t], 1), m.term_digest(&[t], 1));
+        assert_ne!(m.term_digest(&[t], 1), m.term_digest(&[t], 2));
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow() {
+        let mut m = TermManager::new();
+        let one = m.const_u64(8, 1);
+        let mut t = m.fresh_var("x", 8);
+        for _ in 0..200_000 {
+            t = m.add(t, one);
+        }
+        // Just has to terminate without blowing the stack.
+        let _ = m.term_digest(&[t], 0);
+    }
+}

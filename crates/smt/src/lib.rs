@@ -35,6 +35,7 @@
 //! ```
 
 mod blast;
+mod digest;
 mod eval;
 mod manager;
 mod print;
@@ -60,6 +61,10 @@ pub use owl_egraph::{SaturationLimits, SaturationReport};
 // downstream crates can build budgets and replay proofs without
 // depending on `owl_sat` directly.
 pub use owl_sat::{
-    Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ProofChecker, ProofError, ServiceFault,
-    ProofLog, StopReason,
+    Budget, CacheFault, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ProofChecker, ProofError,
+    ServiceFault, ProofLog, StopReason,
 };
+
+// Shared deterministic hashing (splitmix64, FNV-64, CRC-32): the single
+// definition all layers use for fingerprints, jitter, and record CRCs.
+pub use owl_sat::hash;

@@ -520,13 +520,7 @@ mod tests {
         // external dev-dependencies: random term DAGs evaluated under
         // random environments must agree before and after
         // simplification.
-        fn splitmix64(x: &mut u64) -> u64 {
-            *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = *x;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        }
+        use owl_sat::hash::splitmix64_next as splitmix64;
 
         for case in 0..256u64 {
             let mut rng = 0xD00D_F00Du64 ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));

@@ -20,6 +20,7 @@
 //! Section 2.3, synthesized end to end.
 
 pub use owl_bitvec as bitvec;
+pub use owl_cache as cache;
 pub use owl_core as core;
 pub use owl_egraph as egraph;
 pub use owl_cores as cores;

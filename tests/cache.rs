@@ -1,0 +1,259 @@
+//! The synthesis-cache contract, end to end: a warm run adopts cached
+//! per-instruction results only after re-verifying them, and its
+//! `SynthesisOutput` is byte-identical to a cold run's at any
+//! parallelism; the cache is shared across jobs in a service batch; a
+//! changed sketch misses; and a poisoned entry is rejected by
+//! verify-on-hit without failing the job.
+
+use owl::cache::{CacheConfig, SynthesisCache};
+use owl::core::{FaultPlan, SynthesisOutput, SynthesisSession};
+use owl::hdl::{Module, Wire};
+use owl::sat::CacheFault;
+use owl::service::{JobSpec, ServiceConfig, Shutdown, SynthesisService};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A per-test cache-store path in the system temp directory, fresh on
+/// entry.
+fn store_path(test: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("owl_cache_{}_{test}.store", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Asserts the byte-identical-reuse contract: solutions, outcomes, work
+/// statistics, and certificates all match. (`stats.cache`, like
+/// `stats.elapsed` and `stats.replayed`, is provenance — deliberately
+/// outside the contract.)
+fn assert_outputs_identical(label: &str, a: &SynthesisOutput, b: &SynthesisOutput) {
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{label}: solution count");
+    for (x, y) in a.solutions.iter().zip(&b.solutions) {
+        assert_eq!(x.instr, y.instr, "{label}: solution order");
+        assert_eq!(x.holes, y.holes, "{label}: hole values for {}", x.instr);
+    }
+    assert_eq!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", b.outcomes),
+        "{label}: per-instruction outcomes"
+    );
+    assert_eq!(a.stats.solver_calls, b.stats.solver_calls, "{label}: solver calls");
+    assert_eq!(a.stats.cex_rounds, b.stats.cex_rounds, "{label}: CEGIS rounds");
+    assert_eq!(a.stats.reused, b.stats.reused, "{label}: reuse count");
+    assert_eq!(a.stats.escalations, b.stats.escalations, "{label}: escalations");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.to_string(), cb.to_string(), "{label}: certificates")
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run certified, the other did not"),
+    }
+}
+
+fn clean_reference() -> SynthesisOutput {
+    let cs = owl::cores::accumulator::case_study();
+    SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run().expect("valid inputs")
+}
+
+/// A cold run against an empty store records only misses; warm runs at
+/// every parallelism level hit on every instruction and stay
+/// byte-identical to the cache-free reference.
+#[test]
+fn warm_run_is_byte_identical_at_any_parallelism() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let path = store_path("warm");
+
+    let cold = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache_path(&path)
+        .run()
+        .expect("valid inputs");
+    assert_outputs_identical("cold", &reference, &cold);
+    assert_eq!(cold.stats.cache.hits, 0, "cold run cannot hit an empty store");
+    assert!(cold.stats.cache.misses > 0, "cold run should probe the cache");
+
+    for threads in THREAD_COUNTS {
+        let warm = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .cache_path(&path)
+            .parallelism(threads)
+            .run()
+            .expect("valid inputs");
+        assert_outputs_identical(&format!("warm x{threads}"), &reference, &warm);
+        assert_eq!(
+            warm.stats.cache.hits,
+            cold.stats.cache.misses,
+            "warm x{threads}: every cold miss should be a warm hit"
+        );
+        assert_eq!(warm.stats.cache.verify_rejected, 0, "warm x{threads}: clean entries verify");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A memory budget smaller than one entry forces evictions, and the
+/// output stays byte-identical regardless — eviction is a performance
+/// event, never a correctness one.
+#[test]
+fn tiny_budget_evicts_without_changing_output() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let cache = Arc::new(SynthesisCache::in_memory(CacheConfig {
+        memory_budget: Some(1),
+        ..CacheConfig::default()
+    }));
+
+    let first = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache(Arc::clone(&cache))
+        .run()
+        .expect("valid inputs");
+    assert_outputs_identical("evicting first", &reference, &first);
+    assert!(cache.stats().evictions > 0, "a 1-byte budget must evict");
+
+    let second = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache(Arc::clone(&cache))
+        .run()
+        .expect("valid inputs");
+    assert_outputs_identical("evicting second", &reference, &second);
+}
+
+/// One service instance shares a single store across jobs: with one
+/// worker, the first job populates the cache and every later identical
+/// job hits, visible in the aggregated [`ServiceMetrics`] counters.
+#[test]
+fn service_batch_shares_the_cache_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("owl_cache_{}_svc", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reference = clean_reference();
+
+    let job = |name: &str| {
+        let cs = owl::cores::accumulator::case_study();
+        JobSpec::new(name, cs.sketch, cs.spec, cs.alpha)
+    };
+    let service =
+        SynthesisService::start(ServiceConfig::default().workers(1).cache_dir(&dir));
+    let handles: Vec<_> =
+        (0..3).map(|i| service.submit(job(&format!("share-{i}"))).expect("admitted")).collect();
+    for h in handles {
+        let out = h.wait().expect("job completes");
+        assert_outputs_identical("service job", &reference, &out);
+    }
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert!(metrics.cache_misses > 0, "the first job runs cold");
+    assert_eq!(
+        metrics.cache_hits,
+        2 * metrics.cache_misses,
+        "with one worker the two later jobs hit everything the first published: {metrics:?}"
+    );
+    assert_eq!(metrics.cache_verify_rejected, 0, "clean shared entries verify");
+
+    // A second service instance over the same directory starts warm.
+    let service =
+        SynthesisService::start(ServiceConfig::default().workers(1).cache_dir(&dir));
+    let out = service.submit(job("share-next")).expect("admitted").wait().expect("job completes");
+    assert_outputs_identical("second instance", &reference, &out);
+    let metrics = service.shutdown(Shutdown::Drain);
+    assert!(metrics.cache_hits > 0, "a fresh instance reuses the persisted store: {metrics:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The accumulator sketch with the same holes and semantics but a
+/// reordered dispatch chain: structurally distinct conditions, so its
+/// fingerprints must not collide with the stock sketch's.
+fn edited_sketch() -> owl::oyster::Design {
+    let mut m = Module::new("acc_machine");
+    let _reset = m.input("reset", 1);
+    let _go = m.input("go", 1);
+    let _stop = m.input("stop", 1);
+    let val = m.input("val", 2);
+    let acc = m.register("acc", 8);
+    let _state = m.register("state", 2);
+    m.output("out", 8);
+
+    let next_state = m.hole("next_state", 2);
+    let enc_reset = m.hole("enc_reset", 2);
+    let enc_go = m.hole("enc_go", 2);
+    let enc_stop = m.hole("enc_stop", 2);
+
+    // Same transition semantics as `owl::cores::accumulator::sketch()`,
+    // but the dispatch tests GO before RESET — a one-line sketch edit.
+    let zero = Wire::lit(8, 0);
+    let plus = acc.clone() + val.zext(8);
+    let updated = next_state.eq(enc_go).select(
+        plus,
+        next_state
+            .eq(enc_reset)
+            .select(zero, next_state.eq(enc_stop).select(acc.clone(), acc.clone())),
+    );
+    m.assign("acc", updated);
+    m.assign("state", next_state);
+    m.assign("out", acc);
+    m.finish().expect("edited accumulator sketch is well-formed")
+}
+
+/// Editing the sketch invalidates reuse: a store warmed on the stock
+/// accumulator yields zero hits for the edited sketch (the conditions'
+/// term graphs differ), while the stock sketch still hits.
+#[test]
+fn edited_sketch_misses_the_warm_store() {
+    let cs = owl::cores::accumulator::case_study();
+    let path = store_path("edit");
+
+    let cold = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache_path(&path)
+        .run()
+        .expect("valid inputs");
+    assert!(cold.stats.cache.misses > 0, "cold run should probe the cache");
+
+    let edited = SynthesisSession::new(&edited_sketch(), &cs.spec, &cs.alpha)
+        .cache_path(&path)
+        .run()
+        .expect("the edited sketch still implements the spec");
+    assert_eq!(edited.stats.cache.hits, 0, "an edited sketch must not reuse stale entries");
+    assert_eq!(edited.stats.cache.misses, cold.stats.cache.misses, "every probe misses");
+
+    let warm = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache_path(&path)
+        .run()
+        .expect("valid inputs");
+    assert_eq!(
+        warm.stats.cache.hits,
+        cold.stats.cache.misses,
+        "the stock sketch still hits its own entries"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A poisoned entry (bit-flipped hole assignment, injected via the
+/// fault plan's cache channel) is caught by verify-on-hit: the entry is
+/// rejected and re-solved, the job succeeds, and the output is
+/// byte-identical to a cold run's.
+#[test]
+fn poisoned_entry_is_rejected_and_resolved() {
+    let cs = owl::cores::accumulator::case_study();
+    let reference = clean_reference();
+    let path = store_path("poison");
+
+    let cold = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache_path(&path)
+        .run()
+        .expect("valid inputs");
+    assert!(cold.stats.cache.misses > 0, "cold run should probe the cache");
+
+    let plan = Arc::new(FaultPlan::new().cache_at(0, CacheFault::PoisonHit));
+    let cache = Arc::new(SynthesisCache::open(
+        &path,
+        CacheConfig { faults: Some(plan), ..CacheConfig::default() },
+    ));
+    let warm = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .cache(cache)
+        .run()
+        .expect("a poisoned entry must not fail the job");
+    assert_outputs_identical("poisoned warm", &reference, &warm);
+    assert!(warm.stats.cache.verify_rejected >= 1, "the poisoned hit must be rejected");
+    assert!(
+        warm.stats.cache.hits >= cold.stats.cache.misses - 1,
+        "the untouched entries still hit: {:?}",
+        warm.stats.cache
+    );
+    let _ = std::fs::remove_file(&path);
+}
