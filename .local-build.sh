@@ -8,26 +8,27 @@ mkdir -p "$OUT"
 R="rustc --edition 2021 -O --crate-type rlib -L $OUT --out-dir $OUT"
 cd /root/repo
 
+$R --crate-name owl_trace crates/trace/src/lib.rs
 $R --crate-name owl_bitvec crates/bitvec/src/lib.rs
-$R --crate-name owl_sat crates/sat/src/lib.rs
-$R --crate-name owl_cache crates/cache/src/lib.rs --extern owl_sat=$OUT/libowl_sat.rlib
+$R --crate-name owl_sat crates/sat/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib
+$R --crate-name owl_cache crates/cache/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_sat=$OUT/libowl_sat.rlib
 $R --crate-name owl_egraph crates/egraph/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib
-$R --crate-name owl_smt crates/smt/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib
+$R --crate-name owl_smt crates/smt/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib
 $R --crate-name owl_oyster crates/oyster/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib
 $R --crate-name owl_ila crates/ila/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib
-$R --crate-name owl_core crates/core/src/lib.rs --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib
+$R --crate-name owl_core crates/core/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib
 $R --crate-name owl_hdl crates/hdl/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib
 $R --crate-name owl_netlist crates/netlist/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_sat=$OUT/libowl_sat.rlib
-$R --crate-name owl_cores crates/cores/src/lib.rs --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib
-$R --crate-name owl_service crates/service/src/lib.rs --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_smt=$OUT/libowl_smt.rlib
-$R --crate-name owl_bench crates/bench/src/lib.rs --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib
-$R --crate-name owl src/lib.rs --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl_service=$OUT/libowl_service.rlib
+$R --crate-name owl_cores crates/cores/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib
+$R --crate-name owl_service crates/service/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_smt=$OUT/libowl_smt.rlib
+$R --crate-name owl_bench crates/bench/src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib
+$R --crate-name owl src/lib.rs --extern owl_trace=$OUT/libowl_trace.rlib --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl_service=$OUT/libowl_service.rlib
 echo "ALL LIBS OK"
 
 # Binaries and examples (criterion benches excluded: unavailable offline).
 BOUT=${BOUT:-/tmp/owl-bins}
 mkdir -p "$BOUT"
-ALL="--extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl_service=$OUT/libowl_service.rlib --extern owl_bench=$OUT/libowl_bench.rlib --extern owl=$OUT/libowl.rlib"
+ALL="--extern owl_trace=$OUT/libowl_trace.rlib --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl_service=$OUT/libowl_service.rlib --extern owl_bench=$OUT/libowl_bench.rlib --extern owl=$OUT/libowl.rlib"
 B="rustc --edition 2021 -O --crate-type bin -L $OUT --out-dir $BOUT"
 for b in crates/bench/src/bin/*.rs; do
   $B --crate-name "bin_$(basename "$b" .rs)" "$b" $ALL

@@ -8,11 +8,18 @@
 //! counts produced by bit-blasting — enough to reproduce the
 //! "simplification shrinks the CNF" claim without re-running synthesis.
 //!
-//! Usage: `cargo run --release -p owl-bench --bin bench_owl [--quick] [timeout-secs]`
+//! Usage: `cargo run --release -p owl-bench --bin bench_owl [--quick] [--verbose] [timeout-secs]`
 //!
 //! `--quick` restricts the sweep to the reduced RV32I configuration
 //! (single-cycle, base ISA) plus a small monolithic case, for CI smoke
-//! runs. The default monolithic timeout is 600 seconds.
+//! runs. `--verbose` streams per-configuration progress to stderr. The
+//! default monolithic timeout is 600 seconds.
+//!
+//! `--trace <path>` runs the four-job RV32I service batch with tracing
+//! enabled and writes a Chrome trace-event file (open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) covering every
+//! layer: service scheduling, per-instruction sessions, SMT queries,
+//! eqsat saturation, SAT search counters, and cache probes.
 
 use owl_core::{
     complete_design, control_union_with, verify_design, DecodeBinding, Fault, FaultPlan,
@@ -22,6 +29,7 @@ use owl_core::{
 use owl_cores::CaseStudy;
 use owl_service::{scan_journals, JobSpec, ServiceConfig, Shutdown, SynthesisService};
 use owl_smt::TermManager;
+use owl_trace::{to_json, Report, Section, Tracer};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,6 +48,28 @@ struct Measurement {
     cnf_clauses: usize,
     solver_calls: usize,
     note: Option<String>,
+}
+
+impl Report for Measurement {
+    fn report(&self) -> Section {
+        let mode = match self.mode {
+            SynthesisMode::PerInstruction => "per_instruction",
+            SynthesisMode::Monolithic => "monolithic",
+        };
+        Section::new()
+            .with("name", self.name.as_str())
+            .with("mode", mode)
+            .with("simplify", self.simplify)
+            .with("wall_time_s", self.wall_time_s)
+            .with("solved", self.solved)
+            .with("instructions", self.instructions)
+            .with("terms_before_simplify", self.terms_before_simplify)
+            .with("terms_after_simplify", self.terms_after_simplify)
+            .with("cnf_vars", self.cnf_vars)
+            .with("cnf_clauses", self.cnf_clauses)
+            .with("solver_calls", self.solver_calls)
+            .with("note", self.note.clone())
+    }
 }
 
 fn measure(
@@ -108,6 +138,17 @@ struct ScalingPoint {
     /// call count, CNF sizes) matched the single-threaded reference —
     /// the scheduler's determinism contract, checked on real data.
     identical: bool,
+}
+
+impl Report for ScalingPoint {
+    fn report(&self) -> Section {
+        Section::new()
+            .with("threads", self.threads)
+            .with("wall_time_s", self.wall_time_s)
+            .with("speedup", self.speedup)
+            .with("solved", self.solved)
+            .with("identical", self.identical)
+    }
 }
 
 /// Measures the per-instruction scheduler at 1/2/4/8 workers on one
@@ -184,6 +225,15 @@ struct DurabilitySmoke {
     resumed: bool,
     records_replayed: usize,
     identical: bool,
+}
+
+impl Report for DurabilitySmoke {
+    fn report(&self) -> Section {
+        Section::new()
+            .with("resumed", self.resumed)
+            .with("records_replayed", self.records_replayed)
+            .with("identical", self.identical)
+    }
 }
 
 fn measure_durability() -> DurabilitySmoke {
@@ -365,6 +415,53 @@ fn run_cache(dir: &str, dump: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `--trace <path>`: the four-job RV32I service batch with tracing
+/// enabled, writing a Chrome trace-event file to `<path>`. The batch
+/// runs against a throwaway shared cache so the trace shows cache
+/// probes (and, for the later jobs, verified warm hits) alongside
+/// service scheduling, session tasks, SMT queries, eqsat saturation,
+/// and sampled SAT counters. Open the file in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+fn run_trace(path: &str) -> ! {
+    // Plenty of headroom over the default ring capacity: the batch
+    // emits one span per query phase and sampled counters per restart.
+    let tracer = Tracer::with_capacity(1 << 20);
+    let cache_dir = std::env::temp_dir().join(format!("bench_owl_trace_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let config = ServiceConfig::default()
+        .workers(2)
+        .queue_capacity(8)
+        .cache_dir(&cache_dir)
+        .tracer(tracer.clone());
+    let service = SynthesisService::start(config);
+    let handles: Vec<_> = service_jobs()
+        .into_iter()
+        .map(|j| {
+            let name = j.name.clone();
+            service.submit(j).unwrap_or_else(|e| panic!("submitting {name}: {e}"))
+        })
+        .collect();
+    for h in handles {
+        let name = h.name().to_string();
+        let _ = h.wait().unwrap_or_else(|e| panic!("job {name} failed: {e}"));
+    }
+    let metrics = service.shutdown(Shutdown::Drain);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let snapshot = tracer.snapshot();
+    let layers: std::collections::BTreeSet<&str> =
+        snapshot.spans().map(|s| s.layer).collect();
+    let mut file = std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+    snapshot.write_chrome_trace(&mut file).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "wrote Chrome trace to {path}: {} spans across layers [{}], {} dropped; jobs completed={}",
+        snapshot.spans().count(),
+        layers.into_iter().collect::<Vec<_>>().join(", "),
+        snapshot.dropped,
+        metrics.completed,
+    );
+    std::process::exit(0);
+}
+
 /// Cold-vs-warm synthesis-cache measurements for the report.
 struct CacheBench {
     cold_wall_s: f64,
@@ -372,6 +469,17 @@ struct CacheBench {
     hit_rate: f64,
     verify_rejected: u64,
     identical: bool,
+}
+
+impl Report for CacheBench {
+    fn report(&self) -> Section {
+        Section::new()
+            .with("cold_wall_s", self.cold_wall_s)
+            .with("warm_wall_s", self.warm_wall_s)
+            .with("hit_rate", self.hit_rate)
+            .with("verify_rejected", self.verify_rejected)
+            .with("identical", self.identical)
+    }
 }
 
 /// Runs the reduced RV32I configuration twice against one fresh cache
@@ -413,6 +521,17 @@ struct ServiceBench {
     p99_latency_s: f64,
     shed: u64,
     recovered: u64,
+}
+
+impl Report for ServiceBench {
+    fn report(&self) -> Section {
+        Section::new()
+            .with("throughput_jobs_s", self.throughput_jobs_s)
+            .with("p50_latency_s", self.p50_latency_s)
+            .with("p99_latency_s", self.p99_latency_s)
+            .with("shed", self.shed)
+            .with("recovered", self.recovered)
+    }
 }
 
 /// Three service experiments: (1) batch throughput/latency on the
@@ -514,70 +633,6 @@ fn measure_service() -> ServiceBench {
     }
 }
 
-/// Minimal JSON string escaping (the report contains no exotic text,
-/// but error notes may quote arbitrary messages).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn emit(m: &Measurement, out: &mut String) {
-    let mode = match m.mode {
-        SynthesisMode::PerInstruction => "per_instruction",
-        SynthesisMode::Monolithic => "monolithic",
-    };
-    let note = match &m.note {
-        Some(n) => json_str(n),
-        None => "null".to_string(),
-    };
-    let _ = write!(
-        out,
-        concat!(
-            "    {{\n",
-            "      \"name\": {},\n",
-            "      \"mode\": \"{}\",\n",
-            "      \"simplify\": {},\n",
-            "      \"wall_time_s\": {:.6},\n",
-            "      \"solved\": {},\n",
-            "      \"instructions\": {},\n",
-            "      \"terms_before_simplify\": {},\n",
-            "      \"terms_after_simplify\": {},\n",
-            "      \"cnf_vars\": {},\n",
-            "      \"cnf_clauses\": {},\n",
-            "      \"solver_calls\": {},\n",
-            "      \"note\": {}\n",
-            "    }}"
-        ),
-        json_str(&m.name),
-        mode,
-        m.simplify,
-        m.wall_time_s,
-        m.solved,
-        m.instructions,
-        m.terms_before_simplify,
-        m.terms_after_simplify,
-        m.cnf_vars,
-        m.cnf_clauses,
-        m.solver_calls,
-        note,
-    );
-}
-
 /// The apples-to-apples experiment: verification queries over a fixed
 /// completed design are deterministic (one per instruction, independent
 /// of any solver feedback), so running them with simplification on and
@@ -605,35 +660,24 @@ fn measure_verify(
     Some((run(true)?, run(false)?))
 }
 
-fn emit_verify(name: &str, on: &VerifyStats, off: &VerifyStats, out: &mut String) {
+/// One verify-comparison entry of the report. The side sections keep
+/// the report's historical key names (`terms_before_simplify`, ...)
+/// rather than [`VerifyStats`]' own `report()` keys, so downstream
+/// consumers of `BENCH_owl.json` see an unchanged schema.
+fn verify_section(name: &str, on: &VerifyStats, off: &VerifyStats) -> Section {
     let side = |s: &VerifyStats| {
-        format!(
-            concat!(
-                "{{\"wall_time_s\": {:.6}, \"terms_before_simplify\": {}, ",
-                "\"terms_after_simplify\": {}, \"cnf_vars\": {}, \"cnf_clauses\": {}}}"
-            ),
-            s.elapsed.as_secs_f64(),
-            s.terms_before,
-            s.terms_after,
-            s.cnf_vars,
-            s.cnf_clauses,
-        )
+        Section::new()
+            .with("wall_time_s", s.elapsed.as_secs_f64())
+            .with("terms_before_simplify", s.terms_before)
+            .with("terms_after_simplify", s.terms_after)
+            .with("cnf_vars", s.cnf_vars)
+            .with("cnf_clauses", s.cnf_clauses)
     };
-    let _ = write!(
-        out,
-        concat!(
-            "    {{\n",
-            "      \"name\": {},\n",
-            "      \"instructions\": {},\n",
-            "      \"simplify_on\": {},\n",
-            "      \"simplify_off\": {}\n",
-            "    }}"
-        ),
-        json_str(name),
-        on.instructions,
-        side(on),
-        side(off),
-    );
+    Section::new()
+        .with("name", name)
+        .with("instructions", on.instructions)
+        .with("simplify_on", side(on))
+        .with("simplify_off", side(off))
 }
 
 fn main() {
@@ -665,13 +709,33 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        match args.get(i + 1) {
+            Some(path) => run_trace(path),
+            None => {
+                eprintln!("usage: bench_owl --trace <chrome-trace-path>");
+                std::process::exit(2);
+            }
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
+    let verbose = args.iter().any(|a| a == "--verbose");
     let timeout_secs: u64 = args
         .iter()
-        .filter(|a| *a != "--quick")
+        .filter(|a| !a.starts_with("--"))
         .find_map(|a| a.parse().ok())
         .unwrap_or(600);
     let budget = Duration::from_secs(timeout_secs);
+    // Progress notes stream to stderr only under `--verbose`; the
+    // deliverables (the JSON file and the final stdout line) always
+    // emit.
+    macro_rules! progress {
+        ($($arg:tt)*) => {
+            if verbose {
+                eprintln!($($arg)*);
+            }
+        };
+    }
 
     // Each entry: case study, decode bindings, run per-instruction?,
     // run monolithic?
@@ -719,12 +783,12 @@ fn main() {
         }
         for mode in modes {
             for simplify in [true, false] {
-                eprintln!(
+                progress!(
                     "bench_owl: {} ({:?}, simplify={simplify}) ...",
                     cs.name, mode
                 );
                 let m = measure(cs, mode, simplify, budget, 1);
-                eprintln!(
+                progress!(
                     "bench_owl:   {:.2}s, cnf {} vars / {} clauses, terms {} -> {}",
                     m.wall_time_s, m.cnf_vars, m.cnf_clauses, m.terms_before_simplify, m.terms_after_simplify
                 );
@@ -737,28 +801,28 @@ fn main() {
     // on the RV32I single-cycle base configuration (the sweep's largest
     // always-on per-instruction case).
     let scaling_cs = owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE);
-    eprintln!("bench_owl: {} (thread scaling 1/2/4/8) ...", scaling_cs.name);
+    progress!("bench_owl: {} (thread scaling 1/2/4/8) ...", scaling_cs.name);
     let scaling = measure_scaling(&scaling_cs, budget);
     for p in &scaling {
-        eprintln!(
+        progress!(
             "bench_owl:   {} thread(s): {:.2}s, speedup {:.2}x, identical: {}",
             p.threads, p.wall_time_s, p.speedup, p.identical
         );
     }
 
     // Kill-and-resume durability smoke on the accumulator case study.
-    eprintln!("bench_owl: durability (journal, tear, resume) ...");
+    progress!("bench_owl: durability (journal, tear, resume) ...");
     let durability = measure_durability();
-    eprintln!(
+    progress!(
         "bench_owl:   resumed: {}, replayed: {}, identical: {}",
         durability.resumed, durability.records_replayed, durability.identical
     );
 
     // Service-layer smoke: throughput/latency, forced shedding, and a
     // journaled abort-and-recover drill.
-    eprintln!("bench_owl: service (throughput, overload, recovery) ...");
+    progress!("bench_owl: service (throughput, overload, recovery) ...");
     let service = measure_service();
-    eprintln!(
+    progress!(
         "bench_owl:   {:.2} jobs/s, p50 {:.3}s, p99 {:.3}s, shed {}, recovered {}",
         service.throughput_jobs_s,
         service.p50_latency_s,
@@ -769,9 +833,9 @@ fn main() {
 
     // Cold-vs-warm cache smoke: second run of the same problem against
     // the same store must hit and stay byte-identical.
-    eprintln!("bench_owl: cache (cold run, warm run, verify-on-hit) ...");
+    progress!("bench_owl: cache (cold run, warm run, verify-on-hit) ...");
     let cache = measure_cache();
-    eprintln!(
+    progress!(
         "bench_owl:   cold {:.2}s, warm {:.2}s, hit rate {:.2}, rejected {}, identical: {}",
         cache.cold_wall_s, cache.warm_wall_s, cache.hit_rate, cache.verify_rejected, cache.identical
     );
@@ -779,79 +843,37 @@ fn main() {
     // Deterministic verification comparison over the completed designs.
     let mut verifies: Vec<(String, VerifyStats, VerifyStats)> = Vec::new();
     for (cs, bindings, _, _) in &sweep {
-        eprintln!("bench_owl: {} (verification, simplify on vs off) ...", cs.name);
+        progress!("bench_owl: {} (verification, simplify on vs off) ...", cs.name);
         match measure_verify(cs, bindings, budget) {
             Some((on, off)) => {
-                eprintln!(
+                progress!(
                     "bench_owl:   cnf vars {} -> {}, clauses {} -> {}",
                     off.cnf_vars, on.cnf_vars, off.cnf_clauses, on.cnf_clauses
                 );
                 verifies.push((cs.name.clone(), on, off));
             }
-            None => eprintln!("bench_owl:   skipped (synthesis or verification failed)"),
+            None => progress!("bench_owl:   skipped (synthesis or verification failed)"),
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"timeout_secs\": {timeout_secs},");
-    json.push_str("  \"runs\": [\n");
-    for (i, m) in runs.iter().enumerate() {
-        emit(m, &mut json);
-        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n");
+    // The whole report is one `Section` rendered by the shared
+    // serializer — same code path every stats struct's `report()` uses.
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
-    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(json, "  \"thread_scaling_case\": {},", json_str(&scaling_cs.name));
-    json.push_str("  \"thread_scaling\": [\n");
-    for (i, p) in scaling.iter().enumerate() {
-        let _ = write!(
-            json,
-            concat!(
-                "    {{\"threads\": {}, \"wall_time_s\": {:.6}, \"speedup\": {:.4}, ",
-                "\"solved\": {}, \"identical\": {}}}"
-            ),
-            p.threads, p.wall_time_s, p.speedup, p.solved, p.identical,
+    let report = Section::new()
+        .with("quick", quick)
+        .with("timeout_secs", timeout_secs)
+        .with("runs", runs.iter().map(Report::report).collect::<Vec<_>>())
+        .with("host_cpus", host_cpus)
+        .with("thread_scaling_case", scaling_cs.name.as_str())
+        .with("thread_scaling", scaling.iter().map(Report::report).collect::<Vec<_>>())
+        .with("durability", durability.report())
+        .with("service", service.report())
+        .with("cache", cache.report())
+        .with(
+            "verify",
+            verifies.iter().map(|(name, on, off)| verify_section(name, on, off)).collect::<Vec<_>>(),
         );
-        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n");
-    let _ = writeln!(
-        json,
-        concat!(
-            "  \"durability\": {{\"resumed\": {}, \"records_replayed\": {}, ",
-            "\"identical\": {}}},"
-        ),
-        durability.resumed, durability.records_replayed, durability.identical,
-    );
-    let _ = writeln!(
-        json,
-        concat!(
-            "  \"service\": {{\"throughput_jobs_s\": {:.6}, \"p50_latency_s\": {:.6}, ",
-            "\"p99_latency_s\": {:.6}, \"shed\": {}, \"recovered\": {}}},"
-        ),
-        service.throughput_jobs_s,
-        service.p50_latency_s,
-        service.p99_latency_s,
-        service.shed,
-        service.recovered,
-    );
-    let _ = writeln!(
-        json,
-        concat!(
-            "  \"cache\": {{\"cold_wall_s\": {:.6}, \"warm_wall_s\": {:.6}, ",
-            "\"hit_rate\": {:.4}, \"verify_rejected\": {}, \"identical\": {}}},"
-        ),
-        cache.cold_wall_s, cache.warm_wall_s, cache.hit_rate, cache.verify_rejected, cache.identical,
-    );
-    json.push_str("  \"verify\": [\n");
-    for (i, (name, on, off)) in verifies.iter().enumerate() {
-        emit_verify(name, on, off, &mut json);
-        json.push_str(if i + 1 < verifies.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+    let json = to_json(&report);
 
     let path = "BENCH_owl.json";
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

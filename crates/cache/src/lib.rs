@@ -95,6 +95,17 @@ pub struct CacheStats {
     pub bytes: u64,
 }
 
+impl owl_trace::Report for CacheStats {
+    fn report(&self) -> owl_trace::Section {
+        owl_trace::Section::new()
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("verify_rejected", self.verify_rejected)
+            .with("evictions", self.evictions)
+            .with("bytes", self.bytes)
+    }
+}
+
 /// Tuning knobs for a [`SynthesisCache`].
 #[derive(Debug, Clone, Default)]
 pub struct CacheConfig {
@@ -104,6 +115,9 @@ pub struct CacheConfig {
     pub memory_budget: Option<usize>,
     /// Deterministic fault injection (cache channel).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Observability handle: hit/miss/eviction/verify-rejected counters
+    /// land on the `cache` layer. Disabled by default.
+    pub tracer: owl_trace::Tracer,
 }
 
 const DEFAULT_MEMORY_BUDGET: usize = 16 * 1024 * 1024;
@@ -157,6 +171,7 @@ pub struct SynthesisCache {
     verify_rejected: AtomicU64,
     evictions: AtomicU64,
     faults: Option<Arc<FaultPlan>>,
+    tracer: owl_trace::Tracer,
 }
 
 impl SynthesisCache {
@@ -190,6 +205,7 @@ impl SynthesisCache {
             verify_rejected: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             faults: config.faults,
+            tracer: config.tracer,
         }
     }
 
@@ -203,6 +219,7 @@ impl SynthesisCache {
     ///
     /// At most one injected cache fault is consumed per lookup.
     pub fn lookup(&self, key: CacheKey) -> Option<CacheHit> {
+        let _span = self.tracer.span("cache", "lookup");
         let fault = self.faults.as_deref().and_then(FaultPlan::next_cache_fault);
         let mut st = self.state.lock().unwrap();
         if let Some(CacheFault::TruncateStore(cut)) = fault {
@@ -217,7 +234,7 @@ impl SynthesisCache {
             let fetched = read_from_disk(&mut st, key);
             if let Some(ref p) = fetched {
                 // Promote: a key re-read from disk is warm traffic.
-                insert_mem(&mut st, key, p.clone(), &self.evictions);
+                insert_mem(&mut st, key, p.clone(), &self.evictions, &self.tracer);
             }
             fetched
         };
@@ -225,6 +242,10 @@ impl SynthesisCache {
             flip_bit(p, bit);
         }
         drop(st);
+        if self.tracer.is_enabled() {
+            let name = if payload.is_some() { "hits" } else { "misses" };
+            self.tracer.count("cache", name, 1);
+        }
         match payload {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -255,7 +276,11 @@ impl SynthesisCache {
         if !on_disk && !payload.contains('\n') {
             append_record(&mut st, key, payload);
         }
-        insert_mem(&mut st, key, payload.to_string(), &self.evictions);
+        insert_mem(&mut st, key, payload.to_string(), &self.evictions, &self.tracer);
+        drop(st);
+        if self.tracer.is_enabled() {
+            self.tracer.count("cache", "inserts", 1);
+        }
     }
 
     /// Drops `key` from both tiers and writes a tombstone so the entry
@@ -290,6 +315,9 @@ impl SynthesisCache {
     /// [`Self::invalidate`] the key).
     pub fn note_verify_rejected(&self) {
         self.verify_rejected.fetch_add(1, Ordering::Relaxed);
+        if self.tracer.is_enabled() {
+            self.tracer.count("cache", "verify_rejected", 1);
+        }
     }
 
     /// Store-wide counters.
@@ -336,7 +364,13 @@ pub fn key_of(mut feed: impl FnMut(&mut Fnv64)) -> CacheKey {
     CacheKey::from_halves(hi.finish(), lo.finish())
 }
 
-fn insert_mem(st: &mut State, key: CacheKey, payload: String, evictions: &AtomicU64) {
+fn insert_mem(
+    st: &mut State,
+    key: CacheKey,
+    payload: String,
+    evictions: &AtomicU64,
+    tracer: &owl_trace::Tracer,
+) {
     st.tick += 1;
     let tick = st.tick;
     let cost = payload.len() + ENTRY_OVERHEAD;
@@ -360,6 +394,9 @@ fn insert_mem(st: &mut State, key: CacheKey, payload: String, evictions: &Atomic
                 .mem_bytes
                 .saturating_sub(old.payload.len() + ENTRY_OVERHEAD);
             evictions.fetch_add(1, Ordering::Relaxed);
+            if tracer.is_enabled() {
+                tracer.count("cache", "evictions", 1);
+            }
         }
     }
 }

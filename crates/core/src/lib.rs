@@ -39,15 +39,11 @@ pub use diagnose::{diagnose, Diagnosis, ObligationStatus};
 pub use journal::{FileJournal, JournalContents, JournalIo, JournalWriter, MemJournal};
 pub use minimize::{minimize_solutions, MinimizeStats};
 pub use session::SynthesisSession;
-#[allow(deprecated)]
-pub use synth::{resynthesize, synthesize};
 pub use synth::{
     InstrOutcome, InstrSolution, InstrStatus, SynthesisConfig, SynthesisConfigBuilder,
     SynthesisMode, SynthesisOutput, SynthesisStats,
 };
 pub use union::{complete_design, control_union, control_union_with, ControlUnion, DecodeBinding};
-#[allow(deprecated)]
-pub use verify::verify_design_with;
 pub use verify::{verify_design, VerifyOpts, VerifyStats};
 
 // The synthesis cache: re-exported so sessions can be wired to a shared
@@ -60,6 +56,11 @@ pub use owl_smt::{
     Budget, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, QueryCert, ServiceFault, SolverConfig,
     StopReason,
 };
+
+// Observability: the tracer attaches to a session via
+// [`SynthesisSession::tracer`] and rides the run budget into every
+// layer below; `Report` is the unified stats-serialization trait.
+pub use owl_trace::{Report, Section, Tracer, Value};
 
 use std::fmt;
 use std::time::Duration;

@@ -56,7 +56,9 @@ use crate::CoreError;
 use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::Design;
-use owl_smt::{substitute, Budget, CancelFlag, Heartbeat, SmtResult, SymbolId, TermId, TermManager};
+use owl_smt::{
+    substitute, Budget, CancelFlag, Heartbeat, SmtResult, SymbolId, TermId, TermManager, Tracer,
+};
 use std::collections::HashMap;
 use owl_cache::{CacheConfig, CacheKey, CacheStats, SynthesisCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -91,6 +93,7 @@ pub struct SynthesisSession<'a> {
     seeds: Option<Vec<InstrSolution>>,
     journal: Option<JournalSpec>,
     cache: Option<CacheSpec>,
+    tracer: Tracer,
 }
 
 /// How the session uses its journal file.
@@ -126,7 +129,18 @@ impl<'a> SynthesisSession<'a> {
             seeds: None,
             journal: None,
             cache: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an observability tracer: the session emits spans for
+    /// the run, journal replay, per-instruction tasks, cache probes and
+    /// the phase-2 rebalance, and hands the tracer to every solver call
+    /// via the run [`Budget`]. Tracing is inert — the output stays
+    /// byte-identical to an untraced run at any parallelism level.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Replaces the synthesis configuration.
@@ -239,17 +253,25 @@ impl<'a> SynthesisSession<'a> {
                 "the synthesis cache requires per-instruction mode".to_string(),
             ));
         }
+        let _session_span = self.tracer.span("core", "session");
         let (writer, restored) = self.open_journal()?;
         let cache: Option<Arc<SynthesisCache>> = self.cache.as_ref().map(|spec| match spec {
             CacheSpec::Handle(handle) => Arc::clone(handle),
             CacheSpec::Path(path) => Arc::new(SynthesisCache::open(
                 path,
-                CacheConfig { faults: self.config.fault_plan.clone(), ..CacheConfig::default() },
+                CacheConfig {
+                    faults: self.config.fault_plan.clone(),
+                    tracer: self.tracer.clone(),
+                    ..CacheConfig::default()
+                },
             )),
         });
         let start = Instant::now();
-        let prep = prepare(mgr, self.design, self.ila, self.alpha)?;
-        let budget = self.config.run_budget(start);
+        let prep = {
+            let _span = self.tracer.span("core", "prepare");
+            prepare(mgr, self.design, self.ila, self.alpha)?
+        };
+        let budget = self.config.run_budget(start).with_tracer(self.tracer.clone());
         let mut stats = SynthesisStats::default();
         let (solutions, outcomes, interrupted, qlogs) = match self.config.mode {
             SynthesisMode::PerInstruction => self.schedule(
@@ -282,6 +304,7 @@ impl<'a> SynthesisSession<'a> {
         let mut output =
             SynthesisOutput { solutions, outcomes, stats, interrupted, certificate: None };
         if self.config.certify {
+            let _span = self.tracer.span("core", "certify");
             output.certificate = Some(build_certificate(
                 self.design,
                 self.ila,
@@ -331,6 +354,7 @@ impl<'a> SynthesisSession<'a> {
         let mut io = FileJournal::new(&spec.path, self.config.fault_plan.clone());
         let mut restored = Restored::default();
         if spec.resume {
+            let _span = self.tracer.span("core", "journal-replay");
             let contents = read_journal(&mut io);
             if let Some(found) = contents.fingerprint {
                 if found != fp {
@@ -584,6 +608,7 @@ impl<'a> SynthesisSession<'a> {
         journal: Option<&JournalWriter>,
         restored: &Restored,
     ) {
+        let _span = self.tracer.span("core", "rebalance");
         let Some(base_quota) = self.config.conflict_budget else { return };
         let interrupted = tasks.iter().any(|t| {
             t.stop.is_some()
@@ -731,6 +756,12 @@ fn run_task(
     start: Instant,
 ) -> TaskOutput {
     let name = conds.name.clone();
+    let tracer = budget.tracer();
+    let _span = if tracer.is_enabled() {
+        Some(tracer.span("core", format!("task:{name}")))
+    } else {
+        None
+    };
     if let Some(reason) = budget.checkpoint() {
         return TaskOutput {
             outcome: InstrOutcome {
@@ -853,6 +884,12 @@ fn retry_task(
     start: Instant,
     task: &mut TaskOutput,
 ) -> bool {
+    let tracer = retry_budget.tracer();
+    let _span = if tracer.is_enabled() {
+        Some(tracer.span("core", format!("retry:{}", conds.name)))
+    } else {
+        None
+    };
     if retry_budget.checkpoint().is_some() {
         return false; // keep the phase-1 outcome
     }
@@ -1049,6 +1086,12 @@ fn try_cached_task(
     budget: &Budget,
     counters: &CacheCounters,
 ) -> Option<TaskOutput> {
+    let tracer = budget.tracer();
+    let _span = if tracer.is_enabled() {
+        Some(tracer.span("core", format!("cache-probe:{}", conds.name)))
+    } else {
+        None
+    };
     let Some(hit) = cache.lookup(key) else {
         counters.misses.fetch_add(1, Ordering::Relaxed);
         return None;

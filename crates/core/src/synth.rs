@@ -320,6 +320,23 @@ pub struct SynthesisStats {
     pub cache: owl_cache::CacheStats,
 }
 
+impl owl_trace::Report for SynthesisStats {
+    fn report(&self) -> owl_trace::Section {
+        owl_trace::Section::new()
+            .with("cex_rounds", self.cex_rounds)
+            .with("solver_calls", self.solver_calls)
+            .with("reused", self.reused)
+            .with("escalations", self.escalations)
+            .with("replayed", self.replayed)
+            .with("elapsed_secs", self.elapsed.as_secs_f64())
+            .with("terms_before", self.terms_before)
+            .with("terms_after", self.terms_after)
+            .with("cnf_vars", self.cnf_vars)
+            .with("cnf_clauses", self.cnf_clauses)
+            .with("cache", self.cache.report())
+    }
+}
+
 /// One instruction's synthesized hole assignment.
 #[derive(Debug, Clone)]
 pub struct InstrSolution {
@@ -488,58 +505,6 @@ pub(crate) fn run_check(
         qlog.record(&outcome.cert);
     }
     outcome.result
-}
-
-/// Synthesizes control logic for `design`'s holes against `ila` via
-/// `alpha`, returning per-instruction hole constants.
-///
-/// Deprecated pre-session spelling: forwards to
-/// [`SynthesisSession`](crate::SynthesisSession) with `parallelism(1)`.
-///
-/// # Errors
-///
-/// Returns an error only if the inputs fail validation (bad abstraction
-/// function, malformed sketch, holes that are not free variables).
-#[deprecated(note = "use `SynthesisSession::new(design, ila, alpha).config(config.clone()).run_with(mgr)`")]
-pub fn synthesize(
-    mgr: &mut TermManager,
-    design: &Design,
-    ila: &Ila,
-    alpha: &AbstractionFn,
-    config: &SynthesisConfig,
-) -> Result<SynthesisOutput, CoreError> {
-    crate::session::SynthesisSession::new(design, ila, alpha)
-        .config(config.clone())
-        .run_with(mgr)
-}
-
-/// Incremental re-synthesis for agile iteration: like [`synthesize`],
-/// but seeded with the solutions of a previous run (typically from an
-/// earlier revision of the specification or sketch). Each previous
-/// solution is first *verified* against the current design; if it still
-/// holds it is reused outright, otherwise it becomes the CEGIS starting
-/// candidate. Instructions with no previous solution are synthesized
-/// from scratch.
-///
-/// Deprecated pre-session spelling: forwards to
-/// [`SynthesisSession::seeded_with`](crate::SynthesisSession::seeded_with).
-///
-/// # Errors
-///
-/// As for [`synthesize`]. Only per-instruction mode is supported.
-#[deprecated(note = "use `SynthesisSession::new(design, ila, alpha).config(config.clone()).seeded_with(previous).run_with(mgr)`")]
-pub fn resynthesize(
-    mgr: &mut TermManager,
-    design: &Design,
-    ila: &Ila,
-    alpha: &AbstractionFn,
-    config: &SynthesisConfig,
-    previous: &[InstrSolution],
-) -> Result<SynthesisOutput, CoreError> {
-    crate::session::SynthesisSession::new(design, ila, alpha)
-        .config(config.clone())
-        .seeded_with(previous)
-        .run_with(mgr)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -868,10 +833,8 @@ mod tests {
     use owl_ila::{Instr, SpecExpr};
     use owl_smt::Fault;
 
-    // Test-local adapters shadowing the deprecated free functions: the
-    // whole suite exercises the session path (the one every caller is
-    // migrated to), while `deprecated_entry_points_still_forward` below
-    // pins the shims themselves.
+    // Test-local adapters over the session API: the whole suite
+    // exercises the session path through these terse spellings.
     fn synthesize(
         mgr: &mut TermManager,
         design: &Design,
@@ -1443,29 +1406,6 @@ mod tests {
         // query is itself certified (trivially, when the substituted
         // postcondition folds away structurally).
         assert!(cert.instrs.iter().all(|c| c.queries.total() >= 1), "{cert}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_still_forward() {
-        // The free functions survive as shims over the session API;
-        // everything else in this suite goes through the session.
-        let (ila, d, alpha) = setup();
-        let mut mgr = TermManager::new();
-        let out = crate::synth::synthesize(&mut mgr, &d, &ila, &alpha, &SynthesisConfig::default())
-            .unwrap();
-        assert!(out.is_complete());
-        let mut mgr2 = TermManager::new();
-        let again = crate::synth::resynthesize(
-            &mut mgr2,
-            &d,
-            &ila,
-            &alpha,
-            &SynthesisConfig::default(),
-            &out.solutions,
-        )
-        .unwrap();
-        assert_eq!(again.stats.reused, 2);
     }
 
     #[test]

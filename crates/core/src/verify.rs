@@ -100,6 +100,18 @@ pub struct VerifyStats {
     pub elapsed: Duration,
 }
 
+impl owl_trace::Report for VerifyStats {
+    fn report(&self) -> owl_trace::Section {
+        owl_trace::Section::new()
+            .with("instructions", self.instructions)
+            .with("terms_before", self.terms_before)
+            .with("terms_after", self.terms_after)
+            .with("cnf_vars", self.cnf_vars)
+            .with("cnf_clauses", self.cnf_clauses)
+            .with("elapsed_secs", self.elapsed.as_secs_f64())
+    }
+}
+
 /// Verifies that `design` (which must be hole-free) satisfies every
 /// instruction of `ila` under `alpha`.
 ///
@@ -125,24 +137,6 @@ pub fn verify_design(
 ) -> Result<VerifyStats, CoreError> {
     let opts = opts.into();
     verify_impl(mgr, design, ila, alpha, &opts.budget, &opts.config)
-}
-
-/// Deprecated pre-session spelling of [`verify_design`] with an explicit
-/// solver configuration.
-///
-/// # Errors
-///
-/// Same contract as [`verify_design`].
-#[deprecated(note = "use `verify_design(.., VerifyOpts::from(budget).with_config(config.clone()))`")]
-pub fn verify_design_with(
-    mgr: &mut TermManager,
-    design: &Design,
-    ila: &Ila,
-    alpha: &AbstractionFn,
-    budget: impl Into<Budget>,
-    config: &SolverConfig,
-) -> Result<VerifyStats, CoreError> {
-    verify_impl(mgr, design, ila, alpha, &budget.into(), config)
 }
 
 fn verify_impl(

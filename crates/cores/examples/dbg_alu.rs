@@ -1,23 +1,45 @@
+//! Debug driver for the ALU machine's extracted conditions. By default
+//! prints a concise summary; `--verbose` dumps the full pre/post terms.
+
 use owl_core::*;
 use owl_cores::alu_machine;
-use owl_smt::*;
 use owl_oyster::SymbolicEvaluator;
+use owl_smt::*;
 
 fn main() {
+    let verbose = std::env::args().any(|a| a == "--verbose");
     let cs = alu_machine::case_study();
     let mut mgr = TermManager::new();
     let trace = SymbolicEvaluator::run(&mut mgr, &cs.sketch, 3).unwrap();
     let mut b = ConditionBuilder::new(&cs.spec, &cs.alpha, &trace).unwrap();
     let conds = b.instr_conditions(&mut mgr, &cs.spec.instrs()[0]).unwrap();
-    for p in &conds.pres { println!("PRE {}", mgr.display_term(*p)); }
-    for p in &conds.posts { let s = mgr.display_term(*p); println!("POST {}", &s[..s.len().min(3000)]); }
+    println!(
+        "{}: {} pres, {} posts (rerun with --verbose for the full terms)",
+        conds.name,
+        conds.pres.len(),
+        conds.posts.len()
+    );
+    if verbose {
+        for p in &conds.pres {
+            println!("PRE {}", mgr.display_term(*p));
+        }
+        for p in &conds.posts {
+            let s = mgr.display_term(*p);
+            println!("POST {}", &s[..s.len().min(3000)]);
+        }
+    }
     let mut env = Env::new();
-    env.set_var(mgr.as_var(trace.holes["wr_en"]).unwrap(), owl_bitvec::BitVec::from_u64(1,0));
-    env.set_var(mgr.as_var(trace.holes["alu_sel"]).unwrap(), owl_bitvec::BitVec::from_u64(2,0));
+    env.set_var(mgr.as_var(trace.holes["wr_en"]).unwrap(), owl_bitvec::BitVec::from_u64(1, 0));
+    env.set_var(mgr.as_var(trace.holes["alu_sel"]).unwrap(), owl_bitvec::BitVec::from_u64(2, 0));
     let pre = substitute(&mut mgr, conds.pres[0], &env);
     let post = substitute(&mut mgr, conds.posts[0], &env);
-    let s = mgr.display_term(post);
-    println!("post after subst: {}", &s[..s.len().min(3000)]);
+    if verbose {
+        let s = mgr.display_term(post);
+        println!("post after subst: {}", &s[..s.len().min(3000)]);
+    }
     let npost = mgr.not(post);
-    println!("cex exists with wr_en=0: {:?}", matches!(solve(&mut mgr, &[pre, npost], None).result, SmtResult::Sat(_)));
+    println!(
+        "cex exists with wr_en=0: {:?}",
+        matches!(solve(&mut mgr, &[pre, npost], None).result, SmtResult::Sat(_))
+    );
 }

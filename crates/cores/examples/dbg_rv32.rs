@@ -1,34 +1,61 @@
+//! Debug driver for the single-cycle RV32I base configuration: runs a
+//! traced synthesis, prints the structured stats report, and (with
+//! `--trace <path>`) dumps a Chrome trace of the whole run.
+
 use owl_core::*;
 use owl_cores::rv32i::{self, Extensions};
 use owl_smt::TermManager;
+use owl_trace::report::to_json_compact;
 use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let ext = Extensions::BASE;
     let cs = rv32i::single_cycle(ext);
     println!("sketch lines: {}", cs.sketch.line_count());
+    let tracer = Tracer::enabled();
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
     let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .tracer(tracer.clone())
         .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     match result {
         Ok(out) => {
-            println!("synthesized {} instrs in {:.2}s, {} cex rounds, {} solver calls",
-                out.solutions.len(), t0.elapsed().as_secs_f64(), out.stats.cex_rounds, out.stats.solver_calls);
+            println!(
+                "synthesized {} instrs in {:.2}s",
+                out.solutions.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            println!("stats: {}", to_json_compact(&out.stats.report()));
             for s in out.solutions.iter().take(3) {
-                println!("{}: alu_op={} reg_write={} jump={}", s.instr,
-                    s.holes["alu_op"], s.holes["reg_write"], s.holes["jump"]);
+                println!(
+                    "{}: alu_op={} reg_write={} jump={}",
+                    s.instr, s.holes["alu_op"], s.holes["reg_write"], s.holes["jump"]
+                );
             }
             let t1 = Instant::now();
             let union = control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).unwrap();
             let complete = complete_design(&cs.sketch, &union);
             let mut mgr2 = TermManager::new();
             match verify_design(&mut mgr2, &complete, &cs.spec, &cs.alpha, None) {
-                Ok(_) => println!("verified in {:.2}s", t1.elapsed().as_secs_f64()),
+                Ok(vstats) => {
+                    println!("verified in {:.2}s", t1.elapsed().as_secs_f64());
+                    println!("verify: {}", to_json_compact(&vstats.report()));
+                }
                 Err(e) => println!("VERIFY FAILED: {e}"),
             }
         }
         Err(e) => println!("FAILED after {:.2}s: {e}", t0.elapsed().as_secs_f64()),
+    }
+    if let Some(path) = trace_path {
+        let mut file = std::fs::File::create(&path).expect("create trace file");
+        tracer.write_chrome_trace(&mut file).expect("write trace");
+        println!("wrote Chrome trace to {path}");
     }
 }

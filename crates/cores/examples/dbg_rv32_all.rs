@@ -1,12 +1,19 @@
+//! Debug driver sweeping every RV32I configuration: each run is traced
+//! and summarized through the structured stats report instead of
+//! ad-hoc counter prints.
+
 use owl_core::*;
 use owl_cores::rv32i::{self, Extensions};
 use owl_smt::TermManager;
+use owl_trace::report::to_json_compact;
 use std::time::Instant;
 
 fn run(name: &str, cs: &owl_cores::CaseStudy) {
+    let tracer = Tracer::enabled();
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
     let result = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .tracer(tracer)
         .run_with(&mut mgr)
         .and_then(|out| out.require_complete());
     match result {
@@ -17,7 +24,13 @@ fn run(name: &str, cs: &owl_cores::CaseStudy) {
             let mut mgr2 = TermManager::new();
             let t1 = Instant::now();
             let v = verify_design(&mut mgr2, &complete, &cs.spec, &cs.alpha, None);
-            println!("{name}: synth {:.2}s verify {:.2}s ({:?})", synth_t, t1.elapsed().as_secs_f64(), v.is_ok());
+            println!(
+                "{name}: synth {:.2}s verify {:.2}s ({:?}) stats {}",
+                synth_t,
+                t1.elapsed().as_secs_f64(),
+                v.is_ok(),
+                to_json_compact(&out.stats.report()),
+            );
         }
         Err(e) => println!("{name}: FAILED after {:.2}s: {e}", t0.elapsed().as_secs_f64()),
     }
@@ -35,5 +48,12 @@ fn main() {
     let mut mgr = TermManager::new();
     let t = Instant::now();
     let v = verify_design(&mut mgr, &refd, &cs.spec, &cs.alpha, None);
-    println!("reference zbkc verify: {:.2}s -> {:?}", t.elapsed().as_secs_f64(), v.map_err(|e| e.to_string()));
+    match v {
+        Ok(stats) => println!(
+            "reference zbkc verify: {:.2}s -> {}",
+            t.elapsed().as_secs_f64(),
+            to_json_compact(&stats.report()),
+        ),
+        Err(e) => println!("reference zbkc verify: {:.2}s -> FAILED: {e}", t.elapsed().as_secs_f64()),
+    }
 }

@@ -1,19 +1,26 @@
+//! Debug driver for the crypto core: traced synthesis with a
+//! structured stats report, then SHA-256 differential simulation
+//! against the handwritten reference.
+
 use owl_core::*;
 use owl_cores::{crypto_core, sha256};
 use owl_smt::TermManager;
+use owl_trace::report::to_json_compact;
 use std::time::Instant;
 
 fn main() {
     let cs = crypto_core::case_study();
+    let tracer = Tracer::enabled();
     let mut mgr = TermManager::new();
     let t0 = Instant::now();
     let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .tracer(tracer)
         .run_with(&mut mgr)
         .and_then(|out| out.require_complete())
         .unwrap();
     let union = control_union_with(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions, &crypto_core::decode_bindings()).unwrap();
     let complete = complete_design(&cs.sketch, &union);
-    println!("synth {:.2}s", t0.elapsed().as_secs_f64());
+    println!("synth {:.2}s, stats {}", t0.elapsed().as_secs_f64(), to_json_compact(&out.stats.report()));
     let refd = crypto_core::reference();
     let prog = sha256::sha256_program();
     println!("program: {} instructions", prog.len());

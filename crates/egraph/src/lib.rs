@@ -34,6 +34,10 @@ pub use saturate::{saturate, SaturationLimits, SaturationReport};
 // `owl-sat` dependency.
 pub use owl_sat::{Budget, CancelFlag, Fault, FaultPlan, StopReason};
 
+// Observability: the tracer rides the budget into saturation, so the
+// handle (and the reporting API) re-export alongside it.
+pub use owl_sat::{Report, Section, Tracer, Value};
+
 #[cfg(test)]
 mod tests {
     use super::*;

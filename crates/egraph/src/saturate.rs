@@ -60,6 +60,10 @@ pub fn saturate(
     budget: &Budget,
     limits: &SaturationLimits,
 ) -> SaturationReport {
+    // The tracer rides the budget (see `owl_sat::Budget::tracer`); a
+    // disabled one makes both probes free.
+    let tracer = budget.tracer().clone();
+    let _span = tracer.span("egraph", "saturate");
     let mut report = SaturationReport::default();
     loop {
         report.nodes = egraph.node_count();
@@ -117,6 +121,10 @@ pub fn saturate(
             report.saturated = true;
             break;
         }
+    }
+    if tracer.is_enabled() {
+        tracer.count("egraph", "iterations", report.iterations as u64);
+        tracer.count("egraph", "saturations", 1);
     }
     report
 }

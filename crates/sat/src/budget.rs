@@ -391,6 +391,7 @@ impl Default for FaultPlan {
 }
 
 use crate::hash::splitmix64;
+use owl_trace::Tracer;
 
 /// The resource envelope for one or more solver calls.
 ///
@@ -416,6 +417,10 @@ pub struct Budget {
     /// boundaries, observed by the watchdog.
     heartbeat: Option<Heartbeat>,
     faults: Option<Arc<FaultPlan>>,
+    /// Observability handle. A disabled tracer (the default) is a
+    /// single `Option` check, so the hot path pays nothing; an enabled
+    /// one rides the budget into every layer the budget reaches.
+    tracer: Tracer,
 }
 
 impl Budget {
@@ -492,6 +497,20 @@ impl Budget {
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Attaches a tracer; every layer the budget reaches emits spans
+    /// and counters onto it. The default is the disabled tracer.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The per-call conflict limit, if any.

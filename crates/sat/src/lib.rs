@@ -39,6 +39,9 @@ pub use budget::{
 };
 pub use proof::{ProofChecker, ProofError, ProofLog};
 pub use solver::{SolveOpts, SolveResult, Solver, Stats};
+// The observability handle rides the `Budget` into every layer, so
+// re-export it (and the reporting API) for downstream convenience.
+pub use owl_trace::{Report, Section, Tracer, Value};
 
 /// A propositional variable, created by [`Solver::new_var`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -102,6 +102,59 @@ pub struct Stats {
     pub reductions: u64,
 }
 
+impl owl_trace::Report for Stats {
+    fn report(&self) -> owl_trace::Section {
+        owl_trace::Section::new()
+            .with("conflicts", self.conflicts)
+            .with("decisions", self.decisions)
+            .with("propagations", self.propagations)
+            .with("restarts", self.restarts)
+            .with("learned", self.learned)
+            .with("learned_bytes", self.learned_bytes)
+            .with("reductions", self.reductions)
+    }
+}
+
+/// Samples the solver counters onto a tracer as monotonic deltas: one
+/// flush per restart plus one at call exit, so the hot path never
+/// touches the tracer between restarts.
+struct CounterSampler {
+    last: Stats,
+    polls: u64,
+}
+
+impl CounterSampler {
+    fn new(now: Stats) -> Self {
+        CounterSampler { last: now, polls: 0 }
+    }
+
+    /// Notes one budget checkpoint; flushed as the `budget_polls` counter.
+    fn poll(&mut self) {
+        self.polls += 1;
+    }
+
+    fn flush(&mut self, tracer: &owl_trace::Tracer, now: Stats) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        // `learned` can shrink across a database reduction, so every
+        // delta saturates rather than wrapping.
+        tracer.count("sat", "conflicts", now.conflicts.saturating_sub(self.last.conflicts));
+        tracer.count("sat", "decisions", now.decisions.saturating_sub(self.last.decisions));
+        tracer.count(
+            "sat",
+            "propagations",
+            now.propagations.saturating_sub(self.last.propagations),
+        );
+        tracer.count("sat", "restarts", now.restarts.saturating_sub(self.last.restarts));
+        tracer.count("sat", "learned", now.learned.saturating_sub(self.last.learned));
+        tracer.count("sat", "reductions", now.reductions.saturating_sub(self.last.reductions));
+        tracer.count("sat", "budget_polls", self.polls);
+        self.polls = 0;
+        self.last = now;
+    }
+}
+
 const UNDEF: i8 = 0;
 const TRUE: i8 = 1;
 const FALSE: i8 = -1;
@@ -687,9 +740,7 @@ impl Solver {
     /// This is the single solving entry point: assumptions (literals
     /// forced true for this call only) and the resource [`Budget`] both
     /// arrive through the options struct, so `solve(SolveOpts::default())`
-    /// is the plain unbudgeted solve and every historical variant
-    /// (`solve_with`, `solve_budgeted`, `solve_budgeted_with`) is a
-    /// deprecated one-line forwarder.
+    /// is the plain unbudgeted solve.
     ///
     /// The budget's deadline and cancellation flag are polled at every
     /// conflict and restart, and periodically between decisions, so the
@@ -701,27 +752,11 @@ impl Solver {
         self.solve_impl(&opts.assumptions, &opts.budget)
     }
 
-    /// Solves under the given assumptions (literals forced true for this
-    /// call only).
-    #[deprecated(note = "use `solve(SolveOpts::default().assume(assumptions))`")]
-    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solve_impl(assumptions, &Budget::unlimited())
-    }
-
-    /// Solves the formula under a resource [`Budget`].
-    #[deprecated(note = "use `solve(SolveOpts::from(budget))` or `solve(&budget)`")]
-    pub fn solve_budgeted(&mut self, budget: &Budget) -> SolveResult {
-        self.solve_impl(&[], budget)
-    }
-
-    /// Solves under assumptions and a resource [`Budget`].
-    #[deprecated(note = "use `solve(SolveOpts::from(budget).assume(assumptions))`")]
-    pub fn solve_budgeted_with(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
-        self.solve_impl(assumptions, budget)
-    }
-
     fn solve_impl(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
         self.stop_reason = None;
+        let tracer = budget.tracer().clone();
+        let _span = tracer.span("sat", "solve");
+        let mut sampler = CounterSampler::new(self.stats);
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -733,6 +768,9 @@ impl Solver {
         match budget.next_fault() {
             Some(Fault::ForceUnknown) => {
                 self.stop_reason = Some(StopReason::FaultInjected);
+                if tracer.is_enabled() {
+                    tracer.instant("sat", "stop:FaultInjected");
+                }
                 return SolveResult::Unknown;
             }
             Some(Fault::SpuriousRestart) => conflicts_until_restart = 0,
@@ -750,8 +788,12 @@ impl Solver {
             .conflict_limit()
             .unwrap_or(u64::MAX)
             .min(self.conflict_budget);
+        sampler.poll();
         if let Some(reason) = budget.checkpoint() {
             self.stop_reason = Some(reason);
+            if tracer.is_enabled() {
+                tracer.instant("sat", format!("stop:{reason:?}"));
+            }
             return SolveResult::Unknown;
         }
 
@@ -769,6 +811,7 @@ impl Solver {
                     self.stop_reason = Some(reason);
                     break SolveResult::Unknown;
                 }
+                sampler.poll();
                 if let Some(reason) = budget.checkpoint() {
                     self.stop_reason = Some(reason);
                     break SolveResult::Unknown;
@@ -829,6 +872,8 @@ impl Solver {
                     restart_idx += 1;
                     conflicts_until_restart = 32 * luby(restart_idx);
                     self.backtrack_to(assumptions.len() as u32);
+                    sampler.flush(&tracer, self.stats);
+                    sampler.poll();
                     if let Some(reason) = budget.checkpoint() {
                         self.stop_reason = Some(reason);
                         break SolveResult::Unknown;
@@ -867,6 +912,7 @@ impl Solver {
                         // Long conflict-free stretches must still observe
                         // the deadline; poll it every 64 decisions.
                         if self.stats.decisions & 63 == 0 {
+                            sampler.poll();
                             if let Some(reason) = budget.checkpoint() {
                                 self.stop_reason = Some(reason);
                                 break SolveResult::Unknown;
@@ -879,6 +925,12 @@ impl Solver {
             }
         };
 
+        sampler.flush(&tracer, self.stats);
+        if tracer.is_enabled() {
+            if let Some(reason) = self.stop_reason {
+                tracer.instant("sat", format!("stop:{reason:?}"));
+            }
+        }
         if result == SolveResult::Sat {
             debug_assert!(self.model_satisfies_all());
         }

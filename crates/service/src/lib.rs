@@ -73,6 +73,10 @@ use owl_core::{
 };
 use owl_ila::Ila;
 use owl_oyster::Design;
+
+// Observability: one tracer handle observes the whole stack; `Report`
+// is the unified stats-serialization trait.
+pub use owl_trace::{Report, Section, Tracer, Value};
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -113,6 +117,12 @@ pub struct ServiceConfig {
     /// Deterministic fault-injection plan; the service draws from its
     /// dedicated [`ServiceFault`] channel, once per dispatch decision.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Observability handle. The service emits `service`-layer spans
+    /// (queue wait, per-job runs, retry backoff) and admission-decision
+    /// counters, and hands the same tracer to every job's session and
+    /// the shared cache, so one trace covers the full stack. Disabled
+    /// (the default) it costs a single pointer check per probe.
+    pub tracer: Tracer,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +138,7 @@ impl Default for ServiceConfig {
             journal_dir: None,
             cache_dir: None,
             fault_plan: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -193,6 +204,16 @@ impl ServiceConfig {
     #[must_use]
     pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches an observability tracer. The tracer is shared with every
+    /// job's [`SynthesisSession`] and the shared cache, so a single
+    /// handle observes queueing, synthesis, and solver activity alike.
+    /// Tracing is inert: outputs are byte-identical to an untraced run.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -374,6 +395,25 @@ pub struct ServiceMetrics {
     /// Cached entries rejected by verify-on-hit (stale or corrupt),
     /// summed over completed jobs.
     pub cache_verify_rejected: u64,
+}
+
+impl Report for ServiceMetrics {
+    fn report(&self) -> Section {
+        Section::new()
+            .with("submitted", self.submitted)
+            .with("completed", self.completed)
+            .with("failed", self.failed)
+            .with("shed", self.shed)
+            .with("rejected", self.rejected)
+            .with("retried", self.retried)
+            .with("expired", self.expired)
+            .with("degraded", self.degraded)
+            .with("recovered", self.recovered)
+            .with("worker_panics", self.worker_panics)
+            .with("cache_hits", self.cache_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("cache_verify_rejected", self.cache_verify_rejected)
+    }
 }
 
 /// A claim ticket for a submitted job.
@@ -563,7 +603,11 @@ impl SynthesisService {
         let cache = config.cache_store_path().map(|path| {
             Arc::new(SynthesisCache::open(
                 &path,
-                CacheConfig { faults: config.fault_plan.clone(), ..CacheConfig::default() },
+                CacheConfig {
+                    faults: config.fault_plan.clone(),
+                    tracer: config.tracer.clone(),
+                    ..CacheConfig::default()
+                },
             ))
         });
         let shared = Arc::new(Shared {
@@ -656,6 +700,11 @@ impl SynthesisService {
                 .map(|(i, _)| i);
             if let Some(i) = victim {
                 let shed = state.queue.remove(i);
+                let tracer = &self.shared.config.tracer;
+                if tracer.is_enabled() {
+                    tracer.instant("service", format!("shed:{}", shed.spec.name));
+                    tracer.count("service", "shed", 1);
+                }
                 let _ = shed.tx.send(Err(ServiceError::Shed));
                 state.metrics.shed += 1;
             } else if let Some(r) = state
@@ -667,11 +716,17 @@ impl SynthesisService {
                 // (2) Degrade: the victim finishes early with whatever
                 // it has (partial-result mode), freeing its worker.
                 r.cancel.cancel();
+                let tracer = &self.shared.config.tracer;
+                if tracer.is_enabled() {
+                    tracer.instant("service", format!("degrade:job-{}", r.id));
+                    tracer.count("service", "degraded", 1);
+                }
                 state.metrics.degraded += 1;
             } else {
                 // (3) Typed rejection with a backoff hint.
                 let retry_after = estimate_retry_after(&state, &self.shared.config);
                 state.metrics.rejected += 1;
+                self.shared.config.tracer.count("service", "rejected", 1);
                 return Err(ServiceError::Overloaded { retry_after });
             }
         }
@@ -704,6 +759,11 @@ impl SynthesisService {
             tx,
         });
         state.metrics.submitted += 1;
+        let tracer = &self.shared.config.tracer;
+        if tracer.is_enabled() {
+            tracer.instant("service", format!("admit:{}", handle.name));
+            tracer.count("service", "submitted", 1);
+        }
         handle
     }
 
@@ -858,6 +918,11 @@ fn pick(state: &mut State, config: &ServiceConfig) -> Picked {
     if let Some(deadline) = job.deadline_at {
         if deadline <= now + skew {
             state.metrics.expired += 1;
+            let tracer = &config.tracer;
+            if tracer.is_enabled() {
+                tracer.instant("service", format!("expired:{}", job.spec.name));
+                tracer.count("service", "expired", 1);
+            }
             let _ = job.tx.send(Err(ServiceError::Expired));
             // The decision dispatched nothing; look again immediately.
             return pick(state, config);
@@ -959,6 +1024,17 @@ fn worker_loop(shared: &Shared) {
         let mut job = *job;
         job.attempt += 1;
         let attempt_no = job.attempt;
+        let tracer = &shared.config.tracer;
+        // The queue-wait span covers admission (or retry requeue) to
+        // dispatch, backoff gates included.
+        if tracer.is_enabled() {
+            tracer.span_from("service", format!("queue-wait:{}", job.spec.name), job.enqueued);
+        }
+        let _job_span = if tracer.is_enabled() {
+            Some(tracer.span("service", format!("job:{}:attempt-{attempt_no}", job.spec.name)))
+        } else {
+            None
+        };
 
         // Session config for this attempt: the service owns the cancel
         // flag, and the remaining deadline clamps the time budget so a
@@ -978,7 +1054,8 @@ fn worker_loop(shared: &Shared) {
             }
             let mut session = SynthesisSession::new(&job.spec.design, &job.spec.ila, &job.spec.alpha)
                 .config(config)
-                .parallelism(job.spec.parallelism);
+                .parallelism(job.spec.parallelism)
+                .tracer(shared.config.tracer.clone());
             if let Some(path) = &journal {
                 session = session.resume(path);
             }
@@ -994,6 +1071,7 @@ fn worker_loop(shared: &Shared) {
         state.running.retain(|r| r.id != job.id);
         if panicked {
             state.metrics.worker_panics += 1;
+            tracer.count("service", "worker_panics", 1);
         }
         match verdict {
             RunVerdict::Retry(error)
@@ -1011,7 +1089,19 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
                 let _ = error;
-                job.eligible_at = Instant::now() + backoff(&shared.config, job.id, attempt_no);
+                let wait = backoff(&shared.config, job.id, attempt_no);
+                if tracer.is_enabled() {
+                    tracer.instant(
+                        "service",
+                        format!(
+                            "retry-backoff:{}:attempt-{attempt_no}:{}ms",
+                            job.spec.name,
+                            wait.as_millis()
+                        ),
+                    );
+                    tracer.count("service", "retried", 1);
+                }
+                job.eligible_at = Instant::now() + wait;
                 state.queue.push(job);
                 drop(state);
                 shared.work.notify_all();
@@ -1019,12 +1109,14 @@ fn worker_loop(shared: &Shared) {
             }
             RunVerdict::Retry(error) => {
                 state.metrics.failed += 1;
+                tracer.count("service", "failed", 1);
                 let _ = job.tx.send(Err(ServiceError::Failed { attempts: attempt_no, error }));
             }
             RunVerdict::Deliver(outcome) => {
                 match &outcome {
                     Ok(output) => {
                         state.metrics.completed += 1;
+                        tracer.count("service", "completed", 1);
                         state.metrics.cache_hits += output.stats.cache.hits;
                         state.metrics.cache_misses += output.stats.cache.misses;
                         state.metrics.cache_verify_rejected += output.stats.cache.verify_rejected;
@@ -1034,7 +1126,10 @@ fn worker_loop(shared: &Shared) {
                             state.recent_secs.pop_front();
                         }
                     }
-                    Err(_) => state.metrics.failed += 1,
+                    Err(_) => {
+                        state.metrics.failed += 1;
+                        tracer.count("service", "failed", 1);
+                    }
                 }
                 let _ = job.tx.send(outcome);
             }

@@ -46,8 +46,6 @@ mod subst;
 pub use eval::{ArrayValue, Env};
 pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
 pub use simplify::{count_nodes, dag_cost, simplify_terms, SimplifyStats};
-#[allow(deprecated)]
-pub use solver::{check, check_certified, check_with};
 pub use solver::{
     solve, CheckOpts, CheckOutcome, Model, QueryCert, QueryStats, SmtResult, SolverConfig,
 };
@@ -64,6 +62,10 @@ pub use owl_sat::{
     Budget, CacheFault, CancelFlag, Fault, FaultPlan, Heartbeat, IoFault, ProofChecker, ProofError,
     ServiceFault, ProofLog, StopReason,
 };
+
+// Observability: the tracer rides the budget; the reporting API gives
+// every stats struct one serialization path.
+pub use owl_trace::{Report, Section, Tracer, Value};
 
 // Shared deterministic hashing (splitmix64, FNV-64, CRC-32): the single
 // definition all layers use for fingerprints, jitter, and record CRCs.

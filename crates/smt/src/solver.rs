@@ -72,8 +72,8 @@ impl Model {
     }
 }
 
-/// How a [`check_certified`] answer was (or was not) independently
-/// validated.
+/// How a certified answer ([`CheckOpts::certified`]) was (or was not)
+/// independently validated.
 ///
 /// The validators are structurally independent of the code paths they
 /// certify: SAT models are re-evaluated both against the recorded CNF
@@ -117,7 +117,7 @@ pub struct SolverConfig {
     /// graph before bit-blasting (default: on).
     pub simplify: bool,
     /// Independently certify every definite answer, as in
-    /// [`check_certified`] (default: off).
+    /// [`CheckOpts::certified`] (default: off).
     pub certify: bool,
     /// Structural caps for the simplification pass. The defaults are
     /// tighter than [`SaturationLimits::default`] because simplification
@@ -153,6 +153,18 @@ pub struct QueryStats {
     pub cnf_vars: usize,
     /// CNF clauses created by bit-blasting.
     pub cnf_clauses: usize,
+}
+
+impl owl_trace::Report for QueryStats {
+    fn report(&self) -> owl_trace::Section {
+        owl_trace::Section::new()
+            .with("terms_before", self.terms_before)
+            .with("terms_after", self.terms_after)
+            .with("eqsat_iters", self.eqsat_iters)
+            .with("eqsat_saturated", self.eqsat_saturated)
+            .with("cnf_vars", self.cnf_vars)
+            .with("cnf_clauses", self.cnf_clauses)
+    }
 }
 
 /// Everything [`solve`] produces for one query.
@@ -289,42 +301,6 @@ pub fn solve(
     solve_impl(mgr, assertions, &opts.budget, &opts.config)
 }
 
-/// Deprecated pre-session spelling of [`solve`].
-#[deprecated(note = "use `solve(mgr, assertions, budget).result`")]
-#[must_use]
-pub fn check(
-    mgr: &mut TermManager,
-    assertions: &[TermId],
-    budget: impl Into<Budget>,
-) -> SmtResult {
-    solve_impl(mgr, assertions, &budget.into(), &SolverConfig::default()).result
-}
-
-/// Deprecated pre-session spelling of [`solve`] with certification on.
-#[deprecated(note = "use `solve(mgr, assertions, CheckOpts::from(budget).certified(true))`")]
-#[must_use]
-pub fn check_certified(
-    mgr: &mut TermManager,
-    assertions: &[TermId],
-    budget: impl Into<Budget>,
-) -> (SmtResult, QueryCert) {
-    let config = SolverConfig { certify: true, ..SolverConfig::default() };
-    let outcome = solve_impl(mgr, assertions, &budget.into(), &config);
-    (outcome.result, outcome.cert)
-}
-
-/// Deprecated pre-session spelling of [`solve`] with an explicit config.
-#[deprecated(note = "use `solve(mgr, assertions, CheckOpts::from(budget).with_config(config.clone()))`")]
-#[must_use]
-pub fn check_with(
-    mgr: &mut TermManager,
-    assertions: &[TermId],
-    budget: impl Into<Budget>,
-    config: &SolverConfig,
-) -> CheckOutcome {
-    solve_impl(mgr, assertions, &budget.into(), config)
-}
-
 fn solve_impl(
     mgr: &mut TermManager,
     assertions: &[TermId],
@@ -332,6 +308,8 @@ fn solve_impl(
     config: &SolverConfig,
 ) -> CheckOutcome {
     let certify = config.certify;
+    let tracer = budget.tracer().clone();
+    let _query_span = tracer.span("smt", "query");
     let mut stats = QueryStats::default();
     let done = |result: SmtResult, cert: QueryCert, stats: QueryStats| CheckOutcome {
         result,
@@ -370,12 +348,10 @@ fn solve_impl(
     // is what actually gets blasted.
     let mut solved = pending.clone();
     if config.simplify {
-        let (simplified, sstats) = simplify_terms(
-            mgr,
-            &pending,
-            &budget.without_faults(),
-            &config.simplify_limits,
-        );
+        let (simplified, sstats) = {
+            let _span = tracer.span("smt", "simplify");
+            simplify_terms(mgr, &pending, &budget.without_faults(), &config.simplify_limits)
+        };
         stats.terms_after = sstats.nodes_after;
         stats.eqsat_iters = sstats.iterations;
         stats.eqsat_saturated = sstats.saturated;
@@ -426,12 +402,20 @@ fn solve_impl(
 
     let mgr = &*mgr;
     let mut blaster = Blaster::with_certification(mgr, certify);
-    for &a in &solved {
-        blaster.assert_true(a);
+    {
+        let _span = tracer.span("smt", "blast");
+        for &a in &solved {
+            blaster.assert_true(a);
+        }
+        blaster.finalize_arrays();
     }
-    blaster.finalize_arrays();
     stats.cnf_vars = blaster.solver.num_vars();
     stats.cnf_clauses = blaster.solver.num_clauses();
+    if tracer.is_enabled() {
+        tracer.count("smt", "queries", 1);
+        tracer.count("smt", "cnf_vars", stats.cnf_vars as u64);
+        tracer.count("smt", "cnf_clauses", stats.cnf_clauses as u64);
+    }
     match blaster.solver.solve(budget) {
         SolveResult::Unsat => {
             let cert = if certify {

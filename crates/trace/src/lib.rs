@@ -1,0 +1,757 @@
+//! Structured observability for the OWL toolchain: spans, counters,
+//! and one unified reporting API.
+//!
+//! The synthesis stack spans five layers — CDCL search (`owl-sat`),
+//! query compilation (`owl-smt`), the CEGIS session scheduler
+//! (`owl-core`), the multi-session service (`owl-service`), and the
+//! result cache (`owl-cache`) — and each historically reported its
+//! behaviour through a bespoke stats struct and ad-hoc `eprintln!`s.
+//! This crate replaces that with two primitives:
+//!
+//! - a [`Tracer`] handle (cheap `Arc` clone, a no-op when disabled)
+//!   collecting **spans** (named intervals with a layer, a parent, and
+//!   wall-clock bounds) and **counters** (monotonic `u64` accumulators)
+//!   into a bounded in-memory ring buffer, exportable as JSONL or as a
+//!   Chrome `chrome://tracing` / Perfetto trace-event file; and
+//! - a [`Report`] trait (`fn report(&self) -> Section`) that every
+//!   stats struct in the workspace implements, so one serializer
+//!   ([`to_json`]) renders them all — nested sections included.
+//!
+//! # Determinism contract
+//!
+//! Tracing is *inert*: attaching a tracer never changes a synthesis
+//! run's observable output (`SynthesisOutput`, `Certificate`, journal,
+//! cache contents) at any parallelism, because instrumentation only
+//! observes — it never draws from a `FaultPlan`, never perturbs
+//! scheduling, and never fails a run (a full ring buffer drops the
+//! oldest events and counts them in [`TraceSnapshot::dropped`]).
+//!
+//! The trace itself is deterministic in everything except wall-clock:
+//! span ids, parents, layers, names, thread numbering, and counter
+//! totals are pure functions of the (deterministic) execution, while
+//! the `*_ns` timestamp fields are isolated so tests can zero them
+//! ([`TraceSnapshot::zeroed_clock`]) and compare two runs structurally.
+//! At parallelism 1 the full event sequence is reproducible; at higher
+//! parallelism events from different workers interleave by wall-clock,
+//! but per-key counter totals still agree run to run.
+//!
+//! # Example
+//!
+//! ```
+//! use owl_trace::Tracer;
+//!
+//! let tracer = Tracer::enabled();
+//! {
+//!     let _solve = tracer.span("sat", "solve");
+//!     tracer.count("sat", "conflicts", 42);
+//! }
+//! let snap = tracer.snapshot();
+//! assert_eq!(snap.spans().count(), 1);
+//! snap.check_well_formed().unwrap();
+//! let mut chrome = Vec::new();
+//! tracer.write_chrome_trace(&mut chrome).unwrap();
+//! ```
+
+pub mod report;
+
+pub use report::{to_json, Report, Section, Value};
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring-buffer capacity (events retained before drop-oldest).
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One closed span: a named interval of work within a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Unique id, allocated at span *open* — so a parent's id is always
+    /// smaller than its children's even though spans are recorded (and
+    /// therefore ring-ordered) at close.
+    pub id: u64,
+    /// The enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// The layer (crate) that emitted the span: `"sat"`, `"smt"`,
+    /// `"egraph"`, `"core"`, `"service"`, `"cache"`, `"bench"`.
+    pub layer: &'static str,
+    /// The span name, e.g. `"solve"` or `"task:ADD"`.
+    pub name: String,
+    /// Dense per-tracer thread number (0 = first thread seen).
+    pub thread: u64,
+    /// Wall-clock start, nanoseconds since the tracer's epoch. The only
+    /// nondeterministic fields of a span are `start_ns` and `dur_ns`.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One counter observation: the cumulative total after a delta landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// The emitting layer.
+    pub layer: &'static str,
+    /// The counter name, e.g. `"conflicts"`.
+    pub name: String,
+    /// Cumulative total for `(layer, name)` after this delta. Totals
+    /// are monotonic: samples for one key never decrease in ring order.
+    pub total: u64,
+    /// Dense per-tracer thread number.
+    pub thread: u64,
+    /// Wall-clock time of the observation (nondeterministic field).
+    pub at_ns: u64,
+}
+
+/// One instant event: a point-in-time marker (a shed job, a budget stop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Moment {
+    /// The emitting layer.
+    pub layer: &'static str,
+    /// The marker name, e.g. `"stop:deadline"`.
+    pub name: String,
+    /// Dense per-tracer thread number.
+    pub thread: u64,
+    /// Wall-clock time of the marker (nondeterministic field).
+    pub at_ns: u64,
+}
+
+/// An entry of the trace ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A closed span.
+    Span(Span),
+    /// A counter observation.
+    Counter(CounterSample),
+    /// An instant marker.
+    Instant(Moment),
+}
+
+struct State {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    /// Cumulative counter totals, ordered for deterministic export.
+    counters: BTreeMap<(&'static str, String), u64>,
+    /// Dense thread numbering in first-seen order.
+    threads: HashMap<std::thread::ThreadId, u64>,
+}
+
+struct Inner {
+    /// Distinguishes tracers on the shared thread-local span stack.
+    tracer_id: u64,
+    epoch: Instant,
+    next_span: AtomicU64,
+    state: Mutex<State>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Open-span stack per thread: (tracer id, span id) pairs. A span's
+    /// parent is the innermost open span of the *same tracer* on the
+    /// *same thread*; cross-thread task spans are deliberate roots.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The tracing handle. Cloning is cheap (an `Arc` bump) and every clone
+/// feeds the same buffer; the disabled tracer (the [`Default`]) makes
+/// every operation a no-op, so instrumented code pays one branch when
+/// tracing is off.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Tracer(disabled)"),
+            Some(inner) => write!(f, "Tracer(id={})", inner.tracer_id),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: every span/counter call returns immediately.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// An enabled tracer with the default ring capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer retaining at most `capacity` events (oldest
+    /// dropped first; the drop count is reported in the snapshot).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer(Some(Arc::new(Inner {
+            tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            state: Mutex::new(State {
+                ring: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+                counters: BTreeMap::new(),
+                threads: HashMap::new(),
+            }),
+        })))
+    }
+
+    /// True when this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a span; the returned guard records it when dropped. The
+    /// parent is the innermost span already open on this thread (from
+    /// this tracer), so nesting follows lexical scope.
+    #[must_use]
+    pub fn span(&self, layer: &'static str, name: impl Into<String>) -> SpanGuard {
+        let Some(inner) = &self.0 else {
+            return SpanGuard { tracer: None, id: 0, start: None, layer, name: String::new() };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| s.borrow_mut().push((inner.tracer_id, id)));
+        SpanGuard {
+            tracer: Some(inner.clone()),
+            id,
+            start: Some(Instant::now()),
+            layer,
+            name: name.into(),
+        }
+    }
+
+    /// Records an already-timed interval as a parentless span — for
+    /// durations whose start predates the instrumented scope, like a
+    /// job's queue wait. `started` is clamped to the tracer's epoch.
+    pub fn span_from(&self, layer: &'static str, name: impl Into<String>, started: Instant) {
+        let Some(inner) = &self.0 else { return };
+        let now = Instant::now();
+        let start_ns = ns_since(inner.epoch, started);
+        let end_ns = ns_since(inner.epoch, now);
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let span = Span {
+            id,
+            parent: None,
+            layer,
+            name: name.into(),
+            thread: 0,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+        };
+        let mut st = inner.state.lock().unwrap();
+        let thread = thread_number(&mut st);
+        push_event(&mut st, TraceEvent::Span(Span { thread, ..span }));
+    }
+
+    /// Adds `delta` to the `(layer, name)` counter and records the new
+    /// cumulative total. Zero deltas are skipped (no event).
+    pub fn count(&self, layer: &'static str, name: &str, delta: u64) {
+        let Some(inner) = &self.0 else { return };
+        if delta == 0 {
+            return;
+        }
+        let at_ns = ns_since(inner.epoch, Instant::now());
+        let mut st = inner.state.lock().unwrap();
+        let total = {
+            let slot = st.counters.entry((layer, name.to_string())).or_insert(0);
+            *slot = slot.saturating_add(delta);
+            *slot
+        };
+        let thread = thread_number(&mut st);
+        push_event(
+            &mut st,
+            TraceEvent::Counter(CounterSample { layer, name: name.to_string(), total, thread, at_ns }),
+        );
+    }
+
+    /// Records a point-in-time marker.
+    pub fn instant(&self, layer: &'static str, name: impl Into<String>) {
+        let Some(inner) = &self.0 else { return };
+        let at_ns = ns_since(inner.epoch, Instant::now());
+        let mut st = inner.state.lock().unwrap();
+        let thread = thread_number(&mut st);
+        push_event(&mut st, TraceEvent::Instant(Moment { layer, name: name.into(), thread, at_ns }));
+    }
+
+    /// A copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let Some(inner) = &self.0 else {
+            return TraceSnapshot { events: Vec::new(), dropped: 0, totals: Vec::new() };
+        };
+        let st = inner.state.lock().unwrap();
+        TraceSnapshot {
+            events: st.ring.iter().cloned().collect(),
+            dropped: st.dropped,
+            totals: st
+                .counters
+                .iter()
+                .map(|((layer, name), total)| (*layer, name.clone(), *total))
+                .collect(),
+        }
+    }
+
+    /// Writes the buffer as JSON Lines: one event object per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        self.snapshot().write_jsonl(w)
+    }
+
+    /// Writes the buffer in the Chrome trace-event format (an object
+    /// with a `traceEvents` array), loadable in `chrome://tracing` or
+    /// [Perfetto](https://ui.perfetto.dev). Spans become complete
+    /// (`"ph":"X"`) events, counters become `"ph":"C"` events, and
+    /// markers become instant (`"ph":"i"`) events; the layer is the
+    /// event category.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace(&self, w: &mut impl Write) -> io::Result<()> {
+        self.snapshot().write_chrome_trace(w)
+    }
+}
+
+/// RAII guard for an open span; records the span when dropped.
+pub struct SpanGuard {
+    tracer: Option<Arc<Inner>>,
+    id: u64,
+    start: Option<Instant>,
+    layer: &'static str,
+    name: String,
+}
+
+impl SpanGuard {
+    /// Closes the span now (equivalent to dropping the guard).
+    pub fn close(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.tracer.take() else { return };
+        let Some(start) = self.start else { return };
+        // Pop this span from the thread's open stack and read its
+        // parent: the innermost remaining entry of the same tracer.
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) =
+                stack.iter().rposition(|&(tid, sid)| tid == inner.tracer_id && sid == self.id)
+            {
+                stack.remove(pos);
+            }
+            stack.iter().rev().find(|&&(tid, _)| tid == inner.tracer_id).map(|&(_, sid)| sid)
+        });
+        let start_ns = ns_since(inner.epoch, start);
+        let end_ns = ns_since(inner.epoch, Instant::now());
+        let mut st = inner.state.lock().unwrap();
+        let thread = thread_number(&mut st);
+        push_event(
+            &mut st,
+            TraceEvent::Span(Span {
+                id: self.id,
+                parent,
+                layer: self.layer,
+                name: std::mem::take(&mut self.name),
+                thread,
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns),
+            }),
+        );
+    }
+}
+
+fn ns_since(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+fn thread_number(st: &mut State) -> u64 {
+    let next = st.threads.len() as u64;
+    *st.threads.entry(std::thread::current().id()).or_insert(next)
+}
+
+fn push_event(st: &mut State, event: TraceEvent) {
+    if st.ring.len() >= st.capacity {
+        st.ring.pop_front();
+        st.dropped += 1;
+    }
+    st.ring.push_back(event);
+}
+
+/// A point-in-time copy of a tracer's buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// The retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring because it was full.
+    pub dropped: u64,
+    /// Final cumulative totals per `(layer, name)`, sorted by key —
+    /// complete even when the ring dropped intermediate samples.
+    pub totals: Vec<(&'static str, String, u64)>,
+}
+
+impl TraceSnapshot {
+    /// The closed spans, in ring (close) order.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The counter samples, in ring order.
+    pub fn counters(&self) -> impl Iterator<Item = &CounterSample> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Counter(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// A copy with every wall-clock field zeroed, leaving only the
+    /// deterministic structure (ids, parents, layers, names, threads,
+    /// totals) — what tests compare across runs.
+    #[must_use]
+    pub fn zeroed_clock(&self) -> TraceSnapshot {
+        let mut out = self.clone();
+        for e in &mut out.events {
+            match e {
+                TraceEvent::Span(s) => {
+                    s.start_ns = 0;
+                    s.dur_ns = 0;
+                }
+                TraceEvent::Counter(c) => c.at_ns = 0,
+                TraceEvent::Instant(m) => m.at_ns = 0,
+            }
+        }
+        out
+    }
+
+    /// Structural validation of the trace:
+    ///
+    /// - every span's parent id refers to a span present in the
+    ///   snapshot and allocated before the child (`parent < child`);
+    /// - counter samples are monotonic per `(layer, name)` key and
+    ///   never exceed the final total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let ids: std::collections::HashSet<u64> = self.spans().map(|s| s.id).collect();
+        for s in self.spans() {
+            if let Some(p) = s.parent {
+                if p >= s.id {
+                    return Err(format!(
+                        "span {} ({}/{}) has parent {} not allocated before it",
+                        s.id, s.layer, s.name, p
+                    ));
+                }
+                // A parent evicted by the ring is forgivable only when
+                // events were actually dropped.
+                if !ids.contains(&p) && self.dropped == 0 {
+                    return Err(format!(
+                        "span {} ({}/{}) references missing parent {}",
+                        s.id, s.layer, s.name, p
+                    ));
+                }
+            }
+        }
+        let mut last: HashMap<(&str, &str), u64> = HashMap::new();
+        let finals: HashMap<(&str, &str), u64> =
+            self.totals.iter().map(|(l, n, t)| ((*l, n.as_str()), *t)).collect();
+        for c in self.counters() {
+            let key = (c.layer, c.name.as_str());
+            let prev = last.insert(key, c.total).unwrap_or(0);
+            if c.total < prev {
+                return Err(format!(
+                    "counter {}/{} went backwards: {} after {}",
+                    c.layer, c.name, c.total, prev
+                ));
+            }
+            if let Some(&fin) = finals.get(&key) {
+                if c.total > fin {
+                    return Err(format!(
+                        "counter {}/{} sample {} exceeds final total {}",
+                        c.layer, c.name, c.total, fin
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// See [`Tracer::write_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for e in &self.events {
+            let mut sec = Section::new();
+            match e {
+                TraceEvent::Span(s) => {
+                    sec.set("kind", "span");
+                    sec.set("id", s.id);
+                    match s.parent {
+                        Some(p) => sec.set("parent", p),
+                        None => sec.set("parent", Value::Null),
+                    };
+                    sec.set("layer", s.layer);
+                    sec.set("name", s.name.as_str());
+                    sec.set("thread", s.thread);
+                    sec.set("start_ns", s.start_ns);
+                    sec.set("dur_ns", s.dur_ns);
+                }
+                TraceEvent::Counter(c) => {
+                    sec.set("kind", "counter");
+                    sec.set("layer", c.layer);
+                    sec.set("name", c.name.as_str());
+                    sec.set("total", c.total);
+                    sec.set("thread", c.thread);
+                    sec.set("at_ns", c.at_ns);
+                }
+                TraceEvent::Instant(m) => {
+                    sec.set("kind", "instant");
+                    sec.set("layer", m.layer);
+                    sec.set("name", m.name.as_str());
+                    sec.set("thread", m.thread);
+                    sec.set("at_ns", m.at_ns);
+                }
+            }
+            writeln!(w, "{}", report::to_json_compact(&sec))?;
+        }
+        Ok(())
+    }
+
+    /// See [`Tracer::write_chrome_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace(&self, w: &mut impl Write) -> io::Result<()> {
+        let us = |ns: u64| format!("{}.{:03}", ns / 1_000, ns % 1_000);
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut first = true;
+        let mut sep = |w: &mut dyn Write| -> io::Result<()> {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                writeln!(w, ",")
+            }
+        };
+        for e in &self.events {
+            match e {
+                TraceEvent::Span(s) => {
+                    sep(w)?;
+                    let parent = s.parent.map_or_else(|| "null".to_string(), |p| p.to_string());
+                    write!(
+                        w,
+                        "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+                        report::json_string(&s.name),
+                        s.layer,
+                        us(s.start_ns),
+                        us(s.dur_ns),
+                        s.thread,
+                        s.id,
+                        parent,
+                    )?;
+                }
+                TraceEvent::Counter(c) => {
+                    sep(w)?;
+                    write!(
+                        w,
+                        "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                         \"tid\":{},\"args\":{{{}:{}}}}}",
+                        report::json_string(&format!("{}/{}", c.layer, c.name)),
+                        c.layer,
+                        us(c.at_ns),
+                        c.thread,
+                        report::json_string(&c.name),
+                        c.total,
+                    )?;
+                }
+                TraceEvent::Instant(m) => {
+                    sep(w)?;
+                    write!(
+                        w,
+                        "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\
+                         \"tid\":{},\"s\":\"t\"}}",
+                        report::json_string(&m.name),
+                        m.layer,
+                        us(m.at_ns),
+                        m.thread,
+                    )?;
+                }
+            }
+        }
+        writeln!(w, "\n]}}")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _s = t.span("sat", "solve");
+            t.count("sat", "conflicts", 5);
+            t.instant("sat", "stop");
+        }
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.totals.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_parents_precede_children() {
+        let t = Tracer::enabled();
+        {
+            let _outer = t.span("core", "session");
+            {
+                let _inner = t.span("smt", "query");
+                t.count("smt", "cnf_vars", 10);
+            }
+            {
+                let _inner2 = t.span("sat", "solve");
+            }
+        }
+        let snap = t.snapshot();
+        snap.check_well_formed().unwrap();
+        let spans: Vec<&Span> = snap.spans().collect();
+        assert_eq!(spans.len(), 3);
+        // Close order: inner, inner2, outer.
+        assert_eq!(spans[0].name, "query");
+        assert_eq!(spans[1].name, "solve");
+        assert_eq!(spans[2].name, "session");
+        let outer_id = spans[2].id;
+        assert_eq!(spans[0].parent, Some(outer_id));
+        assert_eq!(spans[1].parent, Some(outer_id));
+        assert_eq!(spans[2].parent, None);
+    }
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let t = Tracer::enabled();
+        t.count("cache", "hits", 2);
+        t.count("cache", "hits", 3);
+        t.count("cache", "misses", 1);
+        t.count("cache", "hits", 0); // skipped: zero delta
+        let snap = t.snapshot();
+        snap.check_well_formed().unwrap();
+        assert_eq!(snap.counters().count(), 3);
+        assert_eq!(
+            snap.totals,
+            vec![("cache", "hits".to_string(), 5), ("cache", "misses".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_keeps_totals() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10 {
+            t.count("sat", "conflicts", i + 1);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        // Totals survive the evictions: 1 + 2 + ... + 10.
+        assert_eq!(snap.totals, vec![("sat", "conflicts".to_string(), 55)]);
+        snap.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::enabled();
+        let u = t.clone();
+        t.count("core", "tasks", 1);
+        u.count("core", "tasks", 1);
+        assert_eq!(t.snapshot().totals, vec![("core", "tasks".to_string(), 2)]);
+    }
+
+    #[test]
+    fn zeroed_clock_is_deterministic_across_runs() {
+        let run = || {
+            let t = Tracer::enabled();
+            {
+                let _a = t.span("core", "session");
+                t.count("sat", "conflicts", 7);
+                let _b = t.span("smt", "query");
+            }
+            t.instant("service", "shed:x");
+            t.snapshot().zeroed_clock()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cross_thread_spans_are_roots() {
+        let t = Tracer::enabled();
+        t.count("core", "setup", 1); // pin the main thread as thread 0
+        let _outer = t.span("core", "session");
+        let u = t.clone();
+        std::thread::spawn(move || {
+            let _task = u.span("core", "task:X");
+        })
+        .join()
+        .unwrap();
+        let snap = t.snapshot();
+        let task = snap.spans().find(|s| s.name == "task:X").unwrap();
+        // The worker thread has no open parent of its own.
+        assert_eq!(task.parent, None);
+        assert_ne!(task.thread, 0);
+    }
+
+    #[test]
+    fn chrome_export_has_trace_events_shape() {
+        let t = Tracer::enabled();
+        {
+            let _s = t.span("sat", "solve");
+            t.count("sat", "conflicts", 3);
+        }
+        t.instant("service", "shed");
+        let mut buf = Vec::new();
+        t.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\""));
+        assert!(text.contains("\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"cat\":\"sat\""));
+        assert!(text.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn jsonl_export_one_line_per_event() {
+        let t = Tracer::enabled();
+        t.count("cache", "hits", 1);
+        {
+            let _s = t.span("core", "task:\"quoted\"");
+        }
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"counter\""));
+        assert!(lines[1].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("task:\\\"quoted\\\""));
+    }
+}

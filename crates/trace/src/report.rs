@@ -1,0 +1,341 @@
+//! The unified reporting API: a stable key/value schema every stats
+//! struct in the workspace renders into, plus one JSON serializer.
+//!
+//! Historically each layer had its own stats struct (`QueryStats`,
+//! `SynthesisStats`, `ServiceMetrics`, `CacheStats`) and every consumer
+//! hand-rolled its own serialization. The [`Report`] trait replaces
+//! that: a struct renders itself into a [`Section`] — an *ordered* list
+//! of `(key, Value)` fields, where a value may itself be a nested
+//! section or a list — and [`to_json`] serializes any section the same
+//! way. Field order is preserved exactly as written, so reports are
+//! byte-stable across runs and diffs stay readable.
+
+/// A value in a report: scalar, string, list, or nested section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned counter (the common case for stats).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    List(Vec<Value>),
+    /// A nested section.
+    Section(Section),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Section> for Value {
+    fn from(v: Section) -> Self {
+        Value::Section(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+impl From<Vec<Section>> for Value {
+    fn from(v: Vec<Section>) -> Self {
+        Value::List(v.into_iter().map(Value::Section).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// An ordered set of named fields — the unit of reporting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Section {
+    fields: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// An empty section.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends (or replaces) a field, preserving insertion order.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key, value));
+        }
+        self
+    }
+
+    /// Builder-style [`Section::set`].
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks a field up by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The fields in insertion order.
+    #[must_use]
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// True when the section has no fields.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// The unified reporting trait: render this struct's observable state
+/// as an ordered [`Section`]. Implemented by every stats surface in the
+/// workspace (`QueryStats`, `SynthesisStats`, `ServiceMetrics`,
+/// `CacheStats`, solver `Stats`, `VerifyStats`), so one serializer
+/// handles them all and schema changes happen in exactly one place per
+/// struct.
+pub trait Report {
+    /// The struct's fields as a section. Keys are stable identifiers
+    /// (snake_case); nested structs become nested sections.
+    fn report(&self) -> Section;
+}
+
+impl<T: Report> Report for &T {
+    fn report(&self) -> Section {
+        (**self).report()
+    }
+}
+
+/// Serializes a section as pretty-printed JSON (2-space indent,
+/// trailing newline), preserving field order.
+#[must_use]
+pub fn to_json(section: &Section) -> String {
+    let mut out = String::new();
+    write_section(&mut out, section, 0, true);
+    out.push('\n');
+    out
+}
+
+/// Serializes a section as single-line JSON (the JSONL form).
+#[must_use]
+pub fn to_json_compact(section: &Section) -> String {
+    let mut out = String::new();
+    write_section(&mut out, section, 0, false);
+    out
+}
+
+fn write_section(out: &mut String, section: &Section, depth: usize, pretty: bool) {
+    if section.fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in section.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, depth + 1, pretty);
+        out.push_str(&json_string(key));
+        out.push(':');
+        if pretty {
+            out.push(' ');
+        }
+        write_value(out, value, depth + 1, pretty);
+    }
+    newline_indent(out, depth, pretty);
+    out.push('}');
+}
+
+fn write_value(out: &mut String, value: &Value, depth: usize, pretty: bool) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Value::I64(n) => {
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => out.push_str(&json_string(s)),
+        Value::List(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, depth + 1, pretty);
+                write_value(out, item, depth + 1, pretty);
+            }
+            newline_indent(out, depth, pretty);
+            out.push(']');
+        }
+        Value::Section(s) => write_section(out, s, depth, pretty),
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize, pretty: bool) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_preserves_insertion_order_and_replaces() {
+        let mut s = Section::new();
+        s.set("b", 1u64).set("a", 2u64).set("b", 3u64);
+        let keys: Vec<&str> = s.fields().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(s.get("b"), Some(&Value::U64(3)));
+        assert_eq!(s.get("missing"), None);
+    }
+
+    #[test]
+    fn json_round_trips_common_shapes() {
+        let s = Section::new()
+            .with("name", "rv32i \"base\"")
+            .with("solved", true)
+            .with("calls", 42u64)
+            .with("delta", -3i64)
+            .with("wall", 1.5f64)
+            .with("bad", f64::NAN)
+            .with("note", Value::Null)
+            .with("nested", Section::new().with("hits", 7u64))
+            .with("list", vec![Value::U64(1), Value::U64(2)])
+            .with("empty_list", Vec::<Value>::new())
+            .with("empty_sec", Section::new());
+        let json = to_json(&s);
+        assert!(json.contains("\"name\": \"rv32i \\\"base\\\"\""));
+        assert!(json.contains("\"solved\": true"));
+        assert!(json.contains("\"calls\": 42"));
+        assert!(json.contains("\"delta\": -3"));
+        assert!(json.contains("\"wall\": 1.5"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("\"note\": null"));
+        assert!(json.contains("\"hits\": 7"));
+        assert!(json.contains("\"empty_list\": []"));
+        assert!(json.contains("\"empty_sec\": {}"));
+        assert!(json.ends_with("}\n"));
+        // Compact form is one line.
+        assert!(!to_json_compact(&s).contains('\n'));
+    }
+
+    #[test]
+    fn option_converts_to_null_or_value() {
+        assert_eq!(Value::from(None::<String>), Value::Null);
+        assert_eq!(Value::from(Some("x")), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_string("a\x01b\tc"), "\"a\\u0001b\\tc\"");
+    }
+
+    #[test]
+    fn report_is_object_safe_enough_for_references() {
+        struct S;
+        impl Report for S {
+            fn report(&self) -> Section {
+                Section::new().with("x", 1u64)
+            }
+        }
+        fn takes_report(r: impl Report) -> Section {
+            r.report()
+        }
+        assert_eq!(takes_report(&S).get("x"), Some(&Value::U64(1)));
+    }
+}

@@ -12,7 +12,9 @@
 //! control logic via CEGIS over the [`smt`]/[`sat`] solver stack; and
 //! [`netlist`] lowers the completed design to gates. The [`service`]
 //! layer runs many sessions concurrently with admission control, load
-//! shedding, retry, and crash recovery.
+//! shedding, retry, and crash recovery, and the [`trace`] layer
+//! observes the whole stack (structured spans, counters, Chrome-trace
+//! export) without perturbing any output.
 //!
 //! # Quick start
 //!
@@ -31,5 +33,6 @@ pub use owl_oyster as oyster;
 pub use owl_sat as sat;
 pub use owl_service as service;
 pub use owl_smt as smt;
+pub use owl_trace as trace;
 
 pub use owl_bitvec::BitVec;

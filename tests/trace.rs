@@ -1,0 +1,221 @@
+//! The observability contract, end to end: tracing is provably inert
+//! (a traced run's output is byte-identical to an untraced run's at any
+//! parallelism level), the span tree is well-formed, counters stay
+//! monotone even under injected faults, and the Chrome trace-event
+//! export parses with spans from every layer of the stack.
+
+use owl::core::{Fault, FaultPlan, SynthesisConfig, SynthesisOutput, SynthesisSession, Tracer};
+use owl::service::{JobSpec, Report, ServiceConfig, Shutdown, SynthesisService};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Asserts the inertness contract: solutions, outcomes, work counters,
+/// and certificates all match (wall-clock provenance excluded).
+fn assert_outputs_identical(label: &str, a: &SynthesisOutput, b: &SynthesisOutput) {
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{label}: solution count");
+    for (x, y) in a.solutions.iter().zip(&b.solutions) {
+        assert_eq!(x.instr, y.instr, "{label}: solution order");
+        assert_eq!(x.holes, y.holes, "{label}: hole values for {}", x.instr);
+    }
+    assert_eq!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", b.outcomes),
+        "{label}: per-instruction outcomes"
+    );
+    assert_eq!(a.stats.solver_calls, b.stats.solver_calls, "{label}: solver calls");
+    assert_eq!(a.stats.cex_rounds, b.stats.cex_rounds, "{label}: CEGIS rounds");
+    assert_eq!(a.stats.cnf_vars, b.stats.cnf_vars, "{label}: CNF vars");
+    assert_eq!(a.stats.cnf_clauses, b.stats.cnf_clauses, "{label}: CNF clauses");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.to_string(), cb.to_string(), "{label}: certificates")
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run certified, the other did not"),
+    }
+}
+
+#[test]
+fn traced_run_is_byte_identical_to_untraced_at_any_parallelism() {
+    let cs = owl::cores::accumulator::case_study();
+    let untraced =
+        SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha).run().expect("untraced run");
+    for threads in THREAD_COUNTS {
+        let tracer = Tracer::enabled();
+        let traced = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .parallelism(threads)
+            .tracer(tracer.clone())
+            .run()
+            .expect("traced run");
+        assert_outputs_identical(&format!("threads={threads}"), &untraced, &traced);
+        let snapshot = tracer.snapshot();
+        assert!(snapshot.spans().count() > 0, "threads={threads}: trace captured no spans");
+        snapshot.check_well_formed().expect("well-formed span tree");
+    }
+}
+
+#[test]
+fn traced_trace_is_deterministic_modulo_wall_clock() {
+    // Two traced single-threaded runs of the same problem produce the
+    // same trace once the clock fields are zeroed: same spans in the
+    // same order, same parents, same counter deltas.
+    let cs = owl::cores::accumulator::case_study();
+    let run = || {
+        let tracer = Tracer::enabled();
+        SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .tracer(tracer.clone())
+            .run()
+            .expect("traced run");
+        tracer.snapshot().zeroed_clock()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.dropped, b.dropped, "ring drops differ");
+    assert_eq!(a.totals, b.totals, "counter totals differ");
+    let spans_a: Vec<_> = a.spans().map(|s| (s.id, s.parent, s.layer, s.name.clone())).collect();
+    let spans_b: Vec<_> = b.spans().map(|s| (s.id, s.parent, s.layer, s.name.clone())).collect();
+    assert_eq!(spans_a, spans_b, "span sequences differ");
+}
+
+#[test]
+fn counter_totals_are_monotone_under_faults() {
+    // Injected solver faults perturb the search; the trace must stay
+    // well-formed and every counter's running total monotone.
+    let cs = owl::cores::accumulator::case_study();
+    let plan = (0..16).fold(FaultPlan::new(), |p, i| p.at(i * 3, Fault::ForceUnknown));
+    let config = SynthesisConfig::builder().fault_plan(Arc::new(plan)).certify(false).build();
+    let tracer = Tracer::enabled();
+    // Faulted runs may fail; the trace contract holds either way.
+    let _ = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .tracer(tracer.clone())
+        .run();
+    let snapshot = tracer.snapshot();
+    snapshot.check_well_formed().expect("well-formed under faults");
+    let mut last: std::collections::HashMap<(&str, String), u64> = std::collections::HashMap::new();
+    for c in snapshot.counters() {
+        let key = (c.layer, c.name.clone());
+        let prev = last.insert(key, c.total).unwrap_or(0);
+        assert!(
+            c.total >= prev,
+            "counter {}/{} went backwards: {} -> {}",
+            c.layer,
+            c.name,
+            prev,
+            c.total
+        );
+    }
+    // The final totals agree with the last ring sample per key.
+    for (layer, name, total) in &snapshot.totals {
+        if let Some(seen) = last.get(&(*layer, name.clone())) {
+            assert_eq!(seen, total, "total for {layer}/{name} disagrees with ring");
+        }
+    }
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let cs = owl::cores::accumulator::case_study();
+    let tracer = Tracer::disabled();
+    let _ = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .tracer(tracer.clone())
+        .run()
+        .expect("run");
+    assert!(!tracer.is_enabled());
+    let snapshot = tracer.snapshot();
+    assert_eq!(snapshot.spans().count(), 0);
+    assert_eq!(snapshot.totals.len(), 0);
+}
+
+/// A minimal JSON syntax walker: validates the exported trace without a
+/// JSON dependency. Returns the number of objects seen.
+fn check_json_syntax(text: &str) -> usize {
+    let mut depth = 0i64;
+    let mut objects = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                depth += 1;
+                objects += 1;
+            }
+            '}' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced braces");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces at end");
+    assert!(!in_str, "unterminated string");
+    objects
+}
+
+#[test]
+fn chrome_trace_export_has_spans_from_every_layer() {
+    // A traced service batch touches every layer of the stack; the
+    // Chrome export must carry the schema fields and all the layers as
+    // categories.
+    let cs = owl::cores::accumulator::case_study();
+    let tracer = Tracer::with_capacity(1 << 18);
+    let cache_dir =
+        std::env::temp_dir().join(format!("owl_trace_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let config = ServiceConfig::default()
+        .workers(2)
+        .queue_capacity(8)
+        .cache_dir(&cache_dir)
+        .tracer(tracer.clone());
+    let service = SynthesisService::start(config);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let spec = JobSpec::new(
+                format!("trace-{i}"),
+                cs.sketch.clone(),
+                cs.spec.clone(),
+                cs.alpha.clone(),
+            )
+            .parallelism(2);
+            service.submit(spec).expect("admitted")
+        })
+        .collect();
+    for h in handles {
+        let _ = h.wait().expect("job completes");
+    }
+    let metrics = service.shutdown(Shutdown::Drain);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    assert_eq!(metrics.completed, 3);
+
+    let snapshot = tracer.snapshot();
+    snapshot.check_well_formed().expect("well-formed service trace");
+    let layers: std::collections::BTreeSet<&str> = snapshot.spans().map(|s| s.layer).collect();
+    for expected in ["service", "core", "smt", "sat", "cache"] {
+        assert!(layers.contains(expected), "no spans from layer {expected} (saw {layers:?})");
+    }
+
+    let mut bytes = Vec::new();
+    snapshot.write_chrome_trace(&mut bytes).expect("export");
+    let text = String::from_utf8(bytes).expect("utf-8");
+    assert!(text.contains("\"traceEvents\""), "missing traceEvents array");
+    assert!(text.contains("\"displayTimeUnit\":\"ms\""), "missing displayTimeUnit");
+    assert!(text.contains("\"ph\":\"X\""), "no complete-span events");
+    assert!(text.contains("\"ph\":\"C\""), "no counter events");
+    let objects = check_json_syntax(&text);
+    assert!(objects > snapshot.spans().count(), "fewer JSON objects than spans");
+
+    // The service metrics round-trip through the unified Report path.
+    let rendered = owl::trace::to_json(&metrics.report());
+    assert!(rendered.contains("\"completed\": 3"), "metrics report missing completed count");
+}
