@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-366f39fd943c3e02.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-366f39fd943c3e02: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

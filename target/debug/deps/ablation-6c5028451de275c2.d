@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-6c5028451de275c2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-6c5028451de275c2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

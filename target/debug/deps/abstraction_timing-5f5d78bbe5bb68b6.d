@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abstraction_timing-5f5d78bbe5bb68b6.d: tests/abstraction_timing.rs
+
+/root/repo/target/debug/deps/abstraction_timing-5f5d78bbe5bb68b6: tests/abstraction_timing.rs
+
+tests/abstraction_timing.rs:

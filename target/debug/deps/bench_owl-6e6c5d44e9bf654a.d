@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_owl-6e6c5d44e9bf654a.d: crates/bench/src/bin/bench_owl.rs
+
+/root/repo/target/debug/deps/bench_owl-6e6c5d44e9bf654a: crates/bench/src/bin/bench_owl.rs
+
+crates/bench/src/bin/bench_owl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_owl-a836a6239b72f76b.d: crates/bench/src/bin/bench_owl.rs
+
+/root/repo/target/debug/deps/bench_owl-a836a6239b72f76b: crates/bench/src/bin/bench_owl.rs
+
+crates/bench/src/bin/bench_owl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-730496be73bef23d.d: tests/cache.rs
+
+/root/repo/target/debug/deps/cache-730496be73bef23d: tests/cache.rs
+
+tests/cache.rs:

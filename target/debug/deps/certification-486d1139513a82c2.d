@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certification-486d1139513a82c2.d: tests/certification.rs
+
+/root/repo/target/debug/deps/certification-486d1139513a82c2: tests/certification.rs
+
+tests/certification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/constant_time-e904784da7c4788d.d: tests/constant_time.rs
+
+/root/repo/target/debug/deps/constant_time-e904784da7c4788d: tests/constant_time.rs
+
+tests/constant_time.rs:

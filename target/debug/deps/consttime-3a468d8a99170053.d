@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consttime-3a468d8a99170053.d: crates/bench/src/bin/consttime.rs
+
+/root/repo/target/debug/deps/consttime-3a468d8a99170053: crates/bench/src/bin/consttime.rs
+
+crates/bench/src/bin/consttime.rs:

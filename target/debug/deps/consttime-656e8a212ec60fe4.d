@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consttime-656e8a212ec60fe4.d: crates/bench/src/bin/consttime.rs
+
+/root/repo/target/debug/deps/consttime-656e8a212ec60fe4: crates/bench/src/bin/consttime.rs
+
+crates/bench/src/bin/consttime.rs:

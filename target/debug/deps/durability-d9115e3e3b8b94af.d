@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-d9115e3e3b8b94af.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-d9115e3e3b8b94af: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1cce7db42143238b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1cce7db42143238b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gate_level_core-d2ef6cc85015a321.d: tests/gate_level_core.rs
+
+/root/repo/target/debug/deps/gate_level_core-d2ef6cc85015a321: tests/gate_level_core.rs
+
+tests/gate_level_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdl_suite-15443f859b7f585b.d: crates/hdl/tests/hdl_suite.rs
+
+/root/repo/target/debug/deps/hdl_suite-15443f859b7f585b: crates/hdl/tests/hdl_suite.rs
+
+crates/hdl/tests/hdl_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_suite-f938ff6d58c50ae9.d: crates/oyster/tests/ir_suite.rs
+
+/root/repo/target/debug/deps/ir_suite-f938ff6d58c50ae9: crates/oyster/tests/ir_suite.rs
+
+crates/oyster/tests/ir_suite.rs:

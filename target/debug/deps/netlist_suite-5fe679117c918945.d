@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_suite-5fe679117c918945.d: crates/netlist/tests/netlist_suite.rs
+
+/root/repo/target/debug/deps/netlist_suite-5fe679117c918945: crates/netlist/tests/netlist_suite.rs
+
+crates/netlist/tests/netlist_suite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/owl-65193bc6293e5ecd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libowl-65193bc6293e5ecd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libowl-65193bc6293e5ecd.rmeta: src/lib.rs
+
+src/lib.rs:

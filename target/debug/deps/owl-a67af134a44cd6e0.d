@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/owl-a67af134a44cd6e0.d: src/lib.rs
+
+/root/repo/target/debug/deps/owl-a67af134a44cd6e0: src/lib.rs
+
+src/lib.rs:

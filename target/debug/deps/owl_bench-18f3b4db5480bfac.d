@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/owl_bench-18f3b4db5480bfac.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/owl_bench-18f3b4db5480bfac: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

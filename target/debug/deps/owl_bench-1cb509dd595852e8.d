@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/owl_bench-1cb509dd595852e8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_bench-1cb509dd595852e8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_bench-1cb509dd595852e8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

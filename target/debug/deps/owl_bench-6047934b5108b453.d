@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/owl_bench-6047934b5108b453.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_bench-6047934b5108b453.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_bench-6047934b5108b453.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

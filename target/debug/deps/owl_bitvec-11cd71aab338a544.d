@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/owl_bitvec-11cd71aab338a544.d: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+/root/repo/target/debug/deps/owl_bitvec-11cd71aab338a544: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+crates/bitvec/src/lib.rs:
+crates/bitvec/src/arith.rs:
+crates/bitvec/src/cmp.rs:
+crates/bitvec/src/fmt.rs:
+crates/bitvec/src/logic.rs:
+crates/bitvec/src/parse.rs:
+crates/bitvec/src/shift.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/owl_bitvec-5a36379608ffbb2d.d: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+/root/repo/target/debug/deps/libowl_bitvec-5a36379608ffbb2d.rmeta: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+crates/bitvec/src/lib.rs:
+crates/bitvec/src/arith.rs:
+crates/bitvec/src/cmp.rs:
+crates/bitvec/src/fmt.rs:
+crates/bitvec/src/logic.rs:
+crates/bitvec/src/parse.rs:
+crates/bitvec/src/shift.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/owl_bitvec-b0a081f1d3ff025e.d: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+/root/repo/target/debug/deps/libowl_bitvec-b0a081f1d3ff025e.rlib: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+/root/repo/target/debug/deps/libowl_bitvec-b0a081f1d3ff025e.rmeta: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+crates/bitvec/src/lib.rs:
+crates/bitvec/src/arith.rs:
+crates/bitvec/src/cmp.rs:
+crates/bitvec/src/fmt.rs:
+crates/bitvec/src/logic.rs:
+crates/bitvec/src/parse.rs:
+crates/bitvec/src/shift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/owl_cache-23f6f622b2297197.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/owl_cache-23f6f622b2297197: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

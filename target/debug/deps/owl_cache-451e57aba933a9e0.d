@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/owl_cache-451e57aba933a9e0.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_cache-451e57aba933a9e0.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_cache-451e57aba933a9e0.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/owl_core-6b85572d8fc2ee3c.d: crates/core/src/lib.rs crates/core/src/abstraction.rs crates/core/src/certify.rs crates/core/src/codegen.rs crates/core/src/conditions.rs crates/core/src/diagnose.rs crates/core/src/journal.rs crates/core/src/minimize.rs crates/core/src/session.rs crates/core/src/synth.rs crates/core/src/union.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libowl_core-6b85572d8fc2ee3c.rlib: crates/core/src/lib.rs crates/core/src/abstraction.rs crates/core/src/certify.rs crates/core/src/codegen.rs crates/core/src/conditions.rs crates/core/src/diagnose.rs crates/core/src/journal.rs crates/core/src/minimize.rs crates/core/src/session.rs crates/core/src/synth.rs crates/core/src/union.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libowl_core-6b85572d8fc2ee3c.rmeta: crates/core/src/lib.rs crates/core/src/abstraction.rs crates/core/src/certify.rs crates/core/src/codegen.rs crates/core/src/conditions.rs crates/core/src/diagnose.rs crates/core/src/journal.rs crates/core/src/minimize.rs crates/core/src/session.rs crates/core/src/synth.rs crates/core/src/union.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abstraction.rs:
+crates/core/src/certify.rs:
+crates/core/src/codegen.rs:
+crates/core/src/conditions.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/journal.rs:
+crates/core/src/minimize.rs:
+crates/core/src/session.rs:
+crates/core/src/synth.rs:
+crates/core/src/union.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/owl_cores-ab0678ef1ef31bd1.d: crates/cores/src/lib.rs crates/cores/src/accumulator.rs crates/cores/src/aes.rs crates/cores/src/alu_machine.rs crates/cores/src/asm.rs crates/cores/src/crypto_core.rs crates/cores/src/rv32i/mod.rs crates/cores/src/rv32i/datapath.rs crates/cores/src/rv32i/isa.rs crates/cores/src/rv32i/spec.rs crates/cores/src/sha256.rs
+
+/root/repo/target/debug/deps/libowl_cores-ab0678ef1ef31bd1.rlib: crates/cores/src/lib.rs crates/cores/src/accumulator.rs crates/cores/src/aes.rs crates/cores/src/alu_machine.rs crates/cores/src/asm.rs crates/cores/src/crypto_core.rs crates/cores/src/rv32i/mod.rs crates/cores/src/rv32i/datapath.rs crates/cores/src/rv32i/isa.rs crates/cores/src/rv32i/spec.rs crates/cores/src/sha256.rs
+
+/root/repo/target/debug/deps/libowl_cores-ab0678ef1ef31bd1.rmeta: crates/cores/src/lib.rs crates/cores/src/accumulator.rs crates/cores/src/aes.rs crates/cores/src/alu_machine.rs crates/cores/src/asm.rs crates/cores/src/crypto_core.rs crates/cores/src/rv32i/mod.rs crates/cores/src/rv32i/datapath.rs crates/cores/src/rv32i/isa.rs crates/cores/src/rv32i/spec.rs crates/cores/src/sha256.rs
+
+crates/cores/src/lib.rs:
+crates/cores/src/accumulator.rs:
+crates/cores/src/aes.rs:
+crates/cores/src/alu_machine.rs:
+crates/cores/src/asm.rs:
+crates/cores/src/crypto_core.rs:
+crates/cores/src/rv32i/mod.rs:
+crates/cores/src/rv32i/datapath.rs:
+crates/cores/src/rv32i/isa.rs:
+crates/cores/src/rv32i/spec.rs:
+crates/cores/src/sha256.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_egraph-bfbc8a8879ba3a0e.d: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+/root/repo/target/debug/deps/libowl_egraph-bfbc8a8879ba3a0e.rmeta: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+crates/egraph/src/lib.rs:
+crates/egraph/src/extract.rs:
+crates/egraph/src/graph.rs:
+crates/egraph/src/node.rs:
+crates/egraph/src/rules.rs:
+crates/egraph/src/saturate.rs:

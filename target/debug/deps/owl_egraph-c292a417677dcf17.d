@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_egraph-c292a417677dcf17.d: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+/root/repo/target/debug/deps/owl_egraph-c292a417677dcf17: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+crates/egraph/src/lib.rs:
+crates/egraph/src/extract.rs:
+crates/egraph/src/graph.rs:
+crates/egraph/src/node.rs:
+crates/egraph/src/rules.rs:
+crates/egraph/src/saturate.rs:

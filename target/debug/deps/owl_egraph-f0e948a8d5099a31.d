@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/owl_egraph-f0e948a8d5099a31.d: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+/root/repo/target/debug/deps/libowl_egraph-f0e948a8d5099a31.rlib: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+/root/repo/target/debug/deps/libowl_egraph-f0e948a8d5099a31.rmeta: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+crates/egraph/src/lib.rs:
+crates/egraph/src/extract.rs:
+crates/egraph/src/graph.rs:
+crates/egraph/src/node.rs:
+crates/egraph/src/rules.rs:
+crates/egraph/src/saturate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/owl_hdl-748df896d708ab92.d: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+/root/repo/target/debug/deps/owl_hdl-748df896d708ab92: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+crates/hdl/src/lib.rs:
+crates/hdl/src/bitops.rs:
+crates/hdl/src/cond.rs:
+crates/hdl/src/module.rs:

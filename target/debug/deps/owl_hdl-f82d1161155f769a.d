@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_hdl-f82d1161155f769a.d: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+/root/repo/target/debug/deps/libowl_hdl-f82d1161155f769a.rlib: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+/root/repo/target/debug/deps/libowl_hdl-f82d1161155f769a.rmeta: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+crates/hdl/src/lib.rs:
+crates/hdl/src/bitops.rs:
+crates/hdl/src/cond.rs:
+crates/hdl/src/module.rs:

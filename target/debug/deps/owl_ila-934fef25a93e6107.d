@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/owl_ila-934fef25a93e6107.d: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+/root/repo/target/debug/deps/owl_ila-934fef25a93e6107: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+crates/ila/src/lib.rs:
+crates/ila/src/compile.rs:
+crates/ila/src/expr.rs:
+crates/ila/src/golden.rs:
+crates/ila/src/model.rs:

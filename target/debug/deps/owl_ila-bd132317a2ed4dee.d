@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/owl_ila-bd132317a2ed4dee.d: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+/root/repo/target/debug/deps/libowl_ila-bd132317a2ed4dee.rlib: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+/root/repo/target/debug/deps/libowl_ila-bd132317a2ed4dee.rmeta: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+crates/ila/src/lib.rs:
+crates/ila/src/compile.rs:
+crates/ila/src/expr.rs:
+crates/ila/src/golden.rs:
+crates/ila/src/model.rs:

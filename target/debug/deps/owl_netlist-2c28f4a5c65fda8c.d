@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/owl_netlist-2c28f4a5c65fda8c.d: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+/root/repo/target/debug/deps/libowl_netlist-2c28f4a5c65fda8c.rlib: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+/root/repo/target/debug/deps/libowl_netlist-2c28f4a5c65fda8c.rmeta: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/eqsat.rs:
+crates/netlist/src/lower.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/sim.rs:

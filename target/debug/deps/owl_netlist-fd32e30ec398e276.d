@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_netlist-fd32e30ec398e276.d: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+/root/repo/target/debug/deps/owl_netlist-fd32e30ec398e276: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/eqsat.rs:
+crates/netlist/src/lower.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_oyster-0c268e44fbb24320.d: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+/root/repo/target/debug/deps/owl_oyster-0c268e44fbb24320: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+crates/oyster/src/lib.rs:
+crates/oyster/src/interp.rs:
+crates/oyster/src/ir.rs:
+crates/oyster/src/parse.rs:
+crates/oyster/src/print.rs:
+crates/oyster/src/sym.rs:

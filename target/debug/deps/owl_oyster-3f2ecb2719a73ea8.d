@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/owl_oyster-3f2ecb2719a73ea8.d: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+/root/repo/target/debug/deps/libowl_oyster-3f2ecb2719a73ea8.rlib: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+/root/repo/target/debug/deps/libowl_oyster-3f2ecb2719a73ea8.rmeta: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+crates/oyster/src/lib.rs:
+crates/oyster/src/interp.rs:
+crates/oyster/src/ir.rs:
+crates/oyster/src/parse.rs:
+crates/oyster/src/print.rs:
+crates/oyster/src/sym.rs:

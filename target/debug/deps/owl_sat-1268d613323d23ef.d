@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_sat-1268d613323d23ef.d: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libowl_sat-1268d613323d23ef.rmeta: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/budget.rs:
+crates/sat/src/hash.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/owl_sat-d4c929576ff00f5e.d: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libowl_sat-d4c929576ff00f5e.rlib: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libowl_sat-d4c929576ff00f5e.rmeta: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/budget.rs:
+crates/sat/src/hash.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/owl_sat-df6e16b0e0e4ea1c.d: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/owl_sat-df6e16b0e0e4ea1c: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/budget.rs:
+crates/sat/src/hash.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/owl_service-70c1011f26efb525.d: crates/service/src/lib.rs
+
+/root/repo/target/debug/deps/owl_service-70c1011f26efb525: crates/service/src/lib.rs
+
+crates/service/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/owl_service-8eb13c08746dc16e.d: crates/service/src/lib.rs
+
+/root/repo/target/debug/deps/owl_service-8eb13c08746dc16e: crates/service/src/lib.rs
+
+crates/service/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/owl_service-d79c5f80a0ef626e.d: crates/service/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_service-d79c5f80a0ef626e.rlib: crates/service/src/lib.rs
+
+/root/repo/target/debug/deps/libowl_service-d79c5f80a0ef626e.rmeta: crates/service/src/lib.rs
+
+crates/service/src/lib.rs:

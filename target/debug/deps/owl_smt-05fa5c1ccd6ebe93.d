@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/owl_smt-05fa5c1ccd6ebe93.d: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+/root/repo/target/debug/deps/libowl_smt-05fa5c1ccd6ebe93.rlib: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+/root/repo/target/debug/deps/libowl_smt-05fa5c1ccd6ebe93.rmeta: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/blast.rs:
+crates/smt/src/digest.rs:
+crates/smt/src/eval.rs:
+crates/smt/src/manager.rs:
+crates/smt/src/print.rs:
+crates/smt/src/simplify.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/subst.rs:

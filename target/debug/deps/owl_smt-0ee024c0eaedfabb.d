@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/owl_smt-0ee024c0eaedfabb.d: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+/root/repo/target/debug/deps/libowl_smt-0ee024c0eaedfabb.rmeta: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/blast.rs:
+crates/smt/src/digest.rs:
+crates/smt/src/eval.rs:
+crates/smt/src/manager.rs:
+crates/smt/src/print.rs:
+crates/smt/src/simplify.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/subst.rs:

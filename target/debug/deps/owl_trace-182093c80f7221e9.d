@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/owl_trace-182093c80f7221e9.d: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+/root/repo/target/debug/deps/libowl_trace-182093c80f7221e9.rlib: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+/root/repo/target/debug/deps/libowl_trace-182093c80f7221e9.rmeta: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/report.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/owl_trace-5384550a4ba98763.d: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+/root/repo/target/debug/deps/libowl_trace-5384550a4ba98763.rmeta: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/report.rs:

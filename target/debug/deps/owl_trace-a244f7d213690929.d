@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/owl_trace-a244f7d213690929.d: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+/root/repo/target/debug/deps/owl_trace-a244f7d213690929: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-66649d455858e6d2.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-66649d455858e6d2: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0b1b691e4e37a0d8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0b1b691e4e37a0d8: tests/properties.rs
+
+tests/properties.rs:

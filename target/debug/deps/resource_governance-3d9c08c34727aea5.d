@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resource_governance-3d9c08c34727aea5.d: tests/resource_governance.rs
+
+/root/repo/target/debug/deps/resource_governance-3d9c08c34727aea5: tests/resource_governance.rs
+
+tests/resource_governance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/riscv_differential-aa75ac5371f0d414.d: tests/riscv_differential.rs
+
+/root/repo/target/debug/deps/riscv_differential-aa75ac5371f0d414: tests/riscv_differential.rs
+
+tests/riscv_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-cfe941684f513754.d: crates/service/tests/service.rs
+
+/root/repo/target/debug/deps/service-cfe941684f513754: crates/service/tests/service.rs
+
+crates/service/tests/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-d8b03277583e265a.d: crates/service/tests/service.rs
+
+/root/repo/target/debug/deps/service-d8b03277583e265a: crates/service/tests/service.rs
+
+crates/service/tests/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_suite-3754ac1abdba62ad.d: crates/smt/tests/solver_suite.rs
+
+/root/repo/target/debug/deps/solver_suite-3754ac1abdba62ad: crates/smt/tests/solver_suite.rs
+
+crates/smt/tests/solver_suite.rs:

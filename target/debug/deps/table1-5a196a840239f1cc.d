@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5a196a840239f1cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5a196a840239f1cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a488952d37c0bfc4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a488952d37c0bfc4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5288551524ebd5ac.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5288551524ebd5ac: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

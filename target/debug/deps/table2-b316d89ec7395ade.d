@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b316d89ec7395ade.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b316d89ec7395ade: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-29c86b02cb088cc9.d: tests/trace.rs
+
+/root/repo/target/debug/deps/trace-29c86b02cb088cc9: tests/trace.rs
+
+tests/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_alu-ff5e3ed9ba1ec3a2.d: crates/cores/examples/dbg_alu.rs
+
+/root/repo/target/debug/examples/dbg_alu-ff5e3ed9ba1ec3a2: crates/cores/examples/dbg_alu.rs
+
+crates/cores/examples/dbg_alu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_rv32-3ad7e6ba228b4823.d: crates/cores/examples/dbg_rv32.rs
+
+/root/repo/target/debug/examples/dbg_rv32-3ad7e6ba228b4823: crates/cores/examples/dbg_rv32.rs
+
+crates/cores/examples/dbg_rv32.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_rv32_all-e501866a85b19256.d: crates/cores/examples/dbg_rv32_all.rs
+
+/root/repo/target/debug/examples/dbg_rv32_all-e501866a85b19256: crates/cores/examples/dbg_rv32_all.rs
+
+crates/cores/examples/dbg_rv32_all.rs:

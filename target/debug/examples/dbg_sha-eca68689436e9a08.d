@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_sha-eca68689436e9a08.d: crates/cores/examples/dbg_sha.rs
+
+/root/repo/target/debug/examples/dbg_sha-eca68689436e9a08: crates/cores/examples/dbg_sha.rs
+
+crates/cores/examples/dbg_sha.rs:

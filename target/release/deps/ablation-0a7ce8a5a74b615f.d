@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-0a7ce8a5a74b615f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-0a7ce8a5a74b615f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_owl-9b40d2ce9b363673.d: crates/bench/src/bin/bench_owl.rs
+
+/root/repo/target/release/deps/bench_owl-9b40d2ce9b363673: crates/bench/src/bin/bench_owl.rs
+
+crates/bench/src/bin/bench_owl.rs:

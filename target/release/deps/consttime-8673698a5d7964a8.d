@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consttime-8673698a5d7964a8.d: crates/bench/src/bin/consttime.rs
+
+/root/repo/target/release/deps/consttime-8673698a5d7964a8: crates/bench/src/bin/consttime.rs
+
+crates/bench/src/bin/consttime.rs:

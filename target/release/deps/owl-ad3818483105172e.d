@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/owl-ad3818483105172e.d: src/lib.rs
+
+/root/repo/target/release/deps/libowl-ad3818483105172e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libowl-ad3818483105172e.rmeta: src/lib.rs
+
+src/lib.rs:

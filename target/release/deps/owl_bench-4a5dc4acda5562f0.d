@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/owl_bench-4a5dc4acda5562f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libowl_bench-4a5dc4acda5562f0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libowl_bench-4a5dc4acda5562f0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

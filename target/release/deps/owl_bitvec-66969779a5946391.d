@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/owl_bitvec-66969779a5946391.d: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+/root/repo/target/release/deps/libowl_bitvec-66969779a5946391.rlib: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+/root/repo/target/release/deps/libowl_bitvec-66969779a5946391.rmeta: crates/bitvec/src/lib.rs crates/bitvec/src/arith.rs crates/bitvec/src/cmp.rs crates/bitvec/src/fmt.rs crates/bitvec/src/logic.rs crates/bitvec/src/parse.rs crates/bitvec/src/shift.rs
+
+crates/bitvec/src/lib.rs:
+crates/bitvec/src/arith.rs:
+crates/bitvec/src/cmp.rs:
+crates/bitvec/src/fmt.rs:
+crates/bitvec/src/logic.rs:
+crates/bitvec/src/parse.rs:
+crates/bitvec/src/shift.rs:

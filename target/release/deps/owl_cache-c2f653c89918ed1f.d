@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/owl_cache-c2f653c89918ed1f.d: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libowl_cache-c2f653c89918ed1f.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libowl_cache-c2f653c89918ed1f.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

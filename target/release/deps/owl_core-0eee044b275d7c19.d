@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/owl_core-0eee044b275d7c19.d: crates/core/src/lib.rs crates/core/src/abstraction.rs crates/core/src/certify.rs crates/core/src/codegen.rs crates/core/src/conditions.rs crates/core/src/diagnose.rs crates/core/src/journal.rs crates/core/src/minimize.rs crates/core/src/session.rs crates/core/src/synth.rs crates/core/src/union.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libowl_core-0eee044b275d7c19.rlib: crates/core/src/lib.rs crates/core/src/abstraction.rs crates/core/src/certify.rs crates/core/src/codegen.rs crates/core/src/conditions.rs crates/core/src/diagnose.rs crates/core/src/journal.rs crates/core/src/minimize.rs crates/core/src/session.rs crates/core/src/synth.rs crates/core/src/union.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libowl_core-0eee044b275d7c19.rmeta: crates/core/src/lib.rs crates/core/src/abstraction.rs crates/core/src/certify.rs crates/core/src/codegen.rs crates/core/src/conditions.rs crates/core/src/diagnose.rs crates/core/src/journal.rs crates/core/src/minimize.rs crates/core/src/session.rs crates/core/src/synth.rs crates/core/src/union.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abstraction.rs:
+crates/core/src/certify.rs:
+crates/core/src/codegen.rs:
+crates/core/src/conditions.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/journal.rs:
+crates/core/src/minimize.rs:
+crates/core/src/session.rs:
+crates/core/src/synth.rs:
+crates/core/src/union.rs:
+crates/core/src/verify.rs:

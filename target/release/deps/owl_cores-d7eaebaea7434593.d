@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/owl_cores-d7eaebaea7434593.d: crates/cores/src/lib.rs crates/cores/src/accumulator.rs crates/cores/src/aes.rs crates/cores/src/alu_machine.rs crates/cores/src/asm.rs crates/cores/src/crypto_core.rs crates/cores/src/rv32i/mod.rs crates/cores/src/rv32i/datapath.rs crates/cores/src/rv32i/isa.rs crates/cores/src/rv32i/spec.rs crates/cores/src/sha256.rs
+
+/root/repo/target/release/deps/libowl_cores-d7eaebaea7434593.rlib: crates/cores/src/lib.rs crates/cores/src/accumulator.rs crates/cores/src/aes.rs crates/cores/src/alu_machine.rs crates/cores/src/asm.rs crates/cores/src/crypto_core.rs crates/cores/src/rv32i/mod.rs crates/cores/src/rv32i/datapath.rs crates/cores/src/rv32i/isa.rs crates/cores/src/rv32i/spec.rs crates/cores/src/sha256.rs
+
+/root/repo/target/release/deps/libowl_cores-d7eaebaea7434593.rmeta: crates/cores/src/lib.rs crates/cores/src/accumulator.rs crates/cores/src/aes.rs crates/cores/src/alu_machine.rs crates/cores/src/asm.rs crates/cores/src/crypto_core.rs crates/cores/src/rv32i/mod.rs crates/cores/src/rv32i/datapath.rs crates/cores/src/rv32i/isa.rs crates/cores/src/rv32i/spec.rs crates/cores/src/sha256.rs
+
+crates/cores/src/lib.rs:
+crates/cores/src/accumulator.rs:
+crates/cores/src/aes.rs:
+crates/cores/src/alu_machine.rs:
+crates/cores/src/asm.rs:
+crates/cores/src/crypto_core.rs:
+crates/cores/src/rv32i/mod.rs:
+crates/cores/src/rv32i/datapath.rs:
+crates/cores/src/rv32i/isa.rs:
+crates/cores/src/rv32i/spec.rs:
+crates/cores/src/sha256.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/owl_egraph-08312a6d6065cf0d.d: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+/root/repo/target/release/deps/libowl_egraph-08312a6d6065cf0d.rlib: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+/root/repo/target/release/deps/libowl_egraph-08312a6d6065cf0d.rmeta: crates/egraph/src/lib.rs crates/egraph/src/extract.rs crates/egraph/src/graph.rs crates/egraph/src/node.rs crates/egraph/src/rules.rs crates/egraph/src/saturate.rs
+
+crates/egraph/src/lib.rs:
+crates/egraph/src/extract.rs:
+crates/egraph/src/graph.rs:
+crates/egraph/src/node.rs:
+crates/egraph/src/rules.rs:
+crates/egraph/src/saturate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/owl_hdl-21f4b9398dcd0e71.d: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+/root/repo/target/release/deps/libowl_hdl-21f4b9398dcd0e71.rlib: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+/root/repo/target/release/deps/libowl_hdl-21f4b9398dcd0e71.rmeta: crates/hdl/src/lib.rs crates/hdl/src/bitops.rs crates/hdl/src/cond.rs crates/hdl/src/module.rs
+
+crates/hdl/src/lib.rs:
+crates/hdl/src/bitops.rs:
+crates/hdl/src/cond.rs:
+crates/hdl/src/module.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/owl_ila-3857336bdcc814f0.d: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+/root/repo/target/release/deps/libowl_ila-3857336bdcc814f0.rlib: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+/root/repo/target/release/deps/libowl_ila-3857336bdcc814f0.rmeta: crates/ila/src/lib.rs crates/ila/src/compile.rs crates/ila/src/expr.rs crates/ila/src/golden.rs crates/ila/src/model.rs
+
+crates/ila/src/lib.rs:
+crates/ila/src/compile.rs:
+crates/ila/src/expr.rs:
+crates/ila/src/golden.rs:
+crates/ila/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/owl_netlist-ea757bb40f64baa4.d: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+/root/repo/target/release/deps/libowl_netlist-ea757bb40f64baa4.rlib: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+/root/repo/target/release/deps/libowl_netlist-ea757bb40f64baa4.rmeta: crates/netlist/src/lib.rs crates/netlist/src/eqsat.rs crates/netlist/src/lower.rs crates/netlist/src/net.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/eqsat.rs:
+crates/netlist/src/lower.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/sim.rs:

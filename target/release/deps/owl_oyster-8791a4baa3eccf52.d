@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/owl_oyster-8791a4baa3eccf52.d: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+/root/repo/target/release/deps/libowl_oyster-8791a4baa3eccf52.rlib: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+/root/repo/target/release/deps/libowl_oyster-8791a4baa3eccf52.rmeta: crates/oyster/src/lib.rs crates/oyster/src/interp.rs crates/oyster/src/ir.rs crates/oyster/src/parse.rs crates/oyster/src/print.rs crates/oyster/src/sym.rs
+
+crates/oyster/src/lib.rs:
+crates/oyster/src/interp.rs:
+crates/oyster/src/ir.rs:
+crates/oyster/src/parse.rs:
+crates/oyster/src/print.rs:
+crates/oyster/src/sym.rs:

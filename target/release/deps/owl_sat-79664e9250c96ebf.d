@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/owl_sat-79664e9250c96ebf.d: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libowl_sat-79664e9250c96ebf.rlib: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libowl_sat-79664e9250c96ebf.rmeta: crates/sat/src/lib.rs crates/sat/src/budget.rs crates/sat/src/hash.rs crates/sat/src/heap.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/budget.rs:
+crates/sat/src/hash.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

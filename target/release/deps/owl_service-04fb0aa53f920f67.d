@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/owl_service-04fb0aa53f920f67.d: crates/service/src/lib.rs
+
+/root/repo/target/release/deps/libowl_service-04fb0aa53f920f67.rlib: crates/service/src/lib.rs
+
+/root/repo/target/release/deps/libowl_service-04fb0aa53f920f67.rmeta: crates/service/src/lib.rs
+
+crates/service/src/lib.rs:

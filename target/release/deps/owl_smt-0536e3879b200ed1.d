@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/owl_smt-0536e3879b200ed1.d: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+/root/repo/target/release/deps/libowl_smt-0536e3879b200ed1.rlib: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+/root/repo/target/release/deps/libowl_smt-0536e3879b200ed1.rmeta: crates/smt/src/lib.rs crates/smt/src/blast.rs crates/smt/src/digest.rs crates/smt/src/eval.rs crates/smt/src/manager.rs crates/smt/src/print.rs crates/smt/src/simplify.rs crates/smt/src/solver.rs crates/smt/src/subst.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/blast.rs:
+crates/smt/src/digest.rs:
+crates/smt/src/eval.rs:
+crates/smt/src/manager.rs:
+crates/smt/src/print.rs:
+crates/smt/src/simplify.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/subst.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/owl_trace-ebacbabc6a5e5121.d: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+/root/repo/target/release/deps/libowl_trace-ebacbabc6a5e5121.rlib: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+/root/repo/target/release/deps/libowl_trace-ebacbabc6a5e5121.rmeta: crates/trace/src/lib.rs crates/trace/src/report.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-64a0f41e504c2f10.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-64a0f41e504c2f10: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

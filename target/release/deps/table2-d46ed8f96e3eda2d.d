@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d46ed8f96e3eda2d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d46ed8f96e3eda2d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libowl_trace.rlib: /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/report.rs
