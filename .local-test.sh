@@ -8,12 +8,12 @@ set -e
 OUT=${OUT:-/tmp/owl-rlibs}
 TOUT=${TOUT:-/tmp/owl-tests}
 mkdir -p "$TOUT"
-E="--extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl=$OUT/libowl.rlib"
+E="--extern owl_trace=$OUT/libowl_trace.rlib --extern owl_bitvec=$OUT/libowl_bitvec.rlib --extern owl_sat=$OUT/libowl_sat.rlib --extern owl_egraph=$OUT/libowl_egraph.rlib --extern owl_smt=$OUT/libowl_smt.rlib --extern owl_oyster=$OUT/libowl_oyster.rlib --extern owl_ila=$OUT/libowl_ila.rlib --extern owl_cache=$OUT/libowl_cache.rlib --extern owl_core=$OUT/libowl_core.rlib --extern owl_service=$OUT/libowl_service.rlib --extern owl_hdl=$OUT/libowl_hdl.rlib --extern owl_netlist=$OUT/libowl_netlist.rlib --extern owl_cores=$OUT/libowl_cores.rlib --extern owl=$OUT/libowl.rlib"
 R="rustc --edition 2021 -O --test -L $OUT --out-dir $TOUT"
 cd /root/repo
 
 # Per-crate unit tests.
-for c in bitvec sat egraph smt oyster ila core hdl netlist cores bench; do
+for c in trace bitvec sat egraph smt oyster ila cache core service hdl netlist cores bench; do
   name=owl_$(echo "$c" | tr - _)
   $R --crate-name ${name}_unit crates/$c/src/lib.rs $E
 done
@@ -29,7 +29,7 @@ done
 for t in tests/*.rs; do
   base=$(basename "$t" .rs)
   case "$base" in
-    properties|eqsat_soundness|cross_layer) continue ;;
+    properties|eqsat_soundness|cross_layer|oyster_fuzz) continue ;;
   esac
   $R --crate-name "it_${base}" "$t" $E
 done

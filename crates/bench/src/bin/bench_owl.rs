@@ -514,6 +514,71 @@ fn measure_cache() -> CacheBench {
     CacheBench { cold_wall_s, warm_wall_s, hit_rate, verify_rejected, identical }
 }
 
+/// Incremental-vs-scratch CEGIS measurements for the report: the same
+/// problem solved with persistent solver sessions on and off.
+struct IncrementalBench {
+    on_wall_s: f64,
+    off_wall_s: f64,
+    speedup: f64,
+    clauses_retained: usize,
+    blast_cache_hits: usize,
+    incremental_rounds: usize,
+    /// Whether the two runs produced byte-identical observable output
+    /// (solutions, outcomes, work counters, certificate) — the
+    /// incremental path's correctness contract, checked on real data.
+    identical: bool,
+}
+
+impl Report for IncrementalBench {
+    fn report(&self) -> Section {
+        Section::new()
+            .with("on_wall_s", self.on_wall_s)
+            .with("off_wall_s", self.off_wall_s)
+            .with("speedup", self.speedup)
+            .with("clauses_retained", self.clauses_retained)
+            .with("blast_cache_hits", self.blast_cache_hits)
+            .with("incremental_rounds", self.incremental_rounds)
+            .with("identical", self.identical)
+    }
+}
+
+/// Runs the reduced RV32I configuration with incremental CEGIS on and
+/// off. Certification stays on so the identity check covers the
+/// rendered certificate, not just the hole assignments.
+fn measure_incremental(budget: Duration) -> IncrementalBench {
+    let cs = owl_cores::rv32i::single_cycle(owl_cores::rv32i::Extensions::BASE);
+    let run = |incremental: bool| {
+        let config =
+            SynthesisConfig::builder().time_budget(budget).incremental(incremental).build();
+        let start = Instant::now();
+        let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+            .config(config)
+            .parallelism(2)
+            .run()
+            .ok();
+        (start.elapsed().as_secs_f64(), out)
+    };
+    let (on_wall_s, on) = run(true);
+    let (off_wall_s, off) = run(false);
+    let identical = match (&on, &off) {
+        (Some(a), Some(b)) => same_output(a, b),
+        _ => false,
+    };
+    let (clauses_retained, blast_cache_hits, incremental_rounds) = on.as_ref().map_or(
+        (0, 0, 0),
+        |o| (o.stats.clauses_retained, o.stats.blast_cache_hits, o.stats.incremental_rounds),
+    );
+    IncrementalBench {
+        on_wall_s,
+        off_wall_s,
+        speedup: if on_wall_s > 0.0 { off_wall_s / on_wall_s } else { 0.0 },
+        clauses_retained,
+        blast_cache_hits,
+        incremental_rounds,
+        identical,
+    }
+}
+
 /// Service-layer measurements for the report.
 struct ServiceBench {
     throughput_jobs_s: f64,
@@ -840,6 +905,20 @@ fn main() {
         cache.cold_wall_s, cache.warm_wall_s, cache.hit_rate, cache.verify_rejected, cache.identical
     );
 
+    // Incremental-vs-scratch CEGIS: persistent solver sessions must be
+    // at least as fast and byte-identical in output.
+    progress!("bench_owl: incremental (sessions on vs off) ...");
+    let incremental = measure_incremental(budget);
+    progress!(
+        "bench_owl:   on {:.2}s, off {:.2}s, speedup {:.2}x, retained {}, blast hits {}, identical: {}",
+        incremental.on_wall_s,
+        incremental.off_wall_s,
+        incremental.speedup,
+        incremental.clauses_retained,
+        incremental.blast_cache_hits,
+        incremental.identical
+    );
+
     // Deterministic verification comparison over the completed designs.
     let mut verifies: Vec<(String, VerifyStats, VerifyStats)> = Vec::new();
     for (cs, bindings, _, _) in &sweep {
@@ -869,6 +948,7 @@ fn main() {
         .with("durability", durability.report())
         .with("service", service.report())
         .with("cache", cache.report())
+        .with("incremental", incremental.report())
         .with(
             "verify",
             verifies.iter().map(|(name, on, off)| verify_section(name, on, off)).collect::<Vec<_>>(),

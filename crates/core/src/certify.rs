@@ -99,6 +99,17 @@ pub struct QueryLog {
     pub cnf_vars: usize,
     /// CNF clauses created by bit-blasting.
     pub cnf_clauses: usize,
+    /// Learned clauses retained across warm solver rounds, summed over
+    /// the queries (0 when incremental solving is off). Like the other
+    /// reuse counters this is provenance, not output: it never appears
+    /// in the rendered [`Certificate`](crate::Certificate).
+    pub clauses_retained: usize,
+    /// Bit-blast memo hits: assertion roots (or whole verification
+    /// queries) whose CNF was reused instead of re-blasted.
+    pub blast_cache_hits: usize,
+    /// Queries answered on a warm persistent solver session (round two
+    /// onward of an incremental session).
+    pub incremental_rounds: usize,
 }
 
 impl QueryLog {
@@ -108,6 +119,9 @@ impl QueryLog {
         self.terms_after += stats.terms_after;
         self.cnf_vars += stats.cnf_vars;
         self.cnf_clauses += stats.cnf_clauses;
+        self.clauses_retained += stats.clauses_retained as usize;
+        self.blast_cache_hits += stats.blast_cache_hits as usize;
+        self.incremental_rounds += stats.incremental_rounds as usize;
     }
 
     /// Folds one query's certification verdict into the log.

@@ -17,9 +17,9 @@
 //! ```text
 //! owl-journal v1
 //! fingerprint 9a3c51d2e07b4f68
-//! rec 0 task "ADD" solved esc 0 holes [ "alu_op" 4'x2 ] qlog [1 2 0 0 10 8 40 96] fails [ ] stats [1 3 0 0] crc 5d1a0c33
+//! rec 0 task "ADD" solved esc 0 holes [ "alu_op" 4'x2 ] qlog [1 2 0 0 10 8 40 96 12 3 2] fails [ ] stats [1 3 0 0] crc 5d1a0c33
 //! rec 1 stall "MUL" crc 90ef1a2b
-//! rec 2 task "MUL" failed stalled esc 0 holes none qlog [0 0 0 1 9 9 33 80] fails [ ] stats [0 1 0 0] crc 77ab01cd
+//! rec 2 task "MUL" failed stalled esc 0 holes none qlog [0 0 0 1 9 9 33 80 0 0 0] fails [ ] stats [0 1 0 0] crc 77ab01cd
 //! rec 3 done crc 1f00e4a9
 //! ```
 //!
@@ -246,7 +246,7 @@ fn push_snapshot(out: &mut String, snap: &TaskSnapshot) {
     let q = &snap.qlog;
     let _ = write!(
         out,
-        " qlog [{} {} {} {} {} {} {} {}] fails [",
+        " qlog [{} {} {} {} {} {} {} {} {} {} {}] fails [",
         q.sat_verified,
         q.unsat_verified,
         q.trivial,
@@ -254,7 +254,10 @@ fn push_snapshot(out: &mut String, snap: &TaskSnapshot) {
         q.terms_before,
         q.terms_after,
         q.cnf_vars,
-        q.cnf_clauses
+        q.cnf_clauses,
+        q.clauses_retained,
+        q.blast_cache_hits,
+        q.incremental_rounds
     );
     for f in &q.failures {
         out.push(' ');
@@ -438,7 +441,7 @@ fn parse_snapshot(cur: &mut Cursor, instr: &str) -> Option<TaskSnapshot> {
     };
     cur.keyword("qlog")?;
     let mut qlog = QueryLog::default();
-    let nums = parse_bracketed_numbers(cur, 8)?;
+    let nums = parse_bracketed_numbers(cur, 11)?;
     qlog.sat_verified = nums[0];
     qlog.unsat_verified = nums[1];
     qlog.trivial = nums[2];
@@ -447,6 +450,9 @@ fn parse_snapshot(cur: &mut Cursor, instr: &str) -> Option<TaskSnapshot> {
     qlog.terms_after = nums[5];
     qlog.cnf_vars = nums[6];
     qlog.cnf_clauses = nums[7];
+    qlog.clauses_retained = nums[8];
+    qlog.blast_cache_hits = nums[9];
+    qlog.incremental_rounds = nums[10];
     cur.keyword("fails")?;
     cur.keyword("[")?;
     loop {
@@ -878,6 +884,9 @@ mod tests {
             terms_after: (splitmix(state) % 100_000) as usize,
             cnf_vars: (splitmix(state) % 1_000_000) as usize,
             cnf_clauses: (splitmix(state) % 1_000_000) as usize,
+            clauses_retained: (splitmix(state) % 100_000) as usize,
+            blast_cache_hits: (splitmix(state) % 1_000) as usize,
+            incremental_rounds: (splitmix(state) % 300) as usize,
             failures: Vec::new(),
         };
         for _ in 0..(splitmix(state) % 3) {

@@ -299,6 +299,9 @@ impl<'a> SynthesisSession<'a> {
             stats.terms_after += q.terms_after;
             stats.cnf_vars += q.cnf_vars;
             stats.cnf_clauses += q.cnf_clauses;
+            stats.clauses_retained += q.clauses_retained;
+            stats.blast_cache_hits += q.blast_cache_hits;
+            stats.incremental_rounds += q.incremental_rounds;
         }
         stats.elapsed = start.elapsed();
         let mut output =
@@ -989,7 +992,12 @@ impl Restored {
 /// flag, fault plan and stall timeout are deliberately excluded: they
 /// decide *whether* a run finishes, not *what* it computes, so a
 /// resumed run may tighten or relax them (e.g. resume a crashed CI run
-/// with a longer deadline).
+/// with a longer deadline). [`SynthesisConfig::incremental`] is
+/// likewise excluded: persistent solver sessions change how answers
+/// are computed, never which answers, so a journal or cache entry
+/// written under either mode replays under the other (only the reuse
+/// provenance counters in the restored [`QueryLog`]s reflect the
+/// writing run's mode).
 fn semantic_config(c: &SynthesisConfig) -> String {
     format!(
         "mode={:?} max_cex_rounds={} conflicts={:?} decisions={:?} propagations={:?} \

@@ -34,8 +34,8 @@ use owl_bitvec::BitVec;
 use owl_ila::Ila;
 use owl_oyster::{Design, SymbolicEvaluator};
 use owl_smt::{
-    solve, substitute, Budget, CancelFlag, CheckOpts, Env, FaultPlan, SmtResult, SolverConfig,
-    SymbolId, TermId, TermManager,
+    solve, substitute, Budget, CancelFlag, CheckOpts, Env, FaultPlan, QueryCert, QueryStats,
+    SmtResult, SolveSession, SolverConfig, StopReason, SymbolId, TermId, TermManager,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -113,6 +113,16 @@ pub struct SynthesisConfig {
     /// CNF sizes land in each instruction's [`QueryLog`] either way, so
     /// the effect is observable in benchmarks.
     pub simplify: bool,
+    /// Incremental CEGIS (on by default): each attempt's synthesis
+    /// queries run on one persistent [`owl_smt::SolveSession`] — learned
+    /// clauses survive across refinement rounds and already-blasted
+    /// constraints are never re-encoded — and verification answers are
+    /// memoized by content digest. Purely a performance knob: the
+    /// solutions, outcomes and certificate are byte-identical with the
+    /// flag on or off (only the reuse provenance counters in
+    /// [`SynthesisStats`]/[`QueryLog`] differ), so it is deliberately
+    /// excluded from journal and cache fingerprints.
+    pub incremental: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -133,6 +143,7 @@ impl Default for SynthesisConfig {
             differential_samples: 2,
             differential_seed: 0xC0FFEE,
             simplify: true,
+            incremental: true,
         }
     }
 }
@@ -280,6 +291,14 @@ impl SynthesisConfigBuilder {
         self
     }
 
+    /// Incremental CEGIS: persistent solver sessions with clause
+    /// retention and memoized bit-blasting (default: on). Results are
+    /// identical either way; off re-solves every round from scratch.
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.config.incremental = incremental;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> SynthesisConfig {
@@ -314,6 +333,17 @@ pub struct SynthesisStats {
     pub cnf_vars: usize,
     /// CNF clauses created by bit-blasting, summed over all queries.
     pub cnf_clauses: usize,
+    /// Learned clauses retained across warm incremental solver rounds,
+    /// summed over all queries. Like `elapsed`, the reuse counters are
+    /// provenance, not output: they are excluded from the
+    /// byte-identical-output contract (they are 0 when
+    /// [`SynthesisConfig::incremental`] is off).
+    pub clauses_retained: usize,
+    /// Bit-blast memo hits: constraints or whole verification queries
+    /// whose CNF was reused instead of re-encoded.
+    pub blast_cache_hits: usize,
+    /// Queries answered on a warm persistent solver session.
+    pub incremental_rounds: usize,
     /// Synthesis-cache behaviour for this run (hits are *verified*
     /// hits). Like `elapsed` and `replayed`, this is provenance, not
     /// output: it is excluded from the byte-identical-output contract.
@@ -333,6 +363,9 @@ impl owl_trace::Report for SynthesisStats {
             .with("terms_after", self.terms_after)
             .with("cnf_vars", self.cnf_vars)
             .with("cnf_clauses", self.cnf_clauses)
+            .with("clauses_retained", self.clauses_retained)
+            .with("blast_cache_hits", self.blast_cache_hits)
+            .with("incremental_rounds", self.incremental_rounds)
             .with("cache", self.cache.report())
     }
 }
@@ -494,17 +527,86 @@ pub(crate) fn run_check(
     config: &SynthesisConfig,
     qlog: &mut QueryLog,
 ) -> SmtResult {
-    let sconfig = SolverConfig {
-        simplify: config.simplify,
-        certify: config.certify,
-        ..SolverConfig::default()
-    };
+    let sconfig = solver_config(config);
     let outcome = solve(mgr, assertions, CheckOpts::new().with_budget(budget).with_config(sconfig));
     qlog.record_stats(&outcome.stats);
     if config.certify {
         qlog.record(&outcome.cert);
     }
     outcome.result
+}
+
+/// The per-query solver configuration derived from the synthesis knobs.
+fn solver_config(config: &SynthesisConfig) -> SolverConfig {
+    SolverConfig {
+        simplify: config.simplify,
+        certify: config.certify,
+        incremental: config.incremental,
+        ..SolverConfig::default()
+    }
+}
+
+/// Salt for the CEGIS verification memo digests (distinct from every
+/// other digest stream in the workspace).
+const VERIFY_MEMO_SALT: u64 = 0xcec1_5ffe_d0_ba11;
+
+/// A memoized *definite* verification answer: everything needed to
+/// replay the query into the log without re-running the solver.
+struct CachedCheck {
+    /// `Some(cex)` for a Sat answer, `None` for Unsat. Unknown answers
+    /// are never cached — they describe the budget, not the query.
+    sat_env: Option<Env>,
+    stats: QueryStats,
+    cert: QueryCert,
+}
+
+/// One CEGIS verification call, memoized by content digest when
+/// incremental CEGIS is on. Verification queries change with every
+/// candidate, so within one attempt hits come only from duplicated
+/// obligations (the monolithic encoding can produce textually identical
+/// conditions) — but a hit then replays the first call's statistics and
+/// certification verdict, so the query log stays identical to a
+/// non-incremental run while the solver is skipped entirely.
+///
+/// Returns `Ok(None)` for Unsat (the obligation holds), `Ok(Some(cex))`
+/// for a counterexample, and the stop reason for Unknown.
+fn run_verify_check(
+    mgr: &mut TermManager,
+    assertions: &[TermId],
+    budget: &Budget,
+    config: &SynthesisConfig,
+    qlog: &mut QueryLog,
+    memo: &mut HashMap<u64, CachedCheck>,
+) -> Result<Option<Env>, StopReason> {
+    let key = config.incremental.then(|| mgr.term_digest(assertions, VERIFY_MEMO_SALT));
+    if let Some(key) = key {
+        if let Some(hit) = memo.get(&key) {
+            qlog.record_stats(&hit.stats);
+            if config.certify {
+                qlog.record(&hit.cert);
+            }
+            qlog.blast_cache_hits += 1;
+            return Ok(hit.sat_env.clone());
+        }
+    }
+    let opts = CheckOpts::new().with_budget(budget).with_config(solver_config(config));
+    let outcome = solve(mgr, assertions, opts);
+    qlog.record_stats(&outcome.stats);
+    if config.certify {
+        qlog.record(&outcome.cert);
+    }
+    let answer = match outcome.result {
+        SmtResult::Unsat => Ok(None),
+        SmtResult::Sat(model) => Ok(Some(model.into_env())),
+        SmtResult::Unknown(reason) => Err(reason),
+    };
+    if let (Some(key), Ok(env)) = (key, &answer) {
+        memo.insert(
+            key,
+            CachedCheck { sat_env: env.clone(), stats: outcome.stats, cert: outcome.cert },
+        );
+    }
+    answer
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -742,6 +844,15 @@ pub(crate) fn cegis(
 ) -> Result<HashMap<String, BitVec>, CoreError> {
     let mut candidate = initial;
     let mut constraints: Vec<TermId> = Vec::new();
+    // The synthesis-side persistent session: the accumulated constraint
+    // set only ever grows, so each round re-asserts the full list and
+    // the session blasts just the new suffix onto a warm solver
+    // (learned clauses, variable activity and the whole CNF carry over;
+    // with `config.incremental` off the session rebuilds from scratch
+    // each round, producing byte-identical answers either way).
+    let mut session = SolveSession::new(solver_config(config));
+    // The verification-side memo: whole queries keyed by content digest.
+    let mut verify_memo: HashMap<u64, CachedCheck> = HashMap::new();
 
     for _round in 0..config.max_cex_rounds {
         if let Some(e) = stop_error(budget, start) {
@@ -758,13 +869,13 @@ pub(crate) fn cegis(
             let post_conj = mgr.and_many(&posts);
             assertions.push(mgr.not(post_conj));
             stats.solver_calls += 1;
-            match run_check(mgr, &assertions, budget, config, qlog) {
-                SmtResult::Unsat => {}
-                SmtResult::Sat(model) => {
-                    cex = Some(model.into_env());
+            match run_verify_check(mgr, &assertions, budget, config, qlog, &mut verify_memo) {
+                Ok(None) => {}
+                Ok(Some(env)) => {
+                    cex = Some(env);
                     break;
                 }
-                SmtResult::Unknown(reason) => {
+                Err(reason) => {
                     return Err(CoreError::from_stop(reason, label, start.elapsed()));
                 }
             }
@@ -790,9 +901,15 @@ pub(crate) fn cegis(
         }
 
         // Synthesis: find hole values satisfying all accumulated
-        // constraints.
+        // constraints, on the persistent session (one warm solver call;
+        // only constraints added this round are newly blasted).
         stats.solver_calls += 1;
-        match run_check(mgr, &constraints, budget, config, qlog) {
+        let outcome = session.solve(mgr, &constraints, budget);
+        qlog.record_stats(&outcome.stats);
+        if config.certify {
+            qlog.record(&outcome.cert);
+        }
+        match outcome.result {
             SmtResult::Sat(model) => {
                 for (name, t, sym) in holes {
                     let w = mgr.width(*t);

@@ -30,6 +30,14 @@ pub struct ProofLog {
     /// Learned clauses in the order conflict analysis derived them.
     /// Each must be a RUP consequence of the inputs and earlier steps.
     pub steps: Vec<Vec<Lit>>,
+    /// Segment boundaries for incremental solving: a snapshot of
+    /// `(inputs.len(), steps.len())` taken at the end of every *decided*
+    /// solve call (Sat or Unsat). [`ProofChecker::check_segment`] replays
+    /// exactly the prefix recorded at a boundary, so each incremental
+    /// Unsat answer can be certified against the clauses that existed
+    /// when it was given — later additions cannot retroactively "help"
+    /// an earlier refutation.
+    pub segments: Vec<(usize, usize)>,
 }
 
 impl ProofLog {
@@ -37,6 +45,17 @@ impl ProofLog {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.inputs.is_empty() && self.steps.is_empty()
+    }
+
+    /// Records the current log lengths as a segment boundary. Called by
+    /// the solver at the end of each decided solve; consecutive solves
+    /// with no intervening additions or learning collapse into one
+    /// boundary rather than duplicating it.
+    pub fn mark_segment(&mut self) {
+        let snap = (self.inputs.len(), self.steps.len());
+        if self.segments.last() != Some(&snap) {
+            self.segments.push(snap);
+        }
     }
 }
 
@@ -128,14 +147,46 @@ impl ProofChecker {
     /// Only meaningful for solves without assumptions: an `Unsat` under
     /// assumptions is not a refutation of the formula itself.
     pub fn check_unsat(num_vars: usize, proof: &ProofLog) -> Result<usize, ProofError> {
+        Self::check_prefix(num_vars, proof, proof.inputs.len(), proof.steps.len())
+    }
+
+    /// Certifies the incremental answer recorded at segment boundary
+    /// `idx` (an index into [`ProofLog::segments`]) by replaying only the
+    /// prefix of the log that existed when that answer was given. This
+    /// is sound because RUP checking is monotone in the clause set: a
+    /// refutation that closes from a prefix also closes from any
+    /// extension, and checking the prefix proves the refutation did not
+    /// lean on clauses added later.
+    ///
+    /// A boundary recorded for a *Sat* answer carries no refutation, so
+    /// checking it yields [`ProofError::NoRefutation`] — use
+    /// [`ProofChecker::check_model`] for Sat answers instead.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range for `proof.segments`.
+    pub fn check_segment(
+        num_vars: usize,
+        proof: &ProofLog,
+        idx: usize,
+    ) -> Result<usize, ProofError> {
+        let (num_inputs, num_steps) = proof.segments[idx];
+        Self::check_prefix(num_vars, proof, num_inputs, num_steps)
+    }
+
+    fn check_prefix(
+        num_vars: usize,
+        proof: &ProofLog,
+        num_inputs: usize,
+        num_steps: usize,
+    ) -> Result<usize, ProofError> {
         let mut ck = ProofChecker::new(num_vars);
-        for clause in &proof.inputs {
+        for clause in &proof.inputs[..num_inputs] {
             ck.validate(clause)?;
             if let Added::RootConflict = ck.add_root_clause(clause) {
                 return Ok(0);
             }
         }
-        for (i, clause) in proof.steps.iter().enumerate() {
+        for (i, clause) in proof.steps[..num_steps].iter().enumerate() {
             ck.validate(clause)?;
             if !ck.rup(clause) {
                 return Err(ProofError::NotImplied { step: i });
@@ -501,10 +552,48 @@ mod tests {
     fn proof_survives_incremental_additions() {
         let (mut s, vars) = certified_solver(3, &[&[1, 2], &[2, 3]]);
         assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        // The Sat answer leaves a segment boundary and a model-checkable
+        // input prefix.
+        assert_eq!(s.proof().segments.len(), 1);
+        ProofChecker::check_model(s.proof(), |v| s.value(v)).expect("sat model");
         s.reset_search();
         s.add_clause([Lit::negative(vars[1])]);
         s.add_clause([Lit::negative(vars[0])]);
         assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
+        // The full log still certifies after incremental additions...
         ProofChecker::check_unsat(s.num_vars(), s.proof()).expect("incremental proof");
+        // ...and the Unsat answer's own segment certifies independently.
+        let last = s.proof().segments.len() - 1;
+        s.certify_unsat_segment(last).expect("last segment certifies the Unsat answer");
+        // The earlier Sat segment carries no refutation, by design.
+        assert_eq!(
+            ProofChecker::check_segment(s.num_vars(), s.proof(), 0),
+            Err(ProofError::NoRefutation)
+        );
+    }
+
+    #[test]
+    fn segment_boundaries_are_deduplicated() {
+        let (mut s, _) = certified_solver(2, &[&[1, 2]]);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        s.reset_search();
+        // Re-solving with nothing new recorded must not duplicate the
+        // boundary.
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        assert_eq!(s.proof().segments.len(), 1);
+    }
+
+    #[test]
+    fn unsat_segment_ignores_later_additions() {
+        // Refute, then add more clauses: the recorded Unsat segment must
+        // replay only the prefix that existed at answer time.
+        let (mut s, _) = certified_solver(2, &[&[1], &[-1]]);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
+        let boundary = s.proof().segments[s.proof().segments.len() - 1];
+        s.reset_search();
+        s.add_clause([Lit::positive(Var::from_index(1))]);
+        assert_eq!(s.proof().segments[s.proof().segments.len() - 1], boundary);
+        s.certify_unsat_segment(s.proof().segments.len() - 1)
+            .expect("segment prefix still refutes");
     }
 }

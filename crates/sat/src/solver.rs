@@ -100,6 +100,11 @@ pub struct Stats {
     pub learned_bytes: u64,
     /// Clause-database reductions triggered by the memory ceiling.
     pub reductions: u64,
+    /// Learned clauses carried into a `solve` call from earlier calls on
+    /// the same solver (summed at each incremental call's entry): the
+    /// reuse an incremental session gets for free. Always zero for a
+    /// solver that is solved once and discarded.
+    pub clauses_retained: u64,
 }
 
 impl owl_trace::Report for Stats {
@@ -112,6 +117,7 @@ impl owl_trace::Report for Stats {
             .with("learned", self.learned)
             .with("learned_bytes", self.learned_bytes)
             .with("reductions", self.reductions)
+            .with("clauses_retained", self.clauses_retained)
     }
 }
 
@@ -149,6 +155,11 @@ impl CounterSampler {
         tracer.count("sat", "restarts", now.restarts.saturating_sub(self.last.restarts));
         tracer.count("sat", "learned", now.learned.saturating_sub(self.last.learned));
         tracer.count("sat", "reductions", now.reductions.saturating_sub(self.last.reductions));
+        tracer.count(
+            "sat",
+            "clauses_retained",
+            now.clauses_retained.saturating_sub(self.last.clauses_retained),
+        );
         tracer.count("sat", "budget_polls", self.polls);
         self.polls = 0;
         self.last = now;
@@ -223,6 +234,17 @@ pub struct Solver {
     /// Set by [`Fault::CorruptProof`]: garble the next logged learned
     /// clause (the solver's own database stays intact).
     corrupt_next_learned: bool,
+    /// Canonical-decision mode: branch on the lowest-index unassigned
+    /// variable with negative polarity, making the returned model the
+    /// lexicographically least one — a pure function of the formula,
+    /// independent of learned clauses, activity, or saved phases.
+    canonical: bool,
+    /// Scan cursor for canonical mode: every variable below it is
+    /// assigned. Reset on backtrack.
+    canon_cursor: usize,
+    /// True once `solve` has run at least once, so retained learned
+    /// clauses can be credited to `Stats::clauses_retained`.
+    solved_once: bool,
     // Scratch buffers for conflict analysis.
     seen: Vec<bool>,
     analyze_stack: Vec<Lit>,
@@ -259,6 +281,9 @@ impl Solver {
             certify: false,
             proof: ProofLog::default(),
             corrupt_next_learned: false,
+            canonical: false,
+            canon_cursor: 0,
+            solved_once: false,
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
@@ -312,6 +337,54 @@ impl Solver {
         self.stop_reason
     }
 
+    /// Switches branching to canonical-decision mode: every decision
+    /// picks the lowest-index unassigned variable and assigns it
+    /// `false`.
+    ///
+    /// In this mode a [`SolveResult::Sat`] answer is the
+    /// *lexicographically least* model of the formula (under the
+    /// assumption prefix, if any): a variable is only ever made true by
+    /// unit propagation, which is entailed by the formula plus the
+    /// all-false decisions below it, so no lex-smaller model can exist.
+    /// Because learned clauses are entailed lemmas, the model is a pure
+    /// function of the clause set — retained learned clauses, VSIDS
+    /// activity, saved phases, restarts and database reductions cannot
+    /// change it. Incremental sessions use this mode so a warm solver
+    /// and a from-scratch solver of the same formula agree bit for bit.
+    pub fn set_canonical_decisions(&mut self, on: bool) {
+        self.canonical = on;
+        self.canon_cursor = 0;
+    }
+
+    /// Creates a retractable constraint group and returns its activation
+    /// literal.
+    ///
+    /// Clauses added via [`Solver::add_clause_in_group`] are inert
+    /// unless the activation literal is assumed true for a call
+    /// ([`SolveOpts::assume`]); [`Solver::retire_group`] permanently
+    /// retracts the whole group. This is the MiniSat selector-literal
+    /// idiom layered on the existing assumption mechanism, so groups
+    /// compose with budgets, proofs, and canonical-decision mode
+    /// unchanged.
+    pub fn new_group(&mut self) -> Lit {
+        Lit::positive(self.new_var())
+    }
+
+    /// Adds a clause that is only active while `group`'s activation
+    /// literal is assumed true (the clause is stored as
+    /// `lits ∨ ¬group`).
+    pub fn add_clause_in_group(&mut self, lits: impl IntoIterator<Item = Lit>, group: Lit) {
+        self.add_clause(lits.into_iter().chain(std::iter::once(!group)));
+    }
+
+    /// Permanently retracts a constraint group created with
+    /// [`Solver::new_group`] by asserting its activation literal false;
+    /// every clause in the group becomes satisfied and the group can no
+    /// longer be activated.
+    pub fn retire_group(&mut self, group: Lit) {
+        self.add_clause([!group]);
+    }
+
     /// Turns on proof logging: every input clause and every learned
     /// clause is recorded in a [`ProofLog`] for independent checking.
     ///
@@ -345,6 +418,15 @@ impl Solver {
     /// logging to have been enabled before any clause was added.
     pub fn certify_unsat(&self) -> Result<usize, ProofError> {
         ProofChecker::check_unsat(self.num_vars(), &self.proof)
+    }
+
+    /// Independently certifies one incremental answer by replaying only
+    /// the proof prefix recorded up to segment `idx` (segments are
+    /// marked at the end of every decided `solve` call; see
+    /// [`ProofLog::segments`]). An Unsat answered in segment `idx` is
+    /// certified without trusting anything the solver did afterwards.
+    pub fn certify_unsat_segment(&self, idx: usize) -> Result<usize, ProofError> {
+        ProofChecker::check_segment(self.num_vars(), &self.proof, idx)
     }
 
     /// Independently certifies the last [`SolveResult::Sat`] answer by
@@ -724,9 +806,22 @@ impl Solver {
         self.trail.truncate(lim);
         self.trail_lim.truncate(level as usize);
         self.qhead = self.trail.len();
+        self.canon_cursor = 0;
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
+        if self.canonical {
+            // Lowest-index unassigned variable, always false first: the
+            // cursor only moves forward between backtracks because
+            // assignments below it can only be added, never removed.
+            while self.canon_cursor < self.assign.len() {
+                if self.assign[self.canon_cursor] == UNDEF {
+                    return Some(Lit::negative(Var::from_index(self.canon_cursor)));
+                }
+                self.canon_cursor += 1;
+            }
+            return None;
+        }
         while let Some(v) = self.order.pop(&self.activity) {
             if self.assign[v.index()] == UNDEF {
                 return Some(Lit::with_sign(v, self.phase[v.index()]));
@@ -758,8 +853,21 @@ impl Solver {
         let _span = tracer.span("sat", "solve");
         let mut sampler = CounterSampler::new(self.stats);
         if !self.ok {
+            // A root-level refutation found while adding clauses is a
+            // decided answer too: record its segment boundary so it can
+            // be certified from the prefix that produced it.
+            if self.certify {
+                self.proof.mark_segment();
+            }
             return SolveResult::Unsat;
         }
+        // Session accounting: learned clauses surviving from earlier
+        // calls on this solver are the incremental reuse this call
+        // starts from.
+        if self.solved_once {
+            self.stats.clauses_retained += self.stats.learned;
+        }
+        self.solved_once = true;
 
         let mut restart_idx = 0u64;
         let mut conflicts_until_restart = 32 * luby(restart_idx);
@@ -795,6 +903,19 @@ impl Solver {
                 tracer.instant("sat", format!("stop:{reason:?}"));
             }
             return SolveResult::Unknown;
+        }
+        // Session-aware memory ceiling: clauses retained from earlier
+        // calls count against this call's byte budget up front, not
+        // only after the first fresh conflict.
+        if let Some(limit) = budget.memory_limit() {
+            if self.stats.learned_bytes > limit {
+                self.reduce_db();
+                if self.stats.learned_bytes > limit {
+                    self.stop_reason = Some(StopReason::MemoryLimit);
+                    sampler.flush(&tracer, self.stats);
+                    return SolveResult::Unknown;
+                }
+            }
         }
 
         let result = loop {
@@ -934,6 +1055,12 @@ impl Solver {
         if result == SolveResult::Sat {
             debug_assert!(self.model_satisfies_all());
         }
+        // Segment the proof at every decided answer, so each incremental
+        // Unsat can later be certified from exactly the clauses that
+        // existed when it was answered.
+        if self.certify && result != SolveResult::Unknown {
+            self.proof.mark_segment();
+        }
         // Keep the model readable after Sat; reset the search otherwise.
         if result != SolveResult::Sat {
             self.backtrack_to(0);
@@ -981,8 +1108,30 @@ impl Solver {
         }
     }
 
-    /// Clears the trail back to level zero (invalidates the model) so more
-    /// clauses can be added for an incremental solve.
+    /// Clears the trail back to level zero so more clauses can be added
+    /// for an incremental solve.
+    ///
+    /// Incremental semantics, precisely:
+    ///
+    /// - **The model is invalidated.** After a `Sat` answer the trail
+    ///   (and thus [`Solver::value`]) is left readable; this call
+    ///   un-assigns everything above level zero, so only root-level
+    ///   consequences remain visible.
+    /// - **Search state is retained.** Learned clauses, VSIDS activity
+    ///   scores, and saved phases all survive, which is the entire point
+    ///   of solving incrementally: the next [`Solver::solve`] call
+    ///   starts from everything the previous one discovered.
+    /// - **[`Stats`] accumulate monotonically.** Counters (`decisions`,
+    ///   `propagations`, `conflicts`, `learned`, …) are never reset by
+    ///   this call or by subsequent solves; they describe the whole
+    ///   session, not the last call. `clauses_retained` grows by the
+    ///   size of the retained learned-clause database at each re-solve.
+    /// - **The proof log stays valid.** [`ProofLog`] keeps recording
+    ///   input and learned clauses across calls; each decided answer
+    ///   marks a segment boundary so
+    ///   [`Solver::certify_unsat_segment`] can replay exactly the
+    ///   prefix that existed when that answer was given, while
+    ///   [`Solver::certify_unsat`] still checks the full log.
     pub fn reset_search(&mut self) {
         self.backtrack_to(0);
     }
@@ -1143,6 +1292,133 @@ mod tests {
         s.reset_search();
         s.add_clause([lit(&vars, -2)]);
         assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_accumulate_monotonically_across_reset_search() {
+        let (mut s, grid) = pigeonhole(4, 4);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        let first = s.stats();
+        s.reset_search();
+        // Pin pigeon 0 out of hole 0 and re-solve: counters must only grow.
+        s.add_clause([Lit::negative(grid[0][0])]);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        let second = s.stats();
+        assert!(second.decisions >= first.decisions);
+        assert!(second.propagations >= first.propagations);
+        assert!(second.conflicts >= first.conflicts);
+        assert!(second.learned >= first.learned);
+        assert!(second.clauses_retained >= first.clauses_retained);
+    }
+
+    #[test]
+    fn clauses_retained_counts_surviving_learned_clauses() {
+        // Stop a PHP(5,4) refutation mid-search: the interrupted call
+        // leaves learned clauses behind, and the follow-up call on the
+        // same session must report every one of them as retained.
+        let (mut s, _) = pigeonhole(5, 4);
+        let budget = Budget::unlimited().with_conflicts(Some(5));
+        assert_eq!(s.solve(&budget), SolveResult::Unknown);
+        assert_eq!(s.stats().clauses_retained, 0, "first call retains nothing");
+        let learned = s.stats().learned;
+        assert!(learned > 0, "expected learned clauses");
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Unsat);
+        assert_eq!(s.stats().clauses_retained, learned);
+    }
+
+    /// Brute-force the lexicographically least satisfying assignment,
+    /// comparing models as `(v0, v1, ...)` tuples with `false < true`.
+    fn lex_least_model(nvars: usize, clauses: &[&[i32]]) -> Option<Vec<bool>> {
+        'outer: for m in 0..(1u32 << nvars) {
+            let assign: Vec<bool> =
+                (0..nvars).map(|i| (m >> (nvars - 1 - i)) & 1 == 1).collect();
+            for c in clauses {
+                let sat = c.iter().any(|&l| {
+                    let v = assign[(l.unsigned_abs() - 1) as usize];
+                    if l > 0 { v } else { !v }
+                });
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return Some(assign);
+        }
+        None
+    }
+
+    #[test]
+    fn canonical_mode_returns_the_lex_least_model() {
+        let clauses: &[&[i32]] = &[&[1, 2], &[-1, 3], &[-2, 4], &[2, -3, -4], &[3, 4]];
+        let expected = lex_least_model(4, clauses).expect("satisfiable");
+        let (mut s, vars) = solver_with(4, clauses);
+        s.set_canonical_decisions(true);
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        let got: Vec<bool> = vars.iter().map(|&v| s.value(v).unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn canonical_model_is_independent_of_retained_state() {
+        // An incremental session (learned clauses, saved phases, warm
+        // activity) and a fresh solver on the full formula must return
+        // the same canonical model.
+        let batch1: &[&[i32]] = &[&[1, 2, 3], &[-1, -2], &[-2, -3], &[2, 3, 4]];
+        let batch2: &[&[i32]] = &[&[-3, 5], &[-4, -5, 1], &[3, 4, 5]];
+        let (mut inc, inc_vars) = solver_with(5, batch1);
+        inc.set_canonical_decisions(true);
+        assert_eq!(inc.solve(SolveOpts::default()), SolveResult::Sat);
+        inc.reset_search();
+        for c in batch2 {
+            inc.add_clause(c.iter().map(|&i| lit(&inc_vars, i)));
+        }
+        assert_eq!(inc.solve(SolveOpts::default()), SolveResult::Sat);
+
+        let all: Vec<&[i32]> = batch1.iter().chain(batch2).copied().collect();
+        let (mut fresh, fresh_vars) = solver_with(5, &all);
+        fresh.set_canonical_decisions(true);
+        assert_eq!(fresh.solve(SolveOpts::default()), SolveResult::Sat);
+
+        for (a, b) in inc_vars.iter().zip(&fresh_vars) {
+            assert_eq!(inc.value(*a), fresh.value(*b));
+        }
+        let model: Vec<bool> = inc_vars.iter().map(|&v| inc.value(v).unwrap()).collect();
+        let refs: Vec<&[i32]> = all.to_vec();
+        assert_eq!(model, lex_least_model(5, &refs).expect("satisfiable"));
+    }
+
+    #[test]
+    fn activation_groups_toggle_and_retire() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let g_pos = s.new_group();
+        let g_neg = s.new_group();
+        s.add_clause_in_group([Lit::positive(x)], g_pos);
+        s.add_clause_in_group([Lit::negative(x)], g_neg);
+
+        // Activating one group forces x accordingly.
+        assert_eq!(s.solve(SolveOpts::default().assume([g_pos])), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(true));
+        s.reset_search();
+        assert_eq!(s.solve(SolveOpts::default().assume([g_neg])), SolveResult::Sat);
+        assert_eq!(s.value(x), Some(false));
+        s.reset_search();
+
+        // Both at once contradict; with neither, the formula is free.
+        assert_eq!(
+            s.solve(SolveOpts::default().assume([g_pos, g_neg])),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(SolveOpts::default()), SolveResult::Sat);
+        s.reset_search();
+
+        // Retiring a group permanently deactivates its clauses: the
+        // formerly contradictory activation pair is now satisfiable.
+        s.retire_group(g_pos);
+        assert_eq!(
+            s.solve(SolveOpts::default().assume([g_neg])),
+            SolveResult::Sat
+        );
+        assert_eq!(s.value(x), Some(false));
     }
 
     #[test]

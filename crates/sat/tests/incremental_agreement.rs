@@ -1,0 +1,229 @@
+//! Property sweep: incremental solving agrees with scratch solving.
+//!
+//! Random CNFs are fed to one persistent solver in `k` batches with a
+//! solve interleaved after every batch, and each interleaved answer is
+//! compared against a fresh solver given the same clause prefix all at
+//! once. Mirrors the proptest suites elsewhere in the workspace but
+//! runs on a hand-rolled splitmix64 generator so it needs no external
+//! dev-dependencies.
+
+use owl_sat::hash::splitmix64_next;
+use owl_sat::{Budget, Fault, FaultPlan, Lit, ProofChecker, SolveResult, Solver};
+
+struct Cnf {
+    nvars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+/// A random CNF in the phase-transition neighbourhood: small enough to
+/// brute-force, dense enough that both answers occur frequently.
+fn random_cnf(state: &mut u64) -> Cnf {
+    let nvars = 4 + (splitmix64_next(state) % 8) as usize; // 4..=11
+    let nclauses = nvars + (splitmix64_next(state) % (3 * nvars as u64)) as usize;
+    let clauses = (0..nclauses)
+        .map(|_| {
+            let width = 1 + (splitmix64_next(state) % 3) as usize;
+            (0..width)
+                .map(|_| {
+                    let v = (splitmix64_next(state) % nvars as u64) as i32 + 1;
+                    if splitmix64_next(state) & 1 == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { nvars, clauses }
+}
+
+fn build(nvars: usize) -> (Solver, Vec<owl_sat::Var>) {
+    let mut s = Solver::new();
+    let vars = (0..nvars).map(|_| s.new_var()).collect();
+    (s, vars)
+}
+
+fn add(s: &mut Solver, vars: &[owl_sat::Var], clause: &[i32]) {
+    s.add_clause(clause.iter().map(|&i| {
+        let v = vars[(i.unsigned_abs() - 1) as usize];
+        Lit::with_sign(v, i > 0)
+    }));
+}
+
+fn model(s: &Solver, vars: &[owl_sat::Var]) -> Vec<Option<bool>> {
+    vars.iter().map(|&v| s.value(v)).collect()
+}
+
+/// Splits `clauses` into `k` contiguous batches (some possibly empty).
+fn batches(clauses: &[Vec<i32>], k: usize) -> Vec<&[Vec<i32>]> {
+    let per = clauses.len().div_ceil(k).max(1);
+    clauses.chunks(per).collect()
+}
+
+#[test]
+fn incremental_solve_agrees_with_scratch_solve() {
+    let mut state = 0x01f1_5a7a_6e55_u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for case in 0..300u64 {
+        let _ = case;
+        let cnf = random_cnf(&mut state);
+        let k = 1 + (splitmix64_next(&mut state) % 4) as usize;
+        let (mut inc, inc_vars) = build(cnf.nvars);
+        inc.set_canonical_decisions(true);
+        let mut fed = 0usize;
+        for batch in batches(&cnf.clauses, k) {
+            for c in batch {
+                add(&mut inc, &inc_vars, c);
+            }
+            fed += batch.len();
+            let inc_result = inc.solve(owl_sat::SolveOpts::default());
+
+            // Scratch oracle over the same prefix, also canonical so a
+            // Sat answer pins down one specific model.
+            let (mut scratch, scratch_vars) = build(cnf.nvars);
+            scratch.set_canonical_decisions(true);
+            for c in &cnf.clauses[..fed] {
+                add(&mut scratch, &scratch_vars, c);
+            }
+            let scratch_result = scratch.solve(owl_sat::SolveOpts::default());
+
+            assert_eq!(
+                inc_result, scratch_result,
+                "answer diverged on prefix of {fed} clauses: {:?}",
+                &cnf.clauses[..fed]
+            );
+            if inc_result == SolveResult::Sat {
+                assert_eq!(
+                    model(&inc, &inc_vars),
+                    model(&scratch, &scratch_vars),
+                    "canonical models diverged on prefix of {fed} clauses"
+                );
+            }
+            inc.reset_search();
+            if inc_result == SolveResult::Unsat {
+                break; // the session is refuted for good
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_agreement_survives_budget_exhaustion() {
+    let mut state = 0xb0d6_e7ed;
+    for _ in 0..200u64 {
+        let cnf = random_cnf(&mut state);
+        let (mut inc, inc_vars) = build(cnf.nvars);
+        inc.set_canonical_decisions(true);
+        let mut fed = 0usize;
+        for batch in batches(&cnf.clauses, 3) {
+            for c in batch {
+                add(&mut inc, &inc_vars, c);
+            }
+            fed += batch.len();
+            // A starved budget may return Unknown; that is never wrong,
+            // but a decided answer under starvation must still match the
+            // unlimited scratch answer.
+            let starved = Budget::unlimited().with_conflicts(Some(2));
+            let inc_result = inc.solve(&starved);
+
+            let (mut scratch, scratch_vars) = build(cnf.nvars);
+            scratch.set_canonical_decisions(true);
+            for c in &cnf.clauses[..fed] {
+                add(&mut scratch, &scratch_vars, c);
+            }
+            let scratch_result = scratch.solve(owl_sat::SolveOpts::default());
+
+            if inc_result != SolveResult::Unknown {
+                assert_eq!(inc_result, scratch_result, "starved decided answer diverged");
+            }
+            inc.reset_search();
+            if inc_result == SolveResult::Unsat {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_agreement_survives_injected_faults() {
+    let mut state = 0xfa17_ca5e;
+    for round in 0..150u64 {
+        let cnf = random_cnf(&mut state);
+        // Rotate through the solver-level faults; each plan fires on the
+        // first solver call it governs.
+        let fault = match round % 3 {
+            0 => Fault::SpuriousRestart,
+            1 => Fault::DelayConflicts(3),
+            _ => Fault::ForceUnknown,
+        };
+        let plan = std::sync::Arc::new(FaultPlan::new().at(0, fault));
+        let budget = Budget::unlimited().with_fault_plan(plan);
+
+        let (mut inc, inc_vars) = build(cnf.nvars);
+        inc.set_canonical_decisions(true);
+        let mut fed = 0usize;
+        for batch in batches(&cnf.clauses, 2) {
+            for c in batch {
+                add(&mut inc, &inc_vars, c);
+            }
+            fed += batch.len();
+            let inc_result = inc.solve(&budget);
+
+            let (mut scratch, scratch_vars) = build(cnf.nvars);
+            scratch.set_canonical_decisions(true);
+            for c in &cnf.clauses[..fed] {
+                add(&mut scratch, &scratch_vars, c);
+            }
+            let scratch_result = scratch.solve(owl_sat::SolveOpts::default());
+
+            if inc_result != SolveResult::Unknown {
+                assert_eq!(inc_result, scratch_result, "faulted decided answer diverged");
+                if inc_result == SolveResult::Sat {
+                    assert_eq!(model(&inc, &inc_vars), model(&scratch, &scratch_vars));
+                }
+            }
+            inc.reset_search();
+            if inc_result == SolveResult::Unsat {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_unsat_segments_certify() {
+    // Certified incremental sessions: every decided Unsat must be
+    // independently checkable from its own proof segment.
+    let mut state = 0x5e6_ce7;
+    let mut certified = 0usize;
+    for _ in 0..200u64 {
+        let cnf = random_cnf(&mut state);
+        let mut s = Solver::new();
+        s.enable_certification();
+        let vars: Vec<owl_sat::Var> = (0..cnf.nvars).map(|_| s.new_var()).collect();
+        for batch in batches(&cnf.clauses, 3) {
+            for c in batch {
+                add(&mut s, &vars, c);
+            }
+            let result = s.solve(owl_sat::SolveOpts::default());
+            match result {
+                SolveResult::Sat => {
+                    ProofChecker::check_model(s.proof(), |v| s.value(v))
+                        .expect("sat model certifies");
+                }
+                SolveResult::Unsat => {
+                    let last = s.proof().segments.len() - 1;
+                    s.certify_unsat_segment(last).expect("unsat segment certifies");
+                    s.certify_unsat().expect("full log certifies");
+                    certified += 1;
+                }
+                SolveResult::Unknown => unreachable!("unlimited budget"),
+            }
+            s.reset_search();
+            if result == SolveResult::Unsat {
+                break;
+            }
+        }
+    }
+    assert!(certified > 20, "sweep too easy: only {certified} unsat cases");
+}

@@ -14,6 +14,62 @@ use std::collections::HashMap;
 /// Recorded reads of one base array: (address bits, data bits) pairs.
 type ArrayReads = Vec<(Vec<Lit>, Vec<Lit>)>;
 
+/// The owned, manager-independent half of a [`Blaster`]: everything a
+/// persistent [`crate::SolveSession`] keeps alive between queries so the
+/// shared DAG blasts once and each round appends only new CNF. Detach
+/// with [`Blaster::suspend`], re-attach with [`Blaster::resume`].
+pub(crate) struct BlastState {
+    pub(crate) solver: Solver,
+    cache: HashMap<TermId, Vec<Lit>>,
+    tru: Lit,
+    pub(crate) var_bits: HashMap<SymbolId, Vec<Lit>>,
+    pub(crate) selects: HashMap<ArrayId, ArrayReads>,
+    read_order: Vec<(ArrayId, usize)>,
+    ack_done: usize,
+    /// CNF variables the blaster has allocated (the `tru` anchor
+    /// included). Unlike `Solver::num_vars`, unaffected by whatever the
+    /// solver itself does with the clauses, so an incremental session
+    /// and a scratch re-blast report identical sizes.
+    pub(crate) gen_vars: u64,
+    /// CNF clauses the blaster has emitted (counted before the solver's
+    /// own top-level simplification gets to drop or shrink them).
+    pub(crate) gen_clauses: u64,
+}
+
+impl BlastState {
+    /// Fresh state; `certify` enables proof logging on the underlying
+    /// SAT solver before any clause (including the constant `tru`
+    /// anchor) is added — a partial log certifies nothing.
+    pub(crate) fn new(certify: bool) -> Self {
+        let mut solver = Solver::new();
+        if certify {
+            solver.enable_certification();
+        }
+        let v = solver.new_var();
+        let tru = Lit::positive(v);
+        solver.add_clause([tru]);
+        BlastState {
+            solver,
+            cache: HashMap::new(),
+            tru,
+            var_bits: HashMap::new(),
+            selects: HashMap::new(),
+            read_order: Vec::new(),
+            ack_done: 0,
+            gen_vars: 1,
+            gen_clauses: 1,
+        }
+    }
+
+    /// Reads the model value of a blasted bit vector (as
+    /// [`Blaster::read_bits`], but usable on suspended state).
+    pub(crate) fn read_bits(&self, bits: &[Lit]) -> BitVec {
+        let values: Vec<bool> =
+            bits.iter().map(|&l| self.solver.lit_model(l).unwrap_or(false)).collect();
+        BitVec::from_bits_lsb0(&values)
+    }
+}
+
 pub(crate) struct Blaster<'m> {
     mgr: &'m TermManager,
     pub(crate) solver: Solver,
@@ -24,6 +80,14 @@ pub(crate) struct Blaster<'m> {
     pub(crate) var_bits: HashMap<SymbolId, Vec<Lit>>,
     /// Recorded base-array reads: (address bits, data bits).
     pub(crate) selects: HashMap<ArrayId, ArrayReads>,
+    /// Base-array reads in the order they were blasted, as (array, index
+    /// into that array's `selects` entry): the schedule for the
+    /// prefix-stable incremental Ackermann pass.
+    read_order: Vec<(ArrayId, usize)>,
+    /// How many entries of `read_order` have been Ackermann-finalized.
+    ack_done: usize,
+    gen_vars: u64,
+    gen_clauses: u64,
 }
 
 impl<'m> Blaster<'m> {
@@ -31,14 +95,46 @@ impl<'m> Blaster<'m> {
     /// underlying SAT solver (before any clause, including the constant
     /// `tru` clause, is added — a partial log certifies nothing).
     pub(crate) fn with_certification(mgr: &'m TermManager, certify: bool) -> Self {
-        let mut solver = Solver::new();
-        if certify {
-            solver.enable_certification();
+        Blaster::resume(mgr, BlastState::new(certify))
+    }
+
+    /// Re-attaches suspended session state to a term manager. The
+    /// manager must be the one the state was built against (term ids are
+    /// only meaningful per manager).
+    pub(crate) fn resume(mgr: &'m TermManager, st: BlastState) -> Self {
+        Blaster {
+            mgr,
+            solver: st.solver,
+            cache: st.cache,
+            tru: st.tru,
+            var_bits: st.var_bits,
+            selects: st.selects,
+            read_order: st.read_order,
+            ack_done: st.ack_done,
+            gen_vars: st.gen_vars,
+            gen_clauses: st.gen_clauses,
         }
-        let v = solver.new_var();
-        let tru = Lit::positive(v);
-        solver.add_clause([tru]);
-        Blaster { mgr, solver, cache: HashMap::new(), tru, var_bits: HashMap::new(), selects: HashMap::new() }
+    }
+
+    /// Detaches the owned state for keeping across queries.
+    pub(crate) fn suspend(self) -> BlastState {
+        BlastState {
+            solver: self.solver,
+            cache: self.cache,
+            tru: self.tru,
+            var_bits: self.var_bits,
+            selects: self.selects,
+            read_order: self.read_order,
+            ack_done: self.ack_done,
+            gen_vars: self.gen_vars,
+            gen_clauses: self.gen_clauses,
+        }
+    }
+
+    /// Routes every blaster-emitted clause through one counter.
+    fn emit(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.gen_clauses += 1;
+        self.solver.add_clause(lits);
     }
 
     fn fls(&self) -> Lit {
@@ -54,6 +150,7 @@ impl<'m> Blaster<'m> {
     }
 
     fn fresh(&mut self) -> Lit {
+        self.gen_vars += 1;
         Lit::positive(self.solver.new_var())
     }
 
@@ -85,9 +182,9 @@ impl<'m> Blaster<'m> {
             return self.fls();
         }
         let o = self.fresh();
-        self.solver.add_clause([!a, !b, o]);
-        self.solver.add_clause([a, !o]);
-        self.solver.add_clause([b, !o]);
+        self.emit([!a, !b, o]);
+        self.emit([a, !o]);
+        self.emit([b, !o]);
         o
     }
 
@@ -110,10 +207,10 @@ impl<'m> Blaster<'m> {
             return self.tru;
         }
         let o = self.fresh();
-        self.solver.add_clause([!a, !b, !o]);
-        self.solver.add_clause([a, b, !o]);
-        self.solver.add_clause([a, !b, o]);
-        self.solver.add_clause([!a, b, o]);
+        self.emit([!a, !b, !o]);
+        self.emit([a, b, !o]);
+        self.emit([a, !b, o]);
+        self.emit([!a, b, o]);
         o
     }
 
@@ -256,7 +353,10 @@ impl<'m> Blaster<'m> {
                 let addr_bits = self.blast(addr);
                 let (_, dw) = self.mgr.array_widths(arr);
                 let data_bits: Vec<Lit> = (0..dw).map(|_| self.fresh()).collect();
-                self.selects.entry(arr).or_default().push((addr_bits, data_bits.clone()));
+                let reads = self.selects.entry(arr).or_default();
+                reads.push((addr_bits, data_bits.clone()));
+                let idx = reads.len() - 1;
+                self.read_order.push((arr, idx));
                 data_bits
             }
             TermKind::RomSelect(rom, addr) => {
@@ -391,7 +491,8 @@ impl<'m> Blaster<'m> {
     pub(crate) fn assert_true(&mut self, term: TermId) {
         assert_eq!(self.mgr.width(term), 1, "assertions must be 1-bit terms");
         let bits = self.blast(term);
-        self.solver.add_clause([bits[0]]);
+        let lit = bits[0];
+        self.emit([lit]);
     }
 
     /// Adds the pairwise Ackermann constraints for all recorded array
@@ -414,9 +515,38 @@ impl<'m> Blaster<'m> {
                     }
                     for (&d1, &d2) in reads[i].1.iter().zip(&reads[j].1) {
                         // same_addr -> (d1 == d2)
-                        self.solver.add_clause([!same_addr, !d1, d2]);
-                        self.solver.add_clause([!same_addr, d1, !d2]);
+                        self.emit([!same_addr, !d1, d2]);
+                        self.emit([!same_addr, d1, !d2]);
                     }
+                }
+            }
+        }
+    }
+
+    /// Incremental variant of [`Self::finalize_arrays`]: pairs each read
+    /// blasted since the previous call with every earlier read of the
+    /// same array, in blast order. Calling it after each batch of
+    /// assertions yields exactly the constraints of one flat pass, but
+    /// the clause/aux-variable sequence is prefix-stable — finalizing
+    /// batches `[A]` then `[A, B]` emits the `[A]` CNF as a prefix, so a
+    /// persistent session and a batch-replaying scratch solver allocate
+    /// identical variables. (The flat `finalize_arrays` sorts by array
+    /// instead and stays the encoding for one-shot `solve`.)
+    pub(crate) fn finalize_arrays_incremental(&mut self) {
+        while self.ack_done < self.read_order.len() {
+            let (arr, j) = self.read_order[self.ack_done];
+            self.ack_done += 1;
+            for i in 0..j {
+                let (addr_i, data_i) = self.selects[&arr][i].clone();
+                let (addr_j, data_j) = self.selects[&arr][j].clone();
+                let same_addr = self.eq_bits(&addr_i, &addr_j);
+                if self.is_const(same_addr) == Some(false) {
+                    continue;
+                }
+                for (&d1, &d2) in data_i.iter().zip(&data_j) {
+                    // same_addr -> (d1 == d2)
+                    self.emit([!same_addr, !d1, d2]);
+                    self.emit([!same_addr, d1, !d2]);
                 }
             }
         }

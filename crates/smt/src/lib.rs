@@ -47,7 +47,8 @@ pub use eval::{ArrayValue, Env};
 pub use manager::{ArrayId, BinOp, RomId, SymbolId, TermId, TermKind, TermManager, UnOp};
 pub use simplify::{count_nodes, dag_cost, simplify_terms, SimplifyStats};
 pub use solver::{
-    solve, CheckOpts, CheckOutcome, Model, QueryCert, QueryStats, SmtResult, SolverConfig,
+    solve, CheckOpts, CheckOutcome, Model, QueryCert, QueryStats, SmtResult, SolveSession,
+    SolverConfig,
 };
 pub use subst::{substitute, substitute_terms};
 

@@ -292,13 +292,20 @@ pub fn simplify_terms(
     // The extractor minimizes tree cost per class, which can trade away
     // sharing; re-measure both sides as DAGs and keep the originals on
     // a tie or regression so "simplify on" never produces a larger CNF
-    // than "simplify off" for the same query.
-    if out != roots && dag_cost(mgr, &out) >= dag_cost(mgr, roots) {
+    // than "simplify off" for the same query. The node-count guard is
+    // separate: a rewrite can lower the blast cost while spreading it
+    // over *more* term nodes, and the report's `terms_after` must never
+    // exceed `terms_before`, so such rewrites also fall back.
+    let nodes_out = count_nodes(mgr, &out);
+    if out != roots
+        && (dag_cost(mgr, &out) >= dag_cost(mgr, roots) || nodes_out > stats.nodes_before)
+    {
         stats.nodes_after = stats.nodes_before;
         return (roots.to_vec(), stats);
     }
     stats.improved = out != roots;
-    stats.nodes_after = count_nodes(mgr, &out);
+    stats.nodes_after = nodes_out;
+    debug_assert!(stats.nodes_after <= stats.nodes_before);
     (out, stats)
 }
 
@@ -511,6 +518,63 @@ mod tests {
             env.set_var(sym, BitVec::from_u64(8, val));
         }
         assert_eq!(env.eval(&m, goal), env.eval(&m, out[0]));
+    }
+
+    #[test]
+    fn simplification_never_grows_the_node_count() {
+        // Regression for the BENCH_owl.json anomaly where "simplify on"
+        // *grew* the RV32I term count: extraction may only be adopted
+        // when the reachable node count does not increase, so
+        // `terms_after <= terms_before` holds for every input. The
+        // randomized DAGs below reuse the soundness sweep's shape, which
+        // historically produced growing extractions.
+        use owl_sat::hash::splitmix64_next as splitmix64;
+
+        for case in 0..256u64 {
+            let mut rng = 0xBAD5_EED5u64 ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut m = TermManager::new();
+            let vars: Vec<TermId> = (0..4).map(|i| m.fresh_var(format!("v{i}"), 8)).collect();
+            let cond = m.fresh_var("c", 1);
+            let mut pool: Vec<TermId> = vars.clone();
+            for _ in 0..16 {
+                let pick =
+                    |rng: &mut u64, pool: &[TermId]| pool[(splitmix64(rng) as usize) % pool.len()];
+                let a = pick(&mut rng, &pool);
+                let b = pick(&mut rng, &pool);
+                let t = match splitmix64(&mut rng) % 8 {
+                    0 => m.and(a, b),
+                    1 => m.or(a, b),
+                    2 => m.xor(a, b),
+                    3 => m.add(a, b),
+                    4 => m.sub(a, b),
+                    5 => {
+                        let c = m.const_u64(8, splitmix64(&mut rng) % 10);
+                        m.shl(a, c)
+                    }
+                    6 => m.not(a),
+                    _ => m.ite(cond, a, b),
+                };
+                pool.push(t);
+            }
+            let lhs = *pool.last().unwrap();
+            let rhs = pool[(splitmix64(&mut rng) as usize) % pool.len()];
+            let root = m.eq(lhs, rhs);
+            let before = count_nodes(&m, &[root]);
+            let (out, stats) = simplify_terms(
+                &mut m,
+                &[root],
+                &Budget::unlimited(),
+                &SaturationLimits::default(),
+            );
+            let after = count_nodes(&m, &out);
+            assert!(
+                after <= before,
+                "case {case}: simplification grew the term count ({before} -> {after})"
+            );
+            assert_eq!(stats.nodes_before, before);
+            assert_eq!(stats.nodes_after, after);
+            assert!(stats.nodes_after <= stats.nodes_before);
+        }
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The solver facade: blast assertions, add Ackermann constraints, solve,
 //! and package the model.
 
-use crate::blast::Blaster;
+use crate::blast::{BlastState, Blaster};
 use crate::eval::{ArrayValue, Env};
 use crate::manager::{TermId, TermManager};
 use crate::simplify::{count_nodes, simplify_terms};
 use owl_bitvec::BitVec;
 use owl_egraph::SaturationLimits;
-use owl_sat::{Budget, ProofChecker, SolveResult, StopReason};
+use owl_sat::{Budget, ProofChecker, SolveResult, Solver, StopReason};
+use std::collections::HashMap;
 
 /// Result of an SMT [`solve`] call.
 #[derive(Debug)]
@@ -119,6 +120,11 @@ pub struct SolverConfig {
     /// Independently certify every definite answer, as in
     /// [`CheckOpts::certified`] (default: off).
     pub certify: bool,
+    /// Let a [`SolveSession`] retain its solver, learned clauses, and
+    /// blasted CNF between queries (default: on). Off, each session call
+    /// rebuilds everything from scratch — same answers and models, paid
+    /// in full every round. One-shot [`solve`] ignores this flag.
+    pub incremental: bool,
     /// Structural caps for the simplification pass. The defaults are
     /// tighter than [`SaturationLimits::default`] because simplification
     /// sits on the per-query hot path.
@@ -130,6 +136,7 @@ impl Default for SolverConfig {
         SolverConfig {
             simplify: true,
             certify: false,
+            incremental: true,
             simplify_limits: SaturationLimits { max_iters: 4, max_nodes: 30_000 },
         }
     }
@@ -139,10 +146,15 @@ impl Default for SolverConfig {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryStats {
     /// Distinct term-graph nodes reachable from the non-constant
-    /// assertions before simplification.
+    /// assertions before simplification. A [`SolveSession`] reports the
+    /// sum of per-round counts, so the same shared node may be counted
+    /// once per round that reaches it.
     pub terms_before: usize,
     /// Distinct nodes after simplification (equals `terms_before` when
-    /// simplification is off or skipped).
+    /// simplification is off or skipped). Never exceeds `terms_before`:
+    /// `simplify_terms` falls back to the originals rather than grow
+    /// the shared DAG, per assertion set in one-shot [`solve`] and per
+    /// round in a [`SolveSession`].
     pub terms_after: usize,
     /// Equality-saturation iterations spent on this query.
     pub eqsat_iters: usize,
@@ -153,6 +165,17 @@ pub struct QueryStats {
     pub cnf_vars: usize,
     /// CNF clauses created by bit-blasting.
     pub cnf_clauses: usize,
+    /// Learned clauses carried over from earlier solves of the same
+    /// [`SolveSession`] into this query's search (0 for one-shot
+    /// [`solve`] and for non-incremental sessions).
+    pub clauses_retained: u64,
+    /// Assertions whose bit-blasting was reused from the session's
+    /// retained CNF instead of being re-blasted.
+    pub blast_cache_hits: u64,
+    /// 1 when this query ran incrementally on top of an earlier one
+    /// (a warm [`SolveSession`] round), else 0 — a counter, so that
+    /// summing over a query log counts the rounds that benefited.
+    pub incremental_rounds: u64,
 }
 
 impl owl_trace::Report for QueryStats {
@@ -164,6 +187,9 @@ impl owl_trace::Report for QueryStats {
             .with("eqsat_saturated", self.eqsat_saturated)
             .with("cnf_vars", self.cnf_vars)
             .with("cnf_clauses", self.cnf_clauses)
+            .with("clauses_retained", self.clauses_retained)
+            .with("blast_cache_hits", self.blast_cache_hits)
+            .with("incremental_rounds", self.incremental_rounds)
     }
 }
 
@@ -453,7 +479,7 @@ fn solve_impl(
             // model of the simplified CNF must satisfy them, so a
             // mismatch exposes an unsound rewrite (or blaster bug).
             let cert = if certify {
-                certify_sat_model(mgr, &pending, &blaster, &env)
+                certify_sat_model(mgr, &pending, &blaster.solver, &env)
             } else {
                 QueryCert::Unchecked
             };
@@ -468,12 +494,10 @@ fn solve_impl(
 fn certify_sat_model(
     mgr: &TermManager,
     pending: &[TermId],
-    blaster: &Blaster<'_>,
+    solver: &Solver,
     env: &Env,
 ) -> QueryCert {
-    if let Err(e) = ProofChecker::check_model(blaster.solver.proof(), |v| {
-        blaster.solver.value(v)
-    }) {
+    if let Err(e) = ProofChecker::check_model(solver.proof(), |v| solver.value(v)) {
         return QueryCert::Failed(format!("SAT model rejected at clause level: {e}"));
     }
     for (i, &a) in pending.iter().enumerate() {
@@ -484,6 +508,406 @@ fn certify_sat_model(
         }
     }
     QueryCert::SatVerified
+}
+
+/// Salt for the session's structural-digest memo of asserted roots.
+const SESSION_MEMO_SALT: u64 = 0x0e15_e551_04d1_6e57;
+
+/// One assertion the session has accepted, with everything needed to
+/// replay or re-certify it later.
+struct AssertedRoot {
+    /// The term as the caller asserted it (certification target).
+    original: TermId,
+    /// What actually gets blasted (simplified; equals `original` when
+    /// simplification is off).
+    solved: TermId,
+    /// False when `solved` folded to constant true and never reached the
+    /// blaster.
+    blasted: bool,
+    eqsat_iters: usize,
+    eqsat_saturated: bool,
+}
+
+/// A persistent, monotone query session: assert terms, solve, assert
+/// more, solve again — the CEGIS shape, where every round conjoins one
+/// new counterexample constraint onto everything before it.
+///
+/// Each [`SolveSession::solve`] call takes the **full cumulative**
+/// assertion list; a structural digest memo identifies the terms already
+/// asserted, so only the new ones are simplified, blasted, and appended
+/// to the retained CNF. The underlying SAT solver keeps its learned
+/// clauses, variable activities, and saved phases across calls
+/// ([`owl_sat::Solver::reset_search`]), which is where the incremental
+/// speedup comes from.
+///
+/// # Determinism: incremental and scratch answer identically
+///
+/// With [`SolverConfig::incremental`] off, every call rebuilds a fresh
+/// solver — but it replays the *recorded batch structure* (assert batch,
+/// Ackermann-finalize, assert next batch, …) rather than blasting one
+/// flat query, so the CNF, variable numbering, and clause order are
+/// byte-identical to what the warm session accumulated. Both modes pin
+/// the SAT search to canonical decisions
+/// ([`owl_sat::Solver::set_canonical_decisions`]), which returns the
+/// lexicographically-least model regardless of learned clauses or
+/// activity state. Net effect: answers, models, certificates, and CNF
+/// size statistics are identical between the two modes; only wall-clock
+/// time and the reuse counters ([`QueryStats::clauses_retained`],
+/// [`QueryStats::blast_cache_hits`], [`QueryStats::incremental_rounds`])
+/// differ.
+///
+/// Fault-plan indices also line up: a session call makes at most one
+/// real SAT solver call in either mode, and constant short-circuits
+/// consume no fault index on either path, matching one-shot [`solve`].
+///
+/// # Certification
+///
+/// With [`SolverConfig::certify`], the semantics of one-shot [`solve`]
+/// carry over unchanged: Sat models are checked against the recorded CNF
+/// **and** by evaluating every original (pre-rewrite) assertion ever
+/// accepted; Unsat answers are re-derived by replaying the proof-log
+/// *segment* that ends at this solve ([`owl_sat::Solver::certify_unsat_segment`]),
+/// so clauses asserted in earlier rounds participate but the verdict is
+/// still independently checked per round.
+pub struct SolveSession {
+    config: SolverConfig,
+    /// Retained solver + blaster state (incremental mode only).
+    state: Option<BlastState>,
+    /// How many leading entries of `batches` the retained state has
+    /// already blasted.
+    blasted_batches: usize,
+    /// Structural digest → asserted roots with that digest (the vec
+    /// absorbs hash collisions: membership is by term id).
+    seen: HashMap<u64, Vec<TermId>>,
+    /// Accepted assertions in arrival order, grouped by the call that
+    /// introduced them. The grouping is semantic: scratch-mode replay
+    /// finalizes arrays after each batch exactly like the incremental
+    /// path did, keeping the CNFs identical.
+    batches: Vec<Vec<AssertedRoot>>,
+    /// Calls that reached the SAT solver.
+    rounds: u64,
+    /// A constant-false assertion refutes the session for good (it is
+    /// monotone): `(original term, discovered by simplification?)`.
+    refuted: Option<(TermId, bool)>,
+    /// Per-batch shared-DAG node counts of the original (resp. solved)
+    /// roots, summed at fold time. Each batch's pair is bounded by the
+    /// guard in `simplify_terms`, so the sums keep `terms_after <=
+    /// terms_before` for every report this session ever emits.
+    terms_before_total: usize,
+    terms_after_total: usize,
+}
+
+impl SolveSession {
+    /// A fresh session with the given per-query configuration (fixed for
+    /// the session's lifetime).
+    #[must_use]
+    pub fn new(config: SolverConfig) -> Self {
+        SolveSession {
+            config,
+            state: None,
+            blasted_batches: 0,
+            seen: HashMap::new(),
+            batches: Vec::new(),
+            rounds: 0,
+            refuted: None,
+            terms_before_total: 0,
+            terms_after_total: 0,
+        }
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Checks the conjunction of 1-bit `assertions` for satisfiability.
+    ///
+    /// `assertions` must be the full cumulative list (a superset of every
+    /// earlier call's list — the session is monotone and never retracts);
+    /// terms already asserted are recognized by structural digest and
+    /// skipped. `budget` is anything that converts into a [`Budget`],
+    /// as in [`solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assertion is wider than one bit.
+    #[must_use]
+    pub fn solve(
+        &mut self,
+        mgr: &mut TermManager,
+        assertions: &[TermId],
+        budget: impl Into<Budget>,
+    ) -> CheckOutcome {
+        let budget = budget.into();
+        self.solve_impl(mgr, assertions, &budget)
+    }
+
+    fn solve_impl(
+        &mut self,
+        mgr: &mut TermManager,
+        assertions: &[TermId],
+        budget: &Budget,
+    ) -> CheckOutcome {
+        let certify = self.config.certify;
+        let incremental = self.config.incremental;
+        let tracer = budget.tracer().clone();
+        let _query_span = tracer.span("smt", "query");
+        let mut stats = QueryStats::default();
+        let done = |result: SmtResult, cert: QueryCert, stats: QueryStats| CheckOutcome {
+            result,
+            cert,
+            stats,
+        };
+        if let Some(reason) = budget.checkpoint() {
+            return done(SmtResult::Unknown(reason), QueryCert::Unchecked, stats);
+        }
+
+        // Fold new assertions into the cumulative record. Everything here
+        // is mode-independent: batch membership, simplification results,
+        // and refutation state evolve identically whether or not solver
+        // state is retained.
+        let mut hits: u64 = 0;
+        let mut fresh: Vec<AssertedRoot> = Vec::new();
+        let mut to_simplify: Vec<usize> = Vec::new();
+        for &a in assertions {
+            assert_eq!(mgr.width(a), 1, "assertions must be 1-bit terms");
+            if self.refuted.is_some() {
+                break;
+            }
+            let digest = mgr.term_digest(&[a], SESSION_MEMO_SALT);
+            let entry = self.seen.entry(digest).or_default();
+            if entry.contains(&a) {
+                hits += 1;
+                continue;
+            }
+            entry.push(a);
+            match mgr.as_const(a) {
+                Some(c) if c.is_true() => fresh.push(AssertedRoot {
+                    original: a,
+                    solved: a,
+                    blasted: false,
+                    eqsat_iters: 0,
+                    eqsat_saturated: true,
+                }),
+                Some(_) => self.refuted = Some((a, false)),
+                None => {
+                    to_simplify.push(fresh.len());
+                    fresh.push(AssertedRoot {
+                        original: a,
+                        solved: a,
+                        blasted: true,
+                        eqsat_iters: 0,
+                        eqsat_saturated: false,
+                    });
+                }
+            }
+        }
+        // Simplify the batch's fresh roots as one set, exactly like
+        // one-shot `solve` does for its whole assertion list: the
+        // all-or-nothing fallback guard in `simplify_terms` then bounds
+        // the batch's *shared-DAG* node count, not just each root's.
+        if self.config.simplify && !to_simplify.is_empty() && self.refuted.is_none() {
+            let roots: Vec<TermId> = to_simplify.iter().map(|&i| fresh[i].original).collect();
+            let (simplified, sstats) = {
+                let _span = tracer.span("smt", "simplify");
+                simplify_terms(mgr, &roots, &budget.without_faults(), &self.config.simplify_limits)
+            };
+            for (&i, &s) in to_simplify.iter().zip(&simplified) {
+                let r = &mut fresh[i];
+                r.solved = s;
+                r.eqsat_saturated = sstats.saturated;
+                match mgr.as_const(s) {
+                    Some(c) if !c.is_true() => {
+                        self.refuted = Some((r.original, true));
+                        break;
+                    }
+                    as_const => r.blasted = as_const.is_none(),
+                }
+            }
+            if let Some(&first) = to_simplify.first() {
+                fresh[first].eqsat_iters = sstats.iterations;
+            }
+        }
+        if !fresh.is_empty() {
+            // Cache this batch's union node counts now: the cumulative
+            // report sums per-batch counts, so a call's accounting cost
+            // stays proportional to what it added, and the guarded
+            // per-batch bound makes the sums monotone by construction.
+            let batch_orig: Vec<TermId> = fresh
+                .iter()
+                .filter(|r| mgr.as_const(r.original).is_none())
+                .map(|r| r.original)
+                .collect();
+            let batch_solved: Vec<TermId> = fresh
+                .iter()
+                .filter(|r| mgr.as_const(r.original).is_none())
+                .map(|r| r.solved)
+                .collect();
+            self.terms_before_total += count_nodes(mgr, &batch_orig);
+            self.terms_after_total += count_nodes(mgr, &batch_solved);
+            self.batches.push(fresh);
+        }
+
+        // A refuted session stays refuted: the conjunction only grows.
+        // Like the constant path of one-shot `solve`, this consumes no
+        // fault-plan index.
+        if let Some((original, via_simplify)) = self.refuted {
+            let cert = if certify {
+                if Env::new().eval(mgr, original).is_true() {
+                    let what =
+                        if via_simplify { "eqsat simplification" } else { "constant fold" };
+                    QueryCert::Failed(format!("{what} disagrees with evaluator"))
+                } else {
+                    QueryCert::Trivial
+                }
+            } else if via_simplify {
+                QueryCert::Unchecked
+            } else {
+                QueryCert::Trivial
+            };
+            return done(SmtResult::Unsat, cert, stats);
+        }
+
+        // Cumulative term statistics: per-batch shared-DAG counts summed
+        // over batches, cached at fold time. Both modes fold identically,
+        // so the numbers are mode-independent, and the per-batch guard in
+        // `simplify_terms` keeps `terms_after <= terms_before`.
+        let originals: Vec<TermId> =
+            self.batches.iter().flatten().map(|r| r.original).collect();
+        let mut counted_orig = Vec::new();
+        let mut any_blasted = false;
+        let mut saturated = self.config.simplify;
+        for r in self.batches.iter().flatten() {
+            any_blasted |= r.blasted;
+            if mgr.as_const(r.original).is_some() {
+                continue;
+            }
+            counted_orig.push(r.original);
+            stats.eqsat_iters += r.eqsat_iters;
+            saturated &= r.eqsat_saturated;
+        }
+        stats.terms_before = self.terms_before_total;
+        stats.terms_after = self.terms_after_total;
+        stats.eqsat_saturated = saturated && !counted_orig.is_empty();
+
+        if !any_blasted {
+            // Nothing survived to the blaster: satisfiable by any
+            // assignment; spot-check the originals on the zero point.
+            let cert = if counted_orig.is_empty() {
+                QueryCert::Trivial
+            } else if certify {
+                if counted_orig.iter().all(|&a| Env::new().eval(mgr, a).is_true()) {
+                    QueryCert::Trivial
+                } else {
+                    QueryCert::Failed("eqsat simplification disagrees with evaluator".into())
+                }
+            } else {
+                QueryCert::Unchecked
+            };
+            return done(SmtResult::Sat(Model { env: Env::new() }), cert, stats);
+        }
+
+        // Blast. Warm state appends only the batches it has not seen;
+        // a cold start (first call, or incremental off) replays every
+        // batch in order, finalizing arrays after each, so both paths
+        // build the same CNF in the same variable order.
+        let mgr = &*mgr;
+        let mut st = match (incremental, self.state.take()) {
+            (true, Some(mut st)) => {
+                st.solver.reset_search();
+                st
+            }
+            _ => {
+                self.blasted_batches = 0;
+                let mut st = BlastState::new(certify);
+                // Canonical decisions pin the model to the lex-least
+                // satisfying assignment, independent of retained search
+                // state — the keystone of warm/cold identity.
+                st.solver.set_canonical_decisions(true);
+                st
+            }
+        };
+        {
+            let _span = tracer.span("smt", "blast");
+            let mut blaster = Blaster::resume(mgr, st);
+            for batch in &self.batches[self.blasted_batches..] {
+                for root in batch {
+                    if root.blasted {
+                        blaster.assert_true(root.solved);
+                    }
+                }
+                blaster.finalize_arrays_incremental();
+            }
+            st = blaster.suspend();
+        }
+        self.blasted_batches = self.batches.len();
+
+        // CNF sizes come from the blaster's own generation counters, not
+        // the solver's clause database: the solver may drop or shrink
+        // clauses using retained knowledge, which must not show up in
+        // mode-independent statistics.
+        stats.cnf_vars = st.gen_vars as usize;
+        stats.cnf_clauses = st.gen_clauses as usize;
+        stats.blast_cache_hits = if incremental { hits } else { 0 };
+        self.rounds += 1;
+        stats.incremental_rounds = u64::from(incremental && self.rounds >= 2);
+        if tracer.is_enabled() {
+            tracer.count("smt", "queries", 1);
+            tracer.count("smt", "cnf_vars", stats.cnf_vars as u64);
+            tracer.count("smt", "cnf_clauses", stats.cnf_clauses as u64);
+            tracer.count("smt", "blast_cache_hits", stats.blast_cache_hits);
+        }
+
+        let retained_before = st.solver.stats().clauses_retained;
+        let result = st.solver.solve(budget);
+        stats.clauses_retained = st.solver.stats().clauses_retained - retained_before;
+
+        let (result, cert) = match result {
+            SolveResult::Unsat => {
+                let cert = if certify {
+                    let last = st.solver.proof().segments.len().saturating_sub(1);
+                    match st.solver.certify_unsat_segment(last) {
+                        Ok(steps) => QueryCert::UnsatVerified { steps },
+                        Err(e) => QueryCert::Failed(format!("UNSAT proof rejected: {e}")),
+                    }
+                } else {
+                    QueryCert::Unchecked
+                };
+                (SmtResult::Unsat, cert)
+            }
+            SolveResult::Unknown => (
+                SmtResult::Unknown(
+                    st.solver.stop_reason().unwrap_or(StopReason::ConflictLimit),
+                ),
+                QueryCert::Unchecked,
+            ),
+            SolveResult::Sat => {
+                let mut env = Env::new();
+                for (&sym, bits) in &st.var_bits {
+                    env.set_var(sym, st.read_bits(bits));
+                }
+                for (&arr, reads) in &st.selects {
+                    let (_, dw) = mgr.array_widths(arr);
+                    let mut value = ArrayValue::filled(BitVec::zero(dw));
+                    for (addr_bits, data_bits) in reads {
+                        value.write(st.read_bits(addr_bits), st.read_bits(data_bits));
+                    }
+                    env.set_array(arr, value);
+                }
+                let cert = if certify {
+                    certify_sat_model(mgr, &originals, &st.solver, &env)
+                } else {
+                    QueryCert::Unchecked
+                };
+                (SmtResult::Sat(Model { env }), cert)
+            }
+        };
+        if incremental {
+            self.state = Some(st);
+        }
+        done(result, cert, stats)
+    }
 }
 
 #[cfg(test)]
@@ -914,6 +1338,227 @@ mod tests {
             SmtResult::Unknown(StopReason::Deadline) | SmtResult::Sat(_) => {}
             other => panic!("expected Unknown(Deadline) or Sat, got {other:?}"),
         }
+    }
+
+    /// ON and OFF sessions, fed the same batch sequence, must agree on
+    /// answers, models, certificates, and size statistics.
+    fn run_batches(
+        mgr: &mut TermManager,
+        incremental: bool,
+        batches: &[Vec<TermId>],
+        certify: bool,
+    ) -> Vec<CheckOutcome> {
+        let config = SolverConfig { incremental, certify, ..SolverConfig::default() };
+        let mut session = SolveSession::new(config);
+        let mut cumulative: Vec<TermId> = Vec::new();
+        let mut out = Vec::new();
+        for batch in batches {
+            cumulative.extend(batch.iter().copied());
+            out.push(session.solve(mgr, &cumulative, None));
+        }
+        out
+    }
+
+    #[test]
+    fn session_agrees_with_one_shot_solve() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let sum = m.add(x, y);
+        let c100 = m.const_u64(8, 100);
+        let c7 = m.const_u64(8, 7);
+        let a1 = m.eq(sum, c100);
+        let a2 = m.eq(x, c7);
+        let mut session = SolveSession::new(SolverConfig::default());
+        let out1 = session.solve(&mut m, &[a1], None);
+        let SmtResult::Sat(model1) = out1.result else { panic!("round 1 not Sat") };
+        assert!(model1.eval(&m, a1).is_true());
+        let out2 = session.solve(&mut m, &[a1, a2], None);
+        let SmtResult::Sat(model2) = out2.result else { panic!("round 2 not Sat") };
+        assert_eq!(model2.eval(&m, x).to_u64(), Some(7));
+        assert_eq!(model2.eval(&m, y).to_u64(), Some(93));
+        // A contradictory third round refutes the session.
+        let c9 = m.const_u64(8, 9);
+        let a3 = m.eq(x, c9);
+        assert!(session.solve(&mut m, &[a1, a2, a3], None).result.is_unsat());
+        // And it stays refuted (monotone).
+        assert!(session.solve(&mut m, &[a1, a2, a3], None).result.is_unsat());
+    }
+
+    #[test]
+    fn session_reuses_blasted_terms_and_counts_reuse() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let sum = m.add(x, y);
+        let c100 = m.const_u64(8, 100);
+        let c7 = m.const_u64(8, 7);
+        let a1 = m.eq(sum, c100);
+        let a2 = m.eq(x, c7);
+        let mut session = SolveSession::new(SolverConfig::default());
+        let out1 = session.solve(&mut m, &[a1], None);
+        assert_eq!(out1.stats.blast_cache_hits, 0);
+        assert_eq!(out1.stats.incremental_rounds, 0);
+        let out2 = session.solve(&mut m, &[a1, a2], None);
+        assert_eq!(out2.stats.blast_cache_hits, 1, "a1 was already blasted");
+        assert_eq!(out2.stats.incremental_rounds, 1);
+        assert!(
+            out2.stats.cnf_vars > out1.stats.cnf_vars,
+            "round 2 CNF is cumulative"
+        );
+    }
+
+    #[test]
+    fn session_scratch_mode_is_indistinguishable_except_reuse_counters() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let sum = m.add(x, y);
+        let c100 = m.const_u64(8, 100);
+        let c200 = m.const_u64(8, 200);
+        let lo = m.ult(x, c200);
+        let a1 = m.eq(sum, c100);
+        let batches = vec![vec![a1], vec![lo]];
+        let mut m2 = m.clone();
+        let on = run_batches(&mut m, true, &batches, true);
+        let off = run_batches(&mut m2, false, &batches, true);
+        for (on, off) in on.iter().zip(&off) {
+            assert_eq!(on.cert, off.cert);
+            assert_eq!(on.stats.cnf_vars, off.stats.cnf_vars);
+            assert_eq!(on.stats.cnf_clauses, off.stats.cnf_clauses);
+            assert_eq!(on.stats.terms_before, off.stats.terms_before);
+            assert_eq!(on.stats.terms_after, off.stats.terms_after);
+            assert_eq!(off.stats.blast_cache_hits, 0);
+            assert_eq!(off.stats.incremental_rounds, 0);
+            let (SmtResult::Sat(mon), SmtResult::Sat(moff)) = (&on.result, &off.result)
+            else {
+                panic!("expected Sat on both paths")
+            };
+            // Canonical decisions make the two models literally equal.
+            assert_eq!(mon.eval(&m, x), moff.eval(&m2, x));
+            assert_eq!(mon.eval(&m, y), moff.eval(&m2, y));
+        }
+    }
+
+    #[test]
+    fn session_term_counts_never_grow_across_rounds() {
+        // Regression: per-root simplification could shrink each root
+        // individually while the rewritten forms shared *less* than the
+        // originals, growing the union count. Batches now simplify as
+        // one set and the report sums guarded per-batch counts, so
+        // `terms_after <= terms_before` holds on every round.
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 8);
+        let y = m.fresh_var("y", 8);
+        let z = m.fresh_var("z", 8);
+        let zero = m.const_u64(8, 0);
+        // Redundancy only the eqsat pass unwinds (`(x + y) - y` → `x`),
+        // layered over a subterm `x + y` the originals share across
+        // rounds but the rewritten forms may not.
+        let sum = m.add(x, y);
+        let back = m.sub(sum, y);
+        let a1 = m.eq(back, z);
+        let a2 = m.ult(sum, z);
+        let xz = m.add(x, z);
+        let back2 = m.sub(xz, z);
+        let a3 = m.neq(back2, zero);
+        let cumulative = [vec![a1], vec![a1, a2], vec![a1, a2, a3]];
+        let mut session = SolveSession::new(SolverConfig::default());
+        for round in &cumulative {
+            let out = session.solve(&mut m, round, None);
+            assert!(
+                out.stats.terms_after <= out.stats.terms_before,
+                "simplification grew the reported node count: {} -> {}",
+                out.stats.terms_before,
+                out.stats.terms_after
+            );
+        }
+    }
+
+    #[test]
+    fn session_ackermann_constraints_span_batches() {
+        // The second batch's read must be Ackermann-linked to the first
+        // batch's read, and identically so in both modes.
+        let mut m = TermManager::new();
+        let arr = m.fresh_array("mem", 4, 8);
+        let addr1 = m.fresh_var("a1", 4);
+        let addr2 = m.fresh_var("a2", 4);
+        let r1 = m.array_select(arr, addr1);
+        let r2 = m.array_select(arr, addr2);
+        let same = m.eq(addr1, addr2);
+        let diff = m.neq(r1, r2);
+        let batches = vec![vec![same], vec![diff]];
+        let mut m2 = m.clone();
+        let on = run_batches(&mut m, true, &batches, true);
+        let off = run_batches(&mut m2, false, &batches, true);
+        assert!(on[0].result.is_sat() && off[0].result.is_sat());
+        assert!(on[1].result.is_unsat(), "same address, different reads");
+        assert!(off[1].result.is_unsat());
+        assert!(
+            matches!(on[1].cert, QueryCert::UnsatVerified { .. }),
+            "got {:?}",
+            on[1].cert
+        );
+    }
+
+    #[test]
+    fn session_certifies_each_round() {
+        let mut m = TermManager::new();
+        let x = m.fresh_var("x", 6);
+        let y = m.fresh_var("y", 6);
+        let sum = m.add(x, y);
+        let c10 = m.const_u64(6, 10);
+        let a1 = m.eq(sum, c10);
+        let back = m.sub(sum, y);
+        let neq = m.neq(back, x);
+        let mut session =
+            SolveSession::new(SolverConfig { certify: true, ..SolverConfig::default() });
+        let out1 = session.solve(&mut m, &[a1], None);
+        assert!(out1.result.is_sat());
+        assert_eq!(out1.cert, QueryCert::SatVerified);
+        let out2 = session.solve(&mut m, &[a1, neq], None);
+        assert!(out2.result.is_unsat());
+        assert!(matches!(out2.cert, QueryCert::UnsatVerified { .. }), "got {:?}", out2.cert);
+    }
+
+    #[test]
+    fn session_constant_paths_consume_no_fault_index() {
+        use owl_sat::{Fault, FaultPlan};
+        use std::sync::Arc;
+        let mut m = TermManager::new();
+        let plan = Arc::new(FaultPlan::new().at(0, Fault::ForceUnknown));
+        let budget = Budget::unlimited().with_fault_plan(plan.clone());
+        let mut session = SolveSession::new(SolverConfig::default());
+        let t = m.tru();
+        assert!(session.solve(&mut m, &[t], &budget).result.is_sat());
+        assert_eq!(plan.calls_observed(), 0, "all-true round never reached the solver");
+        let f = m.fls();
+        assert!(session.solve(&mut m, &[t, f], &budget).result.is_unsat());
+        assert!(session.solve(&mut m, &[t, f], &budget).result.is_unsat());
+        assert_eq!(plan.calls_observed(), 0, "refuted rounds never reach the solver");
+    }
+
+    #[test]
+    fn session_clauses_retained_grow_on_warm_rounds() {
+        let mut m = TermManager::new();
+        // A moderately hard query so the first round actually learns.
+        let x = m.fresh_var("x", 10);
+        let y = m.fresh_var("y", 10);
+        let prod = m.mul(x, y);
+        let c = m.const_u64(10, 143);
+        let two = m.const_u64(10, 2);
+        let a1 = m.eq(prod, c);
+        let a2 = m.uge(x, two);
+        let a3 = m.uge(y, two);
+        let mut session = SolveSession::new(SolverConfig::default());
+        let out1 = session.solve(&mut m, &[a1, a2, a3], None);
+        assert!(out1.result.is_sat(), "143 = 11 * 13");
+        assert_eq!(out1.stats.clauses_retained, 0, "cold start retains nothing");
+        let c5 = m.const_u64(10, 5);
+        let a4 = m.uge(x, c5);
+        let out2 = session.solve(&mut m, &[a1, a2, a3, a4], None);
+        assert!(out2.result.is_sat(), "x = 11 or 13 still fits");
+        assert_eq!(out2.stats.incremental_rounds, 1);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The incremental-solving identity contract, checked end to end:
+//! synthesis with persistent solver sessions (`incremental = true`, the
+//! default) must produce byte-identical solutions, outcomes,
+//! certificates, completed designs, and netlists to the scratch path
+//! (`incremental = false`), at every parallelism level. Only the reuse
+//! provenance counters may differ — they describe how answers were
+//! computed, never which answers.
+
+use owl::core::{
+    complete_design, control_union, SynthesisConfig, SynthesisOutput, SynthesisSession,
+};
+use owl::netlist::lower;
+use owl::smt::TermManager;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Asserts that two synthesis outputs are observably identical modulo
+/// the reuse provenance counters (`clauses_retained`,
+/// `blast_cache_hits`, `incremental_rounds`), which are excluded from
+/// the identity contract by design.
+fn assert_identical_modulo_provenance(label: &str, a: &SynthesisOutput, b: &SynthesisOutput) {
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{label}: solution count");
+    for (x, y) in a.solutions.iter().zip(&b.solutions) {
+        assert_eq!(x.instr, y.instr, "{label}: solution order");
+        assert_eq!(x.holes, y.holes, "{label}: hole values for {}", x.instr);
+    }
+    assert_eq!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", b.outcomes),
+        "{label}: per-instruction outcomes"
+    );
+    assert_eq!(a.stats.solver_calls, b.stats.solver_calls, "{label}: solver calls");
+    assert_eq!(a.stats.cex_rounds, b.stats.cex_rounds, "{label}: CEGIS rounds");
+    assert_eq!(a.stats.cnf_vars, b.stats.cnf_vars, "{label}: CNF vars");
+    assert_eq!(a.stats.cnf_clauses, b.stats.cnf_clauses, "{label}: CNF clauses");
+    match (&a.certificate, &b.certificate) {
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.to_string(), cb.to_string(), "{label}: certificates")
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run certified, the other did not"),
+    }
+}
+
+fn run_rv32i(incremental: bool, threads: usize) -> (SynthesisOutput, String, String) {
+    let cs = owl::cores::rv32i::single_cycle(owl::cores::rv32i::Extensions::BASE);
+    let config = SynthesisConfig::builder().incremental(incremental).build();
+    let mut mgr = TermManager::new();
+    let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+        .config(config)
+        .parallelism(threads)
+        .run_with(&mut mgr)
+        .expect("valid inputs");
+    assert!(
+        out.is_complete(),
+        "incremental={incremental} threads={threads}: {:?}",
+        out.first_error()
+    );
+    let union =
+        control_union(&cs.sketch, &cs.spec, &cs.alpha, &out.solutions).expect("union succeeds");
+    let completed = complete_design(&cs.sketch, &union);
+    let design = completed.to_string();
+    let netlist = format!("{:?}", lower(&completed).expect("lowers").stats());
+    (out, design, netlist)
+}
+
+/// The headline property: RV32I synthesized with persistent sessions at
+/// 1, 2, and 8 workers is indistinguishable from the scratch oracle —
+/// same controls, same certificates, same completed design, same
+/// netlist — while the provenance counters prove reuse actually
+/// happened.
+#[cfg_attr(debug_assertions, ignore = "synthesizes a full core; run in release")]
+#[test]
+fn rv32i_incremental_matches_scratch_at_every_parallelism() {
+    let (scratch, scratch_design, scratch_netlist) = run_rv32i(false, 1);
+    assert_eq!(scratch.stats.clauses_retained, 0, "scratch retains nothing");
+    assert_eq!(scratch.stats.blast_cache_hits, 0, "scratch reblasts everything");
+    assert_eq!(scratch.stats.incremental_rounds, 0, "scratch runs no warm rounds");
+
+    for threads in THREAD_COUNTS {
+        let label = format!("threads={threads}");
+        let (on, design, netlist) = run_rv32i(true, threads);
+        assert_identical_modulo_provenance(&label, &scratch, &on);
+        assert_eq!(scratch_design, design, "{label}: completed design");
+        assert_eq!(scratch_netlist, netlist, "{label}: netlist stats");
+        // RV32I needs multiple CEGIS rounds, so a warm session must
+        // demonstrably retain state across them.
+        assert!(on.stats.clauses_retained >= 1, "{label}: no clauses retained");
+        assert!(on.stats.blast_cache_hits >= 1, "{label}: blast cache never hit");
+        assert!(on.stats.incremental_rounds >= 1, "{label}: no warm solver rounds");
+    }
+}
+
+/// The same contract on the small accumulator case study, cheap enough
+/// to run everywhere: on/off agree at every thread count.
+#[test]
+fn accumulator_incremental_matches_scratch() {
+    let cs = owl::cores::accumulator::case_study();
+    let mut scratch_ref: Option<SynthesisOutput> = None;
+    for threads in THREAD_COUNTS {
+        for incremental in [false, true] {
+            let config = SynthesisConfig::builder().incremental(incremental).build();
+            let out = SynthesisSession::new(&cs.sketch, &cs.spec, &cs.alpha)
+                .config(config)
+                .parallelism(threads)
+                .run()
+                .expect("valid inputs");
+            assert!(
+                out.is_complete(),
+                "incremental={incremental} threads={threads}: {:?}",
+                out.first_error()
+            );
+            if !incremental {
+                assert_eq!(out.stats.blast_cache_hits, 0, "threads={threads}: scratch hits");
+            }
+            match &scratch_ref {
+                None => scratch_ref = Some(out),
+                Some(r) => assert_identical_modulo_provenance(
+                    &format!("incremental={incremental} threads={threads}"),
+                    r,
+                    &out,
+                ),
+            }
+        }
+    }
+}
